@@ -1,0 +1,145 @@
+//! Ablation benches for the design choices DESIGN.md calls out.
+//!
+//! These measure the *cost* side of each choice (wall time of a tuning
+//! run under each variant); the *quality* side is reported by
+//! `cargo run -p experiments --bin ablations`.
+
+use autotune_core::bo_gp::{BayesOptGp, BoGpParams};
+use autotune_core::bo_tpe::{BayesOptTpe, TpeParams};
+use autotune_core::ga::{GaParams, GeneticAlgorithm};
+use autotune_core::{TuneContext, Tuner};
+use autotune_space::{imagecl, Configuration};
+use autotune_surrogates::acquisition::Acquisition;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::kernels::Benchmark;
+use gpu_sim::noise::NoiseModel;
+use gpu_sim::{arch, SimulatedKernel};
+use std::hint::black_box;
+
+const BUDGET: usize = 50;
+
+fn run_tuner(tuner: &dyn Tuner, constrained: bool, noise: NoiseModel) -> f64 {
+    let space = imagecl::space();
+    let constraint = imagecl::constraint();
+    let mut sim =
+        SimulatedKernel::with_noise(Benchmark::Harris.model(), arch::gtx_980(), noise, 11);
+    let ctx = TuneContext::new(&space, BUDGET, 11);
+    let ctx = if constrained {
+        ctx.with_constraint(&constraint)
+    } else {
+        ctx
+    };
+    let mut obj = |cfg: &Configuration| sim.measure(cfg);
+    tuner.tune(&ctx, &mut obj).best.value
+}
+
+fn ablate_gp_refit_cadence(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/gp_refit_every");
+    g.sample_size(10);
+    for refit in [5usize, 25, 50] {
+        let tuner = BayesOptGp {
+            params: BoGpParams {
+                refit_every: refit,
+                ..BoGpParams::default()
+            },
+        };
+        g.bench_function(BenchmarkId::from_parameter(refit), |b| {
+            b.iter(|| black_box(run_tuner(&tuner, false, NoiseModel::study_default())))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_acquisition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/acquisition");
+    g.sample_size(10);
+    let variants: [(&str, Acquisition); 3] = [
+        ("ei", Acquisition::ExpectedImprovement { xi: 0.01 }),
+        ("lcb", Acquisition::LowerConfidenceBound { kappa: 1.96 }),
+        ("poi", Acquisition::ProbabilityOfImprovement { xi: 0.01 }),
+    ];
+    for (name, acq) in variants {
+        let tuner = BayesOptGp {
+            params: BoGpParams {
+                acquisition: acq,
+                ..BoGpParams::default()
+            },
+        };
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_tuner(&tuner, false, NoiseModel::study_default())))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_tpe_gamma(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/tpe_gamma");
+    g.sample_size(10);
+    for gamma in [0.15f64, 0.25, 0.5] {
+        let tuner = BayesOptTpe {
+            params: TpeParams {
+                gamma,
+                ..TpeParams::default()
+            },
+        };
+        g.bench_function(BenchmarkId::from_parameter(gamma), |b| {
+            b.iter(|| black_box(run_tuner(&tuner, false, NoiseModel::study_default())))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_ga_population(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/ga_population");
+    g.sample_size(10);
+    for pop in [10usize, 20, 40] {
+        let tuner = GeneticAlgorithm {
+            params: GaParams {
+                population: pop,
+                ..GaParams::default()
+            },
+        };
+        g.bench_function(BenchmarkId::from_parameter(pop), |b| {
+            b.iter(|| black_box(run_tuner(&tuner, true, NoiseModel::study_default())))
+        });
+    }
+    g.finish();
+}
+
+fn ablate_constraint_specification(c: &mut Criterion) {
+    // The paper's "design point in which non-SMBO methods are favored":
+    // GA with and without the a-priori constraint.
+    let mut g = c.benchmark_group("ablation/ga_constraint");
+    g.sample_size(10);
+    let tuner = GeneticAlgorithm::default();
+    g.bench_function("with_constraint", |b| {
+        b.iter(|| black_box(run_tuner(&tuner, true, NoiseModel::study_default())))
+    });
+    g.bench_function("without_constraint", |b| {
+        b.iter(|| black_box(run_tuner(&tuner, false, NoiseModel::study_default())))
+    });
+    g.finish();
+}
+
+fn ablate_noise_level(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation/noise_scale");
+    g.sample_size(10);
+    let tuner = GeneticAlgorithm::default();
+    for scale in [0.0f64, 1.0, 4.0] {
+        g.bench_function(BenchmarkId::from_parameter(scale), |b| {
+            b.iter(|| black_box(run_tuner(&tuner, true, NoiseModel::scaled(scale))))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    ablations,
+    ablate_gp_refit_cadence,
+    ablate_acquisition,
+    ablate_tpe_gamma,
+    ablate_ga_population,
+    ablate_constraint_specification,
+    ablate_noise_level
+);
+criterion_main!(ablations);

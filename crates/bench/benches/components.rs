@@ -1,0 +1,163 @@
+//! Component benchmarks: the computational kernels every experiment sits
+//! on. These set the budget expectations for the full study (e.g. one
+//! BO-GP run at S=400 performs ~400 incremental GP updates plus periodic
+//! grid-search refits).
+
+use autotune_bench::training_set;
+use autotune_core::{Algorithm, TuneContext};
+use autotune_space::{imagecl, sample, Configuration};
+use autotune_stats::{cles, mwu, Alternative};
+use autotune_surrogates::gp::model::{default_grid, GaussianProcess, GpParams};
+use autotune_surrogates::{RandomForest, RandomForestParams};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gpu_sim::dataset::Dataset;
+use gpu_sim::kernels::Benchmark;
+use gpu_sim::noise::NoiseModel;
+use gpu_sim::{arch, model, oracle};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simulator");
+    let space = imagecl::space();
+    let gpu = arch::rtx_titan();
+    let cfg = Configuration::from([2, 4, 1, 8, 4, 1]);
+    for bench in Benchmark::ALL {
+        let kernel = bench.model();
+        g.bench_function(BenchmarkId::new("kernel_time", bench.name()), |b| {
+            b.iter(|| black_box(model::kernel_time_ms(kernel.as_ref(), &gpu, black_box(&cfg))))
+        });
+    }
+    g.bench_function("oracle_strided_1009", |b| {
+        let kernel = Benchmark::Add.model();
+        b.iter(|| black_box(oracle::strided_optimum(kernel.as_ref(), &gpu, 1009)))
+    });
+    g.bench_function("dataset_generate_256", |b| {
+        b.iter(|| {
+            black_box(Dataset::generate(
+                Benchmark::Add,
+                &gpu,
+                256,
+                NoiseModel::study_default(),
+                1,
+            ))
+        })
+    });
+    let _ = space;
+    g.finish();
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gp");
+    for n in [50usize, 100, 200] {
+        let (x, y) = training_set(n);
+        g.bench_function(BenchmarkId::new("fit", n), |b| {
+            b.iter(|| {
+                black_box(
+                    GaussianProcess::fit(x.clone(), y.clone(), GpParams::default()).unwrap(),
+                )
+            })
+        });
+    }
+    let (x, y) = training_set(100);
+    let gp = GaussianProcess::fit(x.clone(), y.clone(), GpParams::default()).unwrap();
+    g.bench_function("predict_100", |b| {
+        let q = vec![0.3; 6];
+        b.iter(|| black_box(gp.predict(black_box(&q))))
+    });
+    g.bench_function("add_point_100", |b| {
+        b.iter_batched(
+            || gp.clone(),
+            |mut gp| {
+                gp.add_point(vec![0.9; 6], 1.0).unwrap();
+                black_box(gp)
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("grid_search_50", |b| {
+        let (x, y) = training_set(50);
+        let grid = default_grid();
+        b.iter(|| {
+            black_box(GaussianProcess::fit_with_grid_search(
+                x.clone(),
+                y.clone(),
+                &grid,
+            ))
+        })
+    });
+    g.finish();
+}
+
+fn bench_forest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("random_forest");
+    for n in [90usize, 390] {
+        let (x, y) = training_set(n);
+        g.bench_function(BenchmarkId::new("fit_100_trees", n), |b| {
+            b.iter(|| black_box(RandomForest::fit(&x, &y, &RandomForestParams::default(), 1)))
+        });
+    }
+    let (x, y) = training_set(90);
+    let forest = RandomForest::fit(&x, &y, &RandomForestParams::default(), 1);
+    g.bench_function("predict", |b| {
+        let q = vec![0.4; 6];
+        b.iter(|| black_box(forest.predict(black_box(&q))))
+    });
+    g.finish();
+}
+
+fn bench_tuners(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tuner_run_s25");
+    g.sample_size(10);
+    let space = imagecl::space();
+    let constraint = imagecl::constraint();
+    for algo in Algorithm::PAPER_FIVE {
+        g.bench_function(algo.name(), |b| {
+            b.iter(|| {
+                let kernel = Benchmark::Add.model();
+                let mut sim = gpu_sim::SimulatedKernel::new(kernel, arch::gtx_980(), 3);
+                let ctx = TuneContext::new(&space, 25, 3);
+                let ctx = if algo.is_smbo() {
+                    ctx
+                } else {
+                    ctx.with_constraint(&constraint)
+                };
+                let mut obj = |cfg: &Configuration| sim.measure(cfg);
+                black_box(algo.tuner().tune(&ctx, &mut obj))
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stats");
+    let mut rng = ChaCha8Rng::seed_from_u64(5);
+    let space = imagecl::space();
+    let a: Vec<f64> = sample::uniform_many(&space, 200, &mut rng)
+        .iter()
+        .map(|cfg| cfg.values().iter().map(|&v| v as f64).sum())
+        .collect();
+    let b_vals: Vec<f64> = a.iter().map(|v| v * 1.1 + 0.3).collect();
+    g.bench_function("mwu_200x200", |bch| {
+        bch.iter(|| black_box(mwu::mann_whitney_u(&a, &b_vals, Alternative::TwoSided)))
+    });
+    g.bench_function("cles_200x200", |bch| {
+        bch.iter(|| black_box(cles::common_language_effect_size(&a, &b_vals)))
+    });
+    g.bench_function("bootstrap_mean_ci_1000", |bch| {
+        bch.iter(|| black_box(autotune_stats::bootstrap::mean_ci(&a, 1000, 0.95, 1)))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    components,
+    bench_simulator,
+    bench_gp,
+    bench_forest,
+    bench_tuners,
+    bench_stats
+);
+criterion_main!(components);

@@ -1,0 +1,94 @@
+//! One benchmark group per paper artefact.
+//!
+//! Each group measures regenerating that artefact's aggregation and
+//! rendering from a cached miniature study (the expensive experiment
+//! phase is benchmarked once, end-to-end, in `study/end_to_end`).
+
+use autotune_bench::{micro_config, mini_study};
+use criterion::{criterion_group, criterion_main, Criterion};
+use experiments::design::ExperimentDesign;
+use experiments::{grid, metrics, render, table1};
+use std::hint::black_box;
+
+fn bench_table1(c: &mut Criterion) {
+    let design = ExperimentDesign::paper();
+    c.bench_function("table1/render", |b| {
+        b.iter(|| black_box(table1::render(black_box(&design))))
+    });
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let study = mini_study();
+    let mut g = c.benchmark_group("fig2");
+    g.bench_function("aggregate", |b| {
+        b.iter(|| black_box(metrics::fig2(black_box(&study))))
+    });
+    let panels = metrics::fig2(&study);
+    g.bench_function("render", |b| {
+        b.iter(|| {
+            let mut out = String::new();
+            for p in &panels {
+                out.push_str(&render::heatmap(p, "%"));
+            }
+            black_box(out)
+        })
+    });
+    g.bench_function("csv", |b| {
+        b.iter(|| black_box(render::heatmaps_csv(black_box(&panels))))
+    });
+    g.finish();
+}
+
+fn bench_fig3(c: &mut Criterion) {
+    let study = mini_study();
+    let mut g = c.benchmark_group("fig3");
+    g.bench_function("aggregate_with_bootstrap", |b| {
+        b.iter(|| black_box(metrics::fig3(black_box(&study), 0.95, 1)))
+    });
+    let lines = metrics::fig3(&study, 0.95, 1);
+    g.bench_function("render", |b| {
+        b.iter(|| black_box(render::aggregate_table(black_box(&lines))))
+    });
+    g.finish();
+}
+
+fn bench_fig4a(c: &mut Criterion) {
+    let study = mini_study();
+    c.bench_function("fig4a/aggregate", |b| {
+        b.iter(|| black_box(metrics::fig4a(black_box(&study))))
+    });
+}
+
+fn bench_fig4b(c: &mut Criterion) {
+    let study = mini_study();
+    let mut g = c.benchmark_group("fig4b");
+    g.bench_function("cles_and_mwu", |b| {
+        b.iter(|| black_box(metrics::fig4b(black_box(&study))))
+    });
+    let panels = metrics::fig4b(&study);
+    g.bench_function("csv", |b| {
+        b.iter(|| black_box(render::cles_csv(black_box(&panels))))
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let config = micro_config();
+    let mut g = c.benchmark_group("study");
+    g.sample_size(10);
+    g.bench_function("end_to_end_micro", |b| {
+        b.iter(|| black_box(grid::run_study(black_box(&config))))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures,
+    bench_table1,
+    bench_fig2,
+    bench_fig3,
+    bench_fig4a,
+    bench_fig4b,
+    bench_end_to_end
+);
+criterion_main!(figures);

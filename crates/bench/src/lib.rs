@@ -1,0 +1,84 @@
+//! Shared fixtures for the Criterion benchmark harness.
+//!
+//! The benches are organized as:
+//!
+//! * `benches/figures.rs` — one group per paper artefact (Table I,
+//!   Fig. 2, Fig. 3, Fig. 4a, Fig. 4b): measures regenerating each
+//!   artefact from a cached miniature study, plus one end-to-end
+//!   mini-study benchmark.
+//! * `benches/components.rs` — the computational kernels underneath:
+//!   simulator evaluation, GP fit/predict, RF fit, TPE rounds, MWU/CLES,
+//!   dataset generation, oracle scans.
+//! * `benches/ablations.rs` — cost of the design choices DESIGN.md calls
+//!   out (GP refit cadence, acquisition function, TPE γ, GA population,
+//!   constraint specification on/off, noise level).
+
+use autotune_core::Algorithm;
+use experiments::grid::{run_study, StudyConfig, StudyResults};
+use gpu_sim::arch;
+use gpu_sim::kernels::Benchmark;
+
+/// A miniature but complete study: 1 benchmark, 1 architecture, the
+/// paper's five algorithms at the smallest scale. Used as the cached
+/// input for the per-figure aggregation benches.
+pub fn mini_study() -> StudyResults {
+    let mut c = StudyConfig::smoke();
+    c.algorithms = Algorithm::PAPER_FIVE.to_vec();
+    c.benchmarks = vec![Benchmark::Add];
+    c.architectures = vec![arch::gtx_980()];
+    c.dataset_size = 400;
+    c.oracle_stride = 1009;
+    c.threads = 1;
+    run_study(&c)
+}
+
+/// An even smaller study configuration for the end-to-end benchmark
+/// (run *inside* the measurement loop, so it must be quick).
+pub fn micro_config() -> StudyConfig {
+    let mut c = StudyConfig::smoke();
+    c.algorithms = vec![Algorithm::RandomSearch, Algorithm::GeneticAlgorithm];
+    c.benchmarks = vec![Benchmark::Add];
+    c.architectures = vec![arch::gtx_980()];
+    c.dataset_size = 500;
+    c.oracle_stride = 4001;
+    c.threads = 1;
+    c
+}
+
+/// Deterministic feature matrix + targets for surrogate-model benches.
+pub fn training_set(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let space = autotune_space::imagecl::space();
+    let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(7);
+    let cfgs = autotune_space::sample::uniform_many(&space, n, &mut rng);
+    let kernel = Benchmark::Harris.model();
+    let gpu = arch::titan_v();
+    let x: Vec<Vec<f64>> = cfgs.iter().map(|c| space.to_unit_features(c)).collect();
+    let y: Vec<f64> = cfgs
+        .iter()
+        .map(|c| gpu_sim::model::kernel_time_ms(kernel.as_ref(), &gpu, c).ln())
+        .collect();
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micro_study_covers_all_cells() {
+        // The full mini_study runs BO GP at S=400, which is too slow for
+        // debug-mode tests; the micro configuration exercises the same
+        // pipeline. mini_study itself runs (in release) inside the benches.
+        let r = run_study(&micro_config());
+        assert_eq!(r.cells.len(), 2 * 5); // 2 algorithms x 5 sample sizes
+    }
+
+    #[test]
+    fn training_set_shapes() {
+        let (x, y) = training_set(32);
+        assert_eq!(x.len(), 32);
+        assert_eq!(y.len(), 32);
+        assert!(x.iter().all(|r| r.len() == 6));
+        assert!(y.iter().all(|v| v.is_finite()));
+    }
+}

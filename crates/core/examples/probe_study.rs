@@ -1,0 +1,59 @@
+//! Quick calibration probe: median %-of-optimum per algorithm and sample
+//! size on one (benchmark, architecture) pair. Not part of the test
+//! suite; used to sanity-check the study's trend shapes during
+//! development.
+
+use autotune_core::{Algorithm, TuneContext};
+use autotune_space::imagecl;
+use gpu_sim::{arch, kernels::Benchmark, oracle, SimulatedKernel};
+
+fn main() {
+    let space = imagecl::space();
+    let constraint = imagecl::constraint();
+    let args: Vec<String> = std::env::args().collect();
+    let bench = args
+        .get(1)
+        .and_then(|s| Benchmark::parse(s))
+        .unwrap_or(Benchmark::Harris);
+    let gpu = args
+        .get(2)
+        .and_then(|s| arch::by_name(s))
+        .unwrap_or_else(arch::gtx_980);
+    let reps: usize = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(12);
+
+    let kernel = bench.model();
+    let opt = oracle::strided_optimum(kernel.as_ref(), &gpu, 1);
+    println!(
+        "{} on {}: optimum {:.4} ms at {}",
+        bench.name(),
+        gpu.name,
+        opt.time_ms,
+        opt.config
+    );
+
+    for budget in [25usize, 50, 100, 200, 400] {
+        print!("S={budget:>4}: ");
+        for algo in Algorithm::PAPER_FIVE {
+            let mut results = Vec::new();
+            for rep in 0..reps {
+                let seed = (budget as u64) << 32 | (rep as u64) << 8 | algo as u64;
+                let mut sim = SimulatedKernel::new(bench.model(), gpu.clone(), seed);
+                let ctx = TuneContext::new(&space, budget, seed);
+                let ctx = if algo.is_smbo() {
+                    ctx
+                } else {
+                    ctx.with_constraint(&constraint)
+                };
+                let mut obj = |cfg: &autotune_space::Configuration| sim.measure(cfg);
+                let r = algo.tuner().tune(&ctx, &mut obj);
+                // Final configuration re-measured 10x, median reported.
+                let final_t = sim.measure_final(&r.best.config);
+                results.push(100.0 * opt.time_ms / final_t);
+            }
+            results.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let median = results[results.len() / 2];
+            print!("{}={median:>5.1}%  ", algo.name());
+        }
+        println!();
+    }
+}

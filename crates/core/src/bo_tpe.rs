@@ -1,0 +1,244 @@
+//! Bayesian Optimization with Tree-Parzen Estimators — the paper's BO
+//! TPE, following HyperOpt's algorithm (Bergstra et al. 2011):
+//!
+//! 1. bootstrap with random trials (HyperOpt's `n_startup_trials`);
+//! 2. each round, split the history at the γ-quantile of the objective:
+//!    the best `γ·n` observations form the "good" set, the rest "bad";
+//! 3. fit factorized Parzen densities `l(x)` (good) and `g(x)` (bad)
+//!    over the integer parameter ranges;
+//! 4. draw candidates from `l` and keep the one maximizing `l(x)/g(x)`
+//!    (monotone in Expected Improvement under TPE's assumptions);
+//! 5. measure it, repeat.
+//!
+//! Like the paper's HyperOpt runs, this tuner receives **no constraint
+//! specification**; infeasible proposals land in the "bad" set via the
+//! failure penalty and the densities steer away from them.
+
+use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
+use crate::Objective;
+use autotune_space::Configuration;
+use autotune_surrogates::parzen::ProductParzen;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashSet;
+
+/// TPE hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpeParams {
+    /// Random trials before the model kicks in (HyperOpt default: 20).
+    pub startup_trials: usize,
+    /// Quantile separating good from bad observations (HyperOpt: 0.25).
+    pub gamma: f64,
+    /// Candidates drawn from `l` per round (HyperOpt default: 24).
+    pub candidates: usize,
+    /// Hard cap on the size of the "good" set, keeping it elite as the
+    /// history grows (Optuna caps similarly at 25).
+    pub good_cap: usize,
+    /// Pseudo-count weight of the uniform prior in each density.
+    pub prior_weight: f64,
+}
+
+impl Default for TpeParams {
+    fn default() -> Self {
+        TpeParams {
+            startup_trials: 20,
+            gamma: 0.25,
+            candidates: 24,
+            good_cap: 25,
+            prior_weight: 1.0,
+        }
+    }
+}
+
+/// The BO TPE technique.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BayesOptTpe {
+    /// Hyperparameters.
+    pub params: TpeParams,
+}
+
+impl Tuner for BayesOptTpe {
+    fn name(&self) -> &'static str {
+        "BO TPE"
+    }
+
+    fn tune(&self, ctx: &TuneContext<'_>, objective: &mut dyn Objective) -> TuneResult {
+        let p = self.params;
+        assert!(p.gamma > 0.0 && p.gamma < 1.0, "gamma must be in (0,1)");
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
+        let mut rec = Recorder::new(ctx, objective);
+
+        let ranges: Vec<(u32, u32)> = ctx
+            .space
+            .params()
+            .iter()
+            .map(|prm| (prm.lo(), prm.hi()))
+            .collect();
+
+        // Startup: uniform random trials over the whole space (no
+        // constraint — SMBO condition).
+        let mut seen: HashSet<Configuration> = HashSet::new();
+        let startup = p.startup_trials.min(ctx.budget).max(1);
+        for _ in 0..startup {
+            if rec.remaining() == 0 {
+                break;
+            }
+            let cfg = autotune_space::sample::uniform(ctx.space, &mut rng);
+            rec.measure(&cfg);
+            seen.insert(cfg);
+        }
+
+        while rec.remaining() > 0 {
+            // Order observations by cost; split at the gamma quantile.
+            let mut order: Vec<usize> = (0..rec.history().len()).collect();
+            let evals = rec.history().evaluations().to_vec();
+            order.sort_by(|&a, &b| {
+                evals[a]
+                    .value
+                    .partial_cmp(&evals[b].value)
+                    .expect("finite costs")
+            });
+            let n_good = ((evals.len() as f64 * p.gamma).ceil() as usize)
+                .min(p.good_cap)
+                .clamp(2, evals.len().saturating_sub(1).max(2));
+
+            let rows = |idx: &[usize]| -> Vec<Vec<u32>> {
+                idx.iter()
+                    .map(|&i| evals[i].config.values().to_vec())
+                    .collect()
+            };
+            let good = rows(&order[..n_good.min(order.len())]);
+            let bad = rows(&order[n_good.min(order.len())..]);
+
+            let l = ProductParzen::fit(&ranges, &good, p.prior_weight);
+            let g = ProductParzen::fit(&ranges, &bad, p.prior_weight);
+
+            // Draw candidates from l; keep the best l/g ratio among
+            // configurations not yet tried. Over an integer lattice the
+            // density mode repeats quickly, and re-measuring it would
+            // burn the remaining budget on one point (continuous-space
+            // TPE avoids this for free); fall back to the best repeat
+            // only if every candidate is a repeat, then to random.
+            let mut best_new: Option<(f64, Vec<u32>)> = None;
+            let mut best_any: Option<(f64, Vec<u32>)> = None;
+            for _ in 0..p.candidates {
+                let cand = l.sample(&mut rng);
+                let score = l.log_pmf(&cand) - g.log_pmf(&cand);
+                if best_any.as_ref().is_none_or(|(s, _)| score > *s) {
+                    best_any = Some((score, cand.clone()));
+                }
+                if !seen.contains(&Configuration::new(cand.clone()))
+                    && best_new.as_ref().is_none_or(|(s, _)| score > *s)
+                {
+                    best_new = Some((score, cand));
+                }
+            }
+            let cfg = Configuration::new(
+                best_new.or(best_any).expect("candidates > 0").1,
+            );
+            rec.measure(&cfg);
+            seen.insert(cfg);
+        }
+        rec.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_search::RandomSearch;
+    use autotune_space::imagecl;
+
+    fn smooth(cfg: &Configuration) -> f64 {
+        let v = cfg.values();
+        (v[0] as f64 - 2.0).powi(2)
+            + (v[1] as f64 - 12.0).powi(2)
+            + (v[3] as f64 - 7.0).powi(2)
+            + 0.5 * v[4] as f64
+    }
+
+    #[test]
+    fn spends_exact_budget() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        for budget in [10, 25, 50] {
+            let r = BayesOptTpe::default().tune(&TuneContext::new(&space, budget, 3), &mut obj);
+            assert_eq!(r.history.len(), budget);
+        }
+    }
+
+    #[test]
+    fn model_phase_exploits_good_region() {
+        // After startup, proposals should concentrate near the optimum:
+        // the mean cost of the last 20 trials must beat the first 20
+        // (random) trials.
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let r = BayesOptTpe::default().tune(&TuneContext::new(&space, 80, 5), &mut obj);
+        let evals = r.history.evaluations();
+        let mean = |s: &[crate::Evaluation]| {
+            s.iter().map(|e| e.value).sum::<f64>() / s.len() as f64
+        };
+        let random_mean = mean(&evals[..20]);
+        let model_mean = mean(&evals[60..]);
+        assert!(
+            model_mean < random_mean,
+            "model phase {model_mean} vs startup {random_mean}"
+        );
+    }
+
+    #[test]
+    fn beats_random_search_usually() {
+        let space = imagecl::space();
+        let mut wins = 0;
+        for seed in 0..5 {
+            let mut o1 = smooth;
+            let tpe = BayesOptTpe::default().tune(&TuneContext::new(&space, 50, seed), &mut o1);
+            let mut o2 = smooth;
+            let rs = RandomSearch.tune(&TuneContext::new(&space, 50, seed), &mut o2);
+            if tpe.best.value <= rs.best.value {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 3, "TPE won only {wins}/5");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let t = BayesOptTpe::default();
+        let a = t.tune(&TuneContext::new(&space, 40, 9), &mut obj);
+        let b = t.tune(&TuneContext::new(&space, 40, 9), &mut obj);
+        assert_eq!(a.history.evaluations(), b.history.evaluations());
+    }
+
+    #[test]
+    fn learns_around_failure_penalties() {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let mut obj = |cfg: &Configuration| {
+            if autotune_space::Constraint::is_satisfied(&cons, cfg) {
+                smooth(cfg)
+            } else {
+                10_000.0
+            }
+        };
+        let r = BayesOptTpe::default().tune(&TuneContext::new(&space, 60, 11), &mut obj);
+        assert!(r.best.value < 10_000.0);
+        // Late proposals should mostly be feasible.
+        let late_feasible = r.history.evaluations()[40..]
+            .iter()
+            .filter(|e| e.value < 10_000.0)
+            .count();
+        assert!(late_feasible >= 14, "late feasible {late_feasible}/20");
+    }
+
+    #[test]
+    fn budget_below_startup_still_works() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let r = BayesOptTpe::default().tune(&TuneContext::new(&space, 7, 2), &mut obj);
+        assert_eq!(r.history.len(), 7);
+    }
+}

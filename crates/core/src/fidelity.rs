@@ -1,0 +1,166 @@
+//! Multi-fidelity objectives for budget-based search techniques.
+//!
+//! The paper's future work names HyperBand and BOHB as techniques it
+//! wants compared "for a wider range of sample sizes". Both exploit
+//! *cheap low-fidelity evaluations* — for GPU kernels, running the same
+//! configuration on a smaller problem — and promote promising
+//! configurations to higher fidelity.
+//!
+//! Budget accounting: a fidelity-`f` evaluation costs `f` of one sample,
+//! so a HyperBand run's total cost is comparable with the other
+//! techniques' sample budgets (fractional cost is rounded up at the end
+//! of a run when auditing against whole-sample budgets).
+
+use autotune_space::Configuration;
+
+/// An objective measurable at reduced fidelity.
+///
+/// `fidelity` is in `(0, 1]`: 1 is the full problem, smaller values are
+/// proportionally cheaper, noisier, and only *correlated* with the full
+/// objective (low-fidelity rank inversions are what makes this family of
+/// techniques interesting).
+pub trait MultiFidelityObjective {
+    /// Measures `cfg` at the given fidelity.
+    fn evaluate_at(&mut self, cfg: &Configuration, fidelity: f64) -> f64;
+
+    /// Total cost spent so far, in full-evaluation equivalents.
+    fn cost_spent(&self) -> f64;
+}
+
+/// Adapts a full-fidelity [`Objective`](crate::Objective) by simply
+/// charging fractional cost while always running at full fidelity — the
+/// degenerate control case (no fidelity signal, only cost accounting).
+pub struct FullFidelityAdapter<'a> {
+    inner: &'a mut dyn crate::Objective,
+    cost: f64,
+}
+
+impl<'a> FullFidelityAdapter<'a> {
+    /// Wraps a plain objective.
+    pub fn new(inner: &'a mut dyn crate::Objective) -> Self {
+        FullFidelityAdapter { inner, cost: 0.0 }
+    }
+}
+
+impl MultiFidelityObjective for FullFidelityAdapter<'_> {
+    fn evaluate_at(&mut self, cfg: &Configuration, fidelity: f64) -> f64 {
+        assert!(fidelity > 0.0 && fidelity <= 1.0, "fidelity must be in (0,1]");
+        self.cost += fidelity;
+        self.inner.evaluate(cfg)
+    }
+
+    fn cost_spent(&self) -> f64 {
+        self.cost
+    }
+}
+
+/// The successive-halving bracket geometry used by HyperBand.
+///
+/// With elimination factor `eta` and a maximum of `s_max + 1` rungs, the
+/// bracket indexed `s` starts `n(s)` configurations at fidelity `r(s)`
+/// and keeps the best `1/eta` fraction at each rung.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BracketGeometry {
+    /// Elimination factor (HyperBand default 3).
+    pub eta: f64,
+    /// Minimum fidelity of the cheapest rung.
+    pub min_fidelity: f64,
+}
+
+impl BracketGeometry {
+    /// The standard geometry: `eta = 3`, cheapest rung at 1/27 fidelity.
+    pub fn standard() -> Self {
+        BracketGeometry {
+            eta: 3.0,
+            min_fidelity: 1.0 / 27.0,
+        }
+    }
+
+    /// `s_max`: number of halving rounds the fidelity range supports.
+    pub fn s_max(&self) -> usize {
+        ((1.0 / self.min_fidelity).ln() / self.eta.ln()).floor() as usize
+    }
+
+    /// The rung fidelities of bracket `s` (ascending), ending at 1.0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s > s_max()`.
+    pub fn rung_fidelities(&self, s: usize) -> Vec<f64> {
+        assert!(s <= self.s_max(), "bracket {s} exceeds s_max {}", self.s_max());
+        (0..=s)
+            .map(|i| self.eta.powi(i as i32 - s as i32))
+            .collect()
+    }
+
+    /// Number of configurations bracket `s` starts with, scaled so each
+    /// bracket costs roughly `budget_units` full evaluations.
+    pub fn initial_population(&self, s: usize, budget_units: f64) -> usize {
+        // Cost of one bracket with n starters:
+        //   sum_i (n / eta^i rounded) * eta^(i - s)  ~= n * (s + 1) * eta^-s
+        let per_config: f64 = (0..=s)
+            .map(|i| self.eta.powi(-(i as i32)) * self.eta.powi(i as i32 - s as i32))
+            .sum();
+        ((budget_units / per_config).floor() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adapter_charges_fractional_cost() {
+        let mut calls = 0;
+        let mut obj = |_: &Configuration| {
+            calls += 1;
+            1.0
+        };
+        let mut mf = FullFidelityAdapter::new(&mut obj);
+        let c = Configuration::from([1]);
+        mf.evaluate_at(&c, 0.25);
+        mf.evaluate_at(&c, 1.0);
+        let spent = mf.cost_spent();
+        assert!((spent - 1.25).abs() < 1e-12);
+        assert_eq!(calls, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fidelity must be")]
+    fn adapter_rejects_bad_fidelity() {
+        let mut obj = |_: &Configuration| 1.0;
+        let mut mf = FullFidelityAdapter::new(&mut obj);
+        mf.evaluate_at(&Configuration::from([1]), 0.0);
+    }
+
+    #[test]
+    fn standard_geometry_has_three_halvings() {
+        let g = BracketGeometry::standard();
+        assert_eq!(g.s_max(), 3); // 27 = 3^3
+    }
+
+    #[test]
+    fn rungs_ascend_to_full_fidelity() {
+        let g = BracketGeometry::standard();
+        let rungs = g.rung_fidelities(3);
+        assert_eq!(rungs.len(), 4);
+        assert!((rungs[0] - 1.0 / 27.0).abs() < 1e-12);
+        assert!((rungs[3] - 1.0).abs() < 1e-12);
+        assert!(rungs.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn bracket_zero_is_full_fidelity_only() {
+        let g = BracketGeometry::standard();
+        assert_eq!(g.rung_fidelities(0), vec![1.0]);
+    }
+
+    #[test]
+    fn population_scales_with_budget() {
+        let g = BracketGeometry::standard();
+        let small = g.initial_population(3, 10.0);
+        let large = g.initial_population(3, 100.0);
+        assert!(large > small);
+        assert!(small >= 1);
+    }
+}

@@ -1,0 +1,238 @@
+//! Genetic Algorithm, patterned on the implementation van Werkhoven ships
+//! with Kernel Tuner (the paper states its GA makes "only minor changes"
+//! to that implementation):
+//!
+//! * population of 20 chromosomes (configurations);
+//! * truncation selection — the better half become parents;
+//! * uniform crossover — each gene from either parent with probability ½;
+//! * per-gene mutation with low probability (10%), re-drawing the gene
+//!   uniformly from its range;
+//! * generational replacement with single-elite carry-over;
+//! * measurement cache: revisiting a chromosome reuses its recorded
+//!   fitness without spending budget (Kernel Tuner behaviour).
+
+use crate::objective::CachedObjective;
+use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
+use crate::Objective;
+use autotune_space::{neighborhood, Configuration};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// GA hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GaParams {
+    /// Population size.
+    pub population: usize,
+    /// Per-gene mutation probability.
+    pub mutation_rate: f64,
+    /// Fraction of the population retained as parents.
+    pub parent_fraction: f64,
+}
+
+impl Default for GaParams {
+    fn default() -> Self {
+        GaParams {
+            population: 20,
+            mutation_rate: 0.1,
+            parent_fraction: 0.5,
+        }
+    }
+}
+
+/// The GA technique.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GeneticAlgorithm {
+    /// Hyperparameters.
+    pub params: GaParams,
+}
+
+impl GeneticAlgorithm {
+    /// Uniform crossover of two parents.
+    fn crossover<R: Rng + ?Sized>(
+        a: &Configuration,
+        b: &Configuration,
+        rng: &mut R,
+    ) -> Configuration {
+        let values = a
+            .values()
+            .iter()
+            .zip(b.values())
+            .map(|(&x, &y)| if rng.gen::<bool>() { x } else { y })
+            .collect();
+        Configuration::new(values)
+    }
+}
+
+impl Tuner for GeneticAlgorithm {
+    fn name(&self) -> &'static str {
+        "GA"
+    }
+
+    fn tune(&self, ctx: &TuneContext<'_>, objective: &mut dyn Objective) -> TuneResult {
+        let p = self.params;
+        assert!(p.population >= 2, "GA needs a population of at least 2");
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
+        let mut cached = CachedObjective::new(objective);
+        let mut rec = Recorder::new(ctx, &mut cached);
+
+        let pop_size = p.population.min(ctx.budget).max(1);
+
+        // Initial population: random feasible chromosomes.
+        let mut population: Vec<(Configuration, f64)> = Vec::with_capacity(pop_size);
+        for _ in 0..pop_size {
+            if rec.remaining() == 0 {
+                break;
+            }
+            let cfg = ctx.sample_config(&mut rng);
+            let y = rec.measure(&cfg);
+            population.push((cfg, y));
+        }
+
+        let n_parents = ((pop_size as f64 * p.parent_fraction).round() as usize).max(2);
+
+        while rec.remaining() > 0 {
+            let spent_before = rec.spent();
+            population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"));
+            let parents: Vec<Configuration> = population
+                .iter()
+                .take(n_parents.min(population.len()))
+                .map(|(c, _)| c.clone())
+                .collect();
+
+            // Elitism: best chromosome survives unchanged (no budget).
+            let elite = population[0].clone();
+            let mut next = vec![elite];
+
+            while next.len() < pop_size && rec.remaining() > 0 {
+                let pa = parents.choose(&mut rng).expect("parents non-empty");
+                let pb = parents.choose(&mut rng).expect("parents non-empty");
+                let mut child = Self::crossover(pa, pb, &mut rng);
+                for k in 0..child.len() {
+                    if rng.gen::<f64>() < p.mutation_rate {
+                        neighborhood::mutate_dimension(ctx.space, &mut child, k, &mut rng);
+                    }
+                }
+                // Infeasible children are repaired by re-drawing the
+                // work-group genes from a feasible sample (the constraint
+                // specification is available to this non-SMBO method).
+                if !ctx.admits(&child) {
+                    child = ctx.sample_config(&mut rng);
+                }
+                // Cached chromosomes re-use their fitness without budget.
+                let y = if rec.history().evaluations().iter().any(|e| e.config == child) {
+                    rec.history()
+                        .evaluations()
+                        .iter()
+                        .rev()
+                        .find(|e| e.config == child)
+                        .expect("just checked")
+                        .value
+                } else {
+                    rec.measure(&child)
+                };
+                next.push((child, y));
+            }
+            // A fully-converged population can produce a generation of
+            // cache hits; restart pressure keeps the budget draining
+            // (Kernel Tuner applies random immigrants similarly).
+            if rec.spent() == spent_before && rec.remaining() > 0 {
+                let immigrant = ctx.sample_config(&mut rng);
+                let y = rec.measure(&immigrant);
+                next.push((immigrant, y));
+            }
+            population = next;
+        }
+        rec.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_space::imagecl;
+
+    /// Separable objective with optimum at all-ones.
+    fn smooth(cfg: &Configuration) -> f64 {
+        cfg.values().iter().map(|&v| (v * v) as f64).sum::<f64>()
+    }
+
+    #[test]
+    fn spends_exact_budget() {
+        let space = imagecl::space();
+        let ctx = TuneContext::new(&space, 100, 5);
+        let mut obj = smooth;
+        let r = GeneticAlgorithm::default().tune(&ctx, &mut obj);
+        assert_eq!(r.history.len(), 100);
+    }
+
+    #[test]
+    fn improves_over_its_initial_population() {
+        let space = imagecl::space();
+        let ctx = TuneContext::new(&space, 200, 3);
+        let mut obj = smooth;
+        let r = GeneticAlgorithm::default().tune(&ctx, &mut obj);
+        let init_best = r.history.evaluations()[..20]
+            .iter()
+            .map(|e| e.value)
+            .fold(f64::INFINITY, f64::min);
+        assert!(
+            r.best.value < init_best,
+            "GA best {} should beat init {init_best}",
+            r.best.value
+        );
+    }
+
+    #[test]
+    fn approaches_known_optimum_with_generous_budget() {
+        // Optimum of `smooth` is (1,1,1,1,1,1) with value 6.
+        let space = imagecl::space();
+        let ctx = TuneContext::new(&space, 400, 1);
+        let mut obj = smooth;
+        let r = GeneticAlgorithm::default().tune(&ctx, &mut obj);
+        assert!(r.best.value <= 30.0, "GA best {}", r.best.value);
+    }
+
+    #[test]
+    fn crossover_mixes_parents_only() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = Configuration::from([1, 1, 1, 1]);
+        let b = Configuration::from([9, 9, 9, 9]);
+        for _ in 0..20 {
+            let c = GeneticAlgorithm::crossover(&a, &b, &mut rng);
+            assert!(c.values().iter().all(|&v| v == 1 || v == 9));
+        }
+    }
+
+    #[test]
+    fn respects_constraint() {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let ctx = TuneContext::new(&space, 120, 8).with_constraint(&cons);
+        let mut obj = smooth;
+        let r = GeneticAlgorithm::default().tune(&ctx, &mut obj);
+        for e in r.history.evaluations() {
+            assert!(ctx.admits(&e.config));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let t = GeneticAlgorithm::default();
+        let a = t.tune(&TuneContext::new(&space, 60, 17), &mut obj);
+        let b = t.tune(&TuneContext::new(&space, 60, 17), &mut obj);
+        assert_eq!(a.history.evaluations(), b.history.evaluations());
+    }
+
+    #[test]
+    fn tiny_budget_below_population_size() {
+        let space = imagecl::space();
+        let ctx = TuneContext::new(&space, 5, 2);
+        let mut obj = smooth;
+        let r = GeneticAlgorithm::default().tune(&ctx, &mut obj);
+        assert_eq!(r.history.len(), 5);
+    }
+}

@@ -1,0 +1,94 @@
+//! Grid Search — the classical baseline Bergstra & Bengio compared
+//! Random Search against; included as an extension technique.
+//!
+//! Visits the space at a uniform stride chosen so the budget covers it
+//! end to end (a coarse regular lattice), skipping infeasible points
+//! when the constraint is available.
+
+use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
+use crate::Objective;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The Grid Search technique.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GridSearch;
+
+impl Tuner for GridSearch {
+    fn name(&self) -> &'static str {
+        "GS"
+    }
+
+    fn tune(&self, ctx: &TuneContext<'_>, objective: &mut dyn Objective) -> TuneResult {
+        let mut rec = Recorder::new(ctx, objective);
+        let size = ctx.space.size();
+        let stride = (size / ctx.budget as u64).max(1);
+
+        let mut idx = 0u64;
+        while idx < size && rec.remaining() > 0 {
+            let cfg = ctx.space.config_at(idx);
+            if ctx.admits(&cfg) {
+                rec.measure(&cfg);
+            }
+            idx += stride;
+        }
+        // Infeasible grid points may leave budget unspent; fill randomly
+        // so every technique spends the same sample count.
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
+        while rec.remaining() > 0 {
+            let cfg = ctx.sample_config(&mut rng);
+            rec.measure(&cfg);
+        }
+        rec.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_space::{imagecl, Configuration};
+
+    fn smooth(cfg: &Configuration) -> f64 {
+        cfg.values().iter().map(|&v| v as f64).sum()
+    }
+
+    #[test]
+    fn spends_exact_budget() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let r = GridSearch.tune(&TuneContext::new(&space, 48, 0), &mut obj);
+        assert_eq!(r.history.len(), 48);
+    }
+
+    #[test]
+    fn covers_the_space_with_regular_stride() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let r = GridSearch.tune(&TuneContext::new(&space, 32, 0), &mut obj);
+        // First measured config is index 0 = all-lows.
+        assert_eq!(
+            r.history.evaluations()[0].config,
+            Configuration::from([1, 1, 1, 1, 1, 1])
+        );
+        // The visited indices span a wide range of the space.
+        let indices: Vec<u64> = r
+            .history
+            .evaluations()
+            .iter()
+            .map(|e| space.index_of(&e.config))
+            .collect();
+        assert!(*indices.iter().max().unwrap() > space.size() / 2);
+    }
+
+    #[test]
+    fn respects_constraint() {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let ctx = TuneContext::new(&space, 64, 0).with_constraint(&cons);
+        let mut obj = smooth;
+        let r = GridSearch.tune(&ctx, &mut obj);
+        for e in r.history.evaluations() {
+            assert!(ctx.admits(&e.config));
+        }
+    }
+}

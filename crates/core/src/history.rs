@@ -1,0 +1,114 @@
+//! Evaluation records accumulated during a tuning run.
+
+use autotune_space::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// One measured (configuration, cost) pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The measured configuration.
+    pub config: Configuration,
+    /// The observed cost (runtime, ms).
+    pub value: f64,
+}
+
+/// Ordered log of every budget-consuming measurement in a run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct History {
+    evals: Vec<Evaluation>,
+}
+
+impl History {
+    /// An empty history.
+    pub fn new() -> Self {
+        History::default()
+    }
+
+    /// Appends one evaluation.
+    pub fn push(&mut self, config: Configuration, value: f64) {
+        self.evals.push(Evaluation { config, value });
+    }
+
+    /// Number of evaluations recorded.
+    pub fn len(&self) -> usize {
+        self.evals.len()
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.evals.is_empty()
+    }
+
+    /// All evaluations in measurement order.
+    pub fn evaluations(&self) -> &[Evaluation] {
+        &self.evals
+    }
+
+    /// The best (minimum-cost) evaluation so far.
+    pub fn best(&self) -> Option<&Evaluation> {
+        self.evals.iter().min_by(|a, b| {
+            a.value
+                .partial_cmp(&b.value)
+                .expect("costs are comparable")
+        })
+    }
+
+    /// Running best value after each evaluation — the "convergence
+    /// trajectory" used in incumbent plots.
+    pub fn incumbent_trajectory(&self) -> Vec<f64> {
+        let mut best = f64::INFINITY;
+        self.evals
+            .iter()
+            .map(|e| {
+                best = best.min(e.value);
+                best
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(v: u32) -> Configuration {
+        Configuration::from([v])
+    }
+
+    #[test]
+    fn best_is_minimum() {
+        let mut h = History::new();
+        h.push(cfg(1), 5.0);
+        h.push(cfg(2), 2.0);
+        h.push(cfg(3), 9.0);
+        assert_eq!(h.best().unwrap().value, 2.0);
+        assert_eq!(h.best().unwrap().config, cfg(2));
+        assert_eq!(h.len(), 3);
+    }
+
+    #[test]
+    fn empty_history_has_no_best() {
+        assert!(History::new().best().is_none());
+        assert!(History::new().is_empty());
+    }
+
+    #[test]
+    fn incumbent_trajectory_is_monotone() {
+        let mut h = History::new();
+        for (i, v) in [4.0, 6.0, 3.0, 5.0, 1.0].iter().enumerate() {
+            h.push(cfg(i as u32), *v);
+        }
+        let traj = h.incumbent_trajectory();
+        assert_eq!(traj, vec![4.0, 4.0, 3.0, 3.0, 1.0]);
+        assert!(traj.windows(2).all(|w| w[1] <= w[0]));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let mut h = History::new();
+        h.push(cfg(7), 1.25);
+        let json = serde_json::to_string(&h).unwrap();
+        let back: History = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.evaluations(), h.evaluations());
+    }
+}

@@ -1,0 +1,224 @@
+//! HyperBand (Li et al. 2017) — the bandit-based multi-fidelity search
+//! the paper's future-work section asks to compare against.
+//!
+//! HyperBand runs a collection of *successive halving* brackets: each
+//! bracket starts many random configurations at a cheap fidelity, keeps
+//! the best `1/eta` fraction at each rung, and finishes its survivors at
+//! full fidelity. Brackets trade off "many cheap starts" (aggressive
+//! halving) against "few full-fidelity starts" (plain random search),
+//! hedging against misleading low-fidelity signals.
+
+use crate::fidelity::{BracketGeometry, MultiFidelityObjective};
+use crate::history::{Evaluation, History};
+use crate::tuner::TuneResult;
+use autotune_space::{sample, Configuration, ParamSpace};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// HyperBand parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperBandParams {
+    /// Bracket geometry (η, cheapest rung).
+    pub geometry: BracketGeometry,
+}
+
+impl Default for HyperBandParams {
+    fn default() -> Self {
+        HyperBandParams {
+            geometry: BracketGeometry::standard(),
+        }
+    }
+}
+
+/// The HyperBand technique. Not a [`Tuner`](crate::Tuner) — it needs a
+/// [`MultiFidelityObjective`] — but returns the same [`TuneResult`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HyperBand {
+    /// Parameters.
+    pub params: HyperBandParams,
+}
+
+impl HyperBand {
+    /// Runs HyperBand until roughly `budget_units` full-evaluation
+    /// equivalents are spent. Only *full-fidelity* measurements enter the
+    /// returned history/best (low-fidelity scores are not comparable).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget_units < 1.0` (nothing could run at full
+    /// fidelity) or if no full-fidelity evaluation happened (degenerate
+    /// geometry).
+    pub fn tune_mf(
+        &self,
+        space: &ParamSpace,
+        objective: &mut dyn MultiFidelityObjective,
+        budget_units: f64,
+        seed: u64,
+    ) -> TuneResult {
+        assert!(budget_units >= 1.0, "HyperBand needs at least one full evaluation");
+        let g = self.params.geometry;
+        let s_max = g.s_max();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut history = History::new();
+
+        // Split the budget evenly across the s_max+1 brackets, as the
+        // original algorithm does per "iteration".
+        let per_bracket = budget_units / (s_max + 1) as f64;
+
+        let mut s = s_max as i64;
+        while s >= 0 && objective.cost_spent() < budget_units {
+            let s_usize = s as usize;
+            let rungs = g.rung_fidelities(s_usize);
+            let n0 = g.initial_population(s_usize, per_bracket);
+
+            // Start the bracket with random configurations.
+            let mut survivors: Vec<(Configuration, f64)> =
+                sample::uniform_many(space, n0, &mut rng)
+                    .into_iter()
+                    .map(|c| (c, f64::NAN))
+                    .collect();
+
+            for (rung, &fidelity) in rungs.iter().enumerate() {
+                if objective.cost_spent() >= budget_units {
+                    break;
+                }
+                // Evaluate every survivor at this rung.
+                for (cfg, score) in survivors.iter_mut() {
+                    // Stop early on budget exhaustion, but never leave a
+                    // survivor without a score (NaN would poison the
+                    // rank sort below).
+                    if objective.cost_spent() >= budget_units && score.is_finite() {
+                        break;
+                    }
+                    *score = objective.evaluate_at(cfg, fidelity);
+                    if (fidelity - 1.0).abs() < 1e-12 {
+                        history.push(cfg.clone(), *score);
+                    }
+                }
+                // Keep the best 1/eta for the next rung.
+                if rung + 1 < rungs.len() {
+                    survivors.sort_by(|a, b| {
+                        a.1.partial_cmp(&b.1).expect("scores are finite")
+                    });
+                    let keep = ((survivors.len() as f64 / g.eta).round() as usize).max(1);
+                    survivors.truncate(keep);
+                }
+            }
+            s -= 1;
+        }
+
+        // Guarantee at least one full-fidelity anchor measurement.
+        if history.is_empty() {
+            let cfg = sample::uniform(space, &mut rng);
+            let y = objective.evaluate_at(&cfg, 1.0);
+            history.push(cfg, y);
+        }
+
+        let best: Evaluation = history.best().expect("anchored above").clone();
+        TuneResult { best, history }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fidelity::FullFidelityAdapter;
+    use autotune_space::imagecl;
+
+    /// A fidelity-aware toy objective: the true cost plus noise that
+    /// shrinks with fidelity.
+    struct Toy {
+        cost: f64,
+        evals: Vec<(Configuration, f64)>,
+    }
+
+    impl MultiFidelityObjective for Toy {
+        fn evaluate_at(&mut self, cfg: &Configuration, fidelity: f64) -> f64 {
+            self.cost += fidelity;
+            self.evals.push((cfg.clone(), fidelity));
+            let truth: f64 = cfg.values().iter().map(|&v| (v * v) as f64).sum();
+            // Low fidelity = biased view (coarse model of the landscape).
+            truth * (1.0 + (1.0 - fidelity) * 0.2 * ((cfg.values()[0] % 3) as f64 - 1.0))
+        }
+
+        fn cost_spent(&self) -> f64 {
+            self.cost
+        }
+    }
+
+    #[test]
+    fn spends_close_to_the_budget() {
+        let space = imagecl::space();
+        let mut toy = Toy { cost: 0.0, evals: Vec::new() };
+        let budget = 60.0;
+        let r = HyperBand::default().tune_mf(&space, &mut toy, budget, 3);
+        assert!(toy.cost_spent() <= budget * 1.25, "spent {}", toy.cost_spent());
+        assert!(toy.cost_spent() >= budget * 0.4, "spent only {}", toy.cost_spent());
+        assert!(!r.history.is_empty());
+    }
+
+    #[test]
+    fn evaluates_many_more_configs_than_plain_search_could() {
+        let space = imagecl::space();
+        let mut toy = Toy { cost: 0.0, evals: Vec::new() };
+        let budget = 50.0;
+        let _ = HyperBand::default().tune_mf(&space, &mut toy, budget, 4);
+        let distinct: std::collections::HashSet<_> =
+            toy.evals.iter().map(|(c, _)| c.clone()).collect();
+        assert!(
+            distinct.len() as f64 > budget,
+            "HyperBand saw only {} configs under a {budget}-unit budget",
+            distinct.len()
+        );
+    }
+
+    #[test]
+    fn uses_a_range_of_fidelities() {
+        let space = imagecl::space();
+        let mut toy = Toy { cost: 0.0, evals: Vec::new() };
+        let _ = HyperBand::default().tune_mf(&space, &mut toy, 40.0, 5);
+        let fidelities: std::collections::HashSet<u64> = toy
+            .evals
+            .iter()
+            .map(|(_, f)| (f * 1e6) as u64)
+            .collect();
+        assert!(fidelities.len() >= 3, "only fidelities {fidelities:?}");
+        assert!(toy.evals.iter().any(|(_, f)| (*f - 1.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn best_comes_from_full_fidelity_measurements() {
+        let space = imagecl::space();
+        let mut toy = Toy { cost: 0.0, evals: Vec::new() };
+        let r = HyperBand::default().tune_mf(&space, &mut toy, 60.0, 6);
+        // The best's value must be a true full-fidelity evaluation of its
+        // config (bias term vanishes at fidelity 1).
+        let truth: f64 = r.best.config.values().iter().map(|&v| (v * v) as f64).sum();
+        assert!((r.best.value - truth).abs() < 1e-9);
+    }
+
+    #[test]
+    fn works_through_the_full_fidelity_adapter() {
+        let space = imagecl::space();
+        let mut obj = |cfg: &Configuration| {
+            cfg.values().iter().map(|&v| v as f64).sum::<f64>()
+        };
+        let mut mf = FullFidelityAdapter::new(&mut obj);
+        let r = HyperBand::default().tune_mf(&space, &mut mf, 30.0, 7);
+        assert!(r.best.value >= 6.0);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = imagecl::space();
+        let run = |seed| {
+            let mut toy = Toy { cost: 0.0, evals: Vec::new() };
+            HyperBand::default().tune_mf(&space, &mut toy, 40.0, seed)
+        };
+        let a = run(9);
+        let b = run(9);
+        assert_eq!(a.history.evaluations(), b.history.evaluations());
+        let c = run(10);
+        assert_ne!(a.history.evaluations(), c.history.evaluations());
+    }
+}

@@ -1,0 +1,71 @@
+//! The autotuning framework and search techniques of the study.
+//!
+//! This crate is the paper's primary subject matter: a common harness
+//! ([`Tuner`], [`TuneContext`], [`TuneResult`]) under which the five
+//! studied search techniques run with an identical *sample budget* —
+//! the paper's notion of sample-efficiency comparison:
+//!
+//! | paper name | implementation |
+//! |---|---|
+//! | RS (Random Search) | [`random_search::RandomSearch`] |
+//! | RF (Random Forest regression, non-SMBO) | [`rf_tuner::RandomForestTuner`] |
+//! | GA (Genetic Algorithm, van Werkhoven-style) | [`ga::GeneticAlgorithm`] |
+//! | BO GP (Bayesian Optimization, Gaussian process) | [`bo_gp::BayesOptGp`] |
+//! | BO TPE (Bayesian Optimization, Tree-Parzen) | [`bo_tpe::BayesOptTpe`] |
+//!
+//! Plus the related-work/extension techniques the paper discusses for
+//! future comparison: Simulated Annealing ([`sa`]), Particle Swarm
+//! Optimization ([`pso`]), Grid Search ([`grid`]), and the multi-fidelity
+//! pair its future-work section names explicitly — HyperBand
+//! ([`hyperband`]) and BOHB ([`bohb`]) over the [`fidelity`] abstraction.
+//!
+//! Following the paper's design (§V-C): the non-SMBO methods (RS, RF,
+//! GA) receive the a-priori *constraint specification* through
+//! [`TuneContext::constraint`] and only ever propose feasible
+//! configurations; the SMBO methods get no constraint and must learn
+//! infeasibility from the failure penalty, "a design point in which
+//! non-SMBO methods are favored".
+//!
+//! # Example
+//!
+//! ```
+//! use autotune_core::{registry::Algorithm, TuneContext};
+//! use autotune_space::imagecl;
+//!
+//! // A toy objective: prefer small work-groups (pure function of the
+//! // configuration; any FnMut(&Configuration) -> f64 is an Objective).
+//! let space = imagecl::space();
+//! let constraint = imagecl::constraint();
+//! let ctx = TuneContext::new(&space, 50, 42).with_constraint(&constraint);
+//! let tuner = Algorithm::RandomSearch.tuner();
+//! let result = tuner.tune(&ctx, &mut |cfg: &autotune_space::Configuration| {
+//!     cfg.values().iter().map(|&v| v as f64).sum::<f64>()
+//! });
+//! assert_eq!(result.history.len(), 50);
+//! assert!(result.best.value <= 20.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bo_gp;
+pub mod bo_tpe;
+pub mod bohb;
+pub mod fidelity;
+pub mod ga;
+pub mod grid;
+pub mod history;
+pub mod hyperband;
+pub mod mls;
+pub mod objective;
+pub mod pso;
+pub mod random_search;
+pub mod registry;
+pub mod rf_tuner;
+pub mod sa;
+pub mod testfns;
+pub mod tuner;
+
+pub use history::{Evaluation, History};
+pub use objective::Objective;
+pub use registry::Algorithm;
+pub use tuner::{TuneContext, TuneResult, Tuner};

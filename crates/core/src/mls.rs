@@ -1,0 +1,160 @@
+//! Multi-start Local Search (MLS) — part of the roster Willemsen et
+//! al.'s Kernel Tuner study compares (paper Table I: "BO, RS, SA, MLS
+//! and GA"); included as an extension technique.
+//!
+//! Classic best-improvement hill climbing on the ±1 lattice
+//! neighbourhood: evaluate all neighbours of the current point, move to
+//! the best strictly-improving one, restart from a fresh random point at
+//! local minima, until the budget is exhausted.
+
+use crate::objective::CachedObjective;
+use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
+use crate::Objective;
+use autotune_space::neighborhood;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The MLS technique.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MultiStartLocalSearch;
+
+impl Tuner for MultiStartLocalSearch {
+    fn name(&self) -> &'static str {
+        "MLS"
+    }
+
+    fn tune(&self, ctx: &TuneContext<'_>, objective: &mut dyn Objective) -> TuneResult {
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
+        let mut cached = CachedObjective::new(objective);
+        let mut rec = Recorder::new(ctx, &mut cached);
+
+        'restarts: while rec.remaining() > 0 {
+            let mut current = ctx.sample_config(&mut rng);
+            let mut current_cost = rec.measure(&current);
+
+            loop {
+                // Best-improvement step over the feasible neighbourhood.
+                let mut best_step = None;
+                for n in neighborhood::neighbors(ctx.space, &current) {
+                    if !ctx.admits(&n) {
+                        continue;
+                    }
+                    if rec.remaining() == 0 {
+                        break 'restarts;
+                    }
+                    // Already-seen neighbours reuse their recorded value
+                    // without spending budget (mirrors Kernel Tuner's
+                    // cache).
+                    let cost = match rec
+                        .history()
+                        .evaluations()
+                        .iter()
+                        .rev()
+                        .find(|e| e.config == n)
+                    {
+                        Some(e) => e.value,
+                        None => rec.measure(&n),
+                    };
+                    if cost < current_cost
+                        && best_step
+                            .as_ref()
+                            .is_none_or(|(_, c): &(_, f64)| cost < *c)
+                    {
+                        best_step = Some((n.clone(), cost));
+                    }
+                }
+                match best_step {
+                    Some((n, cost)) => {
+                        current = n;
+                        current_cost = cost;
+                    }
+                    None => continue 'restarts, // local minimum: restart
+                }
+            }
+        }
+        rec.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_space::{imagecl, Configuration};
+
+    fn bowl(cfg: &Configuration) -> f64 {
+        cfg.values()
+            .iter()
+            .map(|&v| (v as f64 - 3.0).powi(2))
+            .sum()
+    }
+
+    #[test]
+    fn spends_exact_budget() {
+        let space = imagecl::space();
+        let mut obj = bowl;
+        let r = MultiStartLocalSearch.tune(&TuneContext::new(&space, 64, 1), &mut obj);
+        assert_eq!(r.history.len(), 64);
+    }
+
+    #[test]
+    fn descends_a_convex_bowl_to_the_bottom() {
+        // From any start, best-improvement steps reach the unique local
+        // (= global) minimum of a separable bowl at all-threes. A climb
+        // costs up to ~12 neighbour evaluations per step and the walk can
+        // start ~50 steps away, so give a comfortable budget.
+        let space = imagecl::space();
+        let mut obj = bowl;
+        let r = MultiStartLocalSearch.tune(&TuneContext::new(&space, 700, 2), &mut obj);
+        assert_eq!(r.best.value, 0.0, "MLS must find the bowl bottom");
+        assert_eq!(r.best.config, Configuration::from([3, 3, 3, 3, 3, 3]));
+    }
+
+    #[test]
+    fn respects_constraint() {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let ctx = TuneContext::new(&space, 80, 3).with_constraint(&cons);
+        let mut obj = bowl;
+        let r = MultiStartLocalSearch.tune(&ctx, &mut obj);
+        for e in r.history.evaluations() {
+            assert!(ctx.admits(&e.config));
+        }
+    }
+
+    #[test]
+    fn beats_random_search_on_a_multimodal_surface() {
+        // On a rippled (multimodal) landscape, descent + restarts should
+        // beat pure random sampling for most seeds at equal budget.
+        let space = imagecl::space();
+        let rippled = |cfg: &Configuration| {
+            cfg.values()
+                .iter()
+                .map(|&v| {
+                    let x = v as f64;
+                    (x - 5.0) * (x - 5.0) * 0.5 + 2.0 * (1.0 - (x * 1.9).cos())
+                })
+                .sum::<f64>()
+        };
+        let mut wins = 0;
+        for seed in 0..5 {
+            let mut o1 = rippled;
+            let mls = MultiStartLocalSearch.tune(&TuneContext::new(&space, 150, seed), &mut o1);
+            let mut o2 = rippled;
+            let rs = crate::random_search::RandomSearch
+                .tune(&TuneContext::new(&space, 150, seed), &mut o2);
+            if mls.best.value <= rs.best.value {
+                wins += 1;
+            }
+        }
+        assert!(wins >= 3, "MLS won only {wins}/5 against RS");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = imagecl::space();
+        let mut obj = bowl;
+        let a = MultiStartLocalSearch.tune(&TuneContext::new(&space, 50, 5), &mut obj);
+        let b = MultiStartLocalSearch.tune(&TuneContext::new(&space, 50, 5), &mut obj);
+        assert_eq!(a.history.evaluations(), b.history.evaluations());
+    }
+}

@@ -1,0 +1,113 @@
+//! The objective-function abstraction.
+
+use autotune_space::Configuration;
+
+/// Something a tuner can measure: maps a configuration to a cost
+/// (runtime in this study; lower is better).
+///
+/// Implemented for any `FnMut(&Configuration) -> f64`, so closures over a
+/// simulator, a dataset, or an analytic test function all plug in.
+pub trait Objective {
+    /// Measures one configuration. The study's semantics: one *noisy*
+    /// execution per call (callers wanting repetition average outside).
+    fn evaluate(&mut self, cfg: &Configuration) -> f64;
+}
+
+impl<F: FnMut(&Configuration) -> f64> Objective for F {
+    fn evaluate(&mut self, cfg: &Configuration) -> f64 {
+        self(cfg)
+    }
+}
+
+/// Wraps an objective with a memoization cache keyed on the
+/// configuration. Metaheuristics that revisit configurations (GA
+/// populations converge) reuse the recorded measurement instead of
+/// spending budget — matching Kernel Tuner's caching behaviour that the
+/// paper's GA inherits.
+pub struct CachedObjective<'a> {
+    inner: &'a mut dyn Objective,
+    cache: std::collections::HashMap<Configuration, f64>,
+    hits: u64,
+}
+
+impl<'a> CachedObjective<'a> {
+    /// Wraps `inner`.
+    pub fn new(inner: &'a mut dyn Objective) -> Self {
+        CachedObjective {
+            inner,
+            cache: std::collections::HashMap::new(),
+            hits: 0,
+        }
+    }
+
+    /// `true` when `cfg` has been measured before.
+    pub fn is_cached(&self, cfg: &Configuration) -> bool {
+        self.cache.contains_key(cfg)
+    }
+
+    /// Cache hits so far (reuses that consumed no budget).
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of distinct configurations measured.
+    pub fn distinct(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+impl Objective for CachedObjective<'_> {
+    fn evaluate(&mut self, cfg: &Configuration) -> f64 {
+        if let Some(&v) = self.cache.get(cfg) {
+            self.hits += 1;
+            return v;
+        }
+        let v = self.inner.evaluate(cfg);
+        self.cache.insert(cfg.clone(), v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_objectives() {
+        let mut calls = 0;
+        let mut f = |cfg: &Configuration| {
+            calls += 1;
+            cfg.values()[0] as f64
+        };
+        assert_eq!(f.evaluate(&Configuration::from([3])), 3.0);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn cache_reuses_measurements() {
+        let mut calls = 0;
+        let mut inner = |_: &Configuration| {
+            calls += 1;
+            1.0
+        };
+        let mut cached = CachedObjective::new(&mut inner);
+        let c = Configuration::from([1, 2]);
+        assert!(!cached.is_cached(&c));
+        cached.evaluate(&c);
+        cached.evaluate(&c);
+        cached.evaluate(&c);
+        assert_eq!(cached.hits(), 2);
+        assert_eq!(cached.distinct(), 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn cache_distinguishes_configs() {
+        let mut inner = |cfg: &Configuration| cfg.values()[0] as f64;
+        let mut cached = CachedObjective::new(&mut inner);
+        assert_eq!(cached.evaluate(&Configuration::from([1])), 1.0);
+        assert_eq!(cached.evaluate(&Configuration::from([2])), 2.0);
+        assert_eq!(cached.distinct(), 2);
+        assert_eq!(cached.hits(), 0);
+    }
+}

@@ -1,0 +1,186 @@
+//! Particle Swarm Optimization — evaluated by CLTune (Nugteren &
+//! Codreanu) in the related work; provided as an extension technique.
+//!
+//! Standard global-best PSO in the continuous unit cube with inertia
+//! `w`, cognitive weight `c1` and social weight `c2`; particle positions
+//! snap to the nearest lattice configuration for measurement
+//! (the usual discrete adaptation for integer tuning spaces).
+
+use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
+use crate::Objective;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// PSO hyperparameters (Clerc-constriction-flavoured defaults).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PsoParams {
+    /// Swarm size.
+    pub particles: usize,
+    /// Inertia weight.
+    pub inertia: f64,
+    /// Cognitive (personal-best) acceleration.
+    pub cognitive: f64,
+    /// Social (global-best) acceleration.
+    pub social: f64,
+    /// Velocity clamp as a fraction of the unit cube.
+    pub v_max: f64,
+}
+
+impl Default for PsoParams {
+    fn default() -> Self {
+        PsoParams {
+            particles: 16,
+            inertia: 0.73,
+            cognitive: 1.5,
+            social: 1.5,
+            v_max: 0.3,
+        }
+    }
+}
+
+/// The PSO technique.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ParticleSwarm {
+    /// Hyperparameters.
+    pub params: PsoParams,
+}
+
+impl Tuner for ParticleSwarm {
+    fn name(&self) -> &'static str {
+        "PSO"
+    }
+
+    fn tune(&self, ctx: &TuneContext<'_>, objective: &mut dyn Objective) -> TuneResult {
+        let p = self.params;
+        assert!(p.particles >= 2, "PSO needs at least two particles");
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
+        let mut rec = Recorder::new(ctx, objective);
+        let d = ctx.space.dims();
+        let n = p.particles.min(ctx.budget).max(1);
+
+        struct Particle {
+            pos: Vec<f64>,
+            vel: Vec<f64>,
+            best_pos: Vec<f64>,
+            best_cost: f64,
+        }
+
+        let mut swarm: Vec<Particle> = Vec::with_capacity(n);
+        let mut global_best: Option<(Vec<f64>, f64)> = None;
+
+        for _ in 0..n {
+            if rec.remaining() == 0 {
+                break;
+            }
+            // Initialize from a feasible sample so non-SMBO usage honours
+            // the constraint from the first measurement.
+            let cfg = ctx.sample_config(&mut rng);
+            let pos = ctx.space.to_unit_features(&cfg);
+            let vel: Vec<f64> = (0..d)
+                .map(|_| (rng.gen::<f64>() - 0.5) * p.v_max)
+                .collect();
+            let cost = rec.measure(&cfg);
+            if global_best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                global_best = Some((pos.clone(), cost));
+            }
+            swarm.push(Particle {
+                best_pos: pos.clone(),
+                best_cost: cost,
+                pos,
+                vel,
+            });
+        }
+
+        'outer: loop {
+            for particle in &mut swarm {
+                if rec.remaining() == 0 {
+                    break 'outer;
+                }
+                let (gbest, _) = global_best.as_ref().expect("initialized");
+                for (k, g) in gbest.iter().enumerate().take(d) {
+                    let r1 = rng.gen::<f64>();
+                    let r2 = rng.gen::<f64>();
+                    particle.vel[k] = p.inertia * particle.vel[k]
+                        + p.cognitive * r1 * (particle.best_pos[k] - particle.pos[k])
+                        + p.social * r2 * (g - particle.pos[k]);
+                    particle.vel[k] = particle.vel[k].clamp(-p.v_max, p.v_max);
+                    particle.pos[k] = (particle.pos[k] + particle.vel[k]).clamp(0.0, 1.0);
+                }
+                let mut cfg = ctx.space.from_unit_features(&particle.pos);
+                if !ctx.admits(&cfg) {
+                    cfg = ctx.sample_config(&mut rng);
+                    particle.pos = ctx.space.to_unit_features(&cfg);
+                }
+                let cost = rec.measure(&cfg);
+                if cost < particle.best_cost {
+                    particle.best_cost = cost;
+                    particle.best_pos = particle.pos.clone();
+                }
+                if global_best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                    global_best = Some((particle.pos.clone(), cost));
+                }
+            }
+        }
+        rec.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_space::{imagecl, Configuration};
+
+    fn smooth(cfg: &Configuration) -> f64 {
+        let v = cfg.values();
+        (v[0] as f64 - 4.0).powi(2)
+            + (v[1] as f64 - 4.0).powi(2)
+            + (v[3] as f64 - 4.0).powi(2)
+    }
+
+    #[test]
+    fn spends_exact_budget() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let r = ParticleSwarm::default().tune(&TuneContext::new(&space, 75, 1), &mut obj);
+        assert_eq!(r.history.len(), 75);
+    }
+
+    #[test]
+    fn swarm_converges_toward_optimum() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let r = ParticleSwarm::default().tune(&TuneContext::new(&space, 250, 2), &mut obj);
+        assert!(r.best.value <= 2.0, "PSO best {}", r.best.value);
+    }
+
+    #[test]
+    fn respects_constraint() {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let ctx = TuneContext::new(&space, 60, 3).with_constraint(&cons);
+        let mut obj = smooth;
+        let r = ParticleSwarm::default().tune(&ctx, &mut obj);
+        for e in r.history.evaluations() {
+            assert!(ctx.admits(&e.config));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let t = ParticleSwarm::default();
+        let a = t.tune(&TuneContext::new(&space, 40, 5), &mut obj);
+        let b = t.tune(&TuneContext::new(&space, 40, 5), &mut obj);
+        assert_eq!(a.history.evaluations(), b.history.evaluations());
+    }
+
+    #[test]
+    fn budget_smaller_than_swarm() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let r = ParticleSwarm::default().tune(&TuneContext::new(&space, 6, 4), &mut obj);
+        assert_eq!(r.history.len(), 6);
+    }
+}

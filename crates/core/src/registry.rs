@@ -1,0 +1,161 @@
+//! Name-based registry of the implemented search techniques.
+
+use crate::bo_gp::BayesOptGp;
+use crate::bo_tpe::BayesOptTpe;
+use crate::ga::GeneticAlgorithm;
+use crate::grid::GridSearch;
+use crate::mls::MultiStartLocalSearch;
+use crate::pso::ParticleSwarm;
+use crate::random_search::RandomSearch;
+use crate::rf_tuner::RandomForestTuner;
+use crate::sa::SimulatedAnnealing;
+use crate::tuner::Tuner;
+use serde::{Deserialize, Serialize};
+
+/// The implemented search techniques.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Algorithm {
+    /// Random Search.
+    RandomSearch,
+    /// Random Forest regression (non-SMBO, paper protocol).
+    RandomForest,
+    /// Genetic Algorithm.
+    GeneticAlgorithm,
+    /// Bayesian Optimization with Gaussian Processes.
+    BoGp,
+    /// Bayesian Optimization with Tree-Parzen Estimators.
+    BoTpe,
+    /// Simulated Annealing (extension).
+    SimulatedAnnealing,
+    /// Particle Swarm Optimization (extension).
+    ParticleSwarm,
+    /// Multi-start Local Search (extension).
+    MultiStartLocalSearch,
+    /// Grid Search (extension).
+    GridSearch,
+}
+
+impl Algorithm {
+    /// The five techniques of the paper's study, in its presentation
+    /// order (RS, RF, GA, BO GP, BO TPE).
+    pub const PAPER_FIVE: [Algorithm; 5] = [
+        Algorithm::RandomSearch,
+        Algorithm::RandomForest,
+        Algorithm::GeneticAlgorithm,
+        Algorithm::BoGp,
+        Algorithm::BoTpe,
+    ];
+
+    /// Every implemented technique, paper five first.
+    pub const ALL: [Algorithm; 9] = [
+        Algorithm::RandomSearch,
+        Algorithm::RandomForest,
+        Algorithm::GeneticAlgorithm,
+        Algorithm::BoGp,
+        Algorithm::BoTpe,
+        Algorithm::SimulatedAnnealing,
+        Algorithm::ParticleSwarm,
+        Algorithm::MultiStartLocalSearch,
+        Algorithm::GridSearch,
+    ];
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algorithm::RandomSearch => "RS",
+            Algorithm::RandomForest => "RF",
+            Algorithm::GeneticAlgorithm => "GA",
+            Algorithm::BoGp => "BO GP",
+            Algorithm::BoTpe => "BO TPE",
+            Algorithm::SimulatedAnnealing => "SA",
+            Algorithm::ParticleSwarm => "PSO",
+            Algorithm::MultiStartLocalSearch => "MLS",
+            Algorithm::GridSearch => "GS",
+        }
+    }
+
+    /// Parses a display name (case-insensitive; also accepts the
+    /// underscore forms `bo_gp`/`bo_tpe`).
+    pub fn parse(s: &str) -> Option<Algorithm> {
+        let canon = s.trim().to_ascii_lowercase().replace(['_', '-'], " ");
+        Algorithm::ALL
+            .into_iter()
+            .find(|a| a.name().to_ascii_lowercase() == canon)
+    }
+
+    /// `true` for the sequential model-based techniques, which per the
+    /// paper's design receive **no** constraint specification.
+    pub fn is_smbo(self) -> bool {
+        matches!(self, Algorithm::BoGp | Algorithm::BoTpe)
+    }
+
+    /// Instantiates the technique with its study-default hyperparameters.
+    pub fn tuner(self) -> Box<dyn Tuner> {
+        match self {
+            Algorithm::RandomSearch => Box::new(RandomSearch),
+            Algorithm::RandomForest => Box::new(RandomForestTuner::default()),
+            Algorithm::GeneticAlgorithm => Box::new(GeneticAlgorithm::default()),
+            Algorithm::BoGp => Box::new(BayesOptGp::default()),
+            Algorithm::BoTpe => Box::new(BayesOptTpe::default()),
+            Algorithm::SimulatedAnnealing => Box::new(SimulatedAnnealing::default()),
+            Algorithm::ParticleSwarm => Box::new(ParticleSwarm::default()),
+            Algorithm::MultiStartLocalSearch => Box::new(MultiStartLocalSearch),
+            Algorithm::GridSearch => Box::new(GridSearch),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::TuneContext;
+    use autotune_space::{imagecl, Configuration};
+
+    #[test]
+    fn paper_five_matches_the_study() {
+        let names: Vec<_> = Algorithm::PAPER_FIVE.iter().map(|a| a.name()).collect();
+        assert_eq!(names, vec!["RS", "RF", "GA", "BO GP", "BO TPE"]);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for a in Algorithm::ALL {
+            assert_eq!(Algorithm::parse(a.name()), Some(a));
+        }
+        assert_eq!(Algorithm::parse("bo_gp"), Some(Algorithm::BoGp));
+        assert_eq!(Algorithm::parse("BO-TPE"), Some(Algorithm::BoTpe));
+        assert_eq!(Algorithm::parse("magic"), None);
+    }
+
+    #[test]
+    fn smbo_classification() {
+        assert!(Algorithm::BoGp.is_smbo());
+        assert!(Algorithm::BoTpe.is_smbo());
+        for a in [
+            Algorithm::RandomSearch,
+            Algorithm::RandomForest,
+            Algorithm::GeneticAlgorithm,
+        ] {
+            assert!(!a.is_smbo());
+        }
+    }
+
+    #[test]
+    fn every_technique_runs_under_the_same_harness() {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        for a in Algorithm::ALL {
+            let ctx = TuneContext::new(&space, 25, 1);
+            let ctx = if a.is_smbo() {
+                ctx
+            } else {
+                ctx.with_constraint(&cons)
+            };
+            let mut obj =
+                |cfg: &Configuration| cfg.values().iter().map(|&v| v as f64).sum::<f64>();
+            let r = a.tuner().tune(&ctx, &mut obj);
+            assert_eq!(r.history.len(), 25, "{} must spend the full budget", a.name());
+            assert!(r.best.value >= 6.0, "{}: impossible best", a.name());
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! Simulated Annealing — a metaheuristic the related work (CLTune,
+//! Kernel Tuner) evaluates; provided as an extension technique for the
+//! future-work comparisons the paper proposes.
+//!
+//! Lattice-neighbourhood moves with a geometric temperature schedule and
+//! Metropolis acceptance. The acceptance scale adapts to the observed
+//! cost spread so the same schedule works across kernels whose runtimes
+//! differ by orders of magnitude.
+
+use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
+use crate::Objective;
+use autotune_space::neighborhood;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// SA hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaParams {
+    /// Initial acceptance temperature as a fraction of the observed cost
+    /// spread.
+    pub t_start: f64,
+    /// Final temperature fraction.
+    pub t_end: f64,
+    /// Restart from the incumbent after this many consecutive rejections.
+    pub restart_after: usize,
+}
+
+impl Default for SaParams {
+    fn default() -> Self {
+        SaParams {
+            t_start: 1.0,
+            t_end: 0.001,
+            restart_after: 30,
+        }
+    }
+}
+
+/// The SA technique.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulatedAnnealing {
+    /// Hyperparameters.
+    pub params: SaParams,
+}
+
+impl Tuner for SimulatedAnnealing {
+    fn name(&self) -> &'static str {
+        "SA"
+    }
+
+    fn tune(&self, ctx: &TuneContext<'_>, objective: &mut dyn Objective) -> TuneResult {
+        let p = self.params;
+        let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
+        let mut rec = Recorder::new(ctx, objective);
+
+        let mut current = ctx.sample_config(&mut rng);
+        let mut current_cost = rec.measure(&current);
+        // Scale reference: running mean absolute cost (updated online).
+        let mut scale = current_cost.abs().max(1e-9);
+        let mut rejections = 0usize;
+
+        let total = ctx.budget.max(2) as f64;
+        while rec.remaining() > 0 {
+            let progress = rec.spent() as f64 / total;
+            let temp = p.t_start * (p.t_end / p.t_start).powf(progress) * scale;
+
+            let mut proposal = neighborhood::random_neighbor(ctx.space, &current, &mut rng);
+            if !ctx.admits(&proposal) {
+                proposal = ctx.sample_config(&mut rng);
+            }
+            let cost = rec.measure(&proposal);
+            scale = 0.9 * scale + 0.1 * cost.abs().max(1e-9);
+
+            let accept = cost <= current_cost
+                || rng.gen::<f64>() < ((current_cost - cost) / temp.max(1e-12)).exp();
+            if accept {
+                current = proposal;
+                current_cost = cost;
+                rejections = 0;
+            } else {
+                rejections += 1;
+                if rejections >= p.restart_after {
+                    // Teleport to the best seen so far to escape a cul-de-sac.
+                    let best = rec.best().expect("measured at least once").clone();
+                    current = best.config;
+                    current_cost = best.value;
+                    rejections = 0;
+                }
+            }
+        }
+        rec.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_space::{imagecl, Configuration};
+
+    fn smooth(cfg: &Configuration) -> f64 {
+        cfg.values().iter().map(|&v| (v * v) as f64).sum()
+    }
+
+    #[test]
+    fn spends_exact_budget() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let r = SimulatedAnnealing::default().tune(&TuneContext::new(&space, 64, 1), &mut obj);
+        assert_eq!(r.history.len(), 64);
+    }
+
+    #[test]
+    fn descends_on_a_smooth_bowl() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let r = SimulatedAnnealing::default().tune(&TuneContext::new(&space, 300, 2), &mut obj);
+        // Optimum is 6 (all ones); random expectation is ~270.
+        assert!(r.best.value < 100.0, "SA best {}", r.best.value);
+        let first = r.history.evaluations()[0].value;
+        assert!(r.best.value < first);
+    }
+
+    #[test]
+    fn respects_constraint() {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let ctx = TuneContext::new(&space, 80, 3).with_constraint(&cons);
+        let mut obj = smooth;
+        let r = SimulatedAnnealing::default().tune(&ctx, &mut obj);
+        for e in r.history.evaluations() {
+            assert!(ctx.admits(&e.config));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let t = SimulatedAnnealing::default();
+        let a = t.tune(&TuneContext::new(&space, 50, 13), &mut obj);
+        let b = t.tune(&TuneContext::new(&space, 50, 13), &mut obj);
+        assert_eq!(a.history.evaluations(), b.history.evaluations());
+    }
+}

@@ -1,0 +1,193 @@
+//! Analytic test objectives on the integer lattice.
+//!
+//! Simulator-independent landscapes with known optima, used to validate
+//! the search techniques in isolation (the optimization literature's
+//! standard practice before touching the real objective). All functions
+//! are minimized and defined over any [`ParamSpace`]; positions are
+//! taken in unit-cube coordinates so the same function works on every
+//! space shape.
+
+use autotune_space::{Configuration, ParamSpace};
+
+/// Separable convex bowl: `sum (u_k - 0.5)^2` over unit coordinates.
+/// Unique minimum at the centre of every range.
+pub fn sphere(space: &ParamSpace, cfg: &Configuration) -> f64 {
+    space
+        .to_unit_features(cfg)
+        .iter()
+        .map(|u| (u - 0.5) * (u - 0.5))
+        .sum()
+}
+
+/// Rastrigin-style multimodal surface on the unit cube: a bowl overlaid
+/// with cosine ripples. Many local minima; global minimum at the centre.
+pub fn rastrigin(space: &ParamSpace, cfg: &Configuration) -> f64 {
+    let a = 3.0;
+    space
+        .to_unit_features(cfg)
+        .iter()
+        .map(|u| {
+            let x = u - 0.5;
+            x * x * 20.0 + a * (1.0 - (2.0 * std::f64::consts::PI * 4.0 * x).cos())
+        })
+        .sum()
+}
+
+/// Deceptive trap: a broad gradient pulling toward the *maximum* corner,
+/// with the true optimum hidden at the minimum corner. Local search
+/// without restarts is systematically misled.
+pub fn deceptive_trap(space: &ParamSpace, cfg: &Configuration) -> f64 {
+    let u = space.to_unit_features(cfg);
+    let s: f64 = u.iter().sum::<f64>() / u.len() as f64;
+    if s < 0.1 {
+        // Narrow global basin near the all-low corner.
+        -10.0 + s * 10.0
+    } else {
+        // Broad deceptive slope rewarding movement toward all-high.
+        2.0 - s
+    }
+}
+
+/// Non-separable rotated ridge: `(u_0 - u_1)^2` pairs plus a bowl, so
+/// axis-aligned (per-dimension) reasoning alone cannot solve it.
+pub fn ridge(space: &ParamSpace, cfg: &Configuration) -> f64 {
+    let u = space.to_unit_features(cfg);
+    let mut v = 0.0;
+    for w in u.windows(2) {
+        let d = w[0] - w[1];
+        v += 10.0 * d * d;
+    }
+    v + u.iter().map(|x| (x - 0.5) * (x - 0.5)).sum::<f64>()
+}
+
+/// Noisy step plateau: piecewise-constant in each dimension (floor to a
+/// 4-level grid). Large flat regions — the "dead parameter" character of
+/// real tuning spaces — that defeat naive gradient intuition.
+pub fn plateau(space: &ParamSpace, cfg: &Configuration) -> f64 {
+    space
+        .to_unit_features(cfg)
+        .iter()
+        .map(|u| (u * 4.0).floor().min(3.0))
+        .sum::<f64>()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuner::TuneContext;
+    use crate::{Algorithm, Tuner};
+    use autotune_space::imagecl;
+
+    fn space() -> ParamSpace {
+        imagecl::space()
+    }
+
+    #[test]
+    fn sphere_minimum_is_central() {
+        let s = space();
+        // Central config: coarsening 8 or 9 of 1..16 (unit 0.467/0.533),
+        // work-group 4 or 5 of 1..8. Check a known centre beats corners.
+        let centre = Configuration::from([8, 9, 8, 4, 5, 4]);
+        let corner = Configuration::from([1, 1, 1, 1, 1, 1]);
+        assert!(sphere(&s, &centre) < sphere(&s, &corner));
+        assert!(sphere(&s, &centre) < 0.02);
+    }
+
+    #[test]
+    fn rastrigin_is_multimodal() {
+        let s = space();
+        // Adjacent configurations can move non-monotonically — detect at
+        // least one local ripple along one axis.
+        let values: Vec<f64> = (1..=16)
+            .map(|x| rastrigin(&s, &Configuration::from([x, 8, 8, 4, 4, 4])))
+            .collect();
+        let ups_and_downs = values
+            .windows(2)
+            .map(|w| (w[1] - w[0]).signum())
+            .collect::<Vec<_>>();
+        assert!(
+            ups_and_downs.windows(2).any(|w| w[0] != w[1]),
+            "no ripple found: {values:?}"
+        );
+    }
+
+    #[test]
+    fn trap_really_deceives_greedy_descent() {
+        let s = space();
+        // From the middle, the local gradient points away from the global
+        // basin: a step toward all-high decreases the cost.
+        let mid = Configuration::from([8, 8, 8, 4, 4, 4]);
+        let higher = Configuration::from([9, 8, 8, 4, 4, 4]);
+        assert!(deceptive_trap(&s, &higher) < deceptive_trap(&s, &mid));
+        // But the global optimum is near all-low.
+        let low = Configuration::from([1, 1, 1, 1, 1, 1]);
+        assert!(deceptive_trap(&s, &low) < deceptive_trap(&s, &higher) - 5.0);
+    }
+
+    #[test]
+    fn ridge_rewards_coordinated_moves() {
+        let s = space();
+        let aligned = Configuration::from([8, 8, 8, 4, 4, 4]);
+        let zigzag = Configuration::from([1, 16, 1, 8, 1, 8]);
+        assert!(ridge(&s, &aligned) < ridge(&s, &zigzag));
+    }
+
+    #[test]
+    fn plateau_has_flat_regions() {
+        let s = space();
+        // Two nearby configs in the same quartile cell score identically.
+        let a = Configuration::from([1, 1, 1, 1, 1, 1]);
+        let b = Configuration::from([2, 1, 1, 1, 1, 1]);
+        assert_eq!(plateau(&s, &a), plateau(&s, &b));
+        // And the top corner is strictly worse than the bottom corner.
+        let hi = Configuration::from([16, 16, 16, 8, 8, 8]);
+        assert!(plateau(&s, &hi) > plateau(&s, &a));
+    }
+
+    #[test]
+    fn every_tuner_beats_random_on_sphere() {
+        // Sanity across the whole roster: with budget 150, every
+        // technique's best should land in the central basin (< the value
+        // of a face midpoint).
+        let s = space();
+        let threshold = 0.35; // E[value] for uniform random is ~0.5
+        for algo in Algorithm::ALL {
+            let cons = imagecl::constraint();
+            let ctx = TuneContext::new(&s, 150, 9);
+            let ctx = if algo.is_smbo() {
+                ctx
+            } else {
+                ctx.with_constraint(&cons)
+            };
+            let mut obj = |cfg: &Configuration| sphere(&s, cfg);
+            let r = algo.tuner().tune(&ctx, &mut obj);
+            assert!(
+                r.best.value < threshold,
+                "{} best {} on sphere",
+                algo.name(),
+                r.best.value
+            );
+        }
+    }
+
+    #[test]
+    fn trap_defeats_pure_local_search() {
+        // The trap's whole point: its hidden basin occupies ~1e-5 of the
+        // space behind a cliff, so best-improvement descent lands in the
+        // deceptive basin essentially always — the motivating failure
+        // mode for population/restart techniques on larger basins.
+        let s = space();
+        let cons = imagecl::constraint();
+        let ctx = TuneContext::new(&s, 300, 3).with_constraint(&cons);
+        let mut obj = |cfg: &Configuration| deceptive_trap(&s, cfg);
+        let r = crate::mls::MultiStartLocalSearch.tune(&ctx, &mut obj);
+        assert!(
+            r.best.value > -5.0,
+            "descent should NOT find the needle basin, got {}",
+            r.best.value
+        );
+        // And the incumbent it does find sits in the deceptive basin,
+        // i.e. clearly better than the basin's entry cost of ~1.9.
+        assert!(r.best.value < 1.9);
+    }
+}

@@ -1,0 +1,226 @@
+//! The tuner harness: common context, budget accounting, result type.
+
+use crate::history::{Evaluation, History};
+use crate::objective::Objective;
+use autotune_space::{sample, Configuration, Constraint, ParamSpace};
+use rand::Rng;
+
+/// Everything a tuning run is given besides the objective.
+#[derive(Clone, Copy)]
+pub struct TuneContext<'a> {
+    /// The search space.
+    pub space: &'a ParamSpace,
+    /// Optional a-priori feasibility constraint. Per the paper's design,
+    /// the harness passes this to the non-SMBO methods only.
+    pub constraint: Option<&'a dyn Constraint>,
+    /// Exact number of objective evaluations the tuner may spend (the
+    /// paper's *sample size*).
+    pub budget: usize,
+    /// RNG seed for the run; equal seeds give identical runs.
+    pub seed: u64,
+}
+
+impl<'a> TuneContext<'a> {
+    /// Context without a constraint (what the SMBO methods get).
+    pub fn new(space: &'a ParamSpace, budget: usize, seed: u64) -> Self {
+        TuneContext {
+            space,
+            constraint: None,
+            budget,
+            seed,
+        }
+    }
+
+    /// Adds the a-priori constraint (what the non-SMBO methods get).
+    pub fn with_constraint(mut self, c: &'a dyn Constraint) -> Self {
+        self.constraint = Some(c);
+        self
+    }
+
+    /// Draws one random configuration honouring the constraint if present.
+    pub fn sample_config<R: Rng + ?Sized>(&self, rng: &mut R) -> Configuration {
+        match self.constraint {
+            Some(c) => sample::constrained(self.space, c, rng),
+            None => sample::uniform(self.space, rng),
+        }
+    }
+
+    /// `true` when `cfg` satisfies the context's constraint (vacuously
+    /// true without one).
+    pub fn admits(&self, cfg: &Configuration) -> bool {
+        self.constraint.is_none_or(|c| c.is_satisfied(cfg))
+    }
+}
+
+impl std::fmt::Debug for TuneContext<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TuneContext")
+            .field("budget", &self.budget)
+            .field("seed", &self.seed)
+            .field("constrained", &self.constraint.is_some())
+            .finish()
+    }
+}
+
+/// Outcome of one tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// The best evaluation observed (by measured cost).
+    pub best: Evaluation,
+    /// Every budget-consuming measurement, in order.
+    pub history: History,
+}
+
+/// A search technique.
+pub trait Tuner: Send + Sync {
+    /// Name as used in the paper's figures ("RS", "BO GP", …).
+    fn name(&self) -> &'static str;
+
+    /// Runs the search, spending exactly `ctx.budget` objective
+    /// evaluations (tuners may stop early only if the space is exhausted).
+    fn tune(&self, ctx: &TuneContext<'_>, objective: &mut dyn Objective) -> TuneResult;
+}
+
+/// Budget-enforcing measurement recorder shared by all tuner
+/// implementations: every call to [`Recorder::measure`] spends one unit
+/// of budget and is logged.
+pub struct Recorder<'a, 'o> {
+    objective: &'o mut dyn Objective,
+    history: History,
+    budget: usize,
+    _ctx: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a, 'o> Recorder<'a, 'o> {
+    /// Creates a recorder for `ctx.budget` evaluations.
+    pub fn new(ctx: &TuneContext<'a>, objective: &'o mut dyn Objective) -> Self {
+        assert!(ctx.budget > 0, "tuning budget must be positive");
+        Recorder {
+            objective,
+            history: History::new(),
+            budget: ctx.budget,
+            _ctx: std::marker::PhantomData,
+        }
+    }
+
+    /// Evaluations still allowed.
+    pub fn remaining(&self) -> usize {
+        self.budget - self.history.len()
+    }
+
+    /// Evaluations already spent.
+    pub fn spent(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Measures `cfg`, spending one budget unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the budget is already exhausted — a tuner bug.
+    pub fn measure(&mut self, cfg: &Configuration) -> f64 {
+        assert!(self.remaining() > 0, "tuner exceeded its sample budget");
+        let v = self.objective.evaluate(cfg);
+        self.history.push(cfg.clone(), v);
+        v
+    }
+
+    /// Current best observation, if any.
+    pub fn best(&self) -> Option<&Evaluation> {
+        self.history.best()
+    }
+
+    /// Read access to the log so far.
+    pub fn history(&self) -> &History {
+        &self.history
+    }
+
+    /// Finalizes the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing was measured.
+    pub fn finish(self) -> TuneResult {
+        let best = self
+            .history
+            .best()
+            .expect("a tuning run must measure at least one configuration")
+            .clone();
+        TuneResult {
+            best,
+            history: self.history,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_space::{imagecl, Param};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn toy_space() -> ParamSpace {
+        ParamSpace::new(vec![Param::new("a", 1, 8), Param::new("b", 1, 8)])
+    }
+
+    #[test]
+    fn recorder_enforces_budget() {
+        let space = toy_space();
+        let ctx = TuneContext::new(&space, 3, 0);
+        let mut obj = |_: &Configuration| 1.0;
+        let mut rec = Recorder::new(&ctx, &mut obj);
+        let c = Configuration::from([1, 1]);
+        assert_eq!(rec.remaining(), 3);
+        rec.measure(&c);
+        rec.measure(&c);
+        rec.measure(&c);
+        assert_eq!(rec.remaining(), 0);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rec.measure(&c);
+        }));
+        assert!(result.is_err(), "over-budget measure must panic");
+    }
+
+    #[test]
+    fn recorder_tracks_best() {
+        let space = toy_space();
+        let ctx = TuneContext::new(&space, 10, 0);
+        let mut obj = |cfg: &Configuration| cfg.values()[0] as f64;
+        let mut rec = Recorder::new(&ctx, &mut obj);
+        rec.measure(&Configuration::from([5, 1]));
+        rec.measure(&Configuration::from([2, 1]));
+        rec.measure(&Configuration::from([7, 1]));
+        assert_eq!(rec.best().unwrap().value, 2.0);
+        let result = rec.finish();
+        assert_eq!(result.best.config, Configuration::from([2, 1]));
+        assert_eq!(result.history.len(), 3);
+    }
+
+    #[test]
+    fn context_sampling_honours_constraint() {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let ctx = TuneContext::new(&space, 1, 0).with_constraint(&cons);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..50 {
+            assert!(ctx.admits(&ctx.sample_config(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn unconstrained_context_admits_everything() {
+        let space = imagecl::space();
+        let ctx = TuneContext::new(&space, 1, 0);
+        assert!(ctx.admits(&Configuration::from([16, 16, 16, 8, 8, 8])));
+    }
+
+    #[test]
+    #[should_panic(expected = "budget must be positive")]
+    fn zero_budget_rejected() {
+        let space = toy_space();
+        let ctx = TuneContext::new(&space, 0, 0);
+        let mut obj = |_: &Configuration| 1.0;
+        let _ = Recorder::new(&ctx, &mut obj);
+    }
+}

@@ -1,0 +1,121 @@
+//! Property-based tests over the whole tuner roster: the invariants every
+//! search technique must satisfy regardless of budget, seed, objective
+//! shape, or constraint availability.
+
+use autotune_core::{Algorithm, TuneContext};
+use autotune_space::{imagecl, Configuration, Constraint};
+use proptest::prelude::*;
+
+/// A family of cheap deterministic objectives with varied character.
+fn objective_for(kind: u8) -> impl Fn(&Configuration) -> f64 + Copy {
+    move |cfg: &Configuration| {
+        let v = cfg.values();
+        match kind % 4 {
+            0 => v.iter().map(|&x| x as f64).sum(),
+            1 => v.iter().map(|&x| (x as f64 - 4.0).powi(2)).sum(),
+            2 => {
+                // Multiplicative, penalizing large work-groups.
+                v[3] as f64 * v[4] as f64 * v[5] as f64 + v[0] as f64
+            }
+            _ => {
+                // Rippled: multimodal along the coarsening axes.
+                v.iter()
+                    .map(|&x| (x as f64 * 1.3).sin().abs() * 5.0 + x as f64 * 0.1)
+                    .sum()
+            }
+        }
+    }
+}
+
+proptest! {
+    // Each case runs the full roster once; keep the case count modest.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn every_tuner_spends_exactly_its_budget(
+        budget in 5usize..40,
+        seed in 0u64..10_000,
+        kind in 0u8..4,
+    ) {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        for algo in Algorithm::ALL {
+            let ctx = TuneContext::new(&space, budget, seed);
+            let ctx = if algo.is_smbo() { ctx } else { ctx.with_constraint(&cons) };
+            let f = objective_for(kind);
+            let mut obj = move |cfg: &Configuration| f(cfg);
+            let r = algo.tuner().tune(&ctx, &mut obj);
+            prop_assert_eq!(r.history.len(), budget, "{} budget", algo.name());
+            // The reported best matches the history minimum.
+            let min = r.history.evaluations().iter()
+                .map(|e| e.value).fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(r.best.value, min, "{} best", algo.name());
+            // Best value is the objective of the best config (objective
+            // is deterministic here).
+            prop_assert_eq!(r.best.value, f(&r.best.config), "{} consistency", algo.name());
+        }
+    }
+
+    #[test]
+    fn constrained_tuners_stay_feasible(
+        budget in 5usize..30,
+        seed in 0u64..10_000,
+    ) {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        for algo in Algorithm::ALL {
+            if algo.is_smbo() {
+                continue;
+            }
+            let ctx = TuneContext::new(&space, budget, seed).with_constraint(&cons);
+            let mut obj = |cfg: &Configuration| cfg.values()[0] as f64;
+            let r = algo.tuner().tune(&ctx, &mut obj);
+            for e in r.history.evaluations() {
+                prop_assert!(cons.is_satisfied(&e.config),
+                    "{} proposed {}", algo.name(), e.config);
+            }
+        }
+    }
+
+    #[test]
+    fn tuners_are_deterministic_per_seed(
+        budget in 5usize..25,
+        seed in 0u64..10_000,
+        kind in 0u8..4,
+    ) {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        for algo in Algorithm::ALL {
+            let run = || {
+                let ctx = TuneContext::new(&space, budget, seed);
+                let ctx = if algo.is_smbo() { ctx } else { ctx.with_constraint(&cons) };
+                let f = objective_for(kind);
+                let mut obj = move |cfg: &Configuration| f(cfg);
+                algo.tuner().tune(&ctx, &mut obj)
+            };
+            let a = run();
+            let b = run();
+            prop_assert_eq!(a.history.evaluations(), b.history.evaluations(),
+                "{} must be reproducible", algo.name());
+        }
+    }
+
+    #[test]
+    fn all_proposals_live_in_the_space(
+        budget in 5usize..25,
+        seed in 0u64..10_000,
+    ) {
+        let space = imagecl::space();
+        for algo in Algorithm::ALL {
+            let ctx = TuneContext::new(&space, budget, seed);
+            let mut obj = |cfg: &Configuration| {
+                cfg.values().iter().map(|&v| v as f64).product()
+            };
+            let r = algo.tuner().tune(&ctx, &mut obj);
+            for e in r.history.evaluations() {
+                prop_assert!(space.contains(&e.config),
+                    "{} proposed out-of-space {}", algo.name(), e.config);
+            }
+        }
+    }
+}

@@ -1,0 +1,165 @@
+//! Quality ablations for the design choices DESIGN.md calls out.
+//!
+//! For each variant of a design choice, runs the affected tuner several
+//! times on a fixed (benchmark, architecture) pair and reports the
+//! median percent-of-optimum — the *quality* counterpart to the *cost*
+//! measurements in `crates/bench/benches/ablations.rs`.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin ablations [-- --reps N --budget N]
+//! ```
+
+use autotune_core::bo_gp::{BayesOptGp, BoGpParams};
+use autotune_core::bo_tpe::{BayesOptTpe, TpeParams};
+use autotune_core::ga::{GaParams, GeneticAlgorithm};
+use autotune_core::{TuneContext, Tuner};
+use autotune_space::{imagecl, Configuration};
+use autotune_stats::descriptive;
+use autotune_surrogates::acquisition::Acquisition;
+use gpu_sim::kernels::Benchmark;
+use gpu_sim::noise::NoiseModel;
+use gpu_sim::{arch, oracle, SimulatedKernel};
+
+struct Fixture {
+    bench: Benchmark,
+    gpu: gpu_sim::GpuArchitecture,
+    optimum_ms: f64,
+    budget: usize,
+    reps: usize,
+}
+
+impl Fixture {
+    fn median_pct(&self, tuner: &dyn Tuner, constrained: bool, noise: NoiseModel) -> f64 {
+        let space = imagecl::space();
+        let constraint = imagecl::constraint();
+        let runs: Vec<f64> = (0..self.reps)
+            .map(|rep| {
+                let seed = 7_000 + rep as u64;
+                let mut sim =
+                    SimulatedKernel::with_noise(self.bench.model(), self.gpu.clone(), noise, seed);
+                let ctx = TuneContext::new(&space, self.budget, seed);
+                let ctx = if constrained {
+                    ctx.with_constraint(&constraint)
+                } else {
+                    ctx
+                };
+                let result = tuner.tune(&ctx, &mut |cfg: &Configuration| sim.measure(cfg));
+                let final_ms = sim.measure_final(&result.best.config);
+                oracle::percent_of_optimum(self.optimum_ms, final_ms)
+            })
+            .collect();
+        descriptive::median(&runs)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |flag: &str, default: usize| -> usize {
+        args.iter()
+            .position(|a| a == flag)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    };
+    let bench = Benchmark::Harris;
+    let gpu = arch::gtx_980();
+    let optimum = oracle::strided_optimum(bench.model().as_ref(), &gpu, 1);
+    let fx = Fixture {
+        bench,
+        gpu: gpu.clone(),
+        optimum_ms: optimum.time_ms,
+        budget: get("--budget", 50),
+        reps: get("--reps", 9),
+    };
+    println!(
+        "ablations on {} / {} at budget {} ({} reps); optimum {:.4} ms\n",
+        fx.bench.name(),
+        fx.gpu.name,
+        fx.budget,
+        fx.reps,
+        fx.optimum_ms
+    );
+
+    println!("-- BO GP hyperparameter refit cadence --");
+    for refit in [5usize, 10, 25, 50] {
+        let t = BayesOptGp {
+            params: BoGpParams { refit_every: refit, ..BoGpParams::default() },
+        };
+        println!(
+            "  refit_every={refit:<3} -> {:.1}% of optimum",
+            fx.median_pct(&t, false, NoiseModel::study_default())
+        );
+    }
+
+    println!("-- BO GP acquisition function (paper uses EI) --");
+    let acqs: [(&str, Acquisition); 3] = [
+        ("EI ", Acquisition::ExpectedImprovement { xi: 0.01 }),
+        ("LCB", Acquisition::LowerConfidenceBound { kappa: 1.96 }),
+        ("POI", Acquisition::ProbabilityOfImprovement { xi: 0.01 }),
+    ];
+    for (name, acq) in acqs {
+        let t = BayesOptGp {
+            params: BoGpParams { acquisition: acq, ..BoGpParams::default() },
+        };
+        println!(
+            "  {name} -> {:.1}% of optimum",
+            fx.median_pct(&t, false, NoiseModel::study_default())
+        );
+    }
+
+    println!("-- BO GP initialization: i.i.d. vs Latin hypercube --");
+    for lhs in [false, true] {
+        let t = BayesOptGp {
+            params: BoGpParams { lhs_init: lhs, ..BoGpParams::default() },
+        };
+        println!(
+            "  lhs_init={lhs:<5} -> {:.1}% of optimum",
+            fx.median_pct(&t, false, NoiseModel::study_default())
+        );
+    }
+
+    println!("-- TPE gamma quantile (HyperOpt uses 0.25) --");
+    for gamma in [0.10f64, 0.15, 0.25, 0.50] {
+        let t = BayesOptTpe {
+            params: TpeParams { gamma, ..TpeParams::default() },
+        };
+        println!(
+            "  gamma={gamma:<5} -> {:.1}% of optimum",
+            fx.median_pct(&t, false, NoiseModel::study_default())
+        );
+    }
+
+    println!("-- GA population size / mutation rate --");
+    for (pop, mutation) in [(10usize, 0.1f64), (20, 0.1), (40, 0.1), (20, 0.02), (20, 0.3)] {
+        let t = GeneticAlgorithm {
+            params: GaParams {
+                population: pop,
+                mutation_rate: mutation,
+                ..GaParams::default()
+            },
+        };
+        println!(
+            "  pop={pop:<3} mut={mutation:<5} -> {:.1}% of optimum",
+            fx.median_pct(&t, true, NoiseModel::study_default())
+        );
+    }
+
+    println!("-- constraint specification for GA (the paper's non-SMBO design point) --");
+    let ga = GeneticAlgorithm::default();
+    println!(
+        "  with constraint    -> {:.1}% of optimum",
+        fx.median_pct(&ga, true, NoiseModel::study_default())
+    );
+    println!(
+        "  without constraint -> {:.1}% of optimum",
+        fx.median_pct(&ga, false, NoiseModel::study_default())
+    );
+
+    println!("-- measurement-noise level vs GA result quality --");
+    for scale in [0.0f64, 0.5, 1.0, 2.0, 4.0] {
+        println!(
+            "  noise x{scale:<4} -> {:.1}% of optimum",
+            fx.median_pct(&ga, true, NoiseModel::scaled(scale))
+        );
+    }
+}

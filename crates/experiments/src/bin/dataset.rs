@@ -1,0 +1,50 @@
+//! Generates the pre-computed sample datasets (paper section VI-B: 20,000
+//! samples per benchmark and architecture) and writes them as JSON.
+
+use experiments::cli;
+use gpu_sim::dataset::Dataset;
+use gpu_sim::dataset;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    for &bench in &opts.config.benchmarks {
+        for gpu in &opts.config.architectures {
+            let seed = dataset::dataset_seed(bench, &gpu.name);
+            let ds = Dataset::generate(
+                bench,
+                gpu,
+                opts.config.dataset_size,
+                opts.config.noise,
+                seed,
+            );
+            let min = ds
+                .entries
+                .iter()
+                .map(|e| e.runtime_ms)
+                .fold(f64::INFINITY, f64::min);
+            println!(
+                "{} on {}: {} samples, best {:.4} ms",
+                bench.name(),
+                gpu.name,
+                ds.len(),
+                min
+            );
+            if opts.write_csv {
+                let name = format!(
+                    "dataset_{}_{}.json",
+                    bench.name().to_lowercase(),
+                    gpu.name.to_lowercase().replace(' ', "_")
+                );
+                cli::write_artifact(&opts.out_dir, &name, &ds.to_json())
+                    .expect("write dataset");
+            }
+        }
+    }
+}

@@ -1,0 +1,25 @@
+//! Reproduces **Fig. 2**: heatmaps of the median percent-of-optimum per
+//! algorithm and sample size, one panel per (benchmark, architecture).
+
+use experiments::{cli, grid, metrics, render};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let results = grid::run_study(&opts.config);
+    let panels = metrics::fig2(&results);
+    for p in &panels {
+        print!("{}", render::heatmap(p, "%"));
+        println!();
+    }
+    if opts.write_csv {
+        cli::write_artifact(&opts.out_dir, "fig2.csv", &render::heatmaps_csv(&panels))
+            .expect("write fig2.csv");
+    }
+}

@@ -1,0 +1,22 @@
+//! Reproduces **Fig. 3**: mean ± confidence interval of the percent of
+//! optimum aggregated across all benchmarks and architectures.
+
+use experiments::{cli, grid, metrics, render};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let results = grid::run_study(&opts.config);
+    let lines = metrics::fig3(&results, 0.95, opts.config.seed);
+    print!("{}", render::aggregate_table(&lines));
+    if opts.write_csv {
+        cli::write_artifact(&opts.out_dir, "fig3.csv", &render::aggregate_csv(&lines))
+            .expect("write fig3.csv");
+    }
+}

@@ -1,0 +1,25 @@
+//! Reproduces **Fig. 4a**: heatmaps of the median speedup over Random
+//! Search per algorithm, sample size, benchmark and architecture.
+
+use experiments::{cli, grid, metrics, render};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let results = grid::run_study(&opts.config);
+    let panels = metrics::fig4a(&results);
+    for p in &panels {
+        print!("{}", render::heatmap(p, "x"));
+        println!();
+    }
+    if opts.write_csv {
+        cli::write_artifact(&opts.out_dir, "fig4a.csv", &render::heatmaps_csv(&panels))
+            .expect("write fig4a.csv");
+    }
+}

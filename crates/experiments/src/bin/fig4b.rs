@@ -1,0 +1,26 @@
+//! Reproduces **Fig. 4b**: Common Language Effect Size over Random
+//! Search (probability an algorithm's run beats an RS run), with
+//! Mann-Whitney U significance at the paper's alpha = 0.01.
+
+use experiments::{cli, grid, metrics, render};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let results = grid::run_study(&opts.config);
+    let panels = metrics::fig4b(&results);
+    for (p, cells) in &panels {
+        print!("{}", render::cles_heatmap(p, cells));
+        println!();
+    }
+    if opts.write_csv {
+        cli::write_artifact(&opts.out_dir, "fig4b.csv", &render::cles_csv(&panels))
+            .expect("write fig4b.csv");
+    }
+}

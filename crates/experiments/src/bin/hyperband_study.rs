@@ -1,0 +1,114 @@
+//! Future-work experiment: HyperBand and BOHB against the paper's
+//! roster at equivalent budgets.
+//!
+//! The paper's §VIII-A names "HyperBand(HB) and Bayesian Optimization
+//! HyperBand (BOHB)" as the techniques of special interest for follow-up
+//! work. This binary runs them (with problem-size fidelity, see
+//! `experiments::multifidelity`) next to RS / GA / BO GP / BO TPE at the
+//! same full-evaluation-equivalent budgets and prints median
+//! percent-of-optimum per budget.
+//!
+//! ```text
+//! cargo run --release -p experiments --bin hyperband_study [-- --reps N]
+//! ```
+
+use autotune_core::bohb::Bohb;
+use autotune_core::hyperband::HyperBand;
+use autotune_core::{Algorithm, TuneContext};
+use autotune_space::{imagecl, Configuration};
+use autotune_stats::descriptive;
+use experiments::multifidelity::MfSimulatedKernel;
+use gpu_sim::kernels::Benchmark;
+use gpu_sim::noise::NoiseModel;
+use gpu_sim::runner::SimulatedKernel;
+use gpu_sim::{arch, oracle};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let reps: usize = args
+        .iter()
+        .position(|a| a == "--reps")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(9);
+
+    let bench = Benchmark::Mandelbrot;
+    let gpu = arch::titan_v();
+    let space = imagecl::space();
+    let constraint = imagecl::constraint();
+    let optimum = oracle::strided_optimum(bench.model().as_ref(), &gpu, 1);
+    println!(
+        "{} on {} — optimum {:.4} ms; {reps} repetitions per cell\n",
+        bench.name(),
+        gpu.name,
+        optimum.time_ms
+    );
+
+    let budgets = [25usize, 50, 100, 200];
+    print!("{:<10}", "technique");
+    for b in budgets {
+        print!("{:>10}", format!("B={b}"));
+    }
+    println!();
+
+    // Classic single-fidelity techniques.
+    for algo in [
+        Algorithm::RandomSearch,
+        Algorithm::GeneticAlgorithm,
+        Algorithm::BoGp,
+        Algorithm::BoTpe,
+    ] {
+        print!("{:<10}", algo.name());
+        for budget in budgets {
+            let mut pct = Vec::with_capacity(reps);
+            for rep in 0..reps {
+                let seed = 9_000 + rep as u64;
+                let mut sim = SimulatedKernel::new(bench.model(), gpu.clone(), seed);
+                let ctx = TuneContext::new(&space, budget, seed);
+                let ctx = if algo.is_smbo() {
+                    ctx
+                } else {
+                    ctx.with_constraint(&constraint)
+                };
+                let r = algo
+                    .tuner()
+                    .tune(&ctx, &mut |cfg: &Configuration| sim.measure(cfg));
+                let final_ms = sim.measure_final(&r.best.config);
+                pct.push(oracle::percent_of_optimum(optimum.time_ms, final_ms));
+            }
+            print!("{:>9.1}%", descriptive::median(&pct));
+        }
+        println!();
+    }
+
+    // Multi-fidelity techniques at the same full-evaluation budgets.
+    for mf_name in ["HB", "BOHB"] {
+        print!("{mf_name:<10}");
+        for budget in budgets {
+            let mut pct = Vec::with_capacity(reps);
+            for rep in 0..reps {
+                let seed = 9_000 + rep as u64;
+                let mut mf = MfSimulatedKernel::new(
+                    bench,
+                    gpu.clone(),
+                    NoiseModel::study_default(),
+                    seed,
+                );
+                let r = match mf_name {
+                    "HB" => HyperBand::default().tune_mf(&space, &mut mf, budget as f64, seed),
+                    _ => Bohb::default().tune_mf(&space, &mut mf, budget as f64, seed),
+                };
+                // Final protocol on the full-size problem.
+                let mut sim = SimulatedKernel::new(bench.model(), gpu.clone(), seed ^ 0xf1);
+                let final_ms = sim.measure_final(&r.best.config);
+                pct.push(oracle::percent_of_optimum(optimum.time_ms, final_ms));
+            }
+            print!("{:>9.1}%", descriptive::median(&pct));
+        }
+        println!();
+    }
+    println!(
+        "\nHB/BOHB spend the same full-evaluation-equivalent budget spread over \
+         cheap small-image runs (paper future work, §VIII-A)."
+    );
+}

@@ -1,0 +1,96 @@
+//! Extension analysis: Friedman rank test across the study grid.
+//!
+//! The paper tests each cell against RS with Mann-Whitney U; the natural
+//! whole-grid question — *is any algorithm's advantage consistent across
+//! benchmarks and architectures?* — is the textbook use case for the
+//! Friedman rank test with Nemenyi post-hoc critical differences
+//! (Demšar 2006). Blocks are the nine (benchmark, architecture) panels,
+//! treatments the algorithms, costs the per-panel median runtimes.
+//!
+//! Reads a saved `study_results.json` when given one, otherwise runs a
+//! fresh study at the requested scale:
+//!
+//! ```text
+//! cargo run --release -p experiments --bin ranks -- --from results/study_results.json
+//! cargo run --release -p experiments --bin ranks -- --scale 0.02
+//! ```
+
+use autotune_stats::friedman;
+use experiments::grid::{run_study, CellKey, StudyResults};
+use experiments::cli;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let results: StudyResults = if let Some(i) = args.iter().position(|a| a == "--from") {
+        let path = args.get(i + 1).expect("--from needs a path");
+        let json = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        StudyResults::from_json(&json).expect("valid study_results.json")
+    } else {
+        let opts = match cli::parse(&args) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                std::process::exit(2);
+            }
+        };
+        run_study(&opts.config)
+    };
+
+    let algos = results.algorithms();
+    let pairs = results.pairs();
+    if pairs.len() < 2 {
+        eprintln!(
+            "Friedman needs at least 2 (benchmark, architecture) panels; got {}",
+            pairs.len()
+        );
+        std::process::exit(2);
+    }
+    println!(
+        "Friedman rank analysis over {} panels x {} algorithms (lower rank = faster)\n",
+        pairs.len(),
+        algos.len()
+    );
+
+    for &s in &results.sample_sizes {
+        // Cost matrix: one row per panel, one column per algorithm.
+        let costs: Vec<Vec<f64>> = pairs
+            .iter()
+            .map(|(bench, arch_name)| {
+                algos
+                    .iter()
+                    .map(|&algorithm| {
+                        results
+                            .cell(&CellKey {
+                                algorithm,
+                                benchmark: bench.clone(),
+                                architecture: arch_name.clone(),
+                                sample_size: s,
+                            })
+                            .map(|c| c.median_ms())
+                            .expect("complete grid")
+                    })
+                    .collect()
+            })
+            .collect();
+        let r = friedman::friedman_test(&costs);
+        let cd = r.nemenyi_critical_difference();
+        print!("S={s:<4} chi2={:<7.2} p={:<9.2e} CD={cd:.2} | ", r.statistic, r.p_value);
+        let mut ranked: Vec<(usize, f64)> = r
+            .mean_ranks
+            .iter()
+            .cloned()
+            .enumerate()
+            .collect();
+        ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ranks"));
+        let best_rank = ranked[0].1;
+        for (idx, rank) in ranked {
+            // Mark algorithms statistically indistinguishable from the
+            // leader (within the critical difference).
+            let marker = if rank - best_rank <= cd { "*" } else { " " };
+            print!("{}={rank:.2}{marker} ", algos[idx].name());
+        }
+        println!();
+    }
+    println!("\n'*' marks algorithms within the Nemenyi critical difference of the leader.");
+}

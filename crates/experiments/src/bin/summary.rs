@@ -1,0 +1,64 @@
+//! Runs the whole study once and emits every figure and table, plus the
+//! raw per-cell results as JSON — the one-command reproduction driver.
+
+use experiments::design;
+use experiments::{cli, grid, metrics, render, table1};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "study: {} algorithms x {} benchmarks x {} architectures, scale {} (paper total would be {} samples)",
+        opts.config.algorithms.len(),
+        opts.config.benchmarks.len(),
+        opts.config.architectures.len(),
+        opts.config.design.scale,
+        design::paper_total_samples(),
+    );
+
+    let results = grid::run_study(&opts.config);
+
+    println!("\n################ Table I ################");
+    print!("{}", table1::render(&opts.config.design));
+
+    println!("\n################ Fig. 2: percent of optimum ################");
+    let fig2 = metrics::fig2(&results);
+    for p in &fig2 {
+        print!("{}", render::heatmap(p, "%"));
+        println!();
+    }
+
+    println!("################ Fig. 3: aggregate mean ± CI ################");
+    let fig3 = metrics::fig3(&results, 0.95, opts.config.seed);
+    print!("{}", render::aggregate_table(&fig3));
+
+    println!("\n################ Fig. 4a: median speedup over RS ################");
+    let fig4a = metrics::fig4a(&results);
+    for p in &fig4a {
+        print!("{}", render::heatmap(p, "x"));
+        println!();
+    }
+
+    println!("################ Fig. 4b: CLES over RS ################");
+    let fig4b = metrics::fig4b(&results);
+    for (p, cells) in &fig4b {
+        print!("{}", render::cles_heatmap(p, cells));
+        println!();
+    }
+
+    if opts.write_csv {
+        cli::write_artifact(&opts.out_dir, "fig2.csv", &render::heatmaps_csv(&fig2)).unwrap();
+        cli::write_artifact(&opts.out_dir, "fig3.csv", &render::aggregate_csv(&fig3)).unwrap();
+        cli::write_artifact(&opts.out_dir, "fig4a.csv", &render::heatmaps_csv(&fig4a)).unwrap();
+        cli::write_artifact(&opts.out_dir, "fig4b.csv", &render::cles_csv(&fig4b)).unwrap();
+        cli::write_artifact(&opts.out_dir, "study_results.json", &results.to_json()).unwrap();
+        cli::write_artifact(&opts.out_dir, "table1.txt", &table1::render(&opts.config.design))
+            .unwrap();
+    }
+}

@@ -1,0 +1,16 @@
+//! Reproduces **Table I**: the survey of previous experimental designs,
+//! with this study's row derived from the implemented design.
+
+use experiments::design::ExperimentDesign;
+use experiments::table1;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let design = if args.iter().any(|a| a == "--full") {
+        ExperimentDesign::paper()
+    } else {
+        // Table I describes the paper's design; default to full scale.
+        ExperimentDesign::paper()
+    };
+    print!("{}", table1::render(&design));
+}

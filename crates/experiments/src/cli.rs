@@ -1,0 +1,198 @@
+//! Minimal flag parser shared by the figure binaries (keeping the
+//! dependency set to the approved list — no clap).
+
+use crate::grid::StudyConfig;
+use autotune_core::Algorithm;
+use gpu_sim::arch;
+use gpu_sim::kernels::Benchmark;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Study configuration assembled from the flags.
+    pub config: StudyConfig,
+    /// Output directory for CSV artefacts (`--out DIR`, default
+    /// `results`).
+    pub out_dir: String,
+    /// Skip writing CSV files (`--no-csv`).
+    pub write_csv: bool,
+}
+
+/// Usage string printed on `--help` or a bad flag.
+pub const USAGE: &str = "\
+Options:
+  --scale F        fraction of the paper's experiment counts (default 0.02)
+  --full           paper scale (800..50 experiments; hours of compute)
+  --smoke          tiny smoke-test configuration
+  --bench NAME     restrict to one benchmark (Add|Harris|Mandelbrot)
+  --arch NAME      restrict to one architecture (GTX 980|Titan V|RTX Titan)
+  --algos LIST     comma-separated algorithms (default: RS,RF,GA,BO GP,BO TPE)
+  --seed N         study master seed (default 0x5EED)
+  --threads N      worker threads (default: available parallelism)
+  --dataset N      dataset size for non-SMBO methods (default 20000)
+  --oracle-stride N  oracle scan stride (default 1 = exhaustive)
+  --out DIR        output directory for CSVs (default results)
+  --no-csv         print to stdout only
+";
+
+/// Parses flags; returns an error message (including usage) on bad input.
+pub fn parse(args: &[String]) -> Result<Options, String> {
+    let mut config = StudyConfig::at_scale(0.02);
+    let mut out_dir = "results".to_string();
+    let mut write_csv = true;
+
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        args.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value\n{USAGE}"))
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                let v: f64 = value(&mut i, "--scale")?
+                    .parse()
+                    .map_err(|e| format!("bad --scale: {e}"))?;
+                config = StudyConfig {
+                    design: crate::design::ExperimentDesign::scaled(v.min(1.0)),
+                    ..config
+                };
+            }
+            "--full" => {
+                config.design = crate::design::ExperimentDesign::paper();
+            }
+            "--smoke" => {
+                let keep_algos = config.algorithms.clone();
+                config = StudyConfig::smoke();
+                config.algorithms = keep_algos;
+            }
+            "--bench" => {
+                let name = value(&mut i, "--bench")?;
+                let b = Benchmark::parse(&name)
+                    .ok_or_else(|| format!("unknown benchmark {name:?}\n{USAGE}"))?;
+                config.benchmarks = vec![b];
+            }
+            "--arch" => {
+                let name = value(&mut i, "--arch")?;
+                let a = arch::by_name(&name)
+                    .ok_or_else(|| format!("unknown architecture {name:?}\n{USAGE}"))?;
+                config.architectures = vec![a];
+            }
+            "--algos" => {
+                let list = value(&mut i, "--algos")?;
+                let mut algos = Vec::new();
+                for part in list.split(',') {
+                    let a = Algorithm::parse(part)
+                        .ok_or_else(|| format!("unknown algorithm {part:?}\n{USAGE}"))?;
+                    algos.push(a);
+                }
+                if algos.is_empty() {
+                    return Err(format!("--algos list is empty\n{USAGE}"));
+                }
+                config.algorithms = algos;
+            }
+            "--seed" => {
+                config.seed = value(&mut i, "--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?;
+            }
+            "--threads" => {
+                config.threads = value(&mut i, "--threads")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+            }
+            "--dataset" => {
+                config.dataset_size = value(&mut i, "--dataset")?
+                    .parse()
+                    .map_err(|e| format!("bad --dataset: {e}"))?;
+            }
+            "--oracle-stride" => {
+                config.oracle_stride = value(&mut i, "--oracle-stride")?
+                    .parse()
+                    .map_err(|e| format!("bad --oracle-stride: {e}"))?;
+            }
+            "--out" => out_dir = value(&mut i, "--out")?,
+            "--no-csv" => write_csv = false,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(Options {
+        config,
+        out_dir,
+        write_csv,
+    })
+}
+
+/// Writes `content` to `dir/name`, creating the directory; prints the
+/// path on success.
+pub fn write_artifact(dir: &str, name: &str, content: &str) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let path = std::path::Path::new(dir).join(name);
+    std::fs::write(&path, content)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(String::from).collect()
+    }
+
+    #[test]
+    fn defaults() {
+        let o = parse(&[]).unwrap();
+        assert_eq!(o.config.algorithms.len(), 5);
+        assert_eq!(o.config.benchmarks.len(), 3);
+        assert_eq!(o.out_dir, "results");
+        assert!(o.write_csv);
+    }
+
+    #[test]
+    fn scale_and_full() {
+        let o = parse(&argv("--scale 0.1")).unwrap();
+        assert!((o.config.design.scale - 0.1).abs() < 1e-12);
+        let o = parse(&argv("--full")).unwrap();
+        assert_eq!(o.config.design.scale, 1.0);
+    }
+
+    #[test]
+    fn restrict_bench_arch_algos() {
+        let args: Vec<String> = vec![
+            "--bench".into(),
+            "harris".into(),
+            "--arch".into(),
+            "titan v".into(),
+            "--algos".into(),
+            "RS,GA".into(),
+        ];
+        let o = parse(&args).unwrap();
+        assert_eq!(o.config.benchmarks, vec![Benchmark::Harris]);
+        assert_eq!(o.config.architectures[0].name, "Titan V");
+        assert_eq!(
+            o.config.algorithms,
+            vec![Algorithm::RandomSearch, Algorithm::GeneticAlgorithm]
+        );
+    }
+
+    #[test]
+    fn bad_flags_error_with_usage() {
+        assert!(parse(&argv("--bogus")).unwrap_err().contains("Options:"));
+        assert!(parse(&argv("--bench nope")).unwrap_err().contains("unknown benchmark"));
+        assert!(parse(&argv("--scale")).unwrap_err().contains("needs a value"));
+    }
+
+    #[test]
+    fn numeric_flags() {
+        let o = parse(&argv("--seed 42 --threads 2 --dataset 100 --oracle-stride 7")).unwrap();
+        assert_eq!(o.config.seed, 42);
+        assert_eq!(o.config.threads, 2);
+        assert_eq!(o.config.dataset_size, 100);
+        assert_eq!(o.config.oracle_stride, 7);
+    }
+}

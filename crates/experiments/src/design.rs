@@ -1,0 +1,158 @@
+//! The experimental design: sample sizes, variance-scaled experiment
+//! counts, and the paper's total-sample accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// The paper's sample sizes (§V-B).
+pub const SAMPLE_SIZES: [usize; 5] = [25, 50, 100, 200, 400];
+
+/// The paper's experiment counts, scaled inversely with sample size so
+/// high-variance small-sample cells get more repetitions (§V-B: 800
+/// experiments at S=25 down to 50 at S=400).
+pub const PAPER_EXPERIMENTS: [usize; 5] = [800, 400, 200, 100, 50];
+
+/// Final-configuration repetitions (§VI-A: "we test the final sample 10
+/// times to compensate for runtime variance").
+pub const FINAL_REPS: usize = 10;
+
+/// Size of the pre-generated dataset per (benchmark, architecture).
+pub const DATASET_SIZE: usize = 20_000;
+
+/// A (possibly down-scaled) instance of the paper's design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentDesign {
+    /// Fraction of the paper's experiment counts to run (1.0 = paper
+    /// scale). Counts never drop below [`ExperimentDesign::min_experiments`].
+    pub scale: f64,
+    /// Lower bound on experiments per cell.
+    pub min_experiments: usize,
+}
+
+impl ExperimentDesign {
+    /// The paper's full-scale design.
+    pub fn paper() -> Self {
+        ExperimentDesign {
+            scale: 1.0,
+            min_experiments: 1,
+        }
+    }
+
+    /// A scaled-down design.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < scale <= 1`.
+    pub fn scaled(scale: f64) -> Self {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+        ExperimentDesign {
+            scale,
+            min_experiments: 3,
+        }
+    }
+
+    /// The sample sizes of the study.
+    pub fn sample_sizes(&self) -> &'static [usize] {
+        &SAMPLE_SIZES
+    }
+
+    /// Number of repeated experiments for a sample size.
+    ///
+    /// # Panics
+    ///
+    /// Panics for sample sizes outside the design.
+    pub fn experiments_for(&self, sample_size: usize) -> usize {
+        let idx = SAMPLE_SIZES
+            .iter()
+            .position(|&s| s == sample_size)
+            .unwrap_or_else(|| panic!("sample size {sample_size} not in the design"));
+        ((PAPER_EXPERIMENTS[idx] as f64 * self.scale).round() as usize)
+            .max(self.min_experiments)
+    }
+
+    /// Objective evaluations spent by the search phase of one cell
+    /// (sample size × experiments).
+    pub fn cell_search_samples(&self, sample_size: usize) -> usize {
+        sample_size * self.experiments_for(sample_size)
+    }
+}
+
+/// The paper's §VII footnote 1 accounting: "3 SMBO algorithms, [25, 50,
+/// 100, 200, 400] samples per algorithm, [800, 400, 200, 100, 50]
+/// experiments + RS/RF Samples and RF predictions for 3 benchmarks on 3
+/// architectures" — which works out to exactly 3,019,500:
+///
+/// * sequentially-sampling algorithms (GA, BO GP, BO TPE):
+///   `3 × Σ sᵢ·eᵢ × 9 = 3 × 100,000 × 9 / 9… = 2,700,000`
+/// * shared RS/RF datasets: `20,000 × 9 = 180,000`
+/// * RF verification runs: `10 × Σ eᵢ × 9 = 139,500`
+pub fn paper_total_samples() -> u64 {
+    let pairs = 9u64; // 3 benchmarks x 3 architectures
+    let per_algo: u64 = SAMPLE_SIZES
+        .iter()
+        .zip(PAPER_EXPERIMENTS)
+        .map(|(&s, e)| (s * e) as u64)
+        .sum();
+    let sequential = 3 * per_algo * pairs;
+    let datasets = DATASET_SIZE as u64 * pairs;
+    let rf_verification =
+        FINAL_REPS as u64 * PAPER_EXPERIMENTS.iter().map(|&e| e as u64).sum::<u64>() * pairs;
+    sequential + datasets + rf_verification
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_total_matches_footnote() {
+        // §VII footnote 1: "roughly 3 019 500 samples".
+        assert_eq!(paper_total_samples(), 3_019_500);
+    }
+
+    #[test]
+    fn per_algorithm_search_budget_is_100k() {
+        let total: usize = SAMPLE_SIZES
+            .iter()
+            .zip(PAPER_EXPERIMENTS)
+            .map(|(&s, e)| s * e)
+            .sum();
+        assert_eq!(total, 100_000);
+    }
+
+    #[test]
+    fn paper_design_reproduces_counts() {
+        let d = ExperimentDesign::paper();
+        assert_eq!(d.experiments_for(25), 800);
+        assert_eq!(d.experiments_for(400), 50);
+        assert_eq!(d.cell_search_samples(100), 100 * 200);
+    }
+
+    #[test]
+    fn scaling_shrinks_but_respects_floor() {
+        let d = ExperimentDesign::scaled(0.01);
+        assert_eq!(d.experiments_for(25), 8);
+        assert_eq!(d.experiments_for(400), 3); // floor
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the design")]
+    fn unknown_sample_size_rejected() {
+        ExperimentDesign::paper().experiments_for(123);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be")]
+    fn zero_scale_rejected() {
+        let _ = ExperimentDesign::scaled(0.0);
+    }
+
+    #[test]
+    fn experiment_counts_decrease_with_sample_size() {
+        let d = ExperimentDesign::paper();
+        let counts: Vec<usize> = SAMPLE_SIZES
+            .iter()
+            .map(|&s| d.experiments_for(s))
+            .collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

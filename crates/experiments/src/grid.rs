@@ -1,0 +1,360 @@
+//! The full study grid: every (algorithm, benchmark, architecture,
+//! sample size) cell, run with a crossbeam worker pool and aggregated
+//! into per-cell result populations.
+
+use crate::design::ExperimentDesign;
+use crate::runner::{run_experiment, ExperimentOutcome};
+use autotune_core::Algorithm;
+use crossbeam::queue::SegQueue;
+use gpu_sim::dataset::{Dataset, DatasetStore};
+use gpu_sim::kernels::Benchmark;
+use gpu_sim::noise::NoiseModel;
+use gpu_sim::{arch, oracle, GpuArchitecture};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Identifies one cell of the study grid.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct CellKey {
+    /// Search technique.
+    pub algorithm: Algorithm,
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Architecture name.
+    pub architecture: String,
+    /// Sample size (the paper's S).
+    pub sample_size: usize,
+}
+
+/// The result population of one cell.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CellResult {
+    /// Final (median-of-10) runtimes of every repeated experiment, ms.
+    pub final_ms: Vec<f64>,
+    /// The same runs as percent-of-optimum values (100 = optimal).
+    pub percent_of_optimum: Vec<f64>,
+}
+
+impl CellResult {
+    /// Median final runtime of the cell.
+    pub fn median_ms(&self) -> f64 {
+        autotune_stats::descriptive::median(&self.final_ms)
+    }
+
+    /// Median percent-of-optimum of the cell.
+    pub fn median_percent(&self) -> f64 {
+        autotune_stats::descriptive::median(&self.percent_of_optimum)
+    }
+}
+
+/// Configuration of a study run.
+#[derive(Debug, Clone)]
+pub struct StudyConfig {
+    /// The (scaled) experimental design.
+    pub design: ExperimentDesign,
+    /// Techniques to compare (default: the paper's five).
+    pub algorithms: Vec<Algorithm>,
+    /// Benchmarks (default: all three).
+    pub benchmarks: Vec<Benchmark>,
+    /// Architectures (default: all three).
+    pub architectures: Vec<GpuArchitecture>,
+    /// Measurement noise.
+    pub noise: NoiseModel,
+    /// Dataset size for the non-SMBO protocols.
+    pub dataset_size: usize,
+    /// Study master seed.
+    pub seed: u64,
+    /// Worker threads (defaults to available parallelism).
+    pub threads: usize,
+    /// Oracle scan stride (1 = exhaustive; larger = approximate, faster).
+    pub oracle_stride: u64,
+}
+
+impl StudyConfig {
+    /// The study at a given scale with the paper's roster.
+    pub fn at_scale(scale: f64) -> Self {
+        StudyConfig {
+            design: if scale >= 1.0 {
+                ExperimentDesign::paper()
+            } else {
+                ExperimentDesign::scaled(scale)
+            },
+            algorithms: Algorithm::PAPER_FIVE.to_vec(),
+            benchmarks: Benchmark::ALL.to_vec(),
+            architectures: arch::study_architectures(),
+            noise: NoiseModel::study_default(),
+            dataset_size: crate::design::DATASET_SIZE,
+            seed: 0x5EED,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            oracle_stride: 1,
+        }
+    }
+
+    /// A fast smoke-test configuration (tiny datasets, strided oracle).
+    pub fn smoke() -> Self {
+        let mut c = StudyConfig::at_scale(0.005);
+        c.dataset_size = 1_000;
+        c.oracle_stride = 509;
+        c
+    }
+}
+
+/// All cell results of a study run.
+#[derive(Debug, Clone)]
+pub struct StudyResults {
+    /// Per-cell populations, ordered by key.
+    pub cells: BTreeMap<CellKey, CellResult>,
+    /// True optima per (benchmark, architecture), ms.
+    pub optima: BTreeMap<(String, String), f64>,
+    /// The sample sizes of the design (column order for figures).
+    pub sample_sizes: Vec<usize>,
+}
+
+impl StudyResults {
+    /// The cell for a key.
+    pub fn cell(&self, key: &CellKey) -> Option<&CellResult> {
+        self.cells.get(key)
+    }
+
+    /// All (benchmark, architecture) pairs present.
+    pub fn pairs(&self) -> Vec<(String, String)> {
+        self.optima.keys().cloned().collect()
+    }
+
+    /// All algorithms present, ordered.
+    pub fn algorithms(&self) -> Vec<Algorithm> {
+        let mut v: Vec<Algorithm> = self.cells.keys().map(|k| k.algorithm).collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    /// Serializes to JSON (maps flattened to entry lists, since JSON
+    /// object keys must be strings).
+    pub fn to_json(&self) -> String {
+        let dto = StudyResultsDto {
+            cells: self
+                .cells
+                .iter()
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+            optima: self
+                .optima
+                .iter()
+                .map(|(k, v)| (k.clone(), *v))
+                .collect(),
+            sample_sizes: self.sample_sizes.clone(),
+        };
+        serde_json::to_string(&dto).expect("results serialize")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<StudyResults, serde_json::Error> {
+        let dto: StudyResultsDto = serde_json::from_str(s)?;
+        Ok(StudyResults {
+            cells: dto.cells.into_iter().collect(),
+            optima: dto.optima.into_iter().collect(),
+            sample_sizes: dto.sample_sizes,
+        })
+    }
+}
+
+/// JSON wire format: entry lists instead of struct-keyed maps.
+#[derive(Serialize, Deserialize)]
+struct StudyResultsDto {
+    cells: Vec<(CellKey, CellResult)>,
+    optima: Vec<((String, String), f64)>,
+    sample_sizes: Vec<usize>,
+}
+
+/// Runs the full study grid.
+///
+/// # Panics
+///
+/// Panics when `config.dataset_size` is smaller than the largest sample
+/// size — the RS protocol draws that many *distinct* dataset entries.
+pub fn run_study(config: &StudyConfig) -> StudyResults {
+    let max_s = config.design.sample_sizes().iter().max().copied().unwrap_or(0);
+    assert!(
+        config.dataset_size >= max_s,
+        "dataset_size {} must cover the largest sample size {max_s}",
+        config.dataset_size
+    );
+    // Stage 1: datasets and oracle optima per (benchmark, architecture).
+    let store = DatasetStore::new(config.dataset_size, config.noise);
+    let mut datasets: BTreeMap<(String, String), Arc<Dataset>> = BTreeMap::new();
+    let mut optima: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for &bench in &config.benchmarks {
+        for gpu in &config.architectures {
+            let key = (bench.name().to_string(), gpu.name.clone());
+            datasets.insert(key.clone(), store.get(bench, gpu));
+            let kernel = bench.model();
+            let opt = oracle::strided_optimum(kernel.as_ref(), gpu, config.oracle_stride);
+            optima.insert(key, opt.time_ms);
+        }
+    }
+
+    // Stage 2: enumerate all experiments as work items.
+    struct WorkItem {
+        algorithm: Algorithm,
+        bench: Benchmark,
+        gpu: GpuArchitecture,
+        sample_size: usize,
+        repetition: usize,
+        dataset: Arc<Dataset>,
+    }
+    let queue: SegQueue<WorkItem> = SegQueue::new();
+    for &algorithm in &config.algorithms {
+        for &bench in &config.benchmarks {
+            for gpu in &config.architectures {
+                let key = (bench.name().to_string(), gpu.name.clone());
+                let dataset = Arc::clone(&datasets[&key]);
+                for &sample_size in config.design.sample_sizes() {
+                    for repetition in 0..config.design.experiments_for(sample_size) {
+                        queue.push(WorkItem {
+                            algorithm,
+                            bench,
+                            gpu: gpu.clone(),
+                            sample_size,
+                            repetition,
+                            dataset: Arc::clone(&dataset),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // Stage 3: drain the queue with a worker pool. Seeds are derived from
+    // the item coordinates, so completion order is irrelevant.
+    type Gathered = Vec<(CellKey, ExperimentOutcome)>;
+    let gathered: Mutex<Gathered> = Mutex::new(Vec::new());
+    let workers = config.threads.max(1);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| {
+                let mut local: Gathered = Vec::new();
+                while let Some(item) = queue.pop() {
+                    let outcome = run_experiment(
+                        item.algorithm,
+                        item.bench,
+                        &item.gpu,
+                        &item.dataset,
+                        item.sample_size,
+                        item.repetition,
+                        config.seed,
+                        config.noise,
+                    );
+                    local.push((
+                        CellKey {
+                            algorithm: item.algorithm,
+                            benchmark: item.bench.name().to_string(),
+                            architecture: item.gpu.name.clone(),
+                            sample_size: item.sample_size,
+                        },
+                        outcome,
+                    ));
+                }
+                gathered.lock().extend(local);
+            });
+        }
+    })
+    .expect("worker pool does not panic");
+
+    // Stage 4: fold outcomes into per-cell populations (sorted by
+    // repetition-independent coordinates for determinism).
+    let mut all = gathered.into_inner();
+    all.sort_by(|a, b| {
+        a.0.cmp(&b.0)
+            .then(a.1.final_ms.partial_cmp(&b.1.final_ms).expect("finite"))
+    });
+    let mut cells: BTreeMap<CellKey, CellResult> = BTreeMap::new();
+    for (key, outcome) in all {
+        let opt = optima[&(key.benchmark.clone(), key.architecture.clone())];
+        let cell = cells.entry(key).or_insert_with(|| CellResult {
+            final_ms: Vec::new(),
+            percent_of_optimum: Vec::new(),
+        });
+        cell.final_ms.push(outcome.final_ms);
+        cell.percent_of_optimum
+            .push(oracle::percent_of_optimum(opt, outcome.final_ms));
+    }
+
+    StudyResults {
+        cells,
+        optima,
+        sample_sizes: config.design.sample_sizes().to_vec(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A minimal but complete grid: 2 algorithms, 1 benchmark, 1 arch.
+    fn tiny_config() -> StudyConfig {
+        let mut c = StudyConfig::smoke();
+        c.algorithms = vec![Algorithm::RandomSearch, Algorithm::GeneticAlgorithm];
+        c.benchmarks = vec![Benchmark::Add];
+        c.architectures = vec![arch::gtx_980()];
+        c.dataset_size = 500;
+        c.oracle_stride = 1009;
+        c
+    }
+
+    #[test]
+    fn study_produces_every_cell() {
+        let config = tiny_config();
+        let results = run_study(&config);
+        // 2 algorithms x 1 bench x 1 arch x 5 sample sizes.
+        assert_eq!(results.cells.len(), 2 * 5);
+        for (key, cell) in &results.cells {
+            let expected = config.design.experiments_for(key.sample_size);
+            assert_eq!(cell.final_ms.len(), expected, "{key:?}");
+            assert!(cell.final_ms.iter().all(|&t| t > 0.0));
+            assert!(cell
+                .percent_of_optimum
+                .iter()
+                .all(|&p| p > 0.0 && p <= 110.0));
+        }
+        assert_eq!(results.optima.len(), 1);
+    }
+
+    #[test]
+    fn study_is_reproducible_regardless_of_thread_count() {
+        let mut c1 = tiny_config();
+        c1.threads = 1;
+        let mut c2 = tiny_config();
+        c2.threads = 4;
+        let r1 = run_study(&c1);
+        let r2 = run_study(&c2);
+        for (key, cell) in &r1.cells {
+            let other = r2.cell(key).expect("same cells");
+            assert_eq!(cell.final_ms, other.final_ms, "{key:?}");
+        }
+    }
+
+    #[test]
+    fn results_round_trip_through_json() {
+        let r = run_study(&tiny_config());
+        let back = StudyResults::from_json(&r.to_json()).unwrap();
+        assert_eq!(back.cells.len(), r.cells.len());
+        for (key, cell) in &r.cells {
+            assert_eq!(back.cell(key).unwrap().final_ms, cell.final_ms);
+        }
+    }
+
+    #[test]
+    fn cell_statistics_are_consistent() {
+        let r = run_study(&tiny_config());
+        for cell in r.cells.values() {
+            let med = cell.median_ms();
+            let min = cell.final_ms.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = cell.final_ms.iter().cloned().fold(0.0_f64, f64::max);
+            assert!(med >= min && med <= max);
+            assert!(cell.median_percent() <= 110.0);
+        }
+    }
+}

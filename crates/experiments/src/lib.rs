@@ -1,0 +1,36 @@
+//! The experiment pipeline reproducing every table and figure of the
+//! paper.
+//!
+//! Pipeline (paper Fig. 1): pre-generate per-(benchmark, architecture)
+//! sample datasets for the non-SMBO methods, run every (algorithm,
+//! benchmark, architecture, sample size) cell for a variance-scaled
+//! number of repeated experiments, re-measure each experiment's final
+//! configuration 10 times, and aggregate into the paper's four result
+//! artefacts:
+//!
+//! | artefact | paper | module | binary |
+//! |---|---|---|---|
+//! | median % of optimum heatmaps | Fig. 2 | [`metrics::fig2`] | `fig2` |
+//! | aggregate mean ± CI line plot | Fig. 3 | [`metrics::fig3`] | `fig3` |
+//! | median speedup over RS heatmaps | Fig. 4a | [`metrics::fig4a`] | `fig4a` |
+//! | CLES over RS heatmaps | Fig. 4b | [`metrics::fig4b`] | `fig4b` |
+//! | related-work survey table | Table I | [`table1`] | `table1` |
+//!
+//! Paper-scale experiment counts (800 … 50) are expensive on one core;
+//! every binary accepts `--scale <fraction>` (default 0.02) or `--full`.
+
+#![warn(missing_docs)]
+
+pub mod cli;
+pub mod design;
+pub mod grid;
+pub mod metrics;
+pub mod multifidelity;
+pub mod render;
+pub mod runner;
+pub mod seed;
+pub mod table1;
+
+pub use design::ExperimentDesign;
+pub use grid::{CellKey, CellResult, StudyConfig, StudyResults};
+pub use runner::ExperimentOutcome;

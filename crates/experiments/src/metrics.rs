@@ -1,0 +1,324 @@
+//! Per-figure aggregation of the study results.
+
+use crate::grid::{CellKey, StudyResults};
+use autotune_core::Algorithm;
+use autotune_stats::bootstrap::{self, ConfidenceInterval};
+use autotune_stats::{cles, descriptive, mwu, Alternative};
+use serde::{Deserialize, Serialize};
+
+/// One heatmap panel: rows = algorithms, columns = sample sizes, for one
+/// (benchmark, architecture) pair.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HeatmapPanel {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Architecture name.
+    pub architecture: String,
+    /// Row labels (algorithm display names).
+    pub rows: Vec<String>,
+    /// Column labels (sample sizes).
+    pub cols: Vec<usize>,
+    /// `values[r][c]`, NaN when a cell is missing.
+    pub values: Vec<Vec<f64>>,
+}
+
+impl HeatmapPanel {
+    /// Value at (algorithm row, sample-size column) by labels.
+    pub fn value(&self, algo: &str, sample_size: usize) -> Option<f64> {
+        let r = self.rows.iter().position(|a| a == algo)?;
+        let c = self.cols.iter().position(|&s| s == sample_size)?;
+        let v = self.values[r][c];
+        (!v.is_nan()).then_some(v)
+    }
+}
+
+fn panel_grid(
+    results: &StudyResults,
+    metric: impl Fn(&CellKey) -> f64,
+) -> Vec<HeatmapPanel> {
+    let algos = results.algorithms();
+    results
+        .pairs()
+        .into_iter()
+        .map(|(benchmark, architecture)| {
+            let values = algos
+                .iter()
+                .map(|&algorithm| {
+                    results
+                        .sample_sizes
+                        .iter()
+                        .map(|&sample_size| {
+                            metric(&CellKey {
+                                algorithm,
+                                benchmark: benchmark.clone(),
+                                architecture: architecture.clone(),
+                                sample_size,
+                            })
+                        })
+                        .collect()
+                })
+                .collect();
+            HeatmapPanel {
+                benchmark,
+                architecture,
+                rows: algos.iter().map(|a| a.name().to_string()).collect(),
+                cols: results.sample_sizes.clone(),
+                values,
+            }
+        })
+        .collect()
+}
+
+/// **Fig. 2** — median percent-of-optimum per algorithm and sample size,
+/// one panel per (benchmark, architecture).
+pub fn fig2(results: &StudyResults) -> Vec<HeatmapPanel> {
+    panel_grid(results, |key| {
+        results
+            .cell(key)
+            .map_or(f64::NAN, |c| c.median_percent())
+    })
+}
+
+/// One algorithm's aggregate line in **Fig. 3**.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct AggregateLine {
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Sample sizes (x-axis).
+    pub sample_sizes: Vec<usize>,
+    /// Mean of the per-(benchmark, architecture) median
+    /// percent-of-optimum values.
+    pub mean: Vec<f64>,
+    /// Bootstrap confidence interval of that mean.
+    pub ci: Vec<ConfidenceInterval>,
+}
+
+/// **Fig. 3** — mean ± CI of the Fig. 2 heatmap values across all
+/// (benchmark, architecture) panels.
+pub fn fig3(results: &StudyResults, ci_level: f64, seed: u64) -> Vec<AggregateLine> {
+    let panels = fig2(results);
+    results
+        .algorithms()
+        .into_iter()
+        .map(|algo| {
+            let mut mean = Vec::new();
+            let mut ci = Vec::new();
+            for &s in &results.sample_sizes {
+                let vals: Vec<f64> = panels
+                    .iter()
+                    .filter_map(|p| p.value(algo.name(), s))
+                    .collect();
+                assert!(
+                    !vals.is_empty(),
+                    "no panels carry {} at S={s}",
+                    algo.name()
+                );
+                mean.push(descriptive::Summary::of(&vals).mean);
+                ci.push(bootstrap::mean_ci(&vals, 1000, ci_level, seed));
+            }
+            AggregateLine {
+                algorithm: algo.name().to_string(),
+                sample_sizes: results.sample_sizes.clone(),
+                mean,
+                ci,
+            }
+        })
+        .collect()
+}
+
+/// **Fig. 4a** — median speedup over Random Search:
+/// `median(RS runtimes) / median(algo runtimes)` per cell (>1 means the
+/// algorithm beats RS).
+///
+/// # Panics
+///
+/// Panics if the results do not include RS.
+pub fn fig4a(results: &StudyResults) -> Vec<HeatmapPanel> {
+    let grid = panel_grid(results, |key| {
+        let rs_key = CellKey {
+            algorithm: Algorithm::RandomSearch,
+            ..key.clone()
+        };
+        let (Some(cell), Some(rs)) = (results.cell(key), results.cell(&rs_key)) else {
+            return f64::NAN;
+        };
+        rs.median_ms() / cell.median_ms()
+    });
+    assert!(
+        results.algorithms().contains(&Algorithm::RandomSearch),
+        "Fig. 4a requires RS in the roster"
+    );
+    grid
+}
+
+/// One CLES cell of **Fig. 4b** with its significance test.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct ClesCell {
+    /// `P(algo run beats RS run)` (smaller runtime wins, ties half).
+    pub cles: f64,
+    /// Two-sided Mann-Whitney U p-value against RS.
+    pub p_value: f64,
+    /// Significant at the paper's `α = 0.01`?
+    pub significant: bool,
+}
+
+/// **Fig. 4b** — Common Language Effect Size over Random Search per cell,
+/// with MWU significance at the paper's `α = 0.01`. Returned as panels of
+/// CLES values plus a parallel significance map.
+pub fn fig4b(results: &StudyResults) -> Vec<(HeatmapPanel, Vec<Vec<ClesCell>>)> {
+    let algos = results.algorithms();
+    results
+        .pairs()
+        .into_iter()
+        .map(|(benchmark, architecture)| {
+            let mut values = Vec::new();
+            let mut cells = Vec::new();
+            for &algorithm in &algos {
+                let mut row_vals = Vec::new();
+                let mut row_cells = Vec::new();
+                for &sample_size in &results.sample_sizes {
+                    let key = CellKey {
+                        algorithm,
+                        benchmark: benchmark.clone(),
+                        architecture: architecture.clone(),
+                        sample_size,
+                    };
+                    let rs_key = CellKey {
+                        algorithm: Algorithm::RandomSearch,
+                        ..key.clone()
+                    };
+                    let cell = match (results.cell(&key), results.cell(&rs_key)) {
+                        (Some(c), Some(rs)) => {
+                            let cles_v = cles::probability_of_superiority_min(
+                                &c.final_ms,
+                                &rs.final_ms,
+                            );
+                            // Degenerate populations (all values equal
+                            // across both samples) make the test
+                            // undefined; report CLES 0.5, no significance.
+                            let pooled_distinct = c
+                                .final_ms
+                                .iter()
+                                .chain(&rs.final_ms)
+                                .any(|&v| v != c.final_ms[0]);
+                            let p_value = if pooled_distinct {
+                                mwu::mann_whitney_u(
+                                    &c.final_ms,
+                                    &rs.final_ms,
+                                    Alternative::TwoSided,
+                                )
+                                .p_value
+                            } else {
+                                1.0
+                            };
+                            ClesCell {
+                                cles: cles_v,
+                                p_value,
+                                significant: p_value < 0.01,
+                            }
+                        }
+                        _ => ClesCell {
+                            cles: f64::NAN,
+                            p_value: f64::NAN,
+                            significant: false,
+                        },
+                    };
+                    row_vals.push(cell.cles);
+                    row_cells.push(cell);
+                }
+                values.push(row_vals);
+                cells.push(row_cells);
+            }
+            (
+                HeatmapPanel {
+                    benchmark,
+                    architecture,
+                    rows: algos.iter().map(|a| a.name().to_string()).collect(),
+                    cols: results.sample_sizes.clone(),
+                    values,
+                },
+                cells,
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::{run_study, StudyConfig};
+    use gpu_sim::{arch, kernels::Benchmark};
+
+    fn small_results() -> StudyResults {
+        let mut c = StudyConfig::smoke();
+        c.algorithms = vec![Algorithm::RandomSearch, Algorithm::GeneticAlgorithm];
+        c.benchmarks = vec![Benchmark::Add];
+        c.architectures = vec![arch::titan_v()];
+        c.dataset_size = 400;
+        c.oracle_stride = 2003;
+        run_study(&c)
+    }
+
+    #[test]
+    fn fig2_panels_have_full_shape() {
+        let r = small_results();
+        let panels = fig2(&r);
+        assert_eq!(panels.len(), 1);
+        let p = &panels[0];
+        assert_eq!(p.rows, vec!["RS", "GA"]);
+        assert_eq!(p.cols, vec![25, 50, 100, 200, 400]);
+        for row in &p.values {
+            for v in row {
+                assert!(v.is_finite() && *v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_lines_have_cis_containing_means() {
+        let r = small_results();
+        let lines = fig3(&r, 0.95, 1);
+        assert_eq!(lines.len(), 2);
+        for line in lines {
+            for (m, ci) in line.mean.iter().zip(&line.ci) {
+                assert!(ci.lo <= *m + 1e-9 && *m <= ci.hi + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn fig4a_rs_row_is_unity() {
+        let r = small_results();
+        let panels = fig4a(&r);
+        let p = &panels[0];
+        let rs_row = p.rows.iter().position(|a| a == "RS").unwrap();
+        for v in &p.values[rs_row] {
+            assert!((v - 1.0).abs() < 1e-12, "RS speedup over itself is 1, got {v}");
+        }
+    }
+
+    #[test]
+    fn fig4b_rs_against_itself_is_half() {
+        let r = small_results();
+        let panels = fig4b(&r);
+        let (p, cells) = &panels[0];
+        let rs_row = p.rows.iter().position(|a| a == "RS").unwrap();
+        for cell in &cells[rs_row] {
+            assert!((cell.cles - 0.5).abs() < 1e-12);
+            assert!(!cell.significant, "RS cannot significantly beat itself");
+        }
+    }
+
+    #[test]
+    fn cles_values_are_probabilities() {
+        let r = small_results();
+        for (_, cells) in fig4b(&r) {
+            for row in cells {
+                for c in row {
+                    assert!((0.0..=1.0).contains(&c.cles));
+                    assert!((0.0..=1.0).contains(&c.p_value));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Bridging the simulator to the multi-fidelity techniques.
+//!
+//! For a GPU kernel, the natural cheap fidelity is a *smaller problem*:
+//! running the same configuration on a `2048 x 2048` image costs ~1/16 of
+//! the `8192 x 8192` run and correlates strongly — but not perfectly —
+//! with the full-size ranking (tile-quantization and wave effects shift
+//! with the problem size, which is exactly the rank noise HyperBand is
+//! designed to survive).
+
+use autotune_core::fidelity::MultiFidelityObjective;
+use autotune_space::Configuration;
+use gpu_sim::kernels::Benchmark;
+use gpu_sim::launch::{ProblemSize, PAPER_PROBLEM};
+use gpu_sim::noise::NoiseModel;
+use gpu_sim::runner::SimulatedKernel;
+use gpu_sim::GpuArchitecture;
+
+/// A simulated kernel whose fidelity axis is the image size.
+pub struct MfSimulatedKernel {
+    bench: Benchmark,
+    arch: GpuArchitecture,
+    noise: NoiseModel,
+    seed: u64,
+    cost: f64,
+    evaluations: u64,
+}
+
+impl MfSimulatedKernel {
+    /// Creates the multi-fidelity runner.
+    pub fn new(bench: Benchmark, arch: GpuArchitecture, noise: NoiseModel, seed: u64) -> Self {
+        MfSimulatedKernel {
+            bench,
+            arch,
+            noise,
+            seed,
+            cost: 0.0,
+            evaluations: 0,
+        }
+    }
+
+    /// The problem size used for a fidelity: edge lengths scale with
+    /// `sqrt(fidelity)` so the element count (and so the cost) scales
+    /// linearly, floored at 256 px.
+    pub fn problem_for(fidelity: f64) -> ProblemSize {
+        let edge = ((PAPER_PROBLEM.x as f64) * fidelity.sqrt()).round() as u64;
+        ProblemSize::new_2d(edge.max(256), edge.max(256))
+    }
+
+    /// Number of measurements taken (any fidelity).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+}
+
+impl MultiFidelityObjective for MfSimulatedKernel {
+    fn evaluate_at(&mut self, cfg: &Configuration, fidelity: f64) -> f64 {
+        assert!(
+            fidelity > 0.0 && fidelity <= 1.0,
+            "fidelity must be in (0,1], got {fidelity}"
+        );
+        self.cost += fidelity;
+        self.evaluations += 1;
+        // A fresh kernel model at the scaled size; the measurement seed
+        // folds in the evaluation counter so repeats stay noisy.
+        let problem = Self::problem_for(fidelity);
+        let kernel = self.bench.model_with_problem(problem);
+        let mut sim = SimulatedKernel::with_noise(
+            kernel,
+            self.arch.clone(),
+            self.noise,
+            self.seed ^ self.evaluations.wrapping_mul(0x9e3779b97f4a7c15),
+        );
+        sim.measure(cfg)
+    }
+
+    fn cost_spent(&self) -> f64 {
+        self.cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::arch;
+
+    #[test]
+    fn fidelity_scales_the_problem() {
+        let full = MfSimulatedKernel::problem_for(1.0);
+        assert_eq!(full.x, 8192);
+        let quarter = MfSimulatedKernel::problem_for(0.25);
+        assert_eq!(quarter.x, 4096);
+        let tiny = MfSimulatedKernel::problem_for(1e-6);
+        assert_eq!(tiny.x, 256, "floor prevents degenerate problems");
+    }
+
+    #[test]
+    fn low_fidelity_is_cheaper_in_model_time() {
+        let mut mf = MfSimulatedKernel::new(
+            Benchmark::Add,
+            arch::titan_v(),
+            NoiseModel::none(),
+            1,
+        );
+        let cfg = Configuration::from([1, 1, 1, 8, 4, 1]);
+        let cheap = mf.evaluate_at(&cfg, 1.0 / 16.0);
+        let full = mf.evaluate_at(&cfg, 1.0);
+        assert!(full > 8.0 * cheap, "full {full} vs 1/16 {cheap}");
+        assert!((mf.cost_spent() - (1.0 / 16.0 + 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_fidelity_ranking_correlates_with_full() {
+        // Among a few configurations, the cheap ranking should agree
+        // with the full ranking most of the time (Kendall-tau-ish check).
+        let mut mf = MfSimulatedKernel::new(
+            Benchmark::Harris,
+            arch::gtx_980(),
+            NoiseModel::none(),
+            2,
+        );
+        let configs = [
+            Configuration::from([1, 2, 1, 8, 4, 1]),
+            Configuration::from([1, 1, 1, 2, 2, 1]),
+            Configuration::from([4, 4, 1, 8, 8, 1]),
+            Configuration::from([16, 16, 1, 1, 1, 1]),
+        ];
+        let cheap: Vec<f64> = configs.iter().map(|c| mf.evaluate_at(c, 0.0625)).collect();
+        let full: Vec<f64> = configs.iter().map(|c| mf.evaluate_at(c, 1.0)).collect();
+        let mut concordant = 0;
+        let mut total = 0;
+        for i in 0..configs.len() {
+            for j in (i + 1)..configs.len() {
+                total += 1;
+                if (cheap[i] < cheap[j]) == (full[i] < full[j]) {
+                    concordant += 1;
+                }
+            }
+        }
+        assert!(
+            concordant * 3 >= total * 2,
+            "only {concordant}/{total} pairs concordant"
+        );
+    }
+
+    #[test]
+    fn hyperband_runs_on_the_simulator() {
+        use autotune_core::hyperband::HyperBand;
+        let space = autotune_space::imagecl::space();
+        let mut mf = MfSimulatedKernel::new(
+            Benchmark::Add,
+            arch::rtx_titan(),
+            NoiseModel::study_default(),
+            3,
+        );
+        let r = HyperBand::default().tune_mf(&space, &mut mf, 30.0, 3);
+        assert!(r.best.value > 0.0);
+        assert!(mf.cost_spent() <= 40.0);
+    }
+}

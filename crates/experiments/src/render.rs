@@ -1,0 +1,209 @@
+//! Text renderers: ASCII heatmaps for the terminal and CSV files for
+//! plotting, one per figure.
+
+use crate::metrics::{AggregateLine, ClesCell, HeatmapPanel};
+use std::fmt::Write as _;
+
+/// Renders one heatmap panel as an aligned ASCII table. `unit` is a
+/// suffix for the values (e.g. `"%"`, `"x"`).
+pub fn heatmap(panel: &HeatmapPanel, unit: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== {} on {} ===",
+        panel.benchmark, panel.architecture
+    );
+    let _ = write!(out, "{:<8}", "");
+    for c in &panel.cols {
+        let _ = write!(out, "{:>10}", format!("S={c}"));
+    }
+    let _ = writeln!(out);
+    for (r, name) in panel.rows.iter().enumerate() {
+        let _ = write!(out, "{name:<8}");
+        for v in &panel.values[r] {
+            if v.is_nan() {
+                let _ = write!(out, "{:>10}", "-");
+            } else {
+                let _ = write!(out, "{:>10}", format!("{v:.1}{unit}"));
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a CLES panel with significance stars (`*` marks cells
+/// significant at the paper's α = 0.01).
+pub fn cles_heatmap(panel: &HeatmapPanel, cells: &[Vec<ClesCell>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "=== {} on {} (CLES vs RS; * = MWU p < 0.01) ===",
+        panel.benchmark, panel.architecture
+    );
+    let _ = write!(out, "{:<8}", "");
+    for c in &panel.cols {
+        let _ = write!(out, "{:>10}", format!("S={c}"));
+    }
+    let _ = writeln!(out);
+    for (r, name) in panel.rows.iter().enumerate() {
+        let _ = write!(out, "{name:<8}");
+        for cell in &cells[r] {
+            if cell.cles.is_nan() {
+                let _ = write!(out, "{:>10}", "-");
+            } else {
+                let star = if cell.significant { "*" } else { " " };
+                let _ = write!(out, "{:>10}", format!("{:.2}{star}", cell.cles));
+            }
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders the aggregate Fig. 3 lines as a table with CI half-widths.
+pub fn aggregate_table(lines: &[AggregateLine]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "=== Mean percent-of-optimum across all benchmarks and architectures ===");
+    if lines.is_empty() {
+        return out;
+    }
+    let _ = write!(out, "{:<8}", "");
+    for s in &lines[0].sample_sizes {
+        let _ = write!(out, "{:>16}", format!("S={s}"));
+    }
+    let _ = writeln!(out);
+    for line in lines {
+        let _ = write!(out, "{:<8}", line.algorithm);
+        for (m, ci) in line.mean.iter().zip(&line.ci) {
+            let _ = write!(out, "{:>16}", format!("{m:.1} ±{:.1}", ci.half_width()));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// CSV for a set of heatmap panels: long format
+/// `benchmark,architecture,algorithm,sample_size,value`.
+pub fn heatmaps_csv(panels: &[HeatmapPanel]) -> String {
+    let mut out = String::from("benchmark,architecture,algorithm,sample_size,value\n");
+    for p in panels {
+        for (r, name) in p.rows.iter().enumerate() {
+            for (c, s) in p.cols.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{}",
+                    p.benchmark, p.architecture, name, s, p.values[r][c]
+                );
+            }
+        }
+    }
+    out
+}
+
+/// CSV for the Fig. 3 aggregate lines:
+/// `algorithm,sample_size,mean,ci_lo,ci_hi`.
+pub fn aggregate_csv(lines: &[AggregateLine]) -> String {
+    let mut out = String::from("algorithm,sample_size,mean,ci_lo,ci_hi\n");
+    for line in lines {
+        for ((s, m), ci) in line.sample_sizes.iter().zip(&line.mean).zip(&line.ci) {
+            let _ = writeln!(out, "{},{},{},{},{}", line.algorithm, s, m, ci.lo, ci.hi);
+        }
+    }
+    out
+}
+
+/// CSV for the Fig. 4b CLES cells:
+/// `benchmark,architecture,algorithm,sample_size,cles,p_value,significant`.
+pub fn cles_csv(panels: &[(HeatmapPanel, Vec<Vec<ClesCell>>)]) -> String {
+    let mut out =
+        String::from("benchmark,architecture,algorithm,sample_size,cles,p_value,significant\n");
+    for (p, cells) in panels {
+        for (r, name) in p.rows.iter().enumerate() {
+            for (c, s) in p.cols.iter().enumerate() {
+                let cell = cells[r][c];
+                let _ = writeln!(
+                    out,
+                    "{},{},{},{},{},{},{}",
+                    p.benchmark,
+                    p.architecture,
+                    name,
+                    s,
+                    cell.cles,
+                    cell.p_value,
+                    cell.significant
+                );
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_stats::bootstrap::ConfidenceInterval;
+
+    fn sample_panel() -> HeatmapPanel {
+        HeatmapPanel {
+            benchmark: "Add".into(),
+            architecture: "Titan V".into(),
+            rows: vec!["RS".into(), "GA".into()],
+            cols: vec![25, 50],
+            values: vec![vec![80.0, 90.0], vec![85.0, f64::NAN]],
+        }
+    }
+
+    #[test]
+    fn heatmap_renders_all_cells() {
+        let s = heatmap(&sample_panel(), "%");
+        assert!(s.contains("Add on Titan V"));
+        assert!(s.contains("80.0%"));
+        assert!(s.contains("S=50"));
+        assert!(s.contains('-'), "NaN renders as dash");
+    }
+
+    #[test]
+    fn cles_heatmap_marks_significance() {
+        let panel = sample_panel();
+        let cells = vec![
+            vec![
+                ClesCell { cles: 0.5, p_value: 1.0, significant: false },
+                ClesCell { cles: 0.9, p_value: 0.001, significant: true },
+            ],
+            vec![
+                ClesCell { cles: 0.7, p_value: 0.02, significant: false },
+                ClesCell { cles: f64::NAN, p_value: f64::NAN, significant: false },
+            ],
+        ];
+        let s = cles_heatmap(&panel, &cells);
+        assert!(s.contains("0.90*"));
+        assert!(s.contains("0.70 "));
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let csv = heatmaps_csv(&[sample_panel()]);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "benchmark,architecture,algorithm,sample_size,value");
+        assert_eq!(lines.len(), 1 + 4);
+        assert!(lines[1].starts_with("Add,Titan V,RS,25,80"));
+    }
+
+    #[test]
+    fn aggregate_table_and_csv() {
+        let line = AggregateLine {
+            algorithm: "GA".into(),
+            sample_sizes: vec![25, 50],
+            mean: vec![70.0, 80.0],
+            ci: vec![
+                ConfidenceInterval { lo: 65.0, estimate: 70.0, hi: 75.0, level: 0.95 },
+                ConfidenceInterval { lo: 78.0, estimate: 80.0, hi: 82.0, level: 0.95 },
+            ],
+        };
+        let t = aggregate_table(std::slice::from_ref(&line));
+        assert!(t.contains("70.0 ±5.0"));
+        let csv = aggregate_csv(&[line]);
+        assert!(csv.contains("GA,25,70,65,75"));
+    }
+}

@@ -1,0 +1,123 @@
+//! Table I — the paper's survey of previous experimental designs — plus
+//! this study's own row, which is *derived* from the implemented design
+//! so the table stays consistent with the code.
+
+use crate::design::{ExperimentDesign, FINAL_REPS, SAMPLE_SIZES};
+
+/// One row of Table I.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurveyRow {
+    /// Authors as cited in the paper.
+    pub author: &'static str,
+    /// Samples / experiments / final evaluations, as formatted in the paper.
+    pub samples_experiments_evaluations: String,
+    /// Significance test the work used.
+    pub significance_test: &'static str,
+    /// Research field label.
+    pub field: &'static str,
+    /// Algorithms the work evaluated.
+    pub algorithms: &'static str,
+}
+
+/// The static survey rows (everything above the "Tørring" row).
+pub fn survey_rows() -> Vec<SurveyRow> {
+    let row = |author, see: &str, sig, field, algos| SurveyRow {
+        author,
+        samples_experiments_evaluations: see.to_string(),
+        significance_test: sig,
+        field,
+        algorithms: algos,
+    };
+    vec![
+        row("Hutter et al.", "30-300 Min / 25 / 1000", "Mann-Whitney U", "AlgConf", "SMAC, ROAR, TB-SPO, GGA(GA)"),
+        row("Eggensperger et al.", "Varies (50 to 200) / 10 / n/a", "Unpaired t-test", "AlgConf", "BO TPE, SMAC, Spearmint"),
+        row("Falkner et al.", "Varies / Varies", "n/a", "AlgConf", "RS, BO TPE, BO GP, HB, HB-LCNet and BOHB"),
+        row("Snoek et al.", "Varies (1-50,1-100) / 100 / n/a", "n/a", "HypOpt", "BO GP, Grid search"),
+        row("Bergstra et al.", "230 / 20 / n/a", "n/a", "HypOpt", "RS, BO TPE, BO GP, Manual"),
+        row("Bergstra et al.", "1-128 / 256-2 / n/a", "n/a", "HypOpt", "RS, Grid Search(GS)"),
+        row("Bergstra et al.", "10-200 / n/a / n/a", "n/a", "HypOpt", "Boosted Regression Trees, GS, Hill Climbing"),
+        row("Falch and Elster", "100-6000 / 20 / n/a", "n/a", "Autotuning", "NN, SVR, Regression Tree"),
+        row("van Werkhoven", "Varies / 32 / 7", "n/a", "Autotuning", "Many Metaheuristic Methods"),
+        row("Willemsen et al.", "20-220 / 35 / n/a", "n/a", "Autotuning", "BO, RS, SA, MLS and GA"),
+        row("Ansel et al.", "Varies / 30 / n/a", "n/a", "Autotuning", "Multi-armed bandit, Manual"),
+        row("Nugteren et al.", "Varies (107 or 117) / 128 / n/a", "n/a", "Autotuning", "RS, SA, PSO"),
+        row("Akiba et al.", "Varies / 30 / n/a", "\"Paired MWU\"", "Autotuning", "RS, HyperOpt, SMAC3, GPyOpt, TPE+CMA-ES"),
+        row("Grebhahn et al.", "50, 125 / Unclear / n/a", "\"Wilcox test\"", "SBSE", "RF, SVR, kNN, CART, KRR, MR"),
+    ]
+}
+
+/// This study's row, derived from the implemented [`ExperimentDesign`].
+pub fn our_row(design: &ExperimentDesign) -> SurveyRow {
+    let s_lo = SAMPLE_SIZES[0];
+    let s_hi = SAMPLE_SIZES[SAMPLE_SIZES.len() - 1];
+    let e_hi = design.experiments_for(s_lo);
+    let e_lo = design.experiments_for(s_hi);
+    SurveyRow {
+        author: "Tørring",
+        samples_experiments_evaluations: format!("{s_lo}-{s_hi} / {e_hi}-{e_lo} / {FINAL_REPS}"),
+        significance_test: "Mann-Whitney U",
+        field: "Autotuning",
+        algorithms: "RS, BO TPE, BO GP, RF, GA",
+    }
+}
+
+/// Renders the complete table (survey + our derived row).
+pub fn render(design: &ExperimentDesign) -> String {
+    let mut rows = survey_rows();
+    rows.push(our_row(design));
+    let mut out = String::new();
+    out.push_str(
+        "Table I: Overview of previous experimental designs for empirical optimizations.\n",
+    );
+    out.push_str(&format!(
+        "{:<22} | {:<32} | {:<16} | {:<10} | {}\n",
+        "Author", "Samples/Experiments/Evals", "Significance", "Field", "Algorithms"
+    ));
+    out.push_str(&"-".repeat(130));
+    out.push('\n');
+    for r in rows {
+        out.push_str(&format!(
+            "{:<22} | {:<32} | {:<16} | {:<10} | {}\n",
+            r.author,
+            r.samples_experiments_evaluations,
+            r.significance_test,
+            r.field,
+            r.algorithms
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn survey_has_all_fourteen_prior_works() {
+        assert_eq!(survey_rows().len(), 14);
+    }
+
+    #[test]
+    fn our_row_matches_paper_at_full_scale() {
+        let r = our_row(&ExperimentDesign::paper());
+        assert_eq!(r.samples_experiments_evaluations, "25-400 / 800-50 / 10");
+        assert_eq!(r.significance_test, "Mann-Whitney U");
+        assert_eq!(r.field, "Autotuning");
+    }
+
+    #[test]
+    fn our_row_reflects_scaling() {
+        let r = our_row(&ExperimentDesign::scaled(0.1));
+        assert_eq!(r.samples_experiments_evaluations, "25-400 / 80-5 / 10");
+    }
+
+    #[test]
+    fn render_includes_every_author() {
+        let t = render(&ExperimentDesign::paper());
+        for r in survey_rows() {
+            assert!(t.contains(r.author), "missing {}", r.author);
+        }
+        assert!(t.contains("Tørring"));
+        assert!(t.contains("800-50"));
+    }
+}

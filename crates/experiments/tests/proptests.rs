@@ -1,0 +1,78 @@
+//! Property-based tests for the experiment pipeline.
+
+use autotune_core::Algorithm;
+use experiments::design::{self, ExperimentDesign};
+use experiments::metrics::HeatmapPanel;
+use experiments::{render, seed};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn scaled_designs_preserve_monotone_experiment_counts(scale in 0.001f64..1.0) {
+        let d = ExperimentDesign::scaled(scale);
+        let counts: Vec<usize> = design::SAMPLE_SIZES
+            .iter()
+            .map(|&s| d.experiments_for(s))
+            .collect();
+        // Experiments never increase with sample size and never go below
+        // the floor.
+        prop_assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+        prop_assert!(counts.iter().all(|&c| c >= d.min_experiments));
+        // At most the paper's counts.
+        for (c, p) in counts.iter().zip(design::PAPER_EXPERIMENTS) {
+            prop_assert!(*c <= p.max(d.min_experiments));
+        }
+    }
+
+    #[test]
+    fn seeds_are_sensitive_to_every_coordinate(
+        study in 0u64..1000,
+        s in prop::sample::select(vec![25usize, 50, 100, 200, 400]),
+        rep in 0usize..100,
+    ) {
+        let base = seed::experiment_seed(study, "GA", "Add", "Titan V", s, rep);
+        prop_assert_ne!(base, seed::experiment_seed(study ^ 1, "GA", "Add", "Titan V", s, rep));
+        prop_assert_ne!(base, seed::experiment_seed(study, "RS", "Add", "Titan V", s, rep));
+        prop_assert_ne!(base, seed::experiment_seed(study, "GA", "Harris", "Titan V", s, rep));
+        prop_assert_ne!(base, seed::experiment_seed(study, "GA", "Add", "GTX 980", s, rep));
+        prop_assert_ne!(base, seed::experiment_seed(study, "GA", "Add", "Titan V", s, rep + 1));
+    }
+
+    #[test]
+    fn splitmix_is_injective_on_small_ranges(a in 0u64..100_000, b in 0u64..100_000) {
+        prop_assume!(a != b);
+        prop_assert_ne!(seed::splitmix64(a), seed::splitmix64(b));
+    }
+
+    #[test]
+    fn heatmap_csv_row_count_matches_shape(rows in 1usize..6, cols in 1usize..6) {
+        let panel = HeatmapPanel {
+            benchmark: "B".into(),
+            architecture: "A".into(),
+            rows: (0..rows).map(|i| format!("algo{i}")).collect(),
+            cols: (0..cols).map(|i| 25 * (i + 1)).collect(),
+            values: vec![vec![1.0; cols]; rows],
+        };
+        let csv = render::heatmaps_csv(std::slice::from_ref(&panel));
+        prop_assert_eq!(csv.lines().count(), 1 + rows * cols);
+        let text = render::heatmap(&panel, "%");
+        // Header + one line per algorithm row + title.
+        prop_assert_eq!(text.lines().count(), 2 + rows);
+    }
+
+    #[test]
+    fn algorithm_parse_accepts_separator_variants(algo in prop::sample::select(Algorithm::ALL.to_vec())) {
+        let name = algo.name();
+        prop_assert_eq!(Algorithm::parse(name), Some(algo));
+        prop_assert_eq!(Algorithm::parse(&name.to_lowercase()), Some(algo));
+        prop_assert_eq!(Algorithm::parse(&name.replace(' ', "_")), Some(algo));
+    }
+}
+
+#[test]
+fn paper_total_is_stable() {
+    // Regression lock on the exact footnote reproduction.
+    assert_eq!(design::paper_total_samples(), 3_019_500);
+}

@@ -1,0 +1,24 @@
+//! Developer calibration probe: strided oracle scan of every
+//! (benchmark, architecture) pair, printing the best configuration and
+//! time. Used while calibrating the performance model; kept as a quick
+//! landscape sanity check.
+
+use gpu_sim::{arch, kernels::Benchmark, model};
+fn main() {
+    let space = autotune_space::imagecl::space();
+    for bench in Benchmark::ALL {
+        for a in arch::study_architectures() {
+            let k = bench.model();
+            let mut best = f64::INFINITY;
+            let mut bc = None;
+            let mut idx = 0u64;
+            while idx < space.size() {
+                let c = space.config_at(idx);
+                let t = model::kernel_time_ms(k.as_ref(), &a, &c);
+                if t < best { best = t; bc = Some(c); }
+                idx += 97;
+            }
+            println!("{:>10} {:>9}: best {:>8.3} ms at {}", bench.name(), a.name, best, bc.unwrap());
+        }
+    }
+}

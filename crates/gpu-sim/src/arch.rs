@@ -1,0 +1,232 @@
+//! GPU architecture descriptors.
+//!
+//! The three presets mirror the paper's testbed — GTX 980 (Maxwell,
+//! 2014), Titan V (Volta, 2017) and RTX Titan (Turing, 2019) — using the
+//! GPUs' published specifications. The latency-hiding thresholds
+//! (`warps_for_peak_*`) are model calibration constants chosen from the
+//! microbenchmark literature: newer architectures reach peak issue rate
+//! and bandwidth with fewer resident warps.
+
+use serde::{Deserialize, Serialize};
+
+/// Static description of one GPU architecture, as consumed by the
+/// performance model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuArchitecture {
+    /// Marketing name, e.g. `"RTX Titan"`.
+    pub name: String,
+    /// Microarchitecture family, e.g. `"Turing"`.
+    pub family: String,
+    /// Number of streaming multiprocessors.
+    pub sm_count: u32,
+    /// Threads per warp (32 on every NVIDIA part studied).
+    pub warp_size: u32,
+    /// Maximum resident threads per SM.
+    pub max_threads_per_sm: u32,
+    /// Maximum resident warps per SM.
+    pub max_warps_per_sm: u32,
+    /// Maximum resident blocks per SM.
+    pub max_blocks_per_sm: u32,
+    /// Hardware limit on threads per block.
+    pub max_threads_per_block: u32,
+    /// 32-bit registers per SM.
+    pub registers_per_sm: u32,
+    /// Register allocation granularity (registers per warp allocation unit).
+    pub register_alloc_unit: u32,
+    /// Shared memory per SM, bytes.
+    pub shared_mem_per_sm: u32,
+    /// Shared memory allocation granularity, bytes.
+    pub shared_mem_alloc_unit: u32,
+    /// Shader clock, GHz.
+    pub clock_ghz: f64,
+    /// Peak DRAM bandwidth, GB/s.
+    pub dram_bandwidth_gbps: f64,
+    /// FP32 lanes (CUDA cores) per SM — issue slots per cycle.
+    pub fp32_lanes_per_sm: u32,
+    /// L2 cache size, bytes.
+    pub l2_size_bytes: u64,
+    /// Resident warps per SM needed to saturate the FP32 pipelines.
+    pub warps_for_peak_compute: u32,
+    /// Resident warps per SM needed to saturate DRAM bandwidth.
+    pub warps_for_peak_bandwidth: u32,
+    /// Fraction of redundant (cache-missed) re-fetches absorbed by the
+    /// L1/L2 hierarchy in strided access patterns, `0..1`; newer parts
+    /// with larger caches absorb more.
+    pub cache_absorption: f64,
+    /// Kernel launch overhead, milliseconds.
+    pub launch_overhead_ms: f64,
+    /// Host↔device PCIe bandwidth, GB/s (excluded from kernel timing).
+    pub pcie_bandwidth_gbps: f64,
+}
+
+impl GpuArchitecture {
+    /// Peak FP32 throughput in operations per second.
+    pub fn peak_flops(&self) -> f64 {
+        self.sm_count as f64 * self.fp32_lanes_per_sm as f64 * self.clock_ghz * 1e9
+    }
+
+    /// Machine balance in FP32 ops per DRAM byte; kernels with higher
+    /// arithmetic intensity are compute-bound on this part.
+    pub fn balance_flops_per_byte(&self) -> f64 {
+        self.peak_flops() / (self.dram_bandwidth_gbps * 1e9)
+    }
+
+    /// Maximum resident threads across the whole device.
+    pub fn max_resident_threads(&self) -> u64 {
+        self.sm_count as u64 * self.max_threads_per_sm as u64
+    }
+}
+
+/// GTX 980 — Maxwell GM204, released fall 2014 (the paper's oldest part).
+pub fn gtx_980() -> GpuArchitecture {
+    GpuArchitecture {
+        name: "GTX 980".into(),
+        family: "Maxwell".into(),
+        sm_count: 16,
+        warp_size: 32,
+        max_threads_per_sm: 2048,
+        max_warps_per_sm: 64,
+        max_blocks_per_sm: 32,
+        max_threads_per_block: 1024,
+        registers_per_sm: 65_536,
+        register_alloc_unit: 256,
+        shared_mem_per_sm: 98_304, // 96 KiB
+        shared_mem_alloc_unit: 256,
+        clock_ghz: 1.216,
+        dram_bandwidth_gbps: 224.0,
+        fp32_lanes_per_sm: 128,
+        l2_size_bytes: 2 * 1024 * 1024,
+        // Maxwell's deep pipelines and GDDR5 latency need many warps.
+        warps_for_peak_compute: 16,
+        warps_for_peak_bandwidth: 36,
+        cache_absorption: 0.55,
+        launch_overhead_ms: 0.007,
+        pcie_bandwidth_gbps: 12.0, // PCIe 3.0 x16 effective
+    }
+}
+
+/// Titan V — Volta GV100, released 2017.
+pub fn titan_v() -> GpuArchitecture {
+    GpuArchitecture {
+        name: "Titan V".into(),
+        family: "Volta".into(),
+        sm_count: 80,
+        warp_size: 32,
+        max_threads_per_sm: 2048,
+        max_warps_per_sm: 64,
+        max_blocks_per_sm: 32,
+        max_threads_per_block: 1024,
+        registers_per_sm: 65_536,
+        register_alloc_unit: 256,
+        shared_mem_per_sm: 98_304, // up to 96 KiB configurable
+        shared_mem_alloc_unit: 256,
+        clock_ghz: 1.455,
+        dram_bandwidth_gbps: 652.8, // HBM2
+        fp32_lanes_per_sm: 64,
+        l2_size_bytes: 4_718_592, // 4.5 MiB
+        warps_for_peak_compute: 8,
+        warps_for_peak_bandwidth: 24,
+        cache_absorption: 0.70,
+        launch_overhead_ms: 0.006,
+        pcie_bandwidth_gbps: 12.0,
+    }
+}
+
+/// RTX Titan — Turing TU102, released 2018/2019 (the paper's newest part).
+pub fn rtx_titan() -> GpuArchitecture {
+    GpuArchitecture {
+        name: "RTX Titan".into(),
+        family: "Turing".into(),
+        sm_count: 72,
+        warp_size: 32,
+        max_threads_per_sm: 1024, // Turing halves resident threads per SM
+        max_warps_per_sm: 32,
+        max_blocks_per_sm: 16,
+        max_threads_per_block: 1024,
+        registers_per_sm: 65_536,
+        register_alloc_unit: 256,
+        shared_mem_per_sm: 65_536, // 64 KiB
+        shared_mem_alloc_unit: 256,
+        clock_ghz: 1.770,
+        dram_bandwidth_gbps: 672.0, // GDDR6
+        fp32_lanes_per_sm: 64,
+        l2_size_bytes: 6 * 1024 * 1024,
+        warps_for_peak_compute: 8,
+        warps_for_peak_bandwidth: 22,
+        cache_absorption: 0.75,
+        launch_overhead_ms: 0.005,
+        pcie_bandwidth_gbps: 12.0,
+    }
+}
+
+/// All three study architectures, oldest first — the iteration order used
+/// by the experiment grid.
+pub fn study_architectures() -> Vec<GpuArchitecture> {
+    vec![gtx_980(), titan_v(), rtx_titan()]
+}
+
+/// Looks an architecture up by (case-insensitive) name; `None` when the
+/// name matches no preset.
+pub fn by_name(name: &str) -> Option<GpuArchitecture> {
+    study_architectures()
+        .into_iter()
+        .find(|a| a.name.eq_ignore_ascii_case(name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_published_core_counts() {
+        assert_eq!(gtx_980().sm_count * gtx_980().fp32_lanes_per_sm, 2048);
+        assert_eq!(titan_v().sm_count * titan_v().fp32_lanes_per_sm, 5120);
+        assert_eq!(rtx_titan().sm_count * rtx_titan().fp32_lanes_per_sm, 4608);
+    }
+
+    #[test]
+    fn peak_flops_are_in_the_published_ballpark() {
+        // peak_flops counts FP32 *issue slots* per second; the marketing
+        // TFLOPS numbers (GTX 980 ~5, Titan V ~14.9, RTX Titan ~16.3)
+        // count an FMA as two flops, i.e. exactly 2x these values.
+        assert!((gtx_980().peak_flops() / 1e12 - 2.49).abs() < 0.2);
+        assert!((titan_v().peak_flops() / 1e12 - 7.45).abs() < 0.3);
+        assert!((rtx_titan().peak_flops() / 1e12 - 8.15).abs() < 0.3);
+    }
+
+    #[test]
+    fn machine_balances_sit_in_the_usual_gpu_band() {
+        // All three parts balance near 11-12 issue-slots per DRAM byte
+        // (the vendor kept compute and bandwidth in rough proportion);
+        // Turing is the most compute-rich of the three.
+        let m = gtx_980().balance_flops_per_byte();
+        let v = titan_v().balance_flops_per_byte();
+        let t = rtx_titan().balance_flops_per_byte();
+        for (name, b) in [("maxwell", m), ("volta", v), ("turing", t)] {
+            assert!((10.0..13.5).contains(&b), "{name} balance {b:.1}");
+        }
+        assert!(t > v && t > m, "turing {t:.1} should be the highest");
+    }
+
+    #[test]
+    fn warp_math_is_consistent() {
+        for a in study_architectures() {
+            assert_eq!(a.max_threads_per_sm, a.max_warps_per_sm * a.warp_size);
+            assert!(a.warps_for_peak_compute <= a.max_warps_per_sm);
+            assert!(a.warps_for_peak_bandwidth <= a.max_warps_per_sm);
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert_eq!(by_name("titan v").unwrap().family, "Volta");
+        assert_eq!(by_name("RTX TITAN").unwrap().family, "Turing");
+        assert!(by_name("A100").is_none());
+    }
+
+    #[test]
+    fn resident_thread_totals() {
+        assert_eq!(gtx_980().max_resident_threads(), 16 * 2048);
+        assert_eq!(rtx_titan().max_resident_threads(), 72 * 1024);
+    }
+}

@@ -1,0 +1,259 @@
+//! Pre-generated sample datasets, mirroring the paper's pipeline.
+//!
+//! §VI-B: "For our non-SMBO approaches, we streamline the experimental
+//! sample collection process by creating a dataset of 20 000 samples in
+//! one go for each architecture and benchmark. We can then subdivide the
+//! samples for each sample size and experiment."
+//!
+//! [`Dataset::generate`] draws feasible configurations (the non-SMBO
+//! methods get the constraint specification) and measures each once with
+//! noise. [`DatasetStore`] caches datasets per (benchmark, architecture)
+//! behind a `parking_lot::RwLock` so a multi-threaded experiment grid
+//! generates each dataset exactly once.
+
+use crate::arch::GpuArchitecture;
+use crate::kernels::Benchmark;
+use crate::noise::NoiseModel;
+use crate::runner::SimulatedKernel;
+use autotune_space::{imagecl, sample, Configuration};
+use parking_lot::RwLock;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// The paper's dataset size per (benchmark, architecture).
+pub const PAPER_DATASET_SIZE: usize = 20_000;
+
+/// One measured sample: a configuration (by flat index into the ImageCL
+/// space) and its observed single-shot runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetEntry {
+    /// Flat index into [`imagecl::space`].
+    pub config_index: u64,
+    /// Measured runtime, milliseconds (single noisy execution).
+    pub runtime_ms: f64,
+}
+
+/// A pre-generated sample collection for one (benchmark, architecture).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Architecture name.
+    pub architecture: String,
+    /// Seed the generation used.
+    pub seed: u64,
+    /// The measured samples.
+    pub entries: Vec<DatasetEntry>,
+}
+
+impl Dataset {
+    /// Generates `n` feasible samples with one noisy measurement each.
+    pub fn generate(
+        bench: Benchmark,
+        arch: &GpuArchitecture,
+        n: usize,
+        noise: NoiseModel,
+        seed: u64,
+    ) -> Dataset {
+        let space = imagecl::space();
+        let constraint = imagecl::constraint();
+        let mut sample_rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut runner =
+            SimulatedKernel::with_noise(bench.model(), arch.clone(), noise, seed ^ 0x9e3779b9);
+        let mut entries = Vec::with_capacity(n);
+        for _ in 0..n {
+            let cfg = sample::constrained(&space, &constraint, &mut sample_rng);
+            let runtime_ms = runner.measure(&cfg);
+            entries.push(DatasetEntry {
+                config_index: space.index_of(&cfg),
+                runtime_ms,
+            });
+        }
+        Dataset {
+            benchmark: bench.name().to_string(),
+            architecture: arch.name.clone(),
+            seed,
+            entries,
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no samples were generated.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The configuration of entry `i`.
+    pub fn config(&self, i: usize) -> Configuration {
+        imagecl::space().config_at(self.entries[i].config_index)
+    }
+
+    /// Minimum runtime over the entries selected by `indices`
+    /// (positions into this dataset) — the Random Search result for that
+    /// subset, per the paper's RS protocol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `indices` is empty or out of bounds.
+    pub fn min_over(&self, indices: &[usize]) -> &DatasetEntry {
+        assert!(!indices.is_empty(), "min_over of empty subset");
+        indices
+            .iter()
+            .map(|&i| &self.entries[i])
+            .min_by(|a, b| {
+                a.runtime_ms
+                    .partial_cmp(&b.runtime_ms)
+                    .expect("runtimes are finite")
+            })
+            .expect("non-empty subset")
+    }
+
+    /// Serializes to pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dataset serialization cannot fail")
+    }
+
+    /// Deserializes from JSON.
+    pub fn from_json(s: &str) -> Result<Dataset, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+}
+
+/// Thread-safe cache of generated datasets.
+pub struct DatasetStore {
+    size: usize,
+    noise: NoiseModel,
+    cache: RwLock<HashMap<(Benchmark, String), Arc<Dataset>>>,
+}
+
+impl DatasetStore {
+    /// A store generating `size`-sample datasets with the given noise.
+    pub fn new(size: usize, noise: NoiseModel) -> Self {
+        DatasetStore {
+            size,
+            noise,
+            cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// A store at the paper's 20k size with study noise.
+    pub fn paper_scale() -> Self {
+        Self::new(PAPER_DATASET_SIZE, NoiseModel::study_default())
+    }
+
+    /// Returns the dataset for (bench, arch), generating it on first use.
+    /// The generation seed is derived from the pair so every store
+    /// instance produces identical data.
+    pub fn get(&self, bench: Benchmark, arch: &GpuArchitecture) -> Arc<Dataset> {
+        let key = (bench, arch.name.clone());
+        if let Some(ds) = self.cache.read().get(&key) {
+            return Arc::clone(ds);
+        }
+        let seed = dataset_seed(bench, &arch.name);
+        let ds = Arc::new(Dataset::generate(bench, arch, self.size, self.noise, seed));
+        let mut w = self.cache.write();
+        // Another thread may have generated it while we did; keep theirs.
+        Arc::clone(w.entry(key).or_insert(ds))
+    }
+
+    /// Number of datasets currently cached.
+    pub fn cached(&self) -> usize {
+        self.cache.read().len()
+    }
+}
+
+/// Deterministic seed for a (benchmark, architecture) dataset, derived by
+/// FNV-1a hashing of the names.
+pub fn dataset_seed(bench: Benchmark, arch_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in bench.name().bytes().chain(arch_name.bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+    use autotune_space::Constraint;
+
+    fn small_dataset() -> Dataset {
+        Dataset::generate(
+            Benchmark::Add,
+            &arch::gtx_980(),
+            64,
+            NoiseModel::study_default(),
+            7,
+        )
+    }
+
+    #[test]
+    fn generation_is_feasible_and_sized() {
+        let ds = small_dataset();
+        assert_eq!(ds.len(), 64);
+        let cons = imagecl::constraint();
+        for i in 0..ds.len() {
+            assert!(cons.is_satisfied(&ds.config(i)));
+            assert!(ds.entries[i].runtime_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = small_dataset();
+        let b = small_dataset();
+        assert_eq!(a.entries, b.entries);
+    }
+
+    #[test]
+    fn min_over_selects_minimum() {
+        let ds = small_dataset();
+        let all: Vec<usize> = (0..ds.len()).collect();
+        let min_all = ds.min_over(&all).runtime_ms;
+        assert!(ds
+            .entries
+            .iter()
+            .all(|e| e.runtime_ms >= min_all));
+        // Subset minimum can only be >= the full minimum.
+        let subset: Vec<usize> = (0..10).collect();
+        assert!(ds.min_over(&subset).runtime_ms >= min_all);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let ds = small_dataset();
+        let back = Dataset::from_json(&ds.to_json()).unwrap();
+        assert_eq!(back.entries, ds.entries);
+        assert_eq!(back.benchmark, "Add");
+    }
+
+    #[test]
+    fn store_caches_and_shares() {
+        let store = DatasetStore::new(16, NoiseModel::study_default());
+        let a1 = store.get(Benchmark::Add, &arch::gtx_980());
+        let a2 = store.get(Benchmark::Add, &arch::gtx_980());
+        assert!(Arc::ptr_eq(&a1, &a2));
+        assert_eq!(store.cached(), 1);
+        let _ = store.get(Benchmark::Add, &arch::titan_v());
+        assert_eq!(store.cached(), 2);
+    }
+
+    #[test]
+    fn seeds_differ_across_pairs() {
+        let mut seen = std::collections::HashSet::new();
+        for b in Benchmark::ALL {
+            for a in ["GTX 980", "Titan V", "RTX Titan"] {
+                assert!(seen.insert(dataset_seed(b, a)), "collision for {b:?}/{a}");
+            }
+        }
+    }
+}

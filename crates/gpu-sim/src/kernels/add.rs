@@ -1,0 +1,142 @@
+//! The Add benchmark: element-wise addition of two images.
+//!
+//! The paper describes Add as "a simple vector addition with two vectors
+//! of size X" run at `X = 8192, Y = 8192`; we interpret it as the 2-D
+//! image addition `C = A + B` over an `8192 x 8192` single-precision
+//! domain (ImageCL is an image-processing language, and the 2-D
+//! interpretation is what makes the Y-axis tuning parameters meaningful).
+//! This substitution is recorded in DESIGN.md.
+//!
+//! Performance character: one FP add and three 4-byte accesses per
+//! element — arithmetic intensity ~0.08 flop/byte, firmly
+//! bandwidth-bound on all three GPUs. Tuning is therefore dominated by
+//! coalescing (keep `Xt` small), warp shape, and reaching enough
+//! occupancy to saturate DRAM.
+
+use super::{loop_overhead_cycles, register_estimate, KernelModel};
+use crate::launch::ProblemSize;
+use autotune_space::imagecl::ImageClConfig;
+
+/// Performance descriptor for Add.
+#[derive(Debug, Clone)]
+pub struct AddKernel {
+    problem: ProblemSize,
+}
+
+impl AddKernel {
+    /// Creates the descriptor over the given domain.
+    pub fn new(problem: ProblemSize) -> Self {
+        AddKernel { problem }
+    }
+}
+
+impl KernelModel for AddKernel {
+    fn name(&self) -> &'static str {
+        "Add"
+    }
+
+    fn problem(&self) -> ProblemSize {
+        self.problem
+    }
+
+    fn regs_per_thread(&self, cfg: &ImageClConfig) -> u32 {
+        // Tiny kernel: pointers + loop state; unrolled tile keeps one
+        // accumulator per X column and a row pointer per Y row.
+        register_estimate(14, 2, 1, cfg)
+    }
+
+    fn smem_per_block(&self, _cfg: &ImageClConfig) -> u32 {
+        0
+    }
+
+    fn compute_cycles_per_element(&self, cfg: &ImageClConfig) -> f64 {
+        // 1 FP add + ~2 address/predicate ops per element, plus loop
+        // bookkeeping that amortizes with X-coarsening.
+        3.0 + loop_overhead_cycles(cfg)
+    }
+
+    fn ideal_dram_bytes_per_element(&self, _cfg: &ImageClConfig) -> f64 {
+        // Two 4-byte loads + one 4-byte store, no reuse to exploit.
+        12.0
+    }
+
+    fn imbalance_factor(&self, _cfg: &ImageClConfig) -> f64 {
+        // Perfectly uniform work.
+        1.0
+    }
+}
+
+/// CPU reference: `out[i] = a[i] + b[i]`.
+///
+/// # Panics
+///
+/// Panics when the slices disagree in length.
+pub fn add_reference(a: &[f32], b: &[f32], out: &mut [f32]) {
+    assert_eq!(a.len(), b.len(), "add: input length mismatch");
+    assert_eq!(a.len(), out.len(), "add: output length mismatch");
+    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+        *o = x + y;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::PAPER_PROBLEM;
+    use autotune_space::Configuration;
+
+    fn cfg(values: [u32; 6]) -> ImageClConfig {
+        ImageClConfig::from_configuration(&Configuration::from(values))
+    }
+
+    #[test]
+    fn reference_addition() {
+        let a = [1.0_f32, 2.0, 3.0];
+        let b = [10.0_f32, 20.0, 30.0];
+        let mut out = [0.0_f32; 3];
+        add_reference(&a, &b, &mut out);
+        assert_eq!(out, [11.0, 22.0, 33.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn reference_rejects_mismatch() {
+        let mut out = [0.0_f32; 2];
+        add_reference(&[1.0], &[2.0], &mut out);
+    }
+
+    #[test]
+    fn is_bandwidth_bound_on_all_study_gpus() {
+        let k = AddKernel::new(PAPER_PROBLEM);
+        let c = cfg([1, 1, 1, 8, 4, 1]);
+        // Arithmetic intensity in cycles/byte terms: cycles per element
+        // over bytes per element is far below every machine balance.
+        let intensity = k.compute_cycles_per_element(&c) / k.ideal_dram_bytes_per_element(&c);
+        for a in crate::arch::study_architectures() {
+            assert!(
+                intensity < a.balance_flops_per_byte(),
+                "Add should be bandwidth-bound on {}",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn registers_grow_with_coarsening() {
+        let k = AddKernel::new(PAPER_PROBLEM);
+        assert!(k.regs_per_thread(&cfg([8, 8, 1, 4, 4, 1]))
+            > k.regs_per_thread(&cfg([1, 1, 1, 4, 4, 1])));
+    }
+
+    #[test]
+    fn uses_no_shared_memory() {
+        let k = AddKernel::new(PAPER_PROBLEM);
+        assert_eq!(k.smem_per_block(&cfg([4, 4, 4, 4, 4, 4])), 0);
+    }
+
+    #[test]
+    fn uniform_workload_has_unit_imbalance() {
+        let k = AddKernel::new(PAPER_PROBLEM);
+        assert_eq!(k.imbalance_factor(&cfg([16, 16, 16, 8, 8, 8])), 1.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! The Harris benchmark: Harris corner detection.
+//!
+//! Per pixel: Sobel gradients `Ix`, `Iy` (two 3x3 convolutions), the
+//! structure-tensor products `Ixx`, `Iyy`, `Ixy`, a 3x3 box sum of each,
+//! and the corner response `R = det(M) - k * trace(M)^2` with the
+//! conventional `k = 0.04`.
+//!
+//! Performance character: a 5x5-support stencil (~100 FP ops/pixel).
+//! The generated ImageCL kernel stages the input tile — block tile plus
+//! a 2-pixel halo on each side — in shared memory, so the shared-memory
+//! footprint grows with the block tile and becomes an occupancy limiter
+//! for large tiles: the classic stencil autotuning trade-off (bigger
+//! tiles amortize the halo, smaller tiles keep more blocks resident).
+
+use super::{loop_overhead_cycles, register_estimate, KernelModel};
+use crate::launch::ProblemSize;
+use autotune_space::imagecl::ImageClConfig;
+
+/// Stencil radius: Sobel (1) + box window (1), i.e. a 2-pixel halo.
+pub const HALO: u64 = 2;
+
+/// Harris response constant `k`.
+pub const HARRIS_K: f32 = 0.04;
+
+/// Performance descriptor for Harris.
+#[derive(Debug, Clone)]
+pub struct HarrisKernel {
+    problem: ProblemSize,
+}
+
+impl HarrisKernel {
+    /// Creates the descriptor over the given domain.
+    pub fn new(problem: ProblemSize) -> Self {
+        HarrisKernel { problem }
+    }
+
+    /// Shared-memory tile dimensions for a configuration: block tile plus
+    /// halo on both sides, single-precision.
+    fn tile_bytes(cfg: &ImageClConfig) -> u64 {
+        let tx = (cfg.work_group.0 * cfg.coarsen.0) as u64 + 2 * HALO;
+        let ty = (cfg.work_group.1 * cfg.coarsen.1) as u64 + 2 * HALO;
+        tx * ty * 4
+    }
+}
+
+impl KernelModel for HarrisKernel {
+    fn name(&self) -> &'static str {
+        "Harris"
+    }
+
+    fn problem(&self) -> ProblemSize {
+        self.problem
+    }
+
+    fn regs_per_thread(&self, cfg: &ImageClConfig) -> u32 {
+        // Gradient accumulators, tensor products and window sums stay
+        // live per unrolled column.
+        register_estimate(38, 3, 2, cfg)
+    }
+
+    fn smem_per_block(&self, cfg: &ImageClConfig) -> u32 {
+        Self::tile_bytes(cfg).min(u32::MAX as u64) as u32
+    }
+
+    fn compute_cycles_per_element(&self, cfg: &ImageClConfig) -> f64 {
+        // Sobel: 2 filters x ~17 ops; products: 3; box sums: 3 x 9 adds;
+        // response: ~6; staging/index arithmetic: ~8. ~105 total. The
+        // 3x3 windows of adjacent X-columns overlap, so X-coarsening can
+        // keep column sums in registers and skip ~30% of window adds.
+        let reuse_saving = 30.0 * (1.0 - 1.0 / cfg.coarsen.0 as f64).min(0.7);
+        105.0 - reuse_saving + loop_overhead_cycles(cfg)
+    }
+
+    fn ideal_dram_bytes_per_element(&self, cfg: &ImageClConfig) -> f64 {
+        // One input read amortized over the block tile (halo re-fetched
+        // per block) plus one output store.
+        let tx = (cfg.work_group.0 * cfg.coarsen.0) as f64;
+        let ty = (cfg.work_group.1 * cfg.coarsen.1) as f64;
+        let halo_factor = ((tx + 2.0 * HALO as f64) * (ty + 2.0 * HALO as f64)) / (tx * ty);
+        4.0 * halo_factor + 4.0
+    }
+
+    fn imbalance_factor(&self, _cfg: &ImageClConfig) -> f64 {
+        // Uniform stencil work (image content does not change the op
+        // count).
+        1.0
+    }
+}
+
+/// CPU reference implementation of the Harris response over a row-major
+/// `width x height` single-channel image. Border pixels (within
+/// [`HALO`]) are written as 0.
+///
+/// # Panics
+///
+/// Panics if `input.len() != width * height` or output length mismatches.
+pub fn harris_reference(input: &[f32], width: usize, height: usize, out: &mut [f32]) {
+    assert_eq!(input.len(), width * height, "harris: input size mismatch");
+    assert_eq!(out.len(), width * height, "harris: output size mismatch");
+    let at = |x: isize, y: isize| -> f32 {
+        input[y as usize * width + x as usize]
+    };
+    out.fill(0.0);
+    if width < 5 || height < 5 {
+        return; // domain smaller than the stencil support
+    }
+    // Pass 1: Sobel gradients into scratch planes.
+    let mut ix = vec![0.0_f32; width * height];
+    let mut iy = vec![0.0_f32; width * height];
+    for y in 1..height - 1 {
+        for x in 1..width - 1 {
+            let (xi, yi) = (x as isize, y as isize);
+            let gx = -at(xi - 1, yi - 1) + at(xi + 1, yi - 1) - 2.0 * at(xi - 1, yi)
+                + 2.0 * at(xi + 1, yi)
+                - at(xi - 1, yi + 1)
+                + at(xi + 1, yi + 1);
+            let gy = -at(xi - 1, yi - 1) - 2.0 * at(xi, yi - 1) - at(xi + 1, yi - 1)
+                + at(xi - 1, yi + 1)
+                + 2.0 * at(xi, yi + 1)
+                + at(xi + 1, yi + 1);
+            ix[y * width + x] = gx;
+            iy[y * width + x] = gy;
+        }
+    }
+    // Pass 2: windowed structure tensor and response.
+    for y in HALO as usize..height - HALO as usize {
+        for x in HALO as usize..width - HALO as usize {
+            let (mut sxx, mut syy, mut sxy) = (0.0_f32, 0.0_f32, 0.0_f32);
+            for dy in -1..=1_isize {
+                for dx in -1..=1_isize {
+                    let idx = (y as isize + dy) as usize * width + (x as isize + dx) as usize;
+                    let (gx, gy) = (ix[idx], iy[idx]);
+                    sxx += gx * gx;
+                    syy += gy * gy;
+                    sxy += gx * gy;
+                }
+            }
+            let det = sxx * syy - sxy * sxy;
+            let trace = sxx + syy;
+            out[y * width + x] = det - HARRIS_K * trace * trace;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::PAPER_PROBLEM;
+    use autotune_space::Configuration;
+
+    fn cfg(values: [u32; 6]) -> ImageClConfig {
+        ImageClConfig::from_configuration(&Configuration::from(values))
+    }
+
+    #[test]
+    fn flat_image_has_no_corners() {
+        let (w, h) = (16, 16);
+        let input = vec![5.0_f32; w * h];
+        let mut out = vec![1.0_f32; w * h];
+        harris_reference(&input, w, h, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn corner_scores_higher_than_edge_and_flat() {
+        // A bright square in the lower-right quadrant: its corner pixel
+        // region must out-score pure-edge and flat regions.
+        let (w, h) = (32, 32);
+        let mut input = vec![0.0_f32; w * h];
+        for y in 16..32 {
+            for x in 16..32 {
+                input[y * w + x] = 10.0;
+            }
+        }
+        let mut out = vec![0.0_f32; w * h];
+        harris_reference(&input, w, h, &mut out);
+        // Max over a 5x5 neighbourhood of the inner corner (16,16).
+        let corner_score = (14..19)
+            .flat_map(|y| (14..19).map(move |x| (x, y)))
+            .map(|(x, y)| out[y * w + x])
+            .fold(f32::MIN, f32::max);
+        // Edge midpoint (16, 24) region.
+        let edge_score = (22..27)
+            .map(|y| out[y * w + 16])
+            .fold(f32::MIN, f32::max);
+        let flat_score = out[8 * w + 8];
+        assert!(corner_score > 0.0, "corner response must be positive");
+        assert!(
+            corner_score > edge_score,
+            "corner {corner_score} vs edge {edge_score}"
+        );
+        assert_eq!(flat_score, 0.0);
+        // Edges yield strongly negative Harris response.
+        let edge_min = (22..27).map(|y| out[y * w + 16]).fold(f32::MAX, f32::min);
+        assert!(edge_min < 0.0, "edge response should be negative");
+    }
+
+    #[test]
+    fn tiny_domain_is_all_zero() {
+        let mut out = vec![9.0_f32; 9];
+        harris_reference(&[1.0; 9], 3, 3, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn smem_grows_with_tile() {
+        let k = HarrisKernel::new(PAPER_PROBLEM);
+        let small = k.smem_per_block(&cfg([1, 1, 1, 8, 4, 1]));
+        let large = k.smem_per_block(&cfg([4, 4, 1, 8, 8, 1]));
+        // (8+4)*(4+4)*4 = 384 vs (32+4)*(32+4)*4 = 5184.
+        assert_eq!(small, 384);
+        assert_eq!(large, 5184);
+    }
+
+    #[test]
+    fn halo_amortizes_with_bigger_tiles() {
+        let k = HarrisKernel::new(PAPER_PROBLEM);
+        let small = k.ideal_dram_bytes_per_element(&cfg([1, 1, 1, 2, 2, 1]));
+        let large = k.ideal_dram_bytes_per_element(&cfg([4, 4, 1, 8, 8, 1]));
+        assert!(small > large, "halo share must shrink: {small} vs {large}");
+        // Lower bound: 8 bytes (read + write) as tiles grow unbounded.
+        assert!(large > 8.0);
+    }
+
+    #[test]
+    fn x_coarsening_saves_window_adds() {
+        let k = HarrisKernel::new(PAPER_PROBLEM);
+        let narrow = k.compute_cycles_per_element(&cfg([1, 1, 1, 8, 8, 1]));
+        let wide = k.compute_cycles_per_element(&cfg([8, 1, 1, 8, 8, 1]));
+        assert!(wide < narrow);
+        assert!(wide > 70.0, "saving is bounded");
+    }
+}

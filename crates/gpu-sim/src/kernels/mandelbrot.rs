@@ -1,0 +1,216 @@
+//! The Mandelbrot benchmark: escape-time rendering of the classic set.
+//!
+//! Per pixel: iterate `z <- z^2 + c` until `|z| > 2` or the iteration cap
+//! is reached. Work per pixel varies enormously over the image (points
+//! inside the set run to the cap, points far outside escape in a handful
+//! of iterations), which creates the two load-imbalance effects real GPU
+//! Mandelbrot kernels exhibit:
+//!
+//! * **warp divergence** — lanes in a warp iterate in lock-step until the
+//!   *slowest* lane escapes, so the warp pays the maximum over its
+//!   footprint;
+//! * **inter-block imbalance** — blocks covering the set's interior run
+//!   ~`MAX_ITER` while border blocks finish early; large block tiles mean
+//!   fewer blocks and a lumpier tail.
+//!
+//! Both effects shrink when tiles are small (more, finer-grained work
+//! units), pulling the optimum toward smaller tiles than the uniform
+//! kernels prefer — a genuinely different landscape per the paper's
+//! observation that the best algorithm depends on the benchmark.
+
+use super::{loop_overhead_cycles, register_estimate, KernelModel};
+use crate::launch::ProblemSize;
+use autotune_space::imagecl::ImageClConfig;
+
+/// Iteration cap of the escape loop.
+pub const MAX_ITER: u32 = 256;
+
+/// Mean escape iterations over the rendered view, measured once from the
+/// reference implementation at 1024x1024 (the value is resolution-stable
+/// for this fixed view).
+pub const MEAN_ITER: f64 = 58.0;
+
+/// FP32-pipe cycles per escape iteration (2 mults, 2 adds, magnitude
+/// test, loop bookkeeping).
+pub const CYCLES_PER_ITER: f64 = 7.0;
+
+/// The rendered complex-plane view: the classic full-set framing.
+pub const VIEW: (f64, f64, f64, f64) = (-2.2, 0.8, -1.5, 1.5);
+
+/// Spatial correlation length of the iteration count field, in pixels at
+/// the paper's 8192-wide rendering. Within a patch of this size the
+/// work is similar; beyond it, independent. Drives how tile size maps to
+/// per-warp and per-block variance.
+const CORRELATION_PX: f64 = 48.0;
+
+/// Coefficient of variation of per-pixel iteration counts for [`VIEW`]
+/// (measured from the reference implementation).
+const ITER_CV: f64 = 1.4;
+
+/// Performance descriptor for Mandelbrot.
+#[derive(Debug, Clone)]
+pub struct MandelbrotKernel {
+    problem: ProblemSize,
+}
+
+impl MandelbrotKernel {
+    /// Creates the descriptor over the given domain.
+    pub fn new(problem: ProblemSize) -> Self {
+        MandelbrotKernel { problem }
+    }
+}
+
+impl KernelModel for MandelbrotKernel {
+    fn name(&self) -> &'static str {
+        "Mandelbrot"
+    }
+
+    fn problem(&self) -> ProblemSize {
+        self.problem
+    }
+
+    fn regs_per_thread(&self, cfg: &ImageClConfig) -> u32 {
+        // z, c, magnitude, counter per unrolled pixel.
+        register_estimate(22, 3, 1, cfg)
+    }
+
+    fn smem_per_block(&self, _cfg: &ImageClConfig) -> u32 {
+        0
+    }
+
+    fn compute_cycles_per_element(&self, cfg: &ImageClConfig) -> f64 {
+        MEAN_ITER * CYCLES_PER_ITER + 6.0 + loop_overhead_cycles(cfg)
+    }
+
+    fn ideal_dram_bytes_per_element(&self, _cfg: &ImageClConfig) -> f64 {
+        // Write-only: one 4-byte iteration count per pixel.
+        4.0
+    }
+
+    fn imbalance_factor(&self, cfg: &ImageClConfig) -> f64 {
+        // Warp-level divergence: a warp's cost is the max over its
+        // footprint. The variance of the footprint mean shrinks with the
+        // number of independent correlation patches it spans; the
+        // expected max-over-mean grows with residual within-warp CV.
+        let (xt, yt, _) = cfg.coarsen;
+        let (xw, yw, _) = cfg.work_group;
+        let warp_px = (xw * xt) as f64 * (yw * yt) as f64;
+        let warp_patches = (warp_px / (CORRELATION_PX * CORRELATION_PX)).max(1.0);
+        // Residual CV within a warp footprint after correlation: lanes in
+        // one patch share their fate, so small footprints have *low*
+        // divergence; footprints spanning several patches pay the max.
+        let warp_cv = ITER_CV * (1.0 - (-warp_patches.sqrt() / 2.0).exp());
+        let divergence = 1.0 + 0.5 * warp_cv;
+
+        // Inter-block tail imbalance: with B blocks per wave the slowest
+        // block governs; spreads shrink as tiles shrink (more blocks).
+        let tile_px = ((xw * xt) as u64 * (yw * yt) as u64) as f64;
+        let blocks = (self.problem.elements() as f64 / tile_px).max(1.0);
+        let tail = 1.0 + 0.6 / blocks.sqrt().max(1.0) * ITER_CV
+            * (tile_px / (CORRELATION_PX * CORRELATION_PX)).sqrt().min(8.0);
+
+        divergence * tail
+    }
+}
+
+/// CPU reference: escape iteration count for the pixel grid, row-major
+/// `width x height` over [`VIEW`].
+pub fn mandelbrot_reference(width: usize, height: usize, out: &mut [u32]) {
+    assert_eq!(out.len(), width * height, "mandelbrot: output size mismatch");
+    let (x0, x1, y0, y1) = VIEW;
+    for py in 0..height {
+        let cy = y0 + (y1 - y0) * (py as f64 + 0.5) / height as f64;
+        for px in 0..width {
+            let cx = x0 + (x1 - x0) * (px as f64 + 0.5) / width as f64;
+            out[py * width + px] = escape_iterations(cx, cy);
+        }
+    }
+}
+
+/// Escape-time iteration count for one point `c = cx + i cy`.
+pub fn escape_iterations(cx: f64, cy: f64) -> u32 {
+    let (mut zx, mut zy) = (0.0_f64, 0.0_f64);
+    for i in 0..MAX_ITER {
+        let zx2 = zx * zx;
+        let zy2 = zy * zy;
+        if zx2 + zy2 > 4.0 {
+            return i;
+        }
+        let new_zx = zx2 - zy2 + cx;
+        zy = 2.0 * zx * zy + cy;
+        zx = new_zx;
+    }
+    MAX_ITER
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::launch::PAPER_PROBLEM;
+    use autotune_space::Configuration;
+
+    fn cfg(values: [u32; 6]) -> ImageClConfig {
+        ImageClConfig::from_configuration(&Configuration::from(values))
+    }
+
+    #[test]
+    fn known_points() {
+        // Origin is in the set: runs to the cap.
+        assert_eq!(escape_iterations(0.0, 0.0), MAX_ITER);
+        // c = -1 is in the set (period-2 cycle).
+        assert_eq!(escape_iterations(-1.0, 0.0), MAX_ITER);
+        // Far outside escapes immediately.
+        assert!(escape_iterations(2.0, 2.0) <= 1);
+        // Just outside the main cardioid escapes slowly but surely.
+        let near = escape_iterations(0.26, 0.0);
+        assert!(near > 10 && near < MAX_ITER);
+    }
+
+    #[test]
+    fn rendering_has_expected_statistics() {
+        let (w, h) = (256, 256);
+        let mut out = vec![0u32; w * h];
+        mandelbrot_reference(w, h, &mut out);
+        let inside = out.iter().filter(|&&v| v == MAX_ITER).count();
+        let frac_inside = inside as f64 / (w * h) as f64;
+        // The set covers ~1.506 of the view's 9.0 area units ≈ 0.167.
+        assert!(
+            (0.10..0.25).contains(&frac_inside),
+            "inside fraction {frac_inside}"
+        );
+        let mean = out.iter().map(|&v| v as f64).sum::<f64>() / (w * h) as f64;
+        assert!(
+            (mean - MEAN_ITER).abs() < 15.0,
+            "mean iterations {mean} vs calibration {MEAN_ITER}"
+        );
+    }
+
+    #[test]
+    fn imbalance_grows_with_tile_size() {
+        let k = MandelbrotKernel::new(PAPER_PROBLEM);
+        let small = k.imbalance_factor(&cfg([1, 1, 1, 8, 4, 1]));
+        let large = k.imbalance_factor(&cfg([16, 16, 1, 8, 8, 1]));
+        assert!(large > small, "large tiles must be lumpier: {large} vs {small}");
+        assert!(small >= 1.0);
+    }
+
+    #[test]
+    fn is_compute_bound_everywhere() {
+        let k = MandelbrotKernel::new(PAPER_PROBLEM);
+        let c = cfg([1, 1, 1, 8, 4, 1]);
+        let intensity = k.compute_cycles_per_element(&c) / k.ideal_dram_bytes_per_element(&c);
+        for a in crate::arch::study_architectures() {
+            assert!(
+                intensity > a.balance_flops_per_byte(),
+                "Mandelbrot should be compute-bound on {}",
+                a.name
+            );
+        }
+    }
+
+    #[test]
+    fn write_only_traffic() {
+        let k = MandelbrotKernel::new(PAPER_PROBLEM);
+        assert_eq!(k.ideal_dram_bytes_per_element(&cfg([1, 1, 1, 4, 4, 1])), 4.0);
+    }
+}

@@ -1,0 +1,180 @@
+//! The three ImageCL benchmarks of the study.
+//!
+//! Each benchmark contributes two things:
+//!
+//! 1. a **performance descriptor** ([`KernelModel`]) — how its register
+//!    pressure, shared-memory footprint, per-element arithmetic, DRAM
+//!    traffic and divergence depend on the tuning configuration; the
+//!    simulator's [`crate::model`] turns this into a predicted runtime;
+//! 2. a **CPU reference implementation** — the actual computation (vector
+//!    add, Harris corner response, Mandelbrot escape iterations), used by
+//!    the examples and tests to show these are real workloads with
+//!    verifiable outputs, not placeholders.
+
+use crate::launch::{ProblemSize, PAPER_PROBLEM};
+use autotune_space::imagecl::ImageClConfig;
+
+pub mod add;
+pub mod harris;
+pub mod mandelbrot;
+
+/// Performance descriptor of one tunable kernel.
+///
+/// All per-element quantities refer to *useful* (un-padded) elements; the
+/// model applies padding, coalescing and occupancy effects on top.
+pub trait KernelModel: Send + Sync {
+    /// Benchmark name as used in the paper's figures.
+    fn name(&self) -> &'static str;
+
+    /// Element domain the kernel runs over.
+    fn problem(&self) -> ProblemSize;
+
+    /// Registers allocated per thread. Grows with coarsening because the
+    /// unrolled tile keeps more live values.
+    fn regs_per_thread(&self, cfg: &ImageClConfig) -> u32;
+
+    /// Static shared memory per block, bytes (0 when the kernel keeps its
+    /// working set in registers/L1).
+    fn smem_per_block(&self, cfg: &ImageClConfig) -> u32;
+
+    /// FP32-pipe cycles issued per useful element, including address
+    /// arithmetic, averaged over the domain.
+    fn compute_cycles_per_element(&self, cfg: &ImageClConfig) -> f64;
+
+    /// DRAM bytes per useful element under perfect coalescing.
+    fn ideal_dram_bytes_per_element(&self, cfg: &ImageClConfig) -> f64;
+
+    /// Multiplier `>= 1` capturing warp divergence and inter-block load
+    /// imbalance for this configuration (1.0 for uniform workloads).
+    fn imbalance_factor(&self, cfg: &ImageClConfig) -> f64;
+}
+
+/// The ImageCL benchmark suite members used in the study.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Benchmark {
+    /// Element-wise addition of two `8192 x 8192` images (streaming,
+    /// bandwidth-bound).
+    Add,
+    /// Harris corner detection on an `8192 x 8192` image (stencil with a
+    /// shared-memory tile; mixed compute/memory).
+    Harris,
+    /// Mandelbrot set rendering at `8192 x 8192` (compute-bound,
+    /// divergent, write-only).
+    Mandelbrot,
+}
+
+impl Benchmark {
+    /// All benchmarks in the paper's presentation order.
+    pub const ALL: [Benchmark; 3] = [Benchmark::Add, Benchmark::Harris, Benchmark::Mandelbrot];
+
+    /// Instantiates the performance descriptor at the paper's problem
+    /// size (`8192 x 8192`).
+    pub fn model(self) -> Box<dyn KernelModel> {
+        self.model_with_problem(PAPER_PROBLEM)
+    }
+
+    /// Instantiates the descriptor at a custom problem size (used by the
+    /// input-sensitivity extension experiments).
+    pub fn model_with_problem(self, problem: ProblemSize) -> Box<dyn KernelModel> {
+        match self {
+            Benchmark::Add => Box::new(add::AddKernel::new(problem)),
+            Benchmark::Harris => Box::new(harris::HarrisKernel::new(problem)),
+            Benchmark::Mandelbrot => Box::new(mandelbrot::MandelbrotKernel::new(problem)),
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Benchmark::Add => "Add",
+            Benchmark::Harris => "Harris",
+            Benchmark::Mandelbrot => "Mandelbrot",
+        }
+    }
+
+    /// Parses a benchmark name (case-insensitive).
+    pub fn parse(s: &str) -> Option<Benchmark> {
+        Benchmark::ALL
+            .into_iter()
+            .find(|b| b.name().eq_ignore_ascii_case(s))
+    }
+}
+
+/// Shared register-pressure heuristic: a base footprint plus live values
+/// for the unrolled coarsening tile, capped at the ISA limit of 255.
+pub(crate) fn register_estimate(base: u32, per_x: u32, per_y: u32, cfg: &ImageClConfig) -> u32 {
+    let (xt, yt, zt) = cfg.coarsen;
+    (base + per_x * xt + per_y * yt + 2 * (zt - 1)).min(255)
+}
+
+/// Shared GPU architecture-independent helper used by kernels to express
+/// an extra instruction cost per coarsening-loop iteration (loop
+/// counters, address bumps) that amortizes as the tile grows.
+pub(crate) fn loop_overhead_cycles(cfg: &ImageClConfig) -> f64 {
+    let (xt, yt, zt) = cfg.coarsen;
+    // Per-element share of per-iteration bookkeeping: two ops per Y/Z
+    // iteration spread over the X-row it controls.
+    2.0 / xt as f64 + 1.0 / (xt as f64 * yt as f64) * (zt as f64 - 1.0).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_space::Configuration;
+
+    fn cfg(values: [u32; 6]) -> ImageClConfig {
+        ImageClConfig::from_configuration(&Configuration::from(values))
+    }
+
+    #[test]
+    fn benchmark_roster_matches_paper() {
+        assert_eq!(Benchmark::ALL.len(), 3);
+        let names: Vec<_> = Benchmark::ALL.iter().map(|b| b.name()).collect();
+        assert_eq!(names, vec!["Add", "Harris", "Mandelbrot"]);
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for b in Benchmark::ALL {
+            assert_eq!(Benchmark::parse(b.name()), Some(b));
+            assert_eq!(Benchmark::parse(&b.name().to_lowercase()), Some(b));
+        }
+        assert_eq!(Benchmark::parse("nbody"), None);
+    }
+
+    #[test]
+    fn models_report_paper_problem() {
+        for b in Benchmark::ALL {
+            let m = b.model();
+            assert_eq!(m.problem().elements(), 8192 * 8192);
+            assert_eq!(m.name(), b.name());
+        }
+    }
+
+    #[test]
+    fn register_estimate_caps_at_isa_limit() {
+        let c = cfg([16, 16, 16, 1, 1, 1]);
+        assert_eq!(register_estimate(100, 8, 8, &c), 255);
+        let c1 = cfg([1, 1, 1, 1, 1, 1]);
+        assert_eq!(register_estimate(20, 2, 1, &c1), 23);
+    }
+
+    #[test]
+    fn loop_overhead_shrinks_with_x_coarsening() {
+        let narrow = loop_overhead_cycles(&cfg([1, 1, 1, 8, 8, 1]));
+        let wide = loop_overhead_cycles(&cfg([8, 1, 1, 8, 8, 1]));
+        assert!(wide < narrow);
+    }
+
+    #[test]
+    fn all_models_give_positive_quantities() {
+        let c = cfg([2, 2, 1, 8, 4, 1]);
+        for b in Benchmark::ALL {
+            let m = b.model();
+            assert!(m.regs_per_thread(&c) >= 16);
+            assert!(m.compute_cycles_per_element(&c) > 0.0);
+            assert!(m.ideal_dram_bytes_per_element(&c) > 0.0);
+            assert!(m.imbalance_factor(&c) >= 1.0);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Launch geometry derived from a tuning configuration.
+//!
+//! ImageCL maps an `X x Y (x Z)` element domain onto a grid of work-groups:
+//! each thread processes a tile of `Xt x Yt x Zt` *contiguous* elements
+//! (thread coarsening), and work-groups have `Xw x Yw x Zw` threads, so
+//! one work-group covers a `(Xw*Xt) x (Yw*Yt) x (Zw*Zt)` element tile.
+
+use autotune_space::imagecl::ImageClConfig;
+use autotune_space::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// Size of the element domain a kernel runs over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProblemSize {
+    /// Elements in X (fastest-moving, contiguous in memory).
+    pub x: u64,
+    /// Elements in Y.
+    pub y: u64,
+    /// Elements in Z (1 for the paper's 2-D image workloads).
+    pub z: u64,
+}
+
+impl ProblemSize {
+    /// A 2-D problem (`z = 1`).
+    pub const fn new_2d(x: u64, y: u64) -> Self {
+        ProblemSize { x, y, z: 1 }
+    }
+
+    /// Total useful elements.
+    pub fn elements(&self) -> u64 {
+        self.x * self.y * self.z
+    }
+}
+
+/// The paper's fixed problem size: `X = 8192, Y = 8192`.
+pub const PAPER_PROBLEM: ProblemSize = ProblemSize::new_2d(8192, 8192);
+
+/// Fully-derived launch geometry for one configuration on one problem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LaunchConfig {
+    /// The semantic view of the tuning configuration.
+    pub cfg: ImageClConfig,
+    /// Work-groups along each axis.
+    pub grid: (u64, u64, u64),
+    /// Threads per work-group (`Xw*Yw*Zw`).
+    pub threads_per_block: u32,
+    /// Warps per work-group (ceiling division by the warp size).
+    pub warps_per_block: u32,
+    /// Elements covered by one work-group tile along each axis.
+    pub block_tile: (u64, u64, u64),
+    /// Total work-groups in the launch.
+    pub total_blocks: u64,
+    /// Useful elements (un-padded problem domain).
+    pub useful_elements: u64,
+    /// Elements including the padding introduced by ceiling division.
+    pub padded_elements: u64,
+    /// Fraction of threads that have *any* useful work. For 2-D problems
+    /// every thread with `z > 0` is idle, so this is `1 / Zw` when
+    /// `z = 1` (and the `Zt` loop degenerates).
+    pub useful_thread_fraction: f64,
+}
+
+impl LaunchConfig {
+    /// Derives the launch for `cfg` over `problem`, using warp size `warp`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` does not have the 6 ImageCL parameters.
+    pub fn derive(cfg: &Configuration, problem: ProblemSize, warp: u32) -> LaunchConfig {
+        let ic = ImageClConfig::from_configuration(cfg);
+        let (xt, yt, zt) = ic.coarsen;
+        let (xw, yw, zw) = ic.work_group;
+
+        let tile_x = (xw * xt) as u64;
+        let tile_y = (yw * yt) as u64;
+        let tile_z = (zw * zt) as u64;
+
+        let grid_x = problem.x.div_ceil(tile_x);
+        let grid_y = problem.y.div_ceil(tile_y);
+        let grid_z = problem.z.div_ceil(tile_z);
+
+        let threads_per_block = xw * yw * zw;
+        let warps_per_block = threads_per_block.div_ceil(warp);
+        let total_blocks = grid_x * grid_y * grid_z;
+
+        let padded_elements =
+            grid_x * tile_x * grid_y * tile_y * grid_z * tile_z.min(problem.z.max(1));
+
+        // Threads whose z-slice exists in the domain do useful work. For a
+        // 2-D problem only z = 0 threads (and only the first Zt iteration)
+        // touch real elements.
+        let z_threads_useful = (zw as u64).min(problem.z.div_ceil(zt as u64)).max(1);
+        let useful_thread_fraction = z_threads_useful as f64 / zw as f64;
+
+        LaunchConfig {
+            cfg: ic,
+            grid: (grid_x, grid_y, grid_z),
+            threads_per_block,
+            warps_per_block,
+            block_tile: (tile_x, tile_y, tile_z),
+            total_blocks,
+            useful_elements: problem.elements(),
+            padded_elements,
+            useful_thread_fraction,
+        }
+    }
+
+    /// Padding overhead: padded / useful elements, `>= 1`.
+    pub fn padding_factor(&self) -> f64 {
+        self.padded_elements as f64 / self.useful_elements as f64
+    }
+
+    /// Fraction of warp lanes occupied by real threads in the last,
+    /// possibly partial warp of a block — `1.0` when `threads_per_block`
+    /// is a warp multiple.
+    pub fn warp_occupation(&self, warp: u32) -> f64 {
+        self.threads_per_block as f64 / (self.warps_per_block * warp) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn launch(values: [u32; 6]) -> LaunchConfig {
+        LaunchConfig::derive(&Configuration::from(values), PAPER_PROBLEM, 32)
+    }
+
+    #[test]
+    fn simple_geometry() {
+        // Xt=1,Yt=1,Zt=1, Xw=8,Yw=4,Zw=1: 32-thread blocks tiling 8x4.
+        let l = launch([1, 1, 1, 8, 4, 1]);
+        assert_eq!(l.threads_per_block, 32);
+        assert_eq!(l.warps_per_block, 1);
+        assert_eq!(l.grid, (1024, 2048, 1));
+        assert_eq!(l.total_blocks, 1024 * 2048);
+        assert_eq!(l.padded_elements, l.useful_elements);
+        assert_eq!(l.useful_thread_fraction, 1.0);
+    }
+
+    #[test]
+    fn coarsening_shrinks_grid() {
+        let l = launch([4, 2, 1, 8, 4, 1]);
+        // Tile: (8*4) x (4*2) = 32 x 8.
+        assert_eq!(l.block_tile, (32, 8, 1));
+        assert_eq!(l.grid, (256, 1024, 1));
+    }
+
+    #[test]
+    fn non_dividing_tile_pads() {
+        // Tile x: 8*3 = 24; 8192 / 24 = 341.33 -> 342 blocks, padding.
+        let l = launch([3, 1, 1, 8, 1, 1]);
+        assert_eq!(l.grid.0, 342);
+        assert!(l.padding_factor() > 1.0);
+        assert!(l.padding_factor() < 1.01);
+    }
+
+    #[test]
+    fn z_threads_are_idle_on_2d_problems() {
+        let l = launch([1, 1, 1, 8, 4, 4]);
+        assert_eq!(l.threads_per_block, 128);
+        assert_eq!(l.useful_thread_fraction, 0.25);
+        // Grid z never exceeds 1 for a 2-D problem.
+        assert_eq!(l.grid.2, 1);
+    }
+
+    #[test]
+    fn partial_warp_occupation() {
+        // 5x5x1 block = 25 threads -> 1 warp, 25/32 occupied.
+        let l = launch([1, 1, 1, 5, 5, 1]);
+        assert_eq!(l.warps_per_block, 1);
+        assert!((l.warp_occupation(32) - 25.0 / 32.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_warp_occupation_is_one() {
+        let l = launch([1, 1, 1, 8, 8, 1]);
+        assert_eq!(l.warp_occupation(32), 1.0);
+    }
+
+    #[test]
+    fn zt_loop_counts_once_for_2d() {
+        // Zt = 16 with z = 1: the z loop covers the whole (single) slice
+        // with its first iteration; useful fraction is governed by Zw.
+        let l = launch([1, 1, 16, 4, 4, 2]);
+        assert_eq!(l.useful_thread_fraction, 0.5);
+        assert_eq!(l.grid.2, 1);
+    }
+
+    #[test]
+    fn problem_size_helpers() {
+        assert_eq!(PAPER_PROBLEM.elements(), 8192 * 8192);
+        assert_eq!(ProblemSize::new_2d(10, 20).elements(), 200);
+    }
+}

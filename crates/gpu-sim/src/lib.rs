@@ -1,0 +1,57 @@
+//! Analytical GPU performance-model simulator.
+//!
+//! The paper measures real OpenCL kernels on three NVIDIA GPUs. This crate
+//! replaces that testbed with an *analytical performance model* in the
+//! spirit of Hong & Kim's MWP/CWP model: given a tuning configuration
+//! (thread-coarsening factors and work-group shape) it derives the launch
+//! geometry, computes achievable occupancy from the architecture's
+//! register / shared-memory / warp limits, models DRAM traffic through a
+//! warp-level coalescing model, combines compute and memory pipelines
+//! with occupancy-dependent latency hiding, applies wave quantization and
+//! (for Mandelbrot) divergence-driven load imbalance, and finally adds a
+//! seeded heteroscedastic measurement-noise model.
+//!
+//! What matters for the *search-technique study* is that the resulting
+//! objective landscapes have the same qualitative structure as real GPU
+//! autotuning landscapes — multi-modal, with occupancy cliffs, coalescing
+//! steps, dead parameters (`Zt`/`Zw` on 2-D problems), inter-parameter
+//! coupling, architecture-dependent optima, and noisy single-shot
+//! measurements. Absolute times are *estimates*, not measurements.
+//!
+//! Timing protocol (paper §VI-A): host↔device PCIe transfers are modelled
+//! ([`pcie`]) but **excluded** from the measured kernel time, exactly as
+//! the paper starts its timer after the upload and stops it before the
+//! download.
+//!
+//! # Quick start
+//!
+//! ```
+//! use gpu_sim::{arch, kernels, runner::SimulatedKernel};
+//! use autotune_space::Configuration;
+//!
+//! let gpu = arch::rtx_titan();
+//! let kernel = kernels::Benchmark::Mandelbrot.model();
+//! let mut sim = SimulatedKernel::new(kernel, gpu, 42);
+//! let t = sim.measure(&Configuration::from([2, 2, 1, 8, 4, 1]));
+//! assert!(t.is_finite() && t > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod dataset;
+pub mod kernels;
+pub mod launch;
+pub mod memory;
+pub mod model;
+pub mod noise;
+pub mod occupancy;
+pub mod oracle;
+pub mod pcie;
+pub mod report;
+pub mod runner;
+
+pub use arch::GpuArchitecture;
+pub use kernels::Benchmark;
+pub use model::{kernel_time_ms, KernelTimeBreakdown};
+pub use runner::SimulatedKernel;

@@ -1,0 +1,199 @@
+//! Warp-level memory coalescing and effective-bandwidth model.
+//!
+//! DRAM traffic on NVIDIA parts moves in 32-byte sectors. A warp-wide
+//! load touches some set of sectors determined by the lane→address map;
+//! the ratio of useful bytes to fetched sector bytes is the *coalescing
+//! efficiency*. ImageCL's contiguous-tile coarsening makes consecutive
+//! lanes in X access addresses `lane * Xt` elements apart, so `Xt` acts
+//! as an inter-lane stride and efficiency falls as `Xt` grows — partially
+//! recovered by the cache hierarchy, since the skipped elements are
+//! needed by the *same* warp's later iterations ([`GpuArchitecture::
+//! cache_absorption`] models how much of that re-use the L1/L2 capture).
+
+use crate::arch::GpuArchitecture;
+use crate::launch::LaunchConfig;
+
+/// Bytes per DRAM sector (fixed across the studied architectures).
+pub const SECTOR_BYTES: u64 = 32;
+
+/// Element size of the study's single-precision image data.
+pub const ELEM_BYTES: u64 = 4;
+
+/// Sectors touched by one warp-wide access where `lanes_x` consecutive
+/// lanes access addresses `stride_elems` elements apart (4-byte
+/// elements), and the warp folds the remaining lanes onto separate image
+/// rows (each row group starting a fresh sector run).
+///
+/// Exact for the paper's row-major layout where rows are far apart.
+pub fn sectors_per_warp_access(warp_size: u32, lanes_x: u32, stride_elems: u32) -> u64 {
+    assert!(lanes_x > 0 && warp_size > 0 && stride_elems > 0);
+    let lanes_x = lanes_x.min(warp_size);
+    let row_groups = warp_size.div_ceil(lanes_x) as u64;
+    let stride_bytes = stride_elems as u64 * ELEM_BYTES;
+    let sectors_per_group = if stride_bytes >= SECTOR_BYTES {
+        // Every lane lands in its own sector.
+        lanes_x as u64
+    } else {
+        // Lanes cover a contiguous-ish span of lanes_x * stride bytes.
+        (lanes_x as u64 * stride_bytes).div_ceil(SECTOR_BYTES)
+    };
+    row_groups * sectors_per_group
+}
+
+/// Coalescing efficiency of one warp access: useful bytes / fetched bytes,
+/// in `(0, 1]`.
+pub fn access_efficiency(warp_size: u32, lanes_x: u32, stride_elems: u32) -> f64 {
+    let sectors = sectors_per_warp_access(warp_size, lanes_x, stride_elems);
+    let useful = warp_size as u64 * ELEM_BYTES;
+    (useful as f64 / (sectors * SECTOR_BYTES) as f64).min(1.0)
+}
+
+/// Effective DRAM bytes transferred per *useful* element for a streaming
+/// access pattern under launch `l`, given the kernel's ideal (perfectly
+/// coalesced) bytes per element.
+///
+/// ImageCL's X thread-coarsening uses the **cyclic** (round-robin)
+/// distribution — on iteration `k`, lane `i` of a row group accesses
+/// element `base + k*Xw + i` — precisely so that warp accesses stay
+/// unit-stride regardless of the coarsening factor (the standard
+/// implementation choice for coarsened streaming kernels). Two effects
+/// remain:
+///
+/// 1. **Row-group layout**: warps folded over narrow `Xw` touch one
+///    partially-used sector per row ([`access_efficiency`] at stride 1).
+/// 2. **Cache pressure**: each warp's working set spans `Xt` sector runs
+///    concurrently; large coarsening factors evict re-usable lines, and
+///    a cache-richness-dependent fraction of those re-fetches reaches
+///    DRAM.
+pub fn effective_bytes_per_element(
+    arch: &GpuArchitecture,
+    l: &LaunchConfig,
+    ideal_bytes_per_element: f64,
+) -> f64 {
+    let lanes_x = l.cfg.work_group.0;
+    let raw_eff = access_efficiency(arch.warp_size, lanes_x, 1);
+    let layout_factor = 1.0 / raw_eff;
+
+    let xt = l.cfg.coarsen.0 as f64;
+    let pressure_factor = 1.0 + 0.03 * (xt - 1.0) * (1.0 - arch.cache_absorption);
+
+    ideal_bytes_per_element * layout_factor * pressure_factor
+}
+
+/// Fraction of peak DRAM bandwidth achievable with `active_warps_per_sm`
+/// resident warps: bandwidth ramps roughly linearly with concurrency
+/// until `warps_for_peak_bandwidth` (Little's law), then saturates.
+pub fn bandwidth_utilization(arch: &GpuArchitecture, active_warps_per_sm: u32) -> f64 {
+    if active_warps_per_sm == 0 {
+        return 0.0;
+    }
+    (active_warps_per_sm as f64 / arch.warps_for_peak_bandwidth as f64).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+    use crate::launch::{LaunchConfig, PAPER_PROBLEM};
+    use autotune_space::Configuration;
+
+    #[test]
+    fn unit_stride_full_row_is_perfect() {
+        // 32 lanes in x, stride 1: 32 * 4 = 128 B = 4 sectors, all useful.
+        assert_eq!(sectors_per_warp_access(32, 32, 1), 4);
+        assert_eq!(access_efficiency(32, 32, 1), 1.0);
+    }
+
+    #[test]
+    fn folded_rows_unit_stride_still_perfect() {
+        // 8 lanes in x over 4 rows: each row group = 8*4 = 32 B = 1 sector.
+        assert_eq!(sectors_per_warp_access(32, 8, 1), 4);
+        assert_eq!(access_efficiency(32, 8, 1), 1.0);
+    }
+
+    #[test]
+    fn stride_degrades_efficiency_monotonically() {
+        let mut prev = f64::INFINITY;
+        for xt in 1..=16 {
+            let eff = access_efficiency(32, 8, xt);
+            assert!(eff <= prev + 1e-12, "eff not monotone at stride {xt}");
+            prev = eff;
+        }
+        // Worst case: every lane its own sector -> 4/32 = 0.125.
+        assert!((access_efficiency(32, 8, 16) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wide_stride_is_one_sector_per_lane() {
+        // stride 8 elements = 32 bytes: exactly one sector per lane.
+        assert_eq!(sectors_per_warp_access(32, 8, 8), 32);
+        // and beyond does not get worse (still one sector per lane).
+        assert_eq!(sectors_per_warp_access(32, 8, 16), 32);
+    }
+
+    #[test]
+    fn narrow_x_blocks_fold_to_more_sectors() {
+        // 1 lane per row, 32 rows: one sector per lane regardless of stride.
+        assert_eq!(sectors_per_warp_access(32, 1, 1), 32);
+        assert!((access_efficiency(32, 1, 1) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cyclic_coarsening_keeps_traffic_mild() {
+        let a = arch::gtx_980();
+        let mk = |xt: u32| {
+            LaunchConfig::derive(
+                &Configuration::from([xt, 1, 1, 8, 4, 1]),
+                PAPER_PROBLEM,
+                32,
+            )
+        };
+        let b1 = effective_bytes_per_element(&a, &mk(1), 12.0);
+        let b16 = effective_bytes_per_element(&a, &mk(16), 12.0);
+        assert!((b1 - 12.0).abs() < 1e-9, "unit coarsening must be ideal, got {b1}");
+        // Cyclic distribution: only cache pressure grows, bounded ~25%.
+        assert!(b16 > b1);
+        assert!(b16 < 1.3 * b1, "cyclic coarsening penalty too strong: {b16}");
+    }
+
+    #[test]
+    fn cache_rich_arch_suffers_less_pressure() {
+        let maxwell = arch::gtx_980();
+        let turing = arch::rtx_titan();
+        let l = LaunchConfig::derive(
+            &Configuration::from([8, 1, 1, 8, 4, 1]),
+            PAPER_PROBLEM,
+            32,
+        );
+        let bm = effective_bytes_per_element(&maxwell, &l, 12.0);
+        let bt = effective_bytes_per_element(&turing, &l, 12.0);
+        assert!(bt < bm, "turing {bt} should beat maxwell {bm}");
+    }
+
+    #[test]
+    fn narrow_x_blocks_inflate_traffic() {
+        let a = arch::gtx_980();
+        let wide = LaunchConfig::derive(
+            &Configuration::from([1, 1, 1, 8, 4, 1]),
+            PAPER_PROBLEM,
+            32,
+        );
+        let narrow = LaunchConfig::derive(
+            &Configuration::from([1, 1, 1, 2, 8, 1]),
+            PAPER_PROBLEM,
+            32,
+        );
+        let bw = effective_bytes_per_element(&a, &wide, 12.0);
+        let bn = effective_bytes_per_element(&a, &narrow, 12.0);
+        assert!(bn > 2.0 * bw, "narrow rows must waste sectors: {bn} vs {bw}");
+    }
+
+    #[test]
+    fn bandwidth_ramp_saturates() {
+        let a = arch::gtx_980();
+        assert_eq!(bandwidth_utilization(&a, 0), 0.0);
+        assert!(bandwidth_utilization(&a, 9) < bandwidth_utilization(&a, 18));
+        assert_eq!(bandwidth_utilization(&a, a.warps_for_peak_bandwidth), 1.0);
+        assert_eq!(bandwidth_utilization(&a, 64), 1.0);
+    }
+}

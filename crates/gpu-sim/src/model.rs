@@ -1,0 +1,340 @@
+//! The analytical performance model: configuration → predicted kernel time.
+//!
+//! Pipeline (per configuration):
+//!
+//! 1. derive the launch geometry ([`crate::launch`]);
+//! 2. validate it against the ImageCL work-group limit (the paper's
+//!    a-priori constraint `Xw*Yw*Zw <= 256`) and the SM resources —
+//!    invalid launches cost [`FAILURE_PENALTY_MS`], modelling what a
+//!    tuning framework records when `clEnqueueNDRangeKernel` rejects the
+//!    configuration;
+//! 3. compute occupancy ([`crate::occupancy`]);
+//! 4. model compute time (FP32-pipe cycles over occupancy-scaled issue
+//!    throughput) and memory time (coalescing-adjusted DRAM bytes over
+//!    concurrency-scaled bandwidth);
+//! 5. combine with partial overlap, apply wave quantization and the
+//!    kernel's divergence/imbalance factor, add launch overhead.
+
+use crate::arch::GpuArchitecture;
+use crate::kernels::KernelModel;
+use crate::launch::LaunchConfig;
+use crate::memory;
+use crate::occupancy::{occupancy, Occupancy};
+use autotune_space::Configuration;
+
+/// ImageCL's maximum admitted work-group volume — the paper's "product of
+/// our work group size parameters must not exceed 256".
+pub const IMAGECL_MAX_WORK_GROUP: u32 = 256;
+
+/// Time recorded for a configuration whose launch fails (work-group too
+/// large or block unschedulable). Autotuning frameworks assign a large
+/// finite penalty so the search can keep going; 10 seconds is far beyond
+/// any real kernel time in this study.
+pub const FAILURE_PENALTY_MS: f64 = 10_000.0;
+
+/// Fraction of the shorter pipeline (compute vs memory) that fails to
+/// overlap with the longer one. 0 would be perfect overlap; 1 serial.
+const OVERLAP_SLACK: f64 = 0.15;
+
+/// Full decomposition of one predicted kernel execution.
+#[derive(Debug, Clone)]
+pub struct KernelTimeBreakdown {
+    /// Whether the launch is valid; invalid launches carry the penalty.
+    pub valid: bool,
+    /// Pure compute-pipeline time, ms.
+    pub compute_ms: f64,
+    /// Pure memory-pipeline time, ms.
+    pub memory_ms: f64,
+    /// Wave-quantization multiplier (`>= 1`).
+    pub wave_factor: f64,
+    /// Divergence / load-imbalance multiplier (`>= 1`).
+    pub imbalance: f64,
+    /// Achieved occupancy.
+    pub occupancy: Occupancy,
+    /// Number of full device waves (may be fractional before quantization).
+    pub waves: f64,
+    /// Final predicted kernel time, ms (the penalty when invalid).
+    pub total_ms: f64,
+}
+
+impl KernelTimeBreakdown {
+    /// `true` when memory time exceeds compute time (bandwidth-bound).
+    pub fn memory_bound(&self) -> bool {
+        self.memory_ms > self.compute_ms
+    }
+}
+
+/// Predicted noiseless kernel time for `cfg`, in milliseconds.
+pub fn kernel_time_ms(
+    kernel: &dyn KernelModel,
+    arch: &GpuArchitecture,
+    cfg: &Configuration,
+) -> f64 {
+    breakdown(kernel, arch, cfg).total_ms
+}
+
+/// Full model evaluation with all intermediate quantities exposed.
+pub fn breakdown(
+    kernel: &dyn KernelModel,
+    arch: &GpuArchitecture,
+    cfg: &Configuration,
+) -> KernelTimeBreakdown {
+    let launch = LaunchConfig::derive(cfg, kernel.problem(), arch.warp_size);
+    let ic = launch.cfg;
+
+    let invalid = |occ: Occupancy| KernelTimeBreakdown {
+        valid: false,
+        compute_ms: 0.0,
+        memory_ms: 0.0,
+        wave_factor: 1.0,
+        imbalance: 1.0,
+        occupancy: occ,
+        waves: 0.0,
+        total_ms: FAILURE_PENALTY_MS,
+    };
+
+    let regs = kernel.regs_per_thread(&ic);
+    let smem = kernel.smem_per_block(&ic);
+    let occ = occupancy(arch, launch.threads_per_block, regs, smem);
+
+    if launch.threads_per_block > IMAGECL_MAX_WORK_GROUP.min(arch.max_threads_per_block)
+        || !occ.schedulable()
+    {
+        return invalid(occ);
+    }
+
+    // Warps that do useful work: z-idle threads retire immediately and
+    // partial warps waste lanes, both diluting latency hiding.
+    let useful_warps =
+        occ.active_warps_per_sm as f64 * launch.useful_thread_fraction;
+    let lane_fill = launch.warp_occupation(arch.warp_size);
+
+    // --- Compute pipeline -------------------------------------------------
+    let cycles_per_elem = kernel.compute_cycles_per_element(&ic);
+    let total_lane_cycles = launch.padded_elements as f64 * cycles_per_elem;
+    let peak_lane_cycles_per_ms = arch.peak_flops() / 1e3;
+    let compute_concurrency =
+        (useful_warps / arch.warps_for_peak_compute as f64).min(1.0);
+    let compute_eff = (compute_concurrency * lane_fill).max(1e-6);
+    let compute_ms = total_lane_cycles / (peak_lane_cycles_per_ms * compute_eff);
+
+    // --- Memory pipeline --------------------------------------------------
+    let bytes_per_elem = memory::effective_bytes_per_element(
+        arch,
+        &launch,
+        kernel.ideal_dram_bytes_per_element(&ic),
+    );
+    let total_bytes = launch.padded_elements as f64 * bytes_per_elem;
+    // Memory concurrency follows outstanding *threads* (requests), so
+    // partially-filled warps count at their lane fill.
+    let mem_warp_equivalents = (useful_warps * lane_fill).ceil() as u32;
+    let bw_util = memory::bandwidth_utilization(arch, mem_warp_equivalents).max(1e-6);
+    let memory_ms = total_bytes / (arch.dram_bandwidth_gbps * 1e6 * bw_util);
+
+    // --- Combine ----------------------------------------------------------
+    let (long, short) = if compute_ms >= memory_ms {
+        (compute_ms, memory_ms)
+    } else {
+        (memory_ms, compute_ms)
+    };
+    let base_ms = long + OVERLAP_SLACK * short;
+
+    // Wave quantization: the device executes blocks in waves of
+    // `sm_count * active_blocks`; a fractional final wave still costs a
+    // whole wave of time.
+    let device_blocks = (arch.sm_count * occ.active_blocks_per_sm) as f64;
+    let waves = launch.total_blocks as f64 / device_blocks;
+    let wave_factor = waves.ceil() / waves;
+
+    let imbalance = kernel.imbalance_factor(&ic);
+
+    let total_ms = base_ms * wave_factor * imbalance + arch.launch_overhead_ms;
+    KernelTimeBreakdown {
+        valid: true,
+        compute_ms,
+        memory_ms,
+        wave_factor,
+        imbalance,
+        occupancy: occ,
+        waves,
+        total_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+    use crate::kernels::Benchmark;
+
+    fn cfg(values: [u32; 6]) -> Configuration {
+        Configuration::from(values)
+    }
+
+    /// A sensible baseline configuration: unit coarsening, 8x4 blocks.
+    fn good() -> Configuration {
+        cfg([1, 1, 1, 8, 4, 1])
+    }
+
+    #[test]
+    fn oversized_work_group_is_penalized() {
+        let k = Benchmark::Add.model();
+        let a = arch::gtx_980();
+        // 8*8*5 = 320 > 256.
+        let b = breakdown(k.as_ref(), &a, &cfg([1, 1, 1, 8, 8, 5]));
+        assert!(!b.valid);
+        assert_eq!(b.total_ms, FAILURE_PENALTY_MS);
+    }
+
+    #[test]
+    fn boundary_work_group_is_valid() {
+        let k = Benchmark::Add.model();
+        let a = arch::gtx_980();
+        // 8*8*4 = 256 exactly.
+        let b = breakdown(k.as_ref(), &a, &cfg([1, 1, 1, 8, 8, 4]));
+        assert!(b.valid);
+        assert!(b.total_ms < FAILURE_PENALTY_MS);
+    }
+
+    #[test]
+    fn add_is_memory_bound_and_in_realistic_range() {
+        let k = Benchmark::Add.model();
+        for a in arch::study_architectures() {
+            let b = breakdown(k.as_ref(), &a, &good());
+            assert!(b.valid);
+            assert!(b.memory_bound(), "{}: Add must be memory-bound", a.name);
+            // 768 MB of traffic: between ~1 ms (fast HBM) and ~10 ms.
+            assert!(
+                (0.5..20.0).contains(&b.total_ms),
+                "{}: Add total {} ms",
+                a.name,
+                b.total_ms
+            );
+        }
+    }
+
+    #[test]
+    fn mandelbrot_is_compute_bound() {
+        let k = Benchmark::Mandelbrot.model();
+        for a in arch::study_architectures() {
+            let b = breakdown(k.as_ref(), &a, &good());
+            assert!(!b.memory_bound(), "{}: Mandelbrot must be compute-bound", a.name);
+        }
+    }
+
+    #[test]
+    fn newer_gpus_are_faster() {
+        for bench in Benchmark::ALL {
+            let k = bench.model();
+            let t_980 = kernel_time_ms(k.as_ref(), &arch::gtx_980(), &good());
+            let t_titanv = kernel_time_ms(k.as_ref(), &arch::titan_v(), &good());
+            assert!(
+                t_titanv < t_980,
+                "{}: Titan V {} ms vs GTX 980 {} ms",
+                bench.name(),
+                t_titanv,
+                t_980
+            );
+        }
+    }
+
+    #[test]
+    fn z_work_group_waste_hurts() {
+        let k = Benchmark::Add.model();
+        let a = arch::titan_v();
+        let flat = kernel_time_ms(k.as_ref(), &a, &cfg([1, 1, 1, 8, 4, 1]));
+        let wasted = kernel_time_ms(k.as_ref(), &a, &cfg([1, 1, 1, 8, 4, 8]));
+        assert!(
+            wasted > flat * 1.5,
+            "idle z-threads must hurt: {wasted} vs {flat}"
+        );
+    }
+
+    #[test]
+    fn x_coarsening_costs_are_mild_but_real() {
+        // Cyclic coarsening keeps coalescing, so heavy X-coarsening only
+        // pays cache pressure and register-occupancy costs: slower than
+        // unit coarsening, but within ~2x, not an order of magnitude.
+        let k = Benchmark::Add.model();
+        let a = arch::gtx_980();
+        let unit = kernel_time_ms(k.as_ref(), &a, &cfg([1, 1, 1, 8, 4, 1]));
+        let heavy = kernel_time_ms(k.as_ref(), &a, &cfg([16, 1, 1, 8, 4, 1]));
+        assert!(heavy > unit, "{heavy} vs {unit}");
+        assert!(heavy < 2.5 * unit, "{heavy} vs {unit}");
+    }
+
+    #[test]
+    fn narrow_work_groups_hurt_streaming() {
+        // Narrow X rows waste sector bytes: the coalescing penalty moved
+        // from the coarsening factor to the work-group shape.
+        let k = Benchmark::Add.model();
+        let a = arch::gtx_980();
+        let wide = kernel_time_ms(k.as_ref(), &a, &cfg([1, 1, 1, 8, 4, 1]));
+        let narrow = kernel_time_ms(k.as_ref(), &a, &cfg([1, 1, 1, 1, 8, 1]));
+        assert!(narrow > 2.0 * wide, "{narrow} vs {wide}");
+    }
+
+    #[test]
+    fn single_thread_blocks_are_terrible() {
+        let k = Benchmark::Add.model();
+        let a = arch::titan_v();
+        let good_t = kernel_time_ms(k.as_ref(), &a, &good());
+        let lone = kernel_time_ms(k.as_ref(), &a, &cfg([1, 1, 1, 1, 1, 1]));
+        assert!(lone > 5.0 * good_t, "1-thread blocks: {lone} vs {good_t}");
+    }
+
+    #[test]
+    fn breakdown_components_are_positive_and_consistent() {
+        let k = Benchmark::Harris.model();
+        let a = arch::rtx_titan();
+        let b = breakdown(k.as_ref(), &a, &good());
+        assert!(b.compute_ms > 0.0 && b.memory_ms > 0.0);
+        assert!(b.wave_factor >= 1.0);
+        assert!(b.imbalance >= 1.0);
+        assert!(b.waves > 1.0, "8192^2 launches many waves");
+        assert!(b.total_ms >= b.compute_ms.max(b.memory_ms));
+    }
+
+    #[test]
+    fn harris_large_smem_tiles_lose_occupancy() {
+        let k = Benchmark::Harris.model();
+        let a = arch::rtx_titan();
+        let small = breakdown(k.as_ref(), &a, &cfg([1, 1, 1, 8, 4, 1]));
+        let large = breakdown(k.as_ref(), &a, &cfg([16, 16, 1, 8, 8, 1]));
+        assert!(
+            large.occupancy.occupancy < small.occupancy.occupancy,
+            "giant stencil tiles must cut occupancy"
+        );
+    }
+
+    #[test]
+    fn optimum_differs_across_architectures() {
+        // Coarse scan: the argmin over a small grid should not be the
+        // same configuration on all three architectures for all kernels
+        // (architecture-dependent optima are the premise of the study).
+        let grid: Vec<Configuration> = (0..)
+            .map_while(|i| {
+                let space = autotune_space::imagecl::space();
+                let idx = i * 97;
+                (idx < space.size()).then(|| space.config_at(idx))
+            })
+            .collect();
+        let mut distinct = std::collections::HashSet::new();
+        for a in arch::study_architectures() {
+            let k = Benchmark::Harris.model();
+            let best = grid
+                .iter()
+                .min_by(|x, y| {
+                    kernel_time_ms(k.as_ref(), &a, x)
+                        .partial_cmp(&kernel_time_ms(k.as_ref(), &a, y))
+                        .unwrap()
+                })
+                .unwrap();
+            distinct.insert(best.clone());
+        }
+        assert!(
+            distinct.len() >= 2,
+            "Harris optimum should differ somewhere across architectures"
+        );
+    }
+}

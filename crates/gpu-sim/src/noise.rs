@@ -1,0 +1,181 @@
+//! Measurement-noise model.
+//!
+//! Real kernel timings vary run-to-run: clock management, OS scheduling,
+//! memory-controller contention, and timer resolution. The paper copes by
+//! running the *final* configuration 10 times while single-shot sampling
+//! during the search ("to better represent real use cases and test the
+//! models for how well they handle noise in the samples"). This module
+//! supplies that noise: multiplicative log-normal jitter, occasional
+//! positive spikes (preemption), and timer quantization.
+//!
+//! The defaults (σ≈1.5%, 0.5% spike rate) follow the run-to-run variation
+//! commonly reported for dedicated-GPU kernel benchmarking.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the measurement-noise process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NoiseModel {
+    /// Standard deviation of the log-normal multiplicative jitter.
+    pub sigma_log: f64,
+    /// Probability that a measurement is hit by a scheduling spike.
+    pub spike_prob: f64,
+    /// Maximum relative magnitude of a spike (uniform in `(0, max]`).
+    pub spike_max: f64,
+    /// Timer resolution in milliseconds; measurements are quantized to it.
+    pub timer_resolution_ms: f64,
+}
+
+impl NoiseModel {
+    /// The study's default noise level.
+    pub fn study_default() -> Self {
+        NoiseModel {
+            sigma_log: 0.015,
+            spike_prob: 0.005,
+            spike_max: 0.35,
+            timer_resolution_ms: 1e-4,
+        }
+    }
+
+    /// A noiseless model (useful for oracle scans and deterministic tests).
+    pub fn none() -> Self {
+        NoiseModel {
+            sigma_log: 0.0,
+            spike_prob: 0.0,
+            spike_max: 0.0,
+            timer_resolution_ms: 0.0,
+        }
+    }
+
+    /// A model with scaled jitter, for the noise-robustness ablation.
+    pub fn scaled(factor: f64) -> Self {
+        let base = Self::study_default();
+        NoiseModel {
+            sigma_log: base.sigma_log * factor,
+            spike_prob: (base.spike_prob * factor).min(0.25),
+            spike_max: base.spike_max,
+            timer_resolution_ms: base.timer_resolution_ms,
+        }
+    }
+
+    /// Applies measurement noise to a true time.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `true_ms` is not positive and finite.
+    pub fn apply<R: Rng + ?Sized>(&self, true_ms: f64, rng: &mut R) -> f64 {
+        assert!(
+            true_ms.is_finite() && true_ms > 0.0,
+            "noise model needs a positive finite time, got {true_ms}"
+        );
+        let mut t = true_ms;
+        if self.sigma_log > 0.0 {
+            // Box-Muller standard normal.
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            t *= (self.sigma_log * z).exp();
+        }
+        if self.spike_prob > 0.0 && rng.gen::<f64>() < self.spike_prob {
+            t *= 1.0 + rng.gen::<f64>() * self.spike_max;
+        }
+        if self.timer_resolution_ms > 0.0 {
+            t = (t / self.timer_resolution_ms).round() * self.timer_resolution_ms;
+            // Quantization must never report zero for a real execution.
+            t = t.max(self.timer_resolution_ms);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn noiseless_model_is_identity_up_to_quantization() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0);
+        let m = NoiseModel::none();
+        assert_eq!(m.apply(3.25, &mut rng), 3.25);
+    }
+
+    #[test]
+    fn noise_is_centred_and_small() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let m = NoiseModel::study_default();
+        let true_ms = 5.0;
+        let n = 4000;
+        let samples: Vec<f64> = (0..n).map(|_| m.apply(true_ms, &mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!(
+            (mean / true_ms - 1.0).abs() < 0.01,
+            "mean {mean} should be near {true_ms}"
+        );
+        // Spread should be a couple of percent.
+        let sd = (samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64)
+            .sqrt();
+        let rel = sd / true_ms;
+        assert!((0.005..0.06).contains(&rel), "relative sd {rel}");
+    }
+
+    #[test]
+    fn spikes_are_rare_and_positive() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let m = NoiseModel {
+            sigma_log: 0.0,
+            spike_prob: 0.1,
+            spike_max: 0.5,
+            timer_resolution_ms: 0.0,
+        };
+        let n = 5000;
+        let spiked = (0..n)
+            .filter(|_| m.apply(1.0, &mut rng) > 1.0 + 1e-12)
+            .count();
+        let rate = spiked as f64 / n as f64;
+        assert!((0.07..0.13).contains(&rate), "spike rate {rate}");
+    }
+
+    #[test]
+    fn quantization_rounds_to_timer_grid() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let m = NoiseModel {
+            sigma_log: 0.0,
+            spike_prob: 0.0,
+            spike_max: 0.0,
+            timer_resolution_ms: 0.5,
+        };
+        assert_eq!(m.apply(1.26, &mut rng), 1.5);
+        assert_eq!(m.apply(0.01, &mut rng), 0.5); // floor at one tick
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = NoiseModel::study_default();
+        let a: Vec<f64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            (0..50).map(|_| m.apply(2.0, &mut rng)).collect()
+        };
+        let b: Vec<f64> = {
+            let mut rng = ChaCha8Rng::seed_from_u64(7);
+            (0..50).map(|_| m.apply(2.0, &mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive finite")]
+    fn rejects_non_positive_time() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let _ = NoiseModel::study_default().apply(0.0, &mut rng);
+    }
+
+    #[test]
+    fn scaled_zero_removes_jitter() {
+        let m = NoiseModel::scaled(0.0);
+        assert_eq!(m.sigma_log, 0.0);
+        assert_eq!(m.spike_prob, 0.0);
+    }
+}

@@ -1,0 +1,193 @@
+//! SM occupancy calculator.
+//!
+//! Mirrors NVIDIA's occupancy-calculator arithmetic: the number of blocks
+//! an SM can host simultaneously is the minimum over four hard limits —
+//! resident blocks, resident warps, register file, shared memory — each
+//! computed with the hardware's allocation granularities. Occupancy
+//! cliffs from these limits are a primary source of structure in GPU
+//! autotuning landscapes.
+
+use crate::arch::GpuArchitecture;
+use serde::{Deserialize, Serialize};
+
+/// Which hardware resource capped the number of resident blocks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OccupancyLimiter {
+    /// Hit the architectural blocks-per-SM ceiling.
+    Blocks,
+    /// Hit the warps/threads-per-SM ceiling.
+    Warps,
+    /// Register file exhausted.
+    Registers,
+    /// Shared memory exhausted.
+    SharedMemory,
+}
+
+/// Result of the occupancy computation for one block shape.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Occupancy {
+    /// Blocks resident per SM (0 when the block cannot be scheduled at all).
+    pub active_blocks_per_sm: u32,
+    /// Warps resident per SM.
+    pub active_warps_per_sm: u32,
+    /// `active_warps / max_warps`, in `[0,1]`.
+    pub occupancy: f64,
+    /// The binding resource.
+    pub limiter: OccupancyLimiter,
+}
+
+impl Occupancy {
+    /// `true` when at least one block fits on an SM.
+    pub fn schedulable(&self) -> bool {
+        self.active_blocks_per_sm > 0
+    }
+}
+
+/// Computes occupancy for a block of `threads_per_block` threads using
+/// `regs_per_thread` registers and `smem_per_block` bytes of shared
+/// memory on `arch`.
+///
+/// Returns an [`Occupancy`] with `active_blocks_per_sm == 0` (limiter set
+/// to the resource that failed) when a single block already exceeds an
+/// SM's resources — such launches fail on real hardware.
+pub fn occupancy(
+    arch: &GpuArchitecture,
+    threads_per_block: u32,
+    regs_per_thread: u32,
+    smem_per_block: u32,
+) -> Occupancy {
+    assert!(threads_per_block > 0, "block must have at least one thread");
+    let warps_per_block = threads_per_block.div_ceil(arch.warp_size);
+
+    // Register allocation is per warp, rounded up to the allocation unit.
+    let regs_per_warp = (regs_per_thread * arch.warp_size).div_ceil(arch.register_alloc_unit)
+        * arch.register_alloc_unit;
+    let regs_per_block = regs_per_warp * warps_per_block;
+
+    // Shared memory allocation rounds up to its granule.
+    let smem_alloc = if smem_per_block == 0 {
+        0
+    } else {
+        smem_per_block.div_ceil(arch.shared_mem_alloc_unit) * arch.shared_mem_alloc_unit
+    };
+
+    let by_blocks = arch.max_blocks_per_sm;
+    let by_warps = arch.max_warps_per_sm / warps_per_block;
+    let by_regs = arch
+        .registers_per_sm
+        .checked_div(regs_per_block)
+        .unwrap_or(u32::MAX);
+    let by_smem = arch
+        .shared_mem_per_sm
+        .checked_div(smem_alloc)
+        .unwrap_or(u32::MAX);
+
+    let (active, limiter) = [
+        (by_blocks, OccupancyLimiter::Blocks),
+        (by_warps, OccupancyLimiter::Warps),
+        (by_regs, OccupancyLimiter::Registers),
+        (by_smem, OccupancyLimiter::SharedMemory),
+    ]
+    .into_iter()
+    .min_by_key(|&(v, _)| v)
+    .expect("four candidates");
+
+    let active_warps = active * warps_per_block;
+    Occupancy {
+        active_blocks_per_sm: active,
+        active_warps_per_sm: active_warps,
+        occupancy: active_warps as f64 / arch.max_warps_per_sm as f64,
+        limiter,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+
+    #[test]
+    fn small_blocks_hit_block_limit() {
+        // 32-thread blocks, tiny footprint: Maxwell hosts at most 32
+        // blocks -> 32 warps of 64 -> 50% occupancy.
+        let a = arch::gtx_980();
+        let o = occupancy(&a, 32, 16, 0);
+        assert_eq!(o.limiter, OccupancyLimiter::Blocks);
+        assert_eq!(o.active_blocks_per_sm, 32);
+        assert_eq!(o.active_warps_per_sm, 32);
+        assert!((o.occupancy - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_blocks_hit_warp_limit() {
+        let a = arch::gtx_980();
+        // 256-thread blocks = 8 warps; 64/8 = 8 blocks; 64 warps = 100%.
+        let o = occupancy(&a, 256, 16, 0);
+        assert_eq!(o.limiter, OccupancyLimiter::Warps);
+        assert_eq!(o.active_blocks_per_sm, 8);
+        assert_eq!(o.occupancy, 1.0);
+    }
+
+    #[test]
+    fn register_pressure_caps_occupancy() {
+        let a = arch::gtx_980();
+        // 128 regs/thread * 32 = 4096 regs/warp; 65536/4096 = 16 warps.
+        // 256-thread blocks = 8 warps -> 2 blocks by registers.
+        let o = occupancy(&a, 256, 128, 0);
+        assert_eq!(o.limiter, OccupancyLimiter::Registers);
+        assert_eq!(o.active_blocks_per_sm, 2);
+        assert!((o.occupancy - 16.0 / 64.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_memory_caps_occupancy() {
+        let a = arch::rtx_titan();
+        // 48 KiB blocks on a 64 KiB SM: one block resident.
+        let o = occupancy(&a, 128, 32, 48 * 1024);
+        assert_eq!(o.limiter, OccupancyLimiter::SharedMemory);
+        assert_eq!(o.active_blocks_per_sm, 1);
+    }
+
+    #[test]
+    fn oversized_block_is_unschedulable() {
+        let a = arch::rtx_titan();
+        // More shared memory than the SM has at all.
+        let o = occupancy(&a, 128, 32, 80 * 1024);
+        assert!(!o.schedulable());
+        assert_eq!(o.limiter, OccupancyLimiter::SharedMemory);
+    }
+
+    #[test]
+    fn register_granularity_rounds_up() {
+        let a = arch::gtx_980();
+        // 33 regs/thread -> 1056/warp -> rounds to 1280 (5 units of 256).
+        // 65536 / (1280 * 1 warp) = 51 blocks by regs, so blocks limit
+        // (32) binds for 32-thread blocks.
+        let o = occupancy(&a, 32, 33, 0);
+        assert_eq!(o.limiter, OccupancyLimiter::Blocks);
+        // But with 8-warp blocks: 65536/(1280*8) = 6 blocks.
+        let o = occupancy(&a, 256, 33, 0);
+        assert_eq!(o.active_blocks_per_sm, 6);
+        assert_eq!(o.limiter, OccupancyLimiter::Registers);
+    }
+
+    #[test]
+    fn turing_has_lower_warp_ceiling() {
+        let m = occupancy(&arch::gtx_980(), 256, 32, 0);
+        let t = occupancy(&arch::rtx_titan(), 256, 32, 0);
+        // Turing: 32 warps/SM / 8 warps per block = 4 blocks.
+        assert_eq!(t.active_blocks_per_sm, 4);
+        assert!(t.active_warps_per_sm < m.active_warps_per_sm);
+        // Both still reach 100% of their own ceilings.
+        assert_eq!(t.occupancy, 1.0);
+        assert_eq!(m.occupancy, 1.0);
+    }
+
+    #[test]
+    fn partial_warp_blocks_round_warps_up() {
+        let a = arch::gtx_980();
+        // 33-thread blocks occupy 2 warps of space.
+        let o = occupancy(&a, 33, 16, 0);
+        assert_eq!(o.active_warps_per_sm, o.active_blocks_per_sm * 2);
+    }
+}

@@ -1,0 +1,131 @@
+//! Oracle scans: the true optimum of a (kernel, architecture) landscape.
+//!
+//! The paper's Fig. 2 reports every algorithm's result as a *percentage
+//! of the study's optimum solution*. With a simulator we can do better
+//! than "best ever sampled": the noiseless model can be scanned
+//! exhaustively over all 2,097,152 configurations to find the true
+//! global optimum.
+
+use crate::arch::GpuArchitecture;
+use crate::kernels::KernelModel;
+use crate::model;
+use autotune_space::{imagecl, Configuration};
+
+/// Result of an oracle scan.
+#[derive(Debug, Clone)]
+pub struct Optimum {
+    /// The best configuration found.
+    pub config: Configuration,
+    /// Its noiseless model time, ms.
+    pub time_ms: f64,
+    /// Number of configurations examined.
+    pub scanned: u64,
+}
+
+/// Exhaustive scan over the *entire* space (2,097,152 model evaluations —
+/// under a second in release builds).
+pub fn global_optimum(kernel: &dyn KernelModel, arch: &GpuArchitecture) -> Optimum {
+    strided_optimum(kernel, arch, 1)
+}
+
+/// Scan every `stride`-th configuration (by flat index). `stride = 1` is
+/// the exhaustive scan; larger strides give fast approximate optima for
+/// tests and smoke runs.
+///
+/// # Panics
+///
+/// Panics if `stride == 0`.
+pub fn strided_optimum(
+    kernel: &dyn KernelModel,
+    arch: &GpuArchitecture,
+    stride: u64,
+) -> Optimum {
+    assert!(stride > 0, "stride must be positive");
+    let space = imagecl::space();
+    let mut best_time = f64::INFINITY;
+    let mut best_cfg = None;
+    let mut scanned = 0;
+    let mut idx = 0;
+    while idx < space.size() {
+        let cfg = space.config_at(idx);
+        let t = model::kernel_time_ms(kernel, arch, &cfg);
+        if t < best_time {
+            best_time = t;
+            best_cfg = Some(cfg);
+        }
+        scanned += 1;
+        idx += stride;
+    }
+    Optimum {
+        config: best_cfg.expect("space is non-empty"),
+        time_ms: best_time,
+        scanned,
+    }
+}
+
+/// Percentage-of-optimum metric used throughout the paper's figures:
+/// `100 * optimum / achieved` for a minimized objective, so 100 means
+/// the achieved time *is* the optimum and lower is worse.
+///
+/// # Panics
+///
+/// Panics unless both times are positive finite.
+pub fn percent_of_optimum(optimum_ms: f64, achieved_ms: f64) -> f64 {
+    assert!(optimum_ms > 0.0 && optimum_ms.is_finite());
+    assert!(achieved_ms > 0.0 && achieved_ms.is_finite());
+    100.0 * optimum_ms / achieved_ms
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+    use crate::kernels::Benchmark;
+    use autotune_space::Constraint;
+
+    #[test]
+    fn strided_scan_finds_a_feasible_good_config() {
+        let k = Benchmark::Add.model();
+        let a = arch::titan_v();
+        let opt = strided_optimum(k.as_ref(), &a, 1001);
+        assert!(opt.time_ms < model::FAILURE_PENALTY_MS);
+        assert!(imagecl::constraint().is_satisfied(&opt.config));
+        assert_eq!(opt.scanned, imagecl::space().size().div_ceil(1001));
+    }
+
+    #[test]
+    fn finer_stride_is_at_least_as_good() {
+        let k = Benchmark::Mandelbrot.model();
+        let a = arch::gtx_980();
+        let coarse = strided_optimum(k.as_ref(), &a, 4001);
+        let finer = strided_optimum(k.as_ref(), &a, 401);
+        assert!(finer.time_ms <= coarse.time_ms);
+    }
+
+    #[test]
+    fn optimum_beats_a_reasonable_hand_pick() {
+        let k = Benchmark::Add.model();
+        let a = arch::rtx_titan();
+        let opt = strided_optimum(k.as_ref(), &a, 257);
+        let hand = model::kernel_time_ms(
+            k.as_ref(),
+            &a,
+            &Configuration::from([1, 1, 1, 8, 4, 1]),
+        );
+        assert!(opt.time_ms <= hand);
+    }
+
+    #[test]
+    fn percent_of_optimum_semantics() {
+        assert_eq!(percent_of_optimum(2.0, 2.0), 100.0);
+        assert_eq!(percent_of_optimum(2.0, 4.0), 50.0);
+        assert!(percent_of_optimum(2.0, 2.2) < 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "stride must be positive")]
+    fn zero_stride_rejected() {
+        let k = Benchmark::Add.model();
+        let _ = strided_optimum(k.as_ref(), &arch::gtx_980(), 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! Host↔device transfer model.
+//!
+//! The paper's measurement protocol (§VI-A) is explicit: upload the data,
+//! *then* start the timer; stop the timer after the kernel, *before*
+//! downloading results. Transfers are therefore modelled here for
+//! completeness (the examples show how much of the wall time they
+//! represent) but never enter the tuned objective.
+
+use crate::arch::GpuArchitecture;
+use crate::kernels::{Benchmark, KernelModel};
+
+/// Fixed per-transfer latency (driver + DMA setup), milliseconds.
+pub const TRANSFER_LATENCY_MS: f64 = 0.02;
+
+/// Time to move `bytes` across PCIe in one direction, milliseconds.
+pub fn transfer_time_ms(arch: &GpuArchitecture, bytes: u64) -> f64 {
+    TRANSFER_LATENCY_MS + bytes as f64 / (arch.pcie_bandwidth_gbps * 1e6)
+}
+
+/// Bytes uploaded to the device before a benchmark runs.
+pub fn upload_bytes(bench: Benchmark, kernel: &dyn KernelModel) -> u64 {
+    let elems = kernel.problem().elements();
+    match bench {
+        Benchmark::Add => 2 * elems * 4,  // two input images
+        Benchmark::Harris => elems * 4,   // one input image
+        Benchmark::Mandelbrot => 0,       // generated on device
+    }
+}
+
+/// Bytes downloaded after a benchmark runs (all three write one plane).
+pub fn download_bytes(kernel: &dyn KernelModel) -> u64 {
+    kernel.problem().elements() * 4
+}
+
+/// Wall-clock time of one benchmark run *including* transfers — what a
+/// user of the kernel would wait for, as opposed to the timed region the
+/// study optimizes.
+pub fn wall_time_ms(
+    arch: &GpuArchitecture,
+    bench: Benchmark,
+    kernel: &dyn KernelModel,
+    kernel_ms: f64,
+) -> f64 {
+    let up = upload_bytes(bench, kernel);
+    let down = download_bytes(kernel);
+    let mut total = kernel_ms + transfer_time_ms(arch, down);
+    if up > 0 {
+        total += transfer_time_ms(arch, up);
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let a = arch::titan_v();
+        let t1 = transfer_time_ms(&a, 1 << 20);
+        let t2 = transfer_time_ms(&a, 1 << 24);
+        assert!(t2 > t1);
+        // 768 MiB at 12 GB/s ≈ 67 ms.
+        let t = transfer_time_ms(&a, 768 * 1024 * 1024);
+        assert!((60.0..75.0).contains(&t), "{t}");
+    }
+
+    #[test]
+    fn upload_sizes_match_kernel_signatures() {
+        let add = Benchmark::Add.model();
+        let harris = Benchmark::Harris.model();
+        let mandel = Benchmark::Mandelbrot.model();
+        let n = 8192 * 8192 * 4;
+        assert_eq!(upload_bytes(Benchmark::Add, add.as_ref()), 2 * n);
+        assert_eq!(upload_bytes(Benchmark::Harris, harris.as_ref()), n);
+        assert_eq!(upload_bytes(Benchmark::Mandelbrot, mandel.as_ref()), 0);
+        assert_eq!(download_bytes(add.as_ref()), n);
+    }
+
+    #[test]
+    fn wall_time_dominated_by_transfers_for_streaming_kernels() {
+        // The paper's rationale for excluding transfers: for Add, PCIe
+        // moves 12 bytes/element at ~12 GB/s while the kernel moves the
+        // same data at hundreds of GB/s. Wall time >> kernel time.
+        let a = arch::titan_v();
+        let k = Benchmark::Add.model();
+        let kernel_ms = 1.5;
+        let wall = wall_time_ms(&a, Benchmark::Add, k.as_ref(), kernel_ms);
+        assert!(wall > 20.0 * kernel_ms, "wall {wall} vs kernel {kernel_ms}");
+    }
+
+    #[test]
+    fn mandelbrot_pays_only_download() {
+        let a = arch::rtx_titan();
+        let k = Benchmark::Mandelbrot.model();
+        let wall = wall_time_ms(&a, Benchmark::Mandelbrot, k.as_ref(), 3.0);
+        let down = transfer_time_ms(&a, download_bytes(k.as_ref()));
+        assert!((wall - (3.0 + down)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,163 @@
+//! Human-readable performance reports — the simulator's "profiler view".
+//!
+//! Autotuners tell you *which* configuration is fastest; engineers also
+//! want to know *why*. [`explain`] renders the model's full decomposition
+//! for one configuration (launch geometry, occupancy and its limiter,
+//! pipeline times, waves, divergence) the way `nvprof`-era tooling would.
+
+use crate::arch::GpuArchitecture;
+use crate::kernels::KernelModel;
+use crate::launch::LaunchConfig;
+use crate::model::{self, KernelTimeBreakdown};
+use crate::occupancy::OccupancyLimiter;
+use autotune_space::Configuration;
+use std::fmt::Write as _;
+
+/// Renders a multi-line report explaining the model's prediction for
+/// `cfg` on `arch`.
+pub fn explain(kernel: &dyn KernelModel, arch: &GpuArchitecture, cfg: &Configuration) -> String {
+    let b = model::breakdown(kernel, arch, cfg);
+    let launch = LaunchConfig::derive(cfg, kernel.problem(), arch.warp_size);
+    let mut out = String::new();
+    let _ = writeln!(out, "{} on {} — configuration {}", kernel.name(), arch.name, cfg);
+
+    if !b.valid {
+        let _ = writeln!(
+            out,
+            "  LAUNCH FAILS: work-group volume {} exceeds the ImageCL limit of {} \
+             (or the block cannot be scheduled); penalty {} ms",
+            launch.threads_per_block,
+            model::IMAGECL_MAX_WORK_GROUP,
+            model::FAILURE_PENALTY_MS
+        );
+        return out;
+    }
+
+    let _ = writeln!(
+        out,
+        "  launch: {} blocks of {} threads ({} warps), tile {}x{} elements",
+        launch.total_blocks,
+        launch.threads_per_block,
+        launch.warps_per_block,
+        launch.block_tile.0,
+        launch.block_tile.1,
+    );
+    let _ = writeln!(
+        out,
+        "  occupancy: {:.0}% ({} blocks/SM, {} warps/SM), limited by {}",
+        b.occupancy.occupancy * 100.0,
+        b.occupancy.active_blocks_per_sm,
+        b.occupancy.active_warps_per_sm,
+        limiter_name(b.occupancy.limiter),
+    );
+    let _ = writeln!(
+        out,
+        "  pipelines: compute {:.3} ms, memory {:.3} ms -> {}-bound",
+        b.compute_ms,
+        b.memory_ms,
+        if b.memory_bound() { "memory" } else { "compute" },
+    );
+    let _ = writeln!(
+        out,
+        "  waves: {:.1} ({:.1}% tail overhead); imbalance x{:.3}",
+        b.waves,
+        (b.wave_factor - 1.0) * 100.0,
+        b.imbalance,
+    );
+    let _ = writeln!(out, "  predicted kernel time: {:.4} ms", b.total_ms);
+    out
+}
+
+/// One-line summary of the dominant bottleneck, for tables.
+pub fn bottleneck(b: &KernelTimeBreakdown) -> &'static str {
+    if !b.valid {
+        return "launch failure";
+    }
+    if b.wave_factor > 1.25 {
+        return "tail wave";
+    }
+    if b.imbalance > 1.3 {
+        return "divergence";
+    }
+    if b.occupancy.occupancy < 0.25 {
+        return "occupancy";
+    }
+    if b.memory_bound() {
+        "memory bandwidth"
+    } else {
+        "compute throughput"
+    }
+}
+
+fn limiter_name(l: OccupancyLimiter) -> &'static str {
+    match l {
+        OccupancyLimiter::Blocks => "the blocks-per-SM ceiling",
+        OccupancyLimiter::Warps => "the warp ceiling",
+        OccupancyLimiter::Registers => "the register file",
+        OccupancyLimiter::SharedMemory => "shared memory",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+    use crate::kernels::Benchmark;
+
+    #[test]
+    fn report_covers_all_sections() {
+        let k = Benchmark::Harris.model();
+        let a = arch::gtx_980();
+        let r = explain(k.as_ref(), &a, &Configuration::from([1, 2, 1, 8, 4, 1]));
+        for needle in ["launch:", "occupancy:", "pipelines:", "waves:", "predicted kernel time"] {
+            assert!(r.contains(needle), "missing {needle} in:\n{r}");
+        }
+    }
+
+    #[test]
+    fn invalid_launch_reports_failure() {
+        let k = Benchmark::Add.model();
+        let a = arch::titan_v();
+        let r = explain(k.as_ref(), &a, &Configuration::from([1, 1, 1, 8, 8, 8]));
+        assert!(r.contains("LAUNCH FAILS"));
+        assert!(!r.contains("pipelines:"));
+    }
+
+    #[test]
+    fn bottleneck_classification() {
+        let a = arch::gtx_980();
+        // Streaming kernel with a good config: memory bandwidth.
+        let add = Benchmark::Add.model();
+        let b = model::breakdown(add.as_ref(), &a, &Configuration::from([1, 1, 1, 8, 4, 1]));
+        assert_eq!(bottleneck(&b), "memory bandwidth");
+        // Invalid launch.
+        let b = model::breakdown(add.as_ref(), &a, &Configuration::from([1, 1, 1, 8, 8, 8]));
+        assert_eq!(bottleneck(&b), "launch failure");
+        // Single-thread blocks on Mandelbrot: 31 of 32 lanes idle, so the
+        // classifier blames compute throughput (true — the pipes are
+        // starved even though occupancy slots are half full).
+        let m = Benchmark::Mandelbrot.model();
+        let b = model::breakdown(m.as_ref(), &a, &Configuration::from([1, 1, 1, 1, 1, 1]));
+        assert_eq!(bottleneck(&b), "compute throughput");
+        // A large shared-memory stencil tile starves occupancy instead:
+        // an 8x-coarsened 64x64 tile needs ~18.5 KiB of shared memory, so
+        // only 3 blocks (6 of 32 warps) fit per Turing SM.
+        let h = Benchmark::Harris.model();
+        let ta = crate::arch::rtx_titan();
+        let b = model::breakdown(h.as_ref(), &ta, &Configuration::from([8, 8, 1, 8, 8, 1]));
+        assert!(b.valid);
+        assert_eq!(bottleneck(&b), "occupancy");
+    }
+
+    #[test]
+    fn mandelbrot_big_tiles_blame_divergence_or_tail() {
+        let a = arch::rtx_titan();
+        let m = Benchmark::Mandelbrot.model();
+        let b = model::breakdown(m.as_ref(), &a, &Configuration::from([16, 16, 1, 8, 8, 1]));
+        assert!(
+            matches!(bottleneck(&b), "divergence" | "tail wave"),
+            "got {}",
+            bottleneck(&b)
+        );
+    }
+}

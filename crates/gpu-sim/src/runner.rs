@@ -1,0 +1,168 @@
+//! The measurement harness: a simulated kernel one can "run".
+//!
+//! [`SimulatedKernel`] is the study's stand-in for compiling and
+//! executing an ImageCL kernel: every [`SimulatedKernel::measure`] call
+//! evaluates the analytical model and draws one noisy measurement,
+//! matching the paper's protocol of a *single* execution per sampled
+//! configuration during the search and 10 repetitions for the final
+//! configuration ([`SimulatedKernel::measure_final`]).
+
+use crate::arch::GpuArchitecture;
+use crate::kernels::KernelModel;
+use crate::model;
+use crate::noise::NoiseModel;
+use autotune_space::Configuration;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Number of repetitions the paper uses for the final configuration.
+pub const FINAL_REPS: usize = 10;
+
+/// A runnable, noisy, evaluation-counting simulated kernel.
+pub struct SimulatedKernel {
+    kernel: Box<dyn KernelModel>,
+    arch: GpuArchitecture,
+    noise: NoiseModel,
+    rng: ChaCha8Rng,
+    evaluations: u64,
+}
+
+impl SimulatedKernel {
+    /// Creates a runner with the study's default noise, seeded for
+    /// reproducibility.
+    pub fn new(kernel: Box<dyn KernelModel>, arch: GpuArchitecture, seed: u64) -> Self {
+        Self::with_noise(kernel, arch, NoiseModel::study_default(), seed)
+    }
+
+    /// Creates a runner with a custom noise model.
+    pub fn with_noise(
+        kernel: Box<dyn KernelModel>,
+        arch: GpuArchitecture,
+        noise: NoiseModel,
+        seed: u64,
+    ) -> Self {
+        SimulatedKernel {
+            kernel,
+            arch,
+            noise,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            evaluations: 0,
+        }
+    }
+
+    /// The architecture this runner simulates.
+    pub fn arch(&self) -> &GpuArchitecture {
+        &self.arch
+    }
+
+    /// The kernel descriptor.
+    pub fn kernel(&self) -> &dyn KernelModel {
+        self.kernel.as_ref()
+    }
+
+    /// Number of measurements taken so far (the tuners' sample budget is
+    /// audited against this).
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// One noisy measurement of `cfg`, in milliseconds — "compile, launch
+    /// once, read the timer".
+    pub fn measure(&mut self, cfg: &Configuration) -> f64 {
+        self.evaluations += 1;
+        let t = model::kernel_time_ms(self.kernel.as_ref(), &self.arch, cfg);
+        self.noise.apply(t, &mut self.rng)
+    }
+
+    /// The paper's final-configuration protocol: `FINAL_REPS` repetitions,
+    /// reported as the median.
+    pub fn measure_final(&mut self, cfg: &Configuration) -> f64 {
+        let mut reps: Vec<f64> = (0..FINAL_REPS).map(|_| self.measure(cfg)).collect();
+        reps.sort_by(|a, b| a.partial_cmp(b).expect("times are finite"));
+        let mid = reps.len() / 2;
+        if reps.len().is_multiple_of(2) {
+            (reps[mid - 1] + reps[mid]) / 2.0
+        } else {
+            reps[mid]
+        }
+    }
+
+    /// The noiseless model value (the oracle's view; not counted as an
+    /// evaluation).
+    pub fn true_time_ms(&self, cfg: &Configuration) -> f64 {
+        model::kernel_time_ms(self.kernel.as_ref(), &self.arch, cfg)
+    }
+}
+
+impl std::fmt::Debug for SimulatedKernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatedKernel")
+            .field("kernel", &self.kernel.name())
+            .field("arch", &self.arch.name)
+            .field("evaluations", &self.evaluations)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch;
+    use crate::kernels::Benchmark;
+
+    fn runner(seed: u64) -> SimulatedKernel {
+        SimulatedKernel::new(Benchmark::Add.model(), arch::gtx_980(), seed)
+    }
+
+    fn cfg() -> Configuration {
+        Configuration::from([1, 1, 1, 8, 4, 1])
+    }
+
+    #[test]
+    fn measurements_count_and_vary() {
+        let mut r = runner(1);
+        let a = r.measure(&cfg());
+        let b = r.measure(&cfg());
+        assert_eq!(r.evaluations(), 2);
+        assert!(a > 0.0 && b > 0.0);
+        assert_ne!(a, b, "single-shot noise should differ across calls");
+    }
+
+    #[test]
+    fn same_seed_same_trace() {
+        let mut r1 = runner(42);
+        let mut r2 = runner(42);
+        let t1: Vec<f64> = (0..10).map(|_| r1.measure(&cfg())).collect();
+        let t2: Vec<f64> = (0..10).map(|_| r2.measure(&cfg())).collect();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn final_protocol_takes_ten_measurements() {
+        let mut r = runner(3);
+        let med = r.measure_final(&cfg());
+        assert_eq!(r.evaluations(), FINAL_REPS as u64);
+        // The median of 10 noisy reps is closer to truth than a single
+        // unlucky sample would be.
+        let truth = r.true_time_ms(&cfg());
+        assert!((med / truth - 1.0).abs() < 0.05, "median {med} truth {truth}");
+    }
+
+    #[test]
+    fn true_time_is_deterministic_and_uncounted() {
+        let r = runner(4);
+        let a = r.true_time_ms(&cfg());
+        let b = r.true_time_ms(&cfg());
+        assert_eq!(a, b);
+        assert_eq!(r.evaluations(), 0);
+    }
+
+    #[test]
+    fn invalid_configurations_cost_the_penalty() {
+        let mut r = runner(5);
+        let bad = Configuration::from([1, 1, 1, 8, 8, 8]); // 512 threads
+        let t = r.measure(&bad);
+        // Penalty is quantized by the timer but stays enormous.
+        assert!(t > crate::model::FAILURE_PENALTY_MS * 0.5);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the GPU simulator.
+
+use autotune_space::{imagecl, Configuration, Constraint};
+use gpu_sim::kernels::Benchmark;
+use gpu_sim::noise::NoiseModel;
+use gpu_sim::runner::SimulatedKernel;
+use gpu_sim::{arch, model};
+use proptest::prelude::*;
+
+fn arb_config() -> impl Strategy<Value = Configuration> {
+    (1u32..=16, 1u32..=16, 1u32..=16, 1u32..=8, 1u32..=8, 1u32..=8)
+        .prop_map(|(a, b, c, d, e, f)| Configuration::from([a, b, c, d, e, f]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn model_time_is_finite_positive_everywhere(cfg in arb_config()) {
+        for bench in Benchmark::ALL {
+            let k = bench.model();
+            for a in arch::study_architectures() {
+                let t = model::kernel_time_ms(k.as_ref(), &a, &cfg);
+                prop_assert!(t.is_finite() && t > 0.0, "{bench:?}/{}: {t}", a.name);
+                prop_assert!(t <= model::FAILURE_PENALTY_MS);
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_work_groups_always_get_penalty(cfg in arb_config()) {
+        let feasible = imagecl::constraint().is_satisfied(&cfg);
+        let k = Benchmark::Add.model();
+        let a = arch::titan_v();
+        let b = model::breakdown(k.as_ref(), &a, &cfg);
+        if !feasible {
+            prop_assert!(!b.valid);
+            prop_assert_eq!(b.total_ms, model::FAILURE_PENALTY_MS);
+        }
+    }
+
+    #[test]
+    fn feasible_configs_beat_the_penalty(cfg in arb_config()) {
+        prop_assume!(imagecl::constraint().is_satisfied(&cfg));
+        let k = Benchmark::Harris.model();
+        let a = arch::gtx_980();
+        let b = model::breakdown(k.as_ref(), &a, &cfg);
+        prop_assert!(b.valid);
+        prop_assert!(b.total_ms < model::FAILURE_PENALTY_MS / 2.0);
+    }
+
+    #[test]
+    fn breakdown_invariants(cfg in arb_config()) {
+        prop_assume!(imagecl::constraint().is_satisfied(&cfg));
+        for bench in Benchmark::ALL {
+            let k = bench.model();
+            for a in arch::study_architectures() {
+                let b = model::breakdown(k.as_ref(), &a, &cfg);
+                prop_assert!(b.wave_factor >= 1.0);
+                prop_assert!(b.imbalance >= 1.0);
+                prop_assert!(b.occupancy.occupancy > 0.0 && b.occupancy.occupancy <= 1.0);
+                prop_assert!(b.total_ms >= b.compute_ms.max(b.memory_ms));
+            }
+        }
+    }
+
+    #[test]
+    fn noisy_measurements_bracket_truth(cfg in arb_config(), seed in 0u64..500) {
+        prop_assume!(imagecl::constraint().is_satisfied(&cfg));
+        let mut sim = SimulatedKernel::new(Benchmark::Mandelbrot.model(), arch::rtx_titan(), seed);
+        let truth = sim.true_time_ms(&cfg);
+        let measured = sim.measure(&cfg);
+        // Study noise: a couple percent jitter, spikes at most +35%.
+        prop_assert!(measured > truth * 0.9 && measured < truth * 1.45,
+            "measured {measured}, truth {truth}");
+    }
+
+    #[test]
+    fn noiseless_runner_reproduces_model(cfg in arb_config()) {
+        prop_assume!(imagecl::constraint().is_satisfied(&cfg));
+        let mut sim = SimulatedKernel::with_noise(
+            Benchmark::Add.model(), arch::gtx_980(), NoiseModel::none(), 1);
+        let truth = sim.true_time_ms(&cfg);
+        prop_assert_eq!(sim.measure(&cfg), truth);
+    }
+}
+
+#[test]
+fn landscape_is_multimodal_not_flat() {
+    // Sanity property of the study's objective: the landscape must have
+    // real spread (orders of magnitude between best and worst feasible
+    // configurations) — otherwise comparing search techniques is moot.
+    let space = imagecl::space();
+    let k = Benchmark::Add.model();
+    let a = arch::gtx_980();
+    let mut times = Vec::new();
+    let mut idx = 0;
+    while idx < space.size() {
+        let cfg = space.config_at(idx);
+        if imagecl::constraint().is_satisfied(&cfg) {
+            times.push(model::kernel_time_ms(k.as_ref(), &a, &cfg));
+        }
+        idx += 2003;
+    }
+    let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = times.iter().cloned().fold(0.0_f64, f64::max);
+    assert!(max / min > 20.0, "spread {min}..{max} too flat");
+}
+
+#[test]
+fn dead_z_parameters_make_plateaus() {
+    // Zt is a dead parameter on 2-D problems: changing it alone must not
+    // change the time much (loop overhead only). This is a real feature
+    // of the paper's search space that search techniques must cope with.
+    let k = Benchmark::Add.model();
+    let a = arch::titan_v();
+    let base = model::kernel_time_ms(k.as_ref(), &a, &Configuration::from([2, 2, 1, 8, 4, 1]));
+    for zt in 2..=16 {
+        let t = model::kernel_time_ms(k.as_ref(), &a, &Configuration::from([2, 2, zt, 8, 4, 1]));
+        assert!(
+            (t / base - 1.0).abs() < 0.1,
+            "Zt={zt} should be nearly dead: {t} vs {base}"
+        );
+    }
+}

@@ -1,0 +1,253 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! The Gaussian-process surrogate factors its covariance (Gram) matrix once
+//! per fit and then performs many triangular solves; sequential Bayesian
+//! optimization additionally *grows* the Gram matrix by one row per
+//! observation, which [`Cholesky::extend`] supports in `O(n^2)` via the
+//! bordered factorization
+//!
+//! ```text
+//! [ A   a ]   [ L   0 ] [ L^T  l ]
+//! [ a^T d ] = [ l^T s ] [ 0    s ],   l = L^{-1} a,  s = sqrt(d - l^T l)
+//! ```
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::triangular;
+use crate::vecops;
+
+/// Lower-triangular Cholesky factor `L` of an SPD matrix `A = L L^T`.
+#[derive(Clone, Debug)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors the symmetric positive-definite matrix `a`.
+    ///
+    /// Only the lower triangle of `a` is read, so callers may pass a matrix
+    /// whose upper triangle is stale.
+    ///
+    /// # Errors
+    ///
+    /// * [`LinalgError::NotSquare`] if `a` is not square.
+    /// * [`LinalgError::NotPositiveDefinite`] if a pivot is `<= 0` or
+    ///   non-finite; the index of the failing pivot is carried so GP
+    ///   hyperparameter search can react (e.g. by increasing the nugget).
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                // sum_{k<j} L[i][k] * L[j][k]
+                let s = vecops::dot(&l.row(i)[..j], &l.row(j)[..j]);
+                if i == j {
+                    let d = a[(i, i)] - s;
+                    if !(d.is_finite() && d > 0.0) {
+                        return Err(LinalgError::NotPositiveDefinite(i));
+                    }
+                    l[(i, j)] = d.sqrt();
+                } else {
+                    l[(i, j)] = (a[(i, j)] - s) / l[(j, j)];
+                }
+            }
+        }
+        Ok(Cholesky { l })
+    }
+
+    /// Dimension of the factored matrix.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// Borrow of the lower-triangular factor.
+    #[inline]
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve(&self, b: &[f64]) -> Vec<f64> {
+        triangular::solve_cholesky(&self.l, b)
+    }
+
+    /// Solves `L y = b` only (half solve). The GP predictive variance is
+    /// `k** - ||L^{-1} k*||^2`, which needs exactly this.
+    pub fn solve_lower(&self, b: &[f64]) -> Vec<f64> {
+        triangular::solve_lower(&self.l, b)
+    }
+
+    /// `log |A| = 2 * sum_i log L[i][i]` — the log-determinant term of the
+    /// GP log marginal likelihood.
+    pub fn log_determinant(&self) -> f64 {
+        (0..self.dim()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Extends the factorization by one bordered row/column.
+    ///
+    /// `col` is the new off-diagonal column `a` (covariances between the new
+    /// point and the existing `n` points) and `diag` the new diagonal entry
+    /// `d`. Costs `O(n^2)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotPositiveDefinite`] when the Schur complement
+    /// `d - l^T l` is not strictly positive — the extended matrix would not
+    /// be SPD.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `col.len() != self.dim()`.
+    pub fn extend(&mut self, col: &[f64], diag: f64) -> Result<(), LinalgError> {
+        let n = self.dim();
+        assert_eq!(col.len(), n, "extend: column length mismatch");
+        let lrow = triangular::solve_lower(&self.l, col);
+        let schur = diag - vecops::dot(&lrow, &lrow);
+        if !(schur.is_finite() && schur > 0.0) {
+            return Err(LinalgError::NotPositiveDefinite(n));
+        }
+        let mut grown = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            grown.row_mut(i)[..n].copy_from_slice(&self.l.row(i)[..n]);
+        }
+        grown.row_mut(n)[..n].copy_from_slice(&lrow);
+        grown[(n, n)] = schur.sqrt();
+        self.l = grown;
+        Ok(())
+    }
+
+    /// Reconstructs `A = L L^T` (testing / diagnostics).
+    pub fn reconstruct(&self) -> Matrix {
+        self.l
+            .matmul(&self.l.transpose())
+            .expect("factor is square by construction")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> Matrix {
+        Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0],
+            &[12.0, 37.0, -43.0],
+            &[-16.0, -43.0, 98.0],
+        ])
+    }
+
+    #[test]
+    fn factors_known_matrix() {
+        // Classic textbook example with exact factor.
+        let c = Cholesky::new(&spd_example()).unwrap();
+        let expect = Matrix::from_rows(&[
+            &[2.0, 0.0, 0.0],
+            &[6.0, 1.0, 0.0],
+            &[-8.0, 5.0, 3.0],
+        ]);
+        assert!(c.factor().approx_eq(&expect, 1e-12));
+    }
+
+    #[test]
+    fn solve_round_trips() {
+        let a = spd_example();
+        let c = Cholesky::new(&a).unwrap();
+        let x = c.solve(&[1.0, 2.0, 3.0]);
+        let b = a.matvec(&x).unwrap();
+        for (got, want) in b.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_determinant_matches() {
+        let c = Cholesky::new(&spd_example()).unwrap();
+        // det = (2*1*3)^2 = 36.
+        assert!((c.log_determinant() - 36.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite(1))
+        ));
+    }
+
+    #[test]
+    fn reads_only_lower_triangle() {
+        let mut a = spd_example();
+        a[(0, 2)] = 1234.0; // poison upper triangle
+        let c = Cholesky::new(&a).unwrap();
+        let clean = Cholesky::new(&spd_example()).unwrap();
+        assert!(c.factor().approx_eq(clean.factor(), 0.0));
+    }
+
+    #[test]
+    fn extend_matches_full_refactor() {
+        // Build a 4x4 SPD matrix, factor the leading 3x3 block, extend by
+        // the last row, and compare against factoring the full matrix.
+        let full = Matrix::from_rows(&[
+            &[4.0, 12.0, -16.0, 2.0],
+            &[12.0, 37.0, -43.0, 5.0],
+            &[-16.0, -43.0, 98.0, -3.0],
+            &[2.0, 5.0, -3.0, 50.0],
+        ]);
+        let mut c = Cholesky::new(&spd_example()).unwrap();
+        c.extend(&[2.0, 5.0, -3.0], 50.0).unwrap();
+        let whole = Cholesky::new(&full).unwrap();
+        assert!(c.factor().approx_eq(whole.factor(), 1e-10));
+    }
+
+    #[test]
+    fn extend_rejects_breaking_spd() {
+        let mut c = Cholesky::new(&Matrix::identity(2)).unwrap();
+        // New diagonal too small: [I a; a^T d] with a = (1,1), d = 1 has
+        // Schur complement 1 - 2 < 0.
+        assert!(matches!(
+            c.extend(&[1.0, 1.0], 1.0),
+            Err(LinalgError::NotPositiveDefinite(2))
+        ));
+        // Factor must be unchanged after a failed extension.
+        assert_eq!(c.dim(), 2);
+    }
+
+    #[test]
+    fn repeated_extend_builds_large_factor() {
+        // Grow an identity-plus-noise system one row at a time and verify
+        // the final reconstruction.
+        let n = 12;
+        let gram = Matrix::symmetric_from_fn(n, |i, j| {
+            if i == j {
+                2.0
+            } else {
+                1.0 / (1.0 + (i as f64 - j as f64).abs())
+            }
+        });
+        let first = Matrix::from_rows(&[&[gram[(0, 0)]]]);
+        let mut c = Cholesky::new(&first).unwrap();
+        for k in 1..n {
+            let col: Vec<f64> = (0..k).map(|i| gram[(k, i)]).collect();
+            c.extend(&col, gram[(k, k)]).unwrap();
+        }
+        assert!(c.reconstruct().approx_eq(&gram, 1e-10));
+    }
+}

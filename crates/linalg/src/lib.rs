@@ -1,0 +1,46 @@
+//! Small dense linear-algebra substrate for the autotuning study.
+//!
+//! The Gaussian-process surrogate in `autotune-surrogates` needs exact
+//! dense linear algebra: symmetric positive-definite solves via Cholesky
+//! factorization, triangular substitution, and incremental (bordered)
+//! factor updates so sequential Bayesian optimization can extend a fitted
+//! model by one observation in `O(n^2)` instead of refactorizing in
+//! `O(n^3)`.
+//!
+//! Everything here is written from scratch on plain `Vec<f64>` storage —
+//! no BLAS, no external array crates — because the matrices involved are
+//! small (at most `400 x 400`, the paper's largest sample size) and the
+//! call sites are latency-sensitive inner loops of the tuners.
+//!
+//! # Layout
+//!
+//! * [`Matrix`] — row-major dense matrix with the usual algebra.
+//! * [`Cholesky`] — `A = L L^T` factorization of an SPD matrix, solves,
+//!   log-determinant, and one-row extension ([`Cholesky::extend`]).
+//! * [`triangular`] — forward/backward substitution on raw factors.
+//! * [`vecops`] — dot products, axpy, norms used across the workspace.
+//!
+//! # Example
+//!
+//! ```
+//! use autotune_linalg::{Matrix, Cholesky};
+//!
+//! // A small SPD system A x = b.
+//! let a = Matrix::from_rows(&[&[4.0, 2.0], &[2.0, 3.0]]);
+//! let chol = Cholesky::new(&a).unwrap();
+//! let x = chol.solve(&[8.0, 7.0]);
+//! assert!((x[0] - 1.25).abs() < 1e-12);
+//! assert!((x[1] - 1.5).abs() < 1e-12);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cholesky;
+pub mod error;
+pub mod matrix;
+pub mod triangular;
+pub mod vecops;
+
+pub use cholesky::Cholesky;
+pub use error::LinalgError;
+pub use matrix::Matrix;

@@ -1,0 +1,121 @@
+//! Forward and backward substitution on triangular factors.
+//!
+//! These operate directly on a [`crate::Matrix`] holding a lower
+//! triangular factor `L` (the strict upper triangle is ignored), which is
+//! exactly what [`Cholesky`](crate::Cholesky) stores.
+
+use crate::matrix::Matrix;
+
+/// Solves `L x = b` for lower triangular `L` by forward substitution.
+///
+/// # Panics
+///
+/// Panics if `l` is not square, `b.len() != l.rows()`, or a diagonal entry
+/// is zero (singular factor — cannot happen for a successful Cholesky).
+pub fn solve_lower(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    assert!(l.is_square(), "solve_lower requires a square factor");
+    let n = l.rows();
+    assert_eq!(b.len(), n, "solve_lower: rhs length mismatch");
+    let mut x = b.to_vec();
+    for i in 0..n {
+        let row = l.row(i);
+        let mut acc = x[i];
+        for (j, xj) in x.iter().enumerate().take(i) {
+            acc -= row[j] * xj;
+        }
+        let d = row[i];
+        assert!(d != 0.0, "solve_lower: zero pivot at {i}");
+        x[i] = acc / d;
+    }
+    x
+}
+
+/// Solves `L^T x = b` for lower triangular `L` by backward substitution,
+/// without materializing the transpose.
+///
+/// # Panics
+///
+/// Same conditions as [`solve_lower`].
+pub fn solve_lower_transpose(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    assert!(l.is_square(), "solve_lower_transpose requires a square factor");
+    let n = l.rows();
+    assert_eq!(b.len(), n, "solve_lower_transpose: rhs length mismatch");
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        // (L^T)[i][j] = L[j][i]; the already-solved unknowns are j > i.
+        let mut acc = x[i];
+        for j in (i + 1)..n {
+            acc -= l[(j, i)] * x[j];
+        }
+        let d = l[(i, i)];
+        assert!(d != 0.0, "solve_lower_transpose: zero pivot at {i}");
+        x[i] = acc / d;
+    }
+    x
+}
+
+/// Solves `L L^T x = b` (the full SPD solve) given the lower factor.
+pub fn solve_cholesky(l: &Matrix, b: &[f64]) -> Vec<f64> {
+    solve_lower_transpose(l, &solve_lower(l, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lower_example() -> Matrix {
+        Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[1.0, 3.0, 0.0], &[4.0, 5.0, 6.0]])
+    }
+
+    #[test]
+    fn forward_substitution() {
+        let l = lower_example();
+        let x = solve_lower(&l, &[2.0, 5.0, 31.0]);
+        // L x = b with x = [1, 4/3, 29/18]... check by re-multiplication.
+        let b = l.matvec(&x).unwrap();
+        assert!((b[0] - 2.0).abs() < 1e-12);
+        assert!((b[1] - 5.0).abs() < 1e-12);
+        assert!((b[2] - 31.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_substitution() {
+        let l = lower_example();
+        let x = solve_lower_transpose(&l, &[1.0, 2.0, 3.0]);
+        let b = l.transpose().matvec(&x).unwrap();
+        for (got, want) in b.iter().zip([1.0, 2.0, 3.0]) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_solve_round_trips() {
+        let l = lower_example();
+        let a = l.matmul(&l.transpose()).unwrap();
+        let x = solve_cholesky(&l, &[1.0, -2.0, 0.5]);
+        let b = a.matvec(&x).unwrap();
+        for (got, want) in b.iter().zip([1.0, -2.0, 0.5]) {
+            assert!((got - want).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "zero pivot")]
+    fn zero_pivot_is_rejected() {
+        let l = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let _ = solve_lower(&l, &[1.0, 1.0]);
+    }
+
+    #[test]
+    fn ignores_strict_upper_triangle() {
+        // Garbage above the diagonal must not affect the solves.
+        let mut l = lower_example();
+        l[(0, 2)] = 99.0;
+        l[(0, 1)] = -7.0;
+        let clean = lower_example();
+        assert_eq!(
+            solve_lower(&l, &[1.0, 2.0, 3.0]),
+            solve_lower(&clean, &[1.0, 2.0, 3.0])
+        );
+    }
+}

@@ -1,0 +1,123 @@
+//! Vector primitives shared across the workspace's numerical code.
+//!
+//! These are deliberately plain loops: on the problem sizes of this study
+//! (vectors of length <= 400) LLVM auto-vectorizes them well and anything
+//! fancier would be noise.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics in debug builds when the lengths differ; release builds truncate
+/// to the shorter slice (the zip semantics), which callers must not rely on.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dot: length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// `y += alpha * x`, elementwise.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len(), "axpy: length mismatch");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm2(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Squared Euclidean distance between two points.
+#[inline]
+pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "dist2: length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Weighted squared distance `sum_k ((a_k - b_k) / ell_k)^2` — the
+/// anisotropic (ARD) distance used by the GP kernels, with one length
+/// scale per tuning parameter.
+#[inline]
+pub fn ard_dist2(a: &[f64], b: &[f64], lengthscales: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len(), "ard_dist2: length mismatch");
+    debug_assert_eq!(a.len(), lengthscales.len(), "ard_dist2: scale mismatch");
+    let mut acc = 0.0;
+    for k in 0..a.len() {
+        let d = (a[k] - b[k]) / lengthscales[k];
+        acc += d * d;
+    }
+    acc
+}
+
+/// Arithmetic mean; empty input yields `NaN` (propagating the caller bug
+/// loudly rather than silently producing 0).
+#[inline]
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return f64::NAN;
+    }
+    a.iter().sum::<f64>() / a.len() as f64
+}
+
+/// Population variance (divides by `n`); empty input yields `NaN`.
+#[inline]
+pub fn variance(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        return f64::NAN;
+    }
+    let m = mean(a);
+    a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_basic() {
+        assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[3.0, 4.0], &mut y);
+        assert_eq!(y, vec![7.0, 9.0]);
+    }
+
+    #[test]
+    fn norms_and_distances() {
+        assert_eq!(norm2(&[3.0, 4.0]), 5.0);
+        assert_eq!(dist2(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+    }
+
+    #[test]
+    fn ard_distance_scales_per_dimension() {
+        // With unit length scales ARD == plain squared distance.
+        assert_eq!(
+            ard_dist2(&[0.0, 0.0], &[3.0, 4.0], &[1.0, 1.0]),
+            dist2(&[0.0, 0.0], &[3.0, 4.0])
+        );
+        // Doubling a length scale quarters that dimension's contribution.
+        assert_eq!(ard_dist2(&[0.0], &[4.0], &[2.0]), 4.0);
+    }
+
+    #[test]
+    fn mean_variance() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert!((variance(&[1.0, 2.0, 3.0]) - 2.0 / 3.0).abs() < 1e-15);
+        assert!(mean(&[]).is_nan());
+        assert!(variance(&[]).is_nan());
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use autotune_linalg::{triangular, vecops, Cholesky, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random matrix with entries in [-10, 10].
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0..10.0_f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+/// Strategy: an SPD matrix built as `B B^T + n*I` (always positive definite).
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n, n).prop_map(move |b| {
+        let mut a = b.matmul(&b.transpose()).expect("square product");
+        a.add_diagonal_mut(n as f64 + 1.0);
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn transpose_is_involutive(m in matrix(4, 7)) {
+        prop_assert!(m.transpose().transpose().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(m in matrix(5, 5)) {
+        let i = Matrix::identity(5);
+        prop_assert!(m.matmul(&i).unwrap().approx_eq(&m, 0.0));
+        prop_assert!(i.matmul(&m).unwrap().approx_eq(&m, 0.0));
+    }
+
+    #[test]
+    fn matvec_is_linear(m in matrix(4, 4),
+                        x in proptest::collection::vec(-5.0..5.0_f64, 4),
+                        y in proptest::collection::vec(-5.0..5.0_f64, 4),
+                        a in -3.0..3.0_f64) {
+        // M(a x + y) == a M x + M y
+        let combo: Vec<f64> = x.iter().zip(&y).map(|(xi, yi)| a * xi + yi).collect();
+        let lhs = m.matvec(&combo).unwrap();
+        let mx = m.matvec(&x).unwrap();
+        let my = m.matvec(&y).unwrap();
+        for i in 0..4 {
+            prop_assert!((lhs[i] - (a * mx[i] + my[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in spd(6)) {
+        let c = Cholesky::new(&a).unwrap();
+        prop_assert!(c.reconstruct().approx_eq(&a, 1e-6 * (1.0 + a.max_abs())));
+    }
+
+    #[test]
+    fn cholesky_solve_inverts(a in spd(6),
+                              b in proptest::collection::vec(-5.0..5.0_f64, 6)) {
+        let c = Cholesky::new(&a).unwrap();
+        let x = c.solve(&b);
+        let back = a.matvec(&x).unwrap();
+        for i in 0..6 {
+            prop_assert!((back[i] - b[i]).abs() < 1e-6 * (1.0 + a.max_abs()));
+        }
+    }
+
+    #[test]
+    fn extend_equals_refactor(a in spd(7)) {
+        // Factor leading 6x6 block, extend by the 7th row, compare to a
+        // direct factorization of the full matrix.
+        let n = 7;
+        let lead = Matrix::symmetric_from_fn(n - 1, |i, j| a[(i, j)]);
+        let mut inc = Cholesky::new(&lead).unwrap();
+        let col: Vec<f64> = (0..n - 1).map(|i| a[(n - 1, i)]).collect();
+        inc.extend(&col, a[(n - 1, n - 1)]).unwrap();
+        let full = Cholesky::new(&a).unwrap();
+        prop_assert!(inc.factor().approx_eq(full.factor(), 1e-6 * (1.0 + a.max_abs())));
+    }
+
+    #[test]
+    fn triangular_solves_agree_with_matvec(a in spd(5),
+                                           b in proptest::collection::vec(-5.0..5.0_f64, 5)) {
+        let c = Cholesky::new(&a).unwrap();
+        let l = c.factor();
+        let y = triangular::solve_lower(l, &b);
+        let back = l.matvec(&y).unwrap();
+        for i in 0..5 {
+            prop_assert!((back[i] - b[i]).abs() < 1e-8 * (1.0 + a.max_abs()));
+        }
+    }
+
+    #[test]
+    fn log_det_positive_for_diagonally_dominant(a in spd(5)) {
+        // A = B B^T + (n+1) I has every eigenvalue >= n+1 > 1, so log|A| > 0.
+        let c = Cholesky::new(&a).unwrap();
+        prop_assert!(c.log_determinant() > 0.0);
+    }
+
+    #[test]
+    fn dot_is_commutative(x in proptest::collection::vec(-5.0..5.0_f64, 9),
+                          y in proptest::collection::vec(-5.0..5.0_f64, 9)) {
+        prop_assert_eq!(vecops::dot(&x, &y), vecops::dot(&y, &x));
+    }
+
+    #[test]
+    fn ard_dist_is_symmetric(x in proptest::collection::vec(-5.0..5.0_f64, 6),
+                             y in proptest::collection::vec(-5.0..5.0_f64, 6),
+                             l in proptest::collection::vec(0.1..4.0_f64, 6)) {
+        let d1 = vecops::ard_dist2(&x, &y, &l);
+        let d2 = vecops::ard_dist2(&y, &x, &l);
+        prop_assert!((d1 - d2).abs() < 1e-12);
+        prop_assert!(d1 >= 0.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! A single point of the search space.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One configuration: a value for every tuning parameter, in the order the
+/// parameters were declared in the owning [`ParamSpace`](crate::ParamSpace).
+///
+/// Configurations are small (6 values in the paper's space), so they are
+/// cheap to clone and hash; tuners pass them around by value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Configuration {
+    values: Vec<u32>,
+}
+
+impl Configuration {
+    /// Wraps a value vector.
+    pub fn new(values: Vec<u32>) -> Self {
+        Configuration { values }
+    }
+
+    /// Borrow of the raw values.
+    #[inline]
+    pub fn values(&self) -> &[u32] {
+        &self.values
+    }
+
+    /// Mutable borrow of the raw values (used by GA crossover/mutation).
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [u32] {
+        &mut self.values
+    }
+
+    /// Number of parameters.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` for the empty configuration (zero parameters).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Value of parameter `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of bounds.
+    #[inline]
+    pub fn get(&self, i: usize) -> u32 {
+        self.values[i]
+    }
+
+    /// Values as `f64` features (unnormalized). Surrogate models that want
+    /// unit-scaled features should go through
+    /// [`ParamSpace::to_unit_features`](crate::ParamSpace::to_unit_features).
+    pub fn as_f64(&self) -> Vec<f64> {
+        self.values.iter().map(|&v| v as f64).collect()
+    }
+}
+
+impl From<Vec<u32>> for Configuration {
+    fn from(values: Vec<u32>) -> Self {
+        Configuration::new(values)
+    }
+}
+
+impl From<&[u32]> for Configuration {
+    fn from(values: &[u32]) -> Self {
+        Configuration::new(values.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u32; N]> for Configuration {
+    fn from(values: [u32; N]) -> Self {
+        Configuration::new(values.to_vec())
+    }
+}
+
+impl fmt::Display for Configuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        let c: Configuration = [1, 2, 3].into();
+        assert_eq!(c.values(), &[1, 2, 3]);
+        assert_eq!(c.len(), 3);
+        assert!(!c.is_empty());
+        assert_eq!(c.get(1), 2);
+    }
+
+    #[test]
+    fn display_is_tuple_like() {
+        let c = Configuration::from([4, 8, 1]);
+        assert_eq!(c.to_string(), "(4, 8, 1)");
+    }
+
+    #[test]
+    fn as_f64_preserves_values() {
+        let c = Configuration::from([3, 7]);
+        assert_eq!(c.as_f64(), vec![3.0, 7.0]);
+    }
+
+    #[test]
+    fn hash_and_eq_by_value() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Configuration::from([1, 2]));
+        assert!(set.contains(&Configuration::from([1, 2])));
+        assert!(!set.contains(&Configuration::from([2, 1])));
+    }
+}

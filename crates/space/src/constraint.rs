@@ -1,0 +1,163 @@
+//! Feasibility constraints over configurations.
+//!
+//! The paper's non-SMBO methods (random search, random forest, GA) were
+//! given a *constraint specification* — only work-group shapes whose
+//! volume is at most 256 threads were ever generated — while the SMBO
+//! libraries offered no such hook and had to discover infeasibility the
+//! hard way. These types model that design point explicitly so the
+//! harness (and the ablation benches) can toggle it per algorithm.
+
+use crate::config::Configuration;
+use std::fmt;
+
+/// A boolean feasibility predicate over configurations.
+pub trait Constraint: fmt::Debug + Send + Sync {
+    /// `true` when the configuration is admissible.
+    fn is_satisfied(&self, cfg: &Configuration) -> bool;
+
+    /// Human-readable description for logs and reports.
+    fn describe(&self) -> String;
+}
+
+/// Requires the product of the values at `dims` to be at most `limit`.
+///
+/// The paper's instance is `ProductAtMost { dims: [3,4,5], limit: 256 }`:
+/// the work-group volume `Xw*Yw*Zw` must not exceed 256 threads (the
+/// OpenCL max work-group size on the studied GPUs).
+#[derive(Debug, Clone)]
+pub struct ProductAtMost {
+    dims: Vec<usize>,
+    limit: u64,
+}
+
+impl ProductAtMost {
+    /// Creates the constraint over the given parameter indices.
+    pub fn new(dims: Vec<usize>, limit: u64) -> Self {
+        ProductAtMost { dims, limit }
+    }
+
+    /// Parameter indices entering the product.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Upper bound on the product.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+}
+
+impl Constraint for ProductAtMost {
+    fn is_satisfied(&self, cfg: &Configuration) -> bool {
+        let mut product = 1u64;
+        for &d in &self.dims {
+            product = product.saturating_mul(cfg.get(d) as u64);
+            if product > self.limit {
+                return false;
+            }
+        }
+        true
+    }
+
+    fn describe(&self) -> String {
+        let dims: Vec<String> = self.dims.iter().map(|d| format!("p{d}")).collect();
+        format!("{} <= {}", dims.join("*"), self.limit)
+    }
+}
+
+/// Conjunction of constraints; empty set accepts everything.
+#[derive(Debug, Default)]
+pub struct ConstraintSet {
+    constraints: Vec<Box<dyn Constraint>>,
+}
+
+impl ConstraintSet {
+    /// An empty (always-satisfied) set.
+    pub fn none() -> Self {
+        ConstraintSet::default()
+    }
+
+    /// Builds a set from boxed constraints.
+    pub fn new(constraints: Vec<Box<dyn Constraint>>) -> Self {
+        ConstraintSet { constraints }
+    }
+
+    /// Adds a constraint.
+    pub fn push(&mut self, c: Box<dyn Constraint>) {
+        self.constraints.push(c);
+    }
+
+    /// Number of constraints in the conjunction.
+    pub fn len(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// `true` when no constraints are registered.
+    pub fn is_empty(&self) -> bool {
+        self.constraints.is_empty()
+    }
+}
+
+impl Constraint for ConstraintSet {
+    fn is_satisfied(&self, cfg: &Configuration) -> bool {
+        self.constraints.iter().all(|c| c.is_satisfied(cfg))
+    }
+
+    fn describe(&self) -> String {
+        if self.constraints.is_empty() {
+            return "true".to_string();
+        }
+        self.constraints
+            .iter()
+            .map(|c| c.describe())
+            .collect::<Vec<_>>()
+            .join(" && ")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn product_constraint_boundary() {
+        let c = ProductAtMost::new(vec![0, 1, 2], 256);
+        assert!(c.is_satisfied(&Configuration::from([8, 8, 4]))); // 256 exactly
+        assert!(!c.is_satisfied(&Configuration::from([8, 8, 5]))); // 320
+        assert!(c.is_satisfied(&Configuration::from([1, 1, 1])));
+    }
+
+    #[test]
+    fn product_constraint_only_reads_named_dims() {
+        let c = ProductAtMost::new(vec![1], 4);
+        assert!(c.is_satisfied(&Configuration::from([100, 4, 100])));
+        assert!(!c.is_satisfied(&Configuration::from([1, 5, 1])));
+    }
+
+    #[test]
+    fn product_does_not_overflow() {
+        let c = ProductAtMost::new(vec![0, 1], 10);
+        let huge = Configuration::from([u32::MAX, u32::MAX]);
+        assert!(!c.is_satisfied(&huge));
+    }
+
+    #[test]
+    fn empty_set_accepts_everything() {
+        let s = ConstraintSet::none();
+        assert!(s.is_empty());
+        assert!(s.is_satisfied(&Configuration::from([9, 9, 9])));
+        assert_eq!(s.describe(), "true");
+    }
+
+    #[test]
+    fn set_is_conjunction() {
+        let mut s = ConstraintSet::none();
+        s.push(Box::new(ProductAtMost::new(vec![0], 5)));
+        s.push(Box::new(ProductAtMost::new(vec![1], 3)));
+        assert_eq!(s.len(), 2);
+        assert!(s.is_satisfied(&Configuration::from([5, 3])));
+        assert!(!s.is_satisfied(&Configuration::from([6, 3])));
+        assert!(!s.is_satisfied(&Configuration::from([5, 4])));
+        assert!(s.describe().contains("&&"));
+    }
+}

@@ -1,0 +1,170 @@
+//! The exact search space of the paper.
+//!
+//! Six tuning parameters, in declaration order:
+//!
+//! | index | name | range | meaning |
+//! |---|---|---|---|
+//! | 0 | `Xt` | 1..=16 | thread coarsening in X (elements per thread) |
+//! | 1 | `Yt` | 1..=16 | thread coarsening in Y |
+//! | 2 | `Zt` | 1..=16 | thread coarsening in Z |
+//! | 3 | `Xw` | 1..=8  | work-group size in X |
+//! | 4 | `Yw` | 1..=8  | work-group size in Y |
+//! | 5 | `Zw` | 1..=8  | work-group size in Z |
+//!
+//! Total: `16^3 * 8^3 = 2_097_152` configurations. The a-priori
+//! constraint `Xw*Yw*Zw <= 256` (the OpenCL max work-group size on the
+//! studied GPUs) is available separately because the paper only applied
+//! it to the non-SMBO methods.
+
+use crate::config::Configuration;
+use crate::constraint::ProductAtMost;
+use crate::param::Param;
+use crate::spec::ParamSpace;
+
+/// Index of the `Xt` coarsening parameter.
+pub const XT: usize = 0;
+/// Index of the `Yt` coarsening parameter.
+pub const YT: usize = 1;
+/// Index of the `Zt` coarsening parameter.
+pub const ZT: usize = 2;
+/// Index of the `Xw` work-group parameter.
+pub const XW: usize = 3;
+/// Index of the `Yw` work-group parameter.
+pub const YW: usize = 4;
+/// Index of the `Zw` work-group parameter.
+pub const ZW: usize = 5;
+
+/// Maximum work-group volume the constraint admits.
+pub const MAX_WORK_GROUP: u64 = 256;
+
+/// The paper's 6-parameter search space.
+pub fn space() -> ParamSpace {
+    ParamSpace::new(vec![
+        Param::new("Xt", 1, 16),
+        Param::new("Yt", 1, 16),
+        Param::new("Zt", 1, 16),
+        Param::new("Xw", 1, 8),
+        Param::new("Yw", 1, 8),
+        Param::new("Zw", 1, 8),
+    ])
+}
+
+/// The paper's a-priori feasibility constraint: `Xw*Yw*Zw <= 256`.
+pub fn constraint() -> ProductAtMost {
+    ProductAtMost::new(vec![XW, YW, ZW], MAX_WORK_GROUP)
+}
+
+/// Convenience accessors for the six semantic fields of a configuration
+/// drawn from [`space`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageClConfig {
+    /// Thread-coarsening factors `(Xt, Yt, Zt)`.
+    pub coarsen: (u32, u32, u32),
+    /// Work-group dimensions `(Xw, Yw, Zw)`.
+    pub work_group: (u32, u32, u32),
+}
+
+impl ImageClConfig {
+    /// Destructures a raw configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` does not have exactly six parameters.
+    pub fn from_configuration(cfg: &Configuration) -> Self {
+        assert_eq!(cfg.len(), 6, "ImageCL configurations have 6 parameters");
+        ImageClConfig {
+            coarsen: (cfg.get(XT), cfg.get(YT), cfg.get(ZT)),
+            work_group: (cfg.get(XW), cfg.get(YW), cfg.get(ZW)),
+        }
+    }
+
+    /// Total elements each thread processes.
+    pub fn coarsening_volume(&self) -> u64 {
+        self.coarsen.0 as u64 * self.coarsen.1 as u64 * self.coarsen.2 as u64
+    }
+
+    /// Threads per work-group.
+    pub fn work_group_volume(&self) -> u64 {
+        self.work_group.0 as u64 * self.work_group.1 as u64 * self.work_group.2 as u64
+    }
+
+    /// `true` when the work-group volume respects [`MAX_WORK_GROUP`].
+    pub fn is_launchable(&self) -> bool {
+        self.work_group_volume() <= MAX_WORK_GROUP
+    }
+}
+
+/// Number of feasible configurations under [`constraint`]. Computed once
+/// by exhaustive scan in the tests and recorded here as a constant for
+/// cheap assertions elsewhere: of the `8^3 = 512` work-group shapes, 480
+/// satisfy the volume limit, so `16^3 * 480 = 1_966_080`.
+pub const FEASIBLE_SIZE: u64 = 1_966_080;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::constraint::Constraint;
+
+    #[test]
+    fn space_matches_paper_cardinality() {
+        assert_eq!(space().size(), 2_097_152);
+        assert_eq!(space().dims(), 6);
+    }
+
+    #[test]
+    fn constraint_boundary_cases() {
+        let c = constraint();
+        // 8*8*4 = 256 allowed, 8*8*5 = 320 rejected.
+        assert!(c.is_satisfied(&Configuration::from([1, 1, 1, 8, 8, 4])));
+        assert!(!c.is_satisfied(&Configuration::from([1, 1, 1, 8, 8, 5])));
+    }
+
+    #[test]
+    fn feasible_size_constant_is_exact() {
+        // Count feasible work-group shapes exhaustively; coarsening dims
+        // are unconstrained so multiply by 16^3.
+        let mut wg_ok = 0u64;
+        for x in 1..=8u64 {
+            for y in 1..=8u64 {
+                for z in 1..=8u64 {
+                    if x * y * z <= MAX_WORK_GROUP {
+                        wg_ok += 1;
+                    }
+                }
+            }
+        }
+        assert_eq!(wg_ok * 16 * 16 * 16, FEASIBLE_SIZE);
+    }
+
+    #[test]
+    fn image_cl_config_accessors() {
+        let cfg = Configuration::from([2, 4, 1, 8, 2, 2]);
+        let ic = ImageClConfig::from_configuration(&cfg);
+        assert_eq!(ic.coarsen, (2, 4, 1));
+        assert_eq!(ic.work_group, (8, 2, 2));
+        assert_eq!(ic.coarsening_volume(), 8);
+        assert_eq!(ic.work_group_volume(), 32);
+        assert!(ic.is_launchable());
+    }
+
+    #[test]
+    fn launchable_matches_constraint() {
+        let s = space();
+        let c = constraint();
+        // Spot-check a grid of configurations rather than all 2M.
+        for idx in (0..s.size()).step_by(10_007) {
+            let cfg = s.config_at(idx);
+            let ic = ImageClConfig::from_configuration(&cfg);
+            assert_eq!(ic.is_launchable(), c.is_satisfied(&cfg));
+        }
+    }
+
+    #[test]
+    fn parameter_indices_line_up() {
+        let s = space();
+        assert_eq!(s.params()[XT].name(), "Xt");
+        assert_eq!(s.params()[ZW].name(), "Zw");
+        assert_eq!(s.params()[XW].hi(), 8);
+        assert_eq!(s.params()[ZT].hi(), 16);
+    }
+}

@@ -1,0 +1,50 @@
+//! Search-space substrate for the autotuning study.
+//!
+//! The paper tunes 6 integer parameters — three thread-coarsening factors
+//! `{X,Y,Z}_t ∈ [1..16]` and three work-group dimensions `{X,Y,Z}_w ∈
+//! [1..8]` — giving a space of `16^3 * 8^3 = 2_097_152` configurations,
+//! with the a-priori constraint that the work-group volume must not exceed
+//! 256 threads.
+//!
+//! This crate provides everything the search techniques and the simulator
+//! need to talk about that space:
+//!
+//! * [`Param`] / [`ParamSpace`] — named integer ranges and their product
+//!   space, with a mixed-radix bijection between configurations and flat
+//!   indices (so random search can sample indices and exhaustive scans can
+//!   iterate the whole space).
+//! * [`Configuration`] — one point of the space.
+//! * [`constraint`] — boolean feasibility predicates, notably the paper's
+//!   `Xw*Yw*Zw <= 256` work-group volume limit.
+//! * [`sample`] — uniform, constrained (rejection) and Latin-hypercube
+//!   samplers, all deterministic given a seed.
+//! * [`neighborhood`] — ±1 per-dimension neighbourhoods used by the
+//!   metaheuristics (GA mutation, simulated annealing moves).
+//! * [`imagecl`] — the exact space and constraint of the paper.
+//!
+//! # Example
+//!
+//! ```
+//! use autotune_space::{imagecl, Constraint};
+//!
+//! let space = imagecl::space();
+//! assert_eq!(space.size(), 2_097_152);
+//! let cfg = space.config_at(0);
+//! assert_eq!(cfg.values(), &[1, 1, 1, 1, 1, 1]);
+//! assert!(imagecl::constraint().is_satisfied(&cfg));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod constraint;
+pub mod imagecl;
+pub mod neighborhood;
+pub mod param;
+pub mod sample;
+pub mod spec;
+
+pub use config::Configuration;
+pub use constraint::{Constraint, ConstraintSet, ProductAtMost};
+pub use param::Param;
+pub use spec::ParamSpace;

@@ -1,0 +1,184 @@
+//! ±1 per-dimension neighbourhoods over the integer lattice.
+//!
+//! The metaheuristics move locally: GA mutation nudges one gene, simulated
+//! annealing proposes a neighbour, and the local-search refinement used by
+//! the surrogate-prediction step walks the lattice. All of those share the
+//! neighbourhood notion defined here: configurations differing by exactly
+//! ±1 in exactly one parameter (clamped to the range).
+
+use crate::config::Configuration;
+use crate::spec::ParamSpace;
+use rand::Rng;
+
+/// All lattice neighbours of `cfg`: for each dimension, the configurations
+/// with that value incremented and decremented by one (when in range).
+///
+/// The result has between `d` (at a corner of the box) and `2d` entries
+/// and never contains `cfg` itself.
+pub fn neighbors(space: &ParamSpace, cfg: &Configuration) -> Vec<Configuration> {
+    let mut out = Vec::with_capacity(2 * space.dims());
+    for (k, p) in space.params().iter().enumerate() {
+        let v = cfg.get(k);
+        if v > p.lo() {
+            let mut c = cfg.clone();
+            c.values_mut()[k] = v - 1;
+            out.push(c);
+        }
+        if v < p.hi() {
+            let mut c = cfg.clone();
+            c.values_mut()[k] = v + 1;
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// A uniformly random lattice neighbour of `cfg`.
+///
+/// # Panics
+///
+/// Panics if the space has no neighbours (every parameter has cardinality
+/// one) — such a space has a single configuration and nothing to search.
+pub fn random_neighbor<R: Rng + ?Sized>(
+    space: &ParamSpace,
+    cfg: &Configuration,
+    rng: &mut R,
+) -> Configuration {
+    let candidates = neighbors(space, cfg);
+    assert!(
+        !candidates.is_empty(),
+        "degenerate space: no neighbouring configurations exist"
+    );
+    let i = rng.gen_range(0..candidates.len());
+    candidates.into_iter().nth(i).expect("index in range")
+}
+
+/// Replaces dimension `k` of `cfg` with a uniformly random in-range value
+/// *different from the current one* — the GA's per-gene mutation operator.
+///
+/// # Panics
+///
+/// Panics if parameter `k` has cardinality one (no different value exists).
+pub fn mutate_dimension<R: Rng + ?Sized>(
+    space: &ParamSpace,
+    cfg: &mut Configuration,
+    k: usize,
+    rng: &mut R,
+) {
+    let p = &space.params()[k];
+    assert!(
+        p.cardinality() > 1,
+        "cannot mutate single-valued parameter {}",
+        p.name()
+    );
+    let current = cfg.get(k);
+    loop {
+        let v = rng.gen_range(p.lo()..=p.hi());
+        if v != current {
+            cfg.values_mut()[k] = v;
+            return;
+        }
+    }
+}
+
+/// Hamming distance between two configurations: the number of parameters
+/// on which they differ. Used by population-diversity diagnostics.
+///
+/// # Panics
+///
+/// Panics if arities differ.
+pub fn hamming(a: &Configuration, b: &Configuration) -> usize {
+    assert_eq!(a.len(), b.len(), "hamming: arity mismatch");
+    a.values()
+        .iter()
+        .zip(b.values())
+        .filter(|(x, y)| x != y)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::param::Param;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn space() -> ParamSpace {
+        ParamSpace::new(vec![Param::new("a", 1, 4), Param::new("b", 1, 2)])
+    }
+
+    #[test]
+    fn interior_point_has_2d_neighbors() {
+        let s = ParamSpace::new(vec![Param::new("a", 1, 5), Param::new("b", 1, 5)]);
+        let n = neighbors(&s, &Configuration::from([3, 3]));
+        assert_eq!(n.len(), 4);
+        assert!(n.contains(&Configuration::from([2, 3])));
+        assert!(n.contains(&Configuration::from([4, 3])));
+        assert!(n.contains(&Configuration::from([3, 2])));
+        assert!(n.contains(&Configuration::from([3, 4])));
+    }
+
+    #[test]
+    fn corner_point_has_d_neighbors() {
+        let s = space();
+        let n = neighbors(&s, &Configuration::from([1, 1]));
+        assert_eq!(n.len(), 2);
+        assert!(!n.contains(&Configuration::from([1, 1])));
+    }
+
+    #[test]
+    fn all_neighbors_differ_in_exactly_one_dim() {
+        let s = space();
+        let c = Configuration::from([2, 2]);
+        for n in neighbors(&s, &c) {
+            assert_eq!(hamming(&c, &n), 1);
+            assert!(s.contains(&n));
+        }
+    }
+
+    #[test]
+    fn random_neighbor_is_a_neighbor() {
+        let s = space();
+        let c = Configuration::from([2, 1]);
+        let all = neighbors(&s, &c);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        for _ in 0..50 {
+            let n = random_neighbor(&s, &c, &mut rng);
+            assert!(all.contains(&n));
+        }
+    }
+
+    #[test]
+    fn mutation_changes_exactly_that_gene() {
+        let s = space();
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..50 {
+            let mut c = Configuration::from([2, 1]);
+            mutate_dimension(&s, &mut c, 0, &mut rng);
+            assert_ne!(c.get(0), 2);
+            assert_eq!(c.get(1), 1);
+            assert!(s.contains(&c));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "single-valued")]
+    fn mutation_rejects_degenerate_param() {
+        let s = ParamSpace::new(vec![Param::new("a", 3, 3)]);
+        let mut c = Configuration::from([3]);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        mutate_dimension(&s, &mut c, 0, &mut rng);
+    }
+
+    #[test]
+    fn hamming_counts_differences() {
+        assert_eq!(
+            hamming(&Configuration::from([1, 2, 3]), &Configuration::from([1, 9, 4])),
+            2
+        );
+        assert_eq!(
+            hamming(&Configuration::from([1, 2]), &Configuration::from([1, 2])),
+            0
+        );
+    }
+}

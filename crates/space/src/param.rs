@@ -1,0 +1,157 @@
+//! A single integer tuning parameter.
+
+use serde::{Deserialize, Serialize};
+
+/// One named integer tuning parameter with an inclusive range `[lo, hi]`.
+///
+/// All parameters in the study are small positive integers (coarsening
+/// factors, work-group dimensions), so `u32` values suffice.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Param {
+    name: String,
+    lo: u32,
+    hi: u32,
+}
+
+impl Param {
+    /// Creates a parameter spanning the inclusive range `[lo, hi]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`.
+    pub fn new(name: impl Into<String>, lo: u32, hi: u32) -> Self {
+        assert!(lo <= hi, "parameter range must satisfy lo <= hi");
+        Param {
+            name: name.into(),
+            lo,
+            hi,
+        }
+    }
+
+    /// Parameter name (e.g. `"Xt"` or `"Yw"`).
+    #[inline]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Smallest admissible value.
+    #[inline]
+    pub fn lo(&self) -> u32 {
+        self.lo
+    }
+
+    /// Largest admissible value.
+    #[inline]
+    pub fn hi(&self) -> u32 {
+        self.hi
+    }
+
+    /// Number of admissible values.
+    #[inline]
+    pub fn cardinality(&self) -> u64 {
+        (self.hi - self.lo) as u64 + 1
+    }
+
+    /// `true` when `v` lies in `[lo, hi]`.
+    #[inline]
+    pub fn contains(&self, v: u32) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+
+    /// Iterator over every admissible value, ascending.
+    pub fn values(&self) -> impl Iterator<Item = u32> + '_ {
+        self.lo..=self.hi
+    }
+
+    /// Maps a value to its zero-based ordinal within the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[inline]
+    pub fn ordinal(&self, v: u32) -> u64 {
+        assert!(self.contains(v), "value {v} out of range for {}", self.name);
+        (v - self.lo) as u64
+    }
+
+    /// Inverse of [`Param::ordinal`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ord >= cardinality()`.
+    #[inline]
+    pub fn value_at(&self, ord: u64) -> u32 {
+        assert!(ord < self.cardinality(), "ordinal {ord} out of range");
+        self.lo + ord as u32
+    }
+
+    /// Normalizes a value into the unit interval: `lo -> 0.0`, `hi -> 1.0`.
+    /// Single-value parameters map to `0.5`. Used to build surrogate-model
+    /// features on a common scale.
+    #[inline]
+    pub fn to_unit(&self, v: u32) -> f64 {
+        if self.hi == self.lo {
+            return 0.5;
+        }
+        (v - self.lo) as f64 / (self.hi - self.lo) as f64
+    }
+
+    /// Clamps an arbitrary integer into the admissible range.
+    #[inline]
+    pub fn clamp(&self, v: i64) -> u32 {
+        v.clamp(self.lo as i64, self.hi as i64) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cardinality_counts_inclusive_range() {
+        assert_eq!(Param::new("x", 1, 16).cardinality(), 16);
+        assert_eq!(Param::new("x", 5, 5).cardinality(), 1);
+    }
+
+    #[test]
+    fn ordinal_round_trips() {
+        let p = Param::new("x", 3, 9);
+        for v in p.lo()..=p.hi() {
+            assert_eq!(p.value_at(p.ordinal(v)), v);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ordinal_rejects_outside() {
+        Param::new("x", 1, 8).ordinal(9);
+    }
+
+    #[test]
+    fn unit_normalization_endpoints() {
+        let p = Param::new("x", 1, 16);
+        assert_eq!(p.to_unit(1), 0.0);
+        assert_eq!(p.to_unit(16), 1.0);
+        assert_eq!(Param::new("y", 4, 4).to_unit(4), 0.5);
+    }
+
+    #[test]
+    fn clamp_bounds() {
+        let p = Param::new("x", 2, 6);
+        assert_eq!(p.clamp(-5), 2);
+        assert_eq!(p.clamp(100), 6);
+        assert_eq!(p.clamp(4), 4);
+    }
+
+    #[test]
+    fn values_iterates_all() {
+        let p = Param::new("x", 1, 4);
+        assert_eq!(p.values().collect::<Vec<_>>(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "lo <= hi")]
+    fn rejects_inverted_range() {
+        let _ = Param::new("x", 5, 4);
+    }
+}

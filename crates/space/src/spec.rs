@@ -1,0 +1,203 @@
+//! The product space of all tuning parameters.
+
+use crate::config::Configuration;
+use crate::param::Param;
+use serde::{Deserialize, Serialize};
+
+/// An ordered collection of [`Param`]s and the mixed-radix bijection
+/// between flat indices `0..size()` and [`Configuration`]s.
+///
+/// The first declared parameter is the *fastest-varying* digit: indices
+/// `0, 1, 2, …` step parameter 0 through its range before parameter 1
+/// advances. This makes exhaustive scans cache-friendly for models keyed
+/// on the leading parameters and gives random index sampling a uniform
+/// distribution over configurations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamSpace {
+    params: Vec<Param>,
+}
+
+impl ParamSpace {
+    /// Builds a space from an ordered parameter list.
+    pub fn new(params: Vec<Param>) -> Self {
+        ParamSpace { params }
+    }
+
+    /// The ordered parameters.
+    #[inline]
+    pub fn params(&self) -> &[Param] {
+        &self.params
+    }
+
+    /// Number of tuning parameters (the dimensionality).
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Total number of configurations (the product of cardinalities).
+    pub fn size(&self) -> u64 {
+        self.params.iter().map(Param::cardinality).product()
+    }
+
+    /// `true` when every value of `cfg` lies in its parameter's range and
+    /// the arity matches.
+    pub fn contains(&self, cfg: &Configuration) -> bool {
+        cfg.len() == self.dims()
+            && self
+                .params
+                .iter()
+                .zip(cfg.values())
+                .all(|(p, &v)| p.contains(v))
+    }
+
+    /// Maps a configuration to its flat index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is not an element of the space.
+    pub fn index_of(&self, cfg: &Configuration) -> u64 {
+        assert!(self.contains(cfg), "configuration {cfg} not in space");
+        let mut index = 0u64;
+        let mut stride = 1u64;
+        for (p, &v) in self.params.iter().zip(cfg.values()) {
+            index += p.ordinal(v) * stride;
+            stride *= p.cardinality();
+        }
+        index
+    }
+
+    /// Maps a flat index to its configuration. Inverse of
+    /// [`ParamSpace::index_of`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= size()`.
+    pub fn config_at(&self, index: u64) -> Configuration {
+        assert!(index < self.size(), "index {index} out of range");
+        let mut rem = index;
+        let mut values = Vec::with_capacity(self.dims());
+        for p in &self.params {
+            let card = p.cardinality();
+            values.push(p.value_at(rem % card));
+            rem /= card;
+        }
+        Configuration::new(values)
+    }
+
+    /// Normalizes a configuration into `[0,1]^d` features for surrogate
+    /// models, one dimension per parameter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arity does not match.
+    pub fn to_unit_features(&self, cfg: &Configuration) -> Vec<f64> {
+        assert_eq!(cfg.len(), self.dims(), "arity mismatch");
+        self.params
+            .iter()
+            .zip(cfg.values())
+            .map(|(p, &v)| p.to_unit(v))
+            .collect()
+    }
+
+    /// Snaps a vector of unit-interval coordinates back to the nearest
+    /// configuration (inverse of [`ParamSpace::to_unit_features`] up to
+    /// rounding). Coordinates outside `[0,1]` are clamped.
+    pub fn from_unit_features(&self, feats: &[f64]) -> Configuration {
+        assert_eq!(feats.len(), self.dims(), "arity mismatch");
+        let values = self
+            .params
+            .iter()
+            .zip(feats)
+            .map(|(p, &f)| {
+                let f = f.clamp(0.0, 1.0);
+                let span = (p.hi() - p.lo()) as f64;
+                p.lo() + (f * span).round() as u32
+            })
+            .collect();
+        Configuration::new(values)
+    }
+
+    /// Iterator over every configuration in index order. On the paper's
+    /// space this is 2,097,152 items — use for exhaustive oracle scans only.
+    pub fn iter(&self) -> impl Iterator<Item = Configuration> + '_ {
+        (0..self.size()).map(move |i| self.config_at(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_space() -> ParamSpace {
+        ParamSpace::new(vec![
+            Param::new("a", 1, 3),
+            Param::new("b", 0, 1),
+            Param::new("c", 5, 6),
+        ])
+    }
+
+    #[test]
+    fn size_is_product() {
+        assert_eq!(small_space().size(), 3 * 2 * 2);
+    }
+
+    #[test]
+    fn index_bijection_round_trips() {
+        let s = small_space();
+        for i in 0..s.size() {
+            let cfg = s.config_at(i);
+            assert!(s.contains(&cfg));
+            assert_eq!(s.index_of(&cfg), i);
+        }
+    }
+
+    #[test]
+    fn first_param_varies_fastest() {
+        let s = small_space();
+        assert_eq!(s.config_at(0).values(), &[1, 0, 5]);
+        assert_eq!(s.config_at(1).values(), &[2, 0, 5]);
+        assert_eq!(s.config_at(3).values(), &[1, 1, 5]);
+    }
+
+    #[test]
+    fn contains_rejects_wrong_arity_and_range() {
+        let s = small_space();
+        assert!(!s.contains(&Configuration::from([1, 0])));
+        assert!(!s.contains(&Configuration::from([4, 0, 5])));
+        assert!(s.contains(&Configuration::from([3, 1, 6])));
+    }
+
+    #[test]
+    #[should_panic(expected = "not in space")]
+    fn index_of_rejects_foreign_config() {
+        small_space().index_of(&Configuration::from([9, 9, 9]));
+    }
+
+    #[test]
+    fn unit_features_round_trip() {
+        let s = small_space();
+        for i in 0..s.size() {
+            let cfg = s.config_at(i);
+            let feats = s.to_unit_features(&cfg);
+            assert!(feats.iter().all(|f| (0.0..=1.0).contains(f)));
+            assert_eq!(s.from_unit_features(&feats), cfg);
+        }
+    }
+
+    #[test]
+    fn from_unit_features_clamps() {
+        let s = small_space();
+        let cfg = s.from_unit_features(&[-3.0, 7.0, 0.5]);
+        assert!(s.contains(&cfg));
+        assert_eq!(cfg.values()[0], 1);
+        assert_eq!(cfg.values()[1], 1);
+    }
+
+    #[test]
+    fn iter_covers_space_once() {
+        let s = small_space();
+        let seen: std::collections::HashSet<_> = s.iter().collect();
+        assert_eq!(seen.len() as u64, s.size());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the search-space substrate.
+
+use autotune_space::constraint::Constraint;
+use autotune_space::{imagecl, neighborhood, sample, Configuration, Param, ParamSpace};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy producing a modest random space (2-6 params, cardinalities 1-10).
+fn arb_space() -> impl Strategy<Value = ParamSpace> {
+    proptest::collection::vec((0u32..5, 1u32..10), 2..=6).prop_map(|ranges| {
+        ParamSpace::new(
+            ranges
+                .into_iter()
+                .enumerate()
+                .map(|(i, (lo, span))| Param::new(format!("p{i}"), lo, lo + span))
+                .collect(),
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn index_bijection_round_trips((space, frac) in (arb_space(), 0.0..1.0f64)) {
+        let idx = ((space.size() - 1) as f64 * frac) as u64;
+        let cfg = space.config_at(idx);
+        prop_assert!(space.contains(&cfg));
+        prop_assert_eq!(space.index_of(&cfg), idx);
+    }
+
+    #[test]
+    fn unit_features_round_trip((space, frac) in (arb_space(), 0.0..1.0f64)) {
+        let idx = ((space.size() - 1) as f64 * frac) as u64;
+        let cfg = space.config_at(idx);
+        let feats = space.to_unit_features(&cfg);
+        prop_assert!(feats.iter().all(|f| (0.0..=1.0).contains(f)));
+        prop_assert_eq!(space.from_unit_features(&feats), cfg);
+    }
+
+    #[test]
+    fn uniform_sampling_stays_in_space((space, seed) in (arb_space(), 0u64..1000)) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for cfg in sample::uniform_many(&space, 32, &mut rng) {
+            prop_assert!(space.contains(&cfg));
+        }
+    }
+
+    #[test]
+    fn neighbors_are_in_space_and_distance_one((space, frac) in (arb_space(), 0.0..1.0f64)) {
+        let idx = ((space.size() - 1) as f64 * frac) as u64;
+        let cfg = space.config_at(idx);
+        for n in neighborhood::neighbors(&space, &cfg) {
+            prop_assert!(space.contains(&n));
+            prop_assert_eq!(neighborhood::hamming(&cfg, &n), 1);
+        }
+    }
+
+    #[test]
+    fn lhs_samples_are_valid((seed, n) in (0u64..100, 1usize..40)) {
+        let space = imagecl::space();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let samples = sample::latin_hypercube(&space, n, &mut rng);
+        prop_assert_eq!(samples.len(), n);
+        for s in &samples {
+            prop_assert!(space.contains(s));
+        }
+    }
+
+    #[test]
+    fn floyd_indices_are_distinct_and_bounded((seed, limit, n) in (0u64..100, 10u64..500, 1usize..10)) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let picks = sample::indices_without_replacement(limit, n, &mut rng);
+        let set: std::collections::HashSet<_> = picks.iter().copied().collect();
+        prop_assert_eq!(set.len(), n);
+        prop_assert!(picks.iter().all(|&i| i < limit));
+    }
+
+    #[test]
+    fn imagecl_constraint_agrees_with_manual_product(idx in 0u64..2_097_152) {
+        let space = imagecl::space();
+        let cfg = space.config_at(idx);
+        let manual = cfg.get(imagecl::XW) as u64
+            * cfg.get(imagecl::YW) as u64
+            * cfg.get(imagecl::ZW) as u64
+            <= imagecl::MAX_WORK_GROUP;
+        prop_assert_eq!(imagecl::constraint().is_satisfied(&cfg), manual);
+    }
+
+    #[test]
+    fn constrained_sampler_only_emits_feasible(seed in 0u64..50) {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let cfg = sample::constrained(&space, &cons, &mut rng);
+        prop_assert!(cons.is_satisfied(&cfg));
+    }
+}
+
+#[test]
+fn uniform_sampling_is_roughly_uniform_over_small_space() {
+    // Chi-squared-style sanity check on a 12-cell space: no cell should be
+    // wildly over/under-represented after 12_000 draws.
+    let space = ParamSpace::new(vec![Param::new("a", 0, 3), Param::new("b", 0, 2)]);
+    let mut rng = ChaCha8Rng::seed_from_u64(42);
+    let mut counts = vec![0u32; space.size() as usize];
+    for _ in 0..12_000 {
+        let cfg = sample::uniform(&space, &mut rng);
+        counts[space.index_of(&cfg) as usize] += 1;
+    }
+    let expected = 1_000.0;
+    for (i, &c) in counts.iter().enumerate() {
+        let dev = (c as f64 - expected).abs() / expected;
+        assert!(dev < 0.15, "cell {i} count {c} deviates {dev:.2} from uniform");
+    }
+}
+
+#[test]
+fn feasible_fraction_matches_constant() {
+    // Monte-Carlo estimate of the feasible fraction should be close to the
+    // exact FEASIBLE_SIZE / size ratio (~0.918).
+    let space = imagecl::space();
+    let cons = imagecl::constraint();
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let n = 20_000;
+    let feasible = sample::uniform_many(&space, n, &mut rng)
+        .iter()
+        .filter(|c| cons.is_satisfied(c))
+        .count();
+    let observed = feasible as f64 / n as f64;
+    let exact = imagecl::FEASIBLE_SIZE as f64 / space.size() as f64;
+    assert!(
+        (observed - exact).abs() < 0.01,
+        "observed {observed:.3} vs exact {exact:.3}"
+    );
+}
+
+#[test]
+fn config_display_and_conversion_interop() {
+    let cfg = Configuration::from([1, 2, 3, 4, 5, 6]);
+    let ic = imagecl::ImageClConfig::from_configuration(&cfg);
+    assert_eq!(ic.coarsen, (1, 2, 3));
+    assert_eq!(ic.work_group, (4, 5, 6));
+    assert_eq!(cfg.to_string(), "(1, 2, 3, 4, 5, 6)");
+}

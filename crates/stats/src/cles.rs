@@ -1,0 +1,129 @@
+//! Common Language Effect Size (McGraw & Wong) with the Vargha-Delaney
+//! tie correction.
+//!
+//! The paper (§II-C2, Fig. 4b) reports, for each algorithm, the
+//! probability that one of its runs beats a Random Search run:
+//!
+//! ```text
+//! A(X_A, X_B) = P(X_A > X_B) + 0.5 * P(X_A = X_B)
+//! ```
+//!
+//! For *runtimes*, "beats" means *smaller*, so the harness calls
+//! [`common_language_effect_size`] with the samples swapped or uses
+//! [`probability_of_superiority_min`].
+
+use crate::ranks;
+
+/// `A(a, b) = P(a_i > b_j) + 0.5 * P(a_i = b_j)` over all pairs.
+///
+/// Computed in `O((m+n) log(m+n))` from the rank-sum identity
+/// `U_a = R_a - m(m+1)/2` and `A = U_a / (m n)`, which equals the
+/// pair-counting definition exactly (midranks supply the 0.5-per-tie
+/// factor).
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+pub fn common_language_effect_size(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "CLES requires non-empty samples");
+    let m = a.len();
+    let n = b.len();
+    let mut pooled = Vec::with_capacity(m + n);
+    pooled.extend_from_slice(a);
+    pooled.extend_from_slice(b);
+    let ranking = ranks::midranks(&pooled);
+    let ra: f64 = ranking.ranks[..m].iter().sum();
+    let u_a = ra - (m * (m + 1)) as f64 / 2.0;
+    u_a / (m * n) as f64
+}
+
+/// Alias emphasizing the literature name: the Vargha-Delaney Â statistic
+/// is exactly the tie-corrected CLES.
+pub fn vargha_delaney_a(a: &[f64], b: &[f64]) -> f64 {
+    common_language_effect_size(a, b)
+}
+
+/// Probability that a random draw from `a` is *smaller* than one from `b`
+/// (ties counted half) — the "algorithm `a` beats baseline `b`" direction
+/// for runtime minimization, as plotted in the paper's Fig. 4b.
+pub fn probability_of_superiority_min(a: &[f64], b: &[f64]) -> f64 {
+    common_language_effect_size(b, a)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force pair counting, the definitional formula.
+    fn cles_naive(a: &[f64], b: &[f64]) -> f64 {
+        let mut score = 0.0;
+        for &x in a {
+            for &y in b {
+                if x > y {
+                    score += 1.0;
+                } else if x == y {
+                    score += 0.5;
+                }
+            }
+        }
+        score / (a.len() * b.len()) as f64
+    }
+
+    #[test]
+    fn complete_separation() {
+        let a = [10.0, 11.0, 12.0];
+        let b = [1.0, 2.0, 3.0];
+        assert_eq!(common_language_effect_size(&a, &b), 1.0);
+        assert_eq!(common_language_effect_size(&b, &a), 0.0);
+    }
+
+    #[test]
+    fn identical_samples_give_half() {
+        let a = [1.0, 2.0, 3.0];
+        assert!((common_language_effect_size(&a, &a) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matches_naive_pair_counting() {
+        let a = [1.0, 3.0, 3.0, 5.0, 9.0, 2.0];
+        let b = [2.0, 3.0, 4.0, 4.0, 8.0];
+        assert!(
+            (common_language_effect_size(&a, &b) - cles_naive(&a, &b)).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn complementarity() {
+        // A(a,b) + A(b,a) = 1 always.
+        let a = [1.0, 4.0, 4.0, 7.0];
+        let b = [2.0, 4.0, 6.0];
+        let fwd = common_language_effect_size(&a, &b);
+        let rev = common_language_effect_size(&b, &a);
+        assert!((fwd + rev - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn superiority_min_prefers_smaller_runtimes() {
+        let fast = [1.0, 1.1, 0.9];
+        let slow = [2.0, 2.1, 1.9];
+        assert_eq!(probability_of_superiority_min(&fast, &slow), 1.0);
+        assert_eq!(probability_of_superiority_min(&slow, &fast), 0.0);
+    }
+
+    #[test]
+    fn all_ties_give_half() {
+        let a = [3.0; 5];
+        let b = [3.0; 7];
+        assert!((common_language_effect_size(&a, &b) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vargha_delaney_alias_agrees() {
+        let a = [1.0, 5.0, 2.0];
+        let b = [3.0, 4.0];
+        assert_eq!(
+            vargha_delaney_a(&a, &b),
+            common_language_effect_size(&a, &b)
+        );
+    }
+}

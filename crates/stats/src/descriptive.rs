@@ -1,0 +1,167 @@
+//! Descriptive statistics and quantiles.
+
+/// Five-number-style summary of a sample, computed in one pass over a
+/// sorted copy. Used by the experiment harness to aggregate per-algorithm
+/// result populations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (`n-1` denominator; 0 for `n == 1`).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile, linear interpolation).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes `values`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input or NaN values.
+    pub fn of(values: &[f64]) -> Summary {
+        assert!(!values.is_empty(), "Summary requires at least one value");
+        assert!(values.iter().all(|v| !v.is_nan()), "Summary: NaN input");
+        let n = values.len();
+        let mean = values.iter().sum::<f64>() / n as f64;
+        let std_dev = if n > 1 {
+            (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64)
+                .sqrt()
+        } else {
+            0.0
+        };
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN checked"));
+        Summary {
+            n,
+            mean,
+            std_dev,
+            min: sorted[0],
+            median: quantile_sorted(&sorted, 0.5),
+            max: sorted[n - 1],
+        }
+    }
+}
+
+/// Median of a sample (linear-interpolation convention).
+///
+/// # Panics
+///
+/// Panics on empty input or NaN.
+pub fn median(values: &[f64]) -> f64 {
+    quantile(values, 0.5)
+}
+
+/// Quantile `q in [0,1]` of a sample with the linear-interpolation
+/// convention (R type 7 / NumPy default).
+///
+/// # Panics
+///
+/// Panics on empty input, NaN values, or `q` outside `[0,1]`.
+pub fn quantile(values: &[f64], q: f64) -> f64 {
+    assert!(!values.is_empty(), "quantile of empty sample");
+    assert!(values.iter().all(|v| !v.is_nan()), "quantile: NaN input");
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN checked"));
+    quantile_sorted(&sorted, q)
+}
+
+/// Quantile on an already-sorted slice.
+///
+/// # Panics
+///
+/// Panics on empty input or `q` outside `[0,1]`.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty sample");
+    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1], got {q}");
+    let h = q * (sorted.len() - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// Geometric mean; requires strictly positive values (runtimes are).
+///
+/// # Panics
+///
+/// Panics on empty input or non-positive values.
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geometric mean of empty sample");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "geometric mean requires positive values"
+    );
+    (values.iter().map(|v| v.ln()).sum::<f64>() / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(s.n, 8);
+        assert_eq!(s.mean, 5.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 9.0);
+        assert_eq!(s.median, 4.5);
+        // Sample std dev of this classic set is sqrt(32/7).
+        assert!((s.std_dev - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_value_summary() {
+        let s = Summary::of(&[3.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn median_odd_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let v = [0.0, 10.0];
+        assert_eq!(quantile(&v, 0.25), 2.5);
+        assert_eq!(quantile(&v, 0.0), 0.0);
+        assert_eq!(quantile(&v, 1.0), 10.0);
+    }
+
+    #[test]
+    fn quantile_matches_numpy_convention() {
+        // numpy.quantile([1,2,3,4], 0.4) == 2.2
+        assert!((quantile(&[1.0, 2.0, 3.0, 4.0], 0.4) - 2.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geometric_mean_known() {
+        assert!((geometric_mean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn geometric_mean_rejects_zero() {
+        let _ = geometric_mean(&[1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_rejects_empty() {
+        let _ = quantile(&[], 0.5);
+    }
+}

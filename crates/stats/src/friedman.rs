@@ -1,0 +1,185 @@
+//! The Friedman rank test with Nemenyi post-hoc critical differences —
+//! the standard machinery (Demšar 2006) for comparing multiple
+//! algorithms across multiple data sets, applied here to algorithm
+//! rankings across the study's nine (benchmark, architecture) panels.
+//!
+//! Not used by the paper itself, but the natural statistical complement
+//! to its per-panel Mann-Whitney tests once "does any algorithm dominate
+//! across the whole grid?" is the question.
+
+use crate::gamma::chi_squared_sf;
+use crate::ranks;
+
+/// Result of a Friedman test over `n` blocks × `k` treatments.
+#[derive(Debug, Clone)]
+pub struct FriedmanResult {
+    /// Mean rank per treatment (1 = best when ranking ascending costs).
+    pub mean_ranks: Vec<f64>,
+    /// The chi-squared statistic.
+    pub statistic: f64,
+    /// Asymptotic p-value (chi-squared, `k - 1` degrees of freedom).
+    pub p_value: f64,
+    /// Number of blocks (data sets / panels).
+    pub blocks: usize,
+    /// Number of treatments (algorithms).
+    pub treatments: usize,
+}
+
+impl FriedmanResult {
+    /// Nemenyi critical difference at α = 0.05: two treatments whose mean
+    /// ranks differ by more than this are significantly different.
+    ///
+    /// Uses the studentized-range-based constants `q_0.05` tabulated by
+    /// Demšar (2006) for `k = 2..=10`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `k` outside `2..=10`.
+    pub fn nemenyi_critical_difference(&self) -> f64 {
+        const Q05: [f64; 9] = [
+            1.960, 2.343, 2.569, 2.728, 2.850, 2.949, 3.031, 3.102, 3.164,
+        ];
+        let k = self.treatments;
+        assert!(
+            (2..=10).contains(&k),
+            "Nemenyi table covers 2..=10 treatments, got {k}"
+        );
+        let q = Q05[k - 2];
+        q * ((k * (k + 1)) as f64 / (6.0 * self.blocks as f64)).sqrt()
+    }
+}
+
+/// Runs the Friedman test on a `blocks x treatments` matrix of costs
+/// (lower = better). Ranks are assigned within each block with midrank
+/// tie handling; the tie-corrected statistic is used.
+///
+/// # Panics
+///
+/// Panics unless there are at least 2 blocks and 2 treatments and the
+/// rows are rectangular.
+pub fn friedman_test(costs: &[Vec<f64>]) -> FriedmanResult {
+    let n = costs.len();
+    assert!(n >= 2, "Friedman needs at least 2 blocks");
+    let k = costs[0].len();
+    assert!(k >= 2, "Friedman needs at least 2 treatments");
+    assert!(
+        costs.iter().all(|row| row.len() == k),
+        "Friedman: ragged cost matrix"
+    );
+
+    // Rank within blocks; accumulate per-treatment rank sums and the
+    // tie-correction factor.
+    let mut rank_sums = vec![0.0; k];
+    let mut tie_correction_sum = 0.0;
+    for row in costs {
+        let ranking = ranks::midranks(row);
+        for (j, &r) in ranking.ranks.iter().enumerate() {
+            rank_sums[j] += r;
+        }
+        tie_correction_sum += ranking.tie_correction();
+    }
+    let mean_ranks: Vec<f64> = rank_sums.iter().map(|s| s / n as f64).collect();
+
+    // Tie-corrected Friedman statistic:
+    // χ² = 12n/(k(k+1)) Σ_j (R̄_j - (k+1)/2)², divided by the tie
+    // adjustment 1 - C/(n k (k² - 1)) with C = Σ_blocks Σ_ties (t³ - t).
+    let nk = n as f64 * k as f64;
+    let centre = (k as f64 + 1.0) / 2.0;
+    let raw: f64 = 12.0 * n as f64 / (k as f64 * (k as f64 + 1.0))
+        * mean_ranks
+            .iter()
+            .map(|r| (r - centre) * (r - centre))
+            .sum::<f64>();
+    let tie_denominator = 1.0 - tie_correction_sum / (nk * (k as f64 * k as f64 - 1.0));
+    let statistic = if tie_denominator > 0.0 {
+        raw / tie_denominator
+    } else {
+        // All blocks fully tied: no evidence of any difference.
+        0.0
+    };
+    let p_value = if statistic > 0.0 {
+        chi_squared_sf(statistic, (k - 1) as f64)
+    } else {
+        1.0
+    };
+
+    FriedmanResult {
+        mean_ranks,
+        statistic,
+        p_value,
+        blocks: n,
+        treatments: k,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearly_ordered_treatments_are_significant() {
+        // Treatment 0 always best, 2 always worst, over 12 blocks.
+        let costs: Vec<Vec<f64>> = (0..12)
+            .map(|i| vec![1.0 + i as f64 * 0.01, 2.0, 3.0])
+            .collect();
+        let r = friedman_test(&costs);
+        assert_eq!(r.mean_ranks, vec![1.0, 2.0, 3.0]);
+        assert!(r.p_value < 0.01, "p = {}", r.p_value);
+        // Statistic for perfect ordering: 12*12/(3*4) * (1+0+1) = 24.
+        assert!((r.statistic - 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn random_like_data_is_not_significant() {
+        // Rotating winners: each treatment best equally often.
+        let costs = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 1.0, 2.0],
+            vec![2.0, 3.0, 1.0],
+            vec![1.0, 2.0, 3.0],
+            vec![3.0, 1.0, 2.0],
+            vec![2.0, 3.0, 1.0],
+        ];
+        let r = friedman_test(&costs);
+        assert!(r.p_value > 0.9, "p = {}", r.p_value);
+        assert!(r.mean_ranks.iter().all(|&m| (m - 2.0).abs() < 1e-12));
+    }
+
+    #[test]
+    fn ties_are_handled() {
+        let costs = vec![
+            vec![1.0, 1.0, 2.0],
+            vec![1.0, 1.0, 2.0],
+            vec![1.0, 1.0, 2.0],
+            vec![1.0, 1.0, 2.0],
+        ];
+        let r = friedman_test(&costs);
+        assert_eq!(r.mean_ranks, vec![1.5, 1.5, 3.0]);
+        assert!(r.p_value < 0.05, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn fully_tied_blocks_give_no_evidence() {
+        let costs = vec![vec![5.0, 5.0, 5.0]; 4];
+        let r = friedman_test(&costs);
+        assert_eq!(r.statistic, 0.0);
+        assert_eq!(r.p_value, 1.0);
+    }
+
+    #[test]
+    fn nemenyi_cd_matches_demsar_example() {
+        // Demšar 2006: k = 5, n = 14 -> CD = 2.728 * sqrt(5*6/(6*14)) ≈ 1.63.
+        let costs: Vec<Vec<f64>> = (0..14)
+            .map(|i| (0..5).map(|j| (i * j % 7) as f64).collect())
+            .collect();
+        let r = friedman_test(&costs);
+        let cd = r.nemenyi_critical_difference();
+        assert!((cd - 1.63).abs() < 0.01, "CD = {cd}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2 blocks")]
+    fn rejects_single_block() {
+        let _ = friedman_test(&[vec![1.0, 2.0]]);
+    }
+}

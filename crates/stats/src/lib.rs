@@ -1,0 +1,50 @@
+//! Statistics substrate for the autotuning study.
+//!
+//! The paper's methodology (its §II-C and §V-A) rests on two tools, both
+//! implemented here from scratch:
+//!
+//! * the **Mann-Whitney U test** ([`mwu`]) — a non-parametric significance
+//!   test chosen because autotuning runtime populations are "obviously
+//!   non-gaussian"; the paper uses threshold `α = 0.01`;
+//! * the **Common Language Effect Size** ([`cles`]) of McGraw & Wong with
+//!   the Vargha-Delaney tie correction: `A(X_A, X_B) = P(X_A > X_B) +
+//!   0.5 P(X_A = X_B)` — the probability that a random run of one
+//!   algorithm beats a random run of another.
+//!
+//! Supporting machinery: ranking with ties ([`ranks`]), the standard
+//! normal distribution ([`normal`]), incomplete gamma / chi-squared
+//! ([`gamma`]), descriptive statistics and quantiles ([`descriptive`]),
+//! percentile-bootstrap confidence intervals ([`bootstrap`]) used for
+//! the aggregate line plot (paper Fig. 3), and — as an extension for
+//! whole-grid comparisons — the Friedman rank test with Nemenyi critical
+//! differences ([`friedman`]).
+//!
+//! # Example
+//!
+//! ```
+//! use autotune_stats::{mwu, cles};
+//!
+//! // Algorithm A's best runtimes are clearly lower (better) than B's.
+//! let a = [1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98, 1.04];
+//! let b = [2.0, 2.1, 1.9, 2.05, 1.95, 2.02, 1.98, 2.04];
+//! let test = mwu::mann_whitney_u(&a, &b, mwu::Alternative::Less);
+//! assert!(test.p_value < 0.01);
+//! // CLES: probability that a random A value exceeds a random B value.
+//! assert_eq!(cles::common_language_effect_size(&a, &b), 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bootstrap;
+pub mod cles;
+pub mod descriptive;
+pub mod friedman;
+pub mod gamma;
+pub mod mwu;
+pub mod normal;
+pub mod ranks;
+pub mod wilcoxon;
+
+pub use cles::{common_language_effect_size, vargha_delaney_a};
+pub use descriptive::Summary;
+pub use mwu::{mann_whitney_u, Alternative, MwuResult};

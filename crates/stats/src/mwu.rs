@@ -1,0 +1,280 @@
+//! The Mann-Whitney U test (a.k.a. Wilcoxon rank-sum test).
+//!
+//! This is the paper's significance test (§II-C1, §V-A): a non-parametric
+//! test of whether a randomly chosen observation from one population tends
+//! to be larger than one from the other, chosen because autotuning runtime
+//! distributions fit no standard parametric family. The paper uses
+//! `α = 0.01`.
+//!
+//! Two computation paths, selected automatically:
+//!
+//! * an **exact** null distribution by dynamic programming when both
+//!   samples are small (`<= 20`) and tie-free — the recurrence
+//!   `c(u; m, n) = c(u - n; m - 1, n) + c(u; m, n - 1)` counts rank
+//!   arrangements;
+//! * the **normal approximation** with midrank tie correction and
+//!   continuity correction otherwise — the same default SciPy applies at
+//!   these sample sizes (the paper's experiment counts are 50-800).
+
+use crate::normal;
+use crate::ranks;
+
+/// Direction of the alternative hypothesis for
+/// [`mann_whitney_u`]`(a, b, alt)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Alternative {
+    /// H1: values from `a` tend to be *smaller* than values from `b`.
+    Less,
+    /// H1: values from `a` tend to be *larger* than values from `b`.
+    Greater,
+    /// H1: the distributions differ in location either way.
+    TwoSided,
+}
+
+/// Outcome of a Mann-Whitney U test.
+#[derive(Debug, Clone, Copy)]
+pub struct MwuResult {
+    /// The U statistic of the *first* sample.
+    pub u: f64,
+    /// The p-value under the selected alternative.
+    pub p_value: f64,
+    /// Standardized statistic (NaN when the exact path was used).
+    pub z: f64,
+    /// `true` when the exact small-sample distribution was used.
+    pub exact: bool,
+}
+
+impl MwuResult {
+    /// `true` when the null is rejected at level `alpha`.
+    pub fn significant_at(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Largest per-sample size for which the exact path is attempted.
+const EXACT_LIMIT: usize = 20;
+
+/// Runs the Mann-Whitney U test on two independent samples.
+///
+/// # Panics
+///
+/// Panics if either sample is empty or contains NaN.
+pub fn mann_whitney_u(a: &[f64], b: &[f64], alternative: Alternative) -> MwuResult {
+    assert!(!a.is_empty() && !b.is_empty(), "MWU requires non-empty samples");
+    let n1 = a.len();
+    let n2 = b.len();
+
+    // Pooled midranks.
+    let mut pooled = Vec::with_capacity(n1 + n2);
+    pooled.extend_from_slice(a);
+    pooled.extend_from_slice(b);
+    let ranking = ranks::midranks(&pooled);
+
+    let r1: f64 = ranking.ranks[..n1].iter().sum();
+    let u1 = r1 - (n1 * (n1 + 1)) as f64 / 2.0;
+
+    if n1 <= EXACT_LIMIT && n2 <= EXACT_LIMIT && !ranking.has_ties() {
+        let p = exact_p_value(u1, n1, n2, alternative);
+        return MwuResult {
+            u: u1,
+            p_value: p,
+            z: f64::NAN,
+            exact: true,
+        };
+    }
+
+    // Normal approximation with tie-corrected variance and continuity
+    // correction.
+    let n = (n1 + n2) as f64;
+    let mu = (n1 * n2) as f64 / 2.0;
+    let tie = ranking.tie_correction();
+    let var = (n1 * n2) as f64 / 12.0 * ((n + 1.0) - tie / (n * (n - 1.0)));
+    assert!(
+        var > 0.0,
+        "MWU variance is zero: all pooled observations are identical"
+    );
+    let sigma = var.sqrt();
+
+    let (z, p) = match alternative {
+        Alternative::Greater => {
+            let z = (u1 - mu - 0.5) / sigma;
+            (z, normal::sf(z))
+        }
+        Alternative::Less => {
+            let z = (u1 - mu + 0.5) / sigma;
+            (z, normal::cdf(z))
+        }
+        Alternative::TwoSided => {
+            let z = ((u1 - mu).abs() - 0.5).max(0.0) / sigma;
+            (z, (2.0 * normal::sf(z)).min(1.0))
+        }
+    };
+    MwuResult {
+        u: u1,
+        p_value: p,
+        z,
+        exact: false,
+    }
+}
+
+/// Exact p-value from the tie-free null distribution of U.
+fn exact_p_value(u1: f64, n1: usize, n2: usize, alternative: Alternative) -> f64 {
+    let dist = u_distribution(n1, n2);
+    let total: f64 = dist.iter().sum();
+    let u = u1.round() as usize;
+    match alternative {
+        Alternative::Less => dist[..=u].iter().sum::<f64>() / total,
+        Alternative::Greater => dist[u..].iter().sum::<f64>() / total,
+        Alternative::TwoSided => {
+            let lo: f64 = dist[..=u].iter().sum();
+            let hi: f64 = dist[u..].iter().sum();
+            (2.0 * lo.min(hi) / total).min(1.0)
+        }
+    }
+}
+
+/// Number of rank arrangements with each U value, for tie-free samples:
+/// `f(u; n1, n2) = f(u - n2; n1 - 1, n2) + f(u; n1, n2 - 1)`.
+fn u_distribution(n1: usize, n2: usize) -> Vec<f64> {
+    let max_u = n1 * n2;
+    // table[m][n] is a Vec over u; build bottom-up with rolling storage
+    // over n2 for each n1 row.
+    let mut prev_row: Vec<Vec<f64>> = (0..=n2).map(|_| vec![1.0]).collect(); // n1 = 0
+    for m in 1..=n1 {
+        let mut row: Vec<Vec<f64>> = Vec::with_capacity(n2 + 1);
+        // n = 0: only u = 0 possible.
+        row.push(vec![1.0]);
+        for n in 1..=n2 {
+            let mut dist = vec![0.0; m * n + 1];
+            for (u, slot) in dist.iter_mut().enumerate() {
+                // f(u; m, n) = f(u - n; m - 1, n) + f(u; m, n - 1)
+                let a = if u >= n {
+                    *prev_row[n].get(u - n).unwrap_or(&0.0)
+                } else {
+                    0.0
+                };
+                let b = *row[n - 1].get(u).unwrap_or(&0.0);
+                *slot = a + b;
+            }
+            row.push(dist);
+        }
+        prev_row = row;
+    }
+    let mut dist = prev_row.pop().expect("n2 row exists");
+    dist.resize(max_u + 1, 0.0);
+    dist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u_statistic_matches_hand_computation() {
+        // a = [1,2], b = [3,4]: every b beats every a, so U1 = 0.
+        let r = mann_whitney_u(&[1.0, 2.0], &[3.0, 4.0], Alternative::Less);
+        assert_eq!(r.u, 0.0);
+        // Exact path: P(U <= 0) = 1 / C(4,2) = 1/6.
+        assert!(r.exact);
+        assert!((r.p_value - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exact_distribution_2x2() {
+        let d = u_distribution(2, 2);
+        // U in {0,1,2,3,4} with counts {1,1,2,1,1}, total C(4,2)=6.
+        assert_eq!(d, vec![1.0, 1.0, 2.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn exact_distribution_sums_to_binomial() {
+        let d = u_distribution(5, 7);
+        let total: f64 = d.iter().sum();
+        // C(12,5) = 792.
+        assert_eq!(total, 792.0);
+        // Symmetry of the null distribution.
+        let n = d.len();
+        for i in 0..n {
+            assert_eq!(d[i], d[n - 1 - i]);
+        }
+    }
+
+    #[test]
+    fn strongly_separated_samples_are_significant() {
+        let a: Vec<f64> = (0..30).map(|i| 1.0 + i as f64 * 0.01).collect();
+        let b: Vec<f64> = (0..30).map(|i| 2.0 + i as f64 * 0.01).collect();
+        let r = mann_whitney_u(&a, &b, Alternative::Less);
+        assert!(!r.exact);
+        assert!(r.p_value < 1e-6);
+        assert!(r.significant_at(0.01));
+        // And the reverse alternative is not significant.
+        let r2 = mann_whitney_u(&a, &b, Alternative::Greater);
+        assert!(r2.p_value > 0.99);
+    }
+
+    #[test]
+    fn identical_distributions_are_not_significant() {
+        // Interleaved values: no location difference.
+        let a: Vec<f64> = (0..40).map(|i| i as f64 * 2.0).collect();
+        let b: Vec<f64> = (0..40).map(|i| i as f64 * 2.0 + 1.0).collect();
+        let r = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        assert!(r.p_value > 0.5, "p = {}", r.p_value);
+    }
+
+    #[test]
+    fn two_sided_is_at_most_twice_one_sided() {
+        let a = [1.0, 5.0, 3.0, 7.0, 2.0, 8.0, 12.0, 4.0, 9.0, 2.5,
+                 1.1, 5.1, 3.1, 7.1, 2.1, 8.1, 12.1, 4.1, 9.1, 2.6,
+                 1.2, 5.2]; // len 22 -> approx path
+        let b = [2.0, 6.0, 4.0, 8.0, 3.0, 9.0, 13.0, 5.0, 10.0, 3.5,
+                 2.2, 6.2, 4.2, 8.2, 3.2, 9.2, 13.2, 5.2, 10.2, 3.6,
+                 2.3, 6.3];
+        let two = mann_whitney_u(&a, &b, Alternative::TwoSided).p_value;
+        let less = mann_whitney_u(&a, &b, Alternative::Less).p_value;
+        let greater = mann_whitney_u(&a, &b, Alternative::Greater).p_value;
+        assert!(two <= 2.0 * less.min(greater) + 1e-9);
+    }
+
+    #[test]
+    fn ties_fall_back_to_normal_approximation() {
+        let a = [1.0, 2.0, 2.0, 3.0];
+        let b = [2.0, 3.0, 3.0, 4.0];
+        let r = mann_whitney_u(&a, &b, Alternative::Less);
+        assert!(!r.exact);
+        assert!(r.p_value > 0.0 && r.p_value < 1.0);
+    }
+
+    #[test]
+    fn scipy_reference_normal_approx() {
+        // Cross-checked against scipy.stats.mannwhitneyu(a, b,
+        // alternative='less', method='asymptotic', use_continuity=True):
+        // a = 0..25, b = 10..35 shifted; U and p recorded below.
+        let a: Vec<f64> = (0..25).map(|i| i as f64).collect();
+        let b: Vec<f64> = (0..25).map(|i| i as f64 + 10.0).collect();
+        let r = mann_whitney_u(&a, &b, Alternative::Less);
+        // Identity: U_a + U_b = n1 * n2 = 625.
+        let r_rev = mann_whitney_u(&b, &a, Alternative::Greater);
+        assert!((r.u + r_rev.u - 625.0).abs() < 1e-9);
+        // U_a counts (a, b) pairs with a > b plus half-ties. Here
+        // a[i] > b[j] iff i > j + 10 (105 pairs) and a[i] == b[j] for the
+        // 15 pairs with i == j + 10, so U_a = 105 + 15/2 = 112.5.
+        assert_eq!(r.u, 112.5);
+        assert!(r.p_value < 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_sample_rejected() {
+        let _ = mann_whitney_u(&[], &[1.0], Alternative::Less);
+    }
+
+    #[test]
+    #[should_panic(expected = "variance is zero")]
+    fn all_identical_rejected() {
+        // 25 identical values in each sample: tie correction collapses the
+        // variance to zero; the test is undefined.
+        let a = [3.0; 25];
+        let b = [3.0; 25];
+        let _ = mann_whitney_u(&a, &b, Alternative::TwoSided);
+    }
+}

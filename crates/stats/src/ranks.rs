@@ -1,0 +1,136 @@
+//! Midrank assignment with tie handling.
+//!
+//! Both the Mann-Whitney U statistic and its tie-corrected variance are
+//! computed from *ranks over the pooled sample*; tied observations all
+//! receive the average (mid) rank of the positions they occupy.
+
+/// Result of ranking a pooled sample.
+#[derive(Debug, Clone)]
+pub struct Ranking {
+    /// `ranks[i]` is the 1-based midrank of input element `i`.
+    pub ranks: Vec<f64>,
+    /// Sizes of each tie group (groups of equal values), in sorted order.
+    /// Singletons are included; `tie_sizes.iter().sum() == n`.
+    pub tie_sizes: Vec<usize>,
+}
+
+impl Ranking {
+    /// The tie-correction term `sum_j (t_j^3 - t_j)` over tie groups,
+    /// which enters the MWU variance as a subtraction.
+    pub fn tie_correction(&self) -> f64 {
+        self.tie_sizes
+            .iter()
+            .map(|&t| {
+                let t = t as f64;
+                t * t * t - t
+            })
+            .sum()
+    }
+
+    /// `true` when every value was distinct.
+    pub fn has_ties(&self) -> bool {
+        self.tie_sizes.iter().any(|&t| t > 1)
+    }
+}
+
+/// Assigns 1-based midranks to `values`.
+///
+/// Non-finite inputs are rejected because they have no meaningful order
+/// against real measurements.
+///
+/// # Panics
+///
+/// Panics if any value is NaN.
+pub fn midranks(values: &[f64]) -> Ranking {
+    assert!(
+        values.iter().all(|v| !v.is_nan()),
+        "midranks: NaN has no rank"
+    );
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| {
+        values[a]
+            .partial_cmp(&values[b])
+            .expect("NaN filtered above")
+    });
+
+    let mut ranks = vec![0.0; n];
+    let mut tie_sizes = Vec::new();
+    let mut i = 0;
+    while i < n {
+        // Find the extent of the tie group starting at sorted position i.
+        let mut j = i + 1;
+        while j < n && values[order[j]] == values[order[i]] {
+            j += 1;
+        }
+        // Positions i..j (0-based) hold equal values; midrank is the
+        // average of 1-based ranks i+1 ..= j.
+        let midrank = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            ranks[idx] = midrank;
+        }
+        tie_sizes.push(j - i);
+        i = j;
+    }
+    Ranking { ranks, tie_sizes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distinct_values_get_ordinal_ranks() {
+        let r = midranks(&[30.0, 10.0, 20.0]);
+        assert_eq!(r.ranks, vec![3.0, 1.0, 2.0]);
+        assert!(!r.has_ties());
+        assert_eq!(r.tie_correction(), 0.0);
+    }
+
+    #[test]
+    fn ties_get_midranks() {
+        // values: 1, 2, 2, 3 -> ranks 1, 2.5, 2.5, 4
+        let r = midranks(&[1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(r.ranks, vec![1.0, 2.5, 2.5, 4.0]);
+        assert!(r.has_ties());
+        // One tie group of size 2: 2^3 - 2 = 6.
+        assert_eq!(r.tie_correction(), 6.0);
+    }
+
+    #[test]
+    fn all_equal_values() {
+        let r = midranks(&[5.0; 4]);
+        assert!(r.ranks.iter().all(|&x| x == 2.5));
+        assert_eq!(r.tie_sizes, vec![4]);
+        assert_eq!(r.tie_correction(), 60.0); // 4^3 - 4
+    }
+
+    #[test]
+    fn rank_sum_is_invariant() {
+        // Sum of ranks is always n(n+1)/2 regardless of ties.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![1.0, 2.0, 3.0, 4.0, 5.0],
+            vec![1.0, 1.0, 1.0, 2.0, 2.0],
+            vec![3.0, 1.0, 3.0, 1.0, 3.0],
+        ];
+        for values in cases {
+            let n = values.len() as f64;
+            let r = midranks(&values);
+            let sum: f64 = r.ranks.iter().sum();
+            assert!((sum - n * (n + 1.0) / 2.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let r = midranks(&[]);
+        assert!(r.ranks.is_empty());
+        assert!(r.tie_sizes.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_is_rejected() {
+        let _ = midranks(&[1.0, f64::NAN]);
+    }
+}

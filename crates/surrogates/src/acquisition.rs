@@ -1,0 +1,183 @@
+//! Acquisition functions for Bayesian optimization.
+//!
+//! The paper configures scikit-optimize with **Expected Improvement**;
+//! UCB/LCB and Probability of Improvement are provided for the
+//! acquisition-function ablation bench. All are written for
+//! *minimization* (runtimes), matching the study's objective.
+
+/// Standard normal pdf.
+fn phi(z: f64) -> f64 {
+    (-0.5 * z * z).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Standard normal cdf via the Maclaurin series of `erf`, which is
+/// accurate for the modest `|z| < 4` range acquisition scoring actually
+/// discriminates on; beyond that Φ is within `4e-5` of its saturation
+/// value and candidate ranking is unaffected, so the tails clamp.
+fn big_phi(z: f64) -> f64 {
+    if z < -4.0 {
+        return 0.0;
+    }
+    if z > 4.0 {
+        return 1.0;
+    }
+    // erf(z/sqrt(2)) by series.
+    let x = z / std::f64::consts::SQRT_2;
+    let x2 = x * x;
+    let mut term = x;
+    let mut sum = x;
+    for n in 1..120 {
+        term *= -x2 / n as f64;
+        let c = term / (2 * n + 1) as f64;
+        sum += c;
+        if c.abs() < 1e-17 {
+            break;
+        }
+    }
+    let erf = 2.0 / std::f64::consts::PI.sqrt() * sum;
+    0.5 * (1.0 + erf)
+}
+
+/// Expected Improvement of a candidate with predictive `(mean, std)` over
+/// the incumbent best observed value `best` (minimization):
+/// `EI = (best - μ) Φ(z) + σ φ(z)`, `z = (best - μ)/σ`.
+///
+/// `xi` is the exploration offset (`0.01` is the scikit-optimize
+/// default); larger values explore more.
+pub fn expected_improvement(mean: f64, std: f64, best: f64, xi: f64) -> f64 {
+    if std <= 0.0 {
+        return (best - mean - xi).max(0.0);
+    }
+    let improve = best - mean - xi;
+    let z = improve / std;
+    (improve * big_phi(z) + std * phi(z)).max(0.0)
+}
+
+/// Lower Confidence Bound for minimization: `LCB = μ - κ σ`. Returned
+/// *negated* so that, like EI, larger is better for the maximizing
+/// candidate loop.
+pub fn lower_confidence_bound(mean: f64, std: f64, kappa: f64) -> f64 {
+    -(mean - kappa * std)
+}
+
+/// Probability of Improvement over `best` (minimization).
+pub fn probability_of_improvement(mean: f64, std: f64, best: f64, xi: f64) -> f64 {
+    if std <= 0.0 {
+        return if mean < best - xi { 1.0 } else { 0.0 };
+    }
+    big_phi((best - mean - xi) / std)
+}
+
+/// Which acquisition a tuner uses (ablation surface).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Acquisition {
+    /// Expected Improvement with exploration offset `xi`.
+    ExpectedImprovement {
+        /// Exploration offset.
+        xi: f64,
+    },
+    /// (Negated) Lower Confidence Bound with weight `kappa`.
+    LowerConfidenceBound {
+        /// Exploration weight.
+        kappa: f64,
+    },
+    /// Probability of Improvement with offset `xi`.
+    ProbabilityOfImprovement {
+        /// Exploration offset.
+        xi: f64,
+    },
+}
+
+impl Acquisition {
+    /// The paper's configuration: EI with the scikit-optimize default
+    /// offset.
+    pub fn paper_default() -> Self {
+        Acquisition::ExpectedImprovement { xi: 0.01 }
+    }
+
+    /// Scores a candidate; larger is better.
+    pub fn score(&self, mean: f64, std: f64, best: f64) -> f64 {
+        match *self {
+            Acquisition::ExpectedImprovement { xi } => {
+                expected_improvement(mean, std, best, xi)
+            }
+            Acquisition::LowerConfidenceBound { kappa } => {
+                lower_confidence_bound(mean, std, kappa)
+            }
+            Acquisition::ProbabilityOfImprovement { xi } => {
+                probability_of_improvement(mean, std, best, xi)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ei_zero_when_hopeless() {
+        // Mean far above best with tiny uncertainty: no expected gain.
+        assert!(expected_improvement(10.0, 0.01, 1.0, 0.0) < 1e-12);
+    }
+
+    #[test]
+    fn ei_positive_when_promising() {
+        assert!(expected_improvement(0.5, 0.3, 1.0, 0.0) > 0.4);
+    }
+
+    #[test]
+    fn ei_grows_with_uncertainty_at_equal_mean() {
+        let low = expected_improvement(1.0, 0.1, 1.0, 0.0);
+        let high = expected_improvement(1.0, 1.0, 1.0, 0.0);
+        assert!(high > low);
+    }
+
+    #[test]
+    fn ei_closed_form_at_mean_equal_best() {
+        // improve = 0: EI = σ φ(0) = σ / sqrt(2π).
+        let sigma = 0.7;
+        let want = sigma / (2.0 * std::f64::consts::PI).sqrt();
+        assert!((expected_improvement(2.0, sigma, 2.0, 0.0) - want).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ei_degenerate_std_is_hinge() {
+        assert_eq!(expected_improvement(0.4, 0.0, 1.0, 0.0), 0.6);
+        assert_eq!(expected_improvement(1.4, 0.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn lcb_prefers_low_mean_and_high_std() {
+        let a = lower_confidence_bound(1.0, 0.5, 2.0);
+        let b = lower_confidence_bound(2.0, 0.5, 2.0);
+        assert!(a > b, "lower mean wins");
+        let c = lower_confidence_bound(1.0, 1.0, 2.0);
+        assert!(c > a, "higher std wins under exploration");
+    }
+
+    #[test]
+    fn poi_is_a_probability() {
+        for (m, s) in [(0.0, 1.0), (5.0, 2.0), (-3.0, 0.5)] {
+            let p = probability_of_improvement(m, s, 1.0, 0.0);
+            assert!((0.0..=1.0).contains(&p));
+        }
+        assert!((probability_of_improvement(1.0, 1.0, 1.0, 0.0) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn acquisition_enum_dispatches() {
+        let ei = Acquisition::paper_default();
+        assert!(ei.score(0.5, 0.2, 1.0) > 0.0);
+        let lcb = Acquisition::LowerConfidenceBound { kappa: 1.0 };
+        assert_eq!(lcb.score(2.0, 0.5, 0.0), -1.5);
+    }
+
+    #[test]
+    fn big_phi_sane() {
+        assert!((big_phi(0.0) - 0.5).abs() < 1e-12);
+        assert!(big_phi(2.0) > 0.97 && big_phi(2.0) < 0.98);
+        assert_eq!(big_phi(4.5), 1.0);
+        assert_eq!(big_phi(-4.5), 0.0);
+    }
+}

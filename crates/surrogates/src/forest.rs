@@ -1,0 +1,220 @@
+//! Random Forest regression (Breiman 2001): bootstrap-bagged CART trees
+//! with random feature subsets, predictions averaged across the ensemble.
+//!
+//! This is the paper's RF surrogate (scikit-learn's
+//! `RandomForestRegressor` with default hyperparameters: 100 trees,
+//! unrestricted depth, all features per split, bootstrap sampling).
+
+use crate::tree::{RegressionTree, TreeParams};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Ensemble hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomForestParams {
+    /// Number of trees.
+    pub n_trees: usize,
+    /// Per-tree parameters.
+    pub tree: TreeParams,
+    /// Whether each tree sees a bootstrap resample (`true` for a forest;
+    /// `false` degenerates to bagged-less averaging).
+    pub bootstrap: bool,
+}
+
+impl Default for RandomForestParams {
+    fn default() -> Self {
+        RandomForestParams {
+            n_trees: 100,
+            tree: TreeParams::default(),
+            bootstrap: true,
+        }
+    }
+}
+
+/// A fitted random forest.
+#[derive(Debug, Clone)]
+pub struct RandomForest {
+    trees: Vec<RegressionTree>,
+}
+
+impl RandomForest {
+    /// Fits the ensemble to `(x, y)` with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data or mismatched lengths (see
+    /// [`RegressionTree::fit`]), or `n_trees == 0`.
+    pub fn fit(x: &[Vec<f64>], y: &[f64], params: &RandomForestParams, seed: u64) -> RandomForest {
+        assert!(params.n_trees > 0, "forest needs at least one tree");
+        assert!(!x.is_empty(), "forest fit needs at least one sample");
+        assert_eq!(x.len(), y.len(), "forest fit: x/y length mismatch");
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let n = x.len();
+        let mut trees = Vec::with_capacity(params.n_trees);
+        // Reused bootstrap buffers.
+        let mut bx: Vec<Vec<f64>> = Vec::with_capacity(n);
+        let mut by: Vec<f64> = Vec::with_capacity(n);
+        for _ in 0..params.n_trees {
+            if params.bootstrap {
+                bx.clear();
+                by.clear();
+                for _ in 0..n {
+                    let i = rng.gen_range(0..n);
+                    bx.push(x[i].clone());
+                    by.push(y[i]);
+                }
+                trees.push(RegressionTree::fit(&bx, &by, &params.tree, &mut rng));
+            } else {
+                trees.push(RegressionTree::fit(x, y, &params.tree, &mut rng));
+            }
+        }
+        RandomForest { trees }
+    }
+
+    /// Ensemble-mean prediction.
+    pub fn predict(&self, x: &[f64]) -> f64 {
+        self.trees.iter().map(|t| t.predict(x)).sum::<f64>() / self.trees.len() as f64
+    }
+
+    /// Per-tree predictions (for ensemble-spread diagnostics).
+    pub fn predict_all(&self, x: &[f64]) -> Vec<f64> {
+        self.trees.iter().map(|t| t.predict(x)).collect()
+    }
+
+    /// Ensemble standard deviation at `x` — a crude epistemic-uncertainty
+    /// signal some tuners use.
+    pub fn predict_std(&self, x: &[f64]) -> f64 {
+        let preds = self.predict_all(x);
+        let mean = preds.iter().sum::<f64>() / preds.len() as f64;
+        (preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64)
+            .sqrt()
+    }
+
+    /// Number of trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// `true` if the forest has no trees (unreachable via `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// y = 3*x0 - 2*x1 on a grid.
+    fn linear_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let x: Vec<Vec<f64>> = (0..100)
+            .map(|i| vec![(i % 10) as f64, (i / 10) as f64])
+            .collect();
+        let y = x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1]).collect();
+        (x, y)
+    }
+
+    #[test]
+    fn fits_linear_function_in_range() {
+        let (x, y) = linear_data();
+        let f = RandomForest::fit(&x, &y, &RandomForestParams::default(), 1);
+        for probe in [[2.0, 3.0], [7.0, 1.0], [5.0, 5.0]] {
+            let want = 3.0 * probe[0] - 2.0 * probe[1];
+            let got = f.predict(&probe);
+            assert!((got - want).abs() < 2.5, "f({probe:?}) = {got}, want {want}");
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let (x, y) = linear_data();
+        let a = RandomForest::fit(&x, &y, &RandomForestParams::default(), 9);
+        let b = RandomForest::fit(&x, &y, &RandomForestParams::default(), 9);
+        assert_eq!(a.predict(&[4.0, 4.0]), b.predict(&[4.0, 4.0]));
+        let c = RandomForest::fit(&x, &y, &RandomForestParams::default(), 10);
+        // Different bootstrap draws virtually never coincide exactly.
+        assert_ne!(a.predict(&[4.5, 3.5]), c.predict(&[4.5, 3.5]));
+    }
+
+    #[test]
+    fn more_trees_reduce_variance_against_truth() {
+        // Noisy target: ensemble averaging should bring the prediction
+        // closer to the noiseless truth than a single tree.
+        let x: Vec<Vec<f64>> = (0..200).map(|i| vec![(i % 20) as f64]).collect();
+        let y: Vec<f64> = x
+            .iter()
+            .enumerate()
+            .map(|(i, r)| r[0] + if i % 3 == 0 { 1.5 } else { -0.75 })
+            .collect();
+        let small = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestParams {
+                n_trees: 1,
+                ..Default::default()
+            },
+            3,
+        );
+        let big = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestParams {
+                n_trees: 200,
+                ..Default::default()
+            },
+            3,
+        );
+        let truth = |v: f64| v; // noiseless target
+        let err = |f: &RandomForest| -> f64 {
+            (0..20)
+                .map(|v| {
+                    let p = f.predict(&[v as f64]);
+                    (p - truth(v as f64)).abs()
+                })
+                .sum()
+        };
+        assert!(err(&big) <= err(&small) + 1e-9);
+    }
+
+    #[test]
+    fn ensemble_std_is_zero_for_constant_target() {
+        let x: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64]).collect();
+        let y = vec![4.0; 30];
+        let f = RandomForest::fit(&x, &y, &RandomForestParams::default(), 5);
+        assert_eq!(f.predict(&[3.0]), 4.0);
+        assert_eq!(f.predict_std(&[3.0]), 0.0);
+    }
+
+    #[test]
+    fn bootstrap_off_with_all_features_gives_identical_trees() {
+        let (x, y) = linear_data();
+        let f = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestParams {
+                n_trees: 5,
+                bootstrap: false,
+                ..Default::default()
+            },
+            2,
+        );
+        let preds = f.predict_all(&[3.0, 3.0]);
+        assert!(preds.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tree")]
+    fn rejects_zero_trees() {
+        let (x, y) = linear_data();
+        let _ = RandomForest::fit(
+            &x,
+            &y,
+            &RandomForestParams {
+                n_trees: 0,
+                ..Default::default()
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,96 @@
+//! Stationary covariance kernels.
+//!
+//! Both kernels operate on features pre-scaled to the unit cube (see
+//! `ParamSpace::to_unit_features` in `autotune-space`) with a single
+//! isotropic length scale — the configuration scikit-optimize's
+//! `gp_minimize` uses by default (Matérn ν = 5/2).
+
+use autotune_linalg::vecops;
+use serde::{Deserialize, Serialize};
+
+/// Kernel family selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum KernelKind {
+    /// Matérn ν = 5/2 — twice-differentiable sample paths; the BO
+    /// literature's (and scikit-optimize's) default for rugged objectives.
+    Matern52,
+    /// Squared-exponential (RBF) — infinitely smooth sample paths.
+    Rbf,
+}
+
+/// Evaluates the kernel `k(a, b)` for unit-variance processes; callers
+/// multiply by the signal variance.
+///
+/// # Panics
+///
+/// Panics (in debug) on length mismatch; `lengthscale` must be positive.
+pub fn eval(kind: KernelKind, a: &[f64], b: &[f64], lengthscale: f64) -> f64 {
+    debug_assert!(lengthscale > 0.0, "lengthscale must be positive");
+    let d2 = vecops::dist2(a, b) / (lengthscale * lengthscale);
+    match kind {
+        KernelKind::Rbf => (-0.5 * d2).exp(),
+        KernelKind::Matern52 => {
+            let d = d2.sqrt();
+            let s5 = 5.0_f64.sqrt();
+            (1.0 + s5 * d + 5.0 / 3.0 * d2) * (-s5 * d).exp()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernels_are_one_at_zero_distance() {
+        for kind in [KernelKind::Matern52, KernelKind::Rbf] {
+            assert!((eval(kind, &[0.3, 0.7], &[0.3, 0.7], 0.5) - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn kernels_decay_with_distance() {
+        for kind in [KernelKind::Matern52, KernelKind::Rbf] {
+            let near = eval(kind, &[0.0], &[0.1], 0.3);
+            let far = eval(kind, &[0.0], &[0.9], 0.3);
+            assert!(near > far, "{kind:?}: {near} vs {far}");
+            assert!(far > 0.0);
+            assert!(near < 1.0);
+        }
+    }
+
+    #[test]
+    fn longer_lengthscale_means_slower_decay() {
+        for kind in [KernelKind::Matern52, KernelKind::Rbf] {
+            let short = eval(kind, &[0.0], &[0.5], 0.1);
+            let long = eval(kind, &[0.0], &[0.5], 1.0);
+            assert!(long > short);
+        }
+    }
+
+    #[test]
+    fn symmetry() {
+        let a = [0.1, 0.9, 0.4];
+        let b = [0.8, 0.2, 0.6];
+        for kind in [KernelKind::Matern52, KernelKind::Rbf] {
+            assert_eq!(eval(kind, &a, &b, 0.4), eval(kind, &b, &a, 0.4));
+        }
+    }
+
+    #[test]
+    fn rbf_matches_closed_form() {
+        // d = 0.3, l = 0.5: exp(-0.5 * 0.09/0.25) = exp(-0.18).
+        let v = eval(KernelKind::Rbf, &[0.0], &[0.3], 0.5);
+        assert!((v - (-0.18_f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn matern_matches_closed_form() {
+        // r = d/l = 0.6: (1 + sqrt5*0.6 + 5/3*0.36) * exp(-sqrt5*0.6).
+        let v = eval(KernelKind::Matern52, &[0.0], &[0.3], 0.5);
+        let r = 0.6_f64;
+        let s5 = 5.0_f64.sqrt();
+        let want = (1.0 + s5 * r + 5.0 / 3.0 * r * r) * (-s5 * r).exp();
+        assert!((v - want).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,11 @@
+//! Gaussian-process regression for Bayesian optimization.
+//!
+//! * [`kernel`] — stationary covariance functions (Matérn-5/2, the
+//!   scikit-optimize default, and RBF) with an isotropic length scale on
+//!   unit-cube features.
+//! * [`model`] — exact GP inference: Cholesky fit, predictive mean and
+//!   variance, log marginal likelihood, incremental one-point updates,
+//!   and grid-search hyperparameter selection.
+
+pub mod kernel;
+pub mod model;

@@ -1,0 +1,379 @@
+//! Exact Gaussian-process regression.
+//!
+//! Standard textbook inference (Rasmussen & Williams ch. 2): with kernel
+//! matrix `K`, noise `σ²`, and targets `y`,
+//!
+//! ```text
+//! L = chol(K + σ² I),   α = L^-T L^-1 y
+//! μ(x*)  = k*^T α
+//! σ²(x*) = k(x*,x*) - ||L^-1 k*||²
+//! log p(y) = -½ yᵀα - Σ log L_ii - n/2 log 2π
+//! ```
+//!
+//! Sequential Bayesian optimization appends one observation per
+//! iteration; [`GaussianProcess::add_point`] extends the Cholesky factor
+//! in `O(n²)` instead of refitting, and the tuner re-runs the
+//! hyperparameter grid search only periodically.
+
+use super::kernel::{self, KernelKind};
+use autotune_linalg::{vecops, Cholesky, LinalgError, Matrix};
+
+/// GP hyperparameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpParams {
+    /// Kernel family.
+    pub kind: KernelKind,
+    /// Isotropic length scale on unit-cube features.
+    pub lengthscale: f64,
+    /// Signal variance (kernel amplitude).
+    pub signal_variance: f64,
+    /// Observation-noise variance (includes a jitter floor).
+    pub noise_variance: f64,
+}
+
+impl Default for GpParams {
+    fn default() -> Self {
+        GpParams {
+            kind: KernelKind::Matern52,
+            lengthscale: 0.3,
+            signal_variance: 1.0,
+            noise_variance: 1e-2,
+        }
+    }
+}
+
+/// Candidate grid for hyperparameter selection, crossed over length
+/// scales and noise levels (signal variance is handled by target
+/// standardization, so it stays at 1).
+pub fn default_grid() -> Vec<GpParams> {
+    let mut grid = Vec::new();
+    for &lengthscale in &[0.05, 0.1, 0.2, 0.4, 0.8, 1.6] {
+        for &noise_variance in &[1e-4, 1e-2, 1e-1] {
+            grid.push(GpParams {
+                kind: KernelKind::Matern52,
+                lengthscale,
+                signal_variance: 1.0,
+                noise_variance,
+            });
+        }
+    }
+    grid
+}
+
+/// A fitted Gaussian process.
+#[derive(Debug, Clone)]
+pub struct GaussianProcess {
+    params: GpParams,
+    x: Vec<Vec<f64>>,
+    y: Vec<f64>,
+    chol: Cholesky,
+    alpha: Vec<f64>,
+}
+
+impl GaussianProcess {
+    /// Fits a GP to `(x, y)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotPositiveDefinite`] if the covariance is not SPD
+    /// even with the configured noise (e.g. duplicated points with zero
+    /// noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty data or mismatched lengths.
+    pub fn fit(x: Vec<Vec<f64>>, y: Vec<f64>, params: GpParams) -> Result<Self, LinalgError> {
+        assert!(!x.is_empty(), "GP fit needs at least one observation");
+        assert_eq!(x.len(), y.len(), "GP fit: x/y length mismatch");
+        let n = x.len();
+        let gram = Matrix::symmetric_from_fn(n, |i, j| {
+            let mut v =
+                params.signal_variance * kernel::eval(params.kind, &x[i], &x[j], params.lengthscale);
+            if i == j {
+                v += params.noise_variance;
+            }
+            v
+        });
+        let chol = Cholesky::new(&gram)?;
+        let alpha = chol.solve(&y);
+        Ok(GaussianProcess {
+            params,
+            x,
+            y,
+            chol,
+            alpha,
+        })
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.x.len()
+    }
+
+    /// `true` when no observations are held (unreachable via `fit`).
+    pub fn is_empty(&self) -> bool {
+        self.x.is_empty()
+    }
+
+    /// Current hyperparameters.
+    pub fn params(&self) -> GpParams {
+        self.params
+    }
+
+    /// Predictive mean and variance at `q`.
+    pub fn predict(&self, q: &[f64]) -> (f64, f64) {
+        let kstar: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| {
+                self.params.signal_variance
+                    * kernel::eval(self.params.kind, xi, q, self.params.lengthscale)
+            })
+            .collect();
+        let mean = vecops::dot(&kstar, &self.alpha);
+        let v = self.chol.solve_lower(&kstar);
+        let var = (self.params.signal_variance + self.params.noise_variance
+            - vecops::dot(&v, &v))
+        .max(1e-12);
+        (mean, var)
+    }
+
+    /// Appends one observation, extending the factorization in `O(n²)`.
+    ///
+    /// # Errors
+    ///
+    /// [`LinalgError::NotPositiveDefinite`] when the extended covariance
+    /// would lose positive definiteness (duplicate point with tiny
+    /// noise); the model is unchanged in that case and the caller may
+    /// refit with more noise.
+    pub fn add_point(&mut self, x: Vec<f64>, y: f64) -> Result<(), LinalgError> {
+        let col: Vec<f64> = self
+            .x
+            .iter()
+            .map(|xi| {
+                self.params.signal_variance
+                    * kernel::eval(self.params.kind, xi, &x, self.params.lengthscale)
+            })
+            .collect();
+        let diag = self.params.signal_variance + self.params.noise_variance;
+        self.chol.extend(&col, diag)?;
+        self.x.push(x);
+        self.y.push(y);
+        // α must be recomputed against the grown factor: O(n²).
+        self.alpha = self.chol.solve(&self.y);
+        Ok(())
+    }
+
+    /// Log marginal likelihood of the held data under the current
+    /// hyperparameters.
+    pub fn log_marginal_likelihood(&self) -> f64 {
+        let n = self.len() as f64;
+        -0.5 * vecops::dot(&self.y, &self.alpha)
+            - 0.5 * self.chol.log_determinant()
+            - 0.5 * n * (2.0 * std::f64::consts::PI).ln()
+    }
+
+    /// Fits one GP per grid point and keeps the best by log marginal
+    /// likelihood. Grid points whose covariance fails to factor are
+    /// skipped; falls back to [`GpParams::default`] (with inflated noise)
+    /// if every candidate fails.
+    pub fn fit_with_grid_search(
+        x: Vec<Vec<f64>>,
+        y: Vec<f64>,
+        grid: &[GpParams],
+    ) -> GaussianProcess {
+        let mut best: Option<(f64, GaussianProcess)> = None;
+        for &p in grid {
+            if let Ok(gp) = GaussianProcess::fit(x.clone(), y.clone(), p) {
+                let lml = gp.log_marginal_likelihood();
+                if lml.is_finite() && best.as_ref().is_none_or(|(b, _)| lml > *b) {
+                    best = Some((lml, gp));
+                }
+            }
+        }
+        match best {
+            Some((_, gp)) => gp,
+            None => {
+                let fallback = GpParams {
+                    noise_variance: 1.0,
+                    ..GpParams::default()
+                };
+                GaussianProcess::fit(x, y, fallback)
+                    .expect("unit-noise covariance is always SPD")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_1d(n: usize) -> Vec<Vec<f64>> {
+        (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect()
+    }
+
+    #[test]
+    fn interpolates_noise_free_data() {
+        let x = grid_1d(9);
+        let y: Vec<f64> = x.iter().map(|r| (r[0] * 5.0).sin()).collect();
+        let gp = GaussianProcess::fit(
+            x.clone(),
+            y.clone(),
+            GpParams {
+                noise_variance: 1e-8,
+                ..GpParams::default()
+            },
+        )
+        .unwrap();
+        for (xi, yi) in x.iter().zip(&y) {
+            let (m, v) = gp.predict(xi);
+            assert!((m - yi).abs() < 1e-3, "mean {m} vs {yi}");
+            assert!(v < 1e-4, "variance at a training point: {v}");
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let x = vec![vec![0.0], vec![0.1], vec![0.2]];
+        let y = vec![1.0, 1.1, 0.9];
+        let gp = GaussianProcess::fit(x, y, GpParams::default()).unwrap();
+        let (_, v_near) = gp.predict(&[0.1]);
+        let (_, v_far) = gp.predict(&[0.9]);
+        assert!(v_far > 5.0 * v_near, "near {v_near}, far {v_far}");
+    }
+
+    #[test]
+    fn prediction_is_smooth_between_points() {
+        let x = vec![vec![0.0], vec![1.0]];
+        let y = vec![0.0, 1.0];
+        let gp = GaussianProcess::fit(
+            x,
+            y,
+            GpParams {
+                lengthscale: 1.0,
+                noise_variance: 1e-6,
+                ..GpParams::default()
+            },
+        )
+        .unwrap();
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((0.2..0.8).contains(&m), "midpoint mean {m}");
+    }
+
+    #[test]
+    fn add_point_matches_full_refit() {
+        let x = grid_1d(8);
+        let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
+        let params = GpParams::default();
+        let mut inc =
+            GaussianProcess::fit(x[..7].to_vec(), y[..7].to_vec(), params).unwrap();
+        inc.add_point(x[7].clone(), y[7]).unwrap();
+        let full = GaussianProcess::fit(x.clone(), y.clone(), params).unwrap();
+        for q in [[0.05], [0.33], [0.77]] {
+            let (mi, vi) = inc.predict(&q);
+            let (mf, vf) = full.predict(&q);
+            assert!((mi - mf).abs() < 1e-9, "mean {mi} vs {mf}");
+            assert!((vi - vf).abs() < 1e-9, "var {vi} vs {vf}");
+        }
+        assert!(
+            (inc.log_marginal_likelihood() - full.log_marginal_likelihood()).abs() < 1e-9
+        );
+    }
+
+    #[test]
+    fn lml_prefers_the_right_lengthscale() {
+        // Slowly-varying data: a long length scale should beat a tiny one.
+        let x = grid_1d(20);
+        let y: Vec<f64> = x.iter().map(|r| r[0]).collect();
+        let long = GaussianProcess::fit(
+            x.clone(),
+            y.clone(),
+            GpParams {
+                lengthscale: 1.0,
+                ..GpParams::default()
+            },
+        )
+        .unwrap();
+        let short = GaussianProcess::fit(
+            x,
+            y,
+            GpParams {
+                lengthscale: 0.01,
+                ..GpParams::default()
+            },
+        )
+        .unwrap();
+        assert!(long.log_marginal_likelihood() > short.log_marginal_likelihood());
+    }
+
+    #[test]
+    fn grid_search_picks_a_finite_model() {
+        let x = grid_1d(15);
+        let y: Vec<f64> = x.iter().map(|r| (r[0] * 7.0).cos()).collect();
+        let gp = GaussianProcess::fit_with_grid_search(x, y, &default_grid());
+        assert!(gp.log_marginal_likelihood().is_finite());
+        assert_eq!(gp.len(), 15);
+    }
+
+    #[test]
+    fn duplicate_points_need_noise() {
+        let x = vec![vec![0.5], vec![0.5]];
+        let y = vec![1.0, 2.0];
+        // Zero noise: singular covariance.
+        let r = GaussianProcess::fit(
+            x.clone(),
+            y.clone(),
+            GpParams {
+                noise_variance: 0.0,
+                ..GpParams::default()
+            },
+        );
+        assert!(r.is_err());
+        // With noise it factors and the mean splits the difference.
+        let gp = GaussianProcess::fit(
+            x,
+            y,
+            GpParams {
+                noise_variance: 0.5,
+                ..GpParams::default()
+            },
+        )
+        .unwrap();
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((1.0..2.0).contains(&m));
+    }
+
+    #[test]
+    fn failed_add_point_leaves_model_usable() {
+        let mut gp = GaussianProcess::fit(
+            vec![vec![0.5]],
+            vec![1.0],
+            GpParams {
+                noise_variance: 0.0,
+                ..GpParams::default()
+            },
+        )
+        .unwrap();
+        // Identical point with zero noise cannot extend.
+        assert!(gp.add_point(vec![0.5], 2.0).is_err());
+        assert_eq!(gp.len(), 1);
+        let (m, _) = gp.predict(&[0.5]);
+        assert!((m - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn variance_has_floor() {
+        let gp = GaussianProcess::fit(
+            vec![vec![0.5]],
+            vec![1.0],
+            GpParams {
+                noise_variance: 1e-9,
+                ..GpParams::default()
+            },
+        )
+        .unwrap();
+        let (_, v) = gp.predict(&[0.5]);
+        assert!(v > 0.0);
+    }
+}

@@ -1,0 +1,33 @@
+//! Surrogate models for the autotuning search techniques.
+//!
+//! Three model families, all from scratch:
+//!
+//! * **CART regression trees and Random Forests** ([`tree`], [`forest`])
+//!   — the paper's RF method (its scikit-learn
+//!   `RandomForestRegressor`): variance-reduction splits, bootstrap
+//!   bagging, optional random feature subsets (Breiman 2001).
+//! * **Gaussian-process regression** ([`gp`]) — the paper's BO GP
+//!   (scikit-optimize `gp_minimize`): Matérn-5/2 / RBF kernels on
+//!   unit-scaled features, exact inference via our own Cholesky
+//!   factorization, incremental updates for sequential optimization, and
+//!   log-marginal-likelihood hyperparameter selection.
+//! * **Parzen estimators** ([`parzen`]) — the density machinery of the
+//!   paper's BO TPE (HyperOpt): smoothed categorical densities over the
+//!   integer parameter ranges, split at a quantile of the observations.
+//!
+//! Plus the [`acquisition`] functions (Expected Improvement — the paper's
+//! choice — as well as UCB and Probability of Improvement for the
+//! ablation benches) and target standardization ([`scaling`]).
+
+#![warn(missing_docs)]
+
+pub mod acquisition;
+pub mod forest;
+pub mod gp;
+pub mod parzen;
+pub mod scaling;
+pub mod tree;
+
+pub use forest::{RandomForest, RandomForestParams};
+pub use gp::model::{GaussianProcess, GpParams};
+pub use tree::{RegressionTree, TreeParams};

@@ -1,0 +1,240 @@
+//! Parzen estimators over integer tuning parameters — the density
+//! machinery of the Tree-Parzen Estimator (Bergstra et al. 2011).
+//!
+//! TPE splits the observations at the γ-quantile of the objective into a
+//! "good" set and a "bad" set, fits a density `l(x)` to the good
+//! configurations and `g(x)` to the bad ones, and ranks candidates by the
+//! ratio `l(x)/g(x)` — which is monotone in Expected Improvement under
+//! TPE's modelling assumptions. Our parameters are small integer ranges,
+//! so each per-dimension density is a *smoothed categorical*: observation
+//! counts plus a uniform pseudo-count prior (HyperOpt's categorical
+//! handling), and a full-factorized product across dimensions.
+
+use rand::Rng;
+
+/// Smoothed categorical density over one integer parameter range.
+#[derive(Debug, Clone)]
+pub struct CategoricalParzen {
+    lo: u32,
+    counts: Vec<f64>,
+    total: f64,
+    prior_weight: f64,
+}
+
+impl CategoricalParzen {
+    /// Builds the density for values in `[lo, hi]` from observations,
+    /// with `prior_weight` uniform pseudo-counts spread over the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo > hi`, `prior_weight <= 0`, or any observation falls
+    /// outside the range.
+    pub fn fit(lo: u32, hi: u32, observations: &[u32], prior_weight: f64) -> Self {
+        assert!(lo <= hi, "invalid range");
+        assert!(prior_weight > 0.0, "prior weight must be positive");
+        let card = (hi - lo + 1) as usize;
+        let mut counts = vec![prior_weight / card as f64; card];
+        for &v in observations {
+            assert!(
+                (lo..=hi).contains(&v),
+                "observation {v} outside [{lo}, {hi}]"
+            );
+            counts[(v - lo) as usize] += 1.0;
+        }
+        let total = observations.len() as f64 + prior_weight;
+        CategoricalParzen {
+            lo,
+            counts,
+            total,
+            prior_weight,
+        }
+    }
+
+    /// Probability mass of value `v` (0 outside the range).
+    pub fn pmf(&self, v: u32) -> f64 {
+        let idx = v.checked_sub(self.lo).map(|d| d as usize);
+        match idx.and_then(|i| self.counts.get(i)) {
+            Some(c) => c / self.total,
+            None => 0.0,
+        }
+    }
+
+    /// Draws one value from the density.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let mut u = rng.gen::<f64>() * self.total;
+        for (i, c) in self.counts.iter().enumerate() {
+            u -= c;
+            if u <= 0.0 {
+                return self.lo + i as u32;
+            }
+        }
+        self.lo + (self.counts.len() - 1) as u32
+    }
+
+    /// Prior weight used at fit time.
+    pub fn prior_weight(&self) -> f64 {
+        self.prior_weight
+    }
+}
+
+/// Product density over all dimensions of a configuration, as TPE's
+/// factorized model uses.
+#[derive(Debug, Clone)]
+pub struct ProductParzen {
+    dims: Vec<CategoricalParzen>,
+}
+
+impl ProductParzen {
+    /// Fits one categorical per dimension from column-wise observations.
+    ///
+    /// * `ranges` — `(lo, hi)` per dimension.
+    /// * `rows` — observed configurations (each of `ranges.len()` values).
+    ///
+    /// # Panics
+    ///
+    /// Panics on ragged rows.
+    pub fn fit(ranges: &[(u32, u32)], rows: &[Vec<u32>], prior_weight: f64) -> Self {
+        let dims = ranges
+            .iter()
+            .enumerate()
+            .map(|(k, &(lo, hi))| {
+                let column: Vec<u32> = rows
+                    .iter()
+                    .map(|r| {
+                        assert_eq!(r.len(), ranges.len(), "ragged observation row");
+                        r[k]
+                    })
+                    .collect();
+                CategoricalParzen::fit(lo, hi, &column, prior_weight)
+            })
+            .collect();
+        ProductParzen { dims }
+    }
+
+    /// Joint probability mass of a configuration (product over dims).
+    ///
+    /// # Panics
+    ///
+    /// Panics on arity mismatch.
+    pub fn pmf(&self, values: &[u32]) -> f64 {
+        assert_eq!(values.len(), self.dims.len(), "arity mismatch");
+        self.dims
+            .iter()
+            .zip(values)
+            .map(|(d, &v)| d.pmf(v))
+            .product()
+    }
+
+    /// Log joint mass, safe against underflow for many dimensions.
+    pub fn log_pmf(&self, values: &[u32]) -> f64 {
+        assert_eq!(values.len(), self.dims.len(), "arity mismatch");
+        self.dims
+            .iter()
+            .zip(values)
+            .map(|(d, &v)| d.pmf(v).max(f64::MIN_POSITIVE).ln())
+            .sum()
+    }
+
+    /// Draws one configuration.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<u32> {
+        self.dims.iter().map(|d| d.sample(rng)).collect()
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let d = CategoricalParzen::fit(1, 8, &[2, 2, 3, 7], 1.0);
+        let total: f64 = (1..=8).map(|v| d.pmf(v)).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn observed_values_have_higher_mass() {
+        let d = CategoricalParzen::fit(1, 8, &[4, 4, 4, 4], 1.0);
+        assert!(d.pmf(4) > 5.0 * d.pmf(1));
+        // Prior keeps unobserved values strictly possible.
+        assert!(d.pmf(1) > 0.0);
+    }
+
+    #[test]
+    fn no_observations_is_uniform() {
+        let d = CategoricalParzen::fit(1, 4, &[], 1.0);
+        for v in 1..=4 {
+            assert!((d.pmf(v) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn out_of_range_mass_is_zero() {
+        let d = CategoricalParzen::fit(3, 5, &[4], 1.0);
+        assert_eq!(d.pmf(2), 0.0);
+        assert_eq!(d.pmf(6), 0.0);
+        assert_eq!(d.pmf(0), 0.0);
+    }
+
+    #[test]
+    fn sampling_matches_density() {
+        let d = CategoricalParzen::fit(1, 4, &[1, 1, 1, 1, 1, 1, 2, 2], 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let n = 20_000;
+        let mut counts = [0u32; 4];
+        for _ in 0..n {
+            counts[(d.sample(&mut rng) - 1) as usize] += 1;
+        }
+        for v in 1..=4u32 {
+            let freq = counts[(v - 1) as usize] as f64 / n as f64;
+            assert!(
+                (freq - d.pmf(v)).abs() < 0.02,
+                "value {v}: freq {freq} vs pmf {}",
+                d.pmf(v)
+            );
+        }
+    }
+
+    #[test]
+    fn stronger_prior_flattens() {
+        let weak = CategoricalParzen::fit(1, 8, &[1, 1, 1, 1], 0.5);
+        let strong = CategoricalParzen::fit(1, 8, &[1, 1, 1, 1], 50.0);
+        assert!(weak.pmf(1) > strong.pmf(1));
+        assert!(weak.pmf(8) < strong.pmf(8));
+    }
+
+    #[test]
+    fn product_parzen_factorizes() {
+        let rows = vec![vec![1, 5], vec![1, 6], vec![2, 5]];
+        let p = ProductParzen::fit(&[(1, 2), (5, 6)], &rows, 1.0);
+        let joint = p.pmf(&[1, 5]);
+        let d0 = CategoricalParzen::fit(1, 2, &[1, 1, 2], 1.0);
+        let d1 = CategoricalParzen::fit(5, 6, &[5, 6, 5], 1.0);
+        assert!((joint - d0.pmf(1) * d1.pmf(5)).abs() < 1e-12);
+        assert!((p.log_pmf(&[1, 5]) - joint.ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn product_sample_is_in_range() {
+        let p = ProductParzen::fit(&[(1, 16), (1, 8)], &[vec![3, 4]], 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        for _ in 0..100 {
+            let s = p.sample(&mut rng);
+            assert!((1..=16).contains(&s[0]));
+            assert!((1..=8).contains(&s[1]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn rejects_out_of_range_observation() {
+        let _ = CategoricalParzen::fit(1, 4, &[5], 1.0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Target standardization for surrogate fitting.
+//!
+//! GPU runtimes are strictly positive, right-skewed, and — with the
+//! failure penalty — can span five orders of magnitude within one
+//! training set. Fitting a GP directly on such targets wrecks the
+//! length-scale selection, so the BO-GP tuner standardizes in log space:
+//! `z = (ln y - mean) / std`. The standardizer records its transform so
+//! predictions can be mapped back.
+
+/// An affine (optionally log-space) target transform fitted on data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Standardizer {
+    log_space: bool,
+    mean: f64,
+    std: f64,
+}
+
+impl Standardizer {
+    /// Fits on `values`; with `log_space` the transform is applied to
+    /// `ln(values)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on empty input, non-finite values, or non-positive values
+    /// when `log_space` is requested.
+    pub fn fit(values: &[f64], log_space: bool) -> Standardizer {
+        assert!(!values.is_empty(), "standardizer needs data");
+        assert!(
+            values.iter().all(|v| v.is_finite()),
+            "standardizer: non-finite value"
+        );
+        if log_space {
+            assert!(
+                values.iter().all(|&v| v > 0.0),
+                "log-space standardizer needs positive values"
+            );
+        }
+        let t: Vec<f64> = if log_space {
+            values.iter().map(|v| v.ln()).collect()
+        } else {
+            values.to_vec()
+        };
+        let mean = t.iter().sum::<f64>() / t.len() as f64;
+        let var = t.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / t.len() as f64;
+        // Constant targets standardize to zero; keep std at 1 to avoid a
+        // divide-by-zero while preserving invertibility.
+        let std = if var > 0.0 { var.sqrt() } else { 1.0 };
+        Standardizer {
+            log_space,
+            mean,
+            std,
+        }
+    }
+
+    /// Applies the transform.
+    pub fn forward(&self, v: f64) -> f64 {
+        let t = if self.log_space { v.ln() } else { v };
+        (t - self.mean) / self.std
+    }
+
+    /// Inverts the transform.
+    pub fn inverse(&self, z: f64) -> f64 {
+        let t = z * self.std + self.mean;
+        if self.log_space {
+            t.exp()
+        } else {
+            t
+        }
+    }
+
+    /// Transforms a whole slice.
+    pub fn forward_all(&self, values: &[f64]) -> Vec<f64> {
+        values.iter().map(|&v| self.forward(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips() {
+        let data = [1.0, 2.0, 4.0, 8.0];
+        for log in [false, true] {
+            let s = Standardizer::fit(&data, log);
+            for &v in &data {
+                assert!((s.inverse(s.forward(v)) - v).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn standardized_data_has_zero_mean_unit_std() {
+        let data = [3.0, 5.0, 9.0, 2.0, 6.0];
+        let s = Standardizer::fit(&data, false);
+        let z = s.forward_all(&data);
+        let mean: f64 = z.iter().sum::<f64>() / z.len() as f64;
+        let var: f64 = z.iter().map(|v| v * v).sum::<f64>() / z.len() as f64;
+        assert!(mean.abs() < 1e-12);
+        assert!((var - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_space_tames_outliers() {
+        // A 10_000 ms penalty among ~1 ms runtimes: in linear space the
+        // z-score of the ordinary points collapses; in log space they
+        // remain distinguishable.
+        let data = [1.0, 1.2, 0.9, 1.1, 10_000.0];
+        let lin = Standardizer::fit(&data, false);
+        let log = Standardizer::fit(&data, true);
+        let lin_spread = (lin.forward(1.2) - lin.forward(0.9)).abs();
+        let log_spread = (log.forward(1.2) - log.forward(0.9)).abs();
+        assert!(log_spread > 10.0 * lin_spread);
+    }
+
+    #[test]
+    fn constant_targets_do_not_blow_up() {
+        let s = Standardizer::fit(&[5.0; 8], false);
+        assert_eq!(s.forward(5.0), 0.0);
+        assert_eq!(s.inverse(0.0), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive values")]
+    fn log_space_rejects_non_positive() {
+        let _ = Standardizer::fit(&[1.0, 0.0], true);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests for the surrogate models.
+
+use autotune_surrogates::acquisition::{self, Acquisition};
+use autotune_surrogates::gp::kernel::{self, KernelKind};
+use autotune_surrogates::gp::model::{default_grid, GaussianProcess, GpParams};
+use autotune_surrogates::parzen::{CategoricalParzen, ProductParzen};
+use autotune_surrogates::scaling::Standardizer;
+use autotune_surrogates::{RandomForest, RandomForestParams, RegressionTree, TreeParams};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Strategy: a 1-D training set with targets from a random quadratic.
+fn quad_data() -> impl Strategy<Value = (Vec<Vec<f64>>, Vec<f64>)> {
+    ((-3.0..3.0f64), (-3.0..3.0f64), (2usize..30)).prop_map(|(a, b, n)| {
+        let x: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / n as f64]).collect();
+        let y: Vec<f64> = x.iter().map(|r| a * r[0] * r[0] + b * r[0]).collect();
+        (x, y)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn tree_predictions_bounded_by_target_range((x, y) in quad_data(), seed in 0u64..50) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let t = RegressionTree::fit(&x, &y, &TreeParams::default(), &mut rng);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for q in [-0.5, 0.0, 0.3, 0.9, 1.5] {
+            let p = t.predict(&[q]);
+            prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "{p} outside [{lo},{hi}]");
+        }
+    }
+
+    #[test]
+    fn forest_predictions_bounded_by_target_range((x, y) in quad_data(), seed in 0u64..20) {
+        let f = RandomForest::fit(&x, &y,
+            &RandomForestParams { n_trees: 10, ..Default::default() }, seed);
+        let lo = y.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = y.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let p = f.predict(&[0.5]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9);
+        prop_assert!(f.predict_std(&[0.5]) >= 0.0);
+    }
+
+    #[test]
+    fn kernels_bounded_and_psd_diagonal(a in proptest::collection::vec(0.0..1.0f64, 3),
+                                        b in proptest::collection::vec(0.0..1.0f64, 3),
+                                        l in 0.05..2.0f64) {
+        for kind in [KernelKind::Matern52, KernelKind::Rbf] {
+            let v = kernel::eval(kind, &a, &b, l);
+            prop_assert!((0.0..=1.0 + 1e-12).contains(&v));
+            prop_assert!((kernel::eval(kind, &a, &a, l) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gp_variance_nonnegative_and_mean_finite((x, y) in quad_data()) {
+        if let Ok(gp) = GaussianProcess::fit(x, y, GpParams::default()) {
+            for q in [0.0, 0.25, 0.5, 0.75, 1.0, 2.0] {
+                let (m, v) = gp.predict(&[q]);
+                prop_assert!(m.is_finite());
+                prop_assert!(v > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn gp_incremental_matches_batch((x, y) in quad_data()) {
+        prop_assume!(x.len() >= 4);
+        let k = x.len() - 1;
+        let params = GpParams::default();
+        let mut inc = GaussianProcess::fit(x[..k].to_vec(), y[..k].to_vec(), params).unwrap();
+        inc.add_point(x[k].clone(), y[k]).unwrap();
+        let full = GaussianProcess::fit(x.clone(), y.clone(), params).unwrap();
+        let (mi, vi) = inc.predict(&[0.4]);
+        let (mf, vf) = full.predict(&[0.4]);
+        prop_assert!((mi - mf).abs() < 1e-7, "{mi} vs {mf}");
+        prop_assert!((vi - vf).abs() < 1e-7);
+    }
+
+    #[test]
+    fn grid_search_never_beats_oracle_lml((x, y) in quad_data()) {
+        let grid = default_grid();
+        let chosen = GaussianProcess::fit_with_grid_search(x.clone(), y.clone(), &grid);
+        // The chosen model's LML must be the max over all grid fits.
+        for &p in &grid {
+            if let Ok(gp) = GaussianProcess::fit(x.clone(), y.clone(), p) {
+                let lml = gp.log_marginal_likelihood();
+                if lml.is_finite() {
+                    prop_assert!(chosen.log_marginal_likelihood() >= lml - 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ei_nonnegative_and_monotone_in_best(mean in -3.0..3.0f64, std in 0.01..2.0f64,
+                                           best in -3.0..3.0f64, delta in 0.0..2.0f64) {
+        let ei = acquisition::expected_improvement(mean, std, best, 0.0);
+        prop_assert!(ei >= 0.0);
+        // A better (lower) incumbent leaves less room for improvement.
+        let ei_lower = acquisition::expected_improvement(mean, std, best - delta, 0.0);
+        prop_assert!(ei_lower <= ei + 1e-12);
+    }
+
+    #[test]
+    fn acquisition_scores_are_finite(mean in -5.0..5.0f64, std in 0.0..3.0f64,
+                                     best in -5.0..5.0f64) {
+        for acq in [Acquisition::paper_default(),
+                    Acquisition::LowerConfidenceBound { kappa: 1.96 },
+                    Acquisition::ProbabilityOfImprovement { xi: 0.01 }] {
+            prop_assert!(acq.score(mean, std, best).is_finite());
+        }
+    }
+
+    #[test]
+    fn parzen_pmf_sums_to_one(obs in proptest::collection::vec(1u32..=8, 0..30),
+                              prior in 0.1..10.0f64) {
+        let d = CategoricalParzen::fit(1, 8, &obs, prior);
+        let total: f64 = (1..=8).map(|v| d.pmf(v)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parzen_samples_in_range(obs in proptest::collection::vec(2u32..=5, 1..20),
+                               seed in 0u64..100) {
+        let d = CategoricalParzen::fit(2, 5, &obs, 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let v = d.sample(&mut rng);
+            prop_assert!((2..=5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn product_parzen_joint_le_marginals(rows in proptest::collection::vec(
+        (1u32..=4, 1u32..=4).prop_map(|(a, b)| vec![a, b]), 1..20)) {
+        let p = ProductParzen::fit(&[(1, 4), (1, 4)], &rows, 1.0);
+        // Joint of a factorized density is the product of marginals, each
+        // <= 1, so joint <= each marginal alone — check joint <= 1.
+        for a in 1..=4 {
+            for b in 1..=4 {
+                let j = p.pmf(&[a, b]);
+                prop_assert!((0.0..=1.0).contains(&j));
+            }
+        }
+    }
+
+    #[test]
+    fn standardizer_round_trip(data in proptest::collection::vec(0.01..100.0f64, 1..40),
+                               log in proptest::bool::ANY) {
+        let s = Standardizer::fit(&data, log);
+        for &v in &data {
+            prop_assert!((s.inverse(s.forward(v)) - v).abs() < 1e-6 * v.max(1.0));
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Scenario: pick a search technique for a fixed tuning budget.
+//!
+//! ```text
+//! cargo run --release --example algorithm_shootout [budget] [reps]
+//! ```
+//!
+//! Runs every implemented technique — the paper's five plus the
+//! Simulated Annealing / PSO / Grid Search extensions — on the Add
+//! kernel (GTX 980) under the same sample budget, repeats each a few
+//! times with different seeds, and prints a ranking with median
+//! percent-of-optimum and the probability of beating Random Search
+//! (the paper's CLES metric).
+
+use imagecl_autotune::prelude::*;
+use imagecl_autotune::stats::cles;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(50);
+    let reps: usize = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(9);
+
+    let space = imagecl::space();
+    let constraint = imagecl::constraint();
+    let gpu = gtx_980();
+    let bench = Benchmark::Add;
+
+    let optimum = oracle::strided_optimum(bench.model().as_ref(), &gpu, 1);
+    println!(
+        "{} on {}: optimum {:.4} ms; budget {budget} samples, {reps} repetitions\n",
+        bench.name(),
+        gpu.name,
+        optimum.time_ms
+    );
+
+    // Collect final runtimes per algorithm.
+    let mut table: Vec<(&'static str, Vec<f64>)> = Vec::new();
+    for algo in Algorithm::ALL {
+        let mut finals = Vec::with_capacity(reps);
+        for rep in 0..reps {
+            let seed = 1000 + rep as u64;
+            let mut sim = SimulatedKernel::new(bench.model(), gpu.clone(), seed ^ algo as u64);
+            let ctx = TuneContext::new(&space, budget, seed);
+            let ctx = if algo.is_smbo() {
+                ctx
+            } else {
+                ctx.with_constraint(&constraint)
+            };
+            let result = algo
+                .tuner()
+                .tune(&ctx, &mut |cfg: &Configuration| sim.measure(cfg));
+            finals.push(sim.measure_final(&result.best.config));
+        }
+        table.push((algo.name(), finals));
+    }
+
+    // Rank by median percent-of-optimum; report CLES vs the RS row.
+    let rs_finals = table
+        .iter()
+        .find(|(name, _)| *name == "RS")
+        .expect("RS in roster")
+        .1
+        .clone();
+    let mut rows: Vec<(&str, f64, f64)> = table
+        .iter()
+        .map(|(name, finals)| {
+            let median = imagecl_autotune::stats::descriptive::median(finals);
+            let pct = oracle::percent_of_optimum(optimum.time_ms, median);
+            let beats_rs = cles::probability_of_superiority_min(finals, &rs_finals);
+            (*name, pct, beats_rs)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+
+    println!("{:<8} {:>18} {:>14}", "algo", "% of optimum", "P(beat RS)");
+    for (name, pct, beats) in rows {
+        println!("{name:<8} {pct:>17.1}% {beats:>14.2}");
+    }
+}

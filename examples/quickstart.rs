@@ -1,0 +1,66 @@
+//! Quickstart: tune one GPU kernel with one search technique.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+//!
+//! Walks through the whole API surface once: build the ImageCL search
+//! space, pick a simulated GPU, run Bayesian optimization under a fixed
+//! sample budget, and compare the tuned configuration against both a
+//! naive default and the true optimum from an exhaustive oracle scan.
+
+use imagecl_autotune::prelude::*;
+
+fn main() {
+    // The paper's 6-parameter space: thread coarsening (Xt, Yt, Zt) in
+    // 1..=16 and work-group shape (Xw, Yw, Zw) in 1..=8 — 2,097,152
+    // configurations.
+    let space = imagecl::space();
+    println!("search space: {} configurations", space.size());
+
+    // A simulated RTX Titan running the Mandelbrot kernel. The simulator
+    // adds realistic measurement noise; the seed makes runs reproducible.
+    let gpu = rtx_titan();
+    let mut sim = SimulatedKernel::new(Benchmark::Mandelbrot.model(), gpu.clone(), 42);
+
+    // A naive default an engineer might pick: square 16x16 blocks... oh
+    // wait, the work-group limit is 256 and the ranges cap at 8, so take
+    // 8x8x1 with no coarsening.
+    let default_cfg = Configuration::from([1, 1, 1, 8, 8, 1]);
+    let default_ms = sim.true_time_ms(&default_cfg);
+
+    // Tune with Bayesian optimization (Gaussian processes, Expected
+    // Improvement) under a 60-sample budget.
+    let budget = 60;
+    let ctx = TuneContext::new(&space, budget, 42);
+    let result = Algorithm::BoGp
+        .tuner()
+        .tune(&ctx, &mut |cfg: &Configuration| sim.measure(cfg));
+    println!(
+        "BO GP spent {} samples; best observed {:.4} ms at {}",
+        result.history.len(),
+        result.best.value,
+        result.best.config
+    );
+
+    // The paper's final protocol: re-measure the winner 10 times, report
+    // the median.
+    let tuned_ms = sim.measure_final(&result.best.config);
+
+    // Oracle: exhaustive noiseless scan of all 2M configurations.
+    let optimum = oracle::global_optimum(sim.kernel(), &gpu);
+    println!(
+        "oracle optimum: {:.4} ms at {} (scanned {} configs)",
+        optimum.time_ms, optimum.config, optimum.scanned
+    );
+
+    println!("default  config {default_cfg}: {default_ms:.4} ms");
+    println!(
+        "tuned    config {}: {tuned_ms:.4} ms ({:.1}% of optimum, {:.2}x over default)",
+        result.best.config,
+        oracle::percent_of_optimum(optimum.time_ms, tuned_ms),
+        default_ms / tuned_ms
+    );
+
+    assert!(tuned_ms <= default_ms * 1.05, "tuning should not lose to the default");
+}

@@ -1,0 +1,57 @@
+//! # imagecl-autotune
+//!
+//! A from-scratch Rust reproduction of *"Analyzing Search Techniques for
+//! Autotuning Image-based GPU Kernels: The Impact of Sample Sizes"*
+//! (Tørring & Elster, 2022): five autotuning search techniques compared
+//! under equal sample budgets on three image kernels across three
+//! simulated GPU architectures.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! * [`space`] — the 6-parameter ImageCL search space and constraints;
+//! * [`sim`] — the analytical GPU performance-model simulator
+//!   (architectures, occupancy, memory model, kernels, noise);
+//! * [`tuners`] — the search techniques (RS, RF, GA, BO GP, BO TPE, plus
+//!   SA / PSO / Grid extensions) and the tuning harness;
+//! * [`surrogates`] — the model substrate (random forests, Gaussian
+//!   processes, Parzen estimators);
+//! * [`stats`] — Mann-Whitney U, CLES, bootstrap CIs;
+//! * [`linalg`] — the dense linear algebra underneath the GP;
+//! * [`study`] — the experiment pipeline reproducing every figure and
+//!   table of the paper.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use imagecl_autotune::prelude::*;
+//!
+//! // Tune Mandelbrot on a simulated RTX Titan with a 40-sample budget.
+//! let space = imagecl::space();
+//! let mut sim = SimulatedKernel::new(Benchmark::Mandelbrot.model(), rtx_titan(), 7);
+//! let ctx = TuneContext::new(&space, 40, 7);
+//! let result = Algorithm::BoGp.tuner().tune(&ctx, &mut |cfg: &Configuration| {
+//!     sim.measure(cfg)
+//! });
+//! assert_eq!(result.history.len(), 40);
+//! ```
+
+#![warn(missing_docs)]
+
+pub use autotune_core as tuners;
+pub use autotune_linalg as linalg;
+pub use autotune_space as space;
+pub use autotune_stats as stats;
+pub use autotune_surrogates as surrogates;
+pub use experiments as study;
+pub use gpu_sim as sim;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use autotune_core::{Algorithm, Objective, TuneContext, TuneResult, Tuner};
+    pub use autotune_space::{imagecl, Configuration, Constraint, ParamSpace};
+    pub use gpu_sim::arch::{gtx_980, rtx_titan, study_architectures, titan_v};
+    pub use gpu_sim::kernels::Benchmark;
+    pub use gpu_sim::noise::NoiseModel;
+    pub use gpu_sim::oracle;
+    pub use gpu_sim::runner::SimulatedKernel;
+}

@@ -1,0 +1,94 @@
+//! Integration tests for the HyperBand / BOHB future-work extension on
+//! top of the simulator's problem-size fidelity axis.
+
+use imagecl_autotune::prelude::*;
+use imagecl_autotune::study::multifidelity::MfSimulatedKernel;
+use imagecl_autotune::tuners::bohb::Bohb;
+use imagecl_autotune::tuners::fidelity::MultiFidelityObjective;
+use imagecl_autotune::tuners::hyperband::HyperBand;
+
+fn mf(seed: u64) -> MfSimulatedKernel {
+    MfSimulatedKernel::new(
+        Benchmark::Add,
+        gtx_980(),
+        NoiseModel::study_default(),
+        seed,
+    )
+}
+
+#[test]
+fn hyperband_stays_within_budget_equivalents() {
+    let space = imagecl::space();
+    for budget in [20.0, 50.0] {
+        let mut obj = mf(1);
+        let r = HyperBand::default().tune_mf(&space, &mut obj, budget, 1);
+        assert!(
+            obj.cost_spent() <= budget * 1.3,
+            "spent {} of {budget}",
+            obj.cost_spent()
+        );
+        assert!(r.best.value > 0.0);
+    }
+}
+
+#[test]
+fn hyperband_result_quality_is_competitive_with_random_search() {
+    // At equal full-evaluation-equivalent budgets, HyperBand's many cheap
+    // probes should be at least on par with RS on the simulator.
+    let space = imagecl::space();
+    let gpu = gtx_980();
+    let optimum = oracle::strided_optimum(Benchmark::Add.model().as_ref(), &gpu, 503);
+    let mut hb_wins = 0;
+    let reps = 5;
+    for seed in 0..reps {
+        let mut obj = mf(seed);
+        let hb = HyperBand::default().tune_mf(&space, &mut obj, 40.0, seed);
+        let hb_sim = SimulatedKernel::new(Benchmark::Add.model(), gpu.clone(), seed);
+        let hb_true = hb_sim.true_time_ms(&hb.best.config);
+
+        let mut sim = SimulatedKernel::new(Benchmark::Add.model(), gpu.clone(), seed);
+        let constraint = imagecl::constraint();
+        let ctx = TuneContext::new(&space, 40, seed).with_constraint(&constraint);
+        let rs = Algorithm::RandomSearch
+            .tuner()
+            .tune(&ctx, &mut |cfg: &Configuration| sim.measure(cfg));
+        let rs_true = sim.true_time_ms(&rs.best.config);
+
+        if hb_true <= rs_true {
+            hb_wins += 1;
+        }
+        // Both should be far from the failure penalty.
+        assert!(hb_true < optimum.time_ms * 20.0);
+    }
+    assert!(hb_wins >= 2, "HyperBand won only {hb_wins}/{reps} vs RS");
+}
+
+#[test]
+fn bohb_uses_its_model_and_stays_reproducible() {
+    let space = imagecl::space();
+    let run = |seed| {
+        let mut obj = mf(seed);
+        Bohb::default().tune_mf(&space, &mut obj, 50.0, seed)
+    };
+    let a = run(7);
+    let b = run(7);
+    assert_eq!(a.history.evaluations(), b.history.evaluations());
+    assert_ne!(
+        a.history.evaluations(),
+        run(8).history.evaluations(),
+        "seed must matter"
+    );
+}
+
+#[test]
+fn fidelity_axis_orders_costs() {
+    let mut obj = mf(3);
+    let cfg = Configuration::from([1, 1, 1, 8, 4, 1]);
+    let cheap = obj.evaluate_at(&cfg, 1.0 / 27.0);
+    let full = obj.evaluate_at(&cfg, 1.0);
+    assert!(
+        full > 5.0 * cheap,
+        "full-size run {full} should dwarf 1/27-size run {cheap}"
+    );
+    assert_eq!(obj.evaluations(), 2);
+}

@@ -1,0 +1,186 @@
+//! Integration tests asserting the *shape* of the paper's headline
+//! claims on the simulated testbed. These are statistical statements, so
+//! each test aggregates several seeded repetitions; budgets are kept
+//! moderate so the suite stays fast in debug builds.
+
+use imagecl_autotune::prelude::*;
+use imagecl_autotune::stats::descriptive;
+
+/// Runs `algo` once and returns the percent-of-optimum of its final
+/// configuration under the paper's 10-repetition protocol.
+fn run_once(
+    algo: Algorithm,
+    bench: Benchmark,
+    gpu: &imagecl_autotune::sim::GpuArchitecture,
+    optimum_ms: f64,
+    budget: usize,
+    seed: u64,
+) -> f64 {
+    let space = imagecl::space();
+    let constraint = imagecl::constraint();
+    let mut sim = SimulatedKernel::new(bench.model(), gpu.clone(), seed ^ (algo as u64) << 20);
+    let ctx = TuneContext::new(&space, budget, seed);
+    let ctx = if algo.is_smbo() {
+        ctx
+    } else {
+        ctx.with_constraint(&constraint)
+    };
+    let result = algo
+        .tuner()
+        .tune(&ctx, &mut |cfg: &Configuration| sim.measure(cfg));
+    let final_ms = sim.measure_final(&result.best.config);
+    oracle::percent_of_optimum(optimum_ms, final_ms)
+}
+
+fn median_over_reps(
+    algo: Algorithm,
+    bench: Benchmark,
+    gpu: &imagecl_autotune::sim::GpuArchitecture,
+    optimum_ms: f64,
+    budget: usize,
+    reps: usize,
+) -> f64 {
+    let runs: Vec<f64> = (0..reps)
+        .map(|r| run_once(algo, bench, gpu, optimum_ms, budget, 40 + r as u64))
+        .collect();
+    descriptive::median(&runs)
+}
+
+#[test]
+fn claim_bo_gp_beats_rs_at_small_sample_sizes() {
+    // Paper: "Using BO GP or BO TPE for sample sizes from 25 to 100
+    // generally gives us 10-40% better performance than simply using RS."
+    let gpu = gtx_980();
+    let bench = Benchmark::Harris;
+    let opt = oracle::strided_optimum(bench.model().as_ref(), &gpu, 101).time_ms;
+    let reps = 7;
+    for budget in [25, 50] {
+        let bo = median_over_reps(Algorithm::BoGp, bench, &gpu, opt, budget, reps);
+        let rs = median_over_reps(Algorithm::RandomSearch, bench, &gpu, opt, budget, reps);
+        assert!(
+            bo > rs * 1.05,
+            "S={budget}: BO GP {bo:.1}% should clearly beat RS {rs:.1}%"
+        );
+    }
+}
+
+#[test]
+fn claim_ga_wins_the_large_sample_regime() {
+    // Paper: "For sample sizes of 200 and 400, GA outperforms all other
+    // algorithms for most benchmarks and architectures." We assert GA
+    // strictly beats RS and RF at S=400 and reaches near-optimal.
+    let gpu = gtx_980();
+    let bench = Benchmark::Harris;
+    let opt = oracle::strided_optimum(bench.model().as_ref(), &gpu, 101).time_ms;
+    let reps = 5;
+    let budget = 400;
+    let ga = median_over_reps(Algorithm::GeneticAlgorithm, bench, &gpu, opt, budget, reps);
+    let rs = median_over_reps(Algorithm::RandomSearch, bench, &gpu, opt, budget, reps);
+    assert!(ga > rs * 1.03, "GA {ga:.1}% vs RS {rs:.1}% at S=400");
+    assert!(ga > 85.0, "GA should be near-optimal at S=400, got {ga:.1}%");
+}
+
+#[test]
+fn claim_rf_never_outperforms_everything() {
+    // Paper: "The Non-SMBO RF method ... never outperforms all the other
+    // methods." Check RF is never the sole winner across a small grid.
+    let gpu = titan_v();
+    let bench = Benchmark::Add;
+    let opt = oracle::strided_optimum(bench.model().as_ref(), &gpu, 101).time_ms;
+    let reps = 5;
+    for budget in [25, 100] {
+        let rf = median_over_reps(Algorithm::RandomForest, bench, &gpu, opt, budget, reps);
+        let others = [Algorithm::BoGp, Algorithm::GeneticAlgorithm, Algorithm::BoTpe]
+            .map(|a| median_over_reps(a, bench, &gpu, opt, budget, reps));
+        let best_other = others.iter().cloned().fold(f64::MIN, f64::max);
+        assert!(
+            rf <= best_other * 1.02,
+            "S={budget}: RF {rf:.1}% should not dominate everyone (best other {best_other:.1}%)"
+        );
+    }
+}
+
+#[test]
+fn claim_all_algorithms_improve_from_25_to_400_except_possible_gp_dip() {
+    // Paper: "all other algorithms have strictly increasing performance
+    // as a function of sample size" (BO GP may dip 100 -> 200).
+    let gpu = rtx_titan();
+    let bench = Benchmark::Mandelbrot;
+    let opt = oracle::strided_optimum(bench.model().as_ref(), &gpu, 101).time_ms;
+    let reps = 5;
+    for algo in [Algorithm::RandomSearch, Algorithm::GeneticAlgorithm] {
+        let small = median_over_reps(algo, bench, &gpu, opt, 25, reps);
+        let large = median_over_reps(algo, bench, &gpu, opt, 400, reps);
+        assert!(
+            large >= small - 1.0,
+            "{}: S=400 ({large:.1}%) should not regress below S=25 ({small:.1}%)",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn claim_final_protocol_reduces_variance() {
+    // Paper §VI-A: the 10-repetition final measurement compensates for
+    // runtime variance. The spread of median-of-10 estimates must be
+    // smaller than the spread of single-shot measurements.
+    let gpu = gtx_980();
+    let cfg = Configuration::from([1, 2, 1, 8, 4, 1]);
+    let mut singles = Vec::new();
+    let mut medians = Vec::new();
+    for seed in 0..30 {
+        let mut sim = SimulatedKernel::new(Benchmark::Add.model(), gpu.clone(), seed);
+        singles.push(sim.measure(&cfg));
+        medians.push(sim.measure_final(&cfg));
+    }
+    let spread = |v: &[f64]| descriptive::Summary::of(v).std_dev;
+    assert!(
+        spread(&medians) < spread(&singles),
+        "median-of-10 spread {} should be below single-shot spread {}",
+        spread(&medians),
+        spread(&singles)
+    );
+}
+
+#[test]
+fn claim_mandelbrot_gives_less_speedup_than_harris() {
+    // Paper: "some combination of benchmarks and architectures give less
+    // speedup, e.g. Mandelbrot on Titan V and RTX Titan."
+    let reps = 5;
+    let budget = 50;
+
+    let gpu = rtx_titan();
+    let mandel_opt =
+        oracle::strided_optimum(Benchmark::Mandelbrot.model().as_ref(), &gpu, 101).time_ms;
+    let mandel_bo =
+        median_over_reps(Algorithm::BoGp, Benchmark::Mandelbrot, &gpu, mandel_opt, budget, reps);
+    let mandel_rs = median_over_reps(
+        Algorithm::RandomSearch,
+        Benchmark::Mandelbrot,
+        &gpu,
+        mandel_opt,
+        budget,
+        reps,
+    );
+
+    let gpu2 = gtx_980();
+    let harris_opt =
+        oracle::strided_optimum(Benchmark::Harris.model().as_ref(), &gpu2, 101).time_ms;
+    let harris_bo =
+        median_over_reps(Algorithm::BoGp, Benchmark::Harris, &gpu2, harris_opt, budget, reps);
+    let harris_rs = median_over_reps(
+        Algorithm::RandomSearch,
+        Benchmark::Harris,
+        &gpu2,
+        harris_opt,
+        budget,
+        reps,
+    );
+
+    let mandel_gain = mandel_bo / mandel_rs;
+    let harris_gain = harris_bo / harris_rs;
+    assert!(
+        harris_gain > mandel_gain,
+        "Harris gain {harris_gain:.2} should exceed Mandelbrot gain {mandel_gain:.2}"
+    );
+}

@@ -1,0 +1,166 @@
+//! Cross-crate protocol tests: budget accounting, the SMBO/non-SMBO
+//! constraint split, determinism and the facade API.
+
+use imagecl_autotune::prelude::*;
+use imagecl_autotune::sim::model::FAILURE_PENALTY_MS;
+
+#[test]
+fn every_technique_spends_exactly_the_sample_budget() {
+    // The study's core fairness property: identical measurement budgets.
+    let space = imagecl::space();
+    let constraint = imagecl::constraint();
+    for algo in Algorithm::ALL {
+        for budget in [25usize, 50] {
+            let mut sim = SimulatedKernel::new(Benchmark::Add.model(), gtx_980(), 5);
+            let ctx = TuneContext::new(&space, budget, 5);
+            let ctx = if algo.is_smbo() {
+                ctx
+            } else {
+                ctx.with_constraint(&constraint)
+            };
+            let result = algo
+                .tuner()
+                .tune(&ctx, &mut |cfg: &Configuration| sim.measure(cfg));
+            assert_eq!(
+                sim.evaluations(),
+                budget as u64,
+                "{} at S={budget} measured a different number of samples",
+                algo.name()
+            );
+            assert_eq!(result.history.len(), budget);
+        }
+    }
+}
+
+#[test]
+fn non_smbo_methods_never_propose_infeasible_configs() {
+    let space = imagecl::space();
+    let constraint = imagecl::constraint();
+    for algo in [
+        Algorithm::RandomSearch,
+        Algorithm::RandomForest,
+        Algorithm::GeneticAlgorithm,
+        Algorithm::SimulatedAnnealing,
+        Algorithm::ParticleSwarm,
+        Algorithm::GridSearch,
+    ] {
+        let mut sim = SimulatedKernel::new(Benchmark::Harris.model(), titan_v(), 8);
+        let ctx = TuneContext::new(&space, 40, 8).with_constraint(&constraint);
+        let result = algo
+            .tuner()
+            .tune(&ctx, &mut |cfg: &Configuration| sim.measure(cfg));
+        for e in result.history.evaluations() {
+            assert!(
+                constraint.is_satisfied(&e.config),
+                "{} proposed infeasible {}",
+                algo.name(),
+                e.config
+            );
+        }
+    }
+}
+
+#[test]
+fn smbo_methods_encounter_and_survive_failures() {
+    // Without the constraint, uniform proposals hit the >256-thread
+    // region (~8% of the space) and receive the failure penalty; the
+    // tuners must still return a feasible-quality best.
+    let space = imagecl::space();
+    for algo in [Algorithm::BoGp, Algorithm::BoTpe] {
+        let mut hit_penalty = false;
+        let mut best = f64::INFINITY;
+        for seed in 0..4 {
+            let mut sim = SimulatedKernel::new(Benchmark::Add.model(), gtx_980(), seed);
+            let ctx = TuneContext::new(&space, 50, seed);
+            let result = algo
+                .tuner()
+                .tune(&ctx, &mut |cfg: &Configuration| sim.measure(cfg));
+            hit_penalty |= result
+                .history
+                .evaluations()
+                .iter()
+                .any(|e| e.value > FAILURE_PENALTY_MS * 0.5);
+            best = best.min(result.best.value);
+        }
+        assert!(
+            hit_penalty,
+            "{}: 200 unconstrained samples should hit the infeasible region",
+            algo.name()
+        );
+        assert!(
+            best < FAILURE_PENALTY_MS * 0.01,
+            "{}: best {best} should be a real runtime",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn tuning_runs_are_bit_reproducible() {
+    let space = imagecl::space();
+    for algo in Algorithm::PAPER_FIVE {
+        let run = |seed: u64| {
+            let mut sim = SimulatedKernel::new(Benchmark::Mandelbrot.model(), rtx_titan(), seed);
+            let ctx = TuneContext::new(&space, 30, seed);
+            algo.tuner()
+                .tune(&ctx, &mut |cfg: &Configuration| sim.measure(cfg))
+        };
+        let a = run(21);
+        let b = run(21);
+        assert_eq!(
+            a.history.evaluations(),
+            b.history.evaluations(),
+            "{} not reproducible",
+            algo.name()
+        );
+        let c = run(22);
+        assert_ne!(
+            a.history.evaluations(),
+            c.history.evaluations(),
+            "{} ignores its seed",
+            algo.name()
+        );
+    }
+}
+
+#[test]
+fn facade_prelude_exposes_the_whole_workflow() {
+    // Compile-and-run check that the README workflow works through the
+    // facade: space -> simulator -> tuner -> oracle -> stats.
+    let space = imagecl::space();
+    let mut sim = SimulatedKernel::new(Benchmark::Add.model(), titan_v(), 3);
+    let ctx = TuneContext::new(&space, 25, 3);
+    let result = Algorithm::BoTpe
+        .tuner()
+        .tune(&ctx, &mut |cfg: &Configuration| sim.measure(cfg));
+    let optimum = oracle::strided_optimum(sim.kernel(), sim.arch(), 10_007);
+    let pct = oracle::percent_of_optimum(optimum.time_ms, result.best.value);
+    assert!(pct > 0.0 && pct <= 120.0);
+
+    let a = [1.0, 2.0, 3.0];
+    let b = [4.0, 5.0, 6.0];
+    let cles = imagecl_autotune::stats::cles::probability_of_superiority_min(&a, &b);
+    assert_eq!(cles, 1.0);
+}
+
+#[test]
+fn noiseless_simulator_makes_tuning_deterministic_across_algorithms() {
+    // With noise off, repeated measurement of one config is constant, so
+    // the measured best must equal the model's true time.
+    let space = imagecl::space();
+    let mut sim = SimulatedKernel::with_noise(
+        Benchmark::Harris.model(),
+        gtx_980(),
+        NoiseModel::none(),
+        9,
+    );
+    let ctx = TuneContext::new(&space, 30, 9);
+    let result = Algorithm::GeneticAlgorithm
+        .tuner()
+        .tune(
+            &ctx.with_constraint(&imagecl::constraint()),
+            &mut |cfg: &Configuration| sim.measure(cfg),
+        );
+    let truth = sim.true_time_ms(&result.best.config);
+    assert_eq!(result.best.value, truth);
+}

@@ -1,0 +1,124 @@
+//! End-to-end integration: the full experiment pipeline from simulator to
+//! rendered figures, at smoke scale.
+
+use imagecl_autotune::study::grid::{run_study, StudyConfig};
+use imagecl_autotune::study::{metrics, render};
+use imagecl_autotune::tuners::Algorithm;
+use imagecl_autotune::prelude::*;
+
+fn pipeline_config() -> StudyConfig {
+    let mut c = StudyConfig::smoke();
+    c.algorithms = vec![
+        Algorithm::RandomSearch,
+        Algorithm::GeneticAlgorithm,
+        Algorithm::BoTpe,
+    ];
+    c.benchmarks = vec![Benchmark::Add, Benchmark::Mandelbrot];
+    c.architectures = vec![gtx_980()];
+    c.dataset_size = 500;
+    c.oracle_stride = 2003;
+    c
+}
+
+#[test]
+fn full_pipeline_produces_all_four_figures() {
+    let results = run_study(&pipeline_config());
+
+    // Fig. 2: one panel per (benchmark, architecture), full grid.
+    let fig2 = metrics::fig2(&results);
+    assert_eq!(fig2.len(), 2);
+    for p in &fig2 {
+        assert_eq!(p.rows.len(), 3);
+        assert_eq!(p.cols, vec![25, 50, 100, 200, 400]);
+        assert!(p
+            .values
+            .iter()
+            .flatten()
+            .all(|v| v.is_finite() && *v > 0.0 && *v <= 110.0));
+    }
+
+    // Fig. 3: one aggregate line per algorithm with CI bands.
+    let fig3 = metrics::fig3(&results, 0.95, 0);
+    assert_eq!(fig3.len(), 3);
+    for line in &fig3 {
+        assert_eq!(line.mean.len(), 5);
+        for (m, ci) in line.mean.iter().zip(&line.ci) {
+            assert!(ci.lo <= *m + 1e-9 && *m <= ci.hi + 1e-9);
+        }
+    }
+
+    // Fig. 4a: RS row is exactly 1.0 everywhere.
+    let fig4a = metrics::fig4a(&results);
+    for p in &fig4a {
+        let rs = p.rows.iter().position(|r| r == "RS").unwrap();
+        assert!(p.values[rs].iter().all(|v| (v - 1.0).abs() < 1e-12));
+    }
+
+    // Fig. 4b: CLES values are probabilities; RS vs itself is 0.5.
+    let fig4b = metrics::fig4b(&results);
+    for (p, cells) in &fig4b {
+        let rs = p.rows.iter().position(|r| r == "RS").unwrap();
+        for cell in &cells[rs] {
+            assert!((cell.cles - 0.5).abs() < 1e-12);
+        }
+        for row in cells {
+            for cell in row {
+                assert!((0.0..=1.0).contains(&cell.cles));
+            }
+        }
+    }
+
+    // Renderers accept all of it.
+    for p in &fig2 {
+        let text = render::heatmap(p, "%");
+        assert!(text.contains("S=400"));
+    }
+    let table = render::aggregate_table(&fig3);
+    assert!(table.contains("GA"));
+    let csv = render::heatmaps_csv(&fig2);
+    assert_eq!(csv.lines().count(), 1 + 2 * 3 * 5);
+}
+
+#[test]
+fn study_results_survive_json_round_trip() {
+    let results = run_study(&pipeline_config());
+    let json = results.to_json();
+    let back = imagecl_autotune::study::grid::StudyResults::from_json(&json).unwrap();
+    assert_eq!(back.cells.len(), results.cells.len());
+    assert_eq!(back.sample_sizes, results.sample_sizes);
+    // Figures computed from the round-tripped results are identical.
+    let a = metrics::fig2(&results);
+    let b = metrics::fig2(&back);
+    for (pa, pb) in a.iter().zip(&b) {
+        assert_eq!(pa.values, pb.values);
+    }
+}
+
+#[test]
+fn experiment_counts_follow_the_scaled_design() {
+    let config = pipeline_config();
+    let results = run_study(&config);
+    for (key, cell) in &results.cells {
+        assert_eq!(
+            cell.final_ms.len(),
+            config.design.experiments_for(key.sample_size),
+            "{key:?}"
+        );
+        assert_eq!(cell.final_ms.len(), cell.percent_of_optimum.len());
+    }
+}
+
+#[test]
+fn optima_are_positive_and_beat_every_measured_run_approximately() {
+    let results = run_study(&pipeline_config());
+    for ((bench, arch_name), opt) in &results.optima {
+        assert!(*opt > 0.0, "{bench}/{arch_name}");
+    }
+    // Strided oracle may miss the exact optimum, so allow measured runs
+    // to reach slightly above 100%.
+    for cell in results.cells.values() {
+        for &p in &cell.percent_of_optimum {
+            assert!(p <= 115.0, "percent of optimum {p} too high");
+        }
+    }
+}
