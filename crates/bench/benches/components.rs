@@ -26,7 +26,13 @@ fn bench_simulator(c: &mut Criterion) {
     for bench in Benchmark::ALL {
         let kernel = bench.model();
         g.bench_function(BenchmarkId::new("kernel_time", bench.name()), |b| {
-            b.iter(|| black_box(model::kernel_time_ms(kernel.as_ref(), &gpu, black_box(&cfg))))
+            b.iter(|| {
+                black_box(model::kernel_time_ms(
+                    kernel.as_ref(),
+                    &gpu,
+                    black_box(&cfg),
+                ))
+            })
         });
     }
     g.bench_function("oracle_strided_1009", |b| {
@@ -54,9 +60,7 @@ fn bench_gp(c: &mut Criterion) {
         let (x, y) = training_set(n);
         g.bench_function(BenchmarkId::new("fit", n), |b| {
             b.iter(|| {
-                black_box(
-                    GaussianProcess::fit(x.clone(), y.clone(), GpParams::default()).unwrap(),
-                )
+                black_box(GaussianProcess::fit(x.clone(), y.clone(), GpParams::default()).unwrap())
             })
         });
     }

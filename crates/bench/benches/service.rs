@@ -1,0 +1,101 @@
+//! Session-engine throughput: suggest/report round-trips per second.
+//!
+//! Every ask-tell round trip crosses two rendezvous channels and a
+//! thread switch, so this measures the service layer's overhead floor —
+//! what it costs to run a tuner behind the engine instead of in-process.
+//! Real deployments amortize it against multi-millisecond kernel
+//! measurements; the bench uses a free objective to isolate the
+//! machinery itself.
+
+use autotune_core::Algorithm;
+use autotune_service::{AskTellSession, SessionManager, SessionSpec, SpaceSpec, Suggestion};
+use autotune_space::{Configuration, Param, ParamSpace};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn toy_spec(budget: usize, seed: u64) -> SessionSpec {
+    SessionSpec {
+        algorithm: Algorithm::RandomSearch,
+        budget,
+        seed,
+        space: SpaceSpec::Custom {
+            space: ParamSpace::new(vec![
+                Param::new("a", 1, 16),
+                Param::new("b", 1, 16),
+                Param::new("c", 1, 16),
+            ]),
+        },
+    }
+}
+
+fn objective(cfg: &Configuration) -> f64 {
+    cfg.values().iter().map(|&v| v as f64).sum()
+}
+
+fn drive_to_completion(spec: SessionSpec) -> f64 {
+    let mut session = AskTellSession::open(spec).expect("open");
+    loop {
+        match session.suggest().expect("suggest") {
+            Suggestion::Evaluate(cfg) => session.report(objective(&cfg)).expect("report"),
+            Suggestion::Finished(result) => return result.best.value,
+        }
+    }
+}
+
+/// One session, full budget: round-trips per second through a single
+/// engine thread.
+fn bench_single_session(c: &mut Criterion) {
+    let mut g = c.benchmark_group("service/roundtrips");
+    for budget in [64usize, 256] {
+        g.throughput(Throughput::Elements(budget as u64));
+        g.bench_function(BenchmarkId::from_parameter(budget), |b| {
+            b.iter(|| black_box(drive_to_completion(toy_spec(budget, 42))))
+        });
+    }
+    g.finish();
+}
+
+/// N sessions driven by N threads through one shared manager: how much
+/// concurrent sessions interfere (they should barely — the registry lock
+/// is only held for lookups).
+fn bench_concurrent_sessions(c: &mut Criterion) {
+    const BUDGET: usize = 128;
+    let mut g = c.benchmark_group("service/concurrent_sessions");
+    g.sample_size(10);
+    for sessions in [1usize, 2, 4, 8] {
+        g.throughput(Throughput::Elements((BUDGET * sessions) as u64));
+        g.bench_function(BenchmarkId::from_parameter(sessions), |b| {
+            b.iter(|| {
+                let manager = Arc::new(SessionManager::in_memory());
+                for i in 0..sessions {
+                    manager
+                        .open(&format!("s{i}"), toy_spec(BUDGET, i as u64))
+                        .expect("open");
+                }
+                let handles: Vec<_> = (0..sessions)
+                    .map(|i| {
+                        let manager = Arc::clone(&manager);
+                        std::thread::spawn(move || {
+                            let name = format!("s{i}");
+                            loop {
+                                match manager.suggest(&name).expect("suggest") {
+                                    Suggestion::Evaluate(cfg) => {
+                                        manager.report(&name, objective(&cfg)).expect("report")
+                                    }
+                                    Suggestion::Finished(result) => return result.best.value,
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                let total: f64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_single_session, bench_concurrent_sessions);
+criterion_main!(benches);

@@ -90,7 +90,9 @@ impl Tuner for BayesOptGp {
         let init_configs: Vec<Configuration> = if p.lhs_init {
             sample::latin_hypercube(ctx.space, n_init, &mut rng)
         } else {
-            (0..n_init).map(|_| sample::uniform(ctx.space, &mut rng)).collect()
+            (0..n_init)
+                .map(|_| sample::uniform(ctx.space, &mut rng))
+                .collect()
         };
         for cfg in init_configs {
             if rec.remaining() == 0 {
@@ -127,9 +129,8 @@ impl Tuner for BayesOptGp {
                 .collect();
             pool.extend(neighborhood::neighbors(ctx.space, &incumbent));
 
-            let best_observed = standardizer.forward(
-                rec.best().expect("non-empty history").value.max(1e-12),
-            );
+            let best_observed =
+                standardizer.forward(rec.best().expect("non-empty history").value.max(1e-12));
             let mut best_cfg: Option<(f64, Configuration)> = None;
             for cfg in pool {
                 if seen.contains(&cfg) {
@@ -197,8 +198,8 @@ impl Tuner for BayesOptGp {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use autotune_space::imagecl;
     use crate::random_search::RandomSearch;
+    use autotune_space::imagecl;
 
     /// Smooth multimodal objective over the ImageCL space.
     fn smooth(cfg: &Configuration) -> f64 {
@@ -285,6 +286,10 @@ mod tests {
             .iter()
             .map(|e| e.config.clone())
             .collect();
-        assert!(distinct.len() >= 38, "only {} distinct configs", distinct.len());
+        assert!(
+            distinct.len() >= 38,
+            "only {} distinct configs",
+            distinct.len()
+        );
     }
 }

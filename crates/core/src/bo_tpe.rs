@@ -133,9 +133,7 @@ impl Tuner for BayesOptTpe {
                     best_new = Some((score, cand));
                 }
             }
-            let cfg = Configuration::new(
-                best_new.or(best_any).expect("candidates > 0").1,
-            );
+            let cfg = Configuration::new(best_new.or(best_any).expect("candidates > 0").1);
             rec.measure(&cfg);
             seen.insert(cfg);
         }
@@ -176,9 +174,8 @@ mod tests {
         let mut obj = smooth;
         let r = BayesOptTpe::default().tune(&TuneContext::new(&space, 80, 5), &mut obj);
         let evals = r.history.evaluations();
-        let mean = |s: &[crate::Evaluation]| {
-            s.iter().map(|e| e.value).sum::<f64>() / s.len() as f64
-        };
+        let mean =
+            |s: &[crate::Evaluation]| s.iter().map(|e| e.value).sum::<f64>() / s.len() as f64;
         let random_mean = mean(&evals[..20]);
         let model_mean = mean(&evals[60..]);
         assert!(

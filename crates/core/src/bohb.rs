@@ -68,7 +68,10 @@ impl Bohb {
         budget_units: f64,
         seed: u64,
     ) -> TuneResult {
-        assert!(budget_units >= 1.0, "BOHB needs at least one full evaluation");
+        assert!(
+            budget_units >= 1.0,
+            "BOHB needs at least one full evaluation"
+        );
         let p = self.params;
         let g = p.geometry;
         let s_max = g.s_max();
@@ -119,8 +122,7 @@ impl Bohb {
                     }
                 }
                 if rung + 1 < rungs.len() {
-                    survivors
-                        .sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
+                    survivors.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite scores"));
                     let keep = ((survivors.len() as f64 / g.eta).round() as usize).max(1);
                     survivors.truncate(keep);
                 }
@@ -163,11 +165,18 @@ impl Bohb {
         order.sort_by(|&a, &b| pool[a].1.partial_cmp(&pool[b].1).expect("finite"));
         let n_good = ((pool.len() as f64 * p.gamma).ceil() as usize)
             .clamp(2, pool.len().saturating_sub(1).max(2));
-        let rows = |idx: &[usize]| -> Vec<Vec<u32>> {
-            idx.iter().map(|&i| pool[i].0.clone()).collect()
-        };
-        let l = ProductParzen::fit(ranges, &rows(&order[..n_good.min(order.len())]), p.prior_weight);
-        let g = ProductParzen::fit(ranges, &rows(&order[n_good.min(order.len())..]), p.prior_weight);
+        let rows =
+            |idx: &[usize]| -> Vec<Vec<u32>> { idx.iter().map(|&i| pool[i].0.clone()).collect() };
+        let l = ProductParzen::fit(
+            ranges,
+            &rows(&order[..n_good.min(order.len())]),
+            p.prior_weight,
+        );
+        let g = ProductParzen::fit(
+            ranges,
+            &rows(&order[n_good.min(order.len())..]),
+            p.prior_weight,
+        );
         let mut best: Option<(f64, Vec<u32>)> = None;
         for _ in 0..p.candidates {
             let cand = l.sample(rng);
@@ -208,7 +217,10 @@ mod tests {
     #[test]
     fn runs_within_budget_and_returns_full_fidelity_best() {
         let space = imagecl::space();
-        let mut toy = Toy { cost: 0.0, full_evals: 0 };
+        let mut toy = Toy {
+            cost: 0.0,
+            full_evals: 0,
+        };
         let r = Bohb::default().tune_mf(&space, &mut toy, 60.0, 1);
         assert!(toy.cost_spent() <= 75.0);
         assert!(toy.full_evals > 0);
@@ -223,7 +235,10 @@ mod tests {
         // BOHB's best should approach the optimum region (value <= 60 vs
         // random expectation ~270).
         let space = imagecl::space();
-        let mut toy = Toy { cost: 0.0, full_evals: 0 };
+        let mut toy = Toy {
+            cost: 0.0,
+            full_evals: 0,
+        };
         let r = Bohb::default().tune_mf(&space, &mut toy, 120.0, 2);
         assert!(r.best.value <= 120.0, "BOHB best {}", r.best.value);
     }
@@ -232,7 +247,10 @@ mod tests {
     fn deterministic_per_seed() {
         let space = imagecl::space();
         let run = |seed| {
-            let mut toy = Toy { cost: 0.0, full_evals: 0 };
+            let mut toy = Toy {
+                cost: 0.0,
+                full_evals: 0,
+            };
             Bohb::default().tune_mf(&space, &mut toy, 40.0, seed)
         };
         let a = run(5);
@@ -247,7 +265,10 @@ mod tests {
             random_fraction: 1.0,
             ..BohbParams::default()
         };
-        let mut toy = Toy { cost: 0.0, full_evals: 0 };
+        let mut toy = Toy {
+            cost: 0.0,
+            full_evals: 0,
+        };
         let r = Bohb { params }.tune_mf(&space, &mut toy, 40.0, 8);
         assert!(!r.history.is_empty());
     }

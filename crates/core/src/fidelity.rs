@@ -44,7 +44,10 @@ impl<'a> FullFidelityAdapter<'a> {
 
 impl MultiFidelityObjective for FullFidelityAdapter<'_> {
     fn evaluate_at(&mut self, cfg: &Configuration, fidelity: f64) -> f64 {
-        assert!(fidelity > 0.0 && fidelity <= 1.0, "fidelity must be in (0,1]");
+        assert!(
+            fidelity > 0.0 && fidelity <= 1.0,
+            "fidelity must be in (0,1]"
+        );
         self.cost += fidelity;
         self.inner.evaluate(cfg)
     }
@@ -87,7 +90,11 @@ impl BracketGeometry {
     ///
     /// Panics if `s > s_max()`.
     pub fn rung_fidelities(&self, s: usize) -> Vec<f64> {
-        assert!(s <= self.s_max(), "bracket {s} exceeds s_max {}", self.s_max());
+        assert!(
+            s <= self.s_max(),
+            "bracket {s} exceeds s_max {}",
+            self.s_max()
+        );
         (0..=s)
             .map(|i| self.eta.powi(i as i32 - s as i32))
             .collect()

@@ -121,7 +121,12 @@ impl Tuner for GeneticAlgorithm {
                     child = ctx.sample_config(&mut rng);
                 }
                 // Cached chromosomes re-use their fitness without budget.
-                let y = if rec.history().evaluations().iter().any(|e| e.config == child) {
+                let y = if rec
+                    .history()
+                    .evaluations()
+                    .iter()
+                    .any(|e| e.config == child)
+                {
                     rec.history()
                         .evaluations()
                         .iter()

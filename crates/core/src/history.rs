@@ -46,11 +46,9 @@ impl History {
 
     /// The best (minimum-cost) evaluation so far.
     pub fn best(&self) -> Option<&Evaluation> {
-        self.evals.iter().min_by(|a, b| {
-            a.value
-                .partial_cmp(&b.value)
-                .expect("costs are comparable")
-        })
+        self.evals
+            .iter()
+            .min_by(|a, b| a.value.partial_cmp(&b.value).expect("costs are comparable"))
     }
 
     /// Running best value after each evaluation — the "convergence

@@ -55,7 +55,10 @@ impl HyperBand {
         budget_units: f64,
         seed: u64,
     ) -> TuneResult {
-        assert!(budget_units >= 1.0, "HyperBand needs at least one full evaluation");
+        assert!(
+            budget_units >= 1.0,
+            "HyperBand needs at least one full evaluation"
+        );
         let g = self.params.geometry;
         let s_max = g.s_max();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
@@ -97,9 +100,7 @@ impl HyperBand {
                 }
                 // Keep the best 1/eta for the next rung.
                 if rung + 1 < rungs.len() {
-                    survivors.sort_by(|a, b| {
-                        a.1.partial_cmp(&b.1).expect("scores are finite")
-                    });
+                    survivors.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("scores are finite"));
                     let keep = ((survivors.len() as f64 / g.eta).round() as usize).max(1);
                     survivors.truncate(keep);
                 }
@@ -149,18 +150,32 @@ mod tests {
     #[test]
     fn spends_close_to_the_budget() {
         let space = imagecl::space();
-        let mut toy = Toy { cost: 0.0, evals: Vec::new() };
+        let mut toy = Toy {
+            cost: 0.0,
+            evals: Vec::new(),
+        };
         let budget = 60.0;
         let r = HyperBand::default().tune_mf(&space, &mut toy, budget, 3);
-        assert!(toy.cost_spent() <= budget * 1.25, "spent {}", toy.cost_spent());
-        assert!(toy.cost_spent() >= budget * 0.4, "spent only {}", toy.cost_spent());
+        assert!(
+            toy.cost_spent() <= budget * 1.25,
+            "spent {}",
+            toy.cost_spent()
+        );
+        assert!(
+            toy.cost_spent() >= budget * 0.4,
+            "spent only {}",
+            toy.cost_spent()
+        );
         assert!(!r.history.is_empty());
     }
 
     #[test]
     fn evaluates_many_more_configs_than_plain_search_could() {
         let space = imagecl::space();
-        let mut toy = Toy { cost: 0.0, evals: Vec::new() };
+        let mut toy = Toy {
+            cost: 0.0,
+            evals: Vec::new(),
+        };
         let budget = 50.0;
         let _ = HyperBand::default().tune_mf(&space, &mut toy, budget, 4);
         let distinct: std::collections::HashSet<_> =
@@ -175,13 +190,13 @@ mod tests {
     #[test]
     fn uses_a_range_of_fidelities() {
         let space = imagecl::space();
-        let mut toy = Toy { cost: 0.0, evals: Vec::new() };
+        let mut toy = Toy {
+            cost: 0.0,
+            evals: Vec::new(),
+        };
         let _ = HyperBand::default().tune_mf(&space, &mut toy, 40.0, 5);
-        let fidelities: std::collections::HashSet<u64> = toy
-            .evals
-            .iter()
-            .map(|(_, f)| (f * 1e6) as u64)
-            .collect();
+        let fidelities: std::collections::HashSet<u64> =
+            toy.evals.iter().map(|(_, f)| (f * 1e6) as u64).collect();
         assert!(fidelities.len() >= 3, "only fidelities {fidelities:?}");
         assert!(toy.evals.iter().any(|(_, f)| (*f - 1.0).abs() < 1e-12));
     }
@@ -189,7 +204,10 @@ mod tests {
     #[test]
     fn best_comes_from_full_fidelity_measurements() {
         let space = imagecl::space();
-        let mut toy = Toy { cost: 0.0, evals: Vec::new() };
+        let mut toy = Toy {
+            cost: 0.0,
+            evals: Vec::new(),
+        };
         let r = HyperBand::default().tune_mf(&space, &mut toy, 60.0, 6);
         // The best's value must be a true full-fidelity evaluation of its
         // config (bias term vanishes at fidelity 1).
@@ -200,9 +218,7 @@ mod tests {
     #[test]
     fn works_through_the_full_fidelity_adapter() {
         let space = imagecl::space();
-        let mut obj = |cfg: &Configuration| {
-            cfg.values().iter().map(|&v| v as f64).sum::<f64>()
-        };
+        let mut obj = |cfg: &Configuration| cfg.values().iter().map(|&v| v as f64).sum::<f64>();
         let mut mf = FullFidelityAdapter::new(&mut obj);
         let r = HyperBand::default().tune_mf(&space, &mut mf, 30.0, 7);
         assert!(r.best.value >= 6.0);
@@ -212,7 +228,10 @@ mod tests {
     fn deterministic_per_seed() {
         let space = imagecl::space();
         let run = |seed| {
-            let mut toy = Toy { cost: 0.0, evals: Vec::new() };
+            let mut toy = Toy {
+                cost: 0.0,
+                evals: Vec::new(),
+            };
             HyperBand::default().tune_mf(&space, &mut toy, 40.0, seed)
         };
         let a = run(9);

@@ -68,4 +68,4 @@ pub mod tuner;
 pub use history::{Evaluation, History};
 pub use objective::Objective;
 pub use registry::Algorithm;
-pub use tuner::{TuneContext, TuneResult, Tuner};
+pub use tuner::{OwnedTuneSetup, Recorder, TuneContext, TuneResult, Tuner};

@@ -56,9 +56,7 @@ impl Tuner for MultiStartLocalSearch {
                         None => rec.measure(&n),
                     };
                     if cost < current_cost
-                        && best_step
-                            .as_ref()
-                            .is_none_or(|(_, c): &(_, f64)| cost < *c)
+                        && best_step.as_ref().is_none_or(|(_, c): &(_, f64)| cost < *c)
                     {
                         best_step = Some((n.clone(), cost));
                     }
@@ -82,10 +80,7 @@ mod tests {
     use autotune_space::{imagecl, Configuration};
 
     fn bowl(cfg: &Configuration) -> f64 {
-        cfg.values()
-            .iter()
-            .map(|&v| (v as f64 - 3.0).powi(2))
-            .sum()
+        cfg.values().iter().map(|&v| (v as f64 - 3.0).powi(2)).sum()
     }
 
     #[test]

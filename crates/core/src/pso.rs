@@ -77,9 +77,7 @@ impl Tuner for ParticleSwarm {
             // the constraint from the first measurement.
             let cfg = ctx.sample_config(&mut rng);
             let pos = ctx.space.to_unit_features(&cfg);
-            let vel: Vec<f64> = (0..d)
-                .map(|_| (rng.gen::<f64>() - 0.5) * p.v_max)
-                .collect();
+            let vel: Vec<f64> = (0..d).map(|_| (rng.gen::<f64>() - 0.5) * p.v_max).collect();
             let cost = rec.measure(&cfg);
             if global_best.as_ref().is_none_or(|(_, c)| cost < *c) {
                 global_best = Some((pos.clone(), cost));
@@ -133,9 +131,7 @@ mod tests {
 
     fn smooth(cfg: &Configuration) -> f64 {
         let v = cfg.values();
-        (v[0] as f64 - 4.0).powi(2)
-            + (v[1] as f64 - 4.0).powi(2)
-            + (v[3] as f64 - 4.0).powi(2)
+        (v[0] as f64 - 4.0).powi(2) + (v[1] as f64 - 4.0).powi(2) + (v[3] as f64 - 4.0).powi(2)
     }
 
     #[test]

@@ -47,9 +47,7 @@ mod tests {
     fn result_is_min_of_history() {
         let space = imagecl::space();
         let ctx = TuneContext::new(&space, 50, 1);
-        let mut obj = |cfg: &Configuration| {
-            cfg.values().iter().map(|&v| v as f64).product::<f64>()
-        };
+        let mut obj = |cfg: &Configuration| cfg.values().iter().map(|&v| v as f64).product::<f64>();
         let r = RandomSearch.tune(&ctx, &mut obj);
         let min = r
             .history
@@ -89,9 +87,7 @@ mod tests {
         // of the 100-budget run coincide with the 10-budget run, so the
         // bigger run's best can only be <=.
         let space = imagecl::space();
-        let mut obj = |cfg: &Configuration| {
-            cfg.values().iter().map(|&v| v as f64).sum::<f64>()
-        };
+        let mut obj = |cfg: &Configuration| cfg.values().iter().map(|&v| v as f64).sum::<f64>();
         let small = RandomSearch.tune(&TuneContext::new(&space, 10, 3), &mut obj);
         let large = RandomSearch.tune(&TuneContext::new(&space, 100, 3), &mut obj);
         assert!(large.best.value <= small.best.value);

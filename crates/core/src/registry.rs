@@ -151,10 +151,14 @@ mod tests {
             } else {
                 ctx.with_constraint(&cons)
             };
-            let mut obj =
-                |cfg: &Configuration| cfg.values().iter().map(|&v| v as f64).sum::<f64>();
+            let mut obj = |cfg: &Configuration| cfg.values().iter().map(|&v| v as f64).sum::<f64>();
             let r = a.tuner().tune(&ctx, &mut obj);
-            assert_eq!(r.history.len(), 25, "{} must spend the full budget", a.name());
+            assert_eq!(
+                r.history.len(),
+                25,
+                "{} must spend the full budget",
+                a.name()
+            );
             assert!(r.best.value >= 6.0, "{}: impossible best", a.name());
         }
     }

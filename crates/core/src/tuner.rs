@@ -4,6 +4,7 @@ use crate::history::{Evaluation, History};
 use crate::objective::Objective;
 use autotune_space::{sample, Configuration, Constraint, ParamSpace};
 use rand::Rng;
+use serde::{Deserialize, Serialize};
 
 /// Everything a tuning run is given besides the objective.
 #[derive(Clone, Copy)]
@@ -62,8 +63,71 @@ impl std::fmt::Debug for TuneContext<'_> {
     }
 }
 
+/// Owned counterpart of [`TuneContext`] for long-lived tuning sessions.
+///
+/// [`TuneContext`] borrows its space and constraint, which suits the
+/// closed-loop `tune(&ctx, &mut objective)` call but not a session that
+/// outlives the caller's stack frame (the service layer runs tuners on
+/// dedicated threads). `OwnedTuneSetup` owns both and lends out a
+/// [`TuneContext`] on demand.
+#[derive(Debug)]
+pub struct OwnedTuneSetup {
+    space: ParamSpace,
+    constraint: Option<Box<dyn Constraint>>,
+    budget: usize,
+    seed: u64,
+}
+
+impl OwnedTuneSetup {
+    /// Setup without a constraint (what the SMBO methods get).
+    pub fn new(space: ParamSpace, budget: usize, seed: u64) -> Self {
+        OwnedTuneSetup {
+            space,
+            constraint: None,
+            budget,
+            seed,
+        }
+    }
+
+    /// Adds the a-priori constraint (what the non-SMBO methods get).
+    pub fn with_constraint(mut self, constraint: Box<dyn Constraint>) -> Self {
+        self.constraint = Some(constraint);
+        self
+    }
+
+    /// The owned search space.
+    pub fn space(&self) -> &ParamSpace {
+        &self.space
+    }
+
+    /// The evaluation budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// The run's RNG seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// `true` when a constraint specification is attached.
+    pub fn constrained(&self) -> bool {
+        self.constraint.is_some()
+    }
+
+    /// Lends out a borrowed [`TuneContext`] over the owned space and
+    /// constraint.
+    pub fn context(&self) -> TuneContext<'_> {
+        let mut ctx = TuneContext::new(&self.space, self.budget, self.seed);
+        if let Some(c) = &self.constraint {
+            ctx.constraint = Some(c.as_ref());
+        }
+        ctx
+    }
+}
+
 /// Outcome of one tuning run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TuneResult {
     /// The best evaluation observed (by measured cost).
     pub best: Evaluation,
@@ -213,6 +277,50 @@ mod tests {
         let space = imagecl::space();
         let ctx = TuneContext::new(&space, 1, 0);
         assert!(ctx.admits(&Configuration::from([16, 16, 16, 8, 8, 8])));
+    }
+
+    #[test]
+    fn owned_setup_lends_equivalent_context() {
+        let setup = OwnedTuneSetup::new(imagecl::space(), 25, 9)
+            .with_constraint(Box::new(imagecl::constraint()));
+        assert!(setup.constrained());
+        assert_eq!(setup.budget(), 25);
+        assert_eq!(setup.seed(), 9);
+        let ctx = setup.context();
+        assert_eq!(ctx.budget, 25);
+        assert_eq!(ctx.seed, 9);
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..50 {
+            assert!(ctx.admits(&ctx.sample_config(&mut rng)));
+        }
+        // The owned setup samples exactly like a borrowed context built
+        // from the same pieces and seed.
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let borrowed = TuneContext::new(&space, 25, 9).with_constraint(&cons);
+        let mut r1 = ChaCha8Rng::seed_from_u64(4);
+        let mut r2 = ChaCha8Rng::seed_from_u64(4);
+        for _ in 0..20 {
+            assert_eq!(
+                setup.context().sample_config(&mut r1),
+                borrowed.sample_config(&mut r2)
+            );
+        }
+    }
+
+    #[test]
+    fn tune_result_serde_round_trips() {
+        let mut history = History::new();
+        history.push(Configuration::from([2, 3]), 1.5);
+        history.push(Configuration::from([1, 1]), 0.5);
+        let result = TuneResult {
+            best: history.best().unwrap().clone(),
+            history,
+        };
+        let json = serde_json::to_string(&result).unwrap();
+        let back: TuneResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.best, result.best);
+        assert_eq!(back.history.evaluations(), result.history.evaluations());
     }
 
     #[test]

@@ -83,7 +83,10 @@ fn main() {
     println!("-- BO GP hyperparameter refit cadence --");
     for refit in [5usize, 10, 25, 50] {
         let t = BayesOptGp {
-            params: BoGpParams { refit_every: refit, ..BoGpParams::default() },
+            params: BoGpParams {
+                refit_every: refit,
+                ..BoGpParams::default()
+            },
         };
         println!(
             "  refit_every={refit:<3} -> {:.1}% of optimum",
@@ -99,7 +102,10 @@ fn main() {
     ];
     for (name, acq) in acqs {
         let t = BayesOptGp {
-            params: BoGpParams { acquisition: acq, ..BoGpParams::default() },
+            params: BoGpParams {
+                acquisition: acq,
+                ..BoGpParams::default()
+            },
         };
         println!(
             "  {name} -> {:.1}% of optimum",
@@ -110,7 +116,10 @@ fn main() {
     println!("-- BO GP initialization: i.i.d. vs Latin hypercube --");
     for lhs in [false, true] {
         let t = BayesOptGp {
-            params: BoGpParams { lhs_init: lhs, ..BoGpParams::default() },
+            params: BoGpParams {
+                lhs_init: lhs,
+                ..BoGpParams::default()
+            },
         };
         println!(
             "  lhs_init={lhs:<5} -> {:.1}% of optimum",
@@ -121,7 +130,10 @@ fn main() {
     println!("-- TPE gamma quantile (HyperOpt uses 0.25) --");
     for gamma in [0.10f64, 0.15, 0.25, 0.50] {
         let t = BayesOptTpe {
-            params: TpeParams { gamma, ..TpeParams::default() },
+            params: TpeParams {
+                gamma,
+                ..TpeParams::default()
+            },
         };
         println!(
             "  gamma={gamma:<5} -> {:.1}% of optimum",
@@ -130,7 +142,13 @@ fn main() {
     }
 
     println!("-- GA population size / mutation rate --");
-    for (pop, mutation) in [(10usize, 0.1f64), (20, 0.1), (40, 0.1), (20, 0.02), (20, 0.3)] {
+    for (pop, mutation) in [
+        (10usize, 0.1f64),
+        (20, 0.1),
+        (40, 0.1),
+        (20, 0.02),
+        (20, 0.3),
+    ] {
         let t = GeneticAlgorithm {
             params: GaParams {
                 population: pop,

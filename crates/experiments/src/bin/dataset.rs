@@ -2,8 +2,8 @@
 //! samples per benchmark and architecture) and writes them as JSON.
 
 use experiments::cli;
-use gpu_sim::dataset::Dataset;
 use gpu_sim::dataset;
+use gpu_sim::dataset::Dataset;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -42,8 +42,7 @@ fn main() {
                     bench.name().to_lowercase(),
                     gpu.name.to_lowercase().replace(' ', "_")
                 );
-                cli::write_artifact(&opts.out_dir, &name, &ds.to_json())
-                    .expect("write dataset");
+                cli::write_artifact(&opts.out_dir, &name, &ds.to_json()).expect("write dataset");
             }
         }
     }

@@ -88,12 +88,8 @@ fn main() {
             let mut pct = Vec::with_capacity(reps);
             for rep in 0..reps {
                 let seed = 9_000 + rep as u64;
-                let mut mf = MfSimulatedKernel::new(
-                    bench,
-                    gpu.clone(),
-                    NoiseModel::study_default(),
-                    seed,
-                );
+                let mut mf =
+                    MfSimulatedKernel::new(bench, gpu.clone(), NoiseModel::study_default(), seed);
                 let r = match mf_name {
                     "HB" => HyperBand::default().tune_mf(&space, &mut mf, budget as f64, seed),
                     _ => Bohb::default().tune_mf(&space, &mut mf, budget as f64, seed),

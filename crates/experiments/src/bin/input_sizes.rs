@@ -73,11 +73,8 @@ fn main() {
             let mut pct = Vec::with_capacity(reps);
             for rep in 0..reps {
                 let seed = edge ^ (rep as u64) << 8;
-                let mut sim = SimulatedKernel::new(
-                    bench.model_with_problem(problem),
-                    gpu.clone(),
-                    seed,
-                );
+                let mut sim =
+                    SimulatedKernel::new(bench.model_with_problem(problem), gpu.clone(), seed);
                 let ctx = TuneContext::new(&space, budget, seed);
                 let ctx = if algo.is_smbo() {
                     ctx

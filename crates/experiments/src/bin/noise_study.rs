@@ -58,8 +58,7 @@ fn main() {
             let mut pct = Vec::with_capacity(reps);
             for rep in 0..reps {
                 let seed = 11_000 + rep as u64;
-                let mut sim =
-                    SimulatedKernel::with_noise(bench.model(), gpu.clone(), noise, seed);
+                let mut sim = SimulatedKernel::with_noise(bench.model(), gpu.clone(), noise, seed);
                 let ctx = TuneContext::new(&space, budget, seed);
                 let ctx = if algo.is_smbo() {
                     ctx

@@ -16,15 +16,15 @@
 //! ```
 
 use autotune_stats::friedman;
-use experiments::grid::{run_study, CellKey, StudyResults};
 use experiments::cli;
+use experiments::grid::{run_study, CellKey, StudyResults};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let results: StudyResults = if let Some(i) = args.iter().position(|a| a == "--from") {
         let path = args.get(i + 1).expect("--from needs a path");
-        let json = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+        let json =
+            std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
         StudyResults::from_json(&json).expect("valid study_results.json")
     } else {
         let opts = match cli::parse(&args) {
@@ -75,13 +75,11 @@ fn main() {
             .collect();
         let r = friedman::friedman_test(&costs);
         let cd = r.nemenyi_critical_difference();
-        print!("S={s:<4} chi2={:<7.2} p={:<9.2e} CD={cd:.2} | ", r.statistic, r.p_value);
-        let mut ranked: Vec<(usize, f64)> = r
-            .mean_ranks
-            .iter()
-            .cloned()
-            .enumerate()
-            .collect();
+        print!(
+            "S={s:<4} chi2={:<7.2} p={:<9.2e} CD={cd:.2} | ",
+            r.statistic, r.p_value
+        );
+        let mut ranked: Vec<(usize, f64)> = r.mean_ranks.iter().cloned().enumerate().collect();
         ranked.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite ranks"));
         let best_rank = ranked[0].1;
         for (idx, rank) in ranked {

@@ -58,7 +58,11 @@ fn main() {
         cli::write_artifact(&opts.out_dir, "fig4a.csv", &render::heatmaps_csv(&fig4a)).unwrap();
         cli::write_artifact(&opts.out_dir, "fig4b.csv", &render::cles_csv(&fig4b)).unwrap();
         cli::write_artifact(&opts.out_dir, "study_results.json", &results.to_json()).unwrap();
-        cli::write_artifact(&opts.out_dir, "table1.txt", &table1::render(&opts.config.design))
-            .unwrap();
+        cli::write_artifact(
+            &opts.out_dir,
+            "table1.txt",
+            &table1::render(&opts.config.design),
+        )
+        .unwrap();
     }
 }

@@ -183,13 +183,20 @@ mod tests {
     #[test]
     fn bad_flags_error_with_usage() {
         assert!(parse(&argv("--bogus")).unwrap_err().contains("Options:"));
-        assert!(parse(&argv("--bench nope")).unwrap_err().contains("unknown benchmark"));
-        assert!(parse(&argv("--scale")).unwrap_err().contains("needs a value"));
+        assert!(parse(&argv("--bench nope"))
+            .unwrap_err()
+            .contains("unknown benchmark"));
+        assert!(parse(&argv("--scale"))
+            .unwrap_err()
+            .contains("needs a value"));
     }
 
     #[test]
     fn numeric_flags() {
-        let o = parse(&argv("--seed 42 --threads 2 --dataset 100 --oracle-stride 7")).unwrap();
+        let o = parse(&argv(
+            "--seed 42 --threads 2 --dataset 100 --oracle-stride 7",
+        ))
+        .unwrap();
         assert_eq!(o.config.seed, 42);
         assert_eq!(o.config.threads, 2);
         assert_eq!(o.config.dataset_size, 100);

@@ -65,8 +65,7 @@ impl ExperimentDesign {
             .iter()
             .position(|&s| s == sample_size)
             .unwrap_or_else(|| panic!("sample size {sample_size} not in the design"));
-        ((PAPER_EXPERIMENTS[idx] as f64 * self.scale).round() as usize)
-            .max(self.min_experiments)
+        ((PAPER_EXPERIMENTS[idx] as f64 * self.scale).round() as usize).max(self.min_experiments)
     }
 
     /// Objective evaluations spent by the search phase of one cell
@@ -149,10 +148,7 @@ mod tests {
     #[test]
     fn experiment_counts_decrease_with_sample_size() {
         let d = ExperimentDesign::paper();
-        let counts: Vec<usize> = SAMPLE_SIZES
-            .iter()
-            .map(|&s| d.experiments_for(s))
-            .collect();
+        let counts: Vec<usize> = SAMPLE_SIZES.iter().map(|&s| d.experiments_for(s)).collect();
         assert!(counts.windows(2).all(|w| w[0] >= w[1]));
     }
 }

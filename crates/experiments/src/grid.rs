@@ -140,11 +140,7 @@ impl StudyResults {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.clone()))
                 .collect(),
-            optima: self
-                .optima
-                .iter()
-                .map(|(k, v)| (k.clone(), *v))
-                .collect(),
+            optima: self.optima.iter().map(|(k, v)| (k.clone(), *v)).collect(),
             sample_sizes: self.sample_sizes.clone(),
         };
         serde_json::to_string(&dto).expect("results serialize")
@@ -176,7 +172,13 @@ struct StudyResultsDto {
 /// Panics when `config.dataset_size` is smaller than the largest sample
 /// size — the RS protocol draws that many *distinct* dataset entries.
 pub fn run_study(config: &StudyConfig) -> StudyResults {
-    let max_s = config.design.sample_sizes().iter().max().copied().unwrap_or(0);
+    let max_s = config
+        .design
+        .sample_sizes()
+        .iter()
+        .max()
+        .copied()
+        .unwrap_or(0);
     assert!(
         config.dataset_size >= max_s,
         "dataset_size {} must cover the largest sample size {max_s}",

@@ -1,0 +1,215 @@
+//! Append-only JSONL journal for study outcomes.
+//!
+//! Paper-scale studies run thousands of experiments over hours; losing
+//! the process means losing everything accumulated in memory. This
+//! journal records each `(cell, repetition)` outcome as one JSON line
+//! the moment it is produced, so an interrupted study resumes by loading
+//! the journal and skipping the experiments already on disk — the same
+//! write-ahead JSONL discipline the service layer's session journals
+//! use, applied to the offline pipeline.
+
+use crate::grid::CellKey;
+use crate::runner::ExperimentOutcome;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// One journaled experiment: the cell it belongs to, which repetition it
+/// was, and its outcome.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OutcomeRecord {
+    /// The study cell (algorithm, benchmark, architecture, sample size).
+    pub key: CellKey,
+    /// Repetition index within the cell.
+    pub repetition: usize,
+    /// The experiment's result.
+    pub outcome: ExperimentOutcome,
+}
+
+/// Appends outcome records to a JSONL file, flushing after every record
+/// so a crash loses at most the line being written.
+#[derive(Debug)]
+pub struct OutcomeJournal {
+    path: PathBuf,
+    file: BufWriter<File>,
+}
+
+impl OutcomeJournal {
+    /// Creates (truncating) a fresh journal.
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Ok(OutcomeJournal {
+            path: path.to_path_buf(),
+            file: BufWriter::new(File::create(path)?),
+        })
+    }
+
+    /// Opens a journal for appending, creating it if missing — the
+    /// resume path.
+    pub fn append_to(path: &Path) -> std::io::Result<Self> {
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        Ok(OutcomeJournal {
+            path: path.to_path_buf(),
+            file: BufWriter::new(file),
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one outcome and flushes it to the OS.
+    pub fn record(
+        &mut self,
+        key: &CellKey,
+        repetition: usize,
+        outcome: &ExperimentOutcome,
+    ) -> std::io::Result<()> {
+        let record = OutcomeRecord {
+            key: key.clone(),
+            repetition,
+            outcome: outcome.clone(),
+        };
+        let line = serde_json::to_string(&record).map_err(std::io::Error::other)?;
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()
+    }
+}
+
+/// Loads every fully-written record, grouped by cell and ordered by
+/// repetition within each cell. A torn final line (crash mid-append) is
+/// dropped; corruption elsewhere is an error.
+pub fn load(path: &Path) -> std::io::Result<BTreeMap<CellKey, Vec<OutcomeRecord>>> {
+    let reader = BufReader::new(File::open(path)?);
+    let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
+    let mut cells: BTreeMap<CellKey, Vec<OutcomeRecord>> = BTreeMap::new();
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<OutcomeRecord>(line) {
+            Ok(record) => cells.entry(record.key.clone()).or_default().push(record),
+            Err(_) if i == last => break,
+            Err(e) => {
+                return Err(std::io::Error::other(format!(
+                    "malformed outcome record on line {}: {e}",
+                    i + 1
+                )))
+            }
+        }
+    }
+    for records in cells.values_mut() {
+        records.sort_by_key(|r| r.repetition);
+    }
+    Ok(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_core::Algorithm;
+    use autotune_space::Configuration;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_path(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "autotune-outcomes-test-{}-{tag}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn key(algorithm: Algorithm, sample_size: usize) -> CellKey {
+        CellKey {
+            algorithm,
+            benchmark: "mandelbrot".into(),
+            architecture: "gtx980".into(),
+            sample_size,
+        }
+    }
+
+    fn outcome(final_ms: f64) -> ExperimentOutcome {
+        ExperimentOutcome {
+            final_ms,
+            config: Configuration::from([1, 1, 1, 2, 2, 2]),
+            search_samples: 25,
+        }
+    }
+
+    #[test]
+    fn records_group_by_cell_and_sort_by_repetition() {
+        let path = temp_path("group");
+        let mut journal = OutcomeJournal::create(&path).unwrap();
+        let a = key(Algorithm::RandomSearch, 25);
+        let b = key(Algorithm::BoTpe, 50);
+        journal.record(&a, 1, &outcome(2.0)).unwrap();
+        journal.record(&b, 0, &outcome(3.0)).unwrap();
+        journal.record(&a, 0, &outcome(1.0)).unwrap();
+        drop(journal);
+
+        let cells = load(&path).unwrap();
+        assert_eq!(cells.len(), 2);
+        let reps: Vec<usize> = cells[&a].iter().map(|r| r.repetition).collect();
+        assert_eq!(reps, vec![0, 1]);
+        assert_eq!(cells[&a][0].outcome.final_ms, 1.0);
+        assert_eq!(cells[&b].len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn resume_appends_after_existing_records() {
+        let path = temp_path("resume");
+        let a = key(Algorithm::RandomSearch, 25);
+        {
+            let mut journal = OutcomeJournal::create(&path).unwrap();
+            journal.record(&a, 0, &outcome(1.0)).unwrap();
+        }
+        {
+            let mut journal = OutcomeJournal::append_to(&path).unwrap();
+            assert_eq!(journal.path(), path.as_path());
+            journal.record(&a, 1, &outcome(2.0)).unwrap();
+        }
+        let cells = load(&path).unwrap();
+        assert_eq!(cells[&a].len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped_but_mid_file_corruption_errors() {
+        let path = temp_path("torn");
+        let a = key(Algorithm::GeneticAlgorithm, 100);
+        let mut journal = OutcomeJournal::create(&path).unwrap();
+        journal.record(&a, 0, &outcome(4.0)).unwrap();
+        drop(journal);
+
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"key\":{\"alg").unwrap(); // torn mid-write
+        drop(f);
+        let cells = load(&path).unwrap();
+        assert_eq!(cells[&a].len(), 1);
+
+        // Make the torn line interior by appending a valid one after it.
+        let mut journal = OutcomeJournal::append_to(&path).unwrap();
+        journal.record(&a, 1, &outcome(5.0)).unwrap();
+        drop(journal);
+        assert!(load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_to_creates_missing_files() {
+        let path = temp_path("fresh");
+        let mut journal = OutcomeJournal::append_to(&path).unwrap();
+        journal
+            .record(&key(Algorithm::BoGp, 200), 0, &outcome(6.0))
+            .unwrap();
+        drop(journal);
+        assert_eq!(load(&path).unwrap().len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

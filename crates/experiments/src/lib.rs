@@ -24,6 +24,7 @@
 pub mod cli;
 pub mod design;
 pub mod grid;
+pub mod journal;
 pub mod metrics;
 pub mod multifidelity;
 pub mod render;

@@ -32,10 +32,7 @@ impl HeatmapPanel {
     }
 }
 
-fn panel_grid(
-    results: &StudyResults,
-    metric: impl Fn(&CellKey) -> f64,
-) -> Vec<HeatmapPanel> {
+fn panel_grid(results: &StudyResults, metric: impl Fn(&CellKey) -> f64) -> Vec<HeatmapPanel> {
     let algos = results.algorithms();
     results
         .pairs()
@@ -73,9 +70,7 @@ fn panel_grid(
 /// one panel per (benchmark, architecture).
 pub fn fig2(results: &StudyResults) -> Vec<HeatmapPanel> {
     panel_grid(results, |key| {
-        results
-            .cell(key)
-            .map_or(f64::NAN, |c| c.median_percent())
+        results.cell(key).map_or(f64::NAN, |c| c.median_percent())
     })
 }
 
@@ -108,11 +103,7 @@ pub fn fig3(results: &StudyResults, ci_level: f64, seed: u64) -> Vec<AggregateLi
                     .iter()
                     .filter_map(|p| p.value(algo.name(), s))
                     .collect();
-                assert!(
-                    !vals.is_empty(),
-                    "no panels carry {} at S={s}",
-                    algo.name()
-                );
+                assert!(!vals.is_empty(), "no panels carry {} at S={s}", algo.name());
                 mean.push(descriptive::Summary::of(&vals).mean);
                 ci.push(bootstrap::mean_ci(&vals, 1000, ci_level, seed));
             }
@@ -189,10 +180,8 @@ pub fn fig4b(results: &StudyResults) -> Vec<(HeatmapPanel, Vec<Vec<ClesCell>>)> 
                     };
                     let cell = match (results.cell(&key), results.cell(&rs_key)) {
                         (Some(c), Some(rs)) => {
-                            let cles_v = cles::probability_of_superiority_min(
-                                &c.final_ms,
-                                &rs.final_ms,
-                            );
+                            let cles_v =
+                                cles::probability_of_superiority_min(&c.final_ms, &rs.final_ms);
                             // Degenerate populations (all values equal
                             // across both samples) make the test
                             // undefined; report CLES 0.5, no significance.
@@ -293,7 +282,10 @@ mod tests {
         let p = &panels[0];
         let rs_row = p.rows.iter().position(|a| a == "RS").unwrap();
         for v in &p.values[rs_row] {
-            assert!((v - 1.0).abs() < 1e-12, "RS speedup over itself is 1, got {v}");
+            assert!(
+                (v - 1.0).abs() < 1e-12,
+                "RS speedup over itself is 1, got {v}"
+            );
         }
     }
 

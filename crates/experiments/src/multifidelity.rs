@@ -95,12 +95,7 @@ mod tests {
 
     #[test]
     fn low_fidelity_is_cheaper_in_model_time() {
-        let mut mf = MfSimulatedKernel::new(
-            Benchmark::Add,
-            arch::titan_v(),
-            NoiseModel::none(),
-            1,
-        );
+        let mut mf = MfSimulatedKernel::new(Benchmark::Add, arch::titan_v(), NoiseModel::none(), 1);
         let cfg = Configuration::from([1, 1, 1, 8, 4, 1]);
         let cheap = mf.evaluate_at(&cfg, 1.0 / 16.0);
         let full = mf.evaluate_at(&cfg, 1.0);
@@ -112,12 +107,8 @@ mod tests {
     fn low_fidelity_ranking_correlates_with_full() {
         // Among a few configurations, the cheap ranking should agree
         // with the full ranking most of the time (Kendall-tau-ish check).
-        let mut mf = MfSimulatedKernel::new(
-            Benchmark::Harris,
-            arch::gtx_980(),
-            NoiseModel::none(),
-            2,
-        );
+        let mut mf =
+            MfSimulatedKernel::new(Benchmark::Harris, arch::gtx_980(), NoiseModel::none(), 2);
         let configs = [
             Configuration::from([1, 2, 1, 8, 4, 1]),
             Configuration::from([1, 1, 1, 2, 2, 1]),

@@ -8,11 +8,7 @@ use std::fmt::Write as _;
 /// suffix for the values (e.g. `"%"`, `"x"`).
 pub fn heatmap(panel: &HeatmapPanel, unit: &str) -> String {
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "=== {} on {} ===",
-        panel.benchmark, panel.architecture
-    );
+    let _ = writeln!(out, "=== {} on {} ===", panel.benchmark, panel.architecture);
     let _ = write!(out, "{:<8}", "");
     for c in &panel.cols {
         let _ = write!(out, "{:>10}", format!("S={c}"));
@@ -64,7 +60,10 @@ pub fn cles_heatmap(panel: &HeatmapPanel, cells: &[Vec<ClesCell>]) -> String {
 /// Renders the aggregate Fig. 3 lines as a table with CI half-widths.
 pub fn aggregate_table(lines: &[AggregateLine]) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "=== Mean percent-of-optimum across all benchmarks and architectures ===");
+    let _ = writeln!(
+        out,
+        "=== Mean percent-of-optimum across all benchmarks and architectures ==="
+    );
     if lines.is_empty() {
         return out;
     }
@@ -125,13 +124,7 @@ pub fn cles_csv(panels: &[(HeatmapPanel, Vec<Vec<ClesCell>>)]) -> String {
                 let _ = writeln!(
                     out,
                     "{},{},{},{},{},{},{}",
-                    p.benchmark,
-                    p.architecture,
-                    name,
-                    s,
-                    cell.cles,
-                    cell.p_value,
-                    cell.significant
+                    p.benchmark, p.architecture, name, s, cell.cles, cell.p_value, cell.significant
                 );
             }
         }
@@ -168,12 +161,28 @@ mod tests {
         let panel = sample_panel();
         let cells = vec![
             vec![
-                ClesCell { cles: 0.5, p_value: 1.0, significant: false },
-                ClesCell { cles: 0.9, p_value: 0.001, significant: true },
+                ClesCell {
+                    cles: 0.5,
+                    p_value: 1.0,
+                    significant: false,
+                },
+                ClesCell {
+                    cles: 0.9,
+                    p_value: 0.001,
+                    significant: true,
+                },
             ],
             vec![
-                ClesCell { cles: 0.7, p_value: 0.02, significant: false },
-                ClesCell { cles: f64::NAN, p_value: f64::NAN, significant: false },
+                ClesCell {
+                    cles: 0.7,
+                    p_value: 0.02,
+                    significant: false,
+                },
+                ClesCell {
+                    cles: f64::NAN,
+                    p_value: f64::NAN,
+                    significant: false,
+                },
             ],
         ];
         let s = cles_heatmap(&panel, &cells);
@@ -185,7 +194,10 @@ mod tests {
     fn csv_has_header_and_rows() {
         let csv = heatmaps_csv(&[sample_panel()]);
         let lines: Vec<&str> = csv.lines().collect();
-        assert_eq!(lines[0], "benchmark,architecture,algorithm,sample_size,value");
+        assert_eq!(
+            lines[0],
+            "benchmark,architecture,algorithm,sample_size,value"
+        );
         assert_eq!(lines.len(), 1 + 4);
         assert!(lines[1].starts_with("Add,Titan V,RS,25,80"));
     }
@@ -197,8 +209,18 @@ mod tests {
             sample_sizes: vec![25, 50],
             mean: vec![70.0, 80.0],
             ci: vec![
-                ConfidenceInterval { lo: 65.0, estimate: 70.0, hi: 75.0, level: 0.95 },
-                ConfidenceInterval { lo: 78.0, estimate: 80.0, hi: 82.0, level: 0.95 },
+                ConfidenceInterval {
+                    lo: 65.0,
+                    estimate: 70.0,
+                    hi: 75.0,
+                    level: 0.95,
+                },
+                ConfidenceInterval {
+                    lo: 78.0,
+                    estimate: 80.0,
+                    hi: 82.0,
+                    level: 0.95,
+                },
             ],
         };
         let t = aggregate_table(std::slice::from_ref(&line));

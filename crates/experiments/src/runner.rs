@@ -108,8 +108,7 @@ fn run_rf(
     let verify = 10.min(sample_size.saturating_sub(1)).max(1);
     let train_n = sample_size - verify;
 
-    let picks =
-        sample::indices_without_replacement(dataset.len() as u64, train_n, &mut rng);
+    let picks = sample::indices_without_replacement(dataset.len() as u64, train_n, &mut rng);
     let mut train_x = Vec::with_capacity(train_n);
     let mut train_y = Vec::with_capacity(train_n);
     for &i in &picks {

@@ -29,20 +29,104 @@ pub fn survey_rows() -> Vec<SurveyRow> {
         algorithms: algos,
     };
     vec![
-        row("Hutter et al.", "30-300 Min / 25 / 1000", "Mann-Whitney U", "AlgConf", "SMAC, ROAR, TB-SPO, GGA(GA)"),
-        row("Eggensperger et al.", "Varies (50 to 200) / 10 / n/a", "Unpaired t-test", "AlgConf", "BO TPE, SMAC, Spearmint"),
-        row("Falkner et al.", "Varies / Varies", "n/a", "AlgConf", "RS, BO TPE, BO GP, HB, HB-LCNet and BOHB"),
-        row("Snoek et al.", "Varies (1-50,1-100) / 100 / n/a", "n/a", "HypOpt", "BO GP, Grid search"),
-        row("Bergstra et al.", "230 / 20 / n/a", "n/a", "HypOpt", "RS, BO TPE, BO GP, Manual"),
-        row("Bergstra et al.", "1-128 / 256-2 / n/a", "n/a", "HypOpt", "RS, Grid Search(GS)"),
-        row("Bergstra et al.", "10-200 / n/a / n/a", "n/a", "HypOpt", "Boosted Regression Trees, GS, Hill Climbing"),
-        row("Falch and Elster", "100-6000 / 20 / n/a", "n/a", "Autotuning", "NN, SVR, Regression Tree"),
-        row("van Werkhoven", "Varies / 32 / 7", "n/a", "Autotuning", "Many Metaheuristic Methods"),
-        row("Willemsen et al.", "20-220 / 35 / n/a", "n/a", "Autotuning", "BO, RS, SA, MLS and GA"),
-        row("Ansel et al.", "Varies / 30 / n/a", "n/a", "Autotuning", "Multi-armed bandit, Manual"),
-        row("Nugteren et al.", "Varies (107 or 117) / 128 / n/a", "n/a", "Autotuning", "RS, SA, PSO"),
-        row("Akiba et al.", "Varies / 30 / n/a", "\"Paired MWU\"", "Autotuning", "RS, HyperOpt, SMAC3, GPyOpt, TPE+CMA-ES"),
-        row("Grebhahn et al.", "50, 125 / Unclear / n/a", "\"Wilcox test\"", "SBSE", "RF, SVR, kNN, CART, KRR, MR"),
+        row(
+            "Hutter et al.",
+            "30-300 Min / 25 / 1000",
+            "Mann-Whitney U",
+            "AlgConf",
+            "SMAC, ROAR, TB-SPO, GGA(GA)",
+        ),
+        row(
+            "Eggensperger et al.",
+            "Varies (50 to 200) / 10 / n/a",
+            "Unpaired t-test",
+            "AlgConf",
+            "BO TPE, SMAC, Spearmint",
+        ),
+        row(
+            "Falkner et al.",
+            "Varies / Varies",
+            "n/a",
+            "AlgConf",
+            "RS, BO TPE, BO GP, HB, HB-LCNet and BOHB",
+        ),
+        row(
+            "Snoek et al.",
+            "Varies (1-50,1-100) / 100 / n/a",
+            "n/a",
+            "HypOpt",
+            "BO GP, Grid search",
+        ),
+        row(
+            "Bergstra et al.",
+            "230 / 20 / n/a",
+            "n/a",
+            "HypOpt",
+            "RS, BO TPE, BO GP, Manual",
+        ),
+        row(
+            "Bergstra et al.",
+            "1-128 / 256-2 / n/a",
+            "n/a",
+            "HypOpt",
+            "RS, Grid Search(GS)",
+        ),
+        row(
+            "Bergstra et al.",
+            "10-200 / n/a / n/a",
+            "n/a",
+            "HypOpt",
+            "Boosted Regression Trees, GS, Hill Climbing",
+        ),
+        row(
+            "Falch and Elster",
+            "100-6000 / 20 / n/a",
+            "n/a",
+            "Autotuning",
+            "NN, SVR, Regression Tree",
+        ),
+        row(
+            "van Werkhoven",
+            "Varies / 32 / 7",
+            "n/a",
+            "Autotuning",
+            "Many Metaheuristic Methods",
+        ),
+        row(
+            "Willemsen et al.",
+            "20-220 / 35 / n/a",
+            "n/a",
+            "Autotuning",
+            "BO, RS, SA, MLS and GA",
+        ),
+        row(
+            "Ansel et al.",
+            "Varies / 30 / n/a",
+            "n/a",
+            "Autotuning",
+            "Multi-armed bandit, Manual",
+        ),
+        row(
+            "Nugteren et al.",
+            "Varies (107 or 117) / 128 / n/a",
+            "n/a",
+            "Autotuning",
+            "RS, SA, PSO",
+        ),
+        row(
+            "Akiba et al.",
+            "Varies / 30 / n/a",
+            "\"Paired MWU\"",
+            "Autotuning",
+            "RS, HyperOpt, SMAC3, GPyOpt, TPE+CMA-ES",
+        ),
+        row(
+            "Grebhahn et al.",
+            "50, 125 / Unclear / n/a",
+            "\"Wilcox test\"",
+            "SBSE",
+            "RF, SVR, kNN, CART, KRR, MR",
+        ),
     ]
 }
 
@@ -78,11 +162,7 @@ pub fn render(design: &ExperimentDesign) -> String {
     for r in rows {
         out.push_str(&format!(
             "{:<22} | {:<32} | {:<16} | {:<10} | {}\n",
-            r.author,
-            r.samples_experiments_evaluations,
-            r.significance_test,
-            r.field,
-            r.algorithms
+            r.author, r.samples_experiments_evaluations, r.significance_test, r.field, r.algorithms
         ));
     }
     out

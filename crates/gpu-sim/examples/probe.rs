@@ -15,10 +15,19 @@ fn main() {
             while idx < space.size() {
                 let c = space.config_at(idx);
                 let t = model::kernel_time_ms(k.as_ref(), &a, &c);
-                if t < best { best = t; bc = Some(c); }
+                if t < best {
+                    best = t;
+                    bc = Some(c);
+                }
                 idx += 97;
             }
-            println!("{:>10} {:>9}: best {:>8.3} ms at {}", bench.name(), a.name, best, bc.unwrap());
+            println!(
+                "{:>10} {:>9}: best {:>8.3} ms at {}",
+                bench.name(),
+                a.name,
+                best,
+                bc.unwrap()
+            );
         }
     }
 }

@@ -219,10 +219,7 @@ mod tests {
         let ds = small_dataset();
         let all: Vec<usize> = (0..ds.len()).collect();
         let min_all = ds.min_over(&all).runtime_ms;
-        assert!(ds
-            .entries
-            .iter()
-            .all(|e| e.runtime_ms >= min_all));
+        assert!(ds.entries.iter().all(|e| e.runtime_ms >= min_all));
         // Subset minimum can only be >= the full minimum.
         let subset: Vec<usize> = (0..10).collect();
         assert!(ds.min_over(&subset).runtime_ms >= min_all);

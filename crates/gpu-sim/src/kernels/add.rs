@@ -124,8 +124,10 @@ mod tests {
     #[test]
     fn registers_grow_with_coarsening() {
         let k = AddKernel::new(PAPER_PROBLEM);
-        assert!(k.regs_per_thread(&cfg([8, 8, 1, 4, 4, 1]))
-            > k.regs_per_thread(&cfg([1, 1, 1, 4, 4, 1])));
+        assert!(
+            k.regs_per_thread(&cfg([8, 8, 1, 4, 4, 1]))
+                > k.regs_per_thread(&cfg([1, 1, 1, 4, 4, 1]))
+        );
     }
 
     #[test]

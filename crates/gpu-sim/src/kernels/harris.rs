@@ -97,9 +97,7 @@ impl KernelModel for HarrisKernel {
 pub fn harris_reference(input: &[f32], width: usize, height: usize, out: &mut [f32]) {
     assert_eq!(input.len(), width * height, "harris: input size mismatch");
     assert_eq!(out.len(), width * height, "harris: output size mismatch");
-    let at = |x: isize, y: isize| -> f32 {
-        input[y as usize * width + x as usize]
-    };
+    let at = |x: isize, y: isize| -> f32 { input[y as usize * width + x as usize] };
     out.fill(0.0);
     if width < 5 || height < 5 {
         return; // domain smaller than the stencil support
@@ -180,9 +178,7 @@ mod tests {
             .map(|(x, y)| out[y * w + x])
             .fold(f32::MIN, f32::max);
         // Edge midpoint (16, 24) region.
-        let edge_score = (22..27)
-            .map(|y| out[y * w + 16])
-            .fold(f32::MIN, f32::max);
+        let edge_score = (22..27).map(|y| out[y * w + 16]).fold(f32::MIN, f32::max);
         let flat_score = out[8 * w + 8];
         assert!(corner_score > 0.0, "corner response must be positive");
         assert!(

@@ -106,8 +106,12 @@ impl KernelModel for MandelbrotKernel {
         // block governs; spreads shrink as tiles shrink (more blocks).
         let tile_px = ((xw * xt) as u64 * (yw * yt) as u64) as f64;
         let blocks = (self.problem.elements() as f64 / tile_px).max(1.0);
-        let tail = 1.0 + 0.6 / blocks.sqrt().max(1.0) * ITER_CV
-            * (tile_px / (CORRELATION_PX * CORRELATION_PX)).sqrt().min(8.0);
+        let tail = 1.0
+            + 0.6 / blocks.sqrt().max(1.0)
+                * ITER_CV
+                * (tile_px / (CORRELATION_PX * CORRELATION_PX))
+                    .sqrt()
+                    .min(8.0);
 
         divergence * tail
     }
@@ -116,7 +120,11 @@ impl KernelModel for MandelbrotKernel {
 /// CPU reference: escape iteration count for the pixel grid, row-major
 /// `width x height` over [`VIEW`].
 pub fn mandelbrot_reference(width: usize, height: usize, out: &mut [u32]) {
-    assert_eq!(out.len(), width * height, "mandelbrot: output size mismatch");
+    assert_eq!(
+        out.len(),
+        width * height,
+        "mandelbrot: output size mismatch"
+    );
     let (x0, x1, y0, y1) = VIEW;
     for py in 0..height {
         let cy = y0 + (y1 - y0) * (py as f64 + 0.5) / height as f64;
@@ -190,7 +198,10 @@ mod tests {
         let k = MandelbrotKernel::new(PAPER_PROBLEM);
         let small = k.imbalance_factor(&cfg([1, 1, 1, 8, 4, 1]));
         let large = k.imbalance_factor(&cfg([16, 16, 1, 8, 8, 1]));
-        assert!(large > small, "large tiles must be lumpier: {large} vs {small}");
+        assert!(
+            large > small,
+            "large tiles must be lumpier: {large} vs {small}"
+        );
         assert!(small >= 1.0);
     }
 
@@ -211,6 +222,9 @@ mod tests {
     #[test]
     fn write_only_traffic() {
         let k = MandelbrotKernel::new(PAPER_PROBLEM);
-        assert_eq!(k.ideal_dram_bytes_per_element(&cfg([1, 1, 1, 4, 4, 1])), 4.0);
+        assert_eq!(
+            k.ideal_dram_bytes_per_element(&cfg([1, 1, 1, 4, 4, 1])),
+            4.0
+        );
     }
 }

@@ -142,29 +142,27 @@ mod tests {
     fn cyclic_coarsening_keeps_traffic_mild() {
         let a = arch::gtx_980();
         let mk = |xt: u32| {
-            LaunchConfig::derive(
-                &Configuration::from([xt, 1, 1, 8, 4, 1]),
-                PAPER_PROBLEM,
-                32,
-            )
+            LaunchConfig::derive(&Configuration::from([xt, 1, 1, 8, 4, 1]), PAPER_PROBLEM, 32)
         };
         let b1 = effective_bytes_per_element(&a, &mk(1), 12.0);
         let b16 = effective_bytes_per_element(&a, &mk(16), 12.0);
-        assert!((b1 - 12.0).abs() < 1e-9, "unit coarsening must be ideal, got {b1}");
+        assert!(
+            (b1 - 12.0).abs() < 1e-9,
+            "unit coarsening must be ideal, got {b1}"
+        );
         // Cyclic distribution: only cache pressure grows, bounded ~25%.
         assert!(b16 > b1);
-        assert!(b16 < 1.3 * b1, "cyclic coarsening penalty too strong: {b16}");
+        assert!(
+            b16 < 1.3 * b1,
+            "cyclic coarsening penalty too strong: {b16}"
+        );
     }
 
     #[test]
     fn cache_rich_arch_suffers_less_pressure() {
         let maxwell = arch::gtx_980();
         let turing = arch::rtx_titan();
-        let l = LaunchConfig::derive(
-            &Configuration::from([8, 1, 1, 8, 4, 1]),
-            PAPER_PROBLEM,
-            32,
-        );
+        let l = LaunchConfig::derive(&Configuration::from([8, 1, 1, 8, 4, 1]), PAPER_PROBLEM, 32);
         let bm = effective_bytes_per_element(&maxwell, &l, 12.0);
         let bt = effective_bytes_per_element(&turing, &l, 12.0);
         assert!(bt < bm, "turing {bt} should beat maxwell {bm}");
@@ -173,19 +171,16 @@ mod tests {
     #[test]
     fn narrow_x_blocks_inflate_traffic() {
         let a = arch::gtx_980();
-        let wide = LaunchConfig::derive(
-            &Configuration::from([1, 1, 1, 8, 4, 1]),
-            PAPER_PROBLEM,
-            32,
-        );
-        let narrow = LaunchConfig::derive(
-            &Configuration::from([1, 1, 1, 2, 8, 1]),
-            PAPER_PROBLEM,
-            32,
-        );
+        let wide =
+            LaunchConfig::derive(&Configuration::from([1, 1, 1, 8, 4, 1]), PAPER_PROBLEM, 32);
+        let narrow =
+            LaunchConfig::derive(&Configuration::from([1, 1, 1, 2, 8, 1]), PAPER_PROBLEM, 32);
         let bw = effective_bytes_per_element(&a, &wide, 12.0);
         let bn = effective_bytes_per_element(&a, &narrow, 12.0);
-        assert!(bn > 2.0 * bw, "narrow rows must waste sectors: {bn} vs {bw}");
+        assert!(
+            bn > 2.0 * bw,
+            "narrow rows must waste sectors: {bn} vs {bw}"
+        );
     }
 
     #[test]

@@ -105,16 +105,14 @@ pub fn breakdown(
 
     // Warps that do useful work: z-idle threads retire immediately and
     // partial warps waste lanes, both diluting latency hiding.
-    let useful_warps =
-        occ.active_warps_per_sm as f64 * launch.useful_thread_fraction;
+    let useful_warps = occ.active_warps_per_sm as f64 * launch.useful_thread_fraction;
     let lane_fill = launch.warp_occupation(arch.warp_size);
 
     // --- Compute pipeline -------------------------------------------------
     let cycles_per_elem = kernel.compute_cycles_per_element(&ic);
     let total_lane_cycles = launch.padded_elements as f64 * cycles_per_elem;
     let peak_lane_cycles_per_ms = arch.peak_flops() / 1e3;
-    let compute_concurrency =
-        (useful_warps / arch.warps_for_peak_compute as f64).min(1.0);
+    let compute_concurrency = (useful_warps / arch.warps_for_peak_compute as f64).min(1.0);
     let compute_eff = (compute_concurrency * lane_fill).max(1e-6);
     let compute_ms = total_lane_cycles / (peak_lane_cycles_per_ms * compute_eff);
 
@@ -218,7 +216,11 @@ mod tests {
         let k = Benchmark::Mandelbrot.model();
         for a in arch::study_architectures() {
             let b = breakdown(k.as_ref(), &a, &good());
-            assert!(!b.memory_bound(), "{}: Mandelbrot must be compute-bound", a.name);
+            assert!(
+                !b.memory_bound(),
+                "{}: Mandelbrot must be compute-bound",
+                a.name
+            );
         }
     }
 

@@ -115,8 +115,7 @@ mod tests {
             "mean {mean} should be near {true_ms}"
         );
         // Spread should be a couple of percent.
-        let sd = (samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64)
-            .sqrt();
+        let sd = (samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64).sqrt();
         let rel = sd / true_ms;
         assert!((0.005..0.06).contains(&rel), "relative sd {rel}");
     }

@@ -35,11 +35,7 @@ pub fn global_optimum(kernel: &dyn KernelModel, arch: &GpuArchitecture) -> Optim
 /// # Panics
 ///
 /// Panics if `stride == 0`.
-pub fn strided_optimum(
-    kernel: &dyn KernelModel,
-    arch: &GpuArchitecture,
-    stride: u64,
-) -> Optimum {
+pub fn strided_optimum(kernel: &dyn KernelModel, arch: &GpuArchitecture, stride: u64) -> Optimum {
     assert!(stride > 0, "stride must be positive");
     let space = imagecl::space();
     let mut best_time = f64::INFINITY;
@@ -107,11 +103,7 @@ mod tests {
         let k = Benchmark::Add.model();
         let a = arch::rtx_titan();
         let opt = strided_optimum(k.as_ref(), &a, 257);
-        let hand = model::kernel_time_ms(
-            k.as_ref(),
-            &a,
-            &Configuration::from([1, 1, 1, 8, 4, 1]),
-        );
+        let hand = model::kernel_time_ms(k.as_ref(), &a, &Configuration::from([1, 1, 1, 8, 4, 1]));
         assert!(opt.time_ms <= hand);
     }
 

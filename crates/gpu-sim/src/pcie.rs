@@ -21,9 +21,9 @@ pub fn transfer_time_ms(arch: &GpuArchitecture, bytes: u64) -> f64 {
 pub fn upload_bytes(bench: Benchmark, kernel: &dyn KernelModel) -> u64 {
     let elems = kernel.problem().elements();
     match bench {
-        Benchmark::Add => 2 * elems * 4,  // two input images
-        Benchmark::Harris => elems * 4,   // one input image
-        Benchmark::Mandelbrot => 0,       // generated on device
+        Benchmark::Add => 2 * elems * 4, // two input images
+        Benchmark::Harris => elems * 4,  // one input image
+        Benchmark::Mandelbrot => 0,      // generated on device
     }
 }
 

@@ -19,7 +19,13 @@ pub fn explain(kernel: &dyn KernelModel, arch: &GpuArchitecture, cfg: &Configura
     let b = model::breakdown(kernel, arch, cfg);
     let launch = LaunchConfig::derive(cfg, kernel.problem(), arch.warp_size);
     let mut out = String::new();
-    let _ = writeln!(out, "{} on {} — configuration {}", kernel.name(), arch.name, cfg);
+    let _ = writeln!(
+        out,
+        "{} on {} — configuration {}",
+        kernel.name(),
+        arch.name,
+        cfg
+    );
 
     if !b.valid {
         let _ = writeln!(
@@ -55,7 +61,11 @@ pub fn explain(kernel: &dyn KernelModel, arch: &GpuArchitecture, cfg: &Configura
         "  pipelines: compute {:.3} ms, memory {:.3} ms -> {}-bound",
         b.compute_ms,
         b.memory_ms,
-        if b.memory_bound() { "memory" } else { "compute" },
+        if b.memory_bound() {
+            "memory"
+        } else {
+            "compute"
+        },
     );
     let _ = writeln!(
         out,
@@ -109,7 +119,13 @@ mod tests {
         let k = Benchmark::Harris.model();
         let a = arch::gtx_980();
         let r = explain(k.as_ref(), &a, &Configuration::from([1, 2, 1, 8, 4, 1]));
-        for needle in ["launch:", "occupancy:", "pipelines:", "waves:", "predicted kernel time"] {
+        for needle in [
+            "launch:",
+            "occupancy:",
+            "pipelines:",
+            "waves:",
+            "predicted kernel time",
+        ] {
             assert!(r.contains(needle), "missing {needle} in:\n{r}");
         }
     }

@@ -145,7 +145,10 @@ mod tests {
         // The median of 10 noisy reps is closer to truth than a single
         // unlucky sample would be.
         let truth = r.true_time_ms(&cfg());
-        assert!((med / truth - 1.0).abs() < 0.05, "median {med} truth {truth}");
+        assert!(
+            (med / truth - 1.0).abs() < 0.05,
+            "median {med} truth {truth}"
+        );
     }
 
     #[test]

@@ -8,7 +8,14 @@ use gpu_sim::{arch, model};
 use proptest::prelude::*;
 
 fn arb_config() -> impl Strategy<Value = Configuration> {
-    (1u32..=16, 1u32..=16, 1u32..=16, 1u32..=8, 1u32..=8, 1u32..=8)
+    (
+        1u32..=16,
+        1u32..=16,
+        1u32..=16,
+        1u32..=8,
+        1u32..=8,
+        1u32..=8,
+    )
         .prop_map(|(a, b, c, d, e, f)| Configuration::from([a, b, c, d, e, f]))
 }
 

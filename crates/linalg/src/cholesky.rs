@@ -148,11 +148,7 @@ mod tests {
     fn factors_known_matrix() {
         // Classic textbook example with exact factor.
         let c = Cholesky::new(&spd_example()).unwrap();
-        let expect = Matrix::from_rows(&[
-            &[2.0, 0.0, 0.0],
-            &[6.0, 1.0, 0.0],
-            &[-8.0, 5.0, 3.0],
-        ]);
+        let expect = Matrix::from_rows(&[&[2.0, 0.0, 0.0], &[6.0, 1.0, 0.0], &[-8.0, 5.0, 3.0]]);
         assert!(c.factor().approx_eq(&expect, 1e-12));
     }
 

@@ -48,7 +48,11 @@ impl Matrix {
             assert_eq!(row.len(), c, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Matrix { rows: r, cols: c, data }
+        Matrix {
+            rows: r,
+            cols: c,
+            data,
+        }
     }
 
     /// Builds a matrix from a flat row-major vector.
@@ -57,7 +61,11 @@ impl Matrix {
     ///
     /// Panics if `data.len() != rows * cols`.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
-        assert_eq!(data.len(), rows * cols, "flat data length must be rows*cols");
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "flat data length must be rows*cols"
+        );
         Matrix { rows, cols, data }
     }
 
@@ -194,12 +202,7 @@ impl Matrix {
                 rhs: b.shape(),
             });
         }
-        let data = self
-            .data
-            .iter()
-            .zip(&b.data)
-            .map(|(x, y)| x + y)
-            .collect();
+        let data = self.data.iter().zip(&b.data).map(|(x, y)| x + y).collect();
         Ok(Matrix {
             rows: self.rows,
             cols: self.cols,
@@ -221,7 +224,10 @@ impl Matrix {
     ///
     /// Panics if the matrix is not square.
     pub fn add_diagonal_mut(&mut self, s: f64) {
-        assert!(self.is_square(), "add_diagonal_mut requires a square matrix");
+        assert!(
+            self.is_square(),
+            "add_diagonal_mut requires a square matrix"
+        );
         for i in 0..self.rows {
             self.data[i * self.cols + i] += s;
         }

@@ -37,7 +37,10 @@ pub fn solve_lower(l: &Matrix, b: &[f64]) -> Vec<f64> {
 ///
 /// Same conditions as [`solve_lower`].
 pub fn solve_lower_transpose(l: &Matrix, b: &[f64]) -> Vec<f64> {
-    assert!(l.is_square(), "solve_lower_transpose requires a square factor");
+    assert!(
+        l.is_square(),
+        "solve_lower_transpose requires a square factor"
+    );
     let n = l.rows();
     assert_eq!(b.len(), n, "solve_lower_transpose: rhs length mismatch");
     let mut x = b.to_vec();

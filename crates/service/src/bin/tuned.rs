@@ -1,0 +1,96 @@
+//! `tuned` — the ask-tell tuning server.
+//!
+//! ```text
+//! tuned [--addr HOST:PORT] [--journal-dir DIR]
+//! ```
+//!
+//! Speaks newline-delimited JSON over TCP (see the protocol module of
+//! `autotune-service`). With `--journal-dir`, every session is journaled
+//! and any unfinished sessions found at startup are recovered before the
+//! listener opens.
+
+use autotune_service::{SessionManager, TunedServer};
+use std::process::exit;
+use std::sync::Arc;
+
+struct Args {
+    addr: String,
+    journal_dir: Option<String>,
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!("usage: tuned [--addr HOST:PORT] [--journal-dir DIR]");
+    eprintln!();
+    eprintln!("  --addr HOST:PORT   listen address (default 127.0.0.1:4242)");
+    eprintln!("  --journal-dir DIR  journal sessions under DIR and recover");
+    eprintln!("                     unfinished ones at startup");
+    exit(code)
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: "127.0.0.1:4242".to_string(),
+        journal_dir: None,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--addr" => match argv.next() {
+                Some(v) => args.addr = v,
+                None => usage(2),
+            },
+            "--journal-dir" => match argv.next() {
+                Some(v) => args.journal_dir = Some(v),
+                None => usage(2),
+            },
+            "--help" | "-h" => usage(0),
+            _ => usage(2),
+        }
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let manager = match &args.journal_dir {
+        Some(dir) => match SessionManager::with_journal_dir(dir.as_ref()) {
+            Ok(m) => Arc::new(m),
+            Err(e) => {
+                eprintln!("tuned: cannot open journal dir {dir:?}: {e}");
+                exit(1);
+            }
+        },
+        None => Arc::new(SessionManager::in_memory()),
+    };
+
+    if manager.journal_dir().is_some() {
+        match manager.recover_all() {
+            Ok((recovered, skipped)) => {
+                for name in &recovered {
+                    eprintln!("tuned: recovered session {name:?}");
+                }
+                for (name, err) in &skipped {
+                    eprintln!("tuned: skipped journal {name:?}: {err}");
+                }
+            }
+            Err(e) => {
+                eprintln!("tuned: recovery scan failed: {e}");
+                exit(1);
+            }
+        }
+    }
+
+    let server = match TunedServer::spawn(args.addr.as_str(), Arc::clone(&manager)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("tuned: cannot bind {}: {e}", args.addr);
+            exit(1);
+        }
+    };
+    eprintln!("tuned: listening on {}", server.local_addr());
+
+    // The accept loop runs on its own thread; keep the main thread alive.
+    loop {
+        std::thread::park();
+    }
+}

@@ -1,0 +1,243 @@
+//! Blocking Rust client for the `tuned` wire protocol.
+
+use crate::error::ServiceError;
+use crate::protocol::{Request, Response};
+use crate::spec::SessionSpec;
+use crate::stats::SessionStats;
+use autotune_core::TuneResult;
+use autotune_space::Configuration;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// What a remote `suggest` came back with — the wire-level mirror of
+/// [`Suggestion`](crate::Suggestion).
+#[derive(Debug, Clone)]
+pub enum RemoteSuggestion {
+    /// Measure this configuration and `report` its cost.
+    Evaluate(Configuration),
+    /// The session's budget is spent; this is the final result.
+    Finished(Box<TuneResult>),
+}
+
+/// One blocking connection to a `tuned` server.
+///
+/// All methods send one request line and wait for the matching reply
+/// line. Server-side failures surface as [`ServiceError::Remote`].
+#[derive(Debug)]
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a `tuned` server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ServiceError> {
+        let stream = TcpStream::connect(addr)?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let writer = BufWriter::new(stream);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one request and reads its reply.
+    fn call(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        let line = serde_json::to_string(request)?;
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut reply = String::new();
+        if self.reader.read_line(&mut reply)? == 0 {
+            return Err(ServiceError::Protocol(
+                "server closed the connection".into(),
+            ));
+        }
+        let response: Response = serde_json::from_str(&reply)?;
+        if let Response::Error { message } = response {
+            return Err(ServiceError::Remote(message));
+        }
+        Ok(response)
+    }
+
+    fn unexpected(reply: &Response) -> ServiceError {
+        ServiceError::Protocol(format!("unexpected reply: {reply:?}"))
+    }
+
+    /// Opens a session on the server.
+    pub fn open(&mut self, name: &str, spec: SessionSpec) -> Result<(), ServiceError> {
+        let reply = self.call(&Request::Open {
+            name: name.to_string(),
+            spec,
+        })?;
+        match reply {
+            Response::Opened { .. } => Ok(()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Fetches the next suggestion (or the final result) for `name`.
+    pub fn suggest(&mut self, name: &str) -> Result<RemoteSuggestion, ServiceError> {
+        let reply = self.call(&Request::Suggest {
+            name: name.to_string(),
+        })?;
+        match reply {
+            Response::Suggest {
+                config: Some(config),
+                ..
+            } => Ok(RemoteSuggestion::Evaluate(config)),
+            Response::Suggest {
+                result: Some(result),
+                ..
+            } => Ok(RemoteSuggestion::Finished(Box::new(result))),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Reports the measured cost of `name`'s pending suggestion.
+    pub fn report(&mut self, name: &str, value: f64) -> Result<(), ServiceError> {
+        let reply = self.call(&Request::Report {
+            name: name.to_string(),
+            value,
+        })?;
+        match reply {
+            Response::Reported => Ok(()),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Fetches `name`'s observability counters.
+    pub fn stats(&mut self, name: &str) -> Result<SessionStats, ServiceError> {
+        let reply = self.call(&Request::Stats {
+            name: name.to_string(),
+        })?;
+        match reply {
+            Response::Stats { stats } => Ok(stats),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Closes `name`, returning the result when the budget was spent.
+    pub fn close(&mut self, name: &str) -> Result<Option<TuneResult>, ServiceError> {
+        let reply = self.call(&Request::Close {
+            name: name.to_string(),
+        })?;
+        match reply {
+            Response::Closed { result } => Ok(result),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Convenience closed loop over the wire: opens `name` with `spec`,
+    /// measures every suggestion with `objective` locally, reports it,
+    /// and closes the session when the server says the budget is spent.
+    pub fn tune(
+        &mut self,
+        name: &str,
+        spec: SessionSpec,
+        mut objective: impl FnMut(&Configuration) -> f64,
+    ) -> Result<TuneResult, ServiceError> {
+        self.open(name, spec)?;
+        loop {
+            match self.suggest(name)? {
+                RemoteSuggestion::Evaluate(cfg) => {
+                    let value = objective(&cfg);
+                    self.report(name, value)?;
+                }
+                RemoteSuggestion::Finished(result) => {
+                    self.close(name)?;
+                    return Ok(*result);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manager::SessionManager;
+    use crate::server::TunedServer;
+    use crate::spec::SpaceSpec;
+    use autotune_core::Algorithm;
+    use autotune_space::{Param, ParamSpace};
+    use std::sync::Arc;
+
+    fn toy_spec(budget: usize, seed: u64) -> SessionSpec {
+        SessionSpec {
+            algorithm: Algorithm::GeneticAlgorithm,
+            budget,
+            seed,
+            space: SpaceSpec::Custom {
+                space: ParamSpace::new(vec![Param::new("x", 1, 10), Param::new("y", 1, 10)]),
+            },
+        }
+    }
+
+    fn objective(cfg: &Configuration) -> f64 {
+        cfg.values()
+            .iter()
+            .map(|&v| (v as f64 - 7.0) * (v as f64 - 7.0))
+            .sum()
+    }
+
+    #[test]
+    fn remote_tune_matches_in_process_session() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let server = TunedServer::spawn("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        let remote = client.tune("t", toy_spec(20, 3), objective).unwrap();
+
+        // The same spec driven in-process must produce the same history.
+        let mut local = crate::AskTellSession::open(toy_spec(20, 3)).unwrap();
+        let local_result = loop {
+            match local.suggest().unwrap() {
+                crate::Suggestion::Evaluate(cfg) => local.report(objective(&cfg)).unwrap(),
+                crate::Suggestion::Finished(r) => break *r,
+            }
+        };
+        assert_eq!(remote.best, local_result.best);
+        assert_eq!(
+            remote.history.evaluations(),
+            local_result.history.evaluations()
+        );
+        // tune() closed its session.
+        assert_eq!(manager.totals().open_sessions, 0);
+    }
+
+    #[test]
+    fn remote_errors_surface_as_service_errors() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let server = TunedServer::spawn("127.0.0.1:0", manager).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        assert!(matches!(
+            client.suggest("ghost"),
+            Err(ServiceError::Remote(_))
+        ));
+        assert!(matches!(
+            client.report("ghost", 1.0),
+            Err(ServiceError::Remote(_))
+        ));
+        // The connection survives remote errors.
+        client.open("ok", toy_spec(2, 1)).unwrap();
+        assert_eq!(client.stats("ok").unwrap().remaining(), 2);
+    }
+
+    #[test]
+    fn two_clients_drive_independent_sessions() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let server = TunedServer::spawn("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+        let addr = server.local_addr();
+        let handles: Vec<_> = (0..2)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut client = Client::connect(addr).unwrap();
+                    client
+                        .tune(&format!("s{i}"), toy_spec(10, i as u64), objective)
+                        .unwrap()
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().history.len(), 10);
+        }
+        assert_eq!(manager.totals().reports, 20);
+    }
+}

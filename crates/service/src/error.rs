@@ -1,0 +1,111 @@
+//! The service layer's error type.
+
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong in the ask-tell service layer.
+#[derive(Debug)]
+pub enum ServiceError {
+    /// A session spec failed validation (zero budget, empty space, …).
+    InvalidSpec(String),
+    /// A session name contains forbidden characters or is empty.
+    InvalidName(String),
+    /// No session with this name is registered.
+    UnknownSession(String),
+    /// A session with this name already exists.
+    SessionExists(String),
+    /// `suggest` was called while an earlier suggestion awaits its report.
+    SuggestPending,
+    /// `report` was called without a pending suggestion.
+    NoPendingSuggest,
+    /// The session engine was shut down and can serve no further calls.
+    EngineStopped,
+    /// The tuner thread died unexpectedly (a tuner bug, not a user error).
+    EngineFailed,
+    /// A journal replay produced a different suggestion than the journal
+    /// recorded — the journal does not belong to this spec/seed.
+    ReplayDiverged,
+    /// A journal holds more evaluations than the session's budget admits.
+    ReplayOverrun,
+    /// A journal file is missing, corrupt, or structurally invalid.
+    Journal(String),
+    /// A wire message could not be encoded or decoded.
+    Protocol(String),
+    /// The server answered a request with an error reply.
+    Remote(String),
+    /// An underlying I/O failure (socket, journal file, thread spawn).
+    Io(io::Error),
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::InvalidSpec(msg) => write!(f, "invalid session spec: {msg}"),
+            ServiceError::InvalidName(name) => write!(f, "invalid session name {name:?}"),
+            ServiceError::UnknownSession(name) => write!(f, "unknown session {name:?}"),
+            ServiceError::SessionExists(name) => write!(f, "session {name:?} already exists"),
+            ServiceError::SuggestPending => {
+                write!(f, "a suggestion is pending; report its value first")
+            }
+            ServiceError::NoPendingSuggest => {
+                write!(f, "no suggestion is pending; call suggest first")
+            }
+            ServiceError::EngineStopped => write!(f, "session engine already shut down"),
+            ServiceError::EngineFailed => write!(f, "session engine thread died"),
+            ServiceError::ReplayDiverged => {
+                write!(f, "journal replay diverged from the recorded suggestions")
+            }
+            ServiceError::ReplayOverrun => {
+                write!(f, "journal holds more evaluations than the session budget")
+            }
+            ServiceError::Journal(msg) => write!(f, "journal error: {msg}"),
+            ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            ServiceError::Remote(msg) => write!(f, "server error: {msg}"),
+            ServiceError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ServiceError {
+    fn from(e: io::Error) -> Self {
+        ServiceError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for ServiceError {
+    fn from(e: serde_json::Error) -> Self {
+        ServiceError::Protocol(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(ServiceError::UnknownSession("x".into())
+            .to_string()
+            .contains("unknown session"));
+        assert!(ServiceError::SuggestPending.to_string().contains("pending"));
+        let io = ServiceError::from(io::Error::other("boom"));
+        assert!(io.to_string().contains("boom"));
+    }
+
+    #[test]
+    fn io_source_is_preserved() {
+        use std::error::Error;
+        let e = ServiceError::from(io::Error::other("disk"));
+        assert!(e.source().is_some());
+        assert!(ServiceError::EngineFailed.source().is_none());
+    }
+}

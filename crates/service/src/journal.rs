@@ -1,0 +1,326 @@
+//! Append-only JSONL journals for crash-recoverable sessions.
+//!
+//! Each session owns one journal file. The first line records the
+//! session's name and [`SessionSpec`](crate::SessionSpec); every reported
+//! evaluation appends one `eval` line *before* the value is fed to the
+//! engine (write-ahead), and closing the session appends a `close` line.
+//! Because sessions are deterministic given their spec, replaying the
+//! `eval` lines into a fresh [`AskTellSession`](crate::AskTellSession)
+//! restores the exact engine state — including every future suggestion.
+//!
+//! Crash tolerance: a process dying mid-append leaves at most one torn
+//! final line, which [`load`] silently drops. Corruption anywhere else in
+//! the file is reported as [`ServiceError::Journal`].
+
+use crate::error::ServiceError;
+use crate::spec::SessionSpec;
+use autotune_core::Evaluation;
+use autotune_space::Configuration;
+use serde::{Deserialize, Serialize};
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// One line of a session journal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum Record {
+    /// First line: the session's identity and deterministic blueprint.
+    Open {
+        /// The session's registered name.
+        name: String,
+        /// The spec the session was opened with.
+        spec: SessionSpec,
+    },
+    /// One reported measurement, in report order.
+    Eval {
+        /// The measured configuration.
+        config: Configuration,
+        /// The reported cost.
+        value: f64,
+    },
+    /// Final line: the session was closed deliberately.
+    Close {
+        /// `true` when the budget was spent before closing.
+        finished: bool,
+    },
+}
+
+/// Appends records to a session's journal file, one JSON object per line,
+/// flushed after every append so a crash loses at most the line being
+/// written.
+#[derive(Debug)]
+pub struct JournalWriter {
+    path: PathBuf,
+    file: BufWriter<File>,
+}
+
+impl JournalWriter {
+    /// Creates (truncating) a journal and writes its `open` line.
+    pub fn create(path: &Path, name: &str, spec: &SessionSpec) -> Result<Self, ServiceError> {
+        let file = BufWriter::new(File::create(path)?);
+        let mut writer = JournalWriter {
+            path: path.to_path_buf(),
+            file,
+        };
+        writer.append(&Record::Open {
+            name: name.to_string(),
+            spec: spec.clone(),
+        })?;
+        Ok(writer)
+    }
+
+    /// Reopens an existing journal for appending (recovery path). The
+    /// caller is responsible for having validated the contents via
+    /// [`load`] first.
+    pub fn append_existing(path: &Path) -> Result<Self, ServiceError> {
+        let file = BufWriter::new(OpenOptions::new().append(true).open(path)?);
+        Ok(JournalWriter {
+            path: path.to_path_buf(),
+            file,
+        })
+    }
+
+    /// The journal's file path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Appends one record and flushes.
+    pub fn append(&mut self, record: &Record) -> Result<(), ServiceError> {
+        let line = serde_json::to_string(record)?;
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        Ok(())
+    }
+
+    /// Appends one `eval` line (write-ahead of the engine report).
+    pub fn append_eval(&mut self, config: &Configuration, value: f64) -> Result<(), ServiceError> {
+        self.append(&Record::Eval {
+            config: config.clone(),
+            value,
+        })
+    }
+
+    /// Appends the terminal `close` line.
+    pub fn append_close(&mut self, finished: bool) -> Result<(), ServiceError> {
+        self.append(&Record::Close { finished })
+    }
+}
+
+/// Everything recovered from a journal file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalContents {
+    /// The session's registered name.
+    pub name: String,
+    /// The spec to rebuild the session from.
+    pub spec: SessionSpec,
+    /// All fully-written evaluations, in report order.
+    pub evals: Vec<Evaluation>,
+    /// `true` when a `close` line marks the session deliberately ended.
+    pub closed: bool,
+}
+
+/// Parses a journal file.
+///
+/// A torn final line (crash mid-append) is dropped silently; any other
+/// malformed line, a missing/duplicated `open` header, or records after
+/// `close` are [`ServiceError::Journal`] errors.
+pub fn load(path: &Path) -> Result<JournalContents, ServiceError> {
+    let reader = BufReader::new(File::open(path)?);
+    let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
+    let mut contents: Option<JournalContents> = None;
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let record: Record = match serde_json::from_str(line) {
+            Ok(r) => r,
+            // Only the final line may be torn by a crash.
+            Err(_) if i == last => break,
+            Err(e) => {
+                return Err(ServiceError::Journal(format!(
+                    "malformed record on line {}: {e}",
+                    i + 1
+                )))
+            }
+        };
+        match (record, &mut contents) {
+            (Record::Open { name, spec }, slot @ None) => {
+                *slot = Some(JournalContents {
+                    name,
+                    spec,
+                    evals: Vec::new(),
+                    closed: false,
+                });
+            }
+            (Record::Open { .. }, Some(_)) => {
+                return Err(ServiceError::Journal(format!(
+                    "duplicate open header on line {}",
+                    i + 1
+                )));
+            }
+            (_, None) => {
+                return Err(ServiceError::Journal(
+                    "journal does not start with an open header".into(),
+                ));
+            }
+            (_, Some(c)) if c.closed => {
+                return Err(ServiceError::Journal(format!(
+                    "record after close on line {}",
+                    i + 1
+                )));
+            }
+            (Record::Eval { config, value }, Some(c)) => {
+                c.evals.push(Evaluation { config, value });
+            }
+            (Record::Close { .. }, Some(c)) => {
+                c.closed = true;
+            }
+        }
+    }
+    contents.ok_or_else(|| ServiceError::Journal("journal has no open header".into()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_core::Algorithm;
+    use std::io::Write as _;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_journal(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "autotune-journal-test-{}-{tag}-{n}.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn spec() -> SessionSpec {
+        SessionSpec::imagecl(Algorithm::RandomSearch, 5, 42)
+    }
+
+    #[test]
+    fn round_trips_open_evals_close() {
+        let path = temp_journal("roundtrip");
+        let mut w = JournalWriter::create(&path, "s1", &spec()).unwrap();
+        w.append_eval(&Configuration::from([1, 2, 3, 4, 5, 6]), 7.5)
+            .unwrap();
+        w.append_eval(&Configuration::from([2, 2, 2, 2, 2, 2]), 3.25)
+            .unwrap();
+        w.append_close(false).unwrap();
+        drop(w);
+
+        let c = load(&path).unwrap();
+        assert_eq!(c.name, "s1");
+        assert_eq!(c.spec, spec());
+        assert_eq!(c.evals.len(), 2);
+        assert_eq!(c.evals[1].value, 3.25);
+        assert!(c.closed);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let path = temp_journal("torn");
+        let mut w = JournalWriter::create(&path, "s2", &spec()).unwrap();
+        w.append_eval(&Configuration::from([1, 1, 1, 1, 1, 1]), 1.0)
+            .unwrap();
+        drop(w);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"event\":\"eval\",\"config\"").unwrap(); // torn
+        drop(f);
+
+        let c = load(&path).unwrap();
+        assert_eq!(c.evals.len(), 1);
+        assert!(!c.closed);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let path = temp_journal("corrupt");
+        let w = JournalWriter::create(&path, "s3", &spec()).unwrap();
+        drop(w);
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"not json at all\n").unwrap();
+        f.write_all(b"{\"event\":\"close\",\"finished\":false}\n")
+            .unwrap();
+        drop(f);
+        assert!(matches!(load(&path), Err(ServiceError::Journal(_))));
+
+        // Recreating the journal truncates and heals it.
+        let mut w = JournalWriter::create(&path, "s3", &spec()).unwrap();
+        w.append_close(true).unwrap();
+        assert!(load(&path).unwrap().closed);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn missing_or_duplicate_header_is_an_error() {
+        let path = temp_journal("header");
+        std::fs::write(
+            &path,
+            "{\"event\":\"eval\",\"config\":[1,1,1,1,1,1],\"value\":1.0}\nx\n",
+        )
+        .unwrap();
+        assert!(matches!(load(&path), Err(ServiceError::Journal(_))));
+
+        let mut w = JournalWriter::create(&path, "s4", &spec()).unwrap();
+        w.append(&Record::Open {
+            name: "s4".into(),
+            spec: spec(),
+        })
+        .unwrap();
+        w.append_close(false).unwrap();
+        drop(w);
+        assert!(matches!(load(&path), Err(ServiceError::Journal(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn records_after_close_are_an_error() {
+        let path = temp_journal("afterclose");
+        let mut w = JournalWriter::create(&path, "s5", &spec()).unwrap();
+        w.append_close(false).unwrap();
+        // Final-line forgiveness only covers lines that fail to parse; a
+        // well-formed record after close is structural corruption.
+        w.append_eval(&Configuration::from([1, 1, 1, 1, 1, 1]), 1.0)
+            .unwrap();
+        w.append_close(false).unwrap();
+        drop(w);
+        assert!(matches!(load(&path), Err(ServiceError::Journal(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_existing_continues_the_file() {
+        let path = temp_journal("reopen");
+        let mut w = JournalWriter::create(&path, "s6", &spec()).unwrap();
+        w.append_eval(&Configuration::from([1, 1, 1, 1, 1, 1]), 2.0)
+            .unwrap();
+        assert_eq!(w.path(), path.as_path());
+        drop(w);
+
+        let mut w2 = JournalWriter::append_existing(&path).unwrap();
+        w2.append_eval(&Configuration::from([2, 1, 1, 1, 1, 1]), 1.0)
+            .unwrap();
+        drop(w2);
+
+        let c = load(&path).unwrap();
+        assert_eq!(c.evals.len(), 2);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn record_serde_is_tagged() {
+        let json = serde_json::to_string(&Record::Close { finished: true }).unwrap();
+        assert!(json.contains("\"event\":\"close\""));
+        let back: Record = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, Record::Close { finished: true });
+    }
+}

@@ -1,0 +1,66 @@
+//! Ask-tell tuning service: session engine, journal persistence, and the
+//! `tuned` TCP server.
+//!
+//! The crates below this one implement the paper's search techniques as
+//! *closed loops*: `tuner.tune(&ctx, &mut objective)` drives the
+//! objective itself until the budget is spent. That suits offline
+//! experiments but not real autotuning deployments, where the expensive
+//! kernel measurement happens elsewhere — another process, another
+//! machine, a build farm. This crate inverts the control flow:
+//!
+//! * [`AskTellSession`] runs any [`Tuner`](autotune_core::Tuner) on a
+//!   dedicated thread and exposes it as an ask-tell state machine:
+//!   [`suggest`](AskTellSession::suggest) hands out the next
+//!   configuration, [`report`](AskTellSession::report) feeds the
+//!   measured cost back. No algorithm was modified to make this work.
+//! * [`SessionManager`] keeps many named sessions, each with optional
+//!   append-only JSONL journaling. Sessions are deterministic given
+//!   their [`SessionSpec`], so a crashed or restarted process recovers
+//!   by replaying the journal — and then emits exactly the suggestions
+//!   the lost process would have.
+//! * [`TunedServer`] / [`Client`] put the manager behind a tiny
+//!   newline-delimited-JSON TCP protocol (`std::net` only), with the
+//!   `tuned` binary as the deployable entry point.
+//!
+//! # Example
+//!
+//! ```
+//! use autotune_core::Algorithm;
+//! use autotune_service::{AskTellSession, SessionSpec, Suggestion};
+//!
+//! let spec = SessionSpec::imagecl(Algorithm::RandomSearch, 8, 42);
+//! let mut session = AskTellSession::open(spec).unwrap();
+//! loop {
+//!     match session.suggest().unwrap() {
+//!         Suggestion::Evaluate(cfg) => {
+//!             // Measure cfg however you like — here, a toy cost.
+//!             let cost: f64 = cfg.values().iter().map(|&v| v as f64).sum();
+//!             session.report(cost).unwrap();
+//!         }
+//!         Suggestion::Finished(result) => {
+//!             assert_eq!(result.history.len(), 8);
+//!             break;
+//!         }
+//!     }
+//! }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod error;
+pub mod journal;
+pub mod manager;
+pub mod protocol;
+pub mod server;
+pub mod spec;
+pub mod stats;
+
+pub use client::{Client, RemoteSuggestion};
+pub use engine::{AskTellSession, Suggestion};
+pub use error::ServiceError;
+pub use manager::{ManagerTotals, SessionManager};
+pub use server::TunedServer;
+pub use spec::{SessionSpec, SpaceSpec};
+pub use stats::SessionStats;

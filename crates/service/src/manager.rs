@@ -1,0 +1,513 @@
+//! Registry of named, concurrently-driven tuning sessions.
+//!
+//! A [`SessionManager`] owns many [`AskTellSession`]s keyed by name. The
+//! registry lock is held only long enough to look a session up; each
+//! session then serializes its own suggest/report traffic behind a
+//! per-session mutex, so independent sessions proceed in parallel.
+//!
+//! With a journal directory configured ([`SessionManager::with_journal_dir`])
+//! every session gets a write-ahead JSONL journal: the reported value is
+//! persisted *before* it reaches the engine, so a crash at any point can
+//! be recovered with [`SessionManager::recover`] /
+//! [`SessionManager::recover_all`] — determinism guarantees the recovered
+//! session continues with exactly the suggestions the lost one would have
+//! made.
+
+use crate::engine::{AskTellSession, Suggestion};
+use crate::error::ServiceError;
+use crate::journal::{self, JournalWriter};
+use crate::spec::SessionSpec;
+use crate::stats::SessionStats;
+use autotune_core::TuneResult;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One registered session plus its optional journal.
+struct Managed {
+    session: AskTellSession,
+    journal: Option<JournalWriter>,
+}
+
+/// Aggregate counters across the manager's lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ManagerTotals {
+    /// Sessions currently registered.
+    pub open_sessions: usize,
+    /// Sessions ever opened (including recovered ones).
+    pub opened_total: u64,
+    /// Suggestions served across all sessions.
+    pub suggests: u64,
+    /// Reports accepted across all sessions.
+    pub reports: u64,
+}
+
+/// Holds and drives many named [`AskTellSession`]s.
+pub struct SessionManager {
+    sessions: Mutex<HashMap<String, Arc<Mutex<Managed>>>>,
+    journal_dir: Option<PathBuf>,
+    opened_total: AtomicU64,
+    served_suggests: AtomicU64,
+    served_reports: AtomicU64,
+}
+
+impl SessionManager {
+    /// A manager without persistence: sessions live and die with the
+    /// process.
+    pub fn in_memory() -> Self {
+        SessionManager {
+            sessions: Mutex::new(HashMap::new()),
+            journal_dir: None,
+            opened_total: AtomicU64::new(0),
+            served_suggests: AtomicU64::new(0),
+            served_reports: AtomicU64::new(0),
+        }
+    }
+
+    /// A manager journaling every session under `dir` (created if
+    /// missing), one `<name>.jsonl` file per session.
+    pub fn with_journal_dir(dir: &Path) -> Result<Self, ServiceError> {
+        std::fs::create_dir_all(dir)?;
+        Ok(SessionManager {
+            sessions: Mutex::new(HashMap::new()),
+            journal_dir: Some(dir.to_path_buf()),
+            opened_total: AtomicU64::new(0),
+            served_suggests: AtomicU64::new(0),
+            served_reports: AtomicU64::new(0),
+        })
+    }
+
+    /// The journal directory, if persistence is enabled.
+    pub fn journal_dir(&self) -> Option<&Path> {
+        self.journal_dir.as_deref()
+    }
+
+    fn journal_path(&self, name: &str) -> Option<PathBuf> {
+        self.journal_dir
+            .as_ref()
+            .map(|d| d.join(format!("{name}.jsonl")))
+    }
+
+    /// Session names double as journal file stems, so keep them to a
+    /// conservative filesystem-safe alphabet.
+    fn validate_name(name: &str) -> Result<(), ServiceError> {
+        let ok = !name.is_empty()
+            && name.len() <= 64
+            && !name.starts_with('.')
+            && name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.'));
+        if ok {
+            Ok(())
+        } else {
+            Err(ServiceError::InvalidName(name.to_string()))
+        }
+    }
+
+    /// Inserts an already-built session. Unlike [`SessionManager::open`]
+    /// this re-checks for duplicates at insert time only, which is safe
+    /// for recovery: the journal was reopened in append mode, so a racing
+    /// loser drops its writer without touching the file.
+    fn register(
+        &self,
+        name: &str,
+        session: AskTellSession,
+        journal: Option<JournalWriter>,
+    ) -> Result<(), ServiceError> {
+        let mut sessions = self.sessions.lock();
+        if sessions.contains_key(name) {
+            return Err(ServiceError::SessionExists(name.to_string()));
+        }
+        sessions.insert(
+            name.to_string(),
+            Arc::new(Mutex::new(Managed { session, journal })),
+        );
+        self.opened_total.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    fn lookup(&self, name: &str) -> Result<Arc<Mutex<Managed>>, ServiceError> {
+        self.sessions
+            .lock()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| ServiceError::UnknownSession(name.to_string()))
+    }
+
+    /// Opens a fresh session under `name`, journaling it if persistence
+    /// is enabled.
+    pub fn open(&self, name: &str, spec: SessionSpec) -> Result<(), ServiceError> {
+        Self::validate_name(name)?;
+        // The registry lock is held across journal creation so a racing
+        // duplicate open cannot truncate the winner's journal.
+        let mut sessions = self.sessions.lock();
+        if sessions.contains_key(name) {
+            return Err(ServiceError::SessionExists(name.to_string()));
+        }
+        let journal = match self.journal_path(name) {
+            Some(path) => Some(JournalWriter::create(&path, name, &spec)?),
+            None => None,
+        };
+        let session = AskTellSession::open(spec)?;
+        sessions.insert(
+            name.to_string(),
+            Arc::new(Mutex::new(Managed { session, journal })),
+        );
+        self.opened_total.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Rebuilds one session from its journal. Fails if the journal marks
+    /// the session closed, if no journal directory is configured, or if
+    /// replay diverges (foreign/tampered journal).
+    pub fn recover(&self, name: &str) -> Result<(), ServiceError> {
+        Self::validate_name(name)?;
+        let path = self
+            .journal_path(name)
+            .ok_or_else(|| ServiceError::Journal("no journal directory configured".into()))?;
+        let contents = journal::load(&path)?;
+        if contents.closed {
+            return Err(ServiceError::Journal(format!(
+                "session {name:?} was closed; its journal is final"
+            )));
+        }
+        if contents.name != name {
+            return Err(ServiceError::Journal(format!(
+                "journal {path:?} belongs to session {:?}, not {name:?}",
+                contents.name
+            )));
+        }
+        let session = AskTellSession::replay(contents.spec, &contents.evals)?;
+        self.served_suggests
+            .fetch_add(contents.evals.len() as u64, Ordering::Relaxed);
+        self.served_reports
+            .fetch_add(contents.evals.len() as u64, Ordering::Relaxed);
+        let journal = JournalWriter::append_existing(&path)?;
+        self.register(name, session, Some(journal))
+    }
+
+    /// Scans the journal directory and recovers every session that is not
+    /// closed, not corrupt, and not already open. Returns the recovered
+    /// names (sorted) and the files skipped with the reason.
+    pub fn recover_all(&self) -> Result<(Vec<String>, Vec<(String, ServiceError)>), ServiceError> {
+        let dir = self
+            .journal_dir
+            .clone()
+            .ok_or_else(|| ServiceError::Journal("no journal directory configured".into()))?;
+        let mut stems: Vec<String> = Vec::new();
+        for entry in std::fs::read_dir(&dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                    stems.push(stem.to_string());
+                }
+            }
+        }
+        stems.sort();
+        let mut recovered = Vec::new();
+        let mut skipped = Vec::new();
+        for name in stems {
+            match self.recover(&name) {
+                Ok(()) => recovered.push(name),
+                Err(ServiceError::SessionExists(_)) => {}
+                Err(e) => skipped.push((name, e)),
+            }
+        }
+        Ok((recovered, skipped))
+    }
+
+    /// Asks the named session for its next suggestion.
+    pub fn suggest(&self, name: &str) -> Result<Suggestion, ServiceError> {
+        let managed = self.lookup(name)?;
+        let mut guard = managed.lock();
+        let suggestion = guard.session.suggest()?;
+        if matches!(suggestion, Suggestion::Evaluate(_)) {
+            self.served_suggests.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(suggestion)
+    }
+
+    /// Reports the measured cost of the named session's pending
+    /// suggestion. The value hits the journal before the engine
+    /// (write-ahead), so a crash between the two replays cleanly.
+    pub fn report(&self, name: &str, value: f64) -> Result<(), ServiceError> {
+        let managed = self.lookup(name)?;
+        let mut guard = managed.lock();
+        let pending = guard
+            .session
+            .pending()
+            .cloned()
+            .ok_or(ServiceError::NoPendingSuggest)?;
+        if let Some(journal) = &mut guard.journal {
+            journal.append_eval(&pending, value)?;
+        }
+        guard.session.report(value)?;
+        self.served_reports.fetch_add(1, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Observability snapshot for one session.
+    pub fn stats(&self, name: &str) -> Result<SessionStats, ServiceError> {
+        Ok(self.lookup(name)?.lock().session.stats())
+    }
+
+    /// Closes and deregisters a session, finalizing its journal. Returns
+    /// the tuning result when the session had finished its budget.
+    pub fn close(&self, name: &str) -> Result<Option<TuneResult>, ServiceError> {
+        let managed = self
+            .sessions
+            .lock()
+            .remove(name)
+            .ok_or_else(|| ServiceError::UnknownSession(name.to_string()))?;
+        let mut guard = managed.lock();
+        let result = guard.session.shutdown();
+        if let Some(journal) = &mut guard.journal {
+            journal.append_close(result.is_some())?;
+        }
+        Ok(result.map(|boxed| *boxed))
+    }
+
+    /// Names of all registered sessions, sorted.
+    pub fn session_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.sessions.lock().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Shuts every session down without writing `close` records, leaving
+    /// the journals recoverable — the graceful-restart path.
+    pub fn shutdown_all(&self) {
+        let drained: Vec<_> = self.sessions.lock().drain().collect();
+        for (_, managed) in drained {
+            managed.lock().session.shutdown();
+        }
+    }
+
+    /// Aggregate counters.
+    pub fn totals(&self) -> ManagerTotals {
+        ManagerTotals {
+            open_sessions: self.sessions.lock().len(),
+            opened_total: self.opened_total.load(Ordering::Relaxed),
+            suggests: self.served_suggests.load(Ordering::Relaxed),
+            reports: self.served_reports.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl std::fmt::Debug for SessionManager {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let totals = self.totals();
+        f.debug_struct("SessionManager")
+            .field("open_sessions", &totals.open_sessions)
+            .field("journal_dir", &self.journal_dir)
+            .finish()
+    }
+}
+
+impl Drop for SessionManager {
+    fn drop(&mut self) {
+        self.shutdown_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::SpaceSpec;
+    use autotune_core::Algorithm;
+    use autotune_space::{Configuration, Param, ParamSpace};
+    use std::sync::atomic::AtomicUsize;
+
+    fn toy_spec(budget: usize, seed: u64) -> SessionSpec {
+        SessionSpec {
+            algorithm: Algorithm::RandomSearch,
+            budget,
+            seed,
+            space: SpaceSpec::Custom {
+                space: ParamSpace::new(vec![Param::new("a", 1, 9), Param::new("b", 1, 9)]),
+            },
+        }
+    }
+
+    fn objective(cfg: &Configuration) -> f64 {
+        cfg.values().iter().map(|&v| (v as f64 - 4.0).abs()).sum()
+    }
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "autotune-manager-test-{}-{tag}-{n}",
+            std::process::id()
+        ))
+    }
+
+    fn drive_rounds(mgr: &SessionManager, name: &str, rounds: usize) {
+        for _ in 0..rounds {
+            match mgr.suggest(name).unwrap() {
+                Suggestion::Evaluate(cfg) => mgr.report(name, objective(&cfg)).unwrap(),
+                Suggestion::Finished(_) => panic!("budget not spent yet"),
+            }
+        }
+    }
+
+    #[test]
+    fn open_drive_close_in_memory() {
+        let mgr = SessionManager::in_memory();
+        mgr.open("run", toy_spec(4, 1)).unwrap();
+        assert_eq!(mgr.session_names(), vec!["run".to_string()]);
+        drive_rounds(&mgr, "run", 4);
+        match mgr.suggest("run").unwrap() {
+            Suggestion::Finished(result) => assert_eq!(result.history.len(), 4),
+            Suggestion::Evaluate(_) => panic!("budget spent"),
+        }
+        let stats = mgr.stats("run").unwrap();
+        assert!(stats.finished);
+        let result = mgr.close("run").unwrap();
+        assert!(result.is_some());
+        assert!(matches!(
+            mgr.stats("run"),
+            Err(ServiceError::UnknownSession(_))
+        ));
+        let totals = mgr.totals();
+        assert_eq!(totals.open_sessions, 0);
+        assert_eq!(totals.opened_total, 1);
+        assert_eq!(totals.suggests, 4);
+        assert_eq!(totals.reports, 4);
+    }
+
+    #[test]
+    fn duplicate_and_invalid_names_are_rejected() {
+        let mgr = SessionManager::in_memory();
+        mgr.open("a-1", toy_spec(3, 1)).unwrap();
+        assert!(matches!(
+            mgr.open("a-1", toy_spec(3, 2)),
+            Err(ServiceError::SessionExists(_))
+        ));
+        let too_long = "x".repeat(65);
+        for bad in ["", ".hidden", "has space", "sl/ash", too_long.as_str()] {
+            assert!(
+                matches!(
+                    mgr.open(bad, toy_spec(3, 1)),
+                    Err(ServiceError::InvalidName(_))
+                ),
+                "name {bad:?} should be rejected"
+            );
+        }
+        assert!(matches!(
+            mgr.suggest("nope"),
+            Err(ServiceError::UnknownSession(_))
+        ));
+    }
+
+    #[test]
+    fn journaled_crash_recovery_resumes_identically() {
+        let dir = temp_dir("recovery");
+
+        // Reference: a full uninterrupted run with the same spec/seed.
+        let reference = SessionManager::in_memory();
+        reference.open("run", toy_spec(12, 7)).unwrap();
+        let mut reference_evals = Vec::new();
+        loop {
+            match reference.suggest("run").unwrap() {
+                Suggestion::Evaluate(cfg) => {
+                    let v = objective(&cfg);
+                    reference_evals.push((cfg, v));
+                    reference.report("run", v).unwrap();
+                }
+                Suggestion::Finished(_) => break,
+            }
+        }
+
+        // "Crash" after 5 rounds: drop the manager without closing.
+        {
+            let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+            mgr.open("run", toy_spec(12, 7)).unwrap();
+            drive_rounds(&mgr, "run", 5);
+        }
+
+        // Recover and finish; the tail must match the reference exactly.
+        let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+        let (recovered, skipped) = mgr.recover_all().unwrap();
+        assert_eq!(recovered, vec!["run".to_string()]);
+        assert!(skipped.is_empty());
+        assert_eq!(mgr.stats("run").unwrap().replayed, 5);
+        let mut tail = Vec::new();
+        loop {
+            match mgr.suggest("run").unwrap() {
+                Suggestion::Evaluate(cfg) => {
+                    let v = objective(&cfg);
+                    tail.push((cfg, v));
+                    mgr.report("run", v).unwrap();
+                }
+                Suggestion::Finished(_) => break,
+            }
+        }
+        assert_eq!(&reference_evals[5..], &tail[..]);
+        mgr.close("run").unwrap();
+
+        // A closed journal refuses recovery.
+        let late = SessionManager::with_journal_dir(&dir).unwrap();
+        assert!(matches!(late.recover("run"), Err(ServiceError::Journal(_))));
+        let (recovered, skipped) = late.recover_all().unwrap();
+        assert!(recovered.is_empty());
+        assert_eq!(skipped.len(), 1);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn recover_without_journal_dir_fails() {
+        let mgr = SessionManager::in_memory();
+        assert!(matches!(mgr.recover("x"), Err(ServiceError::Journal(_))));
+        assert!(matches!(mgr.recover_all(), Err(ServiceError::Journal(_))));
+    }
+
+    #[test]
+    fn concurrent_sessions_do_not_interfere() {
+        let mgr = Arc::new(SessionManager::in_memory());
+        for i in 0..4 {
+            mgr.open(&format!("s{i}"), toy_spec(20, i as u64)).unwrap();
+        }
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let mgr = Arc::clone(&mgr);
+                std::thread::spawn(move || {
+                    let name = format!("s{i}");
+                    loop {
+                        match mgr.suggest(&name).unwrap() {
+                            Suggestion::Evaluate(cfg) => {
+                                mgr.report(&name, objective(&cfg)).unwrap()
+                            }
+                            Suggestion::Finished(result) => return result.history.len(),
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap(), 20);
+        }
+        let totals = mgr.totals();
+        assert_eq!(totals.suggests, 80);
+        assert_eq!(totals.reports, 80);
+    }
+
+    #[test]
+    fn shutdown_all_leaves_journals_recoverable() {
+        let dir = temp_dir("graceful");
+        let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+        mgr.open("run", toy_spec(10, 3)).unwrap();
+        drive_rounds(&mgr, "run", 3);
+        mgr.shutdown_all();
+        assert_eq!(mgr.totals().open_sessions, 0);
+
+        let next = SessionManager::with_journal_dir(&dir).unwrap();
+        next.recover("run").unwrap();
+        assert_eq!(next.stats("run").unwrap().replayed, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

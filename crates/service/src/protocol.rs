@@ -1,0 +1,159 @@
+//! The `tuned` wire protocol: newline-delimited JSON over TCP.
+//!
+//! Each request is one JSON object on one line, tagged by `"op"`; each
+//! reply is one JSON object on one line, tagged by `"reply"`. Requests
+//! are answered in order on the connection that sent them. The protocol
+//! is deliberately minimal — five operations mirroring the
+//! [`SessionManager`](crate::SessionManager) surface:
+//!
+//! ```text
+//! -> {"op":"open","name":"run","spec":{"algorithm":"BoTpe","budget":40,"seed":2022,"space":{"kind":"image_cl"}}}
+//! <- {"reply":"opened","name":"run"}
+//! -> {"op":"suggest","name":"run"}
+//! <- {"reply":"suggest","config":[4,1,2,8,4,2],"result":null}
+//! -> {"op":"report","name":"run","value":12.25}
+//! <- {"reply":"reported"}
+//! -> {"op":"stats","name":"run"}
+//! <- {"reply":"stats","stats":{...}}
+//! -> {"op":"close","name":"run"}
+//! <- {"reply":"closed","result":{...}}
+//! ```
+
+use crate::spec::SessionSpec;
+use crate::stats::SessionStats;
+use autotune_core::TuneResult;
+use autotune_space::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// A client-to-server request, one per line.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "op", rename_all = "snake_case")]
+pub enum Request {
+    /// Open a fresh session under `name`.
+    Open {
+        /// The session name (filesystem-safe, at most 64 chars).
+        name: String,
+        /// The deterministic session blueprint.
+        spec: SessionSpec,
+    },
+    /// Ask the named session for its next configuration.
+    Suggest {
+        /// The target session.
+        name: String,
+    },
+    /// Report the measured cost of the pending suggestion.
+    Report {
+        /// The target session.
+        name: String,
+        /// The observed cost (lower is better).
+        value: f64,
+    },
+    /// Fetch the session's observability counters.
+    Stats {
+        /// The target session.
+        name: String,
+    },
+    /// Close and deregister the session.
+    Close {
+        /// The target session.
+        name: String,
+    },
+}
+
+/// A server-to-client reply, one per line.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(tag = "reply", rename_all = "snake_case")]
+pub enum Response {
+    /// The session was opened.
+    Opened {
+        /// The name it was registered under.
+        name: String,
+    },
+    /// Answer to `suggest`: exactly one of the two fields is set.
+    Suggest {
+        /// The configuration to measure next, unless the run finished.
+        config: Option<Configuration>,
+        /// The final result, once the budget is spent.
+        result: Option<TuneResult>,
+    },
+    /// The report was accepted (and journaled, if persistence is on).
+    Reported,
+    /// Answer to `stats`.
+    Stats {
+        /// The session's counters.
+        stats: SessionStats,
+    },
+    /// The session was closed.
+    Closed {
+        /// The final result, if the budget had been spent.
+        result: Option<TuneResult>,
+    },
+    /// The request failed.
+    Error {
+        /// Human-readable failure description.
+        message: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_core::Algorithm;
+
+    #[test]
+    fn requests_round_trip_with_op_tags() {
+        let open = Request::Open {
+            name: "run".into(),
+            spec: SessionSpec::imagecl(Algorithm::BoTpe, 40, 2022),
+        };
+        let json = serde_json::to_string(&open).unwrap();
+        assert!(json.contains("\"op\":\"open\""));
+        assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), open);
+
+        let report = Request::Report {
+            name: "run".into(),
+            value: 1.5,
+        };
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(json.contains("\"op\":\"report\""));
+        assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), report);
+    }
+
+    #[test]
+    fn responses_round_trip_with_reply_tags() {
+        let suggest = Response::Suggest {
+            config: Some(Configuration::from([1, 2, 3])),
+            result: None,
+        };
+        let json = serde_json::to_string(&suggest).unwrap();
+        assert!(json.contains("\"reply\":\"suggest\""));
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Suggest { config, result } => {
+                assert_eq!(config, Some(Configuration::from([1, 2, 3])));
+                assert!(result.is_none());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let err = Response::Error {
+            message: "boom".into(),
+        };
+        let json = serde_json::to_string(&err).unwrap();
+        assert!(json.contains("\"reply\":\"error\""));
+    }
+
+    #[test]
+    fn hand_written_requests_parse() {
+        // What a non-Rust client (curl + netcat, python) would write.
+        let line = r#"{"op":"suggest","name":"run"}"#;
+        assert_eq!(
+            serde_json::from_str::<Request>(line).unwrap(),
+            Request::Suggest { name: "run".into() }
+        );
+        let line = r#"{"op":"open","name":"r","spec":{"algorithm":"RandomSearch","budget":5,"seed":1,"space":{"kind":"image_cl"}}}"#;
+        assert!(matches!(
+            serde_json::from_str::<Request>(line).unwrap(),
+            Request::Open { .. }
+        ));
+    }
+}

@@ -1,0 +1,330 @@
+//! The `tuned` TCP server: one thread per connection, newline-delimited
+//! JSON requests dispatched onto a shared [`SessionManager`].
+//!
+//! Built entirely on `std::net` — no async runtime. Tuning traffic is
+//! low-rate (every suggestion is answered by an expensive kernel
+//! measurement on the client side), so blocking I/O with a thread per
+//! connection is the right trade.
+
+use crate::engine::Suggestion;
+use crate::error::ServiceError;
+use crate::manager::SessionManager;
+use crate::protocol::{Request, Response};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+/// A running accept loop bound to a local address.
+///
+/// Dropping the server stops accepting new connections; connections
+/// already being served run to completion on their own threads. The
+/// [`SessionManager`] is shared, so a restarted server (or several
+/// servers) can serve the same sessions.
+pub struct TunedServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_thread: Option<thread::JoinHandle<()>>,
+}
+
+impl TunedServer {
+    /// Binds `addr` and spawns the accept loop. Bind to port 0 to let the
+    /// OS pick a free port; [`TunedServer::local_addr`] reports the
+    /// actual one.
+    pub fn spawn(
+        addr: impl ToSocketAddrs,
+        manager: Arc<SessionManager>,
+    ) -> Result<Self, ServiceError> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let accept_stop = Arc::clone(&stop);
+        let accept_thread = thread::Builder::new()
+            .name("tuned-accept".into())
+            .spawn(move || {
+                for conn in listener.incoming() {
+                    if accept_stop.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let stream = match conn {
+                        Ok(s) => s,
+                        Err(_) => continue,
+                    };
+                    let manager = Arc::clone(&manager);
+                    let _ = thread::Builder::new()
+                        .name("tuned-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &manager);
+                        });
+                }
+            })
+            .map_err(ServiceError::Io)?;
+        Ok(TunedServer {
+            addr: local,
+            stop,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The address the server actually listens on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop. Idempotent; called automatically on drop.
+    pub fn stop_accepting(&mut self) {
+        if self.stop.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // The accept loop blocks in `incoming()`; poke it awake with a
+        // throwaway connection so it observes the stop flag.
+        if let Ok(conn) = TcpStream::connect(self.addr) {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TunedServer {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+impl std::fmt::Debug for TunedServer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TunedServer")
+            .field("addr", &self.addr)
+            .finish()
+    }
+}
+
+/// Serves one connection until EOF: read a request line, dispatch, write
+/// the reply line, flush.
+fn handle_connection(stream: TcpStream, manager: &SessionManager) -> std::io::Result<()> {
+    let reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    for line in reader.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let response = match serde_json::from_str::<Request>(&line) {
+            Ok(request) => dispatch(request, manager),
+            Err(e) => Response::Error {
+                message: format!("bad request: {e}"),
+            },
+        };
+        let encoded = serde_json::to_string(&response).map_err(std::io::Error::other)?;
+        writer.write_all(encoded.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()?;
+    }
+    Ok(())
+}
+
+/// Maps one request to its reply; every [`ServiceError`] becomes an
+/// `error` reply rather than dropping the connection.
+fn dispatch(request: Request, manager: &SessionManager) -> Response {
+    let outcome = match request {
+        Request::Open { name, spec } => manager
+            .open(&name, spec)
+            .map(|()| Response::Opened { name }),
+        Request::Suggest { name } => manager.suggest(&name).map(|s| match s {
+            Suggestion::Evaluate(config) => Response::Suggest {
+                config: Some(config),
+                result: None,
+            },
+            Suggestion::Finished(result) => Response::Suggest {
+                config: None,
+                result: Some(*result),
+            },
+        }),
+        Request::Report { name, value } => {
+            manager.report(&name, value).map(|()| Response::Reported)
+        }
+        Request::Stats { name } => manager.stats(&name).map(|stats| Response::Stats { stats }),
+        Request::Close { name } => manager
+            .close(&name)
+            .map(|result| Response::Closed { result }),
+    };
+    outcome.unwrap_or_else(|e| Response::Error {
+        message: e.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::{SessionSpec, SpaceSpec};
+    use autotune_core::Algorithm;
+    use autotune_space::{Param, ParamSpace};
+
+    fn toy_spec() -> SessionSpec {
+        SessionSpec {
+            algorithm: Algorithm::RandomSearch,
+            budget: 3,
+            seed: 5,
+            space: SpaceSpec::Custom {
+                space: ParamSpace::new(vec![Param::new("a", 1, 4)]),
+            },
+        }
+    }
+
+    fn roundtrip(stream: &mut (impl BufRead + Write), request: &Request) -> Response {
+        let line = serde_json::to_string(request).unwrap();
+        stream.write_all(line.as_bytes()).unwrap();
+        stream.write_all(b"\n").unwrap();
+        stream.flush().unwrap();
+        let mut reply = String::new();
+        stream.read_line(&mut reply).unwrap();
+        serde_json::from_str(&reply).unwrap()
+    }
+
+    struct DuplexLine {
+        reader: BufReader<TcpStream>,
+        writer: TcpStream,
+    }
+
+    impl BufRead for DuplexLine {
+        fn fill_buf(&mut self) -> std::io::Result<&[u8]> {
+            self.reader.fill_buf()
+        }
+        fn consume(&mut self, amt: usize) {
+            self.reader.consume(amt)
+        }
+    }
+    impl std::io::Read for DuplexLine {
+        fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+            std::io::Read::read(&mut self.reader, buf)
+        }
+    }
+    impl Write for DuplexLine {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.writer.write(buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            self.writer.flush()
+        }
+    }
+
+    fn connect(addr: SocketAddr) -> DuplexLine {
+        let stream = TcpStream::connect(addr).unwrap();
+        DuplexLine {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    #[test]
+    fn serves_a_full_session_over_tcp() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let server = TunedServer::spawn("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+        let mut conn = connect(server.local_addr());
+
+        let reply = roundtrip(
+            &mut conn,
+            &Request::Open {
+                name: "t".into(),
+                spec: toy_spec(),
+            },
+        );
+        assert!(matches!(reply, Response::Opened { .. }));
+
+        let mut rounds = 0;
+        loop {
+            match roundtrip(&mut conn, &Request::Suggest { name: "t".into() }) {
+                Response::Suggest {
+                    config: Some(cfg), ..
+                } => {
+                    rounds += 1;
+                    let value = cfg.values()[0] as f64;
+                    let reply = roundtrip(
+                        &mut conn,
+                        &Request::Report {
+                            name: "t".into(),
+                            value,
+                        },
+                    );
+                    assert!(matches!(reply, Response::Reported));
+                }
+                Response::Suggest {
+                    result: Some(result),
+                    ..
+                } => {
+                    assert_eq!(result.history.len(), 3);
+                    break;
+                }
+                other => panic!("unexpected reply: {other:?}"),
+            }
+        }
+        assert_eq!(rounds, 3);
+
+        match roundtrip(&mut conn, &Request::Stats { name: "t".into() }) {
+            Response::Stats { stats } => assert!(stats.finished),
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        match roundtrip(&mut conn, &Request::Close { name: "t".into() }) {
+            Response::Closed { result } => assert!(result.is_some()),
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_are_replies_not_disconnects() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let server = TunedServer::spawn("127.0.0.1:0", manager).unwrap();
+        let mut conn = connect(server.local_addr());
+
+        // Unknown session.
+        match roundtrip(
+            &mut conn,
+            &Request::Suggest {
+                name: "ghost".into(),
+            },
+        ) {
+            Response::Error { message } => assert!(message.contains("unknown session")),
+            other => panic!("unexpected reply: {other:?}"),
+        }
+
+        // Malformed JSON: the server answers and keeps the line open.
+        conn.write_all(b"this is not json\n").unwrap();
+        conn.flush().unwrap();
+        let mut reply = String::new();
+        conn.read_line(&mut reply).unwrap();
+        assert!(reply.contains("bad request"));
+
+        // The connection still works afterwards.
+        let reply = roundtrip(
+            &mut conn,
+            &Request::Open {
+                name: "t".into(),
+                spec: toy_spec(),
+            },
+        );
+        assert!(matches!(reply, Response::Opened { .. }));
+    }
+
+    #[test]
+    fn stop_accepting_is_idempotent_and_drop_is_clean() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let mut server = TunedServer::spawn("127.0.0.1:0", manager).unwrap();
+        let addr = server.local_addr();
+        server.stop_accepting();
+        server.stop_accepting();
+        drop(server);
+        // New connections are refused (or immediately closed) after stop.
+        match TcpStream::connect(addr) {
+            Err(_) => {}
+            Ok(stream) => {
+                let mut reader = BufReader::new(stream);
+                let mut line = String::new();
+                // EOF (0 bytes) — nothing serves this socket anymore.
+                assert_eq!(reader.read_line(&mut line).unwrap_or(0), 0);
+            }
+        }
+    }
+}

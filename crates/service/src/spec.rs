@@ -1,0 +1,177 @@
+//! Serializable description of a tuning session.
+//!
+//! A [`SessionSpec`] is everything needed to (re)create a session
+//! deterministically: the search technique, the budget, the RNG seed,
+//! and the search space. Because every tuner in `autotune-core` derives
+//! all randomness from [`SessionSpec::seed`], two sessions built from
+//! equal specs emit identical suggestion streams given identical
+//! reports — the property journal recovery relies on.
+
+use crate::error::ServiceError;
+use autotune_core::{Algorithm, OwnedTuneSetup};
+use autotune_space::{imagecl, Constraint, ParamSpace};
+use serde::{Deserialize, Serialize};
+
+/// Which search space a session tunes over.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum SpaceSpec {
+    /// The paper's 6-parameter ImageCL space with its `Xw*Yw*Zw <= 256`
+    /// work-group constraint (applied to non-SMBO techniques only, per
+    /// the paper's §V-C protocol).
+    ImageCl,
+    /// An arbitrary caller-supplied space, tuned unconstrained.
+    Custom {
+        /// The parameter space to search.
+        space: ParamSpace,
+    },
+}
+
+impl SpaceSpec {
+    /// Materializes the parameter space.
+    pub fn space(&self) -> ParamSpace {
+        match self {
+            SpaceSpec::ImageCl => imagecl::space(),
+            SpaceSpec::Custom { space } => space.clone(),
+        }
+    }
+
+    /// The constraint handed to the *search*, honouring the paper's
+    /// asymmetry: SMBO techniques get none.
+    pub fn search_constraint(&self, algorithm: Algorithm) -> Option<Box<dyn Constraint>> {
+        match self {
+            SpaceSpec::ImageCl if !algorithm.is_smbo() => Some(Box::new(imagecl::constraint())),
+            _ => None,
+        }
+    }
+
+    /// The constraint used for *accounting* (infeasible-suggestion
+    /// counters) regardless of what the search itself sees.
+    pub fn accounting_constraint(&self) -> Option<Box<dyn Constraint>> {
+        match self {
+            SpaceSpec::ImageCl => Some(Box::new(imagecl::constraint())),
+            SpaceSpec::Custom { .. } => None,
+        }
+    }
+}
+
+/// Deterministic blueprint of one tuning session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSpec {
+    /// The search technique to run.
+    pub algorithm: Algorithm,
+    /// Exact number of objective evaluations the session may spend.
+    pub budget: usize,
+    /// RNG seed; equal seeds give identical suggestion streams.
+    pub seed: u64,
+    /// The search space.
+    pub space: SpaceSpec,
+}
+
+impl SessionSpec {
+    /// Convenience constructor for the paper's ImageCL space.
+    pub fn imagecl(algorithm: Algorithm, budget: usize, seed: u64) -> Self {
+        SessionSpec {
+            algorithm,
+            budget,
+            seed,
+            space: SpaceSpec::ImageCl,
+        }
+    }
+
+    /// Checks the spec is runnable.
+    pub fn validate(&self) -> Result<(), ServiceError> {
+        if self.budget == 0 {
+            return Err(ServiceError::InvalidSpec(
+                "budget must be at least 1".into(),
+            ));
+        }
+        let space = self.space.space();
+        if space.dims() == 0 {
+            return Err(ServiceError::InvalidSpec(
+                "search space has no parameters".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// Builds the owned tuner setup the engine thread runs with.
+    pub fn setup(&self) -> OwnedTuneSetup {
+        let mut setup = OwnedTuneSetup::new(self.space.space(), self.budget, self.seed);
+        if let Some(c) = self.space.search_constraint(self.algorithm) {
+            setup = setup.with_constraint(c);
+        }
+        setup
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_space::{Configuration, Param};
+
+    #[test]
+    fn serde_round_trips() {
+        let spec = SessionSpec::imagecl(Algorithm::BoTpe, 40, 7);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: SessionSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+
+        let custom = SessionSpec {
+            algorithm: Algorithm::RandomSearch,
+            budget: 5,
+            seed: 1,
+            space: SpaceSpec::Custom {
+                space: ParamSpace::new(vec![Param::new("a", 1, 4)]),
+            },
+        };
+        let json = serde_json::to_string(&custom).unwrap();
+        let back: SessionSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, custom);
+    }
+
+    #[test]
+    fn constraint_asymmetry_matches_paper_protocol() {
+        let spec = SpaceSpec::ImageCl;
+        assert!(spec.search_constraint(Algorithm::RandomSearch).is_some());
+        assert!(spec
+            .search_constraint(Algorithm::GeneticAlgorithm)
+            .is_some());
+        assert!(spec.search_constraint(Algorithm::BoGp).is_none());
+        assert!(spec.search_constraint(Algorithm::BoTpe).is_none());
+        // Accounting sees the constraint for everyone.
+        let acc = spec.accounting_constraint().unwrap();
+        assert!(!acc.is_satisfied(&Configuration::from([1, 1, 1, 8, 8, 8])));
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_specs() {
+        let zero = SessionSpec::imagecl(Algorithm::RandomSearch, 0, 1);
+        assert!(zero.validate().is_err());
+        let empty = SessionSpec {
+            algorithm: Algorithm::RandomSearch,
+            budget: 3,
+            seed: 0,
+            space: SpaceSpec::Custom {
+                space: ParamSpace::new(vec![]),
+            },
+        };
+        assert!(empty.validate().is_err());
+        assert!(SessionSpec::imagecl(Algorithm::BoGp, 10, 0)
+            .validate()
+            .is_ok());
+    }
+
+    #[test]
+    fn setup_mirrors_the_spec() {
+        let spec = SessionSpec::imagecl(Algorithm::GeneticAlgorithm, 30, 3);
+        let setup = spec.setup();
+        assert!(setup.constrained());
+        assert_eq!(setup.budget(), 30);
+        assert_eq!(setup.seed(), 3);
+        assert_eq!(setup.space().size(), 2_097_152);
+
+        let smbo = SessionSpec::imagecl(Algorithm::BoTpe, 30, 3);
+        assert!(!smbo.setup().constrained());
+    }
+}

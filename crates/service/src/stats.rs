@@ -1,0 +1,72 @@
+//! Per-session observability counters.
+
+use autotune_core::{Algorithm, Evaluation};
+use serde::{Deserialize, Serialize};
+
+/// Snapshot of one session's counters, as served by the `stats` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// The session's search technique.
+    pub algorithm: Algorithm,
+    /// Total evaluation budget.
+    pub budget: usize,
+    /// Configurations handed out so far (including replayed ones).
+    pub suggests: u64,
+    /// Measurements received so far (including replayed ones).
+    pub reports: u64,
+    /// Evaluations restored from the journal at recovery time.
+    pub replayed: u64,
+    /// Suggested configurations violating the space's canonical
+    /// feasibility constraint (counted even for SMBO sessions, which
+    /// search unconstrained per the paper's protocol).
+    pub infeasible: u64,
+    /// Best (minimum-cost) reported evaluation so far.
+    pub best: Option<Evaluation>,
+    /// `true` once the budget is spent and the final result is available.
+    pub finished: bool,
+    /// Wall-clock milliseconds since the session was opened (or
+    /// recovered).
+    pub wall_ms: f64,
+}
+
+impl SessionStats {
+    /// Evaluations still owed before the budget is exhausted.
+    pub fn remaining(&self) -> usize {
+        self.budget.saturating_sub(self.reports as usize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SessionStats {
+        SessionStats {
+            algorithm: Algorithm::RandomSearch,
+            budget: 10,
+            suggests: 4,
+            reports: 3,
+            replayed: 0,
+            infeasible: 1,
+            best: None,
+            finished: false,
+            wall_ms: 1.5,
+        }
+    }
+
+    #[test]
+    fn remaining_counts_down_from_budget() {
+        assert_eq!(stats().remaining(), 7);
+        let mut s = stats();
+        s.reports = 12; // over-report cannot underflow
+        assert_eq!(s.remaining(), 0);
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let s = stats();
+        let json = serde_json::to_string(&s).unwrap();
+        let back: SessionStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end acceptance: the full wire stack (client → TCP → server →
+//! manager → engine) tuning the simulated Mandelbrot kernel.
+
+use autotune_core::{Algorithm, TuneContext};
+use autotune_service::{Client, RemoteSuggestion, SessionManager, SessionSpec, TunedServer};
+use autotune_space::{imagecl, Configuration};
+use gpu_sim::arch;
+use gpu_sim::kernels::Benchmark;
+use gpu_sim::runner::SimulatedKernel;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const SEED: u64 = 2022;
+const BUDGET: usize = 40;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "autotune-e2e-test-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+fn mandelbrot(seed: u64) -> SimulatedKernel {
+    SimulatedKernel::new(Benchmark::Mandelbrot.model(), arch::rtx_titan(), seed)
+}
+
+/// A BO TPE session driven over TCP reaches exactly the best
+/// configuration the in-process closed loop finds with the same seed.
+#[test]
+fn bo_tpe_over_tcp_matches_in_process_closed_loop() {
+    // In-process reference: the ordinary closed loop, paper protocol
+    // (SMBO gets no constraint).
+    let space = imagecl::space();
+    let ctx = TuneContext::new(&space, BUDGET, SEED);
+    let mut sim = mandelbrot(SEED);
+    let mut objective = |cfg: &Configuration| sim.measure(cfg);
+    let reference = Algorithm::BoTpe.tuner().tune(&ctx, &mut objective);
+
+    // Remote run: same spec, a fresh simulator with the same stream.
+    let manager = Arc::new(SessionManager::in_memory());
+    let server = TunedServer::spawn("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let mut sim = mandelbrot(SEED);
+    let remote = client
+        .tune(
+            "mandelbrot-tpe",
+            SessionSpec::imagecl(Algorithm::BoTpe, BUDGET, SEED),
+            |cfg| sim.measure(cfg),
+        )
+        .unwrap();
+
+    assert_eq!(remote.best.config, reference.best.config);
+    assert_eq!(remote.best.value, reference.best.value);
+    assert_eq!(
+        remote.history.evaluations(),
+        reference.history.evaluations()
+    );
+}
+
+/// Kill the server (and its manager) mid-session; a restarted server
+/// recovering from the journal serves the exact subsequent suggestions
+/// the lost one would have — the client never learns anything happened
+/// beyond having to reconnect.
+#[test]
+fn server_restart_resumes_from_journal_with_identical_suggestions() {
+    const CRASH_AFTER: usize = 15;
+    let spec = SessionSpec::imagecl(Algorithm::BoTpe, BUDGET, SEED);
+    let name = "crashy";
+
+    // Reference: the same session driven uninterrupted in memory.
+    let reference_manager = Arc::new(SessionManager::in_memory());
+    let reference_server =
+        TunedServer::spawn("127.0.0.1:0", Arc::clone(&reference_manager)).unwrap();
+    let mut client = Client::connect(reference_server.local_addr()).unwrap();
+    let mut sim = mandelbrot(3);
+    let reference = client
+        .tune(name, spec.clone(), |cfg| sim.measure(cfg))
+        .unwrap();
+
+    // Journaled run, killed after CRASH_AFTER reports.
+    let dir = temp_dir("restart");
+    let mut sim = mandelbrot(3); // same client-side measurement stream
+    let mut evals = Vec::new();
+    {
+        let manager = Arc::new(SessionManager::with_journal_dir(&dir).unwrap());
+        let server = TunedServer::spawn("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.open(name, spec).unwrap();
+        for _ in 0..CRASH_AFTER {
+            match client.suggest(name).unwrap() {
+                RemoteSuggestion::Evaluate(cfg) => {
+                    let v = sim.measure(&cfg);
+                    evals.push((cfg, v));
+                    client.report(name, v).unwrap();
+                }
+                RemoteSuggestion::Finished(_) => panic!("budget not spent yet"),
+            }
+        }
+        // Server, manager and sockets all drop here: the "crash".
+    }
+
+    // Restart: fresh manager recovers the journal, fresh server, fresh
+    // connection; the same client-side simulator keeps measuring.
+    let manager = Arc::new(SessionManager::with_journal_dir(&dir).unwrap());
+    let (recovered, skipped) = manager.recover_all().unwrap();
+    assert_eq!(recovered, vec![name.to_string()]);
+    assert!(skipped.is_empty());
+    let server = TunedServer::spawn("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let stats = client.stats(name).unwrap();
+    assert_eq!(stats.replayed, CRASH_AFTER as u64);
+    assert_eq!(stats.remaining(), BUDGET - CRASH_AFTER);
+
+    let result = loop {
+        match client.suggest(name).unwrap() {
+            RemoteSuggestion::Evaluate(cfg) => {
+                let v = sim.measure(&cfg);
+                evals.push((cfg, v));
+                client.report(name, v).unwrap();
+            }
+            RemoteSuggestion::Finished(result) => break result,
+        }
+    };
+    let closed = client.close(name).unwrap();
+    assert!(closed.is_some());
+
+    // The stitched-together evaluation sequence equals the uninterrupted
+    // reference run, measurement for measurement.
+    let reference_evals: Vec<(Configuration, f64)> = reference
+        .history
+        .evaluations()
+        .iter()
+        .map(|e| (e.config.clone(), e.value))
+        .collect();
+    assert_eq!(reference_evals, evals);
+    assert_eq!(result.best, reference.best);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

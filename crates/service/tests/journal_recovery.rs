@@ -1,0 +1,196 @@
+//! Journal round-trip and crash-recovery guarantees, driven through the
+//! public [`SessionManager`] API against the simulated Mandelbrot kernel.
+
+use autotune_core::Algorithm;
+use autotune_service::{ServiceError, SessionManager, SessionSpec, Suggestion};
+use gpu_sim::arch;
+use gpu_sim::kernels::Benchmark;
+use gpu_sim::runner::SimulatedKernel;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "autotune-recovery-test-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+fn mandelbrot(seed: u64) -> SimulatedKernel {
+    SimulatedKernel::new(Benchmark::Mandelbrot.model(), arch::rtx_titan(), seed)
+}
+
+/// Kill the manager mid-session; a fresh manager recovering from the
+/// journal must continue with exactly the suggestions an uninterrupted
+/// run would have made.
+#[test]
+fn recovered_session_continues_identically() {
+    const SEED: u64 = 2022;
+    const BUDGET: usize = 30;
+    const CRASH_AFTER: usize = 11;
+    let spec = SessionSpec::imagecl(Algorithm::GeneticAlgorithm, BUDGET, SEED);
+
+    // Uninterrupted reference run.
+    let reference = SessionManager::in_memory();
+    reference.open("run", spec.clone()).unwrap();
+    let mut sim = mandelbrot(7);
+    let mut reference_evals = Vec::new();
+    loop {
+        match reference.suggest("run").unwrap() {
+            Suggestion::Evaluate(cfg) => {
+                let v = sim.measure(&cfg);
+                reference_evals.push((cfg, v));
+                reference.report("run", v).unwrap();
+            }
+            Suggestion::Finished(_) => break,
+        }
+    }
+    assert_eq!(reference_evals.len(), BUDGET);
+
+    // Interrupted run: same spec, same client-side simulator stream.
+    let dir = temp_dir("continue");
+    let mut sim = mandelbrot(7);
+    {
+        let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+        mgr.open("run", spec).unwrap();
+        for _ in 0..CRASH_AFTER {
+            match mgr.suggest("run").unwrap() {
+                Suggestion::Evaluate(cfg) => {
+                    let v = sim.measure(&cfg);
+                    mgr.report("run", v).unwrap();
+                }
+                Suggestion::Finished(_) => panic!("budget not spent yet"),
+            }
+        }
+        // Dropped without close(): the "crash".
+    }
+
+    let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+    let (recovered, skipped) = mgr.recover_all().unwrap();
+    assert_eq!(recovered, vec!["run".to_string()]);
+    assert!(skipped.is_empty());
+    let stats = mgr.stats("run").unwrap();
+    assert_eq!(stats.replayed, CRASH_AFTER as u64);
+    assert_eq!(stats.remaining(), BUDGET - CRASH_AFTER);
+
+    let mut resumed_evals = Vec::new();
+    let result = loop {
+        match mgr.suggest("run").unwrap() {
+            Suggestion::Evaluate(cfg) => {
+                let v = sim.measure(&cfg);
+                resumed_evals.push((cfg, v));
+                mgr.report("run", v).unwrap();
+            }
+            Suggestion::Finished(result) => break result,
+        }
+    };
+    assert_eq!(&reference_evals[CRASH_AFTER..], &resumed_evals[..]);
+    let reference_result = reference.close("run").unwrap().unwrap();
+    assert_eq!(result.best, reference_result.best);
+    assert_eq!(
+        result.history.evaluations(),
+        reference_result.history.evaluations()
+    );
+
+    mgr.close("run").unwrap();
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A crash *between* the write-ahead journal append and the engine report
+/// leaves one more eval in the journal than the engine consumed; replay
+/// feeds it back seamlessly. Simulated by journaling via a manager and
+/// also verifying a pending-but-unreported suggestion is simply re-issued.
+#[test]
+fn pending_suggestion_is_reissued_after_recovery() {
+    let dir = temp_dir("pending");
+    let spec = SessionSpec::imagecl(Algorithm::BoTpe, 12, 5);
+    let pending_cfg;
+    {
+        let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+        mgr.open("run", spec).unwrap();
+        let mut sim = mandelbrot(3);
+        for _ in 0..4 {
+            match mgr.suggest("run").unwrap() {
+                Suggestion::Evaluate(cfg) => {
+                    let v = sim.measure(&cfg);
+                    mgr.report("run", v).unwrap();
+                }
+                Suggestion::Finished(_) => panic!("budget not spent yet"),
+            }
+        }
+        // Take a suggestion but crash before reporting it.
+        pending_cfg = match mgr.suggest("run").unwrap() {
+            Suggestion::Evaluate(cfg) => cfg,
+            Suggestion::Finished(_) => panic!("budget not spent yet"),
+        };
+    }
+
+    let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+    mgr.recover("run").unwrap();
+    assert_eq!(mgr.stats("run").unwrap().replayed, 4);
+    // Determinism re-issues the exact suggestion the crash swallowed.
+    match mgr.suggest("run").unwrap() {
+        Suggestion::Evaluate(cfg) => assert_eq!(cfg, pending_cfg),
+        Suggestion::Finished(_) => panic!("budget not spent yet"),
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Recovery refuses journals that don't match: closed sessions and
+/// foreign specs.
+#[test]
+fn recovery_rejects_closed_and_tampered_journals() {
+    let dir = temp_dir("reject");
+    {
+        let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+        mgr.open("done", SessionSpec::imagecl(Algorithm::RandomSearch, 2, 1))
+            .unwrap();
+        let mut sim = mandelbrot(1);
+        loop {
+            match mgr.suggest("done").unwrap() {
+                Suggestion::Evaluate(cfg) => {
+                    let v = sim.measure(&cfg);
+                    mgr.report("done", v).unwrap();
+                }
+                Suggestion::Finished(_) => break,
+            }
+        }
+        mgr.close("done").unwrap();
+    }
+    let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+    assert!(matches!(mgr.recover("done"), Err(ServiceError::Journal(_))));
+
+    // Tamper: swap the journaled spec's seed so replay diverges.
+    let journal_path = dir.join("tampered.jsonl");
+    {
+        let mgr2 = SessionManager::with_journal_dir(&dir).unwrap();
+        mgr2.open(
+            "tampered",
+            SessionSpec::imagecl(Algorithm::RandomSearch, 20, 9),
+        )
+        .unwrap();
+        let mut sim = mandelbrot(2);
+        for _ in 0..6 {
+            match mgr2.suggest("tampered").unwrap() {
+                Suggestion::Evaluate(cfg) => {
+                    let v = sim.measure(&cfg);
+                    mgr2.report("tampered", v).unwrap();
+                }
+                Suggestion::Finished(_) => panic!("budget not spent yet"),
+            }
+        }
+    }
+    let text = std::fs::read_to_string(&journal_path).unwrap();
+    let tampered = text.replacen("\"seed\":9", "\"seed\":10", 1);
+    assert_ne!(text, tampered, "the seed must appear in the journal header");
+    std::fs::write(&journal_path, tampered).unwrap();
+    let mgr3 = SessionManager::with_journal_dir(&dir).unwrap();
+    assert!(matches!(
+        mgr3.recover("tampered"),
+        Err(ServiceError::ReplayDiverged)
+    ));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -173,7 +173,10 @@ mod tests {
     #[test]
     fn hamming_counts_differences() {
         assert_eq!(
-            hamming(&Configuration::from([1, 2, 3]), &Configuration::from([1, 9, 4])),
+            hamming(
+                &Configuration::from([1, 2, 3]),
+                &Configuration::from([1, 9, 4])
+            ),
             2
         );
         assert_eq!(

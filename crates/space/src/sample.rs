@@ -63,7 +63,9 @@ pub fn constrained_many<R: Rng + ?Sized>(
     n: usize,
     rng: &mut R,
 ) -> Vec<Configuration> {
-    (0..n).map(|_| constrained(space, constraint, rng)).collect()
+    (0..n)
+        .map(|_| constrained(space, constraint, rng))
+        .collect()
 }
 
 /// Latin-hypercube sample of `n` configurations.
@@ -110,12 +112,11 @@ pub fn latin_hypercube<R: Rng + ?Sized>(
 /// # Panics
 ///
 /// Panics if `n as u64 > limit`.
-pub fn indices_without_replacement<R: Rng + ?Sized>(
-    limit: u64,
-    n: usize,
-    rng: &mut R,
-) -> Vec<u64> {
-    assert!(n as u64 <= limit, "cannot draw {n} distinct values from {limit}");
+pub fn indices_without_replacement<R: Rng + ?Sized>(limit: u64, n: usize, rng: &mut R) -> Vec<u64> {
+    assert!(
+        n as u64 <= limit,
+        "cannot draw {n} distinct values from {limit}"
+    );
     // Floyd's algorithm: O(n) draws, O(n) memory, exact uniformity.
     let mut chosen = std::collections::HashSet::with_capacity(n);
     let mut out = Vec::with_capacity(n);
@@ -182,9 +183,12 @@ mod tests {
         // With n strata over param "a" (cardinality 16), LHS must touch
         // many distinct values — far more than i.i.d. sampling's typical
         // collision-heavy draw. Require at least 12 distinct of 16.
-        let distinct: std::collections::HashSet<u32> =
-            samples.iter().map(|c| c.get(0)).collect();
-        assert!(distinct.len() >= 12, "only {} distinct values", distinct.len());
+        let distinct: std::collections::HashSet<u32> = samples.iter().map(|c| c.get(0)).collect();
+        assert!(
+            distinct.len() >= 12,
+            "only {} distinct values",
+            distinct.len()
+        );
     }
 
     #[test]

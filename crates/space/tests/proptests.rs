@@ -112,7 +112,10 @@ fn uniform_sampling_is_roughly_uniform_over_small_space() {
     let expected = 1_000.0;
     for (i, &c) in counts.iter().enumerate() {
         let dev = (c as f64 - expected).abs() / expected;
-        assert!(dev < 0.15, "cell {i} count {c} deviates {dev:.2} from uniform");
+        assert!(
+            dev < 0.15,
+            "cell {i} count {c} deviates {dev:.2} from uniform"
+        );
     }
 }
 

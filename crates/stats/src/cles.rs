@@ -25,7 +25,10 @@ use crate::ranks;
 ///
 /// Panics if either sample is empty or contains NaN.
 pub fn common_language_effect_size(a: &[f64], b: &[f64]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "CLES requires non-empty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "CLES requires non-empty samples"
+    );
     let m = a.len();
     let n = b.len();
     let mut pooled = Vec::with_capacity(m + n);
@@ -87,9 +90,7 @@ mod tests {
     fn matches_naive_pair_counting() {
         let a = [1.0, 3.0, 3.0, 5.0, 9.0, 2.0];
         let b = [2.0, 3.0, 4.0, 4.0, 8.0];
-        assert!(
-            (common_language_effect_size(&a, &b) - cles_naive(&a, &b)).abs() < 1e-12
-        );
+        assert!((common_language_effect_size(&a, &b) - cles_naive(&a, &b)).abs() < 1e-12);
     }
 
     #[test]

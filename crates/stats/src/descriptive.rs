@@ -31,8 +31,7 @@ impl Summary {
         let n = values.len();
         let mean = values.iter().sum::<f64>() / n as f64;
         let std_dev = if n > 1 {
-            (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64)
-                .sqrt()
+            (values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n - 1) as f64).sqrt()
         } else {
             0.0
         };
@@ -79,7 +78,10 @@ pub fn quantile(values: &[f64], q: f64) -> f64 {
 /// Panics on empty input or `q` outside `[0,1]`.
 pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
     assert!(!sorted.is_empty(), "quantile of empty sample");
-    assert!((0.0..=1.0).contains(&q), "quantile q must be in [0,1], got {q}");
+    assert!(
+        (0.0..=1.0).contains(&q),
+        "quantile q must be in [0,1], got {q}"
+    );
     let h = q * (sorted.len() - 1) as f64;
     let lo = h.floor() as usize;
     let hi = h.ceil() as usize;

@@ -118,9 +118,7 @@ mod tests {
         assert!((regularized_gamma_p(1.0, 50.0) - 1.0).abs() < 1e-12);
         // P(1, x) = 1 - e^-x.
         for x in [0.1, 1.0, 3.0] {
-            assert!(
-                (regularized_gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12
-            );
+            assert!((regularized_gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12);
         }
     }
 

@@ -60,7 +60,10 @@ const EXACT_LIMIT: usize = 20;
 ///
 /// Panics if either sample is empty or contains NaN.
 pub fn mann_whitney_u(a: &[f64], b: &[f64], alternative: Alternative) -> MwuResult {
-    assert!(!a.is_empty() && !b.is_empty(), "MWU requires non-empty samples");
+    assert!(
+        !a.is_empty() && !b.is_empty(),
+        "MWU requires non-empty samples"
+    );
     let n1 = a.len();
     let n2 = b.len();
 
@@ -223,12 +226,14 @@ mod tests {
 
     #[test]
     fn two_sided_is_at_most_twice_one_sided() {
-        let a = [1.0, 5.0, 3.0, 7.0, 2.0, 8.0, 12.0, 4.0, 9.0, 2.5,
-                 1.1, 5.1, 3.1, 7.1, 2.1, 8.1, 12.1, 4.1, 9.1, 2.6,
-                 1.2, 5.2]; // len 22 -> approx path
-        let b = [2.0, 6.0, 4.0, 8.0, 3.0, 9.0, 13.0, 5.0, 10.0, 3.5,
-                 2.2, 6.2, 4.2, 8.2, 3.2, 9.2, 13.2, 5.2, 10.2, 3.6,
-                 2.3, 6.3];
+        let a = [
+            1.0, 5.0, 3.0, 7.0, 2.0, 8.0, 12.0, 4.0, 9.0, 2.5, 1.1, 5.1, 3.1, 7.1, 2.1, 8.1, 12.1,
+            4.1, 9.1, 2.6, 1.2, 5.2,
+        ]; // len 22 -> approx path
+        let b = [
+            2.0, 6.0, 4.0, 8.0, 3.0, 9.0, 13.0, 5.0, 10.0, 3.5, 2.2, 6.2, 4.2, 8.2, 3.2, 9.2, 13.2,
+            5.2, 10.2, 3.6, 2.3, 6.3,
+        ];
         let two = mann_whitney_u(&a, &b, Alternative::TwoSided).p_value;
         let less = mann_whitney_u(&a, &b, Alternative::Less).p_value;
         let greater = mann_whitney_u(&a, &b, Alternative::Greater).p_value;

@@ -87,7 +87,10 @@ pub fn pdf(z: f64) -> f64 {
 ///
 /// Panics if `p` is not strictly inside `(0, 1)`.
 pub fn inverse_cdf(p: f64) -> f64 {
-    assert!(p > 0.0 && p < 1.0, "inverse_cdf requires p in (0,1), got {p}");
+    assert!(
+        p > 0.0 && p < 1.0,
+        "inverse_cdf requires p in (0,1), got {p}"
+    );
     // Acklam's algorithm.
     const A: [f64; 6] = [
         -3.969683028665376e+01,

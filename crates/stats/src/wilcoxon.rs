@@ -131,7 +131,9 @@ mod tests {
 
     #[test]
     fn zero_differences_are_dropped() {
-        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0];
+        let a = [
+            1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0, 11.0, 12.0,
+        ];
         let mut b = a;
         // Half the pairs tie exactly; the rest favour a.
         for (i, v) in b.iter_mut().enumerate() {

@@ -1,9 +1,6 @@
 //! Property-based tests for the statistics substrate.
 
-use autotune_stats::{
-    bootstrap, cles, descriptive, mwu, normal,
-    Alternative,
-};
+use autotune_stats::{bootstrap, cles, descriptive, mwu, normal, Alternative};
 use proptest::prelude::*;
 
 fn sample(len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<f64>> {
@@ -167,8 +164,12 @@ fn mwu_exact_and_asymptotic_agree_reasonably() {
     assert!(exact.exact);
     // Force the asymptotic path by inflating beyond EXACT_LIMIT with
     // paired offsets that keep the shape.
-    let a2: Vec<f64> = (0..30).map(|i| (i % 15) as f64 + 0.3 + (i / 15) as f64 * 1e-6).collect();
-    let b2: Vec<f64> = (0..30).map(|i| ((i % 15) as f64) * 1.4 + (i / 15) as f64 * 1e-6).collect();
+    let a2: Vec<f64> = (0..30)
+        .map(|i| (i % 15) as f64 + 0.3 + (i / 15) as f64 * 1e-6)
+        .collect();
+    let b2: Vec<f64> = (0..30)
+        .map(|i| ((i % 15) as f64) * 1.4 + (i / 15) as f64 * 1e-6)
+        .collect();
     let approx = mwu::mann_whitney_u(&a2, &b2, Alternative::TwoSided);
     assert!(!approx.exact);
     // Doubling the sample can only sharpen significance; both must agree

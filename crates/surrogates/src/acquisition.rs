@@ -98,12 +98,8 @@ impl Acquisition {
     /// Scores a candidate; larger is better.
     pub fn score(&self, mean: f64, std: f64, best: f64) -> f64 {
         match *self {
-            Acquisition::ExpectedImprovement { xi } => {
-                expected_improvement(mean, std, best, xi)
-            }
-            Acquisition::LowerConfidenceBound { kappa } => {
-                lower_confidence_bound(mean, std, kappa)
-            }
+            Acquisition::ExpectedImprovement { xi } => expected_improvement(mean, std, best, xi),
+            Acquisition::LowerConfidenceBound { kappa } => lower_confidence_bound(mean, std, kappa),
             Acquisition::ProbabilityOfImprovement { xi } => {
                 probability_of_improvement(mean, std, best, xi)
             }

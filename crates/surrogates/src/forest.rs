@@ -87,8 +87,7 @@ impl RandomForest {
     pub fn predict_std(&self, x: &[f64]) -> f64 {
         let preds = self.predict_all(x);
         let mean = preds.iter().sum::<f64>() / preds.len() as f64;
-        (preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64)
-            .sqrt()
+        (preds.iter().map(|p| (p - mean) * (p - mean)).sum::<f64>() / preds.len() as f64).sqrt()
     }
 
     /// Number of trees.
@@ -122,7 +121,10 @@ mod tests {
         for probe in [[2.0, 3.0], [7.0, 1.0], [5.0, 5.0]] {
             let want = 3.0 * probe[0] - 2.0 * probe[1];
             let got = f.predict(&probe);
-            assert!((got - want).abs() < 2.5, "f({probe:?}) = {got}, want {want}");
+            assert!(
+                (got - want).abs() < 2.5,
+                "f({probe:?}) = {got}, want {want}"
+            );
         }
     }
 

@@ -87,8 +87,8 @@ impl GaussianProcess {
         assert_eq!(x.len(), y.len(), "GP fit: x/y length mismatch");
         let n = x.len();
         let gram = Matrix::symmetric_from_fn(n, |i, j| {
-            let mut v =
-                params.signal_variance * kernel::eval(params.kind, &x[i], &x[j], params.lengthscale);
+            let mut v = params.signal_variance
+                * kernel::eval(params.kind, &x[i], &x[j], params.lengthscale);
             if i == j {
                 v += params.noise_variance;
             }
@@ -132,9 +132,8 @@ impl GaussianProcess {
             .collect();
         let mean = vecops::dot(&kstar, &self.alpha);
         let v = self.chol.solve_lower(&kstar);
-        let var = (self.params.signal_variance + self.params.noise_variance
-            - vecops::dot(&v, &v))
-        .max(1e-12);
+        let var = (self.params.signal_variance + self.params.noise_variance - vecops::dot(&v, &v))
+            .max(1e-12);
         (mean, var)
     }
 
@@ -198,8 +197,7 @@ impl GaussianProcess {
                     noise_variance: 1.0,
                     ..GpParams::default()
                 };
-                GaussianProcess::fit(x, y, fallback)
-                    .expect("unit-noise covariance is always SPD")
+                GaussianProcess::fit(x, y, fallback).expect("unit-noise covariance is always SPD")
             }
         }
     }
@@ -266,8 +264,7 @@ mod tests {
         let x = grid_1d(8);
         let y: Vec<f64> = x.iter().map(|r| r[0] * r[0]).collect();
         let params = GpParams::default();
-        let mut inc =
-            GaussianProcess::fit(x[..7].to_vec(), y[..7].to_vec(), params).unwrap();
+        let mut inc = GaussianProcess::fit(x[..7].to_vec(), y[..7].to_vec(), params).unwrap();
         inc.add_point(x[7].clone(), y[7]).unwrap();
         let full = GaussianProcess::fit(x.clone(), y.clone(), params).unwrap();
         for q in [[0.05], [0.33], [0.77]] {
@@ -276,9 +273,7 @@ mod tests {
             assert!((mi - mf).abs() < 1e-9, "mean {mi} vs {mf}");
             assert!((vi - vf).abs() < 1e-9, "var {vi} vs {vf}");
         }
-        assert!(
-            (inc.log_marginal_likelihood() - full.log_marginal_likelihood()).abs() < 1e-9
-        );
+        assert!((inc.log_marginal_likelihood() - full.log_marginal_likelihood()).abs() < 1e-9);
     }
 
     #[test]

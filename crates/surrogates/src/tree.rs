@@ -104,7 +104,11 @@ impl RegressionTree {
                     left,
                     right,
                 } => {
-                    i = if x[*feature] <= *threshold { *left } else { *right };
+                    i = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -175,11 +179,7 @@ impl Builder<'_> {
 
     /// Finds the SSE-minimizing (feature, threshold) over a random feature
     /// subset; `None` when no valid split exists.
-    fn best_split<R: Rng + ?Sized>(
-        &self,
-        indices: &[usize],
-        rng: &mut R,
-    ) -> Option<(usize, f64)> {
+    fn best_split<R: Rng + ?Sized>(&self, indices: &[usize], rng: &mut R) -> Option<(usize, f64)> {
         let dims = self.x[0].len();
         let mut features: Vec<usize> = (0..dims).collect();
         if let Some(k) = self.params.max_features {

@@ -62,5 +62,8 @@ fn main() {
         default_ms / tuned_ms
     );
 
-    assert!(tuned_ms <= default_ms * 1.05, "tuning should not lose to the default");
+    assert!(
+        tuned_ms <= default_ms * 1.05,
+        "tuning should not lose to the default"
+    );
 }

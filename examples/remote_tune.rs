@@ -1,0 +1,105 @@
+//! Scenario: tune a kernel over the wire, surviving a server restart.
+//!
+//! ```text
+//! cargo run --release --example remote_tune
+//! ```
+//!
+//! Spins up an in-process `tuned` server with a journal directory,
+//! tunes the simulated Mandelbrot kernel over TCP with BO TPE, then
+//! kills the server mid-session and restarts it — the recovered session
+//! picks up exactly where the lost one stopped, and the final result
+//! matches what an uninterrupted run produces. In a real deployment the
+//! server would be `cargo run --release -p autotune-service --bin tuned`
+//! on another machine and the measurements real kernel executions.
+
+use imagecl_autotune::prelude::*;
+use imagecl_autotune::service::RemoteSuggestion;
+use std::sync::Arc;
+
+const BUDGET: usize = 40;
+const SEED: u64 = 2022;
+const CRASH_AFTER: usize = 15;
+
+fn main() {
+    let journal_dir = std::env::temp_dir().join(format!("remote-tune-{}", std::process::id()));
+    let spec = SessionSpec::imagecl(Algorithm::BoTpe, BUDGET, SEED);
+    // The "kernel": the paper's Mandelbrot benchmark on a simulated RTX
+    // Titan. It lives client-side — the server never sees a runtime it
+    // wasn't told.
+    let mut sim = SimulatedKernel::new(Benchmark::Mandelbrot.model(), rtx_titan(), SEED);
+    let mut measured = 0usize;
+
+    // ---- Phase 1: server up, drive part of the session, then "crash".
+    println!("phase 1: tuning {BUDGET}-sample BO TPE session over TCP");
+    let addr = {
+        let manager = Arc::new(SessionManager::with_journal_dir(&journal_dir).unwrap());
+        let server = TunedServer::spawn("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+        let addr = server.local_addr();
+        let mut client = Client::connect(addr).unwrap();
+        client.open("mandelbrot", spec).unwrap();
+        for _ in 0..CRASH_AFTER {
+            match client.suggest("mandelbrot").unwrap() {
+                RemoteSuggestion::Evaluate(cfg) => {
+                    let ms = sim.measure(&cfg);
+                    measured += 1;
+                    client.report("mandelbrot", ms).unwrap();
+                }
+                RemoteSuggestion::Finished(_) => unreachable!("budget not spent"),
+            }
+        }
+        println!("phase 1: {measured} measurements in; killing the server now");
+        addr
+        // Server + manager drop here — an unclean stop, no close record.
+    };
+
+    // ---- Phase 2: restart, recover from the journal, finish the run.
+    let manager = Arc::new(SessionManager::with_journal_dir(&journal_dir).unwrap());
+    let (recovered, skipped) = manager.recover_all().unwrap();
+    println!(
+        "phase 2: recovered sessions {recovered:?} (skipped {})",
+        skipped.len()
+    );
+    let server = TunedServer::spawn("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let stats = client.stats("mandelbrot").unwrap();
+    println!(
+        "phase 2: {} evaluations replayed from the journal, {} remaining",
+        stats.replayed,
+        stats.remaining()
+    );
+
+    let result = loop {
+        match client.suggest("mandelbrot").unwrap() {
+            RemoteSuggestion::Evaluate(cfg) => {
+                let ms = sim.measure(&cfg);
+                measured += 1;
+                client.report("mandelbrot", ms).unwrap();
+            }
+            RemoteSuggestion::Finished(result) => break result,
+        }
+    };
+    client.close("mandelbrot").unwrap();
+    println!(
+        "phase 2: done — {measured} total measurements, best {:.4} ms at {}",
+        result.best.value, result.best.config
+    );
+    drop(server);
+
+    // ---- Reference: the same spec uninterrupted, in process.
+    let mut sim = SimulatedKernel::new(Benchmark::Mandelbrot.model(), rtx_titan(), SEED);
+    let mut session =
+        AskTellSession::open(SessionSpec::imagecl(Algorithm::BoTpe, BUDGET, SEED)).unwrap();
+    let reference = loop {
+        match session.suggest().unwrap() {
+            Suggestion::Evaluate(cfg) => {
+                let ms = sim.measure(&cfg);
+                session.report(ms).unwrap();
+            }
+            Suggestion::Finished(r) => break r,
+        }
+    };
+    assert_eq!(result.best, reference.best, "restart changed the outcome");
+    println!("reference run agrees: crash + journal recovery was invisible (server was at {addr})");
+
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}

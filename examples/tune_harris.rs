@@ -54,8 +54,7 @@ fn main() {
         // Model introspection: why is this configuration good here?
         let b = model::breakdown(sim.kernel(), &gpu, &result.best.config);
         let kernel_only = tuned_ms;
-        let wall =
-            pcie::wall_time_ms(&gpu, Benchmark::Harris, sim.kernel(), kernel_only);
+        let wall = pcie::wall_time_ms(&gpu, Benchmark::Harris, sim.kernel(), kernel_only);
         println!(
             "{:<10} best {} -> {:.3} ms kernel ({:.0}% occupancy, {}-bound), {:.1} ms wall incl. PCIe",
             gpu.name,

@@ -18,7 +18,9 @@
 //! * [`stats`] — Mann-Whitney U, CLES, bootstrap CIs;
 //! * [`linalg`] — the dense linear algebra underneath the GP;
 //! * [`study`] — the experiment pipeline reproducing every figure and
-//!   table of the paper.
+//!   table of the paper;
+//! * [`service`] — the ask-tell tuning service: long-lived sessions,
+//!   journal-backed crash recovery, and the `tuned` TCP server.
 //!
 //! # Quickstart
 //!
@@ -39,6 +41,7 @@
 
 pub use autotune_core as tuners;
 pub use autotune_linalg as linalg;
+pub use autotune_service as service;
 pub use autotune_space as space;
 pub use autotune_stats as stats;
 pub use autotune_surrogates as surrogates;
@@ -48,6 +51,9 @@ pub use gpu_sim as sim;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use autotune_core::{Algorithm, Objective, TuneContext, TuneResult, Tuner};
+    pub use autotune_service::{
+        AskTellSession, Client, SessionManager, SessionSpec, SpaceSpec, Suggestion, TunedServer,
+    };
     pub use autotune_space::{imagecl, Configuration, Constraint, ParamSpace};
     pub use gpu_sim::arch::{gtx_980, rtx_titan, study_architectures, titan_v};
     pub use gpu_sim::kernels::Benchmark;

@@ -8,12 +8,7 @@ use imagecl_autotune::tuners::fidelity::MultiFidelityObjective;
 use imagecl_autotune::tuners::hyperband::HyperBand;
 
 fn mf(seed: u64) -> MfSimulatedKernel {
-    MfSimulatedKernel::new(
-        Benchmark::Add,
-        gtx_980(),
-        NoiseModel::study_default(),
-        seed,
-    )
+    MfSimulatedKernel::new(Benchmark::Add, gtx_980(), NoiseModel::study_default(), seed)
 }
 
 #[test]

@@ -77,7 +77,10 @@ fn claim_ga_wins_the_large_sample_regime() {
     let ga = median_over_reps(Algorithm::GeneticAlgorithm, bench, &gpu, opt, budget, reps);
     let rs = median_over_reps(Algorithm::RandomSearch, bench, &gpu, opt, budget, reps);
     assert!(ga > rs * 1.03, "GA {ga:.1}% vs RS {rs:.1}% at S=400");
-    assert!(ga > 85.0, "GA should be near-optimal at S=400, got {ga:.1}%");
+    assert!(
+        ga > 85.0,
+        "GA should be near-optimal at S=400, got {ga:.1}%"
+    );
 }
 
 #[test]
@@ -90,8 +93,12 @@ fn claim_rf_never_outperforms_everything() {
     let reps = 5;
     for budget in [25, 100] {
         let rf = median_over_reps(Algorithm::RandomForest, bench, &gpu, opt, budget, reps);
-        let others = [Algorithm::BoGp, Algorithm::GeneticAlgorithm, Algorithm::BoTpe]
-            .map(|a| median_over_reps(a, bench, &gpu, opt, budget, reps));
+        let others = [
+            Algorithm::BoGp,
+            Algorithm::GeneticAlgorithm,
+            Algorithm::BoTpe,
+        ]
+        .map(|a| median_over_reps(a, bench, &gpu, opt, budget, reps));
         let best_other = others.iter().cloned().fold(f64::MIN, f64::max);
         assert!(
             rf <= best_other * 1.02,
@@ -152,8 +159,14 @@ fn claim_mandelbrot_gives_less_speedup_than_harris() {
     let gpu = rtx_titan();
     let mandel_opt =
         oracle::strided_optimum(Benchmark::Mandelbrot.model().as_ref(), &gpu, 101).time_ms;
-    let mandel_bo =
-        median_over_reps(Algorithm::BoGp, Benchmark::Mandelbrot, &gpu, mandel_opt, budget, reps);
+    let mandel_bo = median_over_reps(
+        Algorithm::BoGp,
+        Benchmark::Mandelbrot,
+        &gpu,
+        mandel_opt,
+        budget,
+        reps,
+    );
     let mandel_rs = median_over_reps(
         Algorithm::RandomSearch,
         Benchmark::Mandelbrot,
@@ -166,8 +179,14 @@ fn claim_mandelbrot_gives_less_speedup_than_harris() {
     let gpu2 = gtx_980();
     let harris_opt =
         oracle::strided_optimum(Benchmark::Harris.model().as_ref(), &gpu2, 101).time_ms;
-    let harris_bo =
-        median_over_reps(Algorithm::BoGp, Benchmark::Harris, &gpu2, harris_opt, budget, reps);
+    let harris_bo = median_over_reps(
+        Algorithm::BoGp,
+        Benchmark::Harris,
+        &gpu2,
+        harris_opt,
+        budget,
+        reps,
+    );
     let harris_rs = median_over_reps(
         Algorithm::RandomSearch,
         Benchmark::Harris,

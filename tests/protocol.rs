@@ -148,19 +148,13 @@ fn noiseless_simulator_makes_tuning_deterministic_across_algorithms() {
     // With noise off, repeated measurement of one config is constant, so
     // the measured best must equal the model's true time.
     let space = imagecl::space();
-    let mut sim = SimulatedKernel::with_noise(
-        Benchmark::Harris.model(),
-        gtx_980(),
-        NoiseModel::none(),
-        9,
-    );
+    let mut sim =
+        SimulatedKernel::with_noise(Benchmark::Harris.model(), gtx_980(), NoiseModel::none(), 9);
     let ctx = TuneContext::new(&space, 30, 9);
-    let result = Algorithm::GeneticAlgorithm
-        .tuner()
-        .tune(
-            &ctx.with_constraint(&imagecl::constraint()),
-            &mut |cfg: &Configuration| sim.measure(cfg),
-        );
+    let result = Algorithm::GeneticAlgorithm.tuner().tune(
+        &ctx.with_constraint(&imagecl::constraint()),
+        &mut |cfg: &Configuration| sim.measure(cfg),
+    );
     let truth = sim.true_time_ms(&result.best.config);
     assert_eq!(result.best.value, truth);
 }

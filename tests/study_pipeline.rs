@@ -1,10 +1,10 @@
 //! End-to-end integration: the full experiment pipeline from simulator to
 //! rendered figures, at smoke scale.
 
+use imagecl_autotune::prelude::*;
 use imagecl_autotune::study::grid::{run_study, StudyConfig};
 use imagecl_autotune::study::{metrics, render};
 use imagecl_autotune::tuners::Algorithm;
-use imagecl_autotune::prelude::*;
 
 fn pipeline_config() -> StudyConfig {
     let mut c = StudyConfig::smoke();
