@@ -97,5 +97,48 @@ fn bench_concurrent_sessions(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_single_session, bench_concurrent_sessions);
+/// Metrics overhead: what one fully-instrumented snapshot + Prometheus
+/// rendering costs, and the per-event price of the counter/histogram
+/// primitives the hot paths pay.
+fn bench_metrics(c: &mut Criterion) {
+    use autotune_service::metrics::{Counter, Histogram};
+    use std::time::Duration;
+
+    let mut g = c.benchmark_group("service/metrics");
+
+    g.bench_function("observe", |b| {
+        let h = Histogram::latency();
+        let d = Duration::from_micros(17);
+        b.iter(|| h.observe(black_box(d)))
+    });
+    g.bench_function("counter_inc", |b| {
+        let counter = Counter::new();
+        b.iter(|| counter.inc())
+    });
+
+    // A manager that has seen traffic, so the snapshot is non-trivial.
+    let manager = Arc::new(SessionManager::in_memory());
+    manager.open("warm", toy_spec(64, 1)).expect("open");
+    loop {
+        match manager.suggest("warm").expect("suggest") {
+            Suggestion::Evaluate(cfg) => manager.report("warm", objective(&cfg)).expect("report"),
+            Suggestion::Finished(_) => break,
+        }
+    }
+    g.bench_function("snapshot", |b| {
+        b.iter(|| black_box(manager.metrics().snapshot()))
+    });
+    let snapshot = manager.metrics().snapshot();
+    g.bench_function("render_prometheus", |b| {
+        b.iter(|| black_box(snapshot.render_prometheus()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_single_session,
+    bench_concurrent_sessions,
+    bench_metrics
+);
 criterion_main!(benches);

@@ -1,10 +1,15 @@
 //! The full study grid: every (algorithm, benchmark, architecture,
 //! sample size) cell, run with a crossbeam worker pool and aggregated
 //! into per-cell result populations.
+//!
+//! The worker pool is instrumented with the service layer's std-only
+//! metrics primitives — see [`grid_metrics`] for the process-wide
+//! experiment counters and latency histogram.
 
 use crate::design::ExperimentDesign;
 use crate::runner::{run_experiment, ExperimentOutcome};
 use autotune_core::Algorithm;
+use autotune_service::metrics::{Counter, Histogram, MetricsSnapshot};
 use crossbeam::queue::SegQueue;
 use gpu_sim::dataset::{Dataset, DatasetStore};
 use gpu_sim::kernels::Benchmark;
@@ -13,7 +18,47 @@ use gpu_sim::{arch, oracle, GpuArchitecture};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+/// Process-wide counters for the experiment worker pool, built on the
+/// same atomic primitives as the service layer's
+/// [`ServiceMetrics`](autotune_service::ServiceMetrics).
+#[derive(Debug, Default)]
+pub struct GridMetrics {
+    /// Completed [`run_study`] invocations.
+    pub studies: Counter,
+    /// Individual experiments the worker pool has finished.
+    pub experiments: Counter,
+    /// Wall time of one experiment (tune + final median measurement).
+    pub experiment_seconds: Histogram,
+}
+
+impl GridMetrics {
+    /// Copies the instruments into a serializable snapshot using the
+    /// same naming scheme (and Prometheus rendering) as the service.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = MetricsSnapshot::default();
+        snapshot
+            .counters
+            .insert("grid_studies".to_string(), self.studies.get());
+        snapshot
+            .counters
+            .insert("grid_experiments".to_string(), self.experiments.get());
+        snapshot.histograms.insert(
+            "grid_experiment_seconds".to_string(),
+            self.experiment_seconds.snapshot(),
+        );
+        snapshot
+    }
+}
+
+/// The process-wide [`GridMetrics`] registry every [`run_study`] call
+/// reports into.
+pub fn grid_metrics() -> &'static GridMetrics {
+    static METRICS: OnceLock<GridMetrics> = OnceLock::new();
+    METRICS.get_or_init(GridMetrics::default)
+}
 
 /// Identifies one cell of the study grid.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -234,11 +279,13 @@ pub fn run_study(config: &StudyConfig) -> StudyResults {
     type Gathered = Vec<(CellKey, ExperimentOutcome)>;
     let gathered: Mutex<Gathered> = Mutex::new(Vec::new());
     let workers = config.threads.max(1);
+    let metrics = grid_metrics();
     crossbeam::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|_| {
                 let mut local: Gathered = Vec::new();
                 while let Some(item) = queue.pop() {
+                    let started = Instant::now();
                     let outcome = run_experiment(
                         item.algorithm,
                         item.bench,
@@ -249,6 +296,8 @@ pub fn run_study(config: &StudyConfig) -> StudyResults {
                         config.seed,
                         config.noise,
                     );
+                    metrics.experiment_seconds.observe(started.elapsed());
+                    metrics.experiments.inc();
                     local.push((
                         CellKey {
                             algorithm: item.algorithm,
@@ -284,6 +333,7 @@ pub fn run_study(config: &StudyConfig) -> StudyResults {
             .push(oracle::percent_of_optimum(opt, outcome.final_ms));
     }
 
+    metrics.studies.inc();
     StudyResults {
         cells,
         optima,
@@ -346,6 +396,32 @@ mod tests {
         for (key, cell) in &r.cells {
             assert_eq!(back.cell(key).unwrap().final_ms, cell.final_ms);
         }
+    }
+
+    #[test]
+    fn worker_pool_reports_into_grid_metrics() {
+        // The registry is process-wide and other tests also run studies,
+        // so assert on deltas, not absolutes.
+        let before = grid_metrics().snapshot();
+        let config = tiny_config();
+        let results = run_study(&config);
+        let after = grid_metrics().snapshot();
+
+        let expected: u64 = results
+            .cells
+            .values()
+            .map(|cell| cell.final_ms.len() as u64)
+            .sum();
+        let ran = after.counter("grid_experiments").unwrap()
+            - before.counter("grid_experiments").unwrap();
+        assert!(ran >= expected, "{ran} < {expected}");
+        assert!(after.counter("grid_studies").unwrap() > before.counter("grid_studies").unwrap());
+        let observed = after.histogram("grid_experiment_seconds").unwrap().count
+            - before.histogram("grid_experiment_seconds").unwrap().count;
+        assert!(observed >= expected);
+        assert!(after
+            .render_prometheus()
+            .contains("autotune_grid_experiments"));
     }
 
     #[test]

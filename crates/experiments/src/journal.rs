@@ -5,11 +5,20 @@
 //! journal records each `(cell, repetition)` outcome as one JSON line
 //! the moment it is produced, so an interrupted study resumes by loading
 //! the journal and skipping the experiments already on disk — the same
-//! write-ahead JSONL discipline the service layer's session journals
-//! use, applied to the offline pipeline.
+//! write-ahead JSONL discipline (and the same [`Durability`] knob) the
+//! service layer's session journals use, applied to the offline
+//! pipeline.
+//!
+//! The default is [`Durability::Sync`]: every record is `fsync`ed, so a
+//! machine crash loses at most the line being written. Studies that
+//! journal thousands of cheap simulated outcomes can opt into
+//! [`Durability::Buffered`] — flush to the OS only — and trade a power-
+//! failure window for fewer fsyncs on the hot path; a plain process
+//! crash still loses nothing buffered.
 
 use crate::grid::CellKey;
 use crate::runner::ExperimentOutcome;
+pub use autotune_service::journal::Durability;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::fs::{File, OpenOptions};
@@ -28,30 +37,44 @@ pub struct OutcomeRecord {
     pub outcome: ExperimentOutcome,
 }
 
-/// Appends outcome records to a JSONL file, flushing after every record
-/// so a crash loses at most the line being written.
+/// Appends outcome records to a JSONL file, persisting each record per
+/// the configured [`Durability`] before `record` returns.
 #[derive(Debug)]
 pub struct OutcomeJournal {
     path: PathBuf,
     file: BufWriter<File>,
+    durability: Durability,
 }
 
 impl OutcomeJournal {
-    /// Creates (truncating) a fresh journal.
+    /// Creates (truncating) a fresh journal with [`Durability::Sync`].
     pub fn create(path: &Path) -> std::io::Result<Self> {
+        Self::create_with(path, Durability::Sync)
+    }
+
+    /// Creates (truncating) a fresh journal with an explicit durability.
+    pub fn create_with(path: &Path, durability: Durability) -> std::io::Result<Self> {
         Ok(OutcomeJournal {
             path: path.to_path_buf(),
             file: BufWriter::new(File::create(path)?),
+            durability,
         })
     }
 
-    /// Opens a journal for appending, creating it if missing — the
-    /// resume path.
+    /// Opens a journal for appending with [`Durability::Sync`], creating
+    /// it if missing — the resume path.
     pub fn append_to(path: &Path) -> std::io::Result<Self> {
+        Self::append_to_with(path, Durability::Sync)
+    }
+
+    /// Opens a journal for appending with an explicit durability,
+    /// creating it if missing.
+    pub fn append_to_with(path: &Path, durability: Durability) -> std::io::Result<Self> {
         let file = OpenOptions::new().create(true).append(true).open(path)?;
         Ok(OutcomeJournal {
             path: path.to_path_buf(),
             file: BufWriter::new(file),
+            durability,
         })
     }
 
@@ -60,7 +83,13 @@ impl OutcomeJournal {
         &self.path
     }
 
-    /// Appends one outcome and flushes it to the OS.
+    /// How far each appended record is pushed toward disk.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Appends one outcome, then flushes it to the OS and — under
+    /// [`Durability::Sync`] — `fsync`s it to disk.
     pub fn record(
         &mut self,
         key: &CellKey,
@@ -75,7 +104,11 @@ impl OutcomeJournal {
         let line = serde_json::to_string(&record).map_err(std::io::Error::other)?;
         self.file.write_all(line.as_bytes())?;
         self.file.write_all(b"\n")?;
-        self.file.flush()
+        self.file.flush()?;
+        if self.durability == Durability::Sync {
+            self.file.get_ref().sync_data()?;
+        }
+        Ok(())
     }
 }
 
@@ -198,6 +231,28 @@ mod tests {
         journal.record(&a, 1, &outcome(5.0)).unwrap();
         drop(journal);
         assert!(load(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn both_durability_modes_round_trip_and_default_is_sync() {
+        let a = key(Algorithm::RandomSearch, 25);
+        for durability in [Durability::Sync, Durability::Buffered] {
+            let path = temp_path("durability");
+            let mut journal = OutcomeJournal::create_with(&path, durability).unwrap();
+            assert_eq!(journal.durability(), durability);
+            journal.record(&a, 0, &outcome(1.0)).unwrap();
+            drop(journal);
+            let mut journal = OutcomeJournal::append_to_with(&path, durability).unwrap();
+            journal.record(&a, 1, &outcome(2.0)).unwrap();
+            drop(journal);
+            assert_eq!(load(&path).unwrap()[&a].len(), 2);
+            std::fs::remove_file(&path).unwrap();
+        }
+        let path = temp_path("default-sync");
+        let journal = OutcomeJournal::create(&path).unwrap();
+        assert_eq!(journal.durability(), Durability::Sync);
+        drop(journal);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -1,36 +1,77 @@
 //! `tuned` — the ask-tell tuning server.
 //!
 //! ```text
-//! tuned [--addr HOST:PORT] [--journal-dir DIR]
+//! tuned [--addr HOST:PORT] [--journal-dir DIR] [--durability sync|buffered]
+//!       [--read-timeout SECS] [--write-timeout SECS]
+//!       [--max-conns N] [--max-line-bytes N] [--idle-ttl SECS]
 //! ```
 //!
 //! Speaks newline-delimited JSON over TCP (see the protocol module of
 //! `autotune-service`). With `--journal-dir`, every session is journaled
 //! and any unfinished sessions found at startup are recovered before the
-//! listener opens.
+//! listener opens. The hardening flags map one-to-one onto
+//! [`ServerConfig`]; defaults suit a trusted LAN.
 
-use autotune_service::{SessionManager, TunedServer};
+use autotune_service::{Durability, ServerConfig, SessionManager, TunedServer};
 use std::process::exit;
+use std::time::Duration;
+
 use std::sync::Arc;
 
 struct Args {
     addr: String,
     journal_dir: Option<String>,
+    durability: Durability,
+    config: ServerConfig,
 }
 
 fn usage(code: i32) -> ! {
-    eprintln!("usage: tuned [--addr HOST:PORT] [--journal-dir DIR]");
+    let defaults = ServerConfig::default();
+    eprintln!("usage: tuned [--addr HOST:PORT] [--journal-dir DIR] [--durability sync|buffered]");
+    eprintln!("             [--read-timeout SECS] [--write-timeout SECS]");
+    eprintln!("             [--max-conns N] [--max-line-bytes N] [--idle-ttl SECS]");
     eprintln!();
-    eprintln!("  --addr HOST:PORT   listen address (default 127.0.0.1:4242)");
-    eprintln!("  --journal-dir DIR  journal sessions under DIR and recover");
-    eprintln!("                     unfinished ones at startup");
+    eprintln!("  --addr HOST:PORT     listen address (default 127.0.0.1:4242)");
+    eprintln!("  --journal-dir DIR    journal sessions under DIR and recover");
+    eprintln!("                       unfinished ones at startup");
+    eprintln!("  --durability MODE    sync: fsync every journal append (default);");
+    eprintln!("                       buffered: flush to the OS only");
+    eprintln!(
+        "  --read-timeout SECS  per-request-line read deadline (default {})",
+        defaults.read_timeout.as_secs()
+    );
+    eprintln!(
+        "  --write-timeout SECS per-reply write deadline (default {})",
+        defaults.write_timeout.as_secs()
+    );
+    eprintln!(
+        "  --max-conns N        concurrent connection cap (default {})",
+        defaults.max_connections
+    );
+    eprintln!(
+        "  --max-line-bytes N   request line size cap (default {})",
+        defaults.max_line_bytes
+    );
+    eprintln!("  --idle-ttl SECS      evict sessions idle this long (default: never)");
     exit(code)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(parsed) => parsed,
+        None => {
+            eprintln!("tuned: {flag} needs a valid value");
+            usage(2)
+        }
+    }
 }
 
 fn parse_args() -> Args {
     let mut args = Args {
         addr: "127.0.0.1:4242".to_string(),
         journal_dir: None,
+        durability: Durability::Sync,
+        config: ServerConfig::default(),
     };
     let mut argv = std::env::args().skip(1);
     while let Some(flag) = argv.next() {
@@ -43,6 +84,22 @@ fn parse_args() -> Args {
                 Some(v) => args.journal_dir = Some(v),
                 None => usage(2),
             },
+            "--durability" => match argv.next().as_deref() {
+                Some("sync") => args.durability = Durability::Sync,
+                Some("buffered") => args.durability = Durability::Buffered,
+                _ => usage(2),
+            },
+            "--read-timeout" => {
+                args.config.read_timeout = Duration::from_secs(parse(&flag, argv.next()))
+            }
+            "--write-timeout" => {
+                args.config.write_timeout = Duration::from_secs(parse(&flag, argv.next()))
+            }
+            "--max-conns" => args.config.max_connections = parse(&flag, argv.next()),
+            "--max-line-bytes" => args.config.max_line_bytes = parse(&flag, argv.next()),
+            "--idle-ttl" => {
+                args.config.idle_session_ttl = Some(Duration::from_secs(parse(&flag, argv.next())))
+            }
             "--help" | "-h" => usage(0),
             _ => usage(2),
         }
@@ -53,13 +110,15 @@ fn parse_args() -> Args {
 fn main() {
     let args = parse_args();
     let manager = match &args.journal_dir {
-        Some(dir) => match SessionManager::with_journal_dir(dir.as_ref()) {
-            Ok(m) => Arc::new(m),
-            Err(e) => {
-                eprintln!("tuned: cannot open journal dir {dir:?}: {e}");
-                exit(1);
+        Some(dir) => {
+            match SessionManager::with_journal_dir_durability(dir.as_ref(), args.durability) {
+                Ok(m) => Arc::new(m),
+                Err(e) => {
+                    eprintln!("tuned: cannot open journal dir {dir:?}: {e}");
+                    exit(1);
+                }
             }
-        },
+        }
         None => Arc::new(SessionManager::in_memory()),
     };
 
@@ -80,13 +139,14 @@ fn main() {
         }
     }
 
-    let server = match TunedServer::spawn(args.addr.as_str(), Arc::clone(&manager)) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("tuned: cannot bind {}: {e}", args.addr);
-            exit(1);
-        }
-    };
+    let server =
+        match TunedServer::spawn_with(args.addr.as_str(), Arc::clone(&manager), args.config) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("tuned: cannot bind {}: {e}", args.addr);
+                exit(1);
+            }
+        };
     eprintln!("tuned: listening on {}", server.local_addr());
 
     // The accept loop runs on its own thread; keep the main thread alive.

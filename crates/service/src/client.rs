@@ -1,6 +1,7 @@
 //! Blocking Rust client for the `tuned` wire protocol.
 
 use crate::error::ServiceError;
+use crate::metrics::MetricsSnapshot;
 use crate::protocol::{Request, Response};
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
@@ -22,7 +23,12 @@ pub enum RemoteSuggestion {
 /// One blocking connection to a `tuned` server.
 ///
 /// All methods send one request line and wait for the matching reply
-/// line. Server-side failures surface as [`ServiceError::Remote`].
+/// line. Server-side failures surface as [`ServiceError::Remote`],
+/// carrying the server's machine-readable [`ErrorCode`] — check
+/// [`ServiceError::is_retryable`] before giving up on `busy`, `timeout`
+/// and friends.
+///
+/// [`ErrorCode`]: crate::error::ErrorCode
 #[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
@@ -51,8 +57,8 @@ impl Client {
             ));
         }
         let response: Response = serde_json::from_str(&reply)?;
-        if let Response::Error { message } = response {
-            return Err(ServiceError::Remote(message));
+        if let Response::Error { code, message } = response {
+            return Err(ServiceError::Remote { code, message });
         }
         Ok(response)
     }
@@ -110,6 +116,16 @@ impl Client {
         })?;
         match reply {
             Response::Stats { stats } => Ok(stats),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server-wide metrics snapshot (counters and latency
+    /// histograms across all sessions and connections).
+    pub fn metrics(&mut self) -> Result<MetricsSnapshot, ServiceError> {
+        let reply = self.call(&Request::Metrics)?;
+        match reply {
+            Response::Metrics { metrics } => Ok(metrics),
             other => Err(Self::unexpected(&other)),
         }
     }
@@ -203,21 +219,44 @@ mod tests {
     }
 
     #[test]
-    fn remote_errors_surface_as_service_errors() {
+    fn remote_errors_surface_as_service_errors_with_codes() {
+        use crate::error::ErrorCode;
         let manager = Arc::new(SessionManager::in_memory());
         let server = TunedServer::spawn("127.0.0.1:0", manager).unwrap();
         let mut client = Client::connect(server.local_addr()).unwrap();
-        assert!(matches!(
-            client.suggest("ghost"),
-            Err(ServiceError::Remote(_))
-        ));
+        match client.suggest("ghost") {
+            Err(e @ ServiceError::Remote { .. }) => {
+                assert_eq!(e.code(), ErrorCode::UnknownSession);
+                assert!(e.is_retryable());
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
         assert!(matches!(
             client.report("ghost", 1.0),
-            Err(ServiceError::Remote(_))
+            Err(ServiceError::Remote { .. })
         ));
         // The connection survives remote errors.
         client.open("ok", toy_spec(2, 1)).unwrap();
         assert_eq!(client.stats("ok").unwrap().remaining(), 2);
+        match client.open("ok", toy_spec(2, 1)) {
+            Err(e) => assert_eq!(e.code(), ErrorCode::SessionExists),
+            Ok(()) => panic!("duplicate open must fail"),
+        }
+    }
+
+    #[test]
+    fn client_scrapes_server_metrics() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let server = TunedServer::spawn("127.0.0.1:0", manager).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.tune("m", toy_spec(5, 9), objective).unwrap();
+        let snapshot = client.metrics().unwrap();
+        assert_eq!(snapshot.counter("engine_suggests"), Some(5));
+        assert_eq!(snapshot.counter("engine_reports"), Some(5));
+        assert_eq!(snapshot.counter("sessions_opened"), Some(1));
+        let rendered = snapshot.render_prometheus();
+        assert!(rendered.contains("autotune_server_requests"));
+        assert!(rendered.contains("autotune_server_dispatch_seconds_bucket"));
     }
 
     #[test]

@@ -69,6 +69,7 @@ pub struct AskTellSession {
     infeasible: u64,
     best: Option<Evaluation>,
     opened: Instant,
+    touched: Instant,
 }
 
 impl AskTellSession {
@@ -112,6 +113,7 @@ impl AskTellSession {
             infeasible: 0,
             best: None,
             opened: Instant::now(),
+            touched: Instant::now(),
         })
     }
 
@@ -152,6 +154,14 @@ impl AskTellSession {
         self.pending.as_ref()
     }
 
+    /// How long since the session was last driven (a `suggest` or
+    /// `report` call; opening counts as activity). The idle-TTL reaper
+    /// keys on this — observability reads (`stats`) deliberately do not
+    /// reset it.
+    pub fn idle(&self) -> std::time::Duration {
+        self.touched.elapsed()
+    }
+
     /// `true` once the tuner has spent its budget.
     pub fn is_finished(&self) -> bool {
         self.result.is_some()
@@ -174,6 +184,7 @@ impl AskTellSession {
         if self.pending.is_some() {
             return Err(ServiceError::SuggestPending);
         }
+        self.touched = Instant::now();
         let events = self.events.as_ref().ok_or(ServiceError::EngineStopped)?;
         match events.recv() {
             Ok(EngineEvent::Ask(cfg)) => {
@@ -203,6 +214,7 @@ impl AskTellSession {
     /// Feeds the measured cost of the pending suggestion back into the
     /// tuner.
     pub fn report(&mut self, value: f64) -> Result<(), ServiceError> {
+        self.touched = Instant::now();
         let cfg = self.pending.take().ok_or(ServiceError::NoPendingSuggest)?;
         let reports = self.reports.as_ref().ok_or(ServiceError::EngineStopped)?;
         if reports.send(value).is_err() {
@@ -228,6 +240,7 @@ impl AskTellSession {
             best: self.best.clone(),
             finished: self.result.is_some(),
             wall_ms: self.opened.elapsed().as_secs_f64() * 1e3,
+            idle_ms: self.touched.elapsed().as_secs_f64() * 1e3,
         }
     }
 

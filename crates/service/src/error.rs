@@ -1,7 +1,95 @@
-//! The service layer's error type.
+//! The service layer's error type and its machine-readable codes.
 
+use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::io;
+
+/// Machine-readable error classification carried on every `error` reply.
+///
+/// Clients branch on the code — [`ErrorCode::is_retryable`] separates
+/// transient conditions (server at capacity, session not yet recovered,
+/// I/O hiccups) from fatal ones (invalid spec, diverged journal) — while
+/// the accompanying message stays free-form for humans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum ErrorCode {
+    /// The session spec failed validation.
+    InvalidSpec,
+    /// The session name is not filesystem-safe.
+    InvalidName,
+    /// No session registered under this name.
+    UnknownSession,
+    /// A session with this name already exists.
+    SessionExists,
+    /// `suggest` called while an earlier suggestion awaits its report.
+    SuggestPending,
+    /// `report` called without a pending suggestion.
+    NoPendingSuggest,
+    /// The session engine was shut down.
+    EngineStopped,
+    /// The tuner thread died unexpectedly.
+    EngineFailed,
+    /// Journal replay produced a different suggestion than recorded.
+    ReplayDiverged,
+    /// Journal holds more evaluations than the budget admits.
+    ReplayOverrun,
+    /// Journal file missing, corrupt, or structurally invalid.
+    Journal,
+    /// A wire message could not be encoded or decoded.
+    Protocol,
+    /// The server is at its connection cap; retry later.
+    Busy,
+    /// A request line exceeded the server's size cap.
+    RequestTooLarge,
+    /// No complete request line arrived within the read deadline.
+    Timeout,
+    /// An underlying I/O failure.
+    Io,
+    /// Unclassified server-side failure.
+    #[default]
+    Internal,
+}
+
+impl ErrorCode {
+    /// The code's wire spelling (its serde `snake_case` name).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::InvalidSpec => "invalid_spec",
+            ErrorCode::InvalidName => "invalid_name",
+            ErrorCode::UnknownSession => "unknown_session",
+            ErrorCode::SessionExists => "session_exists",
+            ErrorCode::SuggestPending => "suggest_pending",
+            ErrorCode::NoPendingSuggest => "no_pending_suggest",
+            ErrorCode::EngineStopped => "engine_stopped",
+            ErrorCode::EngineFailed => "engine_failed",
+            ErrorCode::ReplayDiverged => "replay_diverged",
+            ErrorCode::ReplayOverrun => "replay_overrun",
+            ErrorCode::Journal => "journal",
+            ErrorCode::Protocol => "protocol",
+            ErrorCode::Busy => "busy",
+            ErrorCode::RequestTooLarge => "request_too_large",
+            ErrorCode::Timeout => "timeout",
+            ErrorCode::Io => "io",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// `true` when the same request may succeed if simply retried later:
+    /// the server was at capacity, the connection hit a deadline, the
+    /// session may still be recovered, or the failure was transient I/O.
+    pub fn is_retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::Busy | ErrorCode::Timeout | ErrorCode::UnknownSession | ErrorCode::Io
+        )
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// Everything that can go wrong in the ask-tell service layer.
 #[derive(Debug)]
@@ -31,10 +119,59 @@ pub enum ServiceError {
     Journal(String),
     /// A wire message could not be encoded or decoded.
     Protocol(String),
+    /// The server is at its configured connection cap.
+    Busy {
+        /// The cap that was hit.
+        max_connections: usize,
+    },
+    /// A request line exceeded the server's configured size cap.
+    RequestTooLarge {
+        /// The cap, in bytes.
+        limit: usize,
+    },
+    /// No complete request line arrived within the read deadline.
+    Timeout,
     /// The server answered a request with an error reply.
-    Remote(String),
+    Remote {
+        /// The machine-readable classification the server sent.
+        code: ErrorCode,
+        /// The human-readable failure description.
+        message: String,
+    },
     /// An underlying I/O failure (socket, journal file, thread spawn).
     Io(io::Error),
+}
+
+impl ServiceError {
+    /// The machine-readable classification of this error. For
+    /// [`ServiceError::Remote`] this is the code the server sent;
+    /// everything else maps one-to-one onto its variant.
+    pub fn code(&self) -> ErrorCode {
+        match self {
+            ServiceError::InvalidSpec(_) => ErrorCode::InvalidSpec,
+            ServiceError::InvalidName(_) => ErrorCode::InvalidName,
+            ServiceError::UnknownSession(_) => ErrorCode::UnknownSession,
+            ServiceError::SessionExists(_) => ErrorCode::SessionExists,
+            ServiceError::SuggestPending => ErrorCode::SuggestPending,
+            ServiceError::NoPendingSuggest => ErrorCode::NoPendingSuggest,
+            ServiceError::EngineStopped => ErrorCode::EngineStopped,
+            ServiceError::EngineFailed => ErrorCode::EngineFailed,
+            ServiceError::ReplayDiverged => ErrorCode::ReplayDiverged,
+            ServiceError::ReplayOverrun => ErrorCode::ReplayOverrun,
+            ServiceError::Journal(_) => ErrorCode::Journal,
+            ServiceError::Protocol(_) => ErrorCode::Protocol,
+            ServiceError::Busy { .. } => ErrorCode::Busy,
+            ServiceError::RequestTooLarge { .. } => ErrorCode::RequestTooLarge,
+            ServiceError::Timeout => ErrorCode::Timeout,
+            ServiceError::Remote { code, .. } => *code,
+            ServiceError::Io(_) => ErrorCode::Io,
+        }
+    }
+
+    /// Shorthand for `self.code().is_retryable()`.
+    pub fn is_retryable(&self) -> bool {
+        self.code().is_retryable()
+    }
 }
 
 impl fmt::Display for ServiceError {
@@ -60,7 +197,22 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::Journal(msg) => write!(f, "journal error: {msg}"),
             ServiceError::Protocol(msg) => write!(f, "protocol error: {msg}"),
-            ServiceError::Remote(msg) => write!(f, "server error: {msg}"),
+            ServiceError::Busy { max_connections } => write!(
+                f,
+                "server at its connection cap ({max_connections}); retry later"
+            ),
+            ServiceError::RequestTooLarge { limit } => {
+                write!(f, "request line exceeds the {limit}-byte cap")
+            }
+            ServiceError::Timeout => {
+                write!(
+                    f,
+                    "no complete request line arrived within the read deadline"
+                )
+            }
+            ServiceError::Remote { code, message } => {
+                write!(f, "server error [{code}]: {message}")
+            }
             ServiceError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -99,6 +251,12 @@ mod tests {
         assert!(ServiceError::SuggestPending.to_string().contains("pending"));
         let io = ServiceError::from(io::Error::other("boom"));
         assert!(io.to_string().contains("boom"));
+        assert!(ServiceError::Busy { max_connections: 8 }
+            .to_string()
+            .contains('8'));
+        assert!(ServiceError::RequestTooLarge { limit: 1024 }
+            .to_string()
+            .contains("1024"));
     }
 
     #[test]
@@ -107,5 +265,63 @@ mod tests {
         let e = ServiceError::from(io::Error::other("disk"));
         assert!(e.source().is_some());
         assert!(ServiceError::EngineFailed.source().is_none());
+    }
+
+    #[test]
+    fn codes_map_one_to_one_and_classify_retryability() {
+        assert_eq!(
+            ServiceError::Busy { max_connections: 1 }.code(),
+            ErrorCode::Busy
+        );
+        assert_eq!(
+            ServiceError::InvalidSpec("x".into()).code(),
+            ErrorCode::InvalidSpec
+        );
+        assert_eq!(
+            ServiceError::Remote {
+                code: ErrorCode::Timeout,
+                message: "t".into()
+            }
+            .code(),
+            ErrorCode::Timeout
+        );
+        assert!(ServiceError::Busy { max_connections: 1 }.is_retryable());
+        assert!(ServiceError::UnknownSession("s".into()).is_retryable());
+        assert!(ServiceError::Timeout.is_retryable());
+        assert!(!ServiceError::InvalidSpec("x".into()).is_retryable());
+        assert!(!ServiceError::ReplayDiverged.is_retryable());
+        assert!(!ServiceError::SessionExists("s".into()).is_retryable());
+    }
+
+    #[test]
+    fn error_codes_serialize_snake_case() {
+        let json = serde_json::to_string(&ErrorCode::RequestTooLarge).unwrap();
+        assert_eq!(json, "\"request_too_large\"");
+        let back: ErrorCode = serde_json::from_str("\"unknown_session\"").unwrap();
+        assert_eq!(back, ErrorCode::UnknownSession);
+        assert_eq!(ErrorCode::Busy.to_string(), "busy");
+        // Every code's as_str agrees with its serde spelling.
+        for code in [
+            ErrorCode::InvalidSpec,
+            ErrorCode::InvalidName,
+            ErrorCode::UnknownSession,
+            ErrorCode::SessionExists,
+            ErrorCode::SuggestPending,
+            ErrorCode::NoPendingSuggest,
+            ErrorCode::EngineStopped,
+            ErrorCode::EngineFailed,
+            ErrorCode::ReplayDiverged,
+            ErrorCode::ReplayOverrun,
+            ErrorCode::Journal,
+            ErrorCode::Protocol,
+            ErrorCode::Busy,
+            ErrorCode::RequestTooLarge,
+            ErrorCode::Timeout,
+            ErrorCode::Io,
+            ErrorCode::Internal,
+        ] {
+            let json = serde_json::to_string(&code).unwrap();
+            assert_eq!(json, format!("\"{}\"", code.as_str()));
+        }
     }
 }

@@ -11,6 +11,14 @@
 //! Crash tolerance: a process dying mid-append leaves at most one torn
 //! final line, which [`load`] silently drops. Corruption anywhere else in
 //! the file is reported as [`ServiceError::Journal`].
+//!
+//! Durability is a per-writer knob ([`Durability`]). The default,
+//! [`Durability::Sync`], calls `sync_data` after every append, so a
+//! record survives an operating-system crash or power loss the moment
+//! the append returns — genuine write-ahead semantics.
+//! [`Durability::Buffered`] stops at `flush()`, handing the bytes to
+//! the OS page cache: that survives a *process* crash but not a kernel
+//! panic, in exchange for skipping one disk round-trip per append.
 
 use crate::error::ServiceError;
 use crate::spec::SessionSpec;
@@ -46,22 +54,53 @@ pub enum Record {
     },
 }
 
-/// Appends records to a session's journal file, one JSON object per line,
-/// flushed after every append so a crash loses at most the line being
-/// written.
+/// How hard an append pushes a record toward stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Durability {
+    /// `flush` + `sync_data` after every append: the record is on disk
+    /// when the call returns and survives an OS crash or power loss.
+    /// The default for session journals, whose write-ahead promise is
+    /// the whole point.
+    #[default]
+    Sync,
+    /// `flush` only: the record is handed to the OS page cache, which
+    /// survives a process crash but not a kernel panic. The right trade
+    /// for hot bulk writers (the experiments grid) where one fsync per
+    /// record would dominate the workload.
+    Buffered,
+}
+
+/// Appends records to a session's journal file, one JSON object per
+/// line, pushed toward disk after every append according to the
+/// writer's [`Durability`] mode.
 #[derive(Debug)]
 pub struct JournalWriter {
     path: PathBuf,
     file: BufWriter<File>,
+    durability: Durability,
 }
 
 impl JournalWriter {
-    /// Creates (truncating) a journal and writes its `open` line.
+    /// Creates (truncating) a journal with [`Durability::Sync`] and
+    /// writes its `open` line.
     pub fn create(path: &Path, name: &str, spec: &SessionSpec) -> Result<Self, ServiceError> {
+        Self::create_with(path, name, spec, Durability::Sync)
+    }
+
+    /// Creates (truncating) a journal with an explicit durability mode
+    /// and writes its `open` line.
+    pub fn create_with(
+        path: &Path,
+        name: &str,
+        spec: &SessionSpec,
+        durability: Durability,
+    ) -> Result<Self, ServiceError> {
         let file = BufWriter::new(File::create(path)?);
         let mut writer = JournalWriter {
             path: path.to_path_buf(),
             file,
+            durability,
         };
         writer.append(&Record::Open {
             name: name.to_string(),
@@ -70,14 +109,21 @@ impl JournalWriter {
         Ok(writer)
     }
 
-    /// Reopens an existing journal for appending (recovery path). The
-    /// caller is responsible for having validated the contents via
-    /// [`load`] first.
+    /// Reopens an existing journal for appending with
+    /// [`Durability::Sync`] (recovery path). The caller is responsible
+    /// for having validated the contents via [`load`] first.
     pub fn append_existing(path: &Path) -> Result<Self, ServiceError> {
+        Self::append_existing_with(path, Durability::Sync)
+    }
+
+    /// Reopens an existing journal for appending with an explicit
+    /// durability mode.
+    pub fn append_existing_with(path: &Path, durability: Durability) -> Result<Self, ServiceError> {
         let file = BufWriter::new(OpenOptions::new().append(true).open(path)?);
         Ok(JournalWriter {
             path: path.to_path_buf(),
             file,
+            durability,
         })
     }
 
@@ -86,12 +132,21 @@ impl JournalWriter {
         &self.path
     }
 
-    /// Appends one record and flushes.
+    /// The writer's durability mode.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Appends one record, flushes, and — under [`Durability::Sync`] —
+    /// syncs the file data to disk before returning.
     pub fn append(&mut self, record: &Record) -> Result<(), ServiceError> {
         let line = serde_json::to_string(record)?;
         self.file.write_all(line.as_bytes())?;
         self.file.write_all(b"\n")?;
         self.file.flush()?;
+        if self.durability == Durability::Sync {
+            self.file.get_ref().sync_data()?;
+        }
         Ok(())
     }
 
@@ -314,6 +369,43 @@ mod tests {
         let c = load(&path).unwrap();
         assert_eq!(c.evals.len(), 2);
         std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn both_durability_modes_round_trip() {
+        for durability in [Durability::Sync, Durability::Buffered] {
+            let path = temp_journal("durability");
+            let mut w = JournalWriter::create_with(&path, "s7", &spec(), durability).unwrap();
+            assert_eq!(w.durability(), durability);
+            w.append_eval(&Configuration::from([3, 1, 4, 1, 5, 2]), 2.5)
+                .unwrap();
+            drop(w);
+
+            let mut w2 = JournalWriter::append_existing_with(&path, durability).unwrap();
+            w2.append_eval(&Configuration::from([2, 7, 1, 8, 2, 8]), 1.5)
+                .unwrap();
+            w2.append_close(false).unwrap();
+            drop(w2);
+
+            let c = load(&path).unwrap();
+            assert_eq!(c.evals.len(), 2, "{durability:?}");
+            assert_eq!(c.evals[1].value, 1.5);
+            assert!(c.closed);
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn durability_defaults_to_sync_and_serdes_snake_case() {
+        assert_eq!(Durability::default(), Durability::Sync);
+        assert_eq!(
+            serde_json::to_string(&Durability::Buffered).unwrap(),
+            "\"buffered\""
+        );
+        assert_eq!(
+            serde_json::from_str::<Durability>("\"sync\"").unwrap(),
+            Durability::Sync
+        );
     }
 
     #[test]

@@ -20,7 +20,12 @@
 //!   the lost process would have.
 //! * [`TunedServer`] / [`Client`] put the manager behind a tiny
 //!   newline-delimited-JSON TCP protocol (`std::net` only), with the
-//!   `tuned` binary as the deployable entry point.
+//!   `tuned` binary as the deployable entry point. The server is
+//!   hardened against hostile traffic ([`ServerConfig`]: read/write
+//!   deadlines, bounded request lines, a connection cap, idle-session
+//!   reaping, graceful drain) and instrumented end to end — the
+//!   [`metrics`] module's std-only counters and latency histograms are
+//!   scrapeable over the wire and render as Prometheus text.
 //!
 //! # Example
 //!
@@ -52,6 +57,7 @@ pub mod engine;
 pub mod error;
 pub mod journal;
 pub mod manager;
+pub mod metrics;
 pub mod protocol;
 pub mod server;
 pub mod spec;
@@ -59,8 +65,10 @@ pub mod stats;
 
 pub use client::{Client, RemoteSuggestion};
 pub use engine::{AskTellSession, Suggestion};
-pub use error::ServiceError;
+pub use error::{ErrorCode, ServiceError};
+pub use journal::Durability;
 pub use manager::{ManagerTotals, SessionManager};
-pub use server::TunedServer;
+pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use server::{ServerConfig, TunedServer};
 pub use spec::{SessionSpec, SpaceSpec};
 pub use stats::SessionStats;

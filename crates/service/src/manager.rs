@@ -15,7 +15,8 @@
 
 use crate::engine::{AskTellSession, Suggestion};
 use crate::error::ServiceError;
-use crate::journal::{self, JournalWriter};
+use crate::journal::{self, Durability, JournalWriter};
+use crate::metrics::ServiceMetrics;
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
 use autotune_core::TuneResult;
@@ -25,6 +26,7 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 /// One registered session plus its optional journal.
 struct Managed {
@@ -49,6 +51,8 @@ pub struct ManagerTotals {
 pub struct SessionManager {
     sessions: Mutex<HashMap<String, Arc<Mutex<Managed>>>>,
     journal_dir: Option<PathBuf>,
+    durability: Durability,
+    metrics: Arc<ServiceMetrics>,
     opened_total: AtomicU64,
     served_suggests: AtomicU64,
     served_reports: AtomicU64,
@@ -61,6 +65,8 @@ impl SessionManager {
         SessionManager {
             sessions: Mutex::new(HashMap::new()),
             journal_dir: None,
+            durability: Durability::Sync,
+            metrics: Arc::new(ServiceMetrics::new()),
             opened_total: AtomicU64::new(0),
             served_suggests: AtomicU64::new(0),
             served_reports: AtomicU64::new(0),
@@ -68,12 +74,24 @@ impl SessionManager {
     }
 
     /// A manager journaling every session under `dir` (created if
-    /// missing), one `<name>.jsonl` file per session.
+    /// missing), one `<name>.jsonl` file per session, with the default
+    /// [`Durability::Sync`] write-ahead guarantee.
     pub fn with_journal_dir(dir: &Path) -> Result<Self, ServiceError> {
+        Self::with_journal_dir_durability(dir, Durability::Sync)
+    }
+
+    /// Like [`SessionManager::with_journal_dir`] but with an explicit
+    /// journal [`Durability`] mode.
+    pub fn with_journal_dir_durability(
+        dir: &Path,
+        durability: Durability,
+    ) -> Result<Self, ServiceError> {
         std::fs::create_dir_all(dir)?;
         Ok(SessionManager {
             sessions: Mutex::new(HashMap::new()),
             journal_dir: Some(dir.to_path_buf()),
+            durability,
+            metrics: Arc::new(ServiceMetrics::new()),
             opened_total: AtomicU64::new(0),
             served_suggests: AtomicU64::new(0),
             served_reports: AtomicU64::new(0),
@@ -83,6 +101,17 @@ impl SessionManager {
     /// The journal directory, if persistence is enabled.
     pub fn journal_dir(&self) -> Option<&Path> {
         self.journal_dir.as_deref()
+    }
+
+    /// The journal durability mode sessions are opened with.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// The manager's metrics registry. Servers share it, so counters
+    /// survive a server restart as long as the manager lives.
+    pub fn metrics(&self) -> &Arc<ServiceMetrics> {
+        &self.metrics
     }
 
     fn journal_path(&self, name: &str) -> Option<PathBuf> {
@@ -148,7 +177,12 @@ impl SessionManager {
             return Err(ServiceError::SessionExists(name.to_string()));
         }
         let journal = match self.journal_path(name) {
-            Some(path) => Some(JournalWriter::create(&path, name, &spec)?),
+            Some(path) => Some(JournalWriter::create_with(
+                &path,
+                name,
+                &spec,
+                self.durability,
+            )?),
             None => None,
         };
         let session = AskTellSession::open(spec)?;
@@ -157,6 +191,7 @@ impl SessionManager {
             Arc::new(Mutex::new(Managed { session, journal })),
         );
         self.opened_total.fetch_add(1, Ordering::Relaxed);
+        self.metrics.sessions_opened.inc();
         Ok(())
     }
 
@@ -185,8 +220,13 @@ impl SessionManager {
             .fetch_add(contents.evals.len() as u64, Ordering::Relaxed);
         self.served_reports
             .fetch_add(contents.evals.len() as u64, Ordering::Relaxed);
-        let journal = JournalWriter::append_existing(&path)?;
-        self.register(name, session, Some(journal))
+        self.metrics
+            .journal_replayed_evals
+            .add(contents.evals.len() as u64);
+        let journal = JournalWriter::append_existing_with(&path, self.durability)?;
+        self.register(name, session, Some(journal))?;
+        self.metrics.sessions_recovered.inc();
+        Ok(())
     }
 
     /// Scans the journal directory and recovers every session that is not
@@ -223,28 +263,45 @@ impl SessionManager {
     pub fn suggest(&self, name: &str) -> Result<Suggestion, ServiceError> {
         let managed = self.lookup(name)?;
         let mut guard = managed.lock();
+        let started = Instant::now();
         let suggestion = guard.session.suggest()?;
+        self.metrics
+            .engine_suggest_seconds
+            .observe(started.elapsed());
         if matches!(suggestion, Suggestion::Evaluate(_)) {
             self.served_suggests.fetch_add(1, Ordering::Relaxed);
+            self.metrics.engine_suggests.inc();
         }
         Ok(suggestion)
     }
 
     /// Reports the measured cost of the named session's pending
     /// suggestion. The value hits the journal before the engine
-    /// (write-ahead), so a crash between the two replays cleanly.
+    /// (write-ahead; under [`Durability::Sync`] it is synced to disk
+    /// before the engine sees it), so a crash between the two replays
+    /// cleanly.
     pub fn report(&self, name: &str, value: f64) -> Result<(), ServiceError> {
         let managed = self.lookup(name)?;
         let mut guard = managed.lock();
+        let started = Instant::now();
         let pending = guard
             .session
             .pending()
             .cloned()
             .ok_or(ServiceError::NoPendingSuggest)?;
         if let Some(journal) = &mut guard.journal {
+            let append_started = Instant::now();
             journal.append_eval(&pending, value)?;
+            self.metrics
+                .journal_append_seconds
+                .observe(append_started.elapsed());
+            self.metrics.journal_appends.inc();
         }
         guard.session.report(value)?;
+        self.metrics
+            .engine_report_seconds
+            .observe(started.elapsed());
+        self.metrics.engine_reports.inc();
         self.served_reports.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
@@ -266,8 +323,51 @@ impl SessionManager {
         let result = guard.session.shutdown();
         if let Some(journal) = &mut guard.journal {
             journal.append_close(result.is_some())?;
+            self.metrics.journal_appends.inc();
         }
+        self.metrics.sessions_closed.inc();
         Ok(result.map(|boxed| *boxed))
+    }
+
+    /// Evicts every session that has not been driven (`suggest` or
+    /// `report`) for at least `ttl`, returning the evicted names
+    /// (sorted). Journals get no `close` record, so an evicted session
+    /// remains recoverable — eviction is the server saying "stop paying
+    /// for this engine thread", not "forget this run". Sessions whose
+    /// mutex is currently held are in active use and skipped.
+    pub fn evict_idle(&self, ttl: Duration) -> Vec<String> {
+        let candidates: Vec<(String, Arc<Mutex<Managed>>)> = self
+            .sessions
+            .lock()
+            .iter()
+            .map(|(name, managed)| (name.clone(), Arc::clone(managed)))
+            .collect();
+        let mut evicted = Vec::new();
+        for (name, managed) in candidates {
+            let Some(mut guard) = managed.try_lock() else {
+                continue; // locked = mid-request = not idle
+            };
+            if guard.session.idle() < ttl {
+                continue;
+            }
+            // Deregister only if the registry still holds *this*
+            // session — a concurrent close+reopen under the same name
+            // must not lose the fresh one.
+            {
+                let mut sessions = self.sessions.lock();
+                match sessions.get(&name) {
+                    Some(current) if Arc::ptr_eq(current, &managed) => {
+                        sessions.remove(&name);
+                    }
+                    _ => continue,
+                }
+            }
+            guard.session.shutdown();
+            self.metrics.sessions_evicted.inc();
+            evicted.push(name);
+        }
+        evicted.sort();
+        evicted
     }
 
     /// Names of all registered sessions, sorted.
@@ -494,6 +594,69 @@ mod tests {
         let totals = mgr.totals();
         assert_eq!(totals.suggests, 80);
         assert_eq!(totals.reports, 80);
+    }
+
+    #[test]
+    fn idle_sessions_are_evicted_but_remain_recoverable() {
+        let dir = temp_dir("evict");
+        let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+        mgr.open("stale", toy_spec(10, 1)).unwrap();
+        drive_rounds(&mgr, "stale", 2);
+        // Nothing is older than an hour: nothing goes.
+        assert!(mgr.evict_idle(Duration::from_secs(3600)).is_empty());
+        std::thread::sleep(Duration::from_millis(30));
+        // Everything is older than 10ms: the stale session goes.
+        assert_eq!(
+            mgr.evict_idle(Duration::from_millis(10)),
+            vec!["stale".to_string()]
+        );
+        assert!(matches!(
+            mgr.stats("stale"),
+            Err(ServiceError::UnknownSession(_))
+        ));
+        assert_eq!(mgr.metrics().sessions_evicted.get(), 1);
+        // No close record was written: recovery still works.
+        mgr.recover("stale").unwrap();
+        assert_eq!(mgr.stats("stale").unwrap().replayed, 2);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn buffered_durability_round_trips_through_recovery() {
+        let dir = temp_dir("buffered");
+        {
+            let mgr = SessionManager::with_journal_dir_durability(
+                &dir,
+                crate::journal::Durability::Buffered,
+            )
+            .unwrap();
+            assert_eq!(mgr.durability(), crate::journal::Durability::Buffered);
+            mgr.open("run", toy_spec(8, 2)).unwrap();
+            drive_rounds(&mgr, "run", 3);
+        }
+        let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+        mgr.recover("run").unwrap();
+        assert_eq!(mgr.stats("run").unwrap().replayed, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn manager_metrics_track_session_traffic() {
+        let dir = temp_dir("metrics");
+        let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+        mgr.open("m", toy_spec(4, 3)).unwrap();
+        drive_rounds(&mgr, "m", 4);
+        mgr.close("m").unwrap();
+        let snap = mgr.metrics().snapshot();
+        assert_eq!(snap.counter("sessions_opened"), Some(1));
+        assert_eq!(snap.counter("sessions_closed"), Some(1));
+        assert_eq!(snap.counter("engine_suggests"), Some(4));
+        assert_eq!(snap.counter("engine_reports"), Some(4));
+        // 4 evals + 1 close record.
+        assert_eq!(snap.counter("journal_appends"), Some(5));
+        assert_eq!(snap.histogram("engine_suggest_seconds").unwrap().count, 4);
+        assert_eq!(snap.histogram("journal_append_seconds").unwrap().count, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

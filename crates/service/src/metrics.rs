@@ -1,0 +1,399 @@
+//! Std-only service metrics: atomic counters and fixed-bucket latency
+//! histograms, snapshotted over the wire and rendered in the Prometheus
+//! text exposition format.
+//!
+//! The module deliberately avoids any metrics dependency: a [`Counter`]
+//! is one relaxed `AtomicU64`, a [`Histogram`] is a fixed set of atomic
+//! buckets plus a nanosecond sum, so instrumenting a hot path costs a
+//! handful of uncontended atomic adds. [`ServiceMetrics`] names every
+//! instrument of the service layer; the experiments crate reuses the
+//! same primitives for its worker-pool counters.
+//!
+//! Snapshots ([`MetricsSnapshot`]) are plain serde values served by the
+//! `metrics` protocol op, and [`MetricsSnapshot::render_prometheus`]
+//! turns one into `# TYPE`-less exposition text a Prometheus scraper
+//! (or `grep`) understands line-by-line.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A counter starting at zero.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// The current count.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Default latency bucket upper bounds, in seconds: 1µs to 10s, one
+/// decade per bucket, with an implicit `+Inf` overflow bucket on top.
+pub const LATENCY_BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
+
+/// A fixed-bucket duration histogram.
+///
+/// Buckets are non-cumulative internally and cumulated only at render
+/// time, so observation is a single relaxed `fetch_add` into the bucket
+/// the value falls in plus count/sum updates.
+#[derive(Debug)]
+pub struct Histogram {
+    /// Ascending upper bounds, seconds. One extra overflow bucket
+    /// (`+Inf`) follows the last bound.
+    bounds: Vec<f64>,
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds (seconds).
+    pub fn with_bounds(bounds: &[f64]) -> Self {
+        Histogram {
+            bounds: bounds.to_vec(),
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }
+    }
+
+    /// A histogram over [`LATENCY_BOUNDS`].
+    pub fn latency() -> Self {
+        Self::with_bounds(&LATENCY_BOUNDS)
+    }
+
+    /// Records one duration.
+    pub fn observe(&self, d: Duration) {
+        let secs = d.as_secs_f64();
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| secs <= b)
+            .unwrap_or(self.bounds.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough point-in-time copy.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count.load(Ordering::Relaxed),
+            sum_seconds: self.sum_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::latency()
+    }
+}
+
+/// Point-in-time copy of one [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds, seconds (the `+Inf` overflow
+    /// bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts;
+    /// `counts.len() == bounds.len() + 1`, the final entry being the
+    /// overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed durations, seconds.
+    pub sum_seconds: f64,
+}
+
+/// Point-in-time copy of a whole metrics registry, as served by the
+/// `metrics` protocol op.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+    /// Histogram name → snapshot.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Looks a counter up by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters.get(name).copied()
+    }
+
+    /// Looks a histogram up by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Renders the snapshot as Prometheus text exposition lines, every
+    /// metric prefixed with `autotune_`. Counters become one
+    /// `<name> <value>` line; histograms expand to cumulative
+    /// `_bucket{le="..."}` lines (ending at `+Inf`) plus `_sum` and
+    /// `_count`.
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, value) in &self.counters {
+            out.push_str(&format!("autotune_{name} {value}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                cumulative += count;
+                out.push_str(&format!(
+                    "autotune_{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"
+                ));
+            }
+            cumulative += h.counts.last().copied().unwrap_or(0);
+            out.push_str(&format!(
+                "autotune_{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"
+            ));
+            out.push_str(&format!("autotune_{name}_sum {}\n", h.sum_seconds));
+            out.push_str(&format!("autotune_{name}_count {}\n", h.count));
+        }
+        out
+    }
+}
+
+/// Every instrument of the service layer, shared (via the
+/// [`SessionManager`](crate::SessionManager)) between the manager, the
+/// engine call sites, the journals, and any number of servers.
+#[derive(Debug, Default)]
+pub struct ServiceMetrics {
+    /// Connections the accept loop received.
+    pub connections_accepted: Counter,
+    /// Connections turned away with a `busy` error (connection cap).
+    pub connections_rejected_busy: Counter,
+    /// Connections whose handler thread failed to spawn.
+    pub connection_spawn_failures: Counter,
+    /// Connections that finished (EOF, timeout, oversize, or error).
+    pub connections_closed: Counter,
+    /// Connections dropped because no complete line arrived within the
+    /// read deadline.
+    pub read_timeouts: Counter,
+    /// Request lines rejected for exceeding the configured size cap.
+    pub oversized_requests: Counter,
+    /// Request lines that were not valid protocol JSON.
+    pub malformed_requests: Counter,
+    /// Requests dispatched (including ones answered with an error).
+    pub requests: Counter,
+    /// Requests answered with an `error` reply.
+    pub request_errors: Counter,
+    /// Wall time from parsed request to ready reply.
+    pub dispatch_seconds: Histogram,
+    /// Suggestions served across all sessions.
+    pub engine_suggests: Counter,
+    /// Reports accepted across all sessions.
+    pub engine_reports: Counter,
+    /// Engine-side latency of one `suggest` rendezvous.
+    pub engine_suggest_seconds: Histogram,
+    /// Engine-side latency of one `report` rendezvous (journal append
+    /// included when persistence is on).
+    pub engine_report_seconds: Histogram,
+    /// Sessions opened fresh.
+    pub sessions_opened: Counter,
+    /// Sessions rebuilt from their journals.
+    pub sessions_recovered: Counter,
+    /// Sessions closed deliberately.
+    pub sessions_closed: Counter,
+    /// Sessions evicted by the idle-TTL reaper.
+    pub sessions_evicted: Counter,
+    /// Journal records appended (evals and closes).
+    pub journal_appends: Counter,
+    /// Evaluations replayed out of journals at recovery time.
+    pub journal_replayed_evals: Counter,
+    /// Latency of one durable journal append.
+    pub journal_append_seconds: Histogram,
+}
+
+impl ServiceMetrics {
+    /// A zeroed registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Copies every instrument into a serializable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters = BTreeMap::new();
+        let mut histograms = BTreeMap::new();
+        let c = |map: &mut BTreeMap<String, u64>, name: &str, counter: &Counter| {
+            map.insert(name.to_string(), counter.get());
+        };
+        c(
+            &mut counters,
+            "server_connections_accepted",
+            &self.connections_accepted,
+        );
+        c(
+            &mut counters,
+            "server_connections_rejected_busy",
+            &self.connections_rejected_busy,
+        );
+        c(
+            &mut counters,
+            "server_connection_spawn_failures",
+            &self.connection_spawn_failures,
+        );
+        c(
+            &mut counters,
+            "server_connections_closed",
+            &self.connections_closed,
+        );
+        c(&mut counters, "server_read_timeouts", &self.read_timeouts);
+        c(
+            &mut counters,
+            "server_oversized_requests",
+            &self.oversized_requests,
+        );
+        c(
+            &mut counters,
+            "server_malformed_requests",
+            &self.malformed_requests,
+        );
+        c(&mut counters, "server_requests", &self.requests);
+        c(&mut counters, "server_request_errors", &self.request_errors);
+        c(&mut counters, "engine_suggests", &self.engine_suggests);
+        c(&mut counters, "engine_reports", &self.engine_reports);
+        c(&mut counters, "sessions_opened", &self.sessions_opened);
+        c(
+            &mut counters,
+            "sessions_recovered",
+            &self.sessions_recovered,
+        );
+        c(&mut counters, "sessions_closed", &self.sessions_closed);
+        c(&mut counters, "sessions_evicted", &self.sessions_evicted);
+        c(&mut counters, "journal_appends", &self.journal_appends);
+        c(
+            &mut counters,
+            "journal_replayed_evals",
+            &self.journal_replayed_evals,
+        );
+        histograms.insert(
+            "server_dispatch_seconds".to_string(),
+            self.dispatch_seconds.snapshot(),
+        );
+        histograms.insert(
+            "engine_suggest_seconds".to_string(),
+            self.engine_suggest_seconds.snapshot(),
+        );
+        histograms.insert(
+            "engine_report_seconds".to_string(),
+            self.engine_report_seconds.snapshot(),
+        );
+        histograms.insert(
+            "journal_append_seconds".to_string(),
+            self.journal_append_seconds.snapshot(),
+        );
+        MetricsSnapshot {
+            counters,
+            histograms,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_count() {
+        let c = Counter::new();
+        assert_eq!(c.get(), 0);
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_observations_by_bound() {
+        let h = Histogram::with_bounds(&[1e-3, 1e-2]);
+        h.observe(Duration::from_micros(100)); // <= 1ms
+        h.observe(Duration::from_millis(5)); // <= 10ms
+        h.observe(Duration::from_secs(1)); // overflow
+        let s = h.snapshot();
+        assert_eq!(s.counts, vec![1, 1, 1]);
+        assert_eq!(s.count, 3);
+        assert!((s.sum_seconds - 1.0051).abs() < 1e-6);
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_serde() {
+        let m = ServiceMetrics::new();
+        m.requests.add(3);
+        m.dispatch_seconds.observe(Duration::from_micros(20));
+        let snap = m.snapshot();
+        let json = serde_json::to_string(&snap).unwrap();
+        let back: MetricsSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, snap);
+        assert_eq!(back.counter("server_requests"), Some(3));
+        assert_eq!(back.histogram("server_dispatch_seconds").unwrap().count, 1);
+    }
+
+    #[test]
+    fn prometheus_rendering_parses_line_by_line() {
+        let m = ServiceMetrics::new();
+        m.requests.add(7);
+        m.engine_suggest_seconds.observe(Duration::from_millis(2));
+        m.engine_suggest_seconds.observe(Duration::from_secs(20));
+        let text = m.snapshot().render_prometheus();
+        assert!(text.contains("autotune_server_requests 7"));
+        assert!(text.contains("autotune_engine_suggest_seconds_bucket{le=\"+Inf\"} 2"));
+        let mut lines = 0;
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            let name = parts.next().expect("metric name");
+            let value = parts.next().expect("metric value");
+            assert!(parts.next().is_none(), "extra tokens in {line:?}");
+            assert!(name.starts_with("autotune_"), "bad name in {line:?}");
+            assert!(value.parse::<f64>().is_ok(), "bad value in {line:?}");
+            lines += 1;
+        }
+        assert!(lines > 20);
+    }
+
+    #[test]
+    fn histogram_buckets_cumulate_in_rendering() {
+        let h = Histogram::with_bounds(&[1e-3, 1e-2]);
+        h.observe(Duration::from_micros(10));
+        h.observe(Duration::from_micros(10));
+        h.observe(Duration::from_millis(5));
+        let mut snap = MetricsSnapshot::default();
+        snap.histograms.insert("t_seconds".into(), h.snapshot());
+        let text = snap.render_prometheus();
+        assert!(text.contains("autotune_t_seconds_bucket{le=\"0.001\"} 2"));
+        assert!(text.contains("autotune_t_seconds_bucket{le=\"0.01\"} 3"));
+        assert!(text.contains("autotune_t_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("autotune_t_seconds_count 3"));
+    }
+}

@@ -4,7 +4,8 @@
 //! reply is one JSON object on one line, tagged by `"reply"`. Requests
 //! are answered in order on the connection that sent them. The protocol
 //! is deliberately minimal — five operations mirroring the
-//! [`SessionManager`](crate::SessionManager) surface:
+//! [`SessionManager`](crate::SessionManager) surface plus a server-wide
+//! `metrics` scrape:
 //!
 //! ```text
 //! -> {"op":"open","name":"run","spec":{"algorithm":"BoTpe","budget":40,"seed":2022,"space":{"kind":"image_cl"}}}
@@ -15,10 +16,33 @@
 //! <- {"reply":"reported"}
 //! -> {"op":"stats","name":"run"}
 //! <- {"reply":"stats","stats":{...}}
+//! -> {"op":"metrics"}
+//! <- {"reply":"metrics","metrics":{"counters":{...},"histograms":{...}}}
 //! -> {"op":"close","name":"run"}
 //! <- {"reply":"closed","result":{...}}
 //! ```
+//!
+//! # Error replies
+//!
+//! Failures are answered in-band, never by dropping the connection:
+//!
+//! ```text
+//! <- {"reply":"error","code":"unknown_session","message":"unknown session \"ghost\""}
+//! ```
+//!
+//! `code` is one of the machine-readable [`ErrorCode`] spellings —
+//! `busy`, `timeout`, `unknown_session`, and `io` mark retryable
+//! conditions; `invalid_spec`, `invalid_name`, `session_exists`,
+//! `suggest_pending`, `no_pending_suggest`, `engine_stopped`,
+//! `engine_failed`, `replay_diverged`, `replay_overrun`, `journal`,
+//! `protocol`, `request_too_large`, and `internal` are fatal for the
+//! request that triggered them. `message` stays free-form for humans.
+//! Three error replies additionally end the connection after being
+//! written: `busy` (connection cap), `timeout` (read deadline), and
+//! `request_too_large` (line cap).
 
+use crate::error::{ErrorCode, ServiceError};
+use crate::metrics::MetricsSnapshot;
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
 use autotune_core::TuneResult;
@@ -53,6 +77,9 @@ pub enum Request {
         /// The target session.
         name: String,
     },
+    /// Fetch the server-wide metrics snapshot (counters and latency
+    /// histograms across all sessions and connections).
+    Metrics,
     /// Close and deregister the session.
     Close {
         /// The target session.
@@ -83,6 +110,11 @@ pub enum Response {
         /// The session's counters.
         stats: SessionStats,
     },
+    /// Answer to `metrics`.
+    Metrics {
+        /// The server-wide snapshot.
+        metrics: MetricsSnapshot,
+    },
     /// The session was closed.
     Closed {
         /// The final result, if the budget had been spent.
@@ -90,9 +122,25 @@ pub enum Response {
     },
     /// The request failed.
     Error {
+        /// Machine-readable classification (see [`ErrorCode`]); absent
+        /// in replies from pre-code servers, which parses as
+        /// [`ErrorCode::Internal`].
+        #[serde(default)]
+        code: ErrorCode,
         /// Human-readable failure description.
         message: String,
     },
+}
+
+impl Response {
+    /// The `error` reply for a [`ServiceError`]: its code plus its
+    /// display rendering.
+    pub fn error(e: &ServiceError) -> Response {
+        Response::Error {
+            code: e.code(),
+            message: e.to_string(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +165,13 @@ mod tests {
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"op\":\"report\""));
         assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), report);
+
+        let json = serde_json::to_string(&Request::Metrics).unwrap();
+        assert!(json.contains("\"op\":\"metrics\""));
+        assert_eq!(
+            serde_json::from_str::<Request>(&json).unwrap(),
+            Request::Metrics
+        );
     }
 
     #[test]
@@ -136,10 +191,33 @@ mod tests {
         }
 
         let err = Response::Error {
+            code: ErrorCode::Journal,
             message: "boom".into(),
         };
         let json = serde_json::to_string(&err).unwrap();
         assert!(json.contains("\"reply\":\"error\""));
+        assert!(json.contains("\"code\":\"journal\""));
+    }
+
+    #[test]
+    fn error_replies_carry_codes_and_default_when_absent() {
+        let reply = Response::error(&ServiceError::UnknownSession("ghost".into()));
+        match &reply {
+            Response::Error { code, message } => {
+                assert_eq!(*code, ErrorCode::UnknownSession);
+                assert!(message.contains("ghost"));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // A pre-code server reply without the field still parses.
+        let legacy = r#"{"reply":"error","message":"boom"}"#;
+        match serde_json::from_str::<Response>(legacy).unwrap() {
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::Internal);
+                assert_eq!(message, "boom");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]
@@ -155,5 +233,10 @@ mod tests {
             serde_json::from_str::<Request>(line).unwrap(),
             Request::Open { .. }
         ));
+        let line = r#"{"op":"metrics"}"#;
+        assert_eq!(
+            serde_json::from_str::<Request>(line).unwrap(),
+            Request::Metrics
+        );
     }
 }

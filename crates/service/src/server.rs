@@ -5,65 +5,226 @@
 //! low-rate (every suggestion is answered by an expensive kernel
 //! measurement on the client side), so blocking I/O with a thread per
 //! connection is the right trade.
+//!
+//! The server is designed to face untrusted, high-volume clients
+//! ([`ServerConfig`]):
+//!
+//! * **Read/write deadlines** — a connection that never completes a
+//!   request line is answered with a `timeout` error and closed; a
+//!   client that stops draining replies cannot park a writer forever.
+//! * **Bounded request lines** — the framed reader rejects lines above
+//!   [`ServerConfig::max_line_bytes`] with a `request_too_large` error
+//!   instead of buffering them unbounded (the OOM vector of a naive
+//!   `lines()` loop).
+//! * **Connection cap** — beyond
+//!   [`ServerConfig::max_connections`] live connections, new arrivals
+//!   get a polite `busy` error on the accept thread and are closed.
+//! * **Idle-session reaping** — with
+//!   [`ServerConfig::idle_session_ttl`] set, sessions nobody has driven
+//!   for the TTL are evicted (journals stay recoverable).
+//! * **Graceful drain** — stopping the server stops the accept loop,
+//!   waits up to [`ServerConfig::drain_grace`] for live connections to
+//!   finish, then force-closes stragglers and joins their threads with
+//!   a bounded deadline. The accept loop polls a nonblocking listener,
+//!   so shutdown never depends on a wake-up connection succeeding.
+//!
+//! Every stage is instrumented into the manager's
+//! [`ServiceMetrics`](crate::metrics::ServiceMetrics), scrapeable over
+//! the wire via the `metrics` op.
 
 use crate::engine::Suggestion;
 use crate::error::ServiceError;
 use crate::manager::SessionManager;
 use crate::protocol::{Request, Response};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread;
+use std::time::{Duration, Instant};
+
+/// How often the nonblocking accept loop polls for new connections and
+/// the stop flag.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Hardening knobs for a [`TunedServer`]. The defaults suit a trusted
+/// LAN; tighten them when exposing the port to hostile traffic.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Per-line read deadline. Counts from the first byte awaited: a
+    /// connection that neither sends a complete line nor goes quiet is
+    /// cut off once the deadline passes. This is also the idle-connection
+    /// timeout, so keep it above the slowest legitimate kernel
+    /// measurement a client performs between requests.
+    pub read_timeout: Duration,
+    /// Socket write deadline per reply.
+    pub write_timeout: Duration,
+    /// Maximum request-line length in bytes; longer lines are answered
+    /// with a `request_too_large` error and the connection is closed.
+    pub max_line_bytes: usize,
+    /// Maximum concurrently-served connections; arrivals beyond the cap
+    /// get a `busy` error reply and are closed immediately.
+    pub max_connections: usize,
+    /// When set, sessions idle (no `suggest`/`report`) for this long
+    /// are evicted by a reaper thread. Journaled sessions stay
+    /// recoverable.
+    pub idle_session_ttl: Option<Duration>,
+    /// How long a stopping server waits for live connections to finish
+    /// before force-closing their sockets.
+    pub drain_grace: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            read_timeout: Duration::from_secs(300),
+            write_timeout: Duration::from_secs(30),
+            max_line_bytes: 1 << 20, // 1 MiB: a spec with a large custom space still fits
+            max_connections: 1024,
+            idle_session_ttl: None,
+            drain_grace: Duration::from_secs(5),
+        }
+    }
+}
+
+/// One live connection as the server tracks it: a handle for joining at
+/// drain time plus a stream clone for force-closing stragglers.
+struct ConnEntry {
+    stream: TcpStream,
+    handle: Option<thread::JoinHandle<()>>,
+}
+
+/// Registry of live connections, shared between the accept loop, the
+/// connection handlers (which deregister themselves), and the drain
+/// path.
+#[derive(Default)]
+struct ConnTable {
+    next_id: AtomicU64,
+    live: Mutex<HashMap<u64, ConnEntry>>,
+}
+
+impl ConnTable {
+    fn active(&self) -> usize {
+        self.live.lock().expect("conn table lock").len()
+    }
+
+    fn insert(&self, stream: TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.live.lock().expect("conn table lock").insert(
+            id,
+            ConnEntry {
+                stream,
+                handle: None,
+            },
+        );
+        id
+    }
+
+    fn attach_handle(&self, id: u64, handle: thread::JoinHandle<()>) {
+        // The handler may have finished and deregistered already; then
+        // the handle is simply dropped (the thread is done or exiting).
+        if let Some(entry) = self.live.lock().expect("conn table lock").get_mut(&id) {
+            entry.handle = Some(handle);
+        }
+    }
+
+    fn remove(&self, id: u64) {
+        self.live.lock().expect("conn table lock").remove(&id);
+    }
+
+    fn drain(&self) -> Vec<ConnEntry> {
+        self.live
+            .lock()
+            .expect("conn table lock")
+            .drain()
+            .map(|(_, entry)| entry)
+            .collect()
+    }
+}
 
 /// A running accept loop bound to a local address.
 ///
-/// Dropping the server stops accepting new connections; connections
-/// already being served run to completion on their own threads. The
-/// [`SessionManager`] is shared, so a restarted server (or several
-/// servers) can serve the same sessions.
+/// Dropping (or [`TunedServer::stop_accepting`]) stops the accept loop,
+/// drains live connections within the configured grace, and joins every
+/// server thread with a bounded deadline — shutdown never blocks
+/// indefinitely. The [`SessionManager`] is shared, so a restarted
+/// server (or several servers) can serve the same sessions, and the
+/// manager's metrics registry accumulates across restarts.
 pub struct TunedServer {
     addr: SocketAddr,
+    config: ServerConfig,
     stop: Arc<AtomicBool>,
+    conns: Arc<ConnTable>,
     accept_thread: Option<thread::JoinHandle<()>>,
+    reaper_thread: Option<thread::JoinHandle<()>>,
 }
 
 impl TunedServer {
-    /// Binds `addr` and spawns the accept loop. Bind to port 0 to let the
-    /// OS pick a free port; [`TunedServer::local_addr`] reports the
-    /// actual one.
+    /// Binds `addr` with the default [`ServerConfig`] and spawns the
+    /// accept loop. Bind to port 0 to let the OS pick a free port;
+    /// [`TunedServer::local_addr`] reports the actual one.
     pub fn spawn(
         addr: impl ToSocketAddrs,
         manager: Arc<SessionManager>,
     ) -> Result<Self, ServiceError> {
+        Self::spawn_with(addr, manager, ServerConfig::default())
+    }
+
+    /// Binds `addr` with an explicit [`ServerConfig`] and spawns the
+    /// accept loop (plus the idle-session reaper, when a TTL is set).
+    pub fn spawn_with(
+        addr: impl ToSocketAddrs,
+        manager: Arc<SessionManager>,
+        config: ServerConfig,
+    ) -> Result<Self, ServiceError> {
         let listener = TcpListener::bind(addr)?;
+        // Nonblocking so the accept loop can poll the stop flag: no
+        // wake-up connection is ever needed to shut down, hence no way
+        // for a failed wake-up to hang the drop path.
+        listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
         let stop = Arc::new(AtomicBool::new(false));
-        let accept_stop = Arc::clone(&stop);
-        let accept_thread = thread::Builder::new()
-            .name("tuned-accept".into())
-            .spawn(move || {
-                for conn in listener.incoming() {
-                    if accept_stop.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    let stream = match conn {
-                        Ok(s) => s,
-                        Err(_) => continue,
-                    };
-                    let manager = Arc::clone(&manager);
-                    let _ = thread::Builder::new()
-                        .name("tuned-conn".into())
-                        .spawn(move || {
-                            let _ = handle_connection(stream, &manager);
-                        });
-                }
-            })
-            .map_err(ServiceError::Io)?;
+        let conns = Arc::new(ConnTable::default());
+
+        let accept_thread = {
+            let stop = Arc::clone(&stop);
+            let conns = Arc::clone(&conns);
+            let manager = Arc::clone(&manager);
+            let config = config.clone();
+            thread::Builder::new()
+                .name("tuned-accept".into())
+                .spawn(move || accept_loop(listener, manager, config, conns, stop))
+                .map_err(ServiceError::Io)?
+        };
+
+        let reaper_thread = match config.idle_session_ttl {
+            Some(ttl) => {
+                let stop = Arc::clone(&stop);
+                let manager = Arc::clone(&manager);
+                let handle = thread::Builder::new()
+                    .name("tuned-reaper".into())
+                    .spawn(move || {
+                        let interval =
+                            (ttl / 4).clamp(Duration::from_millis(10), Duration::from_millis(500));
+                        while !stop.load(Ordering::SeqCst) {
+                            manager.evict_idle(ttl);
+                            thread::sleep(interval);
+                        }
+                    })
+                    .map_err(ServiceError::Io)?;
+                Some(handle)
+            }
+            None => None,
+        };
+
         Ok(TunedServer {
             addr: local,
+            config,
             stop,
+            conns,
             accept_thread: Some(accept_thread),
+            reaper_thread,
         })
     }
 
@@ -72,18 +233,52 @@ impl TunedServer {
         self.addr
     }
 
-    /// Stops the accept loop. Idempotent; called automatically on drop.
+    /// The hardening configuration the server runs with.
+    pub fn config(&self) -> &ServerConfig {
+        &self.config
+    }
+
+    /// Live connections being served right now.
+    pub fn active_connections(&self) -> usize {
+        self.conns.active()
+    }
+
+    /// Stops accepting, drains live connections (bounded by
+    /// [`ServerConfig::drain_grace`]), and joins every server thread
+    /// with a deadline. Idempotent; called automatically on drop.
     pub fn stop_accepting(&mut self) {
-        if self.stop.swap(true, Ordering::SeqCst) {
-            return;
-        }
-        // The accept loop blocks in `incoming()`; poke it awake with a
-        // throwaway connection so it observes the stop flag.
-        if let Ok(conn) = TcpStream::connect(self.addr) {
-            let _ = conn.shutdown(Shutdown::Both);
-        }
+        self.stop.store(true, Ordering::SeqCst);
+        // The accept loop polls a nonblocking listener, so this join is
+        // bounded by the poll interval.
         if let Some(handle) = self.accept_thread.take() {
             let _ = handle.join();
+        }
+        if let Some(handle) = self.reaper_thread.take() {
+            let _ = handle.join();
+        }
+        // Grace period: let in-flight requests finish. Handlers check
+        // the stop flag between requests and deregister on exit.
+        let deadline = Instant::now() + self.config.drain_grace;
+        while self.conns.active() > 0 && Instant::now() < deadline {
+            thread::sleep(Duration::from_millis(5));
+        }
+        // Force-close stragglers; their blocked reads return instantly.
+        let entries = self.conns.drain();
+        for entry in &entries {
+            let _ = entry.stream.shutdown(Shutdown::Both);
+        }
+        // Join with a bounded deadline; a thread that still refuses to
+        // exit is detached rather than hanging the caller.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        for entry in entries {
+            if let Some(handle) = entry.handle {
+                while !handle.is_finished() && Instant::now() < deadline {
+                    thread::sleep(Duration::from_millis(2));
+                }
+                if handle.is_finished() {
+                    let _ = handle.join();
+                }
+            }
         }
     }
 }
@@ -98,36 +293,244 @@ impl std::fmt::Debug for TunedServer {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("TunedServer")
             .field("addr", &self.addr)
+            .field("active_connections", &self.conns.active())
+            .field("config", &self.config)
             .finish()
     }
 }
 
-/// Serves one connection until EOF: read a request line, dispatch, write
-/// the reply line, flush.
-fn handle_connection(stream: TcpStream, manager: &SessionManager) -> std::io::Result<()> {
-    let reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    for line in reader.lines() {
-        let line = line?;
-        if line.trim().is_empty() {
+/// Polls the nonblocking listener, applying the connection cap and
+/// spawning one handler thread per accepted connection.
+fn accept_loop(
+    listener: TcpListener,
+    manager: Arc<SessionManager>,
+    config: ServerConfig,
+    conns: Arc<ConnTable>,
+    stop: Arc<AtomicBool>,
+) {
+    let metrics = Arc::clone(manager.metrics());
+    while !stop.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            // WouldBlock is the idle case; any other accept error is
+            // transient (EMFILE, ECONNABORTED) — back off and retry.
+            Err(_) => {
+                thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+        };
+        metrics.connections_accepted.inc();
+        if conns.active() >= config.max_connections {
+            metrics.connections_rejected_busy.inc();
+            reject(
+                stream,
+                &config,
+                &ServiceError::Busy {
+                    max_connections: config.max_connections,
+                },
+            );
             continue;
         }
-        let response = match serde_json::from_str::<Request>(&line) {
-            Ok(request) => dispatch(request, manager),
-            Err(e) => Response::Error {
-                message: format!("bad request: {e}"),
-            },
+        let id = conns.insert(match stream.try_clone() {
+            Ok(clone) => clone,
+            Err(_) => {
+                // Can't track it — serve nobody rather than leak an
+                // untrackable connection.
+                metrics.connection_spawn_failures.inc();
+                reject(
+                    stream,
+                    &config,
+                    &ServiceError::Busy {
+                        max_connections: config.max_connections,
+                    },
+                );
+                continue;
+            }
+        });
+        let spawned = {
+            let manager = Arc::clone(&manager);
+            let config = config.clone();
+            let conns = Arc::clone(&conns);
+            let stop = Arc::clone(&stop);
+            thread::Builder::new()
+                .name("tuned-conn".into())
+                .spawn(move || {
+                    let metrics = Arc::clone(manager.metrics());
+                    let _ = handle_connection(stream, &manager, &config, &stop);
+                    conns.remove(id);
+                    metrics.connections_closed.inc();
+                })
         };
-        let encoded = serde_json::to_string(&response).map_err(std::io::Error::other)?;
-        writer.write_all(encoded.as_bytes())?;
-        writer.write_all(b"\n")?;
-        writer.flush()?;
+        match spawned {
+            Ok(handle) => conns.attach_handle(id, handle),
+            Err(e) => {
+                // A failed spawn must not silently eat the connection:
+                // answer with a structured error on the accept thread.
+                metrics.connection_spawn_failures.inc();
+                if let Some(entry) = conns.live.lock().expect("conn table lock").remove(&id) {
+                    reject(entry.stream, &config, &ServiceError::Io(e));
+                }
+            }
+        }
+    }
+}
+
+/// Writes one error reply on the accept thread and closes the
+/// connection — the polite way to turn traffic away.
+fn reject(mut stream: TcpStream, config: &ServerConfig, error: &ServiceError) {
+    let _ = stream.set_write_timeout(Some(config.write_timeout));
+    if let Ok(encoded) = serde_json::to_string(&Response::error(error)) {
+        let _ = stream.write_all(encoded.as_bytes());
+        let _ = stream.write_all(b"\n");
+    }
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+/// What the bounded framed reader came back with.
+enum LineRead {
+    /// One complete line (newline stripped).
+    Line(Vec<u8>),
+    /// The peer closed the connection.
+    Eof,
+    /// The line exceeded the size cap (the oversized prefix was
+    /// discarded).
+    TooLarge,
+    /// No complete line arrived within the deadline.
+    TimedOut,
+}
+
+/// Reads one newline-terminated line of at most `max` bytes, enforcing
+/// a whole-line deadline so a byte-at-a-time trickler cannot hold the
+/// connection open indefinitely.
+fn read_bounded_line(
+    reader: &mut BufReader<TcpStream>,
+    max: usize,
+    deadline: Duration,
+) -> std::io::Result<LineRead> {
+    let started = Instant::now();
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        if started.elapsed() > deadline {
+            return Ok(LineRead::TimedOut);
+        }
+        let step = {
+            let buf = match reader.fill_buf() {
+                Ok(buf) => buf,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    return Ok(LineRead::TimedOut)
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            };
+            if buf.is_empty() {
+                // EOF. A trailing unterminated line still gets served —
+                // the peer may shutdown(WR) and await the reply.
+                return Ok(if line.is_empty() {
+                    LineRead::Eof
+                } else {
+                    LineRead::Line(line)
+                });
+            }
+            match buf.iter().position(|&b| b == b'\n') {
+                Some(pos) => {
+                    if line.len() + pos > max {
+                        (pos + 1, true, true)
+                    } else {
+                        line.extend_from_slice(&buf[..pos]);
+                        (pos + 1, true, false)
+                    }
+                }
+                None => {
+                    let n = buf.len();
+                    if line.len() + n > max {
+                        (n, false, true)
+                    } else {
+                        line.extend_from_slice(buf);
+                        (n, false, false)
+                    }
+                }
+            }
+        };
+        let (consumed, complete, overflow) = step;
+        reader.consume(consumed);
+        if overflow {
+            return Ok(LineRead::TooLarge);
+        }
+        if complete {
+            return Ok(LineRead::Line(line));
+        }
+    }
+}
+
+fn write_response(writer: &mut BufWriter<TcpStream>, response: &Response) -> std::io::Result<()> {
+    let encoded = serde_json::to_string(response).map_err(std::io::Error::other)?;
+    writer.write_all(encoded.as_bytes())?;
+    writer.write_all(b"\n")?;
+    writer.flush()
+}
+
+/// Serves one connection until EOF, deadline, oversize, or server stop:
+/// read a bounded request line, dispatch, write the reply line, flush.
+fn handle_connection(
+    stream: TcpStream,
+    manager: &SessionManager,
+    config: &ServerConfig,
+    stop: &AtomicBool,
+) -> std::io::Result<()> {
+    let metrics = Arc::clone(manager.metrics());
+    stream.set_read_timeout(Some(config.read_timeout))?;
+    stream.set_write_timeout(Some(config.write_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        match read_bounded_line(&mut reader, config.max_line_bytes, config.read_timeout)? {
+            LineRead::Eof => break,
+            LineRead::TimedOut => {
+                metrics.read_timeouts.inc();
+                let _ = write_response(&mut writer, &Response::error(&ServiceError::Timeout));
+                break;
+            }
+            LineRead::TooLarge => {
+                metrics.oversized_requests.inc();
+                let _ = write_response(
+                    &mut writer,
+                    &Response::error(&ServiceError::RequestTooLarge {
+                        limit: config.max_line_bytes,
+                    }),
+                );
+                break;
+            }
+            LineRead::Line(bytes) => {
+                let line = String::from_utf8_lossy(&bytes);
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let started = Instant::now();
+                let response = match serde_json::from_str::<Request>(&line) {
+                    Ok(request) => dispatch(request, manager),
+                    Err(e) => {
+                        metrics.malformed_requests.inc();
+                        Response::error(&ServiceError::Protocol(format!("bad request: {e}")))
+                    }
+                };
+                metrics.requests.inc();
+                if matches!(response, Response::Error { .. }) {
+                    metrics.request_errors.inc();
+                }
+                metrics.dispatch_seconds.observe(started.elapsed());
+                write_response(&mut writer, &response)?;
+            }
+        }
     }
     Ok(())
 }
 
 /// Maps one request to its reply; every [`ServiceError`] becomes an
-/// `error` reply rather than dropping the connection.
+/// `error` reply (with its machine-readable code) rather than dropping
+/// the connection.
 fn dispatch(request: Request, manager: &SessionManager) -> Response {
     let outcome = match request {
         Request::Open { name, spec } => manager
@@ -147,18 +550,20 @@ fn dispatch(request: Request, manager: &SessionManager) -> Response {
             manager.report(&name, value).map(|()| Response::Reported)
         }
         Request::Stats { name } => manager.stats(&name).map(|stats| Response::Stats { stats }),
+        Request::Metrics => Ok(Response::Metrics {
+            metrics: manager.metrics().snapshot(),
+        }),
         Request::Close { name } => manager
             .close(&name)
             .map(|result| Response::Closed { result }),
     };
-    outcome.unwrap_or_else(|e| Response::Error {
-        message: e.to_string(),
-    })
+    outcome.unwrap_or_else(|e| Response::error(&e))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::error::ErrorCode;
     use crate::spec::{SessionSpec, SpaceSpec};
     use autotune_core::Algorithm;
     use autotune_space::{Param, ParamSpace};
@@ -267,6 +672,13 @@ mod tests {
             Response::Stats { stats } => assert!(stats.finished),
             other => panic!("unexpected reply: {other:?}"),
         }
+        match roundtrip(&mut conn, &Request::Metrics) {
+            Response::Metrics { metrics } => {
+                assert!(metrics.counter("server_requests").unwrap() > 0);
+                assert_eq!(metrics.counter("engine_suggests"), Some(3));
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
         match roundtrip(&mut conn, &Request::Close { name: "t".into() }) {
             Response::Closed { result } => assert!(result.is_some()),
             other => panic!("unexpected reply: {other:?}"),
@@ -279,14 +691,18 @@ mod tests {
         let server = TunedServer::spawn("127.0.0.1:0", manager).unwrap();
         let mut conn = connect(server.local_addr());
 
-        // Unknown session.
+        // Unknown session: retryable code, informative message.
         match roundtrip(
             &mut conn,
             &Request::Suggest {
                 name: "ghost".into(),
             },
         ) {
-            Response::Error { message } => assert!(message.contains("unknown session")),
+            Response::Error { code, message } => {
+                assert_eq!(code, ErrorCode::UnknownSession);
+                assert!(code.is_retryable());
+                assert!(message.contains("unknown session"));
+            }
             other => panic!("unexpected reply: {other:?}"),
         }
 
@@ -296,6 +712,7 @@ mod tests {
         let mut reply = String::new();
         conn.read_line(&mut reply).unwrap();
         assert!(reply.contains("bad request"));
+        assert!(reply.contains("\"code\":\"protocol\""));
 
         // The connection still works afterwards.
         let reply = roundtrip(
@@ -326,5 +743,25 @@ mod tests {
                 assert_eq!(reader.read_line(&mut line).unwrap_or(0), 0);
             }
         }
+    }
+
+    #[test]
+    fn bounded_reader_rejects_oversized_lines() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let config = ServerConfig {
+            max_line_bytes: 64,
+            ..ServerConfig::default()
+        };
+        let server = TunedServer::spawn_with("127.0.0.1:0", manager, config).unwrap();
+        let mut conn = connect(server.local_addr());
+        conn.write_all(&vec![b'x'; 4096]).unwrap();
+        conn.write_all(b"\n").unwrap();
+        conn.flush().unwrap();
+        let mut reply = String::new();
+        conn.read_line(&mut reply).unwrap();
+        assert!(reply.contains("\"code\":\"request_too_large\""), "{reply}");
+        // The connection is closed afterwards.
+        let mut rest = String::new();
+        assert_eq!(conn.read_line(&mut rest).unwrap_or(0), 0);
     }
 }

@@ -27,6 +27,10 @@ pub struct SessionStats {
     /// Wall-clock milliseconds since the session was opened (or
     /// recovered).
     pub wall_ms: f64,
+    /// Wall-clock milliseconds since the session was last driven (a
+    /// `suggest` or `report`); what the server's idle-TTL reaper keys
+    /// on.
+    pub idle_ms: f64,
 }
 
 impl SessionStats {
@@ -51,6 +55,7 @@ mod tests {
             best: None,
             finished: false,
             wall_ms: 1.5,
+            idle_ms: 0.25,
         }
     }
 

@@ -20,7 +20,10 @@
 //! * [`study`] — the experiment pipeline reproducing every figure and
 //!   table of the paper;
 //! * [`service`] — the ask-tell tuning service: long-lived sessions,
-//!   journal-backed crash recovery, and the `tuned` TCP server.
+//!   journal-backed crash recovery, and the `tuned` TCP server, hardened
+//!   against hostile clients (deadlines, size and connection caps,
+//!   idle-session reaping) and observable via std-only metrics with
+//!   Prometheus-style rendering.
 //!
 //! # Quickstart
 //!
@@ -52,7 +55,8 @@ pub use gpu_sim as sim;
 pub mod prelude {
     pub use autotune_core::{Algorithm, Objective, TuneContext, TuneResult, Tuner};
     pub use autotune_service::{
-        AskTellSession, Client, SessionManager, SessionSpec, SpaceSpec, Suggestion, TunedServer,
+        AskTellSession, Client, Durability, ErrorCode, MetricsSnapshot, ServerConfig,
+        SessionManager, SessionSpec, SpaceSpec, Suggestion, TunedServer,
     };
     pub use autotune_space::{imagecl, Configuration, Constraint, ParamSpace};
     pub use gpu_sim::arch::{gtx_980, rtx_titan, study_architectures, titan_v};
