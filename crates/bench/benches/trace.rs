@@ -1,0 +1,92 @@
+//! Flight-recorder overhead: what tracing costs a search, and what it
+//! costs when it is *off*.
+//!
+//! The `TraceSink` contract promises that the default `NullSink` is
+//! free — its methods are empty and `#[inline]`, and every tuner guards
+//! payload construction behind `is_enabled()`. The `null_vs_bare` group
+//! checks that promise by running the same seeded search with the
+//! implicit NullSink and with an explicit one (identical by contract);
+//! `vec_sink` and `emit` price the enabled path.
+
+use autotune_core::trace::{NullSink, TraceRecord, TraceSink, VecSink, NULL_SINK};
+use autotune_core::{Algorithm, TuneContext};
+use autotune_space::{imagecl, Configuration};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn objective(cfg: &Configuration) -> f64 {
+    cfg.values().iter().map(|&v| (v as f64 - 5.0).abs()).sum()
+}
+
+/// The same GA run three ways: default context (NullSink baked in),
+/// explicit NullSink via `with_trace`, and a live VecSink. The first
+/// two must be indistinguishable; the third prices real recording.
+fn bench_traced_search(c: &mut Criterion) {
+    const BUDGET: usize = 200;
+    let space = imagecl::space();
+    let mut g = c.benchmark_group("trace/ga_200_samples");
+    g.throughput(Throughput::Elements(BUDGET as u64));
+
+    g.bench_function("untraced", |b| {
+        b.iter(|| {
+            let ctx = TuneContext::new(&space, BUDGET, 42);
+            black_box(
+                Algorithm::GeneticAlgorithm
+                    .tuner()
+                    .tune(&ctx, &mut objective),
+            )
+        })
+    });
+    g.bench_function("null_sink", |b| {
+        b.iter(|| {
+            let ctx = TuneContext::new(&space, BUDGET, 42).with_trace(&NULL_SINK);
+            black_box(
+                Algorithm::GeneticAlgorithm
+                    .tuner()
+                    .tune(&ctx, &mut objective),
+            )
+        })
+    });
+    g.bench_function("vec_sink", |b| {
+        b.iter(|| {
+            let sink = VecSink::new();
+            let ctx = TuneContext::new(&space, BUDGET, 42).with_trace(&sink);
+            let result = Algorithm::GeneticAlgorithm
+                .tuner()
+                .tune(&ctx, &mut objective);
+            black_box((result, sink.take()))
+        })
+    });
+    g.finish();
+}
+
+/// Raw per-event cost of the two sink implementations.
+fn bench_emit(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace/emit");
+    let null = NullSink;
+    g.bench_function(BenchmarkId::new("sink", "null"), |b| {
+        b.iter(|| {
+            null.emit(black_box(TraceRecord::Trial {
+                index: 7,
+                config: vec![1, 2, 3, 4, 5, 6],
+                cost: 1.25,
+                best: 1.25,
+            }))
+        })
+    });
+    let vec = VecSink::new();
+    g.bench_function(BenchmarkId::new("sink", "vec"), |b| {
+        b.iter(|| {
+            vec.emit(black_box(TraceRecord::Trial {
+                index: 7,
+                config: vec![1, 2, 3, 4, 5, 6],
+                cost: 1.25,
+                best: 1.25,
+            }))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_traced_search, bench_emit);
+criterion_main!(benches);

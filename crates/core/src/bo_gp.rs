@@ -14,6 +14,7 @@
 //!   this tuner proposes from the whole space and must learn that
 //!   oversized work-groups fail.
 
+use crate::trace;
 use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
 use crate::Objective;
 use autotune_space::{neighborhood, sample, Configuration};
@@ -29,6 +30,26 @@ use std::collections::HashSet;
 /// objectives may touch zero).
 fn clamp_positive(ys: &[f64]) -> Vec<f64> {
     ys.iter().map(|&y| y.max(1e-12)).collect()
+}
+
+/// Emits the fitted model's hyperparameters and evidence so trace
+/// consumers can watch the surrogate evolve (the Fig. 4 dip diagnosis).
+fn emit_gp_params(sink: &dyn trace::TraceSink, gp: &GaussianProcess) {
+    if !sink.is_enabled() {
+        return;
+    }
+    let prm = gp.params();
+    let lml = gp.log_marginal_likelihood();
+    let mut fields = vec![
+        ("lengthscale", prm.lengthscale),
+        ("signal_variance", prm.signal_variance),
+        ("noise_variance", prm.noise_variance),
+        ("observations", gp.len() as f64),
+    ];
+    if lml.is_finite() {
+        fields.push(("log_marginal_likelihood", lml));
+    }
+    trace::point(sink, "gp_params", &fields);
 }
 
 /// BO-GP hyperparameters.
@@ -107,12 +128,15 @@ impl Tuner for BayesOptGp {
         // Fit the initial model. Runtimes are positive, but arbitrary
         // user objectives may emit zeros or negatives; clamp into the
         // log-transform's domain.
+        let fit = trace::span(ctx.trace, "surrogate_fit");
         let mut standardizer = Standardizer::fit(&clamp_positive(&ys), true);
         let mut gp = GaussianProcess::fit_with_grid_search(
             xs.clone(),
             standardizer.forward_all(&clamp_positive(&ys)),
             &default_grid(),
         );
+        fit.end();
+        emit_gp_params(ctx.trace, &gp);
         let mut since_refit = 0usize;
 
         while rec.remaining() > 0 {
@@ -131,6 +155,7 @@ impl Tuner for BayesOptGp {
 
             let best_observed =
                 standardizer.forward(rec.best().expect("non-empty history").value.max(1e-12));
+            let acquisition = trace::span(ctx.trace, "acquisition");
             let mut best_cfg: Option<(f64, Configuration)> = None;
             for cfg in pool {
                 if seen.contains(&cfg) {
@@ -141,6 +166,12 @@ impl Tuner for BayesOptGp {
                 let score = p.acquisition.score(mean, var.sqrt(), best_observed);
                 if best_cfg.as_ref().is_none_or(|(s, _)| score > *s) {
                     best_cfg = Some((score, cfg));
+                }
+            }
+            acquisition.end();
+            if let Some((score, _)) = &best_cfg {
+                if score.is_finite() {
+                    trace::point(ctx.trace, "acquisition_value", &[("score", *score)]);
                 }
             }
             // Whole pool already evaluated (tiny spaces): fall back to a
@@ -167,12 +198,15 @@ impl Tuner for BayesOptGp {
                 p.refit_every
             };
             if since_refit >= refit_every {
+                let fit = trace::span(ctx.trace, "surrogate_fit");
                 standardizer = Standardizer::fit(&clamp_positive(&ys), true);
                 gp = GaussianProcess::fit_with_grid_search(
                     xs.clone(),
                     standardizer.forward_all(&clamp_positive(&ys)),
                     &default_grid(),
                 );
+                fit.end();
+                emit_gp_params(ctx.trace, &gp);
                 since_refit = 0;
             } else {
                 // Incremental update under the current standardizer; on
@@ -181,12 +215,15 @@ impl Tuner for BayesOptGp {
                 let feats = xs.last().expect("just pushed").clone();
                 let z = standardizer.forward(ys[ys.len() - 1].max(1e-12));
                 if gp.add_point(feats, z).is_err() {
+                    let fit = trace::span(ctx.trace, "surrogate_fit");
                     standardizer = Standardizer::fit(&clamp_positive(&ys), true);
                     gp = GaussianProcess::fit_with_grid_search(
                         xs.clone(),
                         standardizer.forward_all(&clamp_positive(&ys)),
                         &default_grid(),
                     );
+                    fit.end();
+                    emit_gp_params(ctx.trace, &gp);
                     since_refit = 0;
                 }
             }

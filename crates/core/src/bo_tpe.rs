@@ -14,6 +14,7 @@
 //! specification**; infeasible proposals land in the "bad" set via the
 //! failure penalty and the densities steer away from them.
 
+use crate::trace;
 use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
 use crate::Objective;
 use autotune_space::Configuration;
@@ -110,8 +111,15 @@ impl Tuner for BayesOptTpe {
             let good = rows(&order[..n_good.min(order.len())]);
             let bad = rows(&order[n_good.min(order.len())..]);
 
+            let fit = trace::span(ctx.trace, "surrogate_fit");
             let l = ProductParzen::fit(&ranges, &good, p.prior_weight);
             let g = ProductParzen::fit(&ranges, &bad, p.prior_weight);
+            fit.end();
+            trace::point(
+                ctx.trace,
+                "tpe_split",
+                &[("good", good.len() as f64), ("bad", bad.len() as f64)],
+            );
 
             // Draw candidates from l; keep the best l/g ratio among
             // configurations not yet tried. Over an integer lattice the
@@ -119,6 +127,7 @@ impl Tuner for BayesOptTpe {
             // burn the remaining budget on one point (continuous-space
             // TPE avoids this for free); fall back to the best repeat
             // only if every candidate is a repeat, then to random.
+            let acquisition = trace::span(ctx.trace, "acquisition");
             let mut best_new: Option<(f64, Vec<u32>)> = None;
             let mut best_any: Option<(f64, Vec<u32>)> = None;
             for _ in 0..p.candidates {
@@ -133,7 +142,12 @@ impl Tuner for BayesOptTpe {
                     best_new = Some((score, cand));
                 }
             }
-            let cfg = Configuration::new(best_new.or(best_any).expect("candidates > 0").1);
+            acquisition.end();
+            let (score, values) = best_new.or(best_any).expect("candidates > 0");
+            if score.is_finite() {
+                trace::point(ctx.trace, "acquisition_value", &[("score", score)]);
+            }
+            let cfg = Configuration::new(values);
             rec.measure(&cfg);
             seen.insert(cfg);
         }

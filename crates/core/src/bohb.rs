@@ -9,6 +9,8 @@
 
 use crate::fidelity::{BracketGeometry, MultiFidelityObjective};
 use crate::history::{Evaluation, History};
+use crate::hyperband::emit_full_fidelity_trial;
+use crate::trace::{self, TraceSink, NULL_SINK};
 use crate::tuner::TuneResult;
 use autotune_space::{sample, Configuration, ParamSpace};
 use autotune_surrogates::parzen::ProductParzen;
@@ -68,6 +70,22 @@ impl Bohb {
         budget_units: f64,
         seed: u64,
     ) -> TuneResult {
+        self.tune_mf_traced(space, objective, budget_units, seed, &NULL_SINK)
+    }
+
+    /// [`Bohb::tune_mf`] with a search-trace sink: emits `bracket` and
+    /// `rung` points like HyperBand, plus a `bohb_model` point per
+    /// bracket recording how many starters were model-guided, and a
+    /// `trial` event per full-fidelity measurement. The sink never
+    /// influences the run.
+    pub fn tune_mf_traced(
+        &self,
+        space: &ParamSpace,
+        objective: &mut dyn MultiFidelityObjective,
+        budget_units: f64,
+        seed: u64,
+        sink: &dyn TraceSink,
+    ) -> TuneResult {
         assert!(
             budget_units >= 1.0,
             "BOHB needs at least one full evaluation"
@@ -95,6 +113,24 @@ impl Bohb {
             let s_usize = s as usize;
             let rungs = g.rung_fidelities(s_usize);
             let n0 = g.initial_population(s_usize, per_bracket);
+            trace::point(
+                sink,
+                "bracket",
+                &[
+                    ("s", s_usize as f64),
+                    ("n0", n0 as f64),
+                    ("rungs", rungs.len() as f64),
+                ],
+            );
+            let model_ready = pools.values().any(|v| v.len() >= p.min_points_in_model);
+            trace::point(
+                sink,
+                "bohb_model",
+                &[
+                    ("starters", n0 as f64),
+                    ("model_ready", if model_ready { 1.0 } else { 0.0 }),
+                ],
+            );
 
             // Bracket starters: TPE-guided where a pool is rich enough.
             let mut survivors: Vec<(Configuration, f64)> = (0..n0)
@@ -108,6 +144,15 @@ impl Bohb {
                 if objective.cost_spent() >= budget_units {
                     break;
                 }
+                trace::point(
+                    sink,
+                    "rung",
+                    &[
+                        ("bracket", s_usize as f64),
+                        ("fidelity", fidelity),
+                        ("survivors", survivors.len() as f64),
+                    ],
+                );
                 for (cfg, score) in survivors.iter_mut() {
                     if objective.cost_spent() >= budget_units && score.is_finite() {
                         break;
@@ -119,6 +164,7 @@ impl Bohb {
                         .push((cfg.values().to_vec(), *score));
                     if (fidelity - 1.0).abs() < 1e-12 {
                         history.push(cfg.clone(), *score);
+                        emit_full_fidelity_trial(sink, &history);
                     }
                 }
                 if rung + 1 < rungs.len() {
@@ -134,6 +180,7 @@ impl Bohb {
             let cfg = sample::uniform(space, &mut rng);
             let y = objective.evaluate_at(&cfg, 1.0);
             history.push(cfg, y);
+            emit_full_fidelity_trial(sink, &history);
         }
         let best: Evaluation = history.best().expect("anchored above").clone();
         TuneResult { best, history }

@@ -12,6 +12,7 @@
 //!   fitness without spending budget (Kernel Tuner behaviour).
 
 use crate::objective::CachedObjective;
+use crate::trace;
 use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
 use crate::Objective;
 use autotune_space::{neighborhood, Configuration};
@@ -89,11 +90,18 @@ impl Tuner for GeneticAlgorithm {
             let y = rec.measure(&cfg);
             population.push((cfg, y));
         }
+        trace::point(
+            ctx.trace,
+            "init_population",
+            &[("size", population.len() as f64)],
+        );
 
         let n_parents = ((pop_size as f64 * p.parent_fraction).round() as usize).max(2);
+        let mut generation = 0usize;
 
         while rec.remaining() > 0 {
             let spent_before = rec.spent();
+            let selection = trace::span(ctx.trace, "selection");
             population.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite fitness"));
             let parents: Vec<Configuration> = population
                 .iter()
@@ -103,8 +111,10 @@ impl Tuner for GeneticAlgorithm {
 
             // Elitism: best chromosome survives unchanged (no budget).
             let elite = population[0].clone();
+            selection.end();
             let mut next = vec![elite];
 
+            let offspring = trace::span(ctx.trace, "mutation");
             while next.len() < pop_size && rec.remaining() > 0 {
                 let pa = parents.choose(&mut rng).expect("parents non-empty");
                 let pb = parents.choose(&mut rng).expect("parents non-empty");
@@ -139,6 +149,7 @@ impl Tuner for GeneticAlgorithm {
                 };
                 next.push((child, y));
             }
+            offspring.end();
             // A fully-converged population can produce a generation of
             // cache hits; restart pressure keeps the budget draining
             // (Kernel Tuner applies random immigrants similarly).
@@ -148,6 +159,22 @@ impl Tuner for GeneticAlgorithm {
                 next.push((immigrant, y));
             }
             population = next;
+            if ctx.trace.is_enabled() {
+                let gen_best = population
+                    .iter()
+                    .map(|(_, y)| *y)
+                    .fold(f64::INFINITY, f64::min);
+                trace::point(
+                    ctx.trace,
+                    "generation",
+                    &[
+                        ("index", generation as f64),
+                        ("best", gen_best),
+                        ("measured", (rec.spent() - spent_before) as f64),
+                    ],
+                );
+            }
+            generation += 1;
         }
         rec.finish()
     }

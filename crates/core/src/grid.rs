@@ -5,6 +5,7 @@
 //! end to end (a coarse regular lattice), skipping infeasible points
 //! when the constraint is available.
 
+use crate::trace;
 use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
 use crate::Objective;
 use rand::SeedableRng;
@@ -23,6 +24,11 @@ impl Tuner for GridSearch {
         let mut rec = Recorder::new(ctx, objective);
         let size = ctx.space.size();
         let stride = (size / ctx.budget as u64).max(1);
+        trace::point(
+            ctx.trace,
+            "grid_stride",
+            &[("size", size as f64), ("stride", stride as f64)],
+        );
 
         let mut idx = 0u64;
         while idx < size && rec.remaining() > 0 {
@@ -34,10 +40,18 @@ impl Tuner for GridSearch {
         }
         // Infeasible grid points may leave budget unspent; fill randomly
         // so every technique spends the same sample count.
+        let lattice_spent = rec.spent();
         let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
         while rec.remaining() > 0 {
             let cfg = ctx.sample_config(&mut rng);
             rec.measure(&cfg);
+        }
+        if rec.spent() > lattice_spent {
+            trace::point(
+                ctx.trace,
+                "grid_fill",
+                &[("filled", (rec.spent() - lattice_spent) as f64)],
+            );
         }
         rec.finish()
     }

@@ -10,6 +10,7 @@
 
 use crate::fidelity::{BracketGeometry, MultiFidelityObjective};
 use crate::history::{Evaluation, History};
+use crate::trace::{self, TraceRecord, TraceSink, NULL_SINK};
 use crate::tuner::TuneResult;
 use autotune_space::{sample, Configuration, ParamSpace};
 use rand::SeedableRng;
@@ -55,6 +56,22 @@ impl HyperBand {
         budget_units: f64,
         seed: u64,
     ) -> TuneResult {
+        self.tune_mf_traced(space, objective, budget_units, seed, &NULL_SINK)
+    }
+
+    /// [`HyperBand::tune_mf`] with a search-trace sink: emits a
+    /// `bracket` point per successive-halving bracket, a `rung` point
+    /// per fidelity rung, and a `trial` event for every full-fidelity
+    /// measurement that enters the history. The sink never influences
+    /// the run.
+    pub fn tune_mf_traced(
+        &self,
+        space: &ParamSpace,
+        objective: &mut dyn MultiFidelityObjective,
+        budget_units: f64,
+        seed: u64,
+        sink: &dyn TraceSink,
+    ) -> TuneResult {
         assert!(
             budget_units >= 1.0,
             "HyperBand needs at least one full evaluation"
@@ -73,6 +90,15 @@ impl HyperBand {
             let s_usize = s as usize;
             let rungs = g.rung_fidelities(s_usize);
             let n0 = g.initial_population(s_usize, per_bracket);
+            trace::point(
+                sink,
+                "bracket",
+                &[
+                    ("s", s_usize as f64),
+                    ("n0", n0 as f64),
+                    ("rungs", rungs.len() as f64),
+                ],
+            );
 
             // Start the bracket with random configurations.
             let mut survivors: Vec<(Configuration, f64)> =
@@ -85,6 +111,15 @@ impl HyperBand {
                 if objective.cost_spent() >= budget_units {
                     break;
                 }
+                trace::point(
+                    sink,
+                    "rung",
+                    &[
+                        ("bracket", s_usize as f64),
+                        ("fidelity", fidelity),
+                        ("survivors", survivors.len() as f64),
+                    ],
+                );
                 // Evaluate every survivor at this rung.
                 for (cfg, score) in survivors.iter_mut() {
                     // Stop early on budget exhaustion, but never leave a
@@ -96,6 +131,7 @@ impl HyperBand {
                     *score = objective.evaluate_at(cfg, fidelity);
                     if (fidelity - 1.0).abs() < 1e-12 {
                         history.push(cfg.clone(), *score);
+                        emit_full_fidelity_trial(sink, &history);
                     }
                 }
                 // Keep the best 1/eta for the next rung.
@@ -113,11 +149,31 @@ impl HyperBand {
             let cfg = sample::uniform(space, &mut rng);
             let y = objective.evaluate_at(&cfg, 1.0);
             history.push(cfg, y);
+            emit_full_fidelity_trial(sink, &history);
         }
 
         let best: Evaluation = history.best().expect("anchored above").clone();
         TuneResult { best, history }
     }
+}
+
+/// Emits a `trial` event for the full-fidelity measurement just pushed
+/// onto `history` (shared by HyperBand and BOHB, whose histories only
+/// record full-fidelity evaluations).
+pub(crate) fn emit_full_fidelity_trial(sink: &dyn TraceSink, history: &History) {
+    if !sink.is_enabled() {
+        return;
+    }
+    let last = history
+        .evaluations()
+        .last()
+        .expect("called right after a push");
+    sink.emit(TraceRecord::Trial {
+        index: history.len() - 1,
+        config: last.config.values().to_vec(),
+        cost: last.value,
+        best: history.best().expect("non-empty").value,
+    });
 }
 
 #[cfg(test)]

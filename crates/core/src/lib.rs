@@ -63,9 +63,13 @@ pub mod registry;
 pub mod rf_tuner;
 pub mod sa;
 pub mod testfns;
+pub mod trace;
 pub mod tuner;
 
 pub use history::{Evaluation, History};
 pub use objective::Objective;
 pub use registry::Algorithm;
+pub use trace::{
+    Durability, JsonlSink, NullSink, TraceEvent, TraceRecord, TraceSink, VecSink, NULL_SINK,
+};
 pub use tuner::{OwnedTuneSetup, Recorder, TuneContext, TuneResult, Tuner};

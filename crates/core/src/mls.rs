@@ -8,6 +8,7 @@
 //! local minima, until the budget is exhausted.
 
 use crate::objective::CachedObjective;
+use crate::trace;
 use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
 use crate::Objective;
 use autotune_space::neighborhood;
@@ -29,6 +30,7 @@ impl Tuner for MultiStartLocalSearch {
         let mut rec = Recorder::new(ctx, &mut cached);
 
         'restarts: while rec.remaining() > 0 {
+            trace::point(ctx.trace, "mls_restart", &[("spent", rec.spent() as f64)]);
             let mut current = ctx.sample_config(&mut rng);
             let mut current_cost = rec.measure(&current);
 
@@ -66,7 +68,11 @@ impl Tuner for MultiStartLocalSearch {
                         current = n;
                         current_cost = cost;
                     }
-                    None => continue 'restarts, // local minimum: restart
+                    None => {
+                        // Local minimum: restart from a fresh random point.
+                        trace::point(ctx.trace, "mls_local_minimum", &[("cost", current_cost)]);
+                        continue 'restarts;
+                    }
                 }
             }
         }

@@ -6,6 +6,7 @@
 //! snap to the nearest lattice configuration for measurement
 //! (the usual discrete adaptation for integer tuning spaces).
 
+use crate::trace;
 use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
 use crate::Objective;
 use rand::Rng;
@@ -90,7 +91,18 @@ impl Tuner for ParticleSwarm {
             });
         }
 
+        trace::point(ctx.trace, "init_swarm", &[("size", swarm.len() as f64)]);
+
+        let mut iteration = 0usize;
         'outer: loop {
+            if let Some((_, gcost)) = &global_best {
+                trace::point(
+                    ctx.trace,
+                    "pso_iteration",
+                    &[("index", iteration as f64), ("global_best", *gcost)],
+                );
+            }
+            iteration += 1;
             for particle in &mut swarm {
                 if rec.remaining() == 0 {
                     break 'outer;

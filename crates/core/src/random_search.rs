@@ -4,6 +4,7 @@
 //! region when the constraint specification is present, per the paper's
 //! non-SMBO protocol), measures each once, and returns the minimum.
 
+use crate::trace;
 use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
 use crate::Objective;
 use rand::SeedableRng;
@@ -23,6 +24,7 @@ impl Tuner for RandomSearch {
         let mut rec = Recorder::new(ctx, objective);
         while rec.remaining() > 0 {
             let cfg = ctx.sample_config(&mut rng);
+            trace::point(ctx.trace, "draw", &[("index", rec.spent() as f64)]);
             rec.measure(&cfg);
         }
         rec.finish()

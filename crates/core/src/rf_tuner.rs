@@ -11,6 +11,7 @@
 //! predicted runtime, measure the 10 best-predicted candidates, return
 //! the best of those 10 *measurements*.
 
+use crate::trace;
 use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
 use crate::Objective;
 use autotune_space::Configuration;
@@ -70,9 +71,21 @@ impl Tuner for RandomForestTuner {
             return rec.finish();
         }
 
+        let fit = trace::span(ctx.trace, "surrogate_fit");
         let forest = RandomForest::fit(&train_x, &train_y, &self.params, ctx.seed ^ 0xf0f0);
+        fit.end();
+        trace::point(
+            ctx.trace,
+            "rf_forest",
+            &[
+                ("trees", forest.len() as f64),
+                ("max_depth", forest.max_depth() as f64),
+                ("train", train_x.len() as f64),
+            ],
+        );
 
         // Rank a fresh feasible candidate pool by predicted runtime.
+        let acquisition = trace::span(ctx.trace, "acquisition");
         let mut candidates: Vec<Configuration> = (0..self.candidate_pool)
             .map(|_| ctx.sample_config(&mut rng))
             .collect();
@@ -82,6 +95,7 @@ impl Tuner for RandomForestTuner {
             pa.partial_cmp(&pb).expect("predictions are finite")
         });
         candidates.dedup();
+        acquisition.end();
 
         for cfg in candidates.into_iter().take(verify) {
             if rec.remaining() == 0 {

@@ -7,6 +7,7 @@
 //! cost spread so the same schedule works across kernels whose runtimes
 //! differ by orders of magnitude.
 
+use crate::trace;
 use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
 use crate::Objective;
 use autotune_space::neighborhood;
@@ -73,6 +74,15 @@ impl Tuner for SimulatedAnnealing {
 
             let accept = cost <= current_cost
                 || rng.gen::<f64>() < ((current_cost - cost) / temp.max(1e-12)).exp();
+            trace::point(
+                ctx.trace,
+                "sa_step",
+                &[
+                    ("temperature", temp),
+                    ("cost", cost),
+                    ("accepted", if accept { 1.0 } else { 0.0 }),
+                ],
+            );
             if accept {
                 current = proposal;
                 current_cost = cost;
@@ -85,6 +95,7 @@ impl Tuner for SimulatedAnnealing {
                     current = best.config;
                     current_cost = best.value;
                     rejections = 0;
+                    trace::point(ctx.trace, "sa_restart", &[("spent", rec.spent() as f64)]);
                 }
             }
         }

@@ -1,0 +1,674 @@
+//! Search-trace flight recorder: structured events and timed phase
+//! spans emitted by every tuner while it runs.
+//!
+//! The paper's headline claims are *trajectory* claims (BO GP's dip
+//! between sample sizes 100→200, GA overtaking the SMBO methods late),
+//! but a [`TuneResult`](crate::TuneResult) only shows the destination.
+//! This module gives a run a black-box recorder: the harness emits one
+//! [`TraceRecord::Trial`] per budget-consuming measurement, and each
+//! technique wraps its internal phases (`surrogate_fit`, `acquisition`,
+//! `objective`, GA `selection`/`mutation`, …) in timed spans with
+//! algorithm-internal payloads (GP hyperparameters, TPE density sizes,
+//! RF forest depth, GA generation statistics).
+//!
+//! Everything funnels through the [`TraceSink`] trait carried by
+//! [`TuneContext`](crate::TuneContext). The default sink is
+//! [`NullSink`], whose overhead contract makes tracing free unless
+//! explicitly requested; [`VecSink`] collects events in memory,
+//! [`JsonlSink`] streams them to disk with the shared [`Durability`]
+//! knob, and [`chrome_trace_json`] exports any collected trace in the
+//! Chrome `trace_event` format that `chrome://tracing` and Perfetto
+//! open directly.
+//!
+//! Tracing never influences a search: sinks only observe, so a run with
+//! any sink attached visits bit-identical configurations to the same
+//! run with [`NullSink`] (the RNG stream never sees the sink).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How hard a disk-backed writer pushes each record toward stable
+/// storage. Shared by the service's session journals, the experiments
+/// outcome journal, and [`JsonlSink`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Durability {
+    /// `flush` + `sync_data` after every append: the record is on disk
+    /// when the call returns and survives an OS crash or power loss.
+    /// The default for session journals, whose write-ahead promise is
+    /// the whole point.
+    #[default]
+    Sync,
+    /// `flush` only: the record is handed to the OS page cache, which
+    /// survives a process crash but not a kernel panic. The right trade
+    /// for hot bulk writers (the experiments grid, trace streams) where
+    /// one fsync per record would dominate the workload.
+    Buffered,
+}
+
+/// One structured observation emitted by a search in progress.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TraceRecord {
+    /// One budget-consuming measurement, emitted by
+    /// [`Recorder::measure`](crate::Recorder::measure) for every tuner.
+    Trial {
+        /// Zero-based budget index of this measurement.
+        index: usize,
+        /// The measured configuration's parameter values.
+        config: Vec<u32>,
+        /// The measured cost.
+        cost: f64,
+        /// Best cost observed up to and including this trial — the
+        /// incumbent trajectory, directly plottable as an anytime curve.
+        best: f64,
+    },
+    /// A timed phase opens (`surrogate_fit`, `acquisition`,
+    /// `objective`, `selection`, `mutation`, …).
+    SpanBegin {
+        /// Phase name.
+        name: String,
+    },
+    /// The innermost open phase with this name closes.
+    SpanEnd {
+        /// Phase name, matching the corresponding [`TraceRecord::SpanBegin`].
+        name: String,
+    },
+    /// A point event carrying algorithm-internal numeric payload
+    /// (GP hyperparameters, TPE good/bad density sizes, GA generation
+    /// statistics, HyperBand bracket/rung geometry, …).
+    Point {
+        /// Event name.
+        name: String,
+        /// Named numeric payload fields. Values must be finite — JSON
+        /// has no NaN/Inf, and the JSONL sink round-trips through it.
+        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        fields: Vec<(String, f64)>,
+    },
+}
+
+impl TraceRecord {
+    /// The record's name: the phase name for spans, the event name for
+    /// points, and `"trial"` for trials.
+    pub fn name(&self) -> &str {
+        match self {
+            TraceRecord::Trial { .. } => "trial",
+            TraceRecord::SpanBegin { name }
+            | TraceRecord::SpanEnd { name }
+            | TraceRecord::Point { name, .. } => name,
+        }
+    }
+}
+
+/// A [`TraceRecord`] stamped by the sink that captured it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Microseconds since the sink was created (monotone within one
+    /// sink: later events never carry smaller timestamps).
+    pub t_us: u64,
+    /// The observation.
+    #[serde(flatten)]
+    pub record: TraceRecord,
+}
+
+/// Receives trace records from a running search.
+///
+/// # Overhead contract
+///
+/// Emission sites are structured so a disabled sink costs **one virtual
+/// call returning `false` per candidate event and nothing else**: the
+/// helpers ([`point`], [`span`]) and the harness check
+/// [`TraceSink::is_enabled`] *before* allocating names, payload vectors
+/// or timestamps, and [`NullSink`] — the default on every
+/// [`TuneContext`](crate::TuneContext) — answers `false` from a no-op
+/// body. A `NullSink` run is therefore bit-identical in behaviour
+/// (same seed → same [`TuneResult`](crate::TuneResult)) and within
+/// measurement noise in runtime of the pre-trace harness; the `trace`
+/// criterion bench in `crates/bench` guards this.
+///
+/// Implementations must be cheap and non-blocking where possible: they
+/// are called from the hot search loop. They must also be purely
+/// observational — a sink that fed information back into the objective
+/// would break run determinism.
+pub trait TraceSink: std::fmt::Debug + Send + Sync {
+    /// `false` when emissions are discarded; callers skip payload
+    /// construction entirely in that case.
+    fn is_enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one observation. The sink assigns the timestamp.
+    fn emit(&self, record: TraceRecord);
+}
+
+/// The guaranteed-cheap default sink: discards everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn is_enabled(&self) -> bool {
+        false
+    }
+
+    fn emit(&self, _record: TraceRecord) {}
+}
+
+/// A process-lifetime [`NullSink`] usable as the default `&'a dyn
+/// TraceSink` for any context lifetime.
+pub static NULL_SINK: NullSink = NullSink;
+
+/// Emits a point event with numeric payload, skipping all allocation
+/// when the sink is disabled.
+pub fn point(sink: &dyn TraceSink, name: &str, fields: &[(&str, f64)]) {
+    if !sink.is_enabled() {
+        return;
+    }
+    sink.emit(TraceRecord::Point {
+        name: name.to_string(),
+        fields: fields.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+    });
+}
+
+/// Opens a timed phase span, closed when the returned guard drops (or
+/// earlier via [`SpanGuard::end`]). Disabled sinks get a dead guard and
+/// no events.
+pub fn span<'s>(sink: &'s dyn TraceSink, name: &'static str) -> SpanGuard<'s> {
+    let live = sink.is_enabled();
+    if live {
+        sink.emit(TraceRecord::SpanBegin {
+            name: name.to_string(),
+        });
+    }
+    SpanGuard { sink, name, live }
+}
+
+/// Closes its phase span on drop. Obtained from [`span`].
+#[derive(Debug)]
+pub struct SpanGuard<'s> {
+    sink: &'s dyn TraceSink,
+    name: &'static str,
+    live: bool,
+}
+
+impl SpanGuard<'_> {
+    /// Ends the span now instead of at scope exit.
+    pub fn end(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if self.live {
+            self.live = false;
+            self.sink.emit(TraceRecord::SpanEnd {
+                name: self.name.to_string(),
+            });
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// In-memory sink: appends every event to a vector under a mutex.
+#[derive(Debug)]
+pub struct VecSink {
+    start: Instant,
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl VecSink {
+    /// An empty sink; timestamps count from now.
+    pub fn new() -> Self {
+        VecSink {
+            start: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A copy of everything captured so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("trace sink lock").clone()
+    }
+
+    /// Takes everything captured so far, leaving the sink empty (used
+    /// by incremental consumers like the service journal).
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("trace sink lock"))
+    }
+
+    /// Number of events captured so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("trace sink lock").len()
+    }
+
+    /// `true` when nothing has been captured.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for VecSink {
+    fn default() -> Self {
+        VecSink::new()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn emit(&self, record: TraceRecord) {
+        let t_us = self.start.elapsed().as_micros() as u64;
+        self.events
+            .lock()
+            .expect("trace sink lock")
+            .push(TraceEvent { t_us, record });
+    }
+}
+
+/// Disk-backed sink: one JSON object per line, pushed toward stable
+/// storage per event according to the shared [`Durability`] knob.
+///
+/// Emission is best-effort — a tracing I/O failure must not abort the
+/// search — so write errors are counted ([`JsonlSink::write_errors`])
+/// rather than surfaced.
+#[derive(Debug)]
+pub struct JsonlSink {
+    start: Instant,
+    path: PathBuf,
+    durability: Durability,
+    file: Mutex<BufWriter<File>>,
+    write_errors: AtomicU64,
+}
+
+impl JsonlSink {
+    /// Creates (truncating) a trace file with [`Durability::Sync`].
+    pub fn create(path: &Path) -> std::io::Result<Self> {
+        Self::create_with(path, Durability::Sync)
+    }
+
+    /// Creates (truncating) a trace file with an explicit durability
+    /// mode.
+    pub fn create_with(path: &Path, durability: Durability) -> std::io::Result<Self> {
+        Ok(JsonlSink {
+            start: Instant::now(),
+            path: path.to_path_buf(),
+            durability,
+            file: Mutex::new(BufWriter::new(File::create(path)?)),
+            write_errors: AtomicU64::new(0),
+        })
+    }
+
+    /// The trace file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The sink's durability mode.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Events dropped by I/O failures so far.
+    pub fn write_errors(&self) -> u64 {
+        self.write_errors.load(Ordering::Relaxed)
+    }
+
+    fn try_write(&self, event: &TraceEvent) -> std::io::Result<()> {
+        let line = serde_json::to_string(event)?;
+        let mut file = self.file.lock().expect("trace sink lock");
+        file.write_all(line.as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()?;
+        if self.durability == Durability::Sync {
+            file.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn emit(&self, record: TraceRecord) {
+        let t_us = self.start.elapsed().as_micros() as u64;
+        let event = TraceEvent { t_us, record };
+        if self.try_write(&event).is_err() {
+            self.write_errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Reads a trace file written by [`JsonlSink`]. A torn final line
+/// (crash mid-append) is dropped silently, mirroring the session
+/// journal's crash tolerance; corruption anywhere else is an error.
+pub fn read_jsonl(path: &Path) -> std::io::Result<Vec<TraceEvent>> {
+    let reader = BufReader::new(File::open(path)?);
+    let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
+    let mut events = Vec::with_capacity(lines.len());
+    let last = lines.len().saturating_sub(1);
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<TraceEvent>(line) {
+            Ok(event) => events.push(event),
+            Err(_) if i == last => break,
+            Err(e) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("malformed trace record on line {}: {e}", i + 1),
+                ))
+            }
+        }
+    }
+    Ok(events)
+}
+
+/// One Chrome `trace_event` entry (the subset the exporter emits).
+#[derive(Serialize)]
+struct ChromeEvent<'a> {
+    name: &'a str,
+    ph: &'static str,
+    ts: u64,
+    pid: u32,
+    tid: u32,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    s: Option<&'static str>,
+    #[serde(skip_serializing_if = "Option::is_none")]
+    args: Option<BTreeMap<&'a str, f64>>,
+}
+
+/// Exports a captured trace in the Chrome `trace_event` JSON array
+/// format: save the string to a file and open it in `chrome://tracing`
+/// or [Perfetto](https://ui.perfetto.dev). Spans become `B`/`E` duration
+/// events; trials and points become `i` instant events with their
+/// payload under `args`.
+pub fn chrome_trace_json(events: &[TraceEvent]) -> String {
+    let chrome: Vec<ChromeEvent<'_>> = events
+        .iter()
+        .map(|e| {
+            let (name, ph, s, args) = match &e.record {
+                TraceRecord::SpanBegin { name } => (name.as_str(), "B", None, None),
+                TraceRecord::SpanEnd { name } => (name.as_str(), "E", None, None),
+                TraceRecord::Trial {
+                    index, cost, best, ..
+                } => {
+                    let mut args = BTreeMap::new();
+                    args.insert("index", *index as f64);
+                    args.insert("cost", *cost);
+                    args.insert("best", *best);
+                    ("trial", "i", Some("t"), Some(args))
+                }
+                TraceRecord::Point { name, fields } => {
+                    let args: BTreeMap<&str, f64> =
+                        fields.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+                    (name.as_str(), "i", Some("t"), Some(args))
+                }
+            };
+            ChromeEvent {
+                name,
+                ph,
+                ts: e.t_us,
+                pid: 1,
+                tid: 1,
+                s,
+                args,
+            }
+        })
+        .collect();
+    serde_json::to_string(&chrome).expect("chrome trace serializes")
+}
+
+/// Aggregate timing of one phase across a trace.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Total time inside those spans, microseconds (self-inclusive:
+    /// nested child spans are not subtracted).
+    pub total_us: u64,
+}
+
+/// Matches `SpanBegin`/`SpanEnd` pairs (innermost-first, as emitted by
+/// [`SpanGuard`]) and sums the duration per phase name — the
+/// where-did-the-time-go breakdown. Unclosed spans are ignored.
+pub fn phase_durations(events: &[TraceEvent]) -> BTreeMap<String, PhaseStat> {
+    let mut open: Vec<(&str, u64)> = Vec::new();
+    let mut totals: BTreeMap<String, PhaseStat> = BTreeMap::new();
+    for e in events {
+        match &e.record {
+            TraceRecord::SpanBegin { name } => open.push((name.as_str(), e.t_us)),
+            TraceRecord::SpanEnd { name } => {
+                if let Some(pos) = open.iter().rposition(|(n, _)| *n == name.as_str()) {
+                    let (_, begun) = open.remove(pos);
+                    let stat = totals.entry(name.clone()).or_default();
+                    stat.count += 1;
+                    stat.total_us += e.t_us.saturating_sub(begun);
+                }
+            }
+            _ => {}
+        }
+    }
+    totals
+}
+
+/// Number of [`TraceRecord::Trial`] events in a trace.
+pub fn trial_count(events: &[TraceEvent]) -> usize {
+    events
+        .iter()
+        .filter(|e| matches!(e.record, TraceRecord::Trial { .. }))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<TraceRecord> {
+        vec![
+            TraceRecord::SpanBegin {
+                name: "surrogate_fit".into(),
+            },
+            TraceRecord::Point {
+                name: "gp_params".into(),
+                fields: vec![("lengthscale".into(), 0.4)],
+            },
+            TraceRecord::SpanEnd {
+                name: "surrogate_fit".into(),
+            },
+            TraceRecord::Trial {
+                index: 0,
+                config: vec![1, 2, 3],
+                cost: 4.5,
+                best: 4.5,
+            },
+        ]
+    }
+
+    #[test]
+    fn null_sink_is_disabled_and_silent() {
+        assert!(!NullSink.is_enabled());
+        NullSink.emit(TraceRecord::SpanBegin { name: "x".into() });
+        point(&NULL_SINK, "x", &[("a", 1.0)]);
+        let guard = span(&NULL_SINK, "y");
+        guard.end();
+    }
+
+    #[test]
+    fn vec_sink_collects_in_order_with_monotone_timestamps() {
+        let sink = VecSink::new();
+        for r in sample_records() {
+            sink.emit(r);
+        }
+        let events = sink.events();
+        assert_eq!(events.len(), 4);
+        for pair in events.windows(2) {
+            assert!(pair[0].t_us <= pair[1].t_us);
+        }
+        assert_eq!(trial_count(&events), 1);
+        assert_eq!(sink.take().len(), 4);
+        assert!(sink.is_empty());
+    }
+
+    #[test]
+    fn span_guard_closes_on_drop_and_on_end() {
+        let sink = VecSink::new();
+        {
+            let _outer = span(&sink, "outer");
+            let inner = span(&sink, "inner");
+            inner.end();
+        }
+        let names: Vec<String> = sink
+            .events()
+            .iter()
+            .map(|e| {
+                format!(
+                    "{:?}:{}",
+                    std::mem::discriminant(&e.record),
+                    e.record.name()
+                )
+            })
+            .collect();
+        assert_eq!(names.len(), 4);
+        let durations = phase_durations(&sink.events());
+        assert_eq!(durations["outer"].count, 1);
+        assert_eq!(durations["inner"].count, 1);
+    }
+
+    #[test]
+    fn phase_durations_sum_nested_spans() {
+        let events = vec![
+            TraceEvent {
+                t_us: 0,
+                record: TraceRecord::SpanBegin { name: "a".into() },
+            },
+            TraceEvent {
+                t_us: 10,
+                record: TraceRecord::SpanBegin { name: "b".into() },
+            },
+            TraceEvent {
+                t_us: 30,
+                record: TraceRecord::SpanEnd { name: "b".into() },
+            },
+            TraceEvent {
+                t_us: 100,
+                record: TraceRecord::SpanEnd { name: "a".into() },
+            },
+        ];
+        let d = phase_durations(&events);
+        assert_eq!(
+            d["a"],
+            PhaseStat {
+                count: 1,
+                total_us: 100
+            }
+        );
+        assert_eq!(
+            d["b"],
+            PhaseStat {
+                count: 1,
+                total_us: 20
+            }
+        );
+    }
+
+    #[test]
+    fn trace_event_serde_round_trips() {
+        for record in sample_records() {
+            let event = TraceEvent { t_us: 7, record };
+            let json = serde_json::to_string(&event).unwrap();
+            let back: TraceEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, event);
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_the_reader() {
+        let path = std::env::temp_dir().join(format!(
+            "autotune-trace-test-{}-roundtrip.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create_with(&path, Durability::Buffered).unwrap();
+        assert_eq!(sink.durability(), Durability::Buffered);
+        for r in sample_records() {
+            sink.emit(r);
+        }
+        assert_eq!(sink.write_errors(), 0);
+        drop(sink);
+        let events = read_jsonl(&path).unwrap();
+        assert_eq!(events.len(), 4);
+        assert_eq!(
+            events.iter().map(|e| e.record.clone()).collect::<Vec<_>>(),
+            sample_records()
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn jsonl_reader_drops_only_a_torn_final_line() {
+        let path = std::env::temp_dir().join(format!(
+            "autotune-trace-test-{}-torn.jsonl",
+            std::process::id()
+        ));
+        let sink = JsonlSink::create(&path).unwrap();
+        sink.emit(TraceRecord::SpanBegin { name: "x".into() });
+        drop(sink);
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .unwrap();
+        f.write_all(b"{\"t_us\":3,\"kind\":\"span_e").unwrap();
+        drop(f);
+        assert_eq!(read_jsonl(&path).unwrap().len(), 1);
+
+        // The same garbage mid-file is structural corruption.
+        std::fs::write(
+            &path,
+            "garbage\n{\"t_us\":1,\"kind\":\"span_begin\",\"name\":\"x\"}\n",
+        )
+        .unwrap();
+        assert!(read_jsonl(&path).is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn chrome_export_is_valid_json_with_balanced_phases() {
+        let sink = VecSink::new();
+        {
+            let _fit = span(&sink, "surrogate_fit");
+            point(&sink, "gp_params", &[("lengthscale", 0.2), ("noise", 0.01)]);
+        }
+        sink.emit(TraceRecord::Trial {
+            index: 0,
+            config: vec![1, 1],
+            cost: 2.0,
+            best: 2.0,
+        });
+        let json = chrome_trace_json(&sink.events());
+        let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+        let entries = parsed.as_array().unwrap();
+        assert_eq!(entries.len(), 4);
+        let phases: Vec<&str> = entries.iter().map(|e| e["ph"].as_str().unwrap()).collect();
+        assert_eq!(phases, vec!["B", "i", "E", "i"]);
+        assert_eq!(entries[1]["args"]["lengthscale"], 0.2);
+        assert_eq!(entries[3]["args"]["cost"], 2.0);
+    }
+
+    #[test]
+    fn durability_defaults_to_sync_and_serdes_snake_case() {
+        assert_eq!(Durability::default(), Durability::Sync);
+        assert_eq!(
+            serde_json::to_string(&Durability::Buffered).unwrap(),
+            "\"buffered\""
+        );
+        assert_eq!(
+            serde_json::from_str::<Durability>("\"sync\"").unwrap(),
+            Durability::Sync
+        );
+    }
+}

@@ -2,6 +2,7 @@
 
 use crate::history::{Evaluation, History};
 use crate::objective::Objective;
+use crate::trace::{self, TraceRecord, TraceSink, NULL_SINK};
 use autotune_space::{sample, Configuration, Constraint, ParamSpace};
 use rand::Rng;
 use serde::{Deserialize, Serialize};
@@ -19,6 +20,11 @@ pub struct TuneContext<'a> {
     pub budget: usize,
     /// RNG seed for the run; equal seeds give identical runs.
     pub seed: u64,
+    /// Search-trace sink; [`trace::NullSink`] (free — see the
+    /// [`TraceSink`] overhead contract) unless installed via
+    /// [`TuneContext::with_trace`]. Purely observational: the sink never
+    /// influences which configurations a run visits.
+    pub trace: &'a dyn TraceSink,
 }
 
 impl<'a> TuneContext<'a> {
@@ -29,12 +35,19 @@ impl<'a> TuneContext<'a> {
             constraint: None,
             budget,
             seed,
+            trace: &NULL_SINK,
         }
     }
 
     /// Adds the a-priori constraint (what the non-SMBO methods get).
     pub fn with_constraint(mut self, c: &'a dyn Constraint) -> Self {
         self.constraint = Some(c);
+        self
+    }
+
+    /// Installs a search-trace sink for the run.
+    pub fn with_trace(mut self, sink: &'a dyn TraceSink) -> Self {
+        self.trace = sink;
         self
     }
 
@@ -59,6 +72,7 @@ impl std::fmt::Debug for TuneContext<'_> {
             .field("budget", &self.budget)
             .field("seed", &self.seed)
             .field("constrained", &self.constraint.is_some())
+            .field("traced", &self.trace.is_enabled())
             .finish()
     }
 }
@@ -147,12 +161,13 @@ pub trait Tuner: Send + Sync {
 
 /// Budget-enforcing measurement recorder shared by all tuner
 /// implementations: every call to [`Recorder::measure`] spends one unit
-/// of budget and is logged.
+/// of budget and is logged — and, when the context carries a live
+/// trace sink, emitted as an `objective` span plus a `trial` event.
 pub struct Recorder<'a, 'o> {
     objective: &'o mut dyn Objective,
     history: History,
     budget: usize,
-    _ctx: std::marker::PhantomData<&'a ()>,
+    trace: &'a dyn TraceSink,
 }
 
 impl<'a, 'o> Recorder<'a, 'o> {
@@ -163,7 +178,7 @@ impl<'a, 'o> Recorder<'a, 'o> {
             objective,
             history: History::new(),
             budget: ctx.budget,
-            _ctx: std::marker::PhantomData,
+            trace: ctx.trace,
         }
     }
 
@@ -184,8 +199,25 @@ impl<'a, 'o> Recorder<'a, 'o> {
     /// Panics when the budget is already exhausted — a tuner bug.
     pub fn measure(&mut self, cfg: &Configuration) -> f64 {
         assert!(self.remaining() > 0, "tuner exceeded its sample budget");
-        let v = self.objective.evaluate(cfg);
+        let v = if self.trace.is_enabled() {
+            let guard = trace::span(self.trace, "objective");
+            let v = self.objective.evaluate(cfg);
+            guard.end();
+            v
+        } else {
+            self.objective.evaluate(cfg)
+        };
+        let index = self.history.len();
         self.history.push(cfg.clone(), v);
+        if self.trace.is_enabled() {
+            let best = self.history.best().map(|e| e.value).unwrap_or(v);
+            self.trace.emit(TraceRecord::Trial {
+                index,
+                config: cfg.values().to_vec(),
+                cost: v,
+                best,
+            });
+        }
         v
     }
 
@@ -321,6 +353,34 @@ mod tests {
         let back: TuneResult = serde_json::from_str(&json).unwrap();
         assert_eq!(back.best, result.best);
         assert_eq!(back.history.evaluations(), result.history.evaluations());
+    }
+
+    #[test]
+    fn recorder_emits_objective_spans_and_trial_events() {
+        let space = toy_space();
+        let sink = crate::trace::VecSink::new();
+        let ctx = TuneContext::new(&space, 3, 0).with_trace(&sink);
+        let mut obj = |cfg: &Configuration| cfg.values()[0] as f64;
+        let mut rec = Recorder::new(&ctx, &mut obj);
+        rec.measure(&Configuration::from([5, 1]));
+        rec.measure(&Configuration::from([2, 1]));
+        rec.measure(&Configuration::from([7, 1]));
+        let events = sink.events();
+        // Per measurement: objective SpanBegin/SpanEnd + one Trial.
+        assert_eq!(events.len(), 9);
+        assert_eq!(crate::trace::trial_count(&events), 3);
+        let trials: Vec<_> = events
+            .iter()
+            .filter_map(|e| match &e.record {
+                TraceRecord::Trial {
+                    index, cost, best, ..
+                } => Some((*index, *cost, *best)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(trials, vec![(0, 5.0, 5.0), (1, 2.0, 2.0), (2, 7.0, 2.0)]);
+        let durations = crate::trace::phase_durations(&events);
+        assert_eq!(durations["objective"].count, 3);
     }
 
     #[test]

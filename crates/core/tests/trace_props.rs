@@ -1,0 +1,181 @@
+//! Property tests for the flight recorder: across every tuner, tracing
+//! is purely observational (a traced run returns bit-identical results
+//! to an untraced one), trial events mirror the history one-to-one,
+//! timestamps are monotone, and phase spans nest and balance.
+
+use autotune_core::bohb::Bohb;
+use autotune_core::fidelity::MultiFidelityObjective;
+use autotune_core::hyperband::HyperBand;
+use autotune_core::trace::{TraceRecord, VecSink};
+use autotune_core::{Algorithm, TuneContext};
+use autotune_space::{imagecl, Configuration};
+use proptest::prelude::*;
+
+fn objective_value(cfg: &Configuration, twist: u32) -> f64 {
+    cfg.values()
+        .iter()
+        .enumerate()
+        .map(|(i, &v)| {
+            let d = v as f64 - ((twist + i as u32) % 7) as f64;
+            d * d
+        })
+        .sum()
+}
+
+/// Asserts the flight-recorder invariants on one event stream.
+fn check_stream(
+    events: &[autotune_core::TraceEvent],
+    history_len: usize,
+    label: &str,
+) -> Result<(), TestCaseError> {
+    // Trial events mirror the history one-to-one, indices in order,
+    // best-so-far tracking the running minimum.
+    let trials: Vec<(usize, f64, f64)> = events
+        .iter()
+        .filter_map(|e| match &e.record {
+            TraceRecord::Trial {
+                index, cost, best, ..
+            } => Some((*index, *cost, *best)),
+            _ => None,
+        })
+        .collect();
+    prop_assert_eq!(trials.len(), history_len, "{}: trial count", label);
+    let mut incumbent = f64::INFINITY;
+    for (i, (index, cost, best)) in trials.iter().enumerate() {
+        prop_assert_eq!(*index, i, "{}: trial index order", label);
+        incumbent = incumbent.min(*cost);
+        prop_assert_eq!(*best, incumbent, "{}: best-so-far", label);
+    }
+    // Timestamps monotone.
+    prop_assert!(
+        events.windows(2).all(|w| w[0].t_us <= w[1].t_us),
+        "{}: timestamps must be monotone",
+        label
+    );
+    // Spans strictly nested and balanced.
+    let mut stack: Vec<&str> = Vec::new();
+    for e in events {
+        match &e.record {
+            TraceRecord::SpanBegin { name } => stack.push(name),
+            TraceRecord::SpanEnd { name } => {
+                prop_assert_eq!(
+                    stack.pop(),
+                    Some(name.as_str()),
+                    "{}: span end without matching begin",
+                    label
+                );
+            }
+            _ => {}
+        }
+    }
+    prop_assert!(stack.is_empty(), "{}: unclosed spans {:?}", label, stack);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 6,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn tracing_is_observational_for_every_tuner(
+        seed in 0u64..1_000,
+        budget in 10usize..40,
+        twist in 0u32..100,
+    ) {
+        let space = imagecl::space();
+        for algo in Algorithm::ALL {
+            let label = algo.name();
+            let plain = {
+                let ctx = TuneContext::new(&space, budget, seed);
+                let mut obj = |cfg: &Configuration| objective_value(cfg, twist);
+                algo.tuner().tune(&ctx, &mut obj)
+            };
+            let sink = VecSink::new();
+            let traced = {
+                let ctx = TuneContext::new(&space, budget, seed).with_trace(&sink);
+                let mut obj = |cfg: &Configuration| objective_value(cfg, twist);
+                algo.tuner().tune(&ctx, &mut obj)
+            };
+            // NullSink (default) run bit-identical to the traced run.
+            prop_assert_eq!(&plain.best, &traced.best, "{}: best diverged", label);
+            prop_assert_eq!(
+                plain.history.evaluations(),
+                traced.history.evaluations(),
+                "{}: history diverged",
+                label
+            );
+
+            let events = sink.take();
+            check_stream(&events, traced.history.len(), label)?;
+            // Each tuner contributes at least one algorithm-specific
+            // span or point beyond the Recorder's trial/objective pair.
+            prop_assert!(
+                events.iter().any(|e| !matches!(&e.record, TraceRecord::Trial { .. })
+                    && e.record.name() != "objective"),
+                "{}: no algorithm-specific events",
+                label
+            );
+        }
+    }
+
+    #[test]
+    fn tracing_is_observational_for_multi_fidelity_searches(
+        seed in 0u64..1_000,
+        budget in 20u32..60,
+    ) {
+        struct Toy {
+            cost: f64,
+        }
+        impl MultiFidelityObjective for Toy {
+            fn evaluate_at(&mut self, cfg: &Configuration, fidelity: f64) -> f64 {
+                self.cost += fidelity;
+                let truth: f64 = cfg.values().iter().map(|&v| (v * v) as f64).sum();
+                truth * (1.0 + (1.0 - fidelity) * 0.1)
+            }
+            fn cost_spent(&self) -> f64 {
+                self.cost
+            }
+        }
+
+        let space = imagecl::space();
+        let budget = budget as f64;
+
+        let plain_hb =
+            HyperBand::default().tune_mf(&space, &mut Toy { cost: 0.0 }, budget, seed);
+        let sink = VecSink::new();
+        let traced_hb = HyperBand::default().tune_mf_traced(
+            &space,
+            &mut Toy { cost: 0.0 },
+            budget,
+            seed,
+            &sink,
+        );
+        prop_assert_eq!(
+            plain_hb.history.evaluations(),
+            traced_hb.history.evaluations()
+        );
+        let events = sink.take();
+        check_stream(&events, traced_hb.history.len(), "HyperBand")?;
+        prop_assert!(events.iter().any(|e| e.record.name() == "bracket"));
+        prop_assert!(events.iter().any(|e| e.record.name() == "rung"));
+
+        let plain_bohb = Bohb::default().tune_mf(&space, &mut Toy { cost: 0.0 }, budget, seed);
+        let sink = VecSink::new();
+        let traced_bohb = Bohb::default().tune_mf_traced(
+            &space,
+            &mut Toy { cost: 0.0 },
+            budget,
+            seed,
+            &sink,
+        );
+        prop_assert_eq!(
+            plain_bohb.history.evaluations(),
+            traced_bohb.history.evaluations()
+        );
+        let events = sink.take();
+        check_stream(&events, traced_bohb.history.len(), "BOHB")?;
+        prop_assert!(events.iter().any(|e| e.record.name() == "bohb_model"));
+    }
+}

@@ -7,7 +7,8 @@
 //! experiment counters and latency histogram.
 
 use crate::design::ExperimentDesign;
-use crate::runner::{run_experiment, ExperimentOutcome};
+use crate::runner::{run_experiment_traced, ExperimentOutcome};
+use autotune_core::trace::{self, VecSink};
 use autotune_core::Algorithm;
 use autotune_service::metrics::{Counter, Histogram, MetricsSnapshot};
 use crossbeam::queue::SegQueue;
@@ -32,9 +33,31 @@ pub struct GridMetrics {
     pub experiments: Counter,
     /// Wall time of one experiment (tune + final median measurement).
     pub experiment_seconds: Histogram,
+    /// Per-phase search time, one observation per experiment per phase
+    /// (the experiment's *total* time in that phase, derived from its
+    /// flight-recorder trace). Dynamic like the service layer's
+    /// `search_phase_seconds` registry; snapshotted as
+    /// `grid_search_phase_seconds_{phase}`.
+    search_phase_seconds: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl GridMetrics {
+    /// Records one experiment's total time in `phase`.
+    pub fn observe_phase(&self, phase: &str, d: std::time::Duration) {
+        let hist = {
+            let mut map = self.search_phase_seconds.lock();
+            match map.get(phase) {
+                Some(h) => h.clone(),
+                None => {
+                    let h = Arc::new(Histogram::latency());
+                    map.insert(phase.to_string(), h.clone());
+                    h
+                }
+            }
+        };
+        hist.observe(d);
+    }
+
     /// Copies the instruments into a serializable snapshot using the
     /// same naming scheme (and Prometheus rendering) as the service.
     pub fn snapshot(&self) -> MetricsSnapshot {
@@ -49,6 +72,12 @@ impl GridMetrics {
             "grid_experiment_seconds".to_string(),
             self.experiment_seconds.snapshot(),
         );
+        for (phase, hist) in self.search_phase_seconds.lock().iter() {
+            snapshot.histograms.insert(
+                format!("grid_search_phase_seconds_{phase}"),
+                hist.snapshot(),
+            );
+        }
         snapshot
     }
 }
@@ -286,7 +315,8 @@ pub fn run_study(config: &StudyConfig) -> StudyResults {
                 let mut local: Gathered = Vec::new();
                 while let Some(item) = queue.pop() {
                     let started = Instant::now();
-                    let outcome = run_experiment(
+                    let sink = VecSink::new();
+                    let outcome = run_experiment_traced(
                         item.algorithm,
                         item.bench,
                         &item.gpu,
@@ -295,9 +325,17 @@ pub fn run_study(config: &StudyConfig) -> StudyResults {
                         item.repetition,
                         config.seed,
                         config.noise,
+                        &sink,
                     );
                     metrics.experiment_seconds.observe(started.elapsed());
                     metrics.experiments.inc();
+                    // Fold the repetition's trace into the per-phase time
+                    // breakdown (one observation per phase: this
+                    // experiment's total time in it).
+                    for (phase, stat) in trace::phase_durations(&sink.take()) {
+                        metrics
+                            .observe_phase(&phase, std::time::Duration::from_micros(stat.total_us));
+                    }
                     local.push((
                         CellKey {
                             algorithm: item.algorithm,
@@ -422,6 +460,20 @@ mod tests {
         assert!(after
             .render_prometheus()
             .contains("autotune_grid_experiments"));
+        // Every experiment wraps the final protocol in a span, so its
+        // phase histogram advanced by at least the experiment count.
+        let phase_delta = after
+            .histogram("grid_search_phase_seconds_final_protocol")
+            .unwrap()
+            .count
+            - before
+                .histogram("grid_search_phase_seconds_final_protocol")
+                .map_or(0, |h| h.count);
+        assert!(phase_delta >= expected, "{phase_delta} < {expected}");
+        // The GA half of the grid contributes algorithm phases too.
+        assert!(after
+            .histogram("grid_search_phase_seconds_objective")
+            .is_some());
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! configuration is re-measured 10 times and the median is reported.
 
 use crate::seed;
+use autotune_core::trace::{self, TraceRecord, TraceSink, NULL_SINK};
 use autotune_core::{Algorithm, TuneContext};
 use autotune_space::{imagecl, sample, Configuration};
 use autotune_surrogates::{RandomForest, RandomForestParams};
@@ -52,6 +53,37 @@ pub fn run_experiment(
     study_seed: u64,
     noise: NoiseModel,
 ) -> ExperimentOutcome {
+    run_experiment_traced(
+        algorithm,
+        bench,
+        arch,
+        dataset,
+        sample_size,
+        repetition,
+        study_seed,
+        noise,
+        &NULL_SINK,
+    )
+}
+
+/// [`run_experiment`] with a search-trace sink. Sequential techniques
+/// stream their full flight-recorder trace (trial events, phase spans,
+/// algorithm payloads); the dataset-backed RS and RF protocols emit
+/// protocol-level events instead. All paths wrap the paper's final
+/// 10-repetition protocol in a `final_protocol` span. The sink never
+/// influences the experiment.
+#[allow(clippy::too_many_arguments)] // the experiment's natural coordinates
+pub fn run_experiment_traced(
+    algorithm: Algorithm,
+    bench: Benchmark,
+    arch: &GpuArchitecture,
+    dataset: &Dataset,
+    sample_size: usize,
+    repetition: usize,
+    study_seed: u64,
+    noise: NoiseModel,
+    sink: &dyn TraceSink,
+) -> ExperimentOutcome {
     let seed = seed::experiment_seed(
         study_seed,
         algorithm.name(),
@@ -61,13 +93,14 @@ pub fn run_experiment(
         repetition,
     );
     match algorithm {
-        Algorithm::RandomSearch => run_rs(bench, arch, dataset, sample_size, seed, noise),
-        Algorithm::RandomForest => run_rf(bench, arch, dataset, sample_size, seed, noise),
-        _ => run_sequential(algorithm, bench, arch, sample_size, seed, noise),
+        Algorithm::RandomSearch => run_rs(bench, arch, dataset, sample_size, seed, noise, sink),
+        Algorithm::RandomForest => run_rf(bench, arch, dataset, sample_size, seed, noise, sink),
+        _ => run_sequential(algorithm, bench, arch, sample_size, seed, noise, sink),
     }
 }
 
 /// RS: subdivide the dataset, take the minimum.
+#[allow(clippy::too_many_arguments)] // the experiment's natural coordinates
 fn run_rs(
     bench: Benchmark,
     arch: &GpuArchitecture,
@@ -75,6 +108,7 @@ fn run_rs(
     sample_size: usize,
     seed: u64,
     noise: NoiseModel,
+    sink: &dyn TraceSink,
 ) -> ExperimentOutcome {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let picks: Vec<usize> =
@@ -84,7 +118,22 @@ fn run_rs(
             .collect();
     let best = dataset.min_over(&picks);
     let config = imagecl::space().config_at(best.config_index);
+    trace::point(
+        sink,
+        "dataset_subdivision",
+        &[("size", sample_size as f64), ("min", best.runtime_ms)],
+    );
+    if sink.is_enabled() {
+        sink.emit(TraceRecord::Trial {
+            index: 0,
+            config: config.values().to_vec(),
+            cost: best.runtime_ms,
+            best: best.runtime_ms,
+        });
+    }
+    let final_span = trace::span(sink, "final_protocol");
     let final_ms = final_protocol(bench, arch, &config, seed, noise);
+    final_span.end();
     ExperimentOutcome {
         final_ms,
         config,
@@ -93,6 +142,7 @@ fn run_rs(
 }
 
 /// RF: train on `S - 10` dataset entries, execute the model's top 10.
+#[allow(clippy::too_many_arguments)] // the experiment's natural coordinates
 fn run_rf(
     bench: Benchmark,
     arch: &GpuArchitecture,
@@ -100,6 +150,7 @@ fn run_rf(
     sample_size: usize,
     seed: u64,
     noise: NoiseModel,
+    sink: &dyn TraceSink,
 ) -> ExperimentOutcome {
     let space = imagecl::space();
     let constraint = imagecl::constraint();
@@ -117,14 +168,22 @@ fn run_rf(
         train_x.push(space.to_unit_features(&cfg));
         train_y.push(entry.runtime_ms);
     }
+    let fit_span = trace::span(sink, "surrogate_fit");
     let forest = RandomForest::fit(
         &train_x,
         &train_y,
         &RandomForestParams::default(),
         seed ^ 0xf0f0,
     );
+    fit_span.end();
+    trace::point(
+        sink,
+        "rf_protocol",
+        &[("train", train_n as f64), ("verify", verify as f64)],
+    );
 
     // Rank a fresh feasible candidate pool; run the top `verify`.
+    let rank_span = trace::span(sink, "acquisition");
     let mut candidates: Vec<Configuration> = (0..2048)
         .map(|_| sample::constrained(&space, &constraint, &mut rng))
         .collect();
@@ -135,17 +194,30 @@ fn run_rf(
             .expect("finite predictions")
     });
     candidates.dedup();
+    rank_span.end();
 
     let mut sim = SimulatedKernel::with_noise(bench.model(), arch.clone(), noise, seed ^ 0xabcd);
     let mut best: Option<(f64, Configuration)> = None;
-    for cfg in candidates.into_iter().take(verify) {
+    for (index, cfg) in candidates.into_iter().take(verify).enumerate() {
+        let obj_span = trace::span(sink, "objective");
         let t = sim.measure(&cfg);
+        obj_span.end();
         if best.as_ref().is_none_or(|(b, _)| t < *b) {
-            best = Some((t, cfg));
+            best = Some((t, cfg.clone()));
+        }
+        if sink.is_enabled() {
+            sink.emit(TraceRecord::Trial {
+                index,
+                config: cfg.values().to_vec(),
+                cost: t,
+                best: best.as_ref().expect("just set").0,
+            });
         }
     }
     let (_, config) = best.expect("at least one verification run");
+    let final_span = trace::span(sink, "final_protocol");
     let final_ms = final_protocol(bench, arch, &config, seed, noise);
+    final_span.end();
     ExperimentOutcome {
         final_ms,
         config,
@@ -161,12 +233,13 @@ fn run_sequential(
     sample_size: usize,
     seed: u64,
     noise: NoiseModel,
+    sink: &dyn TraceSink,
 ) -> ExperimentOutcome {
     let space = imagecl::space();
     let constraint = imagecl::constraint();
     let mut sim = SimulatedKernel::with_noise(bench.model(), arch.clone(), noise, seed);
 
-    let ctx = TuneContext::new(&space, sample_size, seed);
+    let ctx = TuneContext::new(&space, sample_size, seed).with_trace(sink);
     // Paper §V-C: constraint specification only for non-SMBO methods.
     let ctx = if algorithm.is_smbo() {
         ctx
@@ -178,7 +251,9 @@ fn run_sequential(
         algorithm.tuner().tune(&ctx, &mut objective)
     };
     let search_samples = sim.evaluations();
+    let final_span = trace::span(sink, "final_protocol");
     let final_ms = final_protocol(bench, arch, &result.best.config, seed, noise);
+    final_span.end();
     ExperimentOutcome {
         final_ms,
         config: result.best.config,
@@ -304,6 +379,55 @@ mod tests {
             );
             assert_eq!(o.search_samples, 25, "{}", algo.name());
             assert!(o.final_ms > 0.0);
+        }
+    }
+
+    #[test]
+    fn traced_experiments_match_untraced_and_record_every_trial() {
+        use autotune_core::trace::{trial_count, VecSink};
+        let ds = dataset();
+        let a = arch::gtx_980();
+        for algo in [
+            Algorithm::RandomSearch,
+            Algorithm::RandomForest,
+            Algorithm::GeneticAlgorithm,
+        ] {
+            let plain = run_experiment(
+                algo,
+                Benchmark::Add,
+                &a,
+                &ds,
+                25,
+                0,
+                7,
+                NoiseModel::study_default(),
+            );
+            let sink = VecSink::new();
+            let traced = run_experiment_traced(
+                algo,
+                Benchmark::Add,
+                &a,
+                &ds,
+                25,
+                0,
+                7,
+                NoiseModel::study_default(),
+                &sink,
+            );
+            assert_eq!(plain.final_ms, traced.final_ms, "{}", algo.name());
+            assert_eq!(plain.config, traced.config, "{}", algo.name());
+            let events = sink.take();
+            let expected_trials = match algo {
+                Algorithm::RandomSearch => 1,  // the dataset minimum
+                Algorithm::RandomForest => 10, // the verification runs
+                _ => 25,                       // one per budget unit
+            };
+            assert_eq!(trial_count(&events), expected_trials, "{}", algo.name());
+            assert!(
+                events.iter().any(|e| e.record.name() == "final_protocol"),
+                "{} missing final_protocol span",
+                algo.name()
+            );
         }
     }
 

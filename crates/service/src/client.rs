@@ -5,6 +5,7 @@ use crate::metrics::MetricsSnapshot;
 use crate::protocol::{Request, Response};
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
+use autotune_core::trace::TraceEvent;
 use autotune_core::TuneResult;
 use autotune_space::Configuration;
 use std::io::{BufRead, BufReader, BufWriter, Write};
@@ -116,6 +117,19 @@ impl Client {
         })?;
         match reply {
             Response::Stats { stats } => Ok(stats),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Fetches every search-trace event `name`'s tuner has emitted so
+    /// far: per-trial events, phase spans, and algorithm-internal
+    /// payloads, in emission order.
+    pub fn trace(&mut self, name: &str) -> Result<Vec<TraceEvent>, ServiceError> {
+        let reply = self.call(&Request::Trace {
+            name: name.to_string(),
+        })?;
+        match reply {
+            Response::Trace { events } => Ok(events),
             other => Err(Self::unexpected(&other)),
         }
     }
@@ -257,6 +271,37 @@ mod tests {
         let rendered = snapshot.render_prometheus();
         assert!(rendered.contains("autotune_server_requests"));
         assert!(rendered.contains("autotune_server_dispatch_seconds_bucket"));
+    }
+
+    #[test]
+    fn client_fetches_trace_event_streams() {
+        use autotune_core::trace::TraceRecord;
+        let manager = Arc::new(SessionManager::in_memory());
+        let server = TunedServer::spawn("127.0.0.1:0", manager).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.open("tr", toy_spec(6, 11)).unwrap();
+        for _ in 0..2 {
+            match client.suggest("tr").unwrap() {
+                RemoteSuggestion::Evaluate(cfg) => client.report("tr", objective(&cfg)).unwrap(),
+                RemoteSuggestion::Finished(_) => panic!("budget not spent"),
+            }
+        }
+        // The 3rd suggest synchronizes with the engine: both completed
+        // trials are then visible over the wire.
+        let _ = client.suggest("tr").unwrap();
+        let events = client.trace("tr").unwrap();
+        let trials = events
+            .iter()
+            .filter(|e| matches!(e.record, TraceRecord::Trial { .. }))
+            .count();
+        assert_eq!(trials, 2);
+        assert!(events
+            .iter()
+            .any(|e| matches!(&e.record, TraceRecord::SpanBegin { name } if name == "objective")));
+        assert!(matches!(
+            client.trace("ghost"),
+            Err(ServiceError::Remote { .. })
+        ));
     }
 
     #[test]

@@ -19,13 +19,79 @@
 //! ([`crate::journal`]) exploits this for crash recovery.
 
 use crate::error::ServiceError;
+use crate::metrics::ServiceMetrics;
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
+use autotune_core::trace::{TraceEvent, TraceRecord, TraceSink};
 use autotune_core::{Evaluation, TuneResult};
 use autotune_space::{Configuration, Constraint};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use std::sync::{Arc, Mutex};
 use std::thread;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// The trace sink the engine installs on every session's
+/// [`TuneContext`](autotune_core::TuneContext): stamps timestamps,
+/// retains every event for the `trace` protocol op, and — when the
+/// session carries the shared [`ServiceMetrics`] — feeds completed span
+/// durations into the `search_phase_seconds_{phase}` histograms, so one
+/// Prometheus scrape covers engine and algorithm time alike.
+#[derive(Debug)]
+struct EngineTraceSink {
+    start: Instant,
+    metrics: Option<Arc<ServiceMetrics>>,
+    state: Mutex<TraceState>,
+}
+
+#[derive(Debug, Default)]
+struct TraceState {
+    events: Vec<TraceEvent>,
+    /// Open spans as (name, begin timestamp µs), innermost last.
+    open: Vec<(String, u64)>,
+    /// Events already handed out by `drain` (journaling cursor).
+    drained: usize,
+}
+
+impl EngineTraceSink {
+    fn new(metrics: Option<Arc<ServiceMetrics>>) -> Self {
+        EngineTraceSink {
+            start: Instant::now(),
+            metrics,
+            state: Mutex::new(TraceState::default()),
+        }
+    }
+
+    fn events(&self) -> Vec<TraceEvent> {
+        self.state.lock().expect("trace lock").events.clone()
+    }
+
+    fn drain(&self) -> Vec<TraceEvent> {
+        let mut st = self.state.lock().expect("trace lock");
+        let fresh = st.events[st.drained..].to_vec();
+        st.drained = st.events.len();
+        fresh
+    }
+}
+
+impl TraceSink for EngineTraceSink {
+    fn emit(&self, record: TraceRecord) {
+        let t_us = self.start.elapsed().as_micros() as u64;
+        let mut st = self.state.lock().expect("trace lock");
+        match &record {
+            TraceRecord::SpanBegin { name } => st.open.push((name.clone(), t_us)),
+            TraceRecord::SpanEnd { name } => {
+                if let Some(pos) = st.open.iter().rposition(|(n, _)| n == name) {
+                    let (_, begun) = st.open.remove(pos);
+                    if let Some(m) = &self.metrics {
+                        m.observe_phase(name, Duration::from_micros(t_us.saturating_sub(begun)));
+                    }
+                }
+            }
+            _ => {}
+        }
+        st.events.push(TraceEvent { t_us, record });
+    }
+}
 
 /// Messages the engine thread sends to the session facade.
 enum EngineEvent {
@@ -63,6 +129,7 @@ pub struct AskTellSession {
     feasibility: Option<Box<dyn Constraint>>,
     pending: Option<Configuration>,
     result: Option<Box<TuneResult>>,
+    trace: Arc<EngineTraceSink>,
     suggests: u64,
     report_count: u64,
     replayed: u64,
@@ -75,10 +142,22 @@ pub struct AskTellSession {
 impl AskTellSession {
     /// Validates the spec and starts the tuner on its own thread.
     pub fn open(spec: SessionSpec) -> Result<Self, ServiceError> {
+        Self::open_with_metrics(spec, None)
+    }
+
+    /// [`AskTellSession::open`] with a shared metrics registry: completed
+    /// search-phase spans are observed into its `search_phase_seconds`
+    /// histograms as the tuner runs.
+    pub fn open_with_metrics(
+        spec: SessionSpec,
+        metrics: Option<Arc<ServiceMetrics>>,
+    ) -> Result<Self, ServiceError> {
         spec.validate()?;
         let (event_tx, event_rx) = bounded::<EngineEvent>(0);
         let (report_tx, report_rx) = bounded::<f64>(0);
         let engine_spec = spec.clone();
+        let trace = Arc::new(EngineTraceSink::new(metrics));
+        let engine_trace = trace.clone();
         let worker = thread::Builder::new()
             .name("ask-tell-engine".into())
             .spawn(move || {
@@ -95,7 +174,8 @@ impl AskTellSession {
                         Err(_) => std::panic::resume_unwind(Box::new(Cancelled)),
                     }
                 };
-                let result = tuner.tune(&setup.context(), &mut objective);
+                let ctx = setup.context().with_trace(engine_trace.as_ref());
+                let result = tuner.tune(&ctx, &mut objective);
                 let _ = event_tx.send(EngineEvent::Done(Box::new(result)));
             })
             .map_err(ServiceError::Io)?;
@@ -107,6 +187,7 @@ impl AskTellSession {
             worker: Some(worker),
             pending: None,
             result: None,
+            trace,
             suggests: 0,
             report_count: 0,
             replayed: 0,
@@ -128,7 +209,19 @@ impl AskTellSession {
     /// journal) and [`ServiceError::ReplayOverrun`] if the journal holds
     /// more evaluations than the budget.
     pub fn replay(spec: SessionSpec, evals: &[Evaluation]) -> Result<Self, ServiceError> {
-        let mut session = Self::open(spec)?;
+        Self::replay_with_metrics(spec, evals, None)
+    }
+
+    /// [`AskTellSession::replay`] with a shared metrics registry, like
+    /// [`AskTellSession::open_with_metrics`]. Traces regenerate
+    /// deterministically during the replay, so a recovered session's
+    /// event stream covers the whole run, not just the tail.
+    pub fn replay_with_metrics(
+        spec: SessionSpec,
+        evals: &[Evaluation],
+        metrics: Option<Arc<ServiceMetrics>>,
+    ) -> Result<Self, ServiceError> {
+        let mut session = Self::open_with_metrics(spec, metrics)?;
         for eval in evals {
             match session.suggest()? {
                 Suggestion::Evaluate(cfg) => {
@@ -226,6 +319,21 @@ impl AskTellSession {
             self.best = Some(Evaluation { config: cfg, value });
         }
         Ok(())
+    }
+
+    /// Every trace event the tuner has emitted so far (timestamps are
+    /// microseconds since the session opened). Safe to call while the
+    /// engine is parked mid-evaluation.
+    pub fn trace_events(&self) -> Vec<TraceEvent> {
+        self.trace.events()
+    }
+
+    /// Trace events emitted since the previous `drain_trace` call — the
+    /// journal layer appends these batches incrementally so a crash
+    /// loses at most the current batch (and replay regenerates even
+    /// that).
+    pub fn drain_trace(&self) -> Vec<TraceEvent> {
+        self.trace.drain()
     }
 
     /// Snapshot of the session's observability counters.
@@ -510,6 +618,59 @@ mod tests {
         // 256-thread cap, but no particular draw is guaranteed to, so
         // only check the counter stays consistent.
         assert!(stats.infeasible <= stats.suggests);
+    }
+
+    #[test]
+    fn sessions_capture_trial_events_and_drain_incrementally() {
+        let mut session = AskTellSession::open(toy_spec(Algorithm::RandomSearch, 6, 21)).unwrap();
+        for _ in 0..3 {
+            match session.suggest().unwrap() {
+                Suggestion::Evaluate(cfg) => session.report(objective(&cfg)).unwrap(),
+                Suggestion::Finished(_) => panic!("budget not spent yet"),
+            }
+        }
+        // The 4th suggestion is the synchronization point: once the
+        // engine has asked again, the 3rd trial event is definitely in.
+        let pending = match session.suggest().unwrap() {
+            Suggestion::Evaluate(cfg) => cfg,
+            Suggestion::Finished(_) => panic!("budget not spent yet"),
+        };
+        let trials = |evs: &[TraceEvent]| {
+            evs.iter()
+                .filter(|e| matches!(e.record, TraceRecord::Trial { .. }))
+                .count()
+        };
+        let first = session.drain_trace();
+        assert_eq!(trials(&first), 3);
+        session.report(objective(&pending)).unwrap();
+        drive(&mut session);
+        let rest = session.drain_trace();
+        assert_eq!(trials(&rest), 3);
+        assert!(session.drain_trace().is_empty());
+        // The full stream stays available and is monotone in time.
+        let all = session.trace_events();
+        assert_eq!(trials(&all), 6);
+        assert!(all.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+    }
+
+    #[test]
+    fn span_durations_feed_the_shared_phase_histograms() {
+        let metrics = Arc::new(ServiceMetrics::new());
+        let mut session = AskTellSession::open_with_metrics(
+            toy_spec(Algorithm::BoGp, 14, 22),
+            Some(metrics.clone()),
+        )
+        .unwrap();
+        drive(&mut session);
+        let snapshot = metrics.snapshot();
+        let objective_phase = snapshot
+            .histograms
+            .get("search_phase_seconds_objective")
+            .expect("objective phase histogram");
+        assert_eq!(objective_phase.count, 14);
+        assert!(snapshot
+            .histograms
+            .contains_key("search_phase_seconds_surrogate_fit"));
     }
 
     #[test]

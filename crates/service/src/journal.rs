@@ -22,12 +22,18 @@
 
 use crate::error::ServiceError;
 use crate::spec::SessionSpec;
+use autotune_core::trace::TraceEvent;
 use autotune_core::Evaluation;
 use autotune_space::Configuration;
 use serde::{Deserialize, Serialize};
 use std::fs::{File, OpenOptions};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::path::{Path, PathBuf};
+
+// The durability knob now lives in `autotune_core::trace` so the
+// core's JSONL trace sink and this journal share one vocabulary; the
+// re-export keeps every existing `journal::Durability` path working.
+pub use autotune_core::trace::Durability;
 
 /// One line of a session journal.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -47,28 +53,19 @@ pub enum Record {
         /// The reported cost.
         value: f64,
     },
+    /// A batch of search-trace events drained from the session's
+    /// engine (appended alongside `eval` lines when tracing is on;
+    /// purely informational — replay regenerates traces
+    /// deterministically, so recovery never depends on these).
+    Trace {
+        /// The drained events, in emission order.
+        events: Vec<TraceEvent>,
+    },
     /// Final line: the session was closed deliberately.
     Close {
         /// `true` when the budget was spent before closing.
         finished: bool,
     },
-}
-
-/// How hard an append pushes a record toward stable storage.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
-#[serde(rename_all = "snake_case")]
-pub enum Durability {
-    /// `flush` + `sync_data` after every append: the record is on disk
-    /// when the call returns and survives an OS crash or power loss.
-    /// The default for session journals, whose write-ahead promise is
-    /// the whole point.
-    #[default]
-    Sync,
-    /// `flush` only: the record is handed to the OS page cache, which
-    /// survives a process crash but not a kernel panic. The right trade
-    /// for hot bulk writers (the experiments grid) where one fsync per
-    /// record would dominate the workload.
-    Buffered,
 }
 
 /// Appends records to a session's journal file, one JSON object per
@@ -162,6 +159,15 @@ impl JournalWriter {
     pub fn append_close(&mut self, finished: bool) -> Result<(), ServiceError> {
         self.append(&Record::Close { finished })
     }
+
+    /// Appends a batch of drained search-trace events. No-op for an
+    /// empty batch so callers can drain unconditionally.
+    pub fn append_trace(&mut self, events: Vec<TraceEvent>) -> Result<(), ServiceError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        self.append(&Record::Trace { events })
+    }
 }
 
 /// Everything recovered from a journal file.
@@ -173,6 +179,10 @@ pub struct JournalContents {
     pub spec: SessionSpec,
     /// All fully-written evaluations, in report order.
     pub evals: Vec<Evaluation>,
+    /// Search-trace events from all `trace` batches, in order. Recovery
+    /// ignores these (replay regenerates the trace); they exist for
+    /// post-hoc inspection of journals from crashed sessions.
+    pub traces: Vec<TraceEvent>,
     /// `true` when a `close` line marks the session deliberately ended.
     pub closed: bool,
 }
@@ -208,6 +218,7 @@ pub fn load(path: &Path) -> Result<JournalContents, ServiceError> {
                     name,
                     spec,
                     evals: Vec::new(),
+                    traces: Vec::new(),
                     closed: false,
                 });
             }
@@ -230,6 +241,9 @@ pub fn load(path: &Path) -> Result<JournalContents, ServiceError> {
             }
             (Record::Eval { config, value }, Some(c)) => {
                 c.evals.push(Evaluation { config, value });
+            }
+            (Record::Trace { events }, Some(c)) => {
+                c.traces.extend(events);
             }
             (Record::Close { .. }, Some(c)) => {
                 c.closed = true;
@@ -406,6 +420,40 @@ mod tests {
             serde_json::from_str::<Durability>("\"sync\"").unwrap(),
             Durability::Sync
         );
+    }
+
+    #[test]
+    fn trace_batches_round_trip_and_do_not_disturb_recovery() {
+        use autotune_core::trace::TraceRecord;
+        let path = temp_journal("trace");
+        let mut w = JournalWriter::create(&path, "s8", &spec()).unwrap();
+        w.append_eval(&Configuration::from([1, 2, 3, 4, 5, 6]), 2.0)
+            .unwrap();
+        w.append_trace(Vec::new()).unwrap(); // no-op
+        w.append_trace(vec![
+            TraceEvent {
+                t_us: 10,
+                record: TraceRecord::SpanBegin {
+                    name: "objective".into(),
+                },
+            },
+            TraceEvent {
+                t_us: 55,
+                record: TraceRecord::SpanEnd {
+                    name: "objective".into(),
+                },
+            },
+        ])
+        .unwrap();
+        w.append_close(false).unwrap();
+        drop(w);
+
+        let c = load(&path).unwrap();
+        assert_eq!(c.evals.len(), 1);
+        assert_eq!(c.traces.len(), 2);
+        assert_eq!(c.traces[1].t_us, 55);
+        assert!(c.closed);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

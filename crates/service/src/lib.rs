@@ -26,6 +26,13 @@
 //!   reaping, graceful drain) and instrumented end to end — the
 //!   [`metrics`] module's std-only counters and latency histograms are
 //!   scrapeable over the wire and render as Prometheus text.
+//! * Every session carries the core flight recorder
+//!   ([`autotune_core::trace`]): per-trial events and phase spans stream
+//!   into the journal, completed spans feed the
+//!   `search_phase_seconds_{phase}` histograms, and the `trace` protocol
+//!   op serves the full event stream to clients
+//!   ([`Client::trace`]). Traces are observational — recovery replay
+//!   regenerates them deterministically and never reads them back.
 //!
 //! # Example
 //!

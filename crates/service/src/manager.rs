@@ -185,7 +185,7 @@ impl SessionManager {
             )?),
             None => None,
         };
-        let session = AskTellSession::open(spec)?;
+        let session = AskTellSession::open_with_metrics(spec, Some(Arc::clone(&self.metrics)))?;
         sessions.insert(
             name.to_string(),
             Arc::new(Mutex::new(Managed { session, journal })),
@@ -215,7 +215,11 @@ impl SessionManager {
                 contents.name
             )));
         }
-        let session = AskTellSession::replay(contents.spec, &contents.evals)?;
+        let session = AskTellSession::replay_with_metrics(
+            contents.spec,
+            &contents.evals,
+            Some(Arc::clone(&self.metrics)),
+        )?;
         self.served_suggests
             .fetch_add(contents.evals.len() as u64, Ordering::Relaxed);
         self.served_reports
@@ -298,12 +302,29 @@ impl SessionManager {
             self.metrics.journal_appends.inc();
         }
         guard.session.report(value)?;
+        // Persist the trace events that have accumulated since the last
+        // batch. Informational records: replay regenerates them, so a
+        // crash between report and trace append loses nothing.
+        let batch = guard.session.drain_trace();
+        if !batch.is_empty() {
+            if let Some(journal) = &mut guard.journal {
+                journal.append_trace(batch)?;
+                self.metrics.journal_trace_batches.inc();
+            }
+        }
         self.metrics
             .engine_report_seconds
             .observe(started.elapsed());
         self.metrics.engine_reports.inc();
         self.served_reports.fetch_add(1, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// Every trace event the named session's tuner has emitted so far
+    /// (regenerated from the start on a recovered session, because
+    /// replay re-runs the algorithm deterministically).
+    pub fn trace(&self, name: &str) -> Result<Vec<autotune_core::TraceEvent>, ServiceError> {
+        Ok(self.lookup(name)?.lock().session.trace_events())
     }
 
     /// Observability snapshot for one session.
@@ -321,7 +342,15 @@ impl SessionManager {
             .ok_or_else(|| ServiceError::UnknownSession(name.to_string()))?;
         let mut guard = managed.lock();
         let result = guard.session.shutdown();
+        // The engine thread is joined now, so this final drain captures
+        // every event; it must land before the close record (nothing may
+        // follow a close in the journal).
+        let batch = guard.session.drain_trace();
         if let Some(journal) = &mut guard.journal {
+            if !batch.is_empty() {
+                journal.append_trace(batch)?;
+                self.metrics.journal_trace_batches.inc();
+            }
             journal.append_close(result.is_some())?;
             self.metrics.journal_appends.inc();
         }
@@ -656,6 +685,32 @@ mod tests {
         assert_eq!(snap.counter("journal_appends"), Some(5));
         assert_eq!(snap.histogram("engine_suggest_seconds").unwrap().count, 4);
         assert_eq!(snap.histogram("journal_append_seconds").unwrap().count, 4);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_covers_the_whole_run_after_recovery() {
+        let dir = temp_dir("trace");
+        {
+            let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+            mgr.open("run", toy_spec(10, 4)).unwrap();
+            drive_rounds(&mgr, "run", 4);
+        } // crash
+        let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+        mgr.recover("run").unwrap();
+        // Replay regenerated the first 4 trials deterministically; the
+        // next suggest synchronizes with the engine, so all 4 are in.
+        let _ = mgr.suggest("run").unwrap();
+        let events = mgr.trace("run").unwrap();
+        let trials = events
+            .iter()
+            .filter(|e| matches!(e.record, autotune_core::TraceRecord::Trial { .. }))
+            .count();
+        assert_eq!(trials, 4);
+        assert!(matches!(
+            mgr.trace("missing"),
+            Err(ServiceError::UnknownSession(_))
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

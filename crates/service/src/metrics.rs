@@ -17,6 +17,7 @@
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 /// A monotonically increasing event count.
@@ -235,12 +236,37 @@ pub struct ServiceMetrics {
     pub journal_replayed_evals: Counter,
     /// Latency of one durable journal append.
     pub journal_append_seconds: Histogram,
+    /// Trace-event batches appended to journals.
+    pub journal_trace_batches: Counter,
+    /// Per-phase histograms of algorithm-internal span durations
+    /// (`surrogate_fit`, `acquisition`, `objective`, …), fed by the
+    /// engine's trace sink. Dynamic because the phase vocabulary is
+    /// algorithm-dependent; snapshotted as
+    /// `search_phase_seconds_{phase}` so one Prometheus scrape covers
+    /// engine *and* algorithm time.
+    search_phase_seconds: Mutex<BTreeMap<String, Arc<Histogram>>>,
 }
 
 impl ServiceMetrics {
     /// A zeroed registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Records the duration of one completed search phase span.
+    pub fn observe_phase(&self, phase: &str, d: Duration) {
+        let hist = {
+            let mut map = self.search_phase_seconds.lock().expect("metrics lock");
+            match map.get(phase) {
+                Some(h) => h.clone(),
+                None => {
+                    let h = Arc::new(Histogram::latency());
+                    map.insert(phase.to_string(), h.clone());
+                    h
+                }
+            }
+        };
+        hist.observe(d);
     }
 
     /// Copies every instrument into a serializable snapshot.
@@ -299,6 +325,11 @@ impl ServiceMetrics {
             "journal_replayed_evals",
             &self.journal_replayed_evals,
         );
+        c(
+            &mut counters,
+            "journal_trace_batches",
+            &self.journal_trace_batches,
+        );
         histograms.insert(
             "server_dispatch_seconds".to_string(),
             self.dispatch_seconds.snapshot(),
@@ -315,6 +346,14 @@ impl ServiceMetrics {
             "journal_append_seconds".to_string(),
             self.journal_append_seconds.snapshot(),
         );
+        for (phase, hist) in self
+            .search_phase_seconds
+            .lock()
+            .expect("metrics lock")
+            .iter()
+        {
+            histograms.insert(format!("search_phase_seconds_{phase}"), hist.snapshot());
+        }
         MetricsSnapshot {
             counters,
             histograms,
@@ -380,6 +419,29 @@ mod tests {
             lines += 1;
         }
         assert!(lines > 20);
+    }
+
+    #[test]
+    fn phase_histograms_appear_in_snapshot_with_prefix() {
+        let m = ServiceMetrics::new();
+        m.observe_phase("surrogate_fit", Duration::from_millis(3));
+        m.observe_phase("surrogate_fit", Duration::from_millis(7));
+        m.observe_phase("acquisition", Duration::from_micros(40));
+        let snap = m.snapshot();
+        assert_eq!(
+            snap.histogram("search_phase_seconds_surrogate_fit")
+                .unwrap()
+                .count,
+            2
+        );
+        assert_eq!(
+            snap.histogram("search_phase_seconds_acquisition")
+                .unwrap()
+                .count,
+            1
+        );
+        let text = snap.render_prometheus();
+        assert!(text.contains("autotune_search_phase_seconds_surrogate_fit_count 2"));
     }
 
     #[test]

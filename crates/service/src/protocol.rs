@@ -3,7 +3,7 @@
 //! Each request is one JSON object on one line, tagged by `"op"`; each
 //! reply is one JSON object on one line, tagged by `"reply"`. Requests
 //! are answered in order on the connection that sent them. The protocol
-//! is deliberately minimal — five operations mirroring the
+//! is deliberately minimal — six operations mirroring the
 //! [`SessionManager`](crate::SessionManager) surface plus a server-wide
 //! `metrics` scrape:
 //!
@@ -16,6 +16,8 @@
 //! <- {"reply":"reported"}
 //! -> {"op":"stats","name":"run"}
 //! <- {"reply":"stats","stats":{...}}
+//! -> {"op":"trace","name":"run"}
+//! <- {"reply":"trace","events":[{"t_us":412,"kind":"trial","index":0,...},...]}
 //! -> {"op":"metrics"}
 //! <- {"reply":"metrics","metrics":{"counters":{...},"histograms":{...}}}
 //! -> {"op":"close","name":"run"}
@@ -45,6 +47,7 @@ use crate::error::{ErrorCode, ServiceError};
 use crate::metrics::MetricsSnapshot;
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
+use autotune_core::trace::TraceEvent;
 use autotune_core::TuneResult;
 use autotune_space::Configuration;
 use serde::{Deserialize, Serialize};
@@ -74,6 +77,12 @@ pub enum Request {
     },
     /// Fetch the session's observability counters.
     Stats {
+        /// The target session.
+        name: String,
+    },
+    /// Fetch every search-trace event the session's tuner has emitted
+    /// so far (per-trial events, phase spans, algorithm payloads).
+    Trace {
         /// The target session.
         name: String,
     },
@@ -109,6 +118,12 @@ pub enum Response {
     Stats {
         /// The session's counters.
         stats: SessionStats,
+    },
+    /// Answer to `trace`.
+    Trace {
+        /// The session's trace-event stream, in emission order
+        /// (timestamps are microseconds since the session opened).
+        events: Vec<TraceEvent>,
     },
     /// Answer to `metrics`.
     Metrics {
@@ -238,5 +253,44 @@ mod tests {
             serde_json::from_str::<Request>(line).unwrap(),
             Request::Metrics
         );
+        let line = r#"{"op":"trace","name":"run"}"#;
+        assert_eq!(
+            serde_json::from_str::<Request>(line).unwrap(),
+            Request::Trace { name: "run".into() }
+        );
+    }
+
+    #[test]
+    fn trace_replies_round_trip_with_event_payloads() {
+        use autotune_core::trace::TraceRecord;
+        let reply = Response::Trace {
+            events: vec![
+                TraceEvent {
+                    t_us: 10,
+                    record: TraceRecord::SpanBegin {
+                        name: "objective".into(),
+                    },
+                },
+                TraceEvent {
+                    t_us: 52,
+                    record: TraceRecord::Trial {
+                        index: 0,
+                        config: vec![4, 1, 2],
+                        cost: 12.25,
+                        best: 12.25,
+                    },
+                },
+            ],
+        };
+        let json = serde_json::to_string(&reply).unwrap();
+        assert!(json.contains("\"reply\":\"trace\""));
+        assert!(json.contains("\"kind\":\"trial\""));
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Trace { events } => {
+                assert_eq!(events.len(), 2);
+                assert_eq!(events[1].t_us, 52);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 }

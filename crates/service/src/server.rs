@@ -550,6 +550,9 @@ fn dispatch(request: Request, manager: &SessionManager) -> Response {
             manager.report(&name, value).map(|()| Response::Reported)
         }
         Request::Stats { name } => manager.stats(&name).map(|stats| Response::Stats { stats }),
+        Request::Trace { name } => manager
+            .trace(&name)
+            .map(|events| Response::Trace { events }),
         Request::Metrics => Ok(Response::Metrics {
             metrics: manager.metrics().snapshot(),
         }),

@@ -1,0 +1,122 @@
+//! End-to-end: the `trace` protocol op over TCP, including after a
+//! crash-recovery replay of a journaled session.
+//!
+//! The scenario mirrors a real deployment: a server journals a session,
+//! the process "crashes" (manager dropped without close), a fresh
+//! manager recovers the session from its journal, and a client asks the
+//! new server for the session's trace. Because recovery replays the
+//! algorithm deterministically, the served event stream covers the
+//! *whole* run — including the trials measured before the crash.
+
+use autotune_core::trace::TraceRecord;
+use autotune_core::Algorithm;
+use autotune_service::{
+    Client, RemoteSuggestion, SessionManager, SessionSpec, Suggestion, TunedServer,
+};
+use autotune_space::Configuration;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "autotune-trace-e2e-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+fn objective(cfg: &Configuration) -> f64 {
+    cfg.values().iter().map(|&v| (v as f64 - 3.0).abs()).sum()
+}
+
+#[test]
+fn trace_op_serves_full_stream_after_crash_recovery() {
+    let dir = temp_dir("recovery");
+    let spec = SessionSpec::imagecl(Algorithm::GeneticAlgorithm, 12, 77);
+
+    // Phase 1: journaled run, crash after 5 reports (no close record).
+    {
+        let manager = SessionManager::with_journal_dir(&dir).unwrap();
+        manager.open("run", spec.clone()).unwrap();
+        for _ in 0..5 {
+            match manager.suggest("run").unwrap() {
+                Suggestion::Evaluate(cfg) => manager.report("run", objective(&cfg)).unwrap(),
+                Suggestion::Finished(_) => panic!("budget not spent yet"),
+            }
+        }
+    } // manager dropped: the crash
+
+    // Phase 2: fresh manager recovers from the journal, server starts.
+    let manager = Arc::new(SessionManager::with_journal_dir(&dir).unwrap());
+    let (recovered, skipped) = manager.recover_all().unwrap();
+    assert_eq!(recovered, vec!["run".to_string()]);
+    assert!(skipped.is_empty());
+    let server = TunedServer::spawn("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    // One suggest over the wire synchronizes with the engine: every
+    // replayed trial event is then in the stream.
+    let pending = match client.suggest("run").unwrap() {
+        RemoteSuggestion::Evaluate(cfg) => cfg,
+        RemoteSuggestion::Finished(_) => panic!("budget not spent yet"),
+    };
+    let events = client.trace("run").unwrap();
+    let trial_count = events
+        .iter()
+        .filter(|e| matches!(e.record, TraceRecord::Trial { .. }))
+        .count();
+    assert_eq!(
+        trial_count, 5,
+        "replay must regenerate the pre-crash trials"
+    );
+    // The stream carries the Recorder's objective spans with monotone
+    // timestamps.
+    assert!(events
+        .iter()
+        .any(|e| matches!(&e.record, TraceRecord::SpanBegin { name } if name == "objective")));
+    assert!(events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+
+    // Phase 3: finish the run over the wire; the final trace covers the
+    // full budget and the trial costs match what was reported.
+    client.report("run", objective(&pending)).unwrap();
+    let mut reported = 6usize;
+    loop {
+        match client.suggest("run").unwrap() {
+            RemoteSuggestion::Evaluate(cfg) => {
+                client.report("run", objective(&cfg)).unwrap();
+                reported += 1;
+            }
+            RemoteSuggestion::Finished(result) => {
+                assert_eq!(result.history.len(), 12);
+                break;
+            }
+        }
+    }
+    assert_eq!(reported, 12);
+    let events = client.trace("run").unwrap();
+    let trials: Vec<f64> = events
+        .iter()
+        .filter_map(|e| match &e.record {
+            TraceRecord::Trial { cost, .. } => Some(*cost),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(trials.len(), 12);
+    // GA's algorithm-specific payload: the initial-population point,
+    // emitted once the founding chromosomes are evaluated.
+    assert!(events.iter().any(|e| e.record.name() == "init_population"));
+    client.close("run").unwrap();
+
+    // The journal holds the informational trace batches alongside the
+    // evals; loading it back must not disturb recovery semantics.
+    let contents = autotune_service::journal::load(&dir.join("run.jsonl")).unwrap();
+    assert!(contents.closed);
+    assert_eq!(contents.evals.len(), 12);
+    assert!(
+        !contents.traces.is_empty(),
+        "trace batches must be journaled"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}

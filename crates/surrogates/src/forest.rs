@@ -95,6 +95,13 @@ impl RandomForest {
         self.trees.len()
     }
 
+    /// Depth of the deepest tree in the ensemble — a capacity indicator
+    /// search-trace consumers use to watch the forest grow with the
+    /// training set.
+    pub fn max_depth(&self) -> usize {
+        self.trees.iter().map(|t| t.depth()).max().unwrap_or(0)
+    }
+
     /// `true` if the forest has no trees (unreachable via `fit`).
     pub fn is_empty(&self) -> bool {
         self.trees.is_empty()

@@ -53,7 +53,10 @@ pub use gpu_sim as sim;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use autotune_core::{Algorithm, Objective, TuneContext, TuneResult, Tuner};
+    pub use autotune_core::{
+        Algorithm, JsonlSink, Objective, TraceEvent, TraceRecord, TraceSink, TuneContext,
+        TuneResult, Tuner, VecSink,
+    };
     pub use autotune_service::{
         AskTellSession, Client, Durability, ErrorCode, MetricsSnapshot, ServerConfig,
         SessionManager, SessionSpec, SpaceSpec, Suggestion, TunedServer,
