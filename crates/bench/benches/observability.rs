@@ -1,0 +1,113 @@
+//! Observatory overhead: per-observation cost of the streaming
+//! estimators and the price of one metrics time-series sample.
+//!
+//! The streaming module exists so the study monitor can fold every
+//! finished repetition in on the worker threads' critical path —
+//! these groups keep that cost honest (nanoseconds per push, not
+//! microseconds), and `tsdb/sample` prices the `tuned` sampler tick.
+
+use autotune_service::ServiceMetrics;
+use autotune_stats::{Alternative, Extrema, P2Quantile, StreamingMwu, Welford};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// A reproducible observation stream with ties (one-decimal values).
+fn observations(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| (rng.gen_range(0.0..400.0_f64) * 10.0).round() / 10.0)
+        .collect()
+}
+
+fn bench_streaming_estimators(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let values = observations(N, 7);
+    let mut g = c.benchmark_group("observability/streaming_push");
+    g.throughput(Throughput::Elements(N as u64));
+
+    g.bench_function("welford", |b| {
+        b.iter(|| {
+            let mut w = Welford::new();
+            for &v in &values {
+                w.push(v);
+            }
+            black_box((w.mean(), w.variance()))
+        })
+    });
+    g.bench_function("extrema", |b| {
+        b.iter(|| {
+            let mut e = Extrema::new();
+            for &v in &values {
+                e.push(v);
+            }
+            black_box((e.min(), e.max()))
+        })
+    });
+    g.bench_function("p2_median", |b| {
+        b.iter(|| {
+            let mut q = P2Quantile::median();
+            for &v in &values {
+                q.push(v);
+            }
+            black_box(q.quantile())
+        })
+    });
+    g.finish();
+}
+
+/// The incremental MWU pays a binary search + insert per observation,
+/// so its per-push cost grows with the sample — bench the sizes the
+/// study actually sees (tens to hundreds of repeats per cell).
+fn bench_streaming_mwu(c: &mut Criterion) {
+    let mut g = c.benchmark_group("observability/streaming_mwu");
+    for &n in &[50usize, 400] {
+        let a = observations(n, 11);
+        let b_side = observations(n, 13);
+        g.throughput(Throughput::Elements(2 * n as u64));
+        g.bench_function(format!("push_pair_n{n}"), |b| {
+            b.iter(|| {
+                let mut mwu = StreamingMwu::new();
+                for (&x, &y) in a.iter().zip(&b_side) {
+                    mwu.push_a(x);
+                    mwu.push_b(y);
+                }
+                black_box(mwu.result(Alternative::TwoSided).p_value)
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_tsdb_sampling(c: &mut Criterion) {
+    let metrics = ServiceMetrics::default();
+    // A realistic registry: live counters and a warm latency histogram.
+    for _ in 0..1000 {
+        metrics.requests.inc();
+        metrics.engine_reports.inc();
+        metrics
+            .dispatch_seconds
+            .observe(std::time::Duration::from_micros(250));
+    }
+    let mut g = c.benchmark_group("observability/tsdb");
+    g.bench_function("sample", |b| {
+        let mut tick: u64 = 0;
+        b.iter(|| {
+            tick += 1;
+            black_box(metrics.sample_timeseries(tick))
+        })
+    });
+    g.bench_function("snapshot_only", |b| {
+        b.iter(|| black_box(metrics.snapshot()))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_streaming_estimators,
+    bench_streaming_mwu,
+    bench_tsdb_sampling
+);
+criterion_main!(benches);

@@ -1,0 +1,215 @@
+//! `observe` — plain-ANSI terminal dashboard for the observatory.
+//!
+//! ```text
+//! observe (--addr HOST:PORT | --journal FILE) [--once] [--interval MS]
+//! ```
+//!
+//! Two data sources:
+//!
+//! * `--addr` polls a live `tuned` server's `metrics` and `timeseries`
+//!   ops: counters as parseable `name value` lines, request/report
+//!   activity sparklines from the sampled time series, and a per-phase
+//!   search time breakdown from the `search_phase_seconds_*`
+//!   histograms.
+//! * `--journal` replays a study outcome journal through a live
+//!   [`StudyMonitor`](experiments::StudyMonitor): convergence medians
+//!   per cell and the running CLES/significance matrix against Random
+//!   Search, exactly as the running study would have shown it.
+//!
+//! With `--once` the dashboard renders a single frame to stdout and
+//! exits (the scripting path: every counter line is `name value`);
+//! otherwise it clears the screen and refreshes every `--interval` ms
+//! (default 1000), reconnecting per tick so a restarted server is
+//! picked up.
+
+use autotune_service::metrics::MetricsSnapshot;
+use autotune_service::{Client, TimePoint};
+use experiments::journal;
+use experiments::monitor::StudyMonitor;
+use experiments::render::sparkline;
+use std::fmt::Write as _;
+use std::path::Path;
+use std::process::exit;
+use std::time::Duration;
+
+struct Args {
+    addr: Option<String>,
+    journal: Option<String>,
+    once: bool,
+    interval: Duration,
+}
+
+fn usage(code: i32) -> ! {
+    eprintln!("usage: observe (--addr HOST:PORT | --journal FILE) [--once] [--interval MS]");
+    eprintln!();
+    eprintln!("  --addr HOST:PORT  poll a tuned server's metrics + timeseries ops");
+    eprintln!("  --journal FILE    replay a study outcome journal into a live monitor");
+    eprintln!("  --once            render one frame to stdout and exit");
+    eprintln!("  --interval MS     refresh period in live mode (default 1000)");
+    exit(code)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(parsed) => parsed,
+        None => {
+            eprintln!("observe: {flag} needs a valid value");
+            usage(2)
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        addr: None,
+        journal: None,
+        once: false,
+        interval: Duration::from_millis(1000),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--addr" => match argv.next() {
+                Some(v) => args.addr = Some(v),
+                None => usage(2),
+            },
+            "--journal" => match argv.next() {
+                Some(v) => args.journal = Some(v),
+                None => usage(2),
+            },
+            "--once" => args.once = true,
+            "--interval" => {
+                args.interval = Duration::from_millis(parse(&flag, argv.next()));
+            }
+            "--help" | "-h" => usage(0),
+            _ => usage(2),
+        }
+    }
+    if args.addr.is_some() == args.journal.is_some() {
+        eprintln!("observe: exactly one of --addr / --journal is required");
+        usage(2)
+    }
+    args
+}
+
+/// The gauges whose per-sample deltas make useful activity sparklines.
+const ACTIVITY_GAUGES: [&str; 3] = ["server_requests", "engine_suggests", "engine_reports"];
+
+/// At most this many trailing samples feed each sparkline.
+const SPARK_WINDOW: usize = 60;
+
+/// One dashboard frame for a live server.
+fn render_server_frame(snapshot: &MetricsSnapshot, points: &[TimePoint]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "tuned observatory: uptime {:.1}s, snapshot {}, samples {}",
+        snapshot.uptime_seconds,
+        snapshot.snapshot_seq,
+        points.len()
+    );
+
+    out.push_str("\n# counters\n");
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "{name} {value}");
+    }
+
+    out.push_str("\n# activity (per-sample deltas, oldest left)\n");
+    let window_start = points.len().saturating_sub(SPARK_WINDOW + 1);
+    let window = &points[window_start..];
+    for gauge in ACTIVITY_GAUGES {
+        let deltas: Vec<f64> = window
+            .windows(2)
+            .map(|pair| pair[1].gauge(gauge).unwrap_or(0.0) - pair[0].gauge(gauge).unwrap_or(0.0))
+            .collect();
+        if deltas.is_empty() {
+            let _ = writeln!(out, "{gauge:<24} (waiting for samples)");
+        } else {
+            let _ = writeln!(out, "{gauge:<24} {}", sparkline(&deltas));
+        }
+    }
+
+    out.push_str("\n# search phase time\n");
+    let _ = writeln!(
+        out,
+        "{:<28}{:>10}{:>14}{:>14}",
+        "phase", "count", "total_s", "mean_s"
+    );
+    for (name, hist) in &snapshot.histograms {
+        let Some(phase) = name.strip_prefix("search_phase_seconds_") else {
+            continue;
+        };
+        let mean = if hist.count > 0 {
+            hist.sum_seconds / hist.count as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "{phase:<28}{:>10}{:>14.6}{:>14.6}",
+            hist.count, hist.sum_seconds, mean
+        );
+    }
+    out
+}
+
+fn server_frame(addr: &str) -> Result<String, String> {
+    let mut client = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let snapshot = client.metrics().map_err(|e| format!("metrics: {e}"))?;
+    let points = client
+        .timeseries()
+        .map_err(|e| format!("timeseries: {e}"))?;
+    Ok(render_server_frame(&snapshot, &points))
+}
+
+fn journal_frame(path: &str) -> Result<String, String> {
+    let cells = journal::load(Path::new(path)).map_err(|e| format!("load {path}: {e}"))?;
+    let monitor = StudyMonitor::default();
+    // Deterministic replay order; the monitor's test statistics are
+    // order-independent, so this only pins the P² quantile estimates.
+    let mut records: Vec<_> = cells.values().flatten().collect();
+    records.sort_by_key(|r| (r.key.clone(), r.repetition));
+    for record in &records {
+        monitor.observe_record(record);
+    }
+    let mut out = monitor.render();
+    out.push_str("\n# convergence (final runtimes in journal order, oldest left)\n");
+    let series: Vec<f64> = records.iter().map(|r| r.outcome.final_ms).collect();
+    let tail = &series[series.len().saturating_sub(SPARK_WINDOW)..];
+    let _ = writeln!(out, "final_ms {}", sparkline(tail));
+    Ok(out)
+}
+
+fn frame(args: &Args) -> Result<String, String> {
+    match (&args.addr, &args.journal) {
+        (Some(addr), None) => server_frame(addr),
+        (None, Some(path)) => journal_frame(path),
+        _ => unreachable!("validated in parse_args"),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    if args.once {
+        match frame(&args) {
+            Ok(text) => print!("{text}"),
+            Err(e) => {
+                eprintln!("observe: {e}");
+                exit(1);
+            }
+        }
+        return;
+    }
+    loop {
+        match frame(&args) {
+            Ok(text) => {
+                // Clear screen + home, then the frame.
+                print!("\x1b[2J\x1b[H{text}");
+                use std::io::Write as _;
+                let _ = std::io::stdout().flush();
+            }
+            Err(e) => eprintln!("observe: {e} (retrying)"),
+        }
+        std::thread::sleep(args.interval);
+    }
+}

@@ -1,0 +1,137 @@
+//! `regression-gate` — statistical pass/fail comparison of two study
+//! result files for CI.
+//!
+//! ```text
+//! regression-gate --baseline FILE --fresh FILE
+//!                 [--inject F] [--alpha A] [--min-ratio R]
+//!                 [--resamples N] [--seed N]
+//! ```
+//!
+//! Both files are `StudyResults` JSON as written by the `study` binary
+//! (and committed as `BENCH_baseline.json`). A cell fails only when the
+//! slowdown is statistically significant (one-sided Mann-Whitney U),
+//! practically large (median ratio above the floor), and stable (the
+//! bootstrap CI of the fresh median clears the baseline median) — see
+//! the `gate` module docs. `--inject F` multiplies every fresh runtime
+//! by `F` before comparing: the self-test hook CI uses to prove the
+//! gate actually trips.
+//!
+//! Exit status: `0` pass, `1` statistically significant slowdown (or
+//! lost cell coverage), `2` usage or I/O error.
+
+use experiments::gate::{self, GateConfig};
+use experiments::StudyResults;
+use std::process::exit;
+
+struct Args {
+    baseline: Option<String>,
+    fresh: Option<String>,
+    inject: Option<f64>,
+    config: GateConfig,
+}
+
+fn usage(code: i32) -> ! {
+    let defaults = GateConfig::default();
+    eprintln!("usage: regression-gate --baseline FILE --fresh FILE");
+    eprintln!("                       [--inject F] [--alpha A] [--min-ratio R]");
+    eprintln!("                       [--resamples N] [--seed N]");
+    eprintln!();
+    eprintln!("  --baseline FILE  committed StudyResults JSON to compare against");
+    eprintln!("  --fresh FILE     freshly produced StudyResults JSON");
+    eprintln!("  --inject F       multiply fresh runtimes by F first (self-test)");
+    eprintln!(
+        "  --alpha A        one-sided MWU significance threshold (default {})",
+        defaults.alpha
+    );
+    eprintln!(
+        "  --min-ratio R    median-ratio slowdown floor (default {})",
+        defaults.min_ratio
+    );
+    eprintln!(
+        "  --resamples N    bootstrap resamples for the fresh-median CI (default {})",
+        defaults.resamples
+    );
+    eprintln!(
+        "  --seed N         bootstrap RNG seed (default {})",
+        defaults.seed
+    );
+    exit(code)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    match value.and_then(|v| v.parse().ok()) {
+        Some(parsed) => parsed,
+        None => {
+            eprintln!("regression-gate: {flag} needs a valid value");
+            usage(2)
+        }
+    }
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        baseline: None,
+        fresh: None,
+        inject: None,
+        config: GateConfig::default(),
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        match flag.as_str() {
+            "--baseline" => match argv.next() {
+                Some(v) => args.baseline = Some(v),
+                None => usage(2),
+            },
+            "--fresh" => match argv.next() {
+                Some(v) => args.fresh = Some(v),
+                None => usage(2),
+            },
+            "--inject" => args.inject = Some(parse(&flag, argv.next())),
+            "--alpha" => args.config.alpha = parse(&flag, argv.next()),
+            "--min-ratio" => args.config.min_ratio = parse(&flag, argv.next()),
+            "--resamples" => args.config.resamples = parse(&flag, argv.next()),
+            "--seed" => args.config.seed = parse(&flag, argv.next()),
+            "--help" | "-h" => usage(0),
+            _ => usage(2),
+        }
+    }
+    if args.baseline.is_none() || args.fresh.is_none() {
+        eprintln!("regression-gate: --baseline and --fresh are both required");
+        usage(2)
+    }
+    args
+}
+
+fn load(path: &str) -> StudyResults {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("regression-gate: cannot read {path}: {e}");
+            exit(2);
+        }
+    };
+    match StudyResults::from_json(&text) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("regression-gate: {path} is not StudyResults JSON: {e}");
+            exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let baseline = load(args.baseline.as_deref().expect("validated"));
+    let mut fresh = load(args.fresh.as_deref().expect("validated"));
+    if let Some(factor) = args.inject {
+        if factor <= 0.0 {
+            eprintln!("regression-gate: --inject must be positive");
+            usage(2)
+        }
+        eprintln!("regression-gate: injecting a uniform x{factor} slowdown into the fresh run");
+        gate::inject_slowdown(&mut fresh, factor);
+    }
+    let report = gate::compare(&baseline, &fresh, &args.config);
+    print!("{}", report.render());
+    exit(if report.failed() { 1 } else { 0 })
+}

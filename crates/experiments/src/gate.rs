@@ -1,0 +1,372 @@
+//! Statistical regression gate: does a fresh study run show a real
+//! slowdown against a committed baseline?
+//!
+//! Naive gates compare point estimates and flap on noise; this one only
+//! fails when the evidence is statistically overwhelming *and*
+//! practically large. A cell counts as a slowdown when all three hold:
+//!
+//! 1. one-sided Mann-Whitney U (fresh *greater* than baseline) rejects
+//!    at [`GateConfig::alpha`] — the paper's test, in the slowdown
+//!    direction;
+//! 2. the median ratio exceeds [`GateConfig::min_ratio`] — a practical
+//!    significance floor so huge samples cannot fail on microscopic
+//!    shifts;
+//! 3. the bootstrap confidence interval of the fresh median lies
+//!    entirely above the baseline median (`ci.lo > baseline_median`) —
+//!    the fresh location estimate itself is stable.
+//!
+//! On identical inputs nothing fires (the MWU p-value is far from
+//! `alpha`); a uniform 20% injected slowdown trips well over a hundred
+//! cells of the committed small-scale baseline. Speedups never fail the
+//! gate — they are reported, not punished.
+
+use crate::grid::{CellKey, StudyResults};
+use autotune_stats::{bootstrap, cles, descriptive, mwu, Alternative};
+use std::fmt::Write as _;
+
+/// Thresholds and bootstrap parameters of the gate.
+#[derive(Debug, Clone)]
+pub struct GateConfig {
+    /// Significance threshold for the one-sided MWU (default `0.01`,
+    /// the paper's `α`).
+    pub alpha: f64,
+    /// Minimum fresh/baseline median ratio for a cell to count as a
+    /// slowdown (default `1.05`: at least 5% slower).
+    pub min_ratio: f64,
+    /// Bootstrap resamples for the fresh-median CI (default `2000`).
+    pub resamples: usize,
+    /// Bootstrap confidence level (default `0.95`).
+    pub level: f64,
+    /// Bootstrap RNG seed (per-cell seeds are derived from it, so the
+    /// gate is deterministic).
+    pub seed: u64,
+}
+
+impl Default for GateConfig {
+    fn default() -> GateConfig {
+        GateConfig {
+            alpha: 0.01,
+            min_ratio: 1.05,
+            resamples: 2000,
+            level: 0.95,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// The gate's verdict on one shared cell.
+#[derive(Debug, Clone)]
+pub struct CellVerdict {
+    /// The cell.
+    pub key: CellKey,
+    /// Baseline median final runtime, ms.
+    pub baseline_median: f64,
+    /// Fresh median final runtime, ms.
+    pub fresh_median: f64,
+    /// `fresh_median / baseline_median`.
+    pub ratio: f64,
+    /// One-sided MWU p-value (fresh greater than baseline); `1.0` for
+    /// a degenerate pool.
+    pub p_value: f64,
+    /// `P(fresh run slower than baseline run)` (ties half); `0.5` for
+    /// a degenerate pool.
+    pub cles: f64,
+    /// Bootstrap CI lower bound of the fresh median.
+    pub fresh_ci_lo: f64,
+    /// Bootstrap CI upper bound of the fresh median.
+    pub fresh_ci_hi: f64,
+    /// All three slowdown conditions hold.
+    pub slowdown: bool,
+}
+
+/// Everything [`compare`] found.
+#[derive(Debug, Clone)]
+pub struct GateReport {
+    /// Per-cell verdicts, ordered by key.
+    pub verdicts: Vec<CellVerdict>,
+    /// Baseline cells absent from the fresh run.
+    pub missing_in_fresh: Vec<CellKey>,
+    /// Fresh cells absent from the baseline.
+    pub missing_in_baseline: Vec<CellKey>,
+}
+
+impl GateReport {
+    /// The cells that fired the gate.
+    pub fn slowdowns(&self) -> Vec<&CellVerdict> {
+        self.verdicts.iter().filter(|v| v.slowdown).collect()
+    }
+
+    /// `true` when the gate should fail the build: any statistically
+    /// significant slowdown, or baseline cells the fresh run no longer
+    /// covers (silent coverage loss must not pass).
+    pub fn failed(&self) -> bool {
+        !self.missing_in_fresh.is_empty() || self.verdicts.iter().any(|v| v.slowdown)
+    }
+
+    /// Plain-text report: one line per firing cell, then a summary.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let slowdowns = self.slowdowns();
+        for v in &slowdowns {
+            let _ = writeln!(
+                out,
+                "SLOWDOWN {}/{}/{}/S={}: median {:.4} -> {:.4} ms \
+                 (x{:.3}, p={:.2e}, CLES {:.2}, fresh CI [{:.4}, {:.4}])",
+                v.key.algorithm.name(),
+                v.key.benchmark,
+                v.key.architecture,
+                v.key.sample_size,
+                v.baseline_median,
+                v.fresh_median,
+                v.ratio,
+                v.p_value,
+                v.cles,
+                v.fresh_ci_lo,
+                v.fresh_ci_hi,
+            );
+        }
+        for key in &self.missing_in_fresh {
+            let _ = writeln!(
+                out,
+                "MISSING {}/{}/{}/S={}: baseline cell absent from fresh run",
+                key.algorithm.name(),
+                key.benchmark,
+                key.architecture,
+                key.sample_size,
+            );
+        }
+        let _ = writeln!(
+            out,
+            "regression gate: {} cells compared, {} slowdowns, {} missing, verdict {}",
+            self.verdicts.len(),
+            slowdowns.len(),
+            self.missing_in_fresh.len(),
+            if self.failed() { "FAIL" } else { "PASS" },
+        );
+        out
+    }
+}
+
+/// Compares a fresh study run against a baseline cell by cell; see the
+/// module docs for the firing rule.
+pub fn compare(baseline: &StudyResults, fresh: &StudyResults, config: &GateConfig) -> GateReport {
+    let mut verdicts = Vec::new();
+    let mut missing_in_fresh = Vec::new();
+    for (index, (key, base_cell)) in baseline.cells.iter().enumerate() {
+        let Some(fresh_cell) = fresh.cells.get(key) else {
+            missing_in_fresh.push(key.clone());
+            continue;
+        };
+        let base = &base_cell.final_ms;
+        let new = &fresh_cell.final_ms;
+        let baseline_median = descriptive::median(base);
+        let fresh_median = descriptive::median(new);
+        let ratio = fresh_median / baseline_median;
+
+        // The paper pipeline's degenerate-pool guard: MWU is undefined
+        // when every pooled observation is identical.
+        let pooled_degenerate = {
+            let first = new[0];
+            new.iter().chain(base.iter()).all(|&v| v == first)
+        };
+        let (p_value, cles) = if pooled_degenerate {
+            (1.0, 0.5)
+        } else {
+            (
+                mwu::mann_whitney_u(new, base, Alternative::Greater).p_value,
+                cles::common_language_effect_size(new, base),
+            )
+        };
+        let ci = bootstrap::percentile_ci(
+            new,
+            descriptive::median,
+            config.resamples,
+            config.level,
+            config.seed.wrapping_add(index as u64),
+        );
+        let slowdown =
+            p_value < config.alpha && ratio > config.min_ratio && ci.lo > baseline_median;
+        verdicts.push(CellVerdict {
+            key: key.clone(),
+            baseline_median,
+            fresh_median,
+            ratio,
+            p_value,
+            cles,
+            fresh_ci_lo: ci.lo,
+            fresh_ci_hi: ci.hi,
+            slowdown,
+        });
+    }
+    let missing_in_baseline = fresh
+        .cells
+        .keys()
+        .filter(|k| !baseline.cells.contains_key(*k))
+        .cloned()
+        .collect();
+    GateReport {
+        verdicts,
+        missing_in_fresh,
+        missing_in_baseline,
+    }
+}
+
+/// Multiplies every final runtime of a results set by `factor` —
+/// the gate's self-test hook (`regression-gate --inject`).
+pub fn inject_slowdown(results: &mut StudyResults, factor: f64) {
+    assert!(factor > 0.0, "inject factor must be positive");
+    for cell in results.cells.values_mut() {
+        for v in &mut cell.final_ms {
+            *v *= factor;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::CellResult;
+    use autotune_core::Algorithm;
+    use std::collections::BTreeMap;
+
+    fn key(sample_size: usize) -> CellKey {
+        CellKey {
+            algorithm: Algorithm::RandomSearch,
+            benchmark: "add".to_string(),
+            architecture: "gtx_980".to_string(),
+            sample_size,
+        }
+    }
+
+    fn results(cells: Vec<(CellKey, Vec<f64>)>) -> StudyResults {
+        StudyResults {
+            cells: cells
+                .into_iter()
+                .map(|(k, final_ms)| {
+                    let n = final_ms.len();
+                    (
+                        k,
+                        CellResult {
+                            final_ms,
+                            percent_of_optimum: vec![100.0; n],
+                        },
+                    )
+                })
+                .collect(),
+            optima: BTreeMap::new(),
+            sample_sizes: vec![25],
+        }
+    }
+
+    /// A noisy population around `center` (spread small vs a 20% shift).
+    fn population(center: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| center * (1.0 + 0.01 * ((i % 7) as f64 - 3.0)))
+            .collect()
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let base = results(vec![(key(25), population(10.0, 30))]);
+        let fresh = base.clone();
+        let report = compare(&base, &fresh, &GateConfig::default());
+        assert!(!report.failed());
+        assert!(report.slowdowns().is_empty());
+        assert_eq!(report.verdicts.len(), 1);
+        // Identical samples: the one-sided p-value is far from alpha.
+        assert!(report.verdicts[0].p_value > 0.4);
+        assert!(report.render().contains("verdict PASS"));
+    }
+
+    #[test]
+    fn injected_slowdown_fires() {
+        let base = results(vec![(key(25), population(10.0, 30))]);
+        let mut fresh = base.clone();
+        inject_slowdown(&mut fresh, 1.2);
+        let report = compare(&base, &fresh, &GateConfig::default());
+        assert!(report.failed());
+        let slow = report.slowdowns();
+        assert_eq!(slow.len(), 1);
+        assert!(slow[0].ratio > 1.15);
+        assert!(slow[0].p_value < 0.01);
+        assert!(slow[0].fresh_ci_lo > slow[0].baseline_median);
+        assert!(report.render().contains("SLOWDOWN"));
+        assert!(report.render().contains("verdict FAIL"));
+    }
+
+    #[test]
+    fn speedups_never_fail() {
+        let base = results(vec![(key(25), population(10.0, 30))]);
+        let mut fresh = base.clone();
+        inject_slowdown(&mut fresh, 0.5);
+        let report = compare(&base, &fresh, &GateConfig::default());
+        assert!(!report.failed());
+        assert!(report.verdicts[0].ratio < 0.6);
+    }
+
+    #[test]
+    fn small_shift_below_ratio_floor_passes() {
+        // Statistically detectable (n=60, tight spread) but only 2%
+        // slower: practical-significance floor must hold it back.
+        let base = results(vec![(key(25), population(10.0, 60))]);
+        let mut fresh = base.clone();
+        inject_slowdown(&mut fresh, 1.02);
+        let config = GateConfig::default();
+        let report = compare(&base, &fresh, &config);
+        let v = &report.verdicts[0];
+        assert!(v.ratio < config.min_ratio);
+        assert!(!v.slowdown);
+        assert!(!report.failed());
+    }
+
+    #[test]
+    fn degenerate_pools_pass() {
+        let base = results(vec![(key(25), vec![3.0; 10])]);
+        let fresh = base.clone();
+        let report = compare(&base, &fresh, &GateConfig::default());
+        let v = &report.verdicts[0];
+        assert_eq!(v.p_value, 1.0);
+        assert_eq!(v.cles, 0.5);
+        assert!(!report.failed());
+    }
+
+    #[test]
+    fn missing_baseline_cells_fail_the_gate() {
+        let base = results(vec![
+            (key(25), population(10.0, 10)),
+            (key(50), population(10.0, 10)),
+        ]);
+        let fresh = results(vec![(key(25), population(10.0, 10))]);
+        let report = compare(&base, &fresh, &GateConfig::default());
+        assert_eq!(report.missing_in_fresh, vec![key(50)]);
+        assert!(report.failed());
+        assert!(report.render().contains("MISSING"));
+    }
+
+    #[test]
+    fn extra_fresh_cells_are_reported_but_pass() {
+        let base = results(vec![(key(25), population(10.0, 10))]);
+        let fresh = results(vec![
+            (key(25), population(10.0, 10)),
+            (key(50), population(10.0, 10)),
+        ]);
+        let report = compare(&base, &fresh, &GateConfig::default());
+        assert_eq!(report.missing_in_baseline, vec![key(50)]);
+        assert!(!report.failed());
+    }
+
+    #[test]
+    fn gate_is_deterministic() {
+        let base = results(vec![(key(25), population(10.0, 30))]);
+        let mut fresh = base.clone();
+        inject_slowdown(&mut fresh, 1.1);
+        let config = GateConfig::default();
+        let a = compare(&base, &fresh, &config);
+        let b = compare(&base, &fresh, &config);
+        for (va, vb) in a.verdicts.iter().zip(&b.verdicts) {
+            assert_eq!(va.fresh_ci_lo, vb.fresh_ci_lo);
+            assert_eq!(va.fresh_ci_hi, vb.fresh_ci_hi);
+            assert_eq!(va.slowdown, vb.slowdown);
+        }
+    }
+}

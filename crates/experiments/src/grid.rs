@@ -7,6 +7,7 @@
 //! experiment counters and latency histogram.
 
 use crate::design::ExperimentDesign;
+use crate::monitor::StudyMonitor;
 use crate::runner::{run_experiment_traced, ExperimentOutcome};
 use autotune_core::trace::{self, VecSink};
 use autotune_core::Algorithm;
@@ -246,6 +247,22 @@ struct StudyResultsDto {
 /// Panics when `config.dataset_size` is smaller than the largest sample
 /// size — the RS protocol draws that many *distinct* dataset entries.
 pub fn run_study(config: &StudyConfig) -> StudyResults {
+    run_study_monitored(config, None)
+}
+
+/// Runs the full study grid, optionally streaming every finished
+/// repetition into a live [`StudyMonitor`] as workers complete it.
+///
+/// The monitor sees outcomes in completion order (nondeterministic
+/// under `threads > 1`), but its test statistics depend only on the
+/// observation multisets, so the final monitor state matches a batch
+/// pass over the returned [`StudyResults`].
+///
+/// # Panics
+///
+/// Panics when `config.dataset_size` is smaller than the largest sample
+/// size — the RS protocol draws that many *distinct* dataset entries.
+pub fn run_study_monitored(config: &StudyConfig, monitor: Option<&StudyMonitor>) -> StudyResults {
     let max_s = config
         .design
         .sample_sizes()
@@ -336,15 +353,16 @@ pub fn run_study(config: &StudyConfig) -> StudyResults {
                         metrics
                             .observe_phase(&phase, std::time::Duration::from_micros(stat.total_us));
                     }
-                    local.push((
-                        CellKey {
-                            algorithm: item.algorithm,
-                            benchmark: item.bench.name().to_string(),
-                            architecture: item.gpu.name.clone(),
-                            sample_size: item.sample_size,
-                        },
-                        outcome,
-                    ));
+                    let key = CellKey {
+                        algorithm: item.algorithm,
+                        benchmark: item.bench.name().to_string(),
+                        architecture: item.gpu.name.clone(),
+                        sample_size: item.sample_size,
+                    };
+                    if let Some(monitor) = monitor {
+                        monitor.observe(&key, outcome.final_ms);
+                    }
+                    local.push((key, outcome));
                 }
                 gathered.lock().extend(local);
             });
@@ -474,6 +492,62 @@ mod tests {
         assert!(after
             .histogram("grid_search_phase_seconds_objective")
             .is_some());
+    }
+
+    #[test]
+    fn live_monitor_agrees_with_batch_statistics() {
+        use autotune_stats::{cles, mwu, Alternative};
+
+        let mut config = tiny_config();
+        config.threads = 4;
+        let monitor = StudyMonitor::default();
+        let results = run_study_monitored(&config, Some(&monitor));
+
+        let total: u64 = results
+            .cells
+            .values()
+            .map(|c| c.final_ms.len() as u64)
+            .sum();
+        assert_eq!(monitor.observations(), total);
+
+        // Pool each technique's observations per sample size across the
+        // grid (trivially one bench x one arch here) and compare the
+        // monitor's running test statistics against the batch Fig. 4b
+        // computation over the completed results. MWU and CLES depend
+        // only on the observation multisets, so completion order under
+        // 4 worker threads must not matter.
+        for &s in &results.sample_sizes {
+            let pooled = |algorithm: Algorithm| -> Vec<f64> {
+                results
+                    .cells
+                    .iter()
+                    .filter(|(k, _)| k.algorithm == algorithm && k.sample_size == s)
+                    .flat_map(|(_, c)| c.final_ms.iter().copied())
+                    .collect()
+            };
+            let ga = pooled(Algorithm::GeneticAlgorithm);
+            let rs = pooled(Algorithm::RandomSearch);
+            let cmp = monitor
+                .summary(Algorithm::GeneticAlgorithm, s)
+                .expect("cell observed")
+                .comparison
+                .expect("baseline observed");
+            assert_eq!(cmp.baseline_count, rs.len() as u64);
+            let pooled_degenerate = {
+                let first = ga[0];
+                ga.iter().chain(rs.iter()).all(|&v| v == first)
+            };
+            if pooled_degenerate {
+                assert_eq!(cmp.cles, 0.5);
+                assert_eq!(cmp.p_value, 1.0);
+            } else {
+                assert_eq!(cmp.cles, cles::probability_of_superiority_min(&ga, &rs));
+                assert_eq!(
+                    cmp.p_value,
+                    mwu::mann_whitney_u(&ga, &rs, Alternative::TwoSided).p_value
+                );
+            }
+        }
     }
 
     #[test]

@@ -18,14 +18,25 @@
 //!
 //! Paper-scale experiment counts (800 … 50) are expensive on one core;
 //! every binary accepts `--scale <fraction>` (default 0.02) or `--full`.
+//!
+//! The **observatory** layer watches and gates all of the above:
+//! [`monitor::StudyMonitor`] folds outcomes into live per-(technique,
+//! sample size) statistics while a study runs (streamed from the worker
+//! pool by [`grid::run_study_monitored`] or replayed from a journal),
+//! the `observe` binary renders it — or a live `tuned` server — as a
+//! terminal dashboard, and [`gate::compare`] (the `regression-gate`
+//! binary) turns two [`StudyResults`] into a statistical pass/fail
+//! verdict for CI.
 
 #![warn(missing_docs)]
 
 pub mod cli;
 pub mod design;
+pub mod gate;
 pub mod grid;
 pub mod journal;
 pub mod metrics;
+pub mod monitor;
 pub mod multifidelity;
 pub mod render;
 pub mod runner;
@@ -33,5 +44,7 @@ pub mod seed;
 pub mod table1;
 
 pub use design::ExperimentDesign;
-pub use grid::{CellKey, CellResult, StudyConfig, StudyResults};
+pub use gate::{CellVerdict, GateConfig, GateReport};
+pub use grid::{run_study, run_study_monitored, CellKey, CellResult, StudyConfig, StudyResults};
+pub use monitor::{CellSummary, MonitorConfig, StudyMonitor};
 pub use runner::ExperimentOutcome;

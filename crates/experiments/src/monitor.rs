@@ -1,0 +1,602 @@
+//! Live study monitor: the paper's significance analysis materializing
+//! while the study runs.
+//!
+//! [`StudyMonitor`] consumes trial outcomes one repeat at a time — from
+//! the worker pool via [`run_study_monitored`](crate::grid::run_study_monitored)
+//! or from a study journal — and maintains, per (technique, sample
+//! size), live best-cost statistics (Welford mean/variance, P²
+//! quartiles, min/max) plus a running Mann-Whitney U p-value and CLES
+//! against the Random Search baseline, pooled across benchmarks and
+//! architectures. The statistical conventions match the offline Fig. 4b
+//! pipeline exactly: CLES in the runtime-minimization direction,
+//! two-sided MWU, degenerate pools reported as `p = 1.0` / CLES 0.5,
+//! significance at the paper's `α = 0.01`.
+//!
+//! An **early-significance signal** latches once the p-value stays below
+//! `α` for [`MonitorConfig::stable_repeats`] consecutive observations of
+//! a cell — the "you can already see the Fig. 4 dip forming" moment,
+//! hours before the study completes.
+
+use crate::grid::CellKey;
+use crate::journal::OutcomeRecord;
+use autotune_core::Algorithm;
+use autotune_stats::streaming::{Extrema, P2Quantile, StreamingMwu, Welford};
+use autotune_stats::Alternative;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Tuning knobs of a [`StudyMonitor`].
+#[derive(Debug, Clone)]
+pub struct MonitorConfig {
+    /// Significance threshold (the paper's `α = 0.01`).
+    pub alpha: f64,
+    /// Consecutive observations with `p < alpha` before the
+    /// early-significance signal latches.
+    pub stable_repeats: u32,
+    /// The baseline technique every other technique is compared
+    /// against (the paper compares against Random Search).
+    pub baseline: Algorithm,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> MonitorConfig {
+        MonitorConfig {
+            alpha: 0.01,
+            stable_repeats: 5,
+            baseline: Algorithm::RandomSearch,
+        }
+    }
+}
+
+/// Live state of one (technique, sample size) cell.
+struct CellState {
+    welford: Welford,
+    extrema: Extrema,
+    q25: P2Quantile,
+    median: P2Quantile,
+    q75: P2Quantile,
+    /// Incremental test vs the baseline (`a` = this technique, `b` =
+    /// baseline); `None` for the baseline's own cells.
+    mwu: Option<StreamingMwu>,
+    /// Current run of consecutive observations with `p < alpha`.
+    stable: u32,
+    /// Latched once `stable` reaches the configured threshold.
+    signalled: bool,
+}
+
+impl CellState {
+    fn new(comparable: bool) -> CellState {
+        CellState {
+            welford: Welford::new(),
+            extrema: Extrema::new(),
+            q25: P2Quantile::new(0.25),
+            median: P2Quantile::median(),
+            q75: P2Quantile::new(0.75),
+            mwu: comparable.then(StreamingMwu::new),
+            stable: 0,
+            signalled: false,
+        }
+    }
+
+    /// Re-evaluates the running test after either side of the
+    /// comparison grew.
+    fn update_signal(&mut self, config: &MonitorConfig) {
+        let Some(mwu) = &self.mwu else { return };
+        if mwu.is_empty() {
+            return;
+        }
+        let p = if mwu.degenerate() {
+            1.0
+        } else {
+            mwu.result(Alternative::TwoSided).p_value
+        };
+        if p < config.alpha {
+            self.stable += 1;
+            if self.stable >= config.stable_repeats {
+                self.signalled = true;
+            }
+        } else {
+            self.stable = 0;
+        }
+    }
+}
+
+/// The running comparison of one technique cell against the baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BaselineComparison {
+    /// Baseline observations pooled into the comparison so far.
+    pub baseline_count: u64,
+    /// `P(technique run beats baseline run)` (smaller runtime wins,
+    /// ties half) — the Fig. 4b direction.
+    pub cles: f64,
+    /// Two-sided Mann-Whitney U p-value (1.0 while the pool is
+    /// degenerate).
+    pub p_value: f64,
+    /// `p_value < α` right now.
+    pub significant: bool,
+    /// Current run of consecutive observations with `p < α`.
+    pub stable: u32,
+    /// The early signal: `p < α` held for
+    /// [`MonitorConfig::stable_repeats`] consecutive observations at
+    /// some point (latched).
+    pub early_signal: bool,
+}
+
+/// Point-in-time summary of one (technique, sample size) cell.
+#[derive(Debug, Clone)]
+pub struct CellSummary {
+    /// Search technique.
+    pub algorithm: Algorithm,
+    /// Sample size (the paper's S).
+    pub sample_size: usize,
+    /// Observations folded in so far.
+    pub count: u64,
+    /// Running mean of final runtimes, ms.
+    pub mean: f64,
+    /// Running sample standard deviation.
+    pub std_dev: f64,
+    /// Best (minimum) final runtime seen.
+    pub min: f64,
+    /// Worst (maximum) final runtime seen.
+    pub max: f64,
+    /// P² estimate of the 25th percentile.
+    pub q25: f64,
+    /// P² estimate of the median.
+    pub median: f64,
+    /// P² estimate of the 75th percentile.
+    pub q75: f64,
+    /// The running baseline comparison; `None` for the baseline's own
+    /// cells and while no baseline observation has arrived.
+    pub comparison: Option<BaselineComparison>,
+}
+
+struct Inner {
+    cells: BTreeMap<(Algorithm, usize), CellState>,
+    /// Baseline observations per sample size, kept so technique cells
+    /// created *after* baseline repeats arrived can backfill — the
+    /// worker pool completes cells in nondeterministic order.
+    baseline_seen: BTreeMap<usize, Vec<f64>>,
+    observations: u64,
+}
+
+/// Thread-safe live aggregator of study outcomes; see the module docs.
+pub struct StudyMonitor {
+    config: MonitorConfig,
+    inner: Mutex<Inner>,
+}
+
+impl Default for StudyMonitor {
+    fn default() -> StudyMonitor {
+        StudyMonitor::new(MonitorConfig::default())
+    }
+}
+
+impl StudyMonitor {
+    /// A monitor with explicit knobs.
+    pub fn new(config: MonitorConfig) -> StudyMonitor {
+        StudyMonitor {
+            config,
+            inner: Mutex::new(Inner {
+                cells: BTreeMap::new(),
+                baseline_seen: BTreeMap::new(),
+                observations: 0,
+            }),
+        }
+    }
+
+    /// The monitor's configuration.
+    pub fn config(&self) -> &MonitorConfig {
+        &self.config
+    }
+
+    /// Feeds one finished experiment in. Observations pool across
+    /// benchmarks and architectures into (technique, sample size)
+    /// cells; arrival order does not affect the resulting statistics
+    /// (the quantile estimates are order-sensitive approximations, the
+    /// test statistics are exact).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `final_ms` is not finite.
+    pub fn observe(&self, key: &CellKey, final_ms: f64) {
+        assert!(final_ms.is_finite(), "monitor: non-finite outcome");
+        let mut inner = self.inner.lock();
+        inner.observations += 1;
+        let sample_size = key.sample_size;
+        if key.algorithm == self.config.baseline {
+            inner
+                .baseline_seen
+                .entry(sample_size)
+                .or_default()
+                .push(final_ms);
+            // The baseline's own descriptive cell.
+            let cell = inner
+                .cells
+                .entry((key.algorithm, sample_size))
+                .or_insert_with(|| CellState::new(false));
+            push_stats(cell, final_ms);
+            // Every technique cell at this sample size gains a baseline
+            // observation.
+            for ((algorithm, s), cell) in inner.cells.iter_mut() {
+                if *s == sample_size && *algorithm != self.config.baseline {
+                    if let Some(mwu) = &mut cell.mwu {
+                        mwu.push_b(final_ms);
+                    }
+                    cell.update_signal(&self.config);
+                }
+            }
+        } else {
+            let config = &self.config;
+            let baseline_seen = &inner.baseline_seen;
+            // Split-borrow workaround: look the backfill up before the
+            // entry call borrows `cells` mutably.
+            let backfill: Vec<f64> = baseline_seen.get(&sample_size).cloned().unwrap_or_default();
+            let cell = inner
+                .cells
+                .entry((key.algorithm, sample_size))
+                .or_insert_with(|| {
+                    let mut fresh = CellState::new(true);
+                    if let Some(mwu) = &mut fresh.mwu {
+                        for &b in &backfill {
+                            mwu.push_b(b);
+                        }
+                    }
+                    fresh
+                });
+            push_stats(cell, final_ms);
+            if let Some(mwu) = &mut cell.mwu {
+                mwu.push_a(final_ms);
+            }
+            cell.update_signal(config);
+        }
+    }
+
+    /// Feeds one journaled outcome in.
+    pub fn observe_record(&self, record: &OutcomeRecord) {
+        self.observe(&record.key, record.outcome.final_ms);
+    }
+
+    /// Total observations folded in so far.
+    pub fn observations(&self) -> u64 {
+        self.inner.lock().observations
+    }
+
+    /// Point-in-time summary of one cell.
+    pub fn summary(&self, algorithm: Algorithm, sample_size: usize) -> Option<CellSummary> {
+        let inner = self.inner.lock();
+        inner
+            .cells
+            .get(&(algorithm, sample_size))
+            .map(|cell| summarize(algorithm, sample_size, cell, self.config.alpha))
+    }
+
+    /// Summaries of every cell, ordered by (technique, sample size).
+    pub fn summaries(&self) -> Vec<CellSummary> {
+        let inner = self.inner.lock();
+        inner
+            .cells
+            .iter()
+            .map(|((algorithm, sample_size), cell)| {
+                summarize(*algorithm, *sample_size, cell, self.config.alpha)
+            })
+            .collect()
+    }
+
+    /// Renders the live significance matrix as plain text: one median
+    /// table over all techniques, one CLES-vs-baseline table with `*`
+    /// marking `p < α` and `!` marking the latched early signal.
+    pub fn render(&self) -> String {
+        let summaries = self.summaries();
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "live study monitor: {} observations, alpha {}",
+            self.observations(),
+            self.config.alpha
+        );
+        if summaries.is_empty() {
+            out.push_str("(no observations yet)\n");
+            return out;
+        }
+        let mut sample_sizes: Vec<usize> = summaries.iter().map(|s| s.sample_size).collect();
+        sample_sizes.sort_unstable();
+        sample_sizes.dedup();
+        let mut algorithms: Vec<Algorithm> = summaries.iter().map(|s| s.algorithm).collect();
+        algorithms.sort();
+        algorithms.dedup();
+        let by_key: BTreeMap<(Algorithm, usize), &CellSummary> = summaries
+            .iter()
+            .map(|s| ((s.algorithm, s.sample_size), s))
+            .collect();
+
+        out.push_str("\nmedian final runtime (ms)\n");
+        let _ = write!(out, "{:<22}", "technique");
+        for s in &sample_sizes {
+            let _ = write!(out, "{:>10}", format!("S={s}"));
+        }
+        out.push('\n');
+        for &algorithm in &algorithms {
+            let _ = write!(out, "{:<22}", algorithm.name());
+            for &s in &sample_sizes {
+                match by_key.get(&(algorithm, s)) {
+                    Some(cell) => {
+                        let _ = write!(out, "{:>10.4}", cell.median);
+                    }
+                    None => {
+                        let _ = write!(out, "{:>10}", "-");
+                    }
+                }
+            }
+            out.push('\n');
+        }
+
+        let _ = writeln!(
+            out,
+            "\nCLES vs {} ('*' p < {}, '!' early signal)",
+            self.config.baseline.name(),
+            self.config.alpha
+        );
+        let _ = write!(out, "{:<22}", "technique");
+        for s in &sample_sizes {
+            let _ = write!(out, "{:>10}", format!("S={s}"));
+        }
+        out.push('\n');
+        for &algorithm in &algorithms {
+            if algorithm == self.config.baseline {
+                continue;
+            }
+            let _ = write!(out, "{:<22}", algorithm.name());
+            for &s in &sample_sizes {
+                let rendered = match by_key.get(&(algorithm, s)).and_then(|c| c.comparison) {
+                    Some(cmp) => {
+                        let mut v = format!("{:.2}", cmp.cles);
+                        if cmp.significant {
+                            v.push('*');
+                        }
+                        if cmp.early_signal {
+                            v.push('!');
+                        }
+                        v
+                    }
+                    None => "-".to_string(),
+                };
+                let _ = write!(out, "{rendered:>10}");
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Folds one observation into a cell's descriptive accumulators.
+fn push_stats(cell: &mut CellState, final_ms: f64) {
+    cell.welford.push(final_ms);
+    cell.extrema.push(final_ms);
+    cell.q25.push(final_ms);
+    cell.median.push(final_ms);
+    cell.q75.push(final_ms);
+}
+
+fn summarize(
+    algorithm: Algorithm,
+    sample_size: usize,
+    cell: &CellState,
+    alpha: f64,
+) -> CellSummary {
+    let comparison = cell.mwu.as_ref().and_then(|mwu| {
+        if mwu.is_empty() {
+            return None;
+        }
+        let (cles, p_value) = if mwu.degenerate() {
+            (0.5, 1.0)
+        } else {
+            (
+                mwu.superiority_min(),
+                mwu.result(Alternative::TwoSided).p_value,
+            )
+        };
+        Some(BaselineComparison {
+            baseline_count: mwu.len_b() as u64,
+            cles,
+            p_value,
+            significant: p_value < alpha,
+            stable: cell.stable,
+            early_signal: cell.signalled,
+        })
+    });
+    CellSummary {
+        algorithm,
+        sample_size,
+        count: cell.welford.count(),
+        mean: cell.welford.mean(),
+        std_dev: cell.welford.std_dev(),
+        min: cell.extrema.min().unwrap_or(f64::NAN),
+        max: cell.extrema.max().unwrap_or(f64::NAN),
+        q25: cell.q25.quantile(),
+        median: cell.median.quantile(),
+        q75: cell.q75.quantile(),
+        comparison,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_stats::{cles, mwu};
+
+    fn key(algorithm: Algorithm, sample_size: usize) -> CellKey {
+        CellKey {
+            algorithm,
+            benchmark: "add".to_string(),
+            architecture: "gtx_980".to_string(),
+            sample_size,
+        }
+    }
+
+    /// Distinct, clearly separated populations (GA faster than RS).
+    fn separated() -> (Vec<f64>, Vec<f64>) {
+        let ga: Vec<f64> = (0..25).map(|i| 1.0 + i as f64 * 0.001).collect();
+        let rs: Vec<f64> = (0..25).map(|i| 2.0 + i as f64 * 0.001).collect();
+        (ga, rs)
+    }
+
+    #[test]
+    fn matches_batch_fig4b_convention() {
+        let (ga, rs) = separated();
+        let monitor = StudyMonitor::default();
+        // Scrambled arrival: alternate sides, techniques first.
+        for i in 0..25 {
+            monitor.observe(&key(Algorithm::GeneticAlgorithm, 50), ga[i]);
+            monitor.observe(&key(Algorithm::RandomSearch, 50), rs[i]);
+        }
+        let summary = monitor
+            .summary(Algorithm::GeneticAlgorithm, 50)
+            .expect("cell exists");
+        let cmp = summary.comparison.expect("comparison exists");
+        // Exactly the Fig. 4b batch computation.
+        let batch_cles = cles::probability_of_superiority_min(&ga, &rs);
+        let batch_p = mwu::mann_whitney_u(&ga, &rs, Alternative::TwoSided).p_value;
+        assert_eq!(cmp.cles, batch_cles);
+        assert_eq!(cmp.p_value, batch_p);
+        assert!(cmp.significant);
+        assert_eq!(cmp.baseline_count, 25);
+        assert_eq!(summary.count, 25);
+        assert_eq!(summary.min, 1.0);
+    }
+
+    #[test]
+    fn baseline_backfills_cells_created_later() {
+        let (ga, rs) = separated();
+        // All baseline repeats land before the technique cell exists.
+        let late = StudyMonitor::default();
+        for &v in &rs {
+            late.observe(&key(Algorithm::RandomSearch, 25), v);
+        }
+        for &v in &ga {
+            late.observe(&key(Algorithm::GeneticAlgorithm, 25), v);
+        }
+        // Interleaved arrival of the same observations.
+        let interleaved = StudyMonitor::default();
+        for i in 0..25 {
+            interleaved.observe(&key(Algorithm::GeneticAlgorithm, 25), ga[i]);
+            interleaved.observe(&key(Algorithm::RandomSearch, 25), rs[i]);
+        }
+        let a = late.summary(Algorithm::GeneticAlgorithm, 25).unwrap();
+        let b = interleaved
+            .summary(Algorithm::GeneticAlgorithm, 25)
+            .unwrap();
+        let (ca, cb) = (a.comparison.unwrap(), b.comparison.unwrap());
+        // Test statistics depend only on the observation multisets.
+        assert_eq!(ca.cles, cb.cles);
+        assert_eq!(ca.p_value, cb.p_value);
+        assert_eq!(a.count, b.count);
+        assert_eq!(a.min, b.min);
+        assert_eq!(a.max, b.max);
+        assert!((a.mean - b.mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn early_signal_latches_after_stable_significance() {
+        let (ga, rs) = separated();
+        let monitor = StudyMonitor::new(MonitorConfig {
+            stable_repeats: 3,
+            ..MonitorConfig::default()
+        });
+        for i in 0..25 {
+            monitor.observe(&key(Algorithm::GeneticAlgorithm, 100), ga[i]);
+            monitor.observe(&key(Algorithm::RandomSearch, 100), rs[i]);
+        }
+        let cmp = monitor
+            .summary(Algorithm::GeneticAlgorithm, 100)
+            .unwrap()
+            .comparison
+            .unwrap();
+        assert!(cmp.significant);
+        assert!(cmp.early_signal, "signal must latch: {cmp:?}");
+        assert!(cmp.stable >= 3);
+    }
+
+    #[test]
+    fn overlapping_populations_never_signal() {
+        let monitor = StudyMonitor::default();
+        // Interleaved values: no location difference.
+        for i in 0..30 {
+            monitor.observe(&key(Algorithm::GeneticAlgorithm, 25), i as f64 * 2.0);
+            monitor.observe(&key(Algorithm::RandomSearch, 25), i as f64 * 2.0 + 1.0);
+        }
+        let cmp = monitor
+            .summary(Algorithm::GeneticAlgorithm, 25)
+            .unwrap()
+            .comparison
+            .unwrap();
+        assert!(!cmp.significant, "p = {}", cmp.p_value);
+        assert!(!cmp.early_signal);
+        assert_eq!(cmp.stable, 0);
+    }
+
+    #[test]
+    fn degenerate_pools_report_half_cles_without_significance() {
+        let monitor = StudyMonitor::default();
+        for _ in 0..10 {
+            monitor.observe(&key(Algorithm::GeneticAlgorithm, 25), 3.0);
+            monitor.observe(&key(Algorithm::RandomSearch, 25), 3.0);
+        }
+        let cmp = monitor
+            .summary(Algorithm::GeneticAlgorithm, 25)
+            .unwrap()
+            .comparison
+            .unwrap();
+        assert_eq!(cmp.cles, 0.5);
+        assert_eq!(cmp.p_value, 1.0);
+        assert!(!cmp.significant);
+        assert!(!cmp.early_signal);
+    }
+
+    #[test]
+    fn technique_without_baseline_has_no_comparison() {
+        let monitor = StudyMonitor::default();
+        monitor.observe(&key(Algorithm::GeneticAlgorithm, 25), 1.5);
+        let summary = monitor.summary(Algorithm::GeneticAlgorithm, 25).unwrap();
+        assert!(summary.comparison.is_none());
+        // The baseline's own cell never carries one either.
+        monitor.observe(&key(Algorithm::RandomSearch, 25), 2.0);
+        let rs = monitor.summary(Algorithm::RandomSearch, 25).unwrap();
+        assert!(rs.comparison.is_none());
+    }
+
+    #[test]
+    fn quantiles_are_exact_for_short_streams() {
+        let monitor = StudyMonitor::default();
+        for v in [4.0, 1.0, 3.0] {
+            monitor.observe(&key(Algorithm::RandomSearch, 25), v);
+        }
+        let s = monitor.summary(Algorithm::RandomSearch, 25).unwrap();
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn render_shows_matrix_with_markers() {
+        let (ga, rs) = separated();
+        let monitor = StudyMonitor::default();
+        for i in 0..25 {
+            monitor.observe(&key(Algorithm::GeneticAlgorithm, 50), ga[i]);
+            monitor.observe(&key(Algorithm::RandomSearch, 50), rs[i]);
+        }
+        let text = monitor.render();
+        assert!(text.contains("live study monitor: 50 observations"));
+        assert!(text.contains("S=50"));
+        assert!(text.contains(Algorithm::GeneticAlgorithm.name()));
+        assert!(text.contains("CLES vs RandomSearch"));
+        // GA beats RS completely: CLES 1.00, significant, signalled.
+        assert!(text.contains("1.00*!"), "matrix: {text}");
+    }
+
+    #[test]
+    fn empty_monitor_renders_placeholder() {
+        let text = StudyMonitor::default().render();
+        assert!(text.contains("(no observations yet)"));
+    }
+}

@@ -82,6 +82,31 @@ pub fn aggregate_table(lines: &[AggregateLine]) -> String {
     out
 }
 
+/// Renders a series as a one-line Unicode sparkline (eight block
+/// heights, min-to-max scaled). Non-finite values and flat series
+/// render as the lowest block; empty input renders empty.
+pub fn sparkline(values: &[f64]) -> String {
+    const BLOCKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let finite: Vec<f64> = values.iter().copied().filter(|v| v.is_finite()).collect();
+    let (min, max) = finite
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &v| {
+            (lo.min(v), hi.max(v))
+        });
+    let range = max - min;
+    values
+        .iter()
+        .map(|&v| {
+            if !v.is_finite() || range <= 0.0 {
+                BLOCKS[0]
+            } else {
+                let level = ((v - min) / range * 7.0).round() as usize;
+                BLOCKS[level.min(7)]
+            }
+        })
+        .collect()
+}
+
 /// CSV for a set of heatmap panels: long format
 /// `benchmark,architecture,algorithm,sample_size,value`.
 pub fn heatmaps_csv(panels: &[HeatmapPanel]) -> String {
@@ -188,6 +213,16 @@ mod tests {
         let s = cles_heatmap(&panel, &cells);
         assert!(s.contains("0.90*"));
         assert!(s.contains("0.70 "));
+    }
+
+    #[test]
+    fn sparkline_scales_min_to_max() {
+        let s = sparkline(&[0.0, 3.5, 7.0]);
+        assert_eq!(s, "▁▄█");
+        assert_eq!(sparkline(&[]), "");
+        // Flat and non-finite series degrade to the lowest block.
+        assert_eq!(sparkline(&[2.0, 2.0, 2.0]), "▁▁▁");
+        assert_eq!(sparkline(&[0.0, f64::NAN, 1.0]), "▁▁█");
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! End-to-end observatory tests: a live `tuned` server scraped mid-GA
+//! session, the `observe` binary's parseable `--once` output in both
+//! server and journal mode, and the `regression-gate` binary against
+//! the committed baseline.
+
+use autotune_core::Algorithm;
+use autotune_service::{Client, RemoteSuggestion, ServerConfig, SessionManager, SessionSpec};
+use autotune_space::Configuration;
+use experiments::grid::CellKey;
+use experiments::journal::OutcomeJournal;
+use experiments::ExperimentOutcome;
+use std::path::PathBuf;
+use std::process::Command;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+const BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+
+fn temp_path(tag: &str, ext: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "autotune-observe-e2e-{}-{tag}-{n}.{ext}",
+        std::process::id()
+    ))
+}
+
+fn objective(cfg: &Configuration) -> f64 {
+    cfg.values().iter().map(|&v| v as f64).sum()
+}
+
+#[test]
+fn observatory_end_to_end_against_live_server() {
+    let manager = Arc::new(SessionManager::in_memory());
+    let config = ServerConfig {
+        timeseries_interval: Some(Duration::from_millis(10)),
+        ..ServerConfig::default()
+    };
+    let server = autotune_service::TunedServer::spawn_with("127.0.0.1:0", manager, config).unwrap();
+    let addr = server.local_addr().to_string();
+
+    // A short GA session amid metric scrapes: suggest/report with
+    // deliberate pauses so the sampler thread records activity.
+    let mut client = Client::connect(&addr).unwrap();
+    client
+        .open(
+            "ga",
+            SessionSpec::imagecl(Algorithm::GeneticAlgorithm, 12, 7),
+        )
+        .unwrap();
+    for step in 0..12 {
+        match client.suggest("ga").unwrap() {
+            RemoteSuggestion::Evaluate(cfg) => {
+                client.report("ga", objective(&cfg)).unwrap();
+            }
+            RemoteSuggestion::Finished(_) => break,
+        }
+        if step % 4 == 0 {
+            let scrape = client.metrics().unwrap();
+            assert!(scrape.snapshot_seq > 0);
+            std::thread::sleep(Duration::from_millis(15));
+        }
+    }
+
+    // The sampled series is strictly monotone in both sequence number
+    // and (weakly) wall-clock, and its final point reflects the work.
+    std::thread::sleep(Duration::from_millis(30));
+    let points = client.timeseries().unwrap();
+    assert!(
+        points.len() >= 2,
+        "sampler produced {} points",
+        points.len()
+    );
+    for pair in points.windows(2) {
+        assert!(pair[0].snapshot_seq < pair[1].snapshot_seq);
+        assert!(pair[0].unix_ms <= pair[1].unix_ms);
+        assert!(pair[0].uptime_seconds <= pair[1].uptime_seconds);
+    }
+    let last = points.last().unwrap();
+    assert!(last.gauge("engine_reports").unwrap_or(0.0) >= 12.0);
+
+    // `observe --once` renders one parseable frame against the server.
+    let output = Command::new(env!("CARGO_BIN_EXE_observe"))
+        .args(["--once", "--addr", &addr])
+        .output()
+        .expect("observe runs");
+    assert!(output.status.success(), "observe failed: {output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(stdout.starts_with("tuned observatory:"), "{stdout}");
+    // Every line of the counters section is machine-readable
+    // `name value`.
+    let counters: Vec<(&str, u64)> = stdout
+        .lines()
+        .skip_while(|l| *l != "# counters")
+        .skip(1)
+        .take_while(|l| !l.is_empty())
+        .map(|l| {
+            let mut it = l.split_whitespace();
+            let name = it.next().expect("counter name");
+            let value: u64 = it.next().expect("counter value").parse().expect("u64");
+            assert_eq!(it.next(), None, "exactly two tokens: {l:?}");
+            (name, value)
+        })
+        .collect();
+    assert!(counters
+        .iter()
+        .any(|(n, v)| *n == "engine_reports" && *v >= 12));
+    assert!(counters.iter().any(|(n, _)| *n == "server_requests"));
+    assert!(stdout.contains("# activity"));
+    assert!(stdout.contains("# search phase time"));
+
+    server.stop_accepting();
+}
+
+#[test]
+fn observe_replays_a_study_journal() {
+    let path = temp_path("journal", "jsonl");
+    let mut journal = OutcomeJournal::create(&path).unwrap();
+    let cell = |algorithm, sample_size| CellKey {
+        algorithm,
+        benchmark: "add".into(),
+        architecture: "gtx_980".into(),
+        sample_size,
+    };
+    // Clearly separated populations so the matrix shows significance.
+    for rep in 0..12 {
+        let outcome = |final_ms| ExperimentOutcome {
+            final_ms,
+            config: Configuration::from([1, 1, 1, 2, 2, 2]),
+            search_samples: 25,
+        };
+        journal
+            .record(
+                &cell(Algorithm::RandomSearch, 25),
+                rep,
+                &outcome(2.0 + rep as f64 * 0.01),
+            )
+            .unwrap();
+        journal
+            .record(
+                &cell(Algorithm::GeneticAlgorithm, 25),
+                rep,
+                &outcome(1.0 + rep as f64 * 0.01),
+            )
+            .unwrap();
+    }
+    drop(journal);
+
+    let output = Command::new(env!("CARGO_BIN_EXE_observe"))
+        .args(["--once", "--journal", path.to_str().unwrap()])
+        .output()
+        .expect("observe runs");
+    assert!(output.status.success(), "observe failed: {output:?}");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(
+        stdout.contains("live study monitor: 24 observations"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("CLES vs RandomSearch"), "{stdout}");
+    // Fully separated populations at n=12: CLES 1.00, significant.
+    assert!(stdout.contains("1.00*"), "{stdout}");
+    assert!(stdout.contains("# convergence"), "{stdout}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn observe_rejects_bad_flag_combinations() {
+    let both = Command::new(env!("CARGO_BIN_EXE_observe"))
+        .args(["--once"])
+        .output()
+        .expect("observe runs");
+    assert_eq!(both.status.code(), Some(2));
+    let stderr = String::from_utf8(both.stderr).unwrap();
+    assert!(stderr.contains("exactly one of"));
+}
+
+#[test]
+fn regression_gate_passes_identity_and_fails_injection() {
+    // Self-comparison of the committed baseline: nothing can fire.
+    let pass = Command::new(env!("CARGO_BIN_EXE_regression-gate"))
+        .args(["--baseline", BASELINE, "--fresh", BASELINE])
+        .output()
+        .expect("gate runs");
+    let stdout = String::from_utf8(pass.stdout.clone()).unwrap();
+    assert_eq!(pass.status.code(), Some(0), "{stdout}");
+    assert!(stdout.contains("verdict PASS"), "{stdout}");
+    assert!(stdout.contains("cells compared"));
+
+    // A uniform 20% injected slowdown must trip the gate.
+    let fail = Command::new(env!("CARGO_BIN_EXE_regression-gate"))
+        .args([
+            "--baseline",
+            BASELINE,
+            "--fresh",
+            BASELINE,
+            "--inject",
+            "1.2",
+        ])
+        .output()
+        .expect("gate runs");
+    let stdout = String::from_utf8(fail.stdout.clone()).unwrap();
+    assert_eq!(fail.status.code(), Some(1), "{stdout}");
+    assert!(stdout.contains("SLOWDOWN"), "{stdout}");
+    assert!(stdout.contains("verdict FAIL"), "{stdout}");
+
+    // Usage errors exit 2.
+    let usage = Command::new(env!("CARGO_BIN_EXE_regression-gate"))
+        .args(["--baseline", BASELINE])
+        .output()
+        .expect("gate runs");
+    assert_eq!(usage.status.code(), Some(2));
+}

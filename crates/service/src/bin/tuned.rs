@@ -4,6 +4,7 @@
 //! tuned [--addr HOST:PORT] [--journal-dir DIR] [--durability sync|buffered]
 //!       [--read-timeout SECS] [--write-timeout SECS]
 //!       [--max-conns N] [--max-line-bytes N] [--idle-ttl SECS]
+//!       [--timeseries-interval-ms MS]
 //! ```
 //!
 //! Speaks newline-delimited JSON over TCP (see the protocol module of
@@ -30,6 +31,7 @@ fn usage(code: i32) -> ! {
     eprintln!("usage: tuned [--addr HOST:PORT] [--journal-dir DIR] [--durability sync|buffered]");
     eprintln!("             [--read-timeout SECS] [--write-timeout SECS]");
     eprintln!("             [--max-conns N] [--max-line-bytes N] [--idle-ttl SECS]");
+    eprintln!("             [--timeseries-interval-ms MS]");
     eprintln!();
     eprintln!("  --addr HOST:PORT     listen address (default 127.0.0.1:4242)");
     eprintln!("  --journal-dir DIR    journal sessions under DIR and recover");
@@ -53,6 +55,14 @@ fn usage(code: i32) -> ! {
         defaults.max_line_bytes
     );
     eprintln!("  --idle-ttl SECS      evict sessions idle this long (default: never)");
+    eprintln!("  --timeseries-interval-ms MS  metrics time-series sampling period for the",);
+    eprintln!(
+        "                       `timeseries` op; 0 disables sampling (default {})",
+        defaults
+            .timeseries_interval
+            .map(|d| d.as_millis())
+            .unwrap_or(0)
+    );
     exit(code)
 }
 
@@ -99,6 +109,10 @@ fn parse_args() -> Args {
             "--max-line-bytes" => args.config.max_line_bytes = parse(&flag, argv.next()),
             "--idle-ttl" => {
                 args.config.idle_session_ttl = Some(Duration::from_secs(parse(&flag, argv.next())))
+            }
+            "--timeseries-interval-ms" => {
+                let ms: u64 = parse(&flag, argv.next());
+                args.config.timeseries_interval = (ms > 0).then(|| Duration::from_millis(ms));
             }
             "--help" | "-h" => usage(0),
             _ => usage(2),

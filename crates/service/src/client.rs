@@ -144,6 +144,34 @@ impl Client {
         }
     }
 
+    /// Fetches the server's sampled metrics time series: the whole
+    /// process lifetime at power-of-two-downsampled resolution, oldest
+    /// first.
+    pub fn timeseries(&mut self) -> Result<Vec<crate::tsdb::TimePoint>, ServiceError> {
+        self.timeseries_request(None)
+    }
+
+    /// Like [`timeseries`](Client::timeseries), but only points with
+    /// `snapshot_seq` strictly greater than `since_seq` — the
+    /// incremental-poll path for dashboards.
+    pub fn timeseries_since(
+        &mut self,
+        since_seq: u64,
+    ) -> Result<Vec<crate::tsdb::TimePoint>, ServiceError> {
+        self.timeseries_request(Some(since_seq))
+    }
+
+    fn timeseries_request(
+        &mut self,
+        since_seq: Option<u64>,
+    ) -> Result<Vec<crate::tsdb::TimePoint>, ServiceError> {
+        let reply = self.call(&Request::Timeseries { since_seq })?;
+        match reply {
+            Response::Timeseries { points } => Ok(points),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
     /// Closes `name`, returning the result when the budget was spent.
     pub fn close(&mut self, name: &str) -> Result<Option<TuneResult>, ServiceError> {
         let reply = self.call(&Request::Close {
@@ -302,6 +330,28 @@ mod tests {
             client.trace("ghost"),
             Err(ServiceError::Remote { .. })
         ));
+    }
+
+    #[test]
+    fn client_reads_timeseries_with_incremental_polls() {
+        use crate::server::ServerConfig;
+        let manager = Arc::new(SessionManager::in_memory());
+        let config = ServerConfig {
+            timeseries_interval: Some(std::time::Duration::from_millis(10)),
+            ..ServerConfig::default()
+        };
+        let server = TunedServer::spawn_with("127.0.0.1:0", manager, config).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.tune("ts", toy_spec(4, 2), objective).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(40));
+        let points = client.timeseries().unwrap();
+        assert!(!points.is_empty());
+        for pair in points.windows(2) {
+            assert!(pair[0].snapshot_seq < pair[1].snapshot_seq);
+        }
+        let last_seq = points.last().unwrap().snapshot_seq;
+        let tail = client.timeseries_since(last_seq).unwrap();
+        assert!(tail.iter().all(|p| p.snapshot_seq > last_seq));
     }
 
     #[test]

@@ -25,7 +25,10 @@
 //!   deadlines, bounded request lines, a connection cap, idle-session
 //!   reaping, graceful drain) and instrumented end to end — the
 //!   [`metrics`] module's std-only counters and latency histograms are
-//!   scrapeable over the wire and render as Prometheus text.
+//!   scrapeable over the wire and render as Prometheus text, and a
+//!   sampler thread records them into a bounded [`tsdb`] time series
+//!   (whole process lifetime, power-of-two downsampling) served by the
+//!   `timeseries` op ([`Client::timeseries`]).
 //! * Every session carries the core flight recorder
 //!   ([`autotune_core::trace`]): per-trial events and phase spans stream
 //!   into the journal, completed spans feed the
@@ -69,6 +72,7 @@ pub mod protocol;
 pub mod server;
 pub mod spec;
 pub mod stats;
+pub mod tsdb;
 
 pub use client::{Client, RemoteSuggestion};
 pub use engine::{AskTellSession, Suggestion};
@@ -79,3 +83,4 @@ pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use server::{ServerConfig, TunedServer};
 pub use spec::{SessionSpec, SpaceSpec};
 pub use stats::SessionStats;
+pub use tsdb::{TimePoint, TimeSeriesStore};

@@ -14,11 +14,12 @@
 //! turns one into `# TYPE`-less exposition text a Prometheus scraper
 //! (or `grep`) understands line-by-line.
 
+use crate::tsdb::{RecordOutcome, TimePoint, TimeSeriesStore};
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A monotonically increasing event count.
 #[derive(Debug, Default)]
@@ -139,12 +140,26 @@ pub struct HistogramSnapshot {
 
 /// Point-in-time copy of a whole metrics registry, as served by the
 /// `metrics` protocol op.
+///
+/// `uptime_seconds` and `snapshot_seq` were added after the first wire
+/// release; both carry `#[serde(default)]` so snapshots from older
+/// servers still parse (as 0) and older clients simply ignore the new
+/// fields.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct MetricsSnapshot {
     /// Counter name → value.
     pub counters: BTreeMap<String, u64>,
     /// Histogram name → snapshot.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Seconds since the metrics registry (≈ the server process) was
+    /// created.
+    #[serde(default)]
+    pub uptime_seconds: f64,
+    /// Sequence number of this snapshot, strictly increasing per
+    /// registry and starting at 1; a scrape observing a *lower* value
+    /// than before is watching a restarted server.
+    #[serde(default)]
+    pub snapshot_seq: u64,
 }
 
 impl MetricsSnapshot {
@@ -165,6 +180,11 @@ impl MetricsSnapshot {
     /// `_count`.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
+        out.push_str(&format!(
+            "autotune_uptime_seconds {}\n",
+            self.uptime_seconds
+        ));
+        out.push_str(&format!("autotune_snapshot_seq {}\n", self.snapshot_seq));
         for (name, value) in &self.counters {
             out.push_str(&format!("autotune_{name} {value}\n"));
         }
@@ -245,6 +265,28 @@ pub struct ServiceMetrics {
     /// `search_phase_seconds_{phase}` so one Prometheus scrape covers
     /// engine *and* algorithm time.
     search_phase_seconds: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    /// Snapshots sampled into the time-series store.
+    pub tsdb_samples: Counter,
+    /// Times the time-series store halved its buffer.
+    pub tsdb_downsamples: Counter,
+    /// When this registry was created; the zero point of
+    /// `uptime_seconds`.
+    start: StartInstant,
+    /// Sequence number handed to the next snapshot (post-increment).
+    snapshot_seq: AtomicU64,
+    /// Sampled history of this registry, served by the `timeseries`
+    /// protocol op.
+    timeseries: TimeSeriesStore,
+}
+
+/// `Instant` wrapper so `ServiceMetrics` can keep deriving `Default`.
+#[derive(Debug, Clone, Copy)]
+struct StartInstant(Instant);
+
+impl Default for StartInstant {
+    fn default() -> StartInstant {
+        StartInstant(Instant::now())
+    }
 }
 
 impl ServiceMetrics {
@@ -330,6 +372,8 @@ impl ServiceMetrics {
             "journal_trace_batches",
             &self.journal_trace_batches,
         );
+        c(&mut counters, "tsdb_samples", &self.tsdb_samples);
+        c(&mut counters, "tsdb_downsamples", &self.tsdb_downsamples);
         histograms.insert(
             "server_dispatch_seconds".to_string(),
             self.dispatch_seconds.snapshot(),
@@ -357,7 +401,30 @@ impl ServiceMetrics {
         MetricsSnapshot {
             counters,
             histograms,
+            uptime_seconds: self.start.0.elapsed().as_secs_f64(),
+            snapshot_seq: self.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1,
         }
+    }
+
+    /// The registry's sampled history.
+    pub fn timeseries(&self) -> &TimeSeriesStore {
+        &self.timeseries
+    }
+
+    /// Takes a snapshot and records it into the time-series store,
+    /// stamped with the caller's wall-clock time. Called by the
+    /// server's sampler thread; also usable directly in tests and
+    /// benches.
+    pub fn sample_timeseries(&self, unix_ms: u64) -> RecordOutcome {
+        let snapshot = self.snapshot();
+        let outcome = self
+            .timeseries
+            .record(TimePoint::from_snapshot(&snapshot, unix_ms));
+        self.tsdb_samples.inc();
+        if outcome.downsampled {
+            self.tsdb_downsamples.inc();
+        }
+        outcome
     }
 }
 
@@ -442,6 +509,50 @@ mod tests {
         );
         let text = snap.render_prometheus();
         assert!(text.contains("autotune_search_phase_seconds_surrogate_fit_count 2"));
+    }
+
+    #[test]
+    fn snapshot_seq_increases_and_uptime_advances() {
+        let m = ServiceMetrics::new();
+        let first = m.snapshot();
+        let second = m.snapshot();
+        assert_eq!(first.snapshot_seq, 1);
+        assert_eq!(second.snapshot_seq, 2);
+        assert!(second.uptime_seconds >= first.uptime_seconds);
+        assert!(first.uptime_seconds >= 0.0);
+        let text = second.render_prometheus();
+        assert!(text.contains("autotune_snapshot_seq 2"));
+        assert!(text.contains("autotune_uptime_seconds "));
+    }
+
+    #[test]
+    fn snapshot_parses_pre_observatory_wire_format() {
+        // A PR-2 era snapshot has neither uptime nor seq; both must
+        // default to zero rather than fail the parse.
+        let old = r#"{"counters":{"server_requests":3},"histograms":{}}"#;
+        let snap: MetricsSnapshot = serde_json::from_str(old).unwrap();
+        assert_eq!(snap.counter("server_requests"), Some(3));
+        assert_eq!(snap.uptime_seconds, 0.0);
+        assert_eq!(snap.snapshot_seq, 0);
+    }
+
+    #[test]
+    fn sample_timeseries_records_points_and_counts() {
+        let m = ServiceMetrics::new();
+        m.requests.add(2);
+        assert!(m.sample_timeseries(100).kept);
+        m.requests.add(3);
+        assert!(m.sample_timeseries(200).kept);
+        let points = m.timeseries().points();
+        assert_eq!(points.len(), 2);
+        assert_eq!(points[0].gauge("server_requests"), Some(2.0));
+        assert_eq!(points[1].gauge("server_requests"), Some(5.0));
+        assert!(points[0].snapshot_seq < points[1].snapshot_seq);
+        assert!(points[0].unix_ms < points[1].unix_ms);
+        // The sample counters themselves land in later snapshots.
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("tsdb_samples"), Some(2));
+        assert_eq!(snap.counter("tsdb_downsamples"), Some(0));
     }
 
     #[test]

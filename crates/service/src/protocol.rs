@@ -4,8 +4,8 @@
 //! reply is one JSON object on one line, tagged by `"reply"`. Requests
 //! are answered in order on the connection that sent them. The protocol
 //! is deliberately minimal — six operations mirroring the
-//! [`SessionManager`](crate::SessionManager) surface plus a server-wide
-//! `metrics` scrape:
+//! [`SessionManager`](crate::SessionManager) surface plus two
+//! server-wide observability reads, `metrics` and `timeseries`:
 //!
 //! ```text
 //! -> {"op":"open","name":"run","spec":{"algorithm":"BoTpe","budget":40,"seed":2022,"space":{"kind":"image_cl"}}}
@@ -20,6 +20,8 @@
 //! <- {"reply":"trace","events":[{"t_us":412,"kind":"trial","index":0,...},...]}
 //! -> {"op":"metrics"}
 //! <- {"reply":"metrics","metrics":{"counters":{...},"histograms":{...}}}
+//! -> {"op":"timeseries","since_seq":42}
+//! <- {"reply":"timeseries","points":[{"unix_ms":1722860000000,"uptime_seconds":3.5,"snapshot_seq":43,"gauges":{...}},...]}
 //! -> {"op":"close","name":"run"}
 //! <- {"reply":"closed","result":{...}}
 //! ```
@@ -47,6 +49,7 @@ use crate::error::{ErrorCode, ServiceError};
 use crate::metrics::MetricsSnapshot;
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
+use crate::tsdb::TimePoint;
 use autotune_core::trace::TraceEvent;
 use autotune_core::TuneResult;
 use autotune_space::Configuration;
@@ -89,6 +92,16 @@ pub enum Request {
     /// Fetch the server-wide metrics snapshot (counters and latency
     /// histograms across all sessions and connections).
     Metrics,
+    /// Fetch the sampled metrics time series (the server's whole
+    /// lifetime at power-of-two-downsampled resolution).
+    Timeseries {
+        /// When set, only points with `snapshot_seq` strictly greater
+        /// than this are returned — the incremental-poll path. Absent
+        /// in requests from pre-observatory clients, which parses as
+        /// "everything".
+        #[serde(default)]
+        since_seq: Option<u64>,
+    },
     /// Close and deregister the session.
     Close {
         /// The target session.
@@ -129,6 +142,11 @@ pub enum Response {
     Metrics {
         /// The server-wide snapshot.
         metrics: MetricsSnapshot,
+    },
+    /// Answer to `timeseries`.
+    Timeseries {
+        /// Retained sample points, oldest first.
+        points: Vec<TimePoint>,
     },
     /// The session was closed.
     Closed {
@@ -258,6 +276,46 @@ mod tests {
             serde_json::from_str::<Request>(line).unwrap(),
             Request::Trace { name: "run".into() }
         );
+    }
+
+    #[test]
+    fn timeseries_requests_parse_with_and_without_since() {
+        // Bare form, what a pre-observatory or lazy client writes.
+        let line = r#"{"op":"timeseries"}"#;
+        assert_eq!(
+            serde_json::from_str::<Request>(line).unwrap(),
+            Request::Timeseries { since_seq: None }
+        );
+        let line = r#"{"op":"timeseries","since_seq":42}"#;
+        assert_eq!(
+            serde_json::from_str::<Request>(line).unwrap(),
+            Request::Timeseries {
+                since_seq: Some(42)
+            }
+        );
+    }
+
+    #[test]
+    fn timeseries_replies_round_trip_with_points() {
+        use std::collections::BTreeMap;
+        let reply = Response::Timeseries {
+            points: vec![TimePoint {
+                unix_ms: 1_722_860_000_000,
+                uptime_seconds: 3.5,
+                snapshot_seq: 43,
+                gauges: BTreeMap::from([("server_requests".to_string(), 7.0)]),
+            }],
+        };
+        let json = serde_json::to_string(&reply).unwrap();
+        assert!(json.contains("\"reply\":\"timeseries\""));
+        assert!(json.contains("\"snapshot_seq\":43"));
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Timeseries { points } => {
+                assert_eq!(points.len(), 1);
+                assert_eq!(points[0].gauge("server_requests"), Some(7.0));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

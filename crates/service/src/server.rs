@@ -73,6 +73,12 @@ pub struct ServerConfig {
     /// How long a stopping server waits for live connections to finish
     /// before force-closing their sockets.
     pub drain_grace: Duration,
+    /// When set, a sampler thread records the metrics registry into its
+    /// time-series store at this interval, serving the `timeseries` op
+    /// with history instead of an empty vector. `None` disables
+    /// sampling (the op still answers, with whatever was sampled by
+    /// other means).
+    pub timeseries_interval: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -84,6 +90,7 @@ impl Default for ServerConfig {
             max_connections: 1024,
             idle_session_ttl: None,
             drain_grace: Duration::from_secs(5),
+            timeseries_interval: Some(Duration::from_secs(1)),
         }
     }
 }
@@ -158,6 +165,7 @@ pub struct TunedServer {
     conns: Arc<ConnTable>,
     accept_thread: Option<thread::JoinHandle<()>>,
     reaper_thread: Option<thread::JoinHandle<()>>,
+    sampler_thread: Option<thread::JoinHandle<()>>,
 }
 
 impl TunedServer {
@@ -218,6 +226,34 @@ impl TunedServer {
             None => None,
         };
 
+        let sampler_thread = match config.timeseries_interval {
+            Some(interval) if interval > Duration::ZERO => {
+                let stop = Arc::clone(&stop);
+                let manager = Arc::clone(&manager);
+                let handle = thread::Builder::new()
+                    .name("tuned-tsdb".into())
+                    .spawn(move || {
+                        // Sample immediately so even a short-lived server
+                        // has at least one point, then poll the stop flag
+                        // in small steps between samples.
+                        let step = interval.min(Duration::from_millis(20));
+                        let mut next = Instant::now();
+                        while !stop.load(Ordering::SeqCst) {
+                            if Instant::now() >= next {
+                                manager
+                                    .metrics()
+                                    .sample_timeseries(crate::tsdb::unix_ms_now());
+                                next = Instant::now() + interval;
+                            }
+                            thread::sleep(step);
+                        }
+                    })
+                    .map_err(ServiceError::Io)?;
+                Some(handle)
+            }
+            _ => None,
+        };
+
         Ok(TunedServer {
             addr: local,
             config,
@@ -225,6 +261,7 @@ impl TunedServer {
             conns,
             accept_thread: Some(accept_thread),
             reaper_thread,
+            sampler_thread,
         })
     }
 
@@ -254,6 +291,9 @@ impl TunedServer {
             let _ = handle.join();
         }
         if let Some(handle) = self.reaper_thread.take() {
+            let _ = handle.join();
+        }
+        if let Some(handle) = self.sampler_thread.take() {
             let _ = handle.join();
         }
         // Grace period: let in-flight requests finish. Handlers check
@@ -556,6 +596,15 @@ fn dispatch(request: Request, manager: &SessionManager) -> Response {
         Request::Metrics => Ok(Response::Metrics {
             metrics: manager.metrics().snapshot(),
         }),
+        Request::Timeseries { since_seq } => {
+            let store = manager.metrics().timeseries();
+            Ok(Response::Timeseries {
+                points: match since_seq {
+                    Some(seq) => store.points_since(seq),
+                    None => store.points(),
+                },
+            })
+        }
         Request::Close { name } => manager
             .close(&name)
             .map(|result| Response::Closed { result }),
@@ -745,6 +794,56 @@ mod tests {
                 // EOF (0 bytes) — nothing serves this socket anymore.
                 assert_eq!(reader.read_line(&mut line).unwrap_or(0), 0);
             }
+        }
+    }
+
+    #[test]
+    fn sampler_feeds_the_timeseries_op() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let config = ServerConfig {
+            timeseries_interval: Some(Duration::from_millis(10)),
+            ..ServerConfig::default()
+        };
+        let server = TunedServer::spawn_with("127.0.0.1:0", manager, config).unwrap();
+        let mut conn = connect(server.local_addr());
+        // Give the sampler a few intervals to run.
+        thread::sleep(Duration::from_millis(60));
+        let points = match roundtrip(&mut conn, &Request::Timeseries { since_seq: None }) {
+            Response::Timeseries { points } => points,
+            other => panic!("unexpected reply: {other:?}"),
+        };
+        assert!(points.len() >= 2, "only {} points sampled", points.len());
+        for pair in points.windows(2) {
+            assert!(pair[0].snapshot_seq < pair[1].snapshot_seq);
+            assert!(pair[0].unix_ms <= pair[1].unix_ms);
+        }
+        // Incremental poll: everything after the first point's seq.
+        let since = points[0].snapshot_seq;
+        match roundtrip(
+            &mut conn,
+            &Request::Timeseries {
+                since_seq: Some(since),
+            },
+        ) {
+            Response::Timeseries { points: tail } => {
+                assert!(tail.iter().all(|p| p.snapshot_seq > since));
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn timeseries_op_answers_empty_when_sampling_is_off() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let config = ServerConfig {
+            timeseries_interval: None,
+            ..ServerConfig::default()
+        };
+        let server = TunedServer::spawn_with("127.0.0.1:0", manager, config).unwrap();
+        let mut conn = connect(server.local_addr());
+        match roundtrip(&mut conn, &Request::Timeseries { since_seq: None }) {
+            Response::Timeseries { points } => assert!(points.is_empty()),
+            other => panic!("unexpected reply: {other:?}"),
         }
     }
 

@@ -1,0 +1,316 @@
+//! Fixed-capacity metrics time series with power-of-two downsampling.
+//!
+//! A [`TimeSeriesStore`] periodically receives [`TimePoint`]s — flat
+//! gauge maps distilled from [`MetricsSnapshot`]s — and keeps the whole
+//! server lifetime queryable in bounded memory. Instead of a ring that
+//! forgets the past, the store **downsamples**: when the buffer fills,
+//! every other point is dropped and the keep-stride doubles, so the
+//! series always spans from process start to now at a resolution that
+//! halves each time the capacity is hit. A dashboard polling the
+//! `timeseries` op therefore sees both the last few seconds and the
+//! full history shape, which is the right trade for convergence
+//! sparklines.
+//!
+//! Invariant: the buffer holds exactly the arrivals whose 0-based
+//! arrival index is a multiple of `stride`, in order. Keeping even
+//! buffer indices during a downsample preserves that invariant with the
+//! doubled stride, by induction.
+
+use crate::metrics::MetricsSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Default number of points a store retains before downsampling.
+pub const DEFAULT_CAPACITY: usize = 512;
+
+/// One sampled point: the scalar ("gauge") view of a metrics snapshot
+/// at a known wall-clock time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimePoint {
+    /// Wall-clock sample time, milliseconds since the Unix epoch.
+    pub unix_ms: u64,
+    /// Seconds since the metrics registry was created (the snapshot's
+    /// own monotonic clock).
+    pub uptime_seconds: f64,
+    /// The snapshot's sequence number; strictly increasing across the
+    /// points of one server process.
+    pub snapshot_seq: u64,
+    /// Flattened scalar values: every counter by name, plus
+    /// `{histogram}_count` and `{histogram}_sum` for each histogram.
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl TimePoint {
+    /// Distills a snapshot into a point stamped with `unix_ms`.
+    pub fn from_snapshot(snapshot: &MetricsSnapshot, unix_ms: u64) -> TimePoint {
+        let mut gauges = BTreeMap::new();
+        for (name, value) in &snapshot.counters {
+            gauges.insert(name.clone(), *value as f64);
+        }
+        for (name, h) in &snapshot.histograms {
+            gauges.insert(format!("{name}_count"), h.count as f64);
+            gauges.insert(format!("{name}_sum"), h.sum_seconds);
+        }
+        TimePoint {
+            unix_ms,
+            uptime_seconds: snapshot.uptime_seconds,
+            snapshot_seq: snapshot.snapshot_seq,
+            gauges,
+        }
+    }
+
+    /// Looks a gauge up by name.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+}
+
+/// What [`TimeSeriesStore::record`] did with a point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecordOutcome {
+    /// `true` if the point was retained (its arrival index landed on
+    /// the current stride).
+    pub kept: bool,
+    /// `true` if this record triggered a downsample (buffer was full).
+    pub downsampled: bool,
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    points: Vec<TimePoint>,
+    /// Keep one arrival in `stride`; always a power of two.
+    stride: u64,
+    /// Total arrivals ever offered, kept or not.
+    arrivals: u64,
+    /// Times the buffer was halved.
+    downsamples: u64,
+}
+
+/// Bounded in-memory store of [`TimePoint`]s spanning the whole process
+/// lifetime. All methods are thread-safe; `record` is called from the
+/// server's sampler thread while `points*` serve protocol reads.
+#[derive(Debug)]
+pub struct TimeSeriesStore {
+    capacity: usize,
+    inner: Mutex<StoreInner>,
+}
+
+impl Default for TimeSeriesStore {
+    fn default() -> TimeSeriesStore {
+        TimeSeriesStore::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl TimeSeriesStore {
+    /// A store retaining at most `capacity` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2` (downsampling needs room to halve).
+    pub fn with_capacity(capacity: usize) -> TimeSeriesStore {
+        assert!(capacity >= 2, "time-series capacity must be at least 2");
+        TimeSeriesStore {
+            capacity,
+            inner: Mutex::new(StoreInner {
+                points: Vec::new(),
+                stride: 1,
+                arrivals: 0,
+                downsamples: 0,
+            }),
+        }
+    }
+
+    /// The configured point capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Offers one point; keeps it if its arrival index lands on the
+    /// current stride, halving the buffer first when it is full.
+    pub fn record(&self, point: TimePoint) -> RecordOutcome {
+        let mut inner = self.inner.lock().expect("tsdb lock");
+        let index = inner.arrivals;
+        inner.arrivals += 1;
+        if index % inner.stride != 0 {
+            return RecordOutcome {
+                kept: false,
+                downsampled: false,
+            };
+        }
+        let mut downsampled = false;
+        if inner.points.len() == self.capacity {
+            // Keep even buffer indices: with the invariant that the
+            // buffer holds consecutive multiples of `stride` starting
+            // at arrival 0, the survivors are exactly the multiples of
+            // `2 * stride`.
+            let mut i = 0;
+            inner.points.retain(|_| {
+                let keep = i % 2 == 0;
+                i += 1;
+                keep
+            });
+            inner.stride *= 2;
+            inner.downsamples += 1;
+            downsampled = true;
+            if index % inner.stride != 0 {
+                return RecordOutcome {
+                    kept: false,
+                    downsampled,
+                };
+            }
+        }
+        inner.points.push(point);
+        RecordOutcome {
+            kept: true,
+            downsampled,
+        }
+    }
+
+    /// A copy of every retained point, oldest first.
+    pub fn points(&self) -> Vec<TimePoint> {
+        self.inner.lock().expect("tsdb lock").points.clone()
+    }
+
+    /// Retained points with `snapshot_seq > since_seq`, oldest first —
+    /// the incremental-poll path for dashboards.
+    pub fn points_since(&self, since_seq: u64) -> Vec<TimePoint> {
+        let inner = self.inner.lock().expect("tsdb lock");
+        let start = inner
+            .points
+            .partition_point(|p| p.snapshot_seq <= since_seq);
+        inner.points[start..].to_vec()
+    }
+
+    /// Number of points currently retained.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("tsdb lock").points.len()
+    }
+
+    /// `true` when no point has been retained yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Current keep-stride (1 until the first downsample, then a power
+    /// of two).
+    pub fn stride(&self) -> u64 {
+        self.inner.lock().expect("tsdb lock").stride
+    }
+
+    /// Times the buffer has been halved so far.
+    pub fn downsamples(&self) -> u64 {
+        self.inner.lock().expect("tsdb lock").downsamples
+    }
+}
+
+/// Milliseconds since the Unix epoch, saturating at zero on a
+/// pre-epoch clock.
+pub fn unix_ms_now() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(seq: u64) -> TimePoint {
+        TimePoint {
+            unix_ms: 1_000 + seq,
+            uptime_seconds: seq as f64,
+            snapshot_seq: seq,
+            gauges: BTreeMap::from([("server_requests".to_string(), seq as f64)]),
+        }
+    }
+
+    #[test]
+    fn from_snapshot_flattens_counters_and_histograms() {
+        let m = crate::metrics::ServiceMetrics::new();
+        m.requests.add(5);
+        m.dispatch_seconds
+            .observe(std::time::Duration::from_millis(2));
+        let p = TimePoint::from_snapshot(&m.snapshot(), 42);
+        assert_eq!(p.unix_ms, 42);
+        assert_eq!(p.gauge("server_requests"), Some(5.0));
+        assert_eq!(p.gauge("server_dispatch_seconds_count"), Some(1.0));
+        assert!(p.gauge("server_dispatch_seconds_sum").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn keeps_everything_below_capacity() {
+        let store = TimeSeriesStore::with_capacity(8);
+        for seq in 0..8 {
+            let out = store.record(point(seq));
+            assert!(out.kept);
+            assert!(!out.downsampled);
+        }
+        assert_eq!(store.len(), 8);
+        assert_eq!(store.stride(), 1);
+    }
+
+    #[test]
+    fn downsamples_on_overflow_and_doubles_stride() {
+        let store = TimeSeriesStore::with_capacity(4);
+        // Arrivals 0..4 fill the buffer; arrival 4 triggers a halve to
+        // stride 2 (keeping arrivals 0 and 2) and is itself kept (4 is
+        // a multiple of 2).
+        for seq in 0..5 {
+            store.record(point(seq));
+        }
+        assert_eq!(store.stride(), 2);
+        assert_eq!(store.downsamples(), 1);
+        let seqs: Vec<u64> = store.points().iter().map(|p| p.snapshot_seq).collect();
+        assert_eq!(seqs, vec![0, 2, 4]);
+        // Odd arrivals are now skipped without touching the buffer.
+        assert!(!store.record(point(5)).kept);
+        assert!(store.record(point(6)).kept);
+    }
+
+    #[test]
+    fn spans_whole_lifetime_at_decreasing_resolution() {
+        let store = TimeSeriesStore::with_capacity(8);
+        for seq in 0..1000 {
+            store.record(point(seq));
+        }
+        let points = store.points();
+        assert!(points.len() <= 8);
+        let stride = store.stride();
+        // Every retained arrival index is a consecutive multiple of the
+        // stride starting at 0 — the alignment invariant.
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(p.snapshot_seq, i as u64 * stride);
+        }
+        assert_eq!(points[0].snapshot_seq, 0);
+    }
+
+    #[test]
+    fn points_since_filters_by_seq() {
+        let store = TimeSeriesStore::with_capacity(16);
+        for seq in 0..10 {
+            store.record(point(seq));
+        }
+        let tail = store.points_since(6);
+        let seqs: Vec<u64> = tail.iter().map(|p| p.snapshot_seq).collect();
+        assert_eq!(seqs, vec![7, 8, 9]);
+        assert!(store.points_since(999).is_empty());
+        assert_eq!(store.points_since(0).len(), 9);
+    }
+
+    #[test]
+    fn time_point_serde_round_trips() {
+        let p = point(7);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: TimePoint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_capacity_rejected() {
+        let _ = TimeSeriesStore::with_capacity(1);
+    }
+}

@@ -17,7 +17,10 @@
 //! percentile-bootstrap confidence intervals ([`bootstrap`]) used for
 //! the aggregate line plot (paper Fig. 3), and — as an extension for
 //! whole-grid comparisons — the Friedman rank test with Nemenyi critical
-//! differences ([`friedman`]).
+//! differences ([`friedman`]). For live monitoring of a running study,
+//! [`streaming`] provides single-pass counterparts (Welford, P²
+//! quantiles, incremental MWU/CLES) that agree with the batch
+//! implementations.
 //!
 //! # Example
 //!
@@ -43,8 +46,10 @@ pub mod gamma;
 pub mod mwu;
 pub mod normal;
 pub mod ranks;
+pub mod streaming;
 pub mod wilcoxon;
 
 pub use cles::{common_language_effect_size, vargha_delaney_a};
 pub use descriptive::Summary;
 pub use mwu::{mann_whitney_u, Alternative, MwuResult};
+pub use streaming::{Extrema, P2Quantile, StreamingMwu, Welford};

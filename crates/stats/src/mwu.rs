@@ -76,7 +76,30 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64], alternative: Alternative) -> MwuResu
     let r1: f64 = ranking.ranks[..n1].iter().sum();
     let u1 = r1 - (n1 * (n1 + 1)) as f64 / 2.0;
 
-    if n1 <= EXACT_LIMIT && n2 <= EXACT_LIMIT && !ranking.has_ties() {
+    result_from_statistic(
+        u1,
+        n1,
+        n2,
+        ranking.tie_correction(),
+        !ranking.has_ties(),
+        alternative,
+    )
+}
+
+/// Finishes the test once the statistic and tie structure are known:
+/// selects the exact or normal-approximation path exactly as
+/// [`mann_whitney_u`] does. `tie_term` is `Σ (t³ - t)` over pooled tie
+/// groups and `tie_free` gates the exact small-sample path. Shared with
+/// the streaming estimator so both front ends agree bit for bit.
+pub(crate) fn result_from_statistic(
+    u1: f64,
+    n1: usize,
+    n2: usize,
+    tie_term: f64,
+    tie_free: bool,
+    alternative: Alternative,
+) -> MwuResult {
+    if n1 <= EXACT_LIMIT && n2 <= EXACT_LIMIT && tie_free {
         let p = exact_p_value(u1, n1, n2, alternative);
         return MwuResult {
             u: u1,
@@ -90,8 +113,7 @@ pub fn mann_whitney_u(a: &[f64], b: &[f64], alternative: Alternative) -> MwuResu
     // correction.
     let n = (n1 + n2) as f64;
     let mu = (n1 * n2) as f64 / 2.0;
-    let tie = ranking.tie_correction();
-    let var = (n1 * n2) as f64 / 12.0 * ((n + 1.0) - tie / (n * (n - 1.0)));
+    let var = (n1 * n2) as f64 / 12.0 * ((n + 1.0) - tie_term / (n * (n - 1.0)));
     assert!(
         var > 0.0,
         "MWU variance is zero: all pooled observations are identical"

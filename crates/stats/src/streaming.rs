@@ -1,0 +1,661 @@
+//! Single-pass ("streaming") estimators for live study monitoring.
+//!
+//! A multi-hour study produces outcomes one repeat at a time; the batch
+//! statistics in this crate only speak once all repeats are in. The
+//! estimators here accept one observation at a time so a monitor can
+//! show the paper's Table 1 materializing row by row:
+//!
+//! * [`Welford`] — numerically stable online mean/variance;
+//! * [`Extrema`] — online min/max/count;
+//! * [`P2Quantile`] — the P² algorithm (Jain & Chlamtac 1985), a
+//!   constant-memory quantile estimate from five markers;
+//! * [`StreamingMwu`] — an incremental Mann-Whitney U + CLES that is
+//!   *exactly* (bit for bit) equivalent to the batch
+//!   [`mann_whitney_u`](crate::mwu::mann_whitney_u) /
+//!   [`common_language_effect_size`](crate::cles::common_language_effect_size)
+//!   on the observations seen so far.
+//!
+//! Welford, Extrema, and P² are O(1) per observation; `StreamingMwu`
+//! pays O(log n) to count and O(n) to insert into a sorted buffer,
+//! which at the paper's repeat counts (≤ 800) is nanoseconds — see the
+//! `observability` bench.
+
+use crate::descriptive;
+use crate::mwu::{self, Alternative, MwuResult};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Welford's online algorithm for mean and variance.
+///
+/// One pass, no catastrophic cancellation: the classic
+/// `Σx² - (Σx)²/n` formulation loses all precision when the spread is
+/// small relative to the magnitude; Welford's recurrence does not.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct Welford {
+    count: u64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Welford {
+    /// An empty accumulator.
+    pub fn new() -> Welford {
+        Welford::default()
+    }
+
+    /// Folds one observation in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "Welford: NaN observation");
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    /// Merges another accumulator in (Chan et al. pairwise update),
+    /// for combining per-worker streams.
+    pub fn merge(&mut self, other: &Welford) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let total = self.count + other.count;
+        let delta = other.mean - self.mean;
+        self.mean += delta * other.count as f64 / total as f64;
+        self.m2 +=
+            other.m2 + delta * delta * (self.count as f64 * other.count as f64) / total as f64;
+        self.count = total;
+    }
+
+    /// Number of observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running mean; NaN while empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.mean
+        }
+    }
+
+    /// Sample variance (`n-1` denominator, matching
+    /// [`Summary`](crate::descriptive::Summary)); 0 for a single
+    /// observation, NaN while empty.
+    pub fn variance(&self) -> f64 {
+        match self.count {
+            0 => f64::NAN,
+            1 => 0.0,
+            n => self.m2 / (n - 1) as f64,
+        }
+    }
+
+    /// Sample standard deviation; 0 for a single observation, NaN while
+    /// empty.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+}
+
+/// Online minimum / maximum / count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Extrema {
+    count: u64,
+    min: f64,
+    max: f64,
+}
+
+impl Default for Extrema {
+    fn default() -> Extrema {
+        Extrema {
+            count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+}
+
+impl Extrema {
+    /// An empty accumulator.
+    pub fn new() -> Extrema {
+        Extrema::default()
+    }
+
+    /// Folds one observation in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "Extrema: NaN observation");
+        self.count += 1;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Running minimum; `None` while empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Running maximum; `None` while empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// `true` when every observation so far has been the same value —
+    /// the degenerate case where rank statistics are undefined.
+    pub fn degenerate(&self) -> bool {
+        self.count > 0 && self.min == self.max
+    }
+}
+
+/// P² single-pass quantile estimator (Jain & Chlamtac 1985).
+///
+/// Tracks five markers whose heights approximate the `q`-quantile and
+/// its neighborhood, adjusting them with a piecewise-parabolic
+/// prediction as observations stream in. Memory is constant; below five
+/// observations the estimate is the exact
+/// [`quantile`](crate::descriptive::quantile) of the buffered sample.
+///
+/// The estimate converges to the true quantile but is *not* exact for
+/// finite streams — the property tests bound its error against the
+/// sorted-sample quantile on random streams.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    count: u64,
+    /// Marker heights; while `count < 5` the first `count` entries hold
+    /// the raw sample, sorted.
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Per-observation increments of the desired positions.
+    increments: [f64; 5],
+}
+
+impl P2Quantile {
+    /// Estimator for the `q`-quantile, `q` in `[0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn new(q: f64) -> P2Quantile {
+        assert!((0.0..=1.0).contains(&q), "P² quantile q must be in [0,1]");
+        P2Quantile {
+            q,
+            count: 0,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+        }
+    }
+
+    /// Estimator for the median.
+    pub fn median() -> P2Quantile {
+        P2Quantile::new(0.5)
+    }
+
+    /// The target quantile.
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations folded in so far.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Folds one observation in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn push(&mut self, x: f64) {
+        assert!(!x.is_nan(), "P² quantile: NaN observation");
+        let n = self.count as usize;
+        if n < 5 {
+            // Bootstrap phase: keep the raw sample sorted in `heights`.
+            let pos = self.heights[..n].partition_point(|&h| h < x);
+            self.heights.copy_within(pos..n, pos + 1);
+            self.heights[pos] = x;
+            self.count += 1;
+            return;
+        }
+        self.count += 1;
+
+        // Find the marker cell containing x, clamping the outer markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            // heights[k] <= x < heights[k+1]
+            (1..4).take_while(|&i| self.heights[i] <= x).count()
+        };
+
+        for i in k + 1..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust the three interior markers toward their desired
+        // positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let room_right = self.positions[i + 1] - self.positions[i] > 1.0;
+            let room_left = self.positions[i - 1] - self.positions[i] < -1.0;
+            if (d >= 1.0 && room_right) || (d <= -1.0 && room_left) {
+                let d = d.signum();
+                let candidate = self.parabolic(i, d);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, d)
+                    };
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    /// Piecewise-parabolic (P²) height prediction for marker `i` moved
+    /// by `d ∈ {-1, +1}`.
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let h = &self.heights;
+        let p = &self.positions;
+        h[i] + d / (p[i + 1] - p[i - 1])
+            * ((p[i] - p[i - 1] + d) * (h[i + 1] - h[i]) / (p[i + 1] - p[i])
+                + (p[i + 1] - p[i] - d) * (h[i] - h[i - 1]) / (p[i] - p[i - 1]))
+    }
+
+    /// Linear fallback when the parabolic prediction would leave the
+    /// bracketing heights.
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate; NaN while empty, exact below five
+    /// observations.
+    pub fn quantile(&self) -> f64 {
+        match self.count {
+            0 => f64::NAN,
+            n if n < 5 => descriptive::quantile_sorted(&self.heights[..n as usize], self.q),
+            _ => self.heights[2],
+        }
+    }
+}
+
+/// Normalizes a value for tie bookkeeping: `-0.0` and `0.0` compare
+/// equal, so they must share a key.
+fn tie_key(x: f64) -> u64 {
+    if x == 0.0 { 0.0f64 } else { x }.to_bits()
+}
+
+/// Incremental Mann-Whitney U and CLES over two growing samples.
+///
+/// Observations arrive one at a time on either side; the running U
+/// statistic of the `a` sample is maintained by pair counting against
+/// the sorted other sample, and tie structure by a multiplicity map.
+/// Because U, the tie term `Σ (t³ - t)`, and the CLES numerator are all
+/// sums of exact halves/integers (exact in `f64` far below 2⁵³), and
+/// the p-value path is shared with the batch test, [`result`] and
+/// [`cles`] agree **bit for bit** with
+/// [`mann_whitney_u`](crate::mwu::mann_whitney_u) and
+/// [`common_language_effect_size`](crate::cles::common_language_effect_size)
+/// on the same observations — proven per prefix by the
+/// `streaming_props` property tests.
+///
+/// [`result`]: StreamingMwu::result
+/// [`cles`]: StreamingMwu::cles
+#[derive(Debug, Clone, Default)]
+pub struct StreamingMwu {
+    /// First sample, sorted ascending.
+    a: Vec<f64>,
+    /// Second sample, sorted ascending.
+    b: Vec<f64>,
+    /// Running U statistic of the `a` sample (pair counting, ties half).
+    u_a: f64,
+    /// Pooled multiplicity per distinct value (keyed on normalized bits).
+    tie_counts: BTreeMap<u64, u64>,
+    /// Running `Σ (t³ - t)` over pooled tie groups.
+    tie_term: f64,
+    /// Number of pooled values with multiplicity ≥ 2.
+    tied_groups: u64,
+}
+
+impl StreamingMwu {
+    /// An empty pair of samples.
+    pub fn new() -> StreamingMwu {
+        StreamingMwu::default()
+    }
+
+    /// Adds one observation to the first (`a`) sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn push_a(&mut self, x: f64) {
+        assert!(!x.is_nan(), "streaming MWU: NaN observation");
+        let below = self.b.partition_point(|&v| v < x);
+        let not_above = self.b.partition_point(|&v| v <= x);
+        self.u_a += below as f64 + 0.5 * (not_above - below) as f64;
+        let pos = self.a.partition_point(|&v| v < x);
+        self.a.insert(pos, x);
+        self.note_tie(x);
+    }
+
+    /// Adds one observation to the second (`b`) sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NaN.
+    pub fn push_b(&mut self, y: f64) {
+        assert!(!y.is_nan(), "streaming MWU: NaN observation");
+        let below = self.a.partition_point(|&v| v < y);
+        let not_above = self.a.partition_point(|&v| v <= y);
+        // Every a strictly above y is a won pair for `a`; equals count half.
+        self.u_a += (self.a.len() - not_above) as f64 + 0.5 * (not_above - below) as f64;
+        let pos = self.b.partition_point(|&v| v < y);
+        self.b.insert(pos, y);
+        self.note_tie(y);
+    }
+
+    /// Updates the tie bookkeeping for a pooled observation.
+    fn note_tie(&mut self, x: f64) {
+        let t = self.tie_counts.entry(tie_key(x)).or_insert(0);
+        *t += 1;
+        if *t >= 2 {
+            // (t³ - t) - ((t-1)³ - (t-1)) = 3t² - 3t, exact in f64.
+            let t = *t as f64;
+            self.tie_term += 3.0 * t * t - 3.0 * t;
+            if *t == 2 {
+                self.tied_groups += 1;
+            }
+        }
+    }
+
+    /// Size of the first sample.
+    pub fn len_a(&self) -> usize {
+        self.a.len()
+    }
+
+    /// Size of the second sample.
+    pub fn len_b(&self) -> usize {
+        self.b.len()
+    }
+
+    /// `true` while either sample is still empty (no test possible).
+    pub fn is_empty(&self) -> bool {
+        self.a.is_empty() || self.b.is_empty()
+    }
+
+    /// Running U statistic of the first sample.
+    pub fn u(&self) -> f64 {
+        self.u_a
+    }
+
+    /// `true` when any pooled value has appeared more than once.
+    pub fn has_ties(&self) -> bool {
+        self.tied_groups > 0
+    }
+
+    /// `true` when all pooled observations are identical — rank tests
+    /// are undefined there ([`result`](StreamingMwu::result) would
+    /// panic, exactly like the batch test).
+    pub fn degenerate(&self) -> bool {
+        !self.a.is_empty() && !self.b.is_empty() && self.tie_counts.len() == 1
+    }
+
+    /// Runs the test on everything seen so far; identical to
+    /// [`mann_whitney_u`](crate::mwu::mann_whitney_u) on the same
+    /// samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sample is empty, or if all pooled observations
+    /// are identical (zero variance — check
+    /// [`degenerate`](StreamingMwu::degenerate) first).
+    pub fn result(&self, alternative: Alternative) -> MwuResult {
+        assert!(!self.is_empty(), "MWU requires non-empty samples");
+        mwu::result_from_statistic(
+            self.u_a,
+            self.a.len(),
+            self.b.len(),
+            self.tie_term,
+            !self.has_ties(),
+            alternative,
+        )
+    }
+
+    /// Running `A(a, b) = P(a > b) + 0.5 P(a = b)`; identical to
+    /// [`common_language_effect_size`](crate::cles::common_language_effect_size)`(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sample is empty.
+    pub fn cles(&self) -> f64 {
+        assert!(!self.is_empty(), "CLES requires non-empty samples");
+        self.u_a / (self.a.len() * self.b.len()) as f64
+    }
+
+    /// Probability that a draw from `a` is *smaller* than one from `b`
+    /// (ties half) — the runtime-minimization direction; identical to
+    /// [`probability_of_superiority_min`](crate::cles::probability_of_superiority_min)`(a, b)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either sample is empty.
+    pub fn superiority_min(&self) -> f64 {
+        assert!(!self.is_empty(), "CLES requires non-empty samples");
+        let mn = (self.a.len() * self.b.len()) as f64;
+        // U_b = mn - U_a exactly (both are sums of exact halves), so this
+        // divides the same numerator the batch path would.
+        (mn - self.u_a) / mn
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cles::{common_language_effect_size, probability_of_superiority_min};
+    use crate::mwu::mann_whitney_u;
+
+    #[test]
+    fn welford_matches_two_pass_on_known_sample() {
+        let values = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let mut w = Welford::new();
+        for &v in &values {
+            w.push(v);
+        }
+        assert_eq!(w.count(), 8);
+        assert_eq!(w.mean(), 5.0);
+        assert!((w.std_dev() - (32.0_f64 / 7.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn welford_edge_counts() {
+        let mut w = Welford::new();
+        assert!(w.mean().is_nan());
+        assert!(w.variance().is_nan());
+        w.push(3.0);
+        assert_eq!(w.mean(), 3.0);
+        assert_eq!(w.variance(), 0.0);
+    }
+
+    #[test]
+    fn welford_merge_equals_sequential() {
+        let xs: Vec<f64> = (0..40).map(|i| (i as f64).sin() * 10.0 + 100.0).collect();
+        let mut whole = Welford::new();
+        for &x in &xs {
+            whole.push(x);
+        }
+        let (lo, hi) = xs.split_at(17);
+        let (mut left, mut right) = (Welford::new(), Welford::new());
+        for &x in lo {
+            left.push(x);
+        }
+        for &x in hi {
+            right.push(x);
+        }
+        left.merge(&right);
+        assert_eq!(left.count(), whole.count());
+        assert!((left.mean() - whole.mean()).abs() < 1e-12);
+        assert!((left.variance() - whole.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extrema_tracks_min_max() {
+        let mut e = Extrema::new();
+        assert_eq!(e.min(), None);
+        for v in [3.0, -1.0, 7.5, 2.0] {
+            e.push(v);
+        }
+        assert_eq!(e.count(), 4);
+        assert_eq!(e.min(), Some(-1.0));
+        assert_eq!(e.max(), Some(7.5));
+        assert!(!e.degenerate());
+        let mut flat = Extrema::new();
+        flat.push(2.0);
+        flat.push(2.0);
+        assert!(flat.degenerate());
+    }
+
+    #[test]
+    fn p2_is_exact_below_five_observations() {
+        let mut p = P2Quantile::median();
+        assert!(p.quantile().is_nan());
+        for (i, v) in [5.0, 1.0, 3.0, 9.0].iter().enumerate() {
+            p.push(*v);
+            let mut seen = [5.0, 1.0, 3.0, 9.0][..=i].to_vec();
+            seen.sort_by(f64::total_cmp);
+            assert_eq!(p.quantile(), descriptive::quantile_sorted(&seen, 0.5));
+        }
+    }
+
+    #[test]
+    fn p2_median_converges_on_uniform_ramp() {
+        // Deterministic low-discrepancy stream over (0, 1): the true
+        // median is 0.5.
+        let mut p = P2Quantile::median();
+        let mut x = 0.5_f64;
+        for _ in 0..5000 {
+            x = (x + 0.6180339887498949).fract();
+            p.push(x);
+        }
+        assert!((p.quantile() - 0.5).abs() < 0.02, "got {}", p.quantile());
+    }
+
+    #[test]
+    fn p2_extreme_quantiles_stay_in_range() {
+        let mut lo = P2Quantile::new(0.0);
+        let mut hi = P2Quantile::new(1.0);
+        let mut x = 0.2_f64;
+        for _ in 0..200 {
+            x = (x * 997.0 + 3.1).fract();
+            lo.push(x);
+            hi.push(x);
+        }
+        assert!((0.0..=1.0).contains(&lo.quantile()));
+        assert!((0.0..=1.0).contains(&hi.quantile()));
+        assert!(lo.quantile() < hi.quantile());
+    }
+
+    #[test]
+    #[should_panic(expected = "in [0,1]")]
+    fn p2_rejects_bad_q() {
+        let _ = P2Quantile::new(1.5);
+    }
+
+    #[test]
+    fn streaming_mwu_matches_batch_hand_example() {
+        let mut s = StreamingMwu::new();
+        for v in [1.0, 2.0] {
+            s.push_a(v);
+        }
+        for v in [3.0, 4.0] {
+            s.push_b(v);
+        }
+        let r = s.result(Alternative::Less);
+        assert_eq!(r.u, 0.0);
+        assert!(r.exact);
+        assert!((r.p_value - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn streaming_mwu_matches_batch_with_ties_any_order() {
+        let a = [1.0, 3.0, 3.0, 5.0, 9.0, 2.0];
+        let b = [2.0, 3.0, 4.0, 4.0, 8.0];
+        // Interleave pushes to exercise order independence.
+        let mut s = StreamingMwu::new();
+        for i in 0..a.len().max(b.len()) {
+            if i < b.len() {
+                s.push_b(b[i]);
+            }
+            if i < a.len() {
+                s.push_a(a[i]);
+            }
+        }
+        assert!(s.has_ties());
+        let batch = mann_whitney_u(&a, &b, Alternative::TwoSided);
+        let live = s.result(Alternative::TwoSided);
+        assert_eq!(live.u, batch.u);
+        assert_eq!(live.p_value, batch.p_value);
+        assert_eq!(live.exact, batch.exact);
+        assert_eq!(s.cles(), common_language_effect_size(&a, &b));
+        assert_eq!(s.superiority_min(), probability_of_superiority_min(&a, &b));
+    }
+
+    #[test]
+    fn streaming_mwu_negative_zero_ties_with_zero() {
+        let mut s = StreamingMwu::new();
+        s.push_a(0.0);
+        s.push_b(-0.0);
+        assert!(s.has_ties());
+        assert!(s.degenerate());
+        assert_eq!(s.u(), 0.5);
+    }
+
+    #[test]
+    fn streaming_mwu_degenerate_detection() {
+        let mut s = StreamingMwu::new();
+        s.push_a(3.0);
+        assert!(!s.degenerate()); // one side still empty
+        s.push_b(3.0);
+        s.push_b(3.0);
+        assert!(s.degenerate());
+        s.push_a(4.0);
+        assert!(!s.degenerate());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn streaming_mwu_rejects_empty_side() {
+        let mut s = StreamingMwu::new();
+        s.push_a(1.0);
+        let _ = s.result(Alternative::TwoSided);
+    }
+}

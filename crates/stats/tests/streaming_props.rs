@@ -1,0 +1,143 @@
+//! Property tests proving the streaming estimators equivalent to the
+//! batch statistics — for the MWU/CLES pair, on *every prefix* of a
+//! random observation stream, which is the guarantee the live study
+//! monitor leans on.
+
+use autotune_stats::descriptive;
+use autotune_stats::streaming::{Extrema, P2Quantile, StreamingMwu, Welford};
+use autotune_stats::{cles, mwu, Alternative};
+use proptest::prelude::*;
+
+/// Observation values: a mix of magnitudes, rounded to one decimal so
+/// ties actually occur.
+fn observation() -> impl Strategy<Value = f64> {
+    (0u32..4000).prop_map(|i| i as f64 / 10.0 - 100.0)
+}
+
+proptest! {
+    #[test]
+    fn welford_matches_two_pass(values in prop::collection::vec(observation(), 1..200)) {
+        let mut w = Welford::new();
+        for &v in &values {
+            w.push(v);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        prop_assert!((w.mean() - mean).abs() <= 1e-9 * (1.0 + mean.abs()));
+        if values.len() > 1 {
+            let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>()
+                / (n - 1.0);
+            prop_assert!((w.variance() - var).abs() <= 1e-6 * (1.0 + var.abs()),
+                "streaming {} vs two-pass {}", w.variance(), var);
+        } else {
+            prop_assert_eq!(w.variance(), 0.0);
+        }
+        prop_assert_eq!(w.count() as usize, values.len());
+    }
+
+    #[test]
+    fn extrema_matches_fold(values in prop::collection::vec(observation(), 1..200)) {
+        let mut e = Extrema::new();
+        for &v in &values {
+            e.push(v);
+        }
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert_eq!(e.min(), Some(min));
+        prop_assert_eq!(e.max(), Some(max));
+    }
+
+    /// P² is an approximation; bound its error against the exact sorted
+    /// quantile by a fraction of the observed range once the stream is
+    /// long enough to smooth marker adjustment out.
+    #[test]
+    fn p2_tracks_exact_quantile_within_tolerance(
+        values in prop::collection::vec(observation(), 50..400),
+        q in prop::sample::select(vec![0.1, 0.25, 0.5, 0.75, 0.9]),
+    ) {
+        let mut p = P2Quantile::new(q);
+        for &v in &values {
+            p.push(v);
+        }
+        let exact = descriptive::quantile(&values, q);
+        let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let estimate = p.quantile();
+        // The markers are clamped by construction; the estimate can
+        // never leave the observed range.
+        prop_assert!(estimate >= min && estimate <= max,
+            "estimate {} outside [{}, {}]", estimate, min, max);
+        let tolerance = 0.15 * (max - min).max(1e-12);
+        prop_assert!((estimate - exact).abs() <= tolerance,
+            "P²({}) = {} vs exact {} (range {}..{})", q, estimate, exact, min, max);
+    }
+
+    /// The exact phase: below five observations the estimator *is* the
+    /// sorted-sample quantile.
+    #[test]
+    fn p2_exact_for_short_streams(
+        values in prop::collection::vec(observation(), 1..5),
+        q in 0.0f64..=1.0,
+    ) {
+        let mut p = P2Quantile::new(q);
+        for &v in &values {
+            p.push(v);
+        }
+        prop_assert_eq!(p.quantile(), descriptive::quantile(&values, q));
+    }
+
+    /// The load-bearing guarantee: after *every* push, the incremental
+    /// MWU and CLES equal the batch implementations run on the
+    /// observations seen so far. `interleave` drives which side each
+    /// observation lands on, so prefixes of every shape are covered.
+    #[test]
+    fn streaming_mwu_and_cles_match_batch_on_every_prefix(
+        values in prop::collection::vec(observation(), 2..120),
+        sides in prop::collection::vec(any::<bool>(), 2..120),
+        alternative in prop::sample::select(vec![
+            Alternative::Less,
+            Alternative::Greater,
+            Alternative::TwoSided,
+        ]),
+    ) {
+        let mut live = StreamingMwu::new();
+        let mut a: Vec<f64> = Vec::new();
+        let mut b: Vec<f64> = Vec::new();
+        for (i, &v) in values.iter().enumerate() {
+            let to_a = *sides.get(i % sides.len()).unwrap();
+            if to_a {
+                live.push_a(v);
+                a.push(v);
+            } else {
+                live.push_b(v);
+                b.push(v);
+            }
+            prop_assert_eq!(live.len_a(), a.len());
+            prop_assert_eq!(live.len_b(), b.len());
+            if a.is_empty() || b.is_empty() {
+                continue;
+            }
+            // CLES is defined for every non-empty prefix.
+            prop_assert_eq!(live.cles(), cles::common_language_effect_size(&a, &b));
+            prop_assert_eq!(
+                live.superiority_min(),
+                cles::probability_of_superiority_min(&a, &b)
+            );
+            if live.degenerate() {
+                // All pooled values identical: both paths would panic on
+                // zero variance. Confirm the guard agrees with reality.
+                let pooled_min = a.iter().chain(&b).cloned().fold(f64::INFINITY, f64::min);
+                let pooled_max =
+                    a.iter().chain(&b).cloned().fold(f64::NEG_INFINITY, f64::max);
+                prop_assert_eq!(pooled_min, pooled_max);
+                continue;
+            }
+            let batch = mwu::mann_whitney_u(&a, &b, alternative);
+            let streamed = live.result(alternative);
+            prop_assert_eq!(streamed.u, batch.u, "U diverged at prefix {}", i);
+            prop_assert_eq!(streamed.exact, batch.exact);
+            prop_assert!((streamed.p_value - batch.p_value).abs() <= 1e-12,
+                "p diverged at prefix {}: {} vs {}", i, streamed.p_value, batch.p_value);
+        }
+    }
+}
