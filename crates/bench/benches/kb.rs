@@ -1,0 +1,160 @@
+//! Knowledge-base costs: fingerprint hashing, store append/lookup, and
+//! what a warm start buys (and costs) at the first suggestion.
+//!
+//! The store sits on the session open/close path, so its costs bound
+//! how much latency the kb integration can add to a `tuned` request:
+//! one `canonical` hash + one `prior_for` assembly per open, one
+//! `append` per close.
+
+use autotune_core::{Algorithm, PriorHistory, TuneContext};
+use autotune_kb::{canonical, family, KbStore, PriorWeighting, ProblemTag, StudyRecord};
+use autotune_space::{imagecl, sample, Configuration};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn temp_kb(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "autotune-kb-bench-{}-{tag}.kb.jsonl",
+        std::process::id()
+    ))
+}
+
+/// A donor study with `n` feasible evaluations.
+fn donor_record(arch: &str, seed: u64, n: usize) -> StudyRecord {
+    let space = imagecl::space();
+    let constraint = imagecl::constraint();
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let evaluations: Vec<_> = (0..n)
+        .map(|i| {
+            let config = sample::constrained(&space, &constraint, &mut rng);
+            let value = config.values().iter().map(|&v| v as f64).sum::<f64>() + i as f64 * 0.01;
+            autotune_core::Evaluation { config, value }
+        })
+        .collect();
+    let tag = ProblemTag::new("convolution", arch);
+    StudyRecord {
+        fingerprint: canonical(&tag, &space, Some(&constraint)),
+        family: family(&tag, &space, Some(&constraint)),
+        problem: tag,
+        session: format!("donor-{seed}"),
+        seed,
+        recorded_at_ms: seed,
+        algorithm: "BO GP".to_string(),
+        budget: n,
+        converged: true,
+        best: evaluations[0].clone(),
+        evaluations,
+    }
+}
+
+/// Fingerprint hash cost over the real imagecl space + constraint.
+fn bench_fingerprint(c: &mut Criterion) {
+    let space = imagecl::space();
+    let constraint = imagecl::constraint();
+    let tag = ProblemTag::new("convolution", "Titan V");
+    let mut g = c.benchmark_group("kb/fingerprint");
+    g.bench_function("canonical", |b| {
+        b.iter(|| black_box(canonical(black_box(&tag), &space, Some(&constraint))))
+    });
+    g.bench_function("family", |b| {
+        b.iter(|| black_box(family(black_box(&tag), &space, Some(&constraint))))
+    });
+    g.finish();
+}
+
+/// Store append (the per-close cost) and prior/instant-answer lookups
+/// (the per-open cost) on a store holding `studies` donor records.
+fn bench_store(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kb/store");
+    g.sample_size(20);
+
+    g.bench_function("append", |b| {
+        let path = temp_kb("append");
+        let _ = std::fs::remove_file(&path);
+        let mut store = KbStore::open(&path).expect("open");
+        let record = donor_record("Titan V", 1, 64);
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed += 1;
+            let mut r = record.clone();
+            r.seed = seed;
+            store.append(r).expect("append")
+        });
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    });
+
+    for studies in [4usize, 32] {
+        let path = temp_kb(&format!("lookup-{studies}"));
+        let _ = std::fs::remove_file(&path);
+        let mut store = KbStore::open(&path).expect("open");
+        for i in 0..studies {
+            // Half same-architecture, half family-only transfer donors.
+            let arch = if i % 2 == 0 { "Titan V" } else { "GTX 980" };
+            store
+                .append(donor_record(arch, i as u64, 64))
+                .expect("append");
+        }
+        let stats = store.stats();
+        assert_eq!(stats.studies, studies as u64);
+        let tag = ProblemTag::new("convolution", "Titan V");
+        let space = imagecl::space();
+        let constraint = imagecl::constraint();
+        let fp = canonical(&tag, &space, Some(&constraint));
+        let fam = family(&tag, &space, Some(&constraint));
+        let weighting = PriorWeighting::default();
+        g.bench_function(BenchmarkId::new("prior_for", studies), |b| {
+            b.iter(|| black_box(store.prior_for(fp, fam, &weighting)))
+        });
+        g.bench_function(BenchmarkId::new("instant_answer", studies), |b| {
+            b.iter(|| black_box(store.instant_answer(fp, 32)))
+        });
+        drop(store);
+        let _ = std::fs::remove_file(&path);
+    }
+    g.finish();
+}
+
+/// What the warm start costs and buys at suggestion time: a budget-1
+/// run is dominated by the surrogate's first suggestion, so cold vs
+/// seeded compares random init against a prior-fed model.
+fn bench_first_suggest(c: &mut Criterion) {
+    let space = imagecl::space();
+    let constraint = imagecl::constraint();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let mut prior = PriorHistory::new();
+    for i in 0..64 {
+        let config = sample::constrained(&space, &constraint, &mut rng);
+        let value = config.values().iter().map(|&v| v as f64).sum::<f64>();
+        prior.push(config, value, 1.0 - i as f64 * 0.01);
+    }
+
+    let mut g = c.benchmark_group("kb/first_suggest");
+    g.sample_size(20);
+    for algorithm in [Algorithm::BoGp, Algorithm::BoTpe] {
+        let name = algorithm.name().replace(' ', "_");
+        g.bench_function(BenchmarkId::new("cold", &name), |b| {
+            b.iter(|| {
+                let ctx = TuneContext::new(&space, 1, 3);
+                let mut objective =
+                    |cfg: &Configuration| cfg.values().iter().map(|&v| v as f64).sum();
+                black_box(algorithm.tuner().tune(&ctx, &mut objective))
+            })
+        });
+        g.bench_function(BenchmarkId::new("seeded", &name), |b| {
+            b.iter(|| {
+                let ctx = TuneContext::new(&space, 1, 3).with_prior(&prior);
+                let mut objective =
+                    |cfg: &Configuration| cfg.values().iter().map(|&v| v as f64).sum();
+                black_box(algorithm.tuner().tune(&ctx, &mut objective))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_fingerprint, bench_store, bench_first_suggest);
+criterion_main!(benches);

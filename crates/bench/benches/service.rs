@@ -26,6 +26,9 @@ fn toy_spec(budget: usize, seed: u64) -> SessionSpec {
                 Param::new("c", 1, 16),
             ]),
         },
+        warm_start: Default::default(),
+        problem: None,
+        prior: None,
     }
 }
 

@@ -25,6 +25,12 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;
 
+/// Cap on how many prior points a warm start folds into the initial
+/// design — a converged donor study contributes its best evidence, not
+/// its full trajectory (an `O(n³)` GP fit over hundreds of stale points
+/// would cost more than it informs).
+const MAX_PRIOR_POINTS: usize = 32;
+
 /// Clamps objective values into the strictly-positive domain the
 /// log-space standardizer requires (runtimes always are; synthetic test
 /// objectives may touch zero).
@@ -96,33 +102,53 @@ impl Tuner for BayesOptGp {
         let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
         let mut rec = Recorder::new(ctx, objective);
 
-        // 8% of the budget, but never fewer than 5 points: a GP over a
-        // 6-D space fitted on 2 observations produces a degenerate
-        // acquisition landscape (gp_minimize similarly floors its
-        // n_initial_points).
-        let n_init = ((ctx.budget as f64 * p.init_fraction).round() as usize)
-            .clamp(5.min(ctx.budget), ctx.budget);
-
         // Raw observations (features kept in unit cube, targets in ms).
         let mut xs: Vec<Vec<f64>> = Vec::with_capacity(ctx.budget);
         let mut ys: Vec<f64> = Vec::with_capacity(ctx.budget);
         let mut seen: HashSet<Configuration> = HashSet::new();
 
-        let init_configs: Vec<Configuration> = if p.lhs_init {
-            sample::latin_hypercube(ctx.space, n_init, &mut rng)
-        } else {
-            (0..n_init)
-                .map(|_| sample::uniform(ctx.space, &mut rng))
-                .collect()
-        };
-        for cfg in init_configs {
-            if rec.remaining() == 0 {
-                break;
+        if let Some(prior) = ctx.seed_prior() {
+            // Warm start: the prior replaces the random 8% phase. The
+            // highest-weight prior points enter the initial design
+            // budget-free; the only spent initialization sample is the
+            // prior incumbent, which anchors the model to live data.
+            for pt in prior.top(MAX_PRIOR_POINTS) {
+                if seen.insert(pt.config.clone()) {
+                    xs.push(ctx.space.to_unit_features(&pt.config));
+                    ys.push(pt.value);
+                }
             }
-            let y = rec.measure(&cfg);
-            xs.push(ctx.space.to_unit_features(&cfg));
-            ys.push(y);
-            seen.insert(cfg);
+            trace::point(ctx.trace, "prior_seed", &[("points", xs.len() as f64)]);
+            let incumbent = prior.incumbent().expect("non-empty prior").config.clone();
+            let y = rec.measure(&incumbent);
+            if seen.insert(incumbent.clone()) {
+                xs.push(ctx.space.to_unit_features(&incumbent));
+                ys.push(y);
+            }
+        } else {
+            // 8% of the budget, but never fewer than 5 points: a GP over a
+            // 6-D space fitted on 2 observations produces a degenerate
+            // acquisition landscape (gp_minimize similarly floors its
+            // n_initial_points).
+            let n_init = ((ctx.budget as f64 * p.init_fraction).round() as usize)
+                .clamp(5.min(ctx.budget), ctx.budget);
+
+            let init_configs: Vec<Configuration> = if p.lhs_init {
+                sample::latin_hypercube(ctx.space, n_init, &mut rng)
+            } else {
+                (0..n_init)
+                    .map(|_| sample::uniform(ctx.space, &mut rng))
+                    .collect()
+            };
+            for cfg in init_configs {
+                if rec.remaining() == 0 {
+                    break;
+                }
+                let y = rec.measure(&cfg);
+                xs.push(ctx.space.to_unit_features(&cfg));
+                ys.push(y);
+                seen.insert(cfg);
+            }
         }
 
         // Fit the initial model. Runtimes are positive, but arbitrary
@@ -310,6 +336,36 @@ mod tests {
         let a = t.tune(&TuneContext::new(&space, 25, 33), &mut obj);
         let b = t.tune(&TuneContext::new(&space, 25, 33), &mut obj);
         assert_eq!(a.history.evaluations(), b.history.evaluations());
+    }
+
+    #[test]
+    fn warm_start_opens_with_the_prior_incumbent() {
+        use crate::prior::PriorHistory;
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let donor = BayesOptGp::default().tune(&TuneContext::new(&space, 40, 1), &mut obj);
+        let mut prior = PriorHistory::new();
+        for e in donor.history.evaluations() {
+            prior.push(e.config.clone(), e.value, 1.0);
+        }
+
+        let warm_ctx = TuneContext::new(&space, 10, 2).with_prior(&prior);
+        let warm = BayesOptGp::default().tune(&warm_ctx, &mut obj);
+        assert_eq!(warm.history.len(), 10);
+        // The first spent sample is the donor's incumbent, so the warm
+        // run matches the donor's best immediately (the objective is
+        // deterministic here).
+        assert_eq!(warm.history.evaluations()[0].config, donor.best.config);
+        assert!(warm.best.value <= donor.best.value);
+
+        // Warm runs are deterministic per seed, like cold ones.
+        let again = BayesOptGp::default().tune(&warm_ctx, &mut obj);
+        assert_eq!(warm.history.evaluations(), again.history.evaluations());
+
+        // A cold run with the same seed takes a different trajectory —
+        // the prior genuinely changed the search.
+        let cold = BayesOptGp::default().tune(&TuneContext::new(&space, 10, 2), &mut obj);
+        assert_ne!(cold.history.evaluations(), warm.history.evaluations());
     }
 
     #[test]

@@ -23,6 +23,11 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::collections::HashSet;
 
+/// Cap on how many prior points a warm start folds into the density
+/// history — enough to shape the good/bad split without letting a long
+/// stale trajectory drown out fresh evidence.
+const MAX_PRIOR_POINTS: usize = 32;
+
 /// TPE hyperparameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TpeParams {
@@ -76,37 +81,59 @@ impl Tuner for BayesOptTpe {
             .map(|prm| (prm.lo(), prm.hi()))
             .collect();
 
-        // Startup: uniform random trials over the whole space (no
-        // constraint — SMBO condition).
+        // Prior points contributed by a warm start: they join the
+        // density history as budget-free pseudo-observations but are
+        // never measured themselves.
         let mut seen: HashSet<Configuration> = HashSet::new();
-        let startup = p.startup_trials.min(ctx.budget).max(1);
-        for _ in 0..startup {
-            if rec.remaining() == 0 {
-                break;
+        let mut prior_rows: Vec<(Vec<u32>, f64)> = Vec::new();
+        if let Some(prior) = ctx.seed_prior() {
+            // Warm start: the prior replaces the random startup phase.
+            // The only spent startup sample is the prior incumbent.
+            for pt in prior.top(MAX_PRIOR_POINTS) {
+                if seen.insert(pt.config.clone()) {
+                    prior_rows.push((pt.config.values().to_vec(), pt.value));
+                }
             }
-            let cfg = autotune_space::sample::uniform(ctx.space, &mut rng);
-            rec.measure(&cfg);
-            seen.insert(cfg);
+            trace::point(
+                ctx.trace,
+                "prior_seed",
+                &[("points", prior_rows.len() as f64)],
+            );
+            let incumbent = prior.incumbent().expect("non-empty prior").config.clone();
+            rec.measure(&incumbent);
+            seen.insert(incumbent);
+        } else {
+            // Startup: uniform random trials over the whole space (no
+            // constraint — SMBO condition).
+            let startup = p.startup_trials.min(ctx.budget).max(1);
+            for _ in 0..startup {
+                if rec.remaining() == 0 {
+                    break;
+                }
+                let cfg = autotune_space::sample::uniform(ctx.space, &mut rng);
+                rec.measure(&cfg);
+                seen.insert(cfg);
+            }
         }
 
         while rec.remaining() > 0 {
-            // Order observations by cost; split at the gamma quantile.
-            let mut order: Vec<usize> = (0..rec.history().len()).collect();
-            let evals = rec.history().evaluations().to_vec();
-            order.sort_by(|&a, &b| {
-                evals[a]
-                    .value
-                    .partial_cmp(&evals[b].value)
-                    .expect("finite costs")
-            });
+            // Order observations (prior pseudo-observations first, then
+            // measurements) by cost; split at the gamma quantile.
+            let mut evals: Vec<(Vec<u32>, f64)> = prior_rows.clone();
+            evals.extend(
+                rec.history()
+                    .evaluations()
+                    .iter()
+                    .map(|e| (e.config.values().to_vec(), e.value)),
+            );
+            let mut order: Vec<usize> = (0..evals.len()).collect();
+            order.sort_by(|&a, &b| evals[a].1.partial_cmp(&evals[b].1).expect("finite costs"));
             let n_good = ((evals.len() as f64 * p.gamma).ceil() as usize)
                 .min(p.good_cap)
                 .clamp(2, evals.len().saturating_sub(1).max(2));
 
             let rows = |idx: &[usize]| -> Vec<Vec<u32>> {
-                idx.iter()
-                    .map(|&i| evals[i].config.values().to_vec())
-                    .collect()
+                idx.iter().map(|&i| evals[i].0.clone()).collect()
             };
             let good = rows(&order[..n_good.min(order.len())]);
             let bad = rows(&order[n_good.min(order.len())..]);
@@ -243,6 +270,35 @@ mod tests {
             .filter(|e| e.value < 10_000.0)
             .count();
         assert!(late_feasible >= 14, "late feasible {late_feasible}/20");
+    }
+
+    #[test]
+    fn warm_start_opens_with_the_prior_incumbent() {
+        use crate::prior::PriorHistory;
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let donor = BayesOptTpe::default().tune(&TuneContext::new(&space, 50, 1), &mut obj);
+        let mut prior = PriorHistory::new();
+        for e in donor.history.evaluations() {
+            prior.push(e.config.clone(), e.value, 1.0);
+        }
+
+        let warm_ctx = TuneContext::new(&space, 10, 2).with_prior(&prior);
+        let warm = BayesOptTpe::default().tune(&warm_ctx, &mut obj);
+        assert_eq!(warm.history.len(), 10);
+        // The only startup sample is the donor's incumbent, so the warm
+        // run matches the donor's best immediately (deterministic
+        // objective).
+        assert_eq!(warm.history.evaluations()[0].config, donor.best.config);
+        assert!(warm.best.value <= donor.best.value);
+
+        // Warm runs are deterministic per seed, like cold ones.
+        let again = BayesOptTpe::default().tune(&warm_ctx, &mut obj);
+        assert_eq!(warm.history.evaluations(), again.history.evaluations());
+
+        // A cold run with the same seed takes a different trajectory.
+        let cold = BayesOptTpe::default().tune(&TuneContext::new(&space, 10, 2), &mut obj);
+        assert_ne!(cold.history.evaluations(), warm.history.evaluations());
     }
 
     #[test]

@@ -80,9 +80,20 @@ impl Tuner for GeneticAlgorithm {
 
         let pop_size = p.population.min(ctx.budget).max(1);
 
-        // Initial population: random feasible chromosomes.
+        // Initial population: random feasible chromosomes. A warm start
+        // seeds the first slot with the prior incumbent (when the
+        // constraint admits it) so good prior genes enter the pool
+        // immediately; the rest of the population stays random.
         let mut population: Vec<(Configuration, f64)> = Vec::with_capacity(pop_size);
-        for _ in 0..pop_size {
+        if let Some(prior) = ctx.seed_prior() {
+            let inc = prior.incumbent().expect("non-empty prior").config.clone();
+            if ctx.admits(&inc) && rec.remaining() > 0 {
+                trace::point(ctx.trace, "prior_seed", &[("points", 1.0)]);
+                let y = rec.measure(&inc);
+                population.push((inc, y));
+            }
+        }
+        while population.len() < pop_size {
             if rec.remaining() == 0 {
                 break;
             }
@@ -257,6 +268,31 @@ mod tests {
         let a = t.tune(&TuneContext::new(&space, 60, 17), &mut obj);
         let b = t.tune(&TuneContext::new(&space, 60, 17), &mut obj);
         assert_eq!(a.history.evaluations(), b.history.evaluations());
+    }
+
+    #[test]
+    fn warm_start_seeds_the_first_chromosome() {
+        use crate::prior::PriorHistory;
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let mut obj = smooth;
+        let donor_ctx = TuneContext::new(&space, 60, 1).with_constraint(&cons);
+        let donor = GeneticAlgorithm::default().tune(&donor_ctx, &mut obj);
+        let mut prior = PriorHistory::new();
+        for e in donor.history.evaluations() {
+            prior.push(e.config.clone(), e.value, 1.0);
+        }
+
+        let warm_ctx = TuneContext::new(&space, 40, 2)
+            .with_constraint(&cons)
+            .with_prior(&prior);
+        let warm = GeneticAlgorithm::default().tune(&warm_ctx, &mut obj);
+        assert_eq!(warm.history.len(), 40);
+        assert_eq!(warm.history.evaluations()[0].config, donor.best.config);
+        assert!(warm.best.value <= donor.best.value);
+
+        let again = GeneticAlgorithm::default().tune(&warm_ctx, &mut obj);
+        assert_eq!(warm.history.evaluations(), again.history.evaluations());
     }
 
     #[test]

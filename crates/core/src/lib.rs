@@ -57,6 +57,7 @@ pub mod history;
 pub mod hyperband;
 pub mod mls;
 pub mod objective;
+pub mod prior;
 pub mod pso;
 pub mod random_search;
 pub mod registry;
@@ -68,6 +69,7 @@ pub mod tuner;
 
 pub use history::{Evaluation, History};
 pub use objective::Objective;
+pub use prior::{PriorHistory, PriorPoint};
 pub use registry::Algorithm;
 pub use trace::{
     Durability, JsonlSink, NullSink, TraceEvent, TraceRecord, TraceSink, VecSink, NULL_SINK,

@@ -1,0 +1,178 @@
+//! Prior-evaluation seed histories for warm-started tuning runs.
+//!
+//! A [`PriorHistory`] carries observations from earlier studies of the
+//! same (or a related) problem into a fresh run: the surrogate-based
+//! tuners fold the highest-weight points into their initial design
+//! instead of burning budget on random exploration, and the GA seeds
+//! its initial population with the prior incumbent. Weights encode how
+//! trustworthy each point is — recent same-architecture evidence near
+//! `1.0`, cross-architecture transfer evidence discounted below it (the
+//! knowledge-base layer computes them; see `autotune-surrogates`'
+//! weighting module).
+//!
+//! Prior points never consume budget and never reach the objective:
+//! they only shape where a warm run looks first. A run without a prior
+//! is bit-identical to the pre-warm-start cold path.
+
+use autotune_space::Configuration;
+use serde::{Deserialize, Serialize};
+
+/// One prior observation contributed to a warm start.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PriorPoint {
+    /// The previously measured configuration.
+    pub config: Configuration,
+    /// Its observed cost (runtime, ms) in the prior study.
+    pub value: f64,
+    /// Trust in this observation, in `(0, 1]`: `1.0` for fresh
+    /// same-architecture evidence, lower for stale or transferred
+    /// points.
+    pub weight: f64,
+}
+
+/// An ordered collection of weighted prior observations.
+///
+/// Points keep their insertion order; [`PriorHistory::top`] ranks them
+/// by descending weight (stable, so equal weights preserve insertion
+/// order) — the order in which tuners consume them.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PriorHistory {
+    points: Vec<PriorPoint>,
+}
+
+impl PriorHistory {
+    /// An empty prior.
+    pub fn new() -> Self {
+        PriorHistory::default()
+    }
+
+    /// Appends one prior observation.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `weight` is finite and in `(0, 1]` and `value` is
+    /// finite — a prior must never smuggle NaNs into a surrogate fit.
+    pub fn push(&mut self, config: Configuration, value: f64, weight: f64) {
+        assert!(
+            weight.is_finite() && weight > 0.0 && weight <= 1.0,
+            "prior weight must be finite in (0, 1], got {weight}"
+        );
+        assert!(value.is_finite(), "prior value must be finite");
+        self.points.push(PriorPoint {
+            config,
+            value,
+            weight,
+        });
+    }
+
+    /// Number of prior observations.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// `true` when no observations were contributed.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// All points in insertion order.
+    pub fn points(&self) -> &[PriorPoint] {
+        &self.points
+    }
+
+    /// The best (minimum-cost) prior observation; ties go to the
+    /// heavier-weighted, then the earlier-inserted point.
+    pub fn incumbent(&self) -> Option<&PriorPoint> {
+        self.points.iter().reduce(|best, p| {
+            if p.value < best.value || (p.value == best.value && p.weight > best.weight) {
+                p
+            } else {
+                best
+            }
+        })
+    }
+
+    /// The `n` highest-weight points, heaviest first (stable under
+    /// weight ties).
+    pub fn top(&self, n: usize) -> Vec<&PriorPoint> {
+        let mut ranked: Vec<&PriorPoint> = self.points.iter().collect();
+        ranked.sort_by(|a, b| b.weight.partial_cmp(&a.weight).expect("weights are finite"));
+        ranked.truncate(n);
+        ranked
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(v: u32) -> Configuration {
+        Configuration::from([v])
+    }
+
+    #[test]
+    fn incumbent_is_minimum_value() {
+        let mut p = PriorHistory::new();
+        p.push(cfg(1), 5.0, 1.0);
+        p.push(cfg(2), 2.0, 0.5);
+        p.push(cfg(3), 9.0, 1.0);
+        assert_eq!(p.incumbent().unwrap().config, cfg(2));
+        assert_eq!(p.len(), 3);
+    }
+
+    #[test]
+    fn incumbent_ties_prefer_heavier_weight() {
+        let mut p = PriorHistory::new();
+        p.push(cfg(1), 2.0, 0.25);
+        p.push(cfg(2), 2.0, 1.0);
+        p.push(cfg(3), 2.0, 0.5);
+        assert_eq!(p.incumbent().unwrap().config, cfg(2));
+    }
+
+    #[test]
+    fn top_ranks_by_weight_stably() {
+        let mut p = PriorHistory::new();
+        p.push(cfg(1), 1.0, 0.5);
+        p.push(cfg(2), 2.0, 1.0);
+        p.push(cfg(3), 3.0, 0.5);
+        let top: Vec<u32> = p.top(3).iter().map(|pt| pt.config.values()[0]).collect();
+        assert_eq!(top, vec![2, 1, 3]);
+        assert_eq!(p.top(1).len(), 1);
+        assert_eq!(p.top(10).len(), 3);
+    }
+
+    #[test]
+    fn empty_prior_has_no_incumbent() {
+        let p = PriorHistory::new();
+        assert!(p.is_empty());
+        assert!(p.incumbent().is_none());
+        assert!(p.top(4).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "prior weight")]
+    fn rejects_zero_weight() {
+        PriorHistory::new().push(cfg(1), 1.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "prior weight")]
+    fn rejects_overweight() {
+        PriorHistory::new().push(cfg(1), 1.0, 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan_value() {
+        PriorHistory::new().push(cfg(1), f64::NAN, 1.0);
+    }
+
+    #[test]
+    fn serde_round_trips() {
+        let mut p = PriorHistory::new();
+        p.push(cfg(7), 1.25, 0.75);
+        let json = serde_json::to_string(&p).unwrap();
+        let back: PriorHistory = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, p);
+    }
+}

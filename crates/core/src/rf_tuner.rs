@@ -22,6 +22,10 @@ use rand_chacha::ChaCha8Rng;
 /// Number of top predictions measured at the end (the paper's 10).
 pub const TOP_PREDICTIONS: usize = 10;
 
+/// Cap on how many prior points a warm start folds into the training
+/// set (budget-free pseudo-samples alongside the measured ones).
+const MAX_PRIOR_POINTS: usize = 32;
+
 /// The RF technique.
 #[derive(Debug, Clone)]
 pub struct RandomForestTuner {
@@ -57,6 +61,17 @@ impl Tuner for RandomForestTuner {
 
         let mut train_x: Vec<Vec<f64>> = Vec::with_capacity(train_n);
         let mut train_y: Vec<f64> = Vec::with_capacity(train_n);
+        // Warm start: prior observations join the training set as
+        // budget-free pseudo-samples, and the prior incumbent (when the
+        // constraint admits it) jumps the verification queue.
+        let prior_incumbent = ctx.seed_prior().map(|prior| {
+            for pt in prior.top(MAX_PRIOR_POINTS) {
+                train_x.push(ctx.space.to_unit_features(&pt.config));
+                train_y.push(pt.value);
+            }
+            trace::point(ctx.trace, "prior_seed", &[("points", train_x.len() as f64)]);
+            prior.incumbent().expect("non-empty prior").config.clone()
+        });
         for _ in 0..train_n {
             let cfg = ctx.sample_config(&mut rng);
             let y = rec.measure(&cfg);
@@ -97,7 +112,25 @@ impl Tuner for RandomForestTuner {
         candidates.dedup();
         acquisition.end();
 
-        for cfg in candidates.into_iter().take(verify) {
+        // The verification shortlist: the prior incumbent first (warm
+        // starts only), then the best-predicted candidates. The pool is
+        // already deduplicated, so without a prior this reduces to
+        // `take(verify)` — the unchanged cold path.
+        let mut shortlist: Vec<Configuration> = Vec::with_capacity(verify);
+        if let Some(inc) = prior_incumbent {
+            if ctx.admits(&inc) {
+                shortlist.push(inc);
+            }
+        }
+        for cfg in candidates {
+            if shortlist.len() == verify {
+                break;
+            }
+            if !shortlist.contains(&cfg) {
+                shortlist.push(cfg);
+            }
+        }
+        for cfg in shortlist {
             if rec.remaining() == 0 {
                 break;
             }
@@ -173,6 +206,37 @@ mod tests {
         let a = t.tune(&TuneContext::new(&space, 30, 21), &mut obj);
         let b = t.tune(&TuneContext::new(&space, 30, 21), &mut obj);
         assert_eq!(a.history.evaluations(), b.history.evaluations());
+    }
+
+    #[test]
+    fn warm_start_verifies_the_prior_incumbent_first() {
+        use crate::prior::PriorHistory;
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let mut obj = smooth;
+        let donor_ctx = TuneContext::new(&space, 40, 1).with_constraint(&cons);
+        let donor = RandomForestTuner::default().tune(&donor_ctx, &mut obj);
+        let mut prior = PriorHistory::new();
+        for e in donor.history.evaluations() {
+            prior.push(e.config.clone(), e.value, 1.0);
+        }
+
+        let warm_ctx = TuneContext::new(&space, 20, 2)
+            .with_constraint(&cons)
+            .with_prior(&prior);
+        let warm = RandomForestTuner::default().tune(&warm_ctx, &mut obj);
+        assert_eq!(warm.history.len(), 20);
+        // Training burns `budget - 10` samples; the first verification
+        // measurement (index train_n) is the donor's incumbent.
+        assert_eq!(warm.history.evaluations()[10].config, donor.best.config);
+        assert!(warm.best.value <= donor.best.value);
+
+        // Warm runs stay deterministic and feasible.
+        let again = RandomForestTuner::default().tune(&warm_ctx, &mut obj);
+        assert_eq!(warm.history.evaluations(), again.history.evaluations());
+        for e in warm.history.evaluations() {
+            assert!(warm_ctx.admits(&e.config));
+        }
     }
 
     #[test]

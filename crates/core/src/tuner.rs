@@ -2,6 +2,7 @@
 
 use crate::history::{Evaluation, History};
 use crate::objective::Objective;
+use crate::prior::PriorHistory;
 use crate::trace::{self, TraceRecord, TraceSink, NULL_SINK};
 use autotune_space::{sample, Configuration, Constraint, ParamSpace};
 use rand::Rng;
@@ -25,6 +26,11 @@ pub struct TuneContext<'a> {
     /// [`TuneContext::with_trace`]. Purely observational: the sink never
     /// influences which configurations a run visits.
     pub trace: &'a dyn TraceSink,
+    /// Prior-evaluation seed history for warm starts, installed via
+    /// [`TuneContext::with_prior`]. The surrogate tuners fold these
+    /// points into their initial design without spending budget; absent
+    /// (the default), every tuner runs its unchanged cold path.
+    pub prior: Option<&'a PriorHistory>,
 }
 
 impl<'a> TuneContext<'a> {
@@ -36,6 +42,7 @@ impl<'a> TuneContext<'a> {
             budget,
             seed,
             trace: &NULL_SINK,
+            prior: None,
         }
     }
 
@@ -49,6 +56,19 @@ impl<'a> TuneContext<'a> {
     pub fn with_trace(mut self, sink: &'a dyn TraceSink) -> Self {
         self.trace = sink;
         self
+    }
+
+    /// Installs a prior-evaluation seed history, warm-starting the
+    /// surrogate-based tuners. An empty prior is treated as no prior.
+    pub fn with_prior(mut self, prior: &'a PriorHistory) -> Self {
+        self.prior = (!prior.is_empty()).then_some(prior);
+        self
+    }
+
+    /// The installed non-empty prior, if any — the hook the tuners
+    /// branch on.
+    pub fn seed_prior(&self) -> Option<&'a PriorHistory> {
+        self.prior.filter(|p| !p.is_empty())
     }
 
     /// Draws one random configuration honouring the constraint if present.
@@ -73,6 +93,7 @@ impl std::fmt::Debug for TuneContext<'_> {
             .field("seed", &self.seed)
             .field("constrained", &self.constraint.is_some())
             .field("traced", &self.trace.is_enabled())
+            .field("prior_points", &self.prior.map_or(0, |p| p.len()))
             .finish()
     }
 }
@@ -90,6 +111,7 @@ pub struct OwnedTuneSetup {
     constraint: Option<Box<dyn Constraint>>,
     budget: usize,
     seed: u64,
+    prior: Option<PriorHistory>,
 }
 
 impl OwnedTuneSetup {
@@ -100,12 +122,20 @@ impl OwnedTuneSetup {
             constraint: None,
             budget,
             seed,
+            prior: None,
         }
     }
 
     /// Adds the a-priori constraint (what the non-SMBO methods get).
     pub fn with_constraint(mut self, constraint: Box<dyn Constraint>) -> Self {
         self.constraint = Some(constraint);
+        self
+    }
+
+    /// Attaches a prior-evaluation seed history for warm starts. An
+    /// empty prior is dropped (equivalent to the cold path).
+    pub fn with_prior(mut self, prior: PriorHistory) -> Self {
+        self.prior = (!prior.is_empty()).then_some(prior);
         self
     }
 
@@ -129,12 +159,20 @@ impl OwnedTuneSetup {
         self.constraint.is_some()
     }
 
-    /// Lends out a borrowed [`TuneContext`] over the owned space and
-    /// constraint.
+    /// The attached prior seed history, if any.
+    pub fn prior(&self) -> Option<&PriorHistory> {
+        self.prior.as_ref()
+    }
+
+    /// Lends out a borrowed [`TuneContext`] over the owned space,
+    /// constraint, and prior.
     pub fn context(&self) -> TuneContext<'_> {
         let mut ctx = TuneContext::new(&self.space, self.budget, self.seed);
         if let Some(c) = &self.constraint {
             ctx.constraint = Some(c.as_ref());
+        }
+        if let Some(p) = &self.prior {
+            ctx = ctx.with_prior(p);
         }
         ctx
     }
@@ -338,6 +376,26 @@ mod tests {
                 borrowed.sample_config(&mut r2)
             );
         }
+    }
+
+    #[test]
+    fn prior_wiring_reaches_the_context() {
+        let space = toy_space();
+        let mut prior = PriorHistory::new();
+        prior.push(Configuration::from([2, 3]), 1.5, 1.0);
+        let ctx = TuneContext::new(&space, 5, 0).with_prior(&prior);
+        assert_eq!(ctx.seed_prior().unwrap().len(), 1);
+
+        // Empty priors are dropped — the context stays cold.
+        let empty = PriorHistory::new();
+        let cold = TuneContext::new(&space, 5, 0).with_prior(&empty);
+        assert!(cold.seed_prior().is_none());
+
+        let setup = OwnedTuneSetup::new(toy_space(), 5, 0).with_prior(prior.clone());
+        assert_eq!(setup.prior().unwrap(), &prior);
+        assert_eq!(setup.context().seed_prior().unwrap().len(), 1);
+        let cold_setup = OwnedTuneSetup::new(toy_space(), 5, 0).with_prior(PriorHistory::new());
+        assert!(cold_setup.prior().is_none());
     }
 
     #[test]

@@ -1,0 +1,41 @@
+//! The knowledge-base warm-start study: how many samples a seeded
+//! search needs to match a cold budget-200 incumbent, per technique,
+//! seeding mode (cold / warm / transfer) and sample size. Reported
+//! beside the Fig. 4 artefacts; see `EXPERIMENTS.md`.
+
+use experiments::cli;
+use experiments::warmstart::{self, WarmStartConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match cli::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    let config = WarmStartConfig::from_study(&opts.config);
+    eprintln!(
+        "warm-start study: {} technique(s), {} benchmark(s), {} architecture(s), \
+         {} reps/cell, donor budget {}",
+        config.algorithms.len(),
+        config.benchmarks.len(),
+        config.architectures.len(),
+        config.repetitions,
+        config.donor_budget,
+    );
+    let results = warmstart::run_warm_start_study(&config);
+    print!("{}", warmstart::warm_table(&results));
+    if opts.write_csv {
+        cli::write_artifact(
+            &opts.out_dir,
+            "warm_start.csv",
+            &warmstart::warm_csv(&results),
+        )
+        .expect("write warm_start.csv");
+        let json = serde_json::to_string_pretty(&results).expect("serialize results");
+        cli::write_artifact(&opts.out_dir, "warm_start.json", &json)
+            .expect("write warm_start.json");
+    }
+}

@@ -27,6 +27,10 @@
 //! terminal dashboard, and [`gate::compare`] (the `regression-gate`
 //! binary) turns two [`StudyResults`] into a statistical pass/fail
 //! verdict for CI.
+//!
+//! Beyond the paper, [`warmstart`] (the `warm_start_study` binary) adds
+//! a cold/warm/transfer axis: how many samples a knowledge-base-seeded
+//! search needs to match a cold budget-200 incumbent.
 
 #![warn(missing_docs)]
 
@@ -42,9 +46,11 @@ pub mod render;
 pub mod runner;
 pub mod seed;
 pub mod table1;
+pub mod warmstart;
 
 pub use design::ExperimentDesign;
 pub use gate::{CellVerdict, GateConfig, GateReport};
 pub use grid::{run_study, run_study_monitored, CellKey, CellResult, StudyConfig, StudyResults};
 pub use monitor::{CellSummary, MonitorConfig, StudyMonitor};
 pub use runner::ExperimentOutcome;
+pub use warmstart::{run_warm_start_study, WarmMode, WarmStartConfig, WarmStartResults};

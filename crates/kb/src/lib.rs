@@ -1,0 +1,36 @@
+//! Cross-session knowledge base for the autotuning study.
+//!
+//! Tuning sessions are ephemeral; the problems they solve are not. This
+//! crate remembers finished studies across sessions and processes so a
+//! repeat of a known problem never starts from scratch:
+//!
+//! * [`fingerprint`] — canonical problem identity: a stable 64-bit hash
+//!   over (kernel, architecture, normalized search space, normalized
+//!   constraint). Parameter renames, declaration reorderings, and
+//!   equivalent constraint spellings hash identically; value-domain
+//!   changes do not. A relaxed *family* fingerprint drops the
+//!   architecture so sibling GPUs can lend transfer evidence.
+//! * [`store`] — the crash-safe append-only JSONL segment file keyed by
+//!   those fingerprints, with provenance (session, seed, timestamp) on
+//!   every record. It answers three questions: *have we converged on
+//!   this exact problem before?* ([`KbStore::instant_answer`]), *what
+//!   evidence should warm-start a new study?* ([`KbStore::prior_for`],
+//!   weighted by recency and architecture similarity via
+//!   [`autotune_surrogates::PriorWeighting`]), and *what does the store
+//!   hold?* ([`KbStore::stats`]).
+//!
+//! The assembled [`autotune_core::PriorHistory`] flows into the tuners
+//! through `TuneContext::with_prior`; the service layer wires the store
+//! into session open/close and exposes it over the wire protocol.
+
+#![warn(missing_docs)]
+
+pub mod fingerprint;
+pub mod store;
+
+pub use fingerprint::{canonical, family, Fingerprint, ProblemTag};
+pub use store::{Durability, KbError, KbStats, KbStore, StudyRecord};
+
+// The weighting the store applies when assembling priors, re-exported
+// so store users can tune it without a direct surrogates dependency.
+pub use autotune_surrogates::PriorWeighting;

@@ -1,0 +1,556 @@
+//! The persistent, crash-safe results store.
+//!
+//! One [`KbStore`] owns one append-only JSONL segment file: every
+//! finished study appends one `study` line holding its provenance
+//! (session name, seed, timestamp), its best configuration and a capped
+//! best-first sample of its evaluations. The format mirrors the session
+//! journal: one tagged JSON object per line, pushed toward disk after
+//! every append according to the writer's
+//! [`Durability`] mode, with a torn final
+//! line (crash mid-append) dropped silently on load and corruption
+//! anywhere else reported as [`KbError::Corrupt`].
+//!
+//! Reads are served from an in-memory index rebuilt on open — the store
+//! is small (capped evaluations, one line per study), so a full scan on
+//! startup costs less than designing an on-disk index would.
+
+use crate::fingerprint::{Fingerprint, ProblemTag};
+use autotune_core::{Evaluation, PriorHistory};
+use autotune_space::Configuration;
+use autotune_surrogates::PriorWeighting;
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::fs::{File, OpenOptions};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+// Shared vocabulary with the session journal and the trace sink.
+pub use autotune_core::trace::Durability;
+
+/// Cap on evaluations kept per stored study (best-first). Keeps every
+/// record one modest JSONL line regardless of the study's budget.
+pub const MAX_RECORD_EVALS: usize = 64;
+
+/// Cap on prior points one [`KbStore::prior_for`] call assembles.
+pub const MAX_PRIOR_TOTAL: usize = 128;
+
+/// Errors from the knowledge-base store.
+#[derive(Debug)]
+pub enum KbError {
+    /// Filesystem failure.
+    Io(std::io::Error),
+    /// Structural corruption in the segment file.
+    Corrupt(String),
+}
+
+impl fmt::Display for KbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KbError::Io(e) => write!(f, "kb io error: {e}"),
+            KbError::Corrupt(msg) => write!(f, "kb store corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for KbError {}
+
+impl From<std::io::Error> for KbError {
+    fn from(e: std::io::Error) -> Self {
+        KbError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for KbError {
+    fn from(e: serde_json::Error) -> Self {
+        KbError::Corrupt(e.to_string())
+    }
+}
+
+/// One finished study, as persisted.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyRecord {
+    /// Canonical problem fingerprint.
+    pub fingerprint: Fingerprint,
+    /// Relaxed cross-architecture family fingerprint.
+    pub family: Fingerprint,
+    /// The human-readable problem identity behind the fingerprints.
+    pub problem: ProblemTag,
+    /// Provenance: the session that produced this study.
+    pub session: String,
+    /// Provenance: the session's RNG seed.
+    pub seed: u64,
+    /// Provenance: wall-clock timestamp (milliseconds since the Unix
+    /// epoch), supplied by the caller so tests stay deterministic.
+    pub recorded_at_ms: u64,
+    /// The search technique that ran the study.
+    pub algorithm: String,
+    /// The evaluation budget the study ran with.
+    pub budget: usize,
+    /// `true` when the study spent its full budget before closing —
+    /// the store's convergence criterion for instant answers.
+    pub converged: bool,
+    /// The study's best (configuration, cost) pair.
+    pub best: Evaluation,
+    /// Best-first sample of the study's evaluations, capped at
+    /// [`MAX_RECORD_EVALS`] by [`KbStore::append`].
+    pub evaluations: Vec<Evaluation>,
+}
+
+/// One line of the segment file. An enum (like the journal's `Record`)
+/// so future line kinds — compactions, tombstones — stay backwards
+/// readable.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+enum Record {
+    Study {
+        /// The stored study.
+        record: StudyRecord,
+    },
+}
+
+/// Aggregate store statistics (the payload of the `kb` protocol op).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct KbStats {
+    /// Total stored studies.
+    pub studies: u64,
+    /// Stored studies marked converged.
+    pub converged_studies: u64,
+    /// Distinct canonical fingerprints.
+    pub problems: u64,
+    /// Distinct family fingerprints.
+    pub families: u64,
+    /// Total stored evaluations across all studies.
+    pub evaluations: u64,
+}
+
+/// The knowledge base: an append-only segment file plus an in-memory
+/// fingerprint index.
+#[derive(Debug)]
+pub struct KbStore {
+    path: PathBuf,
+    file: BufWriter<File>,
+    durability: Durability,
+    records: Vec<StudyRecord>,
+    by_fingerprint: HashMap<Fingerprint, Vec<usize>>,
+    by_family: HashMap<Fingerprint, Vec<usize>>,
+}
+
+impl KbStore {
+    /// Opens (creating if absent) a store with [`Durability::Sync`].
+    pub fn open(path: &Path) -> Result<Self, KbError> {
+        Self::open_with(path, Durability::Sync)
+    }
+
+    /// Opens (creating if absent) a store with an explicit durability
+    /// mode. Missing parent directories are created. Existing records
+    /// are loaded into the index; a torn final line is dropped.
+    pub fn open_with(path: &Path, durability: Durability) -> Result<Self, KbError> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        let mut loaded: Vec<StudyRecord> = Vec::new();
+        if path.exists() {
+            let reader = BufReader::new(File::open(path)?);
+            let lines: Vec<String> = reader.lines().collect::<Result<_, _>>()?;
+            let last = lines.len().saturating_sub(1);
+            for (i, line) in lines.iter().enumerate() {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                let record: Record = match serde_json::from_str(line) {
+                    Ok(r) => r,
+                    // Only the final line may be torn by a crash.
+                    Err(_) if i == last => break,
+                    Err(e) => {
+                        return Err(KbError::Corrupt(format!(
+                            "malformed record on line {}: {e}",
+                            i + 1
+                        )))
+                    }
+                };
+                let Record::Study { record } = record;
+                loaded.push(record);
+            }
+        }
+        let file = BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?);
+        let mut store = KbStore {
+            path: path.to_path_buf(),
+            file,
+            durability,
+            records: Vec::new(),
+            by_fingerprint: HashMap::new(),
+            by_family: HashMap::new(),
+        };
+        for record in loaded {
+            store.index(record);
+        }
+        Ok(store)
+    }
+
+    fn index(&mut self, record: StudyRecord) {
+        let idx = self.records.len();
+        self.by_fingerprint
+            .entry(record.fingerprint)
+            .or_default()
+            .push(idx);
+        self.by_family.entry(record.family).or_default().push(idx);
+        self.records.push(record);
+    }
+
+    /// The segment file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// The writer's durability mode.
+    pub fn durability(&self) -> Durability {
+        self.durability
+    }
+
+    /// Number of stored studies.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when no studies are stored.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Appends one study. Non-finite evaluation values are dropped and
+    /// the remainder is capped best-first at [`MAX_RECORD_EVALS`]; the
+    /// line is flushed (and synced under [`Durability::Sync`]) before
+    /// the method returns.
+    pub fn append(&mut self, mut record: StudyRecord) -> Result<(), KbError> {
+        record.evaluations.retain(|e| e.value.is_finite());
+        record
+            .evaluations
+            .sort_by(|a, b| a.value.partial_cmp(&b.value).expect("finite costs"));
+        record.evaluations.truncate(MAX_RECORD_EVALS);
+        let line = serde_json::to_string(&Record::Study {
+            record: record.clone(),
+        })?;
+        self.file.write_all(line.as_bytes())?;
+        self.file.write_all(b"\n")?;
+        self.file.flush()?;
+        if self.durability == Durability::Sync {
+            self.file.get_ref().sync_data()?;
+        }
+        self.index(record);
+        Ok(())
+    }
+
+    /// Stored studies for a canonical fingerprint, oldest first.
+    pub fn studies(&self, fingerprint: Fingerprint) -> Vec<&StudyRecord> {
+        self.by_fingerprint
+            .get(&fingerprint)
+            .map(|idxs| idxs.iter().map(|&i| &self.records[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// Stored studies sharing a family fingerprint, oldest first.
+    pub fn family_studies(&self, family: Fingerprint) -> Vec<&StudyRecord> {
+        self.by_family
+            .get(&family)
+            .map(|idxs| idxs.iter().map(|&i| &self.records[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// The instant-answer cache: the newest *converged* study of this
+    /// exact problem whose budget was at least `budget`. A hit means a
+    /// repeat query can be answered with the stored incumbent without
+    /// spending a single evaluation.
+    pub fn instant_answer(&self, fingerprint: Fingerprint, budget: usize) -> Option<&StudyRecord> {
+        self.by_fingerprint.get(&fingerprint).and_then(|idxs| {
+            idxs.iter()
+                .rev()
+                .map(|&i| &self.records[i])
+                .find(|r| r.converged && r.budget >= budget)
+        })
+    }
+
+    /// Assembles a warm-start prior for a problem.
+    ///
+    /// Exact-fingerprint studies contribute first (newest study = age 0,
+    /// full architecture similarity), then family-only matches from
+    /// other architectures with the transfer discount applied. Points
+    /// are deduplicated by configuration — the newest, most-similar
+    /// occurrence wins — and capped at [`MAX_PRIOR_TOTAL`]. Returns
+    /// `None` when the store knows nothing relevant.
+    pub fn prior_for(
+        &self,
+        fingerprint: Fingerprint,
+        family: Fingerprint,
+        weighting: &PriorWeighting,
+    ) -> Option<PriorHistory> {
+        let mut prior = PriorHistory::new();
+        let mut seen: HashSet<Configuration> = HashSet::new();
+
+        let mut fold = |records: Vec<&StudyRecord>, same_arch: bool, prior: &mut PriorHistory| {
+            for (age, record) in records.iter().rev().enumerate() {
+                let weight = weighting.weight(age, same_arch);
+                for eval in &record.evaluations {
+                    if prior.len() == MAX_PRIOR_TOTAL {
+                        return;
+                    }
+                    if seen.insert(eval.config.clone()) {
+                        prior.push(eval.config.clone(), eval.value, weight);
+                    }
+                }
+            }
+        };
+
+        fold(self.studies(fingerprint), true, &mut prior);
+        let transfer: Vec<&StudyRecord> = self
+            .family_studies(family)
+            .into_iter()
+            .filter(|r| r.fingerprint != fingerprint)
+            .collect();
+        fold(transfer, false, &mut prior);
+
+        (!prior.is_empty()).then_some(prior)
+    }
+
+    /// Aggregate statistics over the whole store.
+    pub fn stats(&self) -> KbStats {
+        KbStats {
+            studies: self.records.len() as u64,
+            converged_studies: self.records.iter().filter(|r| r.converged).count() as u64,
+            problems: self.by_fingerprint.len() as u64,
+            families: self.by_family.len() as u64,
+            evaluations: self
+                .records
+                .iter()
+                .map(|r| r.evaluations.len() as u64)
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fingerprint::{canonical, family as family_fp};
+    use autotune_space::imagecl;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_store(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "autotune-kb-test-{}-{tag}-{n}.kb.jsonl",
+            std::process::id()
+        ))
+    }
+
+    fn eval(v: u32, value: f64) -> Evaluation {
+        Evaluation {
+            config: Configuration::from([v, 1, 1, 1, 1, 1]),
+            value,
+        }
+    }
+
+    fn record(arch: &str, session: &str, seed: u64, converged: bool) -> StudyRecord {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let tag = ProblemTag::new("convolution", arch);
+        StudyRecord {
+            fingerprint: canonical(&tag, &space, Some(&cons)),
+            family: family_fp(&tag, &space, Some(&cons)),
+            problem: tag,
+            session: session.to_string(),
+            seed,
+            recorded_at_ms: 1_700_000_000_000 + seed,
+            algorithm: "BO GP".to_string(),
+            budget: 200,
+            converged,
+            best: eval(seed as u32 + 1, seed as f64),
+            evaluations: vec![eval(seed as u32 + 1, seed as f64), eval(9, 99.0)],
+        }
+    }
+
+    #[test]
+    fn round_trips_across_reopen() {
+        let path = temp_store("roundtrip");
+        let fp = record("Titan V", "s", 0, true).fingerprint;
+        {
+            let mut store = KbStore::open(&path).unwrap();
+            assert!(store.is_empty());
+            store.append(record("Titan V", "s1", 1, true)).unwrap();
+            store.append(record("Titan V", "s2", 2, false)).unwrap();
+            assert_eq!(store.len(), 2);
+        }
+        let store = KbStore::open(&path).unwrap();
+        assert_eq!(store.len(), 2);
+        let studies = store.studies(fp);
+        assert_eq!(studies.len(), 2);
+        assert_eq!(studies[0].session, "s1");
+        assert_eq!(studies[1].session, "s2");
+        // Evaluations were re-sorted best-first on append.
+        assert!(studies[0].evaluations[0].value <= studies[0].evaluations[1].value);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn torn_final_line_is_dropped() {
+        let path = temp_store("torn");
+        {
+            let mut store = KbStore::open(&path).unwrap();
+            store.append(record("Titan V", "s1", 1, true)).unwrap();
+        }
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"event\":\"study\",\"record\"").unwrap();
+        drop(f);
+        let store = KbStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mid_file_corruption_is_an_error() {
+        let path = temp_store("corrupt");
+        {
+            let mut store = KbStore::open(&path).unwrap();
+            store.append(record("Titan V", "s1", 1, true)).unwrap();
+        }
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"not json\n").unwrap();
+        drop(f);
+        {
+            // The corrupt line is last, so it is forgiven as torn...
+            assert_eq!(KbStore::open(&path).unwrap().len(), 1);
+        }
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(b"{\"event\":\"study\"}\n").unwrap();
+        drop(f);
+        // ...but corruption before a later line is structural.
+        assert!(matches!(KbStore::open(&path), Err(KbError::Corrupt(_))));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn instant_answer_requires_convergence_and_budget() {
+        let path = temp_store("instant");
+        let mut store = KbStore::open(&path).unwrap();
+        let fp = record("Titan V", "s", 0, true).fingerprint;
+        assert!(store.instant_answer(fp, 100).is_none());
+        store.append(record("Titan V", "open", 1, false)).unwrap();
+        assert!(store.instant_answer(fp, 100).is_none());
+        store.append(record("Titan V", "done", 2, true)).unwrap();
+        let hit = store.instant_answer(fp, 200).unwrap();
+        assert_eq!(hit.session, "done");
+        // A bigger requested budget than any stored study is a miss.
+        assert!(store.instant_answer(fp, 201).is_none());
+        // The newest converged study wins.
+        store.append(record("Titan V", "newer", 3, true)).unwrap();
+        assert_eq!(store.instant_answer(fp, 100).unwrap().session, "newer");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn prior_prefers_fresh_same_architecture_evidence() {
+        let path = temp_store("prior");
+        let mut store = KbStore::open(&path).unwrap();
+        store.append(record("Titan V", "old", 1, true)).unwrap();
+        store.append(record("Titan V", "new", 2, true)).unwrap();
+        store.append(record("GTX 980", "xfer", 3, true)).unwrap();
+
+        let sample = record("Titan V", "probe", 0, true);
+        let weighting = PriorWeighting::default();
+        let prior = store
+            .prior_for(sample.fingerprint, sample.family, &weighting)
+            .unwrap();
+        assert!(!prior.is_empty());
+        // The newest same-arch study's points carry full weight; the
+        // cross-arch transfer points carry the discount.
+        let weights: Vec<f64> = prior.points().iter().map(|p| p.weight).collect();
+        assert_eq!(weights[0], 1.0);
+        assert!(weights
+            .iter()
+            .any(|&w| (w - weighting.transfer_discount).abs() < 1e-12));
+        // Duplicate configurations across studies were folded.
+        let configs: HashSet<_> = prior.points().iter().map(|p| p.config.clone()).collect();
+        assert_eq!(configs.len(), prior.len());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn prior_is_none_for_unknown_problems() {
+        let path = temp_store("unknown");
+        let store = KbStore::open(&path).unwrap();
+        let sample = record("Titan V", "probe", 0, true);
+        assert!(store
+            .prior_for(
+                sample.fingerprint,
+                sample.family,
+                &PriorWeighting::default()
+            )
+            .is_none());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn append_caps_and_sanitizes_evaluations() {
+        let path = temp_store("cap");
+        let mut store = KbStore::open(&path).unwrap();
+        let mut r = record("Titan V", "big", 1, true);
+        r.evaluations = (0..200).map(|i| eval(1 + i % 16, i as f64)).collect();
+        r.evaluations.push(eval(2, f64::NAN));
+        r.evaluations.push(eval(3, f64::INFINITY));
+        store.append(r).unwrap();
+        let studies = store.studies(record("Titan V", "s", 0, true).fingerprint);
+        assert_eq!(studies[0].evaluations.len(), MAX_RECORD_EVALS);
+        assert!(studies[0].evaluations.iter().all(|e| e.value.is_finite()));
+        assert!(studies[0]
+            .evaluations
+            .windows(2)
+            .all(|w| w[0].value <= w[1].value));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stats_count_the_store() {
+        let path = temp_store("stats");
+        let mut store = KbStore::open(&path).unwrap();
+        assert_eq!(store.stats(), KbStats::default());
+        store.append(record("Titan V", "a", 1, true)).unwrap();
+        store.append(record("GTX 980", "b", 2, false)).unwrap();
+        let stats = store.stats();
+        assert_eq!(stats.studies, 2);
+        assert_eq!(stats.converged_studies, 1);
+        assert_eq!(stats.problems, 2); // two architectures
+        assert_eq!(stats.families, 1); // one kernel+space family
+        assert_eq!(stats.evaluations, 4);
+        let json = serde_json::to_string(&stats).unwrap();
+        let back: KbStats = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, stats);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn both_durability_modes_round_trip() {
+        for durability in [Durability::Sync, Durability::Buffered] {
+            let path = temp_store("durability");
+            let mut store = KbStore::open_with(&path, durability).unwrap();
+            assert_eq!(store.durability(), durability);
+            store.append(record("Titan V", "s", 1, true)).unwrap();
+            drop(store);
+            let back = KbStore::open_with(&path, durability).unwrap();
+            assert_eq!(back.len(), 1, "{durability:?}");
+            std::fs::remove_file(&path).unwrap();
+        }
+    }
+
+    #[test]
+    fn open_creates_missing_parent_directories() {
+        let dir = std::env::temp_dir().join(format!("autotune-kb-dir-{}", std::process::id()));
+        let path = dir.join("nested").join("store.kb.jsonl");
+        let store = KbStore::open(&path).unwrap();
+        assert_eq!(store.path(), path.as_path());
+        drop(store);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,210 @@
+//! Property-based tests for fingerprint stability.
+//!
+//! The knowledge base is only useful if a problem's identity survives
+//! cosmetic respelling: reordering the parameter list, renaming labels,
+//! permuting the constraint's dimension indices. These properties pin
+//! that invariance — and its converse, that genuine value-domain
+//! changes always produce a different identity.
+
+use autotune_core::Evaluation;
+use autotune_kb::{canonical, family, KbStore, ProblemTag, StudyRecord};
+use autotune_space::{Configuration, Param, ParamSpace, ProductAtMost};
+use proptest::prelude::*;
+
+/// Random value domains: 2-6 parameters with modest ranges.
+fn arb_ranges() -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((1u32..6, 1u32..10), 2..=6)
+        .prop_map(|v| v.into_iter().map(|(lo, span)| (lo, lo + span)).collect())
+}
+
+/// Ranges plus a permutation of their positions and a constraint mask.
+fn arb_problem() -> impl Strategy<Value = (Vec<(u32, u32)>, Vec<usize>, Vec<bool>)> {
+    arb_ranges().prop_flat_map(|ranges| {
+        let n = ranges.len();
+        (
+            Just(ranges),
+            Just((0..n).collect::<Vec<usize>>()).prop_shuffle(),
+            proptest::collection::vec(any::<bool>(), n),
+        )
+    })
+}
+
+fn space_from(ranges: &[(u32, u32)], order: &[usize], label: &str) -> ParamSpace {
+    ParamSpace::new(
+        order
+            .iter()
+            .map(|&i| Param::new(format!("{label}{i}"), ranges[i].0, ranges[i].1))
+            .collect(),
+    )
+}
+
+/// The constraint over the masked parameters, expressed in the given
+/// declaration order.
+fn constraint_from(order: &[usize], mask: &[bool], limit: u64) -> ProductAtMost {
+    let dims: Vec<usize> = order
+        .iter()
+        .enumerate()
+        .filter(|(_, &orig)| mask[orig])
+        .map(|(pos, _)| pos)
+        .collect();
+    ProductAtMost::new(dims, limit)
+}
+
+fn tag() -> ProblemTag {
+    ProblemTag::new("convolution", "Titan V")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn reordered_and_renamed_spellings_hash_identically(
+        (ranges, perm, mask) in arb_problem(),
+        limit in 1u64..512,
+    ) {
+        let identity: Vec<usize> = (0..ranges.len()).collect();
+        let a_space = space_from(&ranges, &identity, "p");
+        let a_cons = constraint_from(&identity, &mask, limit);
+        let b_space = space_from(&ranges, &perm, "renamed_");
+        let b_cons = constraint_from(&perm, &mask, limit);
+        prop_assert_eq!(
+            canonical(&tag(), &a_space, Some(&a_cons)),
+            canonical(&tag(), &b_space, Some(&b_cons))
+        );
+        prop_assert_eq!(
+            family(&tag(), &a_space, Some(&a_cons)),
+            family(&tag(), &b_space, Some(&b_cons))
+        );
+    }
+
+    #[test]
+    fn value_domain_changes_hash_differently(
+        (ranges, _, mask) in arb_problem(),
+        limit in 1u64..512,
+        victim_frac in 0.0..1.0f64,
+    ) {
+        let identity: Vec<usize> = (0..ranges.len()).collect();
+        let cons = constraint_from(&identity, &mask, limit);
+        let base = canonical(&tag(), &space_from(&ranges, &identity, "p"), Some(&cons));
+
+        // Widen one parameter's range.
+        let victim = ((ranges.len() - 1) as f64 * victim_frac) as usize;
+        let mut widened = ranges.clone();
+        widened[victim].1 += 1;
+        prop_assert_ne!(
+            base,
+            canonical(&tag(), &space_from(&widened, &identity, "p"), Some(&cons))
+        );
+
+        // Drop one parameter (and its mask entry).
+        let mut fewer = ranges.clone();
+        fewer.remove(victim);
+        let mut fewer_mask = mask.clone();
+        fewer_mask.remove(victim);
+        let fewer_identity: Vec<usize> = (0..fewer.len()).collect();
+        let fewer_cons = constraint_from(&fewer_identity, &fewer_mask, limit);
+        prop_assert_ne!(
+            base,
+            canonical(
+                &tag(),
+                &space_from(&fewer, &fewer_identity, "p"),
+                Some(&fewer_cons)
+            )
+        );
+    }
+
+    #[test]
+    fn constraint_form_and_strength_behave(
+        (ranges, _, mask) in arb_problem(),
+        limit in 1u64..512,
+    ) {
+        let identity: Vec<usize> = (0..ranges.len()).collect();
+        let space = space_from(&ranges, &identity, "p");
+        let cons = constraint_from(&identity, &mask, limit);
+
+        // The same constraint with its dims listed in reverse order is
+        // an equivalent spelling.
+        let mut reversed_dims = cons.dims().to_vec();
+        reversed_dims.reverse();
+        let reversed = ProductAtMost::new(reversed_dims, limit);
+        prop_assert_eq!(
+            canonical(&tag(), &space, Some(&cons)),
+            canonical(&tag(), &space, Some(&reversed))
+        );
+
+        // A different limit is a different problem.
+        let tighter = constraint_from(&identity, &mask, limit + 1);
+        prop_assert_ne!(
+            canonical(&tag(), &space, Some(&cons)),
+            canonical(&tag(), &space, Some(&tighter))
+        );
+    }
+
+    #[test]
+    fn family_ignores_architecture_but_canonical_does_not(
+        (ranges, _, mask) in arb_problem(),
+        limit in 1u64..512,
+    ) {
+        let identity: Vec<usize> = (0..ranges.len()).collect();
+        let space = space_from(&ranges, &identity, "p");
+        let cons = constraint_from(&identity, &mask, limit);
+        let titan = ProblemTag::new("convolution", "Titan V");
+        let gtx = ProblemTag::new("convolution", "GTX 980");
+        prop_assert_eq!(
+            family(&titan, &space, Some(&cons)),
+            family(&gtx, &space, Some(&cons))
+        );
+        prop_assert_ne!(
+            canonical(&titan, &space, Some(&cons)),
+            canonical(&gtx, &space, Some(&cons))
+        );
+    }
+
+    #[test]
+    fn persistence_round_trip_preserves_fingerprints(
+        (ranges, _, mask) in arb_problem(),
+        limit in 1u64..512,
+        seed in 0u64..1000,
+    ) {
+        let identity: Vec<usize> = (0..ranges.len()).collect();
+        let space = space_from(&ranges, &identity, "p");
+        let cons = constraint_from(&identity, &mask, limit);
+        let fp = canonical(&tag(), &space, Some(&cons));
+        let fam = family(&tag(), &space, Some(&cons));
+
+        let best = Evaluation {
+            config: Configuration::new(ranges.iter().map(|&(lo, _)| lo).collect()),
+            value: seed as f64,
+        };
+        let record = StudyRecord {
+            fingerprint: fp,
+            family: fam,
+            problem: tag(),
+            session: format!("prop-{seed}"),
+            seed,
+            recorded_at_ms: 1_700_000_000_000,
+            algorithm: "RS".to_string(),
+            budget: 25,
+            converged: true,
+            best: best.clone(),
+            evaluations: vec![best],
+        };
+
+        let path = std::env::temp_dir().join(format!(
+            "autotune-kb-prop-{}-{seed}-{}.kb.jsonl",
+            std::process::id(),
+            fp
+        ));
+        {
+            let mut store = KbStore::open(&path).unwrap();
+            store.append(record.clone()).unwrap();
+        }
+        let reopened = KbStore::open(&path).unwrap();
+        let studies = reopened.studies(fp);
+        prop_assert_eq!(studies.len(), 1);
+        prop_assert_eq!(studies[0], &record);
+        prop_assert_eq!(studies[0].fingerprint, fp);
+        prop_assert_eq!(studies[0].family, fam);
+        std::fs::remove_file(&path).unwrap();
+    }
+}

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! tuned [--addr HOST:PORT] [--journal-dir DIR] [--durability sync|buffered]
-//!       [--read-timeout SECS] [--write-timeout SECS]
+//!       [--kb-path FILE|none] [--read-timeout SECS] [--write-timeout SECS]
 //!       [--max-conns N] [--max-line-bytes N] [--idle-ttl SECS]
 //!       [--timeseries-interval-ms MS]
 //! ```
@@ -10,26 +10,35 @@
 //! Speaks newline-delimited JSON over TCP (see the protocol module of
 //! `autotune-service`). With `--journal-dir`, every session is journaled
 //! and any unfinished sessions found at startup are recovered before the
-//! listener opens. The hardening flags map one-to-one onto
-//! [`ServerConfig`]; defaults suit a trusted LAN.
+//! listener opens. The cross-session knowledge base lives at
+//! `kb/store.kb.jsonl` by default (override with `--kb-path` or the
+//! `TUNED_KB_PATH` environment variable; `--kb-path none` disables it).
+//! The hardening flags map one-to-one onto [`ServerConfig`]; defaults
+//! suit a trusted LAN.
 
+use autotune_kb::KbStore;
 use autotune_service::{Durability, ServerConfig, SessionManager, TunedServer};
 use std::process::exit;
 use std::time::Duration;
 
 use std::sync::Arc;
 
+/// Where the knowledge base lives when neither `--kb-path` nor
+/// `TUNED_KB_PATH` says otherwise.
+const DEFAULT_KB_PATH: &str = "kb/store.kb.jsonl";
+
 struct Args {
     addr: String,
     journal_dir: Option<String>,
     durability: Durability,
+    kb_path: Option<String>,
     config: ServerConfig,
 }
 
 fn usage(code: i32) -> ! {
     let defaults = ServerConfig::default();
     eprintln!("usage: tuned [--addr HOST:PORT] [--journal-dir DIR] [--durability sync|buffered]");
-    eprintln!("             [--read-timeout SECS] [--write-timeout SECS]");
+    eprintln!("             [--kb-path FILE|none] [--read-timeout SECS] [--write-timeout SECS]");
     eprintln!("             [--max-conns N] [--max-line-bytes N] [--idle-ttl SECS]");
     eprintln!("             [--timeseries-interval-ms MS]");
     eprintln!();
@@ -38,6 +47,9 @@ fn usage(code: i32) -> ! {
     eprintln!("                       unfinished ones at startup");
     eprintln!("  --durability MODE    sync: fsync every journal append (default);");
     eprintln!("                       buffered: flush to the OS only");
+    eprintln!("  --kb-path FILE       cross-session knowledge-base store (default");
+    eprintln!("                       {DEFAULT_KB_PATH}; env TUNED_KB_PATH overrides");
+    eprintln!("                       the default); `none` disables the kb entirely");
     eprintln!(
         "  --read-timeout SECS  per-request-line read deadline (default {})",
         defaults.read_timeout.as_secs()
@@ -77,10 +89,14 @@ fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
 }
 
 fn parse_args() -> Args {
+    // Flag > environment > default; `none` (from either) disables.
     let mut args = Args {
         addr: "127.0.0.1:4242".to_string(),
         journal_dir: None,
         durability: Durability::Sync,
+        kb_path: Some(
+            std::env::var("TUNED_KB_PATH").unwrap_or_else(|_| DEFAULT_KB_PATH.to_string()),
+        ),
         config: ServerConfig::default(),
     };
     let mut argv = std::env::args().skip(1);
@@ -98,6 +114,10 @@ fn parse_args() -> Args {
                 Some("sync") => args.durability = Durability::Sync,
                 Some("buffered") => args.durability = Durability::Buffered,
                 _ => usage(2),
+            },
+            "--kb-path" => match argv.next() {
+                Some(v) => args.kb_path = Some(v),
+                None => usage(2),
             },
             "--read-timeout" => {
                 args.config.read_timeout = Duration::from_secs(parse(&flag, argv.next()))
@@ -118,6 +138,9 @@ fn parse_args() -> Args {
             _ => usage(2),
         }
     }
+    if args.kb_path.as_deref() == Some("none") {
+        args.kb_path = None;
+    }
     args
 }
 
@@ -126,14 +149,30 @@ fn main() {
     let manager = match &args.journal_dir {
         Some(dir) => {
             match SessionManager::with_journal_dir_durability(dir.as_ref(), args.durability) {
-                Ok(m) => Arc::new(m),
+                Ok(m) => m,
                 Err(e) => {
                     eprintln!("tuned: cannot open journal dir {dir:?}: {e}");
                     exit(1);
                 }
             }
         }
-        None => Arc::new(SessionManager::in_memory()),
+        None => SessionManager::in_memory(),
+    };
+    let manager = match &args.kb_path {
+        Some(path) => match KbStore::open_with(path.as_ref(), args.durability) {
+            Ok(store) => {
+                eprintln!(
+                    "tuned: knowledge base at {path:?} ({} studies)",
+                    store.len()
+                );
+                Arc::new(manager.with_kb(store))
+            }
+            Err(e) => {
+                eprintln!("tuned: cannot open kb store {path:?}: {e}");
+                exit(1);
+            }
+        },
+        None => Arc::new(manager),
     };
 
     if manager.journal_dir().is_some() {

@@ -1,12 +1,14 @@
 //! Blocking Rust client for the `tuned` wire protocol.
 
 use crate::error::ServiceError;
+use crate::manager::KbAnswer;
 use crate::metrics::MetricsSnapshot;
 use crate::protocol::{Request, Response};
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
 use autotune_core::trace::TraceEvent;
 use autotune_core::TuneResult;
+use autotune_kb::KbStats;
 use autotune_space::Configuration;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -172,6 +174,29 @@ impl Client {
         }
     }
 
+    /// Fetches the server's knowledge-base statistics (all zero when no
+    /// store is attached).
+    pub fn kb_stats(&mut self) -> Result<KbStats, ServiceError> {
+        let reply = self.call(&Request::Kb { lookup: None })?;
+        match reply {
+            Response::Kb { stats, .. } => Ok(stats),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Consults the server's instant-answer cache: the stored incumbent
+    /// for `spec`'s problem, when a converged prior study with at least
+    /// `spec.budget` evaluations exists. `Ok(None)` is a miss.
+    pub fn kb_lookup(&mut self, spec: SessionSpec) -> Result<Option<KbAnswer>, ServiceError> {
+        let reply = self.call(&Request::Kb {
+            lookup: Some(Box::new(spec)),
+        })?;
+        match reply {
+            Response::Kb { answer, .. } => Ok(answer),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
     /// Closes `name`, returning the result when the budget was spent.
     pub fn close(&mut self, name: &str) -> Result<Option<TuneResult>, ServiceError> {
         let reply = self.call(&Request::Close {
@@ -226,6 +251,9 @@ mod tests {
             space: SpaceSpec::Custom {
                 space: ParamSpace::new(vec![Param::new("x", 1, 10), Param::new("y", 1, 10)]),
             },
+            warm_start: Default::default(),
+            problem: None,
+            prior: None,
         }
     }
 

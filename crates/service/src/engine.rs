@@ -409,6 +409,9 @@ mod tests {
                     Param::new("c", 1, 6),
                 ]),
             },
+            warm_start: Default::default(),
+            problem: None,
+            prior: None,
         }
     }
 

@@ -36,6 +36,14 @@
 //!   op serves the full event stream to clients
 //!   ([`Client::trace`]). Traces are observational — recovery replay
 //!   regenerates them deterministically and never reads them back.
+//! * The manager can attach a cross-session knowledge base
+//!   ([`autotune_kb::KbStore`], see [`SessionManager::with_kb`]):
+//!   sessions tagged with a problem identity are warm-started from
+//!   fingerprint-matched prior studies, converged repeats are answered
+//!   instantly without spawning an engine thread
+//!   ([`SessionManager::kb_lookup`]), and finished studies are recorded
+//!   on close. The `kb` protocol op serves store statistics and instant
+//!   answers over the wire ([`Client::kb_stats`]).
 //!
 //! # Example
 //!
@@ -78,9 +86,9 @@ pub use client::{Client, RemoteSuggestion};
 pub use engine::{AskTellSession, Suggestion};
 pub use error::{ErrorCode, ServiceError};
 pub use journal::Durability;
-pub use manager::{ManagerTotals, SessionManager};
+pub use manager::{KbAnswer, ManagerTotals, SessionManager};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use server::{ServerConfig, TunedServer};
-pub use spec::{SessionSpec, SpaceSpec};
+pub use spec::{SessionSpec, SpaceSpec, WarmStart};
 pub use stats::SessionStats;
 pub use tsdb::{TimePoint, TimeSeriesStore};

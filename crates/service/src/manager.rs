@@ -19,7 +19,8 @@ use crate::journal::{self, Durability, JournalWriter};
 use crate::metrics::ServiceMetrics;
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
-use autotune_core::TuneResult;
+use autotune_core::{Evaluation, TuneResult};
+use autotune_kb::{Fingerprint, KbStats, KbStore, PriorWeighting, StudyRecord};
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -47,11 +48,29 @@ pub struct ManagerTotals {
     pub reports: u64,
 }
 
+/// What an instant-answer lookup came back with: the stored incumbent
+/// plus the provenance needed to trust it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KbAnswer {
+    /// The canonical problem fingerprint that matched.
+    pub fingerprint: Fingerprint,
+    /// The stored best (configuration, cost) pair.
+    pub best: Evaluation,
+    /// The session that produced the stored study.
+    pub session: String,
+    /// The search technique that produced it.
+    pub algorithm: String,
+    /// The budget the stored study converged with.
+    pub budget: usize,
+}
+
 /// Holds and drives many named [`AskTellSession`]s.
 pub struct SessionManager {
     sessions: Mutex<HashMap<String, Arc<Mutex<Managed>>>>,
     journal_dir: Option<PathBuf>,
     durability: Durability,
+    kb: Option<Mutex<KbStore>>,
+    weighting: PriorWeighting,
     metrics: Arc<ServiceMetrics>,
     opened_total: AtomicU64,
     served_suggests: AtomicU64,
@@ -66,6 +85,8 @@ impl SessionManager {
             sessions: Mutex::new(HashMap::new()),
             journal_dir: None,
             durability: Durability::Sync,
+            kb: None,
+            weighting: PriorWeighting::default(),
             metrics: Arc::new(ServiceMetrics::new()),
             opened_total: AtomicU64::new(0),
             served_suggests: AtomicU64::new(0),
@@ -91,11 +112,35 @@ impl SessionManager {
             sessions: Mutex::new(HashMap::new()),
             journal_dir: Some(dir.to_path_buf()),
             durability,
+            kb: None,
+            weighting: PriorWeighting::default(),
             metrics: Arc::new(ServiceMetrics::new()),
             opened_total: AtomicU64::new(0),
             served_suggests: AtomicU64::new(0),
             served_reports: AtomicU64::new(0),
         })
+    }
+
+    /// Attaches a cross-session knowledge base. Sessions whose spec
+    /// names a problem (and does not opt out) are warm-started from
+    /// fingerprint-matched prior studies at open time, and their
+    /// finished results are recorded back on close.
+    pub fn with_kb(mut self, store: KbStore) -> Self {
+        self.kb = Some(Mutex::new(store));
+        self
+    }
+
+    /// Like [`SessionManager::with_kb`], with an explicit prior
+    /// weighting instead of [`PriorWeighting::default`].
+    pub fn with_kb_weighting(mut self, store: KbStore, weighting: PriorWeighting) -> Self {
+        self.kb = Some(Mutex::new(store));
+        self.weighting = weighting;
+        self
+    }
+
+    /// `true` when a knowledge base is attached.
+    pub fn kb_enabled(&self) -> bool {
+        self.kb.is_some()
     }
 
     /// The journal directory, if persistence is enabled.
@@ -166,10 +211,97 @@ impl SessionManager {
             .ok_or_else(|| ServiceError::UnknownSession(name.to_string()))
     }
 
+    /// Installs a knowledge-base prior into a spec that asks for one.
+    /// The *effective* spec (prior embedded) is what gets journaled, so
+    /// crash recovery replays deterministically no matter how the store
+    /// changes afterwards.
+    fn resolve_warm_start(&self, mut spec: SessionSpec) -> SessionSpec {
+        if spec.prior.is_some() {
+            return spec; // a caller-supplied prior wins
+        }
+        let Some(kb) = &self.kb else { return spec };
+        let Some((fingerprint, family)) = spec.fingerprints() else {
+            return spec;
+        };
+        match kb.lock().prior_for(fingerprint, family, &self.weighting) {
+            Some(prior) => {
+                self.metrics.kb_hits.inc();
+                self.metrics.kb_seeded_sessions.inc();
+                spec.prior = Some(prior);
+            }
+            None => self.metrics.kb_misses.inc(),
+        }
+        spec
+    }
+
+    /// The instant-answer cache: when `spec` names a problem the store
+    /// holds a *converged* study for, at equal-or-larger budget, returns
+    /// the stored incumbent directly — no engine thread is spawned and
+    /// no evaluation is spent. Honors the spec's
+    /// [`WarmStart`](crate::spec::WarmStart) opt-out.
+    pub fn kb_lookup(&self, spec: &SessionSpec) -> Option<KbAnswer> {
+        let kb = self.kb.as_ref()?;
+        let (fingerprint, _) = spec.fingerprints()?;
+        let store = kb.lock();
+        match store.instant_answer(fingerprint, spec.budget) {
+            Some(record) => {
+                self.metrics.kb_hits.inc();
+                Some(KbAnswer {
+                    fingerprint,
+                    best: record.best.clone(),
+                    session: record.session.clone(),
+                    algorithm: record.algorithm.clone(),
+                    budget: record.budget,
+                })
+            }
+            None => {
+                self.metrics.kb_misses.inc();
+                None
+            }
+        }
+    }
+
+    /// Aggregate knowledge-base statistics ([`KbStats::default`] when
+    /// no store is attached).
+    pub fn kb_stats(&self) -> KbStats {
+        self.kb
+            .as_ref()
+            .map(|kb| kb.lock().stats())
+            .unwrap_or_default()
+    }
+
+    /// Records a finished study into the knowledge base.
+    fn record_study(&self, name: &str, spec: &SessionSpec, result: &TuneResult) {
+        let Some(kb) = &self.kb else { return };
+        let Some((fingerprint, family)) = spec.fingerprints() else {
+            return;
+        };
+        let problem = spec.problem.clone().expect("fingerprints imply a problem");
+        let record = StudyRecord {
+            fingerprint,
+            family,
+            problem,
+            session: name.to_string(),
+            seed: spec.seed,
+            recorded_at_ms: unix_now_ms(),
+            algorithm: spec.algorithm.name().to_string(),
+            budget: spec.budget,
+            converged: true,
+            best: result.best.clone(),
+            evaluations: result.history.evaluations().to_vec(),
+        };
+        // The kb is an opportunistic cache: a failed append must not
+        // turn a successful close into an error.
+        if kb.lock().append(record).is_err() {
+            self.metrics.kb_append_failures.inc();
+        }
+    }
+
     /// Opens a fresh session under `name`, journaling it if persistence
     /// is enabled.
     pub fn open(&self, name: &str, spec: SessionSpec) -> Result<(), ServiceError> {
         Self::validate_name(name)?;
+        let spec = self.resolve_warm_start(spec);
         // The registry lock is held across journal creation so a racing
         // duplicate open cannot truncate the winner's journal.
         let mut sessions = self.sessions.lock();
@@ -354,6 +486,11 @@ impl SessionManager {
             journal.append_close(result.is_some())?;
             self.metrics.journal_appends.inc();
         }
+        // A session that spent its full budget is a converged study:
+        // feed it back into the knowledge base.
+        if let Some(result) = result.as_deref() {
+            self.record_study(name, guard.session.spec(), result);
+        }
         self.metrics.sessions_closed.inc();
         Ok(result.map(|boxed| *boxed))
     }
@@ -426,6 +563,14 @@ impl SessionManager {
     }
 }
 
+/// Wall-clock milliseconds since the Unix epoch, for study provenance.
+fn unix_now_ms() -> u64 {
+    std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
 impl std::fmt::Debug for SessionManager {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let totals = self.totals();
@@ -458,6 +603,9 @@ mod tests {
             space: SpaceSpec::Custom {
                 space: ParamSpace::new(vec![Param::new("a", 1, 9), Param::new("b", 1, 9)]),
             },
+            warm_start: Default::default(),
+            problem: None,
+            prior: None,
         }
     }
 
@@ -712,6 +860,80 @@ mod tests {
             Err(ServiceError::UnknownSession(_))
         ));
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fn kb_file(tag: &str) -> PathBuf {
+        temp_dir(tag).join("store.kb.jsonl")
+    }
+
+    #[test]
+    fn managers_without_a_kb_answer_with_defaults() {
+        let mgr = SessionManager::in_memory();
+        assert!(!mgr.kb_enabled());
+        assert_eq!(mgr.kb_stats(), KbStats::default());
+        assert!(mgr
+            .kb_lookup(&toy_spec(3, 1).with_problem("toy-kernel", "sim-arch"))
+            .is_none());
+    }
+
+    #[test]
+    fn finished_studies_land_in_the_kb_and_seed_repeats() {
+        let path = kb_file("kb-roundtrip");
+        let mgr = SessionManager::in_memory().with_kb(KbStore::open(&path).unwrap());
+        assert!(mgr.kb_enabled());
+        let spec = toy_spec(4, 1).with_problem("toy-kernel", "sim-arch");
+
+        // Cold first run: a miss at open, then the finished study is
+        // recorded at close.
+        mgr.open("donor", spec.clone()).unwrap();
+        assert_eq!(mgr.metrics().snapshot().counter("kb_misses"), Some(1));
+        drive_rounds(&mgr, "donor", 4);
+        let result = mgr.close("donor").unwrap().unwrap();
+        assert_eq!(mgr.kb_stats().studies, 1);
+        assert_eq!(mgr.kb_stats().converged_studies, 1);
+
+        // Instant answer: the stored incumbent, provenance included, no
+        // engine thread spawned.
+        let answer = mgr.kb_lookup(&spec).unwrap();
+        assert_eq!(answer.best, result.best);
+        assert_eq!(answer.session, "donor");
+        assert_eq!(answer.algorithm, "RS");
+        assert_eq!(mgr.totals().open_sessions, 0);
+
+        // A repeat session is warm-started from the store.
+        mgr.open("repeat", spec.clone()).unwrap();
+        let snap = mgr.metrics().snapshot();
+        assert_eq!(snap.counter("kb_seeded_sessions"), Some(1));
+        assert!(snap.counter("kb_hits").unwrap() >= 2);
+        // Closed unfinished: nothing new is recorded.
+        assert!(mgr.close("repeat").unwrap().is_none());
+        assert_eq!(mgr.kb_stats().studies, 1);
+
+        // The explicit opt-out never touches the store.
+        assert!(mgr.kb_lookup(&spec.clone().cold()).is_none());
+
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
+    }
+
+    #[test]
+    fn kb_survives_manager_restarts() {
+        let path = kb_file("kb-restart");
+        let spec = toy_spec(3, 9).with_problem("toy-kernel", "sim-arch");
+        {
+            let mgr = SessionManager::in_memory().with_kb(KbStore::open(&path).unwrap());
+            mgr.open("run", spec.clone()).unwrap();
+            drive_rounds(&mgr, "run", 3);
+            mgr.close("run").unwrap();
+        }
+        let mgr = SessionManager::in_memory().with_kb(KbStore::open(&path).unwrap());
+        assert_eq!(mgr.kb_stats().studies, 1);
+        assert!(mgr.kb_lookup(&spec).is_some());
+        // The answer must cover the requested budget: a bigger repeat
+        // query is a miss.
+        let mut bigger = spec.clone();
+        bigger.budget = 10;
+        assert!(mgr.kb_lookup(&bigger).is_none());
+        std::fs::remove_dir_all(path.parent().unwrap()).unwrap();
     }
 
     #[test]

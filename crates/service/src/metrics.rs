@@ -258,6 +258,16 @@ pub struct ServiceMetrics {
     pub journal_append_seconds: Histogram,
     /// Trace-event batches appended to journals.
     pub journal_trace_batches: Counter,
+    /// Knowledge-base lookups that found usable evidence (an instant
+    /// answer or a warm-start prior).
+    pub kb_hits: Counter,
+    /// Knowledge-base lookups that found nothing relevant.
+    pub kb_misses: Counter,
+    /// Sessions opened with a knowledge-base prior installed.
+    pub kb_seeded_sessions: Counter,
+    /// Finished studies the knowledge base failed to persist (the
+    /// close itself still succeeds; the kb is an opportunistic cache).
+    pub kb_append_failures: Counter,
     /// Per-phase histograms of algorithm-internal span durations
     /// (`surrogate_fit`, `acquisition`, `objective`, …), fed by the
     /// engine's trace sink. Dynamic because the phase vocabulary is
@@ -371,6 +381,18 @@ impl ServiceMetrics {
             &mut counters,
             "journal_trace_batches",
             &self.journal_trace_batches,
+        );
+        c(&mut counters, "kb_hits", &self.kb_hits);
+        c(&mut counters, "kb_misses", &self.kb_misses);
+        c(
+            &mut counters,
+            "kb_seeded_sessions",
+            &self.kb_seeded_sessions,
+        );
+        c(
+            &mut counters,
+            "kb_append_failures",
+            &self.kb_append_failures,
         );
         c(&mut counters, "tsdb_samples", &self.tsdb_samples);
         c(&mut counters, "tsdb_downsamples", &self.tsdb_downsamples);

@@ -5,7 +5,9 @@
 //! are answered in order on the connection that sent them. The protocol
 //! is deliberately minimal — six operations mirroring the
 //! [`SessionManager`](crate::SessionManager) surface plus two
-//! server-wide observability reads, `metrics` and `timeseries`:
+//! server-wide observability reads, `metrics` and `timeseries`, and the
+//! knowledge-base op `kb` (store statistics, optional instant-answer
+//! lookup):
 //!
 //! ```text
 //! -> {"op":"open","name":"run","spec":{"algorithm":"BoTpe","budget":40,"seed":2022,"space":{"kind":"image_cl"}}}
@@ -22,6 +24,10 @@
 //! <- {"reply":"metrics","metrics":{"counters":{...},"histograms":{...}}}
 //! -> {"op":"timeseries","since_seq":42}
 //! <- {"reply":"timeseries","points":[{"unix_ms":1722860000000,"uptime_seconds":3.5,"snapshot_seq":43,"gauges":{...}},...]}
+//! -> {"op":"kb"}
+//! <- {"reply":"kb","stats":{"studies":12,"converged_studies":9,...}}
+//! -> {"op":"kb","lookup":{"algorithm":"BoTpe","budget":40,"seed":2022,"space":{"kind":"image_cl"},"problem":{"kernel":"convolution","architecture":"Titan V"}}}
+//! <- {"reply":"kb","stats":{...},"answer":{"fingerprint":...,"best":{...},...}}
 //! -> {"op":"close","name":"run"}
 //! <- {"reply":"closed","result":{...}}
 //! ```
@@ -46,12 +52,14 @@
 //! `request_too_large` (line cap).
 
 use crate::error::{ErrorCode, ServiceError};
+use crate::manager::KbAnswer;
 use crate::metrics::MetricsSnapshot;
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
 use crate::tsdb::TimePoint;
 use autotune_core::trace::TraceEvent;
 use autotune_core::TuneResult;
+use autotune_kb::KbStats;
 use autotune_space::Configuration;
 use serde::{Deserialize, Serialize};
 
@@ -102,6 +110,15 @@ pub enum Request {
         #[serde(default)]
         since_seq: Option<u64>,
     },
+    /// Fetch knowledge-base statistics, optionally consulting the
+    /// instant-answer cache for a spec.
+    Kb {
+        /// When set, the reply's `answer` field carries the stored
+        /// incumbent for this spec's problem if a converged study with
+        /// at least its budget exists.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        lookup: Option<Box<SessionSpec>>,
+    },
     /// Close and deregister the session.
     Close {
         /// The target session.
@@ -147,6 +164,16 @@ pub enum Response {
     Timeseries {
         /// Retained sample points, oldest first.
         points: Vec<TimePoint>,
+    },
+    /// Answer to `kb`.
+    Kb {
+        /// Aggregate store statistics (all zero when no store is
+        /// attached).
+        stats: KbStats,
+        /// The instant answer for the request's `lookup` spec, when one
+        /// exists.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        answer: Option<KbAnswer>,
     },
     /// The session was closed.
     Closed {
@@ -293,6 +320,74 @@ mod tests {
                 since_seq: Some(42)
             }
         );
+    }
+
+    #[test]
+    fn kb_requests_parse_bare_and_with_lookup() {
+        // The bare form fetches statistics only and stays one short line.
+        let line = r#"{"op":"kb"}"#;
+        assert_eq!(
+            serde_json::from_str::<Request>(line).unwrap(),
+            Request::Kb { lookup: None }
+        );
+        let json = serde_json::to_string(&Request::Kb { lookup: None }).unwrap();
+        assert_eq!(json, r#"{"op":"kb"}"#);
+
+        let line = r#"{"op":"kb","lookup":{"algorithm":"BoTpe","budget":40,"seed":7,"space":{"kind":"image_cl"},"problem":{"kernel":"convolution","architecture":"Titan V"}}}"#;
+        match serde_json::from_str::<Request>(line).unwrap() {
+            Request::Kb { lookup: Some(spec) } => {
+                assert_eq!(spec.budget, 40);
+                assert_eq!(spec.problem.unwrap().kernel, "convolution");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn kb_replies_round_trip_with_and_without_answers() {
+        use crate::manager::KbAnswer;
+        use autotune_core::Evaluation;
+        use autotune_kb::Fingerprint;
+
+        let bare = Response::Kb {
+            stats: KbStats::default(),
+            answer: None,
+        };
+        let json = serde_json::to_string(&bare).unwrap();
+        assert!(json.contains("\"reply\":\"kb\""));
+        assert!(!json.contains("answer"));
+
+        let hit = Response::Kb {
+            stats: KbStats {
+                studies: 2,
+                converged_studies: 1,
+                problems: 1,
+                families: 1,
+                evaluations: 40,
+            },
+            answer: Some(KbAnswer {
+                fingerprint: Fingerprint::from_raw(0xdead_beef),
+                best: Evaluation {
+                    config: Configuration::from([4, 1, 2, 8, 4, 2]),
+                    value: 12.25,
+                },
+                session: "donor".into(),
+                algorithm: "BO GP".into(),
+                budget: 200,
+            }),
+        };
+        let json = serde_json::to_string(&hit).unwrap();
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Kb {
+                stats,
+                answer: Some(answer),
+            } => {
+                assert_eq!(stats.studies, 2);
+                assert_eq!(answer.best.value, 12.25);
+                assert_eq!(answer.session, "donor");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
     }
 
     #[test]

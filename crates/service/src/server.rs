@@ -605,6 +605,16 @@ fn dispatch(request: Request, manager: &SessionManager) -> Response {
                 },
             })
         }
+        Request::Kb { lookup } => match lookup {
+            Some(spec) => spec.validate().map(|()| Response::Kb {
+                answer: manager.kb_lookup(&spec),
+                stats: manager.kb_stats(),
+            }),
+            None => Ok(Response::Kb {
+                stats: manager.kb_stats(),
+                answer: None,
+            }),
+        },
         Request::Close { name } => manager
             .close(&name)
             .map(|result| Response::Closed { result }),
@@ -628,6 +638,9 @@ mod tests {
             space: SpaceSpec::Custom {
                 space: ParamSpace::new(vec![Param::new("a", 1, 4)]),
             },
+            warm_start: Default::default(),
+            problem: None,
+            prior: None,
         }
     }
 

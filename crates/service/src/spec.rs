@@ -8,8 +8,9 @@
 //! reports — the property journal recovery relies on.
 
 use crate::error::ServiceError;
-use autotune_core::{Algorithm, OwnedTuneSetup};
-use autotune_space::{imagecl, Constraint, ParamSpace};
+use autotune_core::{Algorithm, OwnedTuneSetup, PriorHistory};
+use autotune_kb::{Fingerprint, ProblemTag};
+use autotune_space::{imagecl, Constraint, ParamSpace, ProductAtMost};
 use serde::{Deserialize, Serialize};
 
 /// Which search space a session tunes over.
@@ -53,6 +54,36 @@ impl SpaceSpec {
             SpaceSpec::Custom { .. } => None,
         }
     }
+
+    /// The concrete constraint fed into knowledge-base fingerprinting —
+    /// the accounting view, so SMBO and non-SMBO runs of one problem
+    /// share an identity.
+    pub fn fingerprint_constraint(&self) -> Option<ProductAtMost> {
+        match self {
+            SpaceSpec::ImageCl => Some(imagecl::constraint()),
+            SpaceSpec::Custom { .. } => None,
+        }
+    }
+}
+
+/// Whether a session may consult the knowledge base.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum WarmStart {
+    /// Use knowledge-base evidence when the spec names a problem: seed
+    /// the tuner with prior evaluations and record the finished study.
+    #[default]
+    Auto,
+    /// Explicit opt-out: run cold and leave the knowledge base
+    /// untouched, bit-identical to a server without one.
+    Off,
+}
+
+impl WarmStart {
+    /// `true` for the default mode (used to keep it off the wire).
+    pub fn is_auto(&self) -> bool {
+        *self == WarmStart::Auto
+    }
 }
 
 /// Deterministic blueprint of one tuning session.
@@ -66,6 +97,20 @@ pub struct SessionSpec {
     pub seed: u64,
     /// The search space.
     pub space: SpaceSpec,
+    /// Knowledge-base participation. Defaults to [`WarmStart::Auto`];
+    /// absent on the wire when default, so pre-kb transcripts are
+    /// byte-identical.
+    #[serde(default, skip_serializing_if = "WarmStart::is_auto")]
+    pub warm_start: WarmStart,
+    /// The problem identity used for fingerprinting. Without it the
+    /// session never touches the knowledge base.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub problem: Option<ProblemTag>,
+    /// Prior evaluations seeded into the tuner — installed by the
+    /// manager from the knowledge base at open time (so journals replay
+    /// deterministically), or supplied directly by the caller.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub prior: Option<PriorHistory>,
 }
 
 impl SessionSpec {
@@ -76,7 +121,38 @@ impl SessionSpec {
             budget,
             seed,
             space: SpaceSpec::ImageCl,
+            warm_start: WarmStart::Auto,
+            problem: None,
+            prior: None,
         }
+    }
+
+    /// The same spec tagged with a problem identity for the knowledge
+    /// base.
+    pub fn with_problem(mut self, kernel: &str, architecture: &str) -> Self {
+        self.problem = Some(ProblemTag::new(kernel, architecture));
+        self
+    }
+
+    /// The same spec with knowledge-base participation switched off.
+    pub fn cold(mut self) -> Self {
+        self.warm_start = WarmStart::Off;
+        self
+    }
+
+    /// The canonical and family knowledge-base fingerprints, when the
+    /// spec names a problem and has not opted out.
+    pub fn fingerprints(&self) -> Option<(Fingerprint, Fingerprint)> {
+        if self.warm_start == WarmStart::Off {
+            return None;
+        }
+        let problem = self.problem.as_ref()?;
+        let space = self.space.space();
+        let constraint = self.space.fingerprint_constraint();
+        Some((
+            autotune_kb::canonical(problem, &space, constraint.as_ref()),
+            autotune_kb::family(problem, &space, constraint.as_ref()),
+        ))
     }
 
     /// Checks the spec is runnable.
@@ -92,6 +168,30 @@ impl SessionSpec {
                 "search space has no parameters".into(),
             ));
         }
+        // Priors arrive over the wire, so serde has not run the
+        // PriorHistory constructor's invariants; re-check them here
+        // rather than panicking inside an engine thread.
+        if let Some(prior) = &self.prior {
+            for point in prior.points() {
+                if point.config.values().len() != space.dims() {
+                    return Err(ServiceError::InvalidSpec(format!(
+                        "prior point has {} values but the space has {} parameters",
+                        point.config.values().len(),
+                        space.dims()
+                    )));
+                }
+                if !point.value.is_finite() {
+                    return Err(ServiceError::InvalidSpec(
+                        "prior point value must be finite".into(),
+                    ));
+                }
+                if !(point.weight.is_finite() && point.weight > 0.0 && point.weight <= 1.0) {
+                    return Err(ServiceError::InvalidSpec(
+                        "prior point weight must be in (0, 1]".into(),
+                    ));
+                }
+            }
+        }
         Ok(())
     }
 
@@ -100,6 +200,11 @@ impl SessionSpec {
         let mut setup = OwnedTuneSetup::new(self.space.space(), self.budget, self.seed);
         if let Some(c) = self.space.search_constraint(self.algorithm) {
             setup = setup.with_constraint(c);
+        }
+        if self.warm_start != WarmStart::Off {
+            if let Some(prior) = &self.prior {
+                setup = setup.with_prior(prior.clone());
+            }
         }
         setup
     }
@@ -124,10 +229,31 @@ mod tests {
             space: SpaceSpec::Custom {
                 space: ParamSpace::new(vec![Param::new("a", 1, 4)]),
             },
+            warm_start: WarmStart::Off,
+            problem: Some(ProblemTag::new("toy", "sim")),
+            prior: None,
         };
         let json = serde_json::to_string(&custom).unwrap();
         let back: SessionSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, custom);
+    }
+
+    #[test]
+    fn default_specs_keep_the_pre_kb_wire_format() {
+        // A spec that doesn't use the knowledge base serializes exactly
+        // as it did before the kb fields existed, and pre-kb spellings
+        // parse with the defaults filled in.
+        let spec = SessionSpec::imagecl(Algorithm::BoTpe, 40, 7);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(!json.contains("warm_start"));
+        assert!(!json.contains("problem"));
+        assert!(!json.contains("prior"));
+
+        let legacy = r#"{"algorithm":"BoTpe","budget":40,"seed":7,"space":{"kind":"image_cl"}}"#;
+        let back: SessionSpec = serde_json::from_str(legacy).unwrap();
+        assert_eq!(back, spec);
+        assert_eq!(back.warm_start, WarmStart::Auto);
+        assert!(back.problem.is_none() && back.prior.is_none());
     }
 
     #[test]
@@ -155,11 +281,37 @@ mod tests {
             space: SpaceSpec::Custom {
                 space: ParamSpace::new(vec![]),
             },
+            warm_start: WarmStart::Auto,
+            problem: None,
+            prior: None,
         };
         assert!(empty.validate().is_err());
         assert!(SessionSpec::imagecl(Algorithm::BoGp, 10, 0)
             .validate()
             .is_ok());
+    }
+
+    #[test]
+    fn validation_vets_wire_supplied_priors() {
+        let ok = Configuration::from([1, 1, 1, 1, 1, 1]);
+        let mut spec = SessionSpec::imagecl(Algorithm::BoGp, 10, 0);
+
+        let mut good = PriorHistory::new();
+        good.push(ok, 2.0, 0.5);
+        spec.prior = Some(good);
+        assert!(spec.validate().is_ok());
+
+        // Serde bypasses PriorHistory's constructor invariants, so a
+        // hostile client can hand us anything; validate must catch it.
+        for bad in [
+            r#"{"points":[{"config":[1,1],"value":2.0,"weight":0.5}]}"#,
+            r#"{"points":[{"config":[1,1,1,1,1,1],"value":2.0,"weight":0.0}]}"#,
+            r#"{"points":[{"config":[1,1,1,1,1,1],"value":2.0,"weight":1.5}]}"#,
+        ] {
+            let prior: PriorHistory = serde_json::from_str(bad).unwrap();
+            spec.prior = Some(prior);
+            assert!(spec.validate().is_err(), "accepted hostile prior: {bad}");
+        }
     }
 
     #[test]
@@ -173,5 +325,40 @@ mod tests {
 
         let smbo = SessionSpec::imagecl(Algorithm::BoTpe, 30, 3);
         assert!(!smbo.setup().constrained());
+    }
+
+    #[test]
+    fn setup_installs_the_prior_unless_opted_out() {
+        let mut prior = PriorHistory::new();
+        prior.push(Configuration::from([1, 1, 1, 4, 4, 4]), 3.5, 1.0);
+        let mut spec = SessionSpec::imagecl(Algorithm::BoGp, 10, 1);
+        spec.prior = Some(prior);
+        assert!(spec.setup().context().seed_prior().is_some());
+        // The explicit opt-out runs cold even with a prior attached.
+        assert!(spec.cold().setup().context().seed_prior().is_none());
+    }
+
+    #[test]
+    fn fingerprints_require_a_problem_and_respect_opt_out() {
+        let spec = SessionSpec::imagecl(Algorithm::BoGp, 10, 0);
+        assert!(spec.fingerprints().is_none());
+
+        let tagged = spec.clone().with_problem("convolution", "Titan V");
+        let (fp, fam) = tagged.fingerprints().unwrap();
+        assert_ne!(fp, fam);
+        assert!(tagged.clone().cold().fingerprints().is_none());
+
+        // Same problem on another architecture: distinct canonical
+        // fingerprint, shared family.
+        let other = spec.with_problem("convolution", "GTX 980");
+        let (other_fp, other_fam) = other.fingerprints().unwrap();
+        assert_ne!(fp, other_fp);
+        assert_eq!(fam, other_fam);
+
+        // SMBO and non-SMBO spellings of one problem share an identity
+        // (fingerprinting uses the accounting constraint).
+        let ga = SessionSpec::imagecl(Algorithm::GeneticAlgorithm, 10, 0)
+            .with_problem("convolution", "Titan V");
+        assert_eq!(ga.fingerprints().unwrap().0, fp);
     }
 }

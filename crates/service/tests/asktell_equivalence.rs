@@ -108,6 +108,9 @@ proptest! {
                 budget,
                 seed,
                 space: SpaceSpec::Custom { space: toy_space() },
+                warm_start: Default::default(),
+                problem: None,
+                prior: None,
             };
             assert_equivalent(&spec);
         }

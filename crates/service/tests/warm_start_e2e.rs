@@ -1,0 +1,238 @@
+//! End-to-end knowledge-base acceptance: a warm-started session driven
+//! over TCP — with hostile clients hammering the same server — must be
+//! bit-identical to the in-process warm-started run; a kb-disabled
+//! session must be bit-identical to the cold path; and a converged
+//! repeat query must be answered from the store without spawning an
+//! engine thread.
+
+use autotune_core::Algorithm;
+use autotune_kb::{KbStore, PriorWeighting, StudyRecord};
+use autotune_service::{
+    AskTellSession, Client, ServerConfig, SessionManager, SessionSpec, Suggestion, TunedServer,
+};
+use autotune_space::Configuration;
+use std::io::Write;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+fn kb_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "autotune-warmstart-e2e-{}-{tag}-{n}.kb.jsonl",
+        std::process::id()
+    ))
+}
+
+fn objective(cfg: &Configuration) -> f64 {
+    cfg.values().iter().map(|&v| v as f64).sum()
+}
+
+/// Drives an in-process session to completion.
+fn run_local(spec: SessionSpec) -> autotune_core::TuneResult {
+    let mut session = AskTellSession::open(spec).unwrap();
+    loop {
+        match session.suggest().unwrap() {
+            Suggestion::Evaluate(cfg) => session.report(objective(&cfg)).unwrap(),
+            Suggestion::Finished(result) => break *result,
+        }
+    }
+}
+
+/// The acceptance bar: donor study recorded through the real session
+/// lifecycle, then a warm-started repeat over TCP amid hostile traffic,
+/// bit-identical to the in-process warm run seeded from the same store.
+#[test]
+fn warm_tcp_session_matches_in_process_warm_run_amid_hostile_traffic() {
+    let path = kb_path("warm");
+    let manager = Arc::new(SessionManager::in_memory().with_kb(KbStore::open(&path).unwrap()));
+    let config = ServerConfig {
+        read_timeout: std::time::Duration::from_millis(300),
+        max_line_bytes: 4096,
+        max_connections: 16,
+        ..ServerConfig::default()
+    };
+    let server = TunedServer::spawn_with("127.0.0.1:0", Arc::clone(&manager), config).unwrap();
+    let addr = server.local_addr();
+
+    // Donor: a full session on the problem, recorded into the kb on close.
+    let donor_spec =
+        SessionSpec::imagecl(Algorithm::BoTpe, 10, 77).with_problem("convolution", "Titan V");
+    let mut client = Client::connect(addr).unwrap();
+    client.tune("donor", donor_spec, objective).unwrap();
+    let stats = client.kb_stats().unwrap();
+    assert_eq!(stats.studies, 1);
+    assert_eq!(stats.converged_studies, 1);
+
+    // Hostile chorus: garbage senders and oversizers on the same server.
+    let hostiles: Vec<_> = (0..2)
+        .map(|kind| {
+            thread::spawn(move || {
+                for _ in 0..5 {
+                    let Ok(mut stream) = TcpStream::connect(addr) else {
+                        return;
+                    };
+                    if kind == 0 {
+                        let _ = stream.write_all(b"%%% not json at all %%%\n");
+                    } else {
+                        let _ = stream.write_all(&vec![b'z'; 16 * 1024]);
+                    }
+                    let _ = stream.flush();
+                }
+            })
+        })
+        .collect();
+
+    // Warm repeat over TCP: the manager resolves the prior from the kb.
+    let repeat_spec =
+        SessionSpec::imagecl(Algorithm::BoTpe, 6, 91).with_problem("convolution", "Titan V");
+    let remote = client
+        .tune("repeat", repeat_spec.clone(), objective)
+        .unwrap();
+    for h in hostiles {
+        h.join().unwrap();
+    }
+
+    // In-process reference: the same prior, assembled from a fresh
+    // handle on the same segment file, installed explicitly.
+    let store = KbStore::open(&path).unwrap();
+    let (fingerprint, family) = repeat_spec.fingerprints().expect("problem is set");
+    let prior = store
+        .prior_for(fingerprint, family, &PriorWeighting::default())
+        .expect("donor evidence present");
+    assert!(!prior.is_empty());
+    let mut local_spec = repeat_spec;
+    local_spec.prior = Some(prior);
+    let reference = run_local(local_spec);
+
+    assert_eq!(remote.best, reference.best);
+    assert_eq!(
+        remote.history.evaluations(),
+        reference.history.evaluations()
+    );
+
+    // The warm start is visible in the counters, the abuse is not in
+    // the result.
+    let metrics = client.metrics().unwrap();
+    assert!(metrics.counter("kb_seeded_sessions").unwrap() >= 1);
+    assert!(metrics.counter("server_malformed_requests").unwrap() >= 1);
+
+    drop(client);
+    drop(server);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The back-compat bar: with the kb disabled — no store, or an explicit
+/// per-session opt-out even when donor evidence exists — the session is
+/// bit-identical to the cold path.
+#[test]
+fn kb_disabled_session_is_bit_identical_to_the_cold_path() {
+    let cold_spec = SessionSpec::imagecl(Algorithm::GeneticAlgorithm, 12, 5);
+    let reference = run_local(cold_spec.clone());
+
+    // No store on the manager: a problem tag alone changes nothing.
+    let manager = Arc::new(SessionManager::in_memory());
+    let server =
+        TunedServer::spawn_with("127.0.0.1:0", Arc::clone(&manager), ServerConfig::default())
+            .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let tagged = cold_spec.clone().with_problem("convolution", "GTX 980");
+    let no_store = client.tune("no-store", tagged.clone(), objective).unwrap();
+    assert_eq!(no_store.best, reference.best);
+    assert_eq!(
+        no_store.history.evaluations(),
+        reference.history.evaluations()
+    );
+    drop(client);
+    drop(server);
+
+    // A store loaded with donor evidence for the exact problem: the
+    // explicit opt-out must still reproduce the cold run, and must not
+    // even touch the kb counters.
+    let path = kb_path("optout");
+    let (fingerprint, family) = tagged.fingerprints().expect("problem is set");
+    {
+        let mut store = KbStore::open(&path).unwrap();
+        store
+            .append(StudyRecord {
+                fingerprint,
+                family,
+                problem: autotune_kb::ProblemTag::new("convolution", "GTX 980"),
+                session: "donor".to_string(),
+                seed: 1,
+                recorded_at_ms: 1,
+                algorithm: "GA".to_string(),
+                budget: 200,
+                converged: true,
+                best: reference.best.clone(),
+                evaluations: reference.history.evaluations().to_vec(),
+            })
+            .unwrap();
+    }
+    let manager = Arc::new(SessionManager::in_memory().with_kb(KbStore::open(&path).unwrap()));
+    let server =
+        TunedServer::spawn_with("127.0.0.1:0", Arc::clone(&manager), ServerConfig::default())
+            .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+    let opted_out = client.tune("opt-out", tagged.cold(), objective).unwrap();
+    assert_eq!(opted_out.best, reference.best);
+    assert_eq!(
+        opted_out.history.evaluations(),
+        reference.history.evaluations()
+    );
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.counter("kb_hits"), Some(0));
+    assert_eq!(metrics.counter("kb_misses"), Some(0));
+    assert_eq!(metrics.counter("kb_seeded_sessions"), Some(0));
+
+    drop(client);
+    drop(server);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// A converged repeat query is answered straight from the store: no
+/// session opens, no engine thread spawns.
+#[test]
+fn converged_repeat_is_answered_without_an_engine_thread() {
+    let path = kb_path("instant");
+    let manager = Arc::new(SessionManager::in_memory().with_kb(KbStore::open(&path).unwrap()));
+    let server =
+        TunedServer::spawn_with("127.0.0.1:0", Arc::clone(&manager), ServerConfig::default())
+            .unwrap();
+    let mut client = Client::connect(server.local_addr()).unwrap();
+
+    let spec = SessionSpec::imagecl(Algorithm::RandomSearch, 8, 13).with_problem("blur", "GTX 980");
+    let donor = client.tune("donor", spec.clone(), objective).unwrap();
+    assert_eq!(
+        client.metrics().unwrap().counter("sessions_opened"),
+        Some(1)
+    );
+
+    // The repeat query is a pure store read over the wire.
+    let answer = client
+        .kb_lookup(spec.clone())
+        .unwrap()
+        .expect("converged donor answers");
+    assert_eq!(answer.best, donor.best);
+    assert_eq!(answer.session, "donor");
+    assert_eq!(answer.budget, 8);
+
+    let metrics = client.metrics().unwrap();
+    assert_eq!(metrics.counter("sessions_opened"), Some(1));
+    assert!(metrics.counter("kb_hits").unwrap() >= 1);
+    assert_eq!(manager.totals().open_sessions, 0);
+
+    // A bigger budget than any stored study has is a miss, not a stale
+    // answer.
+    let bigger =
+        SessionSpec::imagecl(Algorithm::RandomSearch, 100, 13).with_problem("blur", "GTX 980");
+    assert!(client.kb_lookup(bigger).unwrap().is_none());
+    assert!(client.metrics().unwrap().counter("kb_misses").unwrap() >= 1);
+
+    drop(client);
+    drop(server);
+    let _ = std::fs::remove_file(&path);
+}

@@ -17,7 +17,9 @@
 //!
 //! Plus the [`acquisition`] functions (Expected Improvement — the paper's
 //! choice — as well as UCB and Probability of Improvement for the
-//! ablation benches) and target standardization ([`scaling`]).
+//! ablation benches), target standardization ([`scaling`]), and the
+//! recency/architecture-similarity weighting the knowledge base applies
+//! to warm-start priors ([`weighting`]).
 
 #![warn(missing_docs)]
 
@@ -27,7 +29,9 @@ pub mod gp;
 pub mod parzen;
 pub mod scaling;
 pub mod tree;
+pub mod weighting;
 
 pub use forest::{RandomForest, RandomForestParams};
 pub use gp::model::{GaussianProcess, GpParams};
 pub use tree::{RegressionTree, TreeParams};
+pub use weighting::PriorWeighting;

@@ -1,0 +1,132 @@
+//! Recency / architecture-similarity weighting for prior observations.
+//!
+//! When the knowledge base assembles a warm-start prior from earlier
+//! studies, not all evidence is equally trustworthy: a point measured
+//! yesterday on the same GPU should steer the surrogate harder than one
+//! transferred from a different architecture three studies ago. This
+//! module computes the per-point weight the tuners consume through
+//! `PriorHistory` — an exponential recency decay (half-life measured in
+//! *studies*, not wall time, so weights are reproducible) multiplied by
+//! a flat cross-architecture discount for family-fingerprint matches,
+//! clamped to a floor so old evidence never vanishes entirely.
+
+/// Tuning knobs for prior-point weighting.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PriorWeighting {
+    /// Number of newer donor studies after which a point's recency
+    /// factor halves.
+    pub half_life: f64,
+    /// Flat multiplier applied to cross-architecture (family-match)
+    /// evidence, in `(0, 1]`.
+    pub transfer_discount: f64,
+    /// Lower clamp on the final weight, in `(0, 1]` — keeps stale
+    /// evidence from rounding to zero (a zero-weight prior point is
+    /// rejected by `PriorHistory`).
+    pub floor: f64,
+}
+
+impl Default for PriorWeighting {
+    fn default() -> Self {
+        PriorWeighting {
+            half_life: 4.0,
+            transfer_discount: 0.35,
+            floor: 0.05,
+        }
+    }
+}
+
+impl PriorWeighting {
+    /// The weight of one prior observation.
+    ///
+    /// * `age` — how many newer donor studies of the same problem exist
+    ///   (`0` = the most recent study).
+    /// * `same_architecture` — `false` for family-fingerprint transfer
+    ///   evidence, which gets the flat [`PriorWeighting::transfer_discount`].
+    ///
+    /// Always in `[floor, 1]`, so the result is a valid
+    /// `PriorHistory` weight.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the knobs are out of domain (non-positive half-life,
+    /// discount or floor outside `(0, 1]`).
+    pub fn weight(&self, age: usize, same_architecture: bool) -> f64 {
+        assert!(
+            self.half_life > 0.0 && self.half_life.is_finite(),
+            "half-life must be positive"
+        );
+        assert!(
+            self.transfer_discount > 0.0 && self.transfer_discount <= 1.0,
+            "transfer discount must be in (0, 1]"
+        );
+        assert!(
+            self.floor > 0.0 && self.floor <= 1.0,
+            "weight floor must be in (0, 1]"
+        );
+        let recency = 0.5_f64.powf(age as f64 / self.half_life);
+        let similarity = if same_architecture {
+            1.0
+        } else {
+            self.transfer_discount
+        };
+        (recency * similarity).clamp(self.floor, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_same_arch_evidence_has_full_weight() {
+        let w = PriorWeighting::default();
+        assert_eq!(w.weight(0, true), 1.0);
+    }
+
+    #[test]
+    fn weight_decays_monotonically_with_age() {
+        let w = PriorWeighting::default();
+        let mut prev = f64::INFINITY;
+        for age in 0..32 {
+            let cur = w.weight(age, true);
+            assert!(cur <= prev, "age {age}: {cur} > {prev}");
+            assert!(cur > 0.0 && cur <= 1.0);
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn half_life_halves_the_recency_factor() {
+        let w = PriorWeighting {
+            half_life: 4.0,
+            transfer_discount: 1.0,
+            floor: 1e-3,
+        };
+        let full = w.weight(0, true);
+        let halved = w.weight(4, true);
+        assert!((halved - full / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn transfer_evidence_is_discounted() {
+        let w = PriorWeighting::default();
+        assert!(w.weight(0, false) < w.weight(0, true));
+        assert_eq!(w.weight(0, false), w.transfer_discount);
+    }
+
+    #[test]
+    fn floor_bounds_stale_evidence() {
+        let w = PriorWeighting::default();
+        assert_eq!(w.weight(10_000, false), w.floor);
+    }
+
+    #[test]
+    #[should_panic(expected = "half-life")]
+    fn rejects_bad_half_life() {
+        let w = PriorWeighting {
+            half_life: 0.0,
+            ..PriorWeighting::default()
+        };
+        let _ = w.weight(0, true);
+    }
+}

@@ -23,7 +23,9 @@
 //!   journal-backed crash recovery, and the `tuned` TCP server, hardened
 //!   against hostile clients (deadlines, size and connection caps,
 //!   idle-session reaping) and observable via std-only metrics with
-//!   Prometheus-style rendering.
+//!   Prometheus-style rendering;
+//! * [`kb`] — the cross-session knowledge base: fingerprinted results
+//!   store feeding instant answers and surrogate warm starts.
 //!
 //! # Quickstart
 //!
@@ -43,6 +45,7 @@
 #![warn(missing_docs)]
 
 pub use autotune_core as tuners;
+pub use autotune_kb as kb;
 pub use autotune_linalg as linalg;
 pub use autotune_service as service;
 pub use autotune_space as space;
