@@ -8,7 +8,9 @@
 //! machinery itself.
 
 use autotune_core::Algorithm;
-use autotune_service::{AskTellSession, SessionManager, SessionSpec, SpaceSpec, Suggestion};
+use autotune_service::{
+    AskTellSession, BatchSuggestion, SessionManager, SessionSpec, SpaceSpec, Suggestion,
+};
 use autotune_space::{Configuration, Param, ParamSpace};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use std::hint::black_box;
@@ -29,6 +31,7 @@ fn toy_spec(budget: usize, seed: u64) -> SessionSpec {
         warm_start: Default::default(),
         problem: None,
         prior: None,
+        batch: 1,
     }
 }
 
@@ -100,6 +103,57 @@ fn bench_concurrent_sessions(c: &mut Criterion) {
     g.finish();
 }
 
+/// The sharded-scheduler acceptance bench: 64 concurrent sessions
+/// through one shared manager, driven one round-trip at a time versus
+/// through the batch ops. Batching collapses per-value rendezvous pairs
+/// into chunked ones and cuts registry traffic by the batch width, so
+/// the batched mode bounds what a real fleet of measurement workers
+/// saves; the sequential mode doubles as a shard-contention probe (64
+/// driver threads hashing across the 16 registry shards).
+fn bench_64_sessions(c: &mut Criterion) {
+    const SESSIONS: usize = 64;
+    const BUDGET: usize = 64;
+    const WIDTH: usize = 8;
+    let mut g = c.benchmark_group("service/64_sessions");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements((BUDGET * SESSIONS) as u64));
+    for (label, width) in [("sequential", 1usize), ("batched_8", WIDTH)] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let manager = Arc::new(SessionManager::in_memory());
+                for i in 0..SESSIONS {
+                    manager
+                        .open(
+                            &format!("s{i}"),
+                            toy_spec(BUDGET, i as u64).with_batch(width),
+                        )
+                        .expect("open");
+                }
+                let handles: Vec<_> = (0..SESSIONS)
+                    .map(|i| {
+                        let manager = Arc::clone(&manager);
+                        std::thread::spawn(move || {
+                            let name = format!("s{i}");
+                            loop {
+                                match manager.suggest_batch(&name, width).expect("suggest_batch") {
+                                    BatchSuggestion::Evaluate(cfgs) => {
+                                        let values: Vec<f64> = cfgs.iter().map(objective).collect();
+                                        manager.report_batch(&name, &values).expect("report_batch");
+                                    }
+                                    BatchSuggestion::Finished(result) => return result.best.value,
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                let total: f64 = handles.into_iter().map(|h| h.join().unwrap()).sum();
+                black_box(total)
+            })
+        });
+    }
+    g.finish();
+}
+
 /// Metrics overhead: what one fully-instrumented snapshot + Prometheus
 /// rendering costs, and the per-event price of the counter/histogram
 /// primitives the hot paths pay.
@@ -142,6 +196,7 @@ criterion_group!(
     benches,
     bench_single_session,
     bench_concurrent_sessions,
+    bench_64_sessions,
     bench_metrics
 );
 criterion_main!(benches);

@@ -165,6 +165,79 @@ impl Tuner for BayesOptGp {
         emit_gp_params(ctx.trace, &gp);
         let mut since_refit = 0usize;
 
+        if ctx.batch > 1 {
+            // Constant-liar batching (Ginsbourger et al.; the scheme
+            // production SMBO services use for parallel suggestions):
+            // each round proposes `q = ctx.batch` configurations by
+            // repeatedly maximizing EI on a *clone* of the model into
+            // which every pick is inserted with a lied-about outcome —
+            // the best cost observed so far — so successive picks repel
+            // each other. The lies live only in the per-round clone;
+            // after the batch is measured the real model is refitted
+            // from the true history, so no lie ever reaches the
+            // returned history or the journal.
+            while rec.remaining() > 0 {
+                let q = ctx.batch.min(rec.remaining());
+                let incumbent = rec
+                    .best()
+                    .expect("initialization measured at least one config")
+                    .config
+                    .clone();
+                let best_observed =
+                    standardizer.forward(rec.best().expect("non-empty history").value.max(1e-12));
+                let liar = best_observed;
+                let mut liar_gp = gp.clone();
+                let mut picks: Vec<Configuration> = Vec::with_capacity(q);
+                let acquisition = trace::span(ctx.trace, "acquisition");
+                for _ in 0..q {
+                    let mut pool: Vec<Configuration> = (0..p.candidates)
+                        .map(|_| sample::uniform(ctx.space, &mut rng))
+                        .collect();
+                    pool.extend(neighborhood::neighbors(ctx.space, &incumbent));
+                    let mut best_cfg: Option<(f64, Configuration)> = None;
+                    for cfg in pool {
+                        if seen.contains(&cfg) || picks.contains(&cfg) {
+                            continue;
+                        }
+                        let feats = ctx.space.to_unit_features(&cfg);
+                        let (mean, var) = liar_gp.predict(&feats);
+                        let score = p.acquisition.score(mean, var.sqrt(), best_observed);
+                        if best_cfg.as_ref().is_none_or(|(s, _)| score > *s) {
+                            best_cfg = Some((score, cfg));
+                        }
+                    }
+                    let next = best_cfg
+                        .map(|(_, c)| c)
+                        .unwrap_or_else(|| sample::uniform(ctx.space, &mut rng));
+                    // The lie may fail to insert numerically (duplicate
+                    // point); the clone is discarded after the round, so
+                    // picking proceeds off the un-updated clone instead.
+                    let _ = liar_gp.add_point(ctx.space.to_unit_features(&next), liar);
+                    picks.push(next);
+                }
+                acquisition.end();
+                let measured = rec.measure_batch(&picks);
+                for (cfg, y) in picks.iter().zip(&measured) {
+                    xs.push(ctx.space.to_unit_features(cfg));
+                    ys.push(*y);
+                    seen.insert(cfg.clone());
+                }
+                if rec.remaining() == 0 {
+                    break;
+                }
+                let fit = trace::span(ctx.trace, "surrogate_fit");
+                standardizer = Standardizer::fit(&clamp_positive(&ys), true);
+                gp = GaussianProcess::fit_with_grid_search(
+                    xs.clone(),
+                    standardizer.forward_all(&clamp_positive(&ys)),
+                    &default_grid(),
+                );
+                fit.end();
+                emit_gp_params(ctx.trace, &gp);
+            }
+            return rec.finish();
+        }
+
         while rec.remaining() > 0 {
             // Candidate pool: random configurations plus the incumbent's
             // lattice neighbours (local refinement, as gp_minimize's
@@ -366,6 +439,32 @@ mod tests {
         // the prior genuinely changed the search.
         let cold = BayesOptGp::default().tune(&TuneContext::new(&space, 10, 2), &mut obj);
         assert_ne!(cold.history.evaluations(), warm.history.evaluations());
+    }
+
+    #[test]
+    fn constant_liar_batches_spend_exact_budget_and_diversify() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        for batch in [2, 4, 8] {
+            let ctx = TuneContext::new(&space, 30, 4).with_batch(batch);
+            let r = BayesOptGp::default().tune(&ctx, &mut obj);
+            assert_eq!(r.history.len(), 30);
+            // The liar's repulsion keeps within-batch picks distinct.
+            let distinct: std::collections::HashSet<_> = r
+                .history
+                .evaluations()
+                .iter()
+                .map(|e| e.config.clone())
+                .collect();
+            assert!(
+                distinct.len() >= 28,
+                "batch={batch}: only {} distinct configs",
+                distinct.len()
+            );
+            // Deterministic per seed, like the sequential path.
+            let again = BayesOptGp::default().tune(&ctx, &mut obj);
+            assert_eq!(r.history.evaluations(), again.history.evaluations());
+        }
     }
 
     #[test]

@@ -104,16 +104,89 @@ impl Tuner for BayesOptTpe {
             seen.insert(incumbent);
         } else {
             // Startup: uniform random trials over the whole space (no
-            // constraint — SMBO condition).
-            let startup = p.startup_trials.min(ctx.budget).max(1);
-            for _ in 0..startup {
-                if rec.remaining() == 0 {
-                    break;
-                }
-                let cfg = autotune_space::sample::uniform(ctx.space, &mut rng);
-                rec.measure(&cfg);
-                seen.insert(cfg);
+            // constraint — SMBO condition). The draws are
+            // value-independent, so chunking them into `ctx.batch`-wide
+            // objective calls is bit-identical to the sequential walk.
+            let startup = p.startup_trials.min(ctx.budget).max(1).min(rec.remaining());
+            let mut started = 0usize;
+            while started < startup {
+                let width = ctx.batch.max(1).min(startup - started);
+                let chunk: Vec<_> = (0..width)
+                    .map(|_| autotune_space::sample::uniform(ctx.space, &mut rng))
+                    .collect();
+                rec.measure_batch(&chunk);
+                seen.extend(chunk);
+                started += width;
             }
+        }
+
+        if ctx.batch > 1 {
+            // Constant-liar batching: each round proposes `q = ctx.batch`
+            // configurations, and every pick is appended to the *local*
+            // observation table with a lied-about outcome — the best
+            // cost observed so far — before the next pick's densities
+            // are fitted. The lie drags the picked region's density
+            // toward "good", but the pick itself is excluded from the
+            // candidate filter, so successive picks spread. Lies live
+            // only in the per-round table; the measured truth is what
+            // enters the recorder's history.
+            while rec.remaining() > 0 {
+                let q = ctx.batch.min(rec.remaining());
+                let mut evals: Vec<(Vec<u32>, f64)> = prior_rows.clone();
+                evals.extend(
+                    rec.history()
+                        .evaluations()
+                        .iter()
+                        .map(|e| (e.config.values().to_vec(), e.value)),
+                );
+                let liar = rec
+                    .best()
+                    .expect("startup measured at least one config")
+                    .value;
+                let mut picks: Vec<Configuration> = Vec::with_capacity(q);
+                for _ in 0..q {
+                    let mut order: Vec<usize> = (0..evals.len()).collect();
+                    order.sort_by(|&a, &b| evals[a].1.total_cmp(&evals[b].1));
+                    let n_good = ((evals.len() as f64 * p.gamma).ceil() as usize)
+                        .min(p.good_cap)
+                        .clamp(2, evals.len().saturating_sub(1).max(2));
+                    let rows = |idx: &[usize]| -> Vec<Vec<u32>> {
+                        idx.iter().map(|&i| evals[i].0.clone()).collect()
+                    };
+                    let good = rows(&order[..n_good.min(order.len())]);
+                    let bad = rows(&order[n_good.min(order.len())..]);
+
+                    let fit = trace::span(ctx.trace, "surrogate_fit");
+                    let l = ProductParzen::fit(&ranges, &good, p.prior_weight);
+                    let g = ProductParzen::fit(&ranges, &bad, p.prior_weight);
+                    fit.end();
+
+                    let acquisition = trace::span(ctx.trace, "acquisition");
+                    let mut best_new: Option<(f64, Vec<u32>)> = None;
+                    let mut best_any: Option<(f64, Vec<u32>)> = None;
+                    for _ in 0..p.candidates {
+                        let cand = l.sample(&mut rng);
+                        let score = l.log_pmf(&cand) - g.log_pmf(&cand);
+                        if best_any.as_ref().is_none_or(|(s, _)| score > *s) {
+                            best_any = Some((score, cand.clone()));
+                        }
+                        let as_cfg = Configuration::new(cand.clone());
+                        if !seen.contains(&as_cfg)
+                            && !picks.contains(&as_cfg)
+                            && best_new.as_ref().is_none_or(|(s, _)| score > *s)
+                        {
+                            best_new = Some((score, cand));
+                        }
+                    }
+                    acquisition.end();
+                    let (_, values) = best_new.or(best_any).expect("candidates > 0");
+                    evals.push((values.clone(), liar));
+                    picks.push(Configuration::new(values));
+                }
+                rec.measure_batch(&picks);
+                seen.extend(picks);
+            }
+            return rec.finish();
         }
 
         while rec.remaining() > 0 {
@@ -127,7 +200,7 @@ impl Tuner for BayesOptTpe {
                     .map(|e| (e.config.values().to_vec(), e.value)),
             );
             let mut order: Vec<usize> = (0..evals.len()).collect();
-            order.sort_by(|&a, &b| evals[a].1.partial_cmp(&evals[b].1).expect("finite costs"));
+            order.sort_by(|&a, &b| evals[a].1.total_cmp(&evals[b].1));
             let n_good = ((evals.len() as f64 * p.gamma).ceil() as usize)
                 .min(p.good_cap)
                 .clamp(2, evals.len().saturating_sub(1).max(2));
@@ -299,6 +372,37 @@ mod tests {
         // A cold run with the same seed takes a different trajectory.
         let cold = BayesOptTpe::default().tune(&TuneContext::new(&space, 10, 2), &mut obj);
         assert_ne!(cold.history.evaluations(), warm.history.evaluations());
+    }
+
+    #[test]
+    fn constant_liar_batches_spend_exact_budget_and_stay_deterministic() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        for batch in [2, 5, 8] {
+            let ctx = TuneContext::new(&space, 40, 9).with_batch(batch);
+            let r = BayesOptTpe::default().tune(&ctx, &mut obj);
+            assert_eq!(r.history.len(), 40);
+            let again = BayesOptTpe::default().tune(&ctx, &mut obj);
+            assert_eq!(r.history.evaluations(), again.history.evaluations());
+        }
+    }
+
+    #[test]
+    fn survives_non_finite_reported_costs() {
+        // A hostile or broken evaluator can report NaN; the density
+        // split must not panic on it (total_cmp orders NaN last).
+        let space = imagecl::space();
+        let mut calls = 0usize;
+        let mut obj = |cfg: &Configuration| {
+            calls += 1;
+            if calls % 7 == 0 {
+                f64::NAN
+            } else {
+                smooth(cfg)
+            }
+        };
+        let r = BayesOptTpe::default().tune(&TuneContext::new(&space, 30, 3), &mut obj);
+        assert_eq!(r.history.len(), 30);
     }
 
     #[test]

@@ -93,13 +93,18 @@ impl Tuner for GeneticAlgorithm {
                 population.push((inc, y));
             }
         }
-        while population.len() < pop_size {
-            if rec.remaining() == 0 {
-                break;
-            }
-            let cfg = ctx.sample_config(&mut rng);
-            let y = rec.measure(&cfg);
-            population.push((cfg, y));
+        // Random init draws are value-independent, so chunking them into
+        // `ctx.batch`-wide objective calls is bit-identical to the
+        // sequential one-by-one walk.
+        while population.len() < pop_size && rec.remaining() > 0 {
+            let width = ctx
+                .batch
+                .max(1)
+                .min(rec.remaining())
+                .min(pop_size - population.len());
+            let chunk: Vec<_> = (0..width).map(|_| ctx.sample_config(&mut rng)).collect();
+            let ys = rec.measure_batch(&chunk);
+            population.extend(chunk.into_iter().zip(ys));
         }
         trace::point(
             ctx.trace,
@@ -123,10 +128,18 @@ impl Tuner for GeneticAlgorithm {
             // Elitism: best chromosome survives unchanged (no budget).
             let elite = population[0].clone();
             selection.end();
-            let mut next = vec![elite];
+            // A whole generation's children depend only on the parents
+            // and the RNG — never on each other's fitness — so their
+            // measurements can be deferred into `ctx.batch`-wide
+            // objective calls. Fitness slots stay `None` until the
+            // generation's batches flush; the walk below is bit-identical
+            // to the sequential path at every batch width (at width 1,
+            // every miss flushes immediately).
+            let mut next: Vec<(Configuration, Option<f64>)> = vec![(elite.0, Some(elite.1))];
+            let mut queued: Vec<Configuration> = Vec::new();
 
             let offspring = trace::span(ctx.trace, "mutation");
-            while next.len() < pop_size && rec.remaining() > 0 {
+            while next.len() < pop_size && rec.remaining() > queued.len() {
                 let pa = parents.choose(&mut rng).expect("parents non-empty");
                 let pb = parents.choose(&mut rng).expect("parents non-empty");
                 let mut child = Self::crossover(pa, pb, &mut rng);
@@ -141,26 +154,47 @@ impl Tuner for GeneticAlgorithm {
                 if !ctx.admits(&child) {
                     child = ctx.sample_config(&mut rng);
                 }
-                // Cached chromosomes re-use their fitness without budget.
-                let y = if rec
+                // Cached chromosomes — measured in an earlier generation
+                // or queued in the current batch — re-use their fitness
+                // without budget.
+                if queued.contains(&child) {
+                    next.push((child, None));
+                } else if let Some(e) = rec
                     .history()
                     .evaluations()
                     .iter()
-                    .any(|e| e.config == child)
+                    .rev()
+                    .find(|e| e.config == child)
                 {
-                    rec.history()
-                        .evaluations()
-                        .iter()
-                        .rev()
-                        .find(|e| e.config == child)
-                        .expect("just checked")
-                        .value
+                    let y = e.value;
+                    next.push((child, Some(y)));
                 } else {
-                    rec.measure(&child)
-                };
-                next.push((child, y));
+                    queued.push(child.clone());
+                    next.push((child, None));
+                    if queued.len() >= ctx.batch.max(1) {
+                        rec.measure_batch(&queued);
+                        queued.clear();
+                    }
+                }
             }
+            rec.measure_batch(&queued);
             offspring.end();
+            // Resolve deferred fitness from the now-complete history.
+            let mut next: Vec<(Configuration, f64)> = next
+                .into_iter()
+                .map(|(cfg, y)| {
+                    let y = y.unwrap_or_else(|| {
+                        rec.history()
+                            .evaluations()
+                            .iter()
+                            .rev()
+                            .find(|e| e.config == cfg)
+                            .expect("queued children were measured")
+                            .value
+                    });
+                    (cfg, y)
+                })
+                .collect();
             // A fully-converged population can produce a generation of
             // cache hits; restart pressure keeps the budget draining
             // (Kernel Tuner applies random immigrants similarly).
@@ -293,6 +327,23 @@ mod tests {
 
         let again = GeneticAlgorithm::default().tune(&warm_ctx, &mut obj);
         assert_eq!(warm.history.evaluations(), again.history.evaluations());
+    }
+
+    #[test]
+    fn batched_run_is_bit_identical_to_sequential() {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let mut obj = smooth;
+        let seq_ctx = TuneContext::new(&space, 100, 5).with_constraint(&cons);
+        let seq = GeneticAlgorithm::default().tune(&seq_ctx, &mut obj);
+        for batch in [2, 4, 10, 32] {
+            let ctx = TuneContext::new(&space, 100, 5)
+                .with_constraint(&cons)
+                .with_batch(batch);
+            let b = GeneticAlgorithm::default().tune(&ctx, &mut obj);
+            assert_eq!(seq.history.evaluations(), b.history.evaluations());
+            assert_eq!(seq.best, b.best);
+        }
     }
 
     #[test]

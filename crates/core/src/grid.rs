@@ -30,21 +30,31 @@ impl Tuner for GridSearch {
             &[("size", size as f64), ("stride", stride as f64)],
         );
 
+        // The lattice walk is fully value-independent, so the batched
+        // path (buffering up to `ctx.batch` admitted points per
+        // objective call) visits exactly the sequential sequence.
+        let mut chunk: Vec<_> = Vec::with_capacity(ctx.batch);
         let mut idx = 0u64;
-        while idx < size && rec.remaining() > 0 {
+        while idx < size && rec.remaining() > chunk.len() {
             let cfg = ctx.space.config_at(idx);
             if ctx.admits(&cfg) {
-                rec.measure(&cfg);
+                chunk.push(cfg);
+                if chunk.len() >= ctx.batch {
+                    rec.measure_batch(&chunk);
+                    chunk.clear();
+                }
             }
             idx += stride;
         }
+        rec.measure_batch(&chunk);
         // Infeasible grid points may leave budget unspent; fill randomly
         // so every technique spends the same sample count.
         let lattice_spent = rec.spent();
         let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
         while rec.remaining() > 0 {
-            let cfg = ctx.sample_config(&mut rng);
-            rec.measure(&cfg);
+            let width = ctx.batch.min(rec.remaining());
+            let fill: Vec<_> = (0..width).map(|_| ctx.sample_config(&mut rng)).collect();
+            rec.measure_batch(&fill);
         }
         if rec.spent() > lattice_spent {
             trace::point(
@@ -92,6 +102,22 @@ mod tests {
             .map(|e| space.index_of(&e.config))
             .collect();
         assert!(*indices.iter().max().unwrap() > space.size() / 2);
+    }
+
+    #[test]
+    fn batched_run_is_bit_identical_to_sequential() {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let mut obj = smooth;
+        let seq_ctx = TuneContext::new(&space, 64, 0).with_constraint(&cons);
+        let seq = GridSearch.tune(&seq_ctx, &mut obj);
+        for batch in [2, 5, 16, 64] {
+            let ctx = TuneContext::new(&space, 64, 0)
+                .with_constraint(&cons)
+                .with_batch(batch);
+            let b = GridSearch.tune(&ctx, &mut obj);
+            assert_eq!(seq.history.evaluations(), b.history.evaluations());
+        }
     }
 
     #[test]

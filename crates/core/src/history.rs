@@ -44,11 +44,12 @@ impl History {
         &self.evals
     }
 
-    /// The best (minimum-cost) evaluation so far.
+    /// The best (minimum-cost) evaluation so far. Uses IEEE total
+    /// ordering, which agrees with the usual `<` on finite costs and —
+    /// unlike `partial_cmp().expect(..)` — cannot panic when a hostile
+    /// or broken evaluator reports NaN.
     pub fn best(&self) -> Option<&Evaluation> {
-        self.evals
-            .iter()
-            .min_by(|a, b| a.value.partial_cmp(&b.value).expect("costs are comparable"))
+        self.evals.iter().min_by(|a, b| a.value.total_cmp(&b.value))
     }
 
     /// Running best value after each evaluation — the "convergence
@@ -88,6 +89,15 @@ mod tests {
     fn empty_history_has_no_best() {
         assert!(History::new().best().is_none());
         assert!(History::new().is_empty());
+    }
+
+    #[test]
+    fn best_tolerates_non_finite_costs() {
+        let mut h = History::new();
+        h.push(cfg(1), f64::NAN);
+        h.push(cfg(2), 2.0);
+        h.push(cfg(3), f64::INFINITY);
+        assert_eq!(h.best().unwrap().value, 2.0);
     }
 
     #[test]

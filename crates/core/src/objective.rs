@@ -11,6 +11,18 @@ pub trait Objective {
     /// Measures one configuration. The study's semantics: one *noisy*
     /// execution per call (callers wanting repetition average outside).
     fn evaluate(&mut self, cfg: &Configuration) -> f64;
+
+    /// Measures several configurations in one call, returning one cost
+    /// per configuration in order.
+    ///
+    /// The default just loops over [`Objective::evaluate`]; an
+    /// implementation backed by a remote evaluator (the service engine)
+    /// overrides this to deliver the whole batch across one rendezvous.
+    /// Implementations must preserve sequential semantics: the `i`-th
+    /// returned value is the cost of `cfgs[i]`.
+    fn evaluate_batch(&mut self, cfgs: &[Configuration]) -> Vec<f64> {
+        cfgs.iter().map(|cfg| self.evaluate(cfg)).collect()
+    }
 }
 
 impl<F: FnMut(&Configuration) -> f64> Objective for F {
@@ -66,6 +78,54 @@ impl Objective for CachedObjective<'_> {
         self.cache.insert(cfg.clone(), v);
         v
     }
+
+    /// Batched lookup that mirrors the sequential path exactly: an
+    /// in-batch duplicate of an earlier miss counts as a cache hit, so a
+    /// batch of `n` evaluations produces the same hit count and the same
+    /// inner-call sequence as `n` sequential `evaluate` calls.
+    fn evaluate_batch(&mut self, cfgs: &[Configuration]) -> Vec<f64> {
+        let mut misses: Vec<Configuration> = Vec::new();
+        let mut miss_index: std::collections::HashMap<Configuration, usize> =
+            std::collections::HashMap::new();
+        enum Slot {
+            Hit(f64),
+            Miss(usize),
+        }
+        let slots: Vec<Slot> = cfgs
+            .iter()
+            .map(|cfg| {
+                if let Some(&v) = self.cache.get(cfg) {
+                    self.hits += 1;
+                    Slot::Hit(v)
+                } else if let Some(&i) = miss_index.get(cfg) {
+                    self.hits += 1;
+                    Slot::Miss(i)
+                } else {
+                    let i = misses.len();
+                    misses.push(cfg.clone());
+                    miss_index.insert(cfg.clone(), i);
+                    Slot::Miss(i)
+                }
+            })
+            .collect();
+        let fresh = if misses.is_empty() {
+            Vec::new()
+        } else {
+            let fresh = self.inner.evaluate_batch(&misses);
+            debug_assert_eq!(fresh.len(), misses.len());
+            for (cfg, &v) in misses.iter().zip(&fresh) {
+                self.cache.insert(cfg.clone(), v);
+            }
+            fresh
+        };
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Hit(v) => v,
+                Slot::Miss(i) => fresh[i],
+            })
+            .collect()
+    }
 }
 
 #[cfg(test)]
@@ -99,6 +159,57 @@ mod tests {
         assert_eq!(cached.hits(), 2);
         assert_eq!(cached.distinct(), 1);
         assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn default_batch_is_sequential() {
+        let mut calls = Vec::new();
+        let mut f = |cfg: &Configuration| {
+            calls.push(cfg.clone());
+            cfg.values()[0] as f64
+        };
+        let batch = [Configuration::from([4]), Configuration::from([9])];
+        let values = f.evaluate_batch(&batch);
+        assert_eq!(values, vec![4.0, 9.0]);
+        assert_eq!(calls, batch);
+    }
+
+    #[test]
+    fn cached_batch_matches_sequential_semantics() {
+        let a = Configuration::from([1]);
+        let b = Configuration::from([2]);
+        let c = Configuration::from([3]);
+
+        // Sequential reference: evaluate a, b, a, c, b one by one.
+        let mut seq_calls = 0;
+        let mut seq_inner = |cfg: &Configuration| {
+            seq_calls += 1;
+            cfg.values()[0] as f64 * 10.0
+        };
+        let mut seq = CachedObjective::new(&mut seq_inner);
+        let seq_values: Vec<f64> = [&a, &b, &a, &c, &b]
+            .into_iter()
+            .map(|cfg| seq.evaluate(cfg))
+            .collect();
+        let seq_hits = seq.hits();
+        let seq_distinct = seq.distinct();
+        drop(seq);
+
+        // Batched run over the same sequence, with `b` pre-cached by an
+        // earlier single evaluate to exercise the mixed path.
+        let mut batch_calls = 0;
+        let mut batch_inner = |cfg: &Configuration| {
+            batch_calls += 1;
+            cfg.values()[0] as f64 * 10.0
+        };
+        let mut cached = CachedObjective::new(&mut batch_inner);
+        let batch_values =
+            cached.evaluate_batch(&[a.clone(), b.clone(), a.clone(), c.clone(), b.clone()]);
+        assert_eq!(batch_values, seq_values);
+        assert_eq!(cached.hits(), seq_hits);
+        assert_eq!(cached.distinct(), seq_distinct);
+        drop(cached);
+        assert_eq!(batch_calls, seq_calls);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use crate::trace;
 use crate::tuner::{Recorder, TuneContext, TuneResult, Tuner};
 use crate::Objective;
+use autotune_space::Configuration;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -70,16 +71,25 @@ impl Tuner for ParticleSwarm {
         let mut swarm: Vec<Particle> = Vec::with_capacity(n);
         let mut global_best: Option<(Vec<f64>, f64)> = None;
 
-        for _ in 0..n {
-            if rec.remaining() == 0 {
-                break;
-            }
-            // Initialize from a feasible sample so non-SMBO usage honours
-            // the constraint from the first measurement.
-            let cfg = ctx.sample_config(&mut rng);
-            let pos = ctx.space.to_unit_features(&cfg);
-            let vel: Vec<f64> = (0..d).map(|_| (rng.gen::<f64>() - 0.5) * p.v_max).collect();
-            let cost = rec.measure(&cfg);
+        // Initialize from feasible samples so non-SMBO usage honours the
+        // constraint from the first measurement. The init sweep never
+        // reads its own costs, so measuring it in `ctx.batch`-wide chunks
+        // is bit-identical to the sequential walk.
+        let init_n = n.min(rec.remaining());
+        let drafts: Vec<(Vec<f64>, Vec<f64>, Configuration)> = (0..init_n)
+            .map(|_| {
+                let cfg = ctx.sample_config(&mut rng);
+                let pos = ctx.space.to_unit_features(&cfg);
+                let vel: Vec<f64> = (0..d).map(|_| (rng.gen::<f64>() - 0.5) * p.v_max).collect();
+                (pos, vel, cfg)
+            })
+            .collect();
+        let mut init_costs: Vec<f64> = Vec::with_capacity(init_n);
+        for chunk in drafts.chunks(ctx.batch.max(1)) {
+            let cfgs: Vec<Configuration> = chunk.iter().map(|(_, _, c)| c.clone()).collect();
+            init_costs.extend(rec.measure_batch(&cfgs));
+        }
+        for ((pos, vel, _), cost) in drafts.into_iter().zip(init_costs) {
             if global_best.as_ref().is_none_or(|(_, c)| cost < *c) {
                 global_best = Some((pos.clone(), cost));
             }
@@ -94,41 +104,97 @@ impl Tuner for ParticleSwarm {
         trace::point(ctx.trace, "init_swarm", &[("size", swarm.len() as f64)]);
 
         let mut iteration = 0usize;
-        'outer: loop {
-            if let Some((_, gcost)) = &global_best {
-                trace::point(
-                    ctx.trace,
-                    "pso_iteration",
-                    &[("index", iteration as f64), ("global_best", *gcost)],
-                );
+        if ctx.batch <= 1 {
+            // Sequential (asynchronous) PSO: each measurement folds into
+            // the global best immediately — the pre-batching behaviour,
+            // preserved bit-for-bit.
+            'outer: loop {
+                if let Some((_, gcost)) = &global_best {
+                    trace::point(
+                        ctx.trace,
+                        "pso_iteration",
+                        &[("index", iteration as f64), ("global_best", *gcost)],
+                    );
+                }
+                iteration += 1;
+                for particle in &mut swarm {
+                    if rec.remaining() == 0 {
+                        break 'outer;
+                    }
+                    let (gbest, _) = global_best.as_ref().expect("initialized");
+                    for (k, g) in gbest.iter().enumerate().take(d) {
+                        let r1 = rng.gen::<f64>();
+                        let r2 = rng.gen::<f64>();
+                        particle.vel[k] = p.inertia * particle.vel[k]
+                            + p.cognitive * r1 * (particle.best_pos[k] - particle.pos[k])
+                            + p.social * r2 * (g - particle.pos[k]);
+                        particle.vel[k] = particle.vel[k].clamp(-p.v_max, p.v_max);
+                        particle.pos[k] = (particle.pos[k] + particle.vel[k]).clamp(0.0, 1.0);
+                    }
+                    let mut cfg = ctx.space.from_unit_features(&particle.pos);
+                    if !ctx.admits(&cfg) {
+                        cfg = ctx.sample_config(&mut rng);
+                        particle.pos = ctx.space.to_unit_features(&cfg);
+                    }
+                    let cost = rec.measure(&cfg);
+                    if cost < particle.best_cost {
+                        particle.best_cost = cost;
+                        particle.best_pos = particle.pos.clone();
+                    }
+                    if global_best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                        global_best = Some((particle.pos.clone(), cost));
+                    }
+                }
             }
-            iteration += 1;
-            for particle in &mut swarm {
-                if rec.remaining() == 0 {
-                    break 'outer;
+        } else {
+            // Synchronous-update PSO: the swarm moves against a global
+            // best frozen at the start of each sweep, so one sweep's
+            // measurements carry no data dependencies and can run as
+            // `ctx.batch`-wide objective calls. This is the classic
+            // synchronous PSO variant — deliberately NOT bit-identical
+            // to the asynchronous sequential path above, which updates
+            // the global best after every single measurement.
+            while rec.remaining() > 0 {
+                if let Some((_, gcost)) = &global_best {
+                    trace::point(
+                        ctx.trace,
+                        "pso_iteration",
+                        &[("index", iteration as f64), ("global_best", *gcost)],
+                    );
                 }
-                let (gbest, _) = global_best.as_ref().expect("initialized");
-                for (k, g) in gbest.iter().enumerate().take(d) {
-                    let r1 = rng.gen::<f64>();
-                    let r2 = rng.gen::<f64>();
-                    particle.vel[k] = p.inertia * particle.vel[k]
-                        + p.cognitive * r1 * (particle.best_pos[k] - particle.pos[k])
-                        + p.social * r2 * (g - particle.pos[k]);
-                    particle.vel[k] = particle.vel[k].clamp(-p.v_max, p.v_max);
-                    particle.pos[k] = (particle.pos[k] + particle.vel[k]).clamp(0.0, 1.0);
+                iteration += 1;
+                let gbest = global_best.as_ref().expect("initialized").0.clone();
+                let width = swarm.len().min(rec.remaining());
+                let mut moved: Vec<Configuration> = Vec::with_capacity(width);
+                for particle in swarm.iter_mut().take(width) {
+                    for (k, g) in gbest.iter().enumerate().take(d) {
+                        let r1 = rng.gen::<f64>();
+                        let r2 = rng.gen::<f64>();
+                        particle.vel[k] = p.inertia * particle.vel[k]
+                            + p.cognitive * r1 * (particle.best_pos[k] - particle.pos[k])
+                            + p.social * r2 * (g - particle.pos[k]);
+                        particle.vel[k] = particle.vel[k].clamp(-p.v_max, p.v_max);
+                        particle.pos[k] = (particle.pos[k] + particle.vel[k]).clamp(0.0, 1.0);
+                    }
+                    let mut cfg = ctx.space.from_unit_features(&particle.pos);
+                    if !ctx.admits(&cfg) {
+                        cfg = ctx.sample_config(&mut rng);
+                        particle.pos = ctx.space.to_unit_features(&cfg);
+                    }
+                    moved.push(cfg);
                 }
-                let mut cfg = ctx.space.from_unit_features(&particle.pos);
-                if !ctx.admits(&cfg) {
-                    cfg = ctx.sample_config(&mut rng);
-                    particle.pos = ctx.space.to_unit_features(&cfg);
+                let mut costs: Vec<f64> = Vec::with_capacity(width);
+                for chunk in moved.chunks(ctx.batch) {
+                    costs.extend(rec.measure_batch(chunk));
                 }
-                let cost = rec.measure(&cfg);
-                if cost < particle.best_cost {
-                    particle.best_cost = cost;
-                    particle.best_pos = particle.pos.clone();
-                }
-                if global_best.as_ref().is_none_or(|(_, c)| cost < *c) {
-                    global_best = Some((particle.pos.clone(), cost));
+                for (particle, cost) in swarm.iter_mut().zip(costs) {
+                    if cost < particle.best_cost {
+                        particle.best_cost = cost;
+                        particle.best_pos = particle.pos.clone();
+                    }
+                    if global_best.as_ref().is_none_or(|(_, c)| cost < *c) {
+                        global_best = Some((particle.pos.clone(), cost));
+                    }
                 }
             }
         }
@@ -182,6 +248,38 @@ mod tests {
         let a = t.tune(&TuneContext::new(&space, 40, 5), &mut obj);
         let b = t.tune(&TuneContext::new(&space, 40, 5), &mut obj);
         assert_eq!(a.history.evaluations(), b.history.evaluations());
+    }
+
+    #[test]
+    fn batched_runs_spend_exact_budget_and_stay_deterministic() {
+        // Batch > 1 engages the synchronous-update variant: not
+        // bit-identical to the sequential path, but still budget-exact,
+        // constraint-respecting, and deterministic per seed.
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let mut obj = smooth;
+        for batch in [2, 8, 16] {
+            let ctx = TuneContext::new(&space, 75, 1)
+                .with_constraint(&cons)
+                .with_batch(batch);
+            let a = ParticleSwarm::default().tune(&ctx, &mut obj);
+            assert_eq!(a.history.len(), 75);
+            for e in a.history.evaluations() {
+                assert!(ctx.admits(&e.config));
+            }
+            let b = ParticleSwarm::default().tune(&ctx, &mut obj);
+            assert_eq!(a.history.evaluations(), b.history.evaluations());
+        }
+    }
+
+    #[test]
+    fn batch_of_one_matches_the_sequential_path_exactly() {
+        let space = imagecl::space();
+        let mut obj = smooth;
+        let seq = ParticleSwarm::default().tune(&TuneContext::new(&space, 75, 1), &mut obj);
+        let one =
+            ParticleSwarm::default().tune(&TuneContext::new(&space, 75, 1).with_batch(1), &mut obj);
+        assert_eq!(seq.history.evaluations(), one.history.evaluations());
     }
 
     #[test]

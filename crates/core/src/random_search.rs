@@ -22,10 +22,28 @@ impl Tuner for RandomSearch {
     fn tune(&self, ctx: &TuneContext<'_>, objective: &mut dyn Objective) -> TuneResult {
         let mut rng = ChaCha8Rng::seed_from_u64(ctx.seed);
         let mut rec = Recorder::new(ctx, objective);
-        while rec.remaining() > 0 {
-            let cfg = ctx.sample_config(&mut rng);
-            trace::point(ctx.trace, "draw", &[("index", rec.spent() as f64)]);
-            rec.measure(&cfg);
+        if ctx.batch <= 1 {
+            while rec.remaining() > 0 {
+                let cfg = ctx.sample_config(&mut rng);
+                trace::point(ctx.trace, "draw", &[("index", rec.spent() as f64)]);
+                rec.measure(&cfg);
+            }
+        } else {
+            // Batched path: every draw is independent of every
+            // measurement, so grouping `batch` draws per objective call
+            // leaves the RNG stream — and therefore the history —
+            // bit-identical to the sequential path.
+            while rec.remaining() > 0 {
+                let width = ctx.batch.min(rec.remaining());
+                let chunk: Vec<_> = (0..width)
+                    .map(|k| {
+                        let cfg = ctx.sample_config(&mut rng);
+                        trace::point(ctx.trace, "draw", &[("index", (rec.spent() + k) as f64)]);
+                        cfg
+                    })
+                    .collect();
+                rec.measure_batch(&chunk);
+            }
         }
         rec.finish()
     }
@@ -81,6 +99,18 @@ mod tests {
         assert_eq!(a.history.evaluations(), b.history.evaluations());
         let c = RandomSearch.tune(&TuneContext::new(&space, 20, 8), &mut obj);
         assert_ne!(a.history.evaluations(), c.history.evaluations());
+    }
+
+    #[test]
+    fn batched_run_is_bit_identical_to_sequential() {
+        let space = imagecl::space();
+        let mut obj = |cfg: &Configuration| cfg.values().iter().map(|&v| v as f64).sum::<f64>();
+        let seq = RandomSearch.tune(&TuneContext::new(&space, 37, 5), &mut obj);
+        for batch in [2, 4, 8, 37, 64] {
+            let b = RandomSearch.tune(&TuneContext::new(&space, 37, 5).with_batch(batch), &mut obj);
+            assert_eq!(seq.history.evaluations(), b.history.evaluations());
+            assert_eq!(seq.best, b.best);
+        }
     }
 
     #[test]

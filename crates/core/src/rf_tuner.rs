@@ -72,11 +72,19 @@ impl Tuner for RandomForestTuner {
             trace::point(ctx.trace, "prior_seed", &[("points", train_x.len() as f64)]);
             prior.incumbent().expect("non-empty prior").config.clone()
         });
-        for _ in 0..train_n {
-            let cfg = ctx.sample_config(&mut rng);
-            let y = rec.measure(&cfg);
-            train_x.push(ctx.space.to_unit_features(&cfg));
-            train_y.push(y);
+        // Training draws never depend on earlier measurements, so the
+        // batched walk below (chunks of `ctx.batch` samples per
+        // objective call) is bit-identical to the sequential one.
+        let mut trained = 0usize;
+        while trained < train_n {
+            let width = ctx.batch.min(train_n - trained);
+            let chunk: Vec<_> = (0..width).map(|_| ctx.sample_config(&mut rng)).collect();
+            let ys = rec.measure_batch(&chunk);
+            for (cfg, y) in chunk.iter().zip(ys) {
+                train_x.push(ctx.space.to_unit_features(cfg));
+                train_y.push(y);
+            }
+            trained += width;
         }
 
         if train_x.is_empty() {
@@ -130,17 +138,18 @@ impl Tuner for RandomForestTuner {
                 shortlist.push(cfg);
             }
         }
-        for cfg in shortlist {
-            if rec.remaining() == 0 {
-                break;
-            }
-            rec.measure(&cfg);
+        // The shortlist is fixed before any verification measurement, so
+        // chunking it is also exact.
+        let take = shortlist.len().min(rec.remaining());
+        for chunk in shortlist[..take].chunks(ctx.batch.max(1)) {
+            rec.measure_batch(chunk);
         }
         // If dedup left fewer than `verify` candidates, spend the rest
         // randomly so the budget is honoured exactly.
         while rec.remaining() > 0 {
-            let cfg = ctx.sample_config(&mut rng);
-            rec.measure(&cfg);
+            let width = ctx.batch.min(rec.remaining());
+            let fill: Vec<_> = (0..width).map(|_| ctx.sample_config(&mut rng)).collect();
+            rec.measure_batch(&fill);
         }
         rec.finish()
     }
@@ -236,6 +245,22 @@ mod tests {
         assert_eq!(warm.history.evaluations(), again.history.evaluations());
         for e in warm.history.evaluations() {
             assert!(warm_ctx.admits(&e.config));
+        }
+    }
+
+    #[test]
+    fn batched_run_is_bit_identical_to_sequential() {
+        let space = imagecl::space();
+        let cons = imagecl::constraint();
+        let mut obj = smooth;
+        let seq_ctx = TuneContext::new(&space, 40, 11).with_constraint(&cons);
+        let seq = RandomForestTuner::default().tune(&seq_ctx, &mut obj);
+        for batch in [2, 7, 16, 40] {
+            let ctx = TuneContext::new(&space, 40, 11)
+                .with_constraint(&cons)
+                .with_batch(batch);
+            let b = RandomForestTuner::default().tune(&ctx, &mut obj);
+            assert_eq!(seq.history.evaluations(), b.history.evaluations());
         }
     }
 

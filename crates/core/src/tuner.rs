@@ -31,6 +31,13 @@ pub struct TuneContext<'a> {
     /// points into their initial design without spending budget; absent
     /// (the default), every tuner runs its unchanged cold path.
     pub prior: Option<&'a PriorHistory>,
+    /// Preferred measurement batch width. At the default of 1 every
+    /// tuner runs its unchanged sequential path; above 1, tuners that
+    /// support batching group up to `batch` proposals into a single
+    /// [`Recorder::measure_batch`] call so the objective (a remote
+    /// evaluator fleet, in the service layer) can run them concurrently.
+    /// Inherently sequential tuners ignore the hint.
+    pub batch: usize,
 }
 
 impl<'a> TuneContext<'a> {
@@ -43,6 +50,7 @@ impl<'a> TuneContext<'a> {
             seed,
             trace: &NULL_SINK,
             prior: None,
+            batch: 1,
         }
     }
 
@@ -62,6 +70,12 @@ impl<'a> TuneContext<'a> {
     /// surrogate-based tuners. An empty prior is treated as no prior.
     pub fn with_prior(mut self, prior: &'a PriorHistory) -> Self {
         self.prior = (!prior.is_empty()).then_some(prior);
+        self
+    }
+
+    /// Sets the preferred measurement batch width (min 1).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
         self
     }
 
@@ -94,6 +108,7 @@ impl std::fmt::Debug for TuneContext<'_> {
             .field("constrained", &self.constraint.is_some())
             .field("traced", &self.trace.is_enabled())
             .field("prior_points", &self.prior.map_or(0, |p| p.len()))
+            .field("batch", &self.batch)
             .finish()
     }
 }
@@ -112,6 +127,7 @@ pub struct OwnedTuneSetup {
     budget: usize,
     seed: u64,
     prior: Option<PriorHistory>,
+    batch: usize,
 }
 
 impl OwnedTuneSetup {
@@ -123,6 +139,7 @@ impl OwnedTuneSetup {
             budget,
             seed,
             prior: None,
+            batch: 1,
         }
     }
 
@@ -137,6 +154,17 @@ impl OwnedTuneSetup {
     pub fn with_prior(mut self, prior: PriorHistory) -> Self {
         self.prior = (!prior.is_empty()).then_some(prior);
         self
+    }
+
+    /// Sets the preferred measurement batch width (min 1).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
+    }
+
+    /// The preferred measurement batch width.
+    pub fn batch(&self) -> usize {
+        self.batch
     }
 
     /// The owned search space.
@@ -167,7 +195,7 @@ impl OwnedTuneSetup {
     /// Lends out a borrowed [`TuneContext`] over the owned space,
     /// constraint, and prior.
     pub fn context(&self) -> TuneContext<'_> {
-        let mut ctx = TuneContext::new(&self.space, self.budget, self.seed);
+        let mut ctx = TuneContext::new(&self.space, self.budget, self.seed).with_batch(self.batch);
         if let Some(c) = &self.constraint {
             ctx.constraint = Some(c.as_ref());
         }
@@ -257,6 +285,54 @@ impl<'a, 'o> Recorder<'a, 'o> {
             });
         }
         v
+    }
+
+    /// Measures a batch of configurations, spending one budget unit per
+    /// configuration and returning their costs in order.
+    ///
+    /// A one-element batch delegates to [`Recorder::measure`], so the
+    /// trace shape (one `objective` span per trial) is identical to the
+    /// sequential path. Larger batches wrap the whole
+    /// [`Objective::evaluate_batch`] call in a single `objective` span
+    /// and then log one trial event per configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the batch exceeds the remaining budget — a tuner bug.
+    pub fn measure_batch(&mut self, cfgs: &[Configuration]) -> Vec<f64> {
+        match cfgs {
+            [] => Vec::new(),
+            [cfg] => vec![self.measure(cfg)],
+            _ => {
+                assert!(
+                    self.remaining() >= cfgs.len(),
+                    "tuner exceeded its sample budget"
+                );
+                let values = if self.trace.is_enabled() {
+                    let guard = trace::span(self.trace, "objective");
+                    let values = self.objective.evaluate_batch(cfgs);
+                    guard.end();
+                    values
+                } else {
+                    self.objective.evaluate_batch(cfgs)
+                };
+                assert_eq!(values.len(), cfgs.len(), "objective returned a short batch");
+                for (cfg, &v) in cfgs.iter().zip(&values) {
+                    let index = self.history.len();
+                    self.history.push(cfg.clone(), v);
+                    if self.trace.is_enabled() {
+                        let best = self.history.best().map(|e| e.value).unwrap_or(v);
+                        self.trace.emit(TraceRecord::Trial {
+                            index,
+                            config: cfg.values().to_vec(),
+                            cost: v,
+                            best,
+                        });
+                    }
+                }
+                values
+            }
+        }
     }
 
     /// Current best observation, if any.
@@ -396,6 +472,46 @@ mod tests {
         assert_eq!(setup.context().seed_prior().unwrap().len(), 1);
         let cold_setup = OwnedTuneSetup::new(toy_space(), 5, 0).with_prior(PriorHistory::new());
         assert!(cold_setup.prior().is_none());
+    }
+
+    #[test]
+    fn measure_batch_spends_budget_per_item_and_keeps_order() {
+        let space = toy_space();
+        let ctx = TuneContext::new(&space, 5, 0);
+        let mut obj = |cfg: &Configuration| cfg.values()[0] as f64;
+        let mut rec = Recorder::new(&ctx, &mut obj);
+        let batch = [
+            Configuration::from([5, 1]),
+            Configuration::from([2, 1]),
+            Configuration::from([7, 1]),
+        ];
+        let values = rec.measure_batch(&batch);
+        assert_eq!(values, vec![5.0, 2.0, 7.0]);
+        assert_eq!(rec.remaining(), 2);
+        assert_eq!(rec.best().unwrap().value, 2.0);
+        assert_eq!(rec.measure_batch(&[]), Vec::<f64>::new());
+        assert_eq!(rec.remaining(), 2);
+        let over = [
+            Configuration::from([1, 1]),
+            Configuration::from([1, 2]),
+            Configuration::from([1, 3]),
+        ];
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            rec.measure_batch(&over);
+        }));
+        assert!(result.is_err(), "over-budget batch must panic");
+    }
+
+    #[test]
+    fn batch_width_defaults_to_one_and_floors_at_one() {
+        let space = toy_space();
+        assert_eq!(TuneContext::new(&space, 5, 0).batch, 1);
+        assert_eq!(TuneContext::new(&space, 5, 0).with_batch(0).batch, 1);
+        assert_eq!(TuneContext::new(&space, 5, 0).with_batch(8).batch, 8);
+        let setup = OwnedTuneSetup::new(toy_space(), 5, 0).with_batch(4);
+        assert_eq!(setup.batch(), 4);
+        assert_eq!(setup.context().batch, 4);
+        assert_eq!(OwnedTuneSetup::new(toy_space(), 5, 0).batch(), 1);
     }
 
     #[test]

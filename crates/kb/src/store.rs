@@ -171,7 +171,25 @@ impl KbStore {
                         )))
                     }
                 };
-                let Record::Study { record } = record;
+                let Record::Study { mut record } = record;
+                // Defense in depth against stores written before the
+                // append-side sanitization: drop non-finite costs here
+                // too, and skip studies left without a finite best, so
+                // one bad historical record cannot poison prior
+                // assembly or panic a best-first sort downstream.
+                record.evaluations.retain(|e| e.value.is_finite());
+                if !record.best.value.is_finite() {
+                    // Unlike append, loaded evaluations carry no sort
+                    // guarantee — pick the minimum, not the first.
+                    match record
+                        .evaluations
+                        .iter()
+                        .min_by(|a, b| a.value.total_cmp(&b.value))
+                    {
+                        Some(best) => record.best = best.clone(),
+                        None => continue,
+                    }
+                }
                 loaded.push(record);
             }
         }
@@ -224,12 +242,28 @@ impl KbStore {
     /// the remainder is capped best-first at [`MAX_RECORD_EVALS`]; the
     /// line is flushed (and synced under [`Durability::Sync`]) before
     /// the method returns.
+    ///
+    /// A non-finite `best` is replaced by the study's best surviving
+    /// evaluation; a study with *no* finite measurement at all is
+    /// silently skipped. Neither may reach the file: `serde_json`
+    /// writes NaN and infinities as `null`, and a `null` cost in a
+    /// mid-file record would make every future [`open`](Self::open)
+    /// fail with [`KbError::Corrupt`] — one poisoned study must not
+    /// brick the whole knowledge base.
     pub fn append(&mut self, mut record: StudyRecord) -> Result<(), KbError> {
         record.evaluations.retain(|e| e.value.is_finite());
+        // total_cmp, not partial_cmp-and-expect: sorting must never be
+        // able to panic the serving path, whatever slips past retain.
         record
             .evaluations
-            .sort_by(|a, b| a.value.partial_cmp(&b.value).expect("finite costs"));
+            .sort_by(|a, b| a.value.total_cmp(&b.value));
         record.evaluations.truncate(MAX_RECORD_EVALS);
+        if !record.best.value.is_finite() {
+            match record.evaluations.first() {
+                Some(best) => record.best = best.clone(),
+                None => return Ok(()),
+            }
+        }
         let line = serde_json::to_string(&Record::Study {
             record: record.clone(),
         })?;
@@ -508,6 +542,65 @@ mod tests {
             .evaluations
             .windows(2)
             .all(|w| w[0].value <= w[1].value));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_finite_best_is_replaced_or_the_study_skipped() {
+        let path = temp_store("nanbest");
+        let mut store = KbStore::open(&path).unwrap();
+        // A NaN incumbent with finite evaluations: the best surviving
+        // evaluation is promoted, and the store stays reloadable — the
+        // old code serialized NaN as JSON null and bricked the reopen.
+        let mut r = record("Titan V", "nan-best", 1, true);
+        r.best = eval(2, f64::NAN);
+        r.evaluations = vec![eval(4, 7.0), eval(5, 3.0), eval(6, f64::NAN)];
+        store.append(r).unwrap();
+        assert_eq!(store.len(), 1);
+        // A study whose every measurement is non-finite has nothing
+        // worth keeping and is skipped whole.
+        let mut hopeless = record("Titan V", "hopeless", 2, true);
+        hopeless.best = eval(2, f64::INFINITY);
+        hopeless.evaluations = vec![eval(3, f64::NAN), eval(4, f64::NEG_INFINITY)];
+        store.append(hopeless).unwrap();
+        assert_eq!(store.len(), 1);
+        drop(store);
+
+        let back = KbStore::open(&path).unwrap();
+        assert_eq!(back.len(), 1);
+        let fp = record("Titan V", "probe", 0, true).fingerprint;
+        let studies = back.studies(fp);
+        assert_eq!(studies[0].best.value, 3.0);
+        assert!(studies[0].evaluations.iter().all(|e| e.value.is_finite()));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn hand_corrupted_null_cost_line_cannot_brick_the_load() {
+        let path = temp_store("nullcost");
+        let probe = record("Titan V", "probe", 0, true);
+        {
+            let mut store = KbStore::open(&path).unwrap();
+            store.append(record("Titan V", "good", 1, true)).unwrap();
+        }
+        // Simulate the pre-fix failure mode: a record whose best cost
+        // was serialized as `null` (what serde_json makes of NaN),
+        // appended by an old binary as the final line of the store.
+        let mut broken = serde_json::to_value(Record::Study {
+            record: record("Titan V", "broken", 2, true),
+        })
+        .unwrap();
+        broken["record"]["best"]["value"] = serde_json::Value::Null;
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(serde_json::to_string(&broken).unwrap().as_bytes())
+            .unwrap();
+        f.write_all(b"\n").unwrap();
+        drop(f);
+        // As the last line it is forgiven like a torn append; the store
+        // opens and serves the healthy study instead of erroring out.
+        let store = KbStore::open(&path).unwrap();
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.studies(probe.fingerprint)[0].session, "good");
         std::fs::remove_file(&path).unwrap();
     }
 

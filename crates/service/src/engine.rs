@@ -11,21 +11,32 @@
 //! [`AskTellSession::report`] (the classic generator pattern, built from
 //! threads because Rust has no native coroutines on stable).
 //!
+//! When the spec carries a `batch` width above 1, batch-capable tuners
+//! ask for whole *chunks* via `Objective::evaluate_batch`; the facade
+//! queues them so clients can claim several configurations at once with
+//! [`AskTellSession::suggest_batch`] and answer them out-of-band with
+//! [`AskTellSession::report_batch`]. The rendezvous then happens once
+//! per chunk instead of once per evaluation.
+//!
 //! Because tuners draw all randomness from the seed in their
 //! [`autotune_core::TuneContext`], a session is a *deterministic state
 //! machine*: replaying the same reported values into a fresh session
 //! with the same [`SessionSpec`](crate::SessionSpec) reproduces the
 //! exact same future suggestions. The journal layer
-//! ([`crate::journal`]) exploits this for crash recovery.
+//! ([`crate::journal`]) exploits this for crash recovery, and
+//! [`ParkedSession`] exploits it to evict idle sessions from their
+//! engine threads entirely: a parked session is spec + history, resumed
+//! on demand by replay.
 
 use crate::error::ServiceError;
 use crate::metrics::ServiceMetrics;
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
 use autotune_core::trace::{TraceEvent, TraceRecord, TraceSink};
-use autotune_core::{Evaluation, TuneResult};
+use autotune_core::{Evaluation, Objective, TuneResult};
 use autotune_space::{Configuration, Constraint};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
 use std::thread;
 use std::time::{Duration, Instant};
@@ -95,8 +106,9 @@ impl TraceSink for EngineTraceSink {
 
 /// Messages the engine thread sends to the session facade.
 enum EngineEvent {
-    /// The tuner wants this configuration measured.
-    Ask(Configuration),
+    /// The tuner wants this chunk of configurations measured (length 1
+    /// for sequential tuners, up to the spec's `batch` width otherwise).
+    Ask(Vec<Configuration>),
     /// The tuner spent its budget and produced its result.
     Done(Box<TuneResult>),
 }
@@ -105,6 +117,43 @@ enum EngineEvent {
 /// without tripping the global panic hook.
 struct Cancelled;
 
+/// The objective handed to the tuner thread: each evaluation request is
+/// a rendezvous with the session facade. A *named* type (rather than a
+/// closure) so it can override [`Objective::evaluate_batch`] — the
+/// blanket `FnMut` impl would fall back to the sequential default and
+/// silently serialize every batch over the wire.
+struct EngineObjective {
+    event_tx: Sender<EngineEvent>,
+    report_rx: Receiver<Vec<f64>>,
+}
+
+impl EngineObjective {
+    fn rendezvous(&mut self, cfgs: Vec<Configuration>) -> Vec<f64> {
+        if self.event_tx.send(EngineEvent::Ask(cfgs)).is_err() {
+            // Session dropped: unwind out of the tuner without invoking
+            // the panic hook.
+            std::panic::resume_unwind(Box::new(Cancelled));
+        }
+        match self.report_rx.recv() {
+            Ok(values) => values,
+            Err(_) => std::panic::resume_unwind(Box::new(Cancelled)),
+        }
+    }
+}
+
+impl Objective for EngineObjective {
+    fn evaluate(&mut self, cfg: &Configuration) -> f64 {
+        self.rendezvous(vec![cfg.clone()])[0]
+    }
+
+    fn evaluate_batch(&mut self, cfgs: &[Configuration]) -> Vec<f64> {
+        if cfgs.is_empty() {
+            return Vec::new();
+        }
+        self.rendezvous(cfgs.to_vec())
+    }
+}
+
 /// What [`AskTellSession::suggest`] hands back.
 #[derive(Debug, Clone)]
 pub enum Suggestion {
@@ -112,6 +161,18 @@ pub enum Suggestion {
     Evaluate(Configuration),
     /// The budget is spent; this is the run's final result. Repeated
     /// `suggest` calls keep returning it.
+    Finished(Box<TuneResult>),
+}
+
+/// What [`AskTellSession::suggest_batch`] hands back.
+#[derive(Debug, Clone)]
+pub enum BatchSuggestion {
+    /// Measure these configurations and report their costs in order
+    /// (via [`AskTellSession::report_batch`] or one
+    /// [`AskTellSession::report`] per config). The vector holds between
+    /// 1 and `n` configurations: the tuner's own chunk width caps it.
+    Evaluate(Vec<Configuration>),
+    /// The budget is spent; this is the run's final result.
     Finished(Box<TuneResult>),
 }
 
@@ -124,10 +185,21 @@ pub enum Suggestion {
 pub struct AskTellSession {
     spec: SessionSpec,
     events: Option<Receiver<EngineEvent>>,
-    reports: Option<Sender<f64>>,
+    reports: Option<Sender<Vec<f64>>>,
     worker: Option<thread::JoinHandle<()>>,
     feasibility: Option<Box<dyn Constraint>>,
-    pending: Option<Configuration>,
+    /// Configurations received from the engine but not yet handed out.
+    offered: VecDeque<Configuration>,
+    /// Configurations handed out and awaiting their report, FIFO.
+    pending: VecDeque<Configuration>,
+    /// Reports collected for the current chunk; flushed to the engine
+    /// once `chunk_size` values have arrived.
+    collected: Vec<f64>,
+    /// Width of the chunk the engine is currently parked on.
+    chunk_size: usize,
+    /// Every reported evaluation, in order — the session's own journal,
+    /// sufficient to rebuild the engine via replay (see `park`).
+    confirmed: Vec<Evaluation>,
     result: Option<Box<TuneResult>>,
     trace: Arc<EngineTraceSink>,
     suggests: u64,
@@ -154,7 +226,7 @@ impl AskTellSession {
     ) -> Result<Self, ServiceError> {
         spec.validate()?;
         let (event_tx, event_rx) = bounded::<EngineEvent>(0);
-        let (report_tx, report_rx) = bounded::<f64>(0);
+        let (report_tx, report_rx) = bounded::<Vec<f64>>(0);
         let engine_spec = spec.clone();
         let trace = Arc::new(EngineTraceSink::new(metrics));
         let engine_trace = trace.clone();
@@ -163,16 +235,9 @@ impl AskTellSession {
             .spawn(move || {
                 let setup = engine_spec.setup();
                 let tuner = engine_spec.algorithm.tuner();
-                let mut objective = |cfg: &Configuration| -> f64 {
-                    if event_tx.send(EngineEvent::Ask(cfg.clone())).is_err() {
-                        // Session dropped: unwind out of the tuner without
-                        // invoking the panic hook.
-                        std::panic::resume_unwind(Box::new(Cancelled));
-                    }
-                    match report_rx.recv() {
-                        Ok(value) => value,
-                        Err(_) => std::panic::resume_unwind(Box::new(Cancelled)),
-                    }
+                let mut objective = EngineObjective {
+                    event_tx: event_tx.clone(),
+                    report_rx,
                 };
                 let ctx = setup.context().with_trace(engine_trace.as_ref());
                 let result = tuner.tune(&ctx, &mut objective);
@@ -185,7 +250,11 @@ impl AskTellSession {
             events: Some(event_rx),
             reports: Some(report_tx),
             worker: Some(worker),
-            pending: None,
+            offered: VecDeque::new(),
+            pending: VecDeque::new(),
+            collected: Vec::new(),
+            chunk_size: 0,
+            confirmed: Vec::new(),
             result: None,
             trace,
             suggests: 0,
@@ -242,9 +311,15 @@ impl AskTellSession {
         &self.spec
     }
 
-    /// The suggestion awaiting its report, if any.
+    /// The oldest suggestion awaiting its report, if any — the one the
+    /// next [`report`](AskTellSession::report) call answers.
     pub fn pending(&self) -> Option<&Configuration> {
-        self.pending.as_ref()
+        self.pending.front()
+    }
+
+    /// How many handed-out suggestions are awaiting their report.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
     }
 
     /// How long since the session was last driven (a `suggest` or
@@ -265,35 +340,22 @@ impl AskTellSession {
         self.result.as_deref()
     }
 
-    /// Blocks until the tuner either proposes the next configuration or
-    /// finishes.
-    ///
-    /// Errors with [`ServiceError::SuggestPending`] when the previous
-    /// suggestion has not been reported yet.
-    pub fn suggest(&mut self) -> Result<Suggestion, ServiceError> {
-        if let Some(result) = &self.result {
-            return Ok(Suggestion::Finished(result.clone()));
-        }
-        if self.pending.is_some() {
-            return Err(ServiceError::SuggestPending);
-        }
-        self.touched = Instant::now();
+    /// Receives the engine's next event and refills the offered queue.
+    /// Must only be called when `offered` is empty and no report is
+    /// outstanding for the current chunk.
+    fn refill_offers(&mut self) -> Result<Option<Box<TuneResult>>, ServiceError> {
         let events = self.events.as_ref().ok_or(ServiceError::EngineStopped)?;
         match events.recv() {
-            Ok(EngineEvent::Ask(cfg)) => {
-                self.suggests += 1;
-                if let Some(c) = &self.feasibility {
-                    if !c.is_satisfied(&cfg) {
-                        self.infeasible += 1;
-                    }
-                }
-                self.pending = Some(cfg.clone());
-                Ok(Suggestion::Evaluate(cfg))
+            Ok(EngineEvent::Ask(cfgs)) => {
+                self.chunk_size = cfgs.len();
+                self.collected.clear();
+                self.offered.extend(cfgs);
+                Ok(None)
             }
             Ok(EngineEvent::Done(result)) => {
                 self.result = Some(result.clone());
                 self.join_worker();
-                Ok(Suggestion::Finished(result))
+                Ok(Some(result))
             }
             Err(_) => {
                 // The engine thread died without sending Done: a tuner
@@ -304,19 +366,111 @@ impl AskTellSession {
         }
     }
 
-    /// Feeds the measured cost of the pending suggestion back into the
-    /// tuner.
+    /// Pops one offered configuration, doing per-suggestion accounting.
+    fn hand_out(&mut self) -> Configuration {
+        let cfg = self.offered.pop_front().expect("offered config");
+        self.suggests += 1;
+        if let Some(c) = &self.feasibility {
+            if !c.is_satisfied(&cfg) {
+                self.infeasible += 1;
+            }
+        }
+        self.pending.push_back(cfg.clone());
+        cfg
+    }
+
+    /// Blocks until the tuner either proposes the next configuration or
+    /// finishes.
+    ///
+    /// Errors with [`ServiceError::SuggestPending`] when every
+    /// suggestion of the current chunk has been handed out but not yet
+    /// reported — the tuner cannot produce more until the outstanding
+    /// reports arrive.
+    pub fn suggest(&mut self) -> Result<Suggestion, ServiceError> {
+        if let Some(result) = &self.result {
+            return Ok(Suggestion::Finished(result.clone()));
+        }
+        self.touched = Instant::now();
+        if self.offered.is_empty() {
+            if !self.pending.is_empty() {
+                return Err(ServiceError::SuggestPending);
+            }
+            if let Some(result) = self.refill_offers()? {
+                return Ok(Suggestion::Finished(result));
+            }
+        }
+        Ok(Suggestion::Evaluate(self.hand_out()))
+    }
+
+    /// Blocks until the tuner proposes its next chunk (or finishes) and
+    /// hands out up to `n` configurations from it. Returns fewer than
+    /// `n` when the tuner's own chunk width is smaller — sequential
+    /// algorithms always yield one at a time regardless of `n`.
+    ///
+    /// Errors with [`ServiceError::SuggestPending`] under the same
+    /// condition as [`suggest`](AskTellSession::suggest).
+    pub fn suggest_batch(&mut self, n: usize) -> Result<BatchSuggestion, ServiceError> {
+        if n == 0 {
+            return Err(ServiceError::InvalidSpec(
+                "suggest_batch needs n >= 1".into(),
+            ));
+        }
+        if let Some(result) = &self.result {
+            return Ok(BatchSuggestion::Finished(result.clone()));
+        }
+        self.touched = Instant::now();
+        if self.offered.is_empty() {
+            if !self.pending.is_empty() {
+                return Err(ServiceError::SuggestPending);
+            }
+            if let Some(result) = self.refill_offers()? {
+                return Ok(BatchSuggestion::Finished(result));
+            }
+        }
+        let take = n.min(self.offered.len());
+        let cfgs: Vec<Configuration> = (0..take).map(|_| self.hand_out()).collect();
+        Ok(BatchSuggestion::Evaluate(cfgs))
+    }
+
+    /// Feeds the measured cost of the oldest pending suggestion back
+    /// into the tuner. The value reaches the engine once the whole
+    /// current chunk has been reported (immediately, for chunk width 1).
     pub fn report(&mut self, value: f64) -> Result<(), ServiceError> {
         self.touched = Instant::now();
-        let cfg = self.pending.take().ok_or(ServiceError::NoPendingSuggest)?;
-        let reports = self.reports.as_ref().ok_or(ServiceError::EngineStopped)?;
-        if reports.send(value).is_err() {
-            self.join_worker();
-            return Err(ServiceError::EngineFailed);
-        }
+        let cfg = self
+            .pending
+            .pop_front()
+            .ok_or(ServiceError::NoPendingSuggest)?;
+        self.collected.push(value);
         self.report_count += 1;
         if self.best.as_ref().is_none_or(|b| value < b.value) {
-            self.best = Some(Evaluation { config: cfg, value });
+            self.best = Some(Evaluation {
+                config: cfg.clone(),
+                value,
+            });
+        }
+        self.confirmed.push(Evaluation { config: cfg, value });
+        if self.offered.is_empty() && self.pending.is_empty() {
+            debug_assert_eq!(self.collected.len(), self.chunk_size);
+            let reports = self.reports.as_ref().ok_or(ServiceError::EngineStopped)?;
+            let chunk = std::mem::take(&mut self.collected);
+            if reports.send(chunk).is_err() {
+                self.join_worker();
+                return Err(ServiceError::EngineFailed);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reports several costs at once, answering the oldest pending
+    /// suggestions in order. All-or-nothing: errors without consuming
+    /// anything if `values` outnumber the pending suggestions.
+    pub fn report_batch(&mut self, values: &[f64]) -> Result<(), ServiceError> {
+        if values.len() > self.pending.len() {
+            return Err(ServiceError::NoPendingSuggest);
+        }
+        for &value in values {
+            self.report(value)?;
         }
         Ok(())
     }
@@ -352,6 +506,38 @@ impl AskTellSession {
         }
     }
 
+    /// `true` when the session sits at a clean chunk boundary — no
+    /// offered-but-unclaimed configurations, no unreported suggestions,
+    /// no partially-collected chunk — and has not finished. Only such
+    /// sessions can be parked.
+    pub fn can_park(&self) -> bool {
+        self.result.is_none()
+            && self.offered.is_empty()
+            && self.pending.is_empty()
+            && self.collected.is_empty()
+    }
+
+    /// Checkpoints the session into a thread-free [`ParkedSession`] and
+    /// stops the engine thread. Returns `None` (leaving the session
+    /// untouched) unless [`can_park`](AskTellSession::can_park) holds.
+    ///
+    /// Because tuners are deterministic state machines, the parked form
+    /// only needs the spec and the confirmed evaluations: resuming
+    /// replays them through a fresh engine and lands on exactly the
+    /// suggestion stream this session would have produced.
+    pub fn park(&mut self) -> Option<ParkedSession> {
+        if !self.can_park() {
+            return None;
+        }
+        let parked = ParkedSession {
+            spec: self.spec.clone(),
+            confirmed: std::mem::take(&mut self.confirmed),
+            replayed: self.replayed,
+        };
+        self.shutdown();
+        Some(parked)
+    }
+
     /// Stops the engine thread (cancelling an unfinished run) and
     /// returns the final result if the run had completed.
     pub fn shutdown(&mut self) -> Option<Box<TuneResult>> {
@@ -367,6 +553,43 @@ impl AskTellSession {
             // genuine tuner panic was already reported by the hook.
             let _ = handle.join();
         }
+    }
+}
+
+/// A session checkpointed out of its engine thread: just the spec and
+/// the confirmed evaluation history. Costs memory instead of a thread —
+/// the residency governor in [`crate::manager`] parks idle sessions so
+/// a large registered population does not pin a thread each.
+#[derive(Debug, Clone)]
+pub struct ParkedSession {
+    spec: SessionSpec,
+    confirmed: Vec<Evaluation>,
+    /// The live session's `replayed` counter at park time, restored on
+    /// resume so parking stays invisible in `stats()`.
+    replayed: u64,
+}
+
+impl ParkedSession {
+    /// The spec the parked session was opened with.
+    pub fn spec(&self) -> &SessionSpec {
+        &self.spec
+    }
+
+    /// Confirmed evaluations captured at park time, in report order.
+    pub fn evaluations(&self) -> &[Evaluation] {
+        &self.confirmed
+    }
+
+    /// Restarts the engine thread and replays the confirmed history
+    /// through it, landing exactly where the parked session left off.
+    pub fn resume(
+        self,
+        metrics: Option<Arc<ServiceMetrics>>,
+    ) -> Result<AskTellSession, ServiceError> {
+        let replayed = self.replayed;
+        let mut session = AskTellSession::replay_with_metrics(self.spec, &self.confirmed, metrics)?;
+        session.replayed = replayed;
+        Ok(session)
     }
 }
 
@@ -402,6 +625,7 @@ mod tests {
             algorithm,
             budget,
             seed,
+            batch: 1,
             space: SpaceSpec::Custom {
                 space: ParamSpace::new(vec![
                     Param::new("a", 1, 6),
@@ -412,6 +636,13 @@ mod tests {
             warm_start: Default::default(),
             problem: None,
             prior: None,
+        }
+    }
+
+    fn batched_spec(algorithm: Algorithm, budget: usize, seed: u64, batch: usize) -> SessionSpec {
+        SessionSpec {
+            batch,
+            ..toy_spec(algorithm, budget, seed)
         }
     }
 
@@ -682,5 +913,133 @@ mod tests {
             AskTellSession::open(toy_spec(Algorithm::RandomSearch, 0, 1)),
             Err(ServiceError::InvalidSpec(_))
         ));
+    }
+
+    fn drive_batched(session: &mut AskTellSession, n: usize) -> (TuneResult, Vec<usize>) {
+        let mut widths = Vec::new();
+        loop {
+            match session.suggest_batch(n).unwrap() {
+                BatchSuggestion::Evaluate(cfgs) => {
+                    widths.push(cfgs.len());
+                    let values: Vec<f64> = cfgs.iter().map(objective).collect();
+                    session.report_batch(&values).unwrap();
+                }
+                BatchSuggestion::Finished(result) => return (*result, widths),
+            }
+        }
+    }
+
+    #[test]
+    fn batched_drive_spends_exact_budget_and_respects_chunk_width() {
+        let mut session =
+            AskTellSession::open(batched_spec(Algorithm::RandomSearch, 17, 3, 4)).unwrap();
+        let (result, widths) = drive_batched(&mut session, 8);
+        assert_eq!(result.history.len(), 17);
+        assert!(widths.iter().all(|&w| w >= 1 && w <= 4), "{widths:?}");
+        assert!(widths.iter().any(|&w| w == 4), "{widths:?}");
+        let stats = session.stats();
+        assert_eq!(stats.suggests, 17);
+        assert_eq!(stats.reports, 17);
+        assert!(stats.finished);
+    }
+
+    #[test]
+    fn batched_drive_on_a_sequential_spec_yields_singletons() {
+        // A batch-1 spec keeps the engine asking one config at a time,
+        // so suggest_batch(n) degrades to width-1 chunks and the run is
+        // bit-identical to the plain suggest/report drive.
+        let mut plain = AskTellSession::open(toy_spec(Algorithm::RandomSearch, 9, 7)).unwrap();
+        let reference = drive(&mut plain);
+        let mut batched = AskTellSession::open(toy_spec(Algorithm::RandomSearch, 9, 7)).unwrap();
+        let (result, widths) = drive_batched(&mut batched, 5);
+        assert!(widths.iter().all(|&w| w == 1), "{widths:?}");
+        assert_eq!(
+            result.history.evaluations(),
+            reference.history.evaluations()
+        );
+    }
+
+    #[test]
+    fn mixed_single_and_batch_calls_interleave_cleanly() {
+        let mut session =
+            AskTellSession::open(batched_spec(Algorithm::RandomSearch, 12, 5, 3)).unwrap();
+        // Claim a whole chunk, then answer it one report at a time.
+        let cfgs = match session.suggest_batch(3).unwrap() {
+            BatchSuggestion::Evaluate(cfgs) => cfgs,
+            BatchSuggestion::Finished(_) => panic!("budget not spent"),
+        };
+        assert_eq!(cfgs.len(), 3);
+        assert_eq!(session.pending_len(), 3);
+        // More work cannot be suggested until the chunk is answered.
+        assert!(matches!(
+            session.suggest(),
+            Err(ServiceError::SuggestPending)
+        ));
+        for cfg in &cfgs {
+            session.report(objective(cfg)).unwrap();
+        }
+        assert_eq!(session.pending_len(), 0);
+        // Claim the next chunk one config at a time via plain suggest.
+        match session.suggest().unwrap() {
+            Suggestion::Evaluate(cfg) => session.report(objective(&cfg)).unwrap(),
+            Suggestion::Finished(_) => panic!("budget not spent"),
+        }
+        // Finish with batch calls; over-long report batches are rejected.
+        assert!(matches!(
+            session.report_batch(&[1.0, 2.0]),
+            Err(ServiceError::NoPendingSuggest)
+        ));
+        let (result, _) = drive_batched(&mut session, 3);
+        assert_eq!(result.history.len(), 12);
+    }
+
+    #[test]
+    fn park_and_resume_reproduce_the_uninterrupted_run() {
+        let spec = batched_spec(Algorithm::GeneticAlgorithm, 24, 9, 4);
+        let mut reference = AskTellSession::open(spec.clone()).unwrap();
+        let (reference_result, _) = drive_batched(&mut reference, 4);
+
+        let mut session = AskTellSession::open(spec).unwrap();
+        let mut spent = 0usize;
+        while spent < 8 {
+            match session.suggest_batch(4).unwrap() {
+                BatchSuggestion::Evaluate(cfgs) => {
+                    let values: Vec<f64> = cfgs.iter().map(objective).collect();
+                    spent += cfgs.len();
+                    session.report_batch(&values).unwrap();
+                }
+                BatchSuggestion::Finished(_) => panic!("budget not spent"),
+            }
+        }
+        let parked = session.park().expect("clean boundary");
+        assert_eq!(parked.evaluations().len(), spent);
+        let mut resumed = parked.resume(None).unwrap();
+        // Parking is invisible in the observable counters.
+        assert_eq!(resumed.stats().replayed, 0);
+        let (resumed_result, _) = drive_batched(&mut resumed, 4);
+        assert_eq!(
+            resumed_result.history.evaluations(),
+            reference_result.history.evaluations()
+        );
+        assert_eq!(resumed.stats().reports, 24);
+    }
+
+    #[test]
+    fn park_refuses_dirty_or_finished_sessions() {
+        let mut session = AskTellSession::open(toy_spec(Algorithm::RandomSearch, 6, 2)).unwrap();
+        let cfg = match session.suggest().unwrap() {
+            Suggestion::Evaluate(cfg) => cfg,
+            Suggestion::Finished(_) => panic!("budget not spent"),
+        };
+        // A pending suggestion blocks parking.
+        assert!(!session.can_park());
+        assert!(session.park().is_none());
+        session.report(objective(&cfg)).unwrap();
+        assert!(session.can_park());
+
+        let mut finished = AskTellSession::open(toy_spec(Algorithm::RandomSearch, 2, 2)).unwrap();
+        drive(&mut finished);
+        assert!(!finished.can_park());
+        assert!(finished.park().is_none());
     }
 }

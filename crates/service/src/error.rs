@@ -25,6 +25,8 @@ pub enum ErrorCode {
     SuggestPending,
     /// `report` called without a pending suggestion.
     NoPendingSuggest,
+    /// A reported cost was NaN or infinite.
+    NonFiniteValue,
     /// The session engine was shut down.
     EngineStopped,
     /// The tuner thread died unexpectedly.
@@ -60,6 +62,7 @@ impl ErrorCode {
             ErrorCode::SessionExists => "session_exists",
             ErrorCode::SuggestPending => "suggest_pending",
             ErrorCode::NoPendingSuggest => "no_pending_suggest",
+            ErrorCode::NonFiniteValue => "non_finite_value",
             ErrorCode::EngineStopped => "engine_stopped",
             ErrorCode::EngineFailed => "engine_failed",
             ErrorCode::ReplayDiverged => "replay_diverged",
@@ -106,6 +109,10 @@ pub enum ServiceError {
     SuggestPending,
     /// `report` was called without a pending suggestion.
     NoPendingSuggest,
+    /// A reported cost was NaN or infinite. Rejected at the service
+    /// boundary: non-finite costs would poison surrogate fits and
+    /// cannot be journaled as JSON numbers.
+    NonFiniteValue,
     /// The session engine was shut down and can serve no further calls.
     EngineStopped,
     /// The tuner thread died unexpectedly (a tuner bug, not a user error).
@@ -154,6 +161,7 @@ impl ServiceError {
             ServiceError::SessionExists(_) => ErrorCode::SessionExists,
             ServiceError::SuggestPending => ErrorCode::SuggestPending,
             ServiceError::NoPendingSuggest => ErrorCode::NoPendingSuggest,
+            ServiceError::NonFiniteValue => ErrorCode::NonFiniteValue,
             ServiceError::EngineStopped => ErrorCode::EngineStopped,
             ServiceError::EngineFailed => ErrorCode::EngineFailed,
             ServiceError::ReplayDiverged => ErrorCode::ReplayDiverged,
@@ -186,6 +194,9 @@ impl fmt::Display for ServiceError {
             }
             ServiceError::NoPendingSuggest => {
                 write!(f, "no suggestion is pending; call suggest first")
+            }
+            ServiceError::NonFiniteValue => {
+                write!(f, "reported cost must be finite (got NaN or infinity)")
             }
             ServiceError::EngineStopped => write!(f, "session engine already shut down"),
             ServiceError::EngineFailed => write!(f, "session engine thread died"),
@@ -308,6 +319,7 @@ mod tests {
             ErrorCode::SessionExists,
             ErrorCode::SuggestPending,
             ErrorCode::NoPendingSuggest,
+            ErrorCode::NonFiniteValue,
             ErrorCode::EngineStopped,
             ErrorCode::EngineFailed,
             ErrorCode::ReplayDiverged,

@@ -148,7 +148,16 @@ impl JournalWriter {
     }
 
     /// Appends one `eval` line (write-ahead of the engine report).
+    ///
+    /// Non-finite values are rejected before anything touches the file:
+    /// `serde_json` serializes NaN and infinities as `null`, which a
+    /// later [`load`] could not parse back into an `f64` — the journal
+    /// would be bricked at exactly the line meant to make the session
+    /// recoverable.
     pub fn append_eval(&mut self, config: &Configuration, value: f64) -> Result<(), ServiceError> {
+        if !value.is_finite() {
+            return Err(ServiceError::NonFiniteValue);
+        }
         self.append(&Record::Eval {
             config: config.clone(),
             value,
@@ -453,6 +462,26 @@ mod tests {
         assert_eq!(c.traces.len(), 2);
         assert_eq!(c.traces[1].t_us, 55);
         assert!(c.closed);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn non_finite_evals_never_reach_the_file() {
+        let path = temp_journal("nonfinite");
+        let mut w = JournalWriter::create(&path, "s9", &spec()).unwrap();
+        let cfg = Configuration::from([1, 1, 1, 1, 1, 1]);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                w.append_eval(&cfg, bad),
+                Err(ServiceError::NonFiniteValue)
+            ));
+        }
+        w.append_eval(&cfg, 2.0).unwrap();
+        drop(w);
+        // The rejected appends left no trace; the journal stays loadable.
+        let c = load(&path).unwrap();
+        assert_eq!(c.evals.len(), 1);
+        assert_eq!(c.evals[0].value, 2.0);
         std::fs::remove_file(&path).unwrap();
     }
 

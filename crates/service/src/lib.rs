@@ -13,11 +13,27 @@
 //!   [`suggest`](AskTellSession::suggest) hands out the next
 //!   configuration, [`report`](AskTellSession::report) feeds the
 //!   measured cost back. No algorithm was modified to make this work.
-//! * [`SessionManager`] keeps many named sessions, each with optional
-//!   append-only JSONL journaling. Sessions are deterministic given
-//!   their [`SessionSpec`], so a crashed or restarted process recovers
-//!   by replaying the journal — and then emits exactly the suggestions
-//!   the lost process would have.
+//! * Sessions batch: a [`SessionSpec`] with a `batch` width lets the
+//!   tuner offer several concurrently evaluable configurations per
+//!   round — [`suggest_batch`](AskTellSession::suggest_batch) /
+//!   [`report_batch`](AskTellSession::report_batch) claim and settle
+//!   them in bulk (mirrored over the wire by [`Client::suggest_batch`]
+//!   and [`Client::report_batch`]). Population methods (GA, PSO) batch
+//!   naturally; BO GP and BO TPE use constant-liar imputation; a batch
+//!   width of 1 is bit-identical to the sequential protocol for every
+//!   algorithm.
+//! * [`SessionManager`] keeps many named sessions behind a sharded
+//!   registry ([`SHARD_COUNT`] locks, not one global one), each with
+//!   optional append-only JSONL journaling. Sessions are deterministic
+//!   given their [`SessionSpec`], so a crashed or restarted process
+//!   recovers by replaying the journal — and then emits exactly the
+//!   suggestions the lost process would have. A residency governor
+//!   caps live engine threads at
+//!   [`DEFAULT_MAX_RESIDENT`] (see
+//!   [`SessionManager::with_max_resident`]), transparently parking
+//!   idle sessions ([`ParkedSession`]) and resuming them on access by
+//!   deterministic replay — registered sessions cost memory, not
+//!   threads.
 //! * [`TunedServer`] / [`Client`] put the manager behind a tiny
 //!   newline-delimited-JSON TCP protocol (`std::net` only), with the
 //!   `tuned` binary as the deployable entry point. The server is
@@ -82,11 +98,11 @@ pub mod spec;
 pub mod stats;
 pub mod tsdb;
 
-pub use client::{Client, RemoteSuggestion};
-pub use engine::{AskTellSession, Suggestion};
+pub use client::{Client, RemoteBatch, RemoteSuggestion};
+pub use engine::{AskTellSession, BatchSuggestion, ParkedSession, Suggestion};
 pub use error::{ErrorCode, ServiceError};
 pub use journal::Durability;
-pub use manager::{KbAnswer, ManagerTotals, SessionManager};
+pub use manager::{KbAnswer, ManagerTotals, SessionManager, DEFAULT_MAX_RESIDENT, SHARD_COUNT};
 pub use metrics::{MetricsSnapshot, ServiceMetrics};
 pub use server::{ServerConfig, TunedServer};
 pub use spec::{SessionSpec, SpaceSpec, WarmStart};

@@ -1,9 +1,18 @@
-//! Registry of named, concurrently-driven tuning sessions.
+//! Sharded registry of named, concurrently-driven tuning sessions.
 //!
 //! A [`SessionManager`] owns many [`AskTellSession`]s keyed by name. The
-//! registry lock is held only long enough to look a session up; each
-//! session then serializes its own suggest/report traffic behind a
-//! per-session mutex, so independent sessions proceed in parallel.
+//! registry is split into [`SHARD_COUNT`] independently-locked shards
+//! (keyed by an FNV-1a hash of the session name), so lookups on
+//! different sessions never contend on one global map lock; each session
+//! then serializes its own suggest/report traffic behind a per-session
+//! mutex, so independent sessions proceed in parallel.
+//!
+//! Registered sessions do not each pin an engine thread: a *residency
+//! governor* caps the number of live engines
+//! ([`SessionManager::with_max_resident`]) and parks the least-recently
+//! driven ones into thread-free [`ParkedSession`] checkpoints. A parked
+//! session resumes transparently on its next `suggest`/`report` — a
+//! large registered population costs memory, not threads.
 //!
 //! With a journal directory configured ([`SessionManager::with_journal_dir`])
 //! every session gets a write-ahead JSONL journal: the reported value is
@@ -13,7 +22,7 @@
 //! session continues with exactly the suggestions the lost one would have
 //! made.
 
-use crate::engine::{AskTellSession, Suggestion};
+use crate::engine::{AskTellSession, BatchSuggestion, ParkedSession, Suggestion};
 use crate::error::ServiceError;
 use crate::journal::{self, Durability, JournalWriter};
 use crate::metrics::ServiceMetrics;
@@ -29,10 +38,84 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// Number of registry shards. A power of two so the hash folds with a
+/// mask; 16 keeps per-shard contention negligible at the connection
+/// counts the server admits while costing nothing at small populations.
+pub const SHARD_COUNT: usize = 16;
+
+/// Default cap on concurrently-live engine threads (see
+/// [`SessionManager::with_max_resident`]).
+pub const DEFAULT_MAX_RESIDENT: usize = 256;
+
+/// FNV-1a over the session name, folded to a shard index. Cheap,
+/// allocation-free, and well-spread on the short ASCII names the
+/// registry admits.
+fn shard_index(name: &str) -> usize {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash as usize) & (SHARD_COUNT - 1)
+}
+
+/// A session parked out of its engine thread, plus what observability
+/// needs without waking it.
+struct ParkedEntry {
+    session: ParkedSession,
+    /// When the session was parked; stands in for engine idle time.
+    since: Instant,
+    /// Counters frozen at park time, served by `stats` without a
+    /// resume.
+    stats: SessionStats,
+}
+
+/// Where a registered session currently lives.
+enum SessionState {
+    /// Engine thread running (or finished and holding its result).
+    Live(AskTellSession),
+    /// Checkpointed out of its thread by the residency governor.
+    Parked(ParkedEntry),
+    /// A resume failed and the session is unusable; terminal.
+    Defunct,
+}
+
 /// One registered session plus its optional journal.
 struct Managed {
-    session: AskTellSession,
+    state: SessionState,
     journal: Option<JournalWriter>,
+}
+
+impl Managed {
+    /// Ensures the session is live, resuming a parked engine in place.
+    /// Returns whether a resume happened so callers can re-run the
+    /// residency governor afterwards.
+    fn wake(&mut self, metrics: &Arc<ServiceMetrics>) -> Result<bool, ServiceError> {
+        match &self.state {
+            SessionState::Live(_) => return Ok(false),
+            SessionState::Defunct => return Err(ServiceError::EngineStopped),
+            SessionState::Parked(_) => {}
+        }
+        let SessionState::Parked(parked) =
+            std::mem::replace(&mut self.state, SessionState::Defunct)
+        else {
+            unreachable!("checked above");
+        };
+        // On failure the state stays Defunct: the deterministic replay
+        // of a self-recorded history cannot diverge unless the process
+        // is already broken, so there is nothing sensible to restore.
+        let live = parked.session.resume(Some(Arc::clone(metrics)))?;
+        self.state = SessionState::Live(live);
+        metrics.sessions_resumed.inc();
+        Ok(true)
+    }
+
+    fn live(&mut self) -> Result<&mut AskTellSession, ServiceError> {
+        match &mut self.state {
+            SessionState::Live(session) => Ok(session),
+            _ => Err(ServiceError::EngineStopped),
+        }
+    }
 }
 
 /// Aggregate counters across the manager's lifetime.
@@ -46,6 +129,12 @@ pub struct ManagerTotals {
     pub suggests: u64,
     /// Reports accepted across all sessions.
     pub reports: u64,
+    /// Registered sessions currently parked (no engine thread).
+    #[serde(default)]
+    pub parked_sessions: usize,
+    /// Registered sessions currently holding a live engine thread.
+    #[serde(default)]
+    pub resident_engines: usize,
 }
 
 /// What an instant-answer lookup came back with: the stored incumbent
@@ -66,15 +155,22 @@ pub struct KbAnswer {
 
 /// Holds and drives many named [`AskTellSession`]s.
 pub struct SessionManager {
-    sessions: Mutex<HashMap<String, Arc<Mutex<Managed>>>>,
+    shards: Box<[Mutex<HashMap<String, Arc<Mutex<Managed>>>>]>,
     journal_dir: Option<PathBuf>,
     durability: Durability,
     kb: Option<Mutex<KbStore>>,
     weighting: PriorWeighting,
     metrics: Arc<ServiceMetrics>,
+    max_resident: usize,
     opened_total: AtomicU64,
     served_suggests: AtomicU64,
     served_reports: AtomicU64,
+}
+
+fn new_shards() -> Box<[Mutex<HashMap<String, Arc<Mutex<Managed>>>>]> {
+    (0..SHARD_COUNT)
+        .map(|_| Mutex::new(HashMap::new()))
+        .collect()
 }
 
 impl SessionManager {
@@ -82,12 +178,13 @@ impl SessionManager {
     /// process.
     pub fn in_memory() -> Self {
         SessionManager {
-            sessions: Mutex::new(HashMap::new()),
+            shards: new_shards(),
             journal_dir: None,
             durability: Durability::Sync,
             kb: None,
             weighting: PriorWeighting::default(),
             metrics: Arc::new(ServiceMetrics::new()),
+            max_resident: DEFAULT_MAX_RESIDENT,
             opened_total: AtomicU64::new(0),
             served_suggests: AtomicU64::new(0),
             served_reports: AtomicU64::new(0),
@@ -109,16 +206,27 @@ impl SessionManager {
     ) -> Result<Self, ServiceError> {
         std::fs::create_dir_all(dir)?;
         Ok(SessionManager {
-            sessions: Mutex::new(HashMap::new()),
+            shards: new_shards(),
             journal_dir: Some(dir.to_path_buf()),
             durability,
             kb: None,
             weighting: PriorWeighting::default(),
             metrics: Arc::new(ServiceMetrics::new()),
+            max_resident: DEFAULT_MAX_RESIDENT,
             opened_total: AtomicU64::new(0),
             served_suggests: AtomicU64::new(0),
             served_reports: AtomicU64::new(0),
         })
+    }
+
+    /// Caps the number of concurrently-live engine threads. Above the
+    /// cap the residency governor parks the least-recently-driven
+    /// sessions (at clean chunk boundaries) into thread-free
+    /// checkpoints; they resume transparently when next driven. Floors
+    /// at 1.
+    pub fn with_max_resident(mut self, max_resident: usize) -> Self {
+        self.max_resident = max_resident.max(1);
+        self
     }
 
     /// Attaches a cross-session knowledge base. Sessions whose spec
@@ -181,6 +289,11 @@ impl SessionManager {
         }
     }
 
+    /// The shard responsible for `name`.
+    fn shard(&self, name: &str) -> &Mutex<HashMap<String, Arc<Mutex<Managed>>>> {
+        &self.shards[shard_index(name)]
+    }
+
     /// Inserts an already-built session. Unlike [`SessionManager::open`]
     /// this re-checks for duplicates at insert time only, which is safe
     /// for recovery: the journal was reopened in append mode, so a racing
@@ -191,24 +304,114 @@ impl SessionManager {
         session: AskTellSession,
         journal: Option<JournalWriter>,
     ) -> Result<(), ServiceError> {
-        let mut sessions = self.sessions.lock();
-        if sessions.contains_key(name) {
+        let mut shard = self.shard(name).lock();
+        if shard.contains_key(name) {
             return Err(ServiceError::SessionExists(name.to_string()));
         }
-        sessions.insert(
+        shard.insert(
             name.to_string(),
-            Arc::new(Mutex::new(Managed { session, journal })),
+            Arc::new(Mutex::new(Managed {
+                state: SessionState::Live(session),
+                journal,
+            })),
         );
         self.opened_total.fetch_add(1, Ordering::Relaxed);
         Ok(())
     }
 
     fn lookup(&self, name: &str) -> Result<Arc<Mutex<Managed>>, ServiceError> {
-        self.sessions
+        self.shard(name)
             .lock()
             .get(name)
             .cloned()
             .ok_or_else(|| ServiceError::UnknownSession(name.to_string()))
+    }
+
+    /// Clones every registered `(name, session)` pair; holds each shard
+    /// lock only long enough to copy its Arcs.
+    fn snapshot_sessions(&self) -> Vec<(String, Arc<Mutex<Managed>>)> {
+        let mut all = Vec::new();
+        for shard in self.shards.iter() {
+            all.extend(
+                shard
+                    .lock()
+                    .iter()
+                    .map(|(name, managed)| (name.clone(), Arc::clone(managed))),
+            );
+        }
+        all
+    }
+
+    /// Parks the least-recently-driven live engines until at most
+    /// `max_resident` remain, then refreshes the scheduler gauges.
+    /// Sessions that are locked (mid-request), mid-chunk, or finished
+    /// are left alone; they get another chance on the next sweep.
+    fn enforce_residency(&self) {
+        let mut live: Vec<(Duration, Arc<Mutex<Managed>>)> = Vec::new();
+        let mut parked_count = 0usize;
+        for (_, managed) in self.snapshot_sessions() {
+            let Some(guard) = managed.try_lock() else {
+                // Locked means a request is being served right now:
+                // resident by definition.
+                live.push((Duration::ZERO, Arc::clone(&managed)));
+                continue;
+            };
+            match &guard.state {
+                SessionState::Live(session) => {
+                    let idle = session.idle();
+                    drop(guard);
+                    live.push((idle, managed));
+                }
+                SessionState::Parked(_) => parked_count += 1,
+                SessionState::Defunct => {}
+            }
+        }
+        let mut resident = live.len();
+        if resident > self.max_resident {
+            // Most idle first.
+            live.sort_by(|a, b| b.0.cmp(&a.0));
+            for (_, managed) in live {
+                if resident <= self.max_resident {
+                    break;
+                }
+                let Some(mut guard) = managed.try_lock() else {
+                    continue;
+                };
+                let parked = match &mut guard.state {
+                    SessionState::Live(session) => {
+                        let stats = session.stats();
+                        session.park().map(|checkpoint| (checkpoint, stats))
+                    }
+                    _ => None,
+                };
+                if let Some((checkpoint, stats)) = parked {
+                    guard.state = SessionState::Parked(ParkedEntry {
+                        session: checkpoint,
+                        since: Instant::now(),
+                        stats,
+                    });
+                    self.metrics.sessions_parked.inc();
+                    resident -= 1;
+                    parked_count += 1;
+                }
+            }
+        }
+        self.refresh_gauges(resident, parked_count);
+    }
+
+    /// Publishes per-shard queue depths and the resident-engine count
+    /// into the shared metrics registry (and, through it, the
+    /// time-series store and Prometheus endpoint).
+    fn refresh_gauges(&self, resident: usize, parked: usize) {
+        for (i, shard) in self.shards.iter().enumerate() {
+            let depth = shard.lock().len() as u64;
+            self.metrics
+                .set_gauge(&format!("scheduler_shard_depth_{i}"), depth);
+        }
+        self.metrics
+            .set_gauge("scheduler_resident_engines", resident as u64);
+        self.metrics
+            .set_gauge("scheduler_parked_sessions", parked as u64);
     }
 
     /// Installs a knowledge-base prior into a spec that asks for one.
@@ -302,28 +505,34 @@ impl SessionManager {
     pub fn open(&self, name: &str, spec: SessionSpec) -> Result<(), ServiceError> {
         Self::validate_name(name)?;
         let spec = self.resolve_warm_start(spec);
-        // The registry lock is held across journal creation so a racing
-        // duplicate open cannot truncate the winner's journal.
-        let mut sessions = self.sessions.lock();
-        if sessions.contains_key(name) {
-            return Err(ServiceError::SessionExists(name.to_string()));
+        {
+            // The shard lock is held across journal creation so a racing
+            // duplicate open cannot truncate the winner's journal.
+            let mut shard = self.shard(name).lock();
+            if shard.contains_key(name) {
+                return Err(ServiceError::SessionExists(name.to_string()));
+            }
+            let journal = match self.journal_path(name) {
+                Some(path) => Some(JournalWriter::create_with(
+                    &path,
+                    name,
+                    &spec,
+                    self.durability,
+                )?),
+                None => None,
+            };
+            let session = AskTellSession::open_with_metrics(spec, Some(Arc::clone(&self.metrics)))?;
+            shard.insert(
+                name.to_string(),
+                Arc::new(Mutex::new(Managed {
+                    state: SessionState::Live(session),
+                    journal,
+                })),
+            );
+            self.opened_total.fetch_add(1, Ordering::Relaxed);
+            self.metrics.sessions_opened.inc();
         }
-        let journal = match self.journal_path(name) {
-            Some(path) => Some(JournalWriter::create_with(
-                &path,
-                name,
-                &spec,
-                self.durability,
-            )?),
-            None => None,
-        };
-        let session = AskTellSession::open_with_metrics(spec, Some(Arc::clone(&self.metrics)))?;
-        sessions.insert(
-            name.to_string(),
-            Arc::new(Mutex::new(Managed { session, journal })),
-        );
-        self.opened_total.fetch_add(1, Ordering::Relaxed);
-        self.metrics.sessions_opened.inc();
+        self.enforce_residency();
         Ok(())
     }
 
@@ -362,6 +571,7 @@ impl SessionManager {
         let journal = JournalWriter::append_existing_with(&path, self.durability)?;
         self.register(name, session, Some(journal))?;
         self.metrics.sessions_recovered.inc();
+        self.enforce_residency();
         Ok(())
     }
 
@@ -395,12 +605,14 @@ impl SessionManager {
         Ok((recovered, skipped))
     }
 
-    /// Asks the named session for its next suggestion.
+    /// Asks the named session for its next suggestion, resuming it
+    /// first if the residency governor had parked it.
     pub fn suggest(&self, name: &str) -> Result<Suggestion, ServiceError> {
         let managed = self.lookup(name)?;
         let mut guard = managed.lock();
+        let resumed = guard.wake(&self.metrics)?;
         let started = Instant::now();
-        let suggestion = guard.session.suggest()?;
+        let suggestion = guard.live()?.suggest()?;
         self.metrics
             .engine_suggest_seconds
             .observe(started.elapsed());
@@ -408,88 +620,188 @@ impl SessionManager {
             self.served_suggests.fetch_add(1, Ordering::Relaxed);
             self.metrics.engine_suggests.inc();
         }
+        drop(guard);
+        if resumed {
+            self.enforce_residency();
+        }
         Ok(suggestion)
     }
 
-    /// Reports the measured cost of the named session's pending
-    /// suggestion. The value hits the journal before the engine
-    /// (write-ahead; under [`Durability::Sync`] it is synced to disk
-    /// before the engine sees it), so a crash between the two replays
-    /// cleanly.
-    pub fn report(&self, name: &str, value: f64) -> Result<(), ServiceError> {
+    /// Asks the named session for up to `n` suggestions at once (see
+    /// [`AskTellSession::suggest_batch`]); resumes a parked session
+    /// first.
+    pub fn suggest_batch(&self, name: &str, n: usize) -> Result<BatchSuggestion, ServiceError> {
         let managed = self.lookup(name)?;
         let mut guard = managed.lock();
+        let resumed = guard.wake(&self.metrics)?;
         let started = Instant::now();
-        let pending = guard
-            .session
-            .pending()
-            .cloned()
-            .ok_or(ServiceError::NoPendingSuggest)?;
-        if let Some(journal) = &mut guard.journal {
-            let append_started = Instant::now();
-            journal.append_eval(&pending, value)?;
-            self.metrics
-                .journal_append_seconds
-                .observe(append_started.elapsed());
-            self.metrics.journal_appends.inc();
+        let suggestion = guard.live()?.suggest_batch(n)?;
+        self.metrics
+            .engine_suggest_seconds
+            .observe(started.elapsed());
+        if let BatchSuggestion::Evaluate(cfgs) = &suggestion {
+            self.served_suggests
+                .fetch_add(cfgs.len() as u64, Ordering::Relaxed);
+            self.metrics.engine_suggests.add(cfgs.len() as u64);
+            self.metrics.engine_batch_suggests.inc();
         }
-        guard.session.report(value)?;
+        drop(guard);
+        if resumed {
+            self.enforce_residency();
+        }
+        Ok(suggestion)
+    }
+
+    /// Shared body of [`report`](SessionManager::report) and
+    /// [`report_batch`](SessionManager::report_batch): write-ahead
+    /// journals and applies `values` in order against an already-woken
+    /// session.
+    fn report_locked(&self, guard: &mut Managed, values: &[f64]) -> Result<(), ServiceError> {
+        let managed = &mut *guard;
+        let session = match &mut managed.state {
+            SessionState::Live(session) => session,
+            _ => return Err(ServiceError::EngineStopped),
+        };
+        // All-or-nothing up front, so a too-long batch journals nothing.
+        if values.len() > session.pending_len() {
+            return Err(ServiceError::NoPendingSuggest);
+        }
+        for &value in values {
+            let pending = session
+                .pending()
+                .cloned()
+                .ok_or(ServiceError::NoPendingSuggest)?;
+            if let Some(journal) = &mut managed.journal {
+                let append_started = Instant::now();
+                journal.append_eval(&pending, value)?;
+                self.metrics
+                    .journal_append_seconds
+                    .observe(append_started.elapsed());
+                self.metrics.journal_appends.inc();
+            }
+            session.report(value)?;
+        }
         // Persist the trace events that have accumulated since the last
         // batch. Informational records: replay regenerates them, so a
         // crash between report and trace append loses nothing.
-        let batch = guard.session.drain_trace();
+        let batch = session.drain_trace();
         if !batch.is_empty() {
-            if let Some(journal) = &mut guard.journal {
+            if let Some(journal) = &mut managed.journal {
                 journal.append_trace(batch)?;
                 self.metrics.journal_trace_batches.inc();
             }
         }
+        Ok(())
+    }
+
+    /// Reports the measured cost of the named session's oldest pending
+    /// suggestion. The value hits the journal before the engine
+    /// (write-ahead; under [`Durability::Sync`] it is synced to disk
+    /// before the engine sees it), so a crash between the two replays
+    /// cleanly. Non-finite costs are rejected with
+    /// [`ServiceError::NonFiniteValue`] before touching journal or
+    /// engine: NaN would poison surrogate fits and brick the stored
+    /// study on reload.
+    pub fn report(&self, name: &str, value: f64) -> Result<(), ServiceError> {
+        self.report_batch(name, &[value]).map(|_| ())
+    }
+
+    /// Reports several measured costs at once, answering the named
+    /// session's oldest pending suggestions in order. Each value is
+    /// still write-ahead journaled individually. Returns how many
+    /// values were accepted (all of them — the call is all-or-nothing).
+    pub fn report_batch(&self, name: &str, values: &[f64]) -> Result<usize, ServiceError> {
+        if values.iter().any(|v| !v.is_finite()) {
+            self.metrics.reports_rejected_non_finite.inc();
+            return Err(ServiceError::NonFiniteValue);
+        }
+        let managed = self.lookup(name)?;
+        let mut guard = managed.lock();
+        let resumed = guard.wake(&self.metrics)?;
+        let started = Instant::now();
+        self.report_locked(&mut guard, values)?;
         self.metrics
             .engine_report_seconds
             .observe(started.elapsed());
-        self.metrics.engine_reports.inc();
-        self.served_reports.fetch_add(1, Ordering::Relaxed);
-        Ok(())
+        self.metrics.engine_reports.add(values.len() as u64);
+        if values.len() > 1 {
+            self.metrics.engine_batch_reports.inc();
+        }
+        self.served_reports
+            .fetch_add(values.len() as u64, Ordering::Relaxed);
+        drop(guard);
+        if resumed {
+            self.enforce_residency();
+        }
+        Ok(values.len())
     }
 
     /// Every trace event the named session's tuner has emitted so far
     /// (regenerated from the start on a recovered session, because
-    /// replay re-runs the algorithm deterministically).
+    /// replay re-runs the algorithm deterministically). Resumes a
+    /// parked session: traces live in the engine.
     pub fn trace(&self, name: &str) -> Result<Vec<autotune_core::TraceEvent>, ServiceError> {
-        Ok(self.lookup(name)?.lock().session.trace_events())
+        let managed = self.lookup(name)?;
+        let mut guard = managed.lock();
+        let resumed = guard.wake(&self.metrics)?;
+        let events = guard.live()?.trace_events();
+        drop(guard);
+        if resumed {
+            self.enforce_residency();
+        }
+        Ok(events)
     }
 
-    /// Observability snapshot for one session.
+    /// Observability snapshot for one session. Parked sessions answer
+    /// from counters frozen at park time — reading stats never wakes an
+    /// engine.
     pub fn stats(&self, name: &str) -> Result<SessionStats, ServiceError> {
-        Ok(self.lookup(name)?.lock().session.stats())
+        let managed = self.lookup(name)?;
+        let guard = managed.lock();
+        match &guard.state {
+            SessionState::Live(session) => Ok(session.stats()),
+            SessionState::Parked(parked) => Ok(parked.stats.clone()),
+            SessionState::Defunct => Err(ServiceError::EngineStopped),
+        }
     }
 
     /// Closes and deregisters a session, finalizing its journal. Returns
-    /// the tuning result when the session had finished its budget.
+    /// the tuning result when the session had finished its budget. A
+    /// parked session closes without waking: it cannot have finished
+    /// (the governor only parks unfinished sessions), so there is no
+    /// result to fetch.
     pub fn close(&self, name: &str) -> Result<Option<TuneResult>, ServiceError> {
         let managed = self
-            .sessions
+            .shard(name)
             .lock()
             .remove(name)
             .ok_or_else(|| ServiceError::UnknownSession(name.to_string()))?;
         let mut guard = managed.lock();
-        let result = guard.session.shutdown();
-        // The engine thread is joined now, so this final drain captures
-        // every event; it must land before the close record (nothing may
-        // follow a close in the journal).
-        let batch = guard.session.drain_trace();
-        if let Some(journal) = &mut guard.journal {
+        let managed = &mut *guard;
+        let mut result = None;
+        if let SessionState::Live(session) = &mut managed.state {
+            result = session.shutdown();
+            // The engine thread is joined now, so this final drain
+            // captures every event; it must land before the close record
+            // (nothing may follow a close in the journal).
+            let batch = session.drain_trace();
             if !batch.is_empty() {
-                journal.append_trace(batch)?;
-                self.metrics.journal_trace_batches.inc();
+                if let Some(journal) = &mut managed.journal {
+                    journal.append_trace(batch)?;
+                    self.metrics.journal_trace_batches.inc();
+                }
             }
+        }
+        if let Some(journal) = &mut managed.journal {
             journal.append_close(result.is_some())?;
             self.metrics.journal_appends.inc();
         }
         // A session that spent its full budget is a converged study:
         // feed it back into the knowledge base.
         if let Some(result) = result.as_deref() {
-            self.record_study(name, guard.session.spec(), result);
+            if let SessionState::Live(session) = &managed.state {
+                self.record_study(name, session.spec(), result);
+            }
         }
         self.metrics.sessions_closed.inc();
         Ok(result.map(|boxed| *boxed))
@@ -499,36 +811,38 @@ impl SessionManager {
     /// `report`) for at least `ttl`, returning the evicted names
     /// (sorted). Journals get no `close` record, so an evicted session
     /// remains recoverable — eviction is the server saying "stop paying
-    /// for this engine thread", not "forget this run". Sessions whose
-    /// mutex is currently held are in active use and skipped.
+    /// for this session", not "forget this run". Sessions whose mutex
+    /// is currently held are in active use and skipped. Parked sessions
+    /// count their time since parking as idle.
     pub fn evict_idle(&self, ttl: Duration) -> Vec<String> {
-        let candidates: Vec<(String, Arc<Mutex<Managed>>)> = self
-            .sessions
-            .lock()
-            .iter()
-            .map(|(name, managed)| (name.clone(), Arc::clone(managed)))
-            .collect();
         let mut evicted = Vec::new();
-        for (name, managed) in candidates {
+        for (name, managed) in self.snapshot_sessions() {
             let Some(mut guard) = managed.try_lock() else {
                 continue; // locked = mid-request = not idle
             };
-            if guard.session.idle() < ttl {
+            let idle = match &guard.state {
+                SessionState::Live(session) => session.idle(),
+                SessionState::Parked(parked) => parked.since.elapsed(),
+                SessionState::Defunct => Duration::MAX,
+            };
+            if idle < ttl {
                 continue;
             }
             // Deregister only if the registry still holds *this*
             // session — a concurrent close+reopen under the same name
             // must not lose the fresh one.
             {
-                let mut sessions = self.sessions.lock();
-                match sessions.get(&name) {
+                let mut shard = self.shard(&name).lock();
+                match shard.get(&name) {
                     Some(current) if Arc::ptr_eq(current, &managed) => {
-                        sessions.remove(&name);
+                        shard.remove(&name);
                     }
                     _ => continue,
                 }
             }
-            guard.session.shutdown();
+            if let SessionState::Live(session) = &mut guard.state {
+                session.shutdown();
+            }
             self.metrics.sessions_evicted.inc();
             evicted.push(name);
         }
@@ -538,7 +852,11 @@ impl SessionManager {
 
     /// Names of all registered sessions, sorted.
     pub fn session_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.sessions.lock().keys().cloned().collect();
+        let mut names: Vec<String> = self
+            .snapshot_sessions()
+            .into_iter()
+            .map(|(name, _)| name)
+            .collect();
         names.sort();
         names
     }
@@ -546,19 +864,44 @@ impl SessionManager {
     /// Shuts every session down without writing `close` records, leaving
     /// the journals recoverable — the graceful-restart path.
     pub fn shutdown_all(&self) {
-        let drained: Vec<_> = self.sessions.lock().drain().collect();
+        let mut drained = Vec::new();
+        for shard in self.shards.iter() {
+            drained.extend(shard.lock().drain());
+        }
         for (_, managed) in drained {
-            managed.lock().session.shutdown();
+            if let SessionState::Live(session) = &mut managed.lock().state {
+                session.shutdown();
+            }
         }
     }
 
     /// Aggregate counters.
     pub fn totals(&self) -> ManagerTotals {
+        let mut open_sessions = 0usize;
+        let mut parked_sessions = 0usize;
+        let mut resident_engines = 0usize;
+        for (_, managed) in self.snapshot_sessions() {
+            open_sessions += 1;
+            match managed.try_lock().map(|guard| match &guard.state {
+                SessionState::Live(_) => (1usize, 0usize),
+                SessionState::Parked(_) => (0, 1),
+                SessionState::Defunct => (0, 0),
+            }) {
+                // Locked means a request is in flight: live by definition.
+                None => resident_engines += 1,
+                Some((live, parked)) => {
+                    resident_engines += live;
+                    parked_sessions += parked;
+                }
+            }
+        }
         ManagerTotals {
-            open_sessions: self.sessions.lock().len(),
+            open_sessions,
             opened_total: self.opened_total.load(Ordering::Relaxed),
             suggests: self.served_suggests.load(Ordering::Relaxed),
             reports: self.served_reports.load(Ordering::Relaxed),
+            parked_sessions,
+            resident_engines,
         }
     }
 }
@@ -600,6 +943,7 @@ mod tests {
             algorithm: Algorithm::RandomSearch,
             budget,
             seed,
+            batch: 1,
             space: SpaceSpec::Custom {
                 space: ParamSpace::new(vec![Param::new("a", 1, 9), Param::new("b", 1, 9)]),
             },
@@ -949,5 +1293,245 @@ mod tests {
         next.recover("run").unwrap();
         assert_eq!(next.stats("run").unwrap().replayed, 3);
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn registry_shards_by_name_hash_and_tracks_depth_gauges() {
+        let mgr = SessionManager::in_memory();
+        let names: Vec<String> = (0..40).map(|i| format!("shard-test-{i}")).collect();
+        for (i, name) in names.iter().enumerate() {
+            mgr.open(name, toy_spec(5, i as u64)).unwrap();
+        }
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(mgr.session_names(), sorted);
+        // 40 names must not all hash to one shard; the depth gauges
+        // published at open time must sum to the population.
+        let snap = mgr.metrics().snapshot();
+        let depths: Vec<u64> = (0..SHARD_COUNT)
+            .map(|i| {
+                snap.counter(&format!("scheduler_shard_depth_{i}"))
+                    .unwrap_or(0)
+            })
+            .collect();
+        assert_eq!(depths.iter().sum::<u64>(), 40);
+        assert!(
+            depths.iter().filter(|&&d| d > 0).count() > 1,
+            "all 40 sessions landed in one shard: {depths:?}"
+        );
+        // Every session is individually reachable through its shard.
+        for name in &names {
+            assert!(!mgr.stats(name).unwrap().finished);
+        }
+    }
+
+    #[test]
+    fn residency_governor_parks_idle_sessions_and_resumes_transparently() {
+        let mgr = SessionManager::in_memory().with_max_resident(2);
+        for i in 0..5 {
+            mgr.open(&format!("r{i}"), toy_spec(10, i as u64)).unwrap();
+            drive_rounds(&mgr, &format!("r{i}"), 2);
+        }
+        let totals = mgr.totals();
+        assert_eq!(totals.open_sessions, 5);
+        assert!(
+            totals.resident_engines <= 2,
+            "governor left {} engines live",
+            totals.resident_engines
+        );
+        assert!(totals.parked_sessions >= 3);
+        let snap = mgr.metrics().snapshot();
+        assert!(snap.counter("sessions_parked").unwrap() >= 3);
+        assert_eq!(
+            snap.counter("scheduler_resident_engines"),
+            Some(totals.resident_engines as u64)
+        );
+
+        // Parked sessions still serve stats (frozen at park time)...
+        for i in 0..5 {
+            let stats = mgr.stats(&format!("r{i}")).unwrap();
+            assert_eq!(stats.reports, 2);
+        }
+        // ...and resume transparently when driven, finishing with the
+        // exact history an unparked run would produce.
+        let reference = SessionManager::in_memory();
+        reference.open("ref", toy_spec(10, 0)).unwrap();
+        let mut expected = Vec::new();
+        loop {
+            match reference.suggest("ref").unwrap() {
+                Suggestion::Evaluate(cfg) => {
+                    let v = objective(&cfg);
+                    expected.push((cfg, v));
+                    reference.report("ref", v).unwrap();
+                }
+                Suggestion::Finished(_) => break,
+            }
+        }
+        let mut seen = Vec::new();
+        loop {
+            match mgr.suggest("r0").unwrap() {
+                Suggestion::Evaluate(cfg) => {
+                    let v = objective(&cfg);
+                    seen.push((cfg, v));
+                    mgr.report("r0", v).unwrap();
+                }
+                Suggestion::Finished(result) => {
+                    assert_eq!(result.history.len(), 10);
+                    break;
+                }
+            }
+        }
+        assert_eq!(&expected[2..], &seen[..]);
+        assert!(
+            mgr.metrics()
+                .snapshot()
+                .counter("sessions_resumed")
+                .unwrap()
+                >= 1
+        );
+        let stats = mgr.stats("r0").unwrap();
+        assert_eq!(stats.reports, 10);
+        // Parking is invisible: nothing shows up as replayed.
+        assert_eq!(stats.replayed, 0);
+    }
+
+    #[test]
+    fn batched_ops_journal_per_value_and_recover() {
+        let dir = temp_dir("batch");
+        let mut spec = toy_spec(12, 7);
+        spec.batch = 4;
+
+        // Reference: same batched spec driven to completion in memory.
+        let reference = SessionManager::in_memory();
+        reference.open("run", spec.clone()).unwrap();
+        let mut reference_evals = Vec::new();
+        loop {
+            match reference.suggest_batch("run", 4).unwrap() {
+                BatchSuggestion::Evaluate(cfgs) => {
+                    let values: Vec<f64> = cfgs.iter().map(objective).collect();
+                    reference_evals.extend(cfgs.into_iter().zip(values.iter().copied()));
+                    reference.report_batch("run", &values).unwrap();
+                }
+                BatchSuggestion::Finished(_) => break,
+            }
+        }
+        assert_eq!(reference_evals.len(), 12);
+
+        // Crash after two batch rounds (8 evals), then recover.
+        {
+            let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+            mgr.open("run", spec.clone()).unwrap();
+            for _ in 0..2 {
+                match mgr.suggest_batch("run", 4).unwrap() {
+                    BatchSuggestion::Evaluate(cfgs) => {
+                        assert_eq!(cfgs.len(), 4);
+                        let values: Vec<f64> = cfgs.iter().map(objective).collect();
+                        assert_eq!(mgr.report_batch("run", &values).unwrap(), 4);
+                    }
+                    BatchSuggestion::Finished(_) => panic!("budget not spent"),
+                }
+            }
+            let snap = mgr.metrics().snapshot();
+            assert_eq!(snap.counter("engine_batch_suggests"), Some(2));
+            assert_eq!(snap.counter("engine_batch_reports"), Some(2));
+            // Write-ahead is per value, not per batch.
+            assert_eq!(snap.counter("journal_appends"), Some(8));
+        }
+        let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+        mgr.recover("run").unwrap();
+        assert_eq!(mgr.stats("run").unwrap().replayed, 8);
+        let mut tail = Vec::new();
+        loop {
+            match mgr.suggest_batch("run", 4).unwrap() {
+                BatchSuggestion::Evaluate(cfgs) => {
+                    let values: Vec<f64> = cfgs.iter().map(objective).collect();
+                    tail.extend(cfgs.into_iter().zip(values.iter().copied()));
+                    mgr.report_batch("run", &values).unwrap();
+                }
+                BatchSuggestion::Finished(result) => {
+                    assert_eq!(result.history.len(), 12);
+                    break;
+                }
+            }
+        }
+        assert_eq!(&reference_evals[8..], &tail[..]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_finite_reports_are_rejected_before_the_journal() {
+        let dir = temp_dir("nonfinite");
+        let mgr = SessionManager::with_journal_dir(&dir).unwrap();
+        mgr.open("run", toy_spec(5, 1)).unwrap();
+        let cfg = match mgr.suggest("run").unwrap() {
+            Suggestion::Evaluate(cfg) => cfg,
+            Suggestion::Finished(_) => panic!("budget not spent"),
+        };
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                mgr.report("run", bad),
+                Err(ServiceError::NonFiniteValue)
+            ));
+        }
+        assert!(matches!(
+            mgr.report_batch("run", &[1.0, f64::NAN]),
+            Err(ServiceError::NonFiniteValue)
+        ));
+        let snap = mgr.metrics().snapshot();
+        assert_eq!(snap.counter("reports_rejected_non_finite"), Some(4));
+        // Nothing reached the journal or the engine; the session is
+        // still waiting on the same suggestion and accepts a sane value.
+        assert_eq!(snap.counter("journal_appends"), Some(0));
+        assert_eq!(mgr.stats("run").unwrap().reports, 0);
+        mgr.report("run", objective(&cfg)).unwrap();
+        assert_eq!(mgr.stats("run").unwrap().reports, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn evictor_racing_close_and_reopen_never_loses_the_fresh_session() {
+        // Regression stress for the Arc::ptr_eq guard in evict_idle: an
+        // evictor sweeping with ttl=0 races a loop that closes and
+        // immediately reopens the same name. The evictor must never
+        // deregister a session it did not inspect.
+        let mgr = Arc::new(SessionManager::in_memory());
+        mgr.open("contested", toy_spec(1000, 1)).unwrap();
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+
+        let evictor = {
+            let mgr = Arc::clone(&mgr);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                let mut evictions = 0usize;
+                while !stop.load(Ordering::Relaxed) {
+                    evictions += mgr.evict_idle(Duration::ZERO).len();
+                }
+                evictions
+            })
+        };
+
+        let mut reopens = 0usize;
+        for seed in 0..50u64 {
+            // Drive if present; eviction mid-loop surfaces as
+            // UnknownSession, which the driver tolerates by reopening.
+            match mgr.suggest("contested") {
+                Ok(Suggestion::Evaluate(cfg)) => {
+                    let _ = mgr.report("contested", objective(&cfg));
+                }
+                Ok(Suggestion::Finished(_)) | Err(_) => {}
+            }
+            let _ = mgr.close("contested");
+            // The reopen must always win over a stale evictor guard.
+            if mgr.open("contested", toy_spec(1000, seed)).is_ok() {
+                reopens += 1;
+            }
+            assert!(
+                mgr.session_names().len() <= 1,
+                "duplicate sessions under one name"
+            );
+        }
+        stop.store(true, Ordering::Relaxed);
+        let _ = evictor.join().unwrap();
+        assert!(reopens > 0, "reopen never succeeded");
     }
 }

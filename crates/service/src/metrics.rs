@@ -237,6 +237,21 @@ pub struct ServiceMetrics {
     pub engine_suggests: Counter,
     /// Reports accepted across all sessions.
     pub engine_reports: Counter,
+    /// `suggest_batch` calls answered with at least one configuration
+    /// (the configurations themselves count into `engine_suggests`).
+    pub engine_batch_suggests: Counter,
+    /// `report_batch` calls carrying more than one value (the values
+    /// themselves count into `engine_reports`).
+    pub engine_batch_reports: Counter,
+    /// Reports rejected at the service boundary for carrying NaN or
+    /// infinite costs.
+    pub reports_rejected_non_finite: Counter,
+    /// Live sessions parked (engine thread retired, state snapshotted)
+    /// by the residency governor.
+    pub sessions_parked: Counter,
+    /// Parked sessions resumed on access (engine replayed back to its
+    /// pre-park position).
+    pub sessions_resumed: Counter,
     /// Engine-side latency of one `suggest` rendezvous.
     pub engine_suggest_seconds: Histogram,
     /// Engine-side latency of one `report` rendezvous (journal append
@@ -279,6 +294,12 @@ pub struct ServiceMetrics {
     pub tsdb_samples: Counter,
     /// Times the time-series store halved its buffer.
     pub tsdb_downsamples: Counter,
+    /// Named last-value gauges ([`set_gauge`](Self::set_gauge)), merged
+    /// into the snapshot's counter map so they flow through the
+    /// Prometheus rendering and the time-series store unchanged. Used
+    /// by the scheduler for per-shard registry depth and residency
+    /// figures, which are levels rather than event counts.
+    gauges: Mutex<BTreeMap<String, u64>>,
     /// When this registry was created; the zero point of
     /// `uptime_seconds`.
     start: StartInstant,
@@ -319,6 +340,16 @@ impl ServiceMetrics {
             }
         };
         hist.observe(d);
+    }
+
+    /// Sets a named gauge to its current level. Gauges appear in
+    /// snapshots alongside the counters (same map, same Prometheus
+    /// lines) but carry a last-write-wins value instead of a sum.
+    pub fn set_gauge(&self, name: &str, value: u64) {
+        self.gauges
+            .lock()
+            .expect("metrics lock")
+            .insert(name.to_string(), value);
     }
 
     /// Copies every instrument into a serializable snapshot.
@@ -363,6 +394,23 @@ impl ServiceMetrics {
         c(&mut counters, "server_request_errors", &self.request_errors);
         c(&mut counters, "engine_suggests", &self.engine_suggests);
         c(&mut counters, "engine_reports", &self.engine_reports);
+        c(
+            &mut counters,
+            "engine_batch_suggests",
+            &self.engine_batch_suggests,
+        );
+        c(
+            &mut counters,
+            "engine_batch_reports",
+            &self.engine_batch_reports,
+        );
+        c(
+            &mut counters,
+            "reports_rejected_non_finite",
+            &self.reports_rejected_non_finite,
+        );
+        c(&mut counters, "sessions_parked", &self.sessions_parked);
+        c(&mut counters, "sessions_resumed", &self.sessions_resumed);
         c(&mut counters, "sessions_opened", &self.sessions_opened);
         c(
             &mut counters,
@@ -396,6 +444,9 @@ impl ServiceMetrics {
         );
         c(&mut counters, "tsdb_samples", &self.tsdb_samples);
         c(&mut counters, "tsdb_downsamples", &self.tsdb_downsamples);
+        for (name, value) in self.gauges.lock().expect("metrics lock").iter() {
+            counters.insert(name.clone(), *value);
+        }
         histograms.insert(
             "server_dispatch_seconds".to_string(),
             self.dispatch_seconds.snapshot(),
@@ -575,6 +626,23 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap.counter("tsdb_samples"), Some(2));
         assert_eq!(snap.counter("tsdb_downsamples"), Some(0));
+    }
+
+    #[test]
+    fn gauges_join_the_counter_map_with_last_write_wins() {
+        let m = ServiceMetrics::new();
+        m.set_gauge("scheduler_shard_depth_3", 7);
+        m.set_gauge("scheduler_shard_depth_3", 4);
+        m.set_gauge("scheduler_resident_engines", 2);
+        let snap = m.snapshot();
+        assert_eq!(snap.counter("scheduler_shard_depth_3"), Some(4));
+        assert_eq!(snap.counter("scheduler_resident_engines"), Some(2));
+        let text = snap.render_prometheus();
+        assert!(text.contains("autotune_scheduler_shard_depth_3 4"));
+        // Gauges ride the same pipeline into the time-series store.
+        m.sample_timeseries(50);
+        let points = m.timeseries().points();
+        assert_eq!(points[0].gauge("scheduler_shard_depth_3"), Some(4.0));
     }
 
     #[test]

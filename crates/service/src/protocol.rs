@@ -3,7 +3,7 @@
 //! Each request is one JSON object on one line, tagged by `"op"`; each
 //! reply is one JSON object on one line, tagged by `"reply"`. Requests
 //! are answered in order on the connection that sent them. The protocol
-//! is deliberately minimal — six operations mirroring the
+//! is deliberately minimal — eight operations mirroring the
 //! [`SessionManager`](crate::SessionManager) surface plus two
 //! server-wide observability reads, `metrics` and `timeseries`, and the
 //! knowledge-base op `kb` (store statistics, optional instant-answer
@@ -16,6 +16,10 @@
 //! <- {"reply":"suggest","config":[4,1,2,8,4,2],"result":null}
 //! -> {"op":"report","name":"run","value":12.25}
 //! <- {"reply":"reported"}
+//! -> {"op":"suggest_batch","name":"run","n":4}
+//! <- {"reply":"suggest_batch","config":[[4,1,2,8,4,2],[2,2,1,8,8,2]],"result":null}
+//! -> {"op":"report_batch","name":"run","values":[12.25,14.5]}
+//! <- {"reply":"reported_batch","accepted":2}
 //! -> {"op":"stats","name":"run"}
 //! <- {"reply":"stats","stats":{...}}
 //! -> {"op":"trace","name":"run"}
@@ -43,10 +47,11 @@
 //! `code` is one of the machine-readable [`ErrorCode`] spellings —
 //! `busy`, `timeout`, `unknown_session`, and `io` mark retryable
 //! conditions; `invalid_spec`, `invalid_name`, `session_exists`,
-//! `suggest_pending`, `no_pending_suggest`, `engine_stopped`,
-//! `engine_failed`, `replay_diverged`, `replay_overrun`, `journal`,
-//! `protocol`, `request_too_large`, and `internal` are fatal for the
-//! request that triggered them. `message` stays free-form for humans.
+//! `suggest_pending`, `no_pending_suggest`, `non_finite_value`,
+//! `engine_stopped`, `engine_failed`, `replay_diverged`,
+//! `replay_overrun`, `journal`, `protocol`, `request_too_large`, and
+//! `internal` are fatal for the request that triggered them. `message`
+//! stays free-form for humans.
 //! Three error replies additionally end the connection after being
 //! written: `busy` (connection cap), `timeout` (read deadline), and
 //! `request_too_large` (line cap).
@@ -79,12 +84,32 @@ pub enum Request {
         /// The target session.
         name: String,
     },
-    /// Report the measured cost of the pending suggestion.
+    /// Ask the named session for up to `n` configurations at once. How
+    /// many come back is capped by the tuner's own chunk width (the
+    /// spec's `batch`); sequential algorithms answer one at a time.
+    SuggestBatch {
+        /// The target session.
+        name: String,
+        /// Maximum number of configurations wanted.
+        n: usize,
+    },
+    /// Report the measured cost of the oldest pending suggestion.
     Report {
         /// The target session.
         name: String,
-        /// The observed cost (lower is better).
+        /// The observed cost (lower is better). Must be finite; NaN and
+        /// infinities are rejected with `non_finite_value`.
         value: f64,
+    },
+    /// Report several measured costs at once, answering the oldest
+    /// pending suggestions in order. All-or-nothing: a batch longer
+    /// than the pending queue (or containing a non-finite value) is
+    /// rejected without consuming anything.
+    ReportBatch {
+        /// The target session.
+        name: String,
+        /// The observed costs, in suggestion order. Each must be finite.
+        values: Vec<f64>,
     },
     /// Fetch the session's observability counters.
     Stats {
@@ -142,8 +167,22 @@ pub enum Response {
         /// The final result, once the budget is spent.
         result: Option<TuneResult>,
     },
+    /// Answer to `suggest_batch`: exactly one of the two fields is set.
+    SuggestBatch {
+        /// The configurations to measure next (1..=n of them), unless
+        /// the run finished.
+        config: Option<Vec<Configuration>>,
+        /// The final result, once the budget is spent.
+        result: Option<TuneResult>,
+    },
     /// The report was accepted (and journaled, if persistence is on).
     Reported,
+    /// Answer to `report_batch`: every value was accepted and journaled.
+    ReportedBatch {
+        /// How many values were accepted (the whole batch — the op is
+        /// all-or-nothing).
+        accepted: usize,
+    },
     /// Answer to `stats`.
     Stats {
         /// The session's counters.
@@ -303,6 +342,61 @@ mod tests {
             serde_json::from_str::<Request>(line).unwrap(),
             Request::Trace { name: "run".into() }
         );
+    }
+
+    #[test]
+    fn batch_ops_round_trip_and_parse_hand_written() {
+        let req = Request::SuggestBatch {
+            name: "run".into(),
+            n: 4,
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"op\":\"suggest_batch\""));
+        assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), req);
+
+        let line = r#"{"op":"report_batch","name":"run","values":[12.25,14.5]}"#;
+        assert_eq!(
+            serde_json::from_str::<Request>(line).unwrap(),
+            Request::ReportBatch {
+                name: "run".into(),
+                values: vec![12.25, 14.5],
+            }
+        );
+
+        let reply = Response::SuggestBatch {
+            config: Some(vec![
+                Configuration::from([1, 2, 3]),
+                Configuration::from([3, 2, 1]),
+            ]),
+            result: None,
+        };
+        let json = serde_json::to_string(&reply).unwrap();
+        assert!(json.contains("\"reply\":\"suggest_batch\""));
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::SuggestBatch {
+                config: Some(cfgs),
+                result: None,
+            } => assert_eq!(cfgs.len(), 2),
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let json = serde_json::to_string(&Response::ReportedBatch { accepted: 2 }).unwrap();
+        assert!(json.contains("\"reply\":\"reported_batch\""));
+        assert!(json.contains("\"accepted\":2"));
+    }
+
+    #[test]
+    fn non_finite_wire_values_fail_to_parse_as_protocol_errors() {
+        // JSON has no NaN/Infinity literals, so a non-finite report can
+        // only reach the server as a malformed line; in-process callers
+        // are caught by the manager's explicit finite check instead.
+        for line in [
+            r#"{"op":"report","name":"run","value":NaN}"#,
+            r#"{"op":"report","name":"run","value":1e999}"#,
+            r#"{"op":"report_batch","name":"run","values":[1.0,Infinity]}"#,
+        ] {
+            assert!(serde_json::from_str::<Request>(line).is_err(), "{line}");
+        }
     }
 
     #[test]

@@ -32,15 +32,16 @@
 //! [`ServiceMetrics`](crate::metrics::ServiceMetrics), scrapeable over
 //! the wire via the `metrics` op.
 
-use crate::engine::Suggestion;
+use crate::engine::{BatchSuggestion, Suggestion};
 use crate::error::ServiceError;
 use crate::manager::SessionManager;
 use crate::protocol::{Request, Response};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -105,6 +106,14 @@ struct ConnEntry {
 /// Registry of live connections, shared between the accept loop, the
 /// connection handlers (which deregister themselves), and the drain
 /// path.
+///
+/// The map sits behind a `parking_lot::Mutex`, which does not poison: a
+/// handler thread that panics while touching the table (or anywhere —
+/// deregistration runs on every exit path) must not turn every later
+/// `active()` check into a panic of its own. With a poisoning
+/// `std::sync::Mutex` here, one crashed handler would cascade into the
+/// accept loop and take the whole server down; with parking_lot the
+/// table stays serviceable and only the faulty connection is lost.
 #[derive(Default)]
 struct ConnTable {
     next_id: AtomicU64,
@@ -113,12 +122,12 @@ struct ConnTable {
 
 impl ConnTable {
     fn active(&self) -> usize {
-        self.live.lock().expect("conn table lock").len()
+        self.live.lock().len()
     }
 
     fn insert(&self, stream: TcpStream) -> u64 {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
-        self.live.lock().expect("conn table lock").insert(
+        self.live.lock().insert(
             id,
             ConnEntry {
                 stream,
@@ -131,22 +140,17 @@ impl ConnTable {
     fn attach_handle(&self, id: u64, handle: thread::JoinHandle<()>) {
         // The handler may have finished and deregistered already; then
         // the handle is simply dropped (the thread is done or exiting).
-        if let Some(entry) = self.live.lock().expect("conn table lock").get_mut(&id) {
+        if let Some(entry) = self.live.lock().get_mut(&id) {
             entry.handle = Some(handle);
         }
     }
 
     fn remove(&self, id: u64) {
-        self.live.lock().expect("conn table lock").remove(&id);
+        self.live.lock().remove(&id);
     }
 
     fn drain(&self) -> Vec<ConnEntry> {
-        self.live
-            .lock()
-            .expect("conn table lock")
-            .drain()
-            .map(|(_, entry)| entry)
-            .collect()
+        self.live.lock().drain().map(|(_, entry)| entry).collect()
     }
 }
 
@@ -407,7 +411,7 @@ fn accept_loop(
                 // A failed spawn must not silently eat the connection:
                 // answer with a structured error on the accept thread.
                 metrics.connection_spawn_failures.inc();
-                if let Some(entry) = conns.live.lock().expect("conn table lock").remove(&id) {
+                if let Some(entry) = conns.live.lock().remove(&id) {
                     reject(entry.stream, &config, &ServiceError::Io(e));
                 }
             }
@@ -586,9 +590,22 @@ fn dispatch(request: Request, manager: &SessionManager) -> Response {
                 result: Some(*result),
             },
         }),
+        Request::SuggestBatch { name, n } => manager.suggest_batch(&name, n).map(|s| match s {
+            BatchSuggestion::Evaluate(configs) => Response::SuggestBatch {
+                config: Some(configs),
+                result: None,
+            },
+            BatchSuggestion::Finished(result) => Response::SuggestBatch {
+                config: None,
+                result: Some(*result),
+            },
+        }),
         Request::Report { name, value } => {
             manager.report(&name, value).map(|()| Response::Reported)
         }
+        Request::ReportBatch { name, values } => manager
+            .report_batch(&name, &values)
+            .map(|accepted| Response::ReportedBatch { accepted }),
         Request::Stats { name } => manager.stats(&name).map(|stats| Response::Stats { stats }),
         Request::Trace { name } => manager
             .trace(&name)
@@ -641,6 +658,7 @@ mod tests {
             warm_start: Default::default(),
             problem: None,
             prior: None,
+            batch: 1,
         }
     }
 
@@ -747,6 +765,56 @@ mod tests {
         match roundtrip(&mut conn, &Request::Close { name: "t".into() }) {
             Response::Closed { result } => assert!(result.is_some()),
             other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn serves_batch_ops_over_tcp() {
+        let manager = Arc::new(SessionManager::in_memory());
+        let server = TunedServer::spawn("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+        let mut conn = connect(server.local_addr());
+        let reply = roundtrip(
+            &mut conn,
+            &Request::Open {
+                name: "b".into(),
+                spec: toy_spec(),
+            },
+        );
+        assert!(matches!(reply, Response::Opened { .. }));
+        loop {
+            match roundtrip(
+                &mut conn,
+                &Request::SuggestBatch {
+                    name: "b".into(),
+                    n: 2,
+                },
+            ) {
+                Response::SuggestBatch {
+                    config: Some(cfgs), ..
+                } => {
+                    assert!(!cfgs.is_empty() && cfgs.len() <= 2);
+                    let values: Vec<f64> = cfgs.iter().map(|c| c.values()[0] as f64).collect();
+                    let accepted = values.len();
+                    match roundtrip(
+                        &mut conn,
+                        &Request::ReportBatch {
+                            name: "b".into(),
+                            values,
+                        },
+                    ) {
+                        Response::ReportedBatch { accepted: got } => assert_eq!(got, accepted),
+                        other => panic!("unexpected reply: {other:?}"),
+                    }
+                }
+                Response::SuggestBatch {
+                    result: Some(result),
+                    ..
+                } => {
+                    assert_eq!(result.history.len(), 3);
+                    break;
+                }
+                other => panic!("unexpected reply: {other:?}"),
+            }
         }
     }
 

@@ -95,6 +95,15 @@ pub struct SessionSpec {
     pub budget: usize,
     /// RNG seed; equal seeds give identical suggestion streams.
     pub seed: u64,
+    /// Preferred measurement batch width. At 1 (the default, absent on
+    /// the wire so pre-batch transcripts stay byte-identical) the
+    /// session runs strictly sequentially. Above 1, batch-capable
+    /// tuners propose whole chunks at a time — exactly for the
+    /// value-independent techniques (RS/GS/RF/GA), via constant-liar
+    /// imputation for BO-GP/BO-TPE, synchronously for PSO; inherently
+    /// sequential tuners (SA, MLS) ignore the hint.
+    #[serde(default = "default_batch", skip_serializing_if = "is_default_batch")]
+    pub batch: usize,
     /// The search space.
     pub space: SpaceSpec,
     /// Knowledge-base participation. Defaults to [`WarmStart::Auto`];
@@ -113,6 +122,17 @@ pub struct SessionSpec {
     pub prior: Option<PriorHistory>,
 }
 
+/// Serde default for [`SessionSpec::batch`].
+fn default_batch() -> usize {
+    1
+}
+
+/// Keeps `batch: 1` off the wire (see [`SessionSpec::batch`]).
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn is_default_batch(batch: &usize) -> bool {
+    *batch == 1
+}
+
 impl SessionSpec {
     /// Convenience constructor for the paper's ImageCL space.
     pub fn imagecl(algorithm: Algorithm, budget: usize, seed: u64) -> Self {
@@ -120,11 +140,18 @@ impl SessionSpec {
             algorithm,
             budget,
             seed,
+            batch: 1,
             space: SpaceSpec::ImageCl,
             warm_start: WarmStart::Auto,
             problem: None,
             prior: None,
         }
+    }
+
+    /// The same spec with a measurement batch width (floors at 1).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch.max(1);
+        self
     }
 
     /// The same spec tagged with a problem identity for the knowledge
@@ -162,6 +189,11 @@ impl SessionSpec {
                 "budget must be at least 1".into(),
             ));
         }
+        if self.batch == 0 {
+            return Err(ServiceError::InvalidSpec(
+                "batch width must be at least 1".into(),
+            ));
+        }
         let space = self.space.space();
         if space.dims() == 0 {
             return Err(ServiceError::InvalidSpec(
@@ -197,7 +229,8 @@ impl SessionSpec {
 
     /// Builds the owned tuner setup the engine thread runs with.
     pub fn setup(&self) -> OwnedTuneSetup {
-        let mut setup = OwnedTuneSetup::new(self.space.space(), self.budget, self.seed);
+        let mut setup =
+            OwnedTuneSetup::new(self.space.space(), self.budget, self.seed).with_batch(self.batch);
         if let Some(c) = self.space.search_constraint(self.algorithm) {
             setup = setup.with_constraint(c);
         }
@@ -226,6 +259,7 @@ mod tests {
             algorithm: Algorithm::RandomSearch,
             budget: 5,
             seed: 1,
+            batch: 8,
             space: SpaceSpec::Custom {
                 space: ParamSpace::new(vec![Param::new("a", 1, 4)]),
             },
@@ -248,12 +282,34 @@ mod tests {
         assert!(!json.contains("warm_start"));
         assert!(!json.contains("problem"));
         assert!(!json.contains("prior"));
+        assert!(!json.contains("batch"));
 
         let legacy = r#"{"algorithm":"BoTpe","budget":40,"seed":7,"space":{"kind":"image_cl"}}"#;
         let back: SessionSpec = serde_json::from_str(legacy).unwrap();
         assert_eq!(back, spec);
         assert_eq!(back.warm_start, WarmStart::Auto);
+        assert_eq!(back.batch, 1);
         assert!(back.problem.is_none() && back.prior.is_none());
+    }
+
+    #[test]
+    fn batch_width_round_trips_and_validates() {
+        let spec = SessionSpec::imagecl(Algorithm::RandomSearch, 40, 7).with_batch(8);
+        let json = serde_json::to_string(&spec).unwrap();
+        assert!(json.contains("\"batch\":8"));
+        let back: SessionSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+        assert!(back.validate().is_ok());
+        assert_eq!(back.setup().batch(), 8);
+
+        // with_batch floors at 1; a hand-written zero is rejected.
+        assert_eq!(spec.clone().with_batch(0).batch, 1);
+        let hostile = r#"{"algorithm":"RandomSearch","budget":5,"seed":1,"batch":0,"space":{"kind":"image_cl"}}"#;
+        let parsed: SessionSpec = serde_json::from_str(hostile).unwrap();
+        assert!(matches!(
+            parsed.validate(),
+            Err(ServiceError::InvalidSpec(_))
+        ));
     }
 
     #[test]
@@ -278,6 +334,7 @@ mod tests {
             algorithm: Algorithm::RandomSearch,
             budget: 3,
             seed: 0,
+            batch: 1,
             space: SpaceSpec::Custom {
                 space: ParamSpace::new(vec![]),
             },

@@ -4,7 +4,7 @@
 //! and budget — no algorithm was modified to invert the control flow.
 
 use autotune_core::{Algorithm, Evaluation, TuneContext, TuneResult};
-use autotune_service::{AskTellSession, SessionSpec, SpaceSpec, Suggestion};
+use autotune_service::{AskTellSession, BatchSuggestion, SessionSpec, SpaceSpec, Suggestion};
 use autotune_space::{imagecl, Configuration, Param, ParamSpace};
 use proptest::prelude::*;
 
@@ -69,6 +69,29 @@ fn ask_tell(spec: &SessionSpec) -> (TuneResult, Vec<Evaluation>) {
     }
 }
 
+/// Ask-tell run of the same spec through the batch ops, claiming up to
+/// `width` configurations per round-trip and reporting them together.
+fn ask_tell_batched(spec: &SessionSpec, width: usize) -> (TuneResult, Vec<Evaluation>) {
+    let mut session = AskTellSession::open(spec.clone()).expect("open");
+    let mut pairs = Vec::new();
+    loop {
+        match session.suggest_batch(width).expect("suggest_batch") {
+            BatchSuggestion::Evaluate(cfgs) => {
+                assert!(!cfgs.is_empty() && cfgs.len() <= width);
+                let values: Vec<f64> = cfgs.iter().map(objective).collect();
+                for (cfg, &v) in cfgs.iter().zip(&values) {
+                    pairs.push(Evaluation {
+                        config: cfg.clone(),
+                        value: v,
+                    });
+                }
+                session.report_batch(&values).expect("report_batch");
+            }
+            BatchSuggestion::Finished(result) => return (*result, pairs),
+        }
+    }
+}
+
 fn assert_equivalent(spec: &SessionSpec) {
     let (loop_result, loop_calls) = closed_loop(spec);
     let (session_result, session_pairs) = ask_tell(spec);
@@ -111,8 +134,127 @@ proptest! {
                 warm_start: Default::default(),
                 problem: None,
                 prior: None,
+                batch: 1,
             };
             assert_equivalent(&spec);
+        }
+    }
+
+    /// The batch ops degenerate exactly to the sequential protocol for
+    /// every algorithm: on a batch-1 spec, `suggest_batch(1)` /
+    /// `report_batch(&[v])` must reproduce the closed loop bit for bit
+    /// — no imputation, no reordering, no off-by-one at the budget edge.
+    #[test]
+    fn batch_of_one_equals_closed_loop_for_all_algorithms(
+        seed in any::<u64>(),
+        budget in 6usize..12,
+    ) {
+        for algorithm in Algorithm::ALL {
+            let spec = SessionSpec {
+                algorithm,
+                budget,
+                seed,
+                space: SpaceSpec::Custom { space: toy_space() },
+                warm_start: Default::default(),
+                problem: None,
+                prior: None,
+                batch: 1,
+            };
+            let (loop_result, loop_calls) = closed_loop(&spec);
+            let (batch_result, batch_pairs) = ask_tell_batched(&spec, 1);
+            let label = format!("{} seed={} budget={}", algorithm.name(), seed, budget);
+            prop_assert_eq!(&loop_calls, &batch_pairs, "{}: call sequences diverged", label);
+            prop_assert_eq!(
+                loop_result.history.evaluations(),
+                batch_result.history.evaluations(),
+                "{}: histories diverged",
+                label
+            );
+            prop_assert_eq!(loop_result.best, batch_result.best, "{}: best diverged", label);
+        }
+    }
+
+    /// For the non-imputing algorithms a batched spec is *exactly* the
+    /// sequential run, whatever width the driver claims with: their
+    /// chunked paths replay the sequential RNG stream (RS, GS, RF, GA)
+    /// or ignore the batch hint entirely (SA, MLS).
+    #[test]
+    fn batched_specs_stay_exact_for_non_imputing_algorithms(
+        seed in any::<u64>(),
+        budget in 8usize..14,
+        width in 2usize..5,
+    ) {
+        for algorithm in [
+            Algorithm::RandomSearch,
+            Algorithm::GridSearch,
+            Algorithm::RandomForest,
+            Algorithm::GeneticAlgorithm,
+            Algorithm::SimulatedAnnealing,
+            Algorithm::MultiStartLocalSearch,
+        ] {
+            let sequential = SessionSpec {
+                algorithm,
+                budget,
+                seed,
+                space: SpaceSpec::Custom { space: toy_space() },
+                warm_start: Default::default(),
+                problem: None,
+                prior: None,
+                batch: 1,
+            };
+            let batched = sequential.clone().with_batch(width);
+            let (loop_result, loop_calls) = closed_loop(&sequential);
+            let (batch_result, batch_pairs) = ask_tell_batched(&batched, width);
+            let label = format!(
+                "{} seed={} budget={} width={}",
+                algorithm.name(), seed, budget, width
+            );
+            prop_assert_eq!(&loop_calls, &batch_pairs, "{}: call sequences diverged", label);
+            prop_assert_eq!(
+                loop_result.history.evaluations(),
+                batch_result.history.evaluations(),
+                "{}: histories diverged",
+                label
+            );
+            prop_assert_eq!(loop_result.best, batch_result.best, "{}: best diverged", label);
+        }
+    }
+
+    /// The imputing SMBO tuners (constant liar) and the synchronous PSO
+    /// variant give up bit-identity for parallelism, but a batched run
+    /// must still spend exactly the budget and report a best that
+    /// matches its own history.
+    #[test]
+    fn batched_specs_stay_coherent_for_imputing_algorithms(
+        seed in any::<u64>(),
+        budget in 8usize..14,
+        width in 2usize..5,
+    ) {
+        for algorithm in [Algorithm::BoGp, Algorithm::BoTpe, Algorithm::ParticleSwarm] {
+            let spec = SessionSpec {
+                algorithm,
+                budget,
+                seed,
+                space: SpaceSpec::Custom { space: toy_space() },
+                warm_start: Default::default(),
+                problem: None,
+                prior: None,
+                batch: 1,
+            }
+            .with_batch(width);
+            let (result, pairs) = ask_tell_batched(&spec, width);
+            let label = format!(
+                "{} seed={} budget={} width={}",
+                algorithm.name(), seed, budget, width
+            );
+            prop_assert_eq!(pairs.len(), budget, "{}: budget not spent exactly", label);
+            prop_assert_eq!(result.history.evaluations(), pairs.as_slice(),
+                "{}: history diverged from reports", label);
+            let best_reported = pairs
+                .iter()
+                .map(|e| e.value)
+                .fold(f64::INFINITY, f64::min);
+            prop_assert_eq!(result.best.value, best_reported, "{}: best diverged", label);
         }
     }
 }

@@ -301,6 +301,76 @@ fn idle_sessions_are_reaped_over_tcp_and_stay_recoverable() {
 }
 
 #[test]
+fn non_finite_costs_cannot_cross_the_wire_or_the_boundary() {
+    let dir = temp_dir("nonfinite");
+    let manager = Arc::new(SessionManager::with_journal_dir(&dir).unwrap());
+    let server = TunedServer::spawn("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+    let addr = server.local_addr();
+
+    let name = "poisoned";
+    let mut client = Client::connect(addr).unwrap();
+    client
+        .open(name, toy_spec(Algorithm::RandomSearch, 6, 7))
+        .unwrap();
+    let cfg = match client.suggest(name).unwrap() {
+        RemoteSuggestion::Evaluate(cfg) => cfg,
+        RemoteSuggestion::Finished(_) => panic!("budget not spent"),
+    };
+
+    // Layer 1, the wire: JSON cannot express NaN, so a raw `1e999`
+    // (and friends) dies in the parser as a protocol error — and the
+    // connection survives to serve the next request.
+    let mut raw = TcpStream::connect(addr).unwrap();
+    for bad in [
+        format!("{{\"op\":\"report\",\"name\":\"{name}\",\"value\":1e999}}\n"),
+        format!("{{\"op\":\"report\",\"name\":\"{name}\",\"value\":NaN}}\n"),
+        format!("{{\"op\":\"report_batch\",\"name\":\"{name}\",\"values\":[1.0,Infinity]}}\n"),
+    ] {
+        raw.write_all(bad.as_bytes()).unwrap();
+        raw.flush().unwrap();
+        let reply = read_reply(&raw);
+        assert!(reply.contains("\"code\":\"protocol\""), "reply: {reply}");
+    }
+    raw.write_all(format!("{{\"op\":\"stats\",\"name\":\"{name}\"}}\n").as_bytes())
+        .unwrap();
+    raw.flush().unwrap();
+    let reply = read_reply(&raw);
+    assert!(reply.contains("\"stats\""), "reply: {reply}");
+    drop(raw);
+
+    // Layer 2, the service boundary: an in-process caller can hand the
+    // manager a genuine NaN; the manager answers with the
+    // machine-readable code and nothing reaches the journal.
+    let appends_before = manager
+        .metrics()
+        .snapshot()
+        .counter("journal_appends")
+        .unwrap();
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let err = manager.report(name, bad).unwrap_err();
+        assert_eq!(err.code(), ErrorCode::NonFiniteValue);
+    }
+    let err = manager.report_batch(name, &[1.0, f64::NAN]).unwrap_err();
+    assert_eq!(err.code(), ErrorCode::NonFiniteValue);
+    let snapshot = manager.metrics().snapshot();
+    assert_eq!(snapshot.counter("journal_appends").unwrap(), appends_before);
+    assert_eq!(snapshot.counter("reports_rejected_non_finite"), Some(4));
+
+    // The session is unharmed: the pending suggestion still accepts a
+    // finite cost, and the journal — which never saw the poison — still
+    // recovers cleanly after an eviction.
+    client.report(name, objective(&cfg)).unwrap();
+    assert_eq!(client.stats(name).unwrap().reports, 1);
+    manager.evict_idle(Duration::ZERO);
+    manager.recover(name).unwrap();
+    assert_eq!(client.stats(name).unwrap().replayed, 1);
+
+    drop(client);
+    drop(server);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
 fn metrics_scrape_renders_parseable_prometheus_text() {
     let manager = Arc::new(SessionManager::in_memory());
     let server = TunedServer::spawn("127.0.0.1:0", Arc::clone(&manager)).unwrap();
