@@ -1,11 +1,17 @@
 //! Observatory overhead: per-observation cost of the streaming
-//! estimators and the price of one metrics time-series sample.
+//! estimators, the price of one metrics time-series sample, and the
+//! event log's emission-site cost.
 //!
 //! The streaming module exists so the study monitor can fold every
 //! finished repetition in on the worker threads' critical path —
 //! these groups keep that cost honest (nanoseconds per push, not
 //! microseconds), and `tsdb/sample` prices the `tuned` sampler tick.
+//! The `event_log` group proves the "logging off is ~free" claim the
+//! serving path relies on: a disabled log's emit is one atomic load
+//! (the message closure never runs), and an off-threshold `record_op`
+//! is one load plus a compare.
 
+use autotune_service::log::{rid_scope, EventLog, LogLevel};
 use autotune_service::ServiceMetrics;
 use autotune_stats::{Alternative, Extrema, P2Quantile, StreamingMwu, Welford};
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
@@ -104,10 +110,55 @@ fn bench_tsdb_sampling(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_event_log(c: &mut Criterion) {
+    const N: usize = 10_000;
+    let mut g = c.benchmark_group("observability/event_log");
+    g.throughput(Throughput::Elements(N as u64));
+
+    // The default serving path: every emission site hits a disabled
+    // log. The closure must never be evaluated.
+    let off = EventLog::null();
+    g.bench_function("emit_disabled", |b| {
+        b.iter(|| {
+            for i in 0..N {
+                off.debug("engine", Some("bench"), || {
+                    format!("expensive message {i} that must never be built")
+                });
+            }
+            black_box(off.counts().logged)
+        })
+    });
+    g.bench_function("record_op_off_threshold", |b| {
+        let elapsed = std::time::Duration::from_micros(50);
+        b.iter(|| {
+            for _ in 0..N {
+                off.record_op("suggest", elapsed);
+            }
+            black_box(off.counts().slow_ops)
+        })
+    });
+
+    // The enabled path, with a rid in scope, generous rate limit, and
+    // the ring absorbing every record — the worst on-path cost.
+    let on = EventLog::enabled(LogLevel::Debug);
+    on.set_rate_limit(f64::MAX, f64::MAX);
+    g.bench_function("emit_enabled_ring", |b| {
+        let _scope = rid_scope("r-benchbenchbench", true);
+        b.iter(|| {
+            for i in 0..N {
+                on.debug("engine", Some("bench"), || format!("suggest served #{i}"));
+            }
+            black_box(on.counts().logged)
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_streaming_estimators,
     bench_streaming_mwu,
-    bench_tsdb_sampling
+    bench_tsdb_sampling,
+    bench_event_log
 );
 criterion_main!(benches);

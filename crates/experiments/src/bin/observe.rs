@@ -6,11 +6,14 @@
 //!
 //! Two data sources:
 //!
-//! * `--addr` polls a live `tuned` server's `metrics` and `timeseries`
-//!   ops: counters as parseable `name value` lines, request/report
-//!   activity sparklines from the sampled time series, and a per-phase
-//!   search time breakdown from the `search_phase_seconds_*`
-//!   histograms.
+//! * `--addr` polls a live `tuned` server's `metrics`, `timeseries`,
+//!   `health`, and `logs` ops: counters as parseable `name value`
+//!   lines, request/report activity sparklines from the sampled time
+//!   series, a per-phase search time breakdown from the
+//!   `search_phase_seconds_*` histograms, the scheduler's shard depths
+//!   and park/resume counters, the server's self-assessed health (SLO
+//!   budgets, availability, write-path status), and the newest
+//!   structured log records with their correlation ids.
 //! * `--journal` replays a study outcome journal through a live
 //!   [`StudyMonitor`](experiments::StudyMonitor): convergence medians
 //!   per cell and the running CLES/significance matrix against Random
@@ -23,7 +26,7 @@
 //! picked up.
 
 use autotune_service::metrics::MetricsSnapshot;
-use autotune_service::{Client, TimePoint};
+use autotune_service::{Client, HealthReport, HealthStatus, LogRecord, TimePoint, SHARD_COUNT};
 use experiments::journal;
 use experiments::monitor::StudyMonitor;
 use experiments::render::sparkline;
@@ -98,8 +101,16 @@ const ACTIVITY_GAUGES: [&str; 3] = ["server_requests", "engine_suggests", "engin
 /// At most this many trailing samples feed each sparkline.
 const SPARK_WINDOW: usize = 60;
 
+/// How many of the newest log records the dashboard shows.
+const LOG_TAIL: usize = 8;
+
 /// One dashboard frame for a live server.
-fn render_server_frame(snapshot: &MetricsSnapshot, points: &[TimePoint]) -> String {
+fn render_server_frame(
+    snapshot: &MetricsSnapshot,
+    points: &[TimePoint],
+    health: Option<&HealthReport>,
+    logs: &[LogRecord],
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -150,6 +161,114 @@ fn render_server_frame(snapshot: &MetricsSnapshot, points: &[TimePoint]) -> Stri
             hist.count, hist.sum_seconds, mean
         );
     }
+
+    out.push_str("\n# scheduler\n");
+    let depths: Vec<f64> = (0..SHARD_COUNT)
+        .map(|i| {
+            snapshot
+                .counter(&format!("scheduler_shard_depth_{i}"))
+                .unwrap_or(0) as f64
+        })
+        .collect();
+    let _ = writeln!(
+        out,
+        "shard_depth              {} (total {})",
+        sparkline(&depths),
+        depths.iter().sum::<f64>() as u64
+    );
+    for counter in [
+        "scheduler_resident_engines",
+        "scheduler_parked_sessions",
+        "sessions_parked",
+        "sessions_resumed",
+        "engine_batch_suggests",
+        "engine_batch_reports",
+    ] {
+        let _ = writeln!(
+            out,
+            "{counter:<24} {}",
+            snapshot.counter(counter).unwrap_or(0)
+        );
+    }
+
+    if let Some(health) = health {
+        out.push_str("\n# health\n");
+        let status = match health.status {
+            HealthStatus::Ok => "ok",
+            HealthStatus::Degraded => "DEGRADED",
+        };
+        let _ = writeln!(
+            out,
+            "status {status}, live {}, ready {}, availability {:.3}% over {} request(s){}",
+            health.live,
+            health.ready,
+            health.availability.ratio * 100.0,
+            health.availability.window_requests,
+            if health.availability.rolling {
+                " (rolling)"
+            } else {
+                " (lifetime)"
+            }
+        );
+        for slo in &health.slos {
+            let p99 = slo
+                .p99_seconds
+                .map_or_else(|| "inf".to_string(), |p| format!("{p:.4}s"));
+            let _ = writeln!(
+                out,
+                "slo {:<28} p99 {p99:>9} target {:.3}s budget {:>5.1}%{}",
+                slo.histogram,
+                slo.target_seconds,
+                slo.budget_remaining * 100.0,
+                if slo.breached { "  BREACHED" } else { "" }
+            );
+        }
+        let sat = &health.saturation;
+        let _ = writeln!(
+            out,
+            "engines {}/{} ({:.0}% utilized), {} open, {} parked, max shard depth {}",
+            sat.resident_engines,
+            sat.max_resident,
+            sat.utilization * 100.0,
+            sat.open_sessions,
+            sat.parked_sessions,
+            sat.max_shard_depth
+        );
+        let w = &health.writes;
+        let _ = writeln!(
+            out,
+            "writes {}: journal {}/{} failed, kb {} failed, log sink {} failed",
+            if w.healthy { "healthy" } else { "FAILING" },
+            w.journal_append_failures,
+            w.journal_appends,
+            w.kb_append_failures,
+            w.log_sink_failures
+        );
+        let _ = writeln!(
+            out,
+            "log: {} records, {} rate-dropped, {} slow ops",
+            health.log.logged, health.log.dropped, health.log.slow_ops
+        );
+    }
+
+    if !logs.is_empty() {
+        out.push_str("\n# log tail (newest last)\n");
+        for record in logs {
+            let session = record
+                .session
+                .as_deref()
+                .map_or_else(String::new, |s| format!(" {s}:"));
+            let rid = record
+                .rid
+                .as_deref()
+                .map_or_else(String::new, |r| format!(" (rid {r})"));
+            let _ = writeln!(
+                out,
+                "[{:>5} {}]{session} {}{rid}",
+                record.seq, record.level, record.message
+            );
+        }
+    }
     out
 }
 
@@ -159,7 +278,16 @@ fn server_frame(addr: &str) -> Result<String, String> {
     let points = client
         .timeseries()
         .map_err(|e| format!("timeseries: {e}"))?;
-    Ok(render_server_frame(&snapshot, &points))
+    // Pre-correlation servers answer these two with protocol errors;
+    // the frame degrades to the classic panels instead of failing.
+    let health = client.health().ok();
+    let logs = client.log_tail(LOG_TAIL).unwrap_or_default();
+    Ok(render_server_frame(
+        &snapshot,
+        &points,
+        health.as_ref(),
+        &logs,
+    ))
 }
 
 fn journal_frame(path: &str) -> Result<String, String> {

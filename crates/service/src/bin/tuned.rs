@@ -4,7 +4,8 @@
 //! tuned [--addr HOST:PORT] [--journal-dir DIR] [--durability sync|buffered]
 //!       [--kb-path FILE|none] [--read-timeout SECS] [--write-timeout SECS]
 //!       [--max-conns N] [--max-line-bytes N] [--idle-ttl SECS]
-//!       [--timeseries-interval-ms MS]
+//!       [--timeseries-interval-ms MS] [--log-level off|error|warn|info|debug]
+//!       [--log-file PATH] [--slow-op-ms MS] [--slo-p99-ms MS]
 //! ```
 //!
 //! Speaks newline-delimited JSON over TCP (see the protocol module of
@@ -15,9 +16,17 @@
 //! `TUNED_KB_PATH` environment variable; `--kb-path none` disables it).
 //! The hardening flags map one-to-one onto [`ServerConfig`]; defaults
 //! suit a trusted LAN.
+//!
+//! Observability: `--log-level` turns on the structured event log
+//! (served by the `logs` op; off by default and nearly free when off),
+//! `--log-file` additionally appends each record as one JSON line to a
+//! file under the same durability mode as the journal, `--slow-op-ms`
+//! sets the slow-op ring's threshold (the ring works even with logging
+//! off), and `--slo-p99-ms` sets the latency target the `health` op
+//! budgets against.
 
 use autotune_kb::KbStore;
-use autotune_service::{Durability, ServerConfig, SessionManager, TunedServer};
+use autotune_service::{Durability, EventLog, LogLevel, ServerConfig, SessionManager, TunedServer};
 use std::process::exit;
 use std::time::Duration;
 
@@ -32,6 +41,8 @@ struct Args {
     journal_dir: Option<String>,
     durability: Durability,
     kb_path: Option<String>,
+    log_level: Option<LogLevel>,
+    log_file: Option<String>,
     config: ServerConfig,
 }
 
@@ -40,7 +51,8 @@ fn usage(code: i32) -> ! {
     eprintln!("usage: tuned [--addr HOST:PORT] [--journal-dir DIR] [--durability sync|buffered]");
     eprintln!("             [--kb-path FILE|none] [--read-timeout SECS] [--write-timeout SECS]");
     eprintln!("             [--max-conns N] [--max-line-bytes N] [--idle-ttl SECS]");
-    eprintln!("             [--timeseries-interval-ms MS]");
+    eprintln!("             [--timeseries-interval-ms MS] [--log-level off|error|warn|info|debug]");
+    eprintln!("             [--log-file PATH] [--slow-op-ms MS] [--slo-p99-ms MS]");
     eprintln!();
     eprintln!("  --addr HOST:PORT     listen address (default 127.0.0.1:4242)");
     eprintln!("  --journal-dir DIR    journal sessions under DIR and recover");
@@ -75,6 +87,20 @@ fn usage(code: i32) -> ! {
             .map(|d| d.as_millis())
             .unwrap_or(0)
     );
+    eprintln!("  --log-level LEVEL    structured event log verbosity, served by the");
+    eprintln!("                       `logs` op (default off; off is ~free)");
+    eprintln!("  --log-file PATH      also append each log record as one JSON line");
+    eprintln!("                       to PATH, honoring --durability");
+    eprintln!("  --slow-op-ms MS      slow-op ring threshold; requests at least this",);
+    eprintln!(
+        "                       slow are kept for `logs` `slow` mode (default {})",
+        defaults.slow_op_threshold.as_millis()
+    );
+    eprintln!("  --slo-p99-ms MS      p99 latency target the `health` op computes",);
+    eprintln!(
+        "                       error budgets against (default {})",
+        defaults.slo_p99.as_millis()
+    );
     exit(code)
 }
 
@@ -97,6 +123,8 @@ fn parse_args() -> Args {
         kb_path: Some(
             std::env::var("TUNED_KB_PATH").unwrap_or_else(|_| DEFAULT_KB_PATH.to_string()),
         ),
+        log_level: None,
+        log_file: None,
         config: ServerConfig::default(),
     };
     let mut argv = std::env::args().skip(1);
@@ -134,6 +162,27 @@ fn parse_args() -> Args {
                 let ms: u64 = parse(&flag, argv.next());
                 args.config.timeseries_interval = (ms > 0).then(|| Duration::from_millis(ms));
             }
+            "--log-level" => match argv.next().as_deref() {
+                Some("off") => args.log_level = None,
+                Some(level) => match level.parse() {
+                    Ok(level) => args.log_level = Some(level),
+                    Err(e) => {
+                        eprintln!("tuned: --log-level: {e}");
+                        usage(2)
+                    }
+                },
+                None => usage(2),
+            },
+            "--log-file" => match argv.next() {
+                Some(v) => args.log_file = Some(v),
+                None => usage(2),
+            },
+            "--slow-op-ms" => {
+                args.config.slow_op_threshold = Duration::from_millis(parse(&flag, argv.next()))
+            }
+            "--slo-p99-ms" => {
+                args.config.slo_p99 = Duration::from_millis(parse(&flag, argv.next()))
+            }
             "--help" | "-h" => usage(0),
             _ => usage(2),
         }
@@ -157,6 +206,21 @@ fn main() {
             }
         }
         None => SessionManager::in_memory(),
+    };
+    // A file sink implies logging even without an explicit --log-level.
+    let manager = match (args.log_level, &args.log_file) {
+        (None, None) => manager,
+        (level, file) => {
+            let log = EventLog::enabled(level.unwrap_or(LogLevel::Info));
+            if let Some(path) = file {
+                if let Err(e) = log.attach_file(path, args.durability) {
+                    eprintln!("tuned: cannot open log file {path:?}: {e}");
+                    exit(1);
+                }
+                eprintln!("tuned: logging to {path:?}");
+            }
+            manager.with_event_log(Arc::new(log))
+        }
     };
     let manager = match &args.kb_path {
         Some(path) => match KbStore::open_with(path.as_ref(), args.durability) {

@@ -1,9 +1,10 @@
 //! Blocking Rust client for the `tuned` wire protocol.
 
 use crate::error::ServiceError;
+use crate::log::{LogRecord, SlowOp};
 use crate::manager::KbAnswer;
 use crate::metrics::MetricsSnapshot;
-use crate::protocol::{Request, Response};
+use crate::protocol::{HealthReport, Request, Response};
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
 use autotune_core::trace::TraceEvent;
@@ -72,8 +73,8 @@ impl Client {
             ));
         }
         let response: Response = serde_json::from_str(&reply)?;
-        if let Response::Error { code, message } = response {
-            return Err(ServiceError::Remote { code, message });
+        if let Response::Error { code, message, rid } = response {
+            return Err(ServiceError::Remote { code, message, rid });
         }
         Ok(response)
     }
@@ -87,6 +88,7 @@ impl Client {
         let reply = self.call(&Request::Open {
             name: name.to_string(),
             spec,
+            rid: None,
         })?;
         match reply {
             Response::Opened { .. } => Ok(()),
@@ -98,6 +100,7 @@ impl Client {
     pub fn suggest(&mut self, name: &str) -> Result<RemoteSuggestion, ServiceError> {
         let reply = self.call(&Request::Suggest {
             name: name.to_string(),
+            rid: None,
         })?;
         match reply {
             Response::Suggest {
@@ -121,6 +124,7 @@ impl Client {
         let reply = self.call(&Request::SuggestBatch {
             name: name.to_string(),
             n,
+            rid: None,
         })?;
         match reply {
             Response::SuggestBatch {
@@ -140,9 +144,10 @@ impl Client {
         let reply = self.call(&Request::Report {
             name: name.to_string(),
             value,
+            rid: None,
         })?;
         match reply {
-            Response::Reported => Ok(()),
+            Response::Reported { .. } => Ok(()),
             other => Err(Self::unexpected(&other)),
         }
     }
@@ -155,9 +160,10 @@ impl Client {
         let reply = self.call(&Request::ReportBatch {
             name: name.to_string(),
             values: values.to_vec(),
+            rid: None,
         })?;
         match reply {
-            Response::ReportedBatch { accepted } => Ok(accepted),
+            Response::ReportedBatch { accepted, .. } => Ok(accepted),
             other => Err(Self::unexpected(&other)),
         }
     }
@@ -166,9 +172,10 @@ impl Client {
     pub fn stats(&mut self, name: &str) -> Result<SessionStats, ServiceError> {
         let reply = self.call(&Request::Stats {
             name: name.to_string(),
+            rid: None,
         })?;
         match reply {
-            Response::Stats { stats } => Ok(stats),
+            Response::Stats { stats, .. } => Ok(stats),
             other => Err(Self::unexpected(&other)),
         }
     }
@@ -179,9 +186,10 @@ impl Client {
     pub fn trace(&mut self, name: &str) -> Result<Vec<TraceEvent>, ServiceError> {
         let reply = self.call(&Request::Trace {
             name: name.to_string(),
+            rid: None,
         })?;
         match reply {
-            Response::Trace { events } => Ok(events),
+            Response::Trace { events, .. } => Ok(events),
             other => Err(Self::unexpected(&other)),
         }
     }
@@ -189,9 +197,9 @@ impl Client {
     /// Fetches the server-wide metrics snapshot (counters and latency
     /// histograms across all sessions and connections).
     pub fn metrics(&mut self) -> Result<MetricsSnapshot, ServiceError> {
-        let reply = self.call(&Request::Metrics)?;
+        let reply = self.call(&Request::Metrics { rid: None })?;
         match reply {
-            Response::Metrics { metrics } => Ok(metrics),
+            Response::Metrics { metrics, .. } => Ok(metrics),
             other => Err(Self::unexpected(&other)),
         }
     }
@@ -217,9 +225,71 @@ impl Client {
         &mut self,
         since_seq: Option<u64>,
     ) -> Result<Vec<crate::tsdb::TimePoint>, ServiceError> {
-        let reply = self.call(&Request::Timeseries { since_seq })?;
+        let reply = self.call(&Request::Timeseries {
+            since_seq,
+            rid: None,
+        })?;
         match reply {
-            Response::Timeseries { points } => Ok(points),
+            Response::Timeseries { points, .. } => Ok(points),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's self-assessed health: availability, p99
+    /// error budgets, scheduler saturation, and write-path status.
+    pub fn health(&mut self) -> Result<HealthReport, ServiceError> {
+        let reply = self.call(&Request::Health { rid: None })?;
+        match reply {
+            Response::Health { health, .. } => Ok(*health),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Fetches the newest `n` structured log records (oldest first).
+    /// Empty unless the server was started with logging enabled.
+    pub fn log_tail(&mut self, n: usize) -> Result<Vec<LogRecord>, ServiceError> {
+        let reply = self.call(&Request::Logs {
+            tail: Some(n),
+            since_seq: None,
+            slow: false,
+            rid: None,
+        })?;
+        match reply {
+            Response::Logs { records, .. } => Ok(records),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Fetches log records with `seq` strictly greater than `since_seq`
+    /// (oldest first, bounded page) plus the cursor to pass back on the
+    /// next poll — the incremental path for log-following dashboards.
+    pub fn logs_since(&mut self, since_seq: u64) -> Result<(Vec<LogRecord>, u64), ServiceError> {
+        let reply = self.call(&Request::Logs {
+            tail: None,
+            since_seq: Some(since_seq),
+            slow: false,
+            rid: None,
+        })?;
+        match reply {
+            Response::Logs {
+                records, next_seq, ..
+            } => Ok((records, next_seq)),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Fetches the server's slow-op ring: the slowest requests inside
+    /// the sliding window, slowest first, each with its rid when the
+    /// request was correlated.
+    pub fn slow_ops(&mut self) -> Result<Vec<SlowOp>, ServiceError> {
+        let reply = self.call(&Request::Logs {
+            tail: None,
+            since_seq: None,
+            slow: true,
+            rid: None,
+        })?;
+        match reply {
+            Response::Logs { slow, .. } => Ok(slow),
             other => Err(Self::unexpected(&other)),
         }
     }
@@ -227,7 +297,10 @@ impl Client {
     /// Fetches the server's knowledge-base statistics (all zero when no
     /// store is attached).
     pub fn kb_stats(&mut self) -> Result<KbStats, ServiceError> {
-        let reply = self.call(&Request::Kb { lookup: None })?;
+        let reply = self.call(&Request::Kb {
+            lookup: None,
+            rid: None,
+        })?;
         match reply {
             Response::Kb { stats, .. } => Ok(stats),
             other => Err(Self::unexpected(&other)),
@@ -240,6 +313,7 @@ impl Client {
     pub fn kb_lookup(&mut self, spec: SessionSpec) -> Result<Option<KbAnswer>, ServiceError> {
         let reply = self.call(&Request::Kb {
             lookup: Some(Box::new(spec)),
+            rid: None,
         })?;
         match reply {
             Response::Kb { answer, .. } => Ok(answer),
@@ -251,9 +325,10 @@ impl Client {
     pub fn close(&mut self, name: &str) -> Result<Option<TuneResult>, ServiceError> {
         let reply = self.call(&Request::Close {
             name: name.to_string(),
+            rid: None,
         })?;
         match reply {
-            Response::Closed { result } => Ok(result),
+            Response::Closed { result, .. } => Ok(result),
             other => Err(Self::unexpected(&other)),
         }
     }
@@ -376,6 +451,9 @@ mod tests {
             Err(e @ ServiceError::Remote { .. }) => {
                 assert_eq!(e.code(), ErrorCode::UnknownSession);
                 assert!(e.is_retryable());
+                // The server assigns a rid to every error reply and the
+                // client surfaces it in the error's display form.
+                assert!(e.to_string().contains("(rid r-"), "{e}");
             }
             other => panic!("unexpected: {other:?}"),
         }
@@ -458,6 +536,41 @@ mod tests {
         let last_seq = points.last().unwrap().snapshot_seq;
         let tail = client.timeseries_since(last_seq).unwrap();
         assert!(tail.iter().all(|p| p.snapshot_seq > last_seq));
+    }
+
+    #[test]
+    fn client_reads_health_and_logs() {
+        use crate::log::{EventLog, LogLevel};
+        use crate::server::ServerConfig;
+        let manager = Arc::new(
+            SessionManager::in_memory().with_event_log(Arc::new(EventLog::enabled(LogLevel::Info))),
+        );
+        let config = ServerConfig {
+            slow_op_threshold: std::time::Duration::ZERO,
+            slo_p99: std::time::Duration::from_secs(60),
+            ..ServerConfig::default()
+        };
+        let server = TunedServer::spawn_with("127.0.0.1:0", manager, config).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.tune("hl", toy_spec(3, 4), objective).unwrap();
+
+        let health = client.health().unwrap();
+        assert!(health.live && health.ready);
+        assert!(health.writes.healthy);
+        assert!(health.uptime_seconds >= 0.0);
+
+        let records = client.log_tail(100).unwrap();
+        assert!(records.iter().any(|r| r.message.contains("opened session")));
+
+        // Incremental polling from zero pages through the same stream.
+        let (page, cursor) = client.logs_since(0).unwrap();
+        assert!(!page.is_empty());
+        assert!(cursor >= page.last().unwrap().seq);
+        let (rest, _) = client.logs_since(cursor).unwrap();
+        assert!(rest.iter().all(|r| r.seq > cursor));
+
+        let slow = client.slow_ops().unwrap();
+        assert!(!slow.is_empty(), "zero threshold records every op");
     }
 
     #[test]

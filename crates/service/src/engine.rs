@@ -27,6 +27,19 @@
 //! [`ParkedSession`] exploits it to evict idle sessions from their
 //! engine threads entirely: a parked session is spec + history, resumed
 //! on demand by replay.
+//!
+//! # Request correlation
+//!
+//! The correlation id of the request being served
+//! ([`crate::log::rid_scope`]) is a *thread-local* of the connection
+//! thread; the engine thread parked inside the tuner never sees it.
+//! Engine activity is therefore logged caller-side — the
+//! [`SessionManager`](crate::SessionManager) emits the `engine`
+//! component records around each suggest/report rendezvous, where the
+//! rid is still in scope. That is also the semantically honest place:
+//! the duration that matters to a request is the rendezvous wait, not
+//! tuner wall-time (a batch-width chunk is computed once and amortized
+//! over several requests).
 
 use crate::error::ServiceError;
 use crate::metrics::ServiceMetrics;

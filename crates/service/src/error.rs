@@ -144,6 +144,11 @@ pub enum ServiceError {
         code: ErrorCode,
         /// The human-readable failure description.
         message: String,
+        /// The failing request's correlation id, as echoed by the
+        /// server (server-assigned when the client sent none) — quote
+        /// it when reporting a failure so the server's log records and
+        /// slow-op entries for the request can be found.
+        rid: Option<String>,
     },
     /// An underlying I/O failure (socket, journal file, thread spawn).
     Io(io::Error),
@@ -221,9 +226,10 @@ impl fmt::Display for ServiceError {
                     "no complete request line arrived within the read deadline"
                 )
             }
-            ServiceError::Remote { code, message } => {
-                write!(f, "server error [{code}]: {message}")
-            }
+            ServiceError::Remote { code, message, rid } => match rid {
+                Some(rid) => write!(f, "server error [{code}]: {message} (rid {rid})"),
+                None => write!(f, "server error [{code}]: {message}"),
+            },
             ServiceError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -271,6 +277,28 @@ mod tests {
     }
 
     #[test]
+    fn remote_errors_surface_the_rid_when_present() {
+        let bare = ServiceError::Remote {
+            code: ErrorCode::UnknownSession,
+            message: "unknown session \"ghost\"".into(),
+            rid: None,
+        };
+        assert_eq!(
+            bare.to_string(),
+            "server error [unknown_session]: unknown session \"ghost\""
+        );
+        let tagged = ServiceError::Remote {
+            code: ErrorCode::UnknownSession,
+            message: "unknown session \"ghost\"".into(),
+            rid: Some("r-9f2a6c01d4e8b370".into()),
+        };
+        assert_eq!(
+            tagged.to_string(),
+            "server error [unknown_session]: unknown session \"ghost\" (rid r-9f2a6c01d4e8b370)"
+        );
+    }
+
+    #[test]
     fn io_source_is_preserved() {
         use std::error::Error;
         let e = ServiceError::from(io::Error::other("disk"));
@@ -291,7 +319,8 @@ mod tests {
         assert_eq!(
             ServiceError::Remote {
                 code: ErrorCode::Timeout,
-                message: "t".into()
+                message: "t".into(),
+                rid: None,
             }
             .code(),
             ErrorCode::Timeout

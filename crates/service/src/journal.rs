@@ -52,6 +52,13 @@ pub enum Record {
         config: Configuration,
         /// The reported cost.
         value: f64,
+        /// The *client-chosen* correlation id of the request that
+        /// reported this value, when one was in scope at append time.
+        /// Server-assigned ids are deliberately excluded so traffic
+        /// that never sends a `rid` produces journals byte-identical
+        /// to pre-correlation ones. Replay ignores this field.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// A batch of search-trace events drained from the session's
     /// engine (appended alongside `eval` lines when tracing is on;
@@ -161,6 +168,7 @@ impl JournalWriter {
         self.append(&Record::Eval {
             config: config.clone(),
             value,
+            rid: crate::log::current_explicit_rid(),
         })
     }
 
@@ -248,7 +256,7 @@ pub fn load(path: &Path) -> Result<JournalContents, ServiceError> {
                     i + 1
                 )));
             }
-            (Record::Eval { config, value }, Some(c)) => {
+            (Record::Eval { config, value, .. }, Some(c)) => {
                 c.evals.push(Evaluation { config, value });
             }
             (Record::Trace { events }, Some(c)) => {
@@ -491,5 +499,47 @@ mod tests {
         assert!(json.contains("\"event\":\"close\""));
         let back: Record = serde_json::from_str(&json).unwrap();
         assert_eq!(back, Record::Close { finished: true });
+    }
+
+    #[test]
+    fn eval_rids_journal_only_client_chosen_ids_and_stay_back_compatible() {
+        use crate::log::rid_scope;
+        let path = temp_journal("rid");
+        let mut w = JournalWriter::create(&path, "s10", &spec()).unwrap();
+        let cfg = Configuration::from([1, 2, 3, 4, 5, 6]);
+        // No scope: the wire format is byte-identical to pre-correlation
+        // journals.
+        w.append_eval(&cfg, 1.0).unwrap();
+        // A server-derived (implicit) rid stays out of the journal.
+        {
+            let _scope = rid_scope("r-deadbeef00000000".into(), false);
+            w.append_eval(&cfg, 2.0).unwrap();
+        }
+        // A client-chosen (explicit) rid is recorded.
+        {
+            let _scope = rid_scope("deploy-42".into(), true);
+            w.append_eval(&cfg, 3.0).unwrap();
+        }
+        drop(w);
+
+        let lines = std::fs::read_to_string(&path).unwrap();
+        let evals: Vec<&str> = lines
+            .lines()
+            .filter(|l| l.contains("\"event\":\"eval\""))
+            .collect();
+        assert_eq!(evals.len(), 3);
+        assert!(!evals[0].contains("rid"));
+        assert!(!evals[1].contains("rid"));
+        assert!(evals[2].contains("\"rid\":\"deploy-42\""));
+
+        // Replay ignores rids; a pre-correlation eval line still parses.
+        let c = load(&path).unwrap();
+        assert_eq!(c.evals.len(), 3);
+        let legacy = r#"{"event":"eval","config":[1,1,1,1,1,1],"value":1.5}"#;
+        assert!(matches!(
+            serde_json::from_str::<Record>(legacy).unwrap(),
+            Record::Eval { rid: None, .. }
+        ));
+        std::fs::remove_file(&path).unwrap();
     }
 }

@@ -52,6 +52,18 @@
 //!   op serves the full event stream to clients
 //!   ([`Client::trace`]). Traces are observational — recovery replay
 //!   regenerates them deterministically and never reads them back.
+//! * Every request is correlatable end to end: clients may send a
+//!   `rid` with any op (the server derives one when absent), and that id
+//!   flows through dispatch into the structured event log ([`log`],
+//!   enabled with `--log-level`), the journal's eval records, histogram
+//!   exemplars ([`metrics::Exemplar`]), the slow-op ring, and every
+//!   error reply ([`ServiceError::Remote`] carries it back). The `logs`
+//!   op serves the in-memory ring ([`Client::log_tail`],
+//!   [`Client::logs_since`], [`Client::slow_ops`]) and the `health` op
+//!   answers with availability, p99 error budgets, scheduler
+//!   saturation, and write-path status ([`Client::health`]). Logging is
+//!   off by default and costs one atomic load per emission site when
+//!   disabled.
 //! * The manager can attach a cross-session knowledge base
 //!   ([`autotune_kb::KbStore`], see [`SessionManager::with_kb`]):
 //!   sessions tagged with a problem identity are warm-started from
@@ -90,6 +102,7 @@ pub mod client;
 pub mod engine;
 pub mod error;
 pub mod journal;
+pub mod log;
 pub mod manager;
 pub mod metrics;
 pub mod protocol;
@@ -102,8 +115,10 @@ pub use client::{Client, RemoteBatch, RemoteSuggestion};
 pub use engine::{AskTellSession, BatchSuggestion, ParkedSession, Suggestion};
 pub use error::{ErrorCode, ServiceError};
 pub use journal::Durability;
+pub use log::{derive_rid, rid_scope, EventLog, LogCounts, LogLevel, LogRecord, SlowOp};
 pub use manager::{KbAnswer, ManagerTotals, SessionManager, DEFAULT_MAX_RESIDENT, SHARD_COUNT};
-pub use metrics::{MetricsSnapshot, ServiceMetrics};
+pub use metrics::{Exemplar, MetricsSnapshot, ServiceMetrics};
+pub use protocol::{Availability, HealthReport, HealthStatus, Saturation, SloBudget, WriteHealth};
 pub use server::{ServerConfig, TunedServer};
 pub use spec::{SessionSpec, SpaceSpec, WarmStart};
 pub use stats::SessionStats;

@@ -1,0 +1,870 @@
+//! Structured event log and request-correlation context.
+//!
+//! A zero-dependency, std-only logging layer for the serving path:
+//!
+//! * [`LogRecord`]s are leveled JSONL values with a monotonic per-log
+//!   sequence number, kept in a bounded in-memory ring (default
+//!   [`DEFAULT_RING_CAPACITY`]) served by the `logs` protocol op, and
+//!   optionally mirrored to an append-only JSONL file sink reusing the
+//!   journal [`Durability`] knob.
+//! * Emission is rate-limited per `(level, component)` by a token
+//!   bucket, so a misbehaving session cannot wash every other
+//!   component's records out of the ring; throttled records are counted
+//!   ([`LogCounts::dropped`]), never blocked on.
+//! * The *null log* — [`EventLog::disabled`] / [`EventLog::null`], the
+//!   default everywhere — preserves the service's
+//!   zero-overhead-when-off contract: with no level set, every emission
+//!   call returns after a single relaxed atomic load and the message
+//!   closure is never invoked (proven by the `observability` criterion
+//!   bench).
+//! * A request-correlation context ([`rid_scope`]) carries the current
+//!   request id on the dispatching thread. Every record emitted inside
+//!   the scope carries the `rid`, the latency histograms capture it as
+//!   a bucket [`Exemplar`](crate::metrics::Exemplar), and journaled
+//!   evaluations record it when the client supplied the id explicitly.
+//! * A slow-op ring keeps the [`DEFAULT_SLOW_OP_CAPACITY`] slowest
+//!   dispatches over a sliding window ([`DEFAULT_SLOW_OP_WINDOW`]),
+//!   threshold configurable via the server's `--slow-op-ms` flag, and
+//!   is served by the `logs` op's `slow` mode.
+
+use crate::journal::Durability;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::fs::OpenOptions;
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant, SystemTime};
+
+/// Default bound of the in-memory record ring.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+/// Default token-bucket burst per `(level, component)` pair.
+pub const DEFAULT_RATE_BURST: f64 = 256.0;
+/// Default token-bucket refill rate per `(level, component)` pair,
+/// records per second.
+pub const DEFAULT_RATE_PER_SEC: f64 = 128.0;
+/// Default bound of the slow-op ring (the N slowest ops retained).
+pub const DEFAULT_SLOW_OP_CAPACITY: usize = 64;
+/// Default sliding window over which slow ops are retained.
+pub const DEFAULT_SLOW_OP_WINDOW: Duration = Duration::from_secs(300);
+
+/// Severity of one [`LogRecord`], ordered `Error < Warn < Info < Debug`
+/// (a log set to `Info` admits `Error`, `Warn`, and `Info`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum LogLevel {
+    /// A request or subsystem failed.
+    Error,
+    /// Something degraded but the request survived.
+    Warn,
+    /// Lifecycle events worth keeping (open/close/park/resume).
+    Info,
+    /// Per-request detail (engine calls, journal appends, kb lookups).
+    Debug,
+}
+
+impl LogLevel {
+    /// Numeric severity rank; higher is more verbose. Zero is reserved
+    /// for "off".
+    fn rank(self) -> u8 {
+        match self {
+            LogLevel::Error => 1,
+            LogLevel::Warn => 2,
+            LogLevel::Info => 3,
+            LogLevel::Debug => 4,
+        }
+    }
+
+    /// The level's wire spelling (its serde `snake_case` name).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LogLevel::Error => "error",
+            LogLevel::Warn => "warn",
+            LogLevel::Info => "info",
+            LogLevel::Debug => "debug",
+        }
+    }
+}
+
+impl fmt::Display for LogLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl FromStr for LogLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "error" => Ok(LogLevel::Error),
+            "warn" => Ok(LogLevel::Warn),
+            "info" => Ok(LogLevel::Info),
+            "debug" => Ok(LogLevel::Debug),
+            other => Err(format!(
+                "unknown log level {other:?} (expected off, error, warn, info, or debug)"
+            )),
+        }
+    }
+}
+
+/// One structured log record, a single JSONL line on disk and on the
+/// wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LogRecord {
+    /// Monotonic sequence number, starting at 1, unique per log; the
+    /// `logs` op's `since_seq` pagination cursor.
+    pub seq: u64,
+    /// Wall-clock milliseconds since the Unix epoch at emission.
+    pub unix_ms: u64,
+    /// Severity.
+    pub level: LogLevel,
+    /// Which subsystem emitted the record (`server`, `engine`,
+    /// `journal`, `kb`, `manager`).
+    pub component: String,
+    /// Human-readable description.
+    pub message: String,
+    /// The correlation id of the request being served when the record
+    /// was emitted, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rid: Option<String>,
+    /// The session the record concerns, if any.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub session: Option<String>,
+}
+
+/// One entry of the slow-op ring: a dispatched request that exceeded
+/// the slow-op threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlowOp {
+    /// Wall-clock milliseconds since the Unix epoch at completion.
+    pub unix_ms: u64,
+    /// The protocol op that was slow.
+    pub op: String,
+    /// How long the dispatch took, seconds.
+    pub seconds: f64,
+    /// The request's correlation id, when one was in scope.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub rid: Option<String>,
+}
+
+/// Aggregate log-subsystem counters, reported by the `health` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct LogCounts {
+    /// Records accepted into the ring (and the file sink, if attached).
+    pub logged: u64,
+    /// Records discarded by the per-`(level, component)` rate limiter.
+    pub dropped: u64,
+    /// Records the file sink failed to persist (the ring still kept
+    /// them; the sink is opportunistic).
+    pub sink_failures: u64,
+    /// Entries currently retained in the slow-op ring.
+    pub slow_ops: u64,
+}
+
+thread_local! {
+    /// The correlation id of the request currently being dispatched on
+    /// this thread, plus whether the client supplied it explicitly
+    /// (server-derived ids stay out of durable journal records so
+    /// rid-less traffic keeps producing byte-identical journals).
+    static CURRENT_RID: RefCell<Option<(String, bool)>> = const { RefCell::new(None) };
+}
+
+/// Scope guard installing a correlation id as the thread's current
+/// request context; restores the previous context on drop.
+#[derive(Debug)]
+pub struct RidScope {
+    prev: Option<(String, bool)>,
+}
+
+/// Enters a correlation scope for the current thread. `explicit` marks
+/// ids the client chose itself (as opposed to server-derived ones);
+/// only explicit ids are recorded into durable journal evaluations.
+pub fn rid_scope(rid: impl Into<String>, explicit: bool) -> RidScope {
+    let prev = CURRENT_RID.with(|cell| cell.replace(Some((rid.into(), explicit))));
+    RidScope { prev }
+}
+
+impl Drop for RidScope {
+    fn drop(&mut self) {
+        let prev = self.prev.take();
+        CURRENT_RID.with(|cell| *cell.borrow_mut() = prev);
+    }
+}
+
+/// The correlation id currently in scope on this thread, if any.
+pub fn current_rid() -> Option<String> {
+    CURRENT_RID.with(|cell| cell.borrow().as_ref().map(|(rid, _)| rid.clone()))
+}
+
+/// The current correlation id, only when the client supplied it
+/// explicitly — what journal evaluations record.
+pub fn current_explicit_rid() -> Option<String> {
+    CURRENT_RID.with(|cell| {
+        cell.borrow()
+            .as_ref()
+            .filter(|(_, explicit)| *explicit)
+            .map(|(rid, _)| rid.clone())
+    })
+}
+
+/// Runs `f` with a borrow of the current correlation context, avoiding
+/// a clone on the paths that usually find none.
+pub(crate) fn with_current_rid<R>(f: impl FnOnce(Option<&str>) -> R) -> R {
+    CURRENT_RID.with(|cell| f(cell.borrow().as_ref().map(|(rid, _)| rid.as_str())))
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Derives a server-assigned correlation id for a request that arrived
+/// without one: an FNV-1a hash over the connection id, the connection's
+/// request ordinal, and the raw request bytes, spelled `r-<16 hex>`.
+pub fn derive_rid(connection: u64, ordinal: u64, payload: &[u8]) -> String {
+    let mut hash = FNV_OFFSET;
+    for byte in connection
+        .to_le_bytes()
+        .iter()
+        .chain(ordinal.to_le_bytes().iter())
+        .chain(payload.iter())
+    {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    format!("r-{hash:016x}")
+}
+
+/// Wall-clock milliseconds since the Unix epoch.
+fn unix_ms_now() -> u64 {
+    SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_millis() as u64)
+        .unwrap_or(0)
+}
+
+/// One `(level, component)` token bucket.
+#[derive(Debug)]
+struct TokenBucket {
+    tokens: f64,
+    last: Instant,
+}
+
+impl TokenBucket {
+    fn full(burst: f64, now: Instant) -> Self {
+        TokenBucket {
+            tokens: burst,
+            last: now,
+        }
+    }
+
+    /// Refills from elapsed time and takes one token if available.
+    fn try_take(&mut self, now: Instant, burst: f64, per_sec: f64) -> bool {
+        let elapsed = now.saturating_duration_since(self.last).as_secs_f64();
+        self.tokens = (self.tokens + elapsed * per_sec).min(burst);
+        self.last = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Limiter {
+    burst: f64,
+    per_sec: f64,
+    buckets: HashMap<(u8, String), TokenBucket>,
+}
+
+#[derive(Debug)]
+struct Ring {
+    capacity: usize,
+    records: VecDeque<LogRecord>,
+}
+
+#[derive(Debug)]
+struct FileSink {
+    path: PathBuf,
+    writer: BufWriter<std::fs::File>,
+    durability: Durability,
+}
+
+#[derive(Debug)]
+struct SlowRing {
+    capacity: usize,
+    window: Duration,
+    entries: Vec<(Instant, SlowOp)>,
+}
+
+impl SlowRing {
+    fn evict_expired(&mut self, now: Instant) {
+        let window = self.window;
+        self.entries
+            .retain(|(at, _)| now.saturating_duration_since(*at) <= window);
+    }
+}
+
+/// The structured event log: bounded ring, rate limiter, optional file
+/// sink, and the slow-op ring. Shared as an `Arc` between the
+/// [`SessionManager`](crate::SessionManager), the server, and the
+/// `logs`/`health` ops.
+#[derive(Debug)]
+pub struct EventLog {
+    /// Admitted severity rank; 0 is off (the null log).
+    level: AtomicU8,
+    seq: AtomicU64,
+    logged: AtomicU64,
+    dropped: AtomicU64,
+    sink_failures: AtomicU64,
+    /// Slow-op threshold in nanoseconds; `u64::MAX` disables capture.
+    slow_threshold_nanos: AtomicU64,
+    ring: Mutex<Ring>,
+    limiter: Mutex<Limiter>,
+    sink: Mutex<Option<FileSink>>,
+    slow: Mutex<SlowRing>,
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl EventLog {
+    /// A log with no admitted level — the null log. Every emission
+    /// returns after one atomic load; the slow-op ring stays active
+    /// only once a threshold is set.
+    pub fn disabled() -> Self {
+        EventLog {
+            level: AtomicU8::new(0),
+            seq: AtomicU64::new(0),
+            logged: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            sink_failures: AtomicU64::new(0),
+            slow_threshold_nanos: AtomicU64::new(u64::MAX),
+            ring: Mutex::new(Ring {
+                capacity: DEFAULT_RING_CAPACITY,
+                records: VecDeque::new(),
+            }),
+            limiter: Mutex::new(Limiter {
+                burst: DEFAULT_RATE_BURST,
+                per_sec: DEFAULT_RATE_PER_SEC,
+                buckets: HashMap::new(),
+            }),
+            sink: Mutex::new(None),
+            slow: Mutex::new(SlowRing {
+                capacity: DEFAULT_SLOW_OP_CAPACITY,
+                window: DEFAULT_SLOW_OP_WINDOW,
+                entries: Vec::new(),
+            }),
+        }
+    }
+
+    /// A log admitting records up to `level`.
+    pub fn enabled(level: LogLevel) -> Self {
+        let log = Self::disabled();
+        log.set_level(Some(level));
+        log
+    }
+
+    /// The shared null log — the default wired into every manager.
+    pub fn null() -> Arc<EventLog> {
+        Arc::new(Self::disabled())
+    }
+
+    /// Sets (or clears, with `None`) the admitted level.
+    pub fn set_level(&self, level: Option<LogLevel>) {
+        self.level
+            .store(level.map_or(0, LogLevel::rank), Ordering::Relaxed);
+    }
+
+    /// The currently admitted level, `None` when off.
+    pub fn level(&self) -> Option<LogLevel> {
+        match self.level.load(Ordering::Relaxed) {
+            1 => Some(LogLevel::Error),
+            2 => Some(LogLevel::Warn),
+            3 => Some(LogLevel::Info),
+            4 => Some(LogLevel::Debug),
+            _ => None,
+        }
+    }
+
+    /// `true` when records at `level` are currently admitted.
+    pub fn is_enabled(&self, level: LogLevel) -> bool {
+        level.rank() <= self.level.load(Ordering::Relaxed)
+    }
+
+    /// Rebounds the in-memory ring (evicting oldest records if needed).
+    pub fn set_ring_capacity(&self, capacity: usize) {
+        let mut ring = lock(&self.ring);
+        ring.capacity = capacity.max(1);
+        while ring.records.len() > ring.capacity {
+            ring.records.pop_front();
+        }
+    }
+
+    /// Reconfigures the per-`(level, component)` token bucket and
+    /// resets accumulated bucket state.
+    pub fn set_rate_limit(&self, burst: f64, per_sec: f64) {
+        let mut limiter = lock(&self.limiter);
+        limiter.burst = burst.max(1.0);
+        limiter.per_sec = per_sec.max(0.0);
+        limiter.buckets.clear();
+    }
+
+    /// Sets the slow-op capture threshold; `None` disables capture.
+    pub fn set_slow_op_threshold(&self, threshold: Option<Duration>) {
+        let nanos = threshold.map_or(u64::MAX, |t| t.as_nanos().min(u128::from(u64::MAX)) as u64);
+        self.slow_threshold_nanos.store(nanos, Ordering::Relaxed);
+    }
+
+    /// Rebounds the slow-op ring and its sliding window.
+    pub fn configure_slow_ops(&self, capacity: usize, window: Duration) {
+        let mut slow = lock(&self.slow);
+        slow.capacity = capacity.max(1);
+        slow.window = window;
+    }
+
+    /// Attaches a JSONL file sink (append mode), mirroring every
+    /// admitted record to `path` under the given [`Durability`] —
+    /// `Sync` fsyncs after each record, `Buffered` only flushes to the
+    /// OS. Replaces any previously attached sink.
+    pub fn attach_file(&self, path: impl AsRef<Path>, durability: Durability) -> io::Result<()> {
+        let path = path.as_ref().to_path_buf();
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        *lock(&self.sink) = Some(FileSink {
+            path,
+            writer: BufWriter::new(file),
+            durability,
+        });
+        Ok(())
+    }
+
+    /// The attached file sink's path, if any.
+    pub fn file_path(&self) -> Option<PathBuf> {
+        lock(&self.sink).as_ref().map(|s| s.path.clone())
+    }
+
+    /// Emits an `error`-level record. The message closure only runs
+    /// when the record is admitted.
+    pub fn error(&self, component: &str, session: Option<&str>, message: impl FnOnce() -> String) {
+        self.emit(LogLevel::Error, component, session, message);
+    }
+
+    /// Emits a `warn`-level record.
+    pub fn warn(&self, component: &str, session: Option<&str>, message: impl FnOnce() -> String) {
+        self.emit(LogLevel::Warn, component, session, message);
+    }
+
+    /// Emits an `info`-level record.
+    pub fn info(&self, component: &str, session: Option<&str>, message: impl FnOnce() -> String) {
+        self.emit(LogLevel::Info, component, session, message);
+    }
+
+    /// Emits a `debug`-level record.
+    pub fn debug(&self, component: &str, session: Option<&str>, message: impl FnOnce() -> String) {
+        self.emit(LogLevel::Debug, component, session, message);
+    }
+
+    fn emit(
+        &self,
+        level: LogLevel,
+        component: &str,
+        session: Option<&str>,
+        message: impl FnOnce() -> String,
+    ) {
+        // The whole off path: one relaxed load, nothing else.
+        if level.rank() > self.level.load(Ordering::Relaxed) {
+            return;
+        }
+        let now = Instant::now();
+        {
+            let mut limiter = lock(&self.limiter);
+            let (burst, per_sec) = (limiter.burst, limiter.per_sec);
+            let bucket = limiter
+                .buckets
+                .entry((level.rank(), component.to_string()))
+                .or_insert_with(|| TokenBucket::full(burst, now));
+            if !bucket.try_take(now, burst, per_sec) {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
+        }
+        let record = LogRecord {
+            seq: self.seq.fetch_add(1, Ordering::Relaxed) + 1,
+            unix_ms: unix_ms_now(),
+            level,
+            component: component.to_string(),
+            message: message(),
+            rid: current_rid(),
+            session: session.map(str::to_string),
+        };
+        self.logged.fetch_add(1, Ordering::Relaxed);
+        {
+            let mut ring = lock(&self.ring);
+            if ring.records.len() >= ring.capacity {
+                ring.records.pop_front();
+            }
+            ring.records.push_back(record.clone());
+        }
+        let mut sink = lock(&self.sink);
+        if let Some(sink) = sink.as_mut() {
+            if Self::write_record(sink, &record).is_err() {
+                self.sink_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    fn write_record(sink: &mut FileSink, record: &LogRecord) -> io::Result<()> {
+        let line = serde_json::to_string(record).map_err(io::Error::other)?;
+        sink.writer.write_all(line.as_bytes())?;
+        sink.writer.write_all(b"\n")?;
+        sink.writer.flush()?;
+        if sink.durability == Durability::Sync {
+            sink.writer.get_ref().sync_data()?;
+        }
+        Ok(())
+    }
+
+    /// The most recent `n` records, oldest first.
+    pub fn tail(&self, n: usize) -> Vec<LogRecord> {
+        let ring = lock(&self.ring);
+        let skip = ring.records.len().saturating_sub(n);
+        ring.records.iter().skip(skip).cloned().collect()
+    }
+
+    /// Up to `max` records with `seq` strictly greater than `since`,
+    /// oldest first — the pagination path. Records evicted from the
+    /// ring before being read are simply absent (their seq numbers
+    /// skip).
+    pub fn since(&self, since: u64, max: usize) -> Vec<LogRecord> {
+        let ring = lock(&self.ring);
+        ring.records
+            .iter()
+            .filter(|r| r.seq > since)
+            .take(max)
+            .cloned()
+            .collect()
+    }
+
+    /// The highest sequence number assigned so far (0 before any
+    /// record); pass it back as `since_seq` to poll incrementally.
+    pub fn last_seq(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Aggregate counters for the `health` op.
+    pub fn counts(&self) -> LogCounts {
+        LogCounts {
+            logged: self.logged.load(Ordering::Relaxed),
+            dropped: self.dropped.load(Ordering::Relaxed),
+            sink_failures: self.sink_failures.load(Ordering::Relaxed),
+            slow_ops: lock(&self.slow).entries.len() as u64,
+        }
+    }
+
+    /// Records a completed dispatch into the slow-op ring when it
+    /// exceeded the threshold. The fast path (threshold unset or not
+    /// exceeded) is one atomic load and a compare.
+    pub fn record_op(&self, op: &str, elapsed: Duration) {
+        let threshold = self.slow_threshold_nanos.load(Ordering::Relaxed);
+        if threshold == u64::MAX || (elapsed.as_nanos() as u64) < threshold {
+            return;
+        }
+        let now = Instant::now();
+        let entry = SlowOp {
+            unix_ms: unix_ms_now(),
+            op: op.to_string(),
+            seconds: elapsed.as_secs_f64(),
+            rid: current_rid(),
+        };
+        let mut slow = lock(&self.slow);
+        slow.evict_expired(now);
+        slow.entries.push((now, entry));
+        if slow.entries.len() > slow.capacity {
+            // Keep the N slowest: drop the fastest retained entry.
+            if let Some(fastest) = slow
+                .entries
+                .iter()
+                .enumerate()
+                .min_by(|(_, (_, a)), (_, (_, b))| {
+                    a.seconds
+                        .partial_cmp(&b.seconds)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .map(|(i, _)| i)
+            {
+                slow.entries.remove(fastest);
+            }
+        }
+    }
+
+    /// The retained slow ops, slowest first, window-filtered at read
+    /// time.
+    pub fn slow_ops(&self) -> Vec<SlowOp> {
+        let now = Instant::now();
+        let mut slow = lock(&self.slow);
+        slow.evict_expired(now);
+        let mut ops: Vec<SlowOp> = slow.entries.iter().map(|(_, op)| op.clone()).collect();
+        ops.sort_by(|a, b| {
+            b.seconds
+                .partial_cmp(&a.seconds)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
+        ops
+    }
+}
+
+/// Locks a log-internal mutex, forgiving poisoning: the log is
+/// observational, so a panic mid-append at worst loses one record and
+/// must never take the serving path down with it.
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Reads a log file written by the file sink back into records, with
+/// the journal loader's crash-tail forgiveness: only the *final* line
+/// may be torn (fail to parse); garbage earlier in the file is an
+/// error.
+pub fn read_log_file(path: impl AsRef<Path>) -> io::Result<Vec<LogRecord>> {
+    let file = std::fs::File::open(path.as_ref())?;
+    let lines: Vec<String> = BufReader::new(file).lines().collect::<io::Result<_>>()?;
+    let last = lines.len().saturating_sub(1);
+    let mut records = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match serde_json::from_str::<LogRecord>(line) {
+            Ok(record) => records.push(record),
+            Err(_) if i == last => break,
+            Err(e) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("log line {} is corrupt: {e}", i + 1),
+                ));
+            }
+        }
+    }
+    Ok(records)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drain_seqs(records: &[LogRecord]) -> Vec<u64> {
+        records.iter().map(|r| r.seq).collect()
+    }
+
+    #[test]
+    fn null_log_admits_nothing_and_never_runs_the_closure() {
+        let log = EventLog::disabled();
+        let mut ran = false;
+        log.error("server", None, || {
+            ran = true;
+            "never".into()
+        });
+        assert!(!ran, "closure ran on the off path");
+        assert!(log.tail(10).is_empty());
+        assert_eq!(log.counts(), LogCounts::default());
+        assert_eq!(log.last_seq(), 0);
+    }
+
+    #[test]
+    fn levels_filter_and_order() {
+        assert!(LogLevel::Error < LogLevel::Debug);
+        let log = EventLog::enabled(LogLevel::Warn);
+        log.error("server", None, || "e".into());
+        log.warn("server", None, || "w".into());
+        log.info("server", None, || "i".into());
+        log.debug("server", None, || "d".into());
+        let tail = log.tail(10);
+        assert_eq!(tail.len(), 2);
+        assert_eq!(tail[0].level, LogLevel::Error);
+        assert_eq!(tail[1].level, LogLevel::Warn);
+        assert!(log.is_enabled(LogLevel::Error));
+        assert!(!log.is_enabled(LogLevel::Info));
+        assert_eq!(log.level(), Some(LogLevel::Warn));
+        assert_eq!(EventLog::disabled().level(), None);
+    }
+
+    #[test]
+    fn ring_wraps_and_since_seq_paginates() {
+        let log = EventLog::enabled(LogLevel::Info);
+        log.set_ring_capacity(4);
+        log.set_rate_limit(1e9, 1e9);
+        for i in 0..10 {
+            log.info("server", None, || format!("m{i}"));
+        }
+        // Only the last 4 records survive the wraparound, seqs 7..=10.
+        let tail = log.tail(100);
+        assert_eq!(drain_seqs(&tail), vec![7, 8, 9, 10]);
+        assert_eq!(log.last_seq(), 10);
+        // since_seq pagination in pages of 2.
+        let page1 = log.since(6, 2);
+        assert_eq!(drain_seqs(&page1), vec![7, 8]);
+        let page2 = log.since(page1.last().unwrap().seq, 2);
+        assert_eq!(drain_seqs(&page2), vec![9, 10]);
+        assert!(log.since(10, 2).is_empty());
+        // Evicted seqs are simply absent.
+        assert_eq!(drain_seqs(&log.since(0, 100)), vec![7, 8, 9, 10]);
+    }
+
+    #[test]
+    fn rate_limiter_throttles_per_level_and_component_and_refills() {
+        let log = EventLog::enabled(LogLevel::Debug);
+        log.set_rate_limit(2.0, 0.0); // burst 2, no refill
+        for _ in 0..5 {
+            log.info("engine", None, || "spam".into());
+        }
+        // Another component and another level keep their own buckets.
+        log.info("journal", None, || "fine".into());
+        log.warn("engine", None, || "fine".into());
+        let counts = log.counts();
+        assert_eq!(counts.logged, 4); // 2 engine-info + journal + warn
+        assert_eq!(counts.dropped, 3);
+
+        // Refill: a generous rate admits records again.
+        log.set_rate_limit(1.0, 1e6);
+        log.info("engine", None, || "a".into());
+        std::thread::sleep(Duration::from_millis(2));
+        log.info("engine", None, || "b".into());
+        assert_eq!(log.counts().logged, 6);
+    }
+
+    #[test]
+    fn token_bucket_refills_from_elapsed_time() {
+        let t0 = Instant::now();
+        let mut bucket = TokenBucket::full(2.0, t0);
+        assert!(bucket.try_take(t0, 2.0, 10.0));
+        assert!(bucket.try_take(t0, 2.0, 10.0));
+        assert!(!bucket.try_take(t0, 2.0, 10.0));
+        // 100ms at 10 tokens/sec refills exactly one token.
+        let t1 = t0 + Duration::from_millis(100);
+        assert!(bucket.try_take(t1, 2.0, 10.0));
+        assert!(!bucket.try_take(t1, 2.0, 10.0));
+        // Refill saturates at the burst.
+        let t2 = t1 + Duration::from_secs(3600);
+        assert!(bucket.try_take(t2, 2.0, 10.0));
+        assert!(bucket.try_take(t2, 2.0, 10.0));
+        assert!(!bucket.try_take(t2, 2.0, 10.0));
+    }
+
+    #[test]
+    fn records_carry_the_scoped_rid() {
+        let log = EventLog::enabled(LogLevel::Debug);
+        log.debug("server", None, || "outside".into());
+        {
+            let _scope = rid_scope("r-abc", true);
+            assert_eq!(current_rid().as_deref(), Some("r-abc"));
+            assert_eq!(current_explicit_rid().as_deref(), Some("r-abc"));
+            log.debug("engine", Some("run"), || "inside".into());
+            {
+                let _nested = rid_scope("r-def", false);
+                assert_eq!(current_rid().as_deref(), Some("r-def"));
+                assert_eq!(current_explicit_rid(), None);
+            }
+            assert_eq!(current_rid().as_deref(), Some("r-abc"));
+        }
+        assert_eq!(current_rid(), None);
+        let tail = log.tail(10);
+        assert_eq!(tail[0].rid, None);
+        assert_eq!(tail[1].rid.as_deref(), Some("r-abc"));
+        assert_eq!(tail[1].session.as_deref(), Some("run"));
+    }
+
+    #[test]
+    fn derive_rid_is_stable_and_input_sensitive() {
+        let a = derive_rid(1, 1, b"{\"op\":\"suggest\"}");
+        assert_eq!(a, derive_rid(1, 1, b"{\"op\":\"suggest\"}"));
+        assert_ne!(a, derive_rid(1, 2, b"{\"op\":\"suggest\"}"));
+        assert_ne!(a, derive_rid(2, 1, b"{\"op\":\"suggest\"}"));
+        assert!(a.starts_with("r-") && a.len() == 18, "{a}");
+    }
+
+    #[test]
+    fn file_sink_persists_and_loader_forgives_torn_tail() {
+        let dir = std::env::temp_dir().join(format!("tuned-log-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("events.log.jsonl");
+        let _ = std::fs::remove_file(&path);
+        {
+            let log = EventLog::enabled(LogLevel::Info);
+            log.attach_file(&path, Durability::Buffered).unwrap();
+            assert_eq!(log.file_path().unwrap(), path);
+            log.info("server", Some("run"), || "first".into());
+            log.warn("journal", None, || "second".into());
+        }
+        let records = read_log_file(&path).unwrap();
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].message, "first");
+        assert_eq!(records[1].component, "journal");
+
+        // A torn final line (crash mid-append) is forgiven...
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.extend_from_slice(b"{\"seq\":3,\"unix_ms\":1,\"level\":\"info\",\"comp");
+        std::fs::write(&path, &bytes).unwrap();
+        let records = read_log_file(&path).unwrap();
+        assert_eq!(records.len(), 2);
+
+        // ...but garbage before the end is an error.
+        let torn = std::fs::read_to_string(&path).unwrap();
+        let corrupt = torn.replacen("\"level\":\"info\"", "\"level\":13", 1);
+        std::fs::write(&path, corrupt).unwrap();
+        assert!(read_log_file(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn slow_op_ring_keeps_the_slowest_within_capacity() {
+        let log = EventLog::disabled(); // slow ops work even with logging off
+        log.set_slow_op_threshold(Some(Duration::from_millis(10)));
+        log.configure_slow_ops(3, Duration::from_secs(300));
+        log.record_op("suggest", Duration::from_millis(5)); // under threshold
+        for (op, ms) in [("a", 20), ("b", 40), ("c", 30), ("d", 50), ("e", 15)] {
+            log.record_op(op, Duration::from_millis(ms));
+        }
+        let ops = log.slow_ops();
+        assert_eq!(ops.len(), 3);
+        assert_eq!(ops[0].op, "d");
+        assert_eq!(ops[1].op, "b");
+        assert_eq!(ops[2].op, "c");
+        assert_eq!(log.counts().slow_ops, 3);
+
+        // Threshold off silences capture entirely.
+        log.set_slow_op_threshold(None);
+        log.record_op("f", Duration::from_secs(9));
+        assert_eq!(log.slow_ops().len(), 3);
+    }
+
+    #[test]
+    fn log_records_round_trip_as_jsonl() {
+        let record = LogRecord {
+            seq: 7,
+            unix_ms: 1_722_000_000_000,
+            level: LogLevel::Warn,
+            component: "kb".into(),
+            message: "lookup missed".into(),
+            rid: Some("r-00ff".into()),
+            session: None,
+        };
+        let json = serde_json::to_string(&record).unwrap();
+        assert!(json.contains("\"level\":\"warn\""));
+        assert!(!json.contains("session"));
+        let back: LogRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, record);
+        // Pre-correlation records (no rid) parse too.
+        let bare = r#"{"seq":1,"unix_ms":2,"level":"info","component":"server","message":"m"}"#;
+        let back: LogRecord = serde_json::from_str(bare).unwrap();
+        assert_eq!(back.rid, None);
+    }
+}

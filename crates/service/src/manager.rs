@@ -25,6 +25,7 @@
 use crate::engine::{AskTellSession, BatchSuggestion, ParkedSession, Suggestion};
 use crate::error::ServiceError;
 use crate::journal::{self, Durability, JournalWriter};
+use crate::log::EventLog;
 use crate::metrics::ServiceMetrics;
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
@@ -161,6 +162,7 @@ pub struct SessionManager {
     kb: Option<Mutex<KbStore>>,
     weighting: PriorWeighting,
     metrics: Arc<ServiceMetrics>,
+    log: Arc<EventLog>,
     max_resident: usize,
     opened_total: AtomicU64,
     served_suggests: AtomicU64,
@@ -184,6 +186,7 @@ impl SessionManager {
             kb: None,
             weighting: PriorWeighting::default(),
             metrics: Arc::new(ServiceMetrics::new()),
+            log: EventLog::null(),
             max_resident: DEFAULT_MAX_RESIDENT,
             opened_total: AtomicU64::new(0),
             served_suggests: AtomicU64::new(0),
@@ -212,6 +215,7 @@ impl SessionManager {
             kb: None,
             weighting: PriorWeighting::default(),
             metrics: Arc::new(ServiceMetrics::new()),
+            log: EventLog::null(),
             max_resident: DEFAULT_MAX_RESIDENT,
             opened_total: AtomicU64::new(0),
             served_suggests: AtomicU64::new(0),
@@ -227,6 +231,27 @@ impl SessionManager {
     pub fn with_max_resident(mut self, max_resident: usize) -> Self {
         self.max_resident = max_resident.max(1);
         self
+    }
+
+    /// The residency governor's cap on live engine threads.
+    pub fn max_resident(&self) -> usize {
+        self.max_resident
+    }
+
+    /// Attaches a structured event log. Engine, journal, knowledge-base,
+    /// and scheduler activity is recorded into it (with the correlation
+    /// id of the request being served, when one is in scope). The
+    /// default is [`EventLog::null`] — disabled, one atomic load per
+    /// would-be record.
+    pub fn with_event_log(mut self, log: Arc<EventLog>) -> Self {
+        self.log = log;
+        self
+    }
+
+    /// The manager's event log (the disabled null log unless
+    /// [`SessionManager::with_event_log`] installed one).
+    pub fn event_log(&self) -> &Arc<EventLog> {
+        &self.log
     }
 
     /// Attaches a cross-session knowledge base. Sessions whose spec
@@ -347,20 +372,20 @@ impl SessionManager {
     /// Sessions that are locked (mid-request), mid-chunk, or finished
     /// are left alone; they get another chance on the next sweep.
     fn enforce_residency(&self) {
-        let mut live: Vec<(Duration, Arc<Mutex<Managed>>)> = Vec::new();
+        let mut live: Vec<(Duration, String, Arc<Mutex<Managed>>)> = Vec::new();
         let mut parked_count = 0usize;
-        for (_, managed) in self.snapshot_sessions() {
+        for (name, managed) in self.snapshot_sessions() {
             let Some(guard) = managed.try_lock() else {
                 // Locked means a request is being served right now:
                 // resident by definition.
-                live.push((Duration::ZERO, Arc::clone(&managed)));
+                live.push((Duration::ZERO, name, Arc::clone(&managed)));
                 continue;
             };
             match &guard.state {
                 SessionState::Live(session) => {
                     let idle = session.idle();
                     drop(guard);
-                    live.push((idle, managed));
+                    live.push((idle, name, managed));
                 }
                 SessionState::Parked(_) => parked_count += 1,
                 SessionState::Defunct => {}
@@ -370,7 +395,7 @@ impl SessionManager {
         if resident > self.max_resident {
             // Most idle first.
             live.sort_by(|a, b| b.0.cmp(&a.0));
-            for (_, managed) in live {
+            for (idle, name, managed) in live {
                 if resident <= self.max_resident {
                     break;
                 }
@@ -391,6 +416,9 @@ impl SessionManager {
                         stats,
                     });
                     self.metrics.sessions_parked.inc();
+                    self.log.debug("manager", Some(&name), || {
+                        format!("parked by the residency governor after {idle:.1?} idle")
+                    });
                     resident -= 1;
                     parked_count += 1;
                 }
@@ -430,9 +458,17 @@ impl SessionManager {
             Some(prior) => {
                 self.metrics.kb_hits.inc();
                 self.metrics.kb_seeded_sessions.inc();
+                self.log.debug("kb", None, || {
+                    format!("warm-start prior installed for fingerprint {fingerprint:?}")
+                });
                 spec.prior = Some(prior);
             }
-            None => self.metrics.kb_misses.inc(),
+            None => {
+                self.metrics.kb_misses.inc();
+                self.log.debug("kb", None, || {
+                    format!("no stored prior for fingerprint {fingerprint:?}")
+                });
+            }
         }
         spec
     }
@@ -449,6 +485,12 @@ impl SessionManager {
         match store.instant_answer(fingerprint, spec.budget) {
             Some(record) => {
                 self.metrics.kb_hits.inc();
+                self.log.debug("kb", None, || {
+                    format!(
+                        "instant answer from session {:?} (budget {})",
+                        record.session, record.budget
+                    )
+                });
                 Some(KbAnswer {
                     fingerprint,
                     best: record.best.clone(),
@@ -459,6 +501,8 @@ impl SessionManager {
             }
             None => {
                 self.metrics.kb_misses.inc();
+                self.log
+                    .debug("kb", None, || "no instant answer stored".to_string());
                 None
             }
         }
@@ -495,8 +539,15 @@ impl SessionManager {
         };
         // The kb is an opportunistic cache: a failed append must not
         // turn a successful close into an error.
-        if kb.lock().append(record).is_err() {
-            self.metrics.kb_append_failures.inc();
+        match kb.lock().append(record) {
+            Ok(()) => self.log.debug("kb", Some(name), || {
+                format!("recorded converged study (budget {})", spec.budget)
+            }),
+            Err(e) => {
+                self.metrics.kb_append_failures.inc();
+                self.log
+                    .error("kb", Some(name), || format!("study append failed: {e}"));
+            }
         }
     }
 
@@ -532,6 +583,8 @@ impl SessionManager {
             self.opened_total.fetch_add(1, Ordering::Relaxed);
             self.metrics.sessions_opened.inc();
         }
+        self.log
+            .info("manager", Some(name), || "opened session".to_string());
         self.enforce_residency();
         Ok(())
     }
@@ -571,6 +624,12 @@ impl SessionManager {
         let journal = JournalWriter::append_existing_with(&path, self.durability)?;
         self.register(name, session, Some(journal))?;
         self.metrics.sessions_recovered.inc();
+        self.log.info("manager", Some(name), || {
+            format!(
+                "recovered session from its journal ({} evals)",
+                contents.evals.len()
+            )
+        });
         self.enforce_residency();
         Ok(())
     }
@@ -613,15 +672,20 @@ impl SessionManager {
         let resumed = guard.wake(&self.metrics)?;
         let started = Instant::now();
         let suggestion = guard.live()?.suggest()?;
-        self.metrics
-            .engine_suggest_seconds
-            .observe(started.elapsed());
+        let elapsed = started.elapsed();
+        self.metrics.engine_suggest_seconds.observe(elapsed);
         if matches!(suggestion, Suggestion::Evaluate(_)) {
             self.served_suggests.fetch_add(1, Ordering::Relaxed);
             self.metrics.engine_suggests.inc();
         }
         drop(guard);
+        self.log.debug("engine", Some(name), || {
+            format!("suggest served in {elapsed:.1?}")
+        });
         if resumed {
+            self.log.debug("manager", Some(name), || {
+                "resumed parked session".to_string()
+            });
             self.enforce_residency();
         }
         Ok(suggestion)
@@ -636,17 +700,26 @@ impl SessionManager {
         let resumed = guard.wake(&self.metrics)?;
         let started = Instant::now();
         let suggestion = guard.live()?.suggest_batch(n)?;
-        self.metrics
-            .engine_suggest_seconds
-            .observe(started.elapsed());
-        if let BatchSuggestion::Evaluate(cfgs) = &suggestion {
-            self.served_suggests
-                .fetch_add(cfgs.len() as u64, Ordering::Relaxed);
-            self.metrics.engine_suggests.add(cfgs.len() as u64);
-            self.metrics.engine_batch_suggests.inc();
-        }
+        let elapsed = started.elapsed();
+        self.metrics.engine_suggest_seconds.observe(elapsed);
+        let served = match &suggestion {
+            BatchSuggestion::Evaluate(cfgs) => {
+                self.served_suggests
+                    .fetch_add(cfgs.len() as u64, Ordering::Relaxed);
+                self.metrics.engine_suggests.add(cfgs.len() as u64);
+                self.metrics.engine_batch_suggests.inc();
+                cfgs.len()
+            }
+            BatchSuggestion::Finished(_) => 0,
+        };
         drop(guard);
+        self.log.debug("engine", Some(name), || {
+            format!("suggest_batch served {served} of {n} in {elapsed:.1?}")
+        });
         if resumed {
+            self.log.debug("manager", Some(name), || {
+                "resumed parked session".to_string()
+            });
             self.enforce_residency();
         }
         Ok(suggestion)
@@ -656,7 +729,12 @@ impl SessionManager {
     /// [`report_batch`](SessionManager::report_batch): write-ahead
     /// journals and applies `values` in order against an already-woken
     /// session.
-    fn report_locked(&self, guard: &mut Managed, values: &[f64]) -> Result<(), ServiceError> {
+    fn report_locked(
+        &self,
+        name: &str,
+        guard: &mut Managed,
+        values: &[f64],
+    ) -> Result<(), ServiceError> {
         let managed = &mut *guard;
         let session = match &mut managed.state {
             SessionState::Live(session) => session,
@@ -673,11 +751,18 @@ impl SessionManager {
                 .ok_or(ServiceError::NoPendingSuggest)?;
             if let Some(journal) = &mut managed.journal {
                 let append_started = Instant::now();
-                journal.append_eval(&pending, value)?;
+                if let Err(e) = journal.append_eval(&pending, value) {
+                    self.metrics.journal_append_failures.inc();
+                    self.log
+                        .error("journal", Some(name), || format!("eval append failed: {e}"));
+                    return Err(e);
+                }
                 self.metrics
                     .journal_append_seconds
                     .observe(append_started.elapsed());
                 self.metrics.journal_appends.inc();
+                self.log
+                    .debug("journal", Some(name), || "eval appended".to_string());
             }
             session.report(value)?;
         }
@@ -719,10 +804,9 @@ impl SessionManager {
         let mut guard = managed.lock();
         let resumed = guard.wake(&self.metrics)?;
         let started = Instant::now();
-        self.report_locked(&mut guard, values)?;
-        self.metrics
-            .engine_report_seconds
-            .observe(started.elapsed());
+        self.report_locked(name, &mut guard, values)?;
+        let elapsed = started.elapsed();
+        self.metrics.engine_report_seconds.observe(elapsed);
         self.metrics.engine_reports.add(values.len() as u64);
         if values.len() > 1 {
             self.metrics.engine_batch_reports.inc();
@@ -730,7 +814,13 @@ impl SessionManager {
         self.served_reports
             .fetch_add(values.len() as u64, Ordering::Relaxed);
         drop(guard);
+        self.log.debug("engine", Some(name), || {
+            format!("{} report(s) accepted in {elapsed:.1?}", values.len())
+        });
         if resumed {
+            self.log.debug("manager", Some(name), || {
+                "resumed parked session".to_string()
+            });
             self.enforce_residency();
         }
         Ok(values.len())
@@ -793,8 +883,16 @@ impl SessionManager {
             }
         }
         if let Some(journal) = &mut managed.journal {
-            journal.append_close(result.is_some())?;
+            if let Err(e) = journal.append_close(result.is_some()) {
+                self.metrics.journal_append_failures.inc();
+                self.log.error("journal", Some(name), || {
+                    format!("close append failed: {e}")
+                });
+                return Err(e);
+            }
             self.metrics.journal_appends.inc();
+            self.log
+                .debug("journal", Some(name), || "close appended".to_string());
         }
         // A session that spent its full budget is a converged study:
         // feed it back into the knowledge base.
@@ -804,6 +902,9 @@ impl SessionManager {
             }
         }
         self.metrics.sessions_closed.inc();
+        self.log.info("manager", Some(name), || {
+            format!("closed session (finished: {})", result.is_some())
+        });
         Ok(result.map(|boxed| *boxed))
     }
 
@@ -844,6 +945,9 @@ impl SessionManager {
                 session.shutdown();
             }
             self.metrics.sessions_evicted.inc();
+            self.log.info("manager", Some(&name), || {
+                "evicted idle session (journal left recoverable)".to_string()
+            });
             evicted.push(name);
         }
         evicted.sort();
@@ -1485,6 +1589,53 @@ mod tests {
         assert_eq!(mgr.stats("run").unwrap().reports, 0);
         mgr.report("run", objective(&cfg)).unwrap();
         assert_eq!(mgr.stats("run").unwrap().reports, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn event_log_captures_component_activity_and_scoped_rids() {
+        use crate::log::{rid_scope, EventLog, LogLevel};
+        let dir = temp_dir("eventlog");
+        let log = Arc::new(EventLog::enabled(LogLevel::Debug));
+        let mgr = SessionManager::with_journal_dir(&dir)
+            .unwrap()
+            .with_event_log(Arc::clone(&log));
+        assert!(Arc::ptr_eq(mgr.event_log(), &log));
+        mgr.open("run", toy_spec(4, 1)).unwrap();
+        {
+            let _scope = rid_scope("req-1", true);
+            match mgr.suggest("run").unwrap() {
+                Suggestion::Evaluate(cfg) => mgr.report("run", objective(&cfg)).unwrap(),
+                Suggestion::Finished(_) => panic!("budget not spent"),
+            }
+        }
+        mgr.close("run").unwrap();
+
+        let records = log.tail(100);
+        let by = |component: &str| -> Vec<_> {
+            records
+                .iter()
+                .filter(|r| r.component == component)
+                .collect()
+        };
+        // The open ran outside the rid scope; the drive ran inside it.
+        assert!(by("manager")
+            .iter()
+            .any(|r| r.message.contains("opened session") && r.rid.is_none()));
+        assert!(by("engine")
+            .iter()
+            .any(|r| r.message.contains("suggest") && r.rid.as_deref() == Some("req-1")));
+        assert!(by("engine")
+            .iter()
+            .any(|r| r.message.contains("accepted") && r.rid.as_deref() == Some("req-1")));
+        assert!(by("journal")
+            .iter()
+            .any(|r| r.message.contains("eval appended") && r.rid.as_deref() == Some("req-1")));
+        assert!(by("journal")
+            .iter()
+            .any(|r| r.message.contains("close appended") && r.rid.is_none()));
+        // Every record carries the session name.
+        assert!(records.iter().all(|r| r.session.as_deref() == Some("run")));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

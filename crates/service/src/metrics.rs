@@ -51,11 +51,29 @@ impl Counter {
 /// decade per bucket, with an implicit `+Inf` overflow bucket on top.
 pub const LATENCY_BOUNDS: [f64; 8] = [1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0, 10.0];
 
+/// The worst (slowest) observation seen in one histogram bucket since
+/// exemplars were last drained, linked back to the request that caused
+/// it — the hook from a tail bucket to a replayable request id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Exemplar {
+    /// Index of the bucket the observation fell in (`bounds.len()` is
+    /// the `+Inf` overflow bucket).
+    pub bucket: usize,
+    /// Correlation id of the request being dispatched when the
+    /// observation was recorded.
+    pub rid: String,
+    /// The observed duration, seconds.
+    pub seconds: f64,
+}
+
 /// A fixed-bucket duration histogram.
 ///
 /// Buckets are non-cumulative internally and cumulated only at render
 /// time, so observation is a single relaxed `fetch_add` into the bucket
-/// the value falls in plus count/sum updates.
+/// the value falls in plus count/sum updates. When a request
+/// correlation id is in scope ([`crate::log::rid_scope`]) the histogram
+/// additionally keeps the worst observation per bucket as an
+/// [`Exemplar`]; the uncorrelated path pays one extra relaxed load.
 #[derive(Debug)]
 pub struct Histogram {
     /// Ascending upper bounds, seconds. One extra overflow bucket
@@ -64,6 +82,11 @@ pub struct Histogram {
     buckets: Vec<AtomicU64>,
     count: AtomicU64,
     sum_nanos: AtomicU64,
+    /// Per-bucket worst observation in nanoseconds since the last
+    /// exemplar drain; the lock-free gate in front of `exemplars`.
+    exemplar_worst: Vec<AtomicU64>,
+    /// Per-bucket worst correlated observation since the last drain.
+    exemplars: Mutex<Vec<Option<Exemplar>>>,
 }
 
 impl Histogram {
@@ -74,6 +97,8 @@ impl Histogram {
             buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             count: AtomicU64::new(0),
             sum_nanos: AtomicU64::new(0),
+            exemplar_worst: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
+            exemplars: Mutex::new((0..=bounds.len()).map(|_| None).collect()),
         }
     }
 
@@ -92,8 +117,28 @@ impl Histogram {
             .unwrap_or(self.bounds.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        self.sum_nanos
-            .fetch_add(d.as_nanos() as u64, Ordering::Relaxed);
+        let nanos = d.as_nanos() as u64;
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        if nanos > self.exemplar_worst[idx].load(Ordering::Relaxed) {
+            crate::log::with_current_rid(|rid| {
+                if let Some(rid) = rid {
+                    let mut slots = self
+                        .exemplars
+                        .lock()
+                        .unwrap_or_else(|poisoned| poisoned.into_inner());
+                    // Re-check under the lock: another thread may have
+                    // recorded something worse meanwhile.
+                    if nanos > self.exemplar_worst[idx].load(Ordering::Relaxed) {
+                        self.exemplar_worst[idx].store(nanos, Ordering::Relaxed);
+                        slots[idx] = Some(Exemplar {
+                            bucket: idx,
+                            rid: rid.to_string(),
+                            seconds: secs,
+                        });
+                    }
+                }
+            });
+        }
     }
 
     /// Total number of observations.
@@ -101,7 +146,8 @@ impl Histogram {
         self.count.load(Ordering::Relaxed)
     }
 
-    /// A consistent-enough point-in-time copy.
+    /// A consistent-enough point-in-time copy, including the current
+    /// exemplars (not drained; see [`Histogram::reset_exemplars`]).
     pub fn snapshot(&self) -> HistogramSnapshot {
         HistogramSnapshot {
             bounds: self.bounds.clone(),
@@ -112,6 +158,33 @@ impl Histogram {
                 .collect(),
             count: self.count.load(Ordering::Relaxed),
             sum_seconds: self.sum_nanos.load(Ordering::Relaxed) as f64 * 1e-9,
+            exemplars: self
+                .exemplars
+                .lock()
+                .unwrap_or_else(|poisoned| poisoned.into_inner())
+                .iter()
+                .flatten()
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Forgets the current exemplars so the next scrape reports the
+    /// worst observations *since this one*. Called by
+    /// [`ServiceMetrics::snapshot`] after copying them out; the
+    /// sampler's once-a-second time-series path deliberately does not
+    /// drain, so scrapes keep their exemplars regardless of sampling
+    /// cadence.
+    pub fn reset_exemplars(&self) {
+        let mut slots = self
+            .exemplars
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        for slot in slots.iter_mut() {
+            *slot = None;
+        }
+        for worst in &self.exemplar_worst {
+            worst.store(0, Ordering::Relaxed);
         }
     }
 }
@@ -136,6 +209,48 @@ pub struct HistogramSnapshot {
     pub count: u64,
     /// Sum of all observed durations, seconds.
     pub sum_seconds: f64,
+    /// Worst correlated observation per bucket since the last scrape
+    /// drained them. Empty for snapshots from pre-correlation servers
+    /// (`#[serde(default)]`) and for uncorrelated traffic; absent from
+    /// the wire when empty so pre-exemplar transcripts stay
+    /// byte-identical.
+    #[serde(default, skip_serializing_if = "Vec::is_empty")]
+    pub exemplars: Vec<Exemplar>,
+}
+
+impl HistogramSnapshot {
+    /// Upper-bound estimate of the `q`-quantile (0 < q <= 1): the upper
+    /// bound of the first bucket at which the cumulative count reaches
+    /// `q * count`. Returns 0 with no observations and `+Inf` when the
+    /// quantile lands in the overflow bucket.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.count as f64).ceil() as u64;
+        let mut cumulative = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= rank {
+                return self.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+
+    /// How many observations certainly exceeded `target` seconds: the
+    /// count in every bucket whose *lower* bound is at or above the
+    /// target (bucketing makes this a conservative undercount).
+    pub fn count_over(&self, target: f64) -> u64 {
+        let mut over = 0u64;
+        for (i, c) in self.counts.iter().enumerate() {
+            let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+            if lower >= target {
+                over += c;
+            }
+        }
+        over
+    }
 }
 
 /// Point-in-time copy of a whole metrics registry, as served by the
@@ -267,6 +382,10 @@ pub struct ServiceMetrics {
     pub sessions_evicted: Counter,
     /// Journal records appended (evals and closes).
     pub journal_appends: Counter,
+    /// Journal appends that failed at the filesystem (the request that
+    /// carried them was answered with a `journal` error); nonzero
+    /// values flip the `health` op's write-health signal.
+    pub journal_append_failures: Counter,
     /// Evaluations replayed out of journals at recovery time.
     pub journal_replayed_evals: Counter,
     /// Latency of one durable journal append.
@@ -352,8 +471,21 @@ impl ServiceMetrics {
             .insert(name.to_string(), value);
     }
 
-    /// Copies every instrument into a serializable snapshot.
+    /// Copies every instrument into a serializable snapshot, draining
+    /// histogram exemplars — this is the "scrape" that exemplars are
+    /// worst-since.
     pub fn snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_impl(true)
+    }
+
+    /// Like [`snapshot`](Self::snapshot) but leaves exemplars in place.
+    /// The `health` op reads through this so an SLO probe never steals
+    /// the exemplars a real `metrics` scrape is waiting for.
+    pub(crate) fn peek_snapshot(&self) -> MetricsSnapshot {
+        self.snapshot_impl(false)
+    }
+
+    fn snapshot_impl(&self, drain_exemplars: bool) -> MetricsSnapshot {
         let mut counters = BTreeMap::new();
         let mut histograms = BTreeMap::new();
         let c = |map: &mut BTreeMap<String, u64>, name: &str, counter: &Counter| {
@@ -422,6 +554,11 @@ impl ServiceMetrics {
         c(&mut counters, "journal_appends", &self.journal_appends);
         c(
             &mut counters,
+            "journal_append_failures",
+            &self.journal_append_failures,
+        );
+        c(
+            &mut counters,
             "journal_replayed_evals",
             &self.journal_replayed_evals,
         );
@@ -447,29 +584,24 @@ impl ServiceMetrics {
         for (name, value) in self.gauges.lock().expect("metrics lock").iter() {
             counters.insert(name.clone(), *value);
         }
-        histograms.insert(
-            "server_dispatch_seconds".to_string(),
-            self.dispatch_seconds.snapshot(),
-        );
-        histograms.insert(
-            "engine_suggest_seconds".to_string(),
-            self.engine_suggest_seconds.snapshot(),
-        );
-        histograms.insert(
-            "engine_report_seconds".to_string(),
-            self.engine_report_seconds.snapshot(),
-        );
-        histograms.insert(
-            "journal_append_seconds".to_string(),
-            self.journal_append_seconds.snapshot(),
-        );
+        let mut snap_hist = |name: &str, hist: &Histogram| {
+            let snapshot = hist.snapshot();
+            if drain_exemplars {
+                hist.reset_exemplars();
+            }
+            histograms.insert(name.to_string(), snapshot);
+        };
+        snap_hist("server_dispatch_seconds", &self.dispatch_seconds);
+        snap_hist("engine_suggest_seconds", &self.engine_suggest_seconds);
+        snap_hist("engine_report_seconds", &self.engine_report_seconds);
+        snap_hist("journal_append_seconds", &self.journal_append_seconds);
         for (phase, hist) in self
             .search_phase_seconds
             .lock()
             .expect("metrics lock")
             .iter()
         {
-            histograms.insert(format!("search_phase_seconds_{phase}"), hist.snapshot());
+            snap_hist(&format!("search_phase_seconds_{phase}"), hist);
         }
         MetricsSnapshot {
             counters,
@@ -487,9 +619,10 @@ impl ServiceMetrics {
     /// Takes a snapshot and records it into the time-series store,
     /// stamped with the caller's wall-clock time. Called by the
     /// server's sampler thread; also usable directly in tests and
-    /// benches.
+    /// benches. This path does *not* drain histogram exemplars: a
+    /// once-a-second sampler must not steal them from real scrapes.
     pub fn sample_timeseries(&self, unix_ms: u64) -> RecordOutcome {
-        let snapshot = self.snapshot();
+        let snapshot = self.snapshot_impl(false);
         let outcome = self
             .timeseries
             .record(TimePoint::from_snapshot(&snapshot, unix_ms));
@@ -643,6 +776,84 @@ mod tests {
         m.sample_timeseries(50);
         let points = m.timeseries().points();
         assert_eq!(points[0].gauge("scheduler_shard_depth_3"), Some(4.0));
+    }
+
+    #[test]
+    fn exemplars_link_worst_bucket_observations_to_rids() {
+        let m = ServiceMetrics::new();
+        // Uncorrelated traffic leaves no exemplars behind.
+        m.dispatch_seconds.observe(Duration::from_millis(2));
+        {
+            let _scope = crate::log::rid_scope("r-fast", true);
+            m.dispatch_seconds.observe(Duration::from_millis(3));
+        }
+        {
+            let _scope = crate::log::rid_scope("r-slow", true);
+            m.dispatch_seconds.observe(Duration::from_millis(9));
+        }
+        {
+            // Not worse than r-slow within the same bucket: ignored.
+            let _scope = crate::log::rid_scope("r-mid", true);
+            m.dispatch_seconds.observe(Duration::from_millis(5));
+        }
+        let snap = m.snapshot();
+        let exemplars = &snap.histogram("server_dispatch_seconds").unwrap().exemplars;
+        assert_eq!(exemplars.len(), 1, "{exemplars:?}");
+        assert_eq!(exemplars[0].rid, "r-slow");
+        assert!((exemplars[0].seconds - 0.009).abs() < 1e-6);
+        // The scrape drained them: the next scrape starts fresh.
+        let again = m.snapshot();
+        assert!(again
+            .histogram("server_dispatch_seconds")
+            .unwrap()
+            .exemplars
+            .is_empty());
+        // The sampler path does not steal exemplars from scrapes.
+        {
+            let _scope = crate::log::rid_scope("r-next", true);
+            m.dispatch_seconds.observe(Duration::from_millis(4));
+        }
+        m.sample_timeseries(100);
+        let snap = m.snapshot();
+        let exemplars = &snap.histogram("server_dispatch_seconds").unwrap().exemplars;
+        assert_eq!(exemplars.len(), 1);
+        assert_eq!(exemplars[0].rid, "r-next");
+    }
+
+    #[test]
+    fn exemplars_stay_off_the_wire_when_empty() {
+        let m = ServiceMetrics::new();
+        m.dispatch_seconds.observe(Duration::from_millis(2));
+        let json = serde_json::to_string(&m.snapshot()).unwrap();
+        assert!(!json.contains("exemplars"));
+        // Pre-exemplar snapshots parse with the field defaulted.
+        let old = r#"{"bounds":[0.001],"counts":[1,0],"count":1,"sum_seconds":0.0005}"#;
+        let h: HistogramSnapshot = serde_json::from_str(old).unwrap();
+        assert!(h.exemplars.is_empty());
+    }
+
+    #[test]
+    fn quantile_and_count_over_read_the_buckets_conservatively() {
+        let h = Histogram::with_bounds(&[1e-3, 1e-2, 1e-1]);
+        for _ in 0..98 {
+            h.observe(Duration::from_micros(100)); // <= 1ms
+        }
+        h.observe(Duration::from_millis(5)); // <= 10ms
+        h.observe(Duration::from_millis(50)); // <= 100ms
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.5), 1e-3);
+        assert_eq!(s.quantile(0.99), 1e-2);
+        assert_eq!(s.quantile(1.0), 1e-1);
+        assert_eq!(s.count_over(1e-2), 1); // only the 50ms observation is certain
+        assert_eq!(s.count_over(1e-3), 2);
+        assert_eq!(s.count_over(0.0), 100);
+        let empty = Histogram::latency().snapshot();
+        assert_eq!(empty.quantile(0.99), 0.0);
+        assert_eq!(empty.count_over(1.0), 0);
+        // An observation past every bound lands the quantile at +Inf.
+        let h = Histogram::with_bounds(&[1e-3]);
+        h.observe(Duration::from_secs(1));
+        assert_eq!(h.snapshot().quantile(1.0), f64::INFINITY);
     }
 
     #[test]

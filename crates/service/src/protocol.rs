@@ -3,11 +3,11 @@
 //! Each request is one JSON object on one line, tagged by `"op"`; each
 //! reply is one JSON object on one line, tagged by `"reply"`. Requests
 //! are answered in order on the connection that sent them. The protocol
-//! is deliberately minimal — eight operations mirroring the
-//! [`SessionManager`](crate::SessionManager) surface plus two
-//! server-wide observability reads, `metrics` and `timeseries`, and the
-//! knowledge-base op `kb` (store statistics, optional instant-answer
-//! lookup):
+//! is deliberately minimal — the session operations mirroring the
+//! [`SessionManager`](crate::SessionManager) surface plus four
+//! server-wide observability reads, `metrics`, `timeseries`, `logs`,
+//! and `health`, and the knowledge-base op `kb` (store statistics,
+//! optional instant-answer lookup):
 //!
 //! ```text
 //! -> {"op":"open","name":"run","spec":{"algorithm":"BoTpe","budget":40,"seed":2022,"space":{"kind":"image_cl"}}}
@@ -28,6 +28,12 @@
 //! <- {"reply":"metrics","metrics":{"counters":{...},"histograms":{...}}}
 //! -> {"op":"timeseries","since_seq":42}
 //! <- {"reply":"timeseries","points":[{"unix_ms":1722860000000,"uptime_seconds":3.5,"snapshot_seq":43,"gauges":{...}},...]}
+//! -> {"op":"logs","tail":50}
+//! <- {"reply":"logs","records":[{"seq":9,"unix_ms":...,"level":"info","component":"manager","message":"...","rid":"r-..."},...],"next_seq":9}
+//! -> {"op":"logs","slow":true}
+//! <- {"reply":"logs","slow":[{"unix_ms":...,"op":"suggest_batch","seconds":0.41,"rid":"r-..."}],"next_seq":9}
+//! -> {"op":"health"}
+//! <- {"reply":"health","health":{"status":"ok","live":true,"ready":true,...}}
 //! -> {"op":"kb"}
 //! <- {"reply":"kb","stats":{"studies":12,"converged_studies":9,...}}
 //! -> {"op":"kb","lookup":{"algorithm":"BoTpe","budget":40,"seed":2022,"space":{"kind":"image_cl"},"problem":{"kernel":"convolution","architecture":"Titan V"}}}
@@ -36,12 +42,33 @@
 //! <- {"reply":"closed","result":{...}}
 //! ```
 //!
+//! # Request correlation
+//!
+//! Every request accepts an optional `rid` (request id) field — a
+//! free-form client-chosen string. The server threads it through
+//! dispatch, the engine, the journal, and the knowledge base: it
+//! appears in every structured log record and slow-op entry emitted
+//! while serving the request, in histogram bucket
+//! [`Exemplar`](crate::metrics::Exemplar)s, and is echoed back in the
+//! reply. A request *without* a `rid` is assigned an FNV-1a-derived one
+//! ([`crate::log::derive_rid`]); to keep pre-correlation transcripts
+//! byte-identical, server-assigned ids are echoed only on `error`
+//! replies (which always carry the effective `rid`), while successful
+//! replies echo the `rid` only when the client supplied one:
+//!
+//! ```text
+//! -> {"op":"suggest","name":"run","rid":"deploy-42"}
+//! <- {"reply":"suggest","config":[4,1,2,8,4,2],"result":null,"rid":"deploy-42"}
+//! -> {"op":"suggest","name":"ghost"}
+//! <- {"reply":"error","code":"unknown_session","message":"unknown session \"ghost\"","rid":"r-9f2a6c01d4e8b370"}
+//! ```
+//!
 //! # Error replies
 //!
 //! Failures are answered in-band, never by dropping the connection:
 //!
 //! ```text
-//! <- {"reply":"error","code":"unknown_session","message":"unknown session \"ghost\""}
+//! <- {"reply":"error","code":"unknown_session","message":"unknown session \"ghost\"","rid":"r-..."}
 //! ```
 //!
 //! `code` is one of the machine-readable [`ErrorCode`] spellings —
@@ -51,12 +78,14 @@
 //! `engine_stopped`, `engine_failed`, `replay_diverged`,
 //! `replay_overrun`, `journal`, `protocol`, `request_too_large`, and
 //! `internal` are fatal for the request that triggered them. `message`
-//! stays free-form for humans.
+//! stays free-form for humans; `rid` identifies the failing request in
+//! the server's logs.
 //! Three error replies additionally end the connection after being
 //! written: `busy` (connection cap), `timeout` (read deadline), and
 //! `request_too_large` (line cap).
 
 use crate::error::{ErrorCode, ServiceError};
+use crate::log::{LogCounts, LogRecord, SlowOp};
 use crate::manager::KbAnswer;
 use crate::metrics::MetricsSnapshot;
 use crate::spec::SessionSpec;
@@ -68,7 +97,17 @@ use autotune_kb::KbStats;
 use autotune_space::Configuration;
 use serde::{Deserialize, Serialize};
 
+/// Serde helper keeping `false` flags off the wire.
+#[allow(clippy::trivially_copy_pass_by_ref)]
+fn is_false(b: &bool) -> bool {
+    !*b
+}
+
 /// A client-to-server request, one per line.
+///
+/// Every variant carries an optional `rid` correlation id (absent on
+/// the wire when unset, so pre-correlation transcripts stay
+/// byte-identical); see the [module docs](self) for its semantics.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 #[serde(tag = "op", rename_all = "snake_case")]
 pub enum Request {
@@ -78,11 +117,17 @@ pub enum Request {
         name: String,
         /// The deterministic session blueprint.
         spec: SessionSpec,
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Ask the named session for its next configuration.
     Suggest {
         /// The target session.
         name: String,
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Ask the named session for up to `n` configurations at once. How
     /// many come back is capped by the tuner's own chunk width (the
@@ -92,6 +137,9 @@ pub enum Request {
         name: String,
         /// Maximum number of configurations wanted.
         n: usize,
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Report the measured cost of the oldest pending suggestion.
     Report {
@@ -100,6 +148,9 @@ pub enum Request {
         /// The observed cost (lower is better). Must be finite; NaN and
         /// infinities are rejected with `non_finite_value`.
         value: f64,
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Report several measured costs at once, answering the oldest
     /// pending suggestions in order. All-or-nothing: a batch longer
@@ -110,21 +161,34 @@ pub enum Request {
         name: String,
         /// The observed costs, in suggestion order. Each must be finite.
         values: Vec<f64>,
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Fetch the session's observability counters.
     Stats {
         /// The target session.
         name: String,
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Fetch every search-trace event the session's tuner has emitted
     /// so far (per-trial events, phase spans, algorithm payloads).
     Trace {
         /// The target session.
         name: String,
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Fetch the server-wide metrics snapshot (counters and latency
     /// histograms across all sessions and connections).
-    Metrics,
+    Metrics {
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
+    },
     /// Fetch the sampled metrics time series (the server's whole
     /// lifetime at power-of-two-downsampled resolution).
     Timeseries {
@@ -134,6 +198,34 @@ pub enum Request {
         /// "everything".
         #[serde(default)]
         since_seq: Option<u64>,
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
+    },
+    /// Fetch structured log records from the server's in-memory ring,
+    /// or the slow-op ring.
+    Logs {
+        /// Return only the most recent `tail` records (default 100 when
+        /// neither `tail` nor `since_seq` is given).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        tail: Option<usize>,
+        /// Return records with `seq` strictly greater than this — the
+        /// incremental-poll path. Takes precedence over `tail`.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        since_seq: Option<u64>,
+        /// When `true`, return the slow-op ring instead of log records.
+        #[serde(default, skip_serializing_if = "is_false")]
+        slow: bool,
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
+    },
+    /// Fetch liveness/readiness plus SLO state (availability, latency
+    /// error budgets, saturation, write health).
+    Health {
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Fetch knowledge-base statistics, optionally consulting the
     /// instant-answer cache for a spec.
@@ -143,15 +235,170 @@ pub enum Request {
         /// at least its budget exists.
         #[serde(default, skip_serializing_if = "Option::is_none")]
         lookup: Option<Box<SessionSpec>>,
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Close and deregister the session.
     Close {
         /// The target session.
         name: String,
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
 }
 
+impl Request {
+    /// The client-supplied correlation id, if any.
+    pub fn rid(&self) -> Option<&str> {
+        match self {
+            Request::Open { rid, .. }
+            | Request::Suggest { rid, .. }
+            | Request::SuggestBatch { rid, .. }
+            | Request::Report { rid, .. }
+            | Request::ReportBatch { rid, .. }
+            | Request::Stats { rid, .. }
+            | Request::Trace { rid, .. }
+            | Request::Metrics { rid }
+            | Request::Timeseries { rid, .. }
+            | Request::Logs { rid, .. }
+            | Request::Health { rid }
+            | Request::Kb { rid, .. }
+            | Request::Close { rid, .. } => rid.as_deref(),
+        }
+    }
+
+    /// The request's wire op name, for log records and the slow-op
+    /// ring.
+    pub fn op_name(&self) -> &'static str {
+        match self {
+            Request::Open { .. } => "open",
+            Request::Suggest { .. } => "suggest",
+            Request::SuggestBatch { .. } => "suggest_batch",
+            Request::Report { .. } => "report",
+            Request::ReportBatch { .. } => "report_batch",
+            Request::Stats { .. } => "stats",
+            Request::Trace { .. } => "trace",
+            Request::Metrics { .. } => "metrics",
+            Request::Timeseries { .. } => "timeseries",
+            Request::Logs { .. } => "logs",
+            Request::Health { .. } => "health",
+            Request::Kb { .. } => "kb",
+            Request::Close { .. } => "close",
+        }
+    }
+}
+
+/// Overall health classification reported by the `health` op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum HealthStatus {
+    /// Every signal within bounds.
+    Ok,
+    /// At least one signal out of bounds (an SLO breached, availability
+    /// below target, or a persistence layer failing writes).
+    Degraded,
+}
+
+/// Rolling availability: the fraction of requests answered without an
+/// `error` reply.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Availability {
+    /// `1 - errors/requests` over the window; 1.0 with no requests.
+    pub ratio: f64,
+    /// Requests observed in the window.
+    pub window_requests: u64,
+    /// Error replies observed in the window.
+    pub window_errors: u64,
+    /// `true` when the window is the sampled time series (rolling);
+    /// `false` when sampling is off and the figures cover the whole
+    /// process lifetime.
+    pub rolling: bool,
+}
+
+/// One latency SLO evaluated against an existing histogram.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloBudget {
+    /// The histogram the SLO reads (`server_dispatch_seconds`, …).
+    pub histogram: String,
+    /// The p99 latency target, seconds.
+    pub target_seconds: f64,
+    /// Upper-bound estimate of the observed p99, from the bucket
+    /// bounds; `None` when the p99 lands in the `+Inf` overflow bucket
+    /// (beyond every bound).
+    pub p99_seconds: Option<f64>,
+    /// Share of the 1% error budget still unspent, in `[0, 1]`:
+    /// `1 - over_target / (0.01 * count)`, clamped. 1.0 with no
+    /// observations.
+    pub budget_remaining: f64,
+    /// `true` when the observed p99 exceeds the target.
+    pub breached: bool,
+}
+
+/// Scheduler and registry saturation signals, from the per-shard
+/// queue-depth gauges and residency governor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Saturation {
+    /// Sessions with a live engine thread.
+    pub resident_engines: u64,
+    /// The residency governor's cap.
+    pub max_resident: u64,
+    /// Sessions currently parked by the governor.
+    pub parked_sessions: u64,
+    /// Registered sessions (live + parked).
+    pub open_sessions: u64,
+    /// Deepest registry shard (sessions behind one shard lock).
+    pub max_shard_depth: u64,
+    /// `resident_engines / max_resident`, in `[0, 1]`.
+    pub utilization: f64,
+}
+
+/// Persistence-layer write health.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WriteHealth {
+    /// Journal records appended so far.
+    pub journal_appends: u64,
+    /// Journal appends that failed at the filesystem.
+    pub journal_append_failures: u64,
+    /// Finished studies the knowledge base failed to persist.
+    pub kb_append_failures: u64,
+    /// Log records the file sink failed to persist.
+    pub log_sink_failures: u64,
+    /// `true` while every persistence layer has a clean write record.
+    pub healthy: bool,
+}
+
+/// Liveness/readiness plus SLO state, as served by the `health` op.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HealthReport {
+    /// Overall classification (worst of the signals below).
+    pub status: HealthStatus,
+    /// The process is up and dispatching (always `true` in a reply —
+    /// the liveness probe is getting any reply at all).
+    pub live: bool,
+    /// The server is accepting work.
+    pub ready: bool,
+    /// Seconds since the metrics registry (≈ the process) started.
+    pub uptime_seconds: f64,
+    /// Rolling availability.
+    pub availability: Availability,
+    /// Latency error budgets against the configured p99 target.
+    pub slos: Vec<SloBudget>,
+    /// Scheduler saturation.
+    pub saturation: Saturation,
+    /// Persistence write health.
+    pub writes: WriteHealth,
+    /// Log-subsystem counters.
+    pub log: LogCounts,
+}
+
 /// A server-to-client reply, one per line.
+///
+/// Every variant carries an optional `rid` echoing the request's
+/// correlation id (always set on `error` replies, set on success
+/// replies only when the client supplied one — see the
+/// [module docs](self)).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(tag = "reply", rename_all = "snake_case")]
 pub enum Response {
@@ -159,6 +406,9 @@ pub enum Response {
     Opened {
         /// The name it was registered under.
         name: String,
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Answer to `suggest`: exactly one of the two fields is set.
     Suggest {
@@ -166,6 +416,9 @@ pub enum Response {
         config: Option<Configuration>,
         /// The final result, once the budget is spent.
         result: Option<TuneResult>,
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Answer to `suggest_batch`: exactly one of the two fields is set.
     SuggestBatch {
@@ -174,35 +427,80 @@ pub enum Response {
         config: Option<Vec<Configuration>>,
         /// The final result, once the budget is spent.
         result: Option<TuneResult>,
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// The report was accepted (and journaled, if persistence is on).
-    Reported,
+    Reported {
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
+    },
     /// Answer to `report_batch`: every value was accepted and journaled.
     ReportedBatch {
         /// How many values were accepted (the whole batch — the op is
         /// all-or-nothing).
         accepted: usize,
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Answer to `stats`.
     Stats {
         /// The session's counters.
         stats: SessionStats,
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Answer to `trace`.
     Trace {
         /// The session's trace-event stream, in emission order
         /// (timestamps are microseconds since the session opened).
         events: Vec<TraceEvent>,
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Answer to `metrics`.
     Metrics {
         /// The server-wide snapshot.
         metrics: MetricsSnapshot,
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Answer to `timeseries`.
     Timeseries {
         /// Retained sample points, oldest first.
         points: Vec<TimePoint>,
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
+    },
+    /// Answer to `logs`.
+    Logs {
+        /// Matching log records, oldest first (empty in `slow` mode).
+        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        records: Vec<LogRecord>,
+        /// The slow-op ring, slowest first (only in `slow` mode).
+        #[serde(default, skip_serializing_if = "Vec::is_empty")]
+        slow: Vec<SlowOp>,
+        /// The log's highest assigned sequence number; pass it back as
+        /// `since_seq` to poll incrementally.
+        next_seq: u64,
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
+    },
+    /// Answer to `health`.
+    Health {
+        /// The server's health report.
+        health: Box<HealthReport>,
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// Answer to `kb`.
     Kb {
@@ -213,11 +511,17 @@ pub enum Response {
         /// exists.
         #[serde(default, skip_serializing_if = "Option::is_none")]
         answer: Option<KbAnswer>,
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// The session was closed.
     Closed {
         /// The final result, if the budget had been spent.
         result: Option<TuneResult>,
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
     /// The request failed.
     Error {
@@ -228,16 +532,68 @@ pub enum Response {
         code: ErrorCode,
         /// Human-readable failure description.
         message: String,
+        /// The failing request's effective correlation id
+        /// (server-assigned when the client sent none); absent in
+        /// replies from pre-correlation servers.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
     },
 }
 
 impl Response {
     /// The `error` reply for a [`ServiceError`]: its code plus its
-    /// display rendering.
+    /// display rendering. The `rid` is attached later by the server's
+    /// dispatch loop ([`Response::set_rid`]).
     pub fn error(e: &ServiceError) -> Response {
         Response::Error {
             code: e.code(),
             message: e.to_string(),
+            rid: None,
+        }
+    }
+
+    /// `true` for the `error` variant.
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error { .. })
+    }
+
+    /// The reply's correlation id, if set.
+    pub fn rid(&self) -> Option<&str> {
+        match self {
+            Response::Opened { rid, .. }
+            | Response::Suggest { rid, .. }
+            | Response::SuggestBatch { rid, .. }
+            | Response::Reported { rid }
+            | Response::ReportedBatch { rid, .. }
+            | Response::Stats { rid, .. }
+            | Response::Trace { rid, .. }
+            | Response::Metrics { rid, .. }
+            | Response::Timeseries { rid, .. }
+            | Response::Logs { rid, .. }
+            | Response::Health { rid, .. }
+            | Response::Kb { rid, .. }
+            | Response::Closed { rid, .. }
+            | Response::Error { rid, .. } => rid.as_deref(),
+        }
+    }
+
+    /// Stamps the reply with the request's correlation id.
+    pub fn set_rid(&mut self, value: String) {
+        match self {
+            Response::Opened { rid, .. }
+            | Response::Suggest { rid, .. }
+            | Response::SuggestBatch { rid, .. }
+            | Response::Reported { rid }
+            | Response::ReportedBatch { rid, .. }
+            | Response::Stats { rid, .. }
+            | Response::Trace { rid, .. }
+            | Response::Metrics { rid, .. }
+            | Response::Timeseries { rid, .. }
+            | Response::Logs { rid, .. }
+            | Response::Health { rid, .. }
+            | Response::Kb { rid, .. }
+            | Response::Closed { rid, .. }
+            | Response::Error { rid, .. } => *rid = Some(value),
         }
     }
 }
@@ -252,6 +608,7 @@ mod tests {
         let open = Request::Open {
             name: "run".into(),
             spec: SessionSpec::imagecl(Algorithm::BoTpe, 40, 2022),
+            rid: None,
         };
         let json = serde_json::to_string(&open).unwrap();
         assert!(json.contains("\"op\":\"open\""));
@@ -260,16 +617,17 @@ mod tests {
         let report = Request::Report {
             name: "run".into(),
             value: 1.5,
+            rid: None,
         };
         let json = serde_json::to_string(&report).unwrap();
         assert!(json.contains("\"op\":\"report\""));
         assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), report);
 
-        let json = serde_json::to_string(&Request::Metrics).unwrap();
+        let json = serde_json::to_string(&Request::Metrics { rid: None }).unwrap();
         assert!(json.contains("\"op\":\"metrics\""));
         assert_eq!(
             serde_json::from_str::<Request>(&json).unwrap(),
-            Request::Metrics
+            Request::Metrics { rid: None }
         );
     }
 
@@ -278,11 +636,12 @@ mod tests {
         let suggest = Response::Suggest {
             config: Some(Configuration::from([1, 2, 3])),
             result: None,
+            rid: None,
         };
         let json = serde_json::to_string(&suggest).unwrap();
         assert!(json.contains("\"reply\":\"suggest\""));
         match serde_json::from_str::<Response>(&json).unwrap() {
-            Response::Suggest { config, result } => {
+            Response::Suggest { config, result, .. } => {
                 assert_eq!(config, Some(Configuration::from([1, 2, 3])));
                 assert!(result.is_none());
             }
@@ -292,6 +651,7 @@ mod tests {
         let err = Response::Error {
             code: ErrorCode::Journal,
             message: "boom".into(),
+            rid: None,
         };
         let json = serde_json::to_string(&err).unwrap();
         assert!(json.contains("\"reply\":\"error\""));
@@ -302,19 +662,69 @@ mod tests {
     fn error_replies_carry_codes_and_default_when_absent() {
         let reply = Response::error(&ServiceError::UnknownSession("ghost".into()));
         match &reply {
-            Response::Error { code, message } => {
+            Response::Error { code, message, rid } => {
                 assert_eq!(*code, ErrorCode::UnknownSession);
                 assert!(message.contains("ghost"));
+                assert!(rid.is_none());
             }
             other => panic!("wrong variant: {other:?}"),
         }
         // A pre-code server reply without the field still parses.
         let legacy = r#"{"reply":"error","message":"boom"}"#;
         match serde_json::from_str::<Response>(legacy).unwrap() {
-            Response::Error { code, message } => {
+            Response::Error { code, message, rid } => {
                 assert_eq!(code, ErrorCode::Internal);
                 assert_eq!(message, "boom");
+                assert_eq!(rid, None);
             }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rids_ride_requests_and_replies_and_stay_off_the_wire_when_unset() {
+        // Round trip with an explicit rid.
+        let req = Request::Suggest {
+            name: "run".into(),
+            rid: Some("deploy-42".into()),
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"rid\":\"deploy-42\""));
+        let back = serde_json::from_str::<Request>(&json).unwrap();
+        assert_eq!(back, req);
+        assert_eq!(back.rid(), Some("deploy-42"));
+        assert_eq!(back.op_name(), "suggest");
+
+        // Unset rids leave the wire format byte-identical to pre-PR
+        // transcripts.
+        let req = Request::Suggest {
+            name: "run".into(),
+            rid: None,
+        };
+        assert_eq!(
+            serde_json::to_string(&req).unwrap(),
+            r#"{"op":"suggest","name":"run"}"#
+        );
+        let mut reply = Response::Reported { rid: None };
+        assert_eq!(
+            serde_json::to_string(&reply).unwrap(),
+            r#"{"reply":"reported"}"#
+        );
+        reply.set_rid("r-1".into());
+        assert_eq!(reply.rid(), Some("r-1"));
+        assert_eq!(
+            serde_json::to_string(&reply).unwrap(),
+            r#"{"reply":"reported","rid":"r-1"}"#
+        );
+
+        // An error reply always spells its rid out.
+        let mut err = Response::error(&ServiceError::Timeout);
+        err.set_rid("r-f00".into());
+        assert!(err.is_error());
+        let json = serde_json::to_string(&err).unwrap();
+        assert!(json.contains("\"rid\":\"r-f00\""));
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Error { rid, .. } => assert_eq!(rid.as_deref(), Some("r-f00")),
             other => panic!("wrong variant: {other:?}"),
         }
     }
@@ -325,7 +735,10 @@ mod tests {
         let line = r#"{"op":"suggest","name":"run"}"#;
         assert_eq!(
             serde_json::from_str::<Request>(line).unwrap(),
-            Request::Suggest { name: "run".into() }
+            Request::Suggest {
+                name: "run".into(),
+                rid: None
+            }
         );
         let line = r#"{"op":"open","name":"r","spec":{"algorithm":"RandomSearch","budget":5,"seed":1,"space":{"kind":"image_cl"}}}"#;
         assert!(matches!(
@@ -335,12 +748,21 @@ mod tests {
         let line = r#"{"op":"metrics"}"#;
         assert_eq!(
             serde_json::from_str::<Request>(line).unwrap(),
-            Request::Metrics
+            Request::Metrics { rid: None }
         );
         let line = r#"{"op":"trace","name":"run"}"#;
         assert_eq!(
             serde_json::from_str::<Request>(line).unwrap(),
-            Request::Trace { name: "run".into() }
+            Request::Trace {
+                name: "run".into(),
+                rid: None
+            }
+        );
+        // A rid rides along in hand-written requests too.
+        let line = r#"{"op":"report","name":"run","value":2.5,"rid":"curl-1"}"#;
+        assert_eq!(
+            serde_json::from_str::<Request>(line).unwrap().rid(),
+            Some("curl-1")
         );
     }
 
@@ -349,6 +771,7 @@ mod tests {
         let req = Request::SuggestBatch {
             name: "run".into(),
             n: 4,
+            rid: None,
         };
         let json = serde_json::to_string(&req).unwrap();
         assert!(json.contains("\"op\":\"suggest_batch\""));
@@ -360,6 +783,7 @@ mod tests {
             Request::ReportBatch {
                 name: "run".into(),
                 values: vec![12.25, 14.5],
+                rid: None,
             }
         );
 
@@ -369,6 +793,7 @@ mod tests {
                 Configuration::from([3, 2, 1]),
             ]),
             result: None,
+            rid: None,
         };
         let json = serde_json::to_string(&reply).unwrap();
         assert!(json.contains("\"reply\":\"suggest_batch\""));
@@ -376,11 +801,16 @@ mod tests {
             Response::SuggestBatch {
                 config: Some(cfgs),
                 result: None,
+                ..
             } => assert_eq!(cfgs.len(), 2),
             other => panic!("wrong variant: {other:?}"),
         }
 
-        let json = serde_json::to_string(&Response::ReportedBatch { accepted: 2 }).unwrap();
+        let json = serde_json::to_string(&Response::ReportedBatch {
+            accepted: 2,
+            rid: None,
+        })
+        .unwrap();
         assert!(json.contains("\"reply\":\"reported_batch\""));
         assert!(json.contains("\"accepted\":2"));
     }
@@ -405,15 +835,192 @@ mod tests {
         let line = r#"{"op":"timeseries"}"#;
         assert_eq!(
             serde_json::from_str::<Request>(line).unwrap(),
-            Request::Timeseries { since_seq: None }
+            Request::Timeseries {
+                since_seq: None,
+                rid: None
+            }
         );
         let line = r#"{"op":"timeseries","since_seq":42}"#;
         assert_eq!(
             serde_json::from_str::<Request>(line).unwrap(),
             Request::Timeseries {
-                since_seq: Some(42)
+                since_seq: Some(42),
+                rid: None,
             }
         );
+    }
+
+    #[test]
+    fn logs_requests_parse_all_modes_and_default_bare() {
+        let line = r#"{"op":"logs"}"#;
+        assert_eq!(
+            serde_json::from_str::<Request>(line).unwrap(),
+            Request::Logs {
+                tail: None,
+                since_seq: None,
+                slow: false,
+                rid: None,
+            }
+        );
+        let line = r#"{"op":"logs","tail":50}"#;
+        assert!(matches!(
+            serde_json::from_str::<Request>(line).unwrap(),
+            Request::Logs { tail: Some(50), .. }
+        ));
+        let line = r#"{"op":"logs","since_seq":9,"rid":"poll-1"}"#;
+        match serde_json::from_str::<Request>(line).unwrap() {
+            Request::Logs { since_seq, rid, .. } => {
+                assert_eq!(since_seq, Some(9));
+                assert_eq!(rid.as_deref(), Some("poll-1"));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        let line = r#"{"op":"logs","slow":true}"#;
+        assert!(matches!(
+            serde_json::from_str::<Request>(line).unwrap(),
+            Request::Logs { slow: true, .. }
+        ));
+        // The bare serialization stays one short line.
+        let bare = Request::Logs {
+            tail: None,
+            since_seq: None,
+            slow: false,
+            rid: None,
+        };
+        assert_eq!(serde_json::to_string(&bare).unwrap(), r#"{"op":"logs"}"#);
+    }
+
+    #[test]
+    fn logs_replies_round_trip_records_and_slow_ops() {
+        use crate::log::{LogLevel, LogRecord, SlowOp};
+        let reply = Response::Logs {
+            records: vec![LogRecord {
+                seq: 3,
+                unix_ms: 1_722_000_000_000,
+                level: LogLevel::Info,
+                component: "manager".into(),
+                message: "parked session".into(),
+                rid: Some("r-1".into()),
+                session: Some("run".into()),
+            }],
+            slow: vec![],
+            next_seq: 3,
+            rid: None,
+        };
+        let json = serde_json::to_string(&reply).unwrap();
+        assert!(json.contains("\"reply\":\"logs\""));
+        assert!(json.contains("\"component\":\"manager\""));
+        assert!(!json.contains("\"slow\""));
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Logs {
+                records, next_seq, ..
+            } => {
+                assert_eq!(records.len(), 1);
+                assert_eq!(next_seq, 3);
+                assert_eq!(records[0].rid.as_deref(), Some("r-1"));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let reply = Response::Logs {
+            records: vec![],
+            slow: vec![SlowOp {
+                unix_ms: 1,
+                op: "suggest_batch".into(),
+                seconds: 0.41,
+                rid: Some("r-2".into()),
+            }],
+            next_seq: 7,
+            rid: None,
+        };
+        let json = serde_json::to_string(&reply).unwrap();
+        assert!(!json.contains("\"records\""));
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Logs { slow, .. } => {
+                assert_eq!(slow.len(), 1);
+                assert_eq!(slow[0].op, "suggest_batch");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn health_requests_and_reports_round_trip() {
+        let line = r#"{"op":"health"}"#;
+        assert_eq!(
+            serde_json::from_str::<Request>(line).unwrap(),
+            Request::Health { rid: None }
+        );
+        assert_eq!(
+            serde_json::to_string(&Request::Health { rid: None }).unwrap(),
+            r#"{"op":"health"}"#
+        );
+
+        let report = HealthReport {
+            status: HealthStatus::Degraded,
+            live: true,
+            ready: true,
+            uptime_seconds: 12.5,
+            availability: Availability {
+                ratio: 0.875,
+                window_requests: 8,
+                window_errors: 1,
+                rolling: true,
+            },
+            slos: vec![SloBudget {
+                histogram: "server_dispatch_seconds".into(),
+                target_seconds: 0.25,
+                p99_seconds: Some(1.0),
+                budget_remaining: 0.0,
+                breached: true,
+            }],
+            saturation: Saturation {
+                resident_engines: 2,
+                max_resident: 256,
+                parked_sessions: 1,
+                open_sessions: 3,
+                max_shard_depth: 2,
+                utilization: 2.0 / 256.0,
+            },
+            writes: WriteHealth {
+                journal_appends: 40,
+                journal_append_failures: 0,
+                kb_append_failures: 0,
+                log_sink_failures: 0,
+                healthy: true,
+            },
+            log: LogCounts {
+                logged: 11,
+                dropped: 0,
+                sink_failures: 0,
+                slow_ops: 2,
+            },
+        };
+        let reply = Response::Health {
+            health: Box::new(report.clone()),
+            rid: Some("probe-1".into()),
+        };
+        let json = serde_json::to_string(&reply).unwrap();
+        assert!(json.contains("\"reply\":\"health\""));
+        assert!(json.contains("\"status\":\"degraded\""));
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Health { health, rid } => {
+                assert_eq!(*health, report);
+                assert_eq!(rid.as_deref(), Some("probe-1"));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // An overflow-bucket p99 spells as null and parses back.
+        let slo = SloBudget {
+            histogram: "h".into(),
+            target_seconds: 0.1,
+            p99_seconds: None,
+            budget_remaining: 0.0,
+            breached: true,
+        };
+        let json = serde_json::to_string(&slo).unwrap();
+        assert!(json.contains("\"p99_seconds\":null"));
+        assert_eq!(serde_json::from_str::<SloBudget>(&json).unwrap(), slo);
     }
 
     #[test]
@@ -422,14 +1029,23 @@ mod tests {
         let line = r#"{"op":"kb"}"#;
         assert_eq!(
             serde_json::from_str::<Request>(line).unwrap(),
-            Request::Kb { lookup: None }
+            Request::Kb {
+                lookup: None,
+                rid: None
+            }
         );
-        let json = serde_json::to_string(&Request::Kb { lookup: None }).unwrap();
+        let json = serde_json::to_string(&Request::Kb {
+            lookup: None,
+            rid: None,
+        })
+        .unwrap();
         assert_eq!(json, r#"{"op":"kb"}"#);
 
         let line = r#"{"op":"kb","lookup":{"algorithm":"BoTpe","budget":40,"seed":7,"space":{"kind":"image_cl"},"problem":{"kernel":"convolution","architecture":"Titan V"}}}"#;
         match serde_json::from_str::<Request>(line).unwrap() {
-            Request::Kb { lookup: Some(spec) } => {
+            Request::Kb {
+                lookup: Some(spec), ..
+            } => {
                 assert_eq!(spec.budget, 40);
                 assert_eq!(spec.problem.unwrap().kernel, "convolution");
             }
@@ -446,6 +1062,7 @@ mod tests {
         let bare = Response::Kb {
             stats: KbStats::default(),
             answer: None,
+            rid: None,
         };
         let json = serde_json::to_string(&bare).unwrap();
         assert!(json.contains("\"reply\":\"kb\""));
@@ -469,12 +1086,14 @@ mod tests {
                 algorithm: "BO GP".into(),
                 budget: 200,
             }),
+            rid: None,
         };
         let json = serde_json::to_string(&hit).unwrap();
         match serde_json::from_str::<Response>(&json).unwrap() {
             Response::Kb {
                 stats,
                 answer: Some(answer),
+                ..
             } => {
                 assert_eq!(stats.studies, 2);
                 assert_eq!(answer.best.value, 12.25);
@@ -494,12 +1113,13 @@ mod tests {
                 snapshot_seq: 43,
                 gauges: BTreeMap::from([("server_requests".to_string(), 7.0)]),
             }],
+            rid: None,
         };
         let json = serde_json::to_string(&reply).unwrap();
         assert!(json.contains("\"reply\":\"timeseries\""));
         assert!(json.contains("\"snapshot_seq\":43"));
         match serde_json::from_str::<Response>(&json).unwrap() {
-            Response::Timeseries { points } => {
+            Response::Timeseries { points, .. } => {
                 assert_eq!(points.len(), 1);
                 assert_eq!(points[0].gauge("server_requests"), Some(7.0));
             }
@@ -528,12 +1148,13 @@ mod tests {
                     },
                 },
             ],
+            rid: None,
         };
         let json = serde_json::to_string(&reply).unwrap();
         assert!(json.contains("\"reply\":\"trace\""));
         assert!(json.contains("\"kind\":\"trial\""));
         match serde_json::from_str::<Response>(&json).unwrap() {
-            Response::Trace { events } => {
+            Response::Trace { events, .. } => {
                 assert_eq!(events.len(), 2);
                 assert_eq!(events[1].t_us, 52);
             }

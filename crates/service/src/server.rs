@@ -34,8 +34,11 @@
 
 use crate::engine::{BatchSuggestion, Suggestion};
 use crate::error::ServiceError;
+use crate::log::{derive_rid, rid_scope};
 use crate::manager::SessionManager;
-use crate::protocol::{Request, Response};
+use crate::protocol::{
+    Availability, HealthReport, HealthStatus, Request, Response, Saturation, SloBudget, WriteHealth,
+};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
@@ -48,6 +51,27 @@ use std::time::{Duration, Instant};
 /// How often the nonblocking accept loop polls for new connections and
 /// the stop flag.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+/// Records returned by a bare `logs` request (neither `tail` nor
+/// `since_seq` given), and the page cap for `since_seq` polls.
+const DEFAULT_LOG_TAIL: usize = 100;
+
+/// How far back the `health` op's rolling availability window reaches
+/// into the sampled time series.
+const AVAILABILITY_WINDOW: Duration = Duration::from_secs(60);
+
+/// Availability below this (over a non-empty window) flips the health
+/// status to degraded: the conventional "two nines of requests answered
+/// without an error reply".
+const AVAILABILITY_TARGET: f64 = 0.99;
+
+/// The histograms the `health` op evaluates p99 error budgets for.
+const SLO_HISTOGRAMS: [&str; 4] = [
+    "server_dispatch_seconds",
+    "engine_suggest_seconds",
+    "engine_report_seconds",
+    "journal_append_seconds",
+];
 
 /// Hardening knobs for a [`TunedServer`]. The defaults suit a trusted
 /// LAN; tighten them when exposing the port to hostile traffic.
@@ -80,6 +104,13 @@ pub struct ServerConfig {
     /// sampling (the op still answers, with whatever was sampled by
     /// other means).
     pub timeseries_interval: Option<Duration>,
+    /// Requests slower than this land in the event log's slow-op ring,
+    /// served by the `logs` op in `slow` mode (`--slow-op-ms` on the
+    /// binary). Applied to the manager's event log at spawn time.
+    pub slow_op_threshold: Duration,
+    /// The p99 latency target the `health` op computes error budgets
+    /// against, per instrumented histogram (`--slo-p99-ms`).
+    pub slo_p99: Duration,
 }
 
 impl Default for ServerConfig {
@@ -92,6 +123,8 @@ impl Default for ServerConfig {
             idle_session_ttl: None,
             drain_grace: Duration::from_secs(5),
             timeseries_interval: Some(Duration::from_secs(1)),
+            slow_op_threshold: Duration::from_millis(250),
+            slo_p99: Duration::from_millis(250),
         }
     }
 }
@@ -196,6 +229,11 @@ impl TunedServer {
         // for a failed wake-up to hang the drop path.
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
+        // The slow-op ring works even when leveled logging is off: it
+        // gates on its own threshold, not the log level.
+        manager
+            .event_log()
+            .set_slow_op_threshold(Some(config.slow_op_threshold));
         let stop = Arc::new(AtomicBool::new(false));
         let conns = Arc::new(ConnTable::default());
 
@@ -400,7 +438,7 @@ fn accept_loop(
                 .name("tuned-conn".into())
                 .spawn(move || {
                     let metrics = Arc::clone(manager.metrics());
-                    let _ = handle_connection(stream, &manager, &config, &stop);
+                    let _ = handle_connection(stream, id, &manager, &config, &stop);
                     conns.remove(id);
                     metrics.connections_closed.inc();
                 })
@@ -515,17 +553,28 @@ fn write_response(writer: &mut BufWriter<TcpStream>, response: &Response) -> std
 
 /// Serves one connection until EOF, deadline, oversize, or server stop:
 /// read a bounded request line, dispatch, write the reply line, flush.
+///
+/// Every served line gets a correlation id: the client's `rid` when it
+/// sent one, otherwise one derived from `(connection, ordinal, bytes)`.
+/// The id is installed as a thread-local scope around dispatch so every
+/// log record, journal entry, and histogram exemplar produced while
+/// serving the request can carry it. Error replies always echo the
+/// effective rid; success replies echo it only when the client chose it,
+/// keeping rid-less transcripts byte-identical to pre-correlation ones.
 fn handle_connection(
     stream: TcpStream,
+    conn_id: u64,
     manager: &SessionManager,
     config: &ServerConfig,
     stop: &AtomicBool,
 ) -> std::io::Result<()> {
     let metrics = Arc::clone(manager.metrics());
+    let log = Arc::clone(manager.event_log());
     stream.set_read_timeout(Some(config.read_timeout))?;
     stream.set_write_timeout(Some(config.write_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
+    let mut ordinal: u64 = 0;
     loop {
         if stop.load(Ordering::SeqCst) {
             break;
@@ -534,17 +583,33 @@ fn handle_connection(
             LineRead::Eof => break,
             LineRead::TimedOut => {
                 metrics.read_timeouts.inc();
-                let _ = write_response(&mut writer, &Response::error(&ServiceError::Timeout));
+                ordinal += 1;
+                let rid = derive_rid(conn_id, ordinal, b"");
+                let _scope = rid_scope(rid.clone(), false);
+                log.warn("server", None, || {
+                    "read timed out waiting for a request line".to_string()
+                });
+                let mut response = Response::error(&ServiceError::Timeout);
+                response.set_rid(rid);
+                let _ = write_response(&mut writer, &response);
                 break;
             }
             LineRead::TooLarge => {
                 metrics.oversized_requests.inc();
-                let _ = write_response(
-                    &mut writer,
-                    &Response::error(&ServiceError::RequestTooLarge {
-                        limit: config.max_line_bytes,
-                    }),
-                );
+                ordinal += 1;
+                let rid = derive_rid(conn_id, ordinal, b"");
+                let _scope = rid_scope(rid.clone(), false);
+                log.warn("server", None, || {
+                    format!(
+                        "request line exceeded the {}-byte cap",
+                        config.max_line_bytes
+                    )
+                });
+                let mut response = Response::error(&ServiceError::RequestTooLarge {
+                    limit: config.max_line_bytes,
+                });
+                response.set_rid(rid);
+                let _ = write_response(&mut writer, &response);
                 break;
             }
             LineRead::Line(bytes) => {
@@ -552,19 +617,44 @@ fn handle_connection(
                 if line.trim().is_empty() {
                     continue;
                 }
+                ordinal += 1;
+                let parsed = serde_json::from_str::<Request>(&line);
+                let client_rid = parsed
+                    .as_ref()
+                    .ok()
+                    .and_then(|r| r.rid().map(str::to_string));
+                let explicit = client_rid.is_some();
+                let rid = client_rid.unwrap_or_else(|| derive_rid(conn_id, ordinal, &bytes));
+                let op = parsed.as_ref().map_or("malformed", |r| r.op_name());
                 let started = Instant::now();
-                let response = match serde_json::from_str::<Request>(&line) {
-                    Ok(request) => dispatch(request, manager),
-                    Err(e) => {
-                        metrics.malformed_requests.inc();
-                        Response::error(&ServiceError::Protocol(format!("bad request: {e}")))
+                let mut response = {
+                    let _scope = rid_scope(rid.clone(), explicit);
+                    let response = match parsed {
+                        Ok(request) => dispatch(request, manager, config),
+                        Err(e) => {
+                            metrics.malformed_requests.inc();
+                            Response::error(&ServiceError::Protocol(format!("bad request: {e}")))
+                        }
+                    };
+                    let elapsed = started.elapsed();
+                    // Observed inside the scope so the histogram's
+                    // exemplar can link this bucket to this rid.
+                    metrics.dispatch_seconds.observe(elapsed);
+                    log.record_op(op, elapsed);
+                    if response.is_error() {
+                        log.warn("server", None, || {
+                            format!("{op} answered with an error reply in {elapsed:.1?}")
+                        });
                     }
+                    response
                 };
                 metrics.requests.inc();
-                if matches!(response, Response::Error { .. }) {
+                if response.is_error() {
                     metrics.request_errors.inc();
+                    response.set_rid(rid);
+                } else if explicit {
+                    response.set_rid(rid);
                 }
-                metrics.dispatch_seconds.observe(started.elapsed());
                 write_response(&mut writer, &response)?;
             }
         }
@@ -574,75 +664,258 @@ fn handle_connection(
 
 /// Maps one request to its reply; every [`ServiceError`] becomes an
 /// `error` reply (with its machine-readable code) rather than dropping
-/// the connection.
-fn dispatch(request: Request, manager: &SessionManager) -> Response {
+/// the connection. Replies leave `rid` unset here; the connection loop
+/// stamps it per the echo rules.
+fn dispatch(request: Request, manager: &SessionManager, config: &ServerConfig) -> Response {
     let outcome = match request {
-        Request::Open { name, spec } => manager
+        Request::Open { name, spec, .. } => manager
             .open(&name, spec)
-            .map(|()| Response::Opened { name }),
-        Request::Suggest { name } => manager.suggest(&name).map(|s| match s {
-            Suggestion::Evaluate(config) => Response::Suggest {
-                config: Some(config),
+            .map(|()| Response::Opened { name, rid: None }),
+        Request::Suggest { name, .. } => manager.suggest(&name).map(|s| match s {
+            Suggestion::Evaluate(cfg) => Response::Suggest {
+                config: Some(cfg),
                 result: None,
+                rid: None,
             },
             Suggestion::Finished(result) => Response::Suggest {
                 config: None,
                 result: Some(*result),
+                rid: None,
             },
         }),
-        Request::SuggestBatch { name, n } => manager.suggest_batch(&name, n).map(|s| match s {
+        Request::SuggestBatch { name, n, .. } => manager.suggest_batch(&name, n).map(|s| match s {
             BatchSuggestion::Evaluate(configs) => Response::SuggestBatch {
                 config: Some(configs),
                 result: None,
+                rid: None,
             },
             BatchSuggestion::Finished(result) => Response::SuggestBatch {
                 config: None,
                 result: Some(*result),
+                rid: None,
             },
         }),
-        Request::Report { name, value } => {
-            manager.report(&name, value).map(|()| Response::Reported)
+        Request::Report { name, value, .. } => manager
+            .report(&name, value)
+            .map(|()| Response::Reported { rid: None }),
+        Request::ReportBatch { name, values, .. } => {
+            manager
+                .report_batch(&name, &values)
+                .map(|accepted| Response::ReportedBatch {
+                    accepted,
+                    rid: None,
+                })
         }
-        Request::ReportBatch { name, values } => manager
-            .report_batch(&name, &values)
-            .map(|accepted| Response::ReportedBatch { accepted }),
-        Request::Stats { name } => manager.stats(&name).map(|stats| Response::Stats { stats }),
-        Request::Trace { name } => manager
+        Request::Stats { name, .. } => manager
+            .stats(&name)
+            .map(|stats| Response::Stats { stats, rid: None }),
+        Request::Trace { name, .. } => manager
             .trace(&name)
-            .map(|events| Response::Trace { events }),
-        Request::Metrics => Ok(Response::Metrics {
+            .map(|events| Response::Trace { events, rid: None }),
+        Request::Metrics { .. } => Ok(Response::Metrics {
             metrics: manager.metrics().snapshot(),
+            rid: None,
         }),
-        Request::Timeseries { since_seq } => {
+        Request::Timeseries { since_seq, .. } => {
             let store = manager.metrics().timeseries();
             Ok(Response::Timeseries {
                 points: match since_seq {
                     Some(seq) => store.points_since(seq),
                     None => store.points(),
                 },
+                rid: None,
             })
         }
-        Request::Kb { lookup } => match lookup {
+        Request::Logs {
+            tail,
+            since_seq,
+            slow,
+            ..
+        } => {
+            let log = manager.event_log();
+            Ok(if slow {
+                Response::Logs {
+                    records: Vec::new(),
+                    slow: log.slow_ops(),
+                    next_seq: log.last_seq(),
+                    rid: None,
+                }
+            } else if let Some(seq) = since_seq {
+                Response::Logs {
+                    records: log.since(seq, tail.unwrap_or(DEFAULT_LOG_TAIL)),
+                    slow: Vec::new(),
+                    next_seq: log.last_seq(),
+                    rid: None,
+                }
+            } else {
+                Response::Logs {
+                    records: log.tail(tail.unwrap_or(DEFAULT_LOG_TAIL)),
+                    slow: Vec::new(),
+                    next_seq: log.last_seq(),
+                    rid: None,
+                }
+            })
+        }
+        Request::Health { .. } => Ok(Response::Health {
+            health: Box::new(health_report(manager, config)),
+            rid: None,
+        }),
+        Request::Kb { lookup, .. } => match lookup {
             Some(spec) => spec.validate().map(|()| Response::Kb {
                 answer: manager.kb_lookup(&spec),
                 stats: manager.kb_stats(),
+                rid: None,
             }),
             None => Ok(Response::Kb {
                 stats: manager.kb_stats(),
                 answer: None,
+                rid: None,
             }),
         },
-        Request::Close { name } => manager
+        Request::Close { name, .. } => manager
             .close(&name)
-            .map(|result| Response::Closed { result }),
+            .map(|result| Response::Closed { result, rid: None }),
     };
     outcome.unwrap_or_else(|e| Response::error(&e))
+}
+
+/// Computes the `health` op's report from a non-draining metrics read,
+/// the sampled time series, the scheduler gauges, and the event log's
+/// own counters. Pure read path: nothing here mutates instruments or
+/// steals exemplars from a real `metrics` scrape.
+fn health_report(manager: &SessionManager, config: &ServerConfig) -> HealthReport {
+    let metrics = manager.metrics();
+    let snapshot = metrics.peek_snapshot();
+    let lifetime_requests = snapshot.counter("server_requests").unwrap_or(0);
+    let lifetime_errors = snapshot.counter("server_request_errors").unwrap_or(0);
+
+    // Availability over a rolling window when the sampler has history:
+    // newest point against the most recent point at least
+    // AVAILABILITY_WINDOW older (or the oldest available). Lifetime
+    // counters otherwise, flagged `rolling: false`.
+    let points = metrics.timeseries().points();
+    let availability = match points.last() {
+        Some(newest) if points.len() >= 2 => {
+            let cutoff = newest
+                .unix_ms
+                .saturating_sub(AVAILABILITY_WINDOW.as_millis() as u64);
+            let base = points
+                .iter()
+                .rev()
+                .find(|p| p.unix_ms <= cutoff)
+                .unwrap_or(&points[0]);
+            let delta = |name: &str| {
+                (newest.gauge(name).unwrap_or(0.0) - base.gauge(name).unwrap_or(0.0)).max(0.0)
+                    as u64
+            };
+            let window_requests = delta("server_requests");
+            let window_errors = delta("server_request_errors");
+            Availability {
+                ratio: if window_requests == 0 {
+                    1.0
+                } else {
+                    1.0 - window_errors as f64 / window_requests as f64
+                },
+                window_requests,
+                window_errors,
+                rolling: true,
+            }
+        }
+        _ => Availability {
+            ratio: if lifetime_requests == 0 {
+                1.0
+            } else {
+                1.0 - lifetime_errors as f64 / lifetime_requests as f64
+            },
+            window_requests: lifetime_requests,
+            window_errors: lifetime_errors,
+            rolling: false,
+        },
+    };
+
+    // Per-histogram p99 error budgets: of the 1% of observations the
+    // target permits to run long, how much is left?
+    let target = config.slo_p99.as_secs_f64();
+    let slos: Vec<SloBudget> = SLO_HISTOGRAMS
+        .iter()
+        .map(|name| match snapshot.histogram(name) {
+            Some(hist) if hist.count > 0 => {
+                let p99 = hist.quantile(0.99);
+                let violations = hist.count_over(target);
+                let allowed = 0.01 * hist.count as f64;
+                SloBudget {
+                    histogram: (*name).to_string(),
+                    target_seconds: target,
+                    p99_seconds: p99.is_finite().then_some(p99),
+                    budget_remaining: ((allowed - violations as f64) / allowed).clamp(0.0, 1.0),
+                    breached: violations as f64 > allowed,
+                }
+            }
+            _ => SloBudget {
+                histogram: (*name).to_string(),
+                target_seconds: target,
+                p99_seconds: None,
+                budget_remaining: 1.0,
+                breached: false,
+            },
+        })
+        .collect();
+
+    let totals = manager.totals();
+    let max_resident = manager.max_resident() as u64;
+    let max_shard_depth = (0..crate::manager::SHARD_COUNT)
+        .filter_map(|i| snapshot.counter(&format!("scheduler_shard_depth_{i}")))
+        .max()
+        .unwrap_or(0);
+    let saturation = Saturation {
+        resident_engines: totals.resident_engines as u64,
+        max_resident,
+        parked_sessions: totals.parked_sessions as u64,
+        open_sessions: totals.open_sessions as u64,
+        max_shard_depth,
+        utilization: if max_resident == 0 {
+            0.0
+        } else {
+            totals.resident_engines as f64 / max_resident as f64
+        },
+    };
+
+    let log_counts = manager.event_log().counts();
+    let writes = WriteHealth {
+        journal_appends: snapshot.counter("journal_appends").unwrap_or(0),
+        journal_append_failures: snapshot.counter("journal_append_failures").unwrap_or(0),
+        kb_append_failures: snapshot.counter("kb_append_failures").unwrap_or(0),
+        log_sink_failures: log_counts.sink_failures,
+        healthy: snapshot.counter("journal_append_failures").unwrap_or(0) == 0
+            && snapshot.counter("kb_append_failures").unwrap_or(0) == 0
+            && log_counts.sink_failures == 0,
+    };
+
+    let degraded = slos.iter().any(|s| s.breached)
+        || (availability.window_requests > 0 && availability.ratio < AVAILABILITY_TARGET)
+        || !writes.healthy;
+    HealthReport {
+        status: if degraded {
+            HealthStatus::Degraded
+        } else {
+            HealthStatus::Ok
+        },
+        live: true,
+        ready: true,
+        uptime_seconds: snapshot.uptime_seconds,
+        availability,
+        slos,
+        saturation,
+        writes,
+        log: log_counts,
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::error::ErrorCode;
+    use crate::log::LogLevel;
     use crate::spec::{SessionSpec, SpaceSpec};
     use autotune_core::Algorithm;
     use autotune_space::{Param, ParamSpace};
@@ -718,13 +991,20 @@ mod tests {
             &Request::Open {
                 name: "t".into(),
                 spec: toy_spec(),
+                rid: None,
             },
         );
         assert!(matches!(reply, Response::Opened { .. }));
 
         let mut rounds = 0;
         loop {
-            match roundtrip(&mut conn, &Request::Suggest { name: "t".into() }) {
+            match roundtrip(
+                &mut conn,
+                &Request::Suggest {
+                    name: "t".into(),
+                    rid: None,
+                },
+            ) {
                 Response::Suggest {
                     config: Some(cfg), ..
                 } => {
@@ -735,9 +1015,10 @@ mod tests {
                         &Request::Report {
                             name: "t".into(),
                             value,
+                            rid: None,
                         },
                     );
-                    assert!(matches!(reply, Response::Reported));
+                    assert!(matches!(reply, Response::Reported { .. }));
                 }
                 Response::Suggest {
                     result: Some(result),
@@ -751,19 +1032,31 @@ mod tests {
         }
         assert_eq!(rounds, 3);
 
-        match roundtrip(&mut conn, &Request::Stats { name: "t".into() }) {
-            Response::Stats { stats } => assert!(stats.finished),
+        match roundtrip(
+            &mut conn,
+            &Request::Stats {
+                name: "t".into(),
+                rid: None,
+            },
+        ) {
+            Response::Stats { stats, .. } => assert!(stats.finished),
             other => panic!("unexpected reply: {other:?}"),
         }
-        match roundtrip(&mut conn, &Request::Metrics) {
-            Response::Metrics { metrics } => {
+        match roundtrip(&mut conn, &Request::Metrics { rid: None }) {
+            Response::Metrics { metrics, .. } => {
                 assert!(metrics.counter("server_requests").unwrap() > 0);
                 assert_eq!(metrics.counter("engine_suggests"), Some(3));
             }
             other => panic!("unexpected reply: {other:?}"),
         }
-        match roundtrip(&mut conn, &Request::Close { name: "t".into() }) {
-            Response::Closed { result } => assert!(result.is_some()),
+        match roundtrip(
+            &mut conn,
+            &Request::Close {
+                name: "t".into(),
+                rid: None,
+            },
+        ) {
+            Response::Closed { result, .. } => assert!(result.is_some()),
             other => panic!("unexpected reply: {other:?}"),
         }
     }
@@ -778,6 +1071,7 @@ mod tests {
             &Request::Open {
                 name: "b".into(),
                 spec: toy_spec(),
+                rid: None,
             },
         );
         assert!(matches!(reply, Response::Opened { .. }));
@@ -787,6 +1081,7 @@ mod tests {
                 &Request::SuggestBatch {
                     name: "b".into(),
                     n: 2,
+                    rid: None,
                 },
             ) {
                 Response::SuggestBatch {
@@ -800,9 +1095,10 @@ mod tests {
                         &Request::ReportBatch {
                             name: "b".into(),
                             values,
+                            rid: None,
                         },
                     ) {
-                        Response::ReportedBatch { accepted: got } => assert_eq!(got, accepted),
+                        Response::ReportedBatch { accepted: got, .. } => assert_eq!(got, accepted),
                         other => panic!("unexpected reply: {other:?}"),
                     }
                 }
@@ -824,18 +1120,35 @@ mod tests {
         let server = TunedServer::spawn("127.0.0.1:0", manager).unwrap();
         let mut conn = connect(server.local_addr());
 
-        // Unknown session: retryable code, informative message.
+        // Unknown session: retryable code, informative message, and a
+        // server-assigned rid even though the client never sent one —
+        // errors are always correlatable.
         match roundtrip(
             &mut conn,
             &Request::Suggest {
                 name: "ghost".into(),
+                rid: None,
             },
         ) {
-            Response::Error { code, message } => {
+            Response::Error { code, message, rid } => {
                 assert_eq!(code, ErrorCode::UnknownSession);
                 assert!(code.is_retryable());
                 assert!(message.contains("unknown session"));
+                let rid = rid.expect("error replies carry a rid");
+                assert!(rid.starts_with("r-"), "server-assigned rid: {rid}");
             }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+
+        // A client-chosen rid is echoed back verbatim on errors.
+        match roundtrip(
+            &mut conn,
+            &Request::Suggest {
+                name: "ghost".into(),
+                rid: Some("deploy-7".into()),
+            },
+        ) {
+            Response::Error { rid, .. } => assert_eq!(rid.as_deref(), Some("deploy-7")),
             other => panic!("unexpected reply: {other:?}"),
         }
 
@@ -853,6 +1166,7 @@ mod tests {
             &Request::Open {
                 name: "t".into(),
                 spec: toy_spec(),
+                rid: None,
             },
         );
         assert!(matches!(reply, Response::Opened { .. }));
@@ -889,8 +1203,14 @@ mod tests {
         let mut conn = connect(server.local_addr());
         // Give the sampler a few intervals to run.
         thread::sleep(Duration::from_millis(60));
-        let points = match roundtrip(&mut conn, &Request::Timeseries { since_seq: None }) {
-            Response::Timeseries { points } => points,
+        let points = match roundtrip(
+            &mut conn,
+            &Request::Timeseries {
+                since_seq: None,
+                rid: None,
+            },
+        ) {
+            Response::Timeseries { points, .. } => points,
             other => panic!("unexpected reply: {other:?}"),
         };
         assert!(points.len() >= 2, "only {} points sampled", points.len());
@@ -904,9 +1224,10 @@ mod tests {
             &mut conn,
             &Request::Timeseries {
                 since_seq: Some(since),
+                rid: None,
             },
         ) {
-            Response::Timeseries { points: tail } => {
+            Response::Timeseries { points: tail, .. } => {
                 assert!(tail.iter().all(|p| p.snapshot_seq > since));
             }
             other => panic!("unexpected reply: {other:?}"),
@@ -922,8 +1243,120 @@ mod tests {
         };
         let server = TunedServer::spawn_with("127.0.0.1:0", manager, config).unwrap();
         let mut conn = connect(server.local_addr());
-        match roundtrip(&mut conn, &Request::Timeseries { since_seq: None }) {
-            Response::Timeseries { points } => assert!(points.is_empty()),
+        match roundtrip(
+            &mut conn,
+            &Request::Timeseries {
+                since_seq: None,
+                rid: None,
+            },
+        ) {
+            Response::Timeseries { points, .. } => assert!(points.is_empty()),
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn logs_and_health_ops_serve_correlated_observability() {
+        let manager = Arc::new(
+            SessionManager::in_memory()
+                .with_event_log(Arc::new(crate::log::EventLog::enabled(LogLevel::Debug))),
+        );
+        let config = ServerConfig {
+            // Zero threshold: every served op lands in the slow ring.
+            slow_op_threshold: Duration::ZERO,
+            // Generous target so a loaded CI machine can't breach it.
+            slo_p99: Duration::from_secs(60),
+            timeseries_interval: None,
+            ..ServerConfig::default()
+        };
+        let server = TunedServer::spawn_with("127.0.0.1:0", Arc::clone(&manager), config).unwrap();
+        let mut conn = connect(server.local_addr());
+
+        // A client-chosen rid is echoed on the success reply...
+        match roundtrip(
+            &mut conn,
+            &Request::Open {
+                name: "h".into(),
+                spec: toy_spec(),
+                rid: Some("boot-1".into()),
+            },
+        ) {
+            Response::Opened { rid, .. } => assert_eq!(rid.as_deref(), Some("boot-1")),
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        // ...while a rid-less success reply stays bare.
+        match roundtrip(
+            &mut conn,
+            &Request::Stats {
+                name: "h".into(),
+                rid: None,
+            },
+        ) {
+            Response::Stats { rid, .. } => assert_eq!(rid, None),
+            other => panic!("unexpected reply: {other:?}"),
+        }
+
+        // The log tail holds the manager's open record, tagged with the
+        // client's rid and the session name.
+        match roundtrip(
+            &mut conn,
+            &Request::Logs {
+                tail: Some(50),
+                since_seq: None,
+                slow: false,
+                rid: None,
+            },
+        ) {
+            Response::Logs {
+                records, next_seq, ..
+            } => {
+                assert!(!records.is_empty());
+                assert!(next_seq >= records.last().unwrap().seq);
+                let opened = records
+                    .iter()
+                    .find(|r| r.message.contains("opened session"))
+                    .expect("open was logged");
+                assert_eq!(opened.rid.as_deref(), Some("boot-1"));
+                assert_eq!(opened.session.as_deref(), Some("h"));
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+
+        // The slow ring saw the ops served so far (threshold is zero)
+        // and links the open back to its rid.
+        match roundtrip(
+            &mut conn,
+            &Request::Logs {
+                tail: None,
+                since_seq: None,
+                slow: true,
+                rid: None,
+            },
+        ) {
+            Response::Logs { slow, .. } => {
+                assert!(!slow.is_empty());
+                let open = slow
+                    .iter()
+                    .find(|s| s.op == "open")
+                    .expect("open was timed");
+                assert_eq!(open.rid.as_deref(), Some("boot-1"));
+            }
+            other => panic!("unexpected reply: {other:?}"),
+        }
+
+        // Health: alive, ready, one open session, budgets intact.
+        match roundtrip(&mut conn, &Request::Health { rid: None }) {
+            Response::Health { health, .. } => {
+                assert!(health.live && health.ready);
+                assert_eq!(health.status, crate::protocol::HealthStatus::Ok);
+                assert_eq!(health.saturation.open_sessions, 1);
+                assert!(health.saturation.max_resident > 0);
+                assert_eq!(health.availability.window_errors, 0);
+                assert!((health.availability.ratio - 1.0).abs() < f64::EPSILON);
+                assert_eq!(health.slos.len(), SLO_HISTOGRAMS.len());
+                assert!(health.slos.iter().all(|s| !s.breached));
+                assert!(health.writes.healthy);
+            }
             other => panic!("unexpected reply: {other:?}"),
         }
     }

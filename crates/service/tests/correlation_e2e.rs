@@ -1,0 +1,404 @@
+//! End-to-end request correlation: client-chosen rids ride the wire
+//! through dispatch into the event log, the slow-op ring, the journal,
+//! and histogram exemplars — amid hostile traffic on other connections —
+//! while rid-less traffic keeps the pre-correlation wire byte-shapes.
+
+use autotune_core::Algorithm;
+use autotune_service::log::{derive_rid, rid_scope, EventLog, LogLevel};
+use autotune_service::protocol::{Request, Response};
+use autotune_service::{
+    Durability, ServerConfig, SessionManager, SessionSpec, SpaceSpec, Suggestion, TunedServer,
+};
+use autotune_space::{Param, ParamSpace};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "autotune-correlation-test-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+fn toy_spec(budget: usize) -> SessionSpec {
+    SessionSpec {
+        algorithm: Algorithm::RandomSearch,
+        budget,
+        seed: 7,
+        space: SpaceSpec::Custom {
+            space: ParamSpace::new(vec![Param::new("a", 1, 8)]),
+        },
+        warm_start: Default::default(),
+        problem: None,
+        prior: None,
+        batch: 1,
+    }
+}
+
+/// A raw line-oriented connection: the test controls every request byte
+/// and sees every reply byte, unlike the typed `Client`.
+struct RawConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawConn {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        RawConn {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    /// Sends one raw line, returns the raw reply line (no newline).
+    fn send_line(&mut self, line: &str) -> String {
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        reply.truncate(reply.trim_end().len());
+        reply
+    }
+
+    /// Sends a typed request, returns both the raw reply line and its
+    /// parsed form.
+    fn send(&mut self, request: &Request) -> (String, Response) {
+        let raw = self.send_line(&serde_json::to_string(request).unwrap());
+        let parsed = serde_json::from_str(&raw).unwrap();
+        (raw, parsed)
+    }
+}
+
+#[test]
+fn rids_correlate_logs_slow_ops_and_exemplars_amid_hostile_traffic() {
+    let manager = Arc::new(
+        SessionManager::in_memory().with_event_log(Arc::new(EventLog::enabled(LogLevel::Debug))),
+    );
+    manager.event_log().set_rate_limit(1e9, 1e9);
+    let config = ServerConfig {
+        slow_op_threshold: Duration::ZERO,
+        slo_p99: Duration::from_secs(60),
+        timeseries_interval: None,
+        ..ServerConfig::default()
+    };
+    let server = TunedServer::spawn_with("127.0.0.1:0", Arc::clone(&manager), config).unwrap();
+    let addr = server.local_addr();
+
+    // Hostile traffic on a second connection, concurrent with the
+    // correlated session: garbage lines and rid-less ops against
+    // sessions that don't exist. Every error reply must carry a
+    // server-assigned rid.
+    let hostile = std::thread::spawn(move || {
+        let mut conn = RawConn::connect(addr);
+        for i in 0..10 {
+            let reply = conn.send_line("this is not json");
+            assert!(reply.contains("\"code\":\"protocol\""), "{reply}");
+            assert!(reply.contains("\"rid\":\"r-"), "{reply}");
+            let raw = conn.send_line(&format!("{{\"op\":\"suggest\",\"name\":\"nothing-{i}\"}}"));
+            assert!(raw.contains("\"code\":\"unknown_session\""), "{raw}");
+            assert!(raw.contains("\"rid\":\"r-"), "{raw}");
+        }
+    });
+
+    // The correlated session: every request carries a client-chosen rid
+    // and every success reply echoes it back verbatim.
+    let mut conn = RawConn::connect(addr);
+    let (_, reply) = conn.send(&Request::Open {
+        name: "run".into(),
+        spec: toy_spec(3),
+        rid: Some("deploy-open".into()),
+    });
+    match reply {
+        Response::Opened { rid, .. } => assert_eq!(rid.as_deref(), Some("deploy-open")),
+        other => panic!("unexpected reply: {other:?}"),
+    }
+    let mut step = 0usize;
+    loop {
+        let rid = format!("deploy-s{step}");
+        let (_, reply) = conn.send(&Request::Suggest {
+            name: "run".into(),
+            rid: Some(rid.clone()),
+        });
+        match reply {
+            Response::Suggest {
+                config: Some(cfg),
+                rid: echoed,
+                ..
+            } => {
+                assert_eq!(echoed.as_deref(), Some(rid.as_str()));
+                let (_, reply) = conn.send(&Request::Report {
+                    name: "run".into(),
+                    value: cfg.values()[0] as f64,
+                    rid: Some(format!("deploy-r{step}")),
+                });
+                match reply {
+                    Response::Reported { rid } => {
+                        assert_eq!(rid.as_deref(), Some(format!("deploy-r{step}").as_str()))
+                    }
+                    other => panic!("unexpected reply: {other:?}"),
+                }
+                step += 1;
+            }
+            Response::Suggest {
+                result: Some(_), ..
+            } => break,
+            other => panic!("unexpected reply: {other:?}"),
+        }
+    }
+    assert_eq!(step, 3);
+    hostile.join().unwrap();
+
+    // The event log links the session's records to the client's rids:
+    // the open carries deploy-open, the first suggest deploy-s0 — and
+    // the hostile connection's malformed lines were warned about under
+    // server-assigned rids.
+    let (_, reply) = conn.send(&Request::Logs {
+        tail: Some(1000),
+        since_seq: None,
+        slow: false,
+        rid: None,
+    });
+    let records = match reply {
+        Response::Logs { records, .. } => records,
+        other => panic!("unexpected reply: {other:?}"),
+    };
+    let opened = records
+        .iter()
+        .find(|r| r.message.contains("opened session"))
+        .expect("open was logged");
+    assert_eq!(opened.rid.as_deref(), Some("deploy-open"));
+    assert_eq!(opened.session.as_deref(), Some("run"));
+    assert!(records
+        .iter()
+        .any(|r| r.component == "engine" && r.rid.as_deref() == Some("deploy-s0")));
+    assert!(records.iter().any(|r| {
+        r.component == "server"
+            && r.message.contains("malformed")
+            && r.rid.as_deref().is_some_and(|rid| rid.starts_with("r-"))
+    }));
+
+    // The slow-op ring (zero threshold) timed the open under its rid.
+    let (_, reply) = conn.send(&Request::Logs {
+        tail: None,
+        since_seq: None,
+        slow: true,
+        rid: None,
+    });
+    match reply {
+        Response::Logs { slow, .. } => {
+            let open = slow.iter().find(|s| s.op == "open").expect("open timed");
+            assert_eq!(open.rid.as_deref(), Some("deploy-open"));
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+
+    // Exemplars: drain whatever the traffic so far deposited, run a
+    // fresh fully-correlated session, and the engine-suggest histogram's
+    // worst-per-bucket exemplars can only name that session's rids.
+    let (_, _) = conn.send(&Request::Metrics { rid: None });
+    let (_, reply) = conn.send(&Request::Open {
+        name: "run2".into(),
+        spec: toy_spec(2),
+        rid: Some("case2-open".into()),
+    });
+    assert!(!reply.is_error());
+    for i in 0..2 {
+        let (_, reply) = conn.send(&Request::Suggest {
+            name: "run2".into(),
+            rid: Some(format!("case2-s{i}")),
+        });
+        let cfg = match reply {
+            Response::Suggest {
+                config: Some(cfg), ..
+            } => cfg,
+            other => panic!("unexpected reply: {other:?}"),
+        };
+        let (_, reply) = conn.send(&Request::Report {
+            name: "run2".into(),
+            value: cfg.values()[0] as f64,
+            rid: Some(format!("case2-r{i}")),
+        });
+        assert!(!reply.is_error());
+    }
+    let (_, reply) = conn.send(&Request::Metrics { rid: None });
+    let snapshot = match reply {
+        Response::Metrics { metrics, .. } => metrics,
+        other => panic!("unexpected reply: {other:?}"),
+    };
+    let hist = snapshot.histogram("engine_suggest_seconds").unwrap();
+    assert!(
+        !hist.exemplars.is_empty(),
+        "correlated suggests must leave exemplars"
+    );
+    for exemplar in &hist.exemplars {
+        assert!(
+            exemplar.rid.starts_with("case2-s"),
+            "exemplar rid {:?} not from the correlated session",
+            exemplar.rid
+        );
+    }
+
+    // Health answers over the same connection and is unperturbed by the
+    // hostile traffic (error replies spend no SLO/write budget).
+    let (_, reply) = conn.send(&Request::Health { rid: None });
+    match reply {
+        Response::Health { health, .. } => {
+            assert!(health.live && health.ready);
+            assert!(health.writes.healthy);
+            assert!(health.availability.window_requests > 0);
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+}
+
+/// A rid-less session keeps the exact pre-correlation byte-shapes on
+/// the wire: no `"rid"` key anywhere in requests' replies, and the
+/// terse fixed replies stay byte-identical.
+#[test]
+fn ridless_traffic_keeps_precorrelation_wire_bytes() {
+    let manager = Arc::new(SessionManager::in_memory());
+    let server = TunedServer::spawn("127.0.0.1:0", Arc::clone(&manager)).unwrap();
+    let mut conn = RawConn::connect(server.local_addr());
+
+    let (raw, reply) = conn.send(&Request::Open {
+        name: "bare".into(),
+        spec: toy_spec(1),
+        rid: None,
+    });
+    assert!(matches!(reply, Response::Opened { .. }));
+    assert!(!raw.contains("\"rid\""), "{raw}");
+    assert_eq!(raw, "{\"reply\":\"opened\",\"name\":\"bare\"}");
+
+    let raw = conn.send_line("{\"op\":\"suggest\",\"name\":\"bare\"}");
+    assert!(!raw.contains("\"rid\""), "{raw}");
+    let cfg = match serde_json::from_str::<Response>(&raw).unwrap() {
+        Response::Suggest {
+            config: Some(cfg), ..
+        } => cfg,
+        other => panic!("unexpected reply: {other:?}"),
+    };
+
+    // The hand-written pre-correlation report line parses and its reply
+    // is byte-for-byte what a pre-correlation server sent.
+    let raw = conn.send_line(&format!(
+        "{{\"op\":\"report\",\"name\":\"bare\",\"value\":{}}}",
+        cfg.values()[0]
+    ));
+    assert_eq!(raw, "{\"reply\":\"reported\"}");
+
+    // Errors are the exception: they always carry a rid, because an
+    // uncorrelatable failure is useless.
+    let raw = conn.send_line("{\"op\":\"suggest\",\"name\":\"ghost\"}");
+    assert!(raw.contains("\"rid\":\"r-"), "{raw}");
+}
+
+mod rid_propagation {
+    use super::*;
+    use autotune_kb::KbStore;
+    use proptest::prelude::*;
+
+    /// Drives one session through the manager with a mix of
+    /// client-chosen and server-derived rid scopes, exactly as the
+    /// connection loop would, then checks where each rid surfaced.
+    fn run_case(rids: &[Option<String>]) -> Result<(), TestCaseError> {
+        let dir = temp_dir("prop");
+        std::fs::create_dir_all(&dir).unwrap();
+        let log = Arc::new(EventLog::enabled(LogLevel::Debug));
+        log.set_rate_limit(1e9, 1e9);
+        let manager = SessionManager::with_journal_dir_durability(&dir, Durability::Buffered)
+            .unwrap()
+            .with_event_log(Arc::clone(&log))
+            .with_kb(KbStore::open(&dir.join("store.kb.jsonl")).unwrap());
+        manager.open("p", toy_spec(rids.len())).unwrap();
+
+        for (i, client_rid) in rids.iter().enumerate() {
+            let explicit = client_rid.is_some();
+            let rid = client_rid
+                .clone()
+                .unwrap_or_else(|| derive_rid(1, i as u64, b"suggest"));
+            let before = log.last_seq();
+            let _scope = rid_scope(rid.clone(), explicit);
+            match manager.suggest("p").unwrap() {
+                Suggestion::Evaluate(cfg) => manager.report("p", cfg.values()[0] as f64).unwrap(),
+                Suggestion::Finished(_) => break,
+            }
+            // Engine and journal records emitted while this scope was
+            // active must carry exactly this rid.
+            let step_records: Vec<_> = log
+                .since(before, 100)
+                .into_iter()
+                .filter(|r| r.component == "engine" || r.component == "journal")
+                .collect();
+            prop_assert!(!step_records.is_empty());
+            for record in &step_records {
+                prop_assert_eq!(record.rid.as_deref(), Some(rid.as_str()));
+            }
+        }
+        // A kb lookup inside a scope logs its miss under that rid (the
+        // probe spec carries a problem tag so the lookup reaches the
+        // store).
+        let mut probe = toy_spec(rids.len());
+        probe.problem = Some(autotune_kb::ProblemTag::new("toy", "sim"));
+        {
+            let _scope = rid_scope("prop-kb-probe", true);
+            let _ = manager.kb_lookup(&probe);
+        }
+        let kb_record = log
+            .tail(2)
+            .into_iter()
+            .find(|r| r.component == "kb")
+            .expect("kb lookup was logged");
+        prop_assert_eq!(kb_record.rid.as_deref(), Some("prop-kb-probe"));
+
+        // The journal holds a rid for exactly the client-chosen steps —
+        // derived rids never reach disk, so rid-less traffic journals
+        // byte-identically to a pre-correlation server.
+        let journal = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "jsonl"))
+            .map(|p| std::fs::read_to_string(p).unwrap())
+            .collect::<String>();
+        for (i, client_rid) in rids.iter().enumerate() {
+            match client_rid {
+                Some(rid) => prop_assert!(
+                    journal.contains(&format!("\"rid\":\"{rid}\"")),
+                    "explicit rid {rid} (step {i}) missing from the journal"
+                ),
+                None => {}
+            }
+        }
+        let derived_prefix = "\"rid\":\"r-";
+        prop_assert!(
+            !journal.contains(derived_prefix),
+            "derived rids must stay out of the journal"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        /// A rid appears in engine, journal, and kb records exactly when
+        /// the request that touched them carried one.
+        #[test]
+        fn rid_appears_exactly_when_touched(
+            rids in proptest::collection::vec(
+                proptest::option::of("[a-z]{4,10}".prop_map(|s| format!("prop-{s}"))),
+                2..6,
+            )
+        ) {
+            run_case(&rids)?;
+        }
+    }
+}
