@@ -1,0 +1,171 @@
+//! Durable write-path throughput: per-session fsync-per-append journals
+//! against the shared group-commit write-ahead log.
+//!
+//! The scenario is the `tuned` hot path under concurrent load: N
+//! sessions each persisting a stream of eval records before the engine
+//! may see them. The JSONL backend pays one `sync_data` per append per
+//! session; the WAL batches every session's appends through one
+//! committer thread and pays one `sync_data` per *batch*. The headline
+//! number is the 16-session case — the regression-gated claim is that
+//! group commit sustains several times the durable append throughput of
+//! sixteen independently fsyncing writers.
+
+use autotune_core::Algorithm;
+use autotune_service::journal::JournalWriter;
+use autotune_service::{Durability, SessionSpec, Wal, WalConfig};
+use autotune_space::Configuration;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+/// Appends each worker persists per measured iteration. Large enough
+/// that batching has something to merge, small enough that one
+/// criterion sample stays in the low milliseconds on a real disk.
+const APPENDS_PER_SESSION: usize = 16;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "autotune-wal-bench-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+fn spec(seed: u64) -> SessionSpec {
+    SessionSpec::imagecl(Algorithm::RandomSearch, 64, seed)
+}
+
+fn cfg(i: usize) -> Configuration {
+    Configuration::new(vec![(i as u32 % 7) + 1, 2, 3, 4, 5, 6])
+}
+
+/// One measured round of the JSONL backend: `sessions` threads, each
+/// owning a private journal file opened with [`Durability::Sync`],
+/// racing to persist their streams. Setup (directory, open, `open`
+/// record) is excluded from the clock.
+fn fsync_per_append_round(sessions: usize) -> Duration {
+    let dir = temp_dir("jsonl");
+    std::fs::create_dir_all(&dir).unwrap();
+    let writers: Vec<JournalWriter> = (0..sessions)
+        .map(|s| {
+            let path = dir.join(format!("s{s}.jsonl"));
+            JournalWriter::create_with(&path, &format!("s{s}"), &spec(s as u64), Durability::Sync)
+                .unwrap()
+        })
+        .collect();
+    let barrier = Arc::new(Barrier::new(sessions + 1));
+    let handles: Vec<_> = writers
+        .into_iter()
+        .map(|mut writer| {
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                for i in 0..APPENDS_PER_SESSION {
+                    writer.append_eval(&cfg(i), i as f64 + 0.5).unwrap();
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    std::fs::remove_dir_all(&dir).unwrap();
+    elapsed
+}
+
+/// One measured round of the WAL backend: the same `sessions` threads
+/// and streams, but every append rides the shared group committer
+/// (sync durability, production flush window).
+fn group_commit_round(sessions: usize) -> Duration {
+    let dir = temp_dir("wal");
+    let wal = Arc::new(Wal::open(WalConfig::new(&dir), None).unwrap());
+    for s in 0..sessions {
+        wal.open_session(&format!("s{s}"), &spec(s as u64)).unwrap();
+    }
+    let barrier = Arc::new(Barrier::new(sessions + 1));
+    let handles: Vec<_> = (0..sessions)
+        .map(|s| {
+            let wal = Arc::clone(&wal);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                let name = format!("s{s}");
+                barrier.wait();
+                for i in 0..APPENDS_PER_SESSION {
+                    wal.append_eval(&name, &cfg(i), i as f64 + 0.5, None)
+                        .unwrap();
+                }
+            })
+        })
+        .collect();
+    barrier.wait();
+    let start = Instant::now();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+    let elapsed = start.elapsed();
+    drop(wal);
+    std::fs::remove_dir_all(&dir).unwrap();
+    elapsed
+}
+
+/// Durable append throughput, N concurrent sessions, both backends.
+/// Criterion reports time per round = time to durably persist
+/// `N * APPENDS_PER_SESSION` records; lower is better, and the ratio
+/// between the two backends at the same N is the group-commit win.
+fn bench_durable_appends(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal/durable_appends");
+    g.sample_size(10);
+    for sessions in [1usize, 4, 16] {
+        g.bench_function(BenchmarkId::new("fsync_per_append", sessions), |b| {
+            b.iter_custom(|iters| (0..iters).map(|_| fsync_per_append_round(sessions)).sum())
+        });
+        g.bench_function(BenchmarkId::new("group_commit", sessions), |b| {
+            b.iter_custom(|iters| (0..iters).map(|_| group_commit_round(sessions)).sum())
+        });
+    }
+    g.finish();
+}
+
+/// The recovery side of the checkpoint bargain: reopening a log that
+/// still holds a session's whole eval-by-eval lifetime against one
+/// that compacted it down to a single checkpoint frame.
+fn bench_recovery_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("wal/reopen");
+    g.sample_size(10);
+    for (label, compacted) in [("full_history", false), ("compacted", true)] {
+        let dir = temp_dir(&format!("reopen-{label}"));
+        let mut config = WalConfig::new(&dir);
+        config.durability = Durability::Buffered;
+        config.checkpoint_interval = usize::MAX;
+        {
+            let wal = Wal::open(config.clone(), None).unwrap();
+            wal.open_session("long", &spec(1)).unwrap();
+            for i in 0..256 {
+                wal.append_eval("long", &cfg(i), i as f64 + 0.5, None)
+                    .unwrap();
+            }
+            if compacted {
+                wal.compact().unwrap();
+            }
+            wal.sync().unwrap();
+        }
+        g.bench_function(BenchmarkId::new("replay_256_evals", label), |b| {
+            b.iter(|| {
+                let wal = Wal::open(config.clone(), None).unwrap();
+                assert_eq!(wal.recover_session("long").unwrap().evals.len(), 256);
+                wal
+            })
+        });
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_durable_appends, bench_recovery_replay);
+criterion_main!(benches);

@@ -1,0 +1,593 @@
+//! Group commit: many writers, one fsync.
+//!
+//! A [`GroupCommitter`] owns a single background committer thread and
+//! any number of registered append-only files. Writers enqueue byte
+//! payloads and block; the committer drains the queue in arrival order,
+//! waits out a bounded *flush window* so concurrent writers pile into
+//! the same batch, writes everything, and issues **one** `sync_data`
+//! per dirty [`Durability::Sync`] file for the whole batch. Every
+//! waiter in the batch is then released at once.
+//!
+//! The payoff is durable-write throughput: with N sessions appending
+//! concurrently, fsync-per-append pays N disk flushes where a group
+//! commit pays one. The cost is bounded added latency (the flush
+//! window) on an otherwise idle writer.
+//!
+//! Ordering guarantee: operations are applied in *ticket* order, and
+//! tickets are assigned under the same lock that enqueues, so the
+//! on-disk order equals the enqueue order. Callers that need
+//! cross-writer ordering (e.g. a WAL snapshotting state and appending
+//! a checkpoint atomically) can [`WriterHandle::enqueue`] under their
+//! own lock — enqueueing never blocks on I/O — and
+//! [`WriterHandle::wait`] outside it.
+//!
+//! The module is `std`-only so both the service's write-ahead log and
+//! the knowledge-base store can ride the same committer.
+
+use crate::trace::Durability;
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// What one committed batch looked like, handed to the batch observer
+/// installed with [`GroupCommitter::set_batch_observer`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Payload writes committed in this batch (registrations, swaps,
+    /// and explicit syncs are not counted).
+    pub records: usize,
+    /// `sync_data` calls this batch issued across all dirty files.
+    pub fsyncs: usize,
+}
+
+/// Lifetime counters of one [`GroupCommitter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CommitterStats {
+    /// Payload writes committed.
+    pub appends: u64,
+    /// Batches processed (each released all of its waiters at once).
+    pub batches: u64,
+    /// `sync_data` calls issued.
+    pub fsyncs: u64,
+}
+
+/// A write ticket: completion token for one enqueued operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Ticket(u64);
+
+/// One queued operation. The queue is strictly ticket-ordered because
+/// tickets are assigned under the queue lock.
+enum Op {
+    /// Adopt a file under `id`. Processed in order, so writes enqueued
+    /// after a registration always find their file.
+    Register {
+        id: u64,
+        file: File,
+        durability: Durability,
+    },
+    /// Append `bytes` to file `id`.
+    Write {
+        id: u64,
+        bytes: Vec<u8>,
+        ticket: u64,
+    },
+    /// Replace file `id` with `new_file` (segment rotation). The old
+    /// file is synced first when `sync_old` — a sealed WAL segment
+    /// must be durable before appends move past it.
+    Swap {
+        id: u64,
+        new_file: File,
+        sync_old: bool,
+        ticket: u64,
+    },
+    /// Barrier: force a `sync_data` of file `id` at the end of this
+    /// batch regardless of durability mode (compaction uses this
+    /// before deleting superseded segments).
+    Sync { id: u64, ticket: u64 },
+}
+
+struct QueueState {
+    queue: Vec<Op>,
+    next_ticket: u64,
+    next_file_id: u64,
+    /// Highest ticket whose batch has fully committed.
+    completed: u64,
+    /// Tickets that failed, with the reason; drained by their waiter.
+    failed: HashMap<u64, String>,
+    stop: bool,
+}
+
+type BatchObserver = Box<dyn Fn(BatchOutcome) + Send + Sync>;
+
+struct Inner {
+    state: Mutex<QueueState>,
+    /// Signaled when work arrives or stop is requested.
+    work: Condvar,
+    /// Signaled when a batch completes.
+    done: Condvar,
+    flush_window: Duration,
+    observer: Mutex<Option<BatchObserver>>,
+    appends: AtomicU64,
+    batches: AtomicU64,
+    fsyncs: AtomicU64,
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Inner {
+    /// Assigns a ticket and enqueues under one lock acquisition, so
+    /// ticket order == queue order == on-disk order.
+    fn enqueue(&self, build: impl FnOnce(u64) -> Op) -> io::Result<Ticket> {
+        let mut state = lock(&self.state);
+        if state.stop {
+            return Err(io::Error::other("group committer stopped"));
+        }
+        let ticket = state.next_ticket;
+        state.next_ticket += 1;
+        let op = build(ticket);
+        state.queue.push(op);
+        self.work.notify_one();
+        Ok(Ticket(ticket))
+    }
+
+    fn wait(&self, ticket: Ticket) -> io::Result<()> {
+        let mut state = lock(&self.state);
+        while state.completed < ticket.0 {
+            state = self
+                .done
+                .wait(state)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        match state.failed.remove(&ticket.0) {
+            Some(reason) => Err(io::Error::other(reason)),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A registered file's append channel into the committer. Cloneable;
+/// clones share the same underlying file.
+#[derive(Clone)]
+pub struct WriterHandle {
+    inner: Arc<Inner>,
+    id: u64,
+}
+
+impl fmt::Debug for WriterHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WriterHandle")
+            .field("id", &self.id)
+            .finish()
+    }
+}
+
+impl WriterHandle {
+    /// Enqueues an append without waiting. Never blocks on I/O, so it
+    /// is safe to call under a caller-side lock that must order
+    /// writes. Pair with [`WriterHandle::wait`].
+    pub fn enqueue(&self, bytes: &[u8]) -> io::Result<Ticket> {
+        self.inner.enqueue(|ticket| Op::Write {
+            id: self.id,
+            bytes: bytes.to_vec(),
+            ticket,
+        })
+    }
+
+    /// Blocks until the batch containing `ticket` has been written
+    /// (and, for a [`Durability::Sync`] file, synced to disk).
+    pub fn wait(&self, ticket: Ticket) -> io::Result<()> {
+        self.inner.wait(ticket)
+    }
+
+    /// Appends `bytes` and blocks until the containing batch commits:
+    /// [`enqueue`](Self::enqueue) + [`wait`](Self::wait).
+    pub fn append(&self, bytes: &[u8]) -> io::Result<()> {
+        let ticket = self.enqueue(bytes)?;
+        self.wait(ticket)
+    }
+
+    /// Enqueues a file swap (segment rotation) without waiting. Writes
+    /// enqueued before the swap land in the old file, writes after in
+    /// the new one. When `sync_old`, the outgoing file is synced
+    /// before being released.
+    pub fn enqueue_swap(&self, new_file: File, sync_old: bool) -> io::Result<Ticket> {
+        self.inner.enqueue(|ticket| Op::Swap {
+            id: self.id,
+            new_file,
+            sync_old,
+            ticket,
+        })
+    }
+
+    /// Barrier: blocks until everything enqueued so far for this file
+    /// is written *and* `sync_data`'d, regardless of durability mode.
+    pub fn sync(&self) -> io::Result<()> {
+        let ticket = self.inner.enqueue(|ticket| Op::Sync {
+            id: self.id,
+            ticket,
+        })?;
+        self.inner.wait(ticket)
+    }
+}
+
+/// The shared committer: one background thread batching appends from
+/// any number of registered files into group commits.
+pub struct GroupCommitter {
+    inner: Arc<Inner>,
+    thread: Mutex<Option<JoinHandle<()>>>,
+}
+
+impl fmt::Debug for GroupCommitter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("GroupCommitter")
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+impl GroupCommitter {
+    /// Starts a committer whose batches wait out `flush_window` after
+    /// the first arrival so concurrent writers can join. A zero window
+    /// commits each drain immediately (useful for deterministic
+    /// tests); production WALs want a few hundred microseconds.
+    pub fn spawn(flush_window: Duration) -> Self {
+        let inner = Arc::new(Inner {
+            state: Mutex::new(QueueState {
+                queue: Vec::new(),
+                next_ticket: 1,
+                next_file_id: 1,
+                completed: 0,
+                failed: HashMap::new(),
+                stop: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+            flush_window,
+            observer: Mutex::new(None),
+            appends: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            fsyncs: AtomicU64::new(0),
+        });
+        let thread_inner = Arc::clone(&inner);
+        let thread = std::thread::Builder::new()
+            .name("group-commit".into())
+            .spawn(move || run_committer(&thread_inner))
+            .expect("spawn group-commit thread");
+        GroupCommitter {
+            inner,
+            thread: Mutex::new(Some(thread)),
+        }
+    }
+
+    /// Adopts `file` (append-positioned) into the committer and
+    /// returns its write handle. `durability` decides whether batches
+    /// touching this file end in a `sync_data`.
+    pub fn register(&self, file: File, durability: Durability) -> WriterHandle {
+        let id = {
+            let mut state = lock(&self.inner.state);
+            let id = state.next_file_id;
+            state.next_file_id += 1;
+            state.queue.push(Op::Register {
+                id,
+                file,
+                durability,
+            });
+            self.inner.work.notify_one();
+            id
+        };
+        WriterHandle {
+            inner: Arc::clone(&self.inner),
+            id,
+        }
+    }
+
+    /// Installs (replacing) the per-batch observer, called after every
+    /// committed batch with its size and fsync count. Lets a metrics
+    /// layer histogram group-commit batch sizes without this module
+    /// depending on it.
+    pub fn set_batch_observer(&self, observer: impl Fn(BatchOutcome) + Send + Sync + 'static) {
+        *lock(&self.inner.observer) = Some(Box::new(observer));
+    }
+
+    /// Lifetime counters.
+    pub fn stats(&self) -> CommitterStats {
+        CommitterStats {
+            appends: self.inner.appends.load(Ordering::Relaxed),
+            batches: self.inner.batches.load(Ordering::Relaxed),
+            fsyncs: self.inner.fsyncs.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Drop for GroupCommitter {
+    fn drop(&mut self) {
+        {
+            let mut state = lock(&self.inner.state);
+            state.stop = true;
+            self.inner.work.notify_all();
+        }
+        if let Some(thread) = lock(&self.thread).take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+struct FileEntry {
+    file: File,
+    durability: Durability,
+}
+
+/// The committer thread: drain, linger, write, one fsync per dirty
+/// file, release.
+fn run_committer(inner: &Inner) {
+    // Files live on this thread only; writers never touch them.
+    let mut files: HashMap<u64, FileEntry> = HashMap::new();
+    loop {
+        let mut ops = {
+            let mut state = lock(&inner.state);
+            while state.queue.is_empty() {
+                if state.stop {
+                    return;
+                }
+                state = inner
+                    .work
+                    .wait(state)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            std::mem::take(&mut state.queue)
+        };
+        // The bounded flush window: concurrent writers blocked on this
+        // batch's fsync would otherwise each pay their own; a short
+        // linger folds them into it. Late arrivals keep ticket order
+        // because both drains took the queue in push order.
+        if !inner.flush_window.is_zero() {
+            std::thread::sleep(inner.flush_window);
+            let mut state = lock(&inner.state);
+            ops.append(&mut state.queue);
+        }
+        commit_batch(inner, &mut files, ops);
+    }
+}
+
+fn commit_batch(inner: &Inner, files: &mut HashMap<u64, FileEntry>, ops: Vec<Op>) {
+    let mut failed: Vec<(u64, String)> = Vec::new();
+    // Per-file: (wants end-of-batch sync, tickets that depend on it).
+    let mut pending_sync: HashMap<u64, (bool, Vec<u64>)> = HashMap::new();
+    let mut last_ticket = 0u64;
+    let mut records = 0usize;
+    let mut fsyncs = 0usize;
+    for op in ops {
+        match op {
+            Op::Register {
+                id,
+                file,
+                durability,
+            } => {
+                files.insert(id, FileEntry { file, durability });
+            }
+            Op::Write { id, bytes, ticket } => {
+                last_ticket = ticket;
+                match files.get_mut(&id) {
+                    Some(entry) => match entry.file.write_all(&bytes) {
+                        Ok(()) => {
+                            records += 1;
+                            if entry.durability == Durability::Sync {
+                                let slot = pending_sync.entry(id).or_default();
+                                slot.0 = true;
+                                slot.1.push(ticket);
+                            }
+                        }
+                        Err(e) => failed.push((ticket, e.to_string())),
+                    },
+                    None => failed.push((ticket, format!("file {id} not registered"))),
+                }
+            }
+            Op::Swap {
+                id,
+                new_file,
+                sync_old,
+                ticket,
+            } => {
+                last_ticket = ticket;
+                match files.get_mut(&id) {
+                    Some(entry) => {
+                        // Settle the outgoing file before letting go of
+                        // it: sync now if requested or if earlier writes
+                        // in this batch were promised a sync.
+                        let (wants, waiters) = pending_sync.remove(&id).unwrap_or_default();
+                        if sync_old || wants {
+                            fsyncs += 1;
+                            if let Err(e) = entry.file.sync_data() {
+                                for t in waiters {
+                                    failed.push((t, e.to_string()));
+                                }
+                                failed.push((ticket, e.to_string()));
+                            }
+                        }
+                        entry.file = new_file;
+                    }
+                    None => failed.push((ticket, format!("file {id} not registered"))),
+                }
+            }
+            Op::Sync { id, ticket } => {
+                last_ticket = ticket;
+                match files.get(&id) {
+                    Some(_) => {
+                        let slot = pending_sync.entry(id).or_default();
+                        slot.0 = true;
+                        slot.1.push(ticket);
+                    }
+                    None => failed.push((ticket, format!("file {id} not registered"))),
+                }
+            }
+        }
+    }
+    for (id, (wants, waiters)) in pending_sync {
+        if !wants {
+            continue;
+        }
+        let Some(entry) = files.get(&id) else {
+            continue;
+        };
+        fsyncs += 1;
+        if let Err(e) = entry.file.sync_data() {
+            for t in waiters {
+                failed.push((t, e.to_string()));
+            }
+        }
+    }
+    inner.appends.fetch_add(records as u64, Ordering::Relaxed);
+    inner.batches.fetch_add(1, Ordering::Relaxed);
+    inner.fsyncs.fetch_add(fsyncs as u64, Ordering::Relaxed);
+    {
+        let mut state = lock(&inner.state);
+        state.completed = state.completed.max(last_ticket);
+        for (ticket, reason) in failed {
+            state.failed.insert(ticket, reason);
+        }
+        inner.done.notify_all();
+    }
+    if records > 0 || fsyncs > 0 {
+        if let Some(observer) = lock(&inner.observer).as_ref() {
+            observer(BatchOutcome { records, fsyncs });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+    use std::sync::atomic::AtomicUsize;
+
+    fn temp_file(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "autotune-commit-test-{}-{tag}-{n}.bin",
+            std::process::id()
+        ))
+    }
+
+    fn create(path: &PathBuf) -> File {
+        File::create(path).unwrap()
+    }
+
+    #[test]
+    fn appends_land_in_order() {
+        let path = temp_file("order");
+        let committer = GroupCommitter::spawn(Duration::ZERO);
+        let handle = committer.register(create(&path), Durability::Sync);
+        for i in 0..10u8 {
+            handle.append(&[i]).unwrap();
+        }
+        drop(committer);
+        assert_eq!(std::fs::read(&path).unwrap(), (0..10u8).collect::<Vec<_>>());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn concurrent_writers_batch_into_fewer_fsyncs() {
+        let path = temp_file("batch");
+        let committer = Arc::new(GroupCommitter::spawn(Duration::from_millis(5)));
+        let handle = committer.register(create(&path), Durability::Sync);
+        let observed = Arc::new(AtomicU64::new(0));
+        {
+            let observed = Arc::clone(&observed);
+            committer.set_batch_observer(move |batch| {
+                observed.fetch_add(batch.records as u64, Ordering::Relaxed);
+            });
+        }
+        let threads: Vec<_> = (0..8)
+            .map(|i| {
+                let handle = handle.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..4 {
+                        handle.append(&[i]).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let stats = committer.stats();
+        assert_eq!(stats.appends, 32);
+        assert_eq!(observed.load(Ordering::Relaxed), 32);
+        // 32 sync appends across 8 threads with a 5ms window must
+        // coalesce: strictly fewer fsyncs than appends is the whole
+        // point of group commit.
+        assert!(
+            stats.fsyncs < stats.appends,
+            "fsyncs {} !< appends {}",
+            stats.fsyncs,
+            stats.appends
+        );
+        drop(committer);
+        assert_eq!(std::fs::read(&path).unwrap().len(), 32);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn swap_routes_later_appends_to_the_new_file() {
+        let old = temp_file("swap-old");
+        let new = temp_file("swap-new");
+        let committer = GroupCommitter::spawn(Duration::ZERO);
+        let handle = committer.register(create(&old), Durability::Sync);
+        handle.append(b"old").unwrap();
+        handle.enqueue_swap(create(&new), true).unwrap();
+        handle.append(b"new").unwrap();
+        drop(committer);
+        assert_eq!(std::fs::read(&old).unwrap(), b"old");
+        assert_eq!(std::fs::read(&new).unwrap(), b"new");
+        std::fs::remove_file(&old).unwrap();
+        std::fs::remove_file(&new).unwrap();
+    }
+
+    #[test]
+    fn buffered_files_commit_without_fsync_and_sync_is_a_barrier() {
+        let path = temp_file("buffered");
+        let committer = GroupCommitter::spawn(Duration::ZERO);
+        let handle = committer.register(create(&path), Durability::Buffered);
+        handle.append(b"ab").unwrap();
+        assert_eq!(committer.stats().fsyncs, 0);
+        handle.sync().unwrap();
+        assert_eq!(committer.stats().fsyncs, 1);
+        drop(committer);
+        assert_eq!(std::fs::read(&path).unwrap(), b"ab");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn stopped_committer_rejects_new_work() {
+        let path = temp_file("stopped");
+        let committer = GroupCommitter::spawn(Duration::ZERO);
+        let handle = committer.register(create(&path), Durability::Sync);
+        handle.append(b"x").unwrap();
+        drop(committer);
+        assert!(handle.append(b"y").is_err());
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn enqueue_then_wait_matches_append() {
+        let path = temp_file("split");
+        let committer = GroupCommitter::spawn(Duration::ZERO);
+        let handle = committer.register(create(&path), Durability::Sync);
+        let t1 = handle.enqueue(b"1").unwrap();
+        let t2 = handle.enqueue(b"2").unwrap();
+        assert!(t1 < t2);
+        handle.wait(t2).unwrap();
+        handle.wait(t1).unwrap();
+        drop(committer);
+        assert_eq!(std::fs::read(&path).unwrap(), b"12");
+        std::fs::remove_file(&path).unwrap();
+    }
+}

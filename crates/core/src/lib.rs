@@ -50,6 +50,7 @@
 pub mod bo_gp;
 pub mod bo_tpe;
 pub mod bohb;
+pub mod commit;
 pub mod fidelity;
 pub mod ga;
 pub mod grid;
@@ -67,6 +68,7 @@ pub mod testfns;
 pub mod trace;
 pub mod tuner;
 
+pub use commit::{BatchOutcome, CommitterStats, GroupCommitter, WriterHandle};
 pub use history::{Evaluation, History};
 pub use objective::Objective;
 pub use prior::{PriorHistory, PriorPoint};

@@ -191,6 +191,45 @@ fn render_server_frame(
         );
     }
 
+    // Older servers predate the WAL and export none of its
+    // instruments; the panel disappears instead of rendering zeros.
+    if let Some(appends) = snapshot.counter("wal_appends") {
+        out.push_str("\n# write path (wal)\n");
+        let fsyncs = snapshot.counter("wal_fsyncs").unwrap_or(0);
+        let amortization = if fsyncs > 0 {
+            appends as f64 / fsyncs as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "appends {appends}, fsyncs {fsyncs} ({amortization:.1} records/fsync)"
+        );
+        if let Some(batches) = snapshot.histogram("wal_batch_records") {
+            // observe_value stores the batch size in the "seconds"
+            // slot, so sum_seconds is total records across batches.
+            let mean = if batches.count > 0 {
+                batches.sum_seconds / batches.count as f64
+            } else {
+                0.0
+            };
+            let _ = writeln!(
+                out,
+                "group-commit batches {} (mean size {mean:.1})",
+                batches.count
+            );
+        }
+        let _ = writeln!(
+            out,
+            "checkpoints {}, segments compacted {}, sealed {}, active {} B, checkpoint age {} s",
+            snapshot.counter("checkpoints_total").unwrap_or(0),
+            snapshot.counter("segments_compacted").unwrap_or(0),
+            snapshot.counter("wal_segments_sealed").unwrap_or(0),
+            snapshot.counter("wal_active_segment_bytes").unwrap_or(0),
+            snapshot.counter("wal_checkpoint_age_seconds").unwrap_or(0),
+        );
+    }
+
     if let Some(health) = health {
         out.push_str("\n# health\n");
         let status = match health.status {

@@ -8,13 +8,19 @@
 //! every append according to the writer's
 //! [`Durability`] mode, with a torn final
 //! line (crash mid-append) dropped silently on load and corruption
-//! anywhere else reported as [`KbError::Corrupt`].
+//! anywhere else reported as [`KbError::Corrupt`]. A store opened
+//! with [`KbStore::open_with_committer`] keeps the same file format
+//! but appends through a shared
+//! [`GroupCommitter`] so its fsyncs batch
+//! with the service's write-ahead log instead of costing one per
+//! study.
 //!
 //! Reads are served from an in-memory index rebuilt on open — the store
 //! is small (capped evaluations, one line per study), so a full scan on
 //! startup costs less than designing an on-disk index would.
 
 use crate::fingerprint::{Fingerprint, ProblemTag};
+use autotune_core::commit::{GroupCommitter, WriterHandle};
 use autotune_core::{Evaluation, PriorHistory};
 use autotune_space::Configuration;
 use autotune_surrogates::PriorWeighting;
@@ -124,12 +130,45 @@ pub struct KbStats {
     pub evaluations: u64,
 }
 
+/// Where appended lines go. `Direct` owns the file and pushes each
+/// line toward disk itself (flush always, `sync_data` under
+/// [`Durability::Sync`]); `Grouped` hands lines to a shared
+/// [`GroupCommitter`] so kb appends ride the same batched-fsync
+/// schedule as the service's write-ahead log — one `sync_data` per
+/// batch instead of one per study.
+#[derive(Debug)]
+enum Backend {
+    Direct(BufWriter<File>),
+    Grouped(WriterHandle),
+}
+
+impl Backend {
+    /// Persists one already-serialized line (newline included) with
+    /// this backend's durability contract: on return the line is as
+    /// durable as `durability` promises.
+    fn write_line(&mut self, bytes: &[u8], durability: Durability) -> std::io::Result<()> {
+        match self {
+            Backend::Direct(file) => {
+                file.write_all(bytes)?;
+                file.flush()?;
+                if durability == Durability::Sync {
+                    file.get_ref().sync_data()?;
+                }
+                Ok(())
+            }
+            // append blocks until the containing batch commits; the
+            // committer fsyncs per batch for Sync-registered files.
+            Backend::Grouped(handle) => handle.append(bytes),
+        }
+    }
+}
+
 /// The knowledge base: an append-only segment file plus an in-memory
 /// fingerprint index.
 #[derive(Debug)]
 pub struct KbStore {
     path: PathBuf,
-    file: BufWriter<File>,
+    backend: Backend,
     durability: Durability,
     records: Vec<StudyRecord>,
     by_fingerprint: HashMap<Fingerprint, Vec<usize>>,
@@ -146,6 +185,41 @@ impl KbStore {
     /// mode. Missing parent directories are created. Existing records
     /// are loaded into the index; a torn final line is dropped.
     pub fn open_with(path: &Path, durability: Durability) -> Result<Self, KbError> {
+        let loaded = Self::load(path)?;
+        let file = BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?);
+        Ok(Self::assemble(
+            path,
+            durability,
+            Backend::Direct(file),
+            loaded,
+        ))
+    }
+
+    /// Opens (creating if absent) a store whose appends ride a shared
+    /// [`GroupCommitter`] — the batched-fsync path the service's
+    /// write-ahead log uses. Each append is handed to the committer
+    /// and blocks only until the batch containing it commits, so many
+    /// concurrent study closes share one `sync_data` instead of
+    /// paying one each.
+    pub fn open_with_committer(
+        path: &Path,
+        durability: Durability,
+        committer: &GroupCommitter,
+    ) -> Result<Self, KbError> {
+        let loaded = Self::load(path)?;
+        let file = OpenOptions::new().create(true).append(true).open(path)?;
+        let handle = committer.register(file, durability);
+        Ok(Self::assemble(
+            path,
+            durability,
+            Backend::Grouped(handle),
+            loaded,
+        ))
+    }
+
+    /// Reads and validates every persisted study, creating missing
+    /// parent directories along the way. Shared by both open paths.
+    fn load(path: &Path) -> Result<Vec<StudyRecord>, KbError> {
         if let Some(parent) = path.parent() {
             if !parent.as_os_str().is_empty() {
                 std::fs::create_dir_all(parent)?;
@@ -193,10 +267,18 @@ impl KbStore {
                 loaded.push(record);
             }
         }
-        let file = BufWriter::new(OpenOptions::new().create(true).append(true).open(path)?);
+        Ok(loaded)
+    }
+
+    fn assemble(
+        path: &Path,
+        durability: Durability,
+        backend: Backend,
+        loaded: Vec<StudyRecord>,
+    ) -> Self {
         let mut store = KbStore {
             path: path.to_path_buf(),
-            file,
+            backend,
             durability,
             records: Vec::new(),
             by_fingerprint: HashMap::new(),
@@ -205,7 +287,7 @@ impl KbStore {
         for record in loaded {
             store.index(record);
         }
-        Ok(store)
+        store
     }
 
     fn index(&mut self, record: StudyRecord) {
@@ -240,8 +322,11 @@ impl KbStore {
 
     /// Appends one study. Non-finite evaluation values are dropped and
     /// the remainder is capped best-first at [`MAX_RECORD_EVALS`]; the
-    /// line is flushed (and synced under [`Durability::Sync`]) before
-    /// the method returns.
+    /// line is as durable as the writer's [`Durability`] promises
+    /// before the method returns — flushed (and synced under
+    /// [`Durability::Sync`]) directly, or committed with its batch
+    /// when the store rides a group committer
+    /// ([`open_with_committer`](Self::open_with_committer)).
     ///
     /// A non-finite `best` is replaced by the study's best surviving
     /// evaluation; a study with *no* finite measurement at all is
@@ -264,15 +349,11 @@ impl KbStore {
                 None => return Ok(()),
             }
         }
-        let line = serde_json::to_string(&Record::Study {
+        let mut line = serde_json::to_string(&Record::Study {
             record: record.clone(),
         })?;
-        self.file.write_all(line.as_bytes())?;
-        self.file.write_all(b"\n")?;
-        self.file.flush()?;
-        if self.durability == Durability::Sync {
-            self.file.get_ref().sync_data()?;
-        }
+        line.push('\n');
+        self.backend.write_line(line.as_bytes(), self.durability)?;
         self.index(record);
         Ok(())
     }
@@ -635,6 +716,27 @@ mod tests {
             assert_eq!(back.len(), 1, "{durability:?}");
             std::fs::remove_file(&path).unwrap();
         }
+    }
+
+    #[test]
+    fn grouped_appends_round_trip_into_a_direct_reopen() {
+        use std::time::Duration;
+        let path = temp_store("grouped");
+        let committer = GroupCommitter::spawn(Duration::ZERO);
+        for durability in [Durability::Sync, Durability::Buffered] {
+            let mut store = KbStore::open_with_committer(&path, durability, &committer).unwrap();
+            assert_eq!(store.durability(), durability);
+            store
+                .append(record("Titan V", "grouped", durability as u64, true))
+                .unwrap();
+            drop(store);
+        }
+        // Both writes are on disk (append returns post-commit), the
+        // file format is unchanged, and a plain open reads them back.
+        let back = KbStore::open(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert!(committer.stats().appends >= 2);
+        std::fs::remove_file(&path).unwrap();
     }
 
     #[test]

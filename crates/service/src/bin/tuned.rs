@@ -1,7 +1,9 @@
 //! `tuned` — the ask-tell tuning server.
 //!
 //! ```text
-//! tuned [--addr HOST:PORT] [--journal-dir DIR] [--durability sync|buffered]
+//! tuned [--addr HOST:PORT] [--journal-dir DIR | --wal-dir DIR]
+//!       [--durability sync|buffered] [--wal-segment-bytes N]
+//!       [--wal-checkpoint-interval N]
 //!       [--kb-path FILE|none] [--read-timeout SECS] [--write-timeout SECS]
 //!       [--max-conns N] [--max-line-bytes N] [--idle-ttl SECS]
 //!       [--timeseries-interval-ms MS] [--log-level off|error|warn|info|debug]
@@ -10,8 +12,14 @@
 //!
 //! Speaks newline-delimited JSON over TCP (see the protocol module of
 //! `autotune-service`). With `--journal-dir`, every session is journaled
-//! and any unfinished sessions found at startup are recovered before the
-//! listener opens. The cross-session knowledge base lives at
+//! into its own JSONL file; with `--wal-dir` (mutually exclusive), all
+//! sessions share one group-commit write-ahead log — appends from
+//! concurrent sessions batch into single fsyncs, sessions are
+//! checkpointed every `--wal-checkpoint-interval` evals, and segments
+//! rotate at `--wal-segment-bytes` and compact automatically. In either
+//! mode, unfinished sessions found at startup are recovered before the
+//! listener opens, and the kb store rides the WAL's committer when one
+//! is configured. The cross-session knowledge base lives at
 //! `kb/store.kb.jsonl` by default (override with `--kb-path` or the
 //! `TUNED_KB_PATH` environment variable; `--kb-path none` disables it).
 //! The hardening flags map one-to-one onto [`ServerConfig`]; defaults
@@ -26,7 +34,9 @@
 //! budgets against.
 
 use autotune_kb::KbStore;
-use autotune_service::{Durability, EventLog, LogLevel, ServerConfig, SessionManager, TunedServer};
+use autotune_service::{
+    Durability, EventLog, LogLevel, ServerConfig, SessionManager, TunedServer, WalConfig,
+};
 use std::process::exit;
 use std::time::Duration;
 
@@ -39,6 +49,9 @@ const DEFAULT_KB_PATH: &str = "kb/store.kb.jsonl";
 struct Args {
     addr: String,
     journal_dir: Option<String>,
+    wal_dir: Option<String>,
+    wal_segment_bytes: Option<u64>,
+    wal_checkpoint_interval: Option<usize>,
     durability: Durability,
     kb_path: Option<String>,
     log_level: Option<LogLevel>,
@@ -48,16 +61,24 @@ struct Args {
 
 fn usage(code: i32) -> ! {
     let defaults = ServerConfig::default();
-    eprintln!("usage: tuned [--addr HOST:PORT] [--journal-dir DIR] [--durability sync|buffered]");
+    eprintln!("usage: tuned [--addr HOST:PORT] [--journal-dir DIR | --wal-dir DIR]");
+    eprintln!("             [--durability sync|buffered] [--wal-segment-bytes N]");
+    eprintln!("             [--wal-checkpoint-interval N]");
     eprintln!("             [--kb-path FILE|none] [--read-timeout SECS] [--write-timeout SECS]");
     eprintln!("             [--max-conns N] [--max-line-bytes N] [--idle-ttl SECS]");
     eprintln!("             [--timeseries-interval-ms MS] [--log-level off|error|warn|info|debug]");
     eprintln!("             [--log-file PATH] [--slow-op-ms MS] [--slo-p99-ms MS]");
     eprintln!();
     eprintln!("  --addr HOST:PORT     listen address (default 127.0.0.1:4242)");
-    eprintln!("  --journal-dir DIR    journal sessions under DIR and recover");
-    eprintln!("                       unfinished ones at startup");
-    eprintln!("  --durability MODE    sync: fsync every journal append (default);");
+    eprintln!("  --journal-dir DIR    journal sessions under DIR (one JSONL file per");
+    eprintln!("                       session) and recover unfinished ones at startup");
+    eprintln!("  --wal-dir DIR        persist all sessions through one shared group-commit");
+    eprintln!("                       write-ahead log under DIR (mutually exclusive with");
+    eprintln!("                       --journal-dir); the kb rides the same committer");
+    eprintln!("  --wal-segment-bytes N      rotate WAL segments at N bytes (default 8 MiB)");
+    eprintln!("  --wal-checkpoint-interval N  checkpoint each session every N evals");
+    eprintln!("                       (default 64)");
+    eprintln!("  --durability MODE    sync: fsync every append (default);");
     eprintln!("                       buffered: flush to the OS only");
     eprintln!("  --kb-path FILE       cross-session knowledge-base store (default");
     eprintln!("                       {DEFAULT_KB_PATH}; env TUNED_KB_PATH overrides");
@@ -119,6 +140,9 @@ fn parse_args() -> Args {
     let mut args = Args {
         addr: "127.0.0.1:4242".to_string(),
         journal_dir: None,
+        wal_dir: None,
+        wal_segment_bytes: None,
+        wal_checkpoint_interval: None,
         durability: Durability::Sync,
         kb_path: Some(
             std::env::var("TUNED_KB_PATH").unwrap_or_else(|_| DEFAULT_KB_PATH.to_string()),
@@ -138,6 +162,16 @@ fn parse_args() -> Args {
                 Some(v) => args.journal_dir = Some(v),
                 None => usage(2),
             },
+            "--wal-dir" => match argv.next() {
+                Some(v) => args.wal_dir = Some(v),
+                None => usage(2),
+            },
+            "--wal-segment-bytes" => {
+                args.wal_segment_bytes = Some(parse(&flag, argv.next()));
+            }
+            "--wal-checkpoint-interval" => {
+                args.wal_checkpoint_interval = Some(parse(&flag, argv.next()));
+            }
             "--durability" => match argv.next().as_deref() {
                 Some("sync") => args.durability = Durability::Sync,
                 Some("buffered") => args.durability = Durability::Buffered,
@@ -190,22 +224,53 @@ fn parse_args() -> Args {
     if args.kb_path.as_deref() == Some("none") {
         args.kb_path = None;
     }
+    if args.journal_dir.is_some() && args.wal_dir.is_some() {
+        eprintln!("tuned: --journal-dir and --wal-dir are mutually exclusive");
+        usage(2)
+    }
+    if args.wal_dir.is_none()
+        && (args.wal_segment_bytes.is_some() || args.wal_checkpoint_interval.is_some())
+    {
+        eprintln!("tuned: --wal-segment-bytes/--wal-checkpoint-interval need --wal-dir");
+        usage(2)
+    }
     args
 }
 
 fn main() {
     let args = parse_args();
-    let manager = match &args.journal_dir {
-        Some(dir) => {
-            match SessionManager::with_journal_dir_durability(dir.as_ref(), args.durability) {
-                Ok(m) => m,
-                Err(e) => {
-                    eprintln!("tuned: cannot open journal dir {dir:?}: {e}");
-                    exit(1);
-                }
+    let manager = if let Some(dir) = &args.wal_dir {
+        let mut wal_config = WalConfig::new(dir);
+        wal_config.durability = args.durability;
+        if let Some(bytes) = args.wal_segment_bytes {
+            wal_config.segment_bytes = bytes;
+        }
+        if let Some(interval) = args.wal_checkpoint_interval {
+            wal_config.checkpoint_interval = interval.max(1);
+        }
+        match SessionManager::with_wal(wal_config) {
+            Ok(m) => {
+                eprintln!("tuned: write-ahead log at {dir:?}");
+                m
+            }
+            Err(e) => {
+                eprintln!("tuned: cannot open wal dir {dir:?}: {e}");
+                exit(1);
             }
         }
-        None => SessionManager::in_memory(),
+    } else {
+        match &args.journal_dir {
+            Some(dir) => {
+                match SessionManager::with_journal_dir_durability(dir.as_ref(), args.durability) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        eprintln!("tuned: cannot open journal dir {dir:?}: {e}");
+                        exit(1);
+                    }
+                }
+            }
+            None => SessionManager::in_memory(),
+        }
     };
     // A file sink implies logging even without an explicit --log-level.
     let manager = match (args.log_level, &args.log_file) {
@@ -223,23 +288,35 @@ fn main() {
         }
     };
     let manager = match &args.kb_path {
-        Some(path) => match KbStore::open_with(path.as_ref(), args.durability) {
-            Ok(store) => {
-                eprintln!(
-                    "tuned: knowledge base at {path:?} ({} studies)",
-                    store.len()
-                );
-                Arc::new(manager.with_kb(store))
+        Some(path) => {
+            // With a WAL configured, the kb's appends join the same
+            // group-commit batches as session records — one committer,
+            // one fsync cadence, for every durable writer in the
+            // process.
+            let opened = match manager.wal() {
+                Some(wal) => {
+                    KbStore::open_with_committer(path.as_ref(), args.durability, wal.committer())
+                }
+                None => KbStore::open_with(path.as_ref(), args.durability),
+            };
+            match opened {
+                Ok(store) => {
+                    eprintln!(
+                        "tuned: knowledge base at {path:?} ({} studies)",
+                        store.len()
+                    );
+                    Arc::new(manager.with_kb(store))
+                }
+                Err(e) => {
+                    eprintln!("tuned: cannot open kb store {path:?}: {e}");
+                    exit(1);
+                }
             }
-            Err(e) => {
-                eprintln!("tuned: cannot open kb store {path:?}: {e}");
-                exit(1);
-            }
-        },
+        }
         None => Arc::new(manager),
     };
 
-    if manager.journal_dir().is_some() {
+    if manager.has_persistence() {
         match manager.recover_all() {
             Ok((recovered, skipped)) => {
                 for name in &recovered {

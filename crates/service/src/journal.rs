@@ -187,6 +187,51 @@ impl JournalWriter {
     }
 }
 
+/// One session's persistence backend, as seen by the
+/// [`SessionManager`](crate::SessionManager): either its own JSONL
+/// journal file (the classic `--journal-dir` engine) or a per-session
+/// handle into the shared group-commit WAL (`--wal-dir`,
+/// [`crate::wal::Wal`]). The manager's write-ahead call sites are
+/// identical across both — this enum is the seam that made the WAL a
+/// drop-in engine swap rather than a manager rewrite.
+#[derive(Debug)]
+pub enum SessionLog {
+    /// A per-session JSONL journal file, fsynced (or flushed) per
+    /// append by this writer alone.
+    File(JournalWriter),
+    /// A handle into the shared WAL; appends ride group-commit batches
+    /// with every other session.
+    Wal(crate::wal::WalSessionLog),
+}
+
+impl SessionLog {
+    /// Appends one eval record write-ahead of the engine, rejecting
+    /// non-finite values and tagging the client-chosen correlation id
+    /// in scope.
+    pub fn append_eval(&mut self, config: &Configuration, value: f64) -> Result<(), ServiceError> {
+        match self {
+            SessionLog::File(writer) => writer.append_eval(config, value),
+            SessionLog::Wal(log) => log.append_eval(config, value),
+        }
+    }
+
+    /// Appends a drained trace batch (no-op when empty).
+    pub fn append_trace(&mut self, events: Vec<TraceEvent>) -> Result<(), ServiceError> {
+        match self {
+            SessionLog::File(writer) => writer.append_trace(events),
+            SessionLog::Wal(log) => log.append_trace(events),
+        }
+    }
+
+    /// Appends the terminal close record; the session's log is final.
+    pub fn append_close(&mut self, finished: bool) -> Result<(), ServiceError> {
+        match self {
+            SessionLog::File(writer) => writer.append_close(finished),
+            SessionLog::Wal(log) => log.append_close(finished),
+        }
+    }
+}
+
 /// Everything recovered from a journal file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct JournalContents {

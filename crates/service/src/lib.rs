@@ -24,10 +24,16 @@
 //!   algorithm.
 //! * [`SessionManager`] keeps many named sessions behind a sharded
 //!   registry ([`SHARD_COUNT`] locks, not one global one), each with
-//!   optional append-only JSONL journaling. Sessions are deterministic
-//!   given their [`SessionSpec`], so a crashed or restarted process
-//!   recovers by replaying the journal — and then emits exactly the
-//!   suggestions the lost process would have. A residency governor
+//!   optional persistence: per-session append-only JSONL journals, or
+//!   the shared group-commit write-ahead log ([`wal`]) — one
+//!   length+checksum-framed segmented log for all sessions, batching
+//!   appends into one fsync per batch
+//!   ([`autotune_core::commit::GroupCommitter`]), checkpointing
+//!   sessions so recovery replays a tail instead of a lifetime, and
+//!   compacting segments superseded by checkpoints. Sessions are
+//!   deterministic given their [`SessionSpec`], so a crashed or
+//!   restarted process recovers by replaying either backend — and then
+//!   emits exactly the suggestions the lost process would have. A residency governor
 //!   caps live engine threads at
 //!   [`DEFAULT_MAX_RESIDENT`] (see
 //!   [`SessionManager::with_max_resident`]), transparently parking
@@ -110,6 +116,7 @@ pub mod server;
 pub mod spec;
 pub mod stats;
 pub mod tsdb;
+pub mod wal;
 
 pub use client::{Client, RemoteBatch, RemoteSuggestion};
 pub use engine::{AskTellSession, BatchSuggestion, ParkedSession, Suggestion};
@@ -123,3 +130,4 @@ pub use server::{ServerConfig, TunedServer};
 pub use spec::{SessionSpec, SpaceSpec, WarmStart};
 pub use stats::SessionStats;
 pub use tsdb::{TimePoint, TimeSeriesStore};
+pub use wal::{Wal, WalConfig, WalRecord, WalSessionLog, WalStats};

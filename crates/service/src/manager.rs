@@ -24,11 +24,12 @@
 
 use crate::engine::{AskTellSession, BatchSuggestion, ParkedSession, Suggestion};
 use crate::error::ServiceError;
-use crate::journal::{self, Durability, JournalWriter};
+use crate::journal::{self, Durability, JournalContents, JournalWriter, SessionLog};
 use crate::log::EventLog;
 use crate::metrics::ServiceMetrics;
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
+use crate::wal::{Wal, WalConfig};
 use autotune_core::{Evaluation, TuneResult};
 use autotune_kb::{Fingerprint, KbStats, KbStore, PriorWeighting, StudyRecord};
 use parking_lot::Mutex;
@@ -81,10 +82,10 @@ enum SessionState {
     Defunct,
 }
 
-/// One registered session plus its optional journal.
+/// One registered session plus its optional persistence backend.
 struct Managed {
     state: SessionState,
-    journal: Option<JournalWriter>,
+    journal: Option<SessionLog>,
 }
 
 impl Managed {
@@ -158,6 +159,9 @@ pub struct KbAnswer {
 pub struct SessionManager {
     shards: Box<[Mutex<HashMap<String, Arc<Mutex<Managed>>>>]>,
     journal_dir: Option<PathBuf>,
+    /// The shared group-commit storage engine, when persistence runs in
+    /// WAL mode. Mutually exclusive with `journal_dir`.
+    wal: Option<Arc<Wal>>,
     durability: Durability,
     kb: Option<Mutex<KbStore>>,
     weighting: PriorWeighting,
@@ -182,6 +186,7 @@ impl SessionManager {
         SessionManager {
             shards: new_shards(),
             journal_dir: None,
+            wal: None,
             durability: Durability::Sync,
             kb: None,
             weighting: PriorWeighting::default(),
@@ -211,10 +216,44 @@ impl SessionManager {
         Ok(SessionManager {
             shards: new_shards(),
             journal_dir: Some(dir.to_path_buf()),
+            wal: None,
             durability,
             kb: None,
             weighting: PriorWeighting::default(),
             metrics: Arc::new(ServiceMetrics::new()),
+            log: EventLog::null(),
+            max_resident: DEFAULT_MAX_RESIDENT,
+            opened_total: AtomicU64::new(0),
+            served_suggests: AtomicU64::new(0),
+            served_reports: AtomicU64::new(0),
+        })
+    }
+
+    /// A manager persisting every session through one shared
+    /// group-commit write-ahead log under `dir` (created if missing) —
+    /// the [`crate::wal`] storage engine — with the default
+    /// [`WalConfig`] knobs.
+    pub fn with_wal_dir(dir: &Path) -> Result<Self, ServiceError> {
+        Self::with_wal(WalConfig::new(dir))
+    }
+
+    /// Like [`SessionManager::with_wal_dir`] but with explicit WAL
+    /// knobs (durability, segment size, checkpoint interval, flush
+    /// window). The WAL replays its segments at construction, so
+    /// [`SessionManager::recover_all`] afterwards is pure in-memory
+    /// work.
+    pub fn with_wal(config: WalConfig) -> Result<Self, ServiceError> {
+        let metrics = Arc::new(ServiceMetrics::new());
+        let durability = config.durability;
+        let wal = Arc::new(Wal::open(config, Some(Arc::clone(&metrics)))?);
+        Ok(SessionManager {
+            shards: new_shards(),
+            journal_dir: None,
+            wal: Some(wal),
+            durability,
+            kb: None,
+            weighting: PriorWeighting::default(),
+            metrics,
             log: EventLog::null(),
             max_resident: DEFAULT_MAX_RESIDENT,
             opened_total: AtomicU64::new(0),
@@ -276,9 +315,33 @@ impl SessionManager {
         self.kb.is_some()
     }
 
-    /// The journal directory, if persistence is enabled.
+    /// The journal directory, if per-session-file persistence is
+    /// enabled.
     pub fn journal_dir(&self) -> Option<&Path> {
         self.journal_dir.as_deref()
+    }
+
+    /// The shared write-ahead log, if WAL persistence is enabled.
+    pub fn wal(&self) -> Option<&Arc<Wal>> {
+        self.wal.as_ref()
+    }
+
+    /// `true` when sessions are persisted at all (per-session journals
+    /// or the shared WAL) — the "is recovery worth attempting" check.
+    pub fn has_persistence(&self) -> bool {
+        self.journal_dir.is_some() || self.wal.is_some()
+    }
+
+    /// Pushes every buffered byte of the persistence layer to the
+    /// platter: a WAL sync barrier in WAL mode, nothing in journal mode
+    /// (per-session writers flush-or-sync inside every append). Part of
+    /// the graceful-drain path, so a [`Durability::Buffered`] deployment
+    /// never loses records to a *clean* shutdown.
+    pub fn flush_persistence(&self) -> Result<(), ServiceError> {
+        if let Some(wal) = &self.wal {
+            wal.sync()?;
+        }
+        Ok(())
     }
 
     /// The journal durability mode sessions are opened with.
@@ -327,7 +390,7 @@ impl SessionManager {
         &self,
         name: &str,
         session: AskTellSession,
-        journal: Option<JournalWriter>,
+        journal: Option<SessionLog>,
     ) -> Result<(), ServiceError> {
         let mut shard = self.shard(name).lock();
         if shard.contains_key(name) {
@@ -440,6 +503,27 @@ impl SessionManager {
             .set_gauge("scheduler_resident_engines", resident as u64);
         self.metrics
             .set_gauge("scheduler_parked_sessions", parked as u64);
+        self.refresh_wal_gauges();
+    }
+
+    /// Publishes the WAL's shape (sealed-segment backlog, active-segment
+    /// fill, checkpoint age) as gauges. No-op without a WAL. Also called
+    /// by the server ahead of metrics/health replies and time-series
+    /// samples so the panel reads fresh levels, not last-sweep ones.
+    pub fn refresh_wal_gauges(&self) {
+        let Some(wal) = &self.wal else { return };
+        let stats = wal.stats();
+        self.metrics
+            .set_gauge("wal_segments_sealed", stats.sealed_segments as u64);
+        self.metrics
+            .set_gauge("wal_active_segment_bytes", stats.active_segment_bytes);
+        self.metrics.set_gauge(
+            "wal_checkpoint_age_seconds",
+            stats
+                .checkpoint_age
+                .map(|age| age.as_secs())
+                .unwrap_or_default(),
+        );
     }
 
     /// Installs a knowledge-base prior into a spec that asks for one.
@@ -563,14 +647,19 @@ impl SessionManager {
             if shard.contains_key(name) {
                 return Err(ServiceError::SessionExists(name.to_string()));
             }
-            let journal = match self.journal_path(name) {
-                Some(path) => Some(JournalWriter::create_with(
-                    &path,
-                    name,
-                    &spec,
-                    self.durability,
-                )?),
-                None => None,
+            let journal = if let Some(wal) = &self.wal {
+                wal.open_session(name, &spec)?;
+                Some(SessionLog::Wal(wal.session_log(name)))
+            } else {
+                match self.journal_path(name) {
+                    Some(path) => Some(SessionLog::File(JournalWriter::create_with(
+                        &path,
+                        name,
+                        &spec,
+                        self.durability,
+                    )?)),
+                    None => None,
+                }
             };
             let session = AskTellSession::open_with_metrics(spec, Some(Arc::clone(&self.metrics)))?;
             shard.insert(
@@ -589,26 +678,39 @@ impl SessionManager {
         Ok(())
     }
 
-    /// Rebuilds one session from its journal. Fails if the journal marks
-    /// the session closed, if no journal directory is configured, or if
+    /// Rebuilds one session from its persisted record — its journal
+    /// file, or its image in the shared WAL. Fails if the record marks
+    /// the session closed, if no persistence is configured, or if
     /// replay diverges (foreign/tampered journal).
     pub fn recover(&self, name: &str) -> Result<(), ServiceError> {
         Self::validate_name(name)?;
-        let path = self
-            .journal_path(name)
-            .ok_or_else(|| ServiceError::Journal("no journal directory configured".into()))?;
-        let contents = journal::load(&path)?;
-        if contents.closed {
-            return Err(ServiceError::Journal(format!(
-                "session {name:?} was closed; its journal is final"
-            )));
-        }
-        if contents.name != name {
-            return Err(ServiceError::Journal(format!(
-                "journal {path:?} belongs to session {:?}, not {name:?}",
-                contents.name
-            )));
-        }
+        let (contents, log): (JournalContents, SessionLog) = if let Some(wal) = &self.wal {
+            let contents = wal.recover_session(name)?;
+            if contents.closed {
+                return Err(ServiceError::Journal(format!(
+                    "session {name:?} was closed; its journal is final"
+                )));
+            }
+            (contents, SessionLog::Wal(wal.session_log(name)))
+        } else {
+            let path = self
+                .journal_path(name)
+                .ok_or_else(|| ServiceError::Journal("no journal directory configured".into()))?;
+            let contents = journal::load(&path)?;
+            if contents.closed {
+                return Err(ServiceError::Journal(format!(
+                    "session {name:?} was closed; its journal is final"
+                )));
+            }
+            if contents.name != name {
+                return Err(ServiceError::Journal(format!(
+                    "journal {path:?} belongs to session {:?}, not {name:?}",
+                    contents.name
+                )));
+            }
+            let writer = JournalWriter::append_existing_with(&path, self.durability)?;
+            (contents, SessionLog::File(writer))
+        };
         let session = AskTellSession::replay_with_metrics(
             contents.spec,
             &contents.evals,
@@ -621,8 +723,7 @@ impl SessionManager {
         self.metrics
             .journal_replayed_evals
             .add(contents.evals.len() as u64);
-        let journal = JournalWriter::append_existing_with(&path, self.durability)?;
-        self.register(name, session, Some(journal))?;
+        self.register(name, session, Some(log))?;
         self.metrics.sessions_recovered.inc();
         self.log.info("manager", Some(name), || {
             format!(
@@ -634,23 +735,30 @@ impl SessionManager {
         Ok(())
     }
 
-    /// Scans the journal directory and recovers every session that is not
-    /// closed, not corrupt, and not already open. Returns the recovered
-    /// names (sorted) and the files skipped with the reason.
+    /// Recovers every persisted session that is not closed, not
+    /// corrupt, and not already open — scanning the journal directory
+    /// for `.jsonl` stems, or asking the WAL for its replayed session
+    /// names. Returns the recovered names (sorted) and the sessions
+    /// skipped with the reason.
     pub fn recover_all(&self) -> Result<(Vec<String>, Vec<(String, ServiceError)>), ServiceError> {
-        let dir = self
-            .journal_dir
-            .clone()
-            .ok_or_else(|| ServiceError::Journal("no journal directory configured".into()))?;
-        let mut stems: Vec<String> = Vec::new();
-        for entry in std::fs::read_dir(&dir)? {
-            let path = entry?.path();
-            if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
-                if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
-                    stems.push(stem.to_string());
+        let mut stems: Vec<String> = if let Some(wal) = &self.wal {
+            wal.session_names()
+        } else {
+            let dir = self
+                .journal_dir
+                .clone()
+                .ok_or_else(|| ServiceError::Journal("no journal directory configured".into()))?;
+            let mut stems = Vec::new();
+            for entry in std::fs::read_dir(&dir)? {
+                let path = entry?.path();
+                if path.extension().and_then(|e| e.to_str()) == Some("jsonl") {
+                    if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                        stems.push(stem.to_string());
+                    }
                 }
             }
-        }
+            stems
+        };
         stems.sort();
         let mut recovered = Vec::new();
         let mut skipped = Vec::new();
@@ -1189,6 +1297,100 @@ mod tests {
         let mgr = SessionManager::in_memory();
         assert!(matches!(mgr.recover("x"), Err(ServiceError::Journal(_))));
         assert!(matches!(mgr.recover_all(), Err(ServiceError::Journal(_))));
+    }
+
+    /// The WAL engine honors the exact recovery contract the
+    /// per-session journals froze: identical resumed tails, closed
+    /// sessions refusing recovery.
+    #[test]
+    fn wal_crash_recovery_resumes_identically() {
+        let dir = temp_dir("wal-recovery");
+        let config = || {
+            let mut c = WalConfig::new(&dir);
+            c.flush_window = Duration::ZERO;
+            c.checkpoint_interval = 3; // exercise checkpoints mid-run
+            c
+        };
+
+        // Reference: a full uninterrupted run with the same spec/seed.
+        let reference = SessionManager::in_memory();
+        reference.open("run", toy_spec(12, 7)).unwrap();
+        let mut reference_evals = Vec::new();
+        loop {
+            match reference.suggest("run").unwrap() {
+                Suggestion::Evaluate(cfg) => {
+                    let v = objective(&cfg);
+                    reference_evals.push((cfg, v));
+                    reference.report("run", v).unwrap();
+                }
+                Suggestion::Finished(_) => break,
+            }
+        }
+
+        // "Crash" after 5 rounds: drop the manager without closing.
+        {
+            let mgr = SessionManager::with_wal(config()).unwrap();
+            mgr.open("run", toy_spec(12, 7)).unwrap();
+            drive_rounds(&mgr, "run", 5);
+        }
+
+        // Recover and finish; the tail must match the reference exactly.
+        let mgr = SessionManager::with_wal(config()).unwrap();
+        let (recovered, skipped) = mgr.recover_all().unwrap();
+        assert_eq!(recovered, vec!["run".to_string()]);
+        assert!(skipped.is_empty());
+        assert_eq!(mgr.stats("run").unwrap().replayed, 5);
+        let mut tail = Vec::new();
+        loop {
+            match mgr.suggest("run").unwrap() {
+                Suggestion::Evaluate(cfg) => {
+                    let v = objective(&cfg);
+                    tail.push((cfg, v));
+                    mgr.report("run", v).unwrap();
+                }
+                Suggestion::Finished(_) => break,
+            }
+        }
+        assert_eq!(&reference_evals[5..], &tail[..]);
+        assert!(mgr.close("run").unwrap().is_some());
+        let appends = mgr.metrics().wal_appends.get();
+        assert!(appends > 0, "appends must flow through the group committer");
+
+        // A closed session refuses recovery, exactly like a closed
+        // journal file.
+        let late = SessionManager::with_wal(config()).unwrap();
+        assert!(matches!(late.recover("run"), Err(ServiceError::Journal(_))));
+        let (recovered, skipped) = late.recover_all().unwrap();
+        assert!(recovered.is_empty());
+        assert_eq!(skipped.len(), 1);
+        drop(late);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn wal_mode_flush_and_gauges() {
+        let dir = temp_dir("wal-gauges");
+        let mut config = WalConfig::new(&dir);
+        config.flush_window = Duration::ZERO;
+        config.durability = Durability::Buffered;
+        let mgr = SessionManager::with_wal(config).unwrap();
+        assert!(mgr.has_persistence());
+        assert!(mgr.journal_dir().is_none());
+        mgr.open("run", toy_spec(6, 3)).unwrap();
+        drive_rounds(&mgr, "run", 6);
+        mgr.flush_persistence().unwrap();
+        mgr.refresh_wal_gauges();
+        let snapshot = mgr.metrics().snapshot();
+        assert!(snapshot.counters.contains_key("wal_segments_sealed"));
+        assert!(snapshot.counters.contains_key("wal_active_segment_bytes"));
+        assert!(snapshot.counters["wal_appends"] > 0);
+        assert!(
+            snapshot.counters["wal_fsyncs"] > 0,
+            "flush_persistence syncs"
+        );
+        drop(mgr);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

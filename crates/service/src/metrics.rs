@@ -109,7 +109,15 @@ impl Histogram {
 
     /// Records one duration.
     pub fn observe(&self, d: Duration) {
-        let secs = d.as_secs_f64();
+        self.observe_value(d.as_secs_f64());
+    }
+
+    /// Records one dimensionless observation (a batch size, a queue
+    /// depth). The bucket bounds then read in that unit rather than
+    /// seconds, and the snapshot's `sum_seconds` is the plain sum of
+    /// observed values.
+    pub fn observe_value(&self, value: f64) {
+        let secs = value;
         let idx = self
             .bounds
             .iter()
@@ -117,7 +125,7 @@ impl Histogram {
             .unwrap_or(self.bounds.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
-        let nanos = d.as_nanos() as u64;
+        let nanos = (secs * 1e9) as u64;
         self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
         if nanos > self.exemplar_worst[idx].load(Ordering::Relaxed) {
             crate::log::with_current_rid(|rid| {
@@ -192,6 +200,31 @@ impl Histogram {
 impl Default for Histogram {
     fn default() -> Self {
         Self::latency()
+    }
+}
+
+/// Bucket upper bounds for group-commit batch sizes, in records per
+/// fsync: powers of two up to 128, `+Inf` above.
+pub const BATCH_SIZE_BOUNDS: [f64; 8] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0];
+
+/// A [`Histogram`] whose `Default` buckets by [`BATCH_SIZE_BOUNDS`]
+/// instead of latency decades, so `ServiceMetrics` can keep deriving
+/// `Default`. Derefs to the inner histogram — observe and snapshot
+/// exactly as usual.
+#[derive(Debug)]
+pub struct BatchSizeHistogram(Histogram);
+
+impl Default for BatchSizeHistogram {
+    fn default() -> Self {
+        BatchSizeHistogram(Histogram::with_bounds(&BATCH_SIZE_BOUNDS))
+    }
+}
+
+impl std::ops::Deref for BatchSizeHistogram {
+    type Target = Histogram;
+
+    fn deref(&self) -> &Histogram {
+        &self.0
     }
 }
 
@@ -392,6 +425,22 @@ pub struct ServiceMetrics {
     pub journal_append_seconds: Histogram,
     /// Trace-event batches appended to journals.
     pub journal_trace_batches: Counter,
+    /// Records appended through the shared WAL's group committer (all
+    /// registered writers: session logs and, when so opened, the kb).
+    pub wal_appends: Counter,
+    /// `fsync` calls the group committer issued. The headline ratio
+    /// `wal_appends / wal_fsyncs` is the group-commit amplification —
+    /// fsync-per-append journals pin it at 1.
+    pub wal_fsyncs: Counter,
+    /// Records per group-commit batch. Dimensionless: buckets read in
+    /// records, `sum` in total records (see
+    /// [`Histogram::observe_value`]).
+    pub wal_batch_records: BatchSizeHistogram,
+    /// Session checkpoints appended to the WAL (interval-due, forced,
+    /// and compaction-written alike).
+    pub checkpoints_total: Counter,
+    /// Sealed WAL segments reclaimed by compaction.
+    pub segments_compacted: Counter,
     /// Knowledge-base lookups that found usable evidence (an instant
     /// answer or a warm-start prior).
     pub kb_hits: Counter,
@@ -567,6 +616,14 @@ impl ServiceMetrics {
             "journal_trace_batches",
             &self.journal_trace_batches,
         );
+        c(&mut counters, "wal_appends", &self.wal_appends);
+        c(&mut counters, "wal_fsyncs", &self.wal_fsyncs);
+        c(&mut counters, "checkpoints_total", &self.checkpoints_total);
+        c(
+            &mut counters,
+            "segments_compacted",
+            &self.segments_compacted,
+        );
         c(&mut counters, "kb_hits", &self.kb_hits);
         c(&mut counters, "kb_misses", &self.kb_misses);
         c(
@@ -595,6 +652,7 @@ impl ServiceMetrics {
         snap_hist("engine_suggest_seconds", &self.engine_suggest_seconds);
         snap_hist("engine_report_seconds", &self.engine_report_seconds);
         snap_hist("journal_append_seconds", &self.journal_append_seconds);
+        snap_hist("wal_batch_records", &self.wal_batch_records);
         for (phase, hist) in self
             .search_phase_seconds
             .lock()

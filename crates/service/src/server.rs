@@ -200,6 +200,9 @@ pub struct TunedServer {
     config: ServerConfig,
     stop: Arc<AtomicBool>,
     conns: Arc<ConnTable>,
+    /// Kept so the drain path can flush the persistence layer after the
+    /// last handler exits.
+    manager: Arc<SessionManager>,
     accept_thread: Option<thread::JoinHandle<()>>,
     reaper_thread: Option<thread::JoinHandle<()>>,
     sampler_thread: Option<thread::JoinHandle<()>>,
@@ -282,6 +285,7 @@ impl TunedServer {
                         let mut next = Instant::now();
                         while !stop.load(Ordering::SeqCst) {
                             if Instant::now() >= next {
+                                manager.refresh_wal_gauges();
                                 manager
                                     .metrics()
                                     .sample_timeseries(crate::tsdb::unix_ms_now());
@@ -301,6 +305,7 @@ impl TunedServer {
             config,
             stop,
             conns,
+            manager,
             accept_thread: Some(accept_thread),
             reaper_thread,
             sampler_thread,
@@ -362,6 +367,10 @@ impl TunedServer {
                 }
             }
         }
+        // Every handler is done appending: push the persistence layer's
+        // buffered bytes to the platter so a clean drain loses nothing
+        // even under `Durability::Buffered`.
+        let _ = self.manager.flush_persistence();
     }
 }
 
@@ -712,10 +721,15 @@ fn dispatch(request: Request, manager: &SessionManager, config: &ServerConfig) -
         Request::Trace { name, .. } => manager
             .trace(&name)
             .map(|events| Response::Trace { events, rid: None }),
-        Request::Metrics { .. } => Ok(Response::Metrics {
-            metrics: manager.metrics().snapshot(),
-            rid: None,
-        }),
+        Request::Metrics { .. } => {
+            // Gauges are push-on-change; the WAL's levels (segment fill,
+            // checkpoint age) drift between changes, so refresh at scrape.
+            manager.refresh_wal_gauges();
+            Ok(Response::Metrics {
+                metrics: manager.metrics().snapshot(),
+                rid: None,
+            })
+        }
         Request::Timeseries { since_seq, .. } => {
             let store = manager.metrics().timeseries();
             Ok(Response::Timeseries {
@@ -785,6 +799,7 @@ fn dispatch(request: Request, manager: &SessionManager, config: &ServerConfig) -
 /// steals exemplars from a real `metrics` scrape.
 fn health_report(manager: &SessionManager, config: &ServerConfig) -> HealthReport {
     let metrics = manager.metrics();
+    manager.refresh_wal_gauges();
     let snapshot = metrics.peek_snapshot();
     let lifetime_requests = snapshot.counter("server_requests").unwrap_or(0);
     let lifetime_errors = snapshot.counter("server_request_errors").unwrap_or(0);

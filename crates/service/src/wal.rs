@@ -1,0 +1,1210 @@
+//! The shared write-ahead log: one group-committed log for every
+//! session.
+//!
+//! Per-session JSONL journals ([`crate::journal`]) pay one `flush` +
+//! `sync_data` per appended record per session — durable write
+//! throughput caps at roughly one session per disk flush. The [`Wal`]
+//! replaces that with a single shared log: appends from all sessions
+//! are framed, enqueued in arrival order, and batched by a
+//! [`GroupCommitter`] thread into **one** fsync per batch. Callers
+//! block only until the batch containing their record commits
+//! ([`Durability::Sync`]) or is handed to the OS
+//! ([`Durability::Buffered`]).
+//!
+//! # On-disk format
+//!
+//! The log is a directory of segments named `wal-<seq>.seg`. Each
+//! segment is a sequence of frames:
+//!
+//! ```text
+//! [len: u32 LE] [crc32: u32 LE over payload] [payload: `len` bytes]
+//! ```
+//!
+//! The payload is one JSON-serialized [`WalRecord`] — the same tagged
+//! vocabulary as the per-session journal, extended with the session
+//! name and a `checkpoint` record. Framing gives two things JSONL
+//! cannot: byte-exact torn-tail detection (a crash mid-append leaves a
+//! frame whose length or checksum does not verify) and corruption
+//! *rejection* (a flipped bit mid-file fails the CRC instead of
+//! possibly parsing).
+//!
+//! # Torn-tail forgiveness
+//!
+//! Replay applies frames in order. The first frame of the **last**
+//! segment that fails to verify — short header, impossible length, CRC
+//! mismatch, unparseable payload — ends replay silently and the file
+//! is truncated back to the last verified frame, exactly like the
+//! JSONL journal's dropped torn final line. A bad frame in any earlier
+//! (sealed) segment is real corruption and fails the open.
+//!
+//! # Checkpoints and compaction
+//!
+//! Every `checkpoint_interval` evals per session, the WAL appends a
+//! `checkpoint` record carrying the session's spec and its full
+//! confirmed evaluation history (sessions are deterministic, so that
+//! *is* the session). Replay treats a checkpoint as authoritative:
+//! recovery replays from the latest checkpoint plus the tail behind
+//! it, not a lifetime of records. When the active segment outgrows
+//! `segment_bytes` it is sealed and a fresh one opened; once enough
+//! sealed segments pile up, [`Wal::compact`] rotates, re-checkpoints
+//! every live session into the fresh segment, syncs it, and deletes
+//! everything older — records superseded by checkpoints (and closed
+//! sessions' whole histories) are dropped.
+//!
+//! # Ordering
+//!
+//! All mutations serialize their in-memory image update *and* their
+//! committer enqueue under one WAL lock ([`GroupCommitter`] enqueues
+//! never block on I/O), then wait for durability outside it. On-disk
+//! order therefore equals image order, which makes
+//! checkpoint-vs-append interleavings race-free by construction. The
+//! blocking waits from different sessions overlap — that is where the
+//! group commit wins.
+
+use crate::error::ServiceError;
+use crate::journal::JournalContents;
+use crate::metrics::ServiceMetrics;
+use crate::spec::SessionSpec;
+use autotune_core::commit::{GroupCommitter, WriterHandle};
+use autotune_core::trace::TraceEvent;
+use autotune_core::Evaluation;
+use autotune_space::Configuration;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fs::{File, OpenOptions};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub use autotune_core::trace::Durability;
+
+/// Upper bound on one frame's payload. Real records are a few hundred
+/// bytes (checkpoints a few hundred KiB at worst); anything claiming
+/// more is a torn or corrupt length field.
+pub const MAX_FRAME_BYTES: usize = 16 * 1024 * 1024;
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320). Bitwise — the WAL
+/// checksums a few hundred bytes per record, so a lookup table would
+/// buy nothing measurable against the adjacent write syscall.
+fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in bytes {
+        crc ^= u32::from(byte);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// Frames one payload: length, checksum, bytes.
+fn encode_frame(payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(payload.len() + 8);
+    frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    frame.extend_from_slice(&crc32(payload).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// One record of the shared log. The tag vocabulary extends the
+/// per-session journal's ([`crate::journal::Record`]) with the session
+/// name on every record (many sessions share the log) and the
+/// `checkpoint` variant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "event", rename_all = "snake_case")]
+pub enum WalRecord {
+    /// A session opened: its identity and deterministic blueprint.
+    Open {
+        /// The session's registered name.
+        session: String,
+        /// The spec the session was opened with.
+        spec: SessionSpec,
+    },
+    /// One reported measurement, write-ahead of the engine.
+    Eval {
+        /// The owning session.
+        session: String,
+        /// The measured configuration.
+        config: Configuration,
+        /// The reported cost.
+        value: f64,
+        /// The client-chosen correlation id in scope at append time
+        /// (server-derived ids are excluded, mirroring the journal).
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
+    },
+    /// A drained batch of search-trace events (informational; replay
+    /// regenerates traces deterministically).
+    Trace {
+        /// The owning session.
+        session: String,
+        /// The drained events, in emission order.
+        events: Vec<TraceEvent>,
+    },
+    /// The session was closed deliberately; its log is final.
+    Close {
+        /// The owning session.
+        session: String,
+        /// `true` when the budget was spent before closing.
+        finished: bool,
+    },
+    /// Authoritative full state of one session: spec plus every
+    /// confirmed evaluation. Replay restarts the session's image from
+    /// here, superseding all earlier records.
+    Checkpoint {
+        /// The owning session.
+        session: String,
+        /// The spec to rebuild the session from.
+        spec: SessionSpec,
+        /// All confirmed evaluations, in report order.
+        evals: Vec<Evaluation>,
+    },
+}
+
+/// Tuning knobs of one [`Wal`].
+#[derive(Debug, Clone)]
+pub struct WalConfig {
+    /// Directory holding the segments (created if missing).
+    pub dir: PathBuf,
+    /// Whether appends wait for `sync_data` (default
+    /// [`Durability::Sync`]) or only for the write to reach the OS.
+    pub durability: Durability,
+    /// Seal the active segment once it exceeds this many bytes.
+    pub segment_bytes: u64,
+    /// Append a per-session checkpoint every this many evals.
+    pub checkpoint_interval: usize,
+    /// How long the committer lingers after a batch's first arrival so
+    /// concurrent appends can join it.
+    pub flush_window: Duration,
+    /// Compact (checkpoint-all + drop old segments) once this many
+    /// sealed segments accumulate.
+    pub max_sealed_segments: usize,
+}
+
+impl WalConfig {
+    /// Defaults for `dir`: sync durability, 8 MiB segments, a
+    /// checkpoint every 64 evals, a 500 µs flush window, compaction at
+    /// 4 sealed segments.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        WalConfig {
+            dir: dir.into(),
+            durability: Durability::Sync,
+            segment_bytes: 8 * 1024 * 1024,
+            checkpoint_interval: 64,
+            flush_window: Duration::from_micros(500),
+            max_sealed_segments: 4,
+        }
+    }
+}
+
+/// Point-in-time shape of one [`Wal`], for gauges and dashboards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WalStats {
+    /// Sealed (read-only) segments awaiting compaction.
+    pub sealed_segments: usize,
+    /// Bytes staged into the active segment.
+    pub active_segment_bytes: u64,
+    /// Sessions the log currently knows (live images).
+    pub live_sessions: usize,
+    /// Sessions marked closed but not yet dropped by compaction.
+    pub closed_sessions: usize,
+    /// Time since the last checkpoint was appended, if any was.
+    pub checkpoint_age: Option<Duration>,
+}
+
+/// In-memory image of one session, mirrored from everything appended.
+/// Recovery reads these; checkpoints serialize them.
+#[derive(Debug, Clone)]
+struct SessionImage {
+    spec: SessionSpec,
+    evals: Vec<Evaluation>,
+    traces: Vec<TraceEvent>,
+    closed: bool,
+    evals_since_checkpoint: usize,
+}
+
+struct WalState {
+    sessions: HashMap<String, SessionImage>,
+    /// Sequence number of the active segment.
+    active_seq: u64,
+    /// Bytes staged (enqueued) into the active segment.
+    active_bytes: u64,
+    /// Sealed segments, oldest first: (seq, path).
+    sealed: Vec<(u64, PathBuf)>,
+}
+
+/// The shared group-commit write-ahead log. One per
+/// [`SessionManager`](crate::SessionManager); all sessions (and, when
+/// so opened, the knowledge base) append through it.
+pub struct Wal {
+    config: WalConfig,
+    committer: GroupCommitter,
+    handle: WriterHandle,
+    state: Mutex<WalState>,
+    metrics: Option<Arc<ServiceMetrics>>,
+    last_checkpoint: Mutex<Option<Instant>>,
+}
+
+impl std::fmt::Debug for Wal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Wal")
+            .field("dir", &self.config.dir)
+            .field("stats", &self.stats())
+            .finish()
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:06}.seg"))
+}
+
+/// Why frame verification stopped.
+enum FrameHalt {
+    /// Clean end of segment.
+    End,
+    /// Torn or corrupt bytes starting at this offset.
+    Bad(usize, String),
+}
+
+impl Wal {
+    /// Opens (creating if missing) the log under `config.dir`,
+    /// replaying every segment into per-session images. A torn tail on
+    /// the last segment is truncated away; corruption anywhere else
+    /// fails with [`ServiceError::Journal`]. Pass the manager's
+    /// metrics registry to get `wal_*` instruments for free.
+    pub fn open(
+        config: WalConfig,
+        metrics: Option<Arc<ServiceMetrics>>,
+    ) -> Result<Self, ServiceError> {
+        std::fs::create_dir_all(&config.dir)?;
+        let mut segments: Vec<(u64, PathBuf)> = Vec::new();
+        for entry in std::fs::read_dir(&config.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("seg") {
+                continue;
+            }
+            let Some(seq) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| s.strip_prefix("wal-"))
+                .and_then(|s| s.parse::<u64>().ok())
+            else {
+                continue;
+            };
+            segments.push((seq, path));
+        }
+        segments.sort();
+        let mut sessions: HashMap<String, SessionImage> = HashMap::new();
+        for (i, (seq, path)) in segments.iter().enumerate() {
+            let is_last = i == segments.len() - 1;
+            let data = std::fs::read(path)?;
+            let mut offset = 0usize;
+            let halt = loop {
+                match verify_frame(&data, offset) {
+                    Ok(None) => break FrameHalt::End,
+                    Ok(Some((payload, next))) => {
+                        let record: WalRecord = match serde_json::from_slice(payload) {
+                            Ok(r) => r,
+                            Err(e) => break FrameHalt::Bad(offset, format!("bad payload: {e}")),
+                        };
+                        // A frame that verified but violates session
+                        // structure is corruption wherever it sits —
+                        // same rule as the JSONL journal's
+                        // record-after-close error.
+                        apply_record(&mut sessions, record, *seq, offset)?;
+                        offset = next;
+                    }
+                    Err(reason) => break FrameHalt::Bad(offset, reason),
+                }
+            };
+            if let FrameHalt::Bad(valid_prefix, reason) = halt {
+                if !is_last {
+                    return Err(ServiceError::Journal(format!(
+                        "wal segment {seq} corrupt at byte {valid_prefix}: {reason}"
+                    )));
+                }
+                // Torn tail: forget the unfinished bytes so appends
+                // resume from the last verified frame.
+                OpenOptions::new()
+                    .write(true)
+                    .open(path)?
+                    .set_len(valid_prefix as u64)?;
+            }
+        }
+        let (active_seq, sealed) = match segments.last() {
+            Some((seq, _)) => {
+                let mut sealed = segments.clone();
+                sealed.pop();
+                (*seq, sealed)
+            }
+            None => (1, Vec::new()),
+        };
+        let active_path = segment_path(&config.dir, active_seq);
+        let active_file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&active_path)?;
+        let active_bytes = active_file.metadata()?.len();
+        let committer = GroupCommitter::spawn(config.flush_window);
+        if let Some(metrics) = &metrics {
+            let metrics = Arc::clone(metrics);
+            committer.set_batch_observer(move |batch| {
+                metrics.wal_appends.add(batch.records as u64);
+                metrics.wal_fsyncs.add(batch.fsyncs as u64);
+                // Record-free batches (pure sync barriers) would skew
+                // the batch-size distribution toward zero.
+                if batch.records > 0 {
+                    metrics
+                        .wal_batch_records
+                        .observe_value(batch.records as f64);
+                }
+            });
+        }
+        let handle = committer.register(active_file, config.durability);
+        Ok(Wal {
+            config,
+            committer,
+            handle,
+            state: Mutex::new(WalState {
+                sessions,
+                active_seq,
+                active_bytes,
+                sealed,
+            }),
+            metrics,
+            last_checkpoint: Mutex::new(None),
+        })
+    }
+
+    /// The log's directory.
+    pub fn dir(&self) -> &Path {
+        &self.config.dir
+    }
+
+    /// The durability mode appends commit under.
+    pub fn durability(&self) -> Durability {
+        self.config.durability
+    }
+
+    /// The shared committer, so other writers (the knowledge-base
+    /// store) can register their files and ride the same group-commit
+    /// batches.
+    pub fn committer(&self) -> &GroupCommitter {
+        &self.committer
+    }
+
+    /// The active segment's path (the file currently receiving
+    /// appends).
+    pub fn active_segment_path(&self) -> PathBuf {
+        segment_path(&self.config.dir, self.state.lock().active_seq)
+    }
+
+    /// Point-in-time shape for gauges.
+    pub fn stats(&self) -> WalStats {
+        let state = self.state.lock();
+        let (live, closed) =
+            state.sessions.values().fold(
+                (0, 0),
+                |(l, c), s| if s.closed { (l, c + 1) } else { (l + 1, c) },
+            );
+        WalStats {
+            sealed_segments: state.sealed.len(),
+            active_segment_bytes: state.active_bytes,
+            live_sessions: live,
+            closed_sessions: closed,
+            checkpoint_age: self.last_checkpoint.lock().map(|at| at.elapsed()),
+        }
+    }
+
+    /// Seals the active segment and stages a fresh one. Caller holds
+    /// the state lock. Returns `true` when compaction is now due.
+    fn rotate_locked(&self, state: &mut WalState) -> Result<bool, ServiceError> {
+        let old_path = segment_path(&self.config.dir, state.active_seq);
+        let new_seq = state.active_seq + 1;
+        let new_file = File::create(segment_path(&self.config.dir, new_seq))?;
+        // A sealed segment must be durable before appends move past it
+        // — otherwise compaction could delete records that never hit
+        // the platter.
+        self.handle.enqueue_swap(new_file, true)?;
+        state.sealed.push((state.active_seq, old_path));
+        state.active_seq = new_seq;
+        state.active_bytes = 0;
+        Ok(state.sealed.len() > self.config.max_sealed_segments)
+    }
+
+    /// Stages `frame` into the active segment, rotating first when it
+    /// would overflow. Caller holds the state lock. Returns whether
+    /// compaction is due.
+    fn stage_locked(&self, state: &mut WalState, frame: &[u8]) -> Result<bool, ServiceError> {
+        let mut compact_due = false;
+        if state.active_bytes > 0
+            && state.active_bytes + frame.len() as u64 > self.config.segment_bytes
+        {
+            compact_due = self.rotate_locked(state)?;
+        }
+        state.active_bytes += frame.len() as u64;
+        Ok(compact_due)
+    }
+
+    /// Registers a session and appends its `open` record. An existing
+    /// image under the same name is superseded — the WAL analogue of
+    /// the JSONL journal's create-truncates semantics.
+    pub fn open_session(&self, name: &str, spec: &SessionSpec) -> Result<(), ServiceError> {
+        let payload = serde_json::to_vec(&WalRecord::Open {
+            session: name.to_string(),
+            spec: spec.clone(),
+        })?;
+        let frame = encode_frame(&payload);
+        let ticket = {
+            let mut state = self.state.lock();
+            self.stage_locked(&mut state, &frame)?;
+            state.sessions.insert(
+                name.to_string(),
+                SessionImage {
+                    spec: spec.clone(),
+                    evals: Vec::new(),
+                    traces: Vec::new(),
+                    closed: false,
+                    evals_since_checkpoint: 0,
+                },
+            );
+            self.handle.enqueue(&frame)?
+        };
+        self.handle.wait(ticket)?;
+        Ok(())
+    }
+
+    /// Appends one eval record write-ahead of the engine, plus a
+    /// checkpoint when the session's interval comes due. Rejects
+    /// non-finite values before anything is staged (they could never
+    /// replay). Returns only after the record is committed under the
+    /// configured durability.
+    pub fn append_eval(
+        &self,
+        name: &str,
+        config: &Configuration,
+        value: f64,
+        rid: Option<String>,
+    ) -> Result<(), ServiceError> {
+        if !value.is_finite() {
+            return Err(ServiceError::NonFiniteValue);
+        }
+        let payload = serde_json::to_vec(&WalRecord::Eval {
+            session: name.to_string(),
+            config: config.clone(),
+            value,
+            rid,
+        })?;
+        let mut frames = encode_frame(&payload);
+        let (ticket, wrote_checkpoint, compact_due) = {
+            let mut state = self.state.lock();
+            let image = state
+                .sessions
+                .get_mut(name)
+                .ok_or_else(|| ServiceError::Journal(format!("no wal session {name:?}")))?;
+            if image.closed {
+                return Err(ServiceError::Journal(format!(
+                    "session {name:?} was closed; its log is final"
+                )));
+            }
+            image.evals.push(Evaluation {
+                config: config.clone(),
+                value,
+            });
+            image.evals_since_checkpoint += 1;
+            let mut wrote_checkpoint = false;
+            if image.evals_since_checkpoint >= self.config.checkpoint_interval {
+                let checkpoint = serde_json::to_vec(&WalRecord::Checkpoint {
+                    session: name.to_string(),
+                    spec: image.spec.clone(),
+                    evals: image.evals.clone(),
+                })?;
+                frames.extend_from_slice(&encode_frame(&checkpoint));
+                image.evals_since_checkpoint = 0;
+                wrote_checkpoint = true;
+            }
+            let compact_due = self.stage_locked(&mut state, &frames)?;
+            (self.handle.enqueue(&frames)?, wrote_checkpoint, compact_due)
+        };
+        match self.handle.wait(ticket) {
+            Ok(()) => {}
+            Err(e) => {
+                // The image must not claim an eval the disk never got:
+                // a same-process recovery would replay one report the
+                // engine never confirmed.
+                let mut state = self.state.lock();
+                if let Some(image) = state.sessions.get_mut(name) {
+                    image.evals.pop();
+                    image.evals_since_checkpoint = image.evals_since_checkpoint.saturating_sub(1);
+                }
+                return Err(ServiceError::Journal(format!("wal append failed: {e}")));
+            }
+        }
+        if wrote_checkpoint {
+            *self.last_checkpoint.lock() = Some(Instant::now());
+            if let Some(metrics) = &self.metrics {
+                metrics.checkpoints_total.inc();
+            }
+        }
+        if compact_due {
+            // Opportunistic: a failed compaction leaves sealed
+            // segments on disk (safe, just un-reclaimed) and must not
+            // fail the report that triggered it.
+            let _ = self.compact();
+        }
+        Ok(())
+    }
+
+    /// Appends a drained trace batch. No-op when empty.
+    pub fn append_trace(&self, name: &str, events: Vec<TraceEvent>) -> Result<(), ServiceError> {
+        if events.is_empty() {
+            return Ok(());
+        }
+        let payload = serde_json::to_vec(&WalRecord::Trace {
+            session: name.to_string(),
+            events: events.clone(),
+        })?;
+        let frame = encode_frame(&payload);
+        let ticket = {
+            let mut state = self.state.lock();
+            let image = state
+                .sessions
+                .get_mut(name)
+                .ok_or_else(|| ServiceError::Journal(format!("no wal session {name:?}")))?;
+            if image.closed {
+                return Err(ServiceError::Journal(format!(
+                    "session {name:?} was closed; its log is final"
+                )));
+            }
+            image.traces.extend(events);
+            self.stage_locked(&mut state, &frame)?;
+            self.handle.enqueue(&frame)?
+        };
+        self.handle
+            .wait(ticket)
+            .map_err(|e| ServiceError::Journal(format!("wal append failed: {e}")))
+    }
+
+    /// Appends the terminal `close` record; the session's log is final
+    /// and its history will be dropped at the next compaction.
+    pub fn append_close(&self, name: &str, finished: bool) -> Result<(), ServiceError> {
+        let payload = serde_json::to_vec(&WalRecord::Close {
+            session: name.to_string(),
+            finished,
+        })?;
+        let frame = encode_frame(&payload);
+        let ticket = {
+            let mut state = self.state.lock();
+            let image = state
+                .sessions
+                .get_mut(name)
+                .ok_or_else(|| ServiceError::Journal(format!("no wal session {name:?}")))?;
+            if image.closed {
+                return Err(ServiceError::Journal(format!(
+                    "session {name:?} was closed; its log is final"
+                )));
+            }
+            image.closed = true;
+            self.stage_locked(&mut state, &frame)?;
+            self.handle.enqueue(&frame)?
+        };
+        self.handle
+            .wait(ticket)
+            .map_err(|e| ServiceError::Journal(format!("wal append failed: {e}")))
+    }
+
+    /// Everything the log knows about one session, in the shape the
+    /// per-session journal loader returns — recovery code upstream
+    /// cannot tell the backends apart.
+    pub fn recover_session(&self, name: &str) -> Result<JournalContents, ServiceError> {
+        let state = self.state.lock();
+        let image = state
+            .sessions
+            .get(name)
+            .ok_or_else(|| ServiceError::Journal(format!("no wal record of session {name:?}")))?;
+        Ok(JournalContents {
+            name: name.to_string(),
+            spec: image.spec.clone(),
+            evals: image.evals.clone(),
+            traces: image.traces.clone(),
+            closed: image.closed,
+        })
+    }
+
+    /// Names of every session the log knows (including closed ones not
+    /// yet dropped by compaction), sorted.
+    pub fn session_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.state.lock().sessions.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Forces a checkpoint of one live session.
+    pub fn checkpoint(&self, name: &str) -> Result<(), ServiceError> {
+        let ticket = {
+            let mut state = self.state.lock();
+            let image = state
+                .sessions
+                .get_mut(name)
+                .ok_or_else(|| ServiceError::Journal(format!("no wal session {name:?}")))?;
+            let payload = serde_json::to_vec(&WalRecord::Checkpoint {
+                session: name.to_string(),
+                spec: image.spec.clone(),
+                evals: image.evals.clone(),
+            })?;
+            image.evals_since_checkpoint = 0;
+            let frame = encode_frame(&payload);
+            self.stage_locked(&mut state, &frame)?;
+            self.handle.enqueue(&frame)?
+        };
+        self.handle
+            .wait(ticket)
+            .map_err(|e| ServiceError::Journal(format!("wal append failed: {e}")))?;
+        *self.last_checkpoint.lock() = Some(Instant::now());
+        if let Some(metrics) = &self.metrics {
+            metrics.checkpoints_total.inc();
+        }
+        Ok(())
+    }
+
+    /// Compacts the log: seals the active segment, writes a fresh
+    /// checkpoint of every live session into a new one, syncs it, and
+    /// deletes every older segment. Closed sessions' histories are
+    /// dropped entirely — their records are superseded by the close.
+    /// Returns how many segments were reclaimed.
+    pub fn compact(&self) -> Result<usize, ServiceError> {
+        let (ticket, doomed, checkpoints) = {
+            let mut state = self.state.lock();
+            if state.sealed.is_empty() && state.active_bytes == 0 {
+                return Ok(0);
+            }
+            // Seal whatever the active segment holds so the fresh
+            // segment starts with checkpoints — no session's records
+            // may precede its checkpoint in the surviving segment.
+            self.rotate_locked(&mut state)?;
+            let mut frames = Vec::new();
+            let mut checkpoints = 0usize;
+            let mut names: Vec<String> = state.sessions.keys().cloned().collect();
+            names.sort();
+            for name in names {
+                let image = state.sessions.get_mut(&name).expect("key just listed");
+                if image.closed {
+                    continue;
+                }
+                let payload = serde_json::to_vec(&WalRecord::Checkpoint {
+                    session: name.clone(),
+                    spec: image.spec.clone(),
+                    evals: image.evals.clone(),
+                })?;
+                image.evals_since_checkpoint = 0;
+                frames.extend_from_slice(&encode_frame(&payload));
+                checkpoints += 1;
+            }
+            state.sessions.retain(|_, image| !image.closed);
+            state.active_bytes += frames.len() as u64;
+            let doomed = std::mem::take(&mut state.sealed);
+            let ticket = self.handle.enqueue(&frames)?;
+            (ticket, doomed, checkpoints)
+        };
+        self.handle
+            .wait(ticket)
+            .map_err(|e| ServiceError::Journal(format!("wal compaction append failed: {e}")))?;
+        // Barrier: the checkpoints must be on the platter before the
+        // records they supersede disappear.
+        self.handle
+            .sync()
+            .map_err(|e| ServiceError::Journal(format!("wal compaction sync failed: {e}")))?;
+        for (_, path) in &doomed {
+            let _ = std::fs::remove_file(path);
+        }
+        if let Some(metrics) = &self.metrics {
+            metrics.segments_compacted.add(doomed.len() as u64);
+            metrics.checkpoints_total.add(checkpoints as u64);
+        }
+        if checkpoints > 0 {
+            *self.last_checkpoint.lock() = Some(Instant::now());
+        }
+        Ok(doomed.len())
+    }
+
+    /// Barrier: blocks until everything appended so far is written and
+    /// synced, regardless of durability mode. The graceful-drain path.
+    pub fn sync(&self) -> Result<(), ServiceError> {
+        self.handle
+            .sync()
+            .map_err(|e| ServiceError::Journal(format!("wal sync failed: {e}")))
+    }
+
+    /// A per-session append facade over this log, for the
+    /// [`SessionLog`](crate::journal::SessionLog) enum.
+    pub fn session_log(self: &Arc<Self>, name: &str) -> WalSessionLog {
+        WalSessionLog {
+            wal: Arc::clone(self),
+            name: name.to_string(),
+        }
+    }
+}
+
+/// One session's append handle into the shared [`Wal`] — the WAL
+/// backend of [`SessionLog`](crate::journal::SessionLog).
+#[derive(Debug, Clone)]
+pub struct WalSessionLog {
+    wal: Arc<Wal>,
+    name: String,
+}
+
+impl WalSessionLog {
+    /// The owning session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Appends one eval record (write-ahead), tagging it with the
+    /// client-chosen correlation id in scope, exactly like
+    /// [`JournalWriter::append_eval`](crate::journal::JournalWriter::append_eval).
+    pub fn append_eval(&self, config: &Configuration, value: f64) -> Result<(), ServiceError> {
+        self.wal.append_eval(
+            &self.name,
+            config,
+            value,
+            crate::log::current_explicit_rid(),
+        )
+    }
+
+    /// Appends a drained trace batch.
+    pub fn append_trace(&self, events: Vec<TraceEvent>) -> Result<(), ServiceError> {
+        self.wal.append_trace(&self.name, events)
+    }
+
+    /// Appends the terminal close record.
+    pub fn append_close(&self, finished: bool) -> Result<(), ServiceError> {
+        self.wal.append_close(&self.name, finished)
+    }
+}
+
+/// Verifies the frame at `offset`. `Ok(None)` is a clean end,
+/// `Ok(Some((payload, next_offset)))` a verified frame, `Err(reason)`
+/// torn or corrupt bytes.
+fn verify_frame(data: &[u8], offset: usize) -> Result<Option<(&[u8], usize)>, String> {
+    if offset == data.len() {
+        return Ok(None);
+    }
+    if data.len() - offset < 8 {
+        return Err("short frame header".into());
+    }
+    let len = u32::from_le_bytes(data[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+    if len == 0 || len > MAX_FRAME_BYTES {
+        return Err(format!("impossible frame length {len}"));
+    }
+    if data.len() - offset - 8 < len {
+        return Err("short frame payload".into());
+    }
+    let stored_crc = u32::from_le_bytes(data[offset + 4..offset + 8].try_into().expect("4 bytes"));
+    let payload = &data[offset + 8..offset + 8 + len];
+    if crc32(payload) != stored_crc {
+        return Err("checksum mismatch".into());
+    }
+    Ok(Some((payload, offset + 8 + len)))
+}
+
+/// Applies one verified record to the replay images. Structural
+/// violations (records for unknown sessions, records after close) are
+/// corruption errors, mirroring the JSONL loader.
+fn apply_record(
+    sessions: &mut HashMap<String, SessionImage>,
+    record: WalRecord,
+    seq: u64,
+    offset: usize,
+) -> Result<(), ServiceError> {
+    let structural = |name: &str, what: &str| {
+        ServiceError::Journal(format!(
+            "wal segment {seq} byte {offset}: {what} for session {name:?}"
+        ))
+    };
+    match record {
+        WalRecord::Open { session, spec } => {
+            sessions.insert(
+                session,
+                SessionImage {
+                    spec,
+                    evals: Vec::new(),
+                    traces: Vec::new(),
+                    closed: false,
+                    evals_since_checkpoint: 0,
+                },
+            );
+        }
+        WalRecord::Checkpoint {
+            session,
+            spec,
+            evals,
+        } => {
+            sessions.insert(
+                session,
+                SessionImage {
+                    spec,
+                    evals,
+                    traces: Vec::new(),
+                    closed: false,
+                    evals_since_checkpoint: 0,
+                },
+            );
+        }
+        WalRecord::Eval {
+            session,
+            config,
+            value,
+            ..
+        } => match sessions.get_mut(&session) {
+            Some(image) if image.closed => return Err(structural(&session, "record after close")),
+            Some(image) => image.evals.push(Evaluation { config, value }),
+            None => return Err(structural(&session, "eval without open")),
+        },
+        WalRecord::Trace { session, events } => match sessions.get_mut(&session) {
+            Some(image) if image.closed => return Err(structural(&session, "record after close")),
+            Some(image) => image.traces.extend(events),
+            None => return Err(structural(&session, "trace without open")),
+        },
+        WalRecord::Close { session, .. } => match sessions.get_mut(&session) {
+            Some(image) if image.closed => return Err(structural(&session, "record after close")),
+            Some(image) => image.closed = true,
+            None => return Err(structural(&session, "close without open")),
+        },
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autotune_core::Algorithm;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        static COUNTER: AtomicUsize = AtomicUsize::new(0);
+        let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!(
+            "autotune-wal-test-{}-{tag}-{n}",
+            std::process::id()
+        ))
+    }
+
+    fn spec() -> SessionSpec {
+        SessionSpec::imagecl(Algorithm::RandomSearch, 8, 42)
+    }
+
+    fn cfg(seed: u64) -> Configuration {
+        Configuration::new(vec![seed as u32 % 7 + 1, 2, 3, 4, 5, 6])
+    }
+
+    fn test_config(dir: &Path) -> WalConfig {
+        let mut config = WalConfig::new(dir);
+        config.flush_window = Duration::ZERO;
+        config
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 check value for "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn open_eval_close_round_trips_across_reopen() {
+        let dir = temp_dir("roundtrip");
+        {
+            let wal = Wal::open(test_config(&dir), None).unwrap();
+            wal.open_session("s1", &spec()).unwrap();
+            wal.append_eval("s1", &cfg(1), 1.5, None).unwrap();
+            wal.append_eval("s1", &cfg(2), 2.5, Some("deploy-1".into()))
+                .unwrap();
+        }
+        let wal = Wal::open(test_config(&dir), None).unwrap();
+        let contents = wal.recover_session("s1").unwrap();
+        assert_eq!(contents.name, "s1");
+        assert_eq!(contents.spec, spec());
+        assert_eq!(contents.evals.len(), 2);
+        assert_eq!(contents.evals[1].value, 2.5);
+        assert!(!contents.closed);
+        wal.append_close("s1", false).unwrap();
+        drop(wal);
+        let wal = Wal::open(test_config(&dir), None).unwrap();
+        assert!(wal.recover_session("s1").unwrap().closed);
+        // A closed log is final: further appends are refused.
+        assert!(matches!(
+            wal.append_eval("s1", &cfg(3), 3.0, None),
+            Err(ServiceError::Journal(_))
+        ));
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sessions_do_not_bleed_into_each_other() {
+        let dir = temp_dir("bleed");
+        {
+            let wal = Wal::open(test_config(&dir), None).unwrap();
+            wal.open_session("a", &spec()).unwrap();
+            wal.open_session("b", &spec()).unwrap();
+            wal.append_eval("a", &cfg(1), 1.0, None).unwrap();
+            wal.append_eval("b", &cfg(2), 2.0, None).unwrap();
+            wal.append_eval("a", &cfg(3), 3.0, None).unwrap();
+        }
+        let wal = Wal::open(test_config(&dir), None).unwrap();
+        let a = wal.recover_session("a").unwrap();
+        let b = wal.recover_session("b").unwrap();
+        assert_eq!(
+            a.evals.iter().map(|e| e.value).collect::<Vec<_>>(),
+            vec![1.0, 3.0]
+        );
+        assert_eq!(
+            b.evals.iter().map(|e| e.value).collect::<Vec<_>>(),
+            vec![2.0]
+        );
+        assert_eq!(wal.session_names(), vec!["a".to_string(), "b".to_string()]);
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_forgiven() {
+        let dir = temp_dir("torn");
+        let active = {
+            let wal = Wal::open(test_config(&dir), None).unwrap();
+            wal.open_session("s", &spec()).unwrap();
+            wal.append_eval("s", &cfg(1), 1.0, None).unwrap();
+            wal.active_segment_path()
+        };
+        // A crash mid-append: half a frame header.
+        let mut data = std::fs::read(&active).unwrap();
+        let intact = data.len();
+        data.extend_from_slice(&[0x20, 0x00]);
+        std::fs::write(&active, &data).unwrap();
+        let wal = Wal::open(test_config(&dir), None).unwrap();
+        let contents = wal.recover_session("s").unwrap();
+        assert_eq!(contents.evals.len(), 1);
+        // The torn bytes are gone; new appends continue cleanly.
+        assert_eq!(std::fs::metadata(&active).unwrap().len(), intact as u64);
+        wal.append_eval("s", &cfg(2), 2.0, None).unwrap();
+        drop(wal);
+        let wal = Wal::open(test_config(&dir), None).unwrap();
+        assert_eq!(wal.recover_session("s").unwrap().evals.len(), 2);
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_sealed_segment_is_an_error() {
+        let dir = temp_dir("sealed-corrupt");
+        let first_segment = {
+            let mut config = test_config(&dir);
+            config.segment_bytes = 256; // force rotation quickly
+            config.max_sealed_segments = 100; // but no compaction
+            let wal = Wal::open(config, None).unwrap();
+            wal.open_session("s", &spec()).unwrap();
+            let first = wal.active_segment_path();
+            for i in 0..8 {
+                wal.append_eval("s", &cfg(i), i as f64, None).unwrap();
+            }
+            assert!(wal.stats().sealed_segments > 0, "rotation must have run");
+            first
+        };
+        // Flip one payload byte in the sealed first segment.
+        let mut data = std::fs::read(&first_segment).unwrap();
+        let mid = data.len() / 2;
+        data[mid] ^= 0xFF;
+        std::fs::write(&first_segment, &data).unwrap();
+        let mut config = test_config(&dir);
+        config.segment_bytes = 256;
+        config.max_sealed_segments = 100;
+        assert!(matches!(
+            Wal::open(config, None),
+            Err(ServiceError::Journal(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn checkpoints_supersede_history_on_replay() {
+        let dir = temp_dir("checkpoint");
+        {
+            let mut config = test_config(&dir);
+            config.checkpoint_interval = 3;
+            let wal = Wal::open(config, None).unwrap();
+            wal.open_session("s", &spec()).unwrap();
+            for i in 0..7 {
+                wal.append_eval("s", &cfg(i), i as f64, None).unwrap();
+            }
+        }
+        let wal = Wal::open(test_config(&dir), None).unwrap();
+        let contents = wal.recover_session("s").unwrap();
+        assert_eq!(
+            contents.evals.iter().map(|e| e.value).collect::<Vec<_>>(),
+            (0..7).map(|i| i as f64).collect::<Vec<_>>()
+        );
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn compaction_reclaims_segments_and_preserves_live_state() {
+        let dir = temp_dir("compact");
+        let mut config = test_config(&dir);
+        config.segment_bytes = 512;
+        config.max_sealed_segments = 100; // manual compaction only
+        let wal = Wal::open(config.clone(), None).unwrap();
+        wal.open_session("live", &spec()).unwrap();
+        wal.open_session("done", &spec()).unwrap();
+        for i in 0..12 {
+            wal.append_eval("live", &cfg(i), i as f64, None).unwrap();
+            wal.append_eval("done", &cfg(i), -(i as f64), None).unwrap();
+        }
+        wal.append_close("done", false).unwrap();
+        assert!(wal.stats().sealed_segments > 0);
+        let reclaimed = wal.compact().unwrap();
+        assert!(reclaimed > 0);
+        assert_eq!(wal.stats().sealed_segments, 0);
+        // Live state survives compaction in this process...
+        assert_eq!(wal.recover_session("live").unwrap().evals.len(), 12);
+        // ...and across a restart; the closed session's history is
+        // dropped (superseded by its close).
+        drop(wal);
+        let wal = Wal::open(config, None).unwrap();
+        let live = wal.recover_session("live").unwrap();
+        assert_eq!(live.evals.len(), 12);
+        assert_eq!(
+            live.evals.iter().map(|e| e.value).collect::<Vec<_>>(),
+            (0..12).map(|i| i as f64).collect::<Vec<_>>()
+        );
+        assert!(matches!(
+            wal.recover_session("done"),
+            Err(ServiceError::Journal(_))
+        ));
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_triggers_automatic_compaction() {
+        let dir = temp_dir("autocompact");
+        let mut config = test_config(&dir);
+        config.segment_bytes = 256;
+        config.max_sealed_segments = 2;
+        let wal = Wal::open(config, None).unwrap();
+        wal.open_session("s", &spec()).unwrap();
+        for i in 0..64 {
+            wal.append_eval("s", &cfg(i), i as f64, None).unwrap();
+        }
+        // However many rotations happened, compaction kept the sealed
+        // backlog bounded and the session intact.
+        assert!(wal.stats().sealed_segments <= 3);
+        assert_eq!(wal.recover_session("s").unwrap().evals.len(), 64);
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn non_finite_values_never_reach_the_log() {
+        let dir = temp_dir("nonfinite");
+        let wal = Wal::open(test_config(&dir), None).unwrap();
+        wal.open_session("s", &spec()).unwrap();
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(matches!(
+                wal.append_eval("s", &cfg(1), bad, None),
+                Err(ServiceError::NonFiniteValue)
+            ));
+        }
+        assert!(wal.recover_session("s").unwrap().evals.is_empty());
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn reopening_a_name_supersedes_the_old_session() {
+        let dir = temp_dir("reopen");
+        {
+            let wal = Wal::open(test_config(&dir), None).unwrap();
+            wal.open_session("s", &spec()).unwrap();
+            wal.append_eval("s", &cfg(1), 1.0, None).unwrap();
+            wal.append_close("s", false).unwrap();
+            wal.open_session("s", &spec()).unwrap();
+            wal.append_eval("s", &cfg(2), 9.0, None).unwrap();
+        }
+        let wal = Wal::open(test_config(&dir), None).unwrap();
+        let contents = wal.recover_session("s").unwrap();
+        assert!(!contents.closed);
+        assert_eq!(
+            contents.evals.iter().map(|e| e.value).collect::<Vec<_>>(),
+            vec![9.0]
+        );
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn concurrent_session_appends_survive_replay() {
+        let dir = temp_dir("concurrent");
+        let mut config = test_config(&dir);
+        config.flush_window = Duration::from_micros(200);
+        {
+            let wal = Arc::new(Wal::open(config, None).unwrap());
+            for t in 0..8 {
+                wal.open_session(&format!("s{t}"), &spec()).unwrap();
+            }
+            let threads: Vec<_> = (0..8)
+                .map(|t| {
+                    let wal = Arc::clone(&wal);
+                    std::thread::spawn(move || {
+                        let name = format!("s{t}");
+                        for i in 0..16 {
+                            wal.append_eval(&name, &cfg(i), (t * 100 + i) as f64, None)
+                                .unwrap();
+                        }
+                    })
+                })
+                .collect();
+            for t in threads {
+                t.join().unwrap();
+            }
+        }
+        let wal = Wal::open(test_config(&dir), None).unwrap();
+        for t in 0..8u64 {
+            let contents = wal.recover_session(&format!("s{t}")).unwrap();
+            assert_eq!(
+                contents.evals.iter().map(|e| e.value).collect::<Vec<_>>(),
+                (0..16).map(|i| (t * 100 + i) as f64).collect::<Vec<_>>(),
+                "session s{t} must replay its own appends in order"
+            );
+        }
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trace_batches_round_trip() {
+        use autotune_core::trace::TraceRecord;
+        let dir = temp_dir("trace");
+        {
+            let wal = Wal::open(test_config(&dir), None).unwrap();
+            wal.open_session("s", &spec()).unwrap();
+            wal.append_trace("s", Vec::new()).unwrap(); // no-op
+            wal.append_trace(
+                "s",
+                vec![TraceEvent {
+                    t_us: 10,
+                    record: TraceRecord::SpanBegin {
+                        name: "objective".into(),
+                    },
+                }],
+            )
+            .unwrap();
+        }
+        let wal = Wal::open(test_config(&dir), None).unwrap();
+        assert_eq!(wal.recover_session("s").unwrap().traces.len(), 1);
+        drop(wal);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Writer-lifecycle audit for [`Durability::Buffered`].
+//!
+//! Buffered durability trades the per-append fsync away, but it must
+//! never trade away the *flush*: every persistence writer — per-session
+//! journals (both the JSONL and WAL backends), the knowledge-base
+//! store, and the structured-log file sink — promises that an
+//! acknowledged record has at least reached the OS before the call
+//! returns. These tests pin that promise across every lifecycle edge
+//! where a lazy writer could sit on data: session close, parking by the
+//! residency governor, idle eviction, and the graceful drain. Each
+//! scenario reopens the files through a *fresh* reader (new manager or
+//! raw load), so anything stuck in a userspace buffer shows up as a
+//! missing record.
+
+use autotune_core::Algorithm;
+use autotune_service::log::read_log_file;
+use autotune_service::{
+    Durability, EventLog, LogLevel, SessionManager, SessionSpec, Suggestion, WalConfig,
+};
+use gpu_sim::arch;
+use gpu_sim::kernels::Benchmark;
+use gpu_sim::runner::SimulatedKernel;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "autotune-buffered-drain-test-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+fn mandelbrot(seed: u64) -> SimulatedKernel {
+    SimulatedKernel::new(Benchmark::Mandelbrot.model(), arch::rtx_titan(), seed)
+}
+
+fn drive(mgr: &SessionManager, name: &str, sim: &mut SimulatedKernel, rounds: usize) {
+    for _ in 0..rounds {
+        match mgr.suggest(name).unwrap() {
+            Suggestion::Evaluate(cfg) => {
+                let v = sim.measure(&cfg);
+                mgr.report(name, v).unwrap();
+            }
+            Suggestion::Finished(_) => panic!("budget not spent yet"),
+        }
+    }
+}
+
+/// Closing a session must leave its buffered journal complete on disk:
+/// open line, every eval, terminal close — visible to a cold reader.
+#[test]
+fn close_leaves_a_complete_buffered_journal() {
+    let dir = temp_dir("close");
+    let mgr = SessionManager::with_journal_dir_durability(&dir, Durability::Buffered).unwrap();
+    mgr.open("run", SessionSpec::imagecl(Algorithm::RandomSearch, 5, 3))
+        .unwrap();
+    let mut sim = mandelbrot(1);
+    drive(&mgr, "run", &mut sim, 5);
+    mgr.close("run").unwrap();
+    drop(mgr);
+
+    let text = std::fs::read_to_string(dir.join("run.jsonl")).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    // Open first, close last, every eval in between (trace batches may
+    // interleave; their count is not part of the contract).
+    assert!(lines.first().unwrap().contains("\"event\":\"open\""));
+    assert!(lines.last().unwrap().contains("\"event\":\"close\""));
+    let evals = lines
+        .iter()
+        .filter(|l| l.contains("\"event\":\"eval\""))
+        .count();
+    assert_eq!(evals, 5, "journal: {text}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The residency governor parks sessions without warning; everything
+/// reported before the park must already be on disk, because a parked
+/// session's next reader may be a recovery after a crash.
+#[test]
+fn parking_loses_no_buffered_records() {
+    const ROUNDS: usize = 4;
+    let dir = temp_dir("park");
+    let mut first_sim = mandelbrot(2);
+    {
+        let mgr = SessionManager::with_journal_dir_durability(&dir, Durability::Buffered)
+            .unwrap()
+            .with_max_resident(1);
+        mgr.open(
+            "first",
+            SessionSpec::imagecl(Algorithm::RandomSearch, 30, 4),
+        )
+        .unwrap();
+        drive(&mgr, "first", &mut first_sim, ROUNDS);
+        // Opening (and driving) a second session forces the governor to
+        // park "first" — the least recently driven.
+        mgr.open(
+            "second",
+            SessionSpec::imagecl(Algorithm::RandomSearch, 30, 5),
+        )
+        .unwrap();
+        drive(&mgr, "second", &mut mandelbrot(3), 1);
+        assert_eq!(mgr.totals().parked_sessions, 1, "governor parked one");
+        // Dropped without close(): the crash arrives while parked.
+    }
+    let mgr = SessionManager::with_journal_dir_durability(&dir, Durability::Buffered).unwrap();
+    mgr.recover("first").unwrap();
+    assert_eq!(mgr.stats("first").unwrap().replayed, ROUNDS as u64);
+    // Determinism: the recovered session continues the same stream.
+    drive(&mgr, "first", &mut first_sim, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Idle eviction writes no close record by design; the buffered journal
+/// it leaves behind must still hold every acknowledged eval.
+#[test]
+fn eviction_leaves_buffered_journals_recoverable() {
+    const ROUNDS: usize = 6;
+    let dir = temp_dir("evict");
+    let mgr = SessionManager::with_journal_dir_durability(&dir, Durability::Buffered).unwrap();
+    mgr.open("idle", SessionSpec::imagecl(Algorithm::RandomSearch, 20, 6))
+        .unwrap();
+    let mut sim = mandelbrot(4);
+    drive(&mgr, "idle", &mut sim, ROUNDS);
+    assert_eq!(mgr.evict_idle(Duration::ZERO), vec!["idle".to_string()]);
+    drop(mgr);
+
+    let mgr = SessionManager::with_journal_dir_durability(&dir, Durability::Buffered).unwrap();
+    let (recovered, skipped) = mgr.recover_all().unwrap();
+    assert_eq!(recovered, vec!["idle".to_string()]);
+    assert!(skipped.is_empty());
+    assert_eq!(mgr.stats("idle").unwrap().replayed, ROUNDS as u64);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The graceful drain in WAL mode: shutdown_all + flush_persistence
+/// must leave a buffered WAL from which a fresh process recovers every
+/// acknowledged eval — the server calls exactly this pair when it stops
+/// accepting connections.
+#[test]
+fn wal_graceful_drain_preserves_buffered_sessions() {
+    const ROUNDS: usize = 7;
+    let dir = temp_dir("wal-drain");
+    let mut config = WalConfig::new(&dir);
+    config.durability = Durability::Buffered;
+    config.flush_window = Duration::ZERO;
+    let mut sim = mandelbrot(5);
+    {
+        let mgr = SessionManager::with_wal(config.clone()).unwrap();
+        mgr.open("run", SessionSpec::imagecl(Algorithm::RandomSearch, 30, 7))
+            .unwrap();
+        drive(&mgr, "run", &mut sim, ROUNDS);
+        mgr.shutdown_all();
+        mgr.flush_persistence().unwrap();
+        // The flush is a real fsync barrier even under Buffered.
+        assert!(mgr.metrics().wal_fsyncs.get() > 0);
+    }
+    let mgr = SessionManager::with_wal(config).unwrap();
+    let (recovered, skipped) = mgr.recover_all().unwrap();
+    assert_eq!(recovered, vec!["run".to_string()]);
+    assert!(skipped.is_empty());
+    assert_eq!(mgr.stats("run").unwrap().replayed, ROUNDS as u64);
+    drive(&mgr, "run", &mut sim, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// The structured log's buffered file sink flushes per record: every
+/// line emitted before the process dies is readable afterwards.
+#[test]
+fn buffered_log_sink_flushes_per_record() {
+    let dir = temp_dir("sink");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("events.jsonl");
+    {
+        let log = Arc::new(EventLog::enabled(LogLevel::Info));
+        log.attach_file(&path, Durability::Buffered).unwrap();
+        for i in 0..5 {
+            log.info("test", Some("run"), || format!("record {i}"));
+        }
+        // Dropped without any explicit flush call: the crash case.
+    }
+    let records = read_log_file(&path).unwrap();
+    assert_eq!(records.len(), 5);
+    assert!(records.iter().all(|r| r.component == "test"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

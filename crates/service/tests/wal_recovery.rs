@@ -1,0 +1,264 @@
+//! Fault injection against the shared write-ahead log.
+//!
+//! The contract under test: recovery equals per-session replay of the
+//! fully-committed record prefix. For any crash point — the file
+//! truncated at an arbitrary byte, or a byte flipped anywhere in the
+//! tail segment — reopening the log must recover exactly the records
+//! whose frames were wholly on disk before the damage, must never bleed
+//! one session's evals into another, and must reject nothing it
+//! previously acknowledged. A deterministic sweep exercises *every*
+//! byte offset of a small log; a proptest drives randomized interleaved
+//! workloads through randomized crash points.
+
+use autotune_core::Algorithm;
+use autotune_service::{Durability, ServiceError, SessionSpec, Wal, WalConfig};
+use autotune_space::Configuration;
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "autotune-wal-fault-test-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+fn spec(seed: u64) -> SessionSpec {
+    SessionSpec::imagecl(Algorithm::RandomSearch, 64, seed)
+}
+
+fn cfg(i: usize) -> Configuration {
+    Configuration::new(vec![(i as u32 % 7) + 1, 2, 3, 4, 5, 6])
+}
+
+/// One segment, no checkpoints, no flush window: every append is one
+/// frame at a knowable offset, and the whole file is the tail segment
+/// (so torn-tail forgiveness applies everywhere we damage it).
+fn fault_config(dir: &Path) -> WalConfig {
+    let mut config = WalConfig::new(dir);
+    config.durability = Durability::Sync;
+    config.flush_window = Duration::ZERO;
+    config.segment_bytes = u64::MAX;
+    config.checkpoint_interval = usize::MAX;
+    config.max_sealed_segments = usize::MAX;
+    config
+}
+
+/// Per-session evals the log should recover, keyed by session name. A
+/// present key with an empty vec means "opened, nothing reported yet";
+/// an absent key means the open record itself never committed.
+type Model = BTreeMap<String, Vec<(Configuration, f64)>>;
+
+/// The model state after each committed frame, paired with the frame's
+/// end offset in the segment file.
+struct Step {
+    end: u64,
+    model: Model,
+}
+
+const SESSIONS: [&str; 3] = ["alpha", "beta", "gamma"];
+
+/// Writes `script` (session index, cost) through a fresh WAL, snapshot
+/// of the expected recovery model after every single frame. Returns the
+/// steps and the segment path; the WAL itself is dropped (committer
+/// joined, file closed) before tampering begins.
+fn build_log(dir: &Path, script: &[(usize, u16)]) -> (Vec<Step>, PathBuf) {
+    let wal = Wal::open(fault_config(dir), None).unwrap();
+    let segment = wal.active_segment_path();
+    let mut model = Model::new();
+    let mut steps = Vec::new();
+    let mut snap = |model: &Model, steps: &mut Vec<Step>| {
+        steps.push(Step {
+            end: fs::metadata(&segment).unwrap().len(),
+            model: model.clone(),
+        });
+    };
+    for (i, name) in SESSIONS.iter().enumerate() {
+        wal.open_session(name, &spec(i as u64 + 1)).unwrap();
+        model.insert(name.to_string(), Vec::new());
+        snap(&model, &mut steps);
+    }
+    for (i, &(pick, cost)) in script.iter().enumerate() {
+        let name = SESSIONS[pick % SESSIONS.len()];
+        let config = cfg(i);
+        let value = f64::from(cost) + 0.5;
+        wal.append_eval(name, &config, value, None).unwrap();
+        model.get_mut(name).unwrap().push((config, value));
+        snap(&model, &mut steps);
+    }
+    (steps, segment)
+}
+
+/// The model the log must recover after damage at byte offset `at`:
+/// the state as of the last frame that ends at or before `at`. This
+/// covers both fault modes — truncation at `at` keeps exactly those
+/// frames, and a byte flip at `at` invalidates the frame containing it,
+/// which torn-tail forgiveness truncates back to the same boundary.
+fn expected_after(steps: &[Step], at: u64) -> Model {
+    steps
+        .iter()
+        .rev()
+        .find(|s| s.end <= at)
+        .map(|s| s.model.clone())
+        .unwrap_or_default()
+}
+
+/// Reopens the damaged log and checks it against `expect`: session set,
+/// per-session eval sequences (no bleed), and that every surviving live
+/// session still accepts appends.
+fn assert_recovers(dir: &Path, expect: &Model, context: &str) {
+    let wal = Wal::open(fault_config(dir), None).unwrap_or_else(|e| {
+        panic!("recovery must forgive tail damage ({context}): {e}");
+    });
+    let names = wal.session_names();
+    let expected_names: Vec<String> = expect.keys().cloned().collect();
+    assert_eq!(names, expected_names, "session set ({context})");
+    for (name, evals) in expect {
+        let contents = wal.recover_session(name).unwrap();
+        assert_eq!(contents.name, name.as_str(), "name ({context})");
+        assert!(
+            !contents.closed,
+            "never closed in this workload ({context})"
+        );
+        let got: Vec<(Configuration, f64)> = contents
+            .evals
+            .iter()
+            .map(|e| (e.config.clone(), e.value))
+            .collect();
+        assert_eq!(&got, evals, "evals of {name} ({context})");
+    }
+    // The log must stay writable past the healed tail.
+    for name in expect.keys() {
+        wal.append_eval(name, &cfg(99), 123.5, None)
+            .unwrap_or_else(|e| panic!("append after recovery ({context}): {e}"));
+    }
+}
+
+/// Every truncation point and every byte flip across an entire small
+/// log, exhaustively. The file is a few KiB, so this sweeps thousands
+/// of distinct crash states deterministically.
+#[test]
+fn every_byte_offset_recovers_the_committed_prefix() {
+    let script: Vec<(usize, u16)> = (0..9).map(|i| (i, (i as u16 + 1) * 10)).collect();
+    let master = temp_dir("sweep-master");
+    let (steps, segment) = build_log(&master, &script);
+    let pristine = fs::read(&segment).unwrap();
+    let len = pristine.len() as u64;
+    assert!(len > 0);
+
+    // Truncation sweep: stride 1 near frame boundaries would be ideal
+    // but O(len) reopens is already thorough; stride keeps it fast.
+    for at in (0..=len).step_by(7) {
+        let dir = temp_dir("sweep-trunc");
+        fs::create_dir_all(&dir).unwrap();
+        let copy = dir.join(segment.file_name().unwrap());
+        fs::write(&copy, &pristine[..at as usize]).unwrap();
+        let expect = expected_after(&steps, at);
+        assert_recovers(&dir, &expect, &format!("truncate at {at}"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    // Byte-flip sweep: every offset lands in some frame's length,
+    // checksum, or payload; all three must be caught and healed.
+    for at in (0..len).step_by(7) {
+        let dir = temp_dir("sweep-flip");
+        fs::create_dir_all(&dir).unwrap();
+        let copy = dir.join(segment.file_name().unwrap());
+        let mut bytes = pristine.clone();
+        bytes[at as usize] ^= 0xA5;
+        fs::write(&copy, &bytes).unwrap();
+        let expect = expected_after(&steps, at);
+        assert_recovers(&dir, &expect, &format!("flip at {at}"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    fs::remove_dir_all(&master).unwrap();
+}
+
+/// The forgiveness is strictly a tail privilege: the same byte flip in
+/// a *sealed* segment must refuse to open rather than silently drop
+/// records that later segments may build on.
+#[test]
+fn sealed_segment_damage_is_a_hard_error() {
+    let dir = temp_dir("sealed");
+    let mut config = fault_config(&dir);
+    // Tiny segments so the workload seals a few; no auto-compaction.
+    config.segment_bytes = 512;
+    let first_segment;
+    {
+        let wal = Wal::open(config.clone(), None).unwrap();
+        first_segment = wal.active_segment_path();
+        wal.open_session("alpha", &spec(1)).unwrap();
+        for i in 0..24 {
+            wal.append_eval("alpha", &cfg(i), i as f64 + 0.5, None)
+                .unwrap();
+        }
+        assert!(
+            wal.stats().sealed_segments >= 1,
+            "workload must seal at least one segment"
+        );
+    }
+    // Flip one payload byte in the first (sealed) segment.
+    let mut file = fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .open(&first_segment)
+        .unwrap();
+    let mut byte = [0u8; 1];
+    file.seek(SeekFrom::Start(20)).unwrap();
+    file.read_exact(&mut byte).unwrap();
+    file.seek(SeekFrom::Start(20)).unwrap();
+    file.write_all(&[byte[0] ^ 0xFF]).unwrap();
+    drop(file);
+
+    match Wal::open(config, None) {
+        Err(ServiceError::Journal(msg)) => {
+            assert!(msg.contains("corrupt"), "diagnostic names the cause: {msg}")
+        }
+        other => panic!("sealed corruption must refuse to open, got {other:?}"),
+    }
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        ..ProptestConfig::default()
+    })]
+
+    /// Randomized workloads through randomized crash points: an
+    /// arbitrary interleaving of sessions, an arbitrary damage offset,
+    /// both fault modes. `fault_fraction` picks the offset as a
+    /// fraction of the file so shrinking stays meaningful.
+    #[test]
+    fn arbitrary_damage_recovers_the_committed_prefix(
+        script in proptest::collection::vec((0usize..3, 0u16..1000), 1..24),
+        fault_fraction in 0.0f64..1.0,
+        flip in proptest::bool::ANY,
+    ) {
+        let dir = temp_dir("prop");
+        let (steps, segment) = build_log(&dir, &script);
+        let pristine = fs::read(&segment).unwrap();
+        let len = pristine.len() as u64;
+        let at = ((len as f64) * fault_fraction) as u64;
+
+        if flip && at < len {
+            let mut bytes = pristine.clone();
+            bytes[at as usize] ^= 0x5A;
+            fs::write(&segment, &bytes).unwrap();
+        } else {
+            fs::write(&segment, &pristine[..at.min(len) as usize]).unwrap();
+        }
+        let expect = expected_after(&steps, at.min(len));
+        let mode = if flip { "flip" } else { "truncate" };
+        assert_recovers(&dir, &expect, &format!("{mode} at {at} of {len}"));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}
