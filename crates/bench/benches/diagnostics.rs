@@ -1,0 +1,141 @@
+//! Search-health diagnostics overhead: the per-event cost of feeding
+//! the streaming diagnostics from a realistic trace stream, the price
+//! of rendering a report, and the offline band detectors.
+//!
+//! The serving-path claim this group keeps honest: diagnostics ride the
+//! existing trace sink, so a session with `--diagnostics` pays
+//! nanoseconds per trial on the engine thread — and a session without
+//! it pays one `Option` branch (the `disabled_branch` baseline).
+
+use autotune_core::trace::{TraceEvent, TraceRecord};
+use autotune_core::{BandDetector, DiagnosticsConfig, SearchDiagnostics};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+/// A realistic guided-search stream: per trial one acquisition span
+/// with a score, one surrogate prediction, and the trial itself —
+/// exactly what BO GP emits once past its startup design.
+fn guided_stream(trials: usize, seed: u64) -> Vec<TraceEvent> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut events = Vec::with_capacity(trials * 5);
+    let mut t_us = 0u64;
+    let mut best = f64::INFINITY;
+    let mut push = |t_us: &mut u64, record: TraceRecord| {
+        *t_us += 17;
+        events.push(TraceEvent {
+            t_us: *t_us,
+            record,
+        });
+    };
+    for index in 0..trials {
+        let cost = 4.0 / (1.0 + index as f64 * 0.1) + rng.gen_range(0.0..0.5);
+        push(
+            &mut t_us,
+            TraceRecord::SpanBegin {
+                name: "acquisition".into(),
+            },
+        );
+        push(
+            &mut t_us,
+            TraceRecord::Point {
+                name: "acquisition_value".into(),
+                fields: vec![("score".into(), rng.gen_range(0.0..1.0))],
+            },
+        );
+        push(
+            &mut t_us,
+            TraceRecord::SpanEnd {
+                name: "acquisition".into(),
+            },
+        );
+        push(
+            &mut t_us,
+            TraceRecord::Point {
+                name: "surrogate_pred".into(),
+                fields: vec![("value".into(), cost + rng.gen_range(-0.2..0.2))],
+            },
+        );
+        best = best.min(cost);
+        push(
+            &mut t_us,
+            TraceRecord::Trial {
+                index,
+                config: vec![1, 2, 4, 8, 2, 1],
+                cost,
+                best,
+            },
+        );
+    }
+    events
+}
+
+fn bench_observe(c: &mut Criterion) {
+    const TRIALS: usize = 400;
+    let events = guided_stream(TRIALS, 7);
+    let mut g = c.benchmark_group("diagnostics/observe");
+    g.throughput(Throughput::Elements(events.len() as u64));
+
+    // The full stream folded into a fresh instance: amortized per-event
+    // cost including the streaming MWU the advisor maintains.
+    g.bench_function("guided_stream", |b| {
+        b.iter(|| {
+            let mut d = SearchDiagnostics::new(DiagnosticsConfig::default());
+            for e in &events {
+                d.observe(e);
+            }
+            black_box(d.drain_new_pathologies().len())
+        })
+    });
+
+    // What every diagnostics-off session pays instead: the engine
+    // sink's `Option<SearchDiagnostics>` is `None`, one branch per
+    // event.
+    g.bench_function("disabled_branch", |b| {
+        b.iter(|| {
+            let mut d: Option<SearchDiagnostics> = None;
+            let mut seen = 0usize;
+            for e in &events {
+                if let Some(d) = d.as_mut() {
+                    d.observe(e);
+                }
+                seen += 1;
+            }
+            black_box((d.is_some(), seen))
+        })
+    });
+    g.finish();
+}
+
+fn bench_report(c: &mut Criterion) {
+    let events = guided_stream(400, 11);
+    let mut d = SearchDiagnostics::new(DiagnosticsConfig::default());
+    for e in &events {
+        d.observe(e);
+    }
+    let mut g = c.benchmark_group("diagnostics/report");
+    // `diagnose` renders on the serving thread while the per-session
+    // guard is held — this is that hold time.
+    g.bench_function("render", |b| b.iter(|| black_box(d.report())));
+    g.finish();
+}
+
+fn bench_band_detectors(c: &mut Criterion) {
+    let mut rng = ChaCha8Rng::seed_from_u64(13);
+    // The committed study's shape: ~10 repetitions per cell.
+    let lower: Vec<f64> = (0..10).map(|_| rng.gen_range(2.0..3.0)).collect();
+    let higher: Vec<f64> = (0..10).map(|_| rng.gen_range(2.5..3.5)).collect();
+    let detector = BandDetector::default();
+    let mut g = c.benchmark_group("diagnostics/band_detectors");
+    g.bench_function("overfitting_dip_n10", |b| {
+        b.iter(|| black_box(detector.overfitting_dip(&lower, &higher)))
+    });
+    g.bench_function("worse_than_random_n10", |b| {
+        b.iter(|| black_box(detector.worse_than_random(&higher, &lower)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_observe, bench_report, bench_band_detectors);
+criterion_main!(benches);

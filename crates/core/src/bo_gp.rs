@@ -279,6 +279,17 @@ impl Tuner for BayesOptGp {
                 .map(|(_, c)| c)
                 .unwrap_or_else(|| sample::uniform(ctx.space, &mut rng));
 
+            // Leave-last-out probe for the diagnostics layer: the GP's
+            // predicted (standardized log-space) mean for the point it
+            // is about to measure. Monotone in runtime, so rank
+            // calibration against the observed cost is invariant to the
+            // transform. Observational only — no RNG, gated on the sink.
+            if ctx.trace.is_enabled() {
+                let (mean, _) = gp.predict(&ctx.space.to_unit_features(&next));
+                if mean.is_finite() {
+                    trace::point(ctx.trace, "surrogate_pred", &[("value", mean)]);
+                }
+            }
             let y = rec.measure(&next);
             xs.push(ctx.space.to_unit_features(&next));
             ys.push(y);

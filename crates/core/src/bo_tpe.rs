@@ -246,6 +246,10 @@ impl Tuner for BayesOptTpe {
             let (score, values) = best_new.or(best_any).expect("candidates > 0");
             if score.is_finite() {
                 trace::point(ctx.trace, "acquisition_value", &[("score", score)]);
+                // Leave-last-out probe for the diagnostics layer: TPE's
+                // density log-ratio scores higher-is-better, so negate to
+                // match the lower-is-predicted-better probe convention.
+                trace::point(ctx.trace, "surrogate_pred", &[("value", -score)]);
             }
             let cfg = Configuration::new(values);
             rec.measure(&cfg);

@@ -1,0 +1,1039 @@
+//! Search-health diagnostics: is the *optimizer* healthy, not just the
+//! process serving it?
+//!
+//! The paper's headline findings are search pathologies — BO GP's
+//! performance *dips* between sample sizes 100 and 200 ("potentially due
+//! to overfitting", §VI-D), RF "often performs worse than RS", and the
+//! best technique flips with the budget. This module operationalizes
+//! those findings as runtime signals, at two timescales:
+//!
+//! * [`SearchDiagnostics`] watches **one live session** by consuming the
+//!   same [`TraceEvent`] stream the flight recorder emits (trials, phase
+//!   spans, `surrogate_pred` probes). It maintains streaming signals —
+//!   incumbent-improvement rate and stall length, a random-search null
+//!   model built from the session's own cost stream, surrogate
+//!   calibration (predicted-vs-observed rank concordance of the
+//!   leave-last-out `surrogate_pred` probes), exploration/exploitation
+//!   balance from acquisition scores, and a startup-vs-guided
+//!   Mann-Whitney comparison — and latches [`Pathology`] verdicts plus a
+//!   sample-size [`Advisor`]. Consuming trace events keeps it purely
+//!   observational: a diagnosed run is bit-identical to an undiagnosed
+//!   one, the same contract the [`TraceSink`](crate::trace::TraceSink)
+//!   already enforces.
+//! * [`BandDetector`] judges **finished study populations** — outcome
+//!   arrays per (algorithm, benchmark, architecture, sample size) cell —
+//!   with the paper's own statistics (exact Mann-Whitney U at study
+//!   repetition counts, CLES): the 100→200 overfitting-dip signature and
+//!   the worse-than-random comparison against the RS cell. The
+//!   `diagnostics_study` binary validates both against the committed
+//!   scale-0.05 study results.
+//!
+//! Everything here reuses `autotune_stats` (the exact/streaming MWU and
+//! CLES from PR 4) and is deterministic: no clocks, no RNG, no
+//! allocation beyond the observation buffers.
+
+use crate::trace::{TraceEvent, TraceRecord};
+use autotune_stats::{
+    common_language_effect_size, mann_whitney_u, Alternative, StreamingMwu, Welford,
+};
+use serde::{Deserialize, Serialize};
+
+/// Knobs of the per-session diagnostics engine. The defaults are sized
+/// for the paper's budgets (25–400 samples).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosticsConfig {
+    /// Significance level of the advisor's supporting Mann-Whitney
+    /// tests (the `--advisor-alpha` flag).
+    pub advisor_alpha: f64,
+    /// Trials without incumbent improvement before the run counts as
+    /// stalled (and the Converged/Stalled verdicts become eligible).
+    pub stall_window: usize,
+    /// Minimum trials before any verdict may latch.
+    pub min_trials: usize,
+    /// Minimum `surrogate_pred` calibration pairs before the
+    /// Overfitting verdict may latch.
+    pub min_calibration_pairs: usize,
+    /// Minimum per-phase sample size (startup and guided) before the
+    /// WorseThanRandom verdict may latch.
+    pub min_phase_samples: usize,
+    /// CLES threshold for the WorseThanRandom verdict: the probability
+    /// that a guided trial costs more than a startup trial.
+    pub cles_threshold: f64,
+    /// Relative spread of the trailing cost window at or under which a
+    /// stall counts as Converged instead of Stalled.
+    pub converged_spread: f64,
+    /// Relative incumbent improvement per trial (over the trailing
+    /// window) under which the advisor recommends stopping.
+    pub min_marginal_improvement: f64,
+}
+
+impl Default for DiagnosticsConfig {
+    fn default() -> Self {
+        DiagnosticsConfig {
+            advisor_alpha: 0.05,
+            stall_window: 25,
+            min_trials: 20,
+            min_calibration_pairs: 10,
+            min_phase_samples: 10,
+            cles_threshold: 0.7,
+            converged_spread: 0.02,
+            min_marginal_improvement: 1e-4,
+        }
+    }
+}
+
+/// A latched search pathology. Once latched, a verdict never clears —
+/// the point is to preserve the moment the signature appeared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(rename_all = "snake_case")]
+pub enum Pathology {
+    /// The incumbent stalled while recent costs cluster tightly around
+    /// it: the search settled into a basin.
+    Converged,
+    /// The incumbent stalled while recent costs stay spread out: the
+    /// search keeps exploring without improving.
+    Stalled,
+    /// The surrogate's leave-last-out predictions stopped ranking
+    /// outcomes correctly while the incumbent stalls — the GP dip
+    /// signature of the paper's §VI-D.
+    Overfitting,
+    /// The model-guided phase costs more than the session's own random
+    /// startup phase with a large effect size — the paper's RF case.
+    WorseThanRandom,
+}
+
+impl Pathology {
+    /// Short lowercase label (matches the serde encoding).
+    pub fn label(self) -> &'static str {
+        match self {
+            Pathology::Converged => "converged",
+            Pathology::Stalled => "stalled",
+            Pathology::Overfitting => "overfitting",
+            Pathology::WorseThanRandom => "worse_than_random",
+        }
+    }
+}
+
+/// Surrogate calibration read off the `surrogate_pred` probes: each
+/// probe is a leave-last-out prediction (emitted before its trial was
+/// measured), so the pair stream *is* the predictive score.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Calibration {
+    /// Number of (predicted, observed) pairs seen.
+    pub pairs: usize,
+    /// Kendall-style rank concordance in `[-1, 1]`: (concordant −
+    /// discordant) / comparable pairs. Zero means the surrogate ranks
+    /// candidates no better than a coin flip.
+    pub rank_concordance: f64,
+    /// Fraction of comparable pair-pairs ranked in the right order.
+    pub directional_accuracy: f64,
+}
+
+/// Exploration/exploitation balance from acquisition choices.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exploration {
+    /// Fraction of trials proposed by the surrogate (after the first
+    /// completed acquisition phase).
+    pub guided_fraction: f64,
+    /// Number of acquisition scores observed.
+    pub scores: usize,
+    /// Mean of the acquisition scores.
+    pub acquisition_mean: f64,
+    /// Standard deviation of the acquisition scores — a collapsing
+    /// spread means the acquisition sees one candidate everywhere
+    /// (pure exploitation).
+    pub acquisition_std: f64,
+}
+
+/// The startup-vs-guided cost comparison: the session's own random
+/// startup phase is its internal RS baseline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhaseShift {
+    /// One-sided Mann-Whitney p-value that guided costs are *lower*
+    /// than startup costs (small = the model is earning its keep).
+    pub p_value: f64,
+    /// Probability that a guided trial costs more than a startup trial
+    /// (ties half): over 0.5 means the model phase is losing.
+    pub cles_guided_worse: f64,
+    /// `p_value < advisor_alpha`.
+    pub significant: bool,
+}
+
+/// What the sample-size advisor recommends.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "action", rename_all = "snake_case")]
+pub enum Recommendation {
+    /// Expected marginal improvement still clears the floor: spend the
+    /// remaining budget.
+    Continue,
+    /// Stop at `at` samples: the incumbent is not expected to improve
+    /// (Converged/Stalled, or marginal improvement under the floor).
+    Stop {
+        /// The sample count at which the recommendation stands — the
+        /// trial index that produced the final incumbent, plus one.
+        at: usize,
+    },
+    /// The guided phase is losing to the session's own random startup:
+    /// switch technique instead of spending more samples here.
+    SwitchTechnique,
+}
+
+/// The sample-size advisor's verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Advisor {
+    /// The recommendation.
+    pub recommendation: Recommendation,
+    /// Relative incumbent improvement per trial over the trailing
+    /// window — the expected value of one more sample.
+    pub expected_marginal_improvement: f64,
+    /// `1 − p` of the Mann-Whitney test supporting the recommendation,
+    /// clamped to `[0, 1]`; `0.5` when no test is available yet.
+    pub confidence: f64,
+    /// The significance level the advisor tested at.
+    pub alpha: f64,
+}
+
+/// Point-in-time report of one session's search health, served by the
+/// `diagnose` protocol op.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiagnosticsReport {
+    /// `false` when diagnostics were not enabled for the session — all
+    /// other fields are then zero/empty.
+    pub enabled: bool,
+    /// Trials observed.
+    pub trials: usize,
+    /// Trials proposed before the first completed acquisition phase
+    /// (random startup / training draws).
+    pub startup_trials: usize,
+    /// Trials proposed by the surrogate.
+    pub guided_trials: usize,
+    /// Best (lowest) finite cost seen.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub best: Option<f64>,
+    /// Times the incumbent improved.
+    pub improvements: usize,
+    /// Improvements per trial.
+    pub improvement_rate: f64,
+    /// Trials since the incumbent last improved.
+    pub stall_length: usize,
+    /// Median best-of-n of a random search drawing n samples from the
+    /// session's own observed cost distribution — the RS-equivalent
+    /// null model.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub null_best_estimate: Option<f64>,
+    /// `(null − best) / null`: how far the incumbent beats the null
+    /// model (≈0 means no concentration benefit over random).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub null_gap: Option<f64>,
+    /// Surrogate calibration, when `surrogate_pred` probes arrived.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub calibration: Option<Calibration>,
+    /// Exploration/exploitation balance, when acquisition phases ran.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub exploration: Option<Exploration>,
+    /// Startup-vs-guided comparison, when both phases have samples.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub phase_shift: Option<PhaseShift>,
+    /// Latched pathology verdicts, in latch order.
+    pub pathologies: Vec<Pathology>,
+    /// The sample-size advisor.
+    pub advisor: Advisor,
+}
+
+impl DiagnosticsReport {
+    /// The report of a session without diagnostics.
+    pub fn disabled() -> Self {
+        DiagnosticsReport {
+            enabled: false,
+            trials: 0,
+            startup_trials: 0,
+            guided_trials: 0,
+            best: None,
+            improvements: 0,
+            improvement_rate: 0.0,
+            stall_length: 0,
+            null_best_estimate: None,
+            null_gap: None,
+            calibration: None,
+            exploration: None,
+            phase_shift: None,
+            pathologies: Vec::new(),
+            advisor: Advisor {
+                recommendation: Recommendation::Continue,
+                expected_marginal_improvement: 0.0,
+                confidence: 0.5,
+                alpha: 0.0,
+            },
+        }
+    }
+}
+
+/// Streaming per-session search-health engine. Feed it every
+/// [`TraceEvent`] in emission order ([`observe`](Self::observe)), read
+/// [`report`](Self::report) at any time, and drain newly latched
+/// verdicts with [`drain_new_pathologies`](Self::drain_new_pathologies).
+///
+/// Deterministic: the state is a pure function of the event stream, so
+/// a crash-recovered session replaying its journal regenerates the
+/// exact pre-crash diagnostics. Timestamps (`t_us`) are deliberately
+/// ignored for the same reason.
+#[derive(Debug, Clone)]
+pub struct SearchDiagnostics {
+    cfg: DiagnosticsConfig,
+    trials: usize,
+    startup_trials: usize,
+    guided_trials: usize,
+    best: f64,
+    best_trial: usize,
+    improvements: usize,
+    /// All finite costs, sorted ascending (the null model's empirical
+    /// distribution).
+    costs_sorted: Vec<f64>,
+    /// Trailing window of finite costs (ring, capacity `stall_window`).
+    recent_costs: Vec<f64>,
+    recent_idx: usize,
+    /// Trailing window of running-best values (ring, same capacity).
+    recent_best: Vec<f64>,
+    recent_best_idx: usize,
+    /// True after the first completed acquisition span: subsequent
+    /// trials are surrogate-guided. GA/RS never complete one, so their
+    /// model-specific verdicts are structurally unreachable.
+    guided_ready: bool,
+    /// a = guided costs, b = startup costs.
+    phase_mwu: StreamingMwu,
+    /// The surrogate's prediction for the next trial, if probed.
+    pending_pred: Option<f64>,
+    /// (predicted, observed) calibration pairs.
+    calib_pairs: Vec<(f64, f64)>,
+    calib_concordant: u64,
+    calib_discordant: u64,
+    acq_scores: Welford,
+    latched: Vec<Pathology>,
+    announced: usize,
+}
+
+impl SearchDiagnostics {
+    /// A fresh engine with the given knobs.
+    pub fn new(cfg: DiagnosticsConfig) -> Self {
+        SearchDiagnostics {
+            cfg,
+            trials: 0,
+            startup_trials: 0,
+            guided_trials: 0,
+            best: f64::INFINITY,
+            best_trial: 0,
+            improvements: 0,
+            costs_sorted: Vec::new(),
+            recent_costs: Vec::new(),
+            recent_idx: 0,
+            recent_best: Vec::new(),
+            recent_best_idx: 0,
+            guided_ready: false,
+            phase_mwu: StreamingMwu::new(),
+            pending_pred: None,
+            calib_pairs: Vec::new(),
+            calib_concordant: 0,
+            calib_discordant: 0,
+            acq_scores: Welford::new(),
+            latched: Vec::new(),
+            announced: 0,
+        }
+    }
+
+    /// The configuration this engine runs with.
+    pub fn config(&self) -> &DiagnosticsConfig {
+        &self.cfg
+    }
+
+    /// Consumes one trace event.
+    pub fn observe(&mut self, event: &TraceEvent) {
+        match &event.record {
+            TraceRecord::SpanEnd { name } if name == "acquisition" => {
+                self.guided_ready = true;
+            }
+            TraceRecord::Point { name, fields } if name == "surrogate_pred" => {
+                self.pending_pred = fields
+                    .iter()
+                    .find(|(k, _)| k == "value")
+                    .map(|&(_, v)| v)
+                    .filter(|v| v.is_finite());
+            }
+            TraceRecord::Point { name, fields } if name == "acquisition_value" => {
+                if let Some(&(_, score)) = fields.iter().find(|(k, _)| k == "score") {
+                    if score.is_finite() {
+                        self.acq_scores.push(score);
+                    }
+                }
+            }
+            TraceRecord::Trial { cost, .. } => self.record_trial(*cost),
+            _ => {}
+        }
+    }
+
+    fn record_trial(&mut self, cost: f64) {
+        let guided = self.guided_ready;
+        let pred = self.pending_pred.take();
+        self.trials += 1;
+        if guided {
+            self.guided_trials += 1;
+        } else {
+            self.startup_trials += 1;
+        }
+        if cost.is_finite() {
+            let pos = self.costs_sorted.partition_point(|&v| v < cost);
+            self.costs_sorted.insert(pos, cost);
+            push_ring(
+                &mut self.recent_costs,
+                &mut self.recent_idx,
+                self.cfg.stall_window,
+                cost,
+            );
+            if guided {
+                self.phase_mwu.push_a(cost);
+            } else {
+                self.phase_mwu.push_b(cost);
+            }
+            if cost < self.best {
+                self.best = cost;
+                self.best_trial = self.trials - 1;
+                self.improvements += 1;
+            }
+            push_ring(
+                &mut self.recent_best,
+                &mut self.recent_best_idx,
+                self.cfg.stall_window,
+                self.best,
+            );
+            if guided {
+                if let Some(pred) = pred {
+                    for &(p, o) in &self.calib_pairs {
+                        let dp = pred - p;
+                        let dobs = cost - o;
+                        if dp * dobs > 0.0 {
+                            self.calib_concordant += 1;
+                        } else if dp * dobs < 0.0 {
+                            self.calib_discordant += 1;
+                        }
+                    }
+                    self.calib_pairs.push((pred, cost));
+                }
+            }
+        }
+        self.latch_checks();
+    }
+
+    fn stall_length(&self) -> usize {
+        if self.improvements == 0 {
+            self.trials
+        } else {
+            self.trials - 1 - self.best_trial
+        }
+    }
+
+    /// Relative spread of the trailing cost window.
+    fn recent_spread(&self) -> f64 {
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for &c in &self.recent_costs {
+            lo = lo.min(c);
+            hi = hi.max(c);
+        }
+        if !lo.is_finite() || !hi.is_finite() {
+            return 0.0;
+        }
+        (hi - lo) / hi.abs().max(1e-12)
+    }
+
+    fn latch(&mut self, p: Pathology) {
+        if !self.latched.contains(&p) {
+            self.latched.push(p);
+        }
+    }
+
+    fn latch_checks(&mut self) {
+        if self.trials < self.cfg.min_trials {
+            return;
+        }
+        let stall = self.stall_length();
+        let settled = self
+            .latched
+            .iter()
+            .any(|p| matches!(p, Pathology::Converged | Pathology::Stalled));
+        if stall >= self.cfg.stall_window && !settled {
+            if self.recent_costs.len() >= self.cfg.stall_window
+                && self.recent_spread() <= self.cfg.converged_spread
+            {
+                self.latch(Pathology::Converged);
+            } else {
+                self.latch(Pathology::Stalled);
+            }
+        }
+        if self.guided_ready
+            && self.phase_mwu.len_a() >= self.cfg.min_phase_samples
+            && self.phase_mwu.len_b() >= self.cfg.min_phase_samples
+            && self.phase_mwu.cles() >= self.cfg.cles_threshold
+        {
+            self.latch(Pathology::WorseThanRandom);
+        }
+        if self.calib_pairs.len() >= self.cfg.min_calibration_pairs
+            && self.rank_concordance() <= 0.0
+            && stall >= self.cfg.stall_window / 2
+        {
+            self.latch(Pathology::Overfitting);
+        }
+    }
+
+    fn rank_concordance(&self) -> f64 {
+        let comparable = self.calib_concordant + self.calib_discordant;
+        if comparable == 0 {
+            return 0.0;
+        }
+        (self.calib_concordant as f64 - self.calib_discordant as f64) / comparable as f64
+    }
+
+    /// Verdicts latched since the last drain, in latch order — the hook
+    /// for pathology events in the service's event log.
+    pub fn drain_new_pathologies(&mut self) -> Vec<Pathology> {
+        let fresh = self.latched[self.announced..].to_vec();
+        self.announced = self.latched.len();
+        fresh
+    }
+
+    /// Median best-of-n of n random draws from the observed costs: the
+    /// empirical quantile at `1 − 2^(−1/n)`.
+    fn null_best_estimate(&self) -> Option<f64> {
+        let n = self.costs_sorted.len();
+        if n == 0 {
+            return None;
+        }
+        let p = 1.0 - 0.5f64.powf(1.0 / n as f64);
+        let idx = ((p * n as f64).ceil() as usize).clamp(1, n) - 1;
+        Some(self.costs_sorted[idx])
+    }
+
+    /// Relative incumbent improvement per trial over the trailing
+    /// window.
+    fn marginal_improvement(&self) -> f64 {
+        if self.recent_best.len() < 2 || !self.best.is_finite() {
+            return 0.0;
+        }
+        // Oldest entry of the running-best ring.
+        let oldest = if self.recent_best.len() < self.cfg.stall_window {
+            self.recent_best[0]
+        } else {
+            self.recent_best[self.recent_best_idx % self.recent_best.len()]
+        };
+        let window = self.recent_best.len() as f64;
+        ((oldest - self.best) / self.best.abs().max(1e-12) / window).max(0.0)
+    }
+
+    fn phase_shift(&self) -> Option<PhaseShift> {
+        if self.phase_mwu.len_a() < 2 || self.phase_mwu.len_b() < 2 || self.phase_mwu.degenerate() {
+            return None;
+        }
+        let r = self.phase_mwu.result(Alternative::Less);
+        Some(PhaseShift {
+            p_value: r.p_value,
+            cles_guided_worse: self.phase_mwu.cles(),
+            significant: r.p_value < self.cfg.advisor_alpha,
+        })
+    }
+
+    fn advisor(&self) -> Advisor {
+        let marginal = self.marginal_improvement();
+        let shift = self.phase_shift();
+        let alpha = self.cfg.advisor_alpha;
+        let confidence_from = |p: f64| (1.0 - p).clamp(0.0, 1.0);
+        if self.latched.contains(&Pathology::WorseThanRandom) {
+            // Supporting test: guided costs are greater than startup.
+            let p = if self.phase_mwu.len_a() >= 2
+                && self.phase_mwu.len_b() >= 2
+                && !self.phase_mwu.degenerate()
+            {
+                self.phase_mwu.result(Alternative::Greater).p_value
+            } else {
+                0.5
+            };
+            return Advisor {
+                recommendation: Recommendation::SwitchTechnique,
+                expected_marginal_improvement: marginal,
+                confidence: confidence_from(p),
+                alpha,
+            };
+        }
+        let settled = self
+            .latched
+            .iter()
+            .any(|p| matches!(p, Pathology::Converged | Pathology::Stalled));
+        if settled {
+            return Advisor {
+                recommendation: Recommendation::Stop {
+                    at: self.best_trial + 1,
+                },
+                expected_marginal_improvement: marginal,
+                confidence: shift.map_or(0.5, |s| confidence_from(s.p_value)),
+                alpha,
+            };
+        }
+        if self.trials >= self.cfg.min_trials && marginal < self.cfg.min_marginal_improvement {
+            return Advisor {
+                recommendation: Recommendation::Stop { at: self.trials },
+                expected_marginal_improvement: marginal,
+                confidence: 0.5,
+                alpha,
+            };
+        }
+        Advisor {
+            recommendation: Recommendation::Continue,
+            expected_marginal_improvement: marginal,
+            confidence: shift.map_or(0.5, |s| confidence_from(s.p_value)),
+            alpha,
+        }
+    }
+
+    /// The current report.
+    pub fn report(&self) -> DiagnosticsReport {
+        let best = self.best.is_finite().then_some(self.best);
+        let null = self.null_best_estimate();
+        let null_gap = match (best, null) {
+            (Some(b), Some(n)) if n.abs() > 1e-12 => Some((n - b) / n),
+            _ => None,
+        };
+        let calibration = (!self.calib_pairs.is_empty()).then(|| {
+            let comparable = self.calib_concordant + self.calib_discordant;
+            Calibration {
+                pairs: self.calib_pairs.len(),
+                rank_concordance: self.rank_concordance(),
+                directional_accuracy: if comparable == 0 {
+                    0.5
+                } else {
+                    self.calib_concordant as f64 / comparable as f64
+                },
+            }
+        });
+        let exploration = self.guided_ready.then(|| Exploration {
+            guided_fraction: if self.trials == 0 {
+                0.0
+            } else {
+                self.guided_trials as f64 / self.trials as f64
+            },
+            scores: self.acq_scores.count() as usize,
+            acquisition_mean: if self.acq_scores.count() == 0 {
+                0.0
+            } else {
+                self.acq_scores.mean()
+            },
+            acquisition_std: if self.acq_scores.count() < 2 {
+                0.0
+            } else {
+                self.acq_scores.std_dev()
+            },
+        });
+        DiagnosticsReport {
+            enabled: true,
+            trials: self.trials,
+            startup_trials: self.startup_trials,
+            guided_trials: self.guided_trials,
+            best,
+            improvements: self.improvements,
+            improvement_rate: if self.trials == 0 {
+                0.0
+            } else {
+                self.improvements as f64 / self.trials as f64
+            },
+            stall_length: self.stall_length(),
+            null_best_estimate: null,
+            null_gap,
+            calibration,
+            exploration,
+            phase_shift: self.phase_shift(),
+            pathologies: self.latched.clone(),
+            advisor: self.advisor(),
+        }
+    }
+}
+
+fn push_ring(ring: &mut Vec<f64>, idx: &mut usize, cap: usize, value: f64) {
+    let cap = cap.max(1);
+    if ring.len() < cap {
+        ring.push(value);
+    } else {
+        ring[*idx % cap] = value;
+        *idx = (*idx + 1) % cap;
+    }
+}
+
+/// Verdict of one population-level band check.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BandVerdict {
+    /// The detection rule fired.
+    pub fired: bool,
+    /// One-sided Mann-Whitney p-value of the "worse" direction.
+    pub p_value: f64,
+    /// CLES of the "worse" direction (probability the suspect sample
+    /// exceeds the reference, ties half).
+    pub cles: f64,
+    /// `p_value < alpha`.
+    pub significant: bool,
+}
+
+/// Population-level pathology detector over finished study cells,
+/// using the study's own statistics (exact MWU at the paper's
+/// repetition counts, CLES/Vargha-Delaney).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BandDetector {
+    /// Significance level of the dip test.
+    pub alpha: f64,
+    /// Effect-size threshold for both rules.
+    pub cles_threshold: f64,
+}
+
+impl Default for BandDetector {
+    fn default() -> Self {
+        BandDetector {
+            alpha: 0.05,
+            cles_threshold: 0.7,
+        }
+    }
+}
+
+impl BandDetector {
+    /// The overfitting-dip signature between two sample-size bands of
+    /// the *same* algorithm and cell: final runtimes at the **higher**
+    /// budget are significantly worse (greater) than at the lower one —
+    /// more samples made the result worse, the paper's BO GP 100→200
+    /// dip. Fires only on one-sided MWU significance at `alpha` *and*
+    /// CLES ≥ the threshold: repeat-noise median wobbles (visible even
+    /// in RS cells) stay quiet.
+    pub fn overfitting_dip(&self, at_lower: &[f64], at_higher: &[f64]) -> BandVerdict {
+        if degenerate(at_higher, at_lower) {
+            return BandVerdict {
+                fired: false,
+                p_value: 1.0,
+                cles: 0.5,
+                significant: false,
+            };
+        }
+        let r = mann_whitney_u(at_higher, at_lower, Alternative::Greater);
+        let cles = common_language_effect_size(at_higher, at_lower);
+        BandVerdict {
+            fired: r.p_value < self.alpha && cles >= self.cles_threshold,
+            p_value: r.p_value,
+            cles,
+            significant: r.p_value < self.alpha,
+        }
+    }
+
+    /// The worse-than-random signature: an algorithm's final runtimes
+    /// against the RS cell at the same (benchmark, architecture,
+    /// sample size). Fires on effect size alone (CLES ≥ threshold: a
+    /// random run of the algorithm loses to a random RS run at least
+    /// that often), with the MWU p-value reported as confidence — the
+    /// paper's RF weakness shows at the high-budget cells where only 3
+    /// repeats exist, below any significance floor.
+    pub fn worse_than_random(&self, alg: &[f64], rs: &[f64]) -> BandVerdict {
+        if degenerate(alg, rs) {
+            return BandVerdict {
+                fired: false,
+                p_value: 1.0,
+                cles: 0.5,
+                significant: false,
+            };
+        }
+        let r = mann_whitney_u(alg, rs, Alternative::Greater);
+        let cles = common_language_effect_size(alg, rs);
+        BandVerdict {
+            fired: cles >= self.cles_threshold,
+            p_value: r.p_value,
+            cles,
+            significant: r.p_value < self.alpha,
+        }
+    }
+}
+
+/// Rank tests are undefined when every pooled observation is identical.
+fn degenerate(a: &[f64], b: &[f64]) -> bool {
+    if a.is_empty() || b.is_empty() {
+        return true;
+    }
+    let first = a[0];
+    a.iter().chain(b).all(|&v| v == first)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{TraceEvent, TraceRecord};
+
+    fn trial(index: usize, cost: f64, best: f64) -> TraceEvent {
+        TraceEvent {
+            t_us: index as u64,
+            record: TraceRecord::Trial {
+                index,
+                config: vec![1],
+                cost,
+                best,
+            },
+        }
+    }
+
+    fn point(name: &str, fields: &[(&str, f64)]) -> TraceEvent {
+        TraceEvent {
+            t_us: 0,
+            record: TraceRecord::Point {
+                name: name.to_string(),
+                fields: fields.iter().map(|&(k, v)| (k.to_string(), v)).collect(),
+            },
+        }
+    }
+
+    fn span_end(name: &str) -> TraceEvent {
+        TraceEvent {
+            t_us: 0,
+            record: TraceRecord::SpanEnd {
+                name: name.to_string(),
+            },
+        }
+    }
+
+    fn small_cfg() -> DiagnosticsConfig {
+        DiagnosticsConfig {
+            stall_window: 5,
+            min_trials: 5,
+            min_phase_samples: 5,
+            min_calibration_pairs: 5,
+            ..DiagnosticsConfig::default()
+        }
+    }
+
+    #[test]
+    fn constant_costs_latch_converged_and_advise_stop() {
+        let mut d = SearchDiagnostics::new(small_cfg());
+        for i in 0..12 {
+            d.observe(&trial(i, 3.0, 3.0));
+        }
+        let r = d.report();
+        assert_eq!(r.pathologies, vec![Pathology::Converged]);
+        assert_eq!(r.improvements, 1);
+        assert_eq!(r.stall_length, 11);
+        assert_eq!(r.advisor.recommendation, Recommendation::Stop { at: 1 });
+        // Latched verdicts drain once.
+        let mut d2 = SearchDiagnostics::new(small_cfg());
+        for i in 0..12 {
+            d2.observe(&trial(i, 3.0, 3.0));
+            for p in d2.drain_new_pathologies() {
+                assert_eq!(p, Pathology::Converged);
+            }
+        }
+        assert!(d2.drain_new_pathologies().is_empty());
+    }
+
+    #[test]
+    fn spread_stall_latches_stalled_not_converged() {
+        let mut d = SearchDiagnostics::new(small_cfg());
+        d.observe(&trial(0, 1.0, 1.0));
+        // Wildly spread costs, none beating the incumbent.
+        for i in 1..12 {
+            let c = 2.0 + (i % 5) as f64 * 3.0;
+            d.observe(&trial(i, c, 1.0));
+        }
+        let r = d.report();
+        assert_eq!(r.pathologies, vec![Pathology::Stalled]);
+        assert_eq!(r.best, Some(1.0));
+    }
+
+    #[test]
+    fn steady_improvement_stays_healthy() {
+        let mut d = SearchDiagnostics::new(small_cfg());
+        for i in 0..30 {
+            let c = 100.0 - i as f64;
+            d.observe(&trial(i, c, c));
+        }
+        let r = d.report();
+        assert!(r.pathologies.is_empty(), "{:?}", r.pathologies);
+        assert_eq!(r.advisor.recommendation, Recommendation::Continue);
+        assert!(r.advisor.expected_marginal_improvement > 0.0);
+        assert_eq!(r.improvements, 30);
+    }
+
+    #[test]
+    fn guided_phase_losing_latches_worse_than_random() {
+        let mut d = SearchDiagnostics::new(small_cfg());
+        // Random startup finds costs near 10.
+        for i in 0..6 {
+            d.observe(&trial(i, 10.0 + i as f64 * 0.1, 10.0));
+        }
+        d.observe(&span_end("acquisition"));
+        // The "model" proposes strictly worse configurations.
+        for i in 6..16 {
+            d.observe(&trial(i, 20.0 + i as f64, 10.0));
+        }
+        let r = d.report();
+        assert!(r.pathologies.contains(&Pathology::WorseThanRandom));
+        assert_eq!(r.advisor.recommendation, Recommendation::SwitchTechnique);
+        assert!(r.advisor.confidence > 0.9, "{}", r.advisor.confidence);
+        let shift = r.phase_shift.unwrap();
+        assert!(shift.cles_guided_worse >= 0.7);
+    }
+
+    #[test]
+    fn anticalibrated_surrogate_latches_overfitting() {
+        let mut d = SearchDiagnostics::new(small_cfg());
+        for i in 0..5 {
+            d.observe(&trial(i, 5.0, 5.0));
+        }
+        d.observe(&span_end("acquisition"));
+        // Predictions perfectly anti-correlated with outcomes, and no
+        // trial beats the startup incumbent: stall + bad calibration.
+        for i in 0..10 {
+            let pred = 10.0 - i as f64;
+            let obs = 6.0 + i as f64;
+            d.observe(&point("surrogate_pred", &[("value", pred)]));
+            d.observe(&trial(5 + i, obs, 5.0));
+        }
+        let r = d.report();
+        assert!(r.pathologies.contains(&Pathology::Overfitting));
+        let calib = r.calibration.unwrap();
+        assert_eq!(calib.pairs, 10);
+        assert!(calib.rank_concordance <= -0.99);
+        assert!(calib.directional_accuracy < 0.01);
+    }
+
+    #[test]
+    fn well_calibrated_surrogate_never_latches_overfitting() {
+        let mut d = SearchDiagnostics::new(small_cfg());
+        for i in 0..5 {
+            d.observe(&trial(i, 50.0, 50.0));
+        }
+        d.observe(&span_end("acquisition"));
+        for i in 0..20 {
+            let obs = 40.0 - i as f64;
+            d.observe(&point("surrogate_pred", &[("value", obs - 0.5)]));
+            d.observe(&trial(5 + i, obs, obs));
+        }
+        let r = d.report();
+        assert!(!r.pathologies.contains(&Pathology::Overfitting));
+        let calib = r.calibration.unwrap();
+        assert!(calib.rank_concordance > 0.99);
+    }
+
+    #[test]
+    fn ga_and_rs_shapes_cannot_latch_model_verdicts() {
+        // No acquisition span ever completes, so WorseThanRandom and
+        // calibration-based verdicts are structurally unreachable no
+        // matter how bad the cost stream looks.
+        let mut d = SearchDiagnostics::new(small_cfg());
+        d.observe(&trial(0, 1.0, 1.0));
+        for i in 1..40 {
+            d.observe(&trial(i, 1000.0 + i as f64, 1.0));
+        }
+        let r = d.report();
+        assert!(!r.pathologies.contains(&Pathology::WorseThanRandom));
+        assert!(!r.pathologies.contains(&Pathology::Overfitting));
+        assert!(r.exploration.is_none());
+        assert_eq!(r.guided_trials, 0);
+    }
+
+    #[test]
+    fn null_model_reads_the_empirical_best_of_n() {
+        let mut d = SearchDiagnostics::new(DiagnosticsConfig::default());
+        for i in 0..10 {
+            d.observe(&trial(i, (10 - i) as f64, 0.0));
+        }
+        let r = d.report();
+        let null = r.null_best_estimate.unwrap();
+        let best = r.best.unwrap();
+        assert!(null >= best, "null {null} < best {best}");
+        assert!(r.null_gap.unwrap() >= 0.0);
+    }
+
+    #[test]
+    fn acquisition_scores_feed_exploration_stats() {
+        let mut d = SearchDiagnostics::new(small_cfg());
+        for i in 0..3 {
+            d.observe(&trial(i, 9.0 - i as f64, 9.0 - i as f64));
+        }
+        d.observe(&span_end("acquisition"));
+        d.observe(&point("acquisition_value", &[("score", 0.5)]));
+        d.observe(&trial(3, 5.0, 5.0));
+        d.observe(&point("acquisition_value", &[("score", 1.5)]));
+        d.observe(&trial(4, 4.0, 4.0));
+        let r = d.report();
+        let e = r.exploration.unwrap();
+        assert_eq!(e.scores, 2);
+        assert!((e.acquisition_mean - 1.0).abs() < 1e-12);
+        assert_eq!(r.guided_trials, 2);
+        assert_eq!(r.startup_trials, 3);
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let mut d = SearchDiagnostics::new(small_cfg());
+        for i in 0..4 {
+            d.observe(&trial(i, 7.0 - i as f64, 7.0 - i as f64));
+        }
+        d.observe(&span_end("acquisition"));
+        d.observe(&point("surrogate_pred", &[("value", 2.5)]));
+        d.observe(&trial(4, 2.0, 2.0));
+        let r = d.report();
+        let json = serde_json::to_string(&r).unwrap();
+        let back: DiagnosticsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+        let disabled = DiagnosticsReport::disabled();
+        let json = serde_json::to_string(&disabled).unwrap();
+        let back: DiagnosticsReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, disabled);
+    }
+
+    #[test]
+    fn diagnostics_state_is_a_pure_function_of_the_event_stream() {
+        // Same events, different timestamps: identical reports — the
+        // recovery-by-replay contract.
+        let mut a = SearchDiagnostics::new(small_cfg());
+        let mut b = SearchDiagnostics::new(small_cfg());
+        for i in 0..25 {
+            let cost = (i % 7) as f64 + 1.0;
+            let mut ea = trial(i, cost, 1.0);
+            let mut eb = trial(i, cost, 1.0);
+            ea.t_us = i as u64;
+            eb.t_us = (i * 1000 + 17) as u64;
+            a.observe(&ea);
+            b.observe(&eb);
+        }
+        assert_eq!(a.report(), b.report());
+    }
+
+    #[test]
+    fn band_detector_fires_on_a_real_dip_and_stays_quiet_on_noise() {
+        let det = BandDetector::default();
+        // A genuine dip: the higher-budget population is clearly worse.
+        let at_100 = [3.0, 3.1, 3.2, 3.3, 3.4, 3.5, 3.6, 3.7, 3.8, 3.9];
+        let at_200 = [5.0, 5.2, 5.4, 5.6, 5.8];
+        let v = det.overfitting_dip(&at_100, &at_200);
+        assert!(v.fired && v.significant);
+        assert!(v.cles > 0.9);
+        // Repeat noise: overlapping populations must not fire.
+        let noisy_200 = [3.1, 3.45, 3.75, 3.2, 3.95];
+        let v = det.overfitting_dip(&at_100, &noisy_200);
+        assert!(!v.fired, "p={} cles={}", v.p_value, v.cles);
+        // Degenerate input answers quietly instead of panicking.
+        let v = det.overfitting_dip(&[1.0, 1.0], &[1.0, 1.0, 1.0]);
+        assert!(!v.fired && v.p_value == 1.0);
+    }
+
+    #[test]
+    fn band_detector_worse_than_random_is_effect_size_latched() {
+        let det = BandDetector::default();
+        let rs = [4.0, 4.5, 5.0];
+        let alg_bad = [5.1, 5.2, 4.4];
+        // 7/9 pairs lose: CLES 0.778 ≥ 0.7 fires even though n=3 can
+        // never reach significance.
+        let v = det.worse_than_random(&alg_bad, &rs);
+        assert!(v.fired);
+        assert!((v.cles - 7.0 / 9.0).abs() < 1e-12);
+        assert!(!v.significant);
+        // An algorithm that matches RS stays quiet.
+        let v = det.worse_than_random(&rs, &rs);
+        assert!(!v.fired);
+        assert!((v.cles - 0.5).abs() < 1e-12);
+    }
+}

@@ -51,6 +51,7 @@ pub mod bo_gp;
 pub mod bo_tpe;
 pub mod bohb;
 pub mod commit;
+pub mod diagnostics;
 pub mod fidelity;
 pub mod ga;
 pub mod grid;
@@ -69,6 +70,10 @@ pub mod trace;
 pub mod tuner;
 
 pub use commit::{BatchOutcome, CommitterStats, GroupCommitter, WriterHandle};
+pub use diagnostics::{
+    Advisor, BandDetector, BandVerdict, DiagnosticsConfig, DiagnosticsReport, Pathology,
+    Recommendation, SearchDiagnostics,
+};
 pub use history::{Evaluation, History};
 pub use objective::Objective;
 pub use prior::{PriorHistory, PriorPoint};

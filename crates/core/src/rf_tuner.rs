@@ -142,6 +142,18 @@ impl Tuner for RandomForestTuner {
         // chunking it is also exact.
         let take = shortlist.len().min(rec.remaining());
         for chunk in shortlist[..take].chunks(ctx.batch.max(1)) {
+            // Leave-last-out probes for the diagnostics layer: the
+            // forest's predicted runtime for each config it is about to
+            // verify (lower = predicted better). Observational only —
+            // no RNG, gated on the sink.
+            if ctx.trace.is_enabled() {
+                for cfg in chunk {
+                    let pred = forest.predict(&ctx.space.to_unit_features(cfg));
+                    if pred.is_finite() {
+                        trace::point(ctx.trace, "surrogate_pred", &[("value", pred)]);
+                    }
+                }
+            }
             rec.measure_batch(chunk);
         }
         // If dedup left fewer than `verify` candidates, spend the rest

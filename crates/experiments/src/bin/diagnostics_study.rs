@@ -1,0 +1,230 @@
+//! `diagnostics_study` — validates the search-health band detectors
+//! against the committed ground truth.
+//!
+//! ```text
+//! diagnostics_study [--from FILE] [--check]
+//! ```
+//!
+//! Runs [`BandDetector`] over a saved `study_results.json` (default: the
+//! committed scale-0.05 study) and prints every fired verdict:
+//!
+//! * **Overfitting dips** — adjacent sample-size bands of the same cell
+//!   where the *higher*-budget runtimes are significantly worse, the
+//!   paper's Fig. 4 BO GP 100→200 signature.
+//! * **Worse than random** — cells losing to the RS cell at the same
+//!   (benchmark, architecture, sample size) on effect size alone.
+//!
+//! With `--check` the scan becomes the CI assertion: BO GP must dip in
+//! the 100→200 band, Random Forest must go worse-than-random somewhere,
+//! and Genetic Algorithm and Random Search must both stay completely
+//! quiet (zero false positives). Exit 1 on any miss.
+
+use autotune_core::{Algorithm, BandDetector};
+use experiments::grid::{CellKey, StudyResults};
+use std::collections::BTreeMap;
+use std::process::exit;
+
+const DEFAULT_RESULTS: &str = "results/scale005/study_results.json";
+
+fn usage(code: i32) -> ! {
+    eprintln!("usage: diagnostics_study [--from FILE] [--check]");
+    eprintln!();
+    eprintln!("  --from FILE  saved study_results.json (default {DEFAULT_RESULTS})");
+    eprintln!("  --check      assert the committed ground truth: BO GP overfits in");
+    eprintln!("               the 100->200 band, RF goes worse-than-random, GA and");
+    eprintln!("               RS stay quiet; exit 1 otherwise");
+    exit(code)
+}
+
+/// One fired verdict, kept for the summary and the `--check` gate.
+struct Finding {
+    algorithm: Algorithm,
+    benchmark: String,
+    architecture: String,
+    /// `(lower, higher)` band for dips; `(S, S)` for worse-than-random.
+    band: (usize, usize),
+    p_value: f64,
+    cles: f64,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut from = DEFAULT_RESULTS.to_string();
+    let mut check = false;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        match flag.as_str() {
+            "--from" => match it.next() {
+                Some(path) => from = path.clone(),
+                None => usage(2),
+            },
+            "--check" => check = true,
+            "--help" | "-h" => usage(0),
+            _ => usage(2),
+        }
+    }
+
+    let json = std::fs::read_to_string(&from).unwrap_or_else(|e| {
+        eprintln!("diagnostics_study: cannot read {from}: {e}");
+        exit(2);
+    });
+    let results = StudyResults::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("diagnostics_study: {from} is not a study_results.json: {e}");
+        exit(2);
+    });
+
+    let detector = BandDetector::default();
+    let algorithms = results.algorithms();
+    let pairs = results.pairs();
+    let sizes = &results.sample_sizes;
+    println!(
+        "search-health band scan: {} algorithms x {} panels x {} sample sizes from {from}",
+        algorithms.len(),
+        pairs.len(),
+        sizes.len()
+    );
+
+    let key = |algorithm: Algorithm, bench: &str, arch_name: &str, s: usize| CellKey {
+        algorithm,
+        benchmark: bench.to_string(),
+        architecture: arch_name.to_string(),
+        sample_size: s,
+    };
+
+    // Overfitting dips: every adjacent sample-size band of every cell.
+    let mut dips: Vec<Finding> = Vec::new();
+    println!("\n# overfitting dips (higher-budget runtimes significantly worse)");
+    for &algorithm in &algorithms {
+        for (bench, arch_name) in &pairs {
+            for window in sizes.windows(2) {
+                let (lo, hi) = (window[0], window[1]);
+                let (Some(at_lo), Some(at_hi)) = (
+                    results.cell(&key(algorithm, bench, arch_name, lo)),
+                    results.cell(&key(algorithm, bench, arch_name, hi)),
+                ) else {
+                    continue;
+                };
+                let v = detector.overfitting_dip(&at_lo.final_ms, &at_hi.final_ms);
+                if v.fired {
+                    println!(
+                        "{:<18} {bench:<12} {arch_name:<10} {lo:>3}->{hi:<3}  p={:.4} cles={:.3}",
+                        algorithm.name(),
+                        v.p_value,
+                        v.cles
+                    );
+                    dips.push(Finding {
+                        algorithm,
+                        benchmark: bench.clone(),
+                        architecture: arch_name.clone(),
+                        band: (lo, hi),
+                        p_value: v.p_value,
+                        cles: v.cles,
+                    });
+                }
+            }
+        }
+    }
+    if dips.is_empty() {
+        println!("(none)");
+    }
+
+    // Worse-than-random: every non-RS cell against its RS counterpart.
+    let mut wtr: Vec<Finding> = Vec::new();
+    println!(
+        "\n# worse than random (CLES vs the RS cell >= {:.2})",
+        detector.cles_threshold
+    );
+    for &algorithm in &algorithms {
+        if algorithm == Algorithm::RandomSearch {
+            continue;
+        }
+        for (bench, arch_name) in &pairs {
+            for &s in sizes {
+                let (Some(alg), Some(rs)) = (
+                    results.cell(&key(algorithm, bench, arch_name, s)),
+                    results.cell(&key(Algorithm::RandomSearch, bench, arch_name, s)),
+                ) else {
+                    continue;
+                };
+                let v = detector.worse_than_random(&alg.final_ms, &rs.final_ms);
+                if v.fired {
+                    println!(
+                        "{:<18} {bench:<12} {arch_name:<10} S={s:<4}  cles={:.3} (p={:.2})",
+                        algorithm.name(),
+                        v.cles,
+                        v.p_value
+                    );
+                    wtr.push(Finding {
+                        algorithm,
+                        benchmark: bench.clone(),
+                        architecture: arch_name.clone(),
+                        band: (s, s),
+                        p_value: v.p_value,
+                        cles: v.cles,
+                    });
+                }
+            }
+        }
+    }
+    if wtr.is_empty() {
+        println!("(none)");
+    }
+
+    let mut per_algo: BTreeMap<&str, (usize, usize)> = BTreeMap::new();
+    for f in &dips {
+        per_algo.entry(f.algorithm.name()).or_default().0 += 1;
+    }
+    for f in &wtr {
+        per_algo.entry(f.algorithm.name()).or_default().1 += 1;
+    }
+    println!("\n# summary (dips / worse-than-random per algorithm)");
+    for (name, (d, w)) in &per_algo {
+        println!("{name:<18} {d} / {w}");
+    }
+
+    if !check {
+        return;
+    }
+    let mut failures = Vec::new();
+    let bogp_dip = dips
+        .iter()
+        .find(|f| f.algorithm == Algorithm::BoGp && f.band == (100, 200));
+    match bogp_dip {
+        Some(f) => println!(
+            "\ncheck: BO GP 100->200 dip detected on {}/{} (p={:.4}, cles={:.3})",
+            f.benchmark, f.architecture, f.p_value, f.cles
+        ),
+        None => failures.push("BO GP 100->200 overfitting dip not detected".to_string()),
+    }
+    let rf_wtr = wtr.iter().find(|f| f.algorithm == Algorithm::RandomForest);
+    match rf_wtr {
+        Some(f) => println!(
+            "check: RF worse-than-random detected on {}/{} at S={} (cles={:.3})",
+            f.benchmark, f.architecture, f.band.0, f.cles
+        ),
+        None => failures.push("RF worse-than-random not detected".to_string()),
+    }
+    for quiet in [Algorithm::GeneticAlgorithm, Algorithm::RandomSearch] {
+        let fired = dips
+            .iter()
+            .chain(wtr.iter())
+            .filter(|f| f.algorithm == quiet)
+            .count();
+        if fired == 0 {
+            println!("check: {} stayed quiet (0 verdicts)", quiet.name());
+        } else {
+            failures.push(format!(
+                "{} fired {fired} verdict(s); expected zero false positives",
+                quiet.name()
+            ));
+        }
+    }
+    if failures.is_empty() {
+        println!("check: PASS");
+    } else {
+        for f in &failures {
+            eprintln!("diagnostics_study: FAIL: {f}");
+        }
+        exit(1);
+    }
+}

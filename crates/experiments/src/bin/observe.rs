@@ -25,6 +25,7 @@
 //! (default 1000), reconnecting per tick so a restarted server is
 //! picked up.
 
+use autotune_kb::KbStats;
 use autotune_service::metrics::MetricsSnapshot;
 use autotune_service::{Client, HealthReport, HealthStatus, LogRecord, TimePoint, SHARD_COUNT};
 use experiments::journal;
@@ -110,6 +111,7 @@ fn render_server_frame(
     points: &[TimePoint],
     health: Option<&HealthReport>,
     logs: &[LogRecord],
+    kb: Option<&KbStats>,
 ) -> String {
     let mut out = String::new();
     let _ = writeln!(
@@ -230,6 +232,49 @@ fn render_server_frame(
         );
     }
 
+    // Knowledge-base traffic plus (when the `kb` op answers) the store's
+    // shape. Pre-kb servers export neither and the panel disappears.
+    if let Some(hits) = snapshot.counter("kb_hits") {
+        out.push_str("\n# knowledge base\n");
+        let _ = writeln!(
+            out,
+            "hits {hits}, misses {}, seeded sessions {}, append failures {}",
+            snapshot.counter("kb_misses").unwrap_or(0),
+            snapshot.counter("kb_seeded_sessions").unwrap_or(0),
+            snapshot.counter("kb_append_failures").unwrap_or(0),
+        );
+        if let Some(stats) = kb {
+            let _ = writeln!(
+                out,
+                "store: {} studies ({} converged), {} problems, {} families, {} evaluations",
+                stats.studies,
+                stats.converged_studies,
+                stats.problems,
+                stats.families,
+                stats.evaluations
+            );
+        }
+    }
+
+    // Per-session search-health rollup; absent on pre-diagnostics
+    // servers.
+    if let Some(pathologies) = snapshot.counter("search_health_pathologies") {
+        out.push_str("\n# search health\n");
+        let enabled = health
+            .and_then(|h| h.search.as_ref())
+            .map(|s| s.enabled)
+            .unwrap_or(false);
+        let _ = writeln!(
+            out,
+            "diagnostics {}: {} diagnose(s) served, {pathologies} pathology verdict(s), {} session(s) flagged",
+            if enabled { "on" } else { "off" },
+            snapshot.counter("search_health_diagnoses").unwrap_or(0),
+            snapshot
+                .counter("search_health_sessions_flagged")
+                .unwrap_or(0),
+        );
+    }
+
     if let Some(health) = health {
         out.push_str("\n# health\n");
         let status = match health.status {
@@ -283,6 +328,14 @@ fn render_server_frame(
             w.kb_append_failures,
             w.log_sink_failures
         );
+        if let Some(age) = w.wal_checkpoint_age_seconds {
+            let _ = writeln!(
+                out,
+                "wal: {} appends, checkpoint age {age:.0}s{}",
+                w.wal_appends,
+                if w.wal_stale { "  STALE" } else { "" }
+            );
+        }
         let _ = writeln!(
             out,
             "log: {} records, {} rate-dropped, {} slow ops",
@@ -317,15 +370,17 @@ fn server_frame(addr: &str) -> Result<String, String> {
     let points = client
         .timeseries()
         .map_err(|e| format!("timeseries: {e}"))?;
-    // Pre-correlation servers answer these two with protocol errors;
-    // the frame degrades to the classic panels instead of failing.
+    // Pre-correlation servers answer these with protocol errors; the
+    // frame degrades to the classic panels instead of failing.
     let health = client.health().ok();
     let logs = client.log_tail(LOG_TAIL).unwrap_or_default();
+    let kb = client.kb_stats().ok();
     Ok(render_server_frame(
         &snapshot,
         &points,
         health.as_ref(),
         &logs,
+        kb.as_ref(),
     ))
 }
 

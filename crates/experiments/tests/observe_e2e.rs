@@ -16,6 +16,10 @@ use std::sync::Arc;
 use std::time::Duration;
 
 const BASELINE: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_baseline.json");
+const STUDY: &str = concat!(
+    env!("CARGO_MANIFEST_DIR"),
+    "/../../results/scale005/study_results.json"
+);
 
 fn temp_path(tag: &str, ext: &str) -> PathBuf {
     static COUNTER: AtomicUsize = AtomicUsize::new(0);
@@ -109,6 +113,9 @@ fn observatory_end_to_end_against_live_server() {
     assert!(counters.iter().any(|(n, _)| *n == "server_requests"));
     assert!(stdout.contains("# activity"));
     assert!(stdout.contains("# search phase time"));
+    assert!(stdout.contains("# knowledge base"), "{stdout}");
+    assert!(stdout.contains("# search health"), "{stdout}");
+    assert!(stdout.contains("diagnostics off"), "{stdout}");
 
     server.stop_accepting();
 }
@@ -173,6 +180,29 @@ fn observe_rejects_bad_flag_combinations() {
     assert_eq!(both.status.code(), Some(2));
     let stderr = String::from_utf8(both.stderr).unwrap();
     assert!(stderr.contains("exactly one of"));
+}
+
+#[test]
+fn diagnostics_study_detects_the_committed_ground_truth() {
+    // The band detectors against the committed scale-0.05 study: the
+    // paper's two pathologies must be found, GA and RS must stay quiet.
+    let output = Command::new(env!("CARGO_BIN_EXE_diagnostics_study"))
+        .args(["--from", STUDY, "--check"])
+        .output()
+        .expect("diagnostics_study runs");
+    let stdout = String::from_utf8(output.stdout).unwrap();
+    assert!(output.status.success(), "{stdout}");
+    assert!(
+        stdout.contains("check: BO GP 100->200 dip detected"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("check: RF worse-than-random detected"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("check: GA stayed quiet"), "{stdout}");
+    assert!(stdout.contains("check: RS stayed quiet"), "{stdout}");
+    assert!(stdout.contains("check: PASS"), "{stdout}");
 }
 
 #[test]

@@ -8,6 +8,7 @@
 //!       [--max-conns N] [--max-line-bytes N] [--idle-ttl SECS]
 //!       [--timeseries-interval-ms MS] [--log-level off|error|warn|info|debug]
 //!       [--log-file PATH] [--slow-op-ms MS] [--slo-p99-ms MS]
+//!       [--diagnostics] [--advisor-alpha A] [--wal-stale-secs SECS]
 //! ```
 //!
 //! Speaks newline-delimited JSON over TCP (see the protocol module of
@@ -32,7 +33,16 @@
 //! sets the slow-op ring's threshold (the ring works even with logging
 //! off), and `--slo-p99-ms` sets the latency target the `health` op
 //! budgets against.
+//!
+//! Search health: `--diagnostics` turns on per-session search-health
+//! observation (the `diagnose` op answers with live signals, latched
+//! pathology verdicts, and the sample-size advisor; off by default and
+//! bit-identical to a diagnostics-free build when off), and
+//! `--advisor-alpha` sets the advisor's significance level (implies
+//! `--diagnostics`). `--wal-stale-secs` sets how old the WAL checkpoint
+//! may grow before `health` degrades the write path.
 
+use autotune_core::DiagnosticsConfig;
 use autotune_kb::KbStore;
 use autotune_service::{
     Durability, EventLog, LogLevel, ServerConfig, SessionManager, TunedServer, WalConfig,
@@ -56,6 +66,8 @@ struct Args {
     kb_path: Option<String>,
     log_level: Option<LogLevel>,
     log_file: Option<String>,
+    diagnostics: bool,
+    advisor_alpha: Option<f64>,
     config: ServerConfig,
 }
 
@@ -68,6 +80,7 @@ fn usage(code: i32) -> ! {
     eprintln!("             [--max-conns N] [--max-line-bytes N] [--idle-ttl SECS]");
     eprintln!("             [--timeseries-interval-ms MS] [--log-level off|error|warn|info|debug]");
     eprintln!("             [--log-file PATH] [--slow-op-ms MS] [--slo-p99-ms MS]");
+    eprintln!("             [--diagnostics] [--advisor-alpha A] [--wal-stale-secs SECS]");
     eprintln!();
     eprintln!("  --addr HOST:PORT     listen address (default 127.0.0.1:4242)");
     eprintln!("  --journal-dir DIR    journal sessions under DIR (one JSONL file per");
@@ -122,6 +135,20 @@ fn usage(code: i32) -> ! {
         "                       error budgets against (default {})",
         defaults.slo_p99.as_millis()
     );
+    eprintln!("  --diagnostics        observe per-session search health (pathology");
+    eprintln!("                       detection + sample-size advisor, served by the");
+    eprintln!("                       `diagnose` op; default off)");
+    eprintln!("  --advisor-alpha A    sample-size advisor significance level in (0, 1)");
+    eprintln!(
+        "                       (default {}; implies --diagnostics)",
+        DiagnosticsConfig::default().advisor_alpha
+    );
+    eprintln!("  --wal-stale-secs SECS  flag the write path unhealthy when the WAL");
+    eprintln!("                       checkpoint is older than this with unflushed bytes",);
+    eprintln!(
+        "                       (default {})",
+        defaults.wal_stale_after.as_secs()
+    );
     exit(code)
 }
 
@@ -149,6 +176,8 @@ fn parse_args() -> Args {
         ),
         log_level: None,
         log_file: None,
+        diagnostics: false,
+        advisor_alpha: None,
         config: ServerConfig::default(),
     };
     let mut argv = std::env::args().skip(1);
@@ -216,6 +245,19 @@ fn parse_args() -> Args {
             }
             "--slo-p99-ms" => {
                 args.config.slo_p99 = Duration::from_millis(parse(&flag, argv.next()))
+            }
+            "--diagnostics" => args.diagnostics = true,
+            "--advisor-alpha" => {
+                let alpha: f64 = parse(&flag, argv.next());
+                if !(alpha > 0.0 && alpha < 1.0) {
+                    eprintln!("tuned: --advisor-alpha must be in (0, 1)");
+                    usage(2)
+                }
+                args.advisor_alpha = Some(alpha);
+                args.diagnostics = true;
+            }
+            "--wal-stale-secs" => {
+                args.config.wal_stale_after = Duration::from_secs(parse(&flag, argv.next()))
             }
             "--help" | "-h" => usage(0),
             _ => usage(2),
@@ -286,6 +328,19 @@ fn main() {
             }
             manager.with_event_log(Arc::new(log))
         }
+    };
+    let manager = if args.diagnostics {
+        let mut cfg = DiagnosticsConfig::default();
+        if let Some(alpha) = args.advisor_alpha {
+            cfg.advisor_alpha = alpha;
+        }
+        eprintln!(
+            "tuned: search-health diagnostics on (advisor alpha {})",
+            cfg.advisor_alpha
+        );
+        manager.with_diagnostics(cfg)
+    } else {
+        manager
     };
     let manager = match &args.kb_path {
         Some(path) => {

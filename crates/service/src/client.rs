@@ -7,6 +7,7 @@ use crate::metrics::MetricsSnapshot;
 use crate::protocol::{HealthReport, Request, Response};
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
+use autotune_core::diagnostics::DiagnosticsReport;
 use autotune_core::trace::TraceEvent;
 use autotune_core::TuneResult;
 use autotune_kb::KbStats;
@@ -241,6 +242,22 @@ impl Client {
         let reply = self.call(&Request::Health { rid: None })?;
         match reply {
             Response::Health { health, .. } => Ok(*health),
+            other => Err(Self::unexpected(&other)),
+        }
+    }
+
+    /// Fetches the named session's search-health diagnostics report:
+    /// improvement/stall signals, surrogate calibration, latched
+    /// pathologies, and the sample-size advisor's recommendation. The
+    /// report answers with `enabled: false` when the server runs
+    /// without diagnostics.
+    pub fn diagnose(&mut self, name: &str) -> Result<DiagnosticsReport, ServiceError> {
+        let reply = self.call(&Request::Diagnose {
+            name: name.to_string(),
+            rid: None,
+        })?;
+        match reply {
+            Response::Diagnose { report, .. } => Ok(*report),
             other => Err(Self::unexpected(&other)),
         }
     }
@@ -571,6 +588,42 @@ mod tests {
 
         let slow = client.slow_ops().unwrap();
         assert!(!slow.is_empty(), "zero threshold records every op");
+    }
+
+    #[test]
+    fn client_fetches_diagnostics_reports() {
+        use autotune_core::diagnostics::DiagnosticsConfig;
+        use autotune_core::Pathology;
+        let manager = Arc::new(
+            SessionManager::in_memory().with_diagnostics(DiagnosticsConfig {
+                stall_window: 5,
+                min_trials: 5,
+                ..Default::default()
+            }),
+        );
+        let server = TunedServer::spawn("127.0.0.1:0", manager).unwrap();
+        let mut client = Client::connect(server.local_addr()).unwrap();
+        client.open("dg", toy_spec(40, 6)).unwrap();
+        // Constant costs: the session stalls flat and Converged latches.
+        for _ in 0..12 {
+            match client.suggest("dg").unwrap() {
+                RemoteSuggestion::Evaluate(_) => client.report("dg", 2.0).unwrap(),
+                RemoteSuggestion::Finished(_) => panic!("budget not spent"),
+            }
+        }
+        let report = client.diagnose("dg").unwrap();
+        assert!(report.enabled);
+        assert_eq!(report.trials, 12);
+        assert!(report.pathologies.contains(&Pathology::Converged));
+        let health = client.health().unwrap();
+        let search = health.search.expect("search rollup present");
+        assert!(search.enabled);
+        assert!(search.pathologies >= 1);
+        assert_eq!(search.diagnoses, 1);
+        assert!(matches!(
+            client.diagnose("ghost"),
+            Err(ServiceError::Remote { .. })
+        ));
     }
 
     #[test]

@@ -45,8 +45,9 @@ use crate::error::ServiceError;
 use crate::metrics::ServiceMetrics;
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
+use autotune_core::diagnostics::{DiagnosticsConfig, DiagnosticsReport, Pathology};
 use autotune_core::trace::{TraceEvent, TraceRecord, TraceSink};
-use autotune_core::{Evaluation, Objective, TuneResult};
+use autotune_core::{Evaluation, Objective, SearchDiagnostics, TuneResult};
 use autotune_space::{Configuration, Constraint};
 use crossbeam::channel::{bounded, Receiver, Sender};
 use std::collections::VecDeque;
@@ -74,14 +75,24 @@ struct TraceState {
     open: Vec<(String, u64)>,
     /// Events already handed out by `drain` (journaling cursor).
     drained: usize,
+    /// Search-health diagnostics, fed every event inside the same lock
+    /// the sink already takes. `None` (the default) costs one branch
+    /// per event and nothing else — the run is bit-identical to a
+    /// pre-diagnostics build because diagnostics only *read* the stream
+    /// (timestamps excluded, so replay recovery regenerates the exact
+    /// pre-crash state).
+    diagnostics: Option<SearchDiagnostics>,
 }
 
 impl EngineTraceSink {
-    fn new(metrics: Option<Arc<ServiceMetrics>>) -> Self {
+    fn new(metrics: Option<Arc<ServiceMetrics>>, diagnostics: Option<DiagnosticsConfig>) -> Self {
         EngineTraceSink {
             start: Instant::now(),
             metrics,
-            state: Mutex::new(TraceState::default()),
+            state: Mutex::new(TraceState {
+                diagnostics: diagnostics.map(SearchDiagnostics::new),
+                ..TraceState::default()
+            }),
         }
     }
 
@@ -113,7 +124,11 @@ impl TraceSink for EngineTraceSink {
             }
             _ => {}
         }
-        st.events.push(TraceEvent { t_us, record });
+        let event = TraceEvent { t_us, record };
+        if let Some(d) = &mut st.diagnostics {
+            d.observe(&event);
+        }
+        st.events.push(event);
     }
 }
 
@@ -237,11 +252,23 @@ impl AskTellSession {
         spec: SessionSpec,
         metrics: Option<Arc<ServiceMetrics>>,
     ) -> Result<Self, ServiceError> {
+        Self::open_with_observers(spec, metrics, None)
+    }
+
+    /// [`AskTellSession::open_with_metrics`] plus optional search-health
+    /// diagnostics: when a [`DiagnosticsConfig`] is given, every trace
+    /// event also feeds a [`SearchDiagnostics`] engine under the sink's
+    /// existing lock. `None` keeps the pre-diagnostics behavior exactly.
+    pub fn open_with_observers(
+        spec: SessionSpec,
+        metrics: Option<Arc<ServiceMetrics>>,
+        diagnostics: Option<DiagnosticsConfig>,
+    ) -> Result<Self, ServiceError> {
         spec.validate()?;
         let (event_tx, event_rx) = bounded::<EngineEvent>(0);
         let (report_tx, report_rx) = bounded::<Vec<f64>>(0);
         let engine_spec = spec.clone();
-        let trace = Arc::new(EngineTraceSink::new(metrics));
+        let trace = Arc::new(EngineTraceSink::new(metrics, diagnostics));
         let engine_trace = trace.clone();
         let worker = thread::Builder::new()
             .name("ask-tell-engine".into())
@@ -303,7 +330,21 @@ impl AskTellSession {
         evals: &[Evaluation],
         metrics: Option<Arc<ServiceMetrics>>,
     ) -> Result<Self, ServiceError> {
-        let mut session = Self::open_with_metrics(spec, metrics)?;
+        Self::replay_with_observers(spec, evals, metrics, None)
+    }
+
+    /// [`AskTellSession::replay_with_metrics`] plus optional search-health
+    /// diagnostics. Because diagnostics are a pure function of the
+    /// (timestamp-free) event stream and replay regenerates that stream
+    /// exactly, a recovered session's diagnostics match the lost
+    /// session's at the same point in its history.
+    pub fn replay_with_observers(
+        spec: SessionSpec,
+        evals: &[Evaluation],
+        metrics: Option<Arc<ServiceMetrics>>,
+        diagnostics: Option<DiagnosticsConfig>,
+    ) -> Result<Self, ServiceError> {
+        let mut session = Self::open_with_observers(spec, metrics, diagnostics)?;
         for eval in evals {
             match session.suggest()? {
                 Suggestion::Evaluate(cfg) => {
@@ -503,6 +544,27 @@ impl AskTellSession {
         self.trace.drain()
     }
 
+    /// Point-in-time search-health report. Returns the
+    /// [`DiagnosticsReport::disabled`] placeholder when the session was
+    /// opened without diagnostics.
+    pub fn diagnostics_report(&self) -> DiagnosticsReport {
+        let st = self.trace.state.lock().expect("trace lock");
+        st.diagnostics
+            .as_ref()
+            .map_or_else(DiagnosticsReport::disabled, |d| d.report())
+    }
+
+    /// Pathology verdicts latched since the previous drain — the feed
+    /// for event-log records and `search_health_*` counters. Empty when
+    /// diagnostics are disabled.
+    pub fn drain_pathologies(&self) -> Vec<Pathology> {
+        let mut st = self.trace.state.lock().expect("trace lock");
+        st.diagnostics
+            .as_mut()
+            .map(|d| d.drain_new_pathologies())
+            .unwrap_or_default()
+    }
+
     /// Snapshot of the session's observability counters.
     pub fn stats(&self) -> SessionStats {
         SessionStats {
@@ -599,8 +661,24 @@ impl ParkedSession {
         self,
         metrics: Option<Arc<ServiceMetrics>>,
     ) -> Result<AskTellSession, ServiceError> {
+        self.resume_with_observers(metrics, None)
+    }
+
+    /// [`ParkedSession::resume`] with optional search-health diagnostics,
+    /// so parking stays invisible to `diagnose` too: the replay
+    /// regenerates the event stream and with it the diagnostic state.
+    pub fn resume_with_observers(
+        self,
+        metrics: Option<Arc<ServiceMetrics>>,
+        diagnostics: Option<DiagnosticsConfig>,
+    ) -> Result<AskTellSession, ServiceError> {
         let replayed = self.replayed;
-        let mut session = AskTellSession::replay_with_metrics(self.spec, &self.confirmed, metrics)?;
+        let mut session = AskTellSession::replay_with_observers(
+            self.spec,
+            &self.confirmed,
+            metrics,
+            diagnostics,
+        )?;
         session.replayed = replayed;
         Ok(session)
     }
@@ -1035,6 +1113,32 @@ mod tests {
             reference_result.history.evaluations()
         );
         assert_eq!(resumed.stats().reports, 24);
+    }
+
+    #[test]
+    fn diagnostics_observe_without_perturbing_the_run() {
+        let spec = toy_spec(Algorithm::BoGp, 18, 33);
+        let mut plain = AskTellSession::open(spec.clone()).unwrap();
+        let reference = drive(&mut plain);
+        assert!(!plain.diagnostics_report().enabled);
+        assert!(plain.drain_pathologies().is_empty());
+
+        let mut observed =
+            AskTellSession::open_with_observers(spec, None, Some(DiagnosticsConfig::default()))
+                .unwrap();
+        let result = drive(&mut observed);
+        assert_eq!(
+            result.history.evaluations(),
+            reference.history.evaluations()
+        );
+        let report = observed.diagnostics_report();
+        assert!(report.enabled);
+        assert_eq!(report.trials, 18);
+        assert!(report.guided_trials > 0);
+        assert!(
+            report.calibration.is_some(),
+            "GP sessions emit surrogate_pred probes"
+        );
     }
 
     #[test]

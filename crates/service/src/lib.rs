@@ -125,7 +125,9 @@ pub use journal::Durability;
 pub use log::{derive_rid, rid_scope, EventLog, LogCounts, LogLevel, LogRecord, SlowOp};
 pub use manager::{KbAnswer, ManagerTotals, SessionManager, DEFAULT_MAX_RESIDENT, SHARD_COUNT};
 pub use metrics::{Exemplar, MetricsSnapshot, ServiceMetrics};
-pub use protocol::{Availability, HealthReport, HealthStatus, Saturation, SloBudget, WriteHealth};
+pub use protocol::{
+    Availability, HealthReport, HealthStatus, Saturation, SearchHealth, SloBudget, WriteHealth,
+};
 pub use server::{ServerConfig, TunedServer};
 pub use spec::{SessionSpec, SpaceSpec, WarmStart};
 pub use stats::SessionStats;

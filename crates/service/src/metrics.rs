@@ -16,7 +16,7 @@
 
 use crate::tsdb::{RecordOutcome, TimePoint, TimeSeriesStore};
 use serde::{Deserialize, Serialize};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -299,6 +299,12 @@ pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     /// Histogram name → snapshot.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Names in `counters` that are last-value gauges rather than
+    /// monotone counters (WAL levels, shard depths, flagged-session
+    /// counts, …), so the Prometheus rendering can type them correctly.
+    /// Empty in snapshots from pre-gauge-typing servers.
+    #[serde(default, skip_serializing_if = "BTreeSet::is_empty")]
+    pub gauge_names: BTreeSet<String>,
     /// Seconds since the metrics registry (≈ the server process) was
     /// created.
     #[serde(default)]
@@ -322,21 +328,48 @@ impl MetricsSnapshot {
     }
 
     /// Renders the snapshot as Prometheus text exposition lines, every
-    /// metric prefixed with `autotune_`. Counters become one
-    /// `<name> <value>` line; histograms expand to cumulative
+    /// metric prefixed with `autotune_` and preceded by spec-compliant
+    /// `# HELP` / `# TYPE` comment lines. Counters become one
+    /// `<name> <value>` line; gauges (see
+    /// [`gauge_names`](MetricsSnapshot::gauge_names)) the same with
+    /// `TYPE gauge`; histograms expand to cumulative
     /// `_bucket{le="..."}` lines (ending at `+Inf`) plus `_sum` and
-    /// `_count`.
+    /// `_count`. Ordering is fully deterministic — fixed preamble, then
+    /// counters and histograms each in `BTreeMap` (lexicographic)
+    /// order — and pinned by a golden test.
     pub fn render_prometheus(&self) -> String {
         let mut out = String::new();
+        let meta = |out: &mut String, name: &str, kind: &str, help: &str| {
+            out.push_str(&format!("# HELP autotune_{name} {help}\n"));
+            out.push_str(&format!("# TYPE autotune_{name} {kind}\n"));
+        };
+        meta(
+            &mut out,
+            "uptime_seconds",
+            "gauge",
+            "Seconds since the metrics registry started.",
+        );
         out.push_str(&format!(
             "autotune_uptime_seconds {}\n",
             self.uptime_seconds
         ));
+        meta(
+            &mut out,
+            "snapshot_seq",
+            "counter",
+            "Strictly increasing snapshot sequence number.",
+        );
         out.push_str(&format!("autotune_snapshot_seq {}\n", self.snapshot_seq));
         for (name, value) in &self.counters {
+            if self.gauge_names.contains(name) {
+                meta(&mut out, name, "gauge", "Last-value level gauge.");
+            } else {
+                meta(&mut out, name, "counter", "Monotone event counter.");
+            }
             out.push_str(&format!("autotune_{name} {value}\n"));
         }
         for (name, h) in &self.histograms {
+            meta(&mut out, name, "histogram", "Cumulative histogram.");
             let mut cumulative = 0u64;
             for (bound, count) in h.bounds.iter().zip(&h.counts) {
                 cumulative += count;
@@ -451,6 +484,11 @@ pub struct ServiceMetrics {
     /// Finished studies the knowledge base failed to persist (the
     /// close itself still succeeds; the kb is an opportunistic cache).
     pub kb_append_failures: Counter,
+    /// `diagnose` requests served (session-level search-health reads).
+    pub search_health_diagnoses: Counter,
+    /// Pathology verdicts latched across all diagnosed sessions
+    /// (Converged / Stalled / Overfitting / WorseThanRandom).
+    pub search_health_pathologies: Counter,
     /// Per-phase histograms of algorithm-internal span durations
     /// (`surrogate_fit`, `acquisition`, `objective`, …), fed by the
     /// engine's trace sink. Dynamic because the phase vocabulary is
@@ -636,10 +674,22 @@ impl ServiceMetrics {
             "kb_append_failures",
             &self.kb_append_failures,
         );
+        c(
+            &mut counters,
+            "search_health_diagnoses",
+            &self.search_health_diagnoses,
+        );
+        c(
+            &mut counters,
+            "search_health_pathologies",
+            &self.search_health_pathologies,
+        );
         c(&mut counters, "tsdb_samples", &self.tsdb_samples);
         c(&mut counters, "tsdb_downsamples", &self.tsdb_downsamples);
+        let mut gauge_names = BTreeSet::new();
         for (name, value) in self.gauges.lock().expect("metrics lock").iter() {
             counters.insert(name.clone(), *value);
+            gauge_names.insert(name.clone());
         }
         let mut snap_hist = |name: &str, hist: &Histogram| {
             let snapshot = hist.snapshot();
@@ -664,6 +714,7 @@ impl ServiceMetrics {
         MetricsSnapshot {
             counters,
             histograms,
+            gauge_names,
             uptime_seconds: self.start.0.elapsed().as_secs_f64(),
             snapshot_seq: self.snapshot_seq.fetch_add(1, Ordering::Relaxed) + 1,
         }
@@ -741,6 +792,15 @@ mod tests {
         assert!(text.contains("autotune_engine_suggest_seconds_bucket{le=\"+Inf\"} 2"));
         let mut lines = 0;
         for line in text.lines() {
+            if let Some(comment) = line.strip_prefix("# ") {
+                // HELP/TYPE comments name an autotune_-prefixed metric.
+                let mut parts = comment.split_whitespace();
+                let kind = parts.next().expect("comment kind");
+                assert!(kind == "HELP" || kind == "TYPE", "bad comment {line:?}");
+                let name = parts.next().expect("comment metric name");
+                assert!(name.starts_with("autotune_"), "bad name in {line:?}");
+                continue;
+            }
             let mut parts = line.split_whitespace();
             let name = parts.next().expect("metric name");
             let value = parts.next().expect("metric value");
@@ -750,6 +810,59 @@ mod tests {
             lines += 1;
         }
         assert!(lines > 20);
+    }
+
+    #[test]
+    fn prometheus_rendering_order_is_golden() {
+        // The exposition order is part of the scrape contract: fixed
+        // preamble, counters lexicographically, histograms
+        // lexicographically, each metric preceded by its HELP and TYPE
+        // comments. A gauge-typed entry renders as `gauge`.
+        let mut snap = MetricsSnapshot {
+            uptime_seconds: 1.5,
+            snapshot_seq: 9,
+            ..MetricsSnapshot::default()
+        };
+        snap.counters.insert("b_counter".into(), 2);
+        snap.counters.insert("a_counter".into(), 1);
+        snap.counters.insert("c_level".into(), 3);
+        snap.gauge_names.insert("c_level".into());
+        snap.histograms.insert(
+            "z_seconds".into(),
+            HistogramSnapshot {
+                bounds: vec![0.5],
+                counts: vec![1, 0],
+                sum_seconds: 0.25,
+                count: 1,
+                exemplars: Vec::new(),
+            },
+        );
+        let expected = "\
+# HELP autotune_uptime_seconds Seconds since the metrics registry started.
+# TYPE autotune_uptime_seconds gauge
+autotune_uptime_seconds 1.5
+# HELP autotune_snapshot_seq Strictly increasing snapshot sequence number.
+# TYPE autotune_snapshot_seq counter
+autotune_snapshot_seq 9
+# HELP autotune_a_counter Monotone event counter.
+# TYPE autotune_a_counter counter
+autotune_a_counter 1
+# HELP autotune_b_counter Monotone event counter.
+# TYPE autotune_b_counter counter
+autotune_b_counter 2
+# HELP autotune_c_level Last-value level gauge.
+# TYPE autotune_c_level gauge
+autotune_c_level 3
+# HELP autotune_z_seconds Cumulative histogram.
+# TYPE autotune_z_seconds histogram
+autotune_z_seconds_bucket{le=\"0.5\"} 1
+autotune_z_seconds_bucket{le=\"+Inf\"} 1
+autotune_z_seconds_sum 0.25
+autotune_z_seconds_count 1
+";
+        assert_eq!(snap.render_prometheus(), expected);
+        // Rendering is a pure function: same snapshot, same bytes.
+        assert_eq!(snap.render_prometheus(), snap.render_prometheus());
     }
 
     #[test]

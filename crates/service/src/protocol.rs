@@ -38,6 +38,8 @@
 //! <- {"reply":"kb","stats":{"studies":12,"converged_studies":9,...}}
 //! -> {"op":"kb","lookup":{"algorithm":"BoTpe","budget":40,"seed":2022,"space":{"kind":"image_cl"},"problem":{"kernel":"convolution","architecture":"Titan V"}}}
 //! <- {"reply":"kb","stats":{...},"answer":{"fingerprint":...,"best":{...},...}}
+//! -> {"op":"diagnose","name":"run"}
+//! <- {"reply":"diagnose","report":{"enabled":true,"trials":40,"pathologies":["overfitting"],...}}
 //! -> {"op":"close","name":"run"}
 //! <- {"reply":"closed","result":{...}}
 //! ```
@@ -91,6 +93,7 @@ use crate::metrics::MetricsSnapshot;
 use crate::spec::SessionSpec;
 use crate::stats::SessionStats;
 use crate::tsdb::TimePoint;
+use autotune_core::diagnostics::DiagnosticsReport;
 use autotune_core::trace::TraceEvent;
 use autotune_core::TuneResult;
 use autotune_kb::KbStats;
@@ -239,6 +242,16 @@ pub enum Request {
         #[serde(default, skip_serializing_if = "Option::is_none")]
         rid: Option<String>,
     },
+    /// Fetch a session's search-health diagnostics report (incumbent
+    /// trajectory, surrogate calibration, pathology verdicts, and the
+    /// sample-size advisor).
+    Diagnose {
+        /// The target session.
+        name: String,
+        /// Optional client-chosen correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
+    },
     /// Close and deregister the session.
     Close {
         /// The target session.
@@ -265,6 +278,7 @@ impl Request {
             | Request::Logs { rid, .. }
             | Request::Health { rid }
             | Request::Kb { rid, .. }
+            | Request::Diagnose { rid, .. }
             | Request::Close { rid, .. } => rid.as_deref(),
         }
     }
@@ -285,6 +299,7 @@ impl Request {
             Request::Logs { .. } => "logs",
             Request::Health { .. } => "health",
             Request::Kb { .. } => "kb",
+            Request::Diagnose { .. } => "diagnose",
             Request::Close { .. } => "close",
         }
     }
@@ -355,18 +370,49 @@ pub struct Saturation {
 }
 
 /// Persistence-layer write health.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct WriteHealth {
     /// Journal records appended so far.
     pub journal_appends: u64,
-    /// Journal appends that failed at the filesystem.
+    /// Journal appends that failed at the filesystem (WAL write/fsync
+    /// errors surface here too — WAL-backed journals report through the
+    /// same counter).
     pub journal_append_failures: u64,
     /// Finished studies the knowledge base failed to persist.
     pub kb_append_failures: u64,
     /// Log records the file sink failed to persist.
     pub log_sink_failures: u64,
-    /// `true` while every persistence layer has a clean write record.
+    /// Records the group-commit WAL has appended; 0 without a WAL.
+    #[serde(default)]
+    pub wal_appends: u64,
+    /// Seconds since the WAL last advanced a checkpoint; `None` without
+    /// a WAL (or before the first checkpoint-eligible write).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub wal_checkpoint_age_seconds: Option<f64>,
+    /// `true` when the WAL has unflushed active-segment bytes and the
+    /// checkpoint age exceeds the configured staleness threshold —
+    /// recovery replay is growing without bound.
+    #[serde(default, skip_serializing_if = "is_false")]
+    pub wal_stale: bool,
+    /// `true` while every persistence layer has a clean write record
+    /// (no append failures anywhere, and the WAL checkpoint is fresh).
     pub healthy: bool,
+}
+
+/// Aggregate search-health status across diagnosed sessions, as served
+/// by the `health` op. Pathologies are *informational*: a session whose
+/// search overfits does not degrade the server, so this section never
+/// affects [`HealthReport::status`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SearchHealth {
+    /// `true` when the server runs with per-session diagnostics on.
+    pub enabled: bool,
+    /// Sessions whose diagnostics have latched at least one pathology.
+    pub sessions_flagged: u64,
+    /// Pathology verdicts latched so far, across all sessions.
+    pub pathologies: u64,
+    /// `diagnose` requests served.
+    pub diagnoses: u64,
 }
 
 /// Liveness/readiness plus SLO state, as served by the `health` op.
@@ -391,6 +437,10 @@ pub struct HealthReport {
     pub writes: WriteHealth,
     /// Log-subsystem counters.
     pub log: LogCounts,
+    /// Search-health rollup; absent in replies from pre-diagnostics
+    /// servers.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub search: Option<SearchHealth>,
 }
 
 /// A server-to-client reply, one per line.
@@ -515,6 +565,16 @@ pub enum Response {
         #[serde(default, skip_serializing_if = "Option::is_none")]
         rid: Option<String>,
     },
+    /// Answer to `diagnose`.
+    Diagnose {
+        /// The session's search-health report (the
+        /// [`DiagnosticsReport::disabled`] placeholder when the server
+        /// runs without diagnostics).
+        report: Box<DiagnosticsReport>,
+        /// Echo of the request's correlation id.
+        #[serde(default, skip_serializing_if = "Option::is_none")]
+        rid: Option<String>,
+    },
     /// The session was closed.
     Closed {
         /// The final result, if the budget had been spent.
@@ -572,6 +632,7 @@ impl Response {
             | Response::Logs { rid, .. }
             | Response::Health { rid, .. }
             | Response::Kb { rid, .. }
+            | Response::Diagnose { rid, .. }
             | Response::Closed { rid, .. }
             | Response::Error { rid, .. } => rid.as_deref(),
         }
@@ -592,6 +653,7 @@ impl Response {
             | Response::Logs { rid, .. }
             | Response::Health { rid, .. }
             | Response::Kb { rid, .. }
+            | Response::Diagnose { rid, .. }
             | Response::Closed { rid, .. }
             | Response::Error { rid, .. } => *rid = Some(value),
         }
@@ -987,6 +1049,9 @@ mod tests {
                 journal_append_failures: 0,
                 kb_append_failures: 0,
                 log_sink_failures: 0,
+                wal_appends: 40,
+                wal_checkpoint_age_seconds: Some(1.5),
+                wal_stale: false,
                 healthy: true,
             },
             log: LogCounts {
@@ -995,6 +1060,12 @@ mod tests {
                 sink_failures: 0,
                 slow_ops: 2,
             },
+            search: Some(SearchHealth {
+                enabled: true,
+                sessions_flagged: 1,
+                pathologies: 2,
+                diagnoses: 3,
+            }),
         };
         let reply = Response::Health {
             health: Box::new(report.clone()),
@@ -1021,6 +1092,48 @@ mod tests {
         let json = serde_json::to_string(&slo).unwrap();
         assert!(json.contains("\"p99_seconds\":null"));
         assert_eq!(serde_json::from_str::<SloBudget>(&json).unwrap(), slo);
+    }
+
+    #[test]
+    fn diagnose_round_trips_and_health_stays_back_compatible() {
+        let req = Request::Diagnose {
+            name: "run".into(),
+            rid: Some("probe-7".into()),
+        };
+        let json = serde_json::to_string(&req).unwrap();
+        assert!(json.contains("\"op\":\"diagnose\""));
+        assert_eq!(serde_json::from_str::<Request>(&json).unwrap(), req);
+        assert_eq!(req.op_name(), "diagnose");
+        assert_eq!(req.rid(), Some("probe-7"));
+
+        let mut reply = Response::Diagnose {
+            report: Box::new(DiagnosticsReport::disabled()),
+            rid: None,
+        };
+        let json = serde_json::to_string(&reply).unwrap();
+        assert!(json.contains("\"reply\":\"diagnose\""));
+        assert!(json.contains("\"enabled\":false"));
+        match serde_json::from_str::<Response>(&json).unwrap() {
+            Response::Diagnose { report, rid } => {
+                assert!(!report.enabled);
+                assert!(rid.is_none());
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+        reply.set_rid("r-1".into());
+        assert_eq!(reply.rid(), Some("r-1"));
+
+        // Write-health records from pre-WAL-health servers parse with
+        // the new fields at their defaults.
+        let old = r#"{"journal_appends":1,"journal_append_failures":0,"kb_append_failures":0,"log_sink_failures":0,"healthy":true}"#;
+        let wh: WriteHealth = serde_json::from_str(old).unwrap();
+        assert_eq!(wh.wal_appends, 0);
+        assert!(wh.wal_checkpoint_age_seconds.is_none());
+        assert!(!wh.wal_stale);
+        // And a WAL-less server keeps the new optionals off the wire.
+        let json = serde_json::to_string(&wh).unwrap();
+        assert!(!json.contains("wal_checkpoint_age_seconds"));
+        assert!(!json.contains("wal_stale"));
     }
 
     #[test]

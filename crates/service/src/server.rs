@@ -37,7 +37,8 @@ use crate::error::ServiceError;
 use crate::log::{derive_rid, rid_scope};
 use crate::manager::SessionManager;
 use crate::protocol::{
-    Availability, HealthReport, HealthStatus, Request, Response, Saturation, SloBudget, WriteHealth,
+    Availability, HealthReport, HealthStatus, Request, Response, Saturation, SearchHealth,
+    SloBudget, WriteHealth,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -111,6 +112,10 @@ pub struct ServerConfig {
     /// The p99 latency target the `health` op computes error budgets
     /// against, per instrumented histogram (`--slo-p99-ms`).
     pub slo_p99: Duration,
+    /// How old the WAL's last checkpoint may grow (while unflushed
+    /// active-segment bytes exist) before the `health` op flags the
+    /// write path stale and degrades. Ignored without a WAL.
+    pub wal_stale_after: Duration,
 }
 
 impl Default for ServerConfig {
@@ -125,6 +130,7 @@ impl Default for ServerConfig {
             timeseries_interval: Some(Duration::from_secs(1)),
             slow_op_threshold: Duration::from_millis(250),
             slo_p99: Duration::from_millis(250),
+            wal_stale_after: Duration::from_secs(300),
         }
     }
 }
@@ -786,6 +792,12 @@ fn dispatch(request: Request, manager: &SessionManager, config: &ServerConfig) -
                 rid: None,
             }),
         },
+        Request::Diagnose { name, .. } => {
+            manager.diagnose(&name).map(|report| Response::Diagnose {
+                report: Box::new(report),
+                rid: None,
+            })
+        }
         Request::Close { name, .. } => manager
             .close(&name)
             .map(|result| Response::Closed { result, rid: None }),
@@ -896,14 +908,38 @@ fn health_report(manager: &SessionManager, config: &ServerConfig) -> HealthRepor
     };
 
     let log_counts = manager.event_log().counts();
+    // WAL staleness: refresh_wal_gauges above published the live levels,
+    // so the peek reads them back. A checkpoint is only "stale" while
+    // unflushed active-segment bytes exist — an idle WAL ages harmlessly.
+    let has_wal = manager.wal().is_some();
+    let wal_checkpoint_age_seconds = has_wal
+        .then(|| snapshot.counter("wal_checkpoint_age_seconds"))
+        .flatten()
+        .map(|secs| secs as f64);
+    let wal_stale = has_wal
+        && snapshot.counter("wal_active_segment_bytes").unwrap_or(0) > 0
+        && wal_checkpoint_age_seconds.is_some_and(|age| age > config.wal_stale_after.as_secs_f64());
     let writes = WriteHealth {
         journal_appends: snapshot.counter("journal_appends").unwrap_or(0),
         journal_append_failures: snapshot.counter("journal_append_failures").unwrap_or(0),
         kb_append_failures: snapshot.counter("kb_append_failures").unwrap_or(0),
         log_sink_failures: log_counts.sink_failures,
+        wal_appends: snapshot.counter("wal_appends").unwrap_or(0),
+        wal_checkpoint_age_seconds,
+        wal_stale,
         healthy: snapshot.counter("journal_append_failures").unwrap_or(0) == 0
             && snapshot.counter("kb_append_failures").unwrap_or(0) == 0
-            && log_counts.sink_failures == 0,
+            && log_counts.sink_failures == 0
+            && !wal_stale,
+    };
+
+    // Informational only: a pathological *search* is the client's
+    // problem to act on, not a server fault, so this never degrades.
+    let search = SearchHealth {
+        enabled: manager.diagnostics_config().is_some(),
+        sessions_flagged: manager.flagged_sessions() as u64,
+        pathologies: snapshot.counter("search_health_pathologies").unwrap_or(0),
+        diagnoses: snapshot.counter("search_health_diagnoses").unwrap_or(0),
     };
 
     let degraded = slos.iter().any(|s| s.breached)
@@ -922,6 +958,7 @@ fn health_report(manager: &SessionManager, config: &ServerConfig) -> HealthRepor
         slos,
         saturation,
         writes,
+        search: Some(search),
         log: log_counts,
     }
 }
@@ -1371,6 +1408,14 @@ mod tests {
                 assert_eq!(health.slos.len(), SLO_HISTOGRAMS.len());
                 assert!(health.slos.iter().all(|s| !s.breached));
                 assert!(health.writes.healthy);
+                // No WAL configured: the staleness fields stay quiet.
+                assert!(!health.writes.wal_stale);
+                assert!(health.writes.wal_checkpoint_age_seconds.is_none());
+                // The search rollup is always present and informational;
+                // diagnostics are off on this manager.
+                let search = health.search.expect("search rollup present");
+                assert!(!search.enabled);
+                assert_eq!(search.pathologies, 0);
             }
             other => panic!("unexpected reply: {other:?}"),
         }

@@ -1,0 +1,284 @@
+//! End-to-end search-health diagnostics: pathology events carry the
+//! client's correlation id, a crash-recovered session answers `diagnose`
+//! exactly like the session it replaced, and — the zero-cost contract —
+//! enabling diagnostics never perturbs a single suggestion for any of
+//! the nine algorithms.
+
+use autotune_core::diagnostics::DiagnosticsConfig;
+use autotune_core::Algorithm;
+use autotune_service::engine::AskTellSession;
+use autotune_service::log::{EventLog, LogLevel};
+use autotune_service::protocol::{Request, Response};
+use autotune_service::{
+    Durability, ServerConfig, SessionManager, SessionSpec, SpaceSpec, Suggestion, TunedServer,
+};
+use autotune_space::{Configuration, Param, ParamSpace};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!(
+        "autotune-diagnostics-test-{}-{tag}-{n}",
+        std::process::id()
+    ))
+}
+
+fn spec_for(algorithm: Algorithm, budget: usize, seed: u64) -> SessionSpec {
+    SessionSpec {
+        algorithm,
+        budget,
+        seed,
+        batch: 1,
+        space: SpaceSpec::Custom {
+            space: ParamSpace::new(vec![Param::new("x", 1, 7), Param::new("y", 1, 7)]),
+        },
+        warm_start: Default::default(),
+        problem: None,
+        prior: None,
+    }
+}
+
+/// Deterministic, mildly multi-modal objective: replay and re-runs see
+/// identical values for identical configurations.
+fn objective(cfg: &Configuration) -> f64 {
+    let v = cfg.values();
+    let (x, y) = (v[0] as f64, v[1] as f64);
+    (x - 3.0).abs() + (y - 5.0).abs() + (x * y % 4.0) * 0.25
+}
+
+/// Small thresholds so a dozen trials are enough to latch verdicts.
+fn fast_cfg() -> DiagnosticsConfig {
+    DiagnosticsConfig {
+        stall_window: 5,
+        min_trials: 5,
+        ..Default::default()
+    }
+}
+
+/// A raw line-oriented connection, so the test controls the `rid` field
+/// the typed `Client` never sets.
+struct RawConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl RawConn {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).unwrap();
+        RawConn {
+            reader: BufReader::new(stream.try_clone().unwrap()),
+            writer: stream,
+        }
+    }
+
+    fn send(&mut self, request: &Request) -> Response {
+        let line = serde_json::to_string(request).unwrap();
+        self.writer.write_all(line.as_bytes()).unwrap();
+        self.writer.write_all(b"\n").unwrap();
+        self.writer.flush().unwrap();
+        let mut reply = String::new();
+        self.reader.read_line(&mut reply).unwrap();
+        serde_json::from_str(reply.trim_end()).unwrap()
+    }
+}
+
+#[test]
+fn pathology_events_carry_the_clients_rid() {
+    let log = Arc::new(EventLog::enabled(LogLevel::Debug));
+    log.set_rate_limit(1e9, 1e9);
+    let manager = Arc::new(
+        SessionManager::in_memory()
+            .with_event_log(Arc::clone(&log))
+            .with_diagnostics(fast_cfg()),
+    );
+    let config = ServerConfig {
+        timeseries_interval: None,
+        ..ServerConfig::default()
+    };
+    let server = TunedServer::spawn_with("127.0.0.1:0", manager, config).unwrap();
+    let mut conn = RawConn::connect(server.local_addr());
+
+    let reply = conn.send(&Request::Open {
+        name: "flat".into(),
+        spec: spec_for(Algorithm::RandomSearch, 40, 7),
+        rid: Some("diag-open".into()),
+    });
+    assert!(!reply.is_error(), "{reply:?}");
+    // Constant costs stall the search flat; Converged latches and is
+    // drained into the event log during one of these correlated
+    // requests.
+    for step in 0..12 {
+        let reply = conn.send(&Request::Suggest {
+            name: "flat".into(),
+            rid: Some(format!("diag-s{step}")),
+        });
+        match reply {
+            Response::Suggest {
+                config: Some(_), ..
+            } => {}
+            other => panic!("unexpected reply: {other:?}"),
+        }
+        let reply = conn.send(&Request::Report {
+            name: "flat".into(),
+            value: 1.0,
+            rid: Some(format!("diag-r{step}")),
+        });
+        assert!(!reply.is_error(), "{reply:?}");
+    }
+    // One more synchronizing suggest: the engine is then provably past
+    // the last trial's trace emission, so the drain has happened.
+    let reply = conn.send(&Request::Suggest {
+        name: "flat".into(),
+        rid: Some("diag-sync".into()),
+    });
+    assert!(!reply.is_error(), "{reply:?}");
+
+    let records = match conn.send(&Request::Logs {
+        tail: Some(1000),
+        since_seq: None,
+        slow: false,
+        rid: None,
+    }) {
+        Response::Logs { records, .. } => records,
+        other => panic!("unexpected reply: {other:?}"),
+    };
+    let pathology = records
+        .iter()
+        .find(|r| r.message.contains("pathology latched: converged"))
+        .expect("Converged was logged");
+    assert_eq!(pathology.component, "engine");
+    assert_eq!(pathology.session.as_deref(), Some("flat"));
+    // The verdict fired while serving one of this client's correlated
+    // requests, so its record carries one of this client's rids.
+    let rid = pathology
+        .rid
+        .as_deref()
+        .expect("pathology record has a rid");
+    assert!(rid.starts_with("diag-"), "unexpected rid {rid:?}");
+
+    // And the rollup agrees over the wire.
+    match conn.send(&Request::Health { rid: None }) {
+        Response::Health { health, .. } => {
+            let search = health.search.expect("search rollup present");
+            assert!(search.enabled);
+            assert!(search.pathologies >= 1);
+            assert_eq!(search.sessions_flagged, 1);
+        }
+        other => panic!("unexpected reply: {other:?}"),
+    }
+}
+
+#[test]
+fn recovered_session_diagnoses_identically_to_the_lost_one() {
+    let dir = temp_dir("recover");
+    std::fs::create_dir_all(&dir).unwrap();
+    // BO GP: the one algorithm exercising every diagnostic signal
+    // (surrogate predictions, acquisition scores, phase split).
+    let spec = spec_for(Algorithm::BoGp, 18, 33);
+
+    let drive = |manager: &SessionManager, rounds: usize| {
+        for _ in 0..rounds {
+            match manager.suggest("crash").unwrap() {
+                Suggestion::Evaluate(cfg) => manager.report("crash", objective(&cfg)).unwrap(),
+                Suggestion::Finished(_) => panic!("budget not spent yet"),
+            }
+        }
+        // Leave one suggestion pending: the engine thread is then
+        // blocked at a deterministic point, so the observed event
+        // prefix (and with it the report) is exactly reproducible.
+        match manager.suggest("crash").unwrap() {
+            Suggestion::Evaluate(cfg) => cfg,
+            Suggestion::Finished(_) => panic!("budget not spent yet"),
+        }
+    };
+
+    let manager = SessionManager::with_journal_dir_durability(&dir, Durability::Sync)
+        .unwrap()
+        .with_diagnostics(fast_cfg());
+    manager.open("crash", spec).unwrap();
+    let pending_before = drive(&manager, 12);
+    let before = manager.diagnose("crash").unwrap();
+    assert!(before.enabled);
+    assert_eq!(before.trials, 12);
+    assert!(before.guided_trials > 0, "GP reached its guided phase");
+    // Crash: no close record, the journal stays recoverable.
+    drop(manager);
+
+    let manager = SessionManager::with_journal_dir_durability(&dir, Durability::Sync)
+        .unwrap()
+        .with_diagnostics(fast_cfg());
+    manager.recover("crash").unwrap();
+    let pending_after = match manager.suggest("crash").unwrap() {
+        Suggestion::Evaluate(cfg) => cfg,
+        Suggestion::Finished(_) => panic!("budget not spent yet"),
+    };
+    assert_eq!(pending_before, pending_after, "replay diverged");
+    let after = manager.diagnose("crash").unwrap();
+    assert_eq!(
+        serde_json::to_value(&before).unwrap(),
+        serde_json::to_value(&after).unwrap(),
+        "recovered diagnostics differ from pre-crash"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+mod determinism {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Runs one full session, returning every (configuration, value)
+    /// pair in order.
+    fn run(
+        algorithm: Algorithm,
+        seed: u64,
+        diagnostics: Option<DiagnosticsConfig>,
+    ) -> Vec<(Vec<u32>, f64)> {
+        let mut session =
+            AskTellSession::open_with_observers(spec_for(algorithm, 12, seed), None, diagnostics)
+                .unwrap();
+        let mut history = Vec::new();
+        loop {
+            match session.suggest().unwrap() {
+                Suggestion::Evaluate(cfg) => {
+                    let value = objective(&cfg);
+                    history.push((cfg.values().to_vec(), value));
+                    session.report(value).unwrap();
+                }
+                Suggestion::Finished(_) => break,
+            }
+        }
+        if diagnostics.is_some() {
+            let report = session.diagnostics_report();
+            assert!(report.enabled);
+            assert_eq!(report.trials, history.len());
+        }
+        session.shutdown();
+        history
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        /// Diagnostics observation is bit-identical to a diagnostics-free
+        /// run for every algorithm: same configurations, same order, same
+        /// values.
+        #[test]
+        fn diagnostics_never_perturb_any_algorithm(seed in 0u64..1000) {
+            for &algorithm in Algorithm::ALL.iter() {
+                let plain = run(algorithm, seed, None);
+                let observed = run(algorithm, seed, Some(fast_cfg()));
+                prop_assert_eq!(
+                    &plain,
+                    &observed,
+                    "{} diverged under observation",
+                    algorithm.name()
+                );
+            }
+        }
+    }
+}
